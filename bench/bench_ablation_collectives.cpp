@@ -1,0 +1,136 @@
+// Ablation — linear vs. WAN-aware (MagPIe-style) collectives.
+//
+// The paper cites MagPIe [Kielmann et al., PPoPP 99] as the collective-
+// communication counterpart of its wide-area work. This bench measures what
+// site-aware collectives buy on the reproduced testbeds: per-operation
+// latency and bytes crossing the 1.5 Mbps IMnet, for broadcast and
+// allreduce, on the Figure 5 (two-site) and Figure 1 (three-site) systems.
+#include "bench_util.hpp"
+#include "core/testbeds.hpp"
+#include "mpi/comm.hpp"
+
+namespace wacs {
+namespace {
+
+struct Sample {
+  double seconds_per_op = 0;
+  std::uint64_t wan_bytes = 0;
+};
+
+constexpr int kOps = 16;
+
+Sample measure(bool three_site, bool hierarchical, std::size_t payload,
+               bool do_bcast) {
+  auto tb = three_site ? core::make_three_site_testbed()
+                       : core::make_rwcp_etl_testbed();
+  double seconds = 0;
+  tb->registry().register_task("coll", [&](rmf::JobContext& ctx) {
+    auto comm = mpi::Comm::init(ctx);
+    comm->barrier();
+    const sim::Time start = ctx.host->network().engine().now();
+    Bytes data = pattern_bytes(payload, 1);
+    for (int i = 0; i < kOps; ++i) {
+      if (do_bcast) {
+        Bytes in = comm->rank() == 0 ? data : Bytes{};
+        Bytes out = hierarchical ? comm->bcast_wan_aware(0, std::move(in))
+                                 : comm->bcast(0, std::move(in));
+        WACS_CHECK(out.size() == payload);
+      } else {
+        const std::int64_t sum =
+            hierarchical ? comm->allreduce_sum_wan_aware(1)
+                         : comm->allreduce_sum(1);
+        WACS_CHECK(sum == comm->size());
+      }
+    }
+    // A bcast root finishes as soon as its sends are queued, so the cost
+    // lives at the receivers: take the max elapsed time over all ranks
+    // (via the linear allreduce, a constant overhead on both variants).
+    const std::int64_t my_elapsed =
+        ctx.host->network().engine().now() - start;
+    const std::int64_t slowest = comm->allreduce_max(my_elapsed);
+    if (comm->rank() == 0) {
+      seconds = sim::to_sec(slowest) / kOps;
+    }
+    comm->finalize();
+  });
+
+  rmf::JobSpec spec;
+  spec.name = "coll";
+  spec.task = "coll";
+  spec.placements = {{"rwcp-sun", 2}, {"compas01", 2}, {"etl-o2k", 4}};
+  if (three_site) spec.placements.push_back({"titech-smp", 4});
+  spec.nprocs = 0;
+  for (const auto& p : spec.placements) spec.nprocs += p.count;
+
+  auto wan_bytes_now = [&] {
+    auto path = tb->net().route(tb->net().host("rwcp-sun"),
+                                tb->net().host("etl-o2k"));
+    std::uint64_t total = (*path)[1]->bytes_carried();
+    if (three_site) {
+      auto path2 = tb->net().route(tb->net().host("rwcp-sun"),
+                                   tb->net().host("titech-smp"));
+      total += (*path2)[1]->bytes_carried();
+      auto path3 = tb->net().route(tb->net().host("etl-o2k"),
+                                   tb->net().host("titech-smp"));
+      total += (*path3)[1]->bytes_carried();
+    }
+    return total;
+  };
+
+  const std::uint64_t before = wan_bytes_now();
+  auto result = tb->run_job("rwcp-sun", spec);
+  WACS_CHECK_MSG(result.ok() && result->ok, "collective bench job failed");
+  Sample out;
+  out.seconds_per_op = seconds;
+  out.wan_bytes = wan_bytes_now() - before;
+  return out;
+}
+
+}  // namespace
+}  // namespace wacs
+
+int main() {
+  using namespace wacs;
+  bench::print_header(
+      "Ablation: linear vs WAN-aware collectives (MagPIe-style)",
+      "related-work axis of Tanaka et al. (their reference [7])");
+
+  TextTable table({"testbed", "collective", "payload", "algorithm",
+                   "time/op", "WAN bytes (whole job)"});
+  struct Config {
+    bool three_site;
+    bool bcast;
+    std::size_t payload;
+    const char* label;
+  };
+  const Config configs[] = {
+      {false, true, 100000, "bcast 100KB"},
+      {false, false, 8, "allreduce i64"},
+      {true, true, 100000, "bcast 100KB"},
+      {true, false, 8, "allreduce i64"},
+  };
+  for (const Config& c : configs) {
+    Sample linear = measure(c.three_site, false, c.payload, c.bcast);
+    Sample hier = measure(c.three_site, true, c.payload, c.bcast);
+    const char* site_label = c.three_site ? "three-site (Fig 1)"
+                                          : "two-site (Fig 5)";
+    table.add_row({site_label, c.label,
+                   c.payload >= 1000 ? "100 KB" : "8 B", "linear",
+                   format_duration_ms(linear.seconds_per_op * 1e3),
+                   format_count(linear.wan_bytes)});
+    table.add_row({"", "", "", "WAN-aware",
+                   format_duration_ms(hier.seconds_per_op * 1e3),
+                   format_count(hier.wan_bytes)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nreading: WAN-aware collectives cut IMnet traffic ~4x (one crossing\n"
+      "per remote site instead of one per remote rank). For tiny payloads\n"
+      "the latency can INCREASE: with the paper's process-global proxy\n"
+      "environment even intra-site hops relay through the outer server, so\n"
+      "the extra member->coordinator stage costs a full ~25 ms proxied hop.\n"
+      "MagPIe's assumption (cheap local network) does not hold behind a\n"
+      "Nexus Proxy. The win is bandwidth, which is what the 1.5 Mbps IMnet\n"
+      "actually runs out of.\n");
+  return 0;
+}

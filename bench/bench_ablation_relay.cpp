@@ -1,0 +1,60 @@
+// Ablation — which relay-cost knob drives which observable?
+//
+// The simulated Nexus Proxy has two calibrated parameters (DESIGN.md §5):
+// a fixed per-message daemon cost and a user-space copy rate. This bench
+// sweeps both and reports proxied LAN latency and 1 MB bandwidth,
+// demonstrating that latency is governed by the per-message cost and large-
+// message bandwidth by the copy rate — the basis for the Table 2
+// calibration.
+#include "bench_util.hpp"
+#include "core/netperf.hpp"
+#include "core/testbeds.hpp"
+
+namespace wacs {
+namespace {
+
+struct Sample {
+  double latency_ms;
+  double bw_1m;
+};
+
+Sample measure(proxy::RelayParams relay) {
+  core::TestbedOptions options;
+  options.relay = relay;
+  auto tb = core::make_rwcp_etl_testbed(options);
+  core::NetPerfOptions perf;
+  perf.ping_count = 16;
+  perf.rounds_per_size = 4;
+  perf.message_sizes = {1000000};
+  auto r = core::measure_path(*tb, "rwcp-sun", "compas01", perf);
+  return Sample{r.latency_ms, r.bandwidth_bps[0]};
+}
+
+}  // namespace
+}  // namespace wacs
+
+int main() {
+  using namespace wacs;
+  bench::print_header(
+      "Ablation: relay cost model vs Table 2 observables",
+      "calibration basis for Tanaka et al., HPDC 2000, Table 2");
+
+  TextTable table({"per-message cost", "copy rate", "proxied LAN latency",
+                   "proxied LAN bw @1MB"});
+  for (double per_msg : {0.003, 0.012, 0.048}) {
+    for (double copy_rate : {0.35e6, 1.4e6, 5.6e6}) {
+      Sample s = measure(proxy::RelayParams{per_msg, copy_rate});
+      char msbuf[32], crbuf[32];
+      std::snprintf(msbuf, sizeof msbuf, "%.0f ms", per_msg * 1e3);
+      std::snprintf(crbuf, sizeof crbuf, "%.2f MB/s", copy_rate / 1e6);
+      table.add_row({msbuf, crbuf, format_duration_ms(s.latency_ms),
+                     format_bandwidth(s.bw_1m)});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nreading: latency scales with the per-message cost (copy rate\n"
+              "is irrelevant at 1 byte); 1 MB bandwidth scales with the copy\n"
+              "rate (per-message cost is amortized). The calibrated values\n"
+              "(12 ms, 1.4 MB/s) hit the paper's 25 ms / sub-MB/s anchors.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Extension — the Figure 1 three-site wide-area cluster system.
+//
+// The paper's introduction draws a grid of ETL, Tokyo Institute of
+// Technology, and RWCP (Figure 1), but the evaluation only spans two sites.
+// This bench completes the picture: knapsack runs on the 28-processor
+// three-site system, with TITech behind its *own* firewall and Nexus Proxy
+// pair, so RWCP↔TITech rank links chain through two outer servers.
+#include <cstdlib>
+#include <map>
+
+#include "bench_util.hpp"
+#include "core/testbeds.hpp"
+#include "knapsack/parallel.hpp"
+#include "knapsack/search.hpp"
+
+namespace wacs {
+namespace {
+
+int instance_size() {
+  if (const char* env = std::getenv("WACS_KNAPSACK_N")) {
+    const int n = std::atoi(env);
+    if (n >= 10 && n <= 34) return n;
+  }
+  return 26;
+}
+
+knapsack::RunStats run(core::Testbed& tb,
+                       std::vector<rmf::Placement> placements, int n) {
+  knapsack::Instance inst = knapsack::no_prune_instance(n, 2);
+  rmf::JobSpec spec;
+  spec.name = "threesite";
+  spec.task = knapsack::kParallelTask;
+  spec.nprocs = 0;
+  for (const auto& p : placements) spec.nprocs += p.count;
+  spec.placements = std::move(placements);
+  spec.args = {{knapsack::args::kInterval, "1000"},
+               {knapsack::args::kStealUnit, "16"},
+               {knapsack::args::kSecPerNode, "0.000001"}};
+  spec.input_files[knapsack::kInstanceFile] = inst.encode();
+  auto result = tb->run_job("rwcp-sun", spec);
+  WACS_CHECK_MSG(result.ok() && result->ok, "three-site run failed");
+  auto stats = knapsack::RunStats::decode(result->output);
+  WACS_CHECK(stats.ok());
+  WACS_CHECK(stats->total_nodes == knapsack::full_tree_nodes(n));
+  return *stats;
+}
+
+}  // namespace
+}  // namespace wacs
+
+int main() {
+  using namespace wacs;
+  const int n = instance_size();
+  bench::print_header(
+      "Extension: the Figure 1 three-site wide-area cluster system",
+      "Tanaka et al., HPDC 2000, Figure 1 (evaluated here beyond the paper)");
+
+  // Two-site (Figure 5) baseline on the same three-site grid.
+  auto tb2 = core::make_three_site_testbed();
+  auto two = run(tb2, core::placement_wide_area(tb2), n);
+  auto tb3 = core::make_three_site_testbed();
+  auto three = run(tb3, core::placement_three_site(tb3), n);
+
+  const double seq_seconds =
+      static_cast<double>(knapsack::full_tree_nodes(n)) *
+      core::calib::kSecPerNode;
+
+  TextTable table({"system", "procs", "exec time", "speedup vs seq",
+                   "capacity"});
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", seq_seconds / two.app_seconds);
+  table.add_row({"Wide-area, 2 sites (Fig 5)", "20",
+                 format_duration_ms(two.app_seconds * 1e3), buf, "16.0"});
+  std::snprintf(buf, sizeof buf, "%.2f", seq_seconds / three.app_seconds);
+  table.add_row({"Wide-area, 3 sites (Fig 1)", "28",
+                 format_duration_ms(three.app_seconds * 1e3), buf, "21.6"});
+  std::printf("%s", table.to_string().c_str());
+
+  // Per-site node shares on the three-site run.
+  std::map<std::string, std::uint64_t> site_nodes;
+  for (const auto& r : three.ranks) {
+    std::string site = r.host.rfind("compas", 0) == 0 ? "rwcp"
+                       : r.host.rfind("rwcp", 0) == 0 ? "rwcp"
+                       : r.host.rfind("etl", 0) == 0  ? "etl"
+                                                      : "titech";
+    site_nodes[site] += r.nodes_traversed;
+  }
+  std::printf("\nthree-site node shares:\n");
+  for (const auto& [site, nodes] : site_nodes) {
+    std::printf("  %-8s %5.1f%%\n", site.c_str(),
+                100.0 * static_cast<double>(nodes) /
+                    static_cast<double>(three.total_nodes));
+  }
+  std::printf("\nproxy chains: rwcp outer relayed %s msgs, titech outer %s "
+              "msgs, titech inner %s msgs\n",
+              format_count(tb3->proxy_for("rwcp")->outer->stats().messages)
+                  .c_str(),
+              format_count(tb3->proxy_for("titech")->outer->stats().messages)
+                  .c_str(),
+              format_count(tb3->proxy_for("titech")->inner->stats().messages)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Figures 3 & 4 — cost of the Nexus Proxy connection mechanisms.
+//
+// The paper's Figures 3 and 4 are protocol diagrams (active open through
+// the outer server; passive open through outer + inner). This bench
+// measures what those diagrams imply: the virtual-time cost of each
+// establishment path on the Figure 5 testbed, against the direct baseline,
+// plus the deny-based firewall's behaviour for a blocked direct attempt.
+#include "bench_util.hpp"
+#include "core/testbeds.hpp"
+
+namespace wacs {
+namespace {
+
+/// Measures one establishment scenario; returns milliseconds of virtual
+/// time from the initiator's call to an established, usable link.
+double measure(const std::string& label,
+               std::function<double(core::Testbed&)> scenario,
+               bool open_firewall = false) {
+  core::TestbedOptions options;
+  options.open_rwcp_firewall = open_firewall;
+  auto tb = core::make_rwcp_etl_testbed(options);
+  (void)label;
+  return scenario(tb);
+}
+
+}  // namespace
+}  // namespace wacs
+
+int main() {
+  using namespace wacs;
+  bench::print_header(
+      "Figures 3-4: connection establishment through the Nexus Proxy",
+      "Tanaka et al., HPDC 2000, Figures 3 and 4 (mechanism diagrams)");
+
+  TextTable table({"scenario", "setup time", "mechanism"});
+
+  // Direct LAN baseline.
+  double t = measure("direct-lan", [](core::Testbed& tb) {
+    double ms = -1;
+    tb->engine().spawn("m", [&](sim::Process& self) {
+      auto l = tb->net().host("compas01").stack().listen(5000);
+      const sim::Time start = tb->engine().now();
+      auto c = tb->net().host("rwcp-sun").stack().connect(self,
+                                                          {"compas01", 5000});
+      WACS_CHECK(c.ok());
+      ms = sim::to_ms(tb->engine().now() - start);
+      (void)l;
+    });
+    tb->engine().run();
+    return ms;
+  });
+  table.add_row({"direct connect, LAN", format_duration_ms(t),
+                 "connect() / accept()"});
+
+  // Fig 3: active open via the outer server (RWCP client -> ETL target).
+  t = measure("fig3", [](core::Testbed& tb) {
+    double ms = -1;
+    tb->engine().spawn("m", [&](sim::Process& self) {
+      auto l = tb->net().host("etl-sun").stack().listen(31000);
+      proxy::ProxyClient client(tb->net().host("rwcp-sun"),
+                                tb->outer()->contact(),
+                                tb->inner()->contact());
+      const sim::Time start = tb->engine().now();
+      auto c = client.nx_connect(self, {"etl-sun", 31000});
+      WACS_CHECK_MSG(c.ok(), c.error().to_string());
+      ms = sim::to_ms(tb->engine().now() - start);
+      (void)l;
+    });
+    tb->engine().run();
+    return ms;
+  });
+  table.add_row({"Fig 3 active open via outer server", format_duration_ms(t),
+                 "NXProxyConnect(): client->outer->target"});
+
+  // Fig 4: passive open via outer + inner (bind, then remote connects and
+  // the first byte arrives at the bound client).
+  t = measure("fig4", [](core::Testbed& tb) {
+    double ms = -1;
+    Contact public_contact;
+    tb->engine().spawn("bound", [&](sim::Process& self) {
+      proxy::ProxyClient client(tb->net().host("rwcp-sun"),
+                                tb->outer()->contact(),
+                                tb->inner()->contact());
+      auto bound = client.nx_bind(self);
+      WACS_CHECK(bound.ok());
+      public_contact = (*bound)->public_contact();
+      auto conn = (*bound)->nx_accept(self);
+      WACS_CHECK(conn.ok());
+      auto msg = (*conn)->recv(self);
+      WACS_CHECK(msg.ok());
+      ms = sim::to_ms(tb->engine().now()) - 100.0;  // minus remote start
+    });
+    tb->engine().spawn("remote", [&](sim::Process& self) {
+      self.sleep_until(sim::from_sec(0.1));  // bind must be registered
+      auto c = tb->net().host("etl-sun").stack().connect(self, public_contact);
+      WACS_CHECK(c.ok());
+      WACS_CHECK((*c)->send(Bytes{1}).ok());
+    });
+    tb->engine().run();
+    return ms;
+  });
+  table.add_row({"Fig 4 passive open via outer+inner", format_duration_ms(t),
+                 "NXProxyBind()/Accept(): remote->outer->inner->client"});
+
+  // Deny-based firewall: a direct dial at the private endpoint fails.
+  t = measure("denied", [](core::Testbed& tb) {
+    double ms = -1;
+    tb->engine().spawn("m", [&](sim::Process& self) {
+      const sim::Time start = tb->engine().now();
+      auto c = tb->net().host("etl-sun").stack().connect(self,
+                                                         {"rwcp-sun", 12345});
+      WACS_CHECK(!c.ok());
+      ms = sim::to_ms(tb->engine().now() - start);
+    });
+    tb->engine().run();
+    return ms;
+  });
+  table.add_row({"direct inbound to RWCP (firewall denies)",
+                 format_duration_ms(t), "SYN dropped by deny-based filter"});
+
+  // Direct WAN baseline with the firewall temporarily opened.
+  t = measure("direct-wan", [](core::Testbed& tb) {
+    double ms = -1;
+    tb->engine().spawn("m", [&](sim::Process& self) {
+      auto l = tb->net().host("rwcp-sun").stack().listen(5000);
+      const sim::Time start = tb->engine().now();
+      auto c = tb->net().host("etl-sun").stack().connect(self,
+                                                         {"rwcp-sun", 5000});
+      WACS_CHECK(c.ok());
+      ms = sim::to_ms(tb->engine().now() - start);
+      (void)l;
+    });
+    tb->engine().run();
+    return ms;
+  }, /*open_firewall=*/true);
+  table.add_row({"direct connect, WAN (firewall opened)",
+                 format_duration_ms(t), "the paper's temporary baseline"});
+
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nshape checks:\n");
+  std::printf("  Fig 4 > Fig 3 > direct: each relay process in the chain\n");
+  std::printf("  adds per-connection daemon work plus extra hops.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Google-benchmark: discrete-event substrate performance.
+//
+// The simulator's usefulness depends on how many events and process
+// switches it retires per wall-clock second; these microbenchmarks keep
+// that honest (a 20-rank knapsack run executes millions of events).
+#include <benchmark/benchmark.h>
+
+#include "common/units.hpp"
+#include "simnet/channel.hpp"
+#include "simnet/tcp.hpp"
+
+namespace wacs::sim {
+namespace {
+
+void BM_EventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    const int n = static_cast<int>(state.range(0));
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      engine.at(i, [&fired] { ++fired; });
+    }
+    state.ResumeTiming();
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventDispatch)->Arg(1000)->Arg(100000);
+
+void BM_ProcessSwitch(benchmark::State& state) {
+  // Two processes ping-ponging through a channel: every message costs two
+  // full engine<->process context switches.
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    const int rounds = static_cast<int>(state.range(0));
+    auto ping = std::make_shared<Channel<int>>(engine);
+    auto pong = std::make_shared<Channel<int>>(engine);
+    engine.spawn("a", [ping, pong, rounds](Process& self) {
+      for (int i = 0; i < rounds; ++i) {
+        ping->send(i);
+        (void)pong->recv(self);
+      }
+    });
+    engine.spawn("b", [ping, pong, rounds](Process& self) {
+      for (int i = 0; i < rounds; ++i) {
+        (void)ping->recv(self);
+        pong->send(i);
+      }
+    });
+    state.ResumeTiming();
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ProcessSwitch)->Arg(1000)->Arg(10000);
+
+void BM_SimTcpMessages(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    Network net(engine);
+    net.add_site("s", fw::Policy::open(),
+                 LinkParams{.name = "", .latency_s = msec(0.4),
+                            .bandwidth_bps = mbyte_per_sec(10)});
+    net.add_host({.name = "a", .site = "s"});
+    net.add_host({.name = "b", .site = "s"});
+    const int count = static_cast<int>(state.range(0));
+    engine.spawn("rx", [&net, count](Process& self) {
+      auto l = net.host("b").stack().listen(5000);
+      auto s = (*l)->accept(self);
+      for (int i = 0; i < count; ++i) (void)(*s)->recv(self);
+    });
+    engine.spawn("tx", [&net, count](Process& self) {
+      auto s = net.host("a").stack().connect(self, Contact{"b", 5000});
+      Bytes msg = pattern_bytes(256);
+      for (int i = 0; i < count; ++i) (void)(*s)->send(msg);
+    });
+    state.ResumeTiming();
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimTcpMessages)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace wacs::sim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Table 2 — communication latency and bandwidth, direct vs. via the Nexus
+// Proxy, on the LAN pair (RWCP-Sun <-> COMPaS) and the WAN pair
+// (RWCP-Sun <-> ETL-Sun).
+//
+// Methodology (matching what a Nexus-level microbenchmark could do in 2000):
+//  - latency   = average round-trip time of a 1-byte ping-pong, divided by
+//                two. Nexus links are unidirectional, so the ping and the
+//                pong travel different connections — through the proxy the
+//                two directions traverse different relay chains, which is
+//                why proxied LAN and WAN latencies are both ~25 ms.
+//  - bandwidth = synchronous per-message transfer: send `size` bytes, wait
+//                for a 1-byte ack, repeat; bytes / elapsed.
+//
+// Direct rows run with the firewall temporarily opened, exactly as the
+// paper did ("we have temporarily changed the configuration of the
+// firewall to enable direct communication").
+#include "bench_util.hpp"
+#include "core/netperf.hpp"
+#include "core/testbeds.hpp"
+
+namespace wacs {
+namespace {
+
+struct Measurement {
+  double latency_ms = 0;
+  double bw_4k = 0;  // bytes/sec
+  double bw_1m = 0;
+};
+
+Measurement measure(bool proxied, const std::string& a, const std::string& b) {
+  core::TestbedOptions options;
+  options.rwcp_uses_proxy = proxied;
+  options.open_rwcp_firewall = !proxied;
+  auto tb = core::make_rwcp_etl_testbed(options);
+  core::NetPerfOptions perf;
+  perf.message_sizes = {4096, 1000000};
+  auto r = core::measure_path(*tb, a, b, perf);
+  return Measurement{r.latency_ms, r.bandwidth_bps[0], r.bandwidth_bps[1]};
+}
+
+}  // namespace
+}  // namespace wacs
+
+int main() {
+  using namespace wacs;
+  bench::print_header(
+      "Table 2: communication latency and bandwidth",
+      "Tanaka et al., HPDC 2000, Table 2 (+ Figure 5 topology)");
+
+  struct Row {
+    const char* label;
+    bool proxied;
+    const char* a;
+    const char* b;
+    const char* paper_latency;
+    const char* paper_bw4k;
+    const char* paper_bw1m;
+  };
+  const Row rows[] = {
+      {"RWCP-Sun <-> COMPaS  (direct)", false, "rwcp-sun", "compas01",
+       "0.41 ms", "3.29 MB/s", "6.32 MB/s"},
+      {"RWCP-Sun <-> COMPaS  (Nexus Proxy)", true, "rwcp-sun", "compas01",
+       "25.0 ms", "70.5 KB/s", "(order of magnitude below direct)"},
+      {"RWCP-Sun <-> ETL-Sun (direct)", false, "rwcp-sun", "etl-sun",
+       "3.9 ms", "(n/a in scan)", "(link-bound)"},
+      {"RWCP-Sun <-> ETL-Sun (Nexus Proxy)", true, "rwcp-sun", "etl-sun",
+       "25.1 ms", "(n/a in scan)", "(close to direct)"},
+  };
+
+  TextTable table({"path", "latency", "bw @4KB", "bw @1MB", "paper latency",
+                   "paper @4KB", "paper @1MB"});
+  Measurement results[4];
+  int i = 0;
+  for (const Row& row : rows) {
+    Measurement m = measure(row.proxied, row.a, row.b);
+    results[i++] = m;
+    table.add_row({row.label, format_duration_ms(m.latency_ms),
+                   format_bandwidth(m.bw_4k), format_bandwidth(m.bw_1m),
+                   row.paper_latency, row.paper_bw4k, row.paper_bw1m});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  // Shape checks the paper states in prose.
+  const double lan_ratio = results[1].latency_ms / results[0].latency_ms;
+  const double wan_ratio = results[3].latency_ms / results[2].latency_ms;
+  const double wan_bw_ratio = results[3].bw_1m / results[2].bw_1m;
+  std::printf("\nshape checks:\n");
+  std::printf("  proxied/direct LAN latency : %5.1fx   (paper: ~60x)\n",
+              lan_ratio);
+  std::printf("  proxied/direct WAN latency : %5.1fx   (paper: ~6x, \"approximately six times larger\")\n",
+              wan_ratio);
+  std::printf("  proxied LAN 1MB bandwidth  : %5.1fx below direct (paper: order of magnitude)\n",
+              results[0].bw_1m / results[1].bw_1m);
+  std::printf("  proxied WAN 1MB bandwidth  : %4.0f%% of direct (paper: \"can be negligible\")\n",
+              wan_bw_ratio * 100.0);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Each bench binary regenerates one table or figure of the paper and prints
+// it side by side with the paper's reported values (where the scraped text
+// preserves them). Absolute numbers differ — the substrate is a calibrated
+// simulator, not the 1999 RWCP/ETL testbed — but the shape (who wins, by
+// what factor, where the crossovers fall) is the reproduction target.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/stats.hpp"
+
+namespace wacs::bench {
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("note: %s\n", note.c_str());
+}
+
+}  // namespace wacs::bench

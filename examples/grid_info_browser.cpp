@@ -1,0 +1,85 @@
+// Browse the grid information service (MDS) of the Figure 5 testbed and use
+// it the way metacomputing tools did: discover resources by filtered search,
+// find the gatekeeper, and submit a job to the discovered resources.
+//
+//   $ ./grid_info_browser ["(filter)(terms)"]
+//
+// Default filter: "(cpus>=4)(site=rwcp)".
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "core/testbeds.hpp"
+#include "mds/server.hpp"
+
+using namespace wacs;
+
+int main(int argc, char** argv) {
+  const std::string filter = argc > 1 ? argv[1] : "(cpus>=4)(site=rwcp)";
+  auto tb = core::make_rwcp_etl_testbed();
+
+  tb->registry().register_task("hello", [](rmf::JobContext& ctx) {
+    if (ctx.rank == 0) {
+      ctx.result = to_bytes("ran on " + ctx.host->name());
+    }
+  });
+
+  std::vector<mds::Entry> resources;
+  std::string gatekeeper_contact;
+  std::string job_output;
+
+  tb->engine().spawn("browser", [&](sim::Process& self) {
+    self.sleep(0.1);  // let the boot-time publications land
+    mds::MdsClient client(tb->net().host("etl-sun"),
+                          tb->mds_server()->contact());
+
+    // 1. Discover compute resources.
+    auto found = client.search(self, "o=grid", mds::Scope::kSubtree, filter);
+    if (!found.ok()) {
+      std::printf("search failed: %s\n", found.error().to_string().c_str());
+      return;
+    }
+    resources = *found;
+
+    // 2. Discover the gatekeeper service.
+    auto gk = client.search(self, "o=grid/service=gatekeeper",
+                            mds::Scope::kBase, "");
+    if (!gk.ok() || gk->empty()) return;
+    gatekeeper_contact = (*gk)[0].attributes.at("contact");
+
+    // 3. Submit a job to the first discovered resource, through the
+    //    discovered gatekeeper.
+    if (resources.empty()) return;
+    const std::string target = resources[0].attributes.at("qserver");
+    auto target_contact = Contact::parse(target);
+    if (!target_contact.ok()) return;
+    auto gk_contact = Contact::parse(gatekeeper_contact);
+    if (!gk_contact.ok()) return;
+
+    rmf::JobSpec spec;
+    spec.name = "discovered";
+    spec.task = "hello";
+    spec.credential = "wacs-grid";
+    spec.nprocs = 1;
+    spec.placements = {{target_contact->host, 1}};
+    auto result = rmf::submit_and_wait(self, tb->net().host("etl-sun"),
+                                       *gk_contact, spec);
+    if (result.ok() && result->ok) job_output = to_string(result->output);
+  });
+
+  tb->engine().run();
+
+  std::printf("MDS search: base=o=grid scope=subtree filter=%s\n\n",
+              filter.c_str());
+  TextTable table({"dn", "cpus", "speed", "qserver"});
+  for (const auto& e : resources) {
+    auto attr = [&](const char* k) {
+      auto it = e.attributes.find(k);
+      return it == e.attributes.end() ? std::string("-") : it->second;
+    };
+    table.add_row({e.dn, attr("cpus"), attr("speed"), attr("qserver")});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\ngatekeeper discovered at: %s\n", gatekeeper_contact.c_str());
+  std::printf("job submitted to the first match: %s\n", job_output.c_str());
+  return 0;
+}

@@ -1,0 +1,124 @@
+// The paper's flagship experiment as a runnable example: the parallel 0-1
+// knapsack on the 20-processor wide-area cluster (Figure 5 testbed),
+// submitted through the RMF gatekeeper, communicating through the Nexus
+// Proxy across the deny-based firewall.
+//
+//   $ ./wide_area_knapsack [items] [interval] [stealunit]
+//   $ ./wide_area_knapsack --file instance.txt [interval] [stealunit]
+//
+// Defaults: 24 items (2^25-1 nodes), interval 1000, stealunit 16. With
+// --file, the instance is read from a text data file ("a master reads a
+// data file"; see Instance::from_text for the format).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/stats.hpp"
+#include "core/testbeds.hpp"
+#include "knapsack/parallel.hpp"
+#include "knapsack/search.hpp"
+
+using namespace wacs;
+
+int main(int argc, char** argv) {
+  knapsack::Instance inst;
+  const char* interval = argc > 2 ? argv[2] : "1000";
+  const char* stealunit = argc > 3 ? argv[3] : "16";
+
+  if (argc > 2 && std::string(argv[1]) == "--file") {
+    std::ifstream in(argv[2]);
+    if (!in) {
+      std::printf("cannot open %s\n", argv[2]);
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = knapsack::Instance::from_text(buffer.str());
+    if (!parsed.ok()) {
+      std::printf("%s\n", parsed.error().to_string().c_str());
+      return 2;
+    }
+    inst = std::move(*parsed);
+    interval = argc > 3 ? argv[3] : "1000";
+    stealunit = argc > 4 ? argv[4] : "16";
+  } else {
+    const int n = argc > 1 ? std::atoi(argv[1]) : 24;
+    if (n < 8 || n > 34) {
+      std::printf(
+          "usage: %s [items 8..34 | --file data.txt] [interval] [stealunit]\n",
+          argv[0]);
+      return 2;
+    }
+    inst = knapsack::no_prune_instance(n, 2);
+  }
+  const int n = inst.size();
+
+  auto tb = core::make_rwcp_etl_testbed();
+  std::printf("Figure 5 testbed:\n%s\n", tb->net().describe().c_str());
+  std::printf("instance: %d items, capacity %lld (no branches pruned -> "
+              "%s nodes)\n\n",
+              n, static_cast<long long>(inst.capacity),
+              format_count(knapsack::full_tree_nodes(n)).c_str());
+
+  rmf::JobSpec spec;
+  spec.name = "wide-area-knapsack";
+  spec.task = knapsack::kParallelTask;
+  auto placements = core::placement_wide_area(tb);
+  spec.nprocs = 0;
+  for (const auto& p : placements) spec.nprocs += p.count;
+  spec.placements = placements;
+  spec.args = {{knapsack::args::kInterval, interval},
+               {knapsack::args::kStealUnit, stealunit},
+               {knapsack::args::kBackUnit, "64"},
+               {knapsack::args::kSecPerNode, "0.000001"}};
+  spec.input_files[knapsack::kInstanceFile] = inst.encode();
+
+  std::printf("submitting %d ranks through the gatekeeper...\n", spec.nprocs);
+  auto result = tb->run_job("rwcp-sun", spec);
+  if (!result.ok() || !result->ok) {
+    std::printf("job failed: %s\n",
+                result.ok() ? result->error.c_str()
+                            : result.error().to_string().c_str());
+    return 1;
+  }
+
+  auto stats = knapsack::RunStats::decode(result->output);
+  if (!stats.ok()) {
+    std::printf("corrupt stats\n");
+    return 1;
+  }
+
+  std::printf("\nbest value      : %lld\n",
+              static_cast<long long>(stats->best_value));
+  std::printf("nodes traversed : %s (expected %s)\n",
+              format_count(stats->total_nodes).c_str(),
+              format_count(knapsack::full_tree_nodes(n)).c_str());
+  std::printf("search time     : %.3f virtual seconds\n", stats->app_seconds);
+  std::printf("job wall        : %.3f virtual seconds (incl. RMF startup)\n",
+              result->wall_seconds);
+  std::printf("master steals   : %s\n",
+              format_count(stats->master_steals_handled).c_str());
+
+  std::printf("\nper-rank breakdown:\n");
+  TextTable table({"rank", "host", "nodes", "steal requests"});
+  for (const auto& r : stats->ranks) {
+    table.add_row({std::to_string(r.rank), r.host,
+                   format_count(r.nodes_traversed),
+                   format_count(r.steal_requests)});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf("\nproxy relays    : outer %s msgs / %s bytes, inner %s msgs\n",
+              format_count(tb->outer()->stats().messages).c_str(),
+              format_count(tb->outer()->stats().bytes).c_str(),
+              format_count(tb->inner()->stats().messages).c_str());
+  std::printf("rwcp firewall   : %llu allowed, %llu denied (default deny "
+              "inbound held throughout)\n",
+              static_cast<unsigned long long>(
+                  tb->net().site("rwcp").firewall().allowed()),
+              static_cast<unsigned long long>(
+                  tb->net().site("rwcp").firewall().denied()));
+  std::printf("\n%s", tb->net().traffic_report().c_str());
+  return 0;
+}

@@ -1,0 +1,28 @@
+#include "common/bytes.hpp"
+
+namespace wacs {
+
+Bytes pattern_bytes(std::size_t n, std::uint64_t seed) {
+  Bytes out(n);
+  std::uint64_t x = seed * 0x9e3779b97f4a7c15ULL + 0x2545F4914F6CDD1DULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    // splitmix-ish byte stream: cheap, deterministic, sensitive to position.
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    out[i] = static_cast<std::uint8_t>(z ^ (z >> 31));
+  }
+  return out;
+}
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace wacs

@@ -1,0 +1,163 @@
+// Byte buffers and a little-endian serialization layer.
+//
+// Both the simulated and the real Nexus Proxy speak a framed binary wire
+// protocol; BufWriter/BufReader are the single encode/decode mechanism so a
+// message serialized by either side parses in the other. All integers are
+// little-endian fixed width; strings and blobs are u32-length-prefixed.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace wacs {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends values to a growable byte vector.
+class BufWriter {
+ public:
+  BufWriter() = default;
+  explicit BufWriter(Bytes initial) : buf_(std::move(initial)) {}
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i32(std::int32_t v) { append_le(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    append_le(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// u32 length prefix + raw bytes.
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+  void blob(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    raw(b);
+  }
+  /// Unprefixed bytes (caller frames them some other way).
+  void raw(std::span<const std::uint8_t> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  const Bytes& bytes() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buf_;
+};
+
+/// Reads values back out of a byte span. Every accessor reports truncation
+/// through Result instead of reading past the end, so malformed frames from a
+/// peer cannot crash a relay daemon.
+class BufReader {
+ public:
+  explicit BufReader(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit BufReader(const Bytes& data) : data_(data) {}
+
+  Result<std::uint8_t> u8() { return read_le<std::uint8_t>(); }
+  Result<std::uint16_t> u16() { return read_le<std::uint16_t>(); }
+  Result<std::uint32_t> u32() { return read_le<std::uint32_t>(); }
+  Result<std::uint64_t> u64() { return read_le<std::uint64_t>(); }
+  Result<std::int32_t> i32() {
+    auto v = read_le<std::uint32_t>();
+    if (!v) return v.error();
+    return static_cast<std::int32_t>(*v);
+  }
+  Result<std::int64_t> i64() {
+    auto v = read_le<std::uint64_t>();
+    if (!v) return v.error();
+    return static_cast<std::int64_t>(*v);
+  }
+  Result<double> f64() {
+    auto bits = read_le<std::uint64_t>();
+    if (!bits) return bits.error();
+    double v;
+    std::memcpy(&v, &*bits, sizeof v);
+    return v;
+  }
+  Result<bool> boolean() {
+    auto v = u8();
+    if (!v) return v.error();
+    return *v != 0;
+  }
+
+  Result<std::string> str() {
+    auto len = u32();
+    if (!len) return len.error();
+    if (remaining() < *len) return truncated("string body");
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), *len);
+    pos_ += *len;
+    return out;
+  }
+  Result<Bytes> blob() {
+    auto len = u32();
+    if (!len) return len.error();
+    if (remaining() < *len) return truncated("blob body");
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *len));
+    pos_ += *len;
+    return out;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  Result<T> read_le() {
+    if (remaining() < sizeof(T)) return truncated("fixed-width value");
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  Error truncated(const char* what) const {
+    return Error(ErrorCode::kProtocolError,
+                 std::string("truncated frame while reading ") + what);
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: bytes of a string literal/payload.
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+inline std::string to_string(std::span<const std::uint8_t> b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// Deterministic pattern payload of `n` bytes; used by tests and benches to
+/// verify end-to-end integrity of relayed streams.
+Bytes pattern_bytes(std::size_t n, std::uint64_t seed = 0);
+
+/// FNV-1a over a byte span; cheap integrity check for relayed payloads.
+std::uint64_t fnv1a(std::span<const std::uint8_t> data);
+
+}  // namespace wacs

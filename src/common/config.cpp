@@ -1,0 +1,33 @@
+#include "common/config.hpp"
+
+#include <charconv>
+
+namespace wacs {
+
+Result<std::int64_t> Env::get_int(const std::string& key,
+                                  std::int64_t fallback) const {
+  auto raw = get(key);
+  if (!raw) return fallback;
+  std::int64_t v = 0;
+  const char* begin = raw->data();
+  const char* end = begin + raw->size();
+  auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc() || ptr != end) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "config key " + key + " has non-integer value '" + *raw + "'");
+  }
+  return v;
+}
+
+Result<std::optional<Contact>> Env::get_contact(const std::string& key) const {
+  auto raw = get(key);
+  if (!raw) return std::optional<Contact>{};
+  auto parsed = Contact::parse(*raw);
+  if (!parsed) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "config key " + key + ": " + parsed.error().to_string());
+  }
+  return std::optional<Contact>{*parsed};
+}
+
+}  // namespace wacs

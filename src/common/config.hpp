@@ -1,0 +1,61 @@
+// Environment-style configuration maps.
+//
+// Globus 1.x configured the proxy route through environment variables
+// (NEXUS_PROXY_OUTER_SERVER, NEXUS_PROXY_INNER_SERVER, TCP_MIN_PORT,
+// TCP_MAX_PORT). Each simulated process carries an Env of its own, so a rank
+// at RWCP can be proxy-configured while a rank at ETL is not — exactly the
+// per-host deployment the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/contact.hpp"
+#include "common/error.hpp"
+
+namespace wacs {
+
+/// String key/value configuration with typed getters.
+class Env {
+ public:
+  Env() = default;
+
+  void set(std::string key, std::string value) {
+    values_[std::move(key)] = std::move(value);
+  }
+  void unset(const std::string& key) { values_.erase(key); }
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::optional<std::string> get(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Integer getter; returns error (not fallback) when the value is present
+  /// but unparsable, so configuration typos surface loudly.
+  Result<std::int64_t> get_int(const std::string& key,
+                               std::int64_t fallback) const;
+
+  /// Contact getter with the same present-but-bad policy.
+  Result<std::optional<Contact>> get_contact(const std::string& key) const;
+
+  std::size_t size() const { return values_.size(); }
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Canonical keys, mirroring the Globus 1.x names used in the paper.
+namespace env_keys {
+inline constexpr const char* kProxyOuterServer = "NEXUS_PROXY_OUTER_SERVER";
+inline constexpr const char* kProxyInnerServer = "NEXUS_PROXY_INNER_SERVER";
+inline constexpr const char* kTcpMinPort = "TCP_MIN_PORT";
+inline constexpr const char* kTcpMaxPort = "TCP_MAX_PORT";
+}  // namespace env_keys
+
+}  // namespace wacs

@@ -1,0 +1,45 @@
+#include "common/contact.hpp"
+
+#include <charconv>
+
+namespace wacs {
+
+Result<Contact> Contact::parse(std::string_view text) {
+  auto bad = [&](const char* why) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "bad contact string '" + std::string(text) + "': " + why);
+  };
+
+  std::string_view host_part;
+  std::string_view port_part;
+  if (!text.empty() && text.front() == '[') {
+    // IPv6 literal: [addr]:port
+    auto close = text.find(']');
+    if (close == std::string_view::npos) return bad("unterminated '['");
+    host_part = text.substr(1, close - 1);
+    if (close + 1 >= text.size() || text[close + 1] != ':') {
+      return bad("missing ':port' after ']'");
+    }
+    port_part = text.substr(close + 2);
+  } else {
+    auto colon = text.rfind(':');
+    if (colon == std::string_view::npos) return bad("missing ':'");
+    host_part = text.substr(0, colon);
+    port_part = text.substr(colon + 1);
+  }
+
+  if (host_part.empty()) return bad("empty host");
+  if (port_part.empty()) return bad("empty port");
+
+  std::uint32_t port = 0;
+  auto [ptr, ec] = std::from_chars(port_part.data(),
+                                   port_part.data() + port_part.size(), port);
+  if (ec != std::errc() || ptr != port_part.data() + port_part.size()) {
+    return bad("port is not a number");
+  }
+  if (port > 65535) return bad("port out of range");
+
+  return Contact{std::string(host_part), static_cast<std::uint16_t>(port)};
+}
+
+}  // namespace wacs

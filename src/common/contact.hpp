@@ -1,0 +1,34 @@
+// Contact strings — "host:port" endpoint addresses.
+//
+// Globus/Nexus identifies communication endpoints by textual contact strings
+// exchanged out of band (e.g. in job startup messages). The Nexus Proxy works
+// by *rewriting* them: a process behind a firewall advertises the outer
+// server's address instead of its own. Keeping the address a first-class type
+// makes that rewrite explicit and testable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace wacs {
+
+/// A network endpoint address: hostname plus TCP port.
+struct Contact {
+  std::string host;
+  std::uint16_t port = 0;
+
+  std::string to_string() const {
+    return host + ":" + std::to_string(port);
+  }
+
+  friend bool operator==(const Contact&, const Contact&) = default;
+
+  /// Parses "host:port". Rejects empty hosts, missing/garbage/overflowing
+  /// ports. IPv6 literals use "[addr]:port".
+  static Result<Contact> parse(std::string_view text);
+};
+
+}  // namespace wacs

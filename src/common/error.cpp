@@ -1,0 +1,42 @@
+#include "common/error.hpp"
+
+namespace wacs {
+
+std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "Ok";
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kNotFound: return "NotFound";
+    case ErrorCode::kAlreadyExists: return "AlreadyExists";
+    case ErrorCode::kPermissionDenied: return "PermissionDenied";
+    case ErrorCode::kConnectionRefused: return "ConnectionRefused";
+    case ErrorCode::kConnectionClosed: return "ConnectionClosed";
+    case ErrorCode::kTimeout: return "Timeout";
+    case ErrorCode::kProtocolError: return "ProtocolError";
+    case ErrorCode::kResourceExhausted: return "ResourceExhausted";
+    case ErrorCode::kUnavailable: return "Unavailable";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "UnknownErrorCode";
+}
+
+std::string Error::to_string() const {
+  std::string out(wacs::to_string(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace detail {
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& message) {
+  std::fprintf(stderr, "WACS_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace wacs

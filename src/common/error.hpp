@@ -1,0 +1,125 @@
+// Error handling primitives used across the wacs libraries.
+//
+// Networked and queueing code has many expected failure paths (connection
+// refused by a firewall, unknown resource, protocol violation); those are
+// reported through Result<T> rather than exceptions so that call sites are
+// forced to consider them. Programming errors (precondition violations) use
+// WACS_CHECK and terminate.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace wacs {
+
+/// Broad classification of an error; refine with the message text.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,   ///< e.g. a firewall rejected the connection
+  kConnectionRefused,  ///< no listener / peer closed
+  kConnectionClosed,   ///< stream ended mid-operation
+  kTimeout,
+  kProtocolError,  ///< malformed wire message
+  kResourceExhausted,
+  kUnavailable,  ///< transient: retry may succeed
+  kInternal,
+};
+
+/// Human-readable name of an ErrorCode ("PermissionDenied", ...).
+std::string_view to_string(ErrorCode code);
+
+/// An error: a code plus a free-form message.
+class [[nodiscard]] Error {
+ public:
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "PermissionDenied: inbound tcp/3001 denied by rwcp-fw".
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+/// Either a value or an Error. A deliberately small expected<T, Error>.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Value accessors. Precondition: ok().
+  T& value() & { return std::get<T>(data_); }
+  const T& value() const& { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+  /// Error accessor. Precondition: !ok().
+  const Error& error() const { return std::get<Error>(data_); }
+
+  /// Value if ok, otherwise `fallback`.
+  T value_or(T fallback) const& {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  ///< success
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+  Status(ErrorCode code, std::string message)
+      : error_(Error(code, std::move(message))) {}
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const { return *error_; }
+  std::string to_string() const { return ok() ? "Ok" : error_->to_string(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& message);
+}  // namespace detail
+
+/// Precondition/invariant check; always on (this is systems code whose
+/// correctness we benchmark, not a hot inner loop).
+#define WACS_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::wacs::detail::check_failed(__FILE__, __LINE__, #expr, "");    \
+    }                                                                 \
+  } while (false)
+
+#define WACS_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::wacs::detail::check_failed(__FILE__, __LINE__, #expr, (msg)); \
+    }                                                                 \
+  } while (false)
+
+}  // namespace wacs

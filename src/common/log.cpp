@@ -1,0 +1,53 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace wacs::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_mutex;  // serializes whole lines across threads
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+std::string_view to_string(Level level) {
+  switch (level) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Level parse_level(std::string_view name) {
+  if (name == "trace") return Level::kTrace;
+  if (name == "debug") return Level::kDebug;
+  if (name == "info") return Level::kInfo;
+  if (name == "warn") return Level::kWarn;
+  if (name == "error") return Level::kError;
+  if (name == "off") return Level::kOff;
+  return Level::kWarn;
+}
+
+void logf(Level level, std::string_view component, const char* fmt, ...) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  char body[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, args);
+  va_end(args);
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%-5.5s] %-16.*s %s\n",
+               std::string(to_string(level)).c_str(),
+               static_cast<int>(component.size()), component.data(), body);
+}
+
+}  // namespace wacs::log

@@ -1,0 +1,62 @@
+// Minimal leveled logger. Thread-safe, cheap when the level is disabled.
+//
+// Components log through a named Logger so that traces from the many daemons
+// in a simulation (gatekeeper, allocator, outer/inner proxy servers, ranks)
+// can be distinguished and filtered.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+
+namespace wacs::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global threshold; messages below it are discarded. Default: kWarn, so
+/// tests and benches stay quiet unless asked.
+void set_level(Level level);
+Level level();
+
+std::string_view to_string(Level level);
+
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off"; defaults to kWarn.
+Level parse_level(std::string_view name);
+
+/// printf-style log statement. `component` names the emitting subsystem.
+void logf(Level level, std::string_view component, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/// Component-bound convenience wrapper.
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  template <typename... Args>
+  void trace(const char* fmt, Args... args) const {
+    logf(Level::kTrace, component_, fmt, args...);
+  }
+  template <typename... Args>
+  void debug(const char* fmt, Args... args) const {
+    logf(Level::kDebug, component_, fmt, args...);
+  }
+  template <typename... Args>
+  void info(const char* fmt, Args... args) const {
+    logf(Level::kInfo, component_, fmt, args...);
+  }
+  template <typename... Args>
+  void warn(const char* fmt, Args... args) const {
+    logf(Level::kWarn, component_, fmt, args...);
+  }
+  template <typename... Args>
+  void error(const char* fmt, Args... args) const {
+    logf(Level::kError, component_, fmt, args...);
+  }
+
+  const std::string& component() const { return component_; }
+
+ private:
+  std::string component_;
+};
+
+}  // namespace wacs::log

@@ -1,0 +1,84 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Simulations, workload generators, and property tests all need reproducible
+// randomness that is independent of the standard library implementation;
+// std::mt19937 sequences are stable but the distributions are not, so we own
+// both the generator and the distribution code.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace wacs {
+
+/// xoshiro256** 1.0 (Blackman & Vigna, public domain reference algorithm),
+/// seeded via splitmix64 so that small consecutive seeds give unrelated
+/// streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 to fill state; avoids the all-zero state for any seed.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    WACS_CHECK(lo <= hi);
+    const std::uint64_t span = hi - lo;
+    if (span == std::numeric_limits<std::uint64_t>::max()) return next_u64();
+    // Debiased modulo (rejection sampling).
+    const std::uint64_t bound = span + 1;
+    const std::uint64_t limit =
+        std::numeric_limits<std::uint64_t>::max() -
+        std::numeric_limits<std::uint64_t>::max() % bound;
+    std::uint64_t v;
+    do {
+      v = next_u64();
+    } while (v >= limit);
+    return lo + v % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  bool bernoulli(double p) { return uniform01() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace wacs

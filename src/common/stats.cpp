@@ -1,0 +1,119 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace wacs {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::min() const {
+  WACS_CHECK(n_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  WACS_CHECK(n_ > 0);
+  return max_;
+}
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::string format_duration_ms(double ms) {
+  char buf[64];
+  if (ms < 0.01) {
+    std::snprintf(buf, sizeof buf, "%.1f us", ms * 1000.0);
+  } else if (ms < 10.0) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", ms);
+  } else if (ms < 1000.0) {
+    std::snprintf(buf, sizeof buf, "%.1f ms", ms);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f s", ms / 1000.0);
+  }
+  return buf;
+}
+
+std::string format_bandwidth(double bytes_per_sec) {
+  char buf[64];
+  if (bytes_per_sec >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f MB/s", bytes_per_sec / 1e6);
+  } else if (bytes_per_sec >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1f KB/s", bytes_per_sec / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f B/s", bytes_per_sec);
+  }
+  return buf;
+}
+
+std::string format_count(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  WACS_CHECK_MSG(cells.size() == headers_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      if (c + 1 != row.size()) line += "  ";
+    }
+    // Trim trailing pad so lines diff cleanly.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 != widths.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace wacs

@@ -1,0 +1,55 @@
+// Streaming summary statistics and table formatting helpers.
+//
+// The paper reports max / min / average per host group (Tables 5-6) and
+// latency / bandwidth pairs (Table 2); RunningStats accumulates those in one
+// pass, and the format helpers render the bench tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wacs {
+
+/// One-pass min/max/mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double min() const;   ///< Precondition: count() > 0.
+  double max() const;   ///< Precondition: count() > 0.
+  double mean() const;  ///< 0 when empty.
+  double variance() const;  ///< population variance; 0 when n < 2.
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double sum_ = 0;
+};
+
+/// Pretty-printers used by the bench harness.
+std::string format_duration_ms(double ms);     ///< "0.41 ms", "25.0 ms"
+std::string format_bandwidth(double bytes_per_sec);  ///< "6.32 MB/s", "70.5 KB/s"
+std::string format_count(std::uint64_t n);     ///< "12,345"
+
+/// Fixed-width text table: column headers plus rows, padded to content.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders with a header separator; every row padded per-column.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wacs

@@ -1,0 +1,24 @@
+// Unit helpers: sizes in bytes, rates in bytes/second, durations in
+// simulated seconds. Named constructors keep testbed definitions readable
+// ("mbit(1.5)" for the IMnet WAN link) and make unit mistakes grep-able.
+#pragma once
+
+#include <cstdint>
+
+namespace wacs {
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * KiB;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+/// Link rates: the paper quotes decimal network units (100Base-T = 100
+/// megabit/s; IMnet = 1.5 megabit/s).
+constexpr double mbit_per_sec(double mbit) { return mbit * 1e6 / 8.0; }
+constexpr double kbit_per_sec(double kbit) { return kbit * 1e3 / 8.0; }
+constexpr double mbyte_per_sec(double mb) { return mb * 1e6; }
+
+/// Durations in seconds.
+constexpr double usec(double v) { return v * 1e-6; }
+constexpr double msec(double v) { return v * 1e-3; }
+
+}  // namespace wacs

@@ -1,0 +1,233 @@
+#include "core/grid.hpp"
+
+#include "common/log.hpp"
+
+namespace wacs::core {
+namespace {
+
+fw::Rule allow_inbound_from_host(const std::string& src_host,
+                                 std::uint16_t port, std::string comment) {
+  fw::Rule rule;
+  rule.action = fw::Action::kAllow;
+  rule.direction = fw::Direction::kInbound;
+  rule.src_host = src_host;
+  rule.ports = fw::PortRange::single(port);
+  rule.comment = std::move(comment);
+  return rule;
+}
+
+}  // namespace
+
+Env GridSystem::env_for(const std::string& host) const {
+  for (const auto& [name, env] : host_envs_) {
+    if (name == host) return env;
+  }
+  return Env{};
+}
+
+void GridSystem::set_host_env(const std::string& host, Env env) {
+  for (auto& [name, stored] : host_envs_) {
+    if (name == host) {
+      stored = std::move(env);
+      return;
+    }
+  }
+  host_envs_.emplace_back(host, std::move(env));
+}
+
+void GridSystem::set_site_proxy_env(const std::string& site,
+                                    const Contact& outer,
+                                    const Contact& inner) {
+  for (const sim::Host* host : net_.site(site).hosts()) {
+    Env env = env_for(host->name());
+    env.set(env_keys::kProxyOuterServer, outer.to_string());
+    env.set(env_keys::kProxyInnerServer, inner.to_string());
+    set_host_env(host->name(), std::move(env));
+  }
+}
+
+GridSystem::ProxyPair* GridSystem::proxy_for(const std::string& site) {
+  for (ProxyPair& pair : proxies_) {
+    if (pair.site == site) return &pair;
+  }
+  return nullptr;
+}
+
+void GridSystem::add_proxy_pair(const std::string& outer_host,
+                                const std::string& inner_host,
+                                proxy::RelayParams relay) {
+  sim::Host& outer = net_.host(outer_host);
+  sim::Host& inner = net_.host(inner_host);
+  WACS_CHECK_MSG(outer.zone() == sim::Zone::kDmz,
+                 "outer server must run outside the firewall (DMZ)");
+  WACS_CHECK_MSG(outer.site() == inner.site(),
+                 "proxy pair must protect one site");
+  WACS_CHECK_MSG(proxy_for(outer.site()) == nullptr,
+                 "site already has a proxy pair");
+
+  // "Only the communication port from the outer server to the inner server
+  // must be opened in advance."
+  net_.site(inner.site())
+      .firewall()
+      .add_rule(allow_inbound_from_host(outer_host, ports_.nxport, "nxport"));
+
+  ProxyPair pair;
+  pair.site = outer.site();
+  pair.outer = std::make_unique<proxy::OuterServer>(outer, ports_.outer, relay);
+  pair.inner = std::make_unique<proxy::InnerServer>(inner, ports_.nxport, relay);
+  pair.outer->start();
+  pair.inner->start();
+  proxies_.push_back(std::move(pair));
+}
+
+void GridSystem::add_gatekeeper(const std::string& host,
+                                std::string credential) {
+  rmf::Gatekeeper::Options options;
+  options.port = ports_.gatekeeper;
+  options.qserver_port = ports_.qserver;
+  options.credential = credential;
+  credential_ = std::move(credential);
+  add_gatekeeper_impl(host, std::move(options));
+}
+
+void GridSystem::add_gatekeeper_gsi(const std::string& host,
+                                    std::string ca_secret) {
+  rmf::Gatekeeper::Options options;
+  options.port = ports_.gatekeeper;
+  options.qserver_port = ports_.qserver;
+  options.ca_secret = std::move(ca_secret);
+  credential_.clear();  // callers must supply a chain per submission
+  add_gatekeeper_impl(host, std::move(options));
+}
+
+void GridSystem::add_gatekeeper_impl(const std::string& host,
+                                     rmf::Gatekeeper::Options options) {
+  WACS_CHECK_MSG(gatekeeper_ == nullptr, "gatekeeper already added");
+  WACS_CHECK_MSG(allocator_ != nullptr,
+                 "add_allocator must run before add_gatekeeper");
+  sim::Host& gk_host = net_.host(host);
+  WACS_CHECK_MSG(gk_host.zone() == sim::Zone::kDmz,
+                 "the gatekeeper runs outside the firewall");
+  gatekeeper_host_ = host;
+
+  gatekeeper_ = std::make_unique<rmf::Gatekeeper>(
+      gk_host, std::move(options), allocator_->contact(), &registry_);
+  gatekeeper_->start();
+
+  // "The firewall must be configured to allow communications between the
+  // Q client and the resource allocator, and the Q client and the Q server."
+  sim::Host& alloc_host = net_.host(allocator_->contact().host);
+  net_.site(alloc_host.site())
+      .firewall()
+      .add_rule(allow_inbound_from_host(host, ports_.allocator,
+                                        "Q client -> allocator"));
+  for (const std::string& q_host : pending_qserver_rules_) {
+    net_.site(net_.host(q_host).site())
+        .firewall()
+        .add_rule(allow_inbound_from_host(host, ports_.qserver,
+                                          "Q client -> Q server"));
+  }
+  pending_qserver_rules_.clear();
+}
+
+void GridSystem::add_allocator(const std::string& host,
+                               rmf::AllocPolicy policy) {
+  WACS_CHECK_MSG(allocator_ == nullptr, "allocator already added");
+  allocator_ = std::make_unique<rmf::ResourceAllocator>(
+      net_.host(host), ports_.allocator, policy);
+  allocator_->start();
+}
+
+void GridSystem::add_qserver(const std::string& host) {
+  WACS_CHECK_MSG(allocator_ != nullptr,
+                 "add_allocator must run before add_qserver");
+  sim::Host& h = net_.host(host);
+  auto qserver = std::make_unique<rmf::QServer>(
+      h, ports_.qserver, env_for(host), &registry_);
+  qserver->start();
+  qservers_.push_back(std::move(qserver));
+  allocator_->register_resource(
+      rmf::ResourceInfo{host, h.cpus(), h.cpu_speed(), 0});
+
+  if (gatekeeper_ != nullptr) {
+    net_.site(h.site()).firewall().add_rule(allow_inbound_from_host(
+        gatekeeper_host_, ports_.qserver, "Q client -> Q server"));
+  } else {
+    pending_qserver_rules_.push_back(host);
+  }
+}
+
+void GridSystem::add_mds(const std::string& host) {
+  WACS_CHECK_MSG(mds_ == nullptr, "MDS already added");
+  sim::Host& mds_host = net_.host(host);
+  WACS_CHECK_MSG(mds_host.zone() == sim::Zone::kDmz,
+                 "the MDS runs outside the firewall (public information)");
+  mds_ = std::make_unique<mds::DirectoryServer>(mds_host, ports_.mds);
+  mds_->start();
+
+  // Each resource publishes itself from its own host (sites advertise
+  // their own information, dialing out through their firewall).
+  const Contact mds_contact = mds_->contact();
+  for (const auto& q : qservers_) {
+    const std::string resource = q->contact().host;
+    sim::Host& res_host = net_.host(resource);
+    engine_.spawn("mds.publish@" + resource, [this, &res_host, mds_contact,
+                                              resource](sim::Process& self) {
+      mds::Entry entry;
+      entry.dn = "o=grid/ou=" + res_host.site() + "/host=" + resource;
+      entry.attributes["cpus"] = std::to_string(res_host.cpus());
+      entry.attributes["speed"] = std::to_string(res_host.cpu_speed());
+      entry.attributes["site"] = res_host.site();
+      entry.attributes["qserver"] =
+          Contact{resource, ports_.qserver}.to_string();
+      mds::MdsClient client(res_host, mds_contact);
+      // Long TTL: a static testbed; live deployments re-publish.
+      (void)client.publish(self, std::move(entry), 24 * 3600.0);
+    });
+  }
+  if (gatekeeper_ != nullptr) {
+    engine_.spawn("mds.publish.gatekeeper", [this,
+                                             mds_contact](sim::Process& self) {
+      mds::Entry entry;
+      entry.dn = "o=grid/service=gatekeeper";
+      entry.attributes["contact"] = gatekeeper_->contact().to_string();
+      mds::MdsClient client(net_.host(gatekeeper_host_), mds_contact);
+      (void)client.publish(self, std::move(entry), 24 * 3600.0);
+    });
+  }
+}
+
+Result<rmf::JobResult> GridSystem::run_job(const std::string& submit_host,
+                                           rmf::JobSpec spec) {
+  auto results = run_jobs(submit_host, {std::move(spec)});
+  return std::move(results.front());
+}
+
+std::vector<Result<rmf::JobResult>> GridSystem::run_jobs(
+    const std::string& submit_host, std::vector<rmf::JobSpec> specs) {
+  WACS_CHECK_MSG(gatekeeper_ != nullptr, "grid has no gatekeeper");
+  sim::Host& from = net_.host(submit_host);
+  const Contact gk = gatekeeper_->contact();
+
+  std::vector<std::optional<Result<rmf::JobResult>>> slots(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    rmf::JobSpec& spec = specs[i];
+    if (spec.credential.empty()) spec.credential = credential_;
+    engine_.spawn("submit." + spec.name + "#" + std::to_string(i),
+                  [slot = &slots[i], &from, gk, spec,
+                   delay = 0.001 * static_cast<double>(i)](sim::Process& self) {
+                    if (delay > 0) self.sleep(delay);
+                    slot->emplace(rmf::submit_and_wait(self, from, gk, spec));
+                  });
+  }
+  engine_.run();
+  std::vector<Result<rmf::JobResult>> results;
+  results.reserve(specs.size());
+  for (auto& slot : slots) {
+    WACS_CHECK_MSG(slot.has_value(), "submission process never completed");
+    results.push_back(std::move(*slot));
+  }
+  return results;
+}
+
+}  // namespace wacs::core

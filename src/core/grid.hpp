@@ -1,0 +1,153 @@
+// GridSystem: the wide-area cluster system facade.
+//
+// Owns the simulation engine, the network topology, and every daemon of the
+// firewall-compliant Globus-like stack (Nexus Proxy pair, RMF gatekeeper,
+// resource allocator, Q servers), wires the firewall rules they need, and
+// runs jobs end to end. Benches and examples build a GridSystem (usually via
+// core/testbeds.hpp), submit JobSpecs, and read back results and metrics.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mds/server.hpp"
+#include "proxy/server.hpp"
+#include "rmf/allocator.hpp"
+#include "rmf/gatekeeper.hpp"
+#include "rmf/qserver.hpp"
+#include "simnet/tcp.hpp"
+
+namespace wacs::core {
+
+/// Well-known ports, mirroring the paper's deployment.
+struct Ports {
+  std::uint16_t gatekeeper = 2119;
+  std::uint16_t mds = 2135;  // the historical MDS/LDAP port
+  std::uint16_t allocator = 7000;
+  std::uint16_t qserver = 7100;
+  std::uint16_t outer = 9911;
+  std::uint16_t nxport = 9900;
+};
+
+class GridSystem {
+ public:
+  GridSystem() : net_(engine_) {}
+
+  sim::Engine& engine() { return engine_; }
+  sim::Network& net() { return net_; }
+  rmf::JobRegistry& registry() { return registry_; }
+  const Ports& ports() const { return ports_; }
+
+  // ---- topology (thin wrappers over Network) ---------------------------
+  sim::Site& add_site(const std::string& name, fw::Policy policy,
+                      sim::LinkParams lan) {
+    return net_.add_site(name, std::move(policy), std::move(lan));
+  }
+  sim::Host& add_host(sim::HostParams params) {
+    return net_.add_host(std::move(params));
+  }
+  sim::Link& connect_sites(const std::string& a, const std::string& b,
+                           sim::LinkParams params) {
+    return net_.connect_sites(a, b, std::move(params));
+  }
+
+  /// Environment applied to ranks spawned on `host` (Q server site env).
+  void set_host_env(const std::string& host, Env env);
+  /// Convenience: proxy env for all current hosts of `site`.
+  void set_site_proxy_env(const std::string& site, const Contact& outer,
+                          const Contact& inner);
+
+  // ---- services ---------------------------------------------------------
+  /// Starts a Nexus Proxy pair for one site and punches the single nxport
+  /// hole in that site's firewall (outer_host must be in the DMZ). May be
+  /// called once per firewalled site ("in order to spread the global
+  /// computing environment over various sites").
+  void add_proxy_pair(const std::string& outer_host,
+                      const std::string& inner_host,
+                      proxy::RelayParams relay);
+
+  void add_allocator(const std::string& host,
+                     rmf::AllocPolicy policy = rmf::AllocPolicy::kFastestFirst);
+
+  /// Starts a Q server on `host`; registers it with the allocator
+  /// (cpus/speed from the host) and opens the firewall for the Q-client
+  /// control connection from the gatekeeper host.
+  void add_qserver(const std::string& host);
+
+  /// Starts the gatekeeper on a DMZ host and opens the control paths the
+  /// paper lists: gatekeeper host → allocator, gatekeeper host → Q servers.
+  void add_gatekeeper(const std::string& host, std::string credential);
+
+  /// GSI variant: submissions must carry a credential chain verifiable
+  /// against `ca_secret` (see security/credential.hpp).
+  void add_gatekeeper_gsi(const std::string& host, std::string ca_secret);
+
+  /// Starts the MDS directory on a DMZ host (publishers dial out to it, so
+  /// no firewall hole is needed) and publishes one entry per Q-server
+  /// resource added so far — call after the Q servers.
+  void add_mds(const std::string& host);
+
+  // ---- running jobs -------------------------------------------------------
+  /// Submits from `submit_host` (a simulated process is spawned there),
+  /// runs the engine until the grid goes quiet, and returns the result.
+  Result<rmf::JobResult> run_job(const std::string& submit_host,
+                                 rmf::JobSpec spec);
+
+  /// Submits several jobs concurrently (each staggered by one virtual
+  /// millisecond so the arrival order is deterministic) and waits for all
+  /// of them. Exercises the Q system's LSF-like queueing.
+  std::vector<Result<rmf::JobResult>> run_jobs(
+      const std::string& submit_host, std::vector<rmf::JobSpec> specs);
+
+  // ---- metrics ------------------------------------------------------------
+  struct ProxyPair {
+    std::string site;
+    std::unique_ptr<proxy::OuterServer> outer;
+    std::unique_ptr<proxy::InnerServer> inner;
+  };
+
+  /// First proxy pair (the common single-firewalled-site case).
+  proxy::OuterServer* outer() {
+    return proxies_.empty() ? nullptr : proxies_.front().outer.get();
+  }
+  proxy::InnerServer* inner() {
+    return proxies_.empty() ? nullptr : proxies_.front().inner.get();
+  }
+  /// Proxy pair protecting `site`, or nullptr.
+  ProxyPair* proxy_for(const std::string& site);
+  const std::vector<ProxyPair>& proxies() const { return proxies_; }
+  rmf::ResourceAllocator* allocator() {
+    return allocator_ ? allocator_.get() : nullptr;
+  }
+  rmf::Gatekeeper* gatekeeper() {
+    return gatekeeper_ ? gatekeeper_.get() : nullptr;
+  }
+  mds::DirectoryServer* mds_server() { return mds_ ? mds_.get() : nullptr; }
+  const std::vector<std::unique_ptr<rmf::QServer>>& qservers() const {
+    return qservers_;
+  }
+  std::string credential() const { return credential_; }
+
+ private:
+  Env env_for(const std::string& host) const;
+  void add_gatekeeper_impl(const std::string& host,
+                           rmf::Gatekeeper::Options options);
+
+  sim::Engine engine_;
+  sim::Network net_;
+  rmf::JobRegistry registry_;
+  Ports ports_;
+  std::string credential_ = "wacs-grid";
+  std::string gatekeeper_host_;
+  std::vector<std::pair<std::string, Env>> host_envs_;
+  std::vector<ProxyPair> proxies_;
+  std::unique_ptr<rmf::ResourceAllocator> allocator_;
+  std::unique_ptr<rmf::Gatekeeper> gatekeeper_;
+  std::unique_ptr<mds::DirectoryServer> mds_;
+  std::vector<std::unique_ptr<rmf::QServer>> qservers_;
+  std::vector<std::string> pending_qserver_rules_;
+};
+
+}  // namespace wacs::core

@@ -1,0 +1,95 @@
+#include "core/netperf.hpp"
+
+namespace wacs::core {
+namespace {
+
+/// Site env a rank would get on `host` (empty when no Q server is there).
+Env env_of(GridSystem& grid, const std::string& host) {
+  for (const auto& q : grid.qservers()) {
+    if (q->contact().host == host) return q->site_env();
+  }
+  // Fall back to the configured host env (hosts without a Q server).
+  return Env{};
+}
+
+}  // namespace
+
+NetPerfResult measure_path(GridSystem& grid, const std::string& host_a,
+                           const std::string& host_b,
+                           const NetPerfOptions& options) {
+  sim::Engine& engine = grid.engine();
+  sim::Network& net = grid.net();
+
+  NetPerfResult result;
+  result.bandwidth_bps.resize(options.message_sizes.size(), 0.0);
+
+  Contact b_contact;
+  bool server_ready = false;
+
+  // Server on B: echo a 1-byte ack on a dedicated reply connection (Nexus
+  // links are unidirectional; the reply channel is dialed back to A).
+  engine.spawn("netperf.server", [&](sim::Process& self) {
+    nexus::CommContext ctx(net.host(host_b), env_of(grid, host_b));
+    auto ep = ctx.listen(self);
+    WACS_CHECK_MSG(ep.ok(), "netperf server cannot listen");
+    b_contact = (*ep)->contact();
+    server_ready = true;
+
+    auto conn = (*ep)->accept(self);
+    WACS_CHECK_MSG(conn.ok(), "netperf server accept failed");
+    auto first = (*conn)->recv(self);
+    WACS_CHECK(first.ok());
+    auto reply_contact = Contact::parse(to_string(*first));
+    WACS_CHECK(reply_contact.ok());
+    auto reply = ctx.connect(self, *reply_contact);
+    WACS_CHECK_MSG(reply.ok(), "netperf server cannot dial reply channel");
+
+    while (true) {
+      auto msg = (*conn)->recv(self);
+      if (!msg.ok()) break;
+      WACS_CHECK((*reply)->send(Bytes{1}).ok());
+    }
+    (*reply)->close();
+  });
+
+  engine.spawn("netperf.client", [&](sim::Process& self) {
+    if (options.settle_seconds > 0) self.sleep(options.settle_seconds);
+    while (!server_ready) self.sleep(0.001);
+    nexus::CommContext ctx(net.host(host_a), env_of(grid, host_a));
+    auto ep = ctx.listen(self);
+    WACS_CHECK(ep.ok());
+    auto conn = ctx.connect(self, b_contact);
+    WACS_CHECK_MSG(conn.ok(), "netperf client cannot reach server");
+    WACS_CHECK((*conn)->send(to_bytes((*ep)->contact().to_string())).ok());
+    auto reply = (*ep)->accept(self);
+    WACS_CHECK(reply.ok());
+
+    auto sync_round = [&](std::size_t size) {
+      WACS_CHECK((*conn)->send(pattern_bytes(size)).ok());
+      auto ack = (*reply)->recv(self);
+      WACS_CHECK(ack.ok());
+    };
+
+    sync_round(1);  // warmup: session setup on relays
+
+    const sim::Time lat_start = engine.now();
+    for (int i = 0; i < options.ping_count; ++i) sync_round(1);
+    result.latency_ms =
+        sim::to_ms(engine.now() - lat_start) / options.ping_count / 2.0;
+
+    for (std::size_t s = 0; s < options.message_sizes.size(); ++s) {
+      const std::size_t size = options.message_sizes[s];
+      const sim::Time start = engine.now();
+      for (int i = 0; i < options.rounds_per_size; ++i) sync_round(size);
+      result.bandwidth_bps[s] =
+          static_cast<double>(size) * options.rounds_per_size /
+          sim::to_sec(engine.now() - start);
+    }
+    (*conn)->close();
+  });
+
+  engine.run();
+  return result;
+}
+
+}  // namespace wacs::core

@@ -1,0 +1,40 @@
+// Network microbenchmark driver: the Table 2 methodology as a reusable API.
+//
+// Measures latency (1-byte ping-pong over unidirectional nexus links,
+// RTT/2) and bandwidth (synchronous per-message transfers with a 1-byte
+// ack) between two hosts of a booted GridSystem, honouring each host's site
+// environment — so the same call measures direct or proxied paths depending
+// on how the grid is configured.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/grid.hpp"
+
+namespace wacs::core {
+
+struct NetPerfOptions {
+  int ping_count = 32;          ///< ping-pongs for the latency estimate
+  int rounds_per_size = 16;     ///< messages per bandwidth point
+  std::vector<std::size_t> message_sizes = {4096, 1000000};
+  /// Virtual time to wait before measuring, so boot-time traffic (MDS
+  /// publications, daemon startup) has drained off the shared LAN.
+  double settle_seconds = 1.0;
+};
+
+struct NetPerfResult {
+  double latency_ms = 0;
+  /// bandwidth[i] (bytes/sec) corresponds to options.message_sizes[i].
+  std::vector<double> bandwidth_bps;
+};
+
+/// Runs the exchange between `host_a` (client) and `host_b` (server) and
+/// drives the engine to completion. Aborts on setup errors (the benches
+/// treat an unmeasurable testbed as a bug).
+NetPerfResult measure_path(GridSystem& grid, const std::string& host_a,
+                           const std::string& host_b,
+                           const NetPerfOptions& options = {});
+
+}  // namespace wacs::core

@@ -1,0 +1,161 @@
+#include "core/testbeds.hpp"
+
+#include "common/units.hpp"
+#include "knapsack/parallel.hpp"
+
+namespace wacs::core {
+namespace {
+
+sim::LinkParams lan_params(const std::string& site) {
+  return sim::LinkParams{.name = site + "-lan",
+                         .latency_s = calib::kLanLatencyS,
+                         .bandwidth_bps = calib::kLanBandwidthBps,
+                         .duplex = false};  // shared 100Base-T segment
+}
+
+}  // namespace
+
+Testbed make_rwcp_etl_testbed(const TestbedOptions& options) {
+  Testbed tb;
+  tb.grid = std::make_unique<GridSystem>();
+  GridSystem& g = *tb.grid;
+
+  // --- sites -------------------------------------------------------------
+  g.add_site("rwcp",
+             options.open_rwcp_firewall ? fw::Policy::open()
+                                        : fw::Policy::typical(),
+             lan_params("rwcp"));
+  // "Although ETL also has a firewall, ETL-Sun and ETL-O2K can be accessed
+  // directly from RWCP": deny-based filter plus standing allows for the two
+  // public compute hosts.
+  fw::Policy etl_policy = fw::Policy::typical();
+  {
+    fw::Rule allow;
+    allow.action = fw::Action::kAllow;
+    allow.direction = fw::Direction::kInbound;
+    allow.dst_host = "etl-sun";
+    allow.comment = "directly accessible from the Internet";
+    etl_policy.add_rule(allow);
+    allow.dst_host = "etl-o2k";
+    etl_policy.add_rule(allow);
+  }
+  g.add_site("etl", std::move(etl_policy), lan_params("etl"));
+
+  g.connect_sites("rwcp", "etl",
+                  sim::LinkParams{.name = "imnet",
+                                  .latency_s = calib::kWanLatencyS,
+                                  .bandwidth_bps = calib::kWanBandwidthBps,
+                                  .duplex = true});
+
+  // --- hosts (Figure 5's table) -------------------------------------------
+  // RWCP-Sun: Sun Enterprise 450 (4 CPU).
+  g.add_host({.name = "rwcp-sun", .site = "rwcp", .cpu_speed = calib::kSpeedSun,
+              .cpus = 4});
+  // COMPaS: 8 quad-processor Pentium Pro SMPs; the experiments use 1
+  // processor per node, so each node contributes up to 4 but Table 3 places
+  // one rank per node.
+  for (int i = 1; i <= 8; ++i) {
+    std::string name = "compas0" + std::to_string(i);
+    g.add_host({.name = name, .site = "rwcp",
+                .cpu_speed = calib::kSpeedCompas, .cpus = 4});
+    tb.compas.push_back(std::move(name));
+  }
+  // Inner server: Sun Ultra Enterprise 450 (2 CPU), inside the firewall.
+  g.add_host({.name = "rwcp-inner", .site = "rwcp", .cpus = 2});
+  // Outer server: Sun Ultra 80 (2 CPU), outside the firewall.
+  g.add_host({.name = "rwcp-outer", .site = "rwcp", .zone = sim::Zone::kDmz,
+              .cpus = 2});
+  // Gatekeeper host ("run a Globus gatekeeper ... outside the firewall").
+  g.add_host({.name = "rwcp-gate", .site = "rwcp", .zone = sim::Zone::kDmz,
+              .cpus = 1});
+
+  // ETL-Sun: Sun Enterprise 450 (6 CPU); ETL-O2K: SGI Origin 2000 (16 CPU).
+  g.add_host({.name = "etl-sun", .site = "etl", .cpu_speed = calib::kSpeedSun,
+              .cpus = 6});
+  g.add_host({.name = "etl-o2k", .site = "etl", .cpu_speed = calib::kSpeedO2k,
+              .cpus = 16});
+
+  // --- services ------------------------------------------------------------
+  g.add_proxy_pair("rwcp-outer", "rwcp-inner", options.relay);
+
+  if (options.rwcp_uses_proxy) {
+    g.set_site_proxy_env("rwcp", g.outer()->contact(), g.inner()->contact());
+  }
+
+  g.add_allocator("rwcp-inner");
+  g.add_gatekeeper("rwcp-gate", "wacs-grid");
+  g.add_qserver("rwcp-sun");
+  for (const std::string& node : tb.compas) g.add_qserver(node);
+  g.add_qserver("etl-sun");
+  g.add_qserver("etl-o2k");
+  // The grid information service (MDS) on the public side of the firewall.
+  g.add_mds("rwcp-gate");
+
+  knapsack::register_tasks(g.registry());
+  return tb;
+}
+
+Testbed make_three_site_testbed(const TestbedOptions& options) {
+  Testbed tb = make_rwcp_etl_testbed(options);
+  GridSystem& g = *tb.grid;
+
+  // Tokyo Institute of Technology: a 16-node SMP cluster (Figure 1) behind
+  // its own deny-based firewall.
+  g.add_site("titech", fw::Policy::typical(), lan_params("titech"));
+  g.connect_sites("rwcp", "titech",
+                  sim::LinkParams{.name = "imnet-titech",
+                                  .latency_s = calib::kWanLatencyS * 0.8,
+                                  .bandwidth_bps = calib::kWanBandwidthBps,
+                                  .duplex = true});
+  g.connect_sites("etl", "titech",
+                  sim::LinkParams{.name = "imnet-etl-titech",
+                                  .latency_s = calib::kWanLatencyS * 0.9,
+                                  .bandwidth_bps = calib::kWanBandwidthBps,
+                                  .duplex = true});
+  g.add_host({.name = "titech-smp", .site = "titech", .cpu_speed = 0.7,
+              .cpus = 16});
+  g.add_host({.name = "titech-inner", .site = "titech", .cpus = 1});
+  g.add_host({.name = "titech-outer", .site = "titech",
+              .zone = sim::Zone::kDmz, .cpus = 2});
+
+  g.add_proxy_pair("titech-outer", "titech-inner", options.relay);
+  if (options.rwcp_uses_proxy) {
+    // The paper's deployment rule: proxy env wherever a firewall blocks
+    // inbound links; TITech needs it just like RWCP.
+    auto* pair = g.proxy_for("titech");
+    g.set_site_proxy_env("titech", pair->outer->contact(),
+                         pair->inner->contact());
+  }
+  g.add_qserver("titech-smp");
+  return tb;
+}
+
+std::vector<rmf::Placement> placement_three_site(const Testbed& tb) {
+  std::vector<rmf::Placement> out = placement_wide_area(tb);
+  out.push_back({"titech-smp", 8});
+  return out;
+}
+
+std::vector<rmf::Placement> placement_compas(const Testbed& tb) {
+  std::vector<rmf::Placement> out;
+  for (const std::string& node : tb.compas) out.push_back({node, 1});
+  return out;
+}
+
+std::vector<rmf::Placement> placement_etl_o2k() {
+  return {{"etl-o2k", 8}};
+}
+
+std::vector<rmf::Placement> placement_local_area(const Testbed& tb) {
+  std::vector<rmf::Placement> out = {{"rwcp-sun", 4}};
+  for (const std::string& node : tb.compas) out.push_back({node, 1});
+  return out;
+}
+
+std::vector<rmf::Placement> placement_wide_area(const Testbed& tb) {
+  std::vector<rmf::Placement> out = placement_local_area(tb);
+  out.push_back({"etl-o2k", 8});
+  return out;
+}
+
+}  // namespace wacs::core

@@ -1,0 +1,78 @@
+// Canned topologies reproducing the paper's experimental environment
+// (Figure 5) and the four cluster systems of Table 3.
+//
+// Calibration. The simulator's free parameters are set so the four anchors
+// of Table 2 reproduce (see DESIGN.md §5 and EXPERIMENTS.md):
+//   - LAN (RWCP 100Base-T):   latency 0.40 ms, effective 6.5 MB/s, shared
+//   - WAN (IMnet, 1.5 Mbps):  latency 3.10 ms, 187.5 KB/s, duplex
+//   - Nexus Proxy relay:      12 ms per message + 1.4 MB/s copy rate
+//   - CPU speeds (relative):  RWCP-Sun/ETL-Sun (UltraSPARC-II) 1.00,
+//                             COMPaS node (Pentium Pro 200 MHz) 0.55,
+//                             ETL-O2K cpu (R10000) 0.95
+//   - knapsack branch rate:   1e-6 s per node at speed 1.0
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/grid.hpp"
+
+namespace wacs::core {
+
+/// Calibrated constants (exposed for benches and ablations).
+namespace calib {
+inline constexpr double kLanLatencyS = 0.0004;
+inline constexpr double kLanBandwidthBps = 6.5e6;
+inline constexpr double kWanLatencyS = 0.00275;
+inline constexpr double kWanBandwidthBps = 1.5e6 / 8.0;
+inline constexpr double kRelayPerMessageS = 0.012;
+inline constexpr double kRelayCopyRateBps = 1.4e6;
+inline constexpr double kSpeedSun = 1.0;
+inline constexpr double kSpeedCompas = 0.55;
+inline constexpr double kSpeedO2k = 0.95;
+inline constexpr double kSecPerNode = 1e-6;
+}  // namespace calib
+
+struct TestbedOptions {
+  /// Configure NEXUS_PROXY_* in the RWCP hosts' environment (the paper's
+  /// "use Nexus Proxy" condition).
+  bool rwcp_uses_proxy = true;
+  /// "We have temporarily changed the configuration of the firewall":
+  /// opens RWCP's filter completely so direct cross-site links work.
+  bool open_rwcp_firewall = false;
+  /// Relay cost overrides for ablation benches.
+  proxy::RelayParams relay{.per_message_s = calib::kRelayPerMessageS,
+                           .copy_rate_bps = calib::kRelayCopyRateBps};
+};
+
+/// Figure 5: RWCP (firewalled; RWCP-Sun, COMPaS 8-node SMP cluster, inner
+/// server, DMZ outer server + gatekeeper host) and ETL (ETL-Sun, ETL-O2K),
+/// joined by the 1.5 Mbps IMnet. Boots the proxy pair, allocator,
+/// gatekeeper, and a Q server on every computing resource.
+struct Testbed {
+  std::unique_ptr<GridSystem> grid;
+  std::vector<std::string> compas;  ///< compas01..compas08 host names
+
+  GridSystem& operator*() { return *grid; }
+  GridSystem* operator->() { return grid.get(); }
+};
+
+Testbed make_rwcp_etl_testbed(const TestbedOptions& options = {});
+
+/// Figure 1: the full wide-area cluster system the paper's introduction
+/// draws — ETL and RWCP plus the Tokyo Institute of Technology's 16-node
+/// SMP cluster. TITech sits behind its own deny-based firewall with its own
+/// Nexus Proxy pair, so RWCP↔TITech traffic chains through *two* outer
+/// servers. Extends the Figure 5 testbed; all Figure 5 placements work.
+Testbed make_three_site_testbed(const TestbedOptions& options = {});
+
+/// 28 processors across all three sites (Figure 1 scope).
+std::vector<rmf::Placement> placement_three_site(const Testbed& tb);
+
+/// Placements for the four systems of Table 3.
+std::vector<rmf::Placement> placement_compas(const Testbed& tb);      // 8
+std::vector<rmf::Placement> placement_etl_o2k();                      // 8
+std::vector<rmf::Placement> placement_local_area(const Testbed& tb);  // 12
+std::vector<rmf::Placement> placement_wide_area(const Testbed& tb);   // 20
+
+}  // namespace wacs::core

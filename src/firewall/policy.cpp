@@ -1,0 +1,69 @@
+#include "firewall/policy.hpp"
+
+#include "common/log.hpp"
+
+namespace wacs::fw {
+namespace {
+const wacs::log::Logger kLog("firewall");
+}
+
+Policy Policy::typical() { return Policy(Action::kDeny, Action::kAllow); }
+
+Policy Policy::open() { return Policy(Action::kAllow, Action::kAllow); }
+
+Policy& Policy::add_rule(Rule rule) {
+  rules_.push_back(std::move(rule));
+  return *this;
+}
+
+Policy& Policy::open_inbound(PortRange ports, std::string comment) {
+  Rule rule;
+  rule.action = Action::kAllow;
+  rule.direction = Direction::kInbound;
+  rule.ports = ports;
+  rule.comment = std::move(comment);
+  return add_rule(std::move(rule));
+}
+
+Policy& Policy::open_inbound_from(std::string src_host, PortRange ports,
+                                  std::string comment) {
+  Rule rule;
+  rule.action = Action::kAllow;
+  rule.direction = Direction::kInbound;
+  rule.src_host = std::move(src_host);
+  rule.ports = ports;
+  rule.comment = std::move(comment);
+  return add_rule(std::move(rule));
+}
+
+Action Policy::evaluate(const ConnAttempt& attempt) const {
+  for (const Rule& rule : rules_) {
+    if (rule.matches(attempt)) return rule.action;
+  }
+  return attempt.direction == Direction::kInbound ? default_inbound_
+                                                  : default_outbound_;
+}
+
+std::string Policy::to_string() const {
+  std::string out = "default inbound: " + fw::to_string(default_inbound_) +
+                    ", default outbound: " + fw::to_string(default_outbound_) +
+                    "\n";
+  for (const Rule& rule : rules_) out += "  " + rule.to_string() + "\n";
+  return out;
+}
+
+bool Firewall::permit(const ConnAttempt& attempt) {
+  const bool ok = policy_.evaluate(attempt) == Action::kAllow;
+  if (ok) {
+    ++allowed_;
+  } else {
+    ++denied_;
+    kLog.debug("%s denied %s %s:%s -> %s:%u", name_.c_str(),
+               fw::to_string(attempt.direction).c_str(),
+               attempt.src_site.c_str(), attempt.src_host.c_str(),
+               attempt.dst_host.c_str(), static_cast<unsigned>(attempt.dst_port));
+  }
+  return ok;
+}
+
+}  // namespace wacs::fw

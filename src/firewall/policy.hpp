@@ -1,0 +1,78 @@
+// Firewall policies and the stateful gateway filter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "firewall/rule.hpp"
+
+namespace wacs::fw {
+
+/// An ordered rule list plus per-direction defaults. evaluate() applies the
+/// first matching rule; otherwise the direction's default.
+class Policy {
+ public:
+  Policy(Action default_inbound, Action default_outbound)
+      : default_inbound_(default_inbound), default_outbound_(default_outbound) {}
+
+  /// The paper's assumed configuration: deny-based inbound (all incoming
+  /// connections refused unless a rule opens them), allow-based outbound.
+  static Policy typical();
+
+  /// Fully open (a site "with no firewall", like the paper's I-WAY/GUSTO
+  /// testbeds).
+  static Policy open();
+
+  Policy& add_rule(Rule rule);
+
+  /// Opens a single inbound port (or range) — e.g. the nxport from the
+  /// outer proxy server to the inner server, or the Globus 1.1
+  /// TCP_MIN_PORT..TCP_MAX_PORT workaround the paper criticizes.
+  Policy& open_inbound(PortRange ports, std::string comment = "");
+  Policy& open_inbound_from(std::string src_host, PortRange ports,
+                            std::string comment = "");
+
+  Action evaluate(const ConnAttempt& attempt) const;
+
+  Action default_inbound() const { return default_inbound_; }
+  Action default_outbound() const { return default_outbound_; }
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  /// Multi-line audit dump of the rule set.
+  std::string to_string() const;
+
+ private:
+  Action default_inbound_;
+  Action default_outbound_;
+  std::vector<Rule> rules_;
+};
+
+/// A named gateway filter with counters; one per site in the simulation.
+class Firewall {
+ public:
+  Firewall(std::string name, Policy policy)
+      : name_(std::move(name)), policy_(std::move(policy)) {}
+
+  /// Evaluates and counts a connection attempt.
+  bool permit(const ConnAttempt& attempt);
+
+  const std::string& name() const { return name_; }
+  const Policy& policy() const { return policy_; }
+  void set_policy(Policy policy) { policy_ = std::move(policy); }
+  /// Appends a rule to the live policy (daemon deployment punches holes
+  /// one by one, like editing a router config).
+  void add_rule(Rule rule) { policy_.add_rule(std::move(rule)); }
+
+  std::uint64_t allowed() const { return allowed_; }
+  std::uint64_t denied() const { return denied_; }
+  void reset_counters() { allowed_ = denied_ = 0; }
+
+ private:
+  std::string name_;
+  Policy policy_;
+  std::uint64_t allowed_ = 0;
+  std::uint64_t denied_ = 0;
+};
+
+}  // namespace wacs::fw

@@ -1,0 +1,38 @@
+#include "firewall/rule.hpp"
+
+namespace wacs::fw {
+
+std::string to_string(Action a) {
+  return a == Action::kAllow ? "allow" : "deny";
+}
+
+std::string to_string(Direction d) {
+  return d == Direction::kInbound ? "inbound" : "outbound";
+}
+
+bool Rule::matches(const ConnAttempt& attempt) const {
+  if (direction != attempt.direction) return false;
+  if (src_site && *src_site != attempt.src_site) return false;
+  if (src_host && *src_host != attempt.src_host) return false;
+  if (dst_host && *dst_host != attempt.dst_host) return false;
+  if (!ports.contains(attempt.dst_port)) return false;
+  return true;
+}
+
+std::string Rule::to_string() const {
+  std::string out = fw::to_string(action) + " " + fw::to_string(direction);
+  if (ports.lo == 0 && ports.hi == 65535) {
+    out += " tcp/*";
+  } else if (ports.lo == ports.hi) {
+    out += " tcp/" + std::to_string(ports.lo);
+  } else {
+    out += " tcp/" + std::to_string(ports.lo) + "-" + std::to_string(ports.hi);
+  }
+  if (src_site) out += " from site=" + *src_site;
+  if (src_host) out += " from host=" + *src_host;
+  if (dst_host) out += " to host=" + *dst_host;
+  if (!comment.empty()) out += "  # " + comment;
+  return out;
+}
+
+}  // namespace wacs::fw

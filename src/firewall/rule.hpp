@@ -1,0 +1,62 @@
+// Firewall rule model.
+//
+// The paper's threat model (§1) distinguishes *allow-based* configurations
+// (default allow, specific ports closed) from *deny-based* ones (default
+// deny, specific ports opened), and assumes the typical combination: deny-
+// based for incoming packets, allow-based for outgoing. Rules here match
+// connection attempts — the simulator applies them at TCP establishment,
+// modelling a stateful packet filter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace wacs::fw {
+
+enum class Action { kAllow, kDeny };
+enum class Direction { kInbound, kOutbound };
+
+std::string to_string(Action a);
+std::string to_string(Direction d);
+
+/// An inclusive TCP port interval. Default-constructed = all ports.
+struct PortRange {
+  std::uint16_t lo = 0;
+  std::uint16_t hi = 65535;
+
+  static PortRange single(std::uint16_t p) { return {p, p}; }
+  bool contains(std::uint16_t p) const { return lo <= p && p <= hi; }
+  bool valid() const { return lo <= hi; }
+
+  friend bool operator==(const PortRange&, const PortRange&) = default;
+};
+
+/// A connection attempt as seen by a site's gateway.
+struct ConnAttempt {
+  std::string src_host;
+  std::string src_site;
+  std::string dst_host;
+  std::string dst_site;
+  std::uint16_t dst_port = 0;
+  Direction direction = Direction::kInbound;  ///< relative to this gateway
+};
+
+/// One match-and-act entry. Unset criteria are wildcards. First matching
+/// rule in a Policy wins (iptables-like semantics).
+struct Rule {
+  Action action = Action::kDeny;
+  Direction direction = Direction::kInbound;
+  std::optional<std::string> src_site;  ///< match the peer's site name
+  std::optional<std::string> src_host;  ///< match the initiating host
+  std::optional<std::string> dst_host;  ///< match the target host
+  PortRange ports;                      ///< match the destination port
+  std::string comment;                  ///< for audit dumps
+
+  bool matches(const ConnAttempt& attempt) const;
+
+  /// "allow inbound tcp/9900 from site=internet to host=rwcp-inner  # nxport".
+  std::string to_string() const;
+};
+
+}  // namespace wacs::fw

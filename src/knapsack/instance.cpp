@@ -1,0 +1,187 @@
+#include "knapsack/instance.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace wacs::knapsack {
+
+std::int64_t Instance::total_weight() const {
+  return std::accumulate(items.begin(), items.end(), std::int64_t{0},
+                         [](std::int64_t acc, const Item& item) {
+                           return acc + item.weight;
+                         });
+}
+
+std::int64_t Instance::total_profit() const {
+  return std::accumulate(items.begin(), items.end(), std::int64_t{0},
+                         [](std::int64_t acc, const Item& item) {
+                           return acc + item.profit;
+                         });
+}
+
+void Instance::sort_by_ratio() {
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) {
+                     // profit_a/weight_a > profit_b/weight_b, integer-safe.
+                     return a.profit * b.weight > b.profit * a.weight;
+                   });
+}
+
+Bytes Instance::encode() const {
+  BufWriter w;
+  w.u32(static_cast<std::uint32_t>(items.size()));
+  for (const Item& item : items) {
+    w.i64(item.profit);
+    w.i64(item.weight);
+  }
+  w.i64(capacity);
+  return std::move(w).take();
+}
+
+Result<Instance> Instance::decode(const Bytes& data) {
+  BufReader r(data);
+  auto n = r.u32();
+  if (!n) return n.error();
+  Instance inst;
+  inst.items.reserve(*n);
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto profit = r.i64();
+    if (!profit) return profit.error();
+    auto weight = r.i64();
+    if (!weight) return weight.error();
+    inst.items.push_back(Item{*profit, *weight});
+  }
+  auto capacity = r.i64();
+  if (!capacity) return capacity.error();
+  inst.capacity = *capacity;
+  if (!r.at_end()) {
+    return Error(ErrorCode::kProtocolError, "trailing bytes after instance");
+  }
+  return inst;
+}
+
+std::string Instance::to_text() const {
+  std::string out = "# 0-1 knapsack instance\n";
+  out += std::to_string(items.size()) + " " + std::to_string(capacity) + "\n";
+  for (const Item& item : items) {
+    out += std::to_string(item.profit) + " " + std::to_string(item.weight) +
+           "\n";
+  }
+  return out;
+}
+
+Result<Instance> Instance::from_text(const std::string& text) {
+  auto bad = [](const std::string& why) {
+    return Error(ErrorCode::kInvalidArgument, "bad instance file: " + why);
+  };
+
+  // Tokenize, dropping comments and blank space.
+  std::vector<std::int64_t> numbers;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (c == '#') {
+      while (pos < text.size() && text[pos] != '\n') ++pos;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+    } else {
+      std::size_t end = pos;
+      while (end < text.size() &&
+             !std::isspace(static_cast<unsigned char>(text[end])) &&
+             text[end] != '#') {
+        ++end;
+      }
+      errno = 0;
+      char* parsed_end = nullptr;
+      const std::string token = text.substr(pos, end - pos);
+      const long long v = std::strtoll(token.c_str(), &parsed_end, 10);
+      if (errno != 0 || parsed_end != token.c_str() + token.size()) {
+        return bad("non-numeric token '" + token + "'");
+      }
+      numbers.push_back(v);
+      pos = end;
+    }
+  }
+
+  if (numbers.size() < 2) return bad("missing header (n capacity)");
+  const std::int64_t n = numbers[0];
+  if (n <= 0 || n > 62) return bad("item count out of range");
+  if (numbers.size() != 2 + 2 * static_cast<std::size_t>(n)) {
+    return bad("expected " + std::to_string(2 + 2 * n) + " numbers, got " +
+               std::to_string(numbers.size()));
+  }
+  Instance inst;
+  inst.capacity = numbers[1];
+  if (inst.capacity < 0) return bad("negative capacity");
+  inst.items.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t profit = numbers[2 + 2 * static_cast<std::size_t>(i)];
+    const std::int64_t weight = numbers[3 + 2 * static_cast<std::size_t>(i)];
+    if (profit < 0 || weight < 0) return bad("negative profit/weight");
+    inst.items.push_back(Item{profit, weight});
+  }
+  return inst;
+}
+
+Instance no_prune_instance(int n, std::uint64_t seed) {
+  WACS_CHECK(n > 0);
+  Rng rng(seed);
+  Instance inst;
+  inst.items.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    inst.items.push_back(Item{
+        static_cast<std::int64_t>(rng.uniform(1, 100)),
+        static_cast<std::int64_t>(rng.uniform(1, 100)),
+    });
+  }
+  inst.capacity = inst.total_weight();  // everything fits: nothing prunes
+  return inst;
+}
+
+Instance random_instance(int n, std::uint64_t seed, double tightness,
+                         std::int64_t max_value) {
+  WACS_CHECK(n > 0 && tightness > 0 && max_value > 0);
+  Rng rng(seed);
+  Instance inst;
+  inst.items.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    inst.items.push_back(Item{
+        static_cast<std::int64_t>(
+            rng.uniform(1, static_cast<std::uint64_t>(max_value))),
+        static_cast<std::int64_t>(
+            rng.uniform(1, static_cast<std::uint64_t>(max_value))),
+    });
+  }
+  inst.capacity =
+      static_cast<std::int64_t>(tightness * static_cast<double>(
+                                                inst.total_weight()));
+  inst.capacity = std::max<std::int64_t>(inst.capacity, 1);
+  return inst;
+}
+
+Instance correlated_instance(int n, std::uint64_t seed, double tightness,
+                             std::int64_t max_weight) {
+  WACS_CHECK(n > 0 && tightness > 0 && max_weight > 0);
+  Rng rng(seed);
+  Instance inst;
+  inst.items.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto weight = static_cast<std::int64_t>(
+        rng.uniform(1, static_cast<std::uint64_t>(max_weight)));
+    inst.items.push_back(Item{weight + max_weight / 10 + 1, weight});
+  }
+  inst.capacity =
+      static_cast<std::int64_t>(tightness * static_cast<double>(
+                                                inst.total_weight()));
+  inst.capacity = std::max<std::int64_t>(inst.capacity, 1);
+  return inst;
+}
+
+}  // namespace wacs::knapsack

@@ -1,0 +1,67 @@
+// 0-1 knapsack instances (paper §4.3).
+//
+// An instance is a list of (profit, weight) items plus a capacity. The
+// paper's normalization — "we used such data as no branches were pruned,
+// meaning entire search space is traced" — is reproduced by
+// no_prune_instance(): capacity ≥ Σ weights, so both children of every
+// branch node are feasible and (with bounding disabled) the tree is the full
+// binary tree of 2^(n+1)-1 nodes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+
+namespace wacs::knapsack {
+
+struct Item {
+  std::int64_t profit = 0;
+  std::int64_t weight = 0;
+
+  friend bool operator==(const Item&, const Item&) = default;
+};
+
+struct Instance {
+  std::vector<Item> items;
+  std::int64_t capacity = 0;
+
+  int size() const { return static_cast<int>(items.size()); }
+  std::int64_t total_weight() const;
+  std::int64_t total_profit() const;
+
+  /// Sorts items by profit/weight ratio descending (required by the
+  /// Martello-Toth bound; harmless otherwise).
+  void sort_by_ratio();
+
+  /// GASS staging format.
+  Bytes encode() const;
+  static Result<Instance> decode(const Bytes& data);
+
+  /// Text data-file format ("a master reads a data file"):
+  ///   line 1: n capacity
+  ///   lines 2..n+1: profit weight
+  /// '#' starts a comment; blank lines are skipped.
+  std::string to_text() const;
+  static Result<Instance> from_text(const std::string& text);
+
+  friend bool operator==(const Instance&, const Instance&) = default;
+};
+
+/// The paper's workload: nothing prunes, the full 2^(n+1)-1 tree is traced.
+Instance no_prune_instance(int n, std::uint64_t seed = 1);
+
+/// Uncorrelated random instance: profits/weights uniform in [1, max_value],
+/// capacity = `tightness` × Σ weights. Realistic pruning behaviour.
+Instance random_instance(int n, std::uint64_t seed, double tightness = 0.5,
+                         std::int64_t max_value = 100);
+
+/// Strongly correlated instance (profit = weight + bonus): the classic hard
+/// family from Martello-Toth; exercises deep search with weak bounds.
+Instance correlated_instance(int n, std::uint64_t seed,
+                             double tightness = 0.5,
+                             std::int64_t max_weight = 100);
+
+}  // namespace wacs::knapsack

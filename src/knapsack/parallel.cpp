@@ -1,0 +1,374 @@
+#include "knapsack/parallel.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <deque>
+
+#include "common/log.hpp"
+#include "knapsack/search.hpp"
+#include "mpi/comm.hpp"
+
+namespace wacs::knapsack {
+namespace {
+
+const log::Logger kLog("knapsack");
+
+constexpr int kTagSteal = 1;
+constexpr int kTagBack = 2;
+constexpr int kTagWork = 3;
+constexpr int kTagDone = 4;
+constexpr int kTagStats = 5;
+
+struct Params {
+  std::uint64_t interval = 1000;
+  std::size_t stealunit = 16;
+  std::size_t backunit = 64;
+  std::size_t back_threshold = 0;  // 0 = auto; used by the "top" policy only
+  double keep_ops = 0;             // 0 = auto (64 x interval)
+  bool steal_from_bottom = true;
+  bool use_bound = false;
+  double sec_per_node = 1e-6;
+};
+
+double parse_double(const std::string& s, double fallback) {
+  if (s.empty()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size() ? v : fallback;
+}
+
+std::uint64_t parse_u64(const std::string& s, std::uint64_t fallback) {
+  std::uint64_t v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  return (ec == std::errc() && p == s.data() + s.size()) ? v : fallback;
+}
+
+Params parse_params(const rmf::JobContext& ctx, const Instance& inst) {
+  Params p;
+  p.interval = parse_u64(ctx.arg_or(args::kInterval, ""), p.interval);
+  p.stealunit = parse_u64(ctx.arg_or(args::kStealUnit, ""), p.stealunit);
+  p.backunit = parse_u64(ctx.arg_or(args::kBackUnit, ""), p.backunit);
+  p.back_threshold =
+      parse_u64(ctx.arg_or(args::kBackThreshold, ""), p.back_threshold);
+  if (p.back_threshold == 0) {
+    // A DFS stack hovers around the instance depth; anything above that is
+    // surplus subtrees that other workers could be running.
+    p.back_threshold = std::max<std::size_t>(
+        static_cast<std::size_t>(inst.size()), 2 * p.stealunit);
+  }
+  p.steal_from_bottom = ctx.arg_or(args::kTransferEnd, "bottom") != "top";
+  p.keep_ops = parse_double(ctx.arg_or(args::kKeepOps, ""), p.keep_ops);
+  if (p.keep_ops <= 0) {
+    // Auto granularity: about four steal cycles per worker over the whole
+    // (unpruned) tree, floored so a grant always outweighs an interval.
+    const double tree = std::exp2(inst.size() + 1);
+    p.keep_ops = std::max(64.0 * static_cast<double>(p.interval),
+                          tree / (4.0 * std::max(1, ctx.nprocs)));
+  }
+  p.use_bound = ctx.arg_or(args::kUseBound, "0") == "1";
+  p.sec_per_node =
+      parse_double(ctx.arg_or(args::kSecPerNode, ""), p.sec_per_node);
+  WACS_CHECK(p.interval > 0 && p.stealunit > 0 && p.backunit > 0);
+  return p;
+}
+
+/// Builds a steal grant: work-aware from the bottom (default) or the
+/// paper-literal fixed node count from the top.
+std::vector<Node> make_grant(Searcher& searcher, const Params& params) {
+  if (params.steal_from_bottom) {
+    return searcher.take_work_from_bottom(params.keep_ops, params.stealunit);
+  }
+  return searcher.take_from_top(params.stealunit);
+}
+
+/// Builds a back transfer (surplus the slave sheds), or empty if none due.
+std::vector<Node> make_back_transfer(Searcher& searcher,
+                                     const Params& params) {
+  if (params.steal_from_bottom) {
+    if (searcher.pending_work() <= 2 * params.keep_ops) return {};
+    return searcher.shed_excess_work(params.keep_ops, params.backunit);
+  }
+  if (searcher.stack_size() <= params.back_threshold) return {};
+  const std::size_t surplus = searcher.stack_size() - params.back_threshold;
+  return searcher.take_from_top(std::min(params.backunit, surplus));
+}
+
+Instance load_instance(const rmf::JobContext& ctx) {
+  auto it = ctx.input_files.find(kInstanceFile);
+  WACS_CHECK_MSG(it != ctx.input_files.end(), "instance file not staged");
+  auto inst = Instance::decode(it->second);
+  WACS_CHECK_MSG(inst.ok(), "staged instance is corrupt");
+  return std::move(*inst);
+}
+
+/// Shared payload of kTagBack / kTagWork: nodes + sender's best value.
+Bytes encode_work(const std::vector<Node>& nodes, std::int64_t best) {
+  BufWriter w;
+  w.i64(best);
+  encode_nodes(w, nodes);
+  return std::move(w).take();
+}
+
+struct WorkMsg {
+  std::int64_t best = 0;
+  std::vector<Node> nodes;
+};
+
+WorkMsg decode_work(const Bytes& data) {
+  BufReader r(data);
+  auto best = r.i64();
+  WACS_CHECK(best.ok());
+  auto nodes = decode_nodes(r);
+  WACS_CHECK(nodes.ok());
+  return WorkMsg{*best, std::move(*nodes)};
+}
+
+/// Gathered per-rank statistics payload.
+Bytes encode_rank_stats(const RankStats& s) {
+  BufWriter w;
+  w.i32(s.rank);
+  w.str(s.host);
+  w.u64(s.nodes_traversed);
+  w.u64(s.steal_requests);
+  return std::move(w).take();
+}
+
+RankStats decode_rank_stats(const Bytes& data) {
+  BufReader r(data);
+  RankStats s;
+  auto rank = r.i32();
+  auto host = r.str();
+  auto nodes = r.u64();
+  auto steals = r.u64();
+  WACS_CHECK(rank.ok() && host.ok() && nodes.ok() && steals.ok());
+  s.rank = *rank;
+  s.host = std::move(*host);
+  s.nodes_traversed = *nodes;
+  s.steal_requests = *steals;
+  return s;
+}
+
+void run_master(rmf::JobContext& ctx, mpi::Comm& comm, const Params& params,
+                const Instance& inst, RunStats& out) {
+  const int nslaves = comm.size() - 1;
+  Searcher searcher(inst, params.use_bound);
+  searcher.push(Node{0, 0, inst.capacity});
+
+  std::uint64_t steals_handled = 0;
+  std::deque<int> pending;            // slaves waiting for work
+  std::vector<bool> is_pending(static_cast<std::size_t>(comm.size()), false);
+
+  auto drain_messages = [&](bool block) {
+    mpi::Comm::RecvInfo info;
+    bool first = true;
+    while (true) {
+      if (block && first) {
+        comm.probe(mpi::Comm::kAnySource, mpi::Comm::kAnyTag, &info);
+      } else if (!comm.iprobe(mpi::Comm::kAnySource, mpi::Comm::kAnyTag,
+                              &info)) {
+        break;
+      }
+      first = false;
+      Bytes data = comm.recv(info.source, info.tag);
+      if (info.tag == kTagSteal) {
+        WorkMsg msg = decode_work(data);
+        searcher.offer_best(msg.best);
+        WACS_CHECK(!is_pending[static_cast<std::size_t>(info.source)]);
+        is_pending[static_cast<std::size_t>(info.source)] = true;
+        pending.push_back(info.source);
+      } else if (info.tag == kTagBack) {
+        WorkMsg msg = decode_work(data);
+        searcher.offer_best(msg.best);
+        searcher.push_all(msg.nodes);
+      } else {
+        WACS_CHECK_MSG(false, "master got unexpected tag");
+      }
+    }
+  };
+
+  auto serve_pending = [&] {
+    while (!pending.empty() && !searcher.idle()) {
+      const int slave = pending.front();
+      pending.pop_front();
+      is_pending[static_cast<std::size_t>(slave)] = false;
+      ++steals_handled;
+      auto nodes = make_grant(searcher, params);
+      comm.send(slave, kTagWork, encode_work(nodes, searcher.best()));
+    }
+  };
+
+  while (!(searcher.idle() &&
+           static_cast<int>(pending.size()) == nslaves)) {
+    if (!searcher.idle()) {
+      // "The master repeats the branch operation interval times."
+      const std::uint64_t ops = searcher.run(params.interval);
+      ctx.charge_cpu(static_cast<double>(ops) * params.sec_per_node);
+      drain_messages(/*block=*/false);
+    } else {
+      // Out of work but slaves are still busy: sleep on the next message.
+      drain_messages(/*block=*/true);
+    }
+    serve_pending();
+  }
+
+  // Global exhaustion: release every slave.
+  for (int s = 1; s <= nslaves; ++s) comm.send(s, kTagDone, {});
+
+  // Collect results: best values and per-rank statistics.
+  std::int64_t best = searcher.best();
+  out.ranks.clear();
+  out.ranks.push_back(RankStats{0, ctx.host->name(),
+                                searcher.nodes_traversed(), 0});
+  for (int i = 0; i < nslaves; ++i) {
+    mpi::Comm::RecvInfo info;
+    Bytes data = comm.recv(mpi::Comm::kAnySource, kTagStats, &info);
+    BufReader r(data);
+    auto slave_best = r.i64();
+    WACS_CHECK(slave_best.ok());
+    best = std::max(best, *slave_best);
+    auto stats_blob = r.blob();
+    WACS_CHECK(stats_blob.ok());
+    out.ranks.push_back(decode_rank_stats(*stats_blob));
+  }
+
+  out.best_value = best;
+  out.master_steals_handled = steals_handled;
+  out.total_nodes = 0;
+  for (const RankStats& s : out.ranks) out.total_nodes += s.nodes_traversed;
+}
+
+void run_slave(rmf::JobContext& ctx, mpi::Comm& comm, const Params& params,
+               const Instance& inst) {
+  Searcher searcher(inst, params.use_bound);
+  std::uint64_t steal_requests = 0;
+
+  while (true) {
+    if (searcher.idle()) {
+      // "If the stack is empty, the slave sends a steal request."
+      ++steal_requests;
+      comm.send(0, kTagSteal, encode_work({}, searcher.best()));
+      mpi::Comm::RecvInfo info;
+      Bytes data = comm.recv(0, mpi::Comm::kAnyTag, &info);
+      if (info.tag == kTagDone) break;
+      WACS_CHECK(info.tag == kTagWork);
+      WorkMsg msg = decode_work(data);
+      searcher.offer_best(msg.best);
+      searcher.push_all(msg.nodes);
+      continue;
+    }
+    const std::uint64_t ops = searcher.run(params.interval);
+    ctx.charge_cpu(static_cast<double>(ops) * params.sec_per_node);
+    // "A slave sends back backunit nodes when it has too many on the stack"
+    // — "too many" measured in estimated work, not node count (see
+    // DESIGN.md: node counts starve remote slaves).
+    auto surplus = make_back_transfer(searcher, params);
+    if (!surplus.empty()) {
+      comm.send(0, kTagBack, encode_work(surplus, searcher.best()));
+    }
+  }
+
+  // The final steal request that got kTagDone was not served with work.
+  RankStats stats{comm.rank(), ctx.host->name(), searcher.nodes_traversed(),
+                  steal_requests};
+  BufWriter w;
+  w.i64(searcher.best());
+  w.blob(encode_rank_stats(stats));
+  comm.send(0, kTagStats, std::move(w).take());
+}
+
+void knapsack_task(rmf::JobContext& ctx) {
+  const Instance inst = load_instance(ctx);
+  const Params params = parse_params(ctx, inst);
+  auto comm = mpi::Comm::init(ctx);
+  WACS_CHECK_MSG(comm->size() >= 2, "parallel knapsack needs >= 2 ranks");
+
+  // Synchronize so app_seconds measures the search, not job startup skew.
+  comm->barrier();
+  const sim::Time started = ctx.host->network().engine().now();
+
+  if (comm->rank() == 0) {
+    RunStats stats;
+    run_master(ctx, *comm, params, inst, stats);
+    stats.app_seconds =
+        sim::to_sec(ctx.host->network().engine().now() - started);
+    ctx.result = stats.encode();
+    kLog.info("job %llu: best=%lld nodes=%llu steals=%llu in %.3fs",
+              static_cast<unsigned long long>(ctx.job_id),
+              static_cast<long long>(stats.best_value),
+              static_cast<unsigned long long>(stats.total_nodes),
+              static_cast<unsigned long long>(stats.master_steals_handled),
+              stats.app_seconds);
+  } else {
+    run_slave(ctx, *comm, params, inst);
+  }
+  comm->finalize();
+}
+
+void knapsack_seq_task(rmf::JobContext& ctx) {
+  const Instance inst = load_instance(ctx);
+  const Params params = parse_params(ctx, inst);
+  const sim::Time started = ctx.host->network().engine().now();
+
+  Searcher searcher(inst, params.use_bound);
+  searcher.push(Node{0, 0, inst.capacity});
+  while (!searcher.idle()) {
+    const std::uint64_t ops = searcher.run(params.interval);
+    ctx.charge_cpu(static_cast<double>(ops) * params.sec_per_node);
+  }
+
+  RunStats stats;
+  stats.best_value = searcher.best();
+  stats.total_nodes = searcher.nodes_traversed();
+  stats.app_seconds =
+      sim::to_sec(ctx.host->network().engine().now() - started);
+  stats.ranks.push_back(RankStats{0, ctx.host->name(),
+                                  searcher.nodes_traversed(), 0});
+  ctx.result = stats.encode();
+}
+
+}  // namespace
+
+Bytes RunStats::encode() const {
+  BufWriter w;
+  w.i64(best_value);
+  w.u64(total_nodes);
+  w.u64(master_steals_handled);
+  w.f64(app_seconds);
+  w.u32(static_cast<std::uint32_t>(ranks.size()));
+  for (const RankStats& s : ranks) w.blob(encode_rank_stats(s));
+  return std::move(w).take();
+}
+
+Result<RunStats> RunStats::decode(const Bytes& data) {
+  BufReader r(data);
+  RunStats out;
+  auto best = r.i64();
+  if (!best) return best.error();
+  out.best_value = *best;
+  auto total = r.u64();
+  if (!total) return total.error();
+  out.total_nodes = *total;
+  auto steals = r.u64();
+  if (!steals) return steals.error();
+  out.master_steals_handled = *steals;
+  auto secs = r.f64();
+  if (!secs) return secs.error();
+  out.app_seconds = *secs;
+  auto n = r.u32();
+  if (!n) return n.error();
+  out.ranks.reserve(*n);
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto blob = r.blob();
+    if (!blob) return blob.error();
+    out.ranks.push_back(decode_rank_stats(*blob));
+  }
+  return out;
+}
+
+void register_tasks(rmf::JobRegistry& registry) {
+  registry.register_task(kParallelTask, knapsack_task);
+  registry.register_task(kSequentialTask, knapsack_seq_task);
+}
+
+}  // namespace wacs::knapsack

@@ -1,0 +1,84 @@
+// Master-slave parallel 0-1 knapsack with self-scheduling work stealing
+// (paper §4.3) — the MPICH-G application of the evaluation.
+//
+// Protocol (all over MiniMPI, master = rank 0):
+//   slave → master  kTagSteal : "my stack is empty" (+ slave's best so far)
+//   slave → master  kTagBack  : backunit nodes (+ best) when overloaded
+//   master → slave  kTagWork  : stealunit nodes from the top of the master's
+//                               stack (+ master's best)
+//   master → slave  kTagDone  : terminate
+//
+// Scheduling parameters (paper: "we varied a stealunit, interval, and
+// backunit and took the best combination"):
+//   interval   — branch ops the master runs between checks of steal requests
+//   stealunit  — nodes shipped per steal
+//   backunit   — nodes a slave returns when its stack exceeds back_threshold
+//
+// Termination: a slave steals only when its stack is empty, and per-pair
+// FIFO means any kTagBack precedes that slave's kTagSteal; so when the
+// master's stack is empty and every slave has an unanswered steal request,
+// no work exists anywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "knapsack/instance.hpp"
+#include "rmf/job.hpp"
+
+namespace wacs::knapsack {
+
+/// Per-rank statistics (Tables 5 and 6 are built from these).
+struct RankStats {
+  int rank = 0;
+  std::string host;
+  std::uint64_t nodes_traversed = 0;
+  std::uint64_t steal_requests = 0;  ///< steals issued (slaves; 0 for master)
+};
+
+/// The job output serialized into JobResult::output by rank 0.
+struct RunStats {
+  std::int64_t best_value = 0;
+  std::uint64_t total_nodes = 0;
+  std::uint64_t master_steals_handled = 0;
+  double app_seconds = 0;  ///< virtual time of the search phase (post-startup)
+  std::vector<RankStats> ranks;
+
+  Bytes encode() const;
+  static Result<RunStats> decode(const Bytes& data);
+};
+
+/// Argument keys understood by the tasks (JobSpec::args).
+namespace args {
+inline constexpr const char* kInterval = "interval";      // default 1000
+inline constexpr const char* kStealUnit = "stealunit";    // default 16
+inline constexpr const char* kBackUnit = "backunit";      // default 64
+/// Stack size above which a slave sheds work back to the master. Default 0
+/// = auto: max(instance size, 2×stealunit) — a DFS stack naturally hovers
+/// around the instance depth, so anything above it is surplus subtrees.
+inline constexpr const char* kBackThreshold = "backthreshold";
+/// Which end of the stack transfers move: "bottom" (default; shallow nodes,
+/// large subtrees, work-aware amounts — classic work stealing) or "top"
+/// (the paper's literal wording; ships deep leaf crumbs and starves remote
+/// slaves — kept for the ablation bench).
+inline constexpr const char* kTransferEnd = "transfer_end";
+/// Work floor (branch ops) a slave keeps before shedding surplus, and the
+/// work target of a steal grant. Default 0 = auto (64 × interval): enough
+/// local work to hide a proxied WAN steal round trip.
+inline constexpr const char* kKeepOps = "keep_ops";
+inline constexpr const char* kUseBound = "use_bound";     // "0"/"1", default 0
+inline constexpr const char* kSecPerNode = "sec_per_node";  // default 1e-6
+}  // namespace args
+
+/// Name of the staged instance file (JobSpec::input_files).
+inline constexpr const char* kInstanceFile = "instance";
+
+/// Registered task names.
+inline constexpr const char* kParallelTask = "knapsack";
+inline constexpr const char* kSequentialTask = "knapsack_seq";
+
+/// Registers both tasks with an RMF job registry.
+void register_tasks(rmf::JobRegistry& registry);
+
+}  // namespace wacs::knapsack

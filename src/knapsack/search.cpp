@@ -1,0 +1,201 @@
+#include "knapsack/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wacs::knapsack {
+
+void encode_nodes(BufWriter& w, const std::vector<Node>& nodes) {
+  w.u32(static_cast<std::uint32_t>(nodes.size()));
+  for (const Node& n : nodes) {
+    w.i32(n.index);
+    w.i64(n.value);
+    w.i64(n.capacity);
+  }
+}
+
+Result<std::vector<Node>> decode_nodes(BufReader& r) {
+  auto count = r.u32();
+  if (!count) return count.error();
+  std::vector<Node> nodes;
+  nodes.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto index = r.i32();
+    if (!index) return index.error();
+    auto value = r.i64();
+    if (!value) return value.error();
+    auto capacity = r.i64();
+    if (!capacity) return capacity.error();
+    nodes.push_back(Node{*index, *value, *capacity});
+  }
+  return nodes;
+}
+
+std::int64_t upper_bound(const Instance& inst, const Node& node) {
+  std::int64_t bound = node.value;
+  std::int64_t cap = node.capacity;
+  for (std::size_t i = static_cast<std::size_t>(node.index);
+       i < inst.items.size(); ++i) {
+    const Item& item = inst.items[i];
+    if (item.weight <= cap) {
+      bound += item.profit;
+      cap -= item.weight;
+    } else {
+      // Fractional fill of the first item that does not fit (LP relaxation).
+      bound += item.profit * cap / item.weight;
+      break;
+    }
+  }
+  return bound;
+}
+
+Searcher::Searcher(const Instance& inst, bool use_bound)
+    : inst_(&inst), use_bound_(use_bound) {}
+
+void Searcher::push_all(const std::vector<Node>& nodes) {
+  stack_.insert(stack_.end(), nodes.begin(), nodes.end());
+}
+
+void Searcher::offer_best(std::int64_t value) {
+  best_ = std::max(best_, value);
+}
+
+std::uint64_t Searcher::run(std::uint64_t max_ops) {
+  std::uint64_t ops = 0;
+  while (ops < max_ops && !stack_.empty()) {
+    step();
+    ++ops;
+  }
+  return ops;
+}
+
+void Searcher::step() {
+  // The paper's branch operation: 1. pop a node from a stack, 2. check the
+  // node, 3. push its sub nodes (one or two) onto the stack.
+  const Node node = stack_.back();
+  stack_.pop_back();
+  ++nodes_;
+
+  if (node.index >= inst_->size()) {
+    best_ = std::max(best_, node.value);
+    return;
+  }
+  if (use_bound_ && upper_bound(*inst_, node) <= best_) {
+    return;  // this subtree cannot improve on the incumbent
+  }
+
+  const Item& item = inst_->items[static_cast<std::size_t>(node.index)];
+  // "take" child first so the profitable path is explored depth-first.
+  stack_.push_back(Node{node.index + 1, node.value, node.capacity});
+  if (item.weight <= node.capacity) {
+    stack_.push_back(Node{node.index + 1, node.value + item.profit,
+                          node.capacity - item.weight});
+  }
+}
+
+std::vector<Node> Searcher::take_from_top(std::size_t count) {
+  const std::size_t take = std::min(count, stack_.size());
+  std::vector<Node> out(stack_.end() - static_cast<std::ptrdiff_t>(take),
+                        stack_.end());
+  stack_.resize(stack_.size() - take);
+  return out;
+}
+
+std::vector<Node> Searcher::take_from_bottom(std::size_t count) {
+  const std::size_t take = std::min(count, stack_.size());
+  std::vector<Node> out(stack_.begin(),
+                        stack_.begin() + static_cast<std::ptrdiff_t>(take));
+  stack_.erase(stack_.begin(),
+               stack_.begin() + static_cast<std::ptrdiff_t>(take));
+  return out;
+}
+
+double Searcher::node_work(const Node& node) const {
+  const int depth_left = inst_->size() - node.index;
+  if (depth_left <= 0) return 1.0;
+  return std::exp2(depth_left + 1) - 1.0;
+}
+
+double Searcher::pending_work() const {
+  double total = 0;
+  for (const Node& n : stack_) total += node_work(n);
+  return total;
+}
+
+std::vector<Node> Searcher::shed_excess_work(double keep_ops,
+                                             std::size_t max_nodes) {
+  std::vector<Node> out;
+  double remaining = pending_work();
+  while (stack_.size() > 1 && out.size() < max_nodes) {
+    const double bottom = node_work(stack_.front());
+    if (remaining - bottom < keep_ops) break;
+    remaining -= bottom;
+    out.push_back(stack_.front());
+    stack_.erase(stack_.begin());
+  }
+  return out;
+}
+
+std::vector<Node> Searcher::take_work_from_bottom(double grant_ops,
+                                                  std::size_t max_nodes) {
+  std::vector<Node> out;
+  double granted = 0;
+  while (!stack_.empty() && out.size() < max_nodes) {
+    if (!out.empty() && granted >= grant_ops) break;
+    granted += node_work(stack_.front());
+    out.push_back(stack_.front());
+    stack_.erase(stack_.begin());
+  }
+  return out;
+}
+
+SearchResult solve_sequential(const Instance& inst, bool use_bound) {
+  Searcher searcher(inst, use_bound);
+  searcher.push(Node{0, 0, inst.capacity});
+  while (!searcher.idle()) {
+    searcher.run(1 << 20);
+  }
+  return SearchResult{searcher.best(), searcher.nodes_traversed()};
+}
+
+std::int64_t solve_brute_force(const Instance& inst) {
+  const int n = inst.size();
+  WACS_CHECK_MSG(n <= 24, "brute force is for small test instances only");
+  std::int64_t best = 0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::int64_t value = 0;
+    std::int64_t weight = 0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        value += inst.items[static_cast<std::size_t>(i)].profit;
+        weight += inst.items[static_cast<std::size_t>(i)].weight;
+      }
+    }
+    if (weight <= inst.capacity) best = std::max(best, value);
+  }
+  return best;
+}
+
+std::int64_t solve_dp(const Instance& inst) {
+  WACS_CHECK_MSG(inst.capacity >= 0 && inst.capacity <= (1 << 22),
+                 "DP reference needs a moderate capacity");
+  std::vector<std::int64_t> best(static_cast<std::size_t>(inst.capacity) + 1,
+                                 0);
+  for (const Item& item : inst.items) {
+    if (item.weight > inst.capacity) continue;
+    for (std::int64_t c = inst.capacity; c >= item.weight; --c) {
+      best[static_cast<std::size_t>(c)] =
+          std::max(best[static_cast<std::size_t>(c)],
+                   best[static_cast<std::size_t>(c - item.weight)] +
+                       item.profit);
+    }
+  }
+  return best[static_cast<std::size_t>(inst.capacity)];
+}
+
+std::uint64_t full_tree_nodes(int n) {
+  WACS_CHECK(n >= 0 && n < 63);
+  return (std::uint64_t{1} << (n + 1)) - 1;
+}
+
+}  // namespace wacs::knapsack

@@ -1,0 +1,126 @@
+// Branch-and-bound search core (paper §4.3).
+//
+// "Each node of a search tree is represented by a set of index, value, and
+// capacity. ... The search tree is represented by a stack onto which nodes
+// are pushed in a search procedure." The branch operation pops a node,
+// checks it, and pushes its (one or two) children. Both the sequential
+// solver and the master/slave workers drive the same Searcher so their node
+// accounting is identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "knapsack/instance.hpp"
+
+namespace wacs::knapsack {
+
+/// A search-tree node: first undecided item, accumulated profit, remaining
+/// capacity.
+struct Node {
+  std::int32_t index = 0;
+  std::int64_t value = 0;
+  std::int64_t capacity = 0;
+
+  friend bool operator==(const Node&, const Node&) = default;
+};
+
+/// Serialization for shipping stolen nodes between ranks.
+void encode_nodes(BufWriter& w, const std::vector<Node>& nodes);
+Result<std::vector<Node>> decode_nodes(BufReader& r);
+
+/// Martello-Toth style fractional upper bound for `node`, assuming items are
+/// sorted by profit/weight ratio descending. Always >= the best completion.
+std::int64_t upper_bound(const Instance& inst, const Node& node);
+
+/// The branch-operation engine. Work can be injected (push) and removed
+/// (steal) externally — that is the master/slave protocol's interface.
+class Searcher {
+ public:
+  /// `use_bound`: prune subtrees whose upper bound cannot beat the best.
+  /// The paper's normalized runs use use_bound = false (nothing pruned).
+  Searcher(const Instance& inst, bool use_bound);
+
+  /// Pushes a node (root, or stolen work).
+  void push(const Node& node) { stack_.push_back(node); }
+  void push_all(const std::vector<Node>& nodes);
+
+  /// Performs up to `max_ops` branch operations; returns how many ran
+  /// (fewer only when the stack empties).
+  std::uint64_t run(std::uint64_t max_ops);
+
+  /// Removes up to `count` nodes from the top of the stack — the deepest,
+  /// smallest subtrees. This is the paper's literal wording ("the master
+  /// sends stealunit nodes on top of its stack"); see take_from_bottom for
+  /// why the default transfer policy differs.
+  std::vector<Node> take_from_top(std::size_t count);
+
+  /// Removes up to `count` nodes from the bottom of the stack — the
+  /// shallowest, largest subtrees. This is the classic work-stealing
+  /// transfer end and the reproduction's default: shipping top-of-stack
+  /// leaf crumbs starves remote workers (bench_ablation_scheduler
+  /// demonstrates it).
+  std::vector<Node> take_from_bottom(std::size_t count);
+
+  /// Worst-case branch operations needed to exhaust the subtree under
+  /// `node` (the unpruned size 2^(n-index+1)-1); the scheduler's work
+  /// estimate. Returned as double: shallow nodes overflow 64-bit counts.
+  double node_work(const Node& node) const;
+
+  /// Worst-case branch operations to exhaust the current stack.
+  double pending_work() const;
+
+  /// Removes bottom (shallowest-first) nodes while the work remaining on
+  /// the stack stays above `keep_ops`, up to `max_nodes`; always leaves at
+  /// least one node. Used by slaves to shed surplus subtrees back to the
+  /// master ("too many nodes on the stack", measured in work).
+  std::vector<Node> shed_excess_work(double keep_ops, std::size_t max_nodes);
+
+  /// Removes bottom nodes until roughly `grant_ops` of work is collected
+  /// (at least one node, at most `max_nodes`). Used by the master to build
+  /// steal grants.
+  std::vector<Node> take_work_from_bottom(double grant_ops,
+                                          std::size_t max_nodes);
+
+  bool idle() const { return stack_.empty(); }
+  std::size_t stack_size() const { return stack_.size(); }
+
+  std::int64_t best() const { return best_; }
+  /// Merges a best value learned from another rank.
+  void offer_best(std::int64_t value);
+
+  std::uint64_t nodes_traversed() const { return nodes_; }
+
+ private:
+  void step();
+
+  const Instance* inst_;
+  bool use_bound_;
+  std::vector<Node> stack_;
+  std::int64_t best_ = 0;
+  std::uint64_t nodes_ = 0;
+};
+
+/// Result of a complete search.
+struct SearchResult {
+  std::int64_t best_value = 0;
+  std::uint64_t nodes_traversed = 0;
+};
+
+/// Sequential solver: root-to-exhaustion on one Searcher.
+SearchResult solve_sequential(const Instance& inst, bool use_bound = true);
+
+/// Exhaustive reference solver (2^n subsets); for tests with small n.
+std::int64_t solve_brute_force(const Instance& inst);
+
+/// Exact dynamic-programming solver, O(n × capacity) time and O(capacity)
+/// space. Handles far larger n than brute force (the reference for
+/// property tests against the branch-and-bound solvers); requires a
+/// moderate capacity.
+std::int64_t solve_dp(const Instance& inst);
+
+/// Nodes of the unpruned tree: 2^(n+1) - 1.
+std::uint64_t full_tree_nodes(int n);
+
+}  // namespace wacs::knapsack

@@ -1,0 +1,278 @@
+#include "mds/directory.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace wacs::mds {
+namespace {
+
+/// Numeric parse for comparison filters; false when not a number.
+bool to_number(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+void put_entry(BufWriter& w, const Entry& e) {
+  w.str(e.dn);
+  w.u32(static_cast<std::uint32_t>(e.attributes.size()));
+  for (const auto& [k, v] : e.attributes) {
+    w.str(k);
+    w.str(v);
+  }
+}
+
+Result<Entry> get_entry(BufReader& r) {
+  Entry out;
+  auto dn = r.str();
+  if (!dn) return dn.error();
+  out.dn = std::move(*dn);
+  auto n = r.u32();
+  if (!n) return n.error();
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto k = r.str();
+    if (!k) return k.error();
+    auto v = r.str();
+    if (!v) return v.error();
+    out.attributes.emplace(std::move(*k), std::move(*v));
+  }
+  return out;
+}
+
+Error bad_frame(const char* what) {
+  return Error(ErrorCode::kProtocolError, std::string("mds frame: ") + what);
+}
+
+Result<MsgType> expect_type(BufReader& r, MsgType want) {
+  auto tag = r.u8();
+  if (!tag) return tag.error();
+  if (*tag != static_cast<std::uint8_t>(want)) return bad_frame("wrong tag");
+  return want;
+}
+
+}  // namespace
+
+bool FilterTerm::matches(const Entry& entry) const {
+  auto it = entry.attributes.find(attribute);
+  if (it == entry.attributes.end()) return false;
+  switch (op) {
+    case Op::kPresent:
+      return true;
+    case Op::kEquals:
+      return it->second == value;
+    case Op::kGreaterOrEqual: {
+      double lhs, rhs;
+      return to_number(it->second, &lhs) && to_number(value, &rhs) &&
+             lhs >= rhs;
+    }
+    case Op::kLessOrEqual: {
+      double lhs, rhs;
+      return to_number(it->second, &lhs) && to_number(value, &rhs) &&
+             lhs <= rhs;
+    }
+  }
+  return false;
+}
+
+bool Filter::matches(const Entry& entry) const {
+  return std::all_of(terms.begin(), terms.end(),
+                     [&](const FilterTerm& t) { return t.matches(entry); });
+}
+
+Result<Filter> Filter::parse(const std::string& text) {
+  auto bad = [&](const char* why) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "bad filter '" + text + "': " + why);
+  };
+  Filter out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    if (std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+      continue;
+    }
+    if (text[pos] != '(') return bad("expected '('");
+    const std::size_t close = text.find(')', pos);
+    if (close == std::string::npos) return bad("unterminated '('");
+    const std::string term = text.substr(pos + 1, close - pos - 1);
+    pos = close + 1;
+
+    FilterTerm parsed;
+    std::size_t op_pos;
+    if ((op_pos = term.find(">=")) != std::string::npos) {
+      parsed.op = FilterTerm::Op::kGreaterOrEqual;
+      parsed.attribute = term.substr(0, op_pos);
+      parsed.value = term.substr(op_pos + 2);
+    } else if ((op_pos = term.find("<=")) != std::string::npos) {
+      parsed.op = FilterTerm::Op::kLessOrEqual;
+      parsed.attribute = term.substr(0, op_pos);
+      parsed.value = term.substr(op_pos + 2);
+    } else if ((op_pos = term.find('=')) != std::string::npos) {
+      parsed.attribute = term.substr(0, op_pos);
+      parsed.value = term.substr(op_pos + 1);
+      parsed.op = parsed.value == "*" ? FilterTerm::Op::kPresent
+                                      : FilterTerm::Op::kEquals;
+    } else {
+      return bad("term has no operator");
+    }
+    if (parsed.attribute.empty()) return bad("empty attribute name");
+    if (parsed.op != FilterTerm::Op::kPresent && parsed.value.empty()) {
+      return bad("empty comparison value");
+    }
+    out.terms.push_back(std::move(parsed));
+  }
+  return out;
+}
+
+bool dn_in_subtree(const std::string& dn, const std::string& base) {
+  if (dn == base) return true;
+  return dn.size() > base.size() + 1 && dn.rfind(base + "/", 0) == 0;
+}
+
+void Directory::register_entry(Entry entry, std::int64_t expires_at) {
+  WACS_CHECK_MSG(!entry.dn.empty(), "entry needs a DN");
+  // The key must be copied before the move: the RHS of an assignment is
+  // sequenced before the subscript expression (C++17), so
+  // `entries_[entry.dn] = ...std::move(entry)...` would key on an empty
+  // string.
+  const std::string dn = entry.dn;
+  entries_[dn] = Stored{std::move(entry), expires_at};
+}
+
+void Directory::unregister_entry(const std::string& dn) {
+  entries_.erase(dn);
+}
+
+std::vector<Entry> Directory::search(const std::string& base, Scope scope,
+                                     const Filter& filter, std::int64_t now) {
+  // Lazy expiry: drop stale entries as we walk.
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it = it->second.expires_at <= now ? entries_.erase(it) : std::next(it);
+  }
+  std::vector<Entry> out;
+  for (const auto& [dn, stored] : entries_) {
+    const bool in_scope = scope == Scope::kBase ? dn == base
+                                                : dn_in_subtree(dn, base);
+    if (in_scope && filter.matches(stored.entry)) out.push_back(stored.entry);
+  }
+  return out;  // map iteration is already DN-sorted
+}
+
+// ---- wire protocol -------------------------------------------------------
+
+Bytes RegisterRequest::encode() const {
+  BufWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kRegister));
+  put_entry(w, entry);
+  w.i64(ttl_ns);
+  return std::move(w).take();
+}
+
+Result<RegisterRequest> RegisterRequest::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kRegister); !t) return t.error();
+  RegisterRequest out;
+  auto e = get_entry(r);
+  if (!e) return e.error();
+  out.entry = std::move(*e);
+  auto ttl = r.i64();
+  if (!ttl) return ttl.error();
+  out.ttl_ns = *ttl;
+  return out;
+}
+
+Bytes UnregisterRequest::encode() const {
+  BufWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kUnregister));
+  w.str(dn);
+  return std::move(w).take();
+}
+
+Result<UnregisterRequest> UnregisterRequest::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kUnregister); !t) return t.error();
+  auto dn = r.str();
+  if (!dn) return dn.error();
+  return UnregisterRequest{std::move(*dn)};
+}
+
+Bytes SearchRequest::encode() const {
+  BufWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kSearch));
+  w.str(base);
+  w.u8(static_cast<std::uint8_t>(scope));
+  w.str(filter);
+  return std::move(w).take();
+}
+
+Result<SearchRequest> SearchRequest::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kSearch); !t) return t.error();
+  SearchRequest out;
+  auto base = r.str();
+  if (!base) return base.error();
+  out.base = std::move(*base);
+  auto scope = r.u8();
+  if (!scope) return scope.error();
+  if (*scope > 1) return bad_frame("bad scope");
+  out.scope = static_cast<Scope>(*scope);
+  auto filter = r.str();
+  if (!filter) return filter.error();
+  out.filter = std::move(*filter);
+  return out;
+}
+
+Bytes SearchReply::encode() const {
+  BufWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kSearchReply));
+  w.boolean(ok);
+  w.str(error);
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const Entry& e : entries) put_entry(w, e);
+  return std::move(w).take();
+}
+
+Result<SearchReply> SearchReply::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kSearchReply); !t) return t.error();
+  SearchReply out;
+  auto ok = r.boolean();
+  if (!ok) return ok.error();
+  out.ok = *ok;
+  auto error = r.str();
+  if (!error) return error.error();
+  out.error = std::move(*error);
+  auto n = r.u32();
+  if (!n) return n.error();
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto e = get_entry(r);
+    if (!e) return e.error();
+    out.entries.push_back(std::move(*e));
+  }
+  return out;
+}
+
+Bytes Ack::encode() const {
+  BufWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kAck));
+  w.boolean(ok);
+  w.str(error);
+  return std::move(w).take();
+}
+
+Result<Ack> Ack::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kAck); !t) return t.error();
+  Ack out;
+  auto ok = r.boolean();
+  if (!ok) return ok.error();
+  out.ok = *ok;
+  auto error = r.str();
+  if (!error) return error.error();
+  out.error = std::move(*error);
+  return out;
+}
+
+}  // namespace wacs::mds

@@ -1,0 +1,139 @@
+// MDS — a Metacomputing Directory Service.
+//
+// Globus's "network information" mechanism was the LDAP-based MDS: a
+// hierarchical directory where sites publish entries describing hosts,
+// clusters, and services, and tools discover resources by filtered search
+// (the paper lists this among the basic Globus mechanisms; cf. "Usage of
+// LDAP in Globus" in the related work).
+//
+// This is an LDAP-shaped subset: entries are named by slash-separated
+// distinguished names ("o=grid/ou=rwcp/host=rwcp-sun"), carry string
+// attribute maps, expire after a TTL (publishers re-register periodically),
+// and are found by base+scope searches with equality / presence / numeric
+// comparison filters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/contact.hpp"
+#include "common/error.hpp"
+
+namespace wacs::mds {
+
+/// A directory entry.
+struct Entry {
+  std::string dn;  ///< "o=grid/ou=rwcp/host=rwcp-sun"
+  std::map<std::string, std::string> attributes;
+
+  friend bool operator==(const Entry&, const Entry&) = default;
+};
+
+/// Search scope relative to the base DN.
+enum class Scope {
+  kBase,     ///< the base entry only
+  kSubtree,  ///< the base entry and everything below it
+};
+
+/// One filter term; all terms of a Filter must match (AND semantics).
+struct FilterTerm {
+  enum class Op {
+    kPresent,  ///< attribute exists
+    kEquals,   ///< string equality
+    kGreaterOrEqual,  ///< numeric comparison (non-numeric attr fails)
+    kLessOrEqual,
+  };
+  std::string attribute;
+  Op op = Op::kPresent;
+  std::string value;
+
+  bool matches(const Entry& entry) const;
+};
+
+struct Filter {
+  std::vector<FilterTerm> terms;
+
+  bool matches(const Entry& entry) const;
+
+  /// Parses "(cpus>=8)(site=rwcp)(gatekeeper=*)" — LDAP-ish syntax where
+  /// "=*" means presence. Errors on malformed input.
+  static Result<Filter> parse(const std::string& text);
+};
+
+/// True when `dn` equals `base` or lies beneath it.
+bool dn_in_subtree(const std::string& dn, const std::string& base);
+
+/// The in-memory directory (used directly by unit tests; served over the
+/// network by DirectoryServer in server.hpp).
+class Directory {
+ public:
+  /// Adds or replaces an entry; it expires at `expires_at` (virtual ns).
+  void register_entry(Entry entry, std::int64_t expires_at);
+  /// Removes an entry; no-op when absent.
+  void unregister_entry(const std::string& dn);
+
+  /// Entries under (base, scope) matching `filter`, at time `now`,
+  /// DN-sorted. Expired entries are dropped lazily.
+  std::vector<Entry> search(const std::string& base, Scope scope,
+                            const Filter& filter, std::int64_t now);
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Stored {
+    Entry entry;
+    std::int64_t expires_at;
+  };
+  std::map<std::string, Stored> entries_;  // keyed by DN
+};
+
+// ---- wire protocol -------------------------------------------------------
+
+enum class MsgType : std::uint8_t {
+  kRegister = 1,
+  kUnregister = 2,
+  kSearch = 3,
+  kSearchReply = 4,
+  kAck = 5,
+};
+
+struct RegisterRequest {
+  Entry entry;
+  std::int64_t ttl_ns = 0;  ///< lifetime from the server's current time
+  Bytes encode() const;
+  static Result<RegisterRequest> decode(const Bytes& frame);
+};
+
+struct UnregisterRequest {
+  std::string dn;
+  Bytes encode() const;
+  static Result<UnregisterRequest> decode(const Bytes& frame);
+};
+
+struct SearchRequest {
+  std::string base;
+  Scope scope = Scope::kSubtree;
+  std::string filter;  ///< Filter::parse syntax
+  Bytes encode() const;
+  static Result<SearchRequest> decode(const Bytes& frame);
+};
+
+struct SearchReply {
+  bool ok = false;
+  std::string error;
+  std::vector<Entry> entries;
+  Bytes encode() const;
+  static Result<SearchReply> decode(const Bytes& frame);
+};
+
+struct Ack {
+  bool ok = false;
+  std::string error;
+  Bytes encode() const;
+  static Result<Ack> decode(const Bytes& frame);
+};
+
+}  // namespace wacs::mds

@@ -1,0 +1,136 @@
+#include "mds/server.hpp"
+
+#include "common/log.hpp"
+
+namespace wacs::mds {
+namespace {
+const log::Logger kLog("mds");
+}
+
+DirectoryServer::DirectoryServer(sim::Host& host, std::uint16_t port)
+    : host_(&host), port_(port) {}
+
+void DirectoryServer::start() {
+  WACS_CHECK_MSG(!started_, "MDS already started");
+  started_ = true;
+  auto listener = host_->stack().listen(port_);
+  WACS_CHECK_MSG(listener.ok(), "MDS cannot bind its port");
+  listener_ = *listener;
+  host_->network().engine().spawn(
+      "mds@" + host_->name(), [this](sim::Process& self) { serve(self); });
+}
+
+void DirectoryServer::serve(sim::Process& self) {
+  while (true) {
+    auto conn = listener_->accept(self);
+    if (!conn.ok()) return;
+    auto sock = *conn;
+    host_->network().engine().spawn(
+        "mds@" + host_->name() + ".req",
+        [this, sock](sim::Process& handler) { handle(handler, sock); });
+  }
+}
+
+void DirectoryServer::handle(sim::Process& self, sim::SocketPtr conn) {
+  auto frame = conn->recv(self);
+  if (!frame.ok()) return;
+  if (frame->empty()) {
+    conn->close();
+    return;
+  }
+  const sim::Time now = host_->network().engine().now();
+
+  switch (static_cast<MsgType>((*frame)[0])) {
+    case MsgType::kRegister: {
+      auto req = RegisterRequest::decode(*frame);
+      if (!req.ok() || req->ttl_ns <= 0 || req->entry.dn.empty()) {
+        (void)conn->send(Ack{false, "malformed register"}.encode());
+        break;
+      }
+      ++registrations_;
+      directory_.register_entry(std::move(req->entry), now + req->ttl_ns);
+      (void)conn->send(Ack{true, ""}.encode());
+      break;
+    }
+    case MsgType::kUnregister: {
+      auto req = UnregisterRequest::decode(*frame);
+      if (!req.ok()) {
+        (void)conn->send(Ack{false, "malformed unregister"}.encode());
+        break;
+      }
+      directory_.unregister_entry(req->dn);
+      (void)conn->send(Ack{true, ""}.encode());
+      break;
+    }
+    case MsgType::kSearch: {
+      auto req = SearchRequest::decode(*frame);
+      SearchReply reply;
+      if (!req.ok()) {
+        reply.error = "malformed search";
+      } else {
+        auto filter = Filter::parse(req->filter);
+        if (!filter.ok()) {
+          reply.error = filter.error().to_string();
+        } else {
+          ++searches_;
+          reply.ok = true;
+          reply.entries = directory_.search(req->base, req->scope, *filter,
+                                            now);
+        }
+      }
+      (void)conn->send(reply.encode());
+      break;
+    }
+    default:
+      kLog.warn("mds: unexpected frame type %d", static_cast<int>((*frame)[0]));
+      break;
+  }
+  conn->close();
+}
+
+Status MdsClient::publish(sim::Process& self, Entry entry,
+                          double ttl_seconds) {
+  auto conn = host_->stack().connect(self, server_);
+  if (!conn.ok()) return conn.error();
+  RegisterRequest req{std::move(entry), sim::from_sec(ttl_seconds)};
+  if (auto s = (*conn)->send(req.encode()); !s.ok()) return s;
+  auto reply_frame = (*conn)->recv(self);
+  if (!reply_frame.ok()) return reply_frame.error();
+  auto ack = Ack::decode(*reply_frame);
+  if (!ack.ok()) return ack.error();
+  if (!ack->ok) return Status(ErrorCode::kInvalidArgument, ack->error);
+  return Status();
+}
+
+Status MdsClient::withdraw(sim::Process& self, const std::string& dn) {
+  auto conn = host_->stack().connect(self, server_);
+  if (!conn.ok()) return conn.error();
+  if (auto s = (*conn)->send(UnregisterRequest{dn}.encode()); !s.ok()) {
+    return s;
+  }
+  auto reply_frame = (*conn)->recv(self);
+  if (!reply_frame.ok()) return reply_frame.error();
+  auto ack = Ack::decode(*reply_frame);
+  if (!ack.ok()) return ack.error();
+  return Status();
+}
+
+Result<std::vector<Entry>> MdsClient::search(sim::Process& self,
+                                             const std::string& base,
+                                             Scope scope,
+                                             const std::string& filter) {
+  auto conn = host_->stack().connect(self, server_);
+  if (!conn.ok()) return conn.error();
+  if (auto s = (*conn)->send(SearchRequest{base, scope, filter}.encode());
+      !s.ok()) {
+    return s.error();
+  }
+  auto reply_frame = (*conn)->recv(self);
+  if (!reply_frame.ok()) return reply_frame.error();
+  auto reply = SearchReply::decode(*reply_frame);
+  if (!reply.ok()) return reply.error();
+  if (!reply->ok) return Error(ErrorCode::kInvalidArgument, reply->error);
+  return std::move(reply->entries);
+}
+
+}  // namespace wacs::mds

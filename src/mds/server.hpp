@@ -1,0 +1,54 @@
+// The MDS daemon and its client, over the simulated network.
+#pragma once
+
+#include "mds/directory.hpp"
+#include "simnet/tcp.hpp"
+
+namespace wacs::mds {
+
+/// Directory daemon; one per grid (typically on a DMZ host so every site
+/// can publish and query it — the directory is public information).
+class DirectoryServer {
+ public:
+  DirectoryServer(sim::Host& host, std::uint16_t port);
+
+  void start();
+  Contact contact() const { return Contact{host_->name(), port_}; }
+
+  /// Direct access for tests and in-process publication at boot time.
+  Directory& directory() { return directory_; }
+
+  std::uint64_t registrations() const { return registrations_; }
+  std::uint64_t searches() const { return searches_; }
+
+ private:
+  void serve(sim::Process& self);
+  void handle(sim::Process& self, sim::SocketPtr conn);
+
+  sim::Host* host_;
+  std::uint16_t port_;
+  Directory directory_;
+  sim::ListenerPtr listener_;
+  std::uint64_t registrations_ = 0;
+  std::uint64_t searches_ = 0;
+  bool started_ = false;
+};
+
+/// Client-side helpers; each call is a one-shot connection.
+class MdsClient {
+ public:
+  MdsClient(sim::Host& host, Contact server)
+      : host_(&host), server_(std::move(server)) {}
+
+  Status publish(sim::Process& self, Entry entry, double ttl_seconds);
+  Status withdraw(sim::Process& self, const std::string& dn);
+  Result<std::vector<Entry>> search(sim::Process& self,
+                                    const std::string& base, Scope scope,
+                                    const std::string& filter);
+
+ private:
+  sim::Host* host_;
+  Contact server_;
+};
+
+}  // namespace wacs::mds

@@ -1,0 +1,385 @@
+#include "mpi/comm.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace wacs::mpi {
+namespace {
+const log::Logger kLog("mpi");
+
+// Wire frames on an MPI link.
+constexpr std::uint8_t kFrameHello = 1;
+constexpr std::uint8_t kFrameMsg = 2;
+
+// Reserved collective tags (>= Comm::kMaxAppTag).
+constexpr int kBarrierGather = Comm::kMaxAppTag + 1;
+constexpr int kBarrierRelease = Comm::kMaxAppTag + 2;
+constexpr int kBcastTag = Comm::kMaxAppTag + 3;
+constexpr int kGatherTag = Comm::kMaxAppTag + 4;
+constexpr int kReduceTag = Comm::kMaxAppTag + 5;
+constexpr int kHierUp = Comm::kMaxAppTag + 6;    // member -> coordinator
+constexpr int kHierWan = Comm::kMaxAppTag + 7;   // coordinator <-> root
+constexpr int kHierDown = Comm::kMaxAppTag + 8;  // coordinator -> member
+constexpr int kScatterTag = Comm::kMaxAppTag + 9;
+constexpr int kAlltoallTag = Comm::kMaxAppTag + 10;
+
+Bytes encode_msg(int tag, const Bytes& data) {
+  BufWriter w;
+  w.u8(kFrameMsg);
+  w.i32(tag);
+  w.blob(data);
+  return std::move(w).take();
+}
+
+Bytes encode_hello(int rank) {
+  BufWriter w;
+  w.u8(kFrameHello);
+  w.i32(rank);
+  return std::move(w).take();
+}
+
+Bytes encode_i64(std::int64_t v) {
+  BufWriter w;
+  w.i64(v);
+  return std::move(w).take();
+}
+
+std::int64_t decode_i64(const Bytes& b) {
+  BufReader r(b);
+  auto v = r.i64();
+  WACS_CHECK_MSG(v.ok(), "malformed i64 payload");
+  return *v;
+}
+
+}  // namespace
+
+Comm::Comm(rmf::JobContext& ctx)
+    : self_(ctx.self),
+      ctx_(ctx.comm),
+      endpoint_(ctx.endpoint),
+      rank_(ctx.rank),
+      contacts_(ctx.contacts),
+      sites_(ctx.rank_sites),
+      out_(ctx.contacts.size()) {
+  WACS_CHECK_MSG(ctx.self != nullptr && ctx.comm != nullptr &&
+                     ctx.endpoint != nullptr && !ctx.contacts.empty(),
+                 "JobContext not bootstrapped");
+  WACS_CHECK(ctx.rank >= 0 &&
+             ctx.rank < static_cast<int>(ctx.contacts.size()));
+  inbox_waiters_ = std::make_unique<sim::WaitQueue>(
+      ctx.host->network().engine());
+}
+
+CommPtr Comm::init(rmf::JobContext& ctx) {
+  auto comm = CommPtr(new Comm(ctx));
+  comm->start_receiver(comm);
+  return comm;
+}
+
+void Comm::start_receiver(const CommPtr& self_ptr) {
+  // Demux daemon: accepts incoming links and spawns one reader per link.
+  // Shared state is safe because only one simulated process runs at a time.
+  // The daemons capture the shared_ptr so a reader woken after the task
+  // finished never touches a destroyed Comm.
+  sim::Engine& engine = ctx_->host().network().engine();
+  auto endpoint = endpoint_;
+  CommPtr comm = self_ptr;
+  engine.spawn("mpi.rx.r" + std::to_string(rank_),
+               [endpoint, comm, &engine](sim::Process& self) {
+    while (true) {
+      auto conn = endpoint->accept(self);
+      if (!conn.ok()) return;  // endpoint closed: job is over
+      auto sock = *conn;
+      engine.spawn("mpi.rd.r" + std::to_string(comm->rank_),
+                   [sock, comm](sim::Process& reader) {
+        auto hello_frame = sock->recv(reader);
+        if (!hello_frame.ok()) return;
+        BufReader hr(*hello_frame);
+        auto tag = hr.u8();
+        auto src = hr.i32();
+        if (!tag.ok() || *tag != kFrameHello || !src.ok()) {
+          kLog.warn("rank %d: bad hello on incoming link", comm->rank_);
+          return;
+        }
+        while (true) {
+          auto frame = sock->recv(reader);
+          if (!frame.ok()) return;  // peer finalized
+          BufReader r(*frame);
+          auto ft = r.u8();
+          auto mtag = r.i32();
+          auto data = r.blob();
+          if (!ft.ok() || *ft != kFrameMsg || !mtag.ok() || !data.ok()) {
+            kLog.warn("rank %d: malformed message from %d", comm->rank_,
+                      *src);
+            return;
+          }
+          comm->inbox_.push_back(InMsg{*src, *mtag, std::move(*data)});
+          comm->inbox_waiters_->notify_all();
+        }
+      });
+    }
+  });
+}
+
+void Comm::ensure_link(int dst) {
+  WACS_CHECK(dst >= 0 && dst < size() && dst != rank_);
+  auto& link = out_[static_cast<std::size_t>(dst)];
+  if (link != nullptr && !link->closed()) return;
+  auto conn = ctx_->connect(*self_, contacts_[static_cast<std::size_t>(dst)]);
+  WACS_CHECK_MSG(conn.ok(), "rank " + std::to_string(rank_) +
+                                " cannot reach rank " + std::to_string(dst) +
+                                ": " + conn.error().to_string());
+  link = *conn;
+  WACS_CHECK(link->send(encode_hello(rank_)).ok());
+}
+
+void Comm::send(int dst, int tag, Bytes data) {
+  WACS_CHECK_MSG(!finalized_, "send after finalize");
+  WACS_CHECK_MSG(dst != rank_, "self-send is not supported");
+  ensure_link(dst);
+  ++messages_sent_;
+  bytes_sent_ += data.size();
+  WACS_CHECK(out_[static_cast<std::size_t>(dst)]
+                 ->send(encode_msg(tag, data))
+                 .ok());
+}
+
+std::size_t Comm::find_match(int src, int tag) const {
+  for (std::size_t i = 0; i < inbox_.size(); ++i) {
+    if (matches(inbox_[i], src, tag)) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+Bytes Comm::recv(int src, int tag, RecvInfo* info) {
+  while (true) {
+    std::size_t idx = find_match(src, tag);
+    if (idx != static_cast<std::size_t>(-1)) {
+      InMsg msg = std::move(inbox_[idx]);
+      inbox_.erase(inbox_.begin() + static_cast<std::ptrdiff_t>(idx));
+      if (info != nullptr) *info = RecvInfo{msg.src, msg.tag};
+      return std::move(msg.data);
+    }
+    inbox_waiters_->wait(*self_);
+  }
+}
+
+bool Comm::iprobe(int src, int tag, RecvInfo* info) {
+  std::size_t idx = find_match(src, tag);
+  if (idx == static_cast<std::size_t>(-1)) return false;
+  if (info != nullptr) *info = RecvInfo{inbox_[idx].src, inbox_[idx].tag};
+  return true;
+}
+
+void Comm::probe(int src, int tag, RecvInfo* info) {
+  while (!iprobe(src, tag, info)) inbox_waiters_->wait(*self_);
+}
+
+void Comm::send_i64(int dst, int tag, std::int64_t v) {
+  send(dst, tag, encode_i64(v));
+}
+
+std::int64_t Comm::recv_i64(int src, int tag, RecvInfo* info) {
+  return decode_i64(recv(src, tag, info));
+}
+
+void Comm::barrier() {
+  if (size() == 1) return;
+  if (rank_ == 0) {
+    for (int i = 1; i < size(); ++i) (void)recv(kAnySource, kBarrierGather);
+    for (int i = 1; i < size(); ++i) send(i, kBarrierRelease, {});
+  } else {
+    send(0, kBarrierGather, {});
+    (void)recv(0, kBarrierRelease);
+  }
+}
+
+Bytes Comm::bcast(int root, Bytes data) {
+  if (size() == 1) return data;
+  if (rank_ == root) {
+    for (int i = 0; i < size(); ++i) {
+      if (i != root) send(i, kBcastTag, data);
+    }
+    return data;
+  }
+  return recv(root, kBcastTag);
+}
+
+std::vector<Bytes> Comm::gather(int root, Bytes mine) {
+  if (rank_ != root) {
+    send(root, kGatherTag, std::move(mine));
+    return {};
+  }
+  std::vector<Bytes> out(static_cast<std::size_t>(size()));
+  out[static_cast<std::size_t>(root)] = std::move(mine);
+  for (int i = 0; i < size() - 1; ++i) {
+    RecvInfo info;
+    Bytes data = recv(kAnySource, kGatherTag, &info);
+    out[static_cast<std::size_t>(info.source)] = std::move(data);
+  }
+  return out;
+}
+
+Bytes Comm::scatter(int root, std::vector<Bytes> parts) {
+  if (rank_ == root) {
+    WACS_CHECK_MSG(static_cast<int>(parts.size()) == size(),
+                   "scatter needs one part per rank");
+    for (int i = 0; i < size(); ++i) {
+      if (i != root) send(i, kScatterTag, std::move(parts[static_cast<std::size_t>(i)]));
+    }
+    return std::move(parts[static_cast<std::size_t>(root)]);
+  }
+  return recv(root, kScatterTag);
+}
+
+std::vector<Bytes> Comm::alltoall(std::vector<Bytes> parts) {
+  WACS_CHECK_MSG(static_cast<int>(parts.size()) == size(),
+                 "alltoall needs one part per rank");
+  std::vector<Bytes> out(static_cast<std::size_t>(size()));
+  out[static_cast<std::size_t>(rank_)] =
+      std::move(parts[static_cast<std::size_t>(rank_)]);
+  for (int i = 0; i < size(); ++i) {
+    if (i != rank_) send(i, kAlltoallTag, std::move(parts[static_cast<std::size_t>(i)]));
+  }
+  for (int i = 0; i < size() - 1; ++i) {
+    RecvInfo info;
+    Bytes data = recv(kAnySource, kAlltoallTag, &info);
+    out[static_cast<std::size_t>(info.source)] = std::move(data);
+  }
+  return out;
+}
+
+std::int64_t Comm::reduce_sum(int root, std::int64_t v) {
+  if (rank_ != root) {
+    send(root, kReduceTag, encode_i64(v));
+    return 0;
+  }
+  std::int64_t acc = v;
+  for (int i = 0; i < size() - 1; ++i) {
+    acc += decode_i64(recv(kAnySource, kReduceTag));
+  }
+  return acc;
+}
+
+std::int64_t Comm::reduce_max(int root, std::int64_t v) {
+  if (rank_ != root) {
+    send(root, kReduceTag, encode_i64(v));
+    return 0;
+  }
+  std::int64_t acc = v;
+  for (int i = 0; i < size() - 1; ++i) {
+    acc = std::max(acc, decode_i64(recv(kAnySource, kReduceTag)));
+  }
+  return acc;
+}
+
+std::int64_t Comm::allreduce_sum(std::int64_t v) {
+  const std::int64_t total = reduce_sum(0, v);
+  return decode_i64(bcast(0, encode_i64(total)));
+}
+
+std::int64_t Comm::allreduce_max(std::int64_t v) {
+  const std::int64_t total = reduce_max(0, v);
+  return decode_i64(bcast(0, encode_i64(total)));
+}
+
+int Comm::coordinator_of(const std::string& site, int root) const {
+  if (sites_[static_cast<std::size_t>(root)] == site) return root;
+  for (int r = 0; r < size(); ++r) {
+    if (sites_[static_cast<std::size_t>(r)] == site) return r;
+  }
+  WACS_CHECK_MSG(false, "no rank in site " + site);
+  return -1;
+}
+
+Bytes Comm::bcast_wan_aware(int root, Bytes data) {
+  if (!site_aware() || size() == 1) return bcast(root, std::move(data));
+  const std::string& my_site = sites_[static_cast<std::size_t>(rank_)];
+  const int my_coord = coordinator_of(my_site, root);
+
+  if (rank_ == root) {
+    // One WAN message per remote site, then fan out locally.
+    std::vector<bool> site_sent;
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      const std::string& site = sites_[static_cast<std::size_t>(r)];
+      if (site == my_site) {
+        send(r, kHierDown, data);  // local member
+      } else if (r == coordinator_of(site, root)) {
+        send(r, kHierWan, data);  // remote coordinator
+      }
+    }
+    return data;
+  }
+  if (rank_ == my_coord) {
+    Bytes got = recv(root, kHierWan);
+    for (int r = 0; r < size(); ++r) {
+      if (r != rank_ && sites_[static_cast<std::size_t>(r)] == my_site) {
+        send(r, kHierDown, got);
+      }
+    }
+    return got;
+  }
+  return recv(my_coord == root ? root : my_coord, kHierDown);
+}
+
+std::int64_t Comm::reduce_sum_wan_aware(int root, std::int64_t v) {
+  if (!site_aware() || size() == 1) return reduce_sum(root, v);
+  const std::string& my_site = sites_[static_cast<std::size_t>(rank_)];
+  const int my_coord = coordinator_of(my_site, root);
+
+  if (rank_ != my_coord) {
+    send(my_coord, kHierUp, encode_i64(v));
+    return 0;
+  }
+  // Coordinator (possibly the root): fold the local members first.
+  std::int64_t acc = v;
+  int local_members = 0;
+  for (int r = 0; r < size(); ++r) {
+    if (r != rank_ && sites_[static_cast<std::size_t>(r)] == my_site) {
+      ++local_members;
+    }
+  }
+  for (int i = 0; i < local_members; ++i) {
+    acc += decode_i64(recv(kAnySource, kHierUp));
+  }
+  if (rank_ != root) {
+    send(root, kHierWan, encode_i64(acc));
+    return 0;
+  }
+  // Root: one WAN message per remote site.
+  std::vector<std::string> remote_sites;
+  for (int r = 0; r < size(); ++r) {
+    const std::string& site = sites_[static_cast<std::size_t>(r)];
+    if (site != my_site && r == coordinator_of(site, root)) {
+      remote_sites.push_back(site);
+    }
+  }
+  for (std::size_t i = 0; i < remote_sites.size(); ++i) {
+    acc += decode_i64(recv(kAnySource, kHierWan));
+  }
+  return acc;
+}
+
+std::int64_t Comm::allreduce_sum_wan_aware(std::int64_t v) {
+  const std::int64_t total = reduce_sum_wan_aware(0, v);
+  return decode_i64(bcast_wan_aware(0, encode_i64(total)));
+}
+
+void Comm::barrier_wan_aware() {
+  if (size() == 1) return;
+  (void)allreduce_sum_wan_aware(0);
+}
+
+void Comm::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  for (auto& link : out_) {
+    if (link != nullptr) link->close();
+  }
+  // The endpoint itself is closed by the Q server wrapper after the task
+  // returns; leaving it open here lets late senders drain without error.
+}
+
+}  // namespace wacs::mpi

@@ -1,0 +1,43 @@
+#include "nexus/comm.hpp"
+
+namespace wacs::nexus {
+
+CommContext::CommContext(sim::Host& host, Env env)
+    : host_(&host), env_(std::move(env)) {
+  proxy::ProxyClient client(host, env_);
+  if (client.configured()) proxy_.emplace(std::move(client));
+}
+
+Result<EndpointPtr> CommContext::listen(sim::Process& self) {
+  if (proxy_) {
+    auto bound = proxy_->nx_bind(self);
+    if (!bound.ok()) return bound.error();
+    Contact contact = (*bound)->public_contact();
+    return EndpointPtr(new Endpoint(std::move(*bound), std::move(contact)));
+  }
+  auto listener = host_->stack().listen(0, &env_);
+  if (!listener.ok()) return listener.error();
+  Contact contact{host_->name(), (*listener)->port()};
+  return EndpointPtr(new Endpoint(std::move(*listener), std::move(contact)));
+}
+
+Result<sim::SocketPtr> CommContext::connect(sim::Process& self,
+                                            const Contact& contact) {
+  if (proxy_) return proxy_->nx_connect(self, contact);
+  return host_->stack().connect(self, contact);
+}
+
+Result<sim::SocketPtr> Endpoint::accept(sim::Process& self,
+                                        Contact* true_peer) {
+  if (proxied_) return proxied_->nx_accept(self, true_peer);
+  auto conn = direct_->accept(self);
+  if (conn.ok() && true_peer != nullptr) *true_peer = (*conn)->peer_contact();
+  return conn;
+}
+
+void Endpoint::close() {
+  if (proxied_) proxied_->close();
+  if (direct_) direct_->close();
+}
+
+}  // namespace wacs::nexus

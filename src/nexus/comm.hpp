@@ -1,0 +1,73 @@
+// Nexus-like communication layer: contact strings + transparent proxy
+// routing.
+//
+// This is the seam the paper modified inside Globus: code asks a CommContext
+// for a listener (getting back the contact string to advertise) or to
+// connect to a peer's contact string. When the process environment defines
+// NEXUS_PROXY_OUTER_SERVER and NEXUS_PROXY_INNER_SERVER, both operations are
+// routed through the Nexus Proxy — the advertised contact becomes the outer
+// server's public address, exactly the address-rewrite described in §3.
+// Otherwise the original (direct) communication is done, with ephemeral
+// ports drawn from TCP_MIN_PORT/TCP_MAX_PORT when set (the Globus 1.1
+// workaround).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/config.hpp"
+#include "proxy/client.hpp"
+#include "simnet/tcp.hpp"
+
+namespace wacs::nexus {
+
+/// A passive endpoint: accept() + the contact other processes dial.
+class Endpoint {
+ public:
+  const Contact& contact() const { return contact_; }
+
+  /// Accepts one connection (direct or relayed). For relayed connections
+  /// `true_peer` receives the original remote address.
+  Result<sim::SocketPtr> accept(sim::Process& self,
+                                Contact* true_peer = nullptr);
+
+  void close();
+
+ private:
+  friend class CommContext;
+  Endpoint(sim::ListenerPtr direct, Contact contact)
+      : direct_(std::move(direct)), contact_(std::move(contact)) {}
+  Endpoint(proxy::NxProxyListenerPtr proxied, Contact contact)
+      : proxied_(std::move(proxied)), contact_(std::move(contact)) {}
+
+  sim::ListenerPtr direct_;
+  proxy::NxProxyListenerPtr proxied_;
+  Contact contact_;
+};
+
+using EndpointPtr = std::shared_ptr<Endpoint>;
+
+/// Per-process communication context.
+class CommContext {
+ public:
+  CommContext(sim::Host& host, Env env);
+
+  /// True when this process routes through the Nexus Proxy.
+  bool uses_proxy() const { return proxy_.has_value(); }
+
+  /// Creates a listener and the contact string to advertise.
+  Result<EndpointPtr> listen(sim::Process& self);
+
+  /// Dials a peer's advertised contact.
+  Result<sim::SocketPtr> connect(sim::Process& self, const Contact& contact);
+
+  sim::Host& host() { return *host_; }
+  const Env& env() const { return env_; }
+
+ private:
+  sim::Host* host_;
+  Env env_;
+  std::optional<proxy::ProxyClient> proxy_;
+};
+
+}  // namespace wacs::nexus

@@ -1,0 +1,79 @@
+#include "nexus/rsr.hpp"
+
+#include "common/log.hpp"
+
+namespace wacs::nexus {
+namespace {
+const log::Logger kLog("nexus.rsr");
+}
+
+Result<RsrEndpointPtr> RsrEndpoint::create(std::shared_ptr<CommContext> ctx,
+                                           sim::Process& self) {
+  auto endpoint = ctx->listen(self);
+  if (!endpoint.ok()) return endpoint.error();
+  auto rsr = RsrEndpointPtr(new RsrEndpoint(std::move(ctx)));
+  rsr->endpoint_ = *endpoint;
+  rsr->start(rsr);
+  return rsr;
+}
+
+void RsrEndpoint::register_handler(int handler_id, RsrHandler fn) {
+  handlers_[handler_id] = std::move(fn);
+}
+
+void RsrEndpoint::start(const RsrEndpointPtr& self_ptr) {
+  sim::Engine& engine = ctx_->host().network().engine();
+  RsrEndpointPtr rsr = self_ptr;  // dispatchers keep the endpoint alive
+  auto listener = endpoint_;
+  engine.spawn("rsr.accept@" + ctx_->host().name(),
+               [rsr, listener, &engine](sim::Process& self) {
+    while (true) {
+      auto conn = listener->accept(self);
+      if (!conn.ok()) return;  // endpoint closed
+      auto sock = *conn;
+      engine.spawn("rsr.dispatch@" + rsr->ctx_->host().name(),
+                   [rsr, sock](sim::Process& dispatcher) {
+        while (true) {
+          auto frame = sock->recv(dispatcher);
+          if (!frame.ok()) return;  // startpoint closed
+          BufReader r(*frame);
+          auto id = r.i32();
+          auto args = r.blob();
+          if (!id.ok() || !args.ok()) {
+            kLog.warn("malformed RSR frame; dropping link");
+            sock->close();
+            return;
+          }
+          auto it = rsr->handlers_.find(*id);
+          if (it == rsr->handlers_.end()) {
+            ++rsr->unknown_;
+            kLog.warn("RSR for unregistered handler %d", *id);
+            continue;
+          }
+          ++rsr->dispatched_;
+          it->second(dispatcher, *args);
+        }
+      });
+    }
+  });
+}
+
+Result<RsrStartpoint> RsrStartpoint::attach(CommContext& ctx,
+                                            sim::Process& self,
+                                            const Contact& endpoint_contact) {
+  auto conn = ctx.connect(self, endpoint_contact);
+  if (!conn.ok()) return conn.error();
+  return RsrStartpoint(std::move(*conn));
+}
+
+Status RsrStartpoint::send(int handler_id, const Bytes& args) {
+  WACS_CHECK_MSG(conn_ != nullptr, "startpoint not attached");
+  BufWriter w;
+  w.i32(handler_id);
+  w.blob(args);
+  auto status = conn_->send(std::move(w).take());
+  if (status.ok()) ++sent_;
+  return status;
+}
+
+}  // namespace wacs::nexus

@@ -1,0 +1,91 @@
+// Remote Service Requests — the Nexus programming model (Foster et al.,
+// "The Nexus approach to integrating multithreading and communication",
+// the paper's reference [5]).
+//
+// A process creates an RsrEndpoint and registers handler functions by id;
+// remote processes attach RsrStartpoints to the endpoint's contact string
+// and issue one-way requests: (handler id, argument buffer). The transport
+// is the CommContext seam, so startpoint→endpoint links transparently ride
+// the Nexus Proxy when the process environment says so — exactly the layer
+// the paper modified inside Globus.
+//
+// Handlers run on the endpoint's dispatcher processes and may block (sleep,
+// issue their own RSRs); requests from one startpoint dispatch in FIFO
+// order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "nexus/comm.hpp"
+
+namespace wacs::nexus {
+
+class RsrEndpoint;
+using RsrEndpointPtr = std::shared_ptr<RsrEndpoint>;
+
+/// Handler invoked per request. `self` is the dispatcher process (usable
+/// for blocking operations); `args` is the request buffer.
+using RsrHandler = std::function<void(sim::Process& self, const Bytes& args)>;
+
+/// The receiving side of the RSR model.
+class RsrEndpoint {
+ public:
+  /// Creates the endpoint on `ctx`'s host and starts the dispatcher.
+  /// Handlers registered afterwards apply to subsequently-arriving
+  /// requests.
+  static Result<RsrEndpointPtr> create(std::shared_ptr<CommContext> ctx,
+                                       sim::Process& self);
+
+  /// Registers `fn` for `handler_id`. Re-registration replaces.
+  void register_handler(int handler_id, RsrHandler fn);
+
+  /// The contact string startpoints attach to.
+  const Contact& contact() const { return endpoint_->contact(); }
+
+  /// Stops accepting new startpoint attachments.
+  void close() { endpoint_->close(); }
+
+  std::uint64_t requests_dispatched() const { return dispatched_; }
+  std::uint64_t unknown_handler_requests() const { return unknown_; }
+
+ private:
+  explicit RsrEndpoint(std::shared_ptr<CommContext> ctx)
+      : ctx_(std::move(ctx)) {}
+
+  void start(const RsrEndpointPtr& self_ptr);
+
+  std::shared_ptr<CommContext> ctx_;
+  EndpointPtr endpoint_;
+  std::map<int, RsrHandler> handlers_;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t unknown_ = 0;
+};
+
+/// The sending side: a one-way channel to a specific remote endpoint.
+class RsrStartpoint {
+ public:
+  /// Attaches to a remote endpoint (direct or via proxy per `ctx`'s env).
+  static Result<RsrStartpoint> attach(CommContext& ctx, sim::Process& self,
+                                      const Contact& endpoint_contact);
+
+  /// Issues a one-way request: invoke `handler_id` remotely with `args`.
+  /// Buffered-send semantics; per-startpoint FIFO dispatch order.
+  Status send(int handler_id, const Bytes& args);
+
+  std::uint64_t requests_sent() const { return sent_; }
+
+  void close() {
+    if (conn_) conn_->close();
+  }
+
+ private:
+  explicit RsrStartpoint(sim::SocketPtr conn) : conn_(std::move(conn)) {}
+
+  sim::SocketPtr conn_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace wacs::nexus

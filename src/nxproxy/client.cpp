@@ -1,0 +1,60 @@
+#include "nxproxy/client.hpp"
+
+namespace wacs::nxproxy {
+
+Result<net::TcpSocket> NXProxyConnect(const Contact& outer,
+                                      const Contact& target) {
+  auto conn = net::TcpSocket::dial(outer);
+  if (!conn.ok()) {
+    return Error(conn.error().code(),
+                 "cannot reach outer server: " + conn.error().message());
+  }
+  if (auto s = conn->write_frame(proxy::ConnectRequest{target}.encode());
+      !s.ok()) {
+    return s.error();
+  }
+  auto frame = conn->read_frame();
+  if (!frame.ok()) return frame.error();
+  auto reply = proxy::ConnectReply::decode(*frame);
+  if (!reply.ok()) return reply.error();
+  if (!reply->ok) {
+    return Error(ErrorCode::kConnectionRefused,
+                 "outer server: " + reply->error);
+  }
+  return std::move(*conn);
+}
+
+Result<BoundPort> NXProxyBind(const Contact& outer, const Contact& inner,
+                              const std::string& local_ip) {
+  auto listener = net::TcpListener::bind(local_ip, 0);
+  if (!listener.ok()) return listener.error();
+
+  auto conn = net::TcpSocket::dial(outer);
+  if (!conn.ok()) {
+    return Error(conn.error().code(),
+                 "cannot reach outer server: " + conn.error().message());
+  }
+  proxy::BindRequest req{Contact{local_ip, listener->port()}, inner};
+  if (auto s = conn->write_frame(req.encode()); !s.ok()) return s.error();
+  auto frame = conn->read_frame();
+  if (!frame.ok()) return frame.error();
+  auto reply = proxy::BindReply::decode(*frame);
+  if (!reply.ok()) return reply.error();
+  if (!reply->ok) {
+    return Error(ErrorCode::kUnavailable, "outer server: " + reply->error);
+  }
+  return BoundPort{std::move(*listener), reply->public_contact,
+                   reply->bind_id};
+}
+
+Result<std::pair<net::TcpSocket, Contact>> NXProxyAccept(BoundPort& bound) {
+  auto conn = bound.listener.accept();
+  if (!conn.ok()) return conn.error();
+  auto frame = conn->read_frame();
+  if (!frame.ok()) return frame.error();
+  auto notice = proxy::AcceptNotice::decode(*frame);
+  if (!notice.ok()) return notice.error();
+  return std::make_pair(std::move(*conn), notice->peer);
+}
+
+}  // namespace wacs::nxproxy

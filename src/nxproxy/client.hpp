@@ -1,0 +1,40 @@
+// Real-socket client library: the paper's Table 1 functions.
+//
+//   NXProxyConnect(outer, target) — active open through the outer server.
+//   NXProxyBind(outer, inner)     — passive open: registers a local listener
+//                                   at the outer server, returns the public
+//                                   contact peers must dial.
+//   NXProxyAccept(bound)          — accepts one relayed connection and
+//                                   reports the true remote peer.
+#pragma once
+
+#include <utility>
+
+#include "proxy/protocol.hpp"
+#include "sockets/socket.hpp"
+
+namespace wacs::nxproxy {
+
+/// Result of NXProxyBind: the private listener plus the advertised address.
+struct BoundPort {
+  net::TcpListener listener;
+  Contact public_contact;
+  std::uint64_t bind_id = 0;
+};
+
+/// Table 1: "sends a connect request to the outer server and returns a file
+/// descriptor on which the client can communicate with the destination".
+Result<net::TcpSocket> NXProxyConnect(const Contact& outer,
+                                      const Contact& target);
+
+/// Table 1: "sends a bind request to the outer server and returns a file
+/// descriptor on which the client can listen for requests".
+/// `local_ip` is the interface the inner server dials back on.
+Result<BoundPort> NXProxyBind(const Contact& outer, const Contact& inner,
+                              const std::string& local_ip = "127.0.0.1");
+
+/// Table 1: "tries to accept a connection request". Returns the accepted
+/// socket and the true remote peer (from the inner server's notice).
+Result<std::pair<net::TcpSocket, Contact>> NXProxyAccept(BoundPort& bound);
+
+}  // namespace wacs::nxproxy

@@ -1,0 +1,415 @@
+#include "nxproxy/daemon.hpp"
+
+#include "common/log.hpp"
+
+namespace wacs::nxproxy {
+namespace {
+const log::Logger kLog("nxproxy");
+constexpr std::size_t kSpliceChunk = 64 * 1024;
+}  // namespace
+
+namespace detail {
+
+// ---------------------------------------------------------------- Session
+
+Session::Session(net::TcpSocket a, net::TcpSocket b, DaemonStats* stats)
+    : a_(std::move(a)), b_(std::move(b)), stats_(stats) {}
+
+Session::~Session() {
+  shutdown();
+  join();
+}
+
+void Session::start() {
+  up_ = std::thread([this] { pump(a_, b_); });
+  down_ = std::thread([this] { pump(b_, a_); });
+}
+
+void Session::shutdown() {
+  a_.shutdown();
+  b_.shutdown();
+}
+
+void Session::join() {
+  if (up_.joinable()) up_.join();
+  if (down_.joinable()) down_.join();
+}
+
+void Session::pump(net::TcpSocket& from, net::TcpSocket& to) {
+  while (true) {
+    auto chunk = from.read_some(kSpliceChunk);
+    if (!chunk.ok()) break;
+    stats_->bytes_relayed.fetch_add(chunk->size(), std::memory_order_relaxed);
+    if (!to.write_all(*chunk).ok()) break;
+  }
+  // Half-close semantics: EOF in one direction shuts both ends so the
+  // sibling pump unblocks too (the relay treats the link as one unit, like
+  // the original Nexus Proxy did).
+  from.shutdown();
+  to.shutdown();
+  ++done_;
+}
+
+// ---------------------------------------------------------------- Workers
+
+void Workers::add_thread(std::thread t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) {
+    // Daemon is tearing down: the thread was never started by callers in
+    // this state (they check stopping_ first), but be safe.
+    if (t.joinable()) t.join();
+    return;
+  }
+  threads_.push_back(std::move(t));
+}
+
+Session& Workers::add_session(net::TcpSocket a, net::TcpSocket b,
+                              DaemonStats* stats) {
+  auto session = std::make_unique<Session>(std::move(a), std::move(b), stats);
+  Session& ref = *session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.push_back(std::move(session));
+  }
+  ref.start();
+  return ref;
+}
+
+std::shared_ptr<net::TcpSocket> Workers::track(
+    std::shared_ptr<net::TcpSocket> s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) {
+    s->shutdown();
+  } else {
+    tracked_.push_back(s);
+  }
+  return s;
+}
+
+void Workers::untrack(const std::shared_ptr<net::TcpSocket>& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase(tracked_, s);
+}
+
+void Workers::reap() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(sessions_, [](const std::unique_ptr<Session>& s) {
+    return s->finished();
+  });
+}
+
+void Workers::stop_all() {
+  std::vector<std::thread> threads;
+  std::vector<std::unique_ptr<Session>> sessions;
+  std::vector<std::shared_ptr<net::TcpSocket>> tracked;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+    threads.swap(threads_);
+    sessions.swap(sessions_);
+    tracked.swap(tracked_);
+  }
+  for (auto& s : tracked) s->shutdown();
+  for (auto& s : sessions) s->shutdown();
+  for (auto& s : sessions) s->join();
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace detail
+
+// ------------------------------------------------------------ InnerDaemon
+
+InnerDaemon::InnerDaemon(std::string bind_ip, std::uint16_t nxport)
+    : bind_ip_(std::move(bind_ip)), requested_port_(nxport) {}
+
+InnerDaemon::~InnerDaemon() { stop(); }
+
+Status InnerDaemon::start() {
+  WACS_CHECK_MSG(!started_, "inner daemon already started");
+  auto listener = net::TcpListener::bind(bind_ip_, requested_port_);
+  if (!listener.ok()) return listener.error();
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  started_ = true;
+  workers_.add_thread(std::thread([this] { accept_loop(); }));
+  kLog.info("inner daemon listening on %s:%u (nxport)", bind_ip_.c_str(),
+            static_cast<unsigned>(port_));
+  return Status();
+}
+
+void InnerDaemon::stop() {
+  if (!started_ || stopping_.exchange(true)) return;
+  listener_.shutdown();
+  workers_.stop_all();
+}
+
+void InnerDaemon::accept_loop() {
+  while (!stopping_.load()) {
+    auto conn = listener_.accept();
+    if (!conn.ok()) return;  // listener shut down
+    stats_.connections.fetch_add(1, std::memory_order_relaxed);
+    workers_.reap();
+    auto sock =
+        workers_.track(std::make_shared<net::TcpSocket>(std::move(*conn)));
+    workers_.add_thread(std::thread([this, sock] {
+      handle(*sock);
+      workers_.untrack(sock);
+    }));
+  }
+}
+
+void InnerDaemon::handle(net::TcpSocket& conn) {
+  auto frame = conn.read_frame();
+  if (!frame.ok()) {
+    ++stats_.handshake_failures;
+    return;
+  }
+  auto req = proxy::ForwardRequest::decode(*frame);
+  if (!req.ok()) {
+    ++stats_.handshake_failures;
+    kLog.warn("inner: bad forward request: %s",
+              req.error().to_string().c_str());
+    return;
+  }
+  auto target = net::TcpSocket::dial(req->target);
+  if (!target.ok()) {
+    ++stats_.handshake_failures;
+    (void)conn.write_frame(
+        proxy::ForwardReply{false, target.error().to_string()}.encode());
+    return;
+  }
+  // Tell the bound client who the true peer is, then acknowledge the outer.
+  if (!target->write_frame(proxy::AcceptNotice{req->peer}.encode()).ok()) {
+    ++stats_.handshake_failures;
+    (void)conn.write_frame(
+        proxy::ForwardReply{false, "target vanished"}.encode());
+    return;
+  }
+  if (!conn.write_frame(proxy::ForwardReply{true, ""}.encode()).ok()) return;
+  workers_.add_session(std::move(conn), std::move(*target), &stats_);
+}
+
+// ------------------------------------------------------------ OuterDaemon
+
+RelayAccessPolicy& RelayAccessPolicy::allow_target(std::string host,
+                                                   std::uint16_t port) {
+  deny_by_default_ = true;
+  allowed_.push_back(Allowed{std::move(host), port});
+  return *this;
+}
+
+RelayAccessPolicy& RelayAccessPolicy::deny_by_default() {
+  deny_by_default_ = true;
+  return *this;
+}
+
+bool RelayAccessPolicy::permits(const Contact& target) const {
+  if (!deny_by_default_) return true;
+  for (const Allowed& a : allowed_) {
+    if (a.host == target.host && (a.port == 0 || a.port == target.port)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+OuterDaemon::OuterDaemon(std::string bind_ip, std::uint16_t control_port,
+                         std::string advertise_host, RelayAccessPolicy policy)
+    : bind_ip_(std::move(bind_ip)),
+      requested_port_(control_port),
+      advertise_host_(std::move(advertise_host)),
+      policy_(std::move(policy)) {}
+
+OuterDaemon::~OuterDaemon() { stop(); }
+
+Status OuterDaemon::start() {
+  WACS_CHECK_MSG(!started_, "outer daemon already started");
+  auto listener = net::TcpListener::bind(bind_ip_, requested_port_);
+  if (!listener.ok()) return listener.error();
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  started_ = true;
+  workers_.add_thread(std::thread([this] { accept_loop(); }));
+  kLog.info("outer daemon listening on %s:%u", bind_ip_.c_str(),
+            static_cast<unsigned>(port_));
+  return Status();
+}
+
+void OuterDaemon::stop() {
+  if (!started_ || stopping_.exchange(true)) return;
+  listener_.shutdown();
+  {
+    std::lock_guard<std::mutex> lock(bindings_mu_);
+    for (auto& b : bindings_) b->listener.shutdown();
+  }
+  workers_.stop_all();
+}
+
+void OuterDaemon::accept_loop() {
+  while (!stopping_.load()) {
+    auto conn = listener_.accept();
+    if (!conn.ok()) return;
+    stats_.connections.fetch_add(1, std::memory_order_relaxed);
+    workers_.reap();
+    auto sock =
+        workers_.track(std::make_shared<net::TcpSocket>(std::move(*conn)));
+    workers_.add_thread(std::thread([this, sock] {
+      handle_control(*sock);
+      workers_.untrack(sock);
+    }));
+  }
+}
+
+void OuterDaemon::handle_control(net::TcpSocket& conn) {
+  auto frame = conn.read_frame();
+  if (!frame.ok()) {
+    ++stats_.handshake_failures;
+    return;
+  }
+  auto type = proxy::peek_type(*frame);
+  if (!type.ok()) {
+    ++stats_.handshake_failures;
+    return;
+  }
+  switch (*type) {
+    case proxy::MsgType::kConnectRequest: {
+      auto req = proxy::ConnectRequest::decode(*frame);
+      if (req.ok()) {
+        handle_connect(conn, *req);
+      } else {
+        ++stats_.handshake_failures;
+      }
+      return;
+    }
+    case proxy::MsgType::kBindRequest: {
+      auto req = proxy::BindRequest::decode(*frame);
+      if (req.ok()) {
+        handle_bind(conn, *req);
+      } else {
+        ++stats_.handshake_failures;
+      }
+      return;
+    }
+    default:
+      ++stats_.handshake_failures;
+      kLog.warn("outer: unexpected control frame type %d",
+                static_cast<int>(*type));
+      return;
+  }
+}
+
+void OuterDaemon::handle_connect(net::TcpSocket& conn,
+                                 const proxy::ConnectRequest& req) {
+  if (!policy_.permits(req.target)) {
+    ++stats_.handshake_failures;
+    (void)conn.write_frame(
+        proxy::ConnectReply{false, "target " + req.target.to_string() +
+                                       " not permitted by relay policy"}
+            .encode());
+    return;
+  }
+  // Relay collapsing: a proxied client dialing a proxied peer names one of
+  // our own public ports; bridge straight to the inner daemon instead of
+  // dialing ourselves.
+  if (req.target.host == advertise_host_) {
+    std::shared_ptr<PublicBinding> binding;
+    {
+      std::lock_guard<std::mutex> lock(bindings_mu_);
+      for (const auto& b : bindings_) {
+        if (b->listener.port() == req.target.port) binding = b;
+      }
+    }
+    if (binding != nullptr) {
+      if (!conn.write_frame(proxy::ConnectReply{true, ""}.encode()).ok()) {
+        return;
+      }
+      bridge_to_inner(conn, binding);
+      return;
+    }
+  }
+  auto target = net::TcpSocket::dial(req.target);
+  if (!target.ok()) {
+    ++stats_.handshake_failures;
+    (void)conn.write_frame(
+        proxy::ConnectReply{false, target.error().to_string()}.encode());
+    return;
+  }
+  if (!conn.write_frame(proxy::ConnectReply{true, ""}.encode()).ok()) return;
+  workers_.add_session(std::move(conn), std::move(*target), &stats_);
+}
+
+void OuterDaemon::handle_bind(net::TcpSocket& conn,
+                              const proxy::BindRequest& req) {
+  auto listener = net::TcpListener::bind(bind_ip_, 0);
+  if (!listener.ok()) {
+    ++stats_.handshake_failures;
+    (void)conn.write_frame(
+        proxy::BindReply{false, Contact{}, 0, listener.error().to_string()}
+            .encode());
+    return;
+  }
+  auto binding = std::make_shared<PublicBinding>();
+  binding->id = next_bind_id_.fetch_add(1);
+  binding->target = req.local;
+  binding->inner = req.inner;
+  binding->listener = std::move(*listener);
+  const Contact public_contact{advertise_host_, binding->listener.port()};
+  {
+    std::lock_guard<std::mutex> lock(bindings_mu_);
+    bindings_.push_back(binding);
+  }
+  ++active_binds_;
+  workers_.add_thread(
+      std::thread([this, binding] { public_accept_loop(binding); }));
+  (void)conn.write_frame(
+      proxy::BindReply{true, public_contact, binding->id, ""}.encode());
+  // Bind registration is one-shot; the control connection closes here.
+}
+
+void OuterDaemon::public_accept_loop(std::shared_ptr<PublicBinding> binding) {
+  while (!stopping_.load()) {
+    auto remote = binding->listener.accept();
+    if (!remote.ok()) break;
+    stats_.connections.fetch_add(1, std::memory_order_relaxed);
+    auto sock =
+        workers_.track(std::make_shared<net::TcpSocket>(std::move(*remote)));
+    workers_.add_thread(std::thread([this, sock, binding] {
+      bridge_to_inner(*sock, binding);
+      workers_.untrack(sock);
+    }));
+  }
+  --active_binds_;
+}
+
+void OuterDaemon::bridge_to_inner(net::TcpSocket& remote,
+                                  std::shared_ptr<PublicBinding> binding) {
+  auto inner = net::TcpSocket::dial(binding->inner);
+  if (!inner.ok()) {
+    ++stats_.handshake_failures;
+    kLog.warn("outer: cannot reach inner %s: %s",
+              binding->inner.to_string().c_str(),
+              inner.error().to_string().c_str());
+    return;
+  }
+  Contact peer = remote.peer().value_or(Contact{"unknown", 0});
+  proxy::ForwardRequest req{binding->target, peer};
+  if (!inner->write_frame(req.encode()).ok()) {
+    ++stats_.handshake_failures;
+    return;
+  }
+  auto reply_frame = inner->read_frame();
+  if (!reply_frame.ok()) {
+    ++stats_.handshake_failures;
+    return;
+  }
+  auto reply = proxy::ForwardReply::decode(*reply_frame);
+  if (!reply.ok() || !reply->ok) {
+    ++stats_.handshake_failures;
+    return;
+  }
+  workers_.add_session(std::move(remote), std::move(*inner), &stats_);
+}
+
+}  // namespace wacs::nxproxy

@@ -1,0 +1,196 @@
+// Real-socket Nexus Proxy daemons.
+//
+// These are genuine TCP relay daemons speaking the proxy wire protocol
+// (src/proxy/protocol.hpp) over length-prefixed frames for the control
+// handshake, then splicing raw bytes. They run today on localhost or a real
+// network — this is the paper's engineering artifact, not a simulation.
+//
+// Deployment mirrors the paper: the outer daemon binds outside the firewall
+// (in 2000: a privileged port, root-only, which is the security argument of
+// §1); the inner daemon binds the single "nxport" the firewall opens for
+// outer → inner traffic; clients use the NXProxy* functions in client.hpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "proxy/protocol.hpp"
+#include "sockets/socket.hpp"
+
+namespace wacs::nxproxy {
+
+/// Counters shared by all threads of one daemon.
+struct DaemonStats {
+  std::atomic<std::uint64_t> connections{0};
+  std::atomic<std::uint64_t> bytes_relayed{0};
+  std::atomic<std::uint64_t> handshake_failures{0};
+};
+
+namespace detail {
+
+/// A bidirectional splice between two established sockets. Owns the sockets
+/// and its two pump threads.
+class Session {
+ public:
+  Session(net::TcpSocket a, net::TcpSocket b, DaemonStats* stats);
+  ~Session();
+
+  void start();
+  /// Unblocks both pumps (threads then exit on their own).
+  void shutdown();
+  bool finished() const { return done_.load() == 2; }
+  void join();
+
+ private:
+  void pump(net::TcpSocket& from, net::TcpSocket& to);
+
+  net::TcpSocket a_;
+  net::TcpSocket b_;
+  DaemonStats* stats_;
+  std::thread up_;
+  std::thread down_;
+  std::atomic<int> done_{0};
+};
+
+/// Threads + sessions owned by a daemon; provides orderly teardown.
+class Workers {
+ public:
+  ~Workers() { stop_all(); }
+
+  void add_thread(std::thread t);
+  detail::Session& add_session(net::TcpSocket a, net::TcpSocket b,
+                               DaemonStats* stats);
+
+  /// Registers a socket that a handshake thread may block on; stop_all()
+  /// shuts tracked sockets down so those threads become joinable. If the
+  /// daemon is already stopping, the socket is shut down immediately.
+  std::shared_ptr<net::TcpSocket> track(std::shared_ptr<net::TcpSocket> s);
+  void untrack(const std::shared_ptr<net::TcpSocket>& s);
+
+  /// Shuts down all sessions and tracked sockets, joins every thread.
+  /// Idempotent.
+  void stop_all();
+  /// Drops finished sessions (called opportunistically).
+  void reap();
+
+ private:
+  std::mutex mu_;
+  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<std::shared_ptr<net::TcpSocket>> tracked_;
+  bool stopped_ = false;
+};
+
+}  // namespace detail
+
+/// The inner server: runs inside the firewall, listens on nxport.
+class InnerDaemon {
+ public:
+  /// `bind_ip` is the interface to listen on; port 0 picks an ephemeral
+  /// nxport (tests). The firewall must allow outer → bind_ip:port.
+  InnerDaemon(std::string bind_ip, std::uint16_t nxport);
+  ~InnerDaemon();
+
+  Status start();
+  void stop();
+
+  Contact contact() const { return Contact{bind_ip_, port_}; }
+  const DaemonStats& stats() const { return stats_; }
+
+ private:
+  void accept_loop();
+  void handle(net::TcpSocket& conn);
+
+  std::string bind_ip_;
+  std::uint16_t requested_port_;
+  std::uint16_t port_ = 0;
+  net::TcpListener listener_;
+  std::atomic<bool> stopping_{false};
+  detail::Workers workers_;
+  DaemonStats stats_;
+  bool started_ = false;
+};
+
+/// Which targets an outer daemon will relay to. Without a policy the relay
+/// would be an open proxy: anyone who can reach the control port could use
+/// it to dial arbitrary hosts "from" the proxy machine. The paper's
+/// deployment relied on binding to a privileged port for trust; a modern
+/// relay needs an explicit allow-list.
+class RelayAccessPolicy {
+ public:
+  /// Default: allow everything (the paper's behaviour; fine for tests).
+  RelayAccessPolicy() = default;
+
+  /// Restricts CONNECT targets to the given host names/IPs (exact match).
+  /// An empty port range entry means any port on that host.
+  RelayAccessPolicy& allow_target(std::string host, std::uint16_t port = 0);
+  /// Switches to deny-by-default (call before allow_target).
+  RelayAccessPolicy& deny_by_default();
+
+  bool permits(const Contact& target) const;
+
+ private:
+  struct Allowed {
+    std::string host;
+    std::uint16_t port;  // 0 = any
+  };
+  bool deny_by_default_ = false;
+  std::vector<Allowed> allowed_;
+};
+
+/// The outer server: runs outside the firewall (DMZ).
+class OuterDaemon {
+ public:
+  /// `advertise_host` is what BindReply tells remote peers to dial (the
+  /// outer host's public name); for localhost tests it equals bind_ip.
+  OuterDaemon(std::string bind_ip, std::uint16_t control_port,
+              std::string advertise_host,
+              RelayAccessPolicy policy = RelayAccessPolicy());
+  ~OuterDaemon();
+
+  Status start();
+  void stop();
+
+  Contact contact() const { return Contact{advertise_host_, port_}; }
+  const DaemonStats& stats() const { return stats_; }
+  std::uint64_t active_binds() const { return active_binds_.load(); }
+
+ private:
+  struct PublicBinding {
+    std::uint64_t id = 0;
+    Contact target;  ///< the registered private endpoint
+    Contact inner;   ///< inner daemon that can reach it
+    net::TcpListener listener;
+  };
+
+  void accept_loop();
+  void handle_control(net::TcpSocket& conn);
+  void handle_connect(net::TcpSocket& conn, const proxy::ConnectRequest& req);
+  void handle_bind(net::TcpSocket& conn, const proxy::BindRequest& req);
+  void public_accept_loop(std::shared_ptr<PublicBinding> binding);
+  void bridge_to_inner(net::TcpSocket& remote,
+                       std::shared_ptr<PublicBinding> binding);
+
+  std::string bind_ip_;
+  std::uint16_t requested_port_;
+  std::uint16_t port_ = 0;
+  std::string advertise_host_;
+  RelayAccessPolicy policy_;
+  net::TcpListener listener_;
+  std::atomic<bool> stopping_{false};
+  detail::Workers workers_;
+  DaemonStats stats_;
+  std::atomic<std::uint64_t> next_bind_id_{1};
+  std::atomic<std::uint64_t> active_binds_{0};
+  std::mutex bindings_mu_;
+  std::vector<std::shared_ptr<PublicBinding>> bindings_;
+  bool started_ = false;
+};
+
+}  // namespace wacs::nxproxy

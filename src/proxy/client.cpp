@@ -1,0 +1,85 @@
+#include "proxy/client.hpp"
+
+namespace wacs::proxy {
+
+ProxyClient::ProxyClient(sim::Host& host, const Env& env) : host_(&host) {
+  auto outer = env.get_contact(env_keys::kProxyOuterServer);
+  auto inner = env.get_contact(env_keys::kProxyInnerServer);
+  WACS_CHECK_MSG(outer.ok() && inner.ok(),
+                 "malformed NEXUS_PROXY_* environment");
+  // The paper's rule: the proxy is used iff both variables are defined.
+  if (outer->has_value() && inner->has_value()) {
+    configured_ = true;
+    outer_ = **outer;
+    inner_ = **inner;
+  }
+}
+
+ProxyClient::ProxyClient(sim::Host& host, Contact outer, Contact inner)
+    : host_(&host),
+      configured_(true),
+      outer_(std::move(outer)),
+      inner_(std::move(inner)) {}
+
+Result<sim::SocketPtr> ProxyClient::nx_connect(sim::Process& self,
+                                               const Contact& target) {
+  WACS_CHECK_MSG(configured_, "nx_connect without proxy configuration");
+  auto conn = host_->stack().connect(self, outer_);
+  if (!conn.ok()) {
+    return Error(conn.error().code(),
+                 "cannot reach outer server: " + conn.error().message());
+  }
+  if (auto sent = (*conn)->send(ConnectRequest{target}.encode()); !sent.ok()) {
+    return sent.error();
+  }
+  auto frame = (*conn)->recv(self);
+  if (!frame.ok()) return frame.error();
+  auto reply = ConnectReply::decode(*frame);
+  if (!reply.ok()) return reply.error();
+  if (!reply->ok) {
+    (*conn)->close();
+    return Error(ErrorCode::kConnectionRefused,
+                 "outer server: " + reply->error);
+  }
+  return *conn;
+}
+
+Result<NxProxyListenerPtr> ProxyClient::nx_bind(sim::Process& self) {
+  WACS_CHECK_MSG(configured_, "nx_bind without proxy configuration");
+  // Private listener the inner server will dial (Fig 4 step 4-2).
+  auto local = host_->stack().listen(0);
+  if (!local.ok()) return local.error();
+
+  auto conn = host_->stack().connect(self, outer_);
+  if (!conn.ok()) {
+    return Error(conn.error().code(),
+                 "cannot reach outer server: " + conn.error().message());
+  }
+  BindRequest req{Contact{host_->name(), (*local)->port()}, inner_};
+  if (auto sent = (*conn)->send(req.encode()); !sent.ok()) return sent.error();
+  auto frame = (*conn)->recv(self);
+  (*conn)->close();
+  if (!frame.ok()) return frame.error();
+  auto reply = BindReply::decode(*frame);
+  if (!reply.ok()) return reply.error();
+  if (!reply->ok) {
+    return Error(ErrorCode::kUnavailable, "outer server: " + reply->error);
+  }
+  return NxProxyListenerPtr(
+      new NxProxyListener(std::move(*local), reply->public_contact));
+}
+
+Result<sim::SocketPtr> NxProxyListener::nx_accept(sim::Process& self,
+                                                  Contact* true_peer) {
+  auto conn = local_->accept(self);
+  if (!conn.ok()) return conn.error();
+  // First frame is the AcceptNotice preamble from the inner server.
+  auto frame = (*conn)->recv(self);
+  if (!frame.ok()) return frame.error();
+  auto notice = AcceptNotice::decode(*frame);
+  if (!notice.ok()) return notice.error();
+  if (true_peer != nullptr) *true_peer = notice->peer;
+  return *conn;
+}
+
+}  // namespace wacs::proxy

@@ -1,0 +1,77 @@
+// The Nexus Proxy client library — the paper's Table 1.
+//
+//   NXProxyConnect()  sends a connect request to the outer server and
+//                     returns a descriptor communicating with the target.
+//   NXProxyBind()     sends a bind request and returns a descriptor the
+//                     client can listen on, plus the *public* contact that
+//                     peers must dial (the outer server rewrite).
+//   NXProxyAccept()   accepts a relayed connection on that descriptor.
+//
+// The library is configured per process through the same environment
+// variables Globus used: NEXUS_PROXY_OUTER_SERVER / NEXUS_PROXY_INNER_SERVER.
+#pragma once
+
+#include <memory>
+
+#include "common/config.hpp"
+#include "proxy/protocol.hpp"
+#include "simnet/tcp.hpp"
+
+namespace wacs::proxy {
+
+/// A passively-opened proxy endpoint: the local listener plus the public
+/// contact the outer server advertises on our behalf.
+class NxProxyListener {
+ public:
+  /// The address other processes must connect to (outer server public port).
+  const Contact& public_contact() const { return public_contact_; }
+  /// The private listener the inner server dials; exposed for tests.
+  std::uint16_t local_port() const { return local_->port(); }
+
+  /// Accepts one relayed connection. The returned socket's reported peer is
+  /// the inner server; `true_peer` (from the AcceptNotice preamble) is the
+  /// original remote endpoint.
+  Result<sim::SocketPtr> nx_accept(sim::Process& self, Contact* true_peer = nullptr);
+
+  void close() { local_->close(); }
+
+ private:
+  friend class ProxyClient;
+  NxProxyListener(sim::ListenerPtr local, Contact public_contact)
+      : local_(std::move(local)), public_contact_(std::move(public_contact)) {}
+
+  sim::ListenerPtr local_;
+  Contact public_contact_;
+};
+
+using NxProxyListenerPtr = std::shared_ptr<NxProxyListener>;
+
+/// Per-process client handle for the proxy system.
+class ProxyClient {
+ public:
+  /// Reads NEXUS_PROXY_OUTER_SERVER / NEXUS_PROXY_INNER_SERVER from `env`.
+  /// configured() is false when they are absent (direct communication).
+  ProxyClient(sim::Host& host, const Env& env);
+
+  /// Explicit contacts (used by daemons and tests).
+  ProxyClient(sim::Host& host, Contact outer, Contact inner);
+
+  bool configured() const { return configured_; }
+  const Contact& outer() const { return outer_; }
+  const Contact& inner() const { return inner_; }
+
+  /// Fig 3: active open through the outer server.
+  Result<sim::SocketPtr> nx_connect(sim::Process& self, const Contact& target);
+
+  /// Fig 4: passive open. Registers with the outer server and returns the
+  /// listener + public contact.
+  Result<NxProxyListenerPtr> nx_bind(sim::Process& self);
+
+ private:
+  sim::Host* host_;
+  bool configured_ = false;
+  Contact outer_;
+  Contact inner_;
+};
+
+}  // namespace wacs::proxy

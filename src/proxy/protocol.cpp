@@ -1,0 +1,165 @@
+#include "proxy/protocol.hpp"
+
+namespace wacs::proxy {
+namespace {
+
+Error bad_frame(const char* what) {
+  return Error(ErrorCode::kProtocolError, std::string("proxy frame: ") + what);
+}
+
+Result<MsgType> expect_type(BufReader& r, MsgType want) {
+  auto tag = r.u8();
+  if (!tag) return tag.error();
+  if (*tag != static_cast<std::uint8_t>(want)) return bad_frame("wrong type tag");
+  return want;
+}
+
+void put_contact(BufWriter& w, const Contact& c) {
+  w.str(c.host);
+  w.u16(c.port);
+}
+
+Result<Contact> get_contact(BufReader& r) {
+  auto host = r.str();
+  if (!host) return host.error();
+  auto port = r.u16();
+  if (!port) return port.error();
+  return Contact{std::move(*host), *port};
+}
+
+}  // namespace
+
+Result<MsgType> peek_type(const Bytes& frame) {
+  if (frame.empty()) return bad_frame("empty frame");
+  const std::uint8_t tag = frame[0];
+  if (tag < 1 || tag > 7) return bad_frame("unknown type tag");
+  return static_cast<MsgType>(tag);
+}
+
+Bytes ConnectRequest::encode() const {
+  BufWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kConnectRequest));
+  put_contact(w, target);
+  return std::move(w).take();
+}
+
+Result<ConnectRequest> ConnectRequest::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kConnectRequest); !t) return t.error();
+  auto target = get_contact(r);
+  if (!target) return target.error();
+  return ConnectRequest{std::move(*target)};
+}
+
+Bytes ConnectReply::encode() const {
+  BufWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kConnectReply));
+  w.boolean(ok);
+  w.str(error);
+  return std::move(w).take();
+}
+
+Result<ConnectReply> ConnectReply::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kConnectReply); !t) return t.error();
+  auto ok = r.boolean();
+  if (!ok) return ok.error();
+  auto error = r.str();
+  if (!error) return error.error();
+  return ConnectReply{*ok, std::move(*error)};
+}
+
+Bytes BindRequest::encode() const {
+  BufWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kBindRequest));
+  put_contact(w, local);
+  put_contact(w, inner);
+  return std::move(w).take();
+}
+
+Result<BindRequest> BindRequest::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kBindRequest); !t) return t.error();
+  auto local = get_contact(r);
+  if (!local) return local.error();
+  auto inner = get_contact(r);
+  if (!inner) return inner.error();
+  return BindRequest{std::move(*local), std::move(*inner)};
+}
+
+Bytes BindReply::encode() const {
+  BufWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kBindReply));
+  w.boolean(ok);
+  put_contact(w, public_contact);
+  w.u64(bind_id);
+  w.str(error);
+  return std::move(w).take();
+}
+
+Result<BindReply> BindReply::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kBindReply); !t) return t.error();
+  auto ok = r.boolean();
+  if (!ok) return ok.error();
+  auto pub = get_contact(r);
+  if (!pub) return pub.error();
+  auto id = r.u64();
+  if (!id) return id.error();
+  auto error = r.str();
+  if (!error) return error.error();
+  return BindReply{*ok, std::move(*pub), *id, std::move(*error)};
+}
+
+Bytes ForwardRequest::encode() const {
+  BufWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kForwardRequest));
+  put_contact(w, target);
+  put_contact(w, peer);
+  return std::move(w).take();
+}
+
+Result<ForwardRequest> ForwardRequest::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kForwardRequest); !t) return t.error();
+  auto target = get_contact(r);
+  if (!target) return target.error();
+  auto peer = get_contact(r);
+  if (!peer) return peer.error();
+  return ForwardRequest{std::move(*target), std::move(*peer)};
+}
+
+Bytes ForwardReply::encode() const {
+  BufWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kForwardReply));
+  w.boolean(ok);
+  w.str(error);
+  return std::move(w).take();
+}
+
+Result<ForwardReply> ForwardReply::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kForwardReply); !t) return t.error();
+  auto ok = r.boolean();
+  if (!ok) return ok.error();
+  auto error = r.str();
+  if (!error) return error.error();
+  return ForwardReply{*ok, std::move(*error)};
+}
+
+Bytes AcceptNotice::encode() const {
+  BufWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kAcceptNotice));
+  put_contact(w, peer);
+  return std::move(w).take();
+}
+
+Result<AcceptNotice> AcceptNotice::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kAcceptNotice); !t) return t.error();
+  auto peer = get_contact(r);
+  if (!peer) return peer.error();
+  return AcceptNotice{std::move(*peer)};
+}
+
+}  // namespace wacs::proxy

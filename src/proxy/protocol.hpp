@@ -1,0 +1,91 @@
+// Nexus Proxy wire protocol.
+//
+// Small framed control messages exchanged between the proxy client library,
+// the outer server, and the inner server (paper §3, Figures 3-4). After the
+// control handshake on a relay connection succeeds, every subsequent frame
+// on that connection is opaque payload and is copied through verbatim.
+//
+// The same encoding is used by the simulated proxy (src/proxy) and — with
+// stream framing added — by the real-socket proxy (src/nxproxy), so protocol
+// tests cover both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/contact.hpp"
+#include "common/error.hpp"
+
+namespace wacs::proxy {
+
+enum class MsgType : std::uint8_t {
+  kConnectRequest = 1,  ///< client → outer: relay an active open (Fig 3)
+  kConnectReply = 2,    ///< outer → client
+  kBindRequest = 3,     ///< client → outer: register a passive open (Fig 4)
+  kBindReply = 4,       ///< outer → client: the public contact to advertise
+  kForwardRequest = 5,  ///< outer → inner: dial the registered endpoint
+  kForwardReply = 6,    ///< inner → outer
+  kAcceptNotice = 7,    ///< inner → bound client: true peer of this link
+};
+
+/// Reads just the type tag of a frame.
+Result<MsgType> peek_type(const Bytes& frame);
+
+struct ConnectRequest {
+  Contact target;
+
+  Bytes encode() const;
+  static Result<ConnectRequest> decode(const Bytes& frame);
+};
+
+struct ConnectReply {
+  bool ok = false;
+  std::string error;  ///< empty when ok
+
+  Bytes encode() const;
+  static Result<ConnectReply> decode(const Bytes& frame);
+};
+
+struct BindRequest {
+  Contact local;  ///< the client's private listener (inner dials this)
+  Contact inner;  ///< the inner server responsible for the client's site
+
+  Bytes encode() const;
+  static Result<BindRequest> decode(const Bytes& frame);
+};
+
+struct BindReply {
+  bool ok = false;
+  Contact public_contact;  ///< advertise this instead of `local`
+  std::uint64_t bind_id = 0;
+  std::string error;
+
+  Bytes encode() const;
+  static Result<BindReply> decode(const Bytes& frame);
+};
+
+struct ForwardRequest {
+  Contact target;  ///< the registered private endpoint
+  Contact peer;    ///< the true remote peer (for AcceptNotice)
+
+  Bytes encode() const;
+  static Result<ForwardRequest> decode(const Bytes& frame);
+};
+
+struct ForwardReply {
+  bool ok = false;
+  std::string error;
+
+  Bytes encode() const;
+  static Result<ForwardReply> decode(const Bytes& frame);
+};
+
+struct AcceptNotice {
+  Contact peer;
+
+  Bytes encode() const;
+  static Result<AcceptNotice> decode(const Bytes& frame);
+};
+
+}  // namespace wacs::proxy

@@ -1,0 +1,37 @@
+#include "proxy/relay.hpp"
+
+namespace wacs::proxy {
+
+void pump(sim::Process& self, sim::SocketPtr from, sim::SocketPtr to,
+          const RelayParams& params, RelayStats* stats) {
+  while (true) {
+    auto frame = from->recv(self);
+    if (!frame.ok()) break;  // EOF or local close
+    // Store-and-forward: the relay holds the whole frame while it is being
+    // processed, which is what Nexus Proxy did with RSR messages.
+    const double cost = params.per_message_s +
+                        static_cast<double>(frame->size()) /
+                            params.copy_rate_bps;
+    if (cost > 0) self.sleep(cost);
+    if (stats != nullptr) {
+      ++stats->messages;
+      stats->bytes += frame->size();
+    }
+    if (!to->send(std::move(*frame)).ok()) break;
+  }
+  to->close();
+  from->close();
+}
+
+void spawn_pumps(sim::Engine& engine, const std::string& tag,
+                 sim::SocketPtr a, sim::SocketPtr b, const RelayParams& params,
+                 RelayStats* stats) {
+  engine.spawn(tag + ".fwd", [a, b, params, stats](sim::Process& self) {
+    pump(self, a, b, params, stats);
+  });
+  engine.spawn(tag + ".rev", [a, b, params, stats](sim::Process& self) {
+    pump(self, b, a, params, stats);
+  });
+}
+
+}  // namespace wacs::proxy

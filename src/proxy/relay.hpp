@@ -1,0 +1,40 @@
+// Relay cost model and the byte-pump shared by the outer and inner servers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "simnet/tcp.hpp"
+
+namespace wacs::proxy {
+
+/// Cost of user-level relaying on a proxy host. Calibrated in
+/// core/testbeds.cpp against the paper's Table 2 (the ~25 ms proxied latency
+/// and the order-of-magnitude LAN bandwidth drop both come from these).
+struct RelayParams {
+  /// Fixed per-message cost: select() wakeup, scheduling, protocol framing.
+  double per_message_s = 0.0;
+  /// User-space copy rate through the relay process (two socket crossings).
+  double copy_rate_bps = 1e12;
+};
+
+/// Shared counters for one relay daemon.
+struct RelayStats {
+  std::uint64_t connections = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Copies frames from `from` to `to` until EOF or error, charging the relay
+/// cost per frame. Runs inside a dedicated sim process (one per direction).
+/// Closes `to` when `from` reaches EOF.
+void pump(sim::Process& self, sim::SocketPtr from, sim::SocketPtr to,
+          const RelayParams& params, RelayStats* stats);
+
+/// Spawns the two pump processes for an established relay pair.
+void spawn_pumps(sim::Engine& engine, const std::string& tag,
+                 sim::SocketPtr a, sim::SocketPtr b, const RelayParams& params,
+                 RelayStats* stats);
+
+}  // namespace wacs::proxy

@@ -1,0 +1,244 @@
+#include "proxy/server.hpp"
+
+#include "common/log.hpp"
+
+namespace wacs::proxy {
+namespace {
+const log::Logger kLog("proxy");
+}
+
+// ------------------------------------------------------------ InnerServer
+
+InnerServer::InnerServer(sim::Host& host, std::uint16_t nxport,
+                         RelayParams params)
+    : host_(&host), nxport_(nxport), params_(params) {}
+
+void InnerServer::start() {
+  WACS_CHECK_MSG(!started_, "inner server already started");
+  started_ = true;
+  auto listener = host_->stack().listen(nxport_);
+  WACS_CHECK_MSG(listener.ok(), "inner server cannot bind nxport");
+  listener_ = *listener;
+  host_->network().engine().spawn(
+      "inner@" + host_->name(), [this](sim::Process& self) { serve(self); });
+}
+
+void InnerServer::serve(sim::Process& self) {
+  while (true) {
+    auto conn = listener_->accept(self);
+    if (!conn.ok()) return;
+    ++stats_.connections;
+    auto sock = *conn;
+    host_->network().engine().spawn(
+        "inner@" + host_->name() + ".sess",
+        [this, sock](sim::Process& handler) { handle(handler, sock); });
+  }
+}
+
+void InnerServer::handle(sim::Process& self, sim::SocketPtr conn) {
+  auto frame = conn->recv(self);
+  if (!frame.ok()) return;
+  auto req = ForwardRequest::decode(*frame);
+  if (!req.ok()) {
+    kLog.warn("inner@%s: bad forward request: %s", host_->name().c_str(),
+              req.error().to_string().c_str());
+    conn->close();
+    return;
+  }
+  // Per-request processing cost (daemon wakeup, registry lookup).
+  self.sleep(params_.per_message_s);
+
+  auto target = host_->stack().connect(self, req->target);
+  if (!target.ok()) {
+    (void)conn->send(ForwardReply{false, target.error().to_string()}.encode());
+    conn->close();
+    return;
+  }
+  // Tell the bound client who is really on the other end (the client's
+  // accept() otherwise only ever sees the inner server).
+  if (!(*target)->send(AcceptNotice{req->peer}.encode()).ok()) {
+    (void)conn->send(ForwardReply{false, "target vanished"}.encode());
+    conn->close();
+    return;
+  }
+  if (!conn->send(ForwardReply{true, ""}.encode()).ok()) {
+    (*target)->close();
+    return;
+  }
+  spawn_pumps(host_->network().engine(), "inner@" + host_->name() + ".pump",
+              conn, *target, params_, &stats_);
+}
+
+// ------------------------------------------------------------ OuterServer
+
+OuterServer::OuterServer(sim::Host& host, std::uint16_t control_port,
+                         RelayParams params)
+    : host_(&host), control_port_(control_port), params_(params) {}
+
+void OuterServer::start() {
+  WACS_CHECK_MSG(!started_, "outer server already started");
+  started_ = true;
+  auto listener = host_->stack().listen(control_port_);
+  WACS_CHECK_MSG(listener.ok(), "outer server cannot bind control port");
+  listener_ = *listener;
+  host_->network().engine().spawn(
+      "outer@" + host_->name(), [this](sim::Process& self) { serve(self); });
+}
+
+void OuterServer::serve(sim::Process& self) {
+  while (true) {
+    auto conn = listener_->accept(self);
+    if (!conn.ok()) return;
+    ++stats_.connections;
+    auto sock = *conn;
+    host_->network().engine().spawn(
+        "outer@" + host_->name() + ".ctl",
+        [this, sock](sim::Process& handler) { handle_control(handler, sock); });
+  }
+}
+
+void OuterServer::handle_control(sim::Process& self, sim::SocketPtr conn) {
+  auto frame = conn->recv(self);
+  if (!frame.ok()) return;
+  auto type = peek_type(*frame);
+  if (!type.ok()) {
+    conn->close();
+    return;
+  }
+  // Per-request daemon processing cost.
+  self.sleep(params_.per_message_s);
+
+  switch (*type) {
+    case MsgType::kConnectRequest: {
+      auto req = ConnectRequest::decode(*frame);
+      if (req.ok()) {
+        handle_connect(self, conn, *req);
+      } else {
+        conn->close();
+      }
+      return;
+    }
+    case MsgType::kBindRequest: {
+      auto req = BindRequest::decode(*frame);
+      if (req.ok()) {
+        handle_bind(self, conn, *req);
+      } else {
+        conn->close();
+      }
+      return;
+    }
+    default:
+      kLog.warn("outer@%s: unexpected control frame type %d",
+                host_->name().c_str(), static_cast<int>(*type));
+      conn->close();
+      return;
+  }
+}
+
+void OuterServer::handle_connect(sim::Process& self, sim::SocketPtr conn,
+                                 const ConnectRequest& req) {
+  // Relay collapsing: when the target is one of our own public ports (a
+  // proxied client dialing a proxied peer's advertised contact), bridge
+  // straight to the inner server instead of connecting to ourselves —
+  // one relay process less on the path.
+  if (req.target.host == host_->name()) {
+    auto it = bindings_by_port_.find(req.target.port);
+    if (it != bindings_by_port_.end()) {
+      if (!conn->send(ConnectReply{true, ""}.encode()).ok()) return;
+      bridge_to_inner(self, conn, it->second);
+      return;
+    }
+  }
+  auto target = host_->stack().connect(self, req.target);
+  if (!target.ok()) {
+    (void)conn->send(ConnectReply{false, target.error().to_string()}.encode());
+    conn->close();
+    return;
+  }
+  if (!conn->send(ConnectReply{true, ""}.encode()).ok()) {
+    (*target)->close();
+    return;
+  }
+  spawn_pumps(host_->network().engine(), "outer@" + host_->name() + ".pump",
+              conn, *target, params_, &stats_);
+}
+
+void OuterServer::handle_bind(sim::Process& self, sim::SocketPtr conn,
+                              const BindRequest& req) {
+  auto public_listener = host_->stack().listen(0);
+  if (!public_listener.ok()) {
+    (void)conn->send(
+        BindReply{false, Contact{}, 0, public_listener.error().to_string()}
+            .encode());
+    conn->close();
+    return;
+  }
+  auto binding = std::make_shared<Binding>();
+  binding->target = req.local;
+  binding->inner = req.inner;
+  binding->public_listener = *public_listener;
+  const std::uint64_t id = next_bind_id_++;
+  ++active_binds_;
+  bindings_by_port_[(*public_listener)->port()] = binding;
+
+  host_->network().engine().spawn(
+      "outer@" + host_->name() + ".bind" + std::to_string(id),
+      [this, binding](sim::Process& acceptor) { accept_loop(acceptor, binding); });
+
+  const Contact public_contact{host_->name(), (*public_listener)->port()};
+  (void)conn->send(BindReply{true, public_contact, id, ""}.encode());
+  conn->close();  // bind registration is a one-shot exchange
+  (void)self;
+}
+
+void OuterServer::accept_loop(sim::Process& self,
+                              std::shared_ptr<Binding> binding) {
+  while (true) {
+    auto remote = binding->public_listener->accept(self);
+    if (!remote.ok()) {
+      --active_binds_;
+      return;
+    }
+    ++stats_.connections;
+    auto sock = *remote;
+    host_->network().engine().spawn(
+        "outer@" + host_->name() + ".fwd",
+        [this, sock, binding](sim::Process& bridge) {
+          bridge_to_inner(bridge, sock, binding);
+        });
+  }
+}
+
+void OuterServer::bridge_to_inner(sim::Process& self, sim::SocketPtr remote,
+                                  std::shared_ptr<Binding> binding) {
+  // Per-connection daemon processing.
+  self.sleep(params_.per_message_s);
+  auto inner = host_->stack().connect(self, binding->inner);
+  if (!inner.ok()) {
+    kLog.warn("outer@%s: cannot reach inner %s: %s", host_->name().c_str(),
+              binding->inner.to_string().c_str(),
+              inner.error().to_string().c_str());
+    remote->close();
+    return;
+  }
+  ForwardRequest req{binding->target, remote->peer_contact()};
+  if (!(*inner)->send(req.encode()).ok()) {
+    remote->close();
+    return;
+  }
+  auto reply_frame = (*inner)->recv(self);
+  if (!reply_frame.ok()) {
+    remote->close();
+    return;
+  }
+  auto reply = ForwardReply::decode(*reply_frame);
+  if (!reply.ok() || !reply->ok) {
+    remote->close();
+    (*inner)->close();
+    return;
+  }
+  spawn_pumps(host_->network().engine(), "outer@" + host_->name() + ".pump",
+              remote, *inner, params_, &stats_);
+}
+
+}  // namespace wacs::proxy

@@ -1,0 +1,88 @@
+// The Nexus Proxy daemons (simulated).
+//
+// OuterServer runs on a host *outside* the firewall (DMZ); InnerServer runs
+// inside, listening on the one port ("nxport") the firewall opens for
+// outer → inner traffic. Together they implement the two mechanisms of
+// Figures 3 and 4:
+//
+//   active open  (Fig 3): client → outer → target, one relay process.
+//   passive open (Fig 4): remote → outer(public port) → inner → bound
+//                         client, two relay processes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "proxy/protocol.hpp"
+#include "proxy/relay.hpp"
+#include "simnet/tcp.hpp"
+
+namespace wacs::proxy {
+
+/// The inner server daemon. start() spawns the accept loop.
+class InnerServer {
+ public:
+  /// `nxport` must be opened in the site firewall for the outer host.
+  InnerServer(sim::Host& host, std::uint16_t nxport, RelayParams params);
+
+  void start();
+  Contact contact() const { return Contact{host_->name(), nxport_}; }
+  const RelayStats& stats() const { return stats_; }
+
+ private:
+  void serve(sim::Process& self);
+  void handle(sim::Process& self, sim::SocketPtr conn);
+
+  sim::Host* host_;
+  std::uint16_t nxport_;
+  RelayParams params_;
+  RelayStats stats_;
+  sim::ListenerPtr listener_;
+  bool started_ = false;
+};
+
+/// The outer server daemon. start() spawns the control accept loop; bind
+/// registrations each get their own public listener + acceptor process.
+class OuterServer {
+ public:
+  OuterServer(sim::Host& host, std::uint16_t control_port, RelayParams params);
+
+  void start();
+  Contact contact() const { return Contact{host_->name(), control_port_}; }
+  const RelayStats& stats() const { return stats_; }
+  std::uint64_t active_binds() const { return active_binds_; }
+
+ private:
+  struct Binding {
+    Contact target;  ///< the client's private listener
+    Contact inner;   ///< inner server to route through
+    sim::ListenerPtr public_listener;
+  };
+
+  void serve(sim::Process& self);
+  void handle_control(sim::Process& self, sim::SocketPtr conn);
+  void handle_connect(sim::Process& self, sim::SocketPtr conn,
+                      const ConnectRequest& req);
+  void handle_bind(sim::Process& self, sim::SocketPtr conn,
+                   const BindRequest& req);
+  void accept_loop(sim::Process& self, std::shared_ptr<Binding> binding);
+  void bridge_to_inner(sim::Process& self, sim::SocketPtr remote,
+                       std::shared_ptr<Binding> binding);
+
+  sim::Host* host_;
+  std::uint16_t control_port_;
+  RelayParams params_;
+  RelayStats stats_;
+  sim::ListenerPtr listener_;
+  std::uint64_t next_bind_id_ = 1;
+  std::uint64_t active_binds_ = 0;
+  /// public port -> binding: lets handle_connect() short-circuit a relay
+  /// request that targets one of our own public ports (a proxied client
+  /// dialing a proxied peer) instead of dialing ourselves over TCP.
+  std::map<std::uint16_t, std::shared_ptr<Binding>> bindings_by_port_;
+  bool started_ = false;
+};
+
+}  // namespace wacs::proxy

@@ -1,0 +1,135 @@
+#include "rmf/allocator.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.hpp"
+
+namespace wacs::rmf {
+namespace {
+const log::Logger kLog("rmf.alloc");
+}
+
+ResourceAllocator::ResourceAllocator(sim::Host& host, std::uint16_t port,
+                                     AllocPolicy policy)
+    : host_(&host), port_(port), policy_(policy) {}
+
+void ResourceAllocator::register_resource(ResourceInfo info) {
+  WACS_CHECK(info.cpus > 0);
+  resources_.push_back(std::move(info));
+}
+
+void ResourceAllocator::start() {
+  WACS_CHECK_MSG(!started_, "allocator already started");
+  started_ = true;
+  auto listener = host_->stack().listen(port_);
+  WACS_CHECK_MSG(listener.ok(), "allocator cannot bind its port");
+  listener_ = *listener;
+  host_->network().engine().spawn(
+      "rmf.alloc@" + host_->name(),
+      [this](sim::Process& self) { serve(self); });
+}
+
+std::vector<Placement> ResourceAllocator::select(int nprocs) {
+  const int free_total = std::accumulate(
+      resources_.begin(), resources_.end(), 0,
+      [](int acc, const ResourceInfo& r) { return acc + r.cpus - r.allocated; });
+  if (nprocs <= 0 || free_total < nprocs) return {};
+
+  // Build the visit order per policy over resource indices.
+  std::vector<std::size_t> order(resources_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  switch (policy_) {
+    case AllocPolicy::kFastestFirst:
+      std::stable_sort(order.begin(), order.end(),
+                       [this](std::size_t a, std::size_t b) {
+                         return resources_[a].speed > resources_[b].speed;
+                       });
+      break;
+    case AllocPolicy::kLeastLoaded:
+      std::stable_sort(order.begin(), order.end(),
+                       [this](std::size_t a, std::size_t b) {
+                         return resources_[a].cpus - resources_[a].allocated >
+                                resources_[b].cpus - resources_[b].allocated;
+                       });
+      break;
+    case AllocPolicy::kRoundRobin:
+      std::rotate(order.begin(),
+                  order.begin() + static_cast<std::ptrdiff_t>(
+                                      rr_cursor_ % order.size()),
+                  order.end());
+      ++rr_cursor_;
+      break;
+  }
+
+  std::vector<Placement> out;
+  int remaining = nprocs;
+  for (std::size_t idx : order) {
+    if (remaining == 0) break;
+    ResourceInfo& r = resources_[idx];
+    const int take = std::min(remaining, r.cpus - r.allocated);
+    if (take <= 0) continue;
+    r.allocated += take;
+    out.push_back(Placement{r.host, take});
+    remaining -= take;
+  }
+  WACS_CHECK(remaining == 0);
+  return out;
+}
+
+void ResourceAllocator::release(const std::vector<Placement>& placements) {
+  for (const Placement& p : placements) {
+    for (ResourceInfo& r : resources_) {
+      if (r.host == p.host) {
+        r.allocated = std::max(0, r.allocated - p.count);
+        break;
+      }
+    }
+  }
+}
+
+void ResourceAllocator::serve(sim::Process& self) {
+  while (true) {
+    auto conn = listener_->accept(self);
+    if (!conn.ok()) return;
+    auto sock = *conn;
+    host_->network().engine().spawn(
+        "rmf.alloc@" + host_->name() + ".req",
+        [this, sock](sim::Process& handler) { handle(handler, sock); });
+  }
+}
+
+void ResourceAllocator::handle(sim::Process& self, sim::SocketPtr conn) {
+  auto frame = conn->recv(self);
+  if (!frame.ok()) return;
+  // Releases are one-way notifications from a finished job manager.
+  if (auto type = peek_type(*frame);
+      type.ok() && *type == MsgType::kRelease) {
+    auto rel = Release::decode(*frame);
+    if (rel.ok()) release(rel->placements);
+    conn->close();
+    return;
+  }
+  auto req = AllocRequest::decode(*frame);
+  if (!req.ok()) {
+    conn->close();
+    return;
+  }
+  ++requests_served_;
+  auto placements = select(req->nprocs);
+  AllocReply reply;
+  if (placements.empty()) {
+    reply.ok = false;
+    reply.error = "insufficient capacity for " + std::to_string(req->nprocs) +
+                  " processes";
+  } else {
+    reply.ok = true;
+    reply.placements = std::move(placements);
+  }
+  kLog.debug("alloc request for %d procs -> %s", req->nprocs,
+             reply.ok ? "ok" : reply.error.c_str());
+  (void)conn->send(reply.encode());
+  conn->close();
+}
+
+}  // namespace wacs::rmf

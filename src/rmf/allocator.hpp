@@ -1,0 +1,64 @@
+// The resource allocator: a daemon inside the firewall that knows every
+// computing resource and answers "which resources are best to execute a
+// job" (Fig 2, steps 3-4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rmf/protocol.hpp"
+#include "simnet/tcp.hpp"
+
+namespace wacs::rmf {
+
+/// A computing resource the allocator can hand out.
+struct ResourceInfo {
+  std::string host;
+  int cpus = 1;
+  double speed = 1.0;  ///< relative per-CPU rate
+  int allocated = 0;   ///< CPUs currently handed out
+};
+
+/// Selection policies.
+enum class AllocPolicy {
+  kFastestFirst,  ///< fill fastest resources first (default)
+  kLeastLoaded,   ///< spread by free-CPU count
+  kRoundRobin,    ///< rotate across resources
+};
+
+class ResourceAllocator {
+ public:
+  ResourceAllocator(sim::Host& host, std::uint16_t port,
+                    AllocPolicy policy = AllocPolicy::kFastestFirst);
+
+  void register_resource(ResourceInfo info);
+  void start();
+
+  Contact contact() const { return Contact{host_->name(), port_}; }
+
+  /// Pure selection logic, exposed for unit tests: chooses placements for
+  /// `nprocs` processes from the currently-free capacity and marks them
+  /// allocated. Empty result when capacity is insufficient.
+  std::vector<Placement> select(int nprocs);
+  /// Returns capacity (used by tests and by job teardown).
+  void release(const std::vector<Placement>& placements);
+
+  const std::vector<ResourceInfo>& resources() const { return resources_; }
+  std::uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  void serve(sim::Process& self);
+  void handle(sim::Process& self, sim::SocketPtr conn);
+
+  sim::Host* host_;
+  std::uint16_t port_;
+  AllocPolicy policy_;
+  std::vector<ResourceInfo> resources_;
+  std::size_t rr_cursor_ = 0;
+  std::uint64_t requests_served_ = 0;
+  sim::ListenerPtr listener_;
+  bool started_ = false;
+};
+
+}  // namespace wacs::rmf

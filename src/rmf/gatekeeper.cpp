@@ -1,0 +1,297 @@
+#include "rmf/gatekeeper.hpp"
+
+#include <map>
+
+#include "common/log.hpp"
+
+namespace wacs::rmf {
+namespace {
+const log::Logger kLog("rmf.gatekeeper");
+
+/// Shared between a job manager and its deadline watchdog event.
+struct WatchdogState {
+  sim::ListenerPtr rendezvous;
+  std::vector<sim::SocketPtr> rank_conns;
+  bool fired = false;
+  bool done = false;
+};
+
+}  // namespace
+
+Gatekeeper::Gatekeeper(sim::Host& host, Options options, Contact allocator,
+                       const JobRegistry* registry)
+    : host_(&host),
+      options_(std::move(options)),
+      allocator_(std::move(allocator)),
+      registry_(registry) {
+  WACS_CHECK(registry_ != nullptr);
+}
+
+void Gatekeeper::start() {
+  WACS_CHECK_MSG(!started_, "gatekeeper already started");
+  started_ = true;
+  auto listener = host_->stack().listen(options_.port);
+  WACS_CHECK_MSG(listener.ok(), "gatekeeper cannot bind its port");
+  listener_ = *listener;
+  host_->network().engine().spawn(
+      "gatekeeper@" + host_->name(),
+      [this](sim::Process& self) { serve(self); });
+}
+
+void Gatekeeper::serve(sim::Process& self) {
+  while (true) {
+    auto conn = listener_->accept(self);
+    if (!conn.ok()) return;
+    auto sock = *conn;
+    auto frame = sock->recv(self);
+    if (!frame.ok()) continue;
+    auto req = SubmitRequest::decode(*frame);
+    if (!req.ok()) {
+      (void)sock->send(SubmitReply{false, 0, req.error().to_string()}.encode());
+      sock->close();
+      continue;
+    }
+    // Authentication — the Globus gatekeeper's role. Shared-secret mode
+    // compares a token; GSI mode verifies an HMAC credential chain
+    // (expiry, delegation depth, subject nesting).
+    bool authorized = false;
+    if (options_.ca_secret.has_value()) {
+      auto chain =
+          security::CredentialChain::decode_hex(req->spec.credential);
+      if (chain.ok()) {
+        security::CertAuthority ca(*options_.ca_secret);
+        if (ca.verify(*chain, host_->network().engine().now()).ok()) {
+          authorized = true;
+          last_subject_ = chain->leaf().subject;
+        }
+      }
+    } else {
+      authorized = req->spec.credential == options_.credential;
+    }
+    if (!authorized) {
+      ++auth_failures_;
+      (void)sock->send(
+          SubmitReply{false, 0, "authentication failed"}.encode());
+      sock->close();
+      continue;
+    }
+    // Early validation keeps obvious errors synchronous.
+    if (!registry_->find(req->spec.task).ok()) {
+      (void)sock->send(
+          SubmitReply{false, 0, "unknown task " + req->spec.task}.encode());
+      sock->close();
+      continue;
+    }
+    if (req->spec.nprocs <= 0) {
+      (void)sock->send(SubmitReply{false, 0, "nprocs must be > 0"}.encode());
+      sock->close();
+      continue;
+    }
+
+    const std::uint64_t job_id = next_job_id_++;
+    ++jobs_accepted_;
+    (void)sock->send(SubmitReply{true, job_id, ""}.encode());
+    // Step 2: the gatekeeper invokes a job manager for this job.
+    JobSpec spec = std::move(req->spec);
+    host_->network().engine().spawn(
+        "jobmanager#" + std::to_string(job_id) + "@" + host_->name(),
+        [this, sock, spec = std::move(spec), job_id](sim::Process& jm) {
+          job_manager(jm, sock, spec, job_id);
+        });
+  }
+}
+
+void Gatekeeper::job_manager(sim::Process& self, sim::SocketPtr submitter,
+                             JobSpec spec, std::uint64_t job_id) {
+  // Allocator-made allocations are handed back on every exit path; pinned
+  // placements bypass the allocator and are the submitter's responsibility
+  // (no co-allocator existed in the paper's system either).
+  bool from_allocator = false;
+  std::vector<Placement> placements = spec.placements;
+  auto release_allocation = [&] {
+    if (!from_allocator) return;
+    from_allocator = false;
+    auto conn = host_->stack().connect(self, allocator_);
+    if (conn.ok()) {
+      (void)(*conn)->send(Release{placements}.encode());
+      (*conn)->close();
+    }
+  };
+  auto fail = [&](const std::string& why) {
+    kLog.warn("job %llu failed: %s", static_cast<unsigned long long>(job_id),
+              why.c_str());
+    release_allocation();
+    (void)submitter->send(JobDone{false, why, {}}.encode());
+    submitter->close();
+  };
+
+  // Step 3-4: the Q client inquires of the resource allocator (only when
+  // the submission did not pin placements).
+  if (placements.empty()) {
+    auto alloc_conn = host_->stack().connect(self, allocator_);
+    if (!alloc_conn.ok()) {
+      return fail("allocator unreachable: " + alloc_conn.error().to_string());
+    }
+    if (!(*alloc_conn)->send(AllocRequest{spec.nprocs}.encode()).ok()) {
+      return fail("allocator send failed");
+    }
+    auto reply_frame = (*alloc_conn)->recv(self);
+    if (!reply_frame.ok()) return fail("allocator reply lost");
+    auto reply = AllocReply::decode(*reply_frame);
+    if (!reply.ok()) return fail("allocator reply malformed");
+    if (!reply->ok) return fail("allocation failed: " + reply->error);
+    placements = std::move(reply->placements);
+    from_allocator = true;
+  }
+
+  int total = 0;
+  for (const Placement& p : placements) total += p.count;
+  if (total != spec.nprocs) {
+    return fail("placements cover " + std::to_string(total) + " of " +
+                std::to_string(spec.nprocs) + " processes");
+  }
+
+  // Rendezvous listener for rank bootstrap; ranks dial out to it, so it
+  // works from behind the deny-based firewall.
+  auto rendezvous = host_->stack().listen(0);
+  if (!rendezvous.ok()) return fail("cannot create rendezvous listener");
+  const Contact jm_contact{host_->name(), (*rendezvous)->port()};
+
+  // Deadline watchdog: when the job overruns, close the rendezvous listener
+  // and every rank connection so the blocked recv/accept calls below fail
+  // and the job reports a timeout instead of hanging forever.
+  auto watchdog_state = std::make_shared<WatchdogState>();
+  watchdog_state->rendezvous = *rendezvous;
+  if (spec.deadline_seconds > 0) {
+    host_->network().engine().after(
+        spec.deadline_seconds, [watchdog_state] {
+          if (watchdog_state->done) return;
+          watchdog_state->fired = true;
+          watchdog_state->rendezvous->close();
+          for (auto& conn : watchdog_state->rank_conns) {
+            if (conn != nullptr) conn->close();
+          }
+        });
+  }
+  auto finish_watchdog = [&] { watchdog_state->done = true; };
+  auto timeout_error = [&](const std::string& fallback) {
+    return watchdog_state->fired
+               ? "deadline of " + std::to_string(spec.deadline_seconds) +
+                     "s exceeded"
+               : fallback;
+  };
+
+  // Step 5: the Q client submits job parts to the Q servers. GASS input
+  // files ride along (charged as real bytes on the network).
+  int base_rank = 0;
+  for (const Placement& p : placements) {
+    auto q_conn =
+        host_->stack().connect(self, Contact{p.host, options_.qserver_port});
+    if (!q_conn.ok()) {
+      return fail("Q server on " + p.host +
+                  " unreachable: " + q_conn.error().to_string());
+    }
+    QSubmit part;
+    part.job_id = job_id;
+    part.task = spec.task;
+    part.base_rank = base_rank;
+    part.count = p.count;
+    part.nprocs = spec.nprocs;
+    part.job_manager = jm_contact;
+    part.args = spec.args;
+    part.input_files = spec.input_files;
+    if (!(*q_conn)->send(part.encode()).ok()) {
+      return fail("Q submit to " + p.host + " failed");
+    }
+    auto reply_frame = (*q_conn)->recv(self);
+    if (!reply_frame.ok()) return fail("Q server on " + p.host + " died");
+    auto reply = QSubmitReply::decode(*reply_frame);
+    if (!reply.ok() || !reply->ok) {
+      return fail("Q server on " + p.host + " rejected job: " +
+                  (reply.ok() ? reply->error : reply.error().to_string()));
+    }
+    base_rank += p.count;
+  }
+
+  // Rank rendezvous: collect every rank's endpoint contact, then broadcast
+  // the table (MPICH-G startup).
+  std::vector<sim::SocketPtr> rank_conns(
+      static_cast<std::size_t>(spec.nprocs));
+  ContactTable table;
+  table.contacts.resize(static_cast<std::size_t>(spec.nprocs));
+  table.sites.resize(static_cast<std::size_t>(spec.nprocs));
+  for (int i = 0; i < spec.nprocs; ++i) {
+    auto conn = (*rendezvous)->accept(self);
+    if (!conn.ok()) return fail(timeout_error("rank rendezvous interrupted"));
+    watchdog_state->rank_conns.push_back(*conn);
+    auto frame = (*conn)->recv(self);
+    if (!frame.ok()) return fail(timeout_error("rank hello lost"));
+    auto hello = RankHello::decode(*frame);
+    if (!hello.ok() || hello->job_id != job_id || hello->rank < 0 ||
+        hello->rank >= spec.nprocs) {
+      return fail("bad rank hello");
+    }
+    table.contacts[static_cast<std::size_t>(hello->rank)] = hello->contact;
+    table.sites[static_cast<std::size_t>(hello->rank)] = hello->site;
+    rank_conns[static_cast<std::size_t>(hello->rank)] = *conn;
+  }
+  for (auto& conn : rank_conns) {
+    if (!conn->send(table.encode()).ok()) return fail("table broadcast failed");
+  }
+
+  // Completion: wait for every rank's RankDone; keep rank 0's output.
+  Bytes output;
+  for (int i = 0; i < spec.nprocs; ++i) {
+    auto frame = rank_conns[static_cast<std::size_t>(i)]->recv(self);
+    if (!frame.ok()) {
+      return fail(timeout_error("rank " + std::to_string(i) + " vanished"));
+    }
+    auto done = RankDone::decode(*frame);
+    if (!done.ok()) return fail("bad rank done");
+    if (done->rank == 0) output = std::move(done->output);
+  }
+
+  finish_watchdog();
+  kLog.info("job %llu complete", static_cast<unsigned long long>(job_id));
+  release_allocation();
+  (void)submitter->send(JobDone{true, "", std::move(output)}.encode());
+  submitter->close();
+}
+
+Result<JobResult> submit_and_wait(sim::Process& self, sim::Host& from,
+                                  const Contact& gatekeeper,
+                                  const JobSpec& spec) {
+  sim::Engine& engine = from.network().engine();
+  const sim::Time started = engine.now();
+
+  auto conn = from.stack().connect(self, gatekeeper);
+  if (!conn.ok()) {
+    return Error(conn.error().code(),
+                 "gatekeeper unreachable: " + conn.error().message());
+  }
+  if (auto s = (*conn)->send(SubmitRequest{spec}.encode()); !s.ok()) {
+    return s.error();
+  }
+  auto reply_frame = (*conn)->recv(self);
+  if (!reply_frame.ok()) return reply_frame.error();
+  auto reply = SubmitReply::decode(*reply_frame);
+  if (!reply.ok()) return reply.error();
+  if (!reply->ok) {
+    return Error(ErrorCode::kPermissionDenied, reply->error);
+  }
+
+  auto done_frame = (*conn)->recv(self);
+  if (!done_frame.ok()) return done_frame.error();
+  auto done = JobDone::decode(*done_frame);
+  if (!done.ok()) return done.error();
+
+  JobResult result;
+  result.ok = done->ok;
+  result.error = done->error;
+  result.job_id = reply->job_id;
+  result.output = std::move(done->output);
+  result.wall_seconds = sim::to_sec(engine.now() - started);
+  return result;
+}
+
+}  // namespace wacs::rmf

@@ -1,0 +1,72 @@
+// The RMF gatekeeper and job manager (Fig 2, steps 0-2 and the §2 flow).
+//
+// The gatekeeper runs *outside* the firewall (DMZ host), authenticates
+// submissions, and forks a job manager per job. The job manager embeds the
+// Q client: it consults the resource allocator, submits job parts to the Q
+// servers (those two control flows are why the paper says "the firewall must
+// be configured to allow communications between the Q client and the
+// resource allocator, and the Q client and the Q server"), then serves as
+// the rank rendezvous and completion collector.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "rmf/job.hpp"
+#include "rmf/protocol.hpp"
+#include "security/credential.hpp"
+#include "simnet/tcp.hpp"
+
+namespace wacs::rmf {
+
+class Gatekeeper {
+ public:
+  struct Options {
+    std::uint16_t port = 2119;
+    /// Shared-secret mode: the accepted submission token.
+    std::string credential = "wacs-grid";
+    /// GSI mode: when set, submissions must carry a hex-encoded credential
+    /// chain verifiable against this CA secret (expiry and delegation rules
+    /// included); the shared-secret token is ignored.
+    std::optional<std::string> ca_secret;
+    std::uint16_t qserver_port = 7100;  ///< where Q servers listen
+  };
+
+  Gatekeeper(sim::Host& host, Options options, Contact allocator,
+             const JobRegistry* registry);
+
+  void start();
+
+  Contact contact() const { return Contact{host_->name(), options_.port}; }
+  std::uint64_t jobs_accepted() const { return jobs_accepted_; }
+  std::uint64_t auth_failures() const { return auth_failures_; }
+  /// GSI mode: subject of the most recently authenticated submission.
+  const std::string& last_subject() const { return last_subject_; }
+
+ private:
+  void serve(sim::Process& self);
+  /// The job manager body: one process per accepted job.
+  void job_manager(sim::Process& self, sim::SocketPtr submitter, JobSpec spec,
+                   std::uint64_t job_id);
+
+  sim::Host* host_;
+  Options options_;
+  Contact allocator_;
+  const JobRegistry* registry_;
+  sim::ListenerPtr listener_;
+  std::uint64_t next_job_id_ = 1;
+  std::uint64_t jobs_accepted_ = 0;
+  std::uint64_t auth_failures_ = 0;
+  std::string last_subject_;
+  bool started_ = false;
+};
+
+/// Client-side: submit a job to a gatekeeper and wait for its result.
+/// Used by examples, benches, and the integration tests; runs inside a
+/// simulated process on `from`.
+Result<JobResult> submit_and_wait(sim::Process& self, sim::Host& from,
+                                  const Contact& gatekeeper,
+                                  const JobSpec& spec);
+
+}  // namespace wacs::rmf

@@ -1,0 +1,112 @@
+// Job model for RMF (Resource Manager beyond the Firewall).
+//
+// A job is a named task (registered C++ function — the simulator's analogue
+// of an executable) plus placement, arguments, and GASS-staged input files.
+// Each spawned rank receives a JobContext carrying its bootstrap state: the
+// communication endpoint it advertises, the contact table of all ranks
+// (collected by the job manager, like MPICH-G startup), and its host.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/config.hpp"
+#include "nexus/comm.hpp"
+
+namespace wacs::rmf {
+
+/// `count` processes on `host`.
+struct Placement {
+  std::string host;
+  int count = 0;
+
+  friend bool operator==(const Placement&, const Placement&) = default;
+};
+
+/// A job submission.
+struct JobSpec {
+  std::string name;        ///< human-readable job name
+  std::string task;        ///< key into the JobRegistry
+  std::string credential;  ///< gatekeeper authentication token
+  int nprocs = 0;
+  /// Explicit placements; empty = ask the resource allocator.
+  std::vector<Placement> placements;
+  std::map<std::string, std::string> args;
+  /// GASS: input files staged to every rank before start ("the Q system
+  /// also transfers the files to remote resources").
+  std::map<std::string, Bytes> input_files;
+  /// Virtual-time deadline for the whole job; 0 = none. When exceeded the
+  /// job manager abandons the job and reports failure (ranks unwind when
+  /// their job-manager connection drops).
+  double deadline_seconds = 0;
+};
+
+/// What the submitter gets back.
+struct JobResult {
+  bool ok = false;
+  std::string error;
+  std::uint64_t job_id = 0;
+  Bytes output;  ///< rank 0's ctx.result
+  double wall_seconds = 0;  ///< virtual time from submit to completion
+};
+
+/// Runtime state handed to each rank's task function.
+struct JobContext {
+  sim::Process* self = nullptr;
+  sim::Host* host = nullptr;
+  Env env;  ///< the resource's site environment (proxy config lives here)
+  std::uint64_t job_id = 0;
+  int rank = 0;
+  int nprocs = 0;
+  std::map<std::string, std::string> args;
+  std::map<std::string, Bytes> input_files;
+
+  /// Communication bootstrap (filled by the Q server's rank wrapper).
+  std::shared_ptr<nexus::CommContext> comm;
+  nexus::EndpointPtr endpoint;          ///< this rank's advertised endpoint
+  std::vector<Contact> contacts;        ///< endpoint contacts of all ranks
+  std::vector<std::string> rank_sites;  ///< site of each rank (WAN-aware
+                                        ///< collectives group by this)
+
+  /// The rank's output; rank 0's bytes become JobResult::output.
+  Bytes result;
+
+  /// Charges `seconds_at_unit_speed` of CPU work, scaled by the host's
+  /// relative speed — the heterogeneity model for the wide-area cluster.
+  void charge_cpu(double seconds_at_unit_speed) {
+    self->sleep(seconds_at_unit_speed / host->cpu_speed());
+  }
+
+  std::string arg_or(const std::string& key, const std::string& fallback) const {
+    auto it = args.find(key);
+    return it == args.end() ? fallback : it->second;
+  }
+};
+
+using TaskFn = std::function<void(JobContext&)>;
+
+/// Task name → function. The simulator's "filesystem of executables".
+class JobRegistry {
+ public:
+  void register_task(const std::string& name, TaskFn fn) {
+    WACS_CHECK_MSG(tasks_.emplace(name, std::move(fn)).second,
+                   "duplicate task " + name);
+  }
+
+  Result<TaskFn> find(const std::string& name) const {
+    auto it = tasks_.find(name);
+    if (it == tasks_.end()) {
+      return Error(ErrorCode::kNotFound, "no task registered as " + name);
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, TaskFn> tasks_;
+};
+
+}  // namespace wacs::rmf

@@ -1,0 +1,407 @@
+#include "rmf/protocol.hpp"
+
+namespace wacs::rmf {
+namespace {
+
+Error bad_frame(const char* what) {
+  return Error(ErrorCode::kProtocolError, std::string("rmf frame: ") + what);
+}
+
+Result<MsgType> expect_type(BufReader& r, MsgType want) {
+  auto tag = r.u8();
+  if (!tag) return tag.error();
+  if (*tag != static_cast<std::uint8_t>(want)) {
+    return bad_frame("wrong type tag");
+  }
+  return want;
+}
+
+void put_tag(BufWriter& w, MsgType t) { w.u8(static_cast<std::uint8_t>(t)); }
+
+void put_contact(BufWriter& w, const Contact& c) {
+  w.str(c.host);
+  w.u16(c.port);
+}
+
+Result<Contact> get_contact(BufReader& r) {
+  auto host = r.str();
+  if (!host) return host.error();
+  auto port = r.u16();
+  if (!port) return port.error();
+  return Contact{std::move(*host), *port};
+}
+
+void put_string_map(BufWriter& w, const std::map<std::string, std::string>& m) {
+  w.u32(static_cast<std::uint32_t>(m.size()));
+  for (const auto& [k, v] : m) {
+    w.str(k);
+    w.str(v);
+  }
+}
+
+Result<std::map<std::string, std::string>> get_string_map(BufReader& r) {
+  auto n = r.u32();
+  if (!n) return n.error();
+  std::map<std::string, std::string> m;
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto k = r.str();
+    if (!k) return k.error();
+    auto v = r.str();
+    if (!v) return v.error();
+    m.emplace(std::move(*k), std::move(*v));
+  }
+  return m;
+}
+
+void put_file_map(BufWriter& w, const std::map<std::string, Bytes>& m) {
+  w.u32(static_cast<std::uint32_t>(m.size()));
+  for (const auto& [k, v] : m) {
+    w.str(k);
+    w.blob(v);
+  }
+}
+
+Result<std::map<std::string, Bytes>> get_file_map(BufReader& r) {
+  auto n = r.u32();
+  if (!n) return n.error();
+  std::map<std::string, Bytes> m;
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto k = r.str();
+    if (!k) return k.error();
+    auto v = r.blob();
+    if (!v) return v.error();
+    m.emplace(std::move(*k), std::move(*v));
+  }
+  return m;
+}
+
+void put_placements(BufWriter& w, const std::vector<Placement>& ps) {
+  w.u32(static_cast<std::uint32_t>(ps.size()));
+  for (const auto& p : ps) {
+    w.str(p.host);
+    w.i32(p.count);
+  }
+}
+
+Result<std::vector<Placement>> get_placements(BufReader& r) {
+  auto n = r.u32();
+  if (!n) return n.error();
+  std::vector<Placement> ps;
+  ps.reserve(*n);
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto host = r.str();
+    if (!host) return host.error();
+    auto count = r.i32();
+    if (!count) return count.error();
+    ps.push_back(Placement{std::move(*host), *count});
+  }
+  return ps;
+}
+
+}  // namespace
+
+Result<MsgType> peek_type(const Bytes& frame) {
+  if (frame.empty()) return bad_frame("empty frame");
+  const std::uint8_t tag = frame[0];
+  if (tag < 1 || tag > 11) return bad_frame("unknown type tag");
+  return static_cast<MsgType>(tag);
+}
+
+Bytes SubmitRequest::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kSubmitRequest);
+  w.str(spec.name);
+  w.str(spec.task);
+  w.str(spec.credential);
+  w.i32(spec.nprocs);
+  put_placements(w, spec.placements);
+  put_string_map(w, spec.args);
+  put_file_map(w, spec.input_files);
+  w.f64(spec.deadline_seconds);
+  return std::move(w).take();
+}
+
+Result<SubmitRequest> SubmitRequest::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kSubmitRequest); !t) return t.error();
+  SubmitRequest out;
+  auto name = r.str();
+  if (!name) return name.error();
+  out.spec.name = std::move(*name);
+  auto task = r.str();
+  if (!task) return task.error();
+  out.spec.task = std::move(*task);
+  auto cred = r.str();
+  if (!cred) return cred.error();
+  out.spec.credential = std::move(*cred);
+  auto nprocs = r.i32();
+  if (!nprocs) return nprocs.error();
+  out.spec.nprocs = *nprocs;
+  auto placements = get_placements(r);
+  if (!placements) return placements.error();
+  out.spec.placements = std::move(*placements);
+  auto args = get_string_map(r);
+  if (!args) return args.error();
+  out.spec.args = std::move(*args);
+  auto files = get_file_map(r);
+  if (!files) return files.error();
+  out.spec.input_files = std::move(*files);
+  auto deadline = r.f64();
+  if (!deadline) return deadline.error();
+  out.spec.deadline_seconds = *deadline;
+  return out;
+}
+
+Bytes SubmitReply::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kSubmitReply);
+  w.boolean(ok);
+  w.u64(job_id);
+  w.str(error);
+  return std::move(w).take();
+}
+
+Result<SubmitReply> SubmitReply::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kSubmitReply); !t) return t.error();
+  SubmitReply out;
+  auto ok = r.boolean();
+  if (!ok) return ok.error();
+  out.ok = *ok;
+  auto id = r.u64();
+  if (!id) return id.error();
+  out.job_id = *id;
+  auto error = r.str();
+  if (!error) return error.error();
+  out.error = std::move(*error);
+  return out;
+}
+
+Bytes JobDone::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kJobDone);
+  w.boolean(ok);
+  w.str(error);
+  w.blob(output);
+  return std::move(w).take();
+}
+
+Result<JobDone> JobDone::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kJobDone); !t) return t.error();
+  JobDone out;
+  auto ok = r.boolean();
+  if (!ok) return ok.error();
+  out.ok = *ok;
+  auto error = r.str();
+  if (!error) return error.error();
+  out.error = std::move(*error);
+  auto output = r.blob();
+  if (!output) return output.error();
+  out.output = std::move(*output);
+  return out;
+}
+
+Bytes AllocRequest::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kAllocRequest);
+  w.i32(nprocs);
+  return std::move(w).take();
+}
+
+Result<AllocRequest> AllocRequest::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kAllocRequest); !t) return t.error();
+  auto n = r.i32();
+  if (!n) return n.error();
+  return AllocRequest{*n};
+}
+
+Bytes AllocReply::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kAllocReply);
+  w.boolean(ok);
+  put_placements(w, placements);
+  w.str(error);
+  return std::move(w).take();
+}
+
+Result<AllocReply> AllocReply::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kAllocReply); !t) return t.error();
+  AllocReply out;
+  auto ok = r.boolean();
+  if (!ok) return ok.error();
+  out.ok = *ok;
+  auto ps = get_placements(r);
+  if (!ps) return ps.error();
+  out.placements = std::move(*ps);
+  auto error = r.str();
+  if (!error) return error.error();
+  out.error = std::move(*error);
+  return out;
+}
+
+Bytes QSubmit::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kQSubmit);
+  w.u64(job_id);
+  w.str(task);
+  w.i32(base_rank);
+  w.i32(count);
+  w.i32(nprocs);
+  put_contact(w, job_manager);
+  put_string_map(w, args);
+  put_file_map(w, input_files);
+  return std::move(w).take();
+}
+
+Result<QSubmit> QSubmit::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kQSubmit); !t) return t.error();
+  QSubmit out;
+  auto id = r.u64();
+  if (!id) return id.error();
+  out.job_id = *id;
+  auto task = r.str();
+  if (!task) return task.error();
+  out.task = std::move(*task);
+  auto base = r.i32();
+  if (!base) return base.error();
+  out.base_rank = *base;
+  auto count = r.i32();
+  if (!count) return count.error();
+  out.count = *count;
+  auto nprocs = r.i32();
+  if (!nprocs) return nprocs.error();
+  out.nprocs = *nprocs;
+  auto jm = get_contact(r);
+  if (!jm) return jm.error();
+  out.job_manager = std::move(*jm);
+  auto args = get_string_map(r);
+  if (!args) return args.error();
+  out.args = std::move(*args);
+  auto files = get_file_map(r);
+  if (!files) return files.error();
+  out.input_files = std::move(*files);
+  return out;
+}
+
+Bytes QSubmitReply::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kQSubmitReply);
+  w.boolean(ok);
+  w.str(error);
+  return std::move(w).take();
+}
+
+Result<QSubmitReply> QSubmitReply::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kQSubmitReply); !t) return t.error();
+  QSubmitReply out;
+  auto ok = r.boolean();
+  if (!ok) return ok.error();
+  out.ok = *ok;
+  auto error = r.str();
+  if (!error) return error.error();
+  out.error = std::move(*error);
+  return out;
+}
+
+Bytes RankHello::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kRankHello);
+  w.u64(job_id);
+  w.i32(rank);
+  put_contact(w, contact);
+  w.str(site);
+  return std::move(w).take();
+}
+
+Result<RankHello> RankHello::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kRankHello); !t) return t.error();
+  RankHello out;
+  auto id = r.u64();
+  if (!id) return id.error();
+  out.job_id = *id;
+  auto rank = r.i32();
+  if (!rank) return rank.error();
+  out.rank = *rank;
+  auto contact = get_contact(r);
+  if (!contact) return contact.error();
+  out.contact = std::move(*contact);
+  auto site = r.str();
+  if (!site) return site.error();
+  out.site = std::move(*site);
+  return out;
+}
+
+Bytes ContactTable::encode() const {
+  WACS_CHECK(sites.size() == contacts.size());
+  BufWriter w;
+  put_tag(w, MsgType::kContactTable);
+  w.u32(static_cast<std::uint32_t>(contacts.size()));
+  for (const auto& c : contacts) put_contact(w, c);
+  for (const auto& s : sites) w.str(s);
+  return std::move(w).take();
+}
+
+Result<ContactTable> ContactTable::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kContactTable); !t) return t.error();
+  auto n = r.u32();
+  if (!n) return n.error();
+  ContactTable out;
+  out.contacts.reserve(*n);
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto c = get_contact(r);
+    if (!c) return c.error();
+    out.contacts.push_back(std::move(*c));
+  }
+  out.sites.reserve(*n);
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto s = r.str();
+    if (!s) return s.error();
+    out.sites.push_back(std::move(*s));
+  }
+  return out;
+}
+
+Bytes RankDone::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kRankDone);
+  w.i32(rank);
+  w.blob(output);
+  return std::move(w).take();
+}
+
+Result<RankDone> RankDone::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kRankDone); !t) return t.error();
+  RankDone out;
+  auto rank = r.i32();
+  if (!rank) return rank.error();
+  out.rank = *rank;
+  auto output = r.blob();
+  if (!output) return output.error();
+  out.output = std::move(*output);
+  return out;
+}
+
+Bytes Release::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kRelease);
+  put_placements(w, placements);
+  return std::move(w).take();
+}
+
+Result<Release> Release::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kRelease); !t) return t.error();
+  auto ps = get_placements(r);
+  if (!ps) return ps.error();
+  return Release{std::move(*ps)};
+}
+
+}  // namespace wacs::rmf

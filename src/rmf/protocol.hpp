@@ -1,0 +1,128 @@
+// RMF wire protocol: gatekeeper submissions, allocator queries, Q system
+// job dispatch, and the rank bootstrap messages (Fig 2 arrows).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/contact.hpp"
+#include "rmf/job.hpp"
+
+namespace wacs::rmf {
+
+enum class MsgType : std::uint8_t {
+  kSubmitRequest = 1,
+  kSubmitReply = 2,
+  kJobDone = 3,
+  kAllocRequest = 4,
+  kAllocReply = 5,
+  kQSubmit = 6,
+  kQSubmitReply = 7,
+  kRankHello = 8,
+  kContactTable = 9,
+  kRankDone = 10,
+  kRelease = 11,
+};
+
+Result<MsgType> peek_type(const Bytes& frame);
+
+/// (1) job request submitted to the RMF gatekeeper.
+struct SubmitRequest {
+  JobSpec spec;
+  Bytes encode() const;
+  static Result<SubmitRequest> decode(const Bytes& frame);
+};
+
+struct SubmitReply {
+  bool ok = false;
+  std::uint64_t job_id = 0;
+  std::string error;
+  Bytes encode() const;
+  static Result<SubmitReply> decode(const Bytes& frame);
+};
+
+/// Final answer on the submission connection.
+struct JobDone {
+  bool ok = false;
+  std::string error;
+  Bytes output;
+  Bytes encode() const;
+  static Result<JobDone> decode(const Bytes& frame);
+};
+
+/// (3) the Q client inquires of the resource allocator.
+struct AllocRequest {
+  int nprocs = 0;
+  Bytes encode() const;
+  static Result<AllocRequest> decode(const Bytes& frame);
+};
+
+/// (4) the allocator selects resources and reports their names.
+struct AllocReply {
+  bool ok = false;
+  std::vector<Placement> placements;
+  std::string error;
+  Bytes encode() const;
+  static Result<AllocReply> decode(const Bytes& frame);
+};
+
+/// (5) the Q client submits a job request to a Q server.
+struct QSubmit {
+  std::uint64_t job_id = 0;
+  std::string task;
+  int base_rank = 0;  ///< first rank hosted by this Q server
+  int count = 0;      ///< ranks hosted here
+  int nprocs = 0;     ///< total job size
+  Contact job_manager;
+  std::map<std::string, std::string> args;
+  std::map<std::string, Bytes> input_files;  ///< GASS payload
+  Bytes encode() const;
+  static Result<QSubmit> decode(const Bytes& frame);
+};
+
+struct QSubmitReply {
+  bool ok = false;
+  std::string error;
+  Bytes encode() const;
+  static Result<QSubmitReply> decode(const Bytes& frame);
+};
+
+/// Rank bootstrap: rank → job manager, carrying the rank's endpoint and
+/// its site (used by WAN-aware collectives, cf. MagPIe [Kielmann 99]).
+struct RankHello {
+  std::uint64_t job_id = 0;
+  int rank = 0;
+  Contact contact;
+  std::string site;
+  Bytes encode() const;
+  static Result<RankHello> decode(const Bytes& frame);
+};
+
+/// Job manager → every rank: the full endpoint + site tables (MPICH-G
+/// startup).
+struct ContactTable {
+  std::vector<Contact> contacts;
+  std::vector<std::string> sites;  ///< site of each rank, same order
+  Bytes encode() const;
+  static Result<ContactTable> decode(const Bytes& frame);
+};
+
+/// Rank completion, with the rank's output bytes.
+struct RankDone {
+  int rank = 0;
+  Bytes output;
+  Bytes encode() const;
+  static Result<RankDone> decode(const Bytes& frame);
+};
+
+/// Job manager → allocator: hand back an allocator-made allocation once the
+/// job completes (or fails), so capacity becomes reusable.
+struct Release {
+  std::vector<Placement> placements;
+  Bytes encode() const;
+  static Result<Release> decode(const Bytes& frame);
+};
+
+}  // namespace wacs::rmf

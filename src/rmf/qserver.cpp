@@ -1,0 +1,159 @@
+#include "rmf/qserver.hpp"
+
+#include "common/log.hpp"
+
+namespace wacs::rmf {
+namespace {
+const log::Logger kLog("rmf.qserver");
+}
+
+QServer::QServer(sim::Host& host, std::uint16_t port, Env site_env,
+                 const JobRegistry* registry)
+    : host_(&host),
+      port_(port),
+      site_env_(std::move(site_env)),
+      registry_(registry) {
+  WACS_CHECK(registry_ != nullptr);
+}
+
+void QServer::start() {
+  WACS_CHECK_MSG(!started_, "Q server already started");
+  started_ = true;
+  auto listener = host_->stack().listen(port_);
+  WACS_CHECK_MSG(listener.ok(), "Q server cannot bind its port");
+  listener_ = *listener;
+  host_->network().engine().spawn(
+      "qserver@" + host_->name(), [this](sim::Process& self) { serve(self); });
+}
+
+void QServer::serve(sim::Process& self) {
+  while (true) {
+    auto conn = listener_->accept(self);
+    if (!conn.ok()) return;
+    auto sock = *conn;
+    host_->network().engine().spawn(
+        "qserver@" + host_->name() + ".req",
+        [this, sock](sim::Process& handler) { handle(handler, sock); });
+  }
+}
+
+void QServer::handle(sim::Process& self, sim::SocketPtr conn) {
+  auto frame = conn->recv(self);
+  if (!frame.ok()) return;
+  auto req = QSubmit::decode(*frame);
+  if (!req.ok()) {
+    (void)conn->send(QSubmitReply{false, req.error().to_string()}.encode());
+    conn->close();
+    return;
+  }
+  if (!registry_->find(req->task).ok()) {
+    (void)conn->send(
+        QSubmitReply{false, "unknown task " + req->task}.encode());
+    conn->close();
+    return;
+  }
+  if (req->count <= 0 || req->count > host_->cpus()) {
+    (void)conn->send(
+        QSubmitReply{false,
+                     "cannot host " + std::to_string(req->count) +
+                         " processes on " + std::to_string(host_->cpus()) +
+                         " cpus"}
+            .encode());
+    conn->close();
+    return;
+  }
+
+  // Accept into the queue (LSF-like): run now when CPUs are free,
+  // otherwise wait behind earlier parts.
+  if (busy_cpus_ + req->count <= host_->cpus() && queue_.empty()) {
+    dispatch(*req);
+  } else {
+    ++jobs_queued_total_;
+    queue_.push_back(*req);
+    kLog.debug("%s queued job %llu part (depth %zu)", host_->name().c_str(),
+               static_cast<unsigned long long>(req->job_id), queue_.size());
+  }
+  (void)conn->send(QSubmitReply{true, ""}.encode());
+  conn->close();
+}
+
+void QServer::dispatch(const QSubmit& job) {
+  ++jobs_started_;
+  busy_cpus_ += job.count;
+  for (int i = 0; i < job.count; ++i) {
+    const int rank = job.base_rank + i;
+    ++ranks_spawned_;
+    host_->network().engine().spawn(
+        "job" + std::to_string(job.job_id) + ".rank" + std::to_string(rank) +
+            "@" + host_->name(),
+        [this, job, rank](sim::Process& rank_proc) {
+          run_rank(rank_proc, job, rank);
+          --busy_cpus_;
+          pump_queue();
+        });
+  }
+}
+
+void QServer::pump_queue() {
+  while (!queue_.empty() &&
+         busy_cpus_ + queue_.front().count <= host_->cpus()) {
+    QSubmit next = std::move(queue_.front());
+    queue_.pop_front();
+    dispatch(next);
+  }
+}
+
+void QServer::run_rank(sim::Process& self, const QSubmit& job, int rank) {
+  JobContext ctx;
+  ctx.self = &self;
+  ctx.host = host_;
+  ctx.env = site_env_;
+  ctx.job_id = job.job_id;
+  ctx.rank = rank;
+  ctx.nprocs = job.nprocs;
+  ctx.args = job.args;
+  ctx.input_files = job.input_files;
+  ctx.comm = std::make_shared<nexus::CommContext>(*host_, site_env_);
+
+  // Bootstrap (MPICH-G startup): create this rank's endpoint, report it to
+  // the job manager, and wait for the full contact table.
+  auto endpoint = ctx.comm->listen(self);
+  if (!endpoint.ok()) {
+    kLog.error("rank %d: cannot create endpoint: %s", rank,
+               endpoint.error().to_string().c_str());
+    return;
+  }
+  ctx.endpoint = *endpoint;
+
+  auto jm = host_->stack().connect(self, job.job_manager);
+  if (!jm.ok()) {
+    kLog.error("rank %d: cannot reach job manager: %s", rank,
+               jm.error().to_string().c_str());
+    return;
+  }
+  if (!(*jm)->send(RankHello{job.job_id, rank, ctx.endpoint->contact(),
+                             host_->site()}
+                        .encode())
+           .ok()) {
+    return;
+  }
+  auto table_frame = (*jm)->recv(self);
+  if (!table_frame.ok()) return;
+  auto table = ContactTable::decode(*table_frame);
+  if (!table.ok()) {
+    kLog.error("rank %d: bad contact table", rank);
+    return;
+  }
+  ctx.contacts = std::move(table->contacts);
+  ctx.rank_sites = std::move(table->sites);
+
+  auto task = registry_->find(job.task);
+  WACS_CHECK(task.ok());  // validated at submit time
+  (*task)(ctx);
+
+  (void)(*jm)->send(RankDone{rank, std::move(ctx.result)}.encode());
+  (*jm)->close();
+  ctx.endpoint->close();
+}
+
+}  // namespace wacs::rmf

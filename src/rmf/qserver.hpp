@@ -1,0 +1,63 @@
+// The Q server: a job queuing system on every computing resource inside
+// the firewall (Fig 2, steps 5-6). "The basic mechanism of RMF is a job
+// queuing system and its behavior is similar to LSF": a submitted job part
+// runs immediately when enough CPUs are free and otherwise waits in a FIFO
+// queue until ranks of earlier jobs complete. Received GASS input files are
+// handed to each spawned rank; the rank wrapper performs the MPICH-G style
+// bootstrap against the job manager before invoking the task.
+//
+// Caveat (true of the original system too): there is no gang scheduler.
+// Concurrent multi-resource jobs with overlapping *pinned* placements can
+// wait on each other; allocator-managed placements are safe because the
+// allocator only hands out free capacity and the job manager releases it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "rmf/job.hpp"
+#include "rmf/protocol.hpp"
+#include "simnet/tcp.hpp"
+
+namespace wacs::rmf {
+
+class QServer {
+ public:
+  /// `site_env` is applied to every rank spawned here — this is where the
+  /// NEXUS_PROXY_* variables come from on firewalled resources.
+  QServer(sim::Host& host, std::uint16_t port, Env site_env,
+          const JobRegistry* registry);
+
+  void start();
+
+  Contact contact() const { return Contact{host_->name(), port_}; }
+  std::uint64_t jobs_started() const { return jobs_started_; }
+  std::uint64_t jobs_queued_total() const { return jobs_queued_total_; }
+  std::uint64_t ranks_spawned() const { return ranks_spawned_; }
+  int busy_cpus() const { return busy_cpus_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+  const Env& site_env() const { return site_env_; }
+
+ private:
+  void serve(sim::Process& self);
+  void handle(sim::Process& self, sim::SocketPtr conn);
+  /// Spawns the rank processes of a (dispatchable) job part.
+  void dispatch(const QSubmit& job);
+  /// Dispatches queued parts that now fit (called as ranks finish).
+  void pump_queue();
+  void run_rank(sim::Process& self, const QSubmit& job, int rank);
+
+  sim::Host* host_;
+  std::uint16_t port_;
+  Env site_env_;
+  const JobRegistry* registry_;
+  sim::ListenerPtr listener_;
+  std::deque<QSubmit> queue_;
+  int busy_cpus_ = 0;
+  std::uint64_t jobs_started_ = 0;
+  std::uint64_t jobs_queued_total_ = 0;
+  std::uint64_t ranks_spawned_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace wacs::rmf

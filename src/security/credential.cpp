@@ -1,0 +1,201 @@
+#include "security/credential.hpp"
+
+#include <algorithm>
+
+namespace wacs::security {
+namespace {
+
+Digest sign(const std::string& key_text, const Bytes& message) {
+  Bytes key(key_text.begin(), key_text.end());
+  return hmac_sha256(key, message);
+}
+
+Digest sign_with_digest(const Digest& key, const Bytes& message) {
+  Bytes key_bytes(key.begin(), key.end());
+  return hmac_sha256(key_bytes, message);
+}
+
+}  // namespace
+
+Bytes Credential::canonical() const {
+  BufWriter w;
+  w.str(subject);
+  w.str(issuer);
+  w.i64(expires_at);
+  w.i32(max_delegation_depth);
+  return std::move(w).take();
+}
+
+Bytes Credential::encode() const {
+  BufWriter w;
+  w.raw(canonical());
+  w.raw(std::span<const std::uint8_t>(mac.data(), mac.size()));
+  return std::move(w).take();
+}
+
+Result<Credential> Credential::decode(BufReader& r) {
+  Credential out;
+  auto subject = r.str();
+  if (!subject) return subject.error();
+  out.subject = std::move(*subject);
+  auto issuer = r.str();
+  if (!issuer) return issuer.error();
+  out.issuer = std::move(*issuer);
+  auto expires = r.i64();
+  if (!expires) return expires.error();
+  out.expires_at = *expires;
+  auto depth = r.i32();
+  if (!depth) return depth.error();
+  out.max_delegation_depth = *depth;
+  for (std::size_t i = 0; i < out.mac.size(); ++i) {
+    auto b = r.u8();
+    if (!b) return b.error();
+    out.mac[i] = *b;
+  }
+  return out;
+}
+
+Bytes CredentialChain::encode() const {
+  BufWriter w;
+  w.u32(static_cast<std::uint32_t>(links.size()));
+  for (const Credential& c : links) w.raw(c.encode());
+  return std::move(w).take();
+}
+
+Result<CredentialChain> CredentialChain::decode(const Bytes& data) {
+  BufReader r(data);
+  auto n = r.u32();
+  if (!n) return n.error();
+  if (*n == 0 || *n > 16) {
+    return Error(ErrorCode::kProtocolError, "implausible chain length");
+  }
+  CredentialChain out;
+  out.links.reserve(*n);
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto c = Credential::decode(r);
+    if (!c) return c.error();
+    out.links.push_back(std::move(*c));
+  }
+  if (!r.at_end()) {
+    return Error(ErrorCode::kProtocolError, "trailing bytes after chain");
+  }
+  return out;
+}
+
+std::string CredentialChain::encode_hex() const {
+  static const char* kHex = "0123456789abcdef";
+  const Bytes raw = encode();
+  std::string out;
+  out.reserve(raw.size() * 2);
+  for (std::uint8_t b : raw) {
+    out += kHex[b >> 4];
+    out += kHex[b & 0xF];
+  }
+  return out;
+}
+
+Result<CredentialChain> CredentialChain::decode_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    return Error(ErrorCode::kInvalidArgument, "odd-length credential hex");
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  Bytes raw;
+  raw.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Error(ErrorCode::kInvalidArgument, "bad credential hex digit");
+    }
+    raw.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+  }
+  return decode(raw);
+}
+
+CredentialChain CertAuthority::issue(const std::string& subject,
+                                     sim::Time expires_at,
+                                     int max_delegation_depth) const {
+  Credential root;
+  root.subject = subject;
+  root.issuer = "grid-ca";
+  root.expires_at = expires_at;
+  root.max_delegation_depth = max_delegation_depth;
+  root.mac = sign(secret_, root.canonical());
+  return CredentialChain{{std::move(root)}};
+}
+
+Status CertAuthority::verify(const CredentialChain& chain,
+                             sim::Time now) const {
+  if (chain.links.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "empty credential chain");
+  }
+  const Credential& root = chain.links.front();
+  if (root.issuer != "grid-ca") {
+    return Status(ErrorCode::kPermissionDenied, "root not issued by the CA");
+  }
+  if (!digest_equal(root.mac, sign(secret_, root.canonical()))) {
+    return Status(ErrorCode::kPermissionDenied, "root MAC mismatch");
+  }
+
+  for (std::size_t i = 0; i < chain.links.size(); ++i) {
+    const Credential& link = chain.links[i];
+    if (link.expires_at <= now) {
+      return Status(ErrorCode::kPermissionDenied,
+                    "credential for " + link.subject + " expired");
+    }
+    if (i == 0) continue;
+    const Credential& parent = chain.links[i - 1];
+    if (!digest_equal(link.mac,
+                      sign_with_digest(parent.mac, link.canonical()))) {
+      return Status(ErrorCode::kPermissionDenied,
+                    "delegation MAC mismatch at level " + std::to_string(i));
+    }
+    if (link.issuer != parent.subject) {
+      return Status(ErrorCode::kPermissionDenied,
+                    "delegation issuer does not match parent subject");
+    }
+    if (link.subject.rfind(parent.subject + "/", 0) != 0) {
+      return Status(ErrorCode::kPermissionDenied,
+                    "delegated subject must extend the parent's");
+    }
+    if (link.expires_at > parent.expires_at) {
+      return Status(ErrorCode::kPermissionDenied,
+                    "delegated credential outlives its parent");
+    }
+    if (link.max_delegation_depth != parent.max_delegation_depth - 1 ||
+        link.max_delegation_depth < 0) {
+      return Status(ErrorCode::kPermissionDenied,
+                    "delegation depth violation");
+    }
+  }
+  return Status();
+}
+
+Result<CredentialChain> delegate(const CredentialChain& parent,
+                                 const std::string& child_role,
+                                 sim::Time expires_at) {
+  if (parent.links.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "empty parent chain");
+  }
+  const Credential& leaf = parent.leaf();
+  if (leaf.max_delegation_depth <= 0) {
+    return Error(ErrorCode::kPermissionDenied,
+                 "delegation depth exhausted for " + leaf.subject);
+  }
+  Credential child;
+  child.subject = leaf.subject + "/" + child_role;
+  child.issuer = leaf.subject;
+  child.expires_at = std::min(expires_at, leaf.expires_at);
+  child.max_delegation_depth = leaf.max_delegation_depth - 1;
+  child.mac = sign_with_digest(leaf.mac, child.canonical());
+
+  CredentialChain out = parent;
+  out.links.push_back(std::move(child));
+  return out;
+}
+
+}  // namespace wacs::security

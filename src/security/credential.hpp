@@ -1,0 +1,84 @@
+// GSI-like credentials with delegation.
+//
+// The Globus Security Infrastructure authenticated users with X.509
+// certificates and supported *proxy credentials*: a user delegates a
+// short-lived credential to a job manager, which can act on the user's
+// behalf without holding the long-term key. The paper relies on this
+// ("basic mechanisms such as communication, authentication, ...").
+//
+// Offline reproduction: public-key crypto is replaced by HMAC-SHA-256
+// chains. The grid CA holds a secret; a credential is signed with it; each
+// delegation level is signed with the *parent credential's MAC* (so a
+// holder can delegate without contacting the CA, exactly the proxy-cert
+// property). Verifiers hold the CA secret — i.e., symmetric-trust GSI.
+// Every structural property of the GSI chain is preserved: expiry,
+// delegation-depth limits, tamper evidence, and subject-path tracking
+// ("/user/jobmanager/...").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "security/sha256.hpp"
+#include "simnet/time.hpp"
+
+namespace wacs::security {
+
+/// One link of a credential chain.
+struct Credential {
+  std::string subject;        ///< e.g. "yoshio" or "yoshio/jobmanager"
+  std::string issuer;         ///< "grid-ca" or the parent's subject
+  sim::Time expires_at = 0;   ///< virtual-time expiry
+  int max_delegation_depth = 0;  ///< how many further levels may be minted
+  Digest mac{};               ///< HMAC over the canonical fields
+
+  /// Canonical bytes covered by the MAC (everything except the MAC).
+  Bytes canonical() const;
+
+  Bytes encode() const;
+  static Result<Credential> decode(BufReader& r);
+};
+
+/// A delegation chain: chain[0] is CA-issued; chain[i>0] is signed with
+/// chain[i-1]'s MAC.
+struct CredentialChain {
+  std::vector<Credential> links;
+
+  const Credential& leaf() const { return links.back(); }
+
+  /// Hex-encoded wire form (fits anywhere a string credential is carried).
+  std::string encode_hex() const;
+  static Result<CredentialChain> decode_hex(const std::string& hex);
+
+  Bytes encode() const;
+  static Result<CredentialChain> decode(const Bytes& data);
+};
+
+/// The grid certificate authority (symmetric-trust stand-in).
+class CertAuthority {
+ public:
+  explicit CertAuthority(std::string secret) : secret_(std::move(secret)) {}
+
+  /// Issues a root credential for `subject`, valid until `expires_at`
+  /// (virtual time), allowing `max_delegation_depth` further levels.
+  CredentialChain issue(const std::string& subject, sim::Time expires_at,
+                        int max_delegation_depth = 2) const;
+
+  /// Verifies a chain at virtual time `now`: MAC chain intact, no link
+  /// expired, delegation depth respected, subjects properly nested.
+  Status verify(const CredentialChain& chain, sim::Time now) const;
+
+ private:
+  std::string secret_;
+};
+
+/// Mints a child credential signed by `parent`'s leaf — no CA needed (the
+/// GSI proxy-credential operation). The child's lifetime is clipped to the
+/// parent's and its remaining delegation depth decreases by one.
+/// Fails when the parent's depth is exhausted.
+Result<CredentialChain> delegate(const CredentialChain& parent,
+                                 const std::string& child_role,
+                                 sim::Time expires_at);
+
+}  // namespace wacs::security

@@ -1,0 +1,54 @@
+// SHA-256 (FIPS 180-4), implemented from scratch — no crypto dependency is
+// available offline, and the credential layer needs a real hash.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace wacs::security {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// One-shot SHA-256.
+Digest sha256(std::span<const std::uint8_t> data);
+inline Digest sha256(const std::string& s) {
+  return sha256(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+/// Incremental interface (used by HMAC).
+class Sha256 {
+ public:
+  Sha256();
+  void update(std::span<const std::uint8_t> data);
+  Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// Lowercase hex of a digest.
+std::string to_hex(const Digest& digest);
+/// Parses 64 hex chars; error on malformed input.
+Result<Digest> digest_from_hex(const std::string& hex);
+
+/// HMAC-SHA-256 (RFC 2104).
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message);
+inline Digest hmac_sha256(const Bytes& key, const Bytes& message) {
+  return hmac_sha256(std::span<const std::uint8_t>(key),
+                     std::span<const std::uint8_t>(message));
+}
+
+/// Constant-time digest comparison.
+bool digest_equal(const Digest& a, const Digest& b);
+
+}  // namespace wacs::security

@@ -1,0 +1,64 @@
+// Typed blocking message channel between simulated processes.
+//
+// Channels are zero-latency in-memory queues: the building block for
+// intra-host coordination (e.g. a Q server handing a job to a worker
+// process). Anything that crosses the network uses simnet TCP instead, which
+// charges latency and bandwidth.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/error.hpp"
+#include "simnet/waitq.hpp"
+
+namespace wacs::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& engine) : readers_(engine) {}
+
+  /// Enqueues a value; never blocks (unbounded queue).
+  void send(T value) {
+    WACS_CHECK_MSG(!closed_, "send on closed channel");
+    queue_.push_back(std::move(value));
+    readers_.notify_one();
+  }
+
+  /// Blocks `self` until a value or close. Returns nullopt once the channel
+  /// is closed *and* drained.
+  std::optional<T> recv(Process& self) {
+    readers_.wait_until(self, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_recv() {
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  /// Marks the channel closed; pending values remain receivable.
+  void close() {
+    closed_ = true;
+    readers_.notify_all();
+  }
+
+  bool closed() const { return closed_; }
+  std::size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  std::deque<T> queue_;
+  WaitQueue readers_;
+  bool closed_ = false;
+};
+
+}  // namespace wacs::sim

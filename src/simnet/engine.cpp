@@ -1,0 +1,162 @@
+#include "simnet/engine.hpp"
+
+#include "common/log.hpp"
+
+namespace wacs::sim {
+namespace {
+const log::Logger kLog("sim.engine");
+}
+
+// ---------------------------------------------------------------- Process
+
+Process::Process(Engine& engine, std::string name,
+                 std::function<void(Process&)> body)
+    : engine_(engine), name_(std::move(name)), body_(std::move(body)) {
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+Process::~Process() {
+  // Engine::shutdown() is responsible for unwinding; by the time a Process
+  // is destroyed its thread must have finished.
+  if (thread_.joinable()) thread_.join();
+}
+
+void Process::thread_main() {
+  // Wait for the first scheduling slice before running the body.
+  proc_token_.acquire();
+  try {
+    // A process that was spawned but never scheduled before shutdown must
+    // not run its body during teardown.
+    if (!engine_.shutting_down()) body_(*this);
+  } catch (const ShutdownError&) {
+    // Normal teardown path for daemon processes blocked at shutdown.
+  }
+  state_ = State::kFinished;
+  engine_token_.release();  // final handoff; never resumed again
+}
+
+void Process::switch_to_engine() {
+  engine_token_.release();
+  proc_token_.acquire();
+  if (engine_.shutting_down()) throw ShutdownError{};
+}
+
+void Process::run_slice() {
+  WACS_CHECK_MSG(state_ == State::kRunnable || state_ == State::kCreated,
+                 "resuming a process that is not runnable");
+  state_ = State::kRunning;
+  proc_token_.release();
+  engine_token_.acquire();
+  if (state_ == State::kRunning) state_ = State::kWaiting;
+}
+
+void Process::sleep(double seconds) {
+  WACS_CHECK(seconds >= 0);
+  sleep_until(engine_.now() + from_sec(seconds));
+}
+
+void Process::sleep_until(Time t) {
+  WACS_CHECK_MSG(state_ == State::kRunning,
+                 "sleep() must be called from the process's own body");
+  engine_.at(t, [this] { wake(); });
+  suspend();
+}
+
+void Process::yield() {
+  engine_.at(engine_.now(), [this] { wake(); });
+  suspend();
+}
+
+void Process::suspend() {
+  WACS_CHECK_MSG(state_ == State::kRunning,
+                 "suspend() must be called from the process's own body");
+  state_ = State::kWaiting;
+  switch_to_engine();
+  // Woken: the engine has already marked us kRunning via run_slice().
+}
+
+void Process::wake() {
+  if (state_ != State::kWaiting) return;  // not suspended: ignore
+  state_ = State::kRunnable;
+  run_slice();
+}
+
+// ----------------------------------------------------------------- Engine
+
+Engine::~Engine() { shutdown(); }
+
+void Engine::at(Time t, std::function<void()> fn) {
+  WACS_CHECK_MSG(t >= now_, "cannot schedule an event in the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+Process* Engine::spawn(std::string name, std::function<void(Process&)> body) {
+  WACS_CHECK_MSG(!shutting_down_, "spawn() after shutdown");
+  auto proc = std::unique_ptr<Process>(
+      new Process(*this, std::move(name), std::move(body)));
+  Process* raw = proc.get();
+  processes_.push_back(std::move(proc));
+  at(now_, [raw] {
+    raw->state_ = Process::State::kRunnable;
+    raw->run_slice();
+  });
+  return raw;
+}
+
+void Engine::dispatch_next() {
+  // The queue's top is copied out before execution because the handler may
+  // schedule new events (invalidating top()).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.t;
+  ++events_executed_;
+  ev.fn();
+}
+
+void Engine::run() {
+  WACS_CHECK_MSG(!running_, "Engine::run() is not reentrant");
+  running_ = true;
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) dispatch_next();
+  running_ = false;
+}
+
+void Engine::run_until(Time deadline) {
+  WACS_CHECK_MSG(!running_, "Engine::run() is not reentrant");
+  running_ = true;
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().t <= deadline) {
+    dispatch_next();
+  }
+  if (now_ < deadline && !stopped_) now_ = deadline;
+  running_ = false;
+}
+
+void Engine::shutdown() {
+  if (shutting_down_) return;
+  shutting_down_ = true;
+  // Resume every blocked process so it observes shutting_down() and throws
+  // ShutdownError, unwinding its stack. Iterate by index: a dying process
+  // does not spawn, but be defensive about vector growth anyway.
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    Process& p = *processes_[i];
+    if (p.state_ == Process::State::kWaiting) {
+      p.state_ = Process::State::kRunnable;
+      p.run_slice();
+    } else if (p.state_ == Process::State::kCreated) {
+      // Never scheduled: give the thread its first token so thread_main can
+      // observe shutdown (body runs, but its first blocking call throws).
+      p.state_ = Process::State::kRunnable;
+      p.run_slice();
+    }
+    WACS_CHECK_MSG(p.finished(), "process failed to unwind at shutdown");
+  }
+  processes_.clear();
+  // Pending events may capture sockets/listeners whose destructors touch
+  // topology objects; drop them now, while those objects are still alive.
+  queue_ = {};
+  kLog.debug("engine shut down after %llu events",
+             static_cast<unsigned long long>(events_executed_));
+}
+
+}  // namespace wacs::sim

@@ -1,0 +1,163 @@
+// Discrete-event simulation engine with cooperative processes.
+//
+// The engine owns a time-ordered event queue. Simulated daemons (proxy
+// servers, Q servers, MPI ranks, ...) are Processes: each runs on its own
+// OS thread, but exactly one thread — either the engine or a single process —
+// executes at any instant, handing control back and forth through binary
+// semaphores. This gives processes natural blocking semantics (recv(),
+// accept(), sleep()) without callback inversion, while keeping the
+// simulation fully deterministic: ties in the event queue break by insertion
+// order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <semaphore>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "simnet/time.hpp"
+
+namespace wacs::sim {
+
+class Engine;
+
+/// Thrown inside a process blocked on a primitive when the engine shuts
+/// down; unwinds the process stack so its thread can be joined. Process
+/// bodies do not normally catch it.
+struct ShutdownError {};
+
+/// A simulated sequential process. Created via Engine::spawn(); the body
+/// runs on a dedicated thread and may call the blocking operations below.
+class Process {
+ public:
+  ~Process();
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  const std::string& name() const { return name_; }
+  Engine& engine() const { return engine_; }
+
+  /// Advances this process's virtual time by `seconds`.
+  void sleep(double seconds);
+  void sleep_until(Time t);
+
+  /// Cede control so other events at the current timestamp can run.
+  void yield();
+
+  /// Blocks until another actor calls wake(). Used by synchronization
+  /// primitives (channels, sockets); application code normally uses those
+  /// instead. Throws ShutdownError if the engine is shutting down.
+  void suspend();
+
+  /// Makes a suspended process runnable at the current simulation time.
+  /// No-op if the process is not currently suspended (so a notify racing
+  /// with a timeout is harmless).
+  ///
+  /// Calling wake() from another process's body executes the woken process
+  /// *nested* inside the caller until it blocks again. Synchronization
+  /// primitives avoid that by deferring through the event queue:
+  /// `engine().at(engine().now(), [p]{ p->wake(); })`.
+  void wake();
+
+  bool finished() const { return state_ == State::kFinished; }
+
+ private:
+  friend class Engine;
+
+  enum class State { kCreated, kRunnable, kRunning, kWaiting, kFinished };
+
+  Process(Engine& engine, std::string name,
+          std::function<void(Process&)> body);
+
+  void thread_main();
+  void switch_to_engine();   // called on process thread
+  void run_slice();          // called on engine thread: give process the token
+
+  Engine& engine_;
+  std::string name_;
+  std::function<void(Process&)> body_;
+  State state_ = State::kCreated;
+  std::binary_semaphore proc_token_{0};
+  std::binary_semaphore engine_token_{0};
+  std::thread thread_;
+};
+
+/// The event-driven simulation core.
+class Engine {
+ public:
+  Engine() = default;
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now).
+  void at(Time t, std::function<void()> fn);
+  /// Schedules `fn` after `seconds` of virtual time.
+  void after(double seconds, std::function<void()> fn) {
+    at(now_ + from_sec(seconds), std::move(fn));
+  }
+
+  /// Creates a process whose body starts at the current simulation time.
+  /// The body receives its own Process handle for blocking calls. The
+  /// returned pointer stays valid for the engine's lifetime.
+  Process* spawn(std::string name, std::function<void(Process&)> body);
+
+  /// Convenience overload for bodies that capture their handle externally.
+  Process* spawn(std::string name, std::function<void()> body) {
+    return spawn(std::move(name),
+                 [body = std::move(body)](Process&) { body(); });
+  }
+
+  /// Runs events until the queue drains or stop() is called. Processes that
+  /// are still blocked when the queue drains remain suspended (they are
+  /// unwound at shutdown); this is normal for daemon processes.
+  void run();
+
+  /// Runs until the queue drains or the clock would pass `deadline`.
+  void run_until(Time deadline);
+
+  void stop() { stopped_ = true; }
+
+  bool shutting_down() const { return shutting_down_; }
+
+  /// Number of events executed so far (for tests and perf sanity checks).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Unwinds and joins every process. Called by the destructor; may be
+  /// called earlier to assert clean teardown in tests.
+  void shutdown();
+
+ private:
+  friend class Process;
+
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  void dispatch_next();
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  bool stopped_ = false;
+  bool shutting_down_ = false;
+  bool running_ = false;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<std::unique_ptr<Process>> processes_;
+};
+
+}  // namespace wacs::sim

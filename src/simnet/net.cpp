@@ -1,0 +1,258 @@
+#include "simnet/net.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/units.hpp"
+#include "simnet/tcp.hpp"
+
+namespace wacs::sim {
+
+// ------------------------------------------------------------------- Link
+
+Time Link::transmit(Time start, int direction, std::uint64_t bytes) {
+  const int dir = params_.duplex ? (direction & 1) : 0;
+  const Time begin = std::max(start, busy_until_[dir]);
+  const Time tx = from_sec(static_cast<double>(bytes) / params_.bandwidth_bps);
+  busy_until_[dir] = begin + tx;
+  bytes_carried_ += bytes;
+  ++messages_carried_;
+  return busy_until_[dir] + from_sec(params_.latency_s);
+}
+
+// ------------------------------------------------------------------- Host
+
+Host::Host(Network& network, HostParams params)
+    : network_(&network),
+      params_(std::move(params)),
+      loopback_(LinkParams{.name = params_.name + "-lo",
+                           .latency_s = usec(15),
+                           .bandwidth_bps = mbyte_per_sec(200),
+                           .duplex = true}) {
+  stack_ = std::make_unique<NetStack>(*this);
+}
+
+Host::~Host() = default;
+
+// ---------------------------------------------------------------- Network
+
+Site& Network::add_site(const std::string& name, fw::Policy policy,
+                        LinkParams lan) {
+  WACS_CHECK_MSG(sites_by_name_.count(name) == 0, "duplicate site " + name);
+  if (lan.name.empty()) lan.name = name + "-lan";
+  auto site = std::unique_ptr<Site>(
+      new Site(name, std::move(policy), std::move(lan)));
+  Site* raw = site.get();
+  sites_.push_back(std::move(site));
+  sites_by_name_[name] = raw;
+  return *raw;
+}
+
+Host& Network::add_host(HostParams params) {
+  WACS_CHECK_MSG(hosts_by_name_.count(params.name) == 0,
+                 "duplicate host " + params.name);
+  WACS_CHECK_MSG(sites_by_name_.count(params.site) != 0,
+                 "host " + params.name + " references unknown site " +
+                     params.site);
+  auto host = std::unique_ptr<Host>(new Host(*this, std::move(params)));
+  Host* raw = host.get();
+  hosts_.push_back(std::move(host));
+  hosts_by_name_[raw->name()] = raw;
+  sites_by_name_[raw->site()]->hosts_.push_back(raw);
+  return *raw;
+}
+
+Link& Network::connect_sites(const std::string& site_a,
+                             const std::string& site_b, LinkParams params) {
+  WACS_CHECK(sites_by_name_.count(site_a) != 0);
+  WACS_CHECK(sites_by_name_.count(site_b) != 0);
+  WACS_CHECK_MSG(site_a != site_b, "WAN link must join distinct sites");
+  auto key = std::minmax(site_a, site_b);
+  auto key_pair = std::make_pair(key.first, key.second);
+  WACS_CHECK_MSG(wan_.count(key_pair) == 0,
+                 "sites already connected: " + site_a + "," + site_b);
+  if (params.name.empty()) params.name = key.first + "<->" + key.second;
+  auto link = std::make_unique<Link>(std::move(params));
+  Link* raw = link.get();
+  wan_[key_pair] = std::move(link);
+  return *raw;
+}
+
+Result<Site*> Network::find_site(const std::string& name) {
+  auto it = sites_by_name_.find(name);
+  if (it == sites_by_name_.end()) {
+    return Error(ErrorCode::kNotFound, "unknown site " + name);
+  }
+  return it->second;
+}
+
+Result<Host*> Network::find_host(const std::string& name) {
+  auto it = hosts_by_name_.find(name);
+  if (it == hosts_by_name_.end()) {
+    return Error(ErrorCode::kNotFound, "unknown host " + name);
+  }
+  return it->second;
+}
+
+Host& Network::host(const std::string& name) {
+  auto h = find_host(name);
+  WACS_CHECK_MSG(h.ok(), "unknown host " + name);
+  return **h;
+}
+
+Site& Network::site(const std::string& name) {
+  auto s = find_site(name);
+  WACS_CHECK_MSG(s.ok(), "unknown site " + name);
+  return **s;
+}
+
+Result<std::vector<Link*>> Network::route(Host& src, Host& dst) {
+  if (&src == &dst) {
+    return std::vector<Link*>{&src.loopback_};
+  }
+  Site& ssite = site(src.site());
+  Site& dsite = site(dst.site());
+  if (&ssite == &dsite) {
+    return std::vector<Link*>{&ssite.lan()};
+  }
+  auto key = std::minmax(src.site(), dst.site());
+  auto it = wan_.find(std::make_pair(key.first, key.second));
+  if (it == wan_.end()) {
+    return Error(ErrorCode::kNotFound,
+                 "no WAN route between " + src.site() + " and " + dst.site());
+  }
+  return std::vector<Link*>{&ssite.lan(), it->second.get(), &dsite.lan()};
+}
+
+int Network::direction_of(Host& src, Host& dst) const {
+  // One bit per path, used only by duplex links: orient by lexicographic
+  // (site, host) order so that A->B and B->A occupy independent resources.
+  auto src_key = std::make_pair(src.site(), src.name());
+  auto dst_key = std::make_pair(dst.site(), dst.name());
+  return src_key < dst_key ? 0 : 1;
+}
+
+Status Network::admit_connection(Host& src, Host& dst,
+                                 std::uint16_t dst_port) {
+  Site& ssite = site(src.site());
+  Site& dsite = site(dst.site());
+
+  fw::ConnAttempt attempt;
+  attempt.src_host = src.name();
+  attempt.src_site = src.site();
+  attempt.dst_host = dst.name();
+  attempt.dst_site = dst.site();
+  attempt.dst_port = dst_port;
+
+  auto deny = [&](const fw::Firewall& firewall) {
+    return Status(ErrorCode::kPermissionDenied,
+                  "connection " + src.name() + " -> " + dst.name() + ":" +
+                      std::to_string(dst_port) + " denied by " +
+                      firewall.name());
+  };
+
+  if (&ssite == &dsite) {
+    // Same site: the firewall only sits between the DMZ and the inside.
+    if (src.zone() == Zone::kDmz && dst.zone() == Zone::kInside) {
+      attempt.direction = fw::Direction::kInbound;
+      if (!ssite.firewall().permit(attempt)) return deny(ssite.firewall());
+    } else if (src.zone() == Zone::kInside && dst.zone() == Zone::kDmz) {
+      attempt.direction = fw::Direction::kOutbound;
+      if (!ssite.firewall().permit(attempt)) return deny(ssite.firewall());
+    }
+    return Status();
+  }
+
+  // Cross-site: leave the source site (outbound, unless the source host is
+  // already outside the filter), then enter the destination site (inbound,
+  // unless the destination host is in the DMZ).
+  if (src.zone() == Zone::kInside) {
+    attempt.direction = fw::Direction::kOutbound;
+    if (!ssite.firewall().permit(attempt)) return deny(ssite.firewall());
+  }
+  if (dst.zone() == Zone::kInside) {
+    attempt.direction = fw::Direction::kInbound;
+    if (!dsite.firewall().permit(attempt)) return deny(dsite.firewall());
+  }
+  return Status();
+}
+
+Time Network::deliver(Host& src, Host& dst, std::uint64_t payload_bytes) {
+  auto path = route(src, dst);
+  WACS_CHECK_MSG(path.ok(), path.error().message());
+  const int dir = direction_of(src, dst);
+  const std::uint64_t wire_bytes = payload_bytes + kMessageOverheadBytes;
+  Time t = engine_.now();
+  for (Link* link : *path) t = link->transmit(t, dir, wire_bytes);
+  return t;
+}
+
+Time Network::path_latency(Host& src, Host& dst) {
+  auto path = route(src, dst);
+  WACS_CHECK_MSG(path.ok(), path.error().message());
+  Time t = engine_.now();
+  for (Link* link : *path) t = link->latency_only(t);
+  return t;
+}
+
+std::string Network::traffic_report() const {
+  const double elapsed = to_sec(engine_.now());
+  std::string out = "link traffic";
+  char buf[160];
+  std::snprintf(buf, sizeof buf, " (over %.3f virtual seconds):\n", elapsed);
+  out += buf;
+  auto add_link = [&](const Link& link) {
+    if (link.messages_carried() == 0) return;
+    const double util =
+        elapsed > 0 ? static_cast<double>(link.bytes_carried()) /
+                          link.params().bandwidth_bps / elapsed
+                    : 0.0;
+    std::snprintf(buf, sizeof buf,
+                  "  %-20s %12llu bytes  %8llu msgs  %5.1f%% mean util\n",
+                  link.params().name.c_str(),
+                  static_cast<unsigned long long>(link.bytes_carried()),
+                  static_cast<unsigned long long>(link.messages_carried()),
+                  100.0 * util);
+    out += buf;
+  };
+  for (const auto& site : sites_) add_link(site->lan());
+  for (const auto& [key, link] : wan_) add_link(*link);
+  for (const auto& host : hosts_) add_link(host->loopback_);
+  return out;
+}
+
+void Network::reset_traffic_counters() {
+  for (const auto& site : sites_) site->lan().reset_counters();
+  for (const auto& [key, link] : wan_) link->reset_counters();
+  for (const auto& host : hosts_) host->loopback_.reset_counters();
+}
+
+std::string Network::describe() const {
+  std::string out;
+  for (const auto& site : sites_) {
+    out += "site " + site->name() + "  (lan: " + site->lan().params().name;
+    char buf[96];
+    std::snprintf(buf, sizeof buf, ", %.2f ms, %.2f MB/s)\n",
+                  site->lan().params().latency_s * 1e3,
+                  site->lan().params().bandwidth_bps / 1e6);
+    out += buf;
+    for (const Host* h : site->hosts()) {
+      std::snprintf(buf, sizeof buf, "  host %-14s zone=%-6s speed=%.2f cpus=%d\n",
+                    h->name().c_str(),
+                    h->zone() == Zone::kDmz ? "dmz" : "inside", h->cpu_speed(),
+                    h->cpus());
+      out += buf;
+    }
+  }
+  for (const auto& [key, link] : wan_) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "wan %s <-> %s  (%.2f ms, %.0f kbit/s)\n",
+                  key.first.c_str(), key.second.c_str(),
+                  link->params().latency_s * 1e3,
+                  link->params().bandwidth_bps * 8 / 1e3);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace wacs::sim

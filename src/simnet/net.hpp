@@ -1,0 +1,195 @@
+// Network topology model: sites, hosts, links, routing, firewall placement.
+//
+// The model is flow-level and message-granular: a message of S bytes moving
+// across a path is charged, per hop, queueing behind earlier traffic on that
+// link (busy-until reservation), S/bandwidth of transmission time, and the
+// link's propagation latency (store-and-forward per hop). That is coarse but
+// captures exactly the quantities the paper reports: per-message latency,
+// size-dependent bandwidth, and contention between flows sharing the 1.5 Mbps
+// WAN.
+//
+// Firewalls sit at site boundaries. Hosts are either kInside (behind the
+// firewall) or kDmz (outside it, like the paper's outer proxy server at
+// RWCP, reachable from the Internet without traversing the filter).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "firewall/policy.hpp"
+#include "simnet/engine.hpp"
+
+namespace wacs::sim {
+
+enum class Zone { kInside, kDmz };
+
+/// Physical characteristics of a link.
+struct LinkParams {
+  std::string name;
+  double latency_s = 0;        ///< one-way propagation + stack traversal
+  double bandwidth_bps = 1e9;  ///< bytes per second
+  bool duplex = true;          ///< false = shared segment (single resource)
+};
+
+/// A transmission resource. transmit() serializes messages FIFO per
+/// direction by keeping a busy-until horizon.
+class Link {
+ public:
+  explicit Link(LinkParams params) : params_(std::move(params)) {
+    WACS_CHECK(params_.bandwidth_bps > 0);
+    WACS_CHECK(params_.latency_s >= 0);
+  }
+
+  /// Reserves the medium for `bytes` starting no earlier than `start`
+  /// (direction 0 or 1; ignored for shared segments). Returns the arrival
+  /// time at the far end.
+  Time transmit(Time start, int direction, std::uint64_t bytes);
+
+  /// Propagation-only traversal (control packets whose occupancy we ignore).
+  Time latency_only(Time start) const {
+    return start + from_sec(params_.latency_s);
+  }
+
+  const LinkParams& params() const { return params_; }
+  std::uint64_t bytes_carried() const { return bytes_carried_; }
+  std::uint64_t messages_carried() const { return messages_carried_; }
+  void reset_counters() { bytes_carried_ = messages_carried_ = 0; }
+
+ private:
+  LinkParams params_;
+  Time busy_until_[2] = {0, 0};
+  std::uint64_t bytes_carried_ = 0;
+  std::uint64_t messages_carried_ = 0;
+};
+
+class Network;
+class NetStack;
+
+/// Parameters for creating a host.
+struct HostParams {
+  std::string name;
+  std::string site;
+  Zone zone = Zone::kInside;
+  double cpu_speed = 1.0;  ///< relative compute rate (see core/testbeds)
+  int cpus = 1;
+};
+
+/// A machine attached to a site's LAN. Its NetStack provides the TCP-like
+/// transport (see simnet/tcp.hpp).
+class Host {
+ public:
+  ~Host();  // out of line: NetStack is incomplete here
+
+  const std::string& name() const { return params_.name; }
+  const std::string& site() const { return params_.site; }
+  Zone zone() const { return params_.zone; }
+  double cpu_speed() const { return params_.cpu_speed; }
+  int cpus() const { return params_.cpus; }
+
+  NetStack& stack() { return *stack_; }
+  Network& network() { return *network_; }
+
+ private:
+  friend class Network;
+  Host(Network& network, HostParams params);
+
+  Network* network_;
+  HostParams params_;
+  std::unique_ptr<NetStack> stack_;
+  Link loopback_;
+};
+
+/// A site: a LAN segment, a set of hosts, and a gateway firewall.
+class Site {
+ public:
+  const std::string& name() const { return name_; }
+  fw::Firewall& firewall() { return firewall_; }
+  Link& lan() { return lan_; }
+  const std::vector<Host*>& hosts() const { return hosts_; }
+
+ private:
+  friend class Network;
+  Site(std::string name, fw::Policy policy, LinkParams lan)
+      : name_(std::move(name)),
+        firewall_(name_ + "-fw", std::move(policy)),
+        lan_(std::move(lan)) {}
+
+  std::string name_;
+  fw::Firewall firewall_;
+  Link lan_;
+  std::vector<Host*> hosts_;
+};
+
+/// The whole topology plus routing and admission control.
+class Network {
+ public:
+  explicit Network(Engine& engine) : engine_(engine) {}
+
+  /// Unwinds every simulated process (and drops queued events) before the
+  /// hosts they reference are destroyed. This makes `Engine engine; Network
+  /// net{engine};` member order safe regardless of destruction order of
+  /// objects that capture hosts/sockets in process stacks or events.
+  ~Network() { engine_.shutdown(); }
+
+  Engine& engine() { return engine_; }
+
+  /// Framing overhead charged per message on every link (headers, acks).
+  static constexpr std::uint64_t kMessageOverheadBytes = 64;
+
+  Site& add_site(const std::string& name, fw::Policy policy, LinkParams lan);
+  Host& add_host(HostParams params);
+  /// Installs a point-to-point WAN link between two existing sites.
+  Link& connect_sites(const std::string& site_a, const std::string& site_b,
+                      LinkParams params);
+
+  Result<Site*> find_site(const std::string& name);
+  Result<Host*> find_host(const std::string& name);
+  /// find_host that aborts on unknown names; for topology-construction code.
+  Host& host(const std::string& name);
+  Site& site(const std::string& name);
+
+  /// The hop sequence from `src` to `dst` (loopback, LAN, or LAN-WAN-LAN).
+  /// Errors when the sites are not connected.
+  Result<std::vector<Link*>> route(Host& src, Host& dst);
+
+  /// Applies every firewall on the src→dst path to a connection attempt
+  /// toward `dst_port`. Counters update on the evaluating firewall.
+  Status admit_connection(Host& src, Host& dst, std::uint16_t dst_port);
+
+  /// Charges a message across the full path; returns arrival time.
+  /// Precondition: a route exists (call sites hold an open connection).
+  Time deliver(Host& src, Host& dst, std::uint64_t payload_bytes);
+
+  /// Sum of hop latencies src→dst, no occupancy (control-packet time).
+  Time path_latency(Host& src, Host& dst);
+
+  const std::vector<std::unique_ptr<Site>>& sites() const { return sites_; }
+
+  /// Human-readable topology description (used by bench headers to echo the
+  /// paper's Figure 5).
+  std::string describe() const;
+
+  /// Traffic accounting per link (LANs, WANs, loopbacks with traffic),
+  /// rendered as a table: bytes, messages, and mean utilization over
+  /// [0, now]. Examples print this after a run.
+  std::string traffic_report() const;
+
+  /// Zeroes every link counter (per-experiment measurement windows).
+  void reset_traffic_counters();
+
+ private:
+  int direction_of(Host& src, Host& dst) const;
+
+  Engine& engine_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::map<std::string, Site*> sites_by_name_;
+  std::map<std::string, Host*> hosts_by_name_;
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<Link>> wan_;
+};
+
+}  // namespace wacs::sim

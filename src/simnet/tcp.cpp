@@ -1,0 +1,223 @@
+#include "simnet/tcp.hpp"
+
+#include "common/log.hpp"
+
+namespace wacs::sim {
+namespace {
+const log::Logger kLog("sim.tcp");
+
+constexpr std::uint16_t kDefaultEphemeralLo = 32768;
+constexpr std::uint16_t kDefaultEphemeralHi = 60999;
+}  // namespace
+
+// -------------------------------------------------------------- SimSocket
+
+Status SimSocket::send(Bytes message) {
+  detail::ConnState& st = *state_;
+  if (st.closed[side_]) {
+    return Status(ErrorCode::kConnectionClosed, "send on closed socket");
+  }
+  if (st.fin_seen[side_]) {
+    return Status(ErrorCode::kConnectionClosed, "peer closed the connection");
+  }
+  Network& net = local_host_->network();
+  st.bytes_sent[side_] += message.size();
+  const Time arrival = net.deliver(*local_host_, *peer_host_, message.size());
+  const int peer_side = 1 - side_;
+  auto state = state_;
+  net.engine().at(arrival, [state, peer_side, msg = std::move(message)]() mutable {
+    state->inbox[peer_side].push_back(std::move(msg));
+    state->readers[peer_side].notify_one();
+  });
+  return Status();
+}
+
+Result<Bytes> SimSocket::recv(Process& self) {
+  detail::ConnState& st = *state_;
+  st.readers[side_].wait_until(self, [&] {
+    return !st.inbox[side_].empty() || st.fin_seen[side_] || st.closed[side_];
+  });
+  if (!st.inbox[side_].empty()) {
+    Bytes msg = std::move(st.inbox[side_].front());
+    st.inbox[side_].pop_front();
+    return msg;
+  }
+  return Error(ErrorCode::kConnectionClosed,
+               st.closed[side_] ? "socket closed locally" : "end of stream");
+}
+
+std::optional<Bytes> SimSocket::try_recv() {
+  detail::ConnState& st = *state_;
+  if (st.inbox[side_].empty()) return std::nullopt;
+  Bytes msg = std::move(st.inbox[side_].front());
+  st.inbox[side_].pop_front();
+  return msg;
+}
+
+bool SimSocket::recv_ready() const {
+  const detail::ConnState& st = *state_;
+  return !st.inbox[side_].empty() || st.fin_seen[side_] || st.closed[side_];
+}
+
+void SimSocket::close() {
+  detail::ConnState& st = *state_;
+  if (st.closed[side_]) return;
+  st.closed[side_] = true;
+  st.readers[side_].notify_all();
+  // The FIN rides the same path as data, so it arrives after everything
+  // already sent (FIFO per direction).
+  Network& net = local_host_->network();
+  const Time arrival = net.deliver(*local_host_, *peer_host_, 0);
+  const int peer_side = 1 - side_;
+  auto state = state_;
+  net.engine().at(arrival, [state, peer_side] {
+    state->fin_seen[peer_side] = true;
+    state->readers[peer_side].notify_all();
+  });
+}
+
+bool SimSocket::closed() const {
+  return state_->closed[side_] || state_->fin_seen[side_];
+}
+
+// ------------------------------------------------------------ SimListener
+
+SimListener::~SimListener() { close(); }
+
+Result<SocketPtr> SimListener::accept(Process& self) {
+  pending_waiters_.wait_until(self,
+                              [this] { return !pending_.empty() || closed_; });
+  if (!pending_.empty()) {
+    SocketPtr s = std::move(pending_.front());
+    pending_.pop_front();
+    return s;
+  }
+  return Error(ErrorCode::kConnectionClosed, "listener closed");
+}
+
+std::optional<SocketPtr> SimListener::try_accept() {
+  if (pending_.empty()) return std::nullopt;
+  SocketPtr s = std::move(pending_.front());
+  pending_.pop_front();
+  return s;
+}
+
+void SimListener::close() {
+  if (closed_) return;
+  closed_ = true;
+  // Refuse connections that were accepted by the stack but never by the
+  // application: the dialing side sees an immediate EOF.
+  for (SocketPtr& s : pending_) s->close();
+  pending_.clear();
+  host_->stack().release_port(port_);
+  pending_waiters_.notify_all();
+}
+
+// --------------------------------------------------------------- NetStack
+
+Result<ListenerPtr> NetStack::listen(std::uint16_t port, const Env* env) {
+  Engine& engine = host_->network().engine();
+  if (port == 0) {
+    std::uint16_t lo = kDefaultEphemeralLo;
+    std::uint16_t hi = kDefaultEphemeralHi;
+    if (env != nullptr) {
+      auto min_port = env->get_int(env_keys::kTcpMinPort, lo);
+      if (!min_port) return min_port.error();
+      auto max_port = env->get_int(env_keys::kTcpMaxPort, hi);
+      if (!max_port) return max_port.error();
+      lo = static_cast<std::uint16_t>(*min_port);
+      hi = static_cast<std::uint16_t>(*max_port);
+      if (lo > hi || *min_port < 1 || *max_port > 65535) {
+        return Error(ErrorCode::kInvalidArgument,
+                     "bad TCP_MIN_PORT/TCP_MAX_PORT range");
+      }
+    }
+    bool found = false;
+    for (std::uint32_t p = lo; p <= hi; ++p) {
+      if (listeners_.count(static_cast<std::uint16_t>(p)) == 0) {
+        port = static_cast<std::uint16_t>(p);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Error(ErrorCode::kResourceExhausted,
+                   "no free port in [" + std::to_string(lo) + "," +
+                       std::to_string(hi) + "] on " + host_->name());
+    }
+  } else if (listeners_.count(port) != 0) {
+    return Error(ErrorCode::kAlreadyExists,
+                 "port " + std::to_string(port) + " already bound on " +
+                     host_->name());
+  }
+
+  auto listener =
+      std::shared_ptr<SimListener>(new SimListener(*host_, port, engine));
+  listeners_[port] = listener;
+  return listener;
+}
+
+Result<SocketPtr> NetStack::connect(Process& self, const Contact& dst) {
+  Network& net = host_->network();
+  Engine& engine = net.engine();
+
+  auto dst_host = net.find_host(dst.host);
+  if (!dst_host) return dst_host.error();
+  auto path = net.route(*host_, **dst_host);
+  if (!path) return path.error();
+
+  const Time syn_arrival = net.path_latency(*host_, **dst_host);
+  const Time rtt_done =
+      syn_arrival + (net.path_latency(**dst_host, *host_) - engine.now());
+
+  // Firewall verdict: a deny-based filter drops the SYN, so the caller
+  // learns nothing until its own timeout; we charge one round trip as a
+  // conservative stand-in for that timeout.
+  Status admitted = net.admit_connection(*host_, **dst_host, dst.port);
+  if (!admitted.ok()) {
+    self.sleep_until(rtt_done);
+    return admitted.error();
+  }
+
+  NetStack& peer_stack = (*dst_host)->stack();
+  auto it = peer_stack.listeners_.find(dst.port);
+  std::shared_ptr<SimListener> listener =
+      it != peer_stack.listeners_.end() ? it->second.lock() : nullptr;
+  if (listener == nullptr || listener->closed_) {
+    self.sleep_until(rtt_done);
+    return Error(ErrorCode::kConnectionRefused,
+                 "no listener on " + dst.to_string());
+  }
+
+  const Contact local_contact{host_->name(), next_ephemeral_++};
+  if (next_ephemeral_ == 0) next_ephemeral_ = kDefaultEphemeralLo;
+
+  auto state = std::make_shared<detail::ConnState>(engine);
+  auto client = SocketPtr(new SimSocket(*host_, **dst_host, local_contact,
+                                        dst, state, 0));
+  auto server = SocketPtr(new SimSocket(**dst_host, *host_,
+                                        Contact{(*dst_host)->name(), dst.port},
+                                        local_contact, state, 1));
+
+  engine.at(syn_arrival, [listener, server, state] {
+    if (listener->closed_) {
+      // Listener vanished while the SYN was in flight: refuse.
+      state->fin_seen[0] = true;
+      state->readers[0].notify_all();
+      return;
+    }
+    listener->pending_.push_back(server);
+    listener->pending_waiters_.notify_one();
+  });
+
+  self.sleep_until(rtt_done);
+  if (state->fin_seen[0]) {
+    return Error(ErrorCode::kConnectionRefused,
+                 "listener closed during handshake on " + dst.to_string());
+  }
+  kLog.trace("%s connected to %s", host_->name().c_str(),
+             dst.to_string().c_str());
+  return client;
+}
+
+}  // namespace wacs::sim

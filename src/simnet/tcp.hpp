@@ -1,0 +1,159 @@
+// TCP-like transport over the simulated network.
+//
+// Message-oriented streams: each send() delivers one framed message (Nexus,
+// the proxy protocol, and MiniMPI are all message protocols, so the model
+// frames at that granularity). Connection establishment performs the
+// firewall admission check at the site gateways and costs one round trip;
+// data messages are charged latency + bandwidth + queueing along the path.
+//
+// Ephemeral port allocation honours the Globus 1.1 TCP_MIN_PORT/TCP_MAX_PORT
+// environment workaround so the paper's "allow-based configuration through a
+// port range" alternative can be reproduced and compared against the proxy.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/config.hpp"
+#include "common/contact.hpp"
+#include "common/error.hpp"
+#include "simnet/net.hpp"
+#include "simnet/waitq.hpp"
+
+namespace wacs::sim {
+
+class SimSocket;
+class SimListener;
+class NetStack;
+using SocketPtr = std::shared_ptr<SimSocket>;
+using ListenerPtr = std::shared_ptr<SimListener>;
+
+namespace detail {
+
+/// Shared state of an established connection. Each endpoint owns one side:
+/// an inbox of delivered messages plus close flags.
+struct ConnState {
+  explicit ConnState(Engine& engine)
+      : readers{WaitQueue(engine), WaitQueue(engine)} {}
+
+  std::deque<Bytes> inbox[2];
+  WaitQueue readers[2];
+  bool closed[2] = {false, false};       ///< side i called close()
+  bool fin_seen[2] = {false, false};     ///< side i observed the peer's close
+  std::uint64_t bytes_sent[2] = {0, 0};
+};
+
+}  // namespace detail
+
+/// One endpoint of an established simulated TCP connection.
+class SimSocket {
+ public:
+  /// Sends one message. Asynchronous: the call charges the path and returns
+  /// immediately (infinite send buffer); FIFO delivery is guaranteed.
+  /// Errors if either side already closed.
+  Status send(Bytes message);
+
+  /// Blocks until a message arrives; kConnectionClosed signals orderly EOF.
+  Result<Bytes> recv(Process& self);
+
+  /// Non-blocking: a message if one is queued.
+  std::optional<Bytes> try_recv();
+
+  /// True if a recv(self) would return without blocking (data or EOF).
+  bool recv_ready() const;
+
+  /// Orderly close of this side. recv() on the peer drains queued messages
+  /// and then reports EOF. Idempotent.
+  void close();
+
+  bool closed() const;
+
+  const Contact& local_contact() const { return local_; }
+  const Contact& peer_contact() const { return peer_; }
+  Host& local_host() { return *local_host_; }
+
+  std::uint64_t bytes_sent() const { return state_->bytes_sent[side_]; }
+
+ private:
+  friend class NetStack;
+  SimSocket(Host& local_host, Host& peer_host, Contact local, Contact peer,
+            std::shared_ptr<detail::ConnState> state, int side)
+      : local_host_(&local_host),
+        peer_host_(&peer_host),
+        local_(std::move(local)),
+        peer_(std::move(peer)),
+        state_(std::move(state)),
+        side_(side) {}
+
+  Host* local_host_;
+  Host* peer_host_;
+  Contact local_;
+  Contact peer_;
+  std::shared_ptr<detail::ConnState> state_;
+  int side_;  ///< which half of ConnState this endpoint owns
+};
+
+/// A listening port. accept() yields established sockets in arrival order.
+class SimListener {
+ public:
+  ~SimListener();
+
+  /// Blocks until a connection is pending; kConnectionClosed after close().
+  Result<SocketPtr> accept(Process& self);
+
+  std::optional<SocketPtr> try_accept();
+
+  /// Stops accepting and releases the port. Pending, not-yet-accepted
+  /// connections are refused.
+  void close();
+
+  std::uint16_t port() const { return port_; }
+  Host& host() { return *host_; }
+
+ private:
+  friend class NetStack;
+  SimListener(Host& host, std::uint16_t port, Engine& engine)
+      : host_(&host), port_(port), pending_waiters_(engine) {}
+
+  Host* host_;
+  std::uint16_t port_;
+  std::deque<SocketPtr> pending_;
+  WaitQueue pending_waiters_;
+  bool closed_ = false;
+};
+
+/// Per-host transport endpoint: the socket API simulated code programs to.
+class NetStack {
+ public:
+  explicit NetStack(Host& host) : host_(&host) {}
+
+  /// Binds a listener. port 0 allocates an ephemeral port; when `env`
+  /// defines TCP_MIN_PORT/TCP_MAX_PORT the allocation is confined to that
+  /// range (the Globus 1.1 workaround).
+  Result<ListenerPtr> listen(std::uint16_t port, const Env* env = nullptr);
+
+  /// Connects to `dst`. Blocks the calling process for the handshake round
+  /// trip; fails with kPermissionDenied (firewall) or kConnectionRefused
+  /// (no listener).
+  Result<SocketPtr> connect(Process& self, const Contact& dst);
+
+  Host& host() { return *host_; }
+
+ private:
+  friend class SimListener;
+  friend class SimSocket;
+
+  void release_port(std::uint16_t port) { listeners_.erase(port); }
+
+  Host* host_;
+  /// weak: the application owns listeners; an in-flight SYN must observe a
+  /// destroyed listener as "refused", not dereference it.
+  std::map<std::uint16_t, std::weak_ptr<SimListener>> listeners_;
+  std::uint16_t next_ephemeral_ = 32768;
+};
+
+}  // namespace wacs::sim

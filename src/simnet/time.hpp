@@ -1,0 +1,28 @@
+// Simulated time: a 64-bit count of nanoseconds since simulation start.
+//
+// All latencies, bandwidth-induced transfer times, and CPU costs advance this
+// clock; wall-clock time never enters the model, so runs are deterministic
+// and a 20-processor wide-area execution simulates in milliseconds.
+#pragma once
+
+#include <cstdint>
+
+namespace wacs::sim {
+
+/// Nanoseconds of virtual time.
+using Time = std::int64_t;
+
+constexpr Time kNanosecond = 1;
+constexpr Time kMicrosecond = 1000 * kNanosecond;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+/// Seconds (double) → Time, rounding to nearest nanosecond.
+constexpr Time from_sec(double seconds) {
+  return static_cast<Time>(seconds * 1e9 + (seconds >= 0 ? 0.5 : -0.5));
+}
+
+constexpr double to_sec(Time t) { return static_cast<double>(t) * 1e-9; }
+constexpr double to_ms(Time t) { return static_cast<double>(t) * 1e-6; }
+
+}  // namespace wacs::sim

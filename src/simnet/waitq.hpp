@@ -1,0 +1,51 @@
+// Condition-variable-like wait queue for simulated processes.
+//
+// A process parks itself on a WaitQueue while a predicate is false; any actor
+// that changes the guarded state calls notify_one()/notify_all(). Wakeups are
+// deferred through the event queue, so notifiers never execute the waiter
+// nested inside themselves.
+#pragma once
+
+#include <deque>
+
+#include "simnet/engine.hpp"
+
+namespace wacs::sim {
+
+class WaitQueue {
+ public:
+  explicit WaitQueue(Engine& engine) : engine_(engine) {}
+
+  /// Parks `self` until a notify reaches it. Spurious wakeups are possible
+  /// (notify_all, or a notify whose state was consumed by another process);
+  /// callers must re-check their predicate — see wait_until().
+  void wait(Process& self) {
+    waiters_.push_back(&self);
+    self.suspend();
+  }
+
+  /// Standard condition loop: waits until `pred()` holds.
+  template <typename Pred>
+  void wait_until(Process& self, Pred pred) {
+    while (!pred()) wait(self);
+  }
+
+  void notify_one() {
+    if (waiters_.empty()) return;
+    Process* p = waiters_.front();
+    waiters_.pop_front();
+    engine_.at(engine_.now(), [p] { p->wake(); });
+  }
+
+  void notify_all() {
+    while (!waiters_.empty()) notify_one();
+  }
+
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Engine& engine_;
+  std::deque<Process*> waiters_;
+};
+
+}  // namespace wacs::sim

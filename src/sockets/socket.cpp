@@ -1,0 +1,224 @@
+#include "sockets/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace wacs::net {
+namespace {
+
+Error errno_error(ErrorCode code, const std::string& what) {
+  return Error(code, what + ": " + std::strerror(errno));
+}
+
+Result<Contact> contact_of(const sockaddr_storage& ss) {
+  char ip[INET6_ADDRSTRLEN] = {};
+  std::uint16_t port = 0;
+  if (ss.ss_family == AF_INET) {
+    const auto* a = reinterpret_cast<const sockaddr_in*>(&ss);
+    ::inet_ntop(AF_INET, &a->sin_addr, ip, sizeof ip);
+    port = ntohs(a->sin_port);
+  } else if (ss.ss_family == AF_INET6) {
+    const auto* a = reinterpret_cast<const sockaddr_in6*>(&ss);
+    ::inet_ntop(AF_INET6, &a->sin6_addr, ip, sizeof ip);
+    port = ntohs(a->sin6_port);
+  } else {
+    return Error(ErrorCode::kInternal, "unknown address family");
+  }
+  return Contact{ip, port};
+}
+
+}  // namespace
+
+Result<TcpSocket> TcpSocket::dial(const Contact& target) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(target.port);
+  if (int rc = ::getaddrinfo(target.host.c_str(), port_str.c_str(), &hints,
+                             &res);
+      rc != 0) {
+    return Error(ErrorCode::kNotFound,
+                 "resolve " + target.host + ": " + ::gai_strerror(rc));
+  }
+  struct Freer {
+    addrinfo* p;
+    ~Freer() { ::freeaddrinfo(p); }
+  } freer{res};
+
+  int last_errno = ECONNREFUSED;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) {
+      last_errno = errno;
+      continue;
+    }
+    int rc;
+    do {
+      rc = ::connect(fd.get(), ai->ai_addr, ai->ai_addrlen);
+    } while (rc != 0 && errno == EINTR);
+    if (rc == 0) {
+      int one = 1;
+      ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return TcpSocket(std::move(fd));
+    }
+    last_errno = errno;
+  }
+  errno = last_errno;
+  return errno_error(ErrorCode::kConnectionRefused,
+                     "connect " + target.to_string());
+}
+
+Status TcpSocket::write_all(std::span<const std::uint8_t> data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd_.get(), data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error(ErrorCode::kConnectionClosed, "send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status();
+}
+
+Result<Bytes> TcpSocket::read_exact(std::size_t n) {
+  Bytes out(n);
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t got = ::recv(fd_.get(), out.data() + off, n - off, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return errno_error(ErrorCode::kConnectionClosed, "recv");
+    }
+    if (got == 0) {
+      return Error(ErrorCode::kConnectionClosed,
+                   off == 0 ? "end of stream"
+                            : "connection truncated mid-message");
+    }
+    off += static_cast<std::size_t>(got);
+  }
+  return out;
+}
+
+Result<Bytes> TcpSocket::read_some(std::size_t max) {
+  Bytes out(max);
+  while (true) {
+    const ssize_t got = ::recv(fd_.get(), out.data(), max, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return errno_error(ErrorCode::kConnectionClosed, "recv");
+    }
+    if (got == 0) return Error(ErrorCode::kConnectionClosed, "end of stream");
+    out.resize(static_cast<std::size_t>(got));
+    return out;
+  }
+}
+
+Status TcpSocket::write_frame(const Bytes& frame) {
+  WACS_CHECK_MSG(frame.size() <= kMaxFrameBytes, "oversized outgoing frame");
+  std::uint8_t header[4];
+  const auto len = static_cast<std::uint32_t>(frame.size());
+  header[0] = static_cast<std::uint8_t>(len);
+  header[1] = static_cast<std::uint8_t>(len >> 8);
+  header[2] = static_cast<std::uint8_t>(len >> 16);
+  header[3] = static_cast<std::uint8_t>(len >> 24);
+  if (auto s = write_all(header); !s.ok()) return s;
+  return write_all(frame);
+}
+
+Result<Bytes> TcpSocket::read_frame() {
+  auto header = read_exact(4);
+  if (!header.ok()) return header.error();
+  const std::uint32_t len = static_cast<std::uint32_t>((*header)[0]) |
+                            static_cast<std::uint32_t>((*header)[1]) << 8 |
+                            static_cast<std::uint32_t>((*header)[2]) << 16 |
+                            static_cast<std::uint32_t>((*header)[3]) << 24;
+  if (len > kMaxFrameBytes) {
+    return Error(ErrorCode::kProtocolError, "frame length exceeds limit");
+  }
+  if (len == 0) return Bytes{};
+  return read_exact(len);
+}
+
+Result<Contact> TcpSocket::peer() const {
+  sockaddr_storage ss{};
+  socklen_t len = sizeof ss;
+  if (::getpeername(fd_.get(), reinterpret_cast<sockaddr*>(&ss), &len) != 0) {
+    return errno_error(ErrorCode::kInternal, "getpeername");
+  }
+  return contact_of(ss);
+}
+
+Result<Contact> TcpSocket::local() const {
+  sockaddr_storage ss{};
+  socklen_t len = sizeof ss;
+  if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&ss), &len) != 0) {
+    return errno_error(ErrorCode::kInternal, "getsockname");
+  }
+  return contact_of(ss);
+}
+
+void TcpSocket::shutdown() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+Result<TcpListener> TcpListener::bind(const std::string& bind_ip,
+                                      std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return errno_error(ErrorCode::kInternal, "socket");
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_ip.c_str(), &addr.sin_addr) != 1) {
+    return Error(ErrorCode::kInvalidArgument, "bad bind address " + bind_ip);
+  }
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    return errno_error(ErrorCode::kAlreadyExists,
+                       "bind " + bind_ip + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), 128) != 0) {
+    return errno_error(ErrorCode::kInternal, "listen");
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return errno_error(ErrorCode::kInternal, "getsockname");
+  }
+  TcpListener l;
+  l.fd_ = std::move(fd);
+  l.port_ = ntohs(bound.sin_port);
+  return l;
+}
+
+Result<TcpSocket> TcpListener::accept() {
+  while (true) {
+    const int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return TcpSocket(Fd(fd));
+    }
+    if (errno == EINTR) continue;
+    return errno_error(ErrorCode::kConnectionClosed, "accept");
+  }
+}
+
+void TcpListener::shutdown() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+}  // namespace wacs::net

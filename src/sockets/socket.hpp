@@ -1,0 +1,84 @@
+// Blocking TCP sockets with full-read/full-write helpers and length-prefixed
+// framing — the substrate for the real (non-simulated) Nexus Proxy daemons.
+//
+// All operations report failure through Result/Status; EINTR is retried.
+// Peers are untrusted: frame lengths are bounded, short reads are handled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/contact.hpp"
+#include "common/error.hpp"
+#include "sockets/fd.hpp"
+
+namespace wacs::net {
+
+/// Hard ceiling on a single framed message; a malicious length prefix must
+/// not make a relay daemon allocate gigabytes.
+constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// An established TCP connection.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(Fd fd) : fd_(std::move(fd)) {}
+
+  /// Dials host:port (numeric IP or resolvable name).
+  static Result<TcpSocket> dial(const Contact& target);
+
+  bool valid() const { return fd_.valid(); }
+  int native() const { return fd_.get(); }
+
+  /// Writes the whole buffer (looping over partial writes).
+  Status write_all(std::span<const std::uint8_t> data);
+
+  /// Reads exactly `n` bytes. kConnectionClosed on clean EOF at offset 0.
+  Result<Bytes> read_exact(std::size_t n);
+
+  /// Reads whatever is available, up to `max` bytes; kConnectionClosed on
+  /// EOF. Used by the relay pumps.
+  Result<Bytes> read_some(std::size_t max);
+
+  /// Length-prefixed frame I/O (u32 LE length + payload).
+  Status write_frame(const Bytes& frame);
+  Result<Bytes> read_frame();
+
+  /// Address of the remote end ("ip:port").
+  Result<Contact> peer() const;
+  /// Address of the local end.
+  Result<Contact> local() const;
+
+  /// Unblocks any reader/writer on another thread, then closes.
+  void shutdown();
+  void close() { fd_.reset(); }
+
+ private:
+  Fd fd_;
+};
+
+/// A listening TCP socket.
+class TcpListener {
+ public:
+  TcpListener() = default;
+
+  /// Binds and listens on `bind_ip:port` (port 0 = ephemeral).
+  static Result<TcpListener> bind(const std::string& bind_ip,
+                                  std::uint16_t port);
+
+  bool valid() const { return fd_.valid(); }
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until a connection arrives. Fails once shutdown() was called.
+  Result<TcpSocket> accept();
+
+  /// Unblocks a pending accept() on another thread, then closes.
+  void shutdown();
+
+ private:
+  Fd fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace wacs::net

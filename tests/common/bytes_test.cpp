@@ -1,0 +1,137 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace wacs {
+namespace {
+
+TEST(BufWriter, WritesFixedWidthLittleEndian) {
+  BufWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  const Bytes& b = w.bytes();
+  ASSERT_EQ(b.size(), 7u);
+  EXPECT_EQ(b[0], 0xAB);
+  EXPECT_EQ(b[1], 0x34);  // LSB first
+  EXPECT_EQ(b[2], 0x12);
+  EXPECT_EQ(b[3], 0xEF);
+  EXPECT_EQ(b[6], 0xDE);
+}
+
+TEST(BufRoundTrip, AllScalarTypes) {
+  BufWriter w;
+  w.u8(7);
+  w.u16(65535);
+  w.u32(123456789);
+  w.u64(0xFFFFFFFFFFFFFFFFULL);
+  w.i32(-42);
+  w.i64(std::numeric_limits<std::int64_t>::min());
+  w.f64(3.14159265358979);
+  w.boolean(true);
+  w.boolean(false);
+
+  BufReader r(w.bytes());
+  EXPECT_EQ(r.u8().value(), 7);
+  EXPECT_EQ(r.u16().value(), 65535);
+  EXPECT_EQ(r.u32().value(), 123456789u);
+  EXPECT_EQ(r.u64().value(), 0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(r.i32().value(), -42);
+  EXPECT_EQ(r.i64().value(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_DOUBLE_EQ(r.f64().value(), 3.14159265358979);
+  EXPECT_TRUE(r.boolean().value());
+  EXPECT_FALSE(r.boolean().value());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BufRoundTrip, StringsAndBlobs) {
+  BufWriter w;
+  w.str("hello");
+  w.str("");
+  w.str(std::string(10000, 'x'));
+  Bytes payload = {1, 2, 3, 0, 255};
+  w.blob(payload);
+
+  BufReader r(w.bytes());
+  EXPECT_EQ(r.str().value(), "hello");
+  EXPECT_EQ(r.str().value(), "");
+  EXPECT_EQ(r.str().value(), std::string(10000, 'x'));
+  EXPECT_EQ(r.blob().value(), payload);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BufRoundTrip, EmbeddedNulBytesInString) {
+  BufWriter w;
+  std::string s("a\0b\0c", 5);
+  w.str(s);
+  BufReader r(w.bytes());
+  EXPECT_EQ(r.str().value(), s);
+}
+
+TEST(BufReader, TruncationIsAnErrorNotACrash) {
+  BufWriter w;
+  w.u64(1);
+  Bytes data = std::move(w).take();
+  data.pop_back();
+  BufReader r(data);
+  auto got = r.u64();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.error().code(), ErrorCode::kProtocolError);
+}
+
+TEST(BufReader, TruncatedStringBodyIsAnError) {
+  BufWriter w;
+  w.u32(100);  // claims a 100-byte string...
+  w.raw(to_bytes("short"));  // ...but only 5 bytes follow
+  BufReader r(w.bytes());
+  auto got = r.str();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.error().code(), ErrorCode::kProtocolError);
+}
+
+TEST(BufReader, LyingLengthPrefixLargerThanBuffer) {
+  BufWriter w;
+  w.u32(0xFFFFFFFF);
+  BufReader r(w.bytes());
+  EXPECT_FALSE(r.blob().ok());
+}
+
+TEST(BufReader, ReadingPastEndAfterSuccess) {
+  BufWriter w;
+  w.u8(1);
+  BufReader r(w.bytes());
+  EXPECT_TRUE(r.u8().ok());
+  EXPECT_FALSE(r.u8().ok());
+}
+
+TEST(PatternBytes, DeterministicAndSeedSensitive) {
+  Bytes a = pattern_bytes(1024, 1);
+  Bytes b = pattern_bytes(1024, 1);
+  Bytes c = pattern_bytes(1024, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 1024u);
+}
+
+TEST(PatternBytes, PrefixStability) {
+  // A longer payload starts with the shorter one (same stream).
+  Bytes small = pattern_bytes(100, 7);
+  Bytes big = pattern_bytes(200, 7);
+  EXPECT_TRUE(std::equal(small.begin(), small.end(), big.begin()));
+}
+
+TEST(Fnv1a, DistinguishesPayloads) {
+  Bytes a = pattern_bytes(4096, 1);
+  Bytes b = pattern_bytes(4096, 2);
+  EXPECT_NE(fnv1a(a), fnv1a(b));
+  EXPECT_EQ(fnv1a(a), fnv1a(pattern_bytes(4096, 1)));
+}
+
+TEST(Fnv1a, EmptyInputHasKnownOffsetBasis) {
+  EXPECT_EQ(fnv1a(Bytes{}), 0xcbf29ce484222325ULL);
+}
+
+}  // namespace
+}  // namespace wacs

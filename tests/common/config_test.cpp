@@ -1,0 +1,75 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wacs {
+namespace {
+
+TEST(Env, SetGetUnset) {
+  Env env;
+  EXPECT_FALSE(env.has("KEY"));
+  env.set("KEY", "value");
+  EXPECT_TRUE(env.has("KEY"));
+  EXPECT_EQ(env.get("KEY").value(), "value");
+  env.unset("KEY");
+  EXPECT_FALSE(env.get("KEY").has_value());
+}
+
+TEST(Env, GetIntFallsBackWhenAbsent) {
+  Env env;
+  auto v = env.get_int("TCP_MIN_PORT", 5000);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 5000);
+}
+
+TEST(Env, GetIntParsesPresentValue) {
+  Env env;
+  env.set(env_keys::kTcpMinPort, "40000");
+  auto v = env.get_int(env_keys::kTcpMinPort, 0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 40000);
+}
+
+TEST(Env, GetIntRejectsGarbageLoudly) {
+  // A typo'd config value must be an error, not a silent fallback.
+  Env env;
+  env.set(env_keys::kTcpMinPort, "4o000");
+  auto v = env.get_int(env_keys::kTcpMinPort, 0);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Env, GetContactAbsentIsEmptyOptional) {
+  Env env;
+  auto c = env.get_contact(env_keys::kProxyOuterServer);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(c->has_value());
+}
+
+TEST(Env, GetContactParsesPresentValue) {
+  Env env;
+  env.set(env_keys::kProxyOuterServer, "rwcp-outer:9911");
+  auto c = env.get_contact(env_keys::kProxyOuterServer);
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(c->has_value());
+  EXPECT_EQ((*c)->host, "rwcp-outer");
+  EXPECT_EQ((*c)->port, 9911);
+}
+
+TEST(Env, GetContactRejectsMalformedValue) {
+  Env env;
+  env.set(env_keys::kProxyOuterServer, "not-a-contact");
+  auto c = env.get_contact(env_keys::kProxyOuterServer);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(Env, OverwriteReplacesValue) {
+  Env env;
+  env.set("K", "1");
+  env.set("K", "2");
+  EXPECT_EQ(env.get("K").value(), "2");
+  EXPECT_EQ(env.size(), 1u);
+}
+
+}  // namespace
+}  // namespace wacs

@@ -1,0 +1,65 @@
+#include "common/contact.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wacs {
+namespace {
+
+TEST(Contact, ParsesHostPort) {
+  auto c = Contact::parse("rwcp-sun:2811");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->host, "rwcp-sun");
+  EXPECT_EQ(c->port, 2811);
+}
+
+TEST(Contact, RoundTripsThroughToString) {
+  Contact c{"etl-o2k", 9000};
+  auto parsed = Contact::parse(c.to_string());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, c);
+}
+
+TEST(Contact, ParsesIpv6Literal) {
+  auto c = Contact::parse("[::1]:8080");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->host, "::1");
+  EXPECT_EQ(c->port, 8080);
+}
+
+TEST(Contact, LastColonSplitsHostWithColons) {
+  // Not bracketed, but the port must come from the last colon.
+  auto c = Contact::parse("a:b:123");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->host, "a:b");
+  EXPECT_EQ(c->port, 123);
+}
+
+struct BadContactCase {
+  const char* text;
+};
+
+class ContactRejects : public ::testing::TestWithParam<BadContactCase> {};
+
+TEST_P(ContactRejects, MalformedInput) {
+  auto c = Contact::parse(GetParam().text);
+  ASSERT_FALSE(c.ok()) << GetParam().text;
+  EXPECT_EQ(c.error().code(), ErrorCode::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, ContactRejects,
+    ::testing::Values(BadContactCase{""}, BadContactCase{"hostonly"},
+                      BadContactCase{":80"}, BadContactCase{"host:"},
+                      BadContactCase{"host:abc"}, BadContactCase{"host:12x"},
+                      BadContactCase{"host:70000"}, BadContactCase{"host:-1"},
+                      BadContactCase{"[::1]"}, BadContactCase{"[::1:80"},
+                      BadContactCase{"[::1]80"}));
+
+TEST(Contact, PortBoundaries) {
+  EXPECT_TRUE(Contact::parse("h:0").ok());
+  EXPECT_TRUE(Contact::parse("h:65535").ok());
+  EXPECT_FALSE(Contact::parse("h:65536").ok());
+}
+
+}  // namespace
+}  // namespace wacs

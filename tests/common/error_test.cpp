@@ -1,0 +1,59 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace wacs {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Error(ErrorCode::kNotFound, "missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.error().message(), "missing");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.to_string(), "Ok");
+}
+
+TEST(Status, CarriesError) {
+  Status s(ErrorCode::kPermissionDenied, "firewall said no");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(s.to_string(), "PermissionDenied: firewall said no");
+}
+
+TEST(ErrorCode, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_NE(to_string(static_cast<ErrorCode>(c)), "UnknownErrorCode");
+  }
+}
+
+TEST(Error, ToStringIncludesCodeAndMessage) {
+  Error e(ErrorCode::kTimeout, "deadline passed");
+  EXPECT_EQ(e.to_string(), "Timeout: deadline passed");
+  Error bare(ErrorCode::kTimeout, "");
+  EXPECT_EQ(bare.to_string(), "Timeout");
+}
+
+}  // namespace
+}  // namespace wacs

@@ -1,0 +1,83 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wacs {
+namespace {
+
+TEST(RunningStats, EmptyIsSane) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Format, DurationScales) {
+  EXPECT_EQ(format_duration_ms(0.005), "5.0 us");
+  EXPECT_EQ(format_duration_ms(0.41), "0.41 ms");
+  EXPECT_EQ(format_duration_ms(25.0), "25.0 ms");
+  EXPECT_EQ(format_duration_ms(1500.0), "1.50 s");
+}
+
+TEST(Format, BandwidthScales) {
+  EXPECT_EQ(format_bandwidth(6.32e6), "6.32 MB/s");
+  EXPECT_EQ(format_bandwidth(70.5e3), "70.5 KB/s");
+  EXPECT_EQ(format_bandwidth(512), "512 B/s");
+}
+
+TEST(Format, CountWithThousandsSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "22"});
+  EXPECT_EQ(t.to_string(),
+            "name         value\n"
+            "------------------\n"
+            "a            1\n"
+            "longer-name  22\n");
+}
+
+TEST(TextTable, HeaderOnlyTable) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.to_string(), "x\n-\n");
+}
+
+}  // namespace
+}  // namespace wacs

@@ -1,0 +1,79 @@
+// Determinism: the whole stack — engine, network, proxies, RMF, MPI,
+// knapsack — must produce bit-identical results run after run. This is what
+// makes the bench tables reproducible and regressions diffable.
+#include <gtest/gtest.h>
+
+#include "core/testbeds.hpp"
+#include "knapsack/parallel.hpp"
+
+namespace wacs::core {
+namespace {
+
+struct Fingerprint {
+  double app_seconds;
+  std::uint64_t master_steals;
+  std::uint64_t events;
+  std::vector<std::uint64_t> rank_nodes;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+Fingerprint run_once() {
+  auto tb = make_rwcp_etl_testbed();
+  knapsack::Instance inst = knapsack::no_prune_instance(18, 5);
+  rmf::JobSpec spec;
+  spec.name = "det";
+  spec.task = knapsack::kParallelTask;
+  auto placements = placement_wide_area(tb);
+  spec.nprocs = 0;
+  for (const auto& p : placements) spec.nprocs += p.count;
+  spec.placements = placements;
+  spec.args = {{knapsack::args::kInterval, "500"},
+               {knapsack::args::kStealUnit, "8"},
+               {knapsack::args::kSecPerNode, "0.000001"}};
+  spec.input_files[knapsack::kInstanceFile] = inst.encode();
+  auto result = tb->run_job("rwcp-sun", spec);
+  WACS_CHECK(result.ok() && result->ok);
+  auto stats = knapsack::RunStats::decode(result->output);
+  WACS_CHECK(stats.ok());
+
+  Fingerprint fp;
+  fp.app_seconds = stats->app_seconds;
+  fp.master_steals = stats->master_steals_handled;
+  fp.events = tb->engine().events_executed();
+  for (const auto& r : stats->ranks) fp.rank_nodes.push_back(r.nodes_traversed);
+  return fp;
+}
+
+TEST(Determinism, IdenticalFingerprintAcrossRuns) {
+  Fingerprint a = run_once();
+  Fingerprint b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.events, 1000u);
+}
+
+TEST(Determinism, MicrobenchmarkTimesAreExact) {
+  // Two fresh testbeds measure identical virtual latencies.
+  auto measure = [] {
+    auto tb = make_rwcp_etl_testbed();
+    double done = -1;
+    tb->engine().spawn("m", [&](sim::Process& self) {
+      auto l = tb->net().host("compas01").stack().listen(5000);
+      auto c = tb->net().host("rwcp-sun").stack().connect(self,
+                                                          {"compas01", 5000});
+      WACS_CHECK(c.ok());
+      WACS_CHECK((*c)->send(pattern_bytes(4096)).ok());
+      auto srv = (*l)->try_accept();
+      WACS_CHECK(srv.has_value());
+      auto msg = (*srv)->recv(self);
+      WACS_CHECK(msg.ok());
+      done = sim::to_sec(tb->engine().now());
+    });
+    tb->engine().run();
+    return done;
+  };
+  EXPECT_EQ(measure(), measure());
+}
+
+}  // namespace
+}  // namespace wacs::core

@@ -1,0 +1,143 @@
+// Failure injection: every misconfiguration or missing daemon must surface
+// as a clean error, never a hang or a crash.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "core/testbeds.hpp"
+#include "proxy/client.hpp"
+
+namespace wacs::core {
+namespace {
+
+TEST(Failure, SubmitToHostWithoutGatekeeperIsRefused) {
+  auto tb = make_rwcp_etl_testbed();
+  Result<rmf::JobResult> outcome(Error(ErrorCode::kInternal, "unset"));
+  tb->engine().spawn("probe", [&](sim::Process& self) {
+    rmf::JobSpec spec;
+    spec.name = "x";
+    spec.task = "x";
+    spec.credential = "wacs-grid";
+    spec.nprocs = 1;
+    // etl-sun runs no gatekeeper; dialing its gatekeeper port must refuse.
+    outcome = rmf::submit_and_wait(self, tb->net().host("rwcp-sun"),
+                                   Contact{"etl-sun", 2119}, spec);
+  });
+  tb->engine().run();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code(), ErrorCode::kConnectionRefused);
+}
+
+TEST(Failure, PlacementOnUnknownHostFailsCleanly) {
+  auto tb = make_rwcp_etl_testbed();
+  tb->registry().register_task("t", [](rmf::JobContext&) {});
+  rmf::JobSpec spec;
+  spec.name = "t";
+  spec.task = "t";
+  spec.nprocs = 1;
+  spec.placements = {{"no-such-host", 1}};
+  auto result = tb->run_job("rwcp-sun", spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->ok);
+  EXPECT_NE(result->error.find("unreachable"), std::string::npos);
+}
+
+TEST(Failure, PlacementOnHostWithoutQServerFailsCleanly) {
+  auto tb = make_rwcp_etl_testbed();
+  tb->registry().register_task("t", [](rmf::JobContext&) {});
+  rmf::JobSpec spec;
+  spec.name = "t";
+  spec.task = "t";
+  spec.nprocs = 1;
+  // rwcp-inner exists but runs no Q server (and its firewall has no hole
+  // for the Q server port there).
+  spec.placements = {{"rwcp-inner", 1}};
+  auto result = tb->run_job("rwcp-sun", spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->ok);
+}
+
+TEST(Failure, NxConnectWithoutOuterDaemonFails) {
+  // A proxy-configured client whose outer server address points nowhere.
+  auto tb = make_rwcp_etl_testbed();
+  ErrorCode code = ErrorCode::kOk;
+  tb->engine().spawn("p", [&](sim::Process& self) {
+    proxy::ProxyClient client(tb->net().host("rwcp-sun"),
+                              Contact{"rwcp-outer", 55}, /* wrong port */
+                              Contact{"rwcp-inner", 9900});
+    auto conn = client.nx_connect(self, Contact{"etl-sun", 80});
+    ASSERT_FALSE(conn.ok());
+    code = conn.error().code();
+  });
+  tb->engine().run();
+  EXPECT_EQ(code, ErrorCode::kConnectionRefused);
+}
+
+TEST(Failure, PassiveOpenWithDeadInnerReportsEofToRemote) {
+  // Bind succeeds at the outer server, but the registered inner contact is
+  // wrong: a remote peer's connection must EOF, not hang.
+  auto tb = make_rwcp_etl_testbed();
+  bool remote_saw_eof = false;
+  Contact public_contact;
+
+  tb->engine().spawn("bound", [&](sim::Process& self) {
+    proxy::ProxyClient client(tb->net().host("rwcp-sun"),
+                              tb->outer()->contact(),
+                              Contact{"rwcp-inner", 1234} /* dead inner */);
+    auto bound = client.nx_bind(self);
+    ASSERT_TRUE(bound.ok());  // registration itself succeeds
+    public_contact = (*bound)->public_contact();
+    // nx_accept would wait forever — the test only drives the remote side.
+  });
+
+  tb->engine().spawn("remote", [&](sim::Process& self) {
+    self.sleep(0.1);
+    auto conn = tb->net().host("etl-sun").stack().connect(self, public_contact);
+    ASSERT_TRUE(conn.ok());  // the outer server accepted the TCP connection
+    auto msg = (*conn)->recv(self);
+    remote_saw_eof = !msg.ok();  // bridge to the inner failed -> EOF
+  });
+
+  tb->engine().run();
+  EXPECT_TRUE(remote_saw_eof);
+}
+
+TEST(Failure, ClosedFirewallBreaksRmfControlPath) {
+  // Without the Q-client firewall holes, the job manager cannot reach the
+  // allocator: the submission must fail with a clear message.
+  auto tb = make_rwcp_etl_testbed();
+  tb->registry().register_task("t", [](rmf::JobContext&) {});
+  // Simulate an admin wiping the RWCP rules (keeps default deny inbound).
+  tb->net().site("rwcp").firewall().set_policy(fw::Policy::typical());
+  rmf::JobSpec spec;
+  spec.name = "t";
+  spec.task = "t";
+  spec.nprocs = 1;  // unpinned: forces the allocator consultation
+  auto result = tb->run_job("rwcp-sun", spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->ok);
+  EXPECT_NE(result->error.find("allocator unreachable"), std::string::npos);
+}
+
+TEST(Failure, ProxyRouteSurvivesWrongEnvOnTheFarSide) {
+  // An ETL process mistakenly configured to use RWCP's proxy still works:
+  // its connects simply relay through the outer server.
+  auto tb = make_rwcp_etl_testbed();
+  bool ok = false;
+  tb->engine().spawn("p", [&](sim::Process& self) {
+    Env env;
+    env.set(env_keys::kProxyOuterServer,
+            tb->outer()->contact().to_string());
+    env.set(env_keys::kProxyInnerServer,
+            tb->inner()->contact().to_string());
+    nexus::CommContext misconfigured(tb->net().host("etl-sun"), env);
+    auto listener = tb->net().host("etl-o2k").stack().listen(4000);
+    ASSERT_TRUE(listener.ok());
+    auto conn = misconfigured.connect(self, Contact{"etl-o2k", 4000});
+    ok = conn.ok();
+  });
+  tb->engine().run();
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace wacs::core

@@ -1,0 +1,91 @@
+#include "core/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace wacs::core {
+namespace {
+
+sim::LinkParams lan() {
+  return sim::LinkParams{.name = "", .latency_s = msec(0.4),
+                         .bandwidth_bps = mbyte_per_sec(10), .duplex = false};
+}
+
+/// Minimal single-site grid used to exercise GridSystem wiring directly.
+std::unique_ptr<GridSystem> small_grid() {
+  auto g = std::make_unique<GridSystem>();
+  g->add_site("s", fw::Policy::typical(), lan());
+  g->add_host({.name = "worker", .site = "s", .cpus = 4});
+  g->add_host({.name = "inner", .site = "s", .cpus = 1});
+  g->add_host({.name = "edge", .site = "s", .zone = sim::Zone::kDmz});
+  return g;
+}
+
+TEST(GridSystem, BootsMinimalSingleSiteGrid) {
+  auto g = small_grid();
+  g->add_proxy_pair("edge", "inner", proxy::RelayParams{});
+  g->add_allocator("inner");
+  g->add_gatekeeper("edge", "secret");
+  g->add_qserver("worker");
+
+  g->registry().register_task("hello", [](rmf::JobContext& ctx) {
+    if (ctx.rank == 0) ctx.result = to_bytes("hi from " + ctx.host->name());
+  });
+
+  rmf::JobSpec spec;
+  spec.name = "hello";
+  spec.task = "hello";
+  spec.nprocs = 2;
+  spec.placements = {{"worker", 2}};
+  auto result = g->run_job("worker", spec);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  ASSERT_TRUE(result->ok) << result->error;
+  EXPECT_EQ(to_string(result->output), "hi from worker");
+  EXPECT_EQ(g->credential(), "secret");
+}
+
+TEST(GridSystem, QServerBeforeGatekeeperStillGetsFirewallRule) {
+  auto g = small_grid();
+  g->add_allocator("inner");
+  g->add_qserver("worker");  // before the gatekeeper exists
+  g->add_gatekeeper("edge", "secret");
+  std::size_t q_rules = 0;
+  for (const auto& rule : g->net().site("s").firewall().policy().rules()) {
+    if (rule.comment == "Q client -> Q server") ++q_rules;
+  }
+  EXPECT_EQ(q_rules, 1u);
+}
+
+TEST(GridSystem, GatekeeperMustLiveInTheDmz) {
+  auto g = small_grid();
+  g->add_allocator("inner");
+  EXPECT_DEATH(g->add_gatekeeper("worker", "secret"), "outside the firewall");
+}
+
+TEST(GridSystem, OuterServerMustLiveInTheDmz) {
+  auto g = small_grid();
+  EXPECT_DEATH(g->add_proxy_pair("inner", "worker", proxy::RelayParams{}),
+               "DMZ");
+}
+
+TEST(GridSystem, AllocatorRequiredBeforeGatekeeper) {
+  auto g = small_grid();
+  EXPECT_DEATH(g->add_gatekeeper("edge", "secret"), "add_allocator");
+}
+
+TEST(GridSystem, SetHostEnvOverridesPerHost) {
+  auto g = small_grid();
+  Env env;
+  env.set("X", "1");
+  g->set_host_env("worker", env);
+  Env env2;
+  env2.set("X", "2");
+  g->set_host_env("worker", env2);  // override, not append
+  g->add_allocator("inner");
+  g->add_qserver("worker");
+  EXPECT_EQ(g->qservers().front()->site_env().get("X").value(), "2");
+}
+
+}  // namespace
+}  // namespace wacs::core

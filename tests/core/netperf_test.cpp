@@ -1,0 +1,72 @@
+// The network microbenchmark driver itself (core/netperf.hpp).
+#include "core/netperf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/testbeds.hpp"
+
+namespace wacs::core {
+namespace {
+
+TEST(NetPerf, DirectLanMatchesCalibration) {
+  TestbedOptions options;
+  options.rwcp_uses_proxy = false;
+  auto tb = make_rwcp_etl_testbed(options);
+  NetPerfOptions perf;
+  perf.message_sizes = {4096};
+  auto r = measure_path(*tb, "rwcp-sun", "compas01", perf);
+  EXPECT_NEAR(r.latency_ms, 0.41, 0.05);
+  EXPECT_GT(r.bandwidth_bps[0], 2e6);
+}
+
+TEST(NetPerf, BandwidthGrowsWithMessageSize) {
+  TestbedOptions options;
+  options.rwcp_uses_proxy = false;
+  auto tb = make_rwcp_etl_testbed(options);
+  NetPerfOptions perf;
+  perf.rounds_per_size = 8;
+  perf.message_sizes = {1024, 16384, 262144, 1000000};
+  auto r = measure_path(*tb, "rwcp-sun", "compas01", perf);
+  ASSERT_EQ(r.bandwidth_bps.size(), 4u);
+  for (std::size_t i = 1; i < r.bandwidth_bps.size(); ++i) {
+    // Larger messages amortize the per-message latency: monotone increase.
+    EXPECT_GT(r.bandwidth_bps[i], r.bandwidth_bps[i - 1]) << "size idx " << i;
+  }
+}
+
+TEST(NetPerf, ProxiedPathIsSlowerThanDirect) {
+  auto direct = [] {
+    TestbedOptions o;
+    o.rwcp_uses_proxy = false;
+    auto tb = make_rwcp_etl_testbed(o);
+    return measure_path(*tb, "rwcp-sun", "compas01");
+  }();
+  auto proxied = [] {
+    auto tb = make_rwcp_etl_testbed();
+    return measure_path(*tb, "rwcp-sun", "compas01");
+  }();
+  EXPECT_GT(proxied.latency_ms, 20 * direct.latency_ms);
+  EXPECT_LT(proxied.bandwidth_bps[1], direct.bandwidth_bps[1] / 5);
+}
+
+TEST(NetPerf, SymmetricPairsAgree) {
+  // Measuring A->B and B->A on identical fresh testbeds gives identical
+  // numbers (the topology is symmetric for this pair).
+  auto ab = [] {
+    TestbedOptions o;
+    o.rwcp_uses_proxy = false;
+    auto tb = make_rwcp_etl_testbed(o);
+    return measure_path(*tb, "compas01", "compas02");
+  }();
+  auto ba = [] {
+    TestbedOptions o;
+    o.rwcp_uses_proxy = false;
+    auto tb = make_rwcp_etl_testbed(o);
+    return measure_path(*tb, "compas02", "compas01");
+  }();
+  EXPECT_DOUBLE_EQ(ab.latency_ms, ba.latency_ms);
+  EXPECT_DOUBLE_EQ(ab.bandwidth_bps[0], ba.bandwidth_bps[0]);
+}
+
+}  // namespace
+}  // namespace wacs::core

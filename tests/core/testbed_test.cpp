@@ -1,0 +1,140 @@
+#include "core/testbeds.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wacs::core {
+namespace {
+
+TEST(Testbed, Figure5TopologyIsComplete) {
+  auto tb = make_rwcp_etl_testbed();
+  sim::Network& net = tb->net();
+  // Sites and the IMnet WAN.
+  EXPECT_TRUE(net.find_site("rwcp").ok());
+  EXPECT_TRUE(net.find_site("etl").ok());
+  EXPECT_TRUE(net.route(net.host("rwcp-sun"), net.host("etl-sun")).ok());
+  // Figure 5's host table.
+  EXPECT_EQ(net.host("rwcp-sun").cpus(), 4);
+  EXPECT_EQ(net.host("etl-sun").cpus(), 6);
+  EXPECT_EQ(net.host("etl-o2k").cpus(), 16);
+  EXPECT_EQ(net.host("rwcp-inner").cpus(), 2);
+  EXPECT_EQ(net.host("rwcp-outer").cpus(), 2);
+  EXPECT_EQ(tb.compas.size(), 8u);
+  for (const auto& name : tb.compas) {
+    EXPECT_EQ(net.host(name).cpus(), 4);  // quad-processor Pentium Pro SMPs
+    EXPECT_DOUBLE_EQ(net.host(name).cpu_speed(), calib::kSpeedCompas);
+  }
+  // Deployment zones.
+  EXPECT_EQ(net.host("rwcp-outer").zone(), sim::Zone::kDmz);
+  EXPECT_EQ(net.host("rwcp-gate").zone(), sim::Zone::kDmz);
+  EXPECT_EQ(net.host("rwcp-inner").zone(), sim::Zone::kInside);
+}
+
+TEST(Testbed, ServicesAreUp) {
+  auto tb = make_rwcp_etl_testbed();
+  EXPECT_NE(tb->outer(), nullptr);
+  EXPECT_NE(tb->inner(), nullptr);
+  EXPECT_NE(tb->allocator(), nullptr);
+  EXPECT_NE(tb->gatekeeper(), nullptr);
+  EXPECT_EQ(tb->qservers().size(), 11u);  // rwcp-sun + 8 compas + 2 etl
+  EXPECT_EQ(tb->allocator()->resources().size(), 11u);
+}
+
+TEST(Testbed, RwcpFirewallHasExactlyTheDocumentedHoles) {
+  auto tb = make_rwcp_etl_testbed();
+  const fw::Policy& policy = tb->net().site("rwcp").firewall().policy();
+  EXPECT_EQ(policy.default_inbound(), fw::Action::kDeny);
+  EXPECT_EQ(policy.default_outbound(), fw::Action::kAllow);
+  // nxport + allocator + one per RWCP Q server (rwcp-sun + 8 compas).
+  std::size_t nxport_rules = 0, rmf_rules = 0;
+  for (const auto& rule : policy.rules()) {
+    if (rule.comment == "nxport") ++nxport_rules;
+    if (rule.comment.rfind("Q client", 0) == 0) ++rmf_rules;
+  }
+  EXPECT_EQ(nxport_rules, 1u);
+  EXPECT_EQ(rmf_rules, 1u + 9u);  // allocator + 9 RWCP Q servers
+}
+
+TEST(Testbed, ProxyEnvConfiguredOnlyWhenRequested) {
+  auto with_proxy = make_rwcp_etl_testbed();
+  const Env& env = with_proxy->qservers().front()->site_env();
+  EXPECT_TRUE(env.has(env_keys::kProxyOuterServer));
+
+  TestbedOptions options;
+  options.rwcp_uses_proxy = false;
+  auto without = make_rwcp_etl_testbed(options);
+  EXPECT_FALSE(
+      without->qservers().front()->site_env().has(env_keys::kProxyOuterServer));
+}
+
+TEST(Testbed, EtlHostsHaveNoProxyEnv) {
+  auto tb = make_rwcp_etl_testbed();
+  for (const auto& q : tb->qservers()) {
+    if (q->contact().host.rfind("etl", 0) == 0) {
+      EXPECT_FALSE(q->site_env().has(env_keys::kProxyOuterServer))
+          << q->contact().host;
+    }
+  }
+}
+
+TEST(Testbed, OpenFirewallOptionRemovesDenials) {
+  TestbedOptions options;
+  options.open_rwcp_firewall = true;
+  auto tb = make_rwcp_etl_testbed(options);
+  EXPECT_EQ(tb->net().site("rwcp").firewall().policy().default_inbound(),
+            fw::Action::kAllow);
+}
+
+TEST(Testbed, Table3PlacementsHaveTheRightShapes) {
+  auto tb = make_rwcp_etl_testbed();
+  auto count = [](const std::vector<rmf::Placement>& ps) {
+    int n = 0;
+    for (const auto& p : ps) n += p.count;
+    return n;
+  };
+  EXPECT_EQ(count(placement_compas(tb)), 8);
+  EXPECT_EQ(count(placement_etl_o2k()), 8);
+  EXPECT_EQ(count(placement_local_area(tb)), 12);
+  EXPECT_EQ(count(placement_wide_area(tb)), 20);
+  // COMPaS: one processor per node ("8 processors, 1 processor on each
+  // node").
+  for (const auto& p : placement_compas(tb)) EXPECT_EQ(p.count, 1);
+}
+
+TEST(Testbed, DirectInboundToRwcpIsDenied) {
+  auto tb = make_rwcp_etl_testbed();
+  ErrorCode code = ErrorCode::kOk;
+  tb->engine().spawn("probe", [&](sim::Process& self) {
+    auto conn = tb->net().host("etl-sun").stack().connect(
+        self, Contact{"rwcp-sun", 12345});
+    if (!conn.ok()) code = conn.error().code();
+  });
+  tb->engine().run();
+  EXPECT_EQ(code, ErrorCode::kPermissionDenied);
+}
+
+TEST(Testbed, EtlComputeHostsAreDirectlyReachable) {
+  // "ETL-Sun and ETL-O2K can be accessed directly from RWCP."
+  auto tb = make_rwcp_etl_testbed();
+  bool reached = false;
+  tb->engine().spawn("probe", [&](sim::Process& self) {
+    auto listener = tb->net().host("etl-o2k").stack().listen(5555);
+    ASSERT_TRUE(listener.ok());
+    auto conn = tb->net().host("rwcp-sun").stack().connect(
+        self, Contact{"etl-o2k", 5555});
+    reached = conn.ok();
+  });
+  tb->engine().run();
+  EXPECT_TRUE(reached);
+}
+
+TEST(Testbed, DescribeEchoesFigure5) {
+  auto tb = make_rwcp_etl_testbed();
+  std::string desc = tb->net().describe();
+  EXPECT_NE(desc.find("site rwcp"), std::string::npos);
+  EXPECT_NE(desc.find("compas08"), std::string::npos);
+  EXPECT_NE(desc.find("wan etl <-> rwcp"), std::string::npos);
+  EXPECT_NE(desc.find("1500 kbit/s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wacs::core

@@ -1,0 +1,118 @@
+// The Figure 1 three-site wide-area cluster system: two firewalled sites
+// (RWCP, TITech), each with its own Nexus Proxy pair, plus ETL.
+#include <gtest/gtest.h>
+
+#include "core/testbeds.hpp"
+#include "knapsack/parallel.hpp"
+#include "knapsack/search.hpp"
+#include "mpi/comm.hpp"
+
+namespace wacs::core {
+namespace {
+
+TEST(ThreeSite, TopologyAndServices) {
+  auto tb = make_three_site_testbed();
+  EXPECT_TRUE(tb->net().find_site("titech").ok());
+  EXPECT_EQ(tb->net().host("titech-smp").cpus(), 16);
+  EXPECT_EQ(tb->net().host("titech-outer").zone(), sim::Zone::kDmz);
+  ASSERT_EQ(tb->proxies().size(), 2u);
+  EXPECT_NE(tb->proxy_for("rwcp"), nullptr);
+  EXPECT_NE(tb->proxy_for("titech"), nullptr);
+  EXPECT_EQ(tb->proxy_for("etl"), nullptr);
+  // Routes exist between every pair of sites.
+  EXPECT_TRUE(
+      tb->net().route(tb->net().host("rwcp-sun"), tb->net().host("titech-smp"))
+          .ok());
+  EXPECT_TRUE(
+      tb->net().route(tb->net().host("etl-sun"), tb->net().host("titech-smp"))
+          .ok());
+}
+
+TEST(ThreeSite, BothFirewallsDenyDirectInbound) {
+  auto tb = make_three_site_testbed();
+  ErrorCode to_rwcp = ErrorCode::kOk, to_titech = ErrorCode::kOk;
+  tb->engine().spawn("probe", [&](sim::Process& self) {
+    auto a = tb->net().host("etl-sun").stack().connect(
+        self, Contact{"rwcp-sun", 1234});
+    if (!a.ok()) to_rwcp = a.error().code();
+    auto b = tb->net().host("rwcp-outer").stack().connect(
+        self, Contact{"titech-smp", 1234});
+    if (!b.ok()) to_titech = b.error().code();
+  });
+  tb->engine().run();
+  EXPECT_EQ(to_rwcp, ErrorCode::kPermissionDenied);
+  EXPECT_EQ(to_titech, ErrorCode::kPermissionDenied);
+}
+
+TEST(ThreeSite, CrossFirewallMpiChainsTwoProxies) {
+  // rank0 at RWCP (behind fw 1), rank1 at TITech (behind fw 2): the link
+  // rank0->rank1 goes rwcp-outer -> titech-outer -> titech-inner -> rank1.
+  auto tb = make_three_site_testbed();
+  tb->registry().register_task("xfw", [](rmf::JobContext& ctx) {
+    auto comm = mpi::Comm::init(ctx);
+    if (comm->rank() == 0) {
+      comm->send(1, 1, to_bytes("across two firewalls"));
+      ctx.result = comm->recv(1, 2);
+    } else {
+      Bytes msg = comm->recv(0, 1);
+      comm->send(0, 2, to_bytes("echo: " + to_string(msg)));
+    }
+    comm->finalize();
+  });
+  rmf::JobSpec spec;
+  spec.name = "xfw";
+  spec.task = "xfw";
+  spec.nprocs = 2;
+  spec.placements = {{"rwcp-sun", 1}, {"titech-smp", 1}};
+  auto result = tb->run_job("rwcp-sun", spec);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  ASSERT_TRUE(result->ok) << result->error;
+  EXPECT_EQ(to_string(result->output), "echo: across two firewalls");
+  // Both proxy pairs carried traffic.
+  EXPECT_GT(tb->proxy_for("rwcp")->outer->stats().messages, 0u);
+  EXPECT_GT(tb->proxy_for("titech")->outer->stats().messages, 0u);
+  EXPECT_GT(tb->proxy_for("titech")->inner->stats().messages, 0u);
+}
+
+TEST(ThreeSite, KnapsackAcrossAllThreeSites) {
+  auto tb = make_three_site_testbed();
+  knapsack::Instance inst = knapsack::no_prune_instance(20, 2);
+  rmf::JobSpec spec;
+  spec.name = "k3";
+  spec.task = knapsack::kParallelTask;
+  auto placements = placement_three_site(tb);
+  spec.nprocs = 0;
+  for (const auto& p : placements) spec.nprocs += p.count;
+  EXPECT_EQ(spec.nprocs, 28);
+  spec.placements = placements;
+  spec.args = {{knapsack::args::kInterval, "1000"},
+               {knapsack::args::kStealUnit, "16"},
+               {knapsack::args::kSecPerNode, "0.000001"}};
+  spec.input_files[knapsack::kInstanceFile] = inst.encode();
+  auto result = tb->run_job("rwcp-sun", spec);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  ASSERT_TRUE(result->ok) << result->error;
+  auto stats = knapsack::RunStats::decode(result->output);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->best_value, inst.total_profit());
+  EXPECT_EQ(stats->total_nodes, knapsack::full_tree_nodes(20));
+  ASSERT_EQ(stats->ranks.size(), 28u);
+}
+
+TEST(ThreeSite, Figure5PlacementsStillWork) {
+  auto tb = make_three_site_testbed();
+  tb->registry().register_task("noop", [](rmf::JobContext& ctx) {
+    if (ctx.rank == 0) ctx.result = to_bytes("ok");
+  });
+  rmf::JobSpec spec;
+  spec.name = "noop";
+  spec.task = "noop";
+  spec.nprocs = 20;
+  spec.placements = placement_wide_area(tb);
+  auto result = tb->run_job("rwcp-sun", spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ok) << result->error;
+}
+
+}  // namespace
+}  // namespace wacs::core

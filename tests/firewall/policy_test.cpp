@@ -1,0 +1,105 @@
+#include "firewall/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wacs::fw {
+namespace {
+
+ConnAttempt attempt(Direction dir, std::uint16_t port,
+                    std::string src_site = "internet") {
+  ConnAttempt a;
+  a.src_host = "peer";
+  a.src_site = std::move(src_site);
+  a.dst_host = "rwcp-sun";
+  a.dst_site = "rwcp";
+  a.dst_port = port;
+  a.direction = dir;
+  return a;
+}
+
+TEST(Policy, TypicalIsDenyInboundAllowOutbound) {
+  // The paper's assumed configuration (§1): deny based for incoming,
+  // allow based for outgoing.
+  Policy p = Policy::typical();
+  EXPECT_EQ(p.evaluate(attempt(Direction::kInbound, 80)), Action::kDeny);
+  EXPECT_EQ(p.evaluate(attempt(Direction::kOutbound, 80)), Action::kAllow);
+}
+
+TEST(Policy, OpenAllowsEverything) {
+  Policy p = Policy::open();
+  EXPECT_EQ(p.evaluate(attempt(Direction::kInbound, 1)), Action::kAllow);
+  EXPECT_EQ(p.evaluate(attempt(Direction::kOutbound, 1)), Action::kAllow);
+}
+
+TEST(Policy, OpenInboundPunchesOnePort) {
+  Policy p = Policy::typical();
+  p.open_inbound(PortRange::single(9900), "nxport");
+  EXPECT_EQ(p.evaluate(attempt(Direction::kInbound, 9900)), Action::kAllow);
+  EXPECT_EQ(p.evaluate(attempt(Direction::kInbound, 9901)), Action::kDeny);
+}
+
+TEST(Policy, OpenInboundFromRestrictsSourceHost) {
+  Policy p = Policy::typical();
+  p.open_inbound_from("rwcp-outer", PortRange::single(9900), "nxport");
+  auto a = attempt(Direction::kInbound, 9900);
+  a.src_host = "rwcp-outer";
+  EXPECT_EQ(p.evaluate(a), Action::kAllow);
+  a.src_host = "attacker";
+  EXPECT_EQ(p.evaluate(a), Action::kDeny);
+}
+
+TEST(Policy, FirstMatchWins) {
+  Policy p = Policy::typical();
+  Rule deny;
+  deny.action = Action::kDeny;
+  deny.direction = Direction::kInbound;
+  deny.ports = PortRange::single(9900);
+  p.add_rule(deny);
+  p.open_inbound(PortRange::single(9900));  // shadowed by the deny above
+  EXPECT_EQ(p.evaluate(attempt(Direction::kInbound, 9900)), Action::kDeny);
+}
+
+TEST(Policy, PortRangeWorkaroundModelsGlobus11) {
+  // Globus 1.1's TCP_MIN_PORT/TCP_MAX_PORT approach: open a whole range.
+  // The paper's criticism — this is effectively allow-based — shows up as
+  // every port in the range being open to arbitrary sources.
+  Policy p = Policy::typical();
+  p.open_inbound(PortRange{40000, 41000}, "globus 1.1 port range");
+  EXPECT_EQ(p.evaluate(attempt(Direction::kInbound, 40000)), Action::kAllow);
+  EXPECT_EQ(p.evaluate(attempt(Direction::kInbound, 40500, "anywhere")),
+            Action::kAllow);
+  EXPECT_EQ(p.evaluate(attempt(Direction::kInbound, 41001)), Action::kDeny);
+}
+
+TEST(Firewall, CountsVerdicts) {
+  Firewall fw("rwcp-fw", Policy::typical());
+  EXPECT_FALSE(fw.permit(attempt(Direction::kInbound, 80)));
+  EXPECT_TRUE(fw.permit(attempt(Direction::kOutbound, 80)));
+  EXPECT_TRUE(fw.permit(attempt(Direction::kOutbound, 81)));
+  EXPECT_EQ(fw.denied(), 1u);
+  EXPECT_EQ(fw.allowed(), 2u);
+  fw.reset_counters();
+  EXPECT_EQ(fw.denied(), 0u);
+  EXPECT_EQ(fw.allowed(), 0u);
+}
+
+TEST(Firewall, PolicySwapTakesEffect) {
+  // The paper temporarily reconfigured the firewall to measure the
+  // direct-communication baseline; the simulator supports the same.
+  Firewall fw("rwcp-fw", Policy::typical());
+  EXPECT_FALSE(fw.permit(attempt(Direction::kInbound, 5000)));
+  fw.set_policy(Policy::open());
+  EXPECT_TRUE(fw.permit(attempt(Direction::kInbound, 5000)));
+}
+
+TEST(Policy, ToStringListsRules) {
+  Policy p = Policy::typical();
+  p.open_inbound(PortRange::single(9900), "nxport");
+  std::string dump = p.to_string();
+  EXPECT_NE(dump.find("default inbound: deny"), std::string::npos);
+  EXPECT_NE(dump.find("allow inbound tcp/9900"), std::string::npos);
+  EXPECT_NE(dump.find("# nxport"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wacs::fw

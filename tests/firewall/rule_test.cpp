@@ -1,0 +1,109 @@
+#include "firewall/rule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wacs::fw {
+namespace {
+
+ConnAttempt inbound(std::string src_host, std::string src_site,
+                    std::string dst_host, std::uint16_t port) {
+  ConnAttempt a;
+  a.src_host = std::move(src_host);
+  a.src_site = std::move(src_site);
+  a.dst_host = std::move(dst_host);
+  a.dst_site = "rwcp";
+  a.dst_port = port;
+  a.direction = Direction::kInbound;
+  return a;
+}
+
+TEST(PortRange, DefaultCoversEverything) {
+  PortRange r;
+  EXPECT_TRUE(r.contains(0));
+  EXPECT_TRUE(r.contains(65535));
+  EXPECT_TRUE(r.valid());
+}
+
+TEST(PortRange, SingleAndBounds) {
+  PortRange r = PortRange::single(9900);
+  EXPECT_TRUE(r.contains(9900));
+  EXPECT_FALSE(r.contains(9899));
+  EXPECT_FALSE(r.contains(9901));
+
+  PortRange range{40000, 40010};
+  EXPECT_TRUE(range.contains(40000));
+  EXPECT_TRUE(range.contains(40010));
+  EXPECT_FALSE(range.contains(39999));
+  EXPECT_FALSE(range.contains(40011));
+}
+
+TEST(Rule, WildcardMatchesAnyPeer) {
+  Rule r;
+  r.action = Action::kAllow;
+  r.direction = Direction::kInbound;
+  EXPECT_TRUE(r.matches(inbound("anyone", "anywhere", "rwcp-sun", 1234)));
+}
+
+TEST(Rule, DirectionMustMatch) {
+  Rule r;
+  r.direction = Direction::kOutbound;
+  EXPECT_FALSE(r.matches(inbound("a", "s", "b", 1)));
+}
+
+TEST(Rule, PortRangeNarrowsMatch) {
+  Rule r;
+  r.direction = Direction::kInbound;
+  r.ports = PortRange::single(9900);
+  EXPECT_TRUE(r.matches(inbound("a", "s", "b", 9900)));
+  EXPECT_FALSE(r.matches(inbound("a", "s", "b", 9901)));
+}
+
+TEST(Rule, SrcHostNarrowsMatch) {
+  Rule r;
+  r.direction = Direction::kInbound;
+  r.src_host = "rwcp-outer";
+  EXPECT_TRUE(r.matches(inbound("rwcp-outer", "rwcp", "rwcp-inner", 9900)));
+  EXPECT_FALSE(r.matches(inbound("evil-host", "rwcp", "rwcp-inner", 9900)));
+}
+
+TEST(Rule, SrcSiteNarrowsMatch) {
+  Rule r;
+  r.direction = Direction::kInbound;
+  r.src_site = "etl";
+  EXPECT_TRUE(r.matches(inbound("etl-sun", "etl", "rwcp-sun", 80)));
+  EXPECT_FALSE(r.matches(inbound("x", "titech", "rwcp-sun", 80)));
+}
+
+TEST(Rule, DstHostNarrowsMatch) {
+  Rule r;
+  r.direction = Direction::kInbound;
+  r.dst_host = "rwcp-inner";
+  EXPECT_TRUE(r.matches(inbound("a", "s", "rwcp-inner", 1)));
+  EXPECT_FALSE(r.matches(inbound("a", "s", "rwcp-sun", 1)));
+}
+
+TEST(Rule, AllCriteriaMustHoldSimultaneously) {
+  Rule r;
+  r.direction = Direction::kInbound;
+  r.src_host = "rwcp-outer";
+  r.dst_host = "rwcp-inner";
+  r.ports = PortRange::single(9900);
+  EXPECT_TRUE(r.matches(inbound("rwcp-outer", "rwcp", "rwcp-inner", 9900)));
+  EXPECT_FALSE(r.matches(inbound("rwcp-outer", "rwcp", "rwcp-inner", 9901)));
+  EXPECT_FALSE(r.matches(inbound("rwcp-outer", "rwcp", "other", 9900)));
+  EXPECT_FALSE(r.matches(inbound("other", "rwcp", "rwcp-inner", 9900)));
+}
+
+TEST(Rule, ToStringIsReadable) {
+  Rule r;
+  r.action = Action::kAllow;
+  r.direction = Direction::kInbound;
+  r.ports = PortRange::single(9900);
+  r.src_host = "rwcp-outer";
+  r.comment = "nxport";
+  EXPECT_EQ(r.to_string(),
+            "allow inbound tcp/9900 from host=rwcp-outer  # nxport");
+}
+
+}  // namespace
+}  // namespace wacs::fw

@@ -1,0 +1,107 @@
+#include "knapsack/instance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wacs::knapsack {
+namespace {
+
+TEST(Instance, NoPruneCapacityCoversEverything) {
+  Instance inst = no_prune_instance(20, 3);
+  EXPECT_EQ(inst.size(), 20);
+  EXPECT_EQ(inst.capacity, inst.total_weight());
+  for (const Item& item : inst.items) {
+    EXPECT_GE(item.profit, 1);
+    EXPECT_GE(item.weight, 1);
+  }
+}
+
+TEST(Instance, GeneratorsAreDeterministic) {
+  EXPECT_EQ(no_prune_instance(10, 5), no_prune_instance(10, 5));
+  EXPECT_NE(no_prune_instance(10, 5), no_prune_instance(10, 6));
+  EXPECT_EQ(random_instance(10, 5), random_instance(10, 5));
+}
+
+TEST(Instance, RandomInstanceRespectsTightness) {
+  Instance inst = random_instance(50, 7, 0.5);
+  EXPECT_LT(inst.capacity, inst.total_weight());
+  EXPECT_GE(inst.capacity, 1);
+}
+
+TEST(Instance, CorrelatedInstanceHasProfitAboveWeight) {
+  Instance inst = correlated_instance(30, 11);
+  for (const Item& item : inst.items) EXPECT_GT(item.profit, item.weight);
+}
+
+TEST(Instance, EncodeDecodeRoundTrip) {
+  Instance inst = random_instance(40, 13);
+  auto decoded = Instance::decode(inst.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, inst);
+}
+
+TEST(Instance, DecodeRejectsTruncation) {
+  Bytes data = no_prune_instance(5, 1).encode();
+  data.pop_back();
+  EXPECT_FALSE(Instance::decode(data).ok());
+}
+
+TEST(Instance, DecodeRejectsTrailingGarbage) {
+  Bytes data = no_prune_instance(5, 1).encode();
+  data.push_back(0);
+  EXPECT_FALSE(Instance::decode(data).ok());
+}
+
+TEST(Instance, SortByRatioOrdersDescending) {
+  Instance inst = random_instance(30, 17);
+  inst.sort_by_ratio();
+  for (std::size_t i = 1; i < inst.items.size(); ++i) {
+    const Item& a = inst.items[i - 1];
+    const Item& b = inst.items[i];
+    EXPECT_GE(a.profit * b.weight, b.profit * a.weight);
+  }
+}
+
+TEST(InstanceText, RoundTripThroughDataFile) {
+  Instance inst = random_instance(25, 3);
+  auto parsed = Instance::from_text(inst.to_text());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(*parsed, inst);
+}
+
+TEST(InstanceText, ParsesHandWrittenFileWithComments) {
+  const std::string text =
+      "# three items\n"
+      "3 50   # n capacity\n"
+      "10 20\n"
+      "\n"
+      "7 5    # cheap one\n"
+      "30 45\n";
+  auto inst = Instance::from_text(text);
+  ASSERT_TRUE(inst.ok()) << inst.error().to_string();
+  EXPECT_EQ(inst->size(), 3);
+  EXPECT_EQ(inst->capacity, 50);
+  EXPECT_EQ(inst->items[1], (Item{7, 5}));
+}
+
+TEST(InstanceText, RejectsMalformedFiles) {
+  EXPECT_FALSE(Instance::from_text("").ok());
+  EXPECT_FALSE(Instance::from_text("# only comments\n").ok());
+  EXPECT_FALSE(Instance::from_text("2 100\n1 2\n").ok());      // missing item
+  EXPECT_FALSE(Instance::from_text("2 100\n1 2\n3 4\n5 6\n").ok());  // extra
+  EXPECT_FALSE(Instance::from_text("abc 100\n").ok());          // not a number
+  EXPECT_FALSE(Instance::from_text("2 -5\n1 2\n3 4\n").ok()); // negative cap
+  EXPECT_FALSE(Instance::from_text("0 100\n").ok());            // zero items
+  EXPECT_FALSE(Instance::from_text("2 100\n-1 2\n3 4\n").ok());  // negative
+}
+
+TEST(InstanceText, TextAndBinaryFormatsAgree) {
+  Instance inst = correlated_instance(12, 9);
+  auto from_text = Instance::from_text(inst.to_text());
+  auto from_binary = Instance::decode(inst.encode());
+  ASSERT_TRUE(from_text.ok());
+  ASSERT_TRUE(from_binary.ok());
+  EXPECT_EQ(*from_text, *from_binary);
+}
+
+}  // namespace
+}  // namespace wacs::knapsack

@@ -1,0 +1,197 @@
+// End-to-end parallel knapsack on the Figure 5 testbed: correctness of the
+// master-slave self-scheduling implementation across every cluster system
+// of Table 3, with and without the Nexus Proxy.
+#include "knapsack/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/testbeds.hpp"
+#include "knapsack/search.hpp"
+
+namespace wacs::knapsack {
+namespace {
+
+using core::Testbed;
+using core::TestbedOptions;
+using core::make_rwcp_etl_testbed;
+
+rmf::JobSpec knapsack_spec(const Instance& inst,
+                           std::vector<rmf::Placement> placements,
+                           std::map<std::string, std::string> extra_args = {}) {
+  rmf::JobSpec spec;
+  spec.name = "knapsack-test";
+  spec.task = kParallelTask;
+  spec.nprocs = 0;
+  for (const auto& p : placements) spec.nprocs += p.count;
+  spec.placements = std::move(placements);
+  spec.args = {{args::kInterval, "200"},
+               {args::kStealUnit, "8"},
+               {args::kBackUnit, "32"},
+               {args::kSecPerNode, "0.000001"}};
+  for (auto& [k, v] : extra_args) spec.args[k] = v;
+  spec.input_files[kInstanceFile] = inst.encode();
+  return spec;
+}
+
+RunStats run(Testbed& tb, const rmf::JobSpec& spec) {
+  auto result = tb->run_job("rwcp-sun", spec);
+  EXPECT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_TRUE(result->ok) << result->error;
+  auto stats = RunStats::decode(result->output);
+  EXPECT_TRUE(stats.ok());
+  return *stats;
+}
+
+TEST(ParallelKnapsack, MatchesSequentialOnNoPruneInstance) {
+  auto tb = make_rwcp_etl_testbed();
+  Instance inst = no_prune_instance(14, 1);
+  RunStats stats =
+      run(tb, knapsack_spec(inst, {{"rwcp-sun", 2}, {"compas01", 1}}));
+  EXPECT_EQ(stats.best_value, inst.total_profit());
+  EXPECT_EQ(stats.total_nodes, full_tree_nodes(14));
+  ASSERT_EQ(stats.ranks.size(), 3u);
+  EXPECT_GT(stats.app_seconds, 0.0);
+}
+
+TEST(ParallelKnapsack, MatchesBruteForceOnRandomInstances) {
+  auto tb = make_rwcp_etl_testbed();
+  for (int seed = 1; seed <= 3; ++seed) {
+    Instance inst = random_instance(14, static_cast<std::uint64_t>(seed));
+    inst.sort_by_ratio();
+    const std::int64_t expected = solve_brute_force(inst);
+    RunStats stats = run(
+        tb, knapsack_spec(inst, {{"rwcp-sun", 2}, {"etl-o2k", 2}},
+                          {{args::kUseBound, "1"}}));
+    EXPECT_EQ(stats.best_value, expected) << "seed=" << seed;
+  }
+}
+
+TEST(ParallelKnapsack, WideAreaClusterTraversesWholeTree) {
+  auto tb = make_rwcp_etl_testbed();
+  // Large enough (2M nodes ≈ 2 s of virtual work) that even the WAN-distant
+  // ETL ranks receive work despite their ~50 ms steal round trip.
+  Instance inst = no_prune_instance(20, 2);
+  RunStats stats =
+      run(tb, knapsack_spec(inst, core::placement_wide_area(tb)));
+  EXPECT_EQ(stats.best_value, inst.total_profit());
+  EXPECT_EQ(stats.total_nodes, full_tree_nodes(20));
+  ASSERT_EQ(stats.ranks.size(), 20u);
+  // Dynamic load balancing: every slave must have done some work.
+  for (const RankStats& r : stats.ranks) {
+    EXPECT_GT(r.nodes_traversed, 0u) << "rank " << r.rank;
+    if (r.rank != 0) {
+      EXPECT_GT(r.steal_requests, 0u) << "rank " << r.rank;
+    }
+  }
+}
+
+TEST(ParallelKnapsack, ProxyAndDirectRunsAgreeOnResults) {
+  Instance inst = no_prune_instance(14, 3);
+
+  TestbedOptions with_proxy;
+  auto tb1 = make_rwcp_etl_testbed(with_proxy);
+  RunStats s1 = run(
+      tb1, knapsack_spec(inst, {{"rwcp-sun", 2}, {"etl-o2k", 2}}));
+
+  TestbedOptions direct;
+  direct.rwcp_uses_proxy = false;
+  direct.open_rwcp_firewall = true;  // the paper's temporary reconfiguration
+  auto tb2 = make_rwcp_etl_testbed(direct);
+  RunStats s2 = run(
+      tb2, knapsack_spec(inst, {{"rwcp-sun", 2}, {"etl-o2k", 2}}));
+
+  EXPECT_EQ(s1.best_value, s2.best_value);
+  EXPECT_EQ(s1.total_nodes, s2.total_nodes);
+  // The proxied run is slower (relay overhead) but in the same ballpark.
+  EXPECT_GT(s1.app_seconds, s2.app_seconds);
+}
+
+TEST(ParallelKnapsack, ProxiedRunActuallyUsedTheRelay) {
+  auto tb = make_rwcp_etl_testbed();
+  Instance inst = no_prune_instance(12, 4);
+  (void)run(tb, knapsack_spec(inst, {{"rwcp-sun", 2}, {"etl-o2k", 2}}));
+  EXPECT_GT(tb->outer()->stats().messages, 0u);
+  EXPECT_GT(tb->inner()->stats().messages, 0u);
+}
+
+TEST(ParallelKnapsack, SchedulingParametersSweepStaysCorrect) {
+  auto tb = make_rwcp_etl_testbed();
+  Instance inst = no_prune_instance(12, 5);
+  for (const char* interval : {"50", "500"}) {
+    for (const char* stealunit : {"2", "64"}) {
+      RunStats stats = run(
+          tb, knapsack_spec(inst, {{"rwcp-sun", 2}, {"compas01", 1}},
+                            {{args::kInterval, interval},
+                             {args::kStealUnit, stealunit}}));
+      EXPECT_EQ(stats.best_value, inst.total_profit())
+          << interval << "/" << stealunit;
+      EXPECT_EQ(stats.total_nodes, full_tree_nodes(12))
+          << interval << "/" << stealunit;
+    }
+  }
+}
+
+TEST(ParallelKnapsack, SequentialTaskViaRmf) {
+  auto tb = make_rwcp_etl_testbed();
+  Instance inst = no_prune_instance(12, 6);
+  rmf::JobSpec spec;
+  spec.name = "seq";
+  spec.task = kSequentialTask;
+  spec.nprocs = 1;
+  spec.placements = {{"rwcp-sun", 1}};
+  spec.args = {{args::kSecPerNode, "0.000001"}};
+  spec.input_files[kInstanceFile] = inst.encode();
+  auto result = tb->run_job("rwcp-sun", spec);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->ok) << result->error;
+  auto stats = RunStats::decode(result->output);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->best_value, inst.total_profit());
+  EXPECT_EQ(stats->total_nodes, full_tree_nodes(12));
+  // Virtual time ≈ nodes × sec_per_node at speed 1.0.
+  EXPECT_NEAR(stats->app_seconds,
+              static_cast<double>(full_tree_nodes(12)) * 1e-6,
+              stats->app_seconds * 0.05);
+}
+
+TEST(ParallelKnapsack, FasterHostsTraverseMoreNodes) {
+  // Heterogeneity check: O2K CPUs (0.95) against COMPaS (0.55) — with
+  // dynamic load balancing the faster group should traverse more nodes.
+  auto tb = make_rwcp_etl_testbed();
+  Instance inst = no_prune_instance(16, 7);
+  RunStats stats = run(
+      tb, knapsack_spec(inst, {{"rwcp-sun", 1},   // master
+                               {"compas01", 1}, {"compas02", 1},
+                               {"etl-o2k", 2}}));
+  std::uint64_t compas_nodes = 0, o2k_nodes = 0;
+  for (const RankStats& r : stats.ranks) {
+    if (r.host.rfind("compas", 0) == 0) compas_nodes += r.nodes_traversed;
+    if (r.host == "etl-o2k") o2k_nodes += r.nodes_traversed;
+  }
+  EXPECT_GT(compas_nodes, 0u);
+  EXPECT_GT(o2k_nodes, 0u);
+  // 2 O2K ranks at 0.95 vs 2 COMPaS ranks at 0.55: expect a clear gap, but
+  // leave slack for stealing granularity and WAN latency.
+  EXPECT_GT(o2k_nodes, compas_nodes / 2);
+}
+
+TEST(RunStats, EncodeDecodeRoundTrip) {
+  RunStats stats;
+  stats.best_value = 123;
+  stats.total_nodes = 456;
+  stats.master_steals_handled = 7;
+  stats.app_seconds = 1.25;
+  stats.ranks = {{0, "rwcp-sun", 400, 0}, {1, "compas01", 56, 9}};
+  auto decoded = RunStats::decode(stats.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->best_value, 123);
+  EXPECT_EQ(decoded->total_nodes, 456u);
+  EXPECT_EQ(decoded->master_steals_handled, 7u);
+  EXPECT_DOUBLE_EQ(decoded->app_seconds, 1.25);
+  ASSERT_EQ(decoded->ranks.size(), 2u);
+  EXPECT_EQ(decoded->ranks[1].host, "compas01");
+  EXPECT_EQ(decoded->ranks[1].steal_requests, 9u);
+}
+
+}  // namespace
+}  // namespace wacs::knapsack

@@ -1,0 +1,203 @@
+#include "knapsack/search.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wacs::knapsack {
+namespace {
+
+TEST(Search, FullTreeNodeCountFormula) {
+  EXPECT_EQ(full_tree_nodes(0), 1u);
+  EXPECT_EQ(full_tree_nodes(1), 3u);
+  EXPECT_EQ(full_tree_nodes(10), 2047u);
+}
+
+TEST(Search, NoPruneTraversesTheEntireTree) {
+  // The paper's normalization: "entire search space is traced".
+  for (int n : {4, 8, 12}) {
+    Instance inst = no_prune_instance(n, 1);
+    SearchResult r = solve_sequential(inst, /*use_bound=*/false);
+    EXPECT_EQ(r.nodes_traversed, full_tree_nodes(n)) << "n=" << n;
+    EXPECT_EQ(r.best_value, inst.total_profit()) << "n=" << n;
+  }
+}
+
+TEST(Search, BoundedSearchTraversesFewerNodes) {
+  Instance inst = random_instance(18, 5);
+  inst.sort_by_ratio();
+  SearchResult plain = solve_sequential(inst, false);
+  SearchResult bounded = solve_sequential(inst, true);
+  EXPECT_EQ(plain.best_value, bounded.best_value);
+  EXPECT_LT(bounded.nodes_traversed, plain.nodes_traversed);
+}
+
+class SearchMatchesBruteForce
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(SearchMatchesBruteForce, OnRandomInstances) {
+  const auto [n, seed, tightness] = GetParam();
+  Instance inst = random_instance(n, static_cast<std::uint64_t>(seed),
+                                  tightness);
+  inst.sort_by_ratio();  // bound requires ratio order
+  const std::int64_t expected = solve_brute_force(inst);
+  EXPECT_EQ(solve_sequential(inst, true).best_value, expected);
+  EXPECT_EQ(solve_sequential(inst, false).best_value, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSweep, SearchMatchesBruteForce,
+    ::testing::Combine(::testing::Values(8, 12, 16),
+                       ::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(0.25, 0.5, 0.75)));
+
+TEST(Search, CorrelatedInstancesMatchBruteForce) {
+  for (int seed = 1; seed <= 5; ++seed) {
+    Instance inst =
+        correlated_instance(14, static_cast<std::uint64_t>(seed));
+    inst.sort_by_ratio();
+    EXPECT_EQ(solve_sequential(inst, true).best_value,
+              solve_brute_force(inst))
+        << "seed=" << seed;
+  }
+}
+
+TEST(UpperBound, NeverBelowBestCompletion) {
+  // Property: at the root, the bound dominates the optimum.
+  for (int seed = 1; seed <= 10; ++seed) {
+    Instance inst = random_instance(12, static_cast<std::uint64_t>(seed));
+    inst.sort_by_ratio();
+    const Node root{0, 0, inst.capacity};
+    EXPECT_GE(upper_bound(inst, root), solve_brute_force(inst))
+        << "seed=" << seed;
+  }
+}
+
+TEST(UpperBound, ExactWhenEverythingFits) {
+  Instance inst = no_prune_instance(10, 2);
+  const Node root{0, 0, inst.capacity};
+  EXPECT_EQ(upper_bound(inst, root), inst.total_profit());
+}
+
+TEST(Searcher, RunStopsAtRequestedOps) {
+  Instance inst = no_prune_instance(16, 1);
+  Searcher s(inst, false);
+  s.push(Node{0, 0, inst.capacity});
+  EXPECT_EQ(s.run(100), 100u);
+  EXPECT_EQ(s.nodes_traversed(), 100u);
+  EXPECT_FALSE(s.idle());
+}
+
+TEST(Searcher, RunStopsWhenStackEmpties) {
+  Instance inst = no_prune_instance(3, 1);  // 15 nodes total
+  Searcher s(inst, false);
+  s.push(Node{0, 0, inst.capacity});
+  EXPECT_EQ(s.run(1000), 15u);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Searcher, TakeFromTopRemovesDeepestNodes) {
+  Instance inst = no_prune_instance(16, 1);
+  Searcher s(inst, false);
+  s.push(Node{0, 0, inst.capacity});
+  s.run(50);
+  const std::size_t before = s.stack_size();
+  auto stolen = s.take_from_top(4);
+  EXPECT_EQ(stolen.size(), 4u);
+  EXPECT_EQ(s.stack_size(), before - 4);
+  // The deepest pending node has the largest index.
+  for (std::size_t i = 1; i < stolen.size(); ++i) {
+    EXPECT_GE(stolen[i].index, stolen[0].index);
+  }
+}
+
+TEST(Searcher, TakeFromTopClampsToStackSize) {
+  Instance inst = no_prune_instance(4, 1);
+  Searcher s(inst, false);
+  s.push(Node{0, 0, inst.capacity});
+  s.run(1);  // stack now holds 2 children
+  auto stolen = s.take_from_top(100);
+  EXPECT_EQ(stolen.size(), 2u);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Searcher, StolenWorkCompletesElsewhere) {
+  // Splitting the tree across two searchers conserves node count and best.
+  Instance inst = no_prune_instance(12, 3);
+  Searcher a(inst, false);
+  a.push(Node{0, 0, inst.capacity});
+  a.run(37);
+  Searcher b(inst, false);
+  b.push_all(a.take_from_top(a.stack_size() / 2));
+  while (!a.idle()) a.run(1024);
+  while (!b.idle()) b.run(1024);
+  EXPECT_EQ(a.nodes_traversed() + b.nodes_traversed(), full_tree_nodes(12));
+  EXPECT_EQ(std::max(a.best(), b.best()), inst.total_profit());
+}
+
+TEST(Searcher, OfferBestOnlyImproves) {
+  Instance inst = no_prune_instance(4, 1);
+  Searcher s(inst, false);
+  s.offer_best(10);
+  EXPECT_EQ(s.best(), 10);
+  s.offer_best(5);
+  EXPECT_EQ(s.best(), 10);
+  s.offer_best(20);
+  EXPECT_EQ(s.best(), 20);
+}
+
+TEST(SolveDp, MatchesBruteForceOnSmallInstances) {
+  for (int seed = 1; seed <= 8; ++seed) {
+    Instance inst = random_instance(14, static_cast<std::uint64_t>(seed));
+    EXPECT_EQ(solve_dp(inst), solve_brute_force(inst)) << "seed=" << seed;
+  }
+}
+
+class BranchAndBoundMatchesDp
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(BranchAndBoundMatchesDp, OnLargerInstances) {
+  // DP scales past brute force: cross-check B&B on instances brute force
+  // cannot touch.
+  const auto [n, seed, tightness] = GetParam();
+  Instance inst = random_instance(n, static_cast<std::uint64_t>(seed),
+                                  tightness);
+  inst.sort_by_ratio();
+  EXPECT_EQ(solve_sequential(inst, true).best_value, solve_dp(inst));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LargerSweep, BranchAndBoundMatchesDp,
+    ::testing::Combine(::testing::Values(22, 26), ::testing::Values(1, 2, 3),
+                       ::testing::Values(0.3, 0.6)));
+
+TEST(SolveDp, CorrelatedInstances) {
+  for (int seed = 1; seed <= 4; ++seed) {
+    Instance inst =
+        correlated_instance(24, static_cast<std::uint64_t>(seed));
+    inst.sort_by_ratio();
+    EXPECT_EQ(solve_sequential(inst, true).best_value, solve_dp(inst))
+        << "seed=" << seed;
+  }
+}
+
+TEST(SolveDp, DegenerateCases) {
+  Instance none;
+  none.items = {{10, 5}};
+  none.capacity = 0;
+  EXPECT_EQ(solve_dp(none), 0);
+
+  Instance all = no_prune_instance(10, 1);
+  EXPECT_EQ(solve_dp(all), all.total_profit());
+}
+
+TEST(Nodes, EncodeDecodeRoundTrip) {
+  std::vector<Node> nodes = {{0, 0, 100}, {5, 42, 17}, {31, -3, 0}};
+  BufWriter w;
+  encode_nodes(w, nodes);
+  BufReader r(w.bytes());
+  auto decoded = decode_nodes(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, nodes);
+}
+
+}  // namespace
+}  // namespace wacs::knapsack

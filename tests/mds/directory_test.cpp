@@ -1,0 +1,148 @@
+// MDS data model: DNs, filters, scopes, TTL expiry.
+#include "mds/directory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wacs::mds {
+namespace {
+
+Entry host_entry(const std::string& site, const std::string& host, int cpus,
+                 double speed) {
+  Entry e;
+  e.dn = "o=grid/ou=" + site + "/host=" + host;
+  e.attributes = {{"cpus", std::to_string(cpus)},
+                  {"speed", std::to_string(speed)},
+                  {"site", site}};
+  return e;
+}
+
+TEST(DnSubtree, MatchesSelfAndDescendants) {
+  EXPECT_TRUE(dn_in_subtree("o=grid", "o=grid"));
+  EXPECT_TRUE(dn_in_subtree("o=grid/ou=rwcp", "o=grid"));
+  EXPECT_TRUE(dn_in_subtree("o=grid/ou=rwcp/host=a", "o=grid/ou=rwcp"));
+  EXPECT_FALSE(dn_in_subtree("o=grid", "o=grid/ou=rwcp"));
+  EXPECT_FALSE(dn_in_subtree("o=gridx/ou=rwcp", "o=grid"));
+  EXPECT_FALSE(dn_in_subtree("o=other", "o=grid"));
+}
+
+TEST(FilterParse, AllOperatorForms) {
+  auto f = Filter::parse("(site=rwcp)(cpus>=8)(speed<=1.0)(gatekeeper=*)");
+  ASSERT_TRUE(f.ok());
+  ASSERT_EQ(f->terms.size(), 4u);
+  EXPECT_EQ(f->terms[0].op, FilterTerm::Op::kEquals);
+  EXPECT_EQ(f->terms[1].op, FilterTerm::Op::kGreaterOrEqual);
+  EXPECT_EQ(f->terms[2].op, FilterTerm::Op::kLessOrEqual);
+  EXPECT_EQ(f->terms[3].op, FilterTerm::Op::kPresent);
+}
+
+TEST(FilterParse, EmptyFilterMatchesEverything) {
+  auto f = Filter::parse("");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->matches(host_entry("rwcp", "a", 4, 1.0)));
+}
+
+TEST(FilterParse, RejectsMalformedInput) {
+  EXPECT_FALSE(Filter::parse("site=rwcp").ok());     // missing parens
+  EXPECT_FALSE(Filter::parse("(site=rwcp").ok());    // unterminated
+  EXPECT_FALSE(Filter::parse("(noop)").ok());        // no operator
+  EXPECT_FALSE(Filter::parse("(=x)").ok());          // empty attribute
+  EXPECT_FALSE(Filter::parse("(cpus>=)").ok());      // empty value
+}
+
+TEST(Filter, EqualityAndPresence) {
+  Entry e = host_entry("rwcp", "rwcp-sun", 4, 1.0);
+  EXPECT_TRUE(Filter::parse("(site=rwcp)")->matches(e));
+  EXPECT_FALSE(Filter::parse("(site=etl)")->matches(e));
+  EXPECT_TRUE(Filter::parse("(cpus=*)")->matches(e));
+  EXPECT_FALSE(Filter::parse("(gpu=*)")->matches(e));
+}
+
+TEST(Filter, NumericComparisons) {
+  Entry e = host_entry("etl", "etl-o2k", 16, 0.95);
+  EXPECT_TRUE(Filter::parse("(cpus>=8)")->matches(e));
+  EXPECT_TRUE(Filter::parse("(cpus>=16)")->matches(e));
+  EXPECT_FALSE(Filter::parse("(cpus>=17)")->matches(e));
+  EXPECT_TRUE(Filter::parse("(speed<=1)")->matches(e));
+  EXPECT_FALSE(Filter::parse("(speed<=0.5)")->matches(e));
+  // Comparing a non-numeric attribute never matches.
+  EXPECT_FALSE(Filter::parse("(site>=1)")->matches(e));
+}
+
+TEST(Filter, TermsAndTogether) {
+  Entry e = host_entry("etl", "etl-o2k", 16, 0.95);
+  EXPECT_TRUE(Filter::parse("(site=etl)(cpus>=8)")->matches(e));
+  EXPECT_FALSE(Filter::parse("(site=etl)(cpus>=32)")->matches(e));
+}
+
+TEST(Directory, ScopeSemantics) {
+  Directory dir;
+  dir.register_entry(host_entry("rwcp", "a", 4, 1.0), 1000);
+  dir.register_entry(host_entry("rwcp", "b", 4, 1.0), 1000);
+  dir.register_entry(host_entry("etl", "c", 16, 0.95), 1000);
+  Filter all;
+
+  auto subtree = dir.search("o=grid", Scope::kSubtree, all, 0);
+  EXPECT_EQ(subtree.size(), 3u);
+  auto rwcp_only = dir.search("o=grid/ou=rwcp", Scope::kSubtree, all, 0);
+  EXPECT_EQ(rwcp_only.size(), 2u);
+  auto base_only =
+      dir.search("o=grid/ou=rwcp/host=a", Scope::kBase, all, 0);
+  ASSERT_EQ(base_only.size(), 1u);
+  EXPECT_EQ(base_only[0].dn, "o=grid/ou=rwcp/host=a");
+  EXPECT_TRUE(dir.search("o=grid", Scope::kBase, all, 0).empty());
+}
+
+TEST(Directory, TtlExpiryIsLazyButEffective) {
+  Directory dir;
+  dir.register_entry(host_entry("rwcp", "a", 4, 1.0), /*expires_at=*/100);
+  dir.register_entry(host_entry("rwcp", "b", 4, 1.0), /*expires_at=*/200);
+  Filter all;
+  EXPECT_EQ(dir.search("o=grid", Scope::kSubtree, all, 50).size(), 2u);
+  EXPECT_EQ(dir.search("o=grid", Scope::kSubtree, all, 100).size(), 1u);
+  EXPECT_EQ(dir.search("o=grid", Scope::kSubtree, all, 250).size(), 0u);
+  EXPECT_EQ(dir.size(), 0u);  // expired entries were reaped
+}
+
+TEST(Directory, ReRegistrationReplacesAndExtends) {
+  Directory dir;
+  Entry e = host_entry("rwcp", "a", 4, 1.0);
+  dir.register_entry(e, 100);
+  e.attributes["cpus"] = "8";
+  dir.register_entry(e, 500);
+  auto found = dir.search("o=grid", Scope::kSubtree,
+                          *Filter::parse("(cpus=8)"), 200);
+  ASSERT_EQ(found.size(), 1u);
+}
+
+TEST(Directory, UnregisterRemoves) {
+  Directory dir;
+  dir.register_entry(host_entry("rwcp", "a", 4, 1.0), 1000);
+  dir.unregister_entry("o=grid/ou=rwcp/host=a");
+  dir.unregister_entry("o=grid/ou=rwcp/host=nonexistent");  // no-op
+  EXPECT_EQ(dir.search("o=grid", Scope::kSubtree, Filter{}, 0).size(), 0u);
+}
+
+TEST(MdsProtocol, RoundTrips) {
+  RegisterRequest reg{host_entry("rwcp", "a", 4, 1.0), 5000};
+  auto dreg = RegisterRequest::decode(reg.encode());
+  ASSERT_TRUE(dreg.ok());
+  EXPECT_EQ(dreg->entry, reg.entry);
+  EXPECT_EQ(dreg->ttl_ns, 5000);
+
+  SearchRequest s{"o=grid", Scope::kSubtree, "(cpus>=8)"};
+  auto ds = SearchRequest::decode(s.encode());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->base, "o=grid");
+  EXPECT_EQ(ds->filter, "(cpus>=8)");
+
+  SearchReply reply{true, "", {host_entry("etl", "c", 16, 0.95)}};
+  auto dr = SearchReply::decode(reply.encode());
+  ASSERT_TRUE(dr.ok());
+  ASSERT_EQ(dr->entries.size(), 1u);
+  EXPECT_EQ(dr->entries[0], reply.entries[0]);
+
+  EXPECT_FALSE(SearchRequest::decode(reg.encode()).ok());  // cross-decode
+}
+
+}  // namespace
+}  // namespace wacs::mds

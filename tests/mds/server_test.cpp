@@ -1,0 +1,143 @@
+// MDS daemon over the simulated network, including the testbed's automatic
+// resource publication.
+#include "mds/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/testbeds.hpp"
+
+namespace wacs::mds {
+namespace {
+
+TEST(MdsServer, PublishSearchWithdrawCycle) {
+  auto tb = core::make_rwcp_etl_testbed();
+  // A fresh private MDS for this test (the testbed's own lives on
+  // rwcp-gate; use another port via a second server on etl-sun).
+  DirectoryServer server(tb->net().host("etl-sun"), 21350);
+  server.start();
+
+  bool done = false;
+  tb->engine().spawn("client", [&](sim::Process& self) {
+    MdsClient client(tb->net().host("etl-o2k"), server.contact());
+    Entry e;
+    e.dn = "o=grid/ou=etl/host=etl-o2k";
+    e.attributes = {{"cpus", "16"}, {"site", "etl"}};
+    ASSERT_TRUE(client.publish(self, e, 3600).ok());
+
+    auto found = client.search(self, "o=grid", Scope::kSubtree, "(cpus>=8)");
+    ASSERT_TRUE(found.ok());
+    ASSERT_EQ(found->size(), 1u);
+    EXPECT_EQ((*found)[0].dn, e.dn);
+
+    ASSERT_TRUE(client.withdraw(self, e.dn).ok());
+    auto gone = client.search(self, "o=grid", Scope::kSubtree, "");
+    ASSERT_TRUE(gone.ok());
+    EXPECT_TRUE(gone->empty());
+    done = true;
+  });
+  tb->engine().run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(server.registrations(), 1u);
+  EXPECT_GE(server.searches(), 2u);
+}
+
+TEST(MdsServer, TtlExpiresEntriesInVirtualTime) {
+  auto tb = core::make_rwcp_etl_testbed();
+  DirectoryServer server(tb->net().host("etl-sun"), 21350);
+  server.start();
+
+  std::size_t before = 999, after = 999;
+  tb->engine().spawn("client", [&](sim::Process& self) {
+    MdsClient client(tb->net().host("etl-o2k"), server.contact());
+    Entry e;
+    e.dn = "o=grid/ou=etl/host=ephemeral";
+    e.attributes = {{"cpus", "1"}};
+    ASSERT_TRUE(client.publish(self, e, /*ttl=*/2.0).ok());
+    auto now_result = client.search(self, "o=grid", Scope::kSubtree, "");
+    ASSERT_TRUE(now_result.ok());
+    before = now_result->size();
+    self.sleep(3.0);  // past the TTL
+    auto later = client.search(self, "o=grid", Scope::kSubtree, "");
+    ASSERT_TRUE(later.ok());
+    after = later->size();
+  });
+  tb->engine().run();
+  EXPECT_EQ(before, 1u);
+  EXPECT_EQ(after, 0u);
+}
+
+TEST(MdsServer, BadFilterReturnsErrorNotCrash) {
+  auto tb = core::make_rwcp_etl_testbed();
+  bool got_error = false;
+  tb->engine().spawn("client", [&](sim::Process& self) {
+    MdsClient client(tb->net().host("etl-o2k"),
+                     tb->mds_server()->contact());
+    auto r = client.search(self, "o=grid", Scope::kSubtree, "(((");
+    got_error = !r.ok();
+  });
+  tb->engine().run();
+  EXPECT_TRUE(got_error);
+}
+
+TEST(MdsTestbed, ResourcesArePublishedAutomatically) {
+  auto tb = core::make_rwcp_etl_testbed();
+  std::vector<Entry> hosts;
+  std::vector<Entry> big;
+  tb->engine().spawn("client", [&](sim::Process& self) {
+    self.sleep(0.1);  // publication happens at boot
+    MdsClient client(tb->net().host("etl-sun"),
+                     tb->mds_server()->contact());
+    auto all = client.search(self, "o=grid", Scope::kSubtree, "(cpus=*)");
+    ASSERT_TRUE(all.ok());
+    hosts = *all;
+    auto filtered =
+        client.search(self, "o=grid", Scope::kSubtree, "(cpus>=8)");
+    ASSERT_TRUE(filtered.ok());
+    big = *filtered;
+  });
+  tb->engine().run();
+  // 11 Q-server resources: rwcp-sun + 8 compas + etl-sun + etl-o2k.
+  EXPECT_EQ(hosts.size(), 11u);
+  // Only the Origin 2000 has >= 8 CPUs.
+  ASSERT_EQ(big.size(), 1u);
+  EXPECT_EQ(big[0].dn, "o=grid/ou=etl/host=etl-o2k");
+  EXPECT_EQ(big[0].attributes.at("qserver"), "etl-o2k:7100");
+}
+
+TEST(MdsTestbed, GatekeeperServiceIsDiscoverable) {
+  auto tb = core::make_rwcp_etl_testbed();
+  std::string contact;
+  tb->engine().spawn("client", [&](sim::Process& self) {
+    self.sleep(0.1);
+    MdsClient client(tb->net().host("etl-sun"),
+                     tb->mds_server()->contact());
+    auto found = client.search(self, "o=grid/service=gatekeeper",
+                               Scope::kBase, "");
+    ASSERT_TRUE(found.ok());
+    ASSERT_EQ(found->size(), 1u);
+    contact = (*found)[0].attributes.at("contact");
+  });
+  tb->engine().run();
+  EXPECT_EQ(contact, "rwcp-gate:2119");
+}
+
+TEST(MdsTestbed, QueriesCrossTheFirewallOutbound) {
+  // A client inside RWCP can query the DMZ-hosted MDS (outbound allowed);
+  // the deny-based inbound policy is untouched.
+  auto tb = core::make_rwcp_etl_testbed();
+  std::size_t found = 0;
+  tb->engine().spawn("client", [&](sim::Process& self) {
+    self.sleep(0.1);
+    MdsClient client(tb->net().host("compas03"),
+                     tb->mds_server()->contact());
+    auto r = client.search(self, "o=grid/ou=rwcp", Scope::kSubtree,
+                           "(site=rwcp)");
+    ASSERT_TRUE(r.ok());
+    found = r->size();
+  });
+  tb->engine().run();
+  EXPECT_EQ(found, 9u);  // rwcp-sun + 8 COMPaS nodes
+}
+
+}  // namespace
+}  // namespace wacs::mds

@@ -1,0 +1,156 @@
+// CommContext route selection: direct vs Nexus Proxy, driven purely by the
+// process environment — the seam the paper added to Globus.
+#include "nexus/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "proxy/server.hpp"
+
+namespace wacs::nexus {
+namespace {
+
+struct Grid {
+  sim::Engine engine;
+  sim::Network net{engine};
+  std::unique_ptr<proxy::OuterServer> outer;
+  std::unique_ptr<proxy::InnerServer> inner;
+
+  Grid() {
+    sim::LinkParams lan{.name = "", .latency_s = msec(0.4),
+                        .bandwidth_bps = mbyte_per_sec(10), .duplex = false};
+    net.add_site("rwcp", fw::Policy::typical(), lan);
+    net.add_site("etl", fw::Policy::open(), lan);
+    net.add_host({.name = "a", .site = "rwcp"});
+    net.add_host({.name = "inner-host", .site = "rwcp"});
+    net.add_host({.name = "outer-host", .site = "rwcp", .zone = sim::Zone::kDmz});
+    net.add_host({.name = "b", .site = "etl"});
+    net.connect_sites("rwcp", "etl",
+                      sim::LinkParams{.name = "wan", .latency_s = msec(3),
+                                      .bandwidth_bps = kbit_per_sec(1500)});
+    net.site("rwcp").firewall().set_policy(
+        fw::Policy::typical().open_inbound_from(
+            "outer-host", fw::PortRange::single(9900), "nxport"));
+    outer = std::make_unique<proxy::OuterServer>(
+        net.host("outer-host"), 9911, proxy::RelayParams{});
+    inner = std::make_unique<proxy::InnerServer>(
+        net.host("inner-host"), 9900, proxy::RelayParams{});
+    outer->start();
+    inner->start();
+  }
+
+  Env proxy_env() const {
+    Env env;
+    env.set(env_keys::kProxyOuterServer, "outer-host:9911");
+    env.set(env_keys::kProxyInnerServer, "inner-host:9900");
+    return env;
+  }
+};
+
+TEST(CommContext, DirectWhenEnvEmpty) {
+  Grid g;
+  CommContext ctx(g.net.host("a"), Env{});
+  EXPECT_FALSE(ctx.uses_proxy());
+}
+
+TEST(CommContext, ProxyWhenBothVariablesSet) {
+  Grid g;
+  CommContext ctx(g.net.host("a"), g.proxy_env());
+  EXPECT_TRUE(ctx.uses_proxy());
+}
+
+TEST(CommContext, DirectListenAdvertisesOwnHost) {
+  Grid g;
+  bool checked = false;
+  g.engine.spawn("p", [&](sim::Process& self) {
+    CommContext ctx(g.net.host("a"), Env{});
+    auto ep = ctx.listen(self);
+    ASSERT_TRUE(ep.ok());
+    EXPECT_EQ((*ep)->contact().host, "a");
+    checked = true;
+  });
+  g.engine.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(CommContext, ProxiedListenAdvertisesOuterServer) {
+  Grid g;
+  bool checked = false;
+  g.engine.spawn("p", [&](sim::Process& self) {
+    CommContext ctx(g.net.host("a"), g.proxy_env());
+    auto ep = ctx.listen(self);
+    ASSERT_TRUE(ep.ok()) << ep.error().to_string();
+    EXPECT_EQ((*ep)->contact().host, "outer-host");
+    checked = true;
+  });
+  g.engine.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(CommContext, DirectListenHonorsPortRange) {
+  Grid g;
+  bool checked = false;
+  g.engine.spawn("p", [&](sim::Process& self) {
+    Env env;
+    env.set(env_keys::kTcpMinPort, "45000");
+    env.set(env_keys::kTcpMaxPort, "45100");
+    CommContext ctx(g.net.host("a"), env);
+    auto ep = ctx.listen(self);
+    ASSERT_TRUE(ep.ok());
+    EXPECT_GE((*ep)->contact().port, 45000);
+    EXPECT_LE((*ep)->contact().port, 45100);
+    checked = true;
+  });
+  g.engine.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(CommContext, EndToEndAcrossMixedRoutes) {
+  // a (rwcp, proxied) <-> b (etl, direct): b dials a's outer-rewritten
+  // contact; a dials b directly through its own proxy.
+  Grid g;
+  Contact a_contact;
+  std::string got_at_a, got_at_b;
+
+  g.engine.spawn("a", [&](sim::Process& self) {
+    CommContext ctx(g.net.host("a"), g.proxy_env());
+    auto ep = ctx.listen(self);
+    ASSERT_TRUE(ep.ok());
+    a_contact = (*ep)->contact();
+    Contact peer;
+    auto conn = (*ep)->accept(self, &peer);
+    ASSERT_TRUE(conn.ok());
+    EXPECT_EQ(peer.host, "b");
+    auto msg = (*conn)->recv(self);
+    ASSERT_TRUE(msg.ok());
+    got_at_a = to_string(*msg);
+  });
+
+  g.engine.spawn("b", [&](sim::Process& self) {
+    self.sleep(0.1);
+    CommContext ctx(g.net.host("b"), Env{});
+    auto conn = ctx.connect(self, a_contact);
+    ASSERT_TRUE(conn.ok()) << conn.error().to_string();
+    ASSERT_TRUE((*conn)->send(to_bytes("from-etl")).ok());
+  });
+
+  g.engine.run();
+  EXPECT_EQ(got_at_a, "from-etl");
+}
+
+TEST(CommContext, MalformedProxyEnvAborts) {
+  // No daemon processes here: death tests must not fork a threaded binary.
+  sim::Engine engine;
+  sim::Network net(engine);
+  net.add_site("s", fw::Policy::open(),
+               sim::LinkParams{.name = "", .latency_s = 0,
+                               .bandwidth_bps = 1e9});
+  sim::Host& host = net.add_host({.name = "h", .site = "s"});
+  Env env;
+  env.set(env_keys::kProxyOuterServer, "not a contact");
+  env.set(env_keys::kProxyInnerServer, "inner-host:9900");
+  EXPECT_DEATH(CommContext(host, env), "NEXUS_PROXY");
+}
+
+}  // namespace
+}  // namespace wacs::nexus

@@ -1,0 +1,233 @@
+// Remote Service Requests over direct and proxied links.
+#include "nexus/rsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "proxy/server.hpp"
+
+namespace wacs::nexus {
+namespace {
+
+struct Grid {
+  sim::Engine engine;
+  sim::Network net{engine};
+  std::unique_ptr<proxy::OuterServer> outer;
+  std::unique_ptr<proxy::InnerServer> inner;
+
+  Grid() {
+    sim::LinkParams lan{.name = "", .latency_s = msec(0.4),
+                        .bandwidth_bps = mbyte_per_sec(10), .duplex = false};
+    net.add_site("rwcp", fw::Policy::typical(), lan);
+    net.add_site("etl", fw::Policy::open(), lan);
+    net.add_host({.name = "a", .site = "rwcp"});
+    net.add_host({.name = "inner-host", .site = "rwcp"});
+    net.add_host({.name = "outer-host", .site = "rwcp", .zone = sim::Zone::kDmz});
+    net.add_host({.name = "b", .site = "etl"});
+    net.connect_sites("rwcp", "etl",
+                      sim::LinkParams{.name = "wan", .latency_s = msec(3),
+                                      .bandwidth_bps = kbit_per_sec(1500)});
+    net.site("rwcp").firewall().set_policy(
+        fw::Policy::typical().open_inbound_from(
+            "outer-host", fw::PortRange::single(9900), "nxport"));
+    outer = std::make_unique<proxy::OuterServer>(net.host("outer-host"), 9911,
+                                                 proxy::RelayParams{});
+    inner = std::make_unique<proxy::InnerServer>(net.host("inner-host"), 9900,
+                                                 proxy::RelayParams{});
+    outer->start();
+    inner->start();
+  }
+
+  Env proxy_env() const {
+    Env env;
+    env.set(env_keys::kProxyOuterServer, "outer-host:9911");
+    env.set(env_keys::kProxyInnerServer, "inner-host:9900");
+    return env;
+  }
+};
+
+TEST(Rsr, HandlersFireWithArguments) {
+  Grid g;
+  std::vector<std::int64_t> received;
+  Contact ep_contact;
+
+  g.engine.spawn("endpoint", [&](sim::Process& self) {
+    auto ctx = std::make_shared<CommContext>(g.net.host("b"), Env{});
+    auto ep = RsrEndpoint::create(ctx, self);
+    ASSERT_TRUE(ep.ok());
+    (*ep)->register_handler(1, [&received](sim::Process&, const Bytes& args) {
+      BufReader r(args);
+      received.push_back(r.i64().value());
+    });
+    ep_contact = (*ep)->contact();
+    self.suspend();  // daemon-style: unwound at shutdown
+  });
+
+  g.engine.spawn("client", [&](sim::Process& self) {
+    self.sleep(0.01);
+    CommContext ctx(g.net.host("a"), Env{});
+    auto sp = RsrStartpoint::attach(ctx, self, ep_contact);
+    ASSERT_TRUE(sp.ok());
+    for (std::int64_t i = 0; i < 5; ++i) {
+      BufWriter w;
+      w.i64(i * 11);
+      ASSERT_TRUE(sp->send(1, w.bytes()).ok());
+    }
+    self.sleep(1.0);  // let requests land before the engine drains
+  });
+
+  g.engine.run();
+  EXPECT_EQ(received, (std::vector<std::int64_t>{0, 11, 22, 33, 44}));
+}
+
+TEST(Rsr, ProxiedStartpointCrossesTheFirewall) {
+  // Endpoint inside RWCP (proxied contact); startpoint at ETL attaches to
+  // the rewritten public contact.
+  Grid g;
+  std::string got;
+  Contact ep_contact;
+
+  g.engine.spawn("endpoint", [&](sim::Process& self) {
+    auto ctx = std::make_shared<CommContext>(g.net.host("a"), g.proxy_env());
+    auto ep = RsrEndpoint::create(ctx, self);
+    ASSERT_TRUE(ep.ok());
+    EXPECT_EQ((*ep)->contact().host, "outer-host");
+    (*ep)->register_handler(7, [&got](sim::Process&, const Bytes& args) {
+      got = to_string(args);
+    });
+    ep_contact = (*ep)->contact();
+    self.suspend();
+  });
+
+  g.engine.spawn("client", [&](sim::Process& self) {
+    self.sleep(0.05);
+    CommContext ctx(g.net.host("b"), Env{});
+    auto sp = RsrStartpoint::attach(ctx, self, ep_contact);
+    ASSERT_TRUE(sp.ok()) << sp.error().to_string();
+    ASSERT_TRUE(sp->send(7, to_bytes("rsr-through-the-relay")).ok());
+    self.sleep(1.0);
+  });
+
+  g.engine.run();
+  EXPECT_EQ(got, "rsr-through-the-relay");
+  EXPECT_GT(g.inner->stats().messages, 0u);
+}
+
+TEST(Rsr, UnknownHandlerIsCountedNotFatal) {
+  Grid g;
+  int fired = 0;
+  Contact ep_contact;
+  RsrEndpointPtr endpoint;
+
+  g.engine.spawn("endpoint", [&](sim::Process& self) {
+    auto ctx = std::make_shared<CommContext>(g.net.host("b"), Env{});
+    auto ep = RsrEndpoint::create(ctx, self);
+    ASSERT_TRUE(ep.ok());
+    endpoint = *ep;
+    endpoint->register_handler(1, [&fired](sim::Process&, const Bytes&) {
+      ++fired;
+    });
+    ep_contact = endpoint->contact();
+    self.suspend();
+  });
+
+  g.engine.spawn("client", [&](sim::Process& self) {
+    self.sleep(0.01);
+    CommContext ctx(g.net.host("a"), Env{});
+    auto sp = RsrStartpoint::attach(ctx, self, ep_contact);
+    ASSERT_TRUE(sp.ok());
+    ASSERT_TRUE(sp->send(99, to_bytes("nobody home")).ok());
+    ASSERT_TRUE(sp->send(1, to_bytes("after the miss")).ok());
+    self.sleep(1.0);
+  });
+
+  g.engine.run();
+  EXPECT_EQ(fired, 1);  // the link survived the unknown id
+  EXPECT_EQ(endpoint->unknown_handler_requests(), 1u);
+  EXPECT_EQ(endpoint->requests_dispatched(), 1u);
+}
+
+TEST(Rsr, HandlersMayIssueTheirOwnRsrs) {
+  // Request/reply built from two one-way RSRs (the Nexus idiom).
+  Grid g;
+  std::int64_t reply_value = 0;
+  Contact server_contact, client_contact;
+
+  g.engine.spawn("server", [&](sim::Process& self) {
+    auto ctx = std::make_shared<CommContext>(g.net.host("b"), Env{});
+    auto ep = RsrEndpoint::create(ctx, self);
+    ASSERT_TRUE(ep.ok());
+    server_contact = (*ep)->contact();
+    (*ep)->register_handler(
+        1, [&, ctx](sim::Process& dispatcher, const Bytes& args) {
+          BufReader r(args);
+          const std::int64_t x = r.i64().value();
+          // Reply by issuing an RSR back to the client's endpoint.
+          auto back = RsrStartpoint::attach(*ctx, dispatcher, client_contact);
+          ASSERT_TRUE(back.ok());
+          BufWriter w;
+          w.i64(x * x);
+          ASSERT_TRUE(back->send(2, w.bytes()).ok());
+        });
+    self.suspend();
+  });
+
+  g.engine.spawn("client", [&](sim::Process& self) {
+    // The client sits behind the RWCP firewall: its reply endpoint must be
+    // proxied or the server's return RSR would be denied.
+    auto ctx = std::make_shared<CommContext>(g.net.host("a"), g.proxy_env());
+    auto ep = RsrEndpoint::create(ctx, self);
+    ASSERT_TRUE(ep.ok());
+    client_contact = (*ep)->contact();
+    (*ep)->register_handler(2, [&](sim::Process&, const Bytes& args) {
+      BufReader r(args);
+      reply_value = r.i64().value();
+    });
+    self.sleep(0.05);  // server bind
+    auto sp = RsrStartpoint::attach(*ctx, self, server_contact);
+    ASSERT_TRUE(sp.ok());
+    BufWriter w;
+    w.i64(12);
+    ASSERT_TRUE(sp->send(1, w.bytes()).ok());
+    self.sleep(1.0);
+  });
+
+  g.engine.run();
+  EXPECT_EQ(reply_value, 144);
+}
+
+TEST(Rsr, ManyStartpointsShareOneEndpoint) {
+  Grid g;
+  int total = 0;
+  Contact ep_contact;
+
+  g.engine.spawn("endpoint", [&](sim::Process& self) {
+    auto ctx = std::make_shared<CommContext>(g.net.host("b"), Env{});
+    auto ep = RsrEndpoint::create(ctx, self);
+    ASSERT_TRUE(ep.ok());
+    (*ep)->register_handler(1, [&total](sim::Process&, const Bytes&) {
+      ++total;
+    });
+    ep_contact = (*ep)->contact();
+    self.suspend();
+  });
+
+  for (int c = 0; c < 4; ++c) {
+    g.engine.spawn("client" + std::to_string(c), [&, c](sim::Process& self) {
+      self.sleep(0.01 + 0.001 * c);
+      CommContext ctx(g.net.host("a"), Env{});
+      auto sp = RsrStartpoint::attach(ctx, self, ep_contact);
+      ASSERT_TRUE(sp.ok());
+      for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(sp->send(1, {}).ok());
+      }
+      self.sleep(1.0);
+    });
+  }
+
+  g.engine.run();
+  EXPECT_EQ(total, 40);
+}
+
+}  // namespace
+}  // namespace wacs::nexus

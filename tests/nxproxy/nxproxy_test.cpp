@@ -1,0 +1,316 @@
+// End-to-end tests of the REAL Nexus Proxy daemons over loopback TCP.
+//
+// Topology mirrors the paper on one machine: outer daemon ("outside the
+// firewall"), inner daemon ("inside", on the nxport), application endpoints
+// dialing through them with the Table 1 client functions.
+#include "nxproxy/client.hpp"
+#include "nxproxy/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace wacs::nxproxy {
+namespace {
+
+struct Daemons {
+  OuterDaemon outer{"127.0.0.1", 0, "127.0.0.1"};
+  InnerDaemon inner{"127.0.0.1", 0};
+  Daemons() {
+    EXPECT_TRUE(outer.start().ok());
+    EXPECT_TRUE(inner.start().ok());
+  }
+};
+
+TEST(NxProxyReal, ActiveOpenRelaysToTarget) {
+  Daemons d;
+  auto target = net::TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(target.ok());
+
+  std::thread server([&] {
+    auto conn = target->accept();
+    ASSERT_TRUE(conn.ok());
+    auto data = conn->read_exact(4);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(to_string(*data), "ping");
+    ASSERT_TRUE(conn->write_all(to_bytes("pong")).ok());
+  });
+
+  auto sock = NXProxyConnect(d.outer.contact(),
+                             Contact{"127.0.0.1", target->port()});
+  ASSERT_TRUE(sock.ok()) << sock.error().to_string();
+  ASSERT_TRUE(sock->write_all(to_bytes("ping")).ok());
+  auto reply = sock->read_exact(4);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(to_string(*reply), "pong");
+  server.join();
+}
+
+TEST(NxProxyReal, ActiveOpenToDeadTargetReportsRefusal) {
+  Daemons d;
+  std::uint16_t dead_port;
+  {
+    auto l = net::TcpListener::bind("127.0.0.1", 0);
+    ASSERT_TRUE(l.ok());
+    dead_port = l->port();
+  }
+  auto sock = NXProxyConnect(d.outer.contact(), Contact{"127.0.0.1", dead_port});
+  ASSERT_FALSE(sock.ok());
+  EXPECT_EQ(sock.error().code(), ErrorCode::kConnectionRefused);
+  EXPECT_GE(d.outer.stats().handshake_failures.load(), 1u);
+}
+
+TEST(NxProxyReal, PassiveOpenThroughOuterAndInner) {
+  Daemons d;
+  auto bound = NXProxyBind(d.outer.contact(), d.inner.contact());
+  ASSERT_TRUE(bound.ok()) << bound.error().to_string();
+  EXPECT_EQ(bound->public_contact.host, "127.0.0.1");
+  EXPECT_NE(bound->public_contact.port, bound->listener.port())
+      << "public port must be the outer server's, not the private listener's";
+
+  std::thread remote([&] {
+    auto conn = net::TcpSocket::dial(bound->public_contact);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn->write_all(to_bytes("hi-there")).ok());
+    auto reply = conn->read_exact(2);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(to_string(*reply), "ok");
+  });
+
+  auto accepted = NXProxyAccept(*bound);
+  ASSERT_TRUE(accepted.ok()) << accepted.error().to_string();
+  auto& [sock, peer] = *accepted;
+  EXPECT_EQ(peer.host, "127.0.0.1");  // true peer, not the inner daemon
+  auto data = sock.read_exact(8);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(to_string(*data), "hi-there");
+  ASSERT_TRUE(sock.write_all(to_bytes("ok")).ok());
+  remote.join();
+  EXPECT_GE(d.inner.stats().bytes_relayed.load(), 8u);
+  EXPECT_GE(d.outer.stats().bytes_relayed.load(), 8u);
+}
+
+TEST(NxProxyReal, LargePayloadIntegrityThroughTwoRelays) {
+  constexpr std::size_t kSize = 8 * 1024 * 1024;
+  Daemons d;
+  auto bound = NXProxyBind(d.outer.contact(), d.inner.contact());
+  ASSERT_TRUE(bound.ok());
+  Bytes payload = pattern_bytes(kSize, 7);
+
+  std::thread remote([&] {
+    auto conn = net::TcpSocket::dial(bound->public_contact);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn->write_all(payload).ok());
+    conn->shutdown();
+  });
+
+  auto accepted = NXProxyAccept(*bound);
+  ASSERT_TRUE(accepted.ok());
+  auto got = accepted->first.read_exact(kSize);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(fnv1a(*got), fnv1a(payload));
+  remote.join();
+  EXPECT_GE(d.outer.stats().bytes_relayed.load(), kSize);
+  EXPECT_GE(d.inner.stats().bytes_relayed.load(), kSize);
+}
+
+TEST(NxProxyReal, BidirectionalTrafficInterleaves) {
+  Daemons d;
+  auto bound = NXProxyBind(d.outer.contact(), d.inner.contact());
+  ASSERT_TRUE(bound.ok());
+
+  std::thread remote([&] {
+    auto conn = net::TcpSocket::dial(bound->public_contact);
+    ASSERT_TRUE(conn.ok());
+    for (int i = 0; i < 20; ++i) {
+      Bytes msg = pattern_bytes(1000, static_cast<std::uint64_t>(i));
+      ASSERT_TRUE(conn->write_all(msg).ok());
+      auto back = conn->read_exact(1000);
+      ASSERT_TRUE(back.ok());
+      EXPECT_EQ(*back, msg) << "iteration " << i;
+    }
+  });
+
+  auto accepted = NXProxyAccept(*bound);
+  ASSERT_TRUE(accepted.ok());
+  for (int i = 0; i < 20; ++i) {
+    auto msg = accepted->first.read_exact(1000);
+    ASSERT_TRUE(msg.ok());
+    ASSERT_TRUE(accepted->first.write_all(*msg).ok());
+  }
+  remote.join();
+}
+
+TEST(NxProxyReal, MultipleConcurrentRelayedConnections) {
+  constexpr int kConns = 6;
+  Daemons d;
+  auto bound = NXProxyBind(d.outer.contact(), d.inner.contact());
+  ASSERT_TRUE(bound.ok());
+
+  std::thread acceptor([&] {
+    std::vector<std::thread> echoes;
+    for (int i = 0; i < kConns; ++i) {
+      auto accepted = NXProxyAccept(*bound);
+      ASSERT_TRUE(accepted.ok());
+      auto sock = std::make_shared<net::TcpSocket>(std::move(accepted->first));
+      echoes.emplace_back([sock] {
+        while (true) {
+          auto chunk = sock->read_some(65536);
+          if (!chunk.ok()) break;
+          if (!sock->write_all(*chunk).ok()) break;
+        }
+      });
+    }
+    for (auto& t : echoes) t.join();
+  });
+
+  std::vector<std::thread> clients;
+  std::atomic<int> successes{0};
+  for (int i = 0; i < kConns; ++i) {
+    clients.emplace_back([&, i] {
+      auto conn = net::TcpSocket::dial(bound->public_contact);
+      ASSERT_TRUE(conn.ok());
+      Bytes msg = pattern_bytes(20000, static_cast<std::uint64_t>(i + 100));
+      ASSERT_TRUE(conn->write_all(msg).ok());
+      auto back = conn->read_exact(msg.size());
+      ASSERT_TRUE(back.ok());
+      if (*back == msg) ++successes;
+      conn->shutdown();
+    });
+  }
+  for (auto& t : clients) t.join();
+  acceptor.join();
+  EXPECT_EQ(successes.load(), kConns);
+}
+
+TEST(NxProxyReal, SeparateBindsGetSeparatePublicPorts) {
+  Daemons d;
+  auto b1 = NXProxyBind(d.outer.contact(), d.inner.contact());
+  auto b2 = NXProxyBind(d.outer.contact(), d.inner.contact());
+  ASSERT_TRUE(b1.ok());
+  ASSERT_TRUE(b2.ok());
+  EXPECT_NE(b1->public_contact.port, b2->public_contact.port);
+  EXPECT_NE(b1->bind_id, b2->bind_id);
+  EXPECT_EQ(d.outer.active_binds(), 2u);
+}
+
+TEST(NxProxyReal, StopUnblocksEverything) {
+  auto d = std::make_unique<Daemons>();
+  auto bound = NXProxyBind(d->outer.contact(), d->inner.contact());
+  ASSERT_TRUE(bound.ok());
+  // A remote that connects but never completes anything.
+  auto idle = net::TcpSocket::dial(bound->public_contact);
+  ASSERT_TRUE(idle.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Destroys daemons: must join all threads without hanging.
+  d.reset();
+  SUCCEED();
+}
+
+TEST(NxProxyReal, ChainedRelaysAcrossTwoProxySystems) {
+  // Two independent proxy systems (think RWCP and TITech): a client behind
+  // system A actively opens toward a peer that passively opened behind
+  // system B. The bytes traverse outerA -> outerB -> innerB.
+  OuterDaemon outer_a("127.0.0.1", 0, "127.0.0.1");
+  OuterDaemon outer_b("127.0.0.1", 0, "127.0.0.1");
+  InnerDaemon inner_b("127.0.0.1", 0);
+  ASSERT_TRUE(outer_a.start().ok());
+  ASSERT_TRUE(outer_b.start().ok());
+  ASSERT_TRUE(inner_b.start().ok());
+
+  auto bound = NXProxyBind(outer_b.contact(), inner_b.contact());
+  ASSERT_TRUE(bound.ok());
+
+  std::thread server([&] {
+    auto accepted = NXProxyAccept(*bound);
+    ASSERT_TRUE(accepted.ok());
+    auto data = accepted->first.read_exact(5);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(to_string(*data), "chain");
+    ASSERT_TRUE(accepted->first.write_all(to_bytes("works")).ok());
+  });
+
+  // Active open through outer A, targeting B's public contact.
+  auto sock = NXProxyConnect(outer_a.contact(), bound->public_contact);
+  ASSERT_TRUE(sock.ok()) << sock.error().to_string();
+  ASSERT_TRUE(sock->write_all(to_bytes("chain")).ok());
+  auto reply = sock->read_exact(5);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(to_string(*reply), "works");
+  server.join();
+  EXPECT_GT(outer_a.stats().bytes_relayed.load(), 0u);
+  EXPECT_GT(outer_b.stats().bytes_relayed.load(), 0u);
+  EXPECT_GT(inner_b.stats().bytes_relayed.load(), 0u);
+}
+
+TEST(NxProxyReal, RelayPolicyBlocksUnlistedTargets) {
+  // A deny-by-default outer daemon refuses to dial targets not on the
+  // allow-list — the relay cannot be abused as an open proxy.
+  auto allowed_target = net::TcpListener::bind("127.0.0.1", 0);
+  auto blocked_target = net::TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(allowed_target.ok());
+  ASSERT_TRUE(blocked_target.ok());
+
+  RelayAccessPolicy policy;
+  policy.allow_target("127.0.0.1", allowed_target->port());
+  OuterDaemon outer("127.0.0.1", 0, "127.0.0.1", policy);
+  ASSERT_TRUE(outer.start().ok());
+
+  std::thread server([&] {
+    auto conn = allowed_target->accept();
+    if (!conn.ok()) return;
+    auto data = conn->read_exact(2);
+    if (data.ok()) (void)conn->write_all(*data);
+  });
+
+  auto ok = NXProxyConnect(outer.contact(),
+                           {"127.0.0.1", allowed_target->port()});
+  ASSERT_TRUE(ok.ok());
+  ASSERT_TRUE(ok->write_all(to_bytes("hi")).ok());
+  ASSERT_TRUE(ok->read_exact(2).ok());
+  server.join();
+
+  auto blocked = NXProxyConnect(outer.contact(),
+                                {"127.0.0.1", blocked_target->port()});
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_NE(blocked.error().message().find("not permitted"),
+            std::string::npos);
+  EXPECT_GE(outer.stats().handshake_failures.load(), 1u);
+}
+
+TEST(NxProxyReal, RelayPolicyAllowsAnyPortOnListedHost) {
+  RelayAccessPolicy policy;
+  policy.allow_target("10.1.2.3");  // any port
+  EXPECT_TRUE(policy.permits({"10.1.2.3", 80}));
+  EXPECT_TRUE(policy.permits({"10.1.2.3", 65535}));
+  EXPECT_FALSE(policy.permits({"10.1.2.4", 80}));
+
+  RelayAccessPolicy pinned;
+  pinned.allow_target("10.1.2.3", 443);
+  EXPECT_TRUE(pinned.permits({"10.1.2.3", 443}));
+  EXPECT_FALSE(pinned.permits({"10.1.2.3", 80}));
+
+  RelayAccessPolicy open;  // default: the paper's permissive behaviour
+  EXPECT_TRUE(open.permits({"anything", 1}));
+
+  RelayAccessPolicy closed;
+  closed.deny_by_default();
+  EXPECT_FALSE(closed.permits({"anything", 1}));
+}
+
+TEST(NxProxyReal, GarbageOnControlPortIsRejected) {
+  Daemons d;
+  auto conn = net::TcpSocket::dial(d.outer.contact());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->write_frame(to_bytes("this is not a proxy message")).ok());
+  // The daemon should drop us; reading yields EOF rather than a hang.
+  auto reply = conn->read_frame();
+  EXPECT_FALSE(reply.ok());
+  EXPECT_GE(d.outer.stats().handshake_failures.load(), 1u);
+}
+
+}  // namespace
+}  // namespace wacs::nxproxy

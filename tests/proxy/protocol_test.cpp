@@ -1,0 +1,106 @@
+#include "proxy/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wacs::proxy {
+namespace {
+
+TEST(ProxyProtocol, ConnectRequestRoundTrip) {
+  ConnectRequest req{Contact{"etl-sun", 31000}};
+  auto decoded = ConnectRequest::decode(req.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->target, req.target);
+}
+
+TEST(ProxyProtocol, ConnectReplyRoundTripBothOutcomes) {
+  {
+    auto d = ConnectReply::decode(ConnectReply{true, ""}.encode());
+    ASSERT_TRUE(d.ok());
+    EXPECT_TRUE(d->ok);
+    EXPECT_EQ(d->error, "");
+  }
+  {
+    auto d = ConnectReply::decode(
+        ConnectReply{false, "ConnectionRefused: nobody home"}.encode());
+    ASSERT_TRUE(d.ok());
+    EXPECT_FALSE(d->ok);
+    EXPECT_EQ(d->error, "ConnectionRefused: nobody home");
+  }
+}
+
+TEST(ProxyProtocol, BindRequestRoundTrip) {
+  BindRequest req{Contact{"rwcp-sun", 40001}, Contact{"rwcp-inner", 9900}};
+  auto d = BindRequest::decode(req.encode());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->local, req.local);
+  EXPECT_EQ(d->inner, req.inner);
+}
+
+TEST(ProxyProtocol, BindReplyRoundTrip) {
+  BindReply rep{true, Contact{"rwcp-outer", 33012}, 42, ""};
+  auto d = BindReply::decode(rep.encode());
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->ok);
+  EXPECT_EQ(d->public_contact, rep.public_contact);
+  EXPECT_EQ(d->bind_id, 42u);
+}
+
+TEST(ProxyProtocol, ForwardRequestRoundTrip) {
+  ForwardRequest req{Contact{"rwcp-sun", 40001}, Contact{"etl-sun", 55123}};
+  auto d = ForwardRequest::decode(req.encode());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->target, req.target);
+  EXPECT_EQ(d->peer, req.peer);
+}
+
+TEST(ProxyProtocol, ForwardReplyAndAcceptNoticeRoundTrip) {
+  auto fr = ForwardReply::decode(ForwardReply{false, "no route"}.encode());
+  ASSERT_TRUE(fr.ok());
+  EXPECT_FALSE(fr->ok);
+  EXPECT_EQ(fr->error, "no route");
+
+  auto an = AcceptNotice::decode(AcceptNotice{Contact{"peer", 1}}.encode());
+  ASSERT_TRUE(an.ok());
+  EXPECT_EQ(an->peer, (Contact{"peer", 1}));
+}
+
+TEST(ProxyProtocol, PeekTypeIdentifiesEveryMessage) {
+  EXPECT_EQ(*peek_type(ConnectRequest{{"h", 1}}.encode()),
+            MsgType::kConnectRequest);
+  EXPECT_EQ(*peek_type(ConnectReply{true, ""}.encode()),
+            MsgType::kConnectReply);
+  EXPECT_EQ(*peek_type(BindRequest{{"h", 1}, {"i", 2}}.encode()),
+            MsgType::kBindRequest);
+  EXPECT_EQ(*peek_type(BindReply{true, {"h", 1}, 0, ""}.encode()),
+            MsgType::kBindReply);
+  EXPECT_EQ(*peek_type(ForwardRequest{{"h", 1}, {"p", 2}}.encode()),
+            MsgType::kForwardRequest);
+  EXPECT_EQ(*peek_type(ForwardReply{true, ""}.encode()),
+            MsgType::kForwardReply);
+  EXPECT_EQ(*peek_type(AcceptNotice{{"p", 2}}.encode()),
+            MsgType::kAcceptNotice);
+}
+
+TEST(ProxyProtocol, PeekTypeRejectsGarbage) {
+  EXPECT_FALSE(peek_type(Bytes{}).ok());
+  EXPECT_FALSE(peek_type(Bytes{0}).ok());
+  EXPECT_FALSE(peek_type(Bytes{200}).ok());
+}
+
+TEST(ProxyProtocol, DecodeRejectsWrongType) {
+  Bytes frame = ConnectRequest{{"h", 1}}.encode();
+  EXPECT_FALSE(BindRequest::decode(frame).ok());
+  EXPECT_FALSE(ConnectReply::decode(frame).ok());
+}
+
+TEST(ProxyProtocol, DecodeRejectsTruncatedFrames) {
+  Bytes frame = BindReply{true, {"rwcp-outer", 33012}, 42, ""}.encode();
+  for (std::size_t cut = 1; cut < frame.size(); ++cut) {
+    Bytes truncated(frame.begin(),
+                    frame.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(BindReply::decode(truncated).ok()) << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace wacs::proxy

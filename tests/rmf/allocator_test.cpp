@@ -1,0 +1,97 @@
+#include "rmf/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace wacs::rmf {
+namespace {
+
+/// Allocator with no network (selection logic is pure).
+struct Fixture {
+  sim::Engine engine;
+  sim::Network net{engine};
+  std::unique_ptr<ResourceAllocator> alloc;
+
+  explicit Fixture(AllocPolicy policy) {
+    net.add_site("s", fw::Policy::open(),
+                 sim::LinkParams{.name = "", .latency_s = 0,
+                                 .bandwidth_bps = 1e9});
+    net.add_host({.name = "h", .site = "s"});
+    alloc = std::make_unique<ResourceAllocator>(net.host("h"), 7000, policy);
+    alloc->register_resource({"fast", 8, 2.0, 0});
+    alloc->register_resource({"medium", 4, 1.0, 0});
+    alloc->register_resource({"slow", 16, 0.5, 0});
+  }
+};
+
+int total(const std::vector<Placement>& ps) {
+  int n = 0;
+  for (const auto& p : ps) n += p.count;
+  return n;
+}
+
+TEST(Allocator, FastestFirstFillsFastResources) {
+  Fixture f(AllocPolicy::kFastestFirst);
+  auto ps = f.alloc->select(10);
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps[0], (Placement{"fast", 8}));
+  EXPECT_EQ(ps[1], (Placement{"medium", 2}));
+}
+
+TEST(Allocator, LeastLoadedSpreadsByFreeCapacity) {
+  Fixture f(AllocPolicy::kLeastLoaded);
+  auto ps = f.alloc->select(16);
+  ASSERT_FALSE(ps.empty());
+  EXPECT_EQ(ps[0].host, "slow");  // most free CPUs first
+  EXPECT_EQ(total(ps), 16);
+}
+
+TEST(Allocator, RoundRobinRotatesStartingResource) {
+  Fixture f(AllocPolicy::kRoundRobin);
+  auto first = f.alloc->select(1);
+  f.alloc->release(first);
+  auto second = f.alloc->select(1);
+  f.alloc->release(second);
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_NE(first[0].host, second[0].host);
+}
+
+TEST(Allocator, ExactCapacityIsSatisfiable) {
+  Fixture f(AllocPolicy::kFastestFirst);
+  auto ps = f.alloc->select(28);  // 8 + 4 + 16
+  EXPECT_EQ(total(ps), 28);
+}
+
+TEST(Allocator, OverCapacityFails) {
+  Fixture f(AllocPolicy::kFastestFirst);
+  EXPECT_TRUE(f.alloc->select(29).empty());
+  EXPECT_TRUE(f.alloc->select(0).empty());
+  EXPECT_TRUE(f.alloc->select(-1).empty());
+}
+
+TEST(Allocator, AllocationsAreSticky) {
+  Fixture f(AllocPolicy::kFastestFirst);
+  auto first = f.alloc->select(8);  // consumes "fast" entirely
+  auto second = f.alloc->select(8);
+  ASSERT_FALSE(second.empty());
+  for (const auto& p : second) EXPECT_NE(p.host, "fast");
+}
+
+TEST(Allocator, ReleaseRestoresCapacity) {
+  Fixture f(AllocPolicy::kFastestFirst);
+  auto first = f.alloc->select(28);
+  EXPECT_TRUE(f.alloc->select(1).empty());
+  f.alloc->release(first);
+  EXPECT_EQ(total(f.alloc->select(28)), 28);
+}
+
+TEST(Allocator, ReleaseOfUnknownHostIsIgnored) {
+  Fixture f(AllocPolicy::kFastestFirst);
+  f.alloc->release({{"nonesuch", 5}});  // no crash, no capacity change
+  EXPECT_EQ(total(f.alloc->select(28)), 28);
+}
+
+}  // namespace
+}  // namespace wacs::rmf

@@ -1,0 +1,138 @@
+#include "rmf/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wacs::rmf {
+namespace {
+
+JobSpec sample_spec() {
+  JobSpec spec;
+  spec.name = "knapsack-run";
+  spec.task = "knapsack";
+  spec.credential = "wacs-grid";
+  spec.nprocs = 20;
+  spec.placements = {{"rwcp-sun", 4}, {"compas01", 1}, {"etl-o2k", 8}};
+  spec.args = {{"interval", "1000"}, {"stealunit", "16"}};
+  spec.input_files = {{"instance", pattern_bytes(333, 5)}};
+  spec.deadline_seconds = 12.5;
+  return spec;
+}
+
+TEST(RmfProtocol, SubmitRequestRoundTrip) {
+  SubmitRequest req{sample_spec()};
+  auto d = SubmitRequest::decode(req.encode());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->spec.name, req.spec.name);
+  EXPECT_EQ(d->spec.task, req.spec.task);
+  EXPECT_EQ(d->spec.credential, req.spec.credential);
+  EXPECT_EQ(d->spec.nprocs, req.spec.nprocs);
+  EXPECT_EQ(d->spec.placements, req.spec.placements);
+  EXPECT_EQ(d->spec.args, req.spec.args);
+  EXPECT_EQ(d->spec.input_files, req.spec.input_files);
+  EXPECT_DOUBLE_EQ(d->spec.deadline_seconds, 12.5);
+}
+
+TEST(RmfProtocol, SubmitReplyRoundTrip) {
+  auto ok = SubmitReply::decode(SubmitReply{true, 42, ""}.encode());
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->ok);
+  EXPECT_EQ(ok->job_id, 42u);
+
+  auto bad = SubmitReply::decode(
+      SubmitReply{false, 0, "authentication failed"}.encode());
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->ok);
+  EXPECT_EQ(bad->error, "authentication failed");
+}
+
+TEST(RmfProtocol, JobDoneRoundTrip) {
+  Bytes output = pattern_bytes(1000, 9);
+  auto d = JobDone::decode(JobDone{true, "", output}.encode());
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->ok);
+  EXPECT_EQ(d->output, output);
+}
+
+TEST(RmfProtocol, AllocRoundTrip) {
+  auto req = AllocRequest::decode(AllocRequest{12}.encode());
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->nprocs, 12);
+
+  AllocReply reply{true, {{"a", 4}, {"b", 8}}, ""};
+  auto d = AllocReply::decode(reply.encode());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->placements, reply.placements);
+}
+
+TEST(RmfProtocol, QSubmitRoundTrip) {
+  QSubmit q;
+  q.job_id = 7;
+  q.task = "knapsack";
+  q.base_rank = 4;
+  q.count = 8;
+  q.nprocs = 20;
+  q.job_manager = Contact{"rwcp-gate", 40123};
+  q.args = {{"interval", "500"}};
+  q.input_files = {{"instance", pattern_bytes(64, 3)}};
+  auto d = QSubmit::decode(q.encode());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->job_id, 7u);
+  EXPECT_EQ(d->base_rank, 4);
+  EXPECT_EQ(d->count, 8);
+  EXPECT_EQ(d->nprocs, 20);
+  EXPECT_EQ(d->job_manager, q.job_manager);
+  EXPECT_EQ(d->args, q.args);
+  EXPECT_EQ(d->input_files, q.input_files);
+}
+
+TEST(RmfProtocol, RankMessagesRoundTrip) {
+  auto hello = RankHello::decode(
+      RankHello{3, 11, Contact{"compas02", 32768}, "rwcp"}.encode());
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello->job_id, 3u);
+  EXPECT_EQ(hello->rank, 11);
+  EXPECT_EQ(hello->contact, (Contact{"compas02", 32768}));
+  EXPECT_EQ(hello->site, "rwcp");
+
+  ContactTable table{{{"a", 1}, {"b", 2}, {"c", 3}},
+                     {"rwcp", "rwcp", "etl"}};
+  auto dt = ContactTable::decode(table.encode());
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ(dt->contacts, table.contacts);
+  EXPECT_EQ(dt->sites, table.sites);
+
+  auto done = RankDone::decode(RankDone{5, to_bytes("result")}.encode());
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done->rank, 5);
+  EXPECT_EQ(to_string(done->output), "result");
+}
+
+TEST(RmfProtocol, PeekTypeCoversAllMessages) {
+  EXPECT_EQ(*peek_type(SubmitRequest{sample_spec()}.encode()),
+            MsgType::kSubmitRequest);
+  EXPECT_EQ(*peek_type(AllocRequest{1}.encode()), MsgType::kAllocRequest);
+  EXPECT_EQ(*peek_type(RankDone{0, {}}.encode()), MsgType::kRankDone);
+  EXPECT_FALSE(peek_type(Bytes{}).ok());
+  EXPECT_FALSE(peek_type(Bytes{99}).ok());
+}
+
+TEST(RmfProtocol, CrossDecodingFails) {
+  Bytes frame = AllocRequest{4}.encode();
+  EXPECT_FALSE(SubmitRequest::decode(frame).ok());
+  EXPECT_FALSE(QSubmit::decode(frame).ok());
+}
+
+TEST(RmfProtocol, TruncatedQSubmitFails) {
+  QSubmit q;
+  q.task = "t";
+  q.job_manager = Contact{"h", 1};
+  Bytes frame = q.encode();
+  for (std::size_t cut = 1; cut + 1 < frame.size(); cut += 3) {
+    Bytes truncated(frame.begin(),
+                    frame.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(QSubmit::decode(truncated).ok()) << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace wacs::rmf

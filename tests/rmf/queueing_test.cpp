@@ -1,0 +1,213 @@
+// The Q system's LSF-like queueing: job parts wait for CPUs, dispatch in
+// FIFO order as ranks complete; allocator-made allocations are released
+// when jobs finish.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/testbeds.hpp"
+
+namespace wacs::core {
+namespace {
+
+/// Task that burns `arg busy_s` of unit-speed CPU and reports its start
+/// time in the output (rank 0).
+void register_burn_task(GridSystem& g) {
+  g.registry().register_task("burn", [](rmf::JobContext& ctx) {
+    const double busy = std::strtod(ctx.arg_or("busy_s", "0.5").c_str(),
+                                    nullptr);
+    const double started =
+        sim::to_sec(ctx.host->network().engine().now());
+    ctx.charge_cpu(busy);
+    if (ctx.rank == 0) {
+      BufWriter w;
+      w.f64(started);
+      w.f64(sim::to_sec(ctx.host->network().engine().now()));
+      ctx.result = std::move(w).take();
+    }
+  });
+}
+
+rmf::JobSpec burn_spec(const std::string& name, int nprocs,
+                       std::vector<rmf::Placement> placements,
+                       const std::string& busy_s = "0.5") {
+  rmf::JobSpec spec;
+  spec.name = name;
+  spec.task = "burn";
+  spec.nprocs = nprocs;
+  spec.placements = std::move(placements);
+  spec.args["busy_s"] = busy_s;
+  return spec;
+}
+
+std::pair<double, double> start_end(const rmf::JobResult& r) {
+  BufReader reader(r.output);
+  const double start = reader.f64().value();
+  const double end = reader.f64().value();
+  return {start, end};
+}
+
+TEST(Queueing, SecondJobWaitsForFirstOnASaturatedHost) {
+  auto tb = make_rwcp_etl_testbed();
+  register_burn_task(*tb);
+  // rwcp-sun has 4 CPUs; each job takes all 4.
+  auto results = tb->run_jobs(
+      "etl-sun", {burn_spec("first", 4, {{"rwcp-sun", 4}}),
+                  burn_spec("second", 4, {{"rwcp-sun", 4}})});
+  ASSERT_TRUE(results[0].ok());
+  ASSERT_TRUE(results[1].ok());
+  ASSERT_TRUE(results[0]->ok) << results[0]->error;
+  ASSERT_TRUE(results[1]->ok) << results[1]->error;
+
+  auto [s1, e1] = start_end(*results[0]);
+  auto [s2, e2] = start_end(*results[1]);
+  // The second job's ranks must not start before the first job's finish.
+  EXPECT_GE(s2, e1);
+  EXPECT_GT(e2, e1);
+
+  // The Q server actually queued it (rather than rejecting or interleaving).
+  for (const auto& q : tb->qservers()) {
+    if (q->contact().host == "rwcp-sun") {
+      EXPECT_EQ(q->jobs_queued_total(), 1u);
+      EXPECT_EQ(q->jobs_started(), 2u);
+      EXPECT_EQ(q->busy_cpus(), 0);  // all released afterwards
+      EXPECT_EQ(q->queue_depth(), 0u);
+    }
+  }
+}
+
+TEST(Queueing, IndependentHostsRunConcurrently) {
+  auto tb = make_rwcp_etl_testbed();
+  register_burn_task(*tb);
+  auto results = tb->run_jobs(
+      "etl-sun", {burn_spec("a", 4, {{"rwcp-sun", 4}}),
+                  burn_spec("b", 8, {{"etl-o2k", 8}})});
+  ASSERT_TRUE(results[0]->ok);
+  ASSERT_TRUE(results[1]->ok);
+  auto [s1, e1] = start_end(*results[0]);
+  auto [s2, e2] = start_end(*results[1]);
+  // Overlapping execution windows: no false serialization.
+  EXPECT_LT(s2, e1);
+  EXPECT_LT(s1, e2);
+}
+
+TEST(Queueing, SmallJobsShareAHostWithoutWaiting) {
+  auto tb = make_rwcp_etl_testbed();
+  register_burn_task(*tb);
+  // Two 2-CPU jobs on a 4-CPU host: both run immediately.
+  auto results = tb->run_jobs(
+      "etl-sun", {burn_spec("a", 2, {{"rwcp-sun", 2}}),
+                  burn_spec("b", 2, {{"rwcp-sun", 2}})});
+  ASSERT_TRUE(results[0]->ok);
+  ASSERT_TRUE(results[1]->ok);
+  auto [s1, e1] = start_end(*results[0]);
+  auto [s2, e2] = start_end(*results[1]);
+  EXPECT_LT(s2, e1);  // overlap
+  (void)e2;
+  for (const auto& q : tb->qservers()) {
+    if (q->contact().host == "rwcp-sun") {
+      EXPECT_EQ(q->jobs_queued_total(), 0u);
+    }
+  }
+}
+
+TEST(Queueing, AllocatorCapacityIsReleasedAfterCompletion) {
+  auto tb = make_rwcp_etl_testbed();
+  register_burn_task(*tb);
+  // 58 CPUs total; ask the allocator for 58 twice in a row — the second
+  // submission only succeeds because the first job released its capacity.
+  auto first = tb->run_job("etl-sun", burn_spec("big1", 58, {}, "0.05"));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->ok) << first->error;
+  auto second = tb->run_job("etl-sun", burn_spec("big2", 58, {}, "0.05"));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->ok) << second->error;
+}
+
+TEST(Queueing, ReleaseHappensOnFailurePathsToo) {
+  auto tb = make_rwcp_etl_testbed();
+  register_burn_task(*tb);
+  // A job that allocates (via the allocator) but fails later — the task
+  // itself can't fail, so force a placement-total mismatch? That path is
+  // pre-allocation. Instead: exhaust capacity, watch a concurrent
+  // allocator-based job fail fast, then verify capacity is intact.
+  auto results = tb->run_jobs(
+      "etl-sun", {burn_spec("holder", 58, {}, "0.2"),
+                  burn_spec("loser", 58, {}, "0.05")});
+  ASSERT_TRUE(results[0]->ok);
+  EXPECT_FALSE(results[1]->ok);  // allocation failed while held
+  // Capacity was fully restored after "holder" finished.
+  auto retry = tb->run_job("etl-sun", burn_spec("retry", 58, {}, "0.05"));
+  ASSERT_TRUE(retry.ok());
+  EXPECT_TRUE(retry->ok) << retry->error;
+}
+
+TEST(Queueing, FifoOrderAcrossThreeJobs) {
+  auto tb = make_rwcp_etl_testbed();
+  register_burn_task(*tb);
+  auto results = tb->run_jobs(
+      "etl-sun", {burn_spec("j1", 4, {{"rwcp-sun", 4}}, "0.3"),
+                  burn_spec("j2", 4, {{"rwcp-sun", 4}}, "0.3"),
+                  burn_spec("j3", 4, {{"rwcp-sun", 4}}, "0.3")});
+  std::vector<double> starts;
+  for (auto& r : results) {
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE((*r).ok);
+    starts.push_back(start_end(*r).first);
+  }
+  EXPECT_LT(starts[0], starts[1]);
+  EXPECT_LT(starts[1], starts[2]);
+}
+
+TEST(Deadline, OverrunningJobFailsAtTheDeadline) {
+  auto tb = make_rwcp_etl_testbed();
+  tb->registry().register_task("sleepy", [](rmf::JobContext& ctx) {
+    ctx.self->sleep(100.0);  // far past the deadline
+  });
+  rmf::JobSpec spec;
+  spec.name = "sleepy";
+  spec.task = "sleepy";
+  spec.nprocs = 2;
+  spec.placements = {{"rwcp-sun", 2}};
+  spec.deadline_seconds = 1.0;
+  const double t0 = sim::to_sec(tb->engine().now());
+  auto result = tb->run_job("etl-sun", spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->ok);
+  EXPECT_NE(result->error.find("deadline"), std::string::npos);
+  // The failure was reported at the deadline, not after the 100 s sleep.
+  EXPECT_LT(result->wall_seconds, 5.0);
+  (void)t0;
+
+  // The grid remains usable for the next job.
+  tb->registry().register_task("quick", [](rmf::JobContext& ctx) {
+    if (ctx.rank == 0) ctx.result = to_bytes("done");
+  });
+  rmf::JobSpec next;
+  next.name = "quick";
+  next.task = "quick";
+  next.nprocs = 1;
+  next.placements = {{"etl-o2k", 1}};
+  auto ok = tb->run_job("etl-sun", next);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->ok) << ok->error;
+}
+
+TEST(Deadline, CompletingJobIsUntouchedByItsWatchdog) {
+  auto tb = make_rwcp_etl_testbed();
+  register_burn_task(*tb);
+  auto spec = burn_spec("ok", 2, {{"rwcp-sun", 2}}, "0.1");
+  spec.deadline_seconds = 60.0;
+  auto result = tb->run_job("etl-sun", spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ok) << result->error;
+  // Let the watchdog timer fire after completion: nothing must break.
+  tb->engine().run_until(tb->engine().now() + sim::from_sec(120.0));
+  auto again = tb->run_job("etl-sun", burn_spec("again", 2, {{"rwcp-sun", 2}},
+                                                "0.1"));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->ok);
+}
+
+}  // namespace
+}  // namespace wacs::core

@@ -1,0 +1,138 @@
+// GSI-like credential chains: issuance, delegation, expiry, tampering.
+#include "security/credential.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wacs::security {
+namespace {
+
+constexpr sim::Time kHour = 3600 * sim::kSecond;
+
+TEST(Credential, IssueAndVerify) {
+  CertAuthority ca("top-secret");
+  auto chain = ca.issue("yoshio", kHour);
+  EXPECT_TRUE(ca.verify(chain, 0).ok());
+  EXPECT_TRUE(ca.verify(chain, kHour - 1).ok());
+  EXPECT_EQ(chain.leaf().subject, "yoshio");
+}
+
+TEST(Credential, ExpiryIsEnforced) {
+  CertAuthority ca("top-secret");
+  auto chain = ca.issue("yoshio", kHour);
+  auto verdict = ca.verify(chain, kHour);
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_NE(verdict.error().message().find("expired"), std::string::npos);
+}
+
+TEST(Credential, WrongCaSecretRejects) {
+  CertAuthority ca("top-secret");
+  CertAuthority imposter("different-secret");
+  auto chain = ca.issue("yoshio", kHour);
+  EXPECT_FALSE(imposter.verify(chain, 0).ok());
+}
+
+TEST(Credential, TamperedFieldsAreDetected) {
+  CertAuthority ca("top-secret");
+  auto chain = ca.issue("yoshio", kHour);
+  {
+    auto forged = chain;
+    forged.links[0].subject = "mallory";
+    EXPECT_FALSE(ca.verify(forged, 0).ok());
+  }
+  {
+    auto forged = chain;
+    forged.links[0].expires_at = 100 * kHour;  // lifetime extension
+    EXPECT_FALSE(ca.verify(forged, 0).ok());
+  }
+  {
+    auto forged = chain;
+    forged.links[0].max_delegation_depth = 99;
+    EXPECT_FALSE(ca.verify(forged, 0).ok());
+  }
+}
+
+TEST(Credential, DelegationProducesVerifiableChain) {
+  CertAuthority ca("top-secret");
+  auto user = ca.issue("yoshio", kHour, 2);
+  auto jm = delegate(user, "jobmanager", kHour);
+  ASSERT_TRUE(jm.ok());
+  EXPECT_TRUE(ca.verify(*jm, 0).ok());
+  EXPECT_EQ(jm->leaf().subject, "yoshio/jobmanager");
+  EXPECT_EQ(jm->leaf().issuer, "yoshio");
+
+  auto rank = delegate(*jm, "rank0", kHour);
+  ASSERT_TRUE(rank.ok());
+  EXPECT_TRUE(ca.verify(*rank, 0).ok());
+  EXPECT_EQ(rank->leaf().subject, "yoshio/jobmanager/rank0");
+}
+
+TEST(Credential, DelegationDepthIsExhausted) {
+  CertAuthority ca("top-secret");
+  auto user = ca.issue("yoshio", kHour, 1);
+  auto jm = delegate(user, "jobmanager", kHour);
+  ASSERT_TRUE(jm.ok());
+  auto too_deep = delegate(*jm, "rank0", kHour);
+  ASSERT_FALSE(too_deep.ok());
+  EXPECT_EQ(too_deep.error().code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(Credential, DelegatedLifetimeClipsToParent) {
+  CertAuthority ca("top-secret");
+  auto user = ca.issue("yoshio", kHour, 2);
+  auto jm = delegate(user, "jobmanager", 100 * kHour);  // asks too long
+  ASSERT_TRUE(jm.ok());
+  EXPECT_EQ(jm->leaf().expires_at, kHour);  // clipped
+  EXPECT_TRUE(ca.verify(*jm, kHour - 1).ok());
+}
+
+TEST(Credential, ForgedDelegationWithoutParentMacFails) {
+  CertAuthority ca("top-secret");
+  auto user = ca.issue("yoshio", kHour, 2);
+  // Attacker knows the chain's public fields but not a valid parent MAC
+  // relationship: graft a hand-built child.
+  Credential fake;
+  fake.subject = "yoshio/mallory";
+  fake.issuer = "yoshio";
+  fake.expires_at = kHour;
+  fake.max_delegation_depth = 1;
+  fake.mac = sha256(std::string("guess"));
+  auto forged = user;
+  forged.links.push_back(fake);
+  EXPECT_FALSE(ca.verify(forged, 0).ok());
+}
+
+TEST(Credential, HexWireFormatRoundTrips) {
+  CertAuthority ca("top-secret");
+  auto user = ca.issue("yoshio", kHour, 2);
+  auto jm = delegate(user, "jobmanager", kHour);
+  ASSERT_TRUE(jm.ok());
+  auto decoded = CredentialChain::decode_hex(jm->encode_hex());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(ca.verify(*decoded, 0).ok());
+  EXPECT_EQ(decoded->leaf().subject, "yoshio/jobmanager");
+}
+
+TEST(Credential, MalformedWireFormsAreRejected) {
+  EXPECT_FALSE(CredentialChain::decode_hex("odd").ok());
+  EXPECT_FALSE(CredentialChain::decode_hex("zz").ok());
+  EXPECT_FALSE(CredentialChain::decode_hex("").ok());
+  CertAuthority ca("s");
+  auto chain = ca.issue("u", kHour);
+  std::string hex = chain.encode_hex();
+  EXPECT_FALSE(CredentialChain::decode_hex(hex.substr(0, hex.size() - 4)).ok());
+}
+
+TEST(Credential, SubjectNestingIsEnforced) {
+  CertAuthority ca("top-secret");
+  auto a = ca.issue("alice", kHour, 2);
+  auto b = ca.issue("bob", kHour, 2);
+  // Splice bob's root under alice's chain: issuer/subject rules reject it.
+  auto spliced = a;
+  auto bob_delegated = delegate(b, "jm", kHour);
+  ASSERT_TRUE(bob_delegated.ok());
+  spliced.links.push_back(bob_delegated->links.back());
+  EXPECT_FALSE(ca.verify(spliced, 0).ok());
+}
+
+}  // namespace
+}  // namespace wacs::security

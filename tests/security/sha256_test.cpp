@@ -1,0 +1,86 @@
+// SHA-256 and HMAC-SHA-256 against the official test vectors.
+#include "security/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wacs::security {
+namespace {
+
+TEST(Sha256, Fips180Vectors) {
+  // NIST FIPS 180-4 examples.
+  EXPECT_EQ(to_hex(sha256(std::string(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(to_hex(sha256(std::string("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(to_hex(sha256(std::string(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  std::string input(1000000, 'a');
+  EXPECT_EQ(to_hex(sha256(input)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Bytes data = pattern_bytes(100000, 5);
+  // Feed in awkward chunk sizes that straddle block boundaries.
+  Sha256 h;
+  std::size_t off = 0;
+  std::size_t chunk = 1;
+  while (off < data.size()) {
+    const std::size_t take = std::min(chunk, data.size() - off);
+    h.update(std::span<const std::uint8_t>(data.data() + off, take));
+    off += take;
+    chunk = (chunk * 7 + 3) % 200 + 1;
+  }
+  EXPECT_EQ(to_hex(h.finish()), to_hex(sha256(data)));
+}
+
+TEST(Sha256, HexRoundTrip) {
+  const Digest d = sha256(std::string("round trip"));
+  auto parsed = digest_from_hex(to_hex(d));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(digest_equal(*parsed, d));
+  EXPECT_FALSE(digest_from_hex("abc").ok());
+  EXPECT_FALSE(digest_from_hex(std::string(64, 'z')).ok());
+}
+
+TEST(HmacSha256, Rfc4231Vectors) {
+  // RFC 4231 test case 1.
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  // Test case 2: "Jefe" / "what do ya want for nothing?".
+  EXPECT_EQ(to_hex(hmac_sha256(to_bytes("Jefe"),
+                               to_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  // Test case 3: 20 bytes of 0xaa / 50 bytes of 0xdd.
+  Bytes key3(20, 0xaa);
+  Bytes msg3(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key3, msg3)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+  // RFC 4231 test case 6: 131-byte key.
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(to_hex(hmac_sha256(
+                key, to_bytes("Test Using Larger Than Block-Size Key - "
+                              "Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(DigestEqual, DetectsAnyBitFlip) {
+  Digest a = sha256(std::string("x"));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    Digest b = a;
+    b[i] ^= 1;
+    EXPECT_FALSE(digest_equal(a, b)) << "byte " << i;
+  }
+  EXPECT_TRUE(digest_equal(a, a));
+}
+
+}  // namespace
+}  // namespace wacs::security

@@ -1,0 +1,151 @@
+#include "simnet/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wacs::sim {
+namespace {
+
+TEST(Channel, SendThenRecvWithoutBlocking) {
+  Engine e;
+  Channel<int> ch(e);
+  std::vector<int> got;
+  Process* p = nullptr;
+  p = e.spawn("rx", [&] {
+    ch.send(1);
+    ch.send(2);
+    got.push_back(*ch.recv(*p));
+    got.push_back(*ch.recv(*p));
+  });
+  e.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(Channel, RecvBlocksUntilSend) {
+  Engine e;
+  Channel<std::string> ch(e);
+  std::string got;
+  double recv_time = -1;
+  Process* rx = nullptr;
+  rx = e.spawn("rx", [&] {
+    got = *ch.recv(*rx);
+    recv_time = to_sec(e.now());
+  });
+  Process* tx = nullptr;
+  tx = e.spawn("tx", [&] {
+    tx->sleep(3.0);
+    ch.send("hello");
+  });
+  e.run();
+  EXPECT_EQ(got, "hello");
+  EXPECT_DOUBLE_EQ(recv_time, 3.0);
+}
+
+TEST(Channel, FifoAcrossManyMessages) {
+  Engine e;
+  Channel<int> ch(e);
+  std::vector<int> got;
+  Process* rx = nullptr;
+  rx = e.spawn("rx", [&] {
+    for (int i = 0; i < 100; ++i) got.push_back(*ch.recv(*rx));
+  });
+  Process* tx = nullptr;
+  tx = e.spawn("tx", [&] {
+    for (int i = 0; i < 100; ++i) {
+      ch.send(i);
+      if (i % 10 == 0) tx->sleep(0.01);
+    }
+  });
+  e.run();
+  ASSERT_EQ(got.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Channel, MultipleReceiversEachGetOneMessage) {
+  Engine e;
+  Channel<int> ch(e);
+  std::vector<int> got;
+  for (int i = 0; i < 3; ++i) {
+    Process** slot = new Process*;
+    *slot = e.spawn("rx" + std::to_string(i), [&ch, &got, slot] {
+      auto v = ch.recv(**slot);
+      if (v) got.push_back(*v);
+      delete slot;
+    });
+  }
+  Process* tx = nullptr;
+  tx = e.spawn("tx", [&] {
+    tx->sleep(1.0);
+    ch.send(10);
+    ch.send(20);
+    ch.send(30);
+  });
+  e.run();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(Channel, CloseReleasesBlockedReceivers) {
+  Engine e;
+  Channel<int> ch(e);
+  bool got_eof = false;
+  Process* rx = nullptr;
+  rx = e.spawn("rx", [&] {
+    auto v = ch.recv(*rx);
+    got_eof = !v.has_value();
+  });
+  Process* closer = nullptr;
+  closer = e.spawn("closer", [&] {
+    closer->sleep(1.0);
+    ch.close();
+  });
+  e.run();
+  EXPECT_TRUE(got_eof);
+}
+
+TEST(Channel, CloseDrainsPendingMessagesFirst) {
+  Engine e;
+  Channel<int> ch(e);
+  std::vector<int> got;
+  bool eof = false;
+  Process* p = nullptr;
+  p = e.spawn("p", [&] {
+    ch.send(1);
+    ch.send(2);
+    ch.close();
+    while (auto v = ch.recv(*p)) got.push_back(*v);
+    eof = true;
+  });
+  e.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(eof);
+}
+
+TEST(Channel, TryRecvNeverBlocks) {
+  Engine e;
+  Channel<int> ch(e);
+  EXPECT_FALSE(ch.try_recv().has_value());
+  ch.send(5);
+  EXPECT_EQ(ch.try_recv().value(), 5);
+  EXPECT_FALSE(ch.try_recv().has_value());
+}
+
+TEST(Channel, MoveOnlyPayloads) {
+  Engine e;
+  Channel<std::unique_ptr<int>> ch(e);
+  int got = 0;
+  Process* p = nullptr;
+  p = e.spawn("p", [&] {
+    ch.send(std::make_unique<int>(99));
+    got = **ch.recv(*p);
+  });
+  e.run();
+  EXPECT_EQ(got, 99);
+}
+
+}  // namespace
+}  // namespace wacs::sim

@@ -1,0 +1,352 @@
+#include "simnet/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace wacs::sim {
+namespace {
+
+struct Fixture {
+  Engine engine;
+  Network net{engine};
+  Fixture() {
+    LinkParams lan{.name = "", .latency_s = msec(0.4),
+                   .bandwidth_bps = mbyte_per_sec(10), .duplex = false};
+    net.add_site("rwcp", fw::Policy::typical(), lan);
+    net.add_site("etl", fw::Policy::open(), lan);
+    net.add_host({.name = "a", .site = "rwcp"});
+    net.add_host({.name = "b", .site = "rwcp"});
+    net.add_host({.name = "dmz", .site = "rwcp", .zone = Zone::kDmz});
+    net.add_host({.name = "c", .site = "etl"});
+    net.connect_sites("rwcp", "etl",
+                      LinkParams{.name = "imnet", .latency_s = msec(3.1),
+                                 .bandwidth_bps = kbit_per_sec(1500)});
+  }
+  Host& host(const std::string& n) { return net.host(n); }
+};
+
+TEST(SimTcp, ConnectAndExchangeMessages) {
+  Fixture f;
+  std::string got_at_server, got_at_client;
+
+  Process* server = nullptr;
+  server = f.engine.spawn("server", [&] {
+    auto listener = f.host("b").stack().listen(5000);
+    ASSERT_TRUE(listener.ok());
+    auto sock = (*listener)->accept(*server);
+    ASSERT_TRUE(sock.ok());
+    auto msg = (*sock)->recv(*server);
+    ASSERT_TRUE(msg.ok());
+    got_at_server = to_string(*msg);
+    ASSERT_TRUE((*sock)->send(to_bytes("pong")).ok());
+  });
+
+  Process* client = nullptr;
+  client = f.engine.spawn("client", [&] {
+    auto sock = f.host("a").stack().connect(*client, Contact{"b", 5000});
+    ASSERT_TRUE(sock.ok());
+    ASSERT_TRUE((*sock)->send(to_bytes("ping")).ok());
+    auto reply = (*sock)->recv(*client);
+    ASSERT_TRUE(reply.ok());
+    got_at_client = to_string(*reply);
+  });
+
+  f.engine.run();
+  EXPECT_EQ(got_at_server, "ping");
+  EXPECT_EQ(got_at_client, "pong");
+}
+
+TEST(SimTcp, ConnectChargesRoundTripLatency) {
+  Fixture f;
+  double connect_done = -1;
+  Process* server = nullptr;
+  server = f.engine.spawn("server", [&] {
+    auto l = f.host("b").stack().listen(5000);
+    (void)(*l)->accept(*server);
+  });
+  Process* client = nullptr;
+  client = f.engine.spawn("client", [&] {
+    auto s = f.host("a").stack().connect(*client, Contact{"b", 5000});
+    ASSERT_TRUE(s.ok());
+    connect_done = to_sec(f.engine.now());
+  });
+  f.engine.run();
+  EXPECT_NEAR(connect_done, 2 * 0.0004, 1e-8);  // LAN RTT
+}
+
+TEST(SimTcp, ConnectionRefusedWithoutListener) {
+  Fixture f;
+  ErrorCode code = ErrorCode::kOk;
+  Process* client = nullptr;
+  client = f.engine.spawn("client", [&] {
+    auto s = f.host("a").stack().connect(*client, Contact{"b", 4242});
+    ASSERT_FALSE(s.ok());
+    code = s.error().code();
+  });
+  f.engine.run();
+  EXPECT_EQ(code, ErrorCode::kConnectionRefused);
+}
+
+TEST(SimTcp, FirewallDeniesCrossSiteInbound) {
+  Fixture f;
+  ErrorCode code = ErrorCode::kOk;
+  Process* server = nullptr;
+  server = f.engine.spawn("server", [&] {
+    auto l = f.host("a").stack().listen(6000);  // inside rwcp
+    auto s = (*l)->accept(*server);             // never satisfied
+    (void)s;
+  });
+  Process* client = nullptr;
+  client = f.engine.spawn("client", [&] {
+    auto s = f.host("c").stack().connect(*client, Contact{"a", 6000});
+    ASSERT_FALSE(s.ok());
+    code = s.error().code();
+  });
+  f.engine.run();
+  EXPECT_EQ(code, ErrorCode::kPermissionDenied);
+  EXPECT_EQ(f.net.site("rwcp").firewall().denied(), 1u);
+}
+
+TEST(SimTcp, FirewallHolePermitsDesignatedFlowOnly) {
+  Fixture f;
+  f.net.site("rwcp").firewall().set_policy(
+      fw::Policy::typical().open_inbound_from(
+          "dmz", fw::PortRange::single(9900), "nxport"));
+  bool dmz_ok = false;
+  ErrorCode etl_code = ErrorCode::kOk;
+
+  Process* server = nullptr;
+  server = f.engine.spawn("server", [&] {
+    auto l = f.host("a").stack().listen(9900);
+    (void)(*l)->accept(*server);
+    (void)(*l)->accept(*server);
+  });
+  Process* from_dmz = nullptr;
+  from_dmz = f.engine.spawn("from_dmz", [&] {
+    auto s = f.host("dmz").stack().connect(*from_dmz, Contact{"a", 9900});
+    dmz_ok = s.ok();
+  });
+  Process* from_etl = nullptr;
+  from_etl = f.engine.spawn("from_etl", [&] {
+    auto s = f.host("c").stack().connect(*from_etl, Contact{"a", 9900});
+    if (!s.ok()) etl_code = s.error().code();
+  });
+  f.engine.run();
+  EXPECT_TRUE(dmz_ok);
+  EXPECT_EQ(etl_code, ErrorCode::kPermissionDenied);
+}
+
+TEST(SimTcp, MessagesArriveInOrder) {
+  Fixture f;
+  std::vector<int> got;
+  Process* server = nullptr;
+  server = f.engine.spawn("server", [&] {
+    auto l = f.host("b").stack().listen(5000);
+    auto s = (*l)->accept(*server);
+    for (int i = 0; i < 50; ++i) {
+      auto m = (*s)->recv(*server);
+      ASSERT_TRUE(m.ok());
+      BufReader r(*m);
+      got.push_back(r.i32().value());
+    }
+  });
+  Process* client = nullptr;
+  client = f.engine.spawn("client", [&] {
+    auto s = f.host("a").stack().connect(*client, Contact{"b", 5000});
+    ASSERT_TRUE(s.ok());
+    for (int i = 0; i < 50; ++i) {
+      BufWriter w;
+      w.i32(i);
+      ASSERT_TRUE((*s)->send(std::move(w).take()).ok());
+    }
+  });
+  f.engine.run();
+  ASSERT_EQ(got.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimTcp, LargeTransferIsBandwidthBound) {
+  Fixture f;
+  // 1 MB from rwcp to etl over a 1.5 Mbit/s WAN: ~5.6 s of virtual time.
+  double received_at = -1;
+  const std::size_t kSize = 1000000;
+  Process* server = nullptr;
+  server = f.engine.spawn("server", [&] {
+    auto l = f.host("c").stack().listen(5000);
+    auto s = (*l)->accept(*server);
+    auto m = (*s)->recv(*server);
+    ASSERT_TRUE(m.ok());
+    EXPECT_EQ(m->size(), kSize);
+    received_at = to_sec(f.engine.now());
+  });
+  Process* client = nullptr;
+  client = f.engine.spawn("client", [&] {
+    auto s = f.host("a").stack().connect(*client, Contact{"c", 5000});
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE((*s)->send(pattern_bytes(kSize)).ok());
+  });
+  f.engine.run();
+  const double wan_tx = static_cast<double>(kSize + 64) / kbit_per_sec(1500);
+  EXPECT_GT(received_at, wan_tx);          // at least the WAN serialization
+  EXPECT_LT(received_at, wan_tx + 0.5);    // plus small latencies/handshake
+}
+
+TEST(SimTcp, PayloadIntegrityAcrossSizes) {
+  Fixture f;
+  for (std::size_t size : {0UL, 1UL, 1000UL, 65536UL, 1048576UL}) {
+    Bytes sent = pattern_bytes(size, size);
+    Bytes received;
+    std::uint16_t port_box = 0;
+    Process* server = nullptr;
+    server = f.engine.spawn("server", [&] {
+      auto l = f.host("b").stack().listen(0);
+      ASSERT_TRUE(l.ok());
+      // Tell the client which port we got via a side channel (the test).
+      port_box = (*l)->port();
+      auto s = (*l)->accept(*server);
+      auto m = (*s)->recv(*server);
+      ASSERT_TRUE(m.ok());
+      received = std::move(*m);
+    });
+    Process* client = nullptr;
+    client = f.engine.spawn("client", [&] {
+      client->sleep(0.001);  // let the server bind
+      auto s = f.host("a").stack().connect(*client, Contact{"b", port_box});
+      ASSERT_TRUE(s.ok());
+      ASSERT_TRUE((*s)->send(sent).ok());
+    });
+    f.engine.run();
+    EXPECT_EQ(fnv1a(received), fnv1a(sent)) << "size=" << size;
+    EXPECT_EQ(received, sent);
+  }
+}
+
+TEST(SimTcp, CloseDeliversEofAfterData) {
+  Fixture f;
+  std::vector<std::string> events;
+  Process* server = nullptr;
+  server = f.engine.spawn("server", [&] {
+    auto l = f.host("b").stack().listen(5000);
+    auto s = (*l)->accept(*server);
+    while (true) {
+      auto m = (*s)->recv(*server);
+      if (!m.ok()) {
+        events.push_back("eof");
+        break;
+      }
+      events.push_back(to_string(*m));
+    }
+  });
+  Process* client = nullptr;
+  client = f.engine.spawn("client", [&] {
+    auto s = f.host("a").stack().connect(*client, Contact{"b", 5000});
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE((*s)->send(to_bytes("one")).ok());
+    ASSERT_TRUE((*s)->send(to_bytes("two")).ok());
+    (*s)->close();
+  });
+  f.engine.run();
+  EXPECT_EQ(events,
+            (std::vector<std::string>{"one", "two", "eof"}));
+}
+
+TEST(SimTcp, SendAfterPeerCloseFails) {
+  Fixture f;
+  Status late_send;
+  Process* server = nullptr;
+  server = f.engine.spawn("server", [&] {
+    auto l = f.host("b").stack().listen(5000);
+    auto s = (*l)->accept(*server);
+    (*s)->close();
+  });
+  Process* client = nullptr;
+  client = f.engine.spawn("client", [&] {
+    auto s = f.host("a").stack().connect(*client, Contact{"b", 5000});
+    ASSERT_TRUE(s.ok());
+    auto eof = (*s)->recv(*client);  // observe the FIN
+    ASSERT_FALSE(eof.ok());
+    late_send = (*s)->send(to_bytes("too late"));
+  });
+  f.engine.run();
+  EXPECT_FALSE(late_send.ok());
+  EXPECT_EQ(late_send.error().code(), ErrorCode::kConnectionClosed);
+}
+
+TEST(SimTcp, EphemeralPortsRespectEnvRange) {
+  Fixture f;
+  Env env;
+  env.set(env_keys::kTcpMinPort, "40000");
+  env.set(env_keys::kTcpMaxPort, "40001");
+  auto& stack = f.host("a").stack();
+  auto l1 = stack.listen(0, &env);
+  auto l2 = stack.listen(0, &env);
+  ASSERT_TRUE(l1.ok());
+  ASSERT_TRUE(l2.ok());
+  EXPECT_EQ((*l1)->port(), 40000);
+  EXPECT_EQ((*l2)->port(), 40001);
+  auto l3 = stack.listen(0, &env);
+  ASSERT_FALSE(l3.ok());
+  EXPECT_EQ(l3.error().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(SimTcp, PortReleasedWhenListenerDestroyed) {
+  Fixture f;
+  auto& stack = f.host("a").stack();
+  {
+    auto l = stack.listen(7000);
+    ASSERT_TRUE(l.ok());
+    EXPECT_FALSE(stack.listen(7000).ok());  // busy while held
+  }
+  EXPECT_TRUE(stack.listen(7000).ok());  // reusable after destruction
+}
+
+TEST(SimTcp, DuplicateBindFails) {
+  Fixture f;
+  auto& stack = f.host("a").stack();
+  auto l1 = stack.listen(8000);
+  ASSERT_TRUE(l1.ok());
+  auto l2 = stack.listen(8000);
+  ASSERT_FALSE(l2.ok());
+  EXPECT_EQ(l2.error().code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(SimTcp, ListenerCloseRefusesPendingConnections) {
+  Fixture f;
+  bool client_saw_eof = false;
+  ListenerPtr listener;
+  Process* server = nullptr;
+  server = f.engine.spawn("server", [&] {
+    auto l = f.host("b").stack().listen(5000);
+    listener = *l;
+    server->sleep(1.0);   // let the SYN land in pending_
+    listener->close();    // never accepts it
+  });
+  Process* client = nullptr;
+  client = f.engine.spawn("client", [&] {
+    auto s = f.host("a").stack().connect(*client, Contact{"b", 5000});
+    // The handshake succeeded (SYN accepted by the stack) but the listener
+    // closed before the application accepted: the connection EOFs.
+    ASSERT_TRUE(s.ok());
+    auto m = (*s)->recv(*client);
+    client_saw_eof = !m.ok();
+  });
+  f.engine.run();
+  EXPECT_TRUE(client_saw_eof);
+}
+
+TEST(SimTcp, ConnectToUnknownHostFails) {
+  Fixture f;
+  ErrorCode code = ErrorCode::kOk;
+  Process* client = nullptr;
+  client = f.engine.spawn("client", [&] {
+    auto s = f.host("a").stack().connect(*client, Contact{"nonesuch", 1});
+    ASSERT_FALSE(s.ok());
+    code = s.error().code();
+  });
+  f.engine.run();
+  EXPECT_EQ(code, ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace wacs::sim

@@ -1,0 +1,191 @@
+// Real-socket substrate tests: loopback TCP only, ephemeral ports.
+#include "sockets/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace wacs::net {
+namespace {
+
+TEST(TcpListener, BindsEphemeralPort) {
+  auto l = TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(l.ok());
+  EXPECT_GT(l->port(), 0);
+}
+
+TEST(TcpListener, RejectsBadAddress) {
+  auto l = TcpListener::bind("not-an-ip", 0);
+  ASSERT_FALSE(l.ok());
+  EXPECT_EQ(l.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(TcpListener, PortConflictFails) {
+  auto l1 = TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(l1.ok());
+  auto l2 = TcpListener::bind("127.0.0.1", l1->port());
+  EXPECT_FALSE(l2.ok());
+}
+
+TEST(TcpSocket, DialRefusedWhenNobodyListens) {
+  // Bind-then-drop guarantees the port was recently free.
+  std::uint16_t dead_port;
+  {
+    auto l = TcpListener::bind("127.0.0.1", 0);
+    ASSERT_TRUE(l.ok());
+    dead_port = l->port();
+  }
+  auto s = TcpSocket::dial(Contact{"127.0.0.1", dead_port});
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(TcpSocket, EchoRoundTrip) {
+  auto l = TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(l.ok());
+  std::thread server([&] {
+    auto conn = l->accept();
+    ASSERT_TRUE(conn.ok());
+    auto data = conn->read_exact(5);
+    ASSERT_TRUE(data.ok());
+    ASSERT_TRUE(conn->write_all(*data).ok());
+  });
+  auto c = TcpSocket::dial(Contact{"127.0.0.1", l->port()});
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(c->write_all(to_bytes("hello")).ok());
+  auto echoed = c->read_exact(5);
+  ASSERT_TRUE(echoed.ok());
+  EXPECT_EQ(to_string(*echoed), "hello");
+  server.join();
+}
+
+TEST(TcpSocket, FrameRoundTripIncludingEmpty) {
+  auto l = TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(l.ok());
+  std::thread server([&] {
+    auto conn = l->accept();
+    ASSERT_TRUE(conn.ok());
+    for (int i = 0; i < 3; ++i) {
+      auto f = conn->read_frame();
+      ASSERT_TRUE(f.ok());
+      ASSERT_TRUE(conn->write_frame(*f).ok());
+    }
+  });
+  auto c = TcpSocket::dial(Contact{"127.0.0.1", l->port()});
+  ASSERT_TRUE(c.ok());
+  for (const Bytes& payload :
+       {Bytes{}, to_bytes("x"), pattern_bytes(100000)}) {
+    ASSERT_TRUE(c->write_frame(payload).ok());
+    auto back = c->read_frame();
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, payload);
+  }
+  server.join();
+}
+
+TEST(TcpSocket, OversizedFrameLengthRejected) {
+  auto l = TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(l.ok());
+  std::thread server([&] {
+    auto conn = l->accept();
+    ASSERT_TRUE(conn.ok());
+    auto f = conn->read_frame();
+    EXPECT_FALSE(f.ok());
+    EXPECT_EQ(f.error().code(), ErrorCode::kProtocolError);
+  });
+  auto c = TcpSocket::dial(Contact{"127.0.0.1", l->port()});
+  ASSERT_TRUE(c.ok());
+  // A length prefix claiming 4 GiB must be rejected without allocation.
+  Bytes evil = {0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_TRUE(c->write_all(evil).ok());
+  server.join();
+}
+
+TEST(TcpSocket, EofMidFrameIsProtocolErrorNotHang) {
+  auto l = TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(l.ok());
+  std::thread server([&] {
+    auto conn = l->accept();
+    ASSERT_TRUE(conn.ok());
+    auto f = conn->read_frame();
+    EXPECT_FALSE(f.ok());  // truncated
+  });
+  auto c = TcpSocket::dial(Contact{"127.0.0.1", l->port()});
+  ASSERT_TRUE(c.ok());
+  Bytes partial = {100, 0, 0, 0, 'a', 'b'};  // claims 100 bytes, sends 2
+  ASSERT_TRUE(c->write_all(partial).ok());
+  c->close();
+  server.join();
+}
+
+TEST(TcpSocket, ReadExactReportsCleanEof) {
+  auto l = TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(l.ok());
+  std::thread server([&] {
+    auto conn = l->accept();
+    ASSERT_TRUE(conn.ok());
+    conn->close();
+  });
+  auto c = TcpSocket::dial(Contact{"127.0.0.1", l->port()});
+  ASSERT_TRUE(c.ok());
+  auto data = c->read_exact(10);
+  ASSERT_FALSE(data.ok());
+  EXPECT_EQ(data.error().code(), ErrorCode::kConnectionClosed);
+  server.join();
+}
+
+TEST(TcpSocket, PeerAndLocalContacts) {
+  auto l = TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(l.ok());
+  std::thread server([&] {
+    auto conn = l->accept();
+    ASSERT_TRUE(conn.ok());
+    auto data = conn->read_exact(1);
+    (void)data;
+  });
+  auto c = TcpSocket::dial(Contact{"127.0.0.1", l->port()});
+  ASSERT_TRUE(c.ok());
+  auto peer = c->peer();
+  ASSERT_TRUE(peer.ok());
+  EXPECT_EQ(peer->host, "127.0.0.1");
+  EXPECT_EQ(peer->port, l->port());
+  auto local = c->local();
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(local->host, "127.0.0.1");
+  EXPECT_NE(local->port, 0);
+  ASSERT_TRUE(c->write_all(to_bytes("x")).ok());
+  server.join();
+}
+
+TEST(TcpListener, ShutdownUnblocksAccept) {
+  auto l = TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(l.ok());
+  std::thread blocker([&] {
+    auto conn = l->accept();
+    EXPECT_FALSE(conn.ok());
+  });
+  // Give the thread a moment to park in accept().
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  l->shutdown();
+  blocker.join();
+}
+
+TEST(TcpSocket, LargeTransferIntegrity) {
+  constexpr std::size_t kSize = 4 * 1024 * 1024;
+  auto l = TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(l.ok());
+  Bytes sent = pattern_bytes(kSize, 99);
+  std::thread server([&] {
+    auto conn = l->accept();
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn->write_all(sent).ok());
+  });
+  auto c = TcpSocket::dial(Contact{"127.0.0.1", l->port()});
+  ASSERT_TRUE(c.ok());
+  auto got = c->read_exact(kSize);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(fnv1a(*got), fnv1a(sent));
+  server.join();
+}
+
+}  // namespace
+}  // namespace wacs::net

@@ -1,0 +1,71 @@
+// nxproxy-inner: the Nexus Proxy inner server as a deployable daemon.
+//
+//   nxproxy-inner --port 9900 [--bind 0.0.0.0] [--verbose]
+//
+// Runs until SIGINT/SIGTERM. Deploy inside the firewall and open exactly
+// one inbound rule: <outer host> -> <this host>:<port> ("only the
+// communication port from the outer server to the inner server must be
+// opened in advance").
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <semaphore>
+
+#include "common/log.hpp"
+#include "nxproxy/daemon.hpp"
+
+namespace {
+std::binary_semaphore g_stop{0};
+void handle_signal(int) { g_stop.release(); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wacs;
+  std::string bind_ip = "0.0.0.0";
+  int port = 9900;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = std::atoi(next());
+    } else if (arg == "--bind") {
+      bind_ip = next();
+    } else if (arg == "--verbose") {
+      log::set_level(log::Level::kInfo);
+    } else {
+      std::fprintf(stderr, "usage: %s --port N [--bind IP] [--verbose]\n",
+                   argv[0]);
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "bad port\n");
+    return 2;
+  }
+
+  nxproxy::InnerDaemon daemon(bind_ip, static_cast<std::uint16_t>(port));
+  if (auto s = daemon.start(); !s.ok()) {
+    std::fprintf(stderr, "cannot start: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("nxproxy-inner listening on %s:%d (nxport)\n", bind_ip.c_str(),
+              port);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  g_stop.acquire();
+
+  std::printf("shutting down: %llu connections, %llu bytes relayed\n",
+              static_cast<unsigned long long>(daemon.stats().connections.load()),
+              static_cast<unsigned long long>(
+                  daemon.stats().bytes_relayed.load()));
+  daemon.stop();
+  return 0;
+}

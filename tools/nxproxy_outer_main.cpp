@@ -1,0 +1,91 @@
+// nxproxy-outer: the Nexus Proxy outer server as a deployable daemon.
+//
+//   nxproxy-outer --port 9911 --advertise outer.example.org
+//                 [--bind 0.0.0.0] [--allow host[:port]]...
+//
+// Runs until SIGINT/SIGTERM. Deploy outside the firewall; clients use
+// NXProxyConnect/NXProxyBind against <advertise>:<port>. Without --allow
+// the relay forwards anywhere (the paper's behaviour); with one or more
+// --allow flags it is deny-by-default.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <semaphore>
+
+#include "common/log.hpp"
+#include "nxproxy/daemon.hpp"
+
+namespace {
+std::binary_semaphore g_stop{0};
+void handle_signal(int) { g_stop.release(); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wacs;
+  std::string bind_ip = "0.0.0.0";
+  std::string advertise;
+  int port = 9911;
+  nxproxy::RelayAccessPolicy policy;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = std::atoi(next());
+    } else if (arg == "--bind") {
+      bind_ip = next();
+    } else if (arg == "--advertise") {
+      advertise = next();
+    } else if (arg == "--allow") {
+      const std::string target = next();
+      const auto colon = target.rfind(':');
+      if (colon == std::string::npos) {
+        policy.allow_target(target);
+      } else {
+        policy.allow_target(target.substr(0, colon),
+                            static_cast<std::uint16_t>(
+                                std::atoi(target.c_str() + colon + 1)));
+      }
+    } else if (arg == "--verbose") {
+      log::set_level(log::Level::kInfo);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --port N --advertise HOST [--bind IP] "
+                   "[--allow HOST[:PORT]]... [--verbose]\n",
+                   argv[0]);
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+  if (advertise.empty()) advertise = bind_ip;
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "bad port\n");
+    return 2;
+  }
+
+  nxproxy::OuterDaemon daemon(bind_ip, static_cast<std::uint16_t>(port),
+                              advertise, policy);
+  if (auto s = daemon.start(); !s.ok()) {
+    std::fprintf(stderr, "cannot start: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("nxproxy-outer listening on %s:%d, advertising %s\n",
+              bind_ip.c_str(), port, advertise.c_str());
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  g_stop.acquire();
+
+  std::printf("shutting down: %llu connections, %llu bytes relayed\n",
+              static_cast<unsigned long long>(daemon.stats().connections.load()),
+              static_cast<unsigned long long>(
+                  daemon.stats().bytes_relayed.load()));
+  daemon.stop();
+  return 0;
+}

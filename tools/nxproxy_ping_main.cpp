@@ -1,0 +1,158 @@
+// nxproxy-ping: measure a deployed Nexus Proxy pair, Table-2 style.
+//
+//   nxproxy-ping --outer HOST:PORT --target HOST:PORT [--size N] [--count N]
+//     Active open (Fig 3): round-trip to a peer running `nxproxy-ping
+//     --echo PORT` at the target, via the outer server.
+//
+//   nxproxy-ping --echo PORT
+//     Plain TCP echo server, the measurement peer.
+//
+//   nxproxy-ping --outer HOST:PORT --inner HOST:PORT --serve
+//     Passive open (Fig 4): binds through the proxy, prints the public
+//     contact to give the --outer/--target side, and echoes.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "nxproxy/client.hpp"
+
+using namespace wacs;
+
+namespace {
+
+int run_echo(std::uint16_t port) {
+  auto listener = net::TcpListener::bind("0.0.0.0", port);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "%s\n", listener.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("echo server on port %u\n",
+              static_cast<unsigned>(listener->port()));
+  while (true) {
+    auto conn = listener->accept();
+    if (!conn.ok()) return 0;
+    while (true) {
+      auto chunk = conn->read_some(1 << 16);
+      if (!chunk.ok()) break;
+      if (!conn->write_all(*chunk).ok()) break;
+    }
+  }
+}
+
+int run_serve(const Contact& outer, const Contact& inner) {
+  auto bound = nxproxy::NXProxyBind(outer, inner, "0.0.0.0");
+  if (!bound.ok()) {
+    std::fprintf(stderr, "%s\n", bound.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("bound through the proxy; peers should dial %s\n",
+              bound->public_contact.to_string().c_str());
+  while (true) {
+    auto accepted = nxproxy::NXProxyAccept(*bound);
+    if (!accepted.ok()) return 0;
+    std::printf("accepted relayed connection from %s\n",
+                accepted->second.to_string().c_str());
+    auto& conn = accepted->first;
+    while (true) {
+      auto chunk = conn.read_some(1 << 16);
+      if (!chunk.ok()) break;
+      if (!conn.write_all(*chunk).ok()) break;
+    }
+  }
+}
+
+int run_ping(const Contact& outer, const Contact& target, std::size_t size,
+             int count) {
+  auto sock = nxproxy::NXProxyConnect(outer, target);
+  if (!sock.ok()) {
+    std::fprintf(stderr, "%s\n", sock.error().to_string().c_str());
+    return 1;
+  }
+  Bytes payload = pattern_bytes(size, 1);
+  using Clock = std::chrono::steady_clock;
+  double total_us = 0, best_us = 1e18;
+  for (int i = 0; i < count; ++i) {
+    const auto start = Clock::now();
+    if (!sock->write_all(payload).ok()) return 1;
+    auto back = sock->read_exact(size);
+    if (!back.ok()) return 1;
+    const double us =
+        std::chrono::duration<double, std::micro>(Clock::now() - start)
+            .count();
+    total_us += us;
+    best_us = std::min(best_us, us);
+  }
+  std::printf("%d round trips of %zu bytes via %s: avg %.1f us, best %.1f "
+              "us, %.2f MB/s\n",
+              count, size, outer.to_string().c_str(), total_us / count,
+              best_us, 2.0 * static_cast<double>(size) * count /
+                           (total_us / 1e6) / 1e6);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string outer_text, inner_text, target_text;
+  std::size_t size = 64;
+  int count = 100;
+  int echo_port = -1;
+  bool serve = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--outer") {
+      outer_text = next();
+    } else if (arg == "--inner") {
+      inner_text = next();
+    } else if (arg == "--target") {
+      target_text = next();
+    } else if (arg == "--size") {
+      size = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--count") {
+      count = std::atoi(next());
+    } else if (arg == "--echo") {
+      echo_port = std::atoi(next());
+    } else if (arg == "--serve") {
+      serve = true;
+    } else {
+      std::fprintf(stderr, "see the file header for usage\n");
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+
+  if (echo_port >= 0) return run_echo(static_cast<std::uint16_t>(echo_port));
+
+  auto outer = Contact::parse(outer_text);
+  if (!outer.ok()) {
+    std::fprintf(stderr, "--outer: %s\n", outer.error().to_string().c_str());
+    return 2;
+  }
+  if (serve) {
+    auto inner = Contact::parse(inner_text);
+    if (!inner.ok()) {
+      std::fprintf(stderr, "--inner: %s\n",
+                   inner.error().to_string().c_str());
+      return 2;
+    }
+    return run_serve(*outer, *inner);
+  }
+  auto target = Contact::parse(target_text);
+  if (!target.ok()) {
+    std::fprintf(stderr, "--target: %s\n",
+                 target.error().to_string().c_str());
+    return 2;
+  }
+  if (size == 0 || count <= 0) {
+    std::fprintf(stderr, "bad --size/--count\n");
+    return 2;
+  }
+  return run_ping(*outer, *target, size, count);
+}
