@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_relay.dir/bench_ablation_relay.cpp.o"
+  "CMakeFiles/bench_ablation_relay.dir/bench_ablation_relay.cpp.o.d"
+  "bench_ablation_relay"
+  "bench_ablation_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_three_site.dir/bench_ext_three_site.cpp.o"
+  "CMakeFiles/bench_ext_three_site.dir/bench_ext_three_site.cpp.o.d"
+  "bench_ext_three_site"
+  "bench_ext_three_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_three_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig34_connection_setup.dir/bench_fig34_connection_setup.cpp.o"
+  "CMakeFiles/bench_fig34_connection_setup.dir/bench_fig34_connection_setup.cpp.o.d"
+  "bench_fig34_connection_setup"
+  "bench_fig34_connection_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig34_connection_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sim_engine.cpp" "bench/CMakeFiles/bench_sim_engine.dir/bench_sim_engine.cpp.o" "gcc" "bench/CMakeFiles/bench_sim_engine.dir/bench_sim_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/wacs_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/firewall/CMakeFiles/wacs_firewall.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wacs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_latency_bandwidth.cpp" "bench/CMakeFiles/bench_table2_latency_bandwidth.dir/bench_table2_latency_bandwidth.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_latency_bandwidth.dir/bench_table2_latency_bandwidth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wacs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/knapsack/CMakeFiles/wacs_knapsack.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/wacs_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmf/CMakeFiles/wacs_rmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/nexus/CMakeFiles/wacs_nexus.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/wacs_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/wacs_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/mds/CMakeFiles/wacs_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/wacs_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/firewall/CMakeFiles/wacs_firewall.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wacs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_knapsack.dir/bench_table4_knapsack.cpp.o"
+  "CMakeFiles/bench_table4_knapsack.dir/bench_table4_knapsack.cpp.o.d"
+  "bench_table4_knapsack"
+  "bench_table4_knapsack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_knapsack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_steals.dir/bench_table5_steals.cpp.o"
+  "CMakeFiles/bench_table5_steals.dir/bench_table5_steals.cpp.o.d"
+  "bench_table5_steals"
+  "bench_table5_steals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_steals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_traversed_nodes.dir/bench_table6_traversed_nodes.cpp.o"
+  "CMakeFiles/bench_table6_traversed_nodes.dir/bench_table6_traversed_nodes.cpp.o.d"
+  "bench_table6_traversed_nodes"
+  "bench_table6_traversed_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_traversed_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

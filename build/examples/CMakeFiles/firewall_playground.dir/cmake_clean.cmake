@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_playground.dir/firewall_playground.cpp.o"
+  "CMakeFiles/firewall_playground.dir/firewall_playground.cpp.o.d"
+  "firewall_playground"
+  "firewall_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

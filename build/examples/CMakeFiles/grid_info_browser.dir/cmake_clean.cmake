@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_info_browser.dir/grid_info_browser.cpp.o"
+  "CMakeFiles/grid_info_browser.dir/grid_info_browser.cpp.o.d"
+  "grid_info_browser"
+  "grid_info_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_info_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

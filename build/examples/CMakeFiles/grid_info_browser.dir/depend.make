@@ -1,0 +1,2 @@
+# Empty dependencies file for grid_info_browser.
+# This may be replaced when dependencies are built.

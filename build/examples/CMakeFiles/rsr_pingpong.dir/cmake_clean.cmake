@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsr_pingpong.dir/rsr_pingpong.cpp.o"
+  "CMakeFiles/rsr_pingpong.dir/rsr_pingpong.cpp.o.d"
+  "rsr_pingpong"
+  "rsr_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsr_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_relay_demo.dir/tcp_relay_demo.cpp.o"
+  "CMakeFiles/tcp_relay_demo.dir/tcp_relay_demo.cpp.o.d"
+  "tcp_relay_demo"
+  "tcp_relay_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_relay_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_area_knapsack.dir/wide_area_knapsack.cpp.o"
+  "CMakeFiles/wide_area_knapsack.dir/wide_area_knapsack.cpp.o.d"
+  "wide_area_knapsack"
+  "wide_area_knapsack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_area_knapsack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wacs_common.dir/bytes.cpp.o"
+  "CMakeFiles/wacs_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/wacs_common.dir/config.cpp.o"
+  "CMakeFiles/wacs_common.dir/config.cpp.o.d"
+  "CMakeFiles/wacs_common.dir/contact.cpp.o"
+  "CMakeFiles/wacs_common.dir/contact.cpp.o.d"
+  "CMakeFiles/wacs_common.dir/error.cpp.o"
+  "CMakeFiles/wacs_common.dir/error.cpp.o.d"
+  "CMakeFiles/wacs_common.dir/log.cpp.o"
+  "CMakeFiles/wacs_common.dir/log.cpp.o.d"
+  "CMakeFiles/wacs_common.dir/stats.cpp.o"
+  "CMakeFiles/wacs_common.dir/stats.cpp.o.d"
+  "libwacs_common.a"
+  "libwacs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wacs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

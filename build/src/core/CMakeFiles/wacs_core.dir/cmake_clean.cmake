@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wacs_core.dir/grid.cpp.o"
+  "CMakeFiles/wacs_core.dir/grid.cpp.o.d"
+  "CMakeFiles/wacs_core.dir/netperf.cpp.o"
+  "CMakeFiles/wacs_core.dir/netperf.cpp.o.d"
+  "CMakeFiles/wacs_core.dir/testbeds.cpp.o"
+  "CMakeFiles/wacs_core.dir/testbeds.cpp.o.d"
+  "libwacs_core.a"
+  "libwacs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wacs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

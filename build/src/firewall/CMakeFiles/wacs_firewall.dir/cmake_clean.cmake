@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wacs_firewall.dir/policy.cpp.o"
+  "CMakeFiles/wacs_firewall.dir/policy.cpp.o.d"
+  "CMakeFiles/wacs_firewall.dir/rule.cpp.o"
+  "CMakeFiles/wacs_firewall.dir/rule.cpp.o.d"
+  "libwacs_firewall.a"
+  "libwacs_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wacs_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wacs_knapsack.dir/instance.cpp.o"
+  "CMakeFiles/wacs_knapsack.dir/instance.cpp.o.d"
+  "CMakeFiles/wacs_knapsack.dir/parallel.cpp.o"
+  "CMakeFiles/wacs_knapsack.dir/parallel.cpp.o.d"
+  "CMakeFiles/wacs_knapsack.dir/search.cpp.o"
+  "CMakeFiles/wacs_knapsack.dir/search.cpp.o.d"
+  "libwacs_knapsack.a"
+  "libwacs_knapsack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wacs_knapsack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

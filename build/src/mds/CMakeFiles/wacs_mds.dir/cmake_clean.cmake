@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wacs_mds.dir/directory.cpp.o"
+  "CMakeFiles/wacs_mds.dir/directory.cpp.o.d"
+  "CMakeFiles/wacs_mds.dir/server.cpp.o"
+  "CMakeFiles/wacs_mds.dir/server.cpp.o.d"
+  "libwacs_mds.a"
+  "libwacs_mds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wacs_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

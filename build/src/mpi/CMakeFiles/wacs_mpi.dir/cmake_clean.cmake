@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wacs_mpi.dir/comm.cpp.o"
+  "CMakeFiles/wacs_mpi.dir/comm.cpp.o.d"
+  "libwacs_mpi.a"
+  "libwacs_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wacs_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wacs_nexus.dir/comm.cpp.o"
+  "CMakeFiles/wacs_nexus.dir/comm.cpp.o.d"
+  "CMakeFiles/wacs_nexus.dir/rsr.cpp.o"
+  "CMakeFiles/wacs_nexus.dir/rsr.cpp.o.d"
+  "libwacs_nexus.a"
+  "libwacs_nexus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wacs_nexus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wacs_nxproxy.dir/client.cpp.o"
+  "CMakeFiles/wacs_nxproxy.dir/client.cpp.o.d"
+  "CMakeFiles/wacs_nxproxy.dir/daemon.cpp.o"
+  "CMakeFiles/wacs_nxproxy.dir/daemon.cpp.o.d"
+  "libwacs_nxproxy.a"
+  "libwacs_nxproxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wacs_nxproxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

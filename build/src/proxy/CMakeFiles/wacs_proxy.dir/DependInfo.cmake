@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proxy/client.cpp" "src/proxy/CMakeFiles/wacs_proxy.dir/client.cpp.o" "gcc" "src/proxy/CMakeFiles/wacs_proxy.dir/client.cpp.o.d"
+  "/root/repo/src/proxy/protocol.cpp" "src/proxy/CMakeFiles/wacs_proxy.dir/protocol.cpp.o" "gcc" "src/proxy/CMakeFiles/wacs_proxy.dir/protocol.cpp.o.d"
+  "/root/repo/src/proxy/relay.cpp" "src/proxy/CMakeFiles/wacs_proxy.dir/relay.cpp.o" "gcc" "src/proxy/CMakeFiles/wacs_proxy.dir/relay.cpp.o.d"
+  "/root/repo/src/proxy/server.cpp" "src/proxy/CMakeFiles/wacs_proxy.dir/server.cpp.o" "gcc" "src/proxy/CMakeFiles/wacs_proxy.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/wacs_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/firewall/CMakeFiles/wacs_firewall.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wacs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

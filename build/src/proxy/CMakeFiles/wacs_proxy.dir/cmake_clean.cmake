@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wacs_proxy.dir/client.cpp.o"
+  "CMakeFiles/wacs_proxy.dir/client.cpp.o.d"
+  "CMakeFiles/wacs_proxy.dir/protocol.cpp.o"
+  "CMakeFiles/wacs_proxy.dir/protocol.cpp.o.d"
+  "CMakeFiles/wacs_proxy.dir/relay.cpp.o"
+  "CMakeFiles/wacs_proxy.dir/relay.cpp.o.d"
+  "CMakeFiles/wacs_proxy.dir/server.cpp.o"
+  "CMakeFiles/wacs_proxy.dir/server.cpp.o.d"
+  "libwacs_proxy.a"
+  "libwacs_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wacs_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

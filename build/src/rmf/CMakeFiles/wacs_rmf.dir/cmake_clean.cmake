@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wacs_rmf.dir/allocator.cpp.o"
+  "CMakeFiles/wacs_rmf.dir/allocator.cpp.o.d"
+  "CMakeFiles/wacs_rmf.dir/gatekeeper.cpp.o"
+  "CMakeFiles/wacs_rmf.dir/gatekeeper.cpp.o.d"
+  "CMakeFiles/wacs_rmf.dir/protocol.cpp.o"
+  "CMakeFiles/wacs_rmf.dir/protocol.cpp.o.d"
+  "CMakeFiles/wacs_rmf.dir/qserver.cpp.o"
+  "CMakeFiles/wacs_rmf.dir/qserver.cpp.o.d"
+  "libwacs_rmf.a"
+  "libwacs_rmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wacs_rmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wacs_security.dir/credential.cpp.o"
+  "CMakeFiles/wacs_security.dir/credential.cpp.o.d"
+  "CMakeFiles/wacs_security.dir/sha256.cpp.o"
+  "CMakeFiles/wacs_security.dir/sha256.cpp.o.d"
+  "libwacs_security.a"
+  "libwacs_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wacs_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwacs_security.a"
+)

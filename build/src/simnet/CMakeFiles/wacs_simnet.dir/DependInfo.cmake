@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/engine.cpp" "src/simnet/CMakeFiles/wacs_simnet.dir/engine.cpp.o" "gcc" "src/simnet/CMakeFiles/wacs_simnet.dir/engine.cpp.o.d"
+  "/root/repo/src/simnet/net.cpp" "src/simnet/CMakeFiles/wacs_simnet.dir/net.cpp.o" "gcc" "src/simnet/CMakeFiles/wacs_simnet.dir/net.cpp.o.d"
+  "/root/repo/src/simnet/tcp.cpp" "src/simnet/CMakeFiles/wacs_simnet.dir/tcp.cpp.o" "gcc" "src/simnet/CMakeFiles/wacs_simnet.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wacs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/firewall/CMakeFiles/wacs_firewall.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wacs_simnet.dir/engine.cpp.o"
+  "CMakeFiles/wacs_simnet.dir/engine.cpp.o.d"
+  "CMakeFiles/wacs_simnet.dir/net.cpp.o"
+  "CMakeFiles/wacs_simnet.dir/net.cpp.o.d"
+  "CMakeFiles/wacs_simnet.dir/tcp.cpp.o"
+  "CMakeFiles/wacs_simnet.dir/tcp.cpp.o.d"
+  "libwacs_simnet.a"
+  "libwacs_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wacs_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

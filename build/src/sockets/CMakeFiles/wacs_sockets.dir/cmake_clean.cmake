@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wacs_sockets.dir/socket.cpp.o"
+  "CMakeFiles/wacs_sockets.dir/socket.cpp.o.d"
+  "libwacs_sockets.a"
+  "libwacs_sockets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wacs_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("simnet")
+subdirs("firewall")
+subdirs("security")
+subdirs("mds")
+subdirs("proxy")
+subdirs("sockets")
+subdirs("nxproxy")
+subdirs("nexus")
+subdirs("rmf")
+subdirs("mpi")
+subdirs("knapsack")
+subdirs("core")

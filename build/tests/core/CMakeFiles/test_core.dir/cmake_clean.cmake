@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/determinism_test.cpp.o"
+  "CMakeFiles/test_core.dir/determinism_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/failure_test.cpp.o"
+  "CMakeFiles/test_core.dir/failure_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/grid_test.cpp.o"
+  "CMakeFiles/test_core.dir/grid_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/netperf_test.cpp.o"
+  "CMakeFiles/test_core.dir/netperf_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/testbed_test.cpp.o"
+  "CMakeFiles/test_core.dir/testbed_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/three_site_test.cpp.o"
+  "CMakeFiles/test_core.dir/three_site_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_firewall.dir/policy_test.cpp.o"
+  "CMakeFiles/test_firewall.dir/policy_test.cpp.o.d"
+  "CMakeFiles/test_firewall.dir/rule_test.cpp.o"
+  "CMakeFiles/test_firewall.dir/rule_test.cpp.o.d"
+  "test_firewall"
+  "test_firewall.pdb"
+  "test_firewall[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

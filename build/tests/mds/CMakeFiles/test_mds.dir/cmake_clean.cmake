@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mds.dir/directory_test.cpp.o"
+  "CMakeFiles/test_mds.dir/directory_test.cpp.o.d"
+  "CMakeFiles/test_mds.dir/server_test.cpp.o"
+  "CMakeFiles/test_mds.dir/server_test.cpp.o.d"
+  "test_mds"
+  "test_mds.pdb"
+  "test_mds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

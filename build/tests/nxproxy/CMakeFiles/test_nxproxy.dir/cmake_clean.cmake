@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nxproxy.dir/nxproxy_test.cpp.o"
+  "CMakeFiles/test_nxproxy.dir/nxproxy_test.cpp.o.d"
+  "test_nxproxy"
+  "test_nxproxy.pdb"
+  "test_nxproxy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nxproxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

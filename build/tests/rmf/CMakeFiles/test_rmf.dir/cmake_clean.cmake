@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmf.dir/allocator_test.cpp.o"
+  "CMakeFiles/test_rmf.dir/allocator_test.cpp.o.d"
+  "CMakeFiles/test_rmf.dir/jobflow_test.cpp.o"
+  "CMakeFiles/test_rmf.dir/jobflow_test.cpp.o.d"
+  "CMakeFiles/test_rmf.dir/protocol_test.cpp.o"
+  "CMakeFiles/test_rmf.dir/protocol_test.cpp.o.d"
+  "CMakeFiles/test_rmf.dir/queueing_test.cpp.o"
+  "CMakeFiles/test_rmf.dir/queueing_test.cpp.o.d"
+  "test_rmf"
+  "test_rmf.pdb"
+  "test_rmf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

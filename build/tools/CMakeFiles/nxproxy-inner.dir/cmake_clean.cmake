@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nxproxy-inner.dir/nxproxy_inner_main.cpp.o"
+  "CMakeFiles/nxproxy-inner.dir/nxproxy_inner_main.cpp.o.d"
+  "nxproxy-inner"
+  "nxproxy-inner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nxproxy-inner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

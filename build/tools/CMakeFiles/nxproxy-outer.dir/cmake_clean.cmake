@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nxproxy-outer.dir/nxproxy_outer_main.cpp.o"
+  "CMakeFiles/nxproxy-outer.dir/nxproxy_outer_main.cpp.o.d"
+  "nxproxy-outer"
+  "nxproxy-outer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nxproxy-outer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nxproxy-ping.dir/nxproxy_ping_main.cpp.o"
+  "CMakeFiles/nxproxy-ping.dir/nxproxy_ping_main.cpp.o.d"
+  "nxproxy-ping"
+  "nxproxy-ping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nxproxy-ping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
