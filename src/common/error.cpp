@@ -11,6 +11,7 @@ std::string_view to_string(ErrorCode code) {
     case ErrorCode::kPermissionDenied: return "PermissionDenied";
     case ErrorCode::kConnectionRefused: return "ConnectionRefused";
     case ErrorCode::kConnectionClosed: return "ConnectionClosed";
+    case ErrorCode::kConnectionReset: return "ConnectionReset";
     case ErrorCode::kTimeout: return "Timeout";
     case ErrorCode::kProtocolError: return "ProtocolError";
     case ErrorCode::kResourceExhausted: return "ResourceExhausted";

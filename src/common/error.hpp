@@ -26,6 +26,7 @@ enum class ErrorCode {
   kPermissionDenied,   ///< e.g. a firewall rejected the connection
   kConnectionRefused,  ///< no listener / peer closed
   kConnectionClosed,   ///< stream ended mid-operation
+  kConnectionReset,    ///< peer vanished abnormally (crash, link fault, RST)
   kTimeout,
   kProtocolError,  ///< malformed wire message
   kResourceExhausted,

@@ -1,0 +1,44 @@
+#include "common/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wacs {
+
+bool is_retryable(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnavailable:
+    case ErrorCode::kTimeout:
+    case ErrorCode::kConnectionRefused:
+    case ErrorCode::kConnectionReset:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::int64_t RetrySchedule::next_delay_ns(std::int64_t elapsed_ns) {
+  ++attempts_;
+  if (attempts_ >= policy_.max_attempts) return -1;
+  // Exponential base for the k-th retry: initial * multiplier^(k-1), capped.
+  double base = static_cast<double>(policy_.initial_backoff_ns);
+  for (int i = 1; i < attempts_; ++i) {
+    base *= policy_.multiplier;
+    if (base >= static_cast<double>(policy_.max_backoff_ns)) break;
+  }
+  base = std::min(base, static_cast<double>(policy_.max_backoff_ns));
+  // Symmetric jitter in [-j, +j] around the base, never below zero. The rng
+  // is consumed once per retry so the sequence is a pure function of
+  // (policy, seed, retry index).
+  const double factor =
+      1.0 + policy_.jitter * (2.0 * rng_.uniform01() - 1.0);
+  std::int64_t delay =
+      static_cast<std::int64_t>(std::llround(base * std::max(0.0, factor)));
+  if (policy_.deadline_ns >= 0 &&
+      elapsed_ns + delay >= policy_.deadline_ns) {
+    return -1;  // the budget would expire before the retry could start
+  }
+  return delay;
+}
+
+}  // namespace wacs

@@ -1,0 +1,87 @@
+// Reusable retry policy: bounded attempts, exponential backoff with
+// deterministic jitter, and an overall deadline.
+//
+// The wide-area failure literature (NorduGrid's GridFTP evaluation in
+// particular) attributes most transfer failures to transient network faults
+// that a bounded retry recovers; this header is the single place that policy
+// lives. It is deliberately free of any simnet dependency: the simulated
+// stacks sleep in virtual time and the real-socket nxproxy client sleeps on
+// the wall clock, so the policy only *computes* delays and the caller supplies
+// sleep/now functions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wacs {
+
+/// Which failures are worth retrying: transient unavailability, timeouts,
+/// refused connections (daemon restarting), and abnormal resets (link flap).
+/// Permission denials and protocol violations are permanent and never retried.
+bool is_retryable(ErrorCode code);
+
+/// Declarative retry policy. All durations are nanoseconds so the same policy
+/// drives both virtual (simnet) and wall-clock (nxproxy) time.
+struct RetryPolicy {
+  int max_attempts = 4;  ///< total tries, including the first; >= 1
+  std::int64_t initial_backoff_ns = 10'000'000;  ///< delay after 1st failure
+  double multiplier = 2.0;                       ///< backoff growth factor
+  std::int64_t max_backoff_ns = 1'000'000'000;   ///< cap on a single delay
+  double jitter = 0.1;              ///< +/- fraction applied to each delay
+  std::int64_t deadline_ns = -1;    ///< overall budget from first try; <0=none
+
+  /// A policy that tries exactly once (no retries, no added latency).
+  static RetryPolicy none() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+};
+
+/// Tracks one retry loop: yields the jittered delay before each retry and
+/// enforces max_attempts plus the overall deadline. Deterministic: the same
+/// (policy, seed) produces the same delay sequence.
+class RetrySchedule {
+ public:
+  RetrySchedule(RetryPolicy policy, std::uint64_t seed)
+      : policy_(std::move(policy)), rng_(seed) {}
+
+  /// Attempts handed out so far (0 before the first next_delay_ns call
+  /// answers for attempt #1's failure).
+  int attempts() const { return attempts_; }
+
+  /// After attempt `attempts()+1` fails with `elapsed_ns` spent since the
+  /// first try: returns the delay to sleep before retrying, or -1 when the
+  /// loop must give up (attempt budget exhausted, or the deadline would pass
+  /// before/during the backoff sleep).
+  std::int64_t next_delay_ns(std::int64_t elapsed_ns);
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  int attempts_ = 0;
+};
+
+/// Runs `op` under `policy`. `op` must return Status or Result<T>;
+/// `sleep(ns)` blocks the caller for `ns` (virtual or wall time); `now()`
+/// returns a monotonic nanosecond clock used for the overall deadline.
+/// Non-retryable errors pass straight through.
+template <typename Op, typename Sleep, typename Now>
+auto retry_call(const RetryPolicy& policy, std::uint64_t seed, Op&& op,
+                Sleep&& sleep, Now&& now) -> decltype(op()) {
+  RetrySchedule schedule(policy, seed);
+  const std::int64_t start = now();
+  for (;;) {
+    auto result = op();
+    if (result.ok() || !is_retryable(result.error().code())) return result;
+    const std::int64_t delay = schedule.next_delay_ns(now() - start);
+    if (delay < 0) return result;
+    if (delay > 0) sleep(delay);
+  }
+}
+
+}  // namespace wacs

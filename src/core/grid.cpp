@@ -77,7 +77,23 @@ void GridSystem::add_proxy_pair(const std::string& outer_host,
   pair.inner = std::make_unique<proxy::InnerServer>(inner, ports_.nxport, relay);
   pair.outer->start();
   pair.inner->start();
+  if (fault_ != nullptr) {
+    fault_->on_host_restart(outer_host, [srv = pair.outer.get()] {
+      srv->restart();
+    });
+  }
   proxies_.push_back(std::move(pair));
+}
+
+sim::FaultInjector& GridSystem::faults(std::uint64_t seed) {
+  if (fault_ == nullptr) {
+    fault_ = std::make_unique<sim::FaultInjector>(net_, seed);
+    for (ProxyPair& pair : proxies_) {
+      fault_->on_host_restart(pair.outer->contact().host,
+                              [srv = pair.outer.get()] { srv->restart(); });
+    }
+  }
+  return *fault_;
 }
 
 void GridSystem::add_gatekeeper(const std::string& host,

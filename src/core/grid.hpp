@@ -17,6 +17,7 @@
 #include "rmf/allocator.hpp"
 #include "rmf/gatekeeper.hpp"
 #include "rmf/qserver.hpp"
+#include "simnet/fault.hpp"
 #include "simnet/tcp.hpp"
 
 namespace wacs::core {
@@ -89,6 +90,18 @@ class GridSystem {
   /// resource added so far — call after the Q servers.
   void add_mds(const std::string& host);
 
+  // ---- fault injection ---------------------------------------------------
+  /// Creates (on first call) and returns the grid's fault injector, seeded
+  /// with `seed`. Hooks every proxy pair's outer daemon to its host's
+  /// restart event, so a planned crash+restart of the DMZ host revives the
+  /// outer server with its bind registrations intact. Call before run_job
+  /// and lay out the fault plan on the returned injector. The seed is fixed
+  /// at the first call; later calls return the same injector.
+  sim::FaultInjector& faults(std::uint64_t seed = 42);
+  sim::FaultInjector* fault_injector() {
+    return fault_ ? fault_.get() : nullptr;
+  }
+
   // ---- running jobs -------------------------------------------------------
   /// Submits from `submit_host` (a simulated process is spawned there),
   /// runs the engine until the grid goes quiet, and returns the result.
@@ -148,6 +161,7 @@ class GridSystem {
   std::unique_ptr<mds::DirectoryServer> mds_;
   std::vector<std::unique_ptr<rmf::QServer>> qservers_;
   std::vector<std::string> pending_qserver_rules_;
+  std::unique_ptr<sim::FaultInjector> fault_;
 };
 
 }  // namespace wacs::core

@@ -152,35 +152,68 @@ RankStats decode_rank_stats(const Bytes& data) {
 void run_master(rmf::JobContext& ctx, mpi::Comm& comm, const Params& params,
                 const Instance& inst, RunStats& out) {
   const int nslaves = comm.size() - 1;
+  const auto size = static_cast<std::size_t>(comm.size());
   Searcher searcher(inst, params.use_bound);
   searcher.push(Node{0, 0, inst.capacity});
 
   std::uint64_t steals_handled = 0;
-  std::deque<int> pending;            // slaves waiting for work
-  std::vector<bool> is_pending(static_cast<std::size_t>(comm.size()), false);
+  std::uint64_t grants_reclaimed = 0;
+  std::deque<int> pending;  // alive slaves waiting for work
+  std::vector<bool> is_pending(size, false);
+  std::vector<bool> lost(size, false);
+  // The one grant at risk per slave: cleared at the slave's next kTagSteal
+  // (its stack is empty again, so the grant is fully consumed or shed back).
+  std::vector<std::vector<Node>> shipped(size);
+  int nalive = nslaves;
+
+  auto handle_losses = [&] {
+    while (auto l = comm.take_lost_rank()) {
+      const auto s = static_cast<std::size_t>(*l);
+      lost[s] = true;
+      --nalive;
+      if (is_pending[s]) {
+        is_pending[s] = false;
+        std::erase(pending, *l);
+      }
+      if (!shipped[s].empty()) {
+        searcher.push_all(shipped[s]);
+        shipped[s].clear();
+        ++grants_reclaimed;
+      }
+      kLog.warn("master: slave %d vanished, %d still alive", *l, nalive);
+    }
+  };
 
   auto drain_messages = [&](bool block) {
     mpi::Comm::RecvInfo info;
     bool first = true;
     while (true) {
       if (block && first) {
-        comm.probe(mpi::Comm::kAnySource, mpi::Comm::kAnyTag, &info);
+        // Sleep on the next message — or a rank loss, which the caller
+        // handles at the top of the main loop.
+        if (!comm.probe_or_lost(mpi::Comm::kAnySource, mpi::Comm::kAnyTag,
+                                &info)) {
+          break;
+        }
       } else if (!comm.iprobe(mpi::Comm::kAnySource, mpi::Comm::kAnyTag,
                               &info)) {
         break;
       }
       first = false;
       Bytes data = comm.recv(info.source, info.tag);
-      if (info.tag == kTagSteal) {
+      const auto src = static_cast<std::size_t>(info.source);
+      if (info.tag == kTagSteal || info.tag == kTagBack) {
         WorkMsg msg = decode_work(data);
         searcher.offer_best(msg.best);
-        WACS_CHECK(!is_pending[static_cast<std::size_t>(info.source)]);
-        is_pending[static_cast<std::size_t>(info.source)] = true;
-        pending.push_back(info.source);
-      } else if (info.tag == kTagBack) {
-        WorkMsg msg = decode_work(data);
-        searcher.offer_best(msg.best);
-        searcher.push_all(msg.nodes);
+        if (lost[src]) continue;  // late message from a dead slave
+        if (info.tag == kTagSteal) {
+          WACS_CHECK(!is_pending[src]);
+          is_pending[src] = true;
+          pending.push_back(info.source);
+          shipped[src].clear();  // previous grant fully consumed or shed
+        } else {
+          searcher.push_all(msg.nodes);
+        }
       } else {
         WACS_CHECK_MSG(false, "master got unexpected tag");
       }
@@ -194,46 +227,72 @@ void run_master(rmf::JobContext& ctx, mpi::Comm& comm, const Params& params,
       is_pending[static_cast<std::size_t>(slave)] = false;
       ++steals_handled;
       auto nodes = make_grant(searcher, params);
-      comm.send(slave, kTagWork, encode_work(nodes, searcher.best()));
+      // Keep a copy before shipping: if the slave dies with it, the next
+      // handle_losses() pushes it back.
+      shipped[static_cast<std::size_t>(slave)] = nodes;
+      (void)comm.try_send(slave, kTagWork, encode_work(nodes, searcher.best()));
     }
   };
 
-  while (!(searcher.idle() &&
-           static_cast<int>(pending.size()) == nslaves)) {
+  while (true) {
+    handle_losses();
+    if (searcher.idle() && static_cast<int>(pending.size()) == nalive) break;
     if (!searcher.idle()) {
       // "The master repeats the branch operation interval times."
       const std::uint64_t ops = searcher.run(params.interval);
       ctx.charge_cpu(static_cast<double>(ops) * params.sec_per_node);
       drain_messages(/*block=*/false);
     } else {
-      // Out of work but slaves are still busy: sleep on the next message.
+      // Out of work but alive slaves are still busy.
       drain_messages(/*block=*/true);
     }
     serve_pending();
   }
 
-  // Global exhaustion: release every slave.
-  for (int s = 1; s <= nslaves; ++s) comm.send(s, kTagDone, {});
+  // Global exhaustion: release every surviving slave.
+  for (int s = 1; s <= nslaves; ++s) {
+    if (!lost[static_cast<std::size_t>(s)]) {
+      (void)comm.try_send(s, kTagDone, {});
+    }
+  }
+  handle_losses();  // deaths discovered by the kTagDone sends
 
-  // Collect results: best values and per-rank statistics.
+  // Collect results: best values and per-rank statistics. A slave that dies
+  // here had an empty stack (it was pending), so only its counters are lost.
   std::int64_t best = searcher.best();
   out.ranks.clear();
   out.ranks.push_back(RankStats{0, ctx.host->name(),
                                 searcher.nodes_traversed(), 0});
-  for (int i = 0; i < nslaves; ++i) {
+  std::vector<bool> got_stats(size, false);
+  int expected = nalive;
+  while (expected > 0) {
     mpi::Comm::RecvInfo info;
-    Bytes data = comm.recv(mpi::Comm::kAnySource, kTagStats, &info);
-    BufReader r(data);
-    auto slave_best = r.i64();
-    WACS_CHECK(slave_best.ok());
-    best = std::max(best, *slave_best);
-    auto stats_blob = r.blob();
-    WACS_CHECK(stats_blob.ok());
-    out.ranks.push_back(decode_rank_stats(*stats_blob));
+    if (comm.probe_or_lost(mpi::Comm::kAnySource, kTagStats, &info)) {
+      Bytes data = comm.recv(info.source, kTagStats);
+      BufReader r(data);
+      auto slave_best = r.i64();
+      WACS_CHECK(slave_best.ok());
+      best = std::max(best, *slave_best);
+      auto stats_blob = r.blob();
+      WACS_CHECK(stats_blob.ok());
+      out.ranks.push_back(decode_rank_stats(*stats_blob));
+      got_stats[static_cast<std::size_t>(info.source)] = true;
+      --expected;
+    } else {
+      while (auto l = comm.take_lost_rank()) {
+        const auto s = static_cast<std::size_t>(*l);
+        lost[s] = true;
+        --nalive;
+        if (!got_stats[s]) --expected;
+        kLog.warn("master: slave %d vanished before reporting stats", *l);
+      }
+    }
   }
 
   out.best_value = best;
   out.master_steals_handled = steals_handled;
+  out.slaves_lost = static_cast<std::uint64_t>(nslaves - nalive);
+  out.grants_reclaimed = grants_reclaimed;
   out.total_nodes = 0;
   for (const RankStats& s : out.ranks) out.total_nodes += s.nodes_traversed;
 }
@@ -243,12 +302,23 @@ void run_slave(rmf::JobContext& ctx, mpi::Comm& comm, const Params& params,
   Searcher searcher(inst, params.use_bound);
   std::uint64_t steal_requests = 0;
 
+  // A slave that loses the master (host crash, WAN flap, proxy death) can
+  // contribute nothing further: its best value and reclaimed work only
+  // reach the result through rank 0. It exits cleanly so the job manager
+  // still collects its (empty) completion instead of timing out on it.
   while (true) {
     if (searcher.idle()) {
       // "If the stack is empty, the slave sends a steal request."
       ++steal_requests;
-      comm.send(0, kTagSteal, encode_work({}, searcher.best()));
+      if (!comm.try_send(0, kTagSteal, encode_work({}, searcher.best()))
+               .ok()) {
+        break;  // master unreachable
+      }
       mpi::Comm::RecvInfo info;
+      if (!comm.probe_or_lost(0, mpi::Comm::kAnyTag, &info)) {
+        (void)comm.take_lost_rank();
+        break;  // master vanished while we waited for work
+      }
       Bytes data = comm.recv(0, mpi::Comm::kAnyTag, &info);
       if (info.tag == kTagDone) break;
       WACS_CHECK(info.tag == kTagWork);
@@ -264,7 +334,10 @@ void run_slave(rmf::JobContext& ctx, mpi::Comm& comm, const Params& params,
     // DESIGN.md: node counts starve remote slaves).
     auto surplus = make_back_transfer(searcher, params);
     if (!surplus.empty()) {
-      comm.send(0, kTagBack, encode_work(surplus, searcher.best()));
+      if (!comm.try_send(0, kTagBack, encode_work(surplus, searcher.best()))
+               .ok()) {
+        break;  // master unreachable; local work dies with the partition
+      }
     }
   }
 
@@ -274,7 +347,7 @@ void run_slave(rmf::JobContext& ctx, mpi::Comm& comm, const Params& params,
   BufWriter w;
   w.i64(searcher.best());
   w.blob(encode_rank_stats(stats));
-  comm.send(0, kTagStats, std::move(w).take());
+  (void)comm.try_send(0, kTagStats, std::move(w).take());
 }
 
 void knapsack_task(rmf::JobContext& ctx) {
@@ -334,6 +407,8 @@ Bytes RunStats::encode() const {
   w.i64(best_value);
   w.u64(total_nodes);
   w.u64(master_steals_handled);
+  w.u64(slaves_lost);
+  w.u64(grants_reclaimed);
   w.f64(app_seconds);
   w.u32(static_cast<std::uint32_t>(ranks.size()));
   for (const RankStats& s : ranks) w.blob(encode_rank_stats(s));
@@ -352,6 +427,12 @@ Result<RunStats> RunStats::decode(const Bytes& data) {
   auto steals = r.u64();
   if (!steals) return steals.error();
   out.master_steals_handled = *steals;
+  auto nlost = r.u64();
+  if (!nlost) return nlost.error();
+  out.slaves_lost = *nlost;
+  auto reclaimed = r.u64();
+  if (!reclaimed) return reclaimed.error();
+  out.grants_reclaimed = *reclaimed;
   auto secs = r.f64();
   if (!secs) return secs.error();
   out.app_seconds = *secs;

@@ -16,8 +16,18 @@
 //
 // Termination: a slave steals only when its stack is empty, and per-pair
 // FIFO means any kTagBack precedes that slave's kTagSteal; so when the
-// master's stack is empty and every slave has an unanswered steal request,
-// no work exists anywhere.
+// master's stack is empty and every ALIVE slave has an unanswered steal
+// request, no work exists anywhere.
+//
+// Fault tolerance: the master keeps a copy of the one outstanding grant per
+// slave (a slave steals only when its stack is empty, so at most one grant
+// is ever at risk). When a slave vanishes (mpi::Comm reports the rank lost),
+// the master pushes that copy back onto its own stack and drops the slave
+// from the termination and statistics accounting. Re-searching a partially
+// explored grant is redundant but safe — best values only ever go up — so
+// the final optimum matches the fault-free run. A slave's best-so-far rides
+// on every kTagSteal/kTagBack it sends, and a slave past its final steal has
+// an empty stack, so no improvement can die with a slave unreported.
 #pragma once
 
 #include <cstdint>
@@ -42,8 +52,10 @@ struct RunStats {
   std::int64_t best_value = 0;
   std::uint64_t total_nodes = 0;
   std::uint64_t master_steals_handled = 0;
+  std::uint64_t slaves_lost = 0;       ///< ranks that vanished mid-run
+  std::uint64_t grants_reclaimed = 0;  ///< grants re-pushed after a loss
   double app_seconds = 0;  ///< virtual time of the search phase (post-startup)
-  std::vector<RankStats> ranks;
+  std::vector<RankStats> ranks;  ///< master + every slave that reported
 
   Bytes encode() const;
   static Result<RunStats> decode(const Bytes& data);

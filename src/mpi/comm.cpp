@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "simnet/fault.hpp"
 
 namespace wacs::mpi {
 namespace {
@@ -83,15 +84,23 @@ void Comm::start_receiver(const CommPtr& self_ptr) {
   // The daemons capture the shared_ptr so a reader woken after the task
   // finished never touches a destroyed Comm.
   sim::Engine& engine = ctx_->host().network().engine();
+  sim::Host* host = &ctx_->host();
   auto endpoint = endpoint_;
   CommPtr comm = self_ptr;
-  engine.spawn("mpi.rx.r" + std::to_string(rank_),
-               [endpoint, comm, &engine](sim::Process& self) {
+  // The daemons live on the rank's host: a simulated crash there must stop
+  // them from accepting or demuxing on behalf of a dead rank.
+  auto pin_to_host = [host](sim::Process* daemon) {
+    if (auto* fault = host->network().fault(); fault != nullptr) {
+      fault->register_host_process(host->name(), daemon);
+    }
+  };
+  pin_to_host(engine.spawn("mpi.rx.r" + std::to_string(rank_),
+               [endpoint, comm, &engine, pin_to_host](sim::Process& self) {
     while (true) {
       auto conn = endpoint->accept(self);
       if (!conn.ok()) return;  // endpoint closed: job is over
       auto sock = *conn;
-      engine.spawn("mpi.rd.r" + std::to_string(comm->rank_),
+      pin_to_host(engine.spawn("mpi.rd.r" + std::to_string(comm->rank_),
                    [sock, comm](sim::Process& reader) {
         auto hello_frame = sock->recv(reader);
         if (!hello_frame.ok()) return;
@@ -104,7 +113,14 @@ void Comm::start_receiver(const CommPtr& self_ptr) {
         }
         while (true) {
           auto frame = sock->recv(reader);
-          if (!frame.ok()) return;  // peer finalized
+          if (!frame.ok()) {
+            // Orderly close = peer finalized; a reset means the peer's host
+            // crashed or a link fault tore the connection down.
+            if (frame.error().code() == ErrorCode::kConnectionReset) {
+              comm->record_lost(*src);
+            }
+            return;
+          }
           BufReader r(*frame);
           auto ft = r.u8();
           auto mtag = r.i32();
@@ -117,21 +133,35 @@ void Comm::start_receiver(const CommPtr& self_ptr) {
           comm->inbox_.push_back(InMsg{*src, *mtag, std::move(*data)});
           comm->inbox_waiters_->notify_all();
         }
-      });
+      }));
     }
-  });
+  }));
 }
 
 void Comm::ensure_link(int dst) {
+  auto s = ensure_link_soft(dst);
+  WACS_CHECK_MSG(s.ok(), "rank " + std::to_string(rank_) +
+                             " cannot reach rank " + std::to_string(dst) +
+                             ": " + s.to_string());
+}
+
+Status Comm::ensure_link_soft(int dst) {
   WACS_CHECK(dst >= 0 && dst < size() && dst != rank_);
   auto& link = out_[static_cast<std::size_t>(dst)];
-  if (link != nullptr && !link->closed()) return;
+  if (link != nullptr && !link->closed()) return {};
   auto conn = ctx_->connect(*self_, contacts_[static_cast<std::size_t>(dst)]);
-  WACS_CHECK_MSG(conn.ok(), "rank " + std::to_string(rank_) +
-                                " cannot reach rank " + std::to_string(dst) +
-                                ": " + conn.error().to_string());
+  if (!conn.ok()) return conn.error();
   link = *conn;
-  WACS_CHECK(link->send(encode_hello(rank_)).ok());
+  return link->send(encode_hello(rank_));
+}
+
+void Comm::record_lost(int rank) {
+  if (rank < 0 || rank >= size() || rank == rank_) return;
+  if (!lost_.insert(rank).second) return;
+  lost_unreported_.push_back(rank);
+  kLog.warn("rank %d: rank %d lost (connection reset)", rank_, rank);
+  // Wake blocked probers/receivers so they can notice the loss.
+  inbox_waiters_->notify_all();
 }
 
 void Comm::send(int dst, int tag, Bytes data) {
@@ -143,6 +173,27 @@ void Comm::send(int dst, int tag, Bytes data) {
   WACS_CHECK(out_[static_cast<std::size_t>(dst)]
                  ->send(encode_msg(tag, data))
                  .ok());
+}
+
+Status Comm::try_send(int dst, int tag, Bytes data) {
+  WACS_CHECK_MSG(!finalized_, "send after finalize");
+  WACS_CHECK_MSG(dst != rank_, "self-send is not supported");
+  if (is_lost(dst)) {
+    return Status(ErrorCode::kConnectionReset,
+                  "rank " + std::to_string(dst) + " is lost");
+  }
+  if (auto s = ensure_link_soft(dst); !s.ok()) {
+    record_lost(dst);
+    return s;
+  }
+  auto s = out_[static_cast<std::size_t>(dst)]->send(encode_msg(tag, data));
+  if (!s.ok()) {
+    record_lost(dst);
+    return s;
+  }
+  ++messages_sent_;
+  bytes_sent_ += data.size();
+  return s;
 }
 
 std::size_t Comm::find_match(int src, int tag) const {
@@ -174,6 +225,21 @@ bool Comm::iprobe(int src, int tag, RecvInfo* info) {
 
 void Comm::probe(int src, int tag, RecvInfo* info) {
   while (!iprobe(src, tag, info)) inbox_waiters_->wait(*self_);
+}
+
+bool Comm::probe_or_lost(int src, int tag, RecvInfo* info) {
+  while (true) {
+    if (iprobe(src, tag, info)) return true;
+    if (!lost_unreported_.empty()) return false;
+    inbox_waiters_->wait(*self_);
+  }
+}
+
+std::optional<int> Comm::take_lost_rank() {
+  if (lost_unreported_.empty()) return std::nullopt;
+  const int rank = lost_unreported_.front();
+  lost_unreported_.pop_front();
+  return rank;
 }
 
 void Comm::send_i64(int dst, int tag, std::int64_t v) {

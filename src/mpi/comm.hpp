@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
+#include <set>
 #include <vector>
 
 #include "rmf/job.hpp"
@@ -44,9 +46,14 @@ class Comm {
   int size() const { return static_cast<int>(contacts_.size()); }
 
   /// Blocking-send semantics of a buffered MPI_Send: the payload is handed
-  /// to the transport and the call returns. Aborts on unreachable peers
-  /// (an MPI job cannot survive a lost rank).
+  /// to the transport and the call returns. Aborts on unreachable peers —
+  /// the classic MPI contract. Fault-tolerant callers use try_send().
   void send(int dst, int tag, Bytes data);
+
+  /// send() that reports unreachable peers instead of aborting. On failure
+  /// the destination is recorded as lost (see take_lost_rank); a peer
+  /// already known lost fails immediately without touching the network.
+  Status try_send(int dst, int tag, Bytes data);
 
   /// Blocking receive with wildcard matching.
   Bytes recv(int src, int tag, RecvInfo* info = nullptr);
@@ -56,6 +63,23 @@ class Comm {
 
   /// Blocks until a matching message is queued (MPI_Probe).
   void probe(int src, int tag, RecvInfo* info = nullptr);
+
+  // -- fault awareness ----------------------------------------------------
+  // A rank is "lost" when its link tears down abnormally (connection reset
+  // by a host crash or link fault) or a try_send to it fails. Losses are
+  // queued until a caller claims them via take_lost_rank.
+
+  /// Blocks until a matching message is queued (returns true) or an
+  /// unclaimed rank loss is pending (returns false). The fault-tolerant
+  /// variant of probe(): never hangs on a dead peer.
+  bool probe_or_lost(int src, int tag, RecvInfo* info = nullptr);
+
+  /// Claims one not-yet-reported lost rank, oldest first.
+  std::optional<int> take_lost_rank();
+
+  /// True if `rank` was ever detected dead.
+  bool is_lost(int rank) const { return lost_.count(rank) != 0; }
+  int lost_count() const { return static_cast<int>(lost_.size()); }
 
   // -- typed convenience -------------------------------------------------
   void send_i64(int dst, int tag, std::int64_t v);
@@ -117,6 +141,9 @@ class Comm {
   /// Index of the first queued match, or npos.
   std::size_t find_match(int src, int tag) const;
   void ensure_link(int dst);
+  /// (Re)connects out_[dst] if needed; Error instead of abort on failure.
+  Status ensure_link_soft(int dst);
+  void record_lost(int rank);
   void start_receiver(const std::shared_ptr<Comm>& self_ptr);
 
   /// Coordinator of `site` for a collective rooted at `root`: the root for
@@ -132,6 +159,8 @@ class Comm {
   std::vector<std::string> sites_;
   std::vector<sim::SocketPtr> out_;
   std::deque<InMsg> inbox_;
+  std::set<int> lost_;                ///< every rank ever detected dead
+  std::deque<int> lost_unreported_;   ///< subset not yet claimed by a caller
   std::unique_ptr<sim::WaitQueue> inbox_waiters_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;

@@ -1,5 +1,8 @@
 #include "nexus/comm.hpp"
 
+#include "common/bytes.hpp"
+#include "simnet/sim_retry.hpp"
+
 namespace wacs::nexus {
 
 CommContext::CommContext(sim::Host& host, Env env)
@@ -21,10 +24,20 @@ Result<EndpointPtr> CommContext::listen(sim::Process& self) {
   return EndpointPtr(new Endpoint(std::move(*listener), std::move(contact)));
 }
 
+void CommContext::set_retry_policy(RetryPolicy policy) {
+  retry_ = policy;
+  if (proxy_) proxy_->set_retry_policy(std::move(policy));
+}
+
 Result<sim::SocketPtr> CommContext::connect(sim::Process& self,
                                             const Contact& contact) {
+  // The proxy client runs its own retry loop around the whole control
+  // exchange; only the direct path needs one here.
   if (proxy_) return proxy_->nx_connect(self, contact);
-  return host_->stack().connect(self, contact);
+  return sim::retry_in_sim(
+      self, retry_,
+      fnv1a(to_bytes(host_->name() + ">" + contact.to_string())),
+      [&] { return host_->stack().connect(self, contact); });
 }
 
 Result<sim::SocketPtr> Endpoint::accept(sim::Process& self,

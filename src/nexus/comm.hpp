@@ -58,8 +58,14 @@ class CommContext {
   /// Creates a listener and the contact string to advertise.
   Result<EndpointPtr> listen(sim::Process& self);
 
-  /// Dials a peer's advertised contact.
+  /// Dials a peer's advertised contact. Transient failures (WAN flap, a
+  /// proxy daemon restarting) are retried under the context's RetryPolicy
+  /// with deterministic backoff before the typed Error is surfaced.
   Result<sim::SocketPtr> connect(sim::Process& self, const Contact& contact);
+
+  /// Applies to both the direct path and (forwarded) the proxy client.
+  void set_retry_policy(RetryPolicy policy);
+  const RetryPolicy& retry_policy() const { return retry_; }
 
   sim::Host& host() { return *host_; }
   const Env& env() const { return env_; }
@@ -67,6 +73,7 @@ class CommContext {
  private:
   sim::Host* host_;
   Env env_;
+  RetryPolicy retry_;
   std::optional<proxy::ProxyClient> proxy_;
 };
 

@@ -1,56 +1,99 @@
 #include "nxproxy/client.hpp"
 
+#include <chrono>
+#include <thread>
+
+#include "common/bytes.hpp"
+
 namespace wacs::nxproxy {
+namespace {
+
+/// Binds retry_call to the wall clock: backoff sleeps block the calling
+/// thread, the deadline runs on steady_clock. The jitter seed mixes the
+/// target address so concurrent clients decorrelate.
+template <typename Op>
+auto retry_on_wall_clock(const RetryPolicy& policy, const Contact& target,
+                         Op&& op) -> decltype(op()) {
+  using Clock = std::chrono::steady_clock;
+  const auto epoch = Clock::now();
+  return retry_call(
+      policy, fnv1a(to_bytes(target.to_string())), std::forward<Op>(op),
+      [](std::int64_t delay_ns) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(delay_ns));
+      },
+      [epoch]() -> std::int64_t {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Clock::now() - epoch)
+            .count();
+      });
+}
+
+}  // namespace
 
 Result<net::TcpSocket> NXProxyConnect(const Contact& outer,
-                                      const Contact& target) {
-  auto conn = net::TcpSocket::dial(outer);
-  if (!conn.ok()) {
-    return Error(conn.error().code(),
-                 "cannot reach outer server: " + conn.error().message());
-  }
-  if (auto s = conn->write_frame(proxy::ConnectRequest{target}.encode());
-      !s.ok()) {
-    return s.error();
-  }
-  auto frame = conn->read_frame();
-  if (!frame.ok()) return frame.error();
-  auto reply = proxy::ConnectReply::decode(*frame);
-  if (!reply.ok()) return reply.error();
-  if (!reply->ok) {
-    return Error(ErrorCode::kConnectionRefused,
-                 "outer server: " + reply->error);
-  }
-  return std::move(*conn);
+                                      const Contact& target,
+                                      const ClientOptions& options) {
+  return retry_on_wall_clock(
+      options.retry, target, [&]() -> Result<net::TcpSocket> {
+        auto conn = net::TcpSocket::dial_timeout(outer,
+                                                 options.connect_timeout_ms);
+        if (!conn.ok()) {
+          return Error(conn.error().code(),
+                       "cannot reach outer server: " + conn.error().message());
+        }
+        if (auto s = conn->write_frame(proxy::ConnectRequest{target}.encode());
+            !s.ok()) {
+          return s.error();
+        }
+        auto frame = conn->read_frame_timeout(options.reply_timeout_ms);
+        if (!frame.ok()) return frame.error();
+        auto reply = proxy::ConnectReply::decode(*frame);
+        if (!reply.ok()) return reply.error();
+        if (!reply->ok) {
+          return Error(ErrorCode::kConnectionRefused,
+                       "outer server: " + reply->error);
+        }
+        return std::move(*conn);
+      });
 }
 
 Result<BoundPort> NXProxyBind(const Contact& outer, const Contact& inner,
-                              const std::string& local_ip) {
+                              const std::string& local_ip,
+                              const ClientOptions& options) {
   auto listener = net::TcpListener::bind(local_ip, 0);
   if (!listener.ok()) return listener.error();
+  const Contact local{local_ip, listener->port()};
 
-  auto conn = net::TcpSocket::dial(outer);
-  if (!conn.ok()) {
-    return Error(conn.error().code(),
-                 "cannot reach outer server: " + conn.error().message());
-  }
-  proxy::BindRequest req{Contact{local_ip, listener->port()}, inner};
-  if (auto s = conn->write_frame(req.encode()); !s.ok()) return s.error();
-  auto frame = conn->read_frame();
-  if (!frame.ok()) return frame.error();
-  auto reply = proxy::BindReply::decode(*frame);
-  if (!reply.ok()) return reply.error();
-  if (!reply->ok) {
-    return Error(ErrorCode::kUnavailable, "outer server: " + reply->error);
-  }
-  return BoundPort{std::move(*listener), reply->public_contact,
-                   reply->bind_id};
+  auto registration = retry_on_wall_clock(
+      options.retry, outer, [&]() -> Result<proxy::BindReply> {
+        auto conn = net::TcpSocket::dial_timeout(outer,
+                                                 options.connect_timeout_ms);
+        if (!conn.ok()) {
+          return Error(conn.error().code(),
+                       "cannot reach outer server: " + conn.error().message());
+        }
+        proxy::BindRequest req{local, inner};
+        if (auto s = conn->write_frame(req.encode()); !s.ok()) {
+          return s.error();
+        }
+        auto frame = conn->read_frame_timeout(options.reply_timeout_ms);
+        if (!frame.ok()) return frame.error();
+        auto reply = proxy::BindReply::decode(*frame);
+        if (!reply.ok()) return reply.error();
+        if (!reply->ok) {
+          return Error(ErrorCode::kUnavailable, "outer server: " + reply->error);
+        }
+        return *reply;
+      });
+  if (!registration.ok()) return registration.error();
+  return BoundPort{std::move(*listener), registration->public_contact,
+                   registration->bind_id, options.reply_timeout_ms};
 }
 
 Result<std::pair<net::TcpSocket, Contact>> NXProxyAccept(BoundPort& bound) {
   auto conn = bound.listener.accept();
   if (!conn.ok()) return conn.error();
-  auto frame = conn->read_frame();
+  auto frame = conn->read_frame_timeout(bound.reply_timeout_ms);
   if (!frame.ok()) return frame.error();
   auto notice = proxy::AcceptNotice::decode(*frame);
   if (!notice.ok()) return notice.error();

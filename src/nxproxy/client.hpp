@@ -6,35 +6,58 @@
 //                                   contact peers must dial.
 //   NXProxyAccept(bound)          — accepts one relayed connection and
 //                                   reports the true remote peer.
+//
+// All outer-server exchanges run under poll-based timeouts and a
+// wall-clock-bound RetryPolicy, so a restarting daemon or a dropped SYN
+// surfaces a typed error (or a successful retry) instead of a hung client.
 #pragma once
 
 #include <utility>
 
+#include "common/retry.hpp"
 #include "proxy/protocol.hpp"
 #include "sockets/socket.hpp"
 
 namespace wacs::nxproxy {
+
+/// Timeouts and retry policy for the client calls. The defaults retry
+/// transient failures a few times with sub-second backoff, which rides out
+/// a daemon restart without materially delaying the permanent-failure path.
+struct ClientOptions {
+  RetryPolicy retry{.max_attempts = 3,
+                    .initial_backoff_ns = 50'000'000,  // 50 ms
+                    .multiplier = 2.0,
+                    .max_backoff_ns = 500'000'000,
+                    .jitter = 0.1,
+                    .deadline_ns = -1};
+  int connect_timeout_ms = 5000;  ///< per-address non-blocking connect bound
+  int reply_timeout_ms = 10000;   ///< bound on each control-reply frame
+};
 
 /// Result of NXProxyBind: the private listener plus the advertised address.
 struct BoundPort {
   net::TcpListener listener;
   Contact public_contact;
   std::uint64_t bind_id = 0;
+  int reply_timeout_ms = 10000;  ///< inherited bound for AcceptNotice reads
 };
 
 /// Table 1: "sends a connect request to the outer server and returns a file
 /// descriptor on which the client can communicate with the destination".
 Result<net::TcpSocket> NXProxyConnect(const Contact& outer,
-                                      const Contact& target);
+                                      const Contact& target,
+                                      const ClientOptions& options = {});
 
 /// Table 1: "sends a bind request to the outer server and returns a file
 /// descriptor on which the client can listen for requests".
 /// `local_ip` is the interface the inner server dials back on.
 Result<BoundPort> NXProxyBind(const Contact& outer, const Contact& inner,
-                              const std::string& local_ip = "127.0.0.1");
+                              const std::string& local_ip = "127.0.0.1",
+                              const ClientOptions& options = {});
 
 /// Table 1: "tries to accept a connection request". Returns the accepted
-/// socket and the true remote peer (from the inner server's notice).
+/// socket and the true remote peer (from the inner server's notice). The
+/// accept itself blocks (daemon semantics); the notice read is bounded.
 Result<std::pair<net::TcpSocket, Contact>> NXProxyAccept(BoundPort& bound);
 
 }  // namespace wacs::nxproxy

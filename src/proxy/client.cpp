@@ -1,6 +1,19 @@
 #include "proxy/client.hpp"
 
+#include "common/bytes.hpp"
+#include "simnet/sim_retry.hpp"
+
 namespace wacs::proxy {
+namespace {
+
+/// Deterministic jitter seed per (host, operation) pair so two clients on
+/// the same host never share a backoff sequence, yet every run of the same
+/// configuration replays identically.
+std::uint64_t retry_seed(const sim::Host& host, const std::string& what) {
+  return fnv1a(to_bytes(host.name() + ">" + what));
+}
+
+}  // namespace
 
 ProxyClient::ProxyClient(sim::Host& host, const Env& env) : host_(&host) {
   auto outer = env.get_contact(env_keys::kProxyOuterServer);
@@ -21,9 +34,8 @@ ProxyClient::ProxyClient(sim::Host& host, Contact outer, Contact inner)
       outer_(std::move(outer)),
       inner_(std::move(inner)) {}
 
-Result<sim::SocketPtr> ProxyClient::nx_connect(sim::Process& self,
-                                               const Contact& target) {
-  WACS_CHECK_MSG(configured_, "nx_connect without proxy configuration");
+Result<sim::SocketPtr> ProxyClient::connect_once(sim::Process& self,
+                                                 const Contact& target) {
   auto conn = host_->stack().connect(self, outer_);
   if (!conn.ok()) {
     return Error(conn.error().code(),
@@ -32,7 +44,8 @@ Result<sim::SocketPtr> ProxyClient::nx_connect(sim::Process& self,
   if (auto sent = (*conn)->send(ConnectRequest{target}.encode()); !sent.ok()) {
     return sent.error();
   }
-  auto frame = (*conn)->recv(self);
+  auto frame = (*conn)->recv_deadline(
+      self, self.engine().now() + sim::from_sec(control_timeout_s_));
   if (!frame.ok()) return frame.error();
   auto reply = ConnectReply::decode(*frame);
   if (!reply.ok()) return reply.error();
@@ -44,37 +57,57 @@ Result<sim::SocketPtr> ProxyClient::nx_connect(sim::Process& self,
   return *conn;
 }
 
+Result<sim::SocketPtr> ProxyClient::nx_connect(sim::Process& self,
+                                               const Contact& target) {
+  WACS_CHECK_MSG(configured_, "nx_connect without proxy configuration");
+  return sim::retry_in_sim(
+      self, retry_, retry_seed(*host_, "connect>" + target.to_string()),
+      [&] { return connect_once(self, target); });
+}
+
 Result<NxProxyListenerPtr> ProxyClient::nx_bind(sim::Process& self) {
   WACS_CHECK_MSG(configured_, "nx_bind without proxy configuration");
-  // Private listener the inner server will dial (Fig 4 step 4-2).
+  // Private listener the inner server will dial (Fig 4 step 4-2). Created
+  // once; only the outer-server registration is retried.
   auto local = host_->stack().listen(0);
   if (!local.ok()) return local.error();
 
-  auto conn = host_->stack().connect(self, outer_);
-  if (!conn.ok()) {
-    return Error(conn.error().code(),
-                 "cannot reach outer server: " + conn.error().message());
-  }
-  BindRequest req{Contact{host_->name(), (*local)->port()}, inner_};
-  if (auto sent = (*conn)->send(req.encode()); !sent.ok()) return sent.error();
-  auto frame = (*conn)->recv(self);
-  (*conn)->close();
-  if (!frame.ok()) return frame.error();
-  auto reply = BindReply::decode(*frame);
-  if (!reply.ok()) return reply.error();
-  if (!reply->ok) {
-    return Error(ErrorCode::kUnavailable, "outer server: " + reply->error);
-  }
-  return NxProxyListenerPtr(
-      new NxProxyListener(std::move(*local), reply->public_contact));
+  auto public_contact = sim::retry_in_sim(
+      self, retry_, retry_seed(*host_, "bind"),
+      [&]() -> Result<Contact> {
+        auto conn = host_->stack().connect(self, outer_);
+        if (!conn.ok()) {
+          return Error(conn.error().code(),
+                       "cannot reach outer server: " + conn.error().message());
+        }
+        BindRequest req{Contact{host_->name(), (*local)->port()}, inner_};
+        if (auto sent = (*conn)->send(req.encode()); !sent.ok()) {
+          return sent.error();
+        }
+        auto frame = (*conn)->recv_deadline(
+            self, self.engine().now() + sim::from_sec(control_timeout_s_));
+        (*conn)->close();
+        if (!frame.ok()) return frame.error();
+        auto reply = BindReply::decode(*frame);
+        if (!reply.ok()) return reply.error();
+        if (!reply->ok) {
+          return Error(ErrorCode::kUnavailable, "outer server: " + reply->error);
+        }
+        return reply->public_contact;
+      });
+  if (!public_contact.ok()) return public_contact.error();
+  return NxProxyListenerPtr(new NxProxyListener(
+      std::move(*local), *public_contact, control_timeout_s_));
 }
 
 Result<sim::SocketPtr> NxProxyListener::nx_accept(sim::Process& self,
                                                   Contact* true_peer) {
   auto conn = local_->accept(self);
   if (!conn.ok()) return conn.error();
-  // First frame is the AcceptNotice preamble from the inner server.
-  auto frame = (*conn)->recv(self);
+  // First frame is the AcceptNotice preamble from the inner server; bound
+  // the wait so a crashed inner server surfaces kTimeout, not a hang.
+  auto frame = (*conn)->recv_deadline(
+      self, self.engine().now() + sim::from_sec(control_timeout_s_));
   if (!frame.ok()) return frame.error();
   auto notice = AcceptNotice::decode(*frame);
   if (!notice.ok()) return notice.error();

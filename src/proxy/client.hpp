@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "common/config.hpp"
+#include "common/retry.hpp"
 #include "proxy/protocol.hpp"
 #include "simnet/tcp.hpp"
 
@@ -30,18 +31,23 @@ class NxProxyListener {
 
   /// Accepts one relayed connection. The returned socket's reported peer is
   /// the inner server; `true_peer` (from the AcceptNotice preamble) is the
-  /// original remote endpoint.
+  /// original remote endpoint. The AcceptNotice preamble is read under a
+  /// deadline so a dying inner server cannot wedge the accept loop.
   Result<sim::SocketPtr> nx_accept(sim::Process& self, Contact* true_peer = nullptr);
 
   void close() { local_->close(); }
 
  private:
   friend class ProxyClient;
-  NxProxyListener(sim::ListenerPtr local, Contact public_contact)
-      : local_(std::move(local)), public_contact_(std::move(public_contact)) {}
+  NxProxyListener(sim::ListenerPtr local, Contact public_contact,
+                  double control_timeout_s)
+      : local_(std::move(local)),
+        public_contact_(std::move(public_contact)),
+        control_timeout_s_(control_timeout_s) {}
 
   sim::ListenerPtr local_;
   Contact public_contact_;
+  double control_timeout_s_;
 };
 
 using NxProxyListenerPtr = std::shared_ptr<NxProxyListener>;
@@ -67,11 +73,26 @@ class ProxyClient {
   /// listener + public contact.
   Result<NxProxyListenerPtr> nx_bind(sim::Process& self);
 
+  /// Policy for the outer-server control exchanges (connect + request +
+  /// reply). Transient failures — outer daemon restarting, WAN flap — are
+  /// retried with deterministic backoff; permanent refusals pass through.
+  void set_retry_policy(RetryPolicy policy) { retry_ = std::move(policy); }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Bound on any single control-reply wait (virtual seconds).
+  void set_control_timeout_s(double s) { control_timeout_s_ = s; }
+  double control_timeout_s() const { return control_timeout_s_; }
+
  private:
+  Result<sim::SocketPtr> connect_once(sim::Process& self,
+                                      const Contact& target);
+
   sim::Host* host_;
   bool configured_ = false;
   Contact outer_;
   Contact inner_;
+  RetryPolicy retry_;
+  double control_timeout_s_ = 10.0;
 };
 
 }  // namespace wacs::proxy

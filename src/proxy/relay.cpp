@@ -6,7 +6,13 @@ void pump(sim::Process& self, sim::SocketPtr from, sim::SocketPtr to,
           const RelayParams& params, RelayStats* stats) {
   while (true) {
     auto frame = from->recv(self);
-    if (!frame.ok()) break;  // EOF or local close
+    if (!frame.ok()) {
+      // A reset must cross the relay as a reset: a bridged endpoint that
+      // saw only an orderly EOF could not tell a crashed peer from a
+      // finished one, and the recovery layers key off kConnectionReset.
+      if (frame.error().code() == ErrorCode::kConnectionReset) to->abort();
+      break;
+    }
     // Store-and-forward: the relay holds the whole frame while it is being
     // processed, which is what Nexus Proxy did with RSR messages.
     const double cost = params.per_message_s +
@@ -17,7 +23,11 @@ void pump(sim::Process& self, sim::SocketPtr from, sim::SocketPtr to,
       ++stats->messages;
       stats->bytes += frame->size();
     }
-    if (!to->send(std::move(*frame)).ok()) break;
+    Status sent = to->send(std::move(*frame));
+    if (!sent.ok()) {
+      if (sent.error().code() == ErrorCode::kConnectionReset) from->abort();
+      break;
+    }
   }
   to->close();
   from->close();

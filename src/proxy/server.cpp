@@ -82,12 +82,40 @@ void OuterServer::start() {
   WACS_CHECK_MSG(listener.ok(), "outer server cannot bind control port");
   listener_ = *listener;
   host_->network().engine().spawn(
-      "outer@" + host_->name(), [this](sim::Process& self) { serve(self); });
+      "outer@" + host_->name(),
+      [this, l = listener_](sim::Process& self) { serve(self, l); });
 }
 
-void OuterServer::serve(sim::Process& self) {
+void OuterServer::stop() {
+  WACS_CHECK_MSG(started_, "stop before start");
+  listener_->close();
+  for (auto& [port, binding] : bindings_by_port_) {
+    binding->public_listener->close();
+  }
+}
+
+void OuterServer::restart() {
+  WACS_CHECK_MSG(started_, "restart before start");
+  stop();  // a crash leaves the old listeners bound; drop them first
+  auto listener = host_->stack().listen(control_port_);
+  WACS_CHECK_MSG(listener.ok(), "outer server cannot re-bind control port");
+  listener_ = *listener;
+  host_->network().engine().spawn(
+      "outer@" + host_->name(),
+      [this, l = listener_](sim::Process& self) { serve(self, l); });
+  for (auto& [port, binding] : bindings_by_port_) {
+    auto pub = host_->stack().listen(port);
+    WACS_CHECK_MSG(pub.ok(), "outer server cannot re-bind public port");
+    binding->public_listener = *pub;
+    spawn_accept_loop(binding);
+  }
+  kLog.info("outer@%s restarted (%zu bindings rebuilt)",
+            host_->name().c_str(), bindings_by_port_.size());
+}
+
+void OuterServer::serve(sim::Process& self, sim::ListenerPtr listener) {
   while (true) {
-    auto conn = listener_->accept(self);
+    auto conn = listener->accept(self);
     if (!conn.ok()) return;
     ++stats_.connections;
     auto sock = *conn;
@@ -178,12 +206,8 @@ void OuterServer::handle_bind(sim::Process& self, sim::SocketPtr conn,
   binding->inner = req.inner;
   binding->public_listener = *public_listener;
   const std::uint64_t id = next_bind_id_++;
-  ++active_binds_;
   bindings_by_port_[(*public_listener)->port()] = binding;
-
-  host_->network().engine().spawn(
-      "outer@" + host_->name() + ".bind" + std::to_string(id),
-      [this, binding](sim::Process& acceptor) { accept_loop(acceptor, binding); });
+  spawn_accept_loop(binding);
 
   const Contact public_contact{host_->name(), (*public_listener)->port()};
   (void)conn->send(BindReply{true, public_contact, id, ""}.encode());
@@ -191,10 +215,22 @@ void OuterServer::handle_bind(sim::Process& self, sim::SocketPtr conn,
   (void)self;
 }
 
+void OuterServer::spawn_accept_loop(std::shared_ptr<Binding> binding) {
+  ++active_binds_;
+  sim::ListenerPtr listener = binding->public_listener;
+  host_->network().engine().spawn(
+      "outer@" + host_->name() + ".bind" +
+          std::to_string(listener->port()),
+      [this, binding, listener](sim::Process& acceptor) {
+        accept_loop(acceptor, binding, listener);
+      });
+}
+
 void OuterServer::accept_loop(sim::Process& self,
-                              std::shared_ptr<Binding> binding) {
+                              std::shared_ptr<Binding> binding,
+                              sim::ListenerPtr listener) {
   while (true) {
-    auto remote = binding->public_listener->accept(self);
+    auto remote = listener->accept(self);
     if (!remote.ok()) {
       --active_binds_;
       return;

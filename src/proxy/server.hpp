@@ -50,6 +50,19 @@ class OuterServer {
   OuterServer(sim::Host& host, std::uint16_t control_port, RelayParams params);
 
   void start();
+
+  /// Simulated daemon crash: closes the control listener and every public
+  /// listener, so new control exchanges and relayed connects are refused.
+  /// In-flight relay pumps are not touched here — when the stop models a
+  /// host crash, the fault layer resets their connections.
+  void stop();
+
+  /// Daemon restart after stop(): re-binds the control port, re-creates
+  /// every registered binding's public listener on its original port, and
+  /// respawns the accept loops. Bind registrations survive because peers
+  /// cache the advertised public contacts across a daemon restart.
+  void restart();
+
   Contact contact() const { return Contact{host_->name(), control_port_}; }
   const RelayStats& stats() const { return stats_; }
   std::uint64_t active_binds() const { return active_binds_; }
@@ -61,13 +74,20 @@ class OuterServer {
     sim::ListenerPtr public_listener;
   };
 
-  void serve(sim::Process& self);
+  /// `listener` is captured at spawn time so a restart's reassignment of
+  /// listener_ cannot destroy the object a stale loop is blocked inside.
+  void serve(sim::Process& self, sim::ListenerPtr listener);
   void handle_control(sim::Process& self, sim::SocketPtr conn);
   void handle_connect(sim::Process& self, sim::SocketPtr conn,
                       const ConnectRequest& req);
   void handle_bind(sim::Process& self, sim::SocketPtr conn,
                    const BindRequest& req);
-  void accept_loop(sim::Process& self, std::shared_ptr<Binding> binding);
+  /// `listener` is captured at spawn time: after a restart replaces the
+  /// binding's listener, a stale loop must exit instead of accepting on
+  /// the replacement.
+  void accept_loop(sim::Process& self, std::shared_ptr<Binding> binding,
+                   sim::ListenerPtr listener);
+  void spawn_accept_loop(std::shared_ptr<Binding> binding);
   void bridge_to_inner(sim::Process& self, sim::SocketPtr remote,
                        std::shared_ptr<Binding> binding);
 

@@ -30,10 +30,16 @@ void ResourceAllocator::start() {
       [this](sim::Process& self) { serve(self); });
 }
 
-std::vector<Placement> ResourceAllocator::select(int nprocs) {
+std::vector<Placement> ResourceAllocator::select(
+    int nprocs, const std::vector<std::string>& exclude) {
+  auto excluded = [&exclude](const ResourceInfo& r) {
+    return std::find(exclude.begin(), exclude.end(), r.host) != exclude.end();
+  };
   const int free_total = std::accumulate(
       resources_.begin(), resources_.end(), 0,
-      [](int acc, const ResourceInfo& r) { return acc + r.cpus - r.allocated; });
+      [&](int acc, const ResourceInfo& r) {
+        return excluded(r) ? acc : acc + r.cpus - r.allocated;
+      });
   if (nprocs <= 0 || free_total < nprocs) return {};
 
   // Build the visit order per policy over resource indices.
@@ -67,6 +73,7 @@ std::vector<Placement> ResourceAllocator::select(int nprocs) {
   for (std::size_t idx : order) {
     if (remaining == 0) break;
     ResourceInfo& r = resources_[idx];
+    if (excluded(r)) continue;
     const int take = std::min(remaining, r.cpus - r.allocated);
     if (take <= 0) continue;
     r.allocated += take;
@@ -116,7 +123,7 @@ void ResourceAllocator::handle(sim::Process& self, sim::SocketPtr conn) {
     return;
   }
   ++requests_served_;
-  auto placements = select(req->nprocs);
+  auto placements = select(req->nprocs, req->exclude);
   AllocReply reply;
   if (placements.empty()) {
     reply.ok = false;

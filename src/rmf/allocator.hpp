@@ -39,8 +39,10 @@ class ResourceAllocator {
 
   /// Pure selection logic, exposed for unit tests: chooses placements for
   /// `nprocs` processes from the currently-free capacity and marks them
-  /// allocated. Empty result when capacity is insufficient.
-  std::vector<Placement> select(int nprocs);
+  /// allocated. Hosts named in `exclude` (believed dead by the requester)
+  /// are skipped. Empty result when capacity is insufficient.
+  std::vector<Placement> select(int nprocs,
+                                const std::vector<std::string>& exclude = {});
   /// Returns capacity (used by tests and by job teardown).
   void release(const std::vector<Placement>& placements);
 

@@ -1,8 +1,10 @@
 #include "rmf/gatekeeper.hpp"
 
+#include <deque>
 #include <map>
 
 #include "common/log.hpp"
+#include "simnet/time.hpp"
 
 namespace wacs::rmf {
 namespace {
@@ -132,7 +134,7 @@ void Gatekeeper::job_manager(sim::Process& self, sim::SocketPtr submitter,
     if (!alloc_conn.ok()) {
       return fail("allocator unreachable: " + alloc_conn.error().to_string());
     }
-    if (!(*alloc_conn)->send(AllocRequest{spec.nprocs}.encode()).ok()) {
+    if (!(*alloc_conn)->send(AllocRequest{spec.nprocs, {}}.encode()).ok()) {
       return fail("allocator send failed");
     }
     auto reply_frame = (*alloc_conn)->recv(self);
@@ -182,73 +184,246 @@ void Gatekeeper::job_manager(sim::Process& self, sim::SocketPtr submitter,
   };
 
   // Step 5: the Q client submits job parts to the Q servers. GASS input
-  // files ride along (charged as real bytes on the network).
-  int base_rank = 0;
-  for (const Placement& p : placements) {
-    auto q_conn =
-        host_->stack().connect(self, Contact{p.host, options_.qserver_port});
-    if (!q_conn.ok()) {
-      return fail("Q server on " + p.host +
-                  " unreachable: " + q_conn.error().to_string());
+  // files ride along (charged as real bytes on the network). A part whose
+  // Q server cannot be reached is requeued: the allocator picks replacement
+  // capacity that excludes every host seen to fail so far.
+  struct Part {
+    Placement placement;
+    int base_rank = 0;
+  };
+  std::vector<Part> submitted;
+  std::deque<Part> to_submit;
+  {
+    int base_rank = 0;
+    for (const Placement& p : placements) {
+      to_submit.push_back(Part{p, base_rank});
+      base_rank += p.count;
     }
-    QSubmit part;
-    part.job_id = job_id;
-    part.task = spec.task;
-    part.base_rank = base_rank;
-    part.count = p.count;
-    part.nprocs = spec.nprocs;
-    part.job_manager = jm_contact;
-    part.args = spec.args;
-    part.input_files = spec.input_files;
-    if (!(*q_conn)->send(part.encode()).ok()) {
-      return fail("Q submit to " + p.host + " failed");
+  }
+
+  auto submit_part = [&](const Part& part) -> Status {
+    auto q_conn = host_->stack().connect(
+        self, Contact{part.placement.host, options_.qserver_port});
+    if (!q_conn.ok()) {
+      return Error(q_conn.error().code(),
+                   "Q server on " + part.placement.host +
+                       " unreachable: " + q_conn.error().message());
+    }
+    QSubmit qsub;
+    qsub.job_id = job_id;
+    qsub.task = spec.task;
+    qsub.base_rank = part.base_rank;
+    qsub.count = part.placement.count;
+    qsub.nprocs = spec.nprocs;
+    qsub.job_manager = jm_contact;
+    qsub.args = spec.args;
+    qsub.input_files = spec.input_files;
+    if (!(*q_conn)->send(qsub.encode()).ok()) {
+      return Error(ErrorCode::kUnavailable,
+                   "Q submit to " + part.placement.host + " failed");
     }
     auto reply_frame = (*q_conn)->recv(self);
-    if (!reply_frame.ok()) return fail("Q server on " + p.host + " died");
+    if (!reply_frame.ok()) {
+      return Error(reply_frame.error().code(),
+                   "Q server on " + part.placement.host + " died");
+    }
     auto reply = QSubmitReply::decode(*reply_frame);
     if (!reply.ok() || !reply->ok) {
-      return fail("Q server on " + p.host + " rejected job: " +
-                  (reply.ok() ? reply->error : reply.error().to_string()));
+      return Error(ErrorCode::kUnavailable,
+                   "Q server on " + part.placement.host + " rejected job: " +
+                       (reply.ok() ? reply->error : reply.error().to_string()));
     }
-    base_rank += p.count;
+    return {};
+  };
+
+  std::vector<std::string> failed_hosts;
+  int requeues_left = options_.max_requeues;
+  // Replaces a dead part's placement with fresh capacity avoiding every
+  // failed host (the replacement may split across several hosts). The dead
+  // placement stays in `placements` so the final release returns it too —
+  // the allocator's bookkeeping does not track liveness.
+  auto requeue_part = [&](const Part& dead) -> Result<std::vector<Part>> {
+    if (!from_allocator) {
+      return Error(ErrorCode::kUnavailable,
+                   "pinned placement on " + dead.placement.host + " failed");
+    }
+    if (requeues_left == 0) {
+      return Error(ErrorCode::kResourceExhausted, "requeue budget exhausted");
+    }
+    --requeues_left;
+    failed_hosts.push_back(dead.placement.host);
+    auto conn = host_->stack().connect(self, allocator_);
+    if (!conn.ok()) {
+      return Error(conn.error().code(), "allocator unreachable");
+    }
+    AllocRequest req;
+    req.nprocs = dead.placement.count;
+    req.exclude = failed_hosts;
+    if (!(*conn)->send(req.encode()).ok()) {
+      return Error(ErrorCode::kUnavailable, "allocator send failed");
+    }
+    auto reply_frame = (*conn)->recv(self);
+    if (!reply_frame.ok()) {
+      return Error(ErrorCode::kUnavailable, "allocator reply lost");
+    }
+    auto reply = AllocReply::decode(*reply_frame);
+    if (!reply.ok()) {
+      return Error(ErrorCode::kProtocolError, "allocator reply malformed");
+    }
+    if (!reply->ok) {
+      return Error(ErrorCode::kResourceExhausted,
+                   "replacement allocation failed: " + reply->error);
+    }
+    kLog.warn("job %llu: requeueing %d ranks away from dead host %s",
+              static_cast<unsigned long long>(job_id), dead.placement.count,
+              dead.placement.host.c_str());
+    ++parts_requeued_;
+    std::vector<Part> fresh;
+    int base = dead.base_rank;
+    for (Placement& np : reply->placements) {
+      const int count = np.count;
+      placements.push_back(np);
+      fresh.push_back(Part{std::move(np), base});
+      base += count;
+    }
+    return fresh;
+  };
+
+  while (!to_submit.empty()) {
+    Part part = std::move(to_submit.front());
+    to_submit.pop_front();
+    auto s = submit_part(part);
+    if (s.ok()) {
+      submitted.push_back(std::move(part));
+      continue;
+    }
+    kLog.warn("job %llu: %s", static_cast<unsigned long long>(job_id),
+              s.error().to_string().c_str());
+    auto repl = requeue_part(part);
+    if (!repl.ok()) {
+      return fail(s.error().message() + "; " + repl.error().message());
+    }
+    for (Part& np : *repl) to_submit.push_back(std::move(np));
   }
 
   // Rank rendezvous: collect every rank's endpoint contact, then broadcast
-  // the table (MPICH-G startup).
+  // the table (MPICH-G startup). With a rendezvous bound configured,
+  // silence means a part's host died before its ranks could dial in; the
+  // silent parts are requeued and their stale connections dropped.
   std::vector<sim::SocketPtr> rank_conns(
       static_cast<std::size_t>(spec.nprocs));
+  std::vector<bool> have_hello(static_cast<std::size_t>(spec.nprocs), false);
   ContactTable table;
   table.contacts.resize(static_cast<std::size_t>(spec.nprocs));
   table.sites.resize(static_cast<std::size_t>(spec.nprocs));
-  for (int i = 0; i < spec.nprocs; ++i) {
-    auto conn = (*rendezvous)->accept(self);
-    if (!conn.ok()) return fail(timeout_error("rank rendezvous interrupted"));
+  int collected = 0;
+  while (collected < spec.nprocs) {
+    const bool bounded = options_.rendezvous_timeout_s > 0;
+    const sim::Time deadline =
+        host_->network().engine().now() +
+        sim::from_sec(options_.rendezvous_timeout_s);
+    auto conn = bounded ? (*rendezvous)->accept_deadline(self, deadline)
+                        : (*rendezvous)->accept(self);
+    if (!conn.ok()) {
+      if (bounded && conn.error().code() == ErrorCode::kTimeout &&
+          !watchdog_state->fired) {
+        // Requeue every part with a silent rank; drop hellos already taken
+        // from those parts (their host is presumed dead, the replacement
+        // ranks will re-report).
+        bool requeued_any = false;
+        for (std::size_t pi = 0; pi < submitted.size(); ++pi) {
+          const Part& part = submitted[pi];
+          bool silent = false;
+          for (int r = part.base_rank;
+               r < part.base_rank + part.placement.count; ++r) {
+            if (!have_hello[static_cast<std::size_t>(r)]) silent = true;
+          }
+          if (!silent) continue;
+          auto repl = requeue_part(part);
+          if (!repl.ok()) {
+            return fail("rank rendezvous timed out; " +
+                        repl.error().message());
+          }
+          for (int r = part.base_rank;
+               r < part.base_rank + part.placement.count; ++r) {
+            const auto ri = static_cast<std::size_t>(r);
+            if (have_hello[ri]) {
+              have_hello[ri] = false;
+              if (rank_conns[ri] != nullptr) rank_conns[ri]->close();
+              rank_conns[ri] = nullptr;
+              --collected;
+            }
+          }
+          std::vector<Part> fresh = std::move(*repl);
+          submitted[pi] = fresh.front();
+          for (std::size_t fi = 1; fi < fresh.size(); ++fi) {
+            submitted.push_back(fresh[fi]);
+          }
+          for (const Part& np : fresh) {
+            if (auto s = submit_part(np); !s.ok()) {
+              return fail("requeue resubmit failed: " + s.error().message());
+            }
+          }
+          requeued_any = true;
+        }
+        if (!requeued_any) return fail("rank rendezvous timed out");
+        continue;
+      }
+      return fail(timeout_error("rank rendezvous interrupted"));
+    }
     watchdog_state->rank_conns.push_back(*conn);
-    auto frame = (*conn)->recv(self);
-    if (!frame.ok()) return fail(timeout_error("rank hello lost"));
+    auto frame = bounded ? (*conn)->recv_deadline(self, deadline)
+                         : (*conn)->recv(self);
+    if (!frame.ok()) {
+      if (bounded && !watchdog_state->fired) continue;  // dead dialer
+      return fail(timeout_error("rank hello lost"));
+    }
     auto hello = RankHello::decode(*frame);
     if (!hello.ok() || hello->job_id != job_id || hello->rank < 0 ||
         hello->rank >= spec.nprocs) {
       return fail("bad rank hello");
     }
-    table.contacts[static_cast<std::size_t>(hello->rank)] = hello->contact;
-    table.sites[static_cast<std::size_t>(hello->rank)] = hello->site;
-    rank_conns[static_cast<std::size_t>(hello->rank)] = *conn;
+    const auto ri = static_cast<std::size_t>(hello->rank);
+    if (have_hello[ri]) {  // duplicate after a spurious requeue: keep first
+      (*conn)->close();
+      continue;
+    }
+    have_hello[ri] = true;
+    table.contacts[ri] = hello->contact;
+    table.sites[ri] = hello->site;
+    rank_conns[ri] = *conn;
+    ++collected;
   }
   for (auto& conn : rank_conns) {
     if (!conn->send(table.encode()).ok()) return fail("table broadcast failed");
   }
 
-  // Completion: wait for every rank's RankDone; keep rank 0's output.
+  // Completion: wait for every rank's RankDone; keep rank 0's output. A
+  // rank that vanishes after startup cannot be replaced (the MPI world is
+  // fixed at the table broadcast), so the job degrades: it completes as
+  // long as rank 0 — which carries the application result — survives.
   Bytes output;
+  int lost_after_start = 0;
   for (int i = 0; i < spec.nprocs; ++i) {
     auto frame = rank_conns[static_cast<std::size_t>(i)]->recv(self);
     if (!frame.ok()) {
-      return fail(timeout_error("rank " + std::to_string(i) + " vanished"));
+      if (watchdog_state->fired || i == 0) {
+        return fail(timeout_error("rank " + std::to_string(i) + " vanished"));
+      }
+      ++lost_after_start;
+      kLog.warn("job %llu: rank %d vanished after startup (%s)",
+                static_cast<unsigned long long>(job_id), i,
+                frame.error().to_string().c_str());
+      continue;
     }
     auto done = RankDone::decode(*frame);
     if (!done.ok()) return fail("bad rank done");
     if (done->rank == 0) output = std::move(done->output);
+  }
+  if (lost_after_start > 0) {
+    ranks_lost_ += static_cast<std::uint64_t>(lost_after_start);
+    kLog.warn("job %llu completed degraded: %d ranks lost",
+              static_cast<unsigned long long>(job_id), lost_after_start);
   }
 
   finish_watchdog();

@@ -31,6 +31,15 @@ class Gatekeeper {
     /// included); the shared-secret token is ignored.
     std::optional<std::string> ca_secret;
     std::uint16_t qserver_port = 7100;  ///< where Q servers listen
+    /// Rank-rendezvous bound: how long the job manager waits for the next
+    /// RankHello before treating the silent ranks' hosts as dead and
+    /// requeueing their job parts through the allocator. 0 disables the
+    /// bound (a host that crashes *after* connecting is still detected
+    /// through the connection reset). Must exceed the worst Q-server
+    /// queueing delay when enabled, or slow parts get double-submitted.
+    double rendezvous_timeout_s = 0;
+    /// Placement replacements a job manager attempts before giving up.
+    int max_requeues = 2;
   };
 
   Gatekeeper(sim::Host& host, Options options, Contact allocator,
@@ -41,6 +50,10 @@ class Gatekeeper {
   Contact contact() const { return Contact{host_->name(), options_.port}; }
   std::uint64_t jobs_accepted() const { return jobs_accepted_; }
   std::uint64_t auth_failures() const { return auth_failures_; }
+  /// Ranks that vanished after startup on jobs that still completed.
+  std::uint64_t ranks_lost() const { return ranks_lost_; }
+  /// Job parts moved to a replacement host after their first host failed.
+  std::uint64_t parts_requeued() const { return parts_requeued_; }
   /// GSI mode: subject of the most recently authenticated submission.
   const std::string& last_subject() const { return last_subject_; }
 
@@ -58,6 +71,8 @@ class Gatekeeper {
   std::uint64_t next_job_id_ = 1;
   std::uint64_t jobs_accepted_ = 0;
   std::uint64_t auth_failures_ = 0;
+  std::uint64_t ranks_lost_ = 0;
+  std::uint64_t parts_requeued_ = 0;
   std::string last_subject_;
   bool started_ = false;
 };

@@ -206,15 +206,27 @@ Bytes AllocRequest::encode() const {
   BufWriter w;
   put_tag(w, MsgType::kAllocRequest);
   w.i32(nprocs);
+  w.u32(static_cast<std::uint32_t>(exclude.size()));
+  for (const std::string& host : exclude) w.str(host);
   return std::move(w).take();
 }
 
 Result<AllocRequest> AllocRequest::decode(const Bytes& frame) {
   BufReader r(frame);
   if (auto t = expect_type(r, MsgType::kAllocRequest); !t) return t.error();
+  AllocRequest out;
   auto n = r.i32();
   if (!n) return n.error();
-  return AllocRequest{*n};
+  out.nprocs = *n;
+  auto count = r.u32();
+  if (!count) return count.error();
+  out.exclude.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto host = r.str();
+    if (!host) return host.error();
+    out.exclude.push_back(std::move(*host));
+  }
+  return out;
 }
 
 Bytes AllocReply::encode() const {

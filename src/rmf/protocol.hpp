@@ -52,9 +52,12 @@ struct JobDone {
   static Result<JobDone> decode(const Bytes& frame);
 };
 
-/// (3) the Q client inquires of the resource allocator.
+/// (3) the Q client inquires of the resource allocator. `exclude` lists
+/// hosts the job manager believes dead (failed submissions, vanished
+/// ranks) so a replacement allocation never lands on them again.
 struct AllocRequest {
   int nprocs = 0;
+  std::vector<std::string> exclude;
   Bytes encode() const;
   static Result<AllocRequest> decode(const Bytes& frame);
 };

@@ -1,6 +1,7 @@
 #include "rmf/qserver.hpp"
 
 #include "common/log.hpp"
+#include "simnet/fault.hpp"
 
 namespace wacs::rmf {
 namespace {
@@ -83,14 +84,26 @@ void QServer::dispatch(const QSubmit& job) {
   for (int i = 0; i < job.count; ++i) {
     const int rank = job.base_rank + i;
     ++ranks_spawned_;
-    host_->network().engine().spawn(
+    sim::Process* proc = host_->network().engine().spawn(
         "job" + std::to_string(job.job_id) + ".rank" + std::to_string(rank) +
             "@" + host_->name(),
         [this, job, rank](sim::Process& rank_proc) {
+          // RAII so the CPU is freed even when a fault kills the rank
+          // mid-task (the kill unwinds through run_rank).
+          struct CpuGuard {
+            QServer* q;
+            ~CpuGuard() {
+              --q->busy_cpus_;
+              q->pump_queue();
+            }
+          } guard{this};
           run_rank(rank_proc, job, rank);
-          --busy_cpus_;
-          pump_queue();
         });
+    // Rank processes belong to this host: a simulated host crash must take
+    // them down with it.
+    if (auto* fault = host_->network().fault(); fault != nullptr) {
+      fault->register_host_process(host_->name(), proc);
+    }
   }
 }
 

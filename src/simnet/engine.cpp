@@ -25,11 +25,13 @@ void Process::thread_main() {
   // Wait for the first scheduling slice before running the body.
   proc_token_.acquire();
   try {
-    // A process that was spawned but never scheduled before shutdown must
-    // not run its body during teardown.
-    if (!engine_.shutting_down()) body_(*this);
+    // A process that was spawned but never scheduled before shutdown (or
+    // killed before its first slice) must not run its body during teardown.
+    if (!engine_.shutting_down() && !killed_) body_(*this);
   } catch (const ShutdownError&) {
     // Normal teardown path for daemon processes blocked at shutdown.
+  } catch (const KillError&) {
+    // Fault-injected termination; the stack has unwound, destructors ran.
   }
   state_ = State::kFinished;
   engine_token_.release();  // final handoff; never resumed again
@@ -39,14 +41,20 @@ void Process::switch_to_engine() {
   engine_token_.release();
   proc_token_.acquire();
   if (engine_.shutting_down()) throw ShutdownError{};
+  if (killed_) throw KillError{};
 }
 
 void Process::run_slice() {
   WACS_CHECK_MSG(state_ == State::kRunnable || state_ == State::kCreated,
                  "resuming a process that is not runnable");
   state_ = State::kRunning;
+  // Save/restore around the handoff: a nested wake() (process A resuming
+  // process B directly) must restore A as current when B blocks again.
+  Process* prev = engine_.current_;
+  engine_.current_ = this;
   proc_token_.release();
   engine_token_.acquire();
+  engine_.current_ = prev;
   if (state_ == State::kRunning) state_ = State::kWaiting;
 }
 
@@ -79,6 +87,19 @@ void Process::wake() {
   if (state_ != State::kWaiting) return;  // not suspended: ignore
   state_ = State::kRunnable;
   run_slice();
+}
+
+void Process::kill() {
+  if (killed_ || state_ == State::kFinished) return;
+  killed_ = true;
+  if (state_ == State::kWaiting) {
+    // Resume the victim now; switch_to_engine observes killed_ and throws
+    // KillError, unwinding through the body with destructors running.
+    state_ = State::kRunnable;
+    run_slice();
+  }
+  // kCreated: thread_main skips the body at its first slice.
+  // kRunnable/kRunning: the flag is observed at the next blocking call.
 }
 
 // ----------------------------------------------------------------- Engine
@@ -130,6 +151,17 @@ void Engine::run_until(Time deadline) {
   }
   if (now_ < deadline && !stopped_) now_ = deadline;
   running_ = false;
+}
+
+std::vector<std::string> Engine::blocked_process_names() const {
+  std::vector<std::string> names;
+  for (const auto& p : processes_) {
+    if (p->state_ == Process::State::kWaiting ||
+        p->state_ == Process::State::kCreated) {
+      names.push_back(p->name());
+    }
+  }
+  return names;
 }
 
 void Engine::shutdown() {

@@ -31,6 +31,11 @@ class Engine;
 /// bodies do not normally catch it.
 struct ShutdownError {};
 
+/// Thrown inside a process that was killed by the fault injector (host
+/// crash, process kill). Unwinds the stack so RAII cleanup (socket
+/// destructors emitting RSTs, CPU-slot guards) runs; bodies do not catch it.
+struct KillError {};
+
 /// A simulated sequential process. Created via Engine::spawn(); the body
 /// runs on a dedicated thread and may call the blocking operations below.
 class Process {
@@ -66,6 +71,17 @@ class Process {
 
   bool finished() const { return state_ == State::kFinished; }
 
+  /// True once kill() has been requested; the process unwinds via KillError
+  /// at its next blocking point (or immediately if it was blocked).
+  bool killed() const { return killed_; }
+
+  /// Asynchronously terminates this process: its next (or current) blocking
+  /// call throws KillError, unwinding the stack so destructors run. Must be
+  /// called from the engine context (an event handler) or another process —
+  /// never from the victim's own body. Idempotent; a no-op on finished
+  /// processes.
+  void kill();
+
  private:
   friend class Engine;
 
@@ -82,6 +98,7 @@ class Process {
   std::string name_;
   std::function<void(Process&)> body_;
   State state_ = State::kCreated;
+  bool killed_ = false;
   std::binary_semaphore proc_token_{0};
   std::binary_semaphore engine_token_{0};
   std::thread thread_;
@@ -127,8 +144,18 @@ class Engine {
 
   bool shutting_down() const { return shutting_down_; }
 
+  /// The process whose slice is executing right now, or nullptr when the
+  /// engine itself (an event handler) is running. Lets RAII teardown code
+  /// distinguish a kill-unwind (abort sockets) from an orderly drop.
+  Process* current() const { return current_; }
+
   /// Number of events executed so far (for tests and perf sanity checks).
   std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Names of processes still blocked (waiting or never scheduled). After
+  /// run() drains, daemons are expected here — anything else is a deadlock
+  /// diagnostic.
+  std::vector<std::string> blocked_process_names() const;
 
   /// Unwinds and joins every process. Called by the destructor; may be
   /// called earlier to assert clean teardown in tests.
@@ -151,6 +178,7 @@ class Engine {
   void dispatch_next();
 
   Time now_ = 0;
+  Process* current_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
   bool stopped_ = false;

@@ -1,0 +1,209 @@
+#include "simnet/fault.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "simnet/tcp.hpp"
+
+namespace wacs::sim {
+namespace {
+const log::Logger kLog("sim.fault");
+}
+
+FaultInjector::FaultInjector(Network& net, std::uint64_t seed)
+    : net_(net), rng_(seed) {
+  WACS_CHECK_MSG(net_.fault_ == nullptr,
+                 "a FaultInjector is already attached to this network");
+  net_.fault_ = this;
+}
+
+FaultInjector::~FaultInjector() {
+  if (net_.fault_ == this) net_.fault_ = nullptr;
+}
+
+Link& FaultInjector::link(const std::string& name) {
+  auto l = net_.find_link(name);
+  WACS_CHECK_MSG(l.ok(), "fault plan names " + name + ": " +
+                             l.error().message());
+  return **l;
+}
+
+// --------------------------------------------------------------- the plan
+
+void FaultInjector::plan_link_flap(const std::string& link_name, Time down_at,
+                                   Time up_at) {
+  WACS_CHECK_MSG(down_at < up_at, "link flap window must be non-empty");
+  link(link_name);  // validate the name at plan time, not mid-run
+  net_.engine().at(down_at, [this, link_name] {
+    set_link_down(link_name, true);
+  });
+  net_.engine().at(up_at, [this, link_name] {
+    set_link_down(link_name, false);
+  });
+}
+
+void FaultInjector::plan_link_loss(const std::string& link_name, Time at,
+                                   double p) {
+  WACS_CHECK_MSG(p >= 0.0 && p <= 1.0, "loss probability out of range");
+  link(link_name);
+  net_.engine().at(at, [this, link_name, p] { set_link_loss(link_name, p); });
+}
+
+void FaultInjector::plan_host_crash(const std::string& host_name, Time at) {
+  net_.host(host_name);  // validate
+  net_.engine().at(at, [this, host_name] { crash_host_now(host_name); });
+}
+
+void FaultInjector::plan_host_restart(const std::string& host_name, Time at) {
+  net_.host(host_name);
+  net_.engine().at(at, [this, host_name] { restart_host_now(host_name); });
+}
+
+void FaultInjector::plan_process_kill(Process* victim, Time at) {
+  net_.engine().at(at, [this, victim] {
+    kLog.info("killing process %s", victim->name().c_str());
+    ++counters_.processes_killed;
+    victim->kill();
+  });
+}
+
+// --------------------------------------------------- immediate transitions
+
+void FaultInjector::set_link_down(const std::string& link_name, bool down) {
+  Link* l = &link(link_name);
+  if (down) {
+    if (!down_links_.insert(l).second) return;  // already down
+    ++counters_.link_down_events;
+    kLog.info("link %s DOWN at t=%.3fs", link_name.c_str(),
+              to_sec(net_.engine().now()));
+    // Every established connection routed over the link loses its state:
+    // both ends observe kConnectionReset (TCP keepalive / RST semantics
+    // collapsed to the instant of the fault so tests stay deterministic).
+    reset_connections_if(
+        [this, l](const TrackedConn& tc) {
+          auto path = net_.route(*tc.a, *tc.b);
+          return path.ok() &&
+                 std::find(path->begin(), path->end(), l) != path->end();
+        },
+        "link down");
+  } else {
+    if (down_links_.erase(l) == 0) return;
+    ++counters_.link_up_events;
+    kLog.info("link %s UP at t=%.3fs", link_name.c_str(),
+              to_sec(net_.engine().now()));
+  }
+}
+
+void FaultInjector::set_link_loss(const std::string& link_name, double p) {
+  Link* l = &link(link_name);
+  if (p <= 0.0) {
+    loss_.erase(l);
+  } else {
+    loss_[l] = p;
+  }
+}
+
+void FaultInjector::crash_host_now(const std::string& host_name) {
+  Host& h = net_.host(host_name);
+  if (!crashed_hosts_.insert(&h).second) return;
+  ++counters_.hosts_crashed;
+  kLog.info("host %s CRASH at t=%.3fs", host_name.c_str(),
+            to_sec(net_.engine().now()));
+  // Kill resident processes first: their unwinding destructors close or
+  // reset sockets they own. Then sweep registered connections touching the
+  // host so even sockets parked in idle daemons observe the crash.
+  auto it = host_processes_.find(host_name);
+  if (it != host_processes_.end()) {
+    for (Process* p : it->second) {
+      if (p->finished() || p->killed()) continue;
+      ++counters_.processes_killed;
+      p->kill();
+    }
+  }
+  reset_connections_if(
+      [&h](const TrackedConn& tc) { return tc.a == &h || tc.b == &h; },
+      "host crash");
+}
+
+void FaultInjector::restart_host_now(const std::string& host_name) {
+  Host& h = net_.host(host_name);
+  if (crashed_hosts_.erase(&h) == 0) return;
+  ++counters_.hosts_restarted;
+  kLog.info("host %s RESTART at t=%.3fs", host_name.c_str(),
+            to_sec(net_.engine().now()));
+  auto it = restart_hooks_.find(host_name);
+  if (it == restart_hooks_.end()) return;
+  for (auto& hook : it->second) hook();
+}
+
+// ------------------------------------------------------- transport queries
+
+bool FaultInjector::path_down(const std::vector<Link*>& path) const {
+  if (down_links_.empty()) return false;
+  for (Link* l : path) {
+    if (down_links_.count(l) != 0) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::host_down(const Host& host) const {
+  return crashed_hosts_.count(&host) != 0;
+}
+
+bool FaultInjector::should_drop(const std::vector<Link*>& path) {
+  if (loss_.empty()) return false;
+  for (Link* l : path) {
+    auto it = loss_.find(l);
+    if (it != loss_.end() && rng_.bernoulli(it->second)) {
+      ++counters_.messages_dropped;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ----------------------------------------------------------- registration
+
+void FaultInjector::register_connection(std::weak_ptr<detail::ConnState> conn,
+                                        Host* a, Host* b) {
+  // Lazy pruning keeps the registry proportional to live connections.
+  std::erase_if(conns_,
+                [](const TrackedConn& tc) { return tc.conn.expired(); });
+  conns_.push_back(TrackedConn{std::move(conn), a, b});
+}
+
+void FaultInjector::register_host_process(const std::string& host_name,
+                                          Process* p) {
+  host_processes_[host_name].push_back(p);
+}
+
+void FaultInjector::on_host_restart(const std::string& host_name,
+                                    std::function<void()> callback) {
+  restart_hooks_[host_name].push_back(std::move(callback));
+}
+
+// ------------------------------------------------------------------ reset
+
+void FaultInjector::reset_connections_if(
+    const std::function<bool(const TrackedConn&)>& pred, const char* reason) {
+  for (TrackedConn& tc : conns_) {
+    auto conn = tc.conn.lock();
+    if (conn == nullptr) continue;
+    if (conn->reset[0] && conn->reset[1]) continue;
+    if (!pred(tc)) continue;
+    reset_conn(*conn, reason);
+  }
+  std::erase_if(conns_,
+                [](const TrackedConn& tc) { return tc.conn.expired(); });
+}
+
+void FaultInjector::reset_conn(detail::ConnState& conn, const char* reason) {
+  ++counters_.connections_reset;
+  for (int side = 0; side < 2; ++side) {
+    conn.reset[side] = true;
+    conn.readers[side].notify_all();
+  }
+  (void)reason;
+}
+
+}  // namespace wacs::sim

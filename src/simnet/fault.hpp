@@ -1,0 +1,145 @@
+// Deterministic fault injection for the simulated network.
+//
+// A FaultInjector carries a *fault plan*: link down/up windows, per-link
+// message-loss probabilities, host crash/restart times, and process kills,
+// all scheduled in virtual time on the simulation's event queue and drawing
+// randomness only from a seeded Rng — the same seed always produces the same
+// fault trace. The transport (tcp.cpp) consults the injector at connect,
+// send, and delivery time so that affected operations surface
+// kConnectionReset / kTimeout instead of hanging, which is what the recovery
+// layers (retry in nexus/proxy, requeue in rmf, work reclamation in the
+// knapsack master) are built against.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "simnet/net.hpp"
+
+namespace wacs::sim {
+
+namespace detail {
+struct ConnState;
+}  // namespace detail
+
+/// Recovery-relevant event counts, reported by the fault bench.
+struct FaultCounters {
+  std::uint64_t link_down_events = 0;
+  std::uint64_t link_up_events = 0;
+  std::uint64_t connections_reset = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t hosts_crashed = 0;
+  std::uint64_t hosts_restarted = 0;
+  std::uint64_t processes_killed = 0;
+};
+
+class FaultInjector {
+ public:
+  /// Attaches to `net` (net.fault() starts returning this injector; at most
+  /// one may be attached). All randomness derives from `seed`.
+  FaultInjector(Network& net, std::uint64_t seed);
+  ~FaultInjector();
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // ------------------------------------------------------------ fault plan
+
+  /// Schedules a down window on the named link (LAN, WAN, or loopback):
+  /// down at `down_at`, back up at `up_at`. While down, established
+  /// connections routed over the link are reset and new connects time out.
+  void plan_link_flap(const std::string& link_name, Time down_at, Time up_at);
+
+  /// From `at` on, every message crossing the named link is independently
+  /// dropped with probability `p` (seeded, deterministic). `p` = 0 clears.
+  void plan_link_loss(const std::string& link_name, Time at, double p);
+
+  /// Crashes a host at `at`: every process registered on it is killed
+  /// (stacks unwind, socket destructors emit RSTs) and every registered
+  /// connection touching the host is reset.
+  void plan_host_crash(const std::string& host_name, Time at);
+
+  /// Restarts a host at `at`: runs the restart callbacks registered for it
+  /// (daemons such as the outer proxy server re-listen there).
+  void plan_host_restart(const std::string& host_name, Time at);
+
+  /// Kills one process at `at` (e.g. a single MPI rank), independent of
+  /// host state.
+  void plan_process_kill(Process* victim, Time at);
+
+  // ------------------------------------------- immediate state transitions
+
+  void set_link_down(const std::string& link_name, bool down);
+  void set_link_loss(const std::string& link_name, double p);
+  void crash_host_now(const std::string& host_name);
+  void restart_host_now(const std::string& host_name);
+
+  // -------------------------------------------------- transport-side hooks
+
+  /// True if any hop of `path` is currently down.
+  bool path_down(const std::vector<Link*>& path) const;
+
+  /// True if the host is crashed (and not yet restarted).
+  bool host_down(const Host& host) const;
+
+  /// Consumes randomness: true if a message crossing `path` now should be
+  /// lost to per-link loss.
+  bool should_drop(const std::vector<Link*>& path);
+
+  /// Connections register themselves at establishment so link/host faults
+  /// can reset them. Expired entries are pruned lazily.
+  void register_connection(std::weak_ptr<detail::ConnState> conn, Host* a,
+                           Host* b);
+
+  /// Called by socket teardown paths that emit an RST, for accounting.
+  void count_reset() { ++counters_.connections_reset; }
+
+  // ------------------------------------------------- process registration
+
+  /// Registers a process as running on `host_name`; a crash of that host
+  /// kills it. Finished processes are skipped at crash time.
+  void register_host_process(const std::string& host_name, Process* p);
+
+  /// Registers a callback invoked when `host_name` restarts.
+  void on_host_restart(const std::string& host_name,
+                       std::function<void()> callback);
+
+  /// How long a connect() into a faulted path/host stalls before kTimeout
+  /// (stands in for the kernel SYN timeout; virtual seconds).
+  double connect_timeout_s() const { return connect_timeout_s_; }
+  void set_connect_timeout_s(double s) { connect_timeout_s_ = s; }
+
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  struct TrackedConn {
+    std::weak_ptr<detail::ConnState> conn;
+    Host* a;
+    Host* b;
+  };
+
+  Link& link(const std::string& name);
+  void reset_connections_if(
+      const std::function<bool(const TrackedConn&)>& pred,
+      const char* reason);
+  void reset_conn(detail::ConnState& conn, const char* reason);
+
+  Network& net_;
+  Rng rng_;
+  double connect_timeout_s_ = 3.0;
+  std::set<const Link*> down_links_;
+  std::map<const Link*, double> loss_;
+  std::set<const Host*> crashed_hosts_;
+  std::vector<TrackedConn> conns_;
+  std::map<std::string, std::vector<Process*>> host_processes_;
+  std::map<std::string, std::vector<std::function<void()>>> restart_hooks_;
+  FaultCounters counters_;
+};
+
+}  // namespace wacs::sim

@@ -94,6 +94,19 @@ Result<Host*> Network::find_host(const std::string& name) {
   return it->second;
 }
 
+Result<Link*> Network::find_link(const std::string& name) {
+  for (const auto& site : sites_) {
+    if (site->lan().params().name == name) return &site->lan();
+  }
+  for (const auto& [key, link] : wan_) {
+    if (link->params().name == name) return link.get();
+  }
+  for (const auto& host : hosts_) {
+    if (host->loopback_.params().name == name) return &host->loopback_;
+  }
+  return Error(ErrorCode::kNotFound, "unknown link " + name);
+}
+
 Host& Network::host(const std::string& name) {
   auto h = find_host(name);
   WACS_CHECK_MSG(h.ok(), "unknown host " + name);

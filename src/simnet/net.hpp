@@ -68,6 +68,7 @@ class Link {
 
 class Network;
 class NetStack;
+class FaultInjector;
 
 /// Parameters for creating a host.
 struct HostParams {
@@ -148,6 +149,10 @@ class Network {
 
   Result<Site*> find_site(const std::string& name);
   Result<Host*> find_host(const std::string& name);
+  /// Looks a link up by its LinkParams name (site LANs, WAN links, and host
+  /// loopbacks, e.g. "imnet" or "rwcp-lan"); fault plans target links this
+  /// way.
+  Result<Link*> find_link(const std::string& name);
   /// find_host that aborts on unknown names; for topology-construction code.
   Host& host(const std::string& name);
   Site& site(const std::string& name);
@@ -181,9 +186,16 @@ class Network {
   /// Zeroes every link counter (per-experiment measurement windows).
   void reset_traffic_counters();
 
+  /// The fault injector attached to this network, or nullptr when the run
+  /// is fault-free (the common case; every fault check is skipped then).
+  FaultInjector* fault() { return fault_; }
+
  private:
+  friend class FaultInjector;  // attaches/detaches itself
+
   int direction_of(Host& src, Host& dst) const;
 
+  FaultInjector* fault_ = nullptr;
   Engine& engine_;
   std::vector<std::unique_ptr<Site>> sites_;
   std::vector<std::unique_ptr<Host>> hosts_;

@@ -1,0 +1,28 @@
+// RetryPolicy adapter for simulated processes.
+//
+// common/retry.hpp only computes delays; this header binds it to virtual
+// time: backoff sleeps advance the simulation clock of the calling process
+// and the overall deadline is measured on the engine's clock. The real-socket
+// nxproxy client has its own wall-clock binding (see nxproxy/client.cpp).
+#pragma once
+
+#include <utility>
+
+#include "common/retry.hpp"
+#include "simnet/engine.hpp"
+
+namespace wacs::sim {
+
+/// Runs `op` (returning Status or Result<T>) under `policy`, sleeping
+/// between attempts in virtual time. Deterministic for a fixed
+/// (policy, seed) and event order.
+template <typename Op>
+auto retry_in_sim(Process& self, const RetryPolicy& policy,
+                  std::uint64_t seed, Op&& op) -> decltype(op()) {
+  return retry_call(
+      policy, seed, std::forward<Op>(op),
+      [&self](std::int64_t delay_ns) { self.sleep(to_sec(delay_ns)); },
+      [&self]() -> std::int64_t { return self.engine().now(); });
+}
+
+}  // namespace wacs::sim

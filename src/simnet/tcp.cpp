@@ -1,6 +1,7 @@
 #include "simnet/tcp.hpp"
 
 #include "common/log.hpp"
+#include "simnet/fault.hpp"
 
 namespace wacs::sim {
 namespace {
@@ -12,8 +13,51 @@ constexpr std::uint16_t kDefaultEphemeralHi = 60999;
 
 // -------------------------------------------------------------- SimSocket
 
+SimSocket::~SimSocket() {
+  detail::ConnState& st = *state_;
+  if (st.closed[side_] || st.reset[side_]) return;
+  Network& net = local_host_->network();
+  Engine& engine = net.engine();
+  if (engine.shutting_down()) return;  // whole-simulation teardown
+  Process* cur = engine.current();
+  if (cur == nullptr || !cur->killed()) {
+    // Ordinary drop without close(): treat as orderly close (the FIN rides
+    // behind any queued data), preserving the repo-wide idiom of letting a
+    // socket fall out of scope at the end of a process body.
+    close();
+    return;
+  }
+  // Kill-unwind: the owning process crashed. Real TCP answers the peer's
+  // next segment with RST; we deliver the reset after one-way latency so
+  // the peer cannot tell a crashed peer from a mid-stream link fault.
+  abort();
+}
+
+void SimSocket::abort() {
+  detail::ConnState& st = *state_;
+  if (st.closed[side_] || st.reset[side_]) {
+    st.closed[side_] = true;
+    return;
+  }
+  st.closed[side_] = true;
+  st.readers[side_].notify_all();
+  Network& net = local_host_->network();
+  if (FaultInjector* f = net.fault()) f->count_reset();
+  const Time arrival = net.path_latency(*local_host_, *peer_host_);
+  const int peer_side = 1 - side_;
+  auto state = state_;
+  net.engine().at(arrival, [state, peer_side] {
+    if (state->closed[peer_side] || state->reset[peer_side]) return;
+    state->reset[peer_side] = true;
+    state->readers[peer_side].notify_all();
+  });
+}
+
 Status SimSocket::send(Bytes message) {
   detail::ConnState& st = *state_;
+  if (st.reset[side_]) {
+    return Status(ErrorCode::kConnectionReset, "connection reset");
+  }
   if (st.closed[side_]) {
     return Status(ErrorCode::kConnectionClosed, "send on closed socket");
   }
@@ -21,29 +65,80 @@ Status SimSocket::send(Bytes message) {
     return Status(ErrorCode::kConnectionClosed, "peer closed the connection");
   }
   Network& net = local_host_->network();
+  if (FaultInjector* fault = net.fault()) {
+    auto path = net.route(*local_host_, *peer_host_);
+    if (fault->host_down(*peer_host_) ||
+        (path.ok() && fault->path_down(*path))) {
+      // Sending into a dead path: collapse the retransmit-until-RST dance
+      // into an immediate reset of both sides.
+      for (int side = 0; side < 2; ++side) {
+        st.reset[side] = true;
+        st.readers[side].notify_all();
+      }
+      fault->count_reset();
+      return Status(ErrorCode::kConnectionReset,
+                    "connection reset (network fault)");
+    }
+    if (path.ok() && fault->should_drop(*path)) {
+      // Message loss: the path is charged (the bytes did travel part-way)
+      // but the peer never sees the message; recovery is the caller's
+      // timeout + retry.
+      st.bytes_sent[side_] += message.size();
+      net.deliver(*local_host_, *peer_host_, message.size());
+      return Status();
+    }
+  }
   st.bytes_sent[side_] += message.size();
   const Time arrival = net.deliver(*local_host_, *peer_host_, message.size());
   const int peer_side = 1 - side_;
   auto state = state_;
   net.engine().at(arrival, [state, peer_side, msg = std::move(message)]() mutable {
+    if (state->reset[peer_side]) return;  // connection torn while in flight
     state->inbox[peer_side].push_back(std::move(msg));
     state->readers[peer_side].notify_one();
   });
   return Status();
 }
 
-Result<Bytes> SimSocket::recv(Process& self) {
-  detail::ConnState& st = *state_;
-  st.readers[side_].wait_until(self, [&] {
-    return !st.inbox[side_].empty() || st.fin_seen[side_] || st.closed[side_];
-  });
-  if (!st.inbox[side_].empty()) {
-    Bytes msg = std::move(st.inbox[side_].front());
-    st.inbox[side_].pop_front();
+namespace {
+
+/// Shared tail of recv()/recv_deadline(): the wait predicate already holds.
+Result<Bytes> finish_recv(detail::ConnState& st, int side) {
+  if (st.reset[side]) {
+    // A reset discards anything still buffered (RST semantics): buffered
+    // bytes of a torn connection cannot be trusted to be complete.
+    return Error(ErrorCode::kConnectionReset, "connection reset by peer");
+  }
+  if (!st.inbox[side].empty()) {
+    Bytes msg = std::move(st.inbox[side].front());
+    st.inbox[side].pop_front();
     return msg;
   }
   return Error(ErrorCode::kConnectionClosed,
-               st.closed[side_] ? "socket closed locally" : "end of stream");
+               st.closed[side] ? "socket closed locally" : "end of stream");
+}
+
+}  // namespace
+
+Result<Bytes> SimSocket::recv(Process& self) {
+  detail::ConnState& st = *state_;
+  st.readers[side_].wait_until(self, [&] {
+    return !st.inbox[side_].empty() || st.fin_seen[side_] ||
+           st.closed[side_] || st.reset[side_];
+  });
+  return finish_recv(st, side_);
+}
+
+Result<Bytes> SimSocket::recv_deadline(Process& self, Time deadline) {
+  detail::ConnState& st = *state_;
+  const bool ready = st.readers[side_].wait_until_deadline(self, deadline, [&] {
+    return !st.inbox[side_].empty() || st.fin_seen[side_] ||
+           st.closed[side_] || st.reset[side_];
+  });
+  if (!ready) {
+    return Error(ErrorCode::kTimeout, "recv deadline exceeded");
+  }
+  return finish_recv(st, side_);
 }
 
 std::optional<Bytes> SimSocket::try_recv() {
@@ -56,7 +151,8 @@ std::optional<Bytes> SimSocket::try_recv() {
 
 bool SimSocket::recv_ready() const {
   const detail::ConnState& st = *state_;
-  return !st.inbox[side_].empty() || st.fin_seen[side_] || st.closed[side_];
+  return !st.inbox[side_].empty() || st.fin_seen[side_] || st.closed[side_] ||
+         st.reset[side_];
 }
 
 void SimSocket::close() {
@@ -64,6 +160,7 @@ void SimSocket::close() {
   if (st.closed[side_]) return;
   st.closed[side_] = true;
   st.readers[side_].notify_all();
+  if (st.reset[side_]) return;  // the connection is already torn; no FIN
   // The FIN rides the same path as data, so it arrives after everything
   // already sent (FIFO per direction).
   Network& net = local_host_->network();
@@ -77,7 +174,8 @@ void SimSocket::close() {
 }
 
 bool SimSocket::closed() const {
-  return state_->closed[side_] || state_->fin_seen[side_];
+  return state_->closed[side_] || state_->fin_seen[side_] ||
+         state_->reset[side_];
 }
 
 // ------------------------------------------------------------ SimListener
@@ -87,6 +185,20 @@ SimListener::~SimListener() { close(); }
 Result<SocketPtr> SimListener::accept(Process& self) {
   pending_waiters_.wait_until(self,
                               [this] { return !pending_.empty() || closed_; });
+  if (!pending_.empty()) {
+    SocketPtr s = std::move(pending_.front());
+    pending_.pop_front();
+    return s;
+  }
+  return Error(ErrorCode::kConnectionClosed, "listener closed");
+}
+
+Result<SocketPtr> SimListener::accept_deadline(Process& self, Time deadline) {
+  const bool ready = pending_waiters_.wait_until_deadline(
+      self, deadline, [this] { return !pending_.empty() || closed_; });
+  if (!ready) {
+    return Error(ErrorCode::kTimeout, "accept deadline exceeded");
+  }
   if (!pending_.empty()) {
     SocketPtr s = std::move(pending_.front());
     pending_.pop_front();
@@ -166,6 +278,17 @@ Result<SocketPtr> NetStack::connect(Process& self, const Contact& dst) {
   auto path = net.route(*host_, **dst_host);
   if (!path) return path.error();
 
+  FaultInjector* fault = net.fault();
+  if (fault != nullptr &&
+      (fault->host_down(*host_) || fault->host_down(**dst_host) ||
+       fault->path_down(*path))) {
+    // The SYN vanishes into a dead path or host: the dialer learns nothing
+    // until its connect timeout expires.
+    self.sleep(fault->connect_timeout_s());
+    return Error(ErrorCode::kTimeout,
+                 "connect to " + dst.to_string() + " timed out (fault)");
+  }
+
   const Time syn_arrival = net.path_latency(*host_, **dst_host);
   const Time rtt_done =
       syn_arrival + (net.path_latency(**dst_host, *host_) - engine.now());
@@ -193,6 +316,9 @@ Result<SocketPtr> NetStack::connect(Process& self, const Contact& dst) {
   if (next_ephemeral_ == 0) next_ephemeral_ = kDefaultEphemeralLo;
 
   auto state = std::make_shared<detail::ConnState>(engine);
+  if (fault != nullptr) {
+    fault->register_connection(state, host_, *dst_host);
+  }
   auto client = SocketPtr(new SimSocket(*host_, **dst_host, local_contact,
                                         dst, state, 0));
   auto server = SocketPtr(new SimSocket(**dst_host, *host_,
@@ -211,6 +337,10 @@ Result<SocketPtr> NetStack::connect(Process& self, const Contact& dst) {
   });
 
   self.sleep_until(rtt_done);
+  if (state->reset[0]) {
+    return Error(ErrorCode::kConnectionReset,
+                 "connection reset during handshake on " + dst.to_string());
+  }
   if (state->fin_seen[0]) {
     return Error(ErrorCode::kConnectionRefused,
                  "listener closed during handshake on " + dst.to_string());

@@ -44,6 +44,7 @@ struct ConnState {
   WaitQueue readers[2];
   bool closed[2] = {false, false};       ///< side i called close()
   bool fin_seen[2] = {false, false};     ///< side i observed the peer's close
+  bool reset[2] = {false, false};        ///< side i observed an abnormal RST
   std::uint64_t bytes_sent[2] = {0, 0};
 };
 
@@ -52,13 +53,25 @@ struct ConnState {
 /// One endpoint of an established simulated TCP connection.
 class SimSocket {
  public:
+  /// Destruction without an orderly close() is the crash path (process
+  /// kill, exception unwind): the peer observes kConnectionReset. Orderly
+  /// teardown calls close() first and the peer sees EOF instead.
+  ~SimSocket();
+
   /// Sends one message. Asynchronous: the call charges the path and returns
   /// immediately (infinite send buffer); FIFO delivery is guaranteed.
-  /// Errors if either side already closed.
+  /// Errors if either side already closed; kConnectionReset if the
+  /// connection was torn by a fault (the send also observes current link
+  /// faults, so sending into a downed path fails fast).
   Status send(Bytes message);
 
-  /// Blocks until a message arrives; kConnectionClosed signals orderly EOF.
+  /// Blocks until a message arrives; kConnectionClosed signals orderly EOF,
+  /// kConnectionReset an abnormal teardown (peer crash, link fault).
   Result<Bytes> recv(Process& self);
+
+  /// recv() bounded by an absolute virtual-time deadline; kTimeout if
+  /// nothing arrived by then. Never blocks past `deadline`.
+  Result<Bytes> recv_deadline(Process& self, Time deadline);
 
   /// Non-blocking: a message if one is queued.
   std::optional<Bytes> try_recv();
@@ -70,7 +83,15 @@ class SimSocket {
   /// and then reports EOF. Idempotent.
   void close();
 
+  /// Abnormal close: delivers an RST that discards the peer's buffered data
+  /// (recv there reports kConnectionReset). Relays use this to propagate a
+  /// reset across a bridged connection instead of masking it as EOF.
+  void abort();
+
   bool closed() const;
+
+  /// True once this side observed an abnormal reset.
+  bool reset() const { return state_->reset[side_]; }
 
   const Contact& local_contact() const { return local_; }
   const Contact& peer_contact() const { return peer_; }
@@ -104,6 +125,9 @@ class SimListener {
 
   /// Blocks until a connection is pending; kConnectionClosed after close().
   Result<SocketPtr> accept(Process& self);
+
+  /// accept() bounded by an absolute deadline; kTimeout when it passes.
+  Result<SocketPtr> accept_deadline(Process& self, Time deadline);
 
   std::optional<SocketPtr> try_accept();
 

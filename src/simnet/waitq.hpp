@@ -6,7 +6,9 @@
 // nested inside themselves.
 #pragma once
 
+#include <algorithm>
 #include <deque>
+#include <memory>
 
 #include "simnet/engine.hpp"
 
@@ -29,6 +31,31 @@ class WaitQueue {
   void wait_until(Process& self, Pred pred) {
     while (!pred()) wait(self);
   }
+
+  /// Condition loop with a deadline: waits until `pred()` holds or the
+  /// simulation clock reaches `deadline`. Returns true if the predicate
+  /// held, false on timeout. Each park arms a one-shot timer whose `fired`
+  /// token is defused as soon as the wait returns, so a stale timer can
+  /// never wake this process out of a *later* unrelated wait.
+  template <typename Pred>
+  bool wait_until_deadline(Process& self, Time deadline, Pred pred) {
+    while (!pred()) {
+      if (engine_.now() >= deadline) return false;
+      auto fired = std::make_shared<bool>(false);
+      Process* p = &self;
+      engine_.at(deadline, [p, fired] {
+        if (!*fired) p->wake();
+      });
+      wait(self);
+      *fired = true;
+      remove(&self);  // timer wakeups leave our entry in waiters_
+    }
+    return true;
+  }
+
+  /// Drops `p` from the queue if present (used after a timed wait ends by
+  /// timeout while the process is still enqueued). Safe when absent.
+  void remove(Process* p) { std::erase(waiters_, p); }
 
   void notify_one() {
     if (waiters_.empty()) return;

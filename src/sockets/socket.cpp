@@ -1,11 +1,15 @@
 #include "sockets/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
+
+#include <chrono>
 
 #include <cerrno>
 #include <cstring>
@@ -32,6 +36,30 @@ Result<Contact> contact_of(const sockaddr_storage& ss) {
     return Error(ErrorCode::kInternal, "unknown address family");
   }
   return Contact{ip, port};
+}
+
+/// Polls `fd` for `events` with EINTR retry. kTimeout on expiry.
+Status wait_for(int fd, short events, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  int rc;
+  do {
+    rc = ::poll(&p, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return errno_error(ErrorCode::kInternal, "poll");
+  if (rc == 0) return Status(ErrorCode::kTimeout, "poll timed out");
+  return Status();
+}
+
+Status set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return errno_error(ErrorCode::kInternal, "fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) < 0) {
+    return errno_error(ErrorCode::kInternal, "fcntl(F_SETFL)");
+  }
+  return Status();
 }
 
 }  // namespace
@@ -70,6 +98,72 @@ Result<TcpSocket> TcpSocket::dial(const Contact& target) {
       return TcpSocket(std::move(fd));
     }
     last_errno = errno;
+  }
+  errno = last_errno;
+  return errno_error(ErrorCode::kConnectionRefused,
+                     "connect " + target.to_string());
+}
+
+Result<TcpSocket> TcpSocket::dial_timeout(const Contact& target,
+                                          int timeout_ms) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(target.port);
+  if (int rc = ::getaddrinfo(target.host.c_str(), port_str.c_str(), &hints,
+                             &res);
+      rc != 0) {
+    return Error(ErrorCode::kNotFound,
+                 "resolve " + target.host + ": " + ::gai_strerror(rc));
+  }
+  struct Freer {
+    addrinfo* p;
+    ~Freer() { ::freeaddrinfo(p); }
+  } freer{res};
+
+  bool timed_out = false;
+  int last_errno = ECONNREFUSED;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) {
+      last_errno = errno;
+      continue;
+    }
+    if (auto s = set_nonblocking(fd.get(), true); !s.ok()) return s.error();
+    int rc;
+    do {
+      rc = ::connect(fd.get(), ai->ai_addr, ai->ai_addrlen);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      if (errno != EINPROGRESS) {
+        last_errno = errno;
+        continue;
+      }
+      auto ready = wait_for(fd.get(), POLLOUT, timeout_ms);
+      if (!ready.ok()) {
+        if (ready.error().code() == ErrorCode::kTimeout) {
+          timed_out = true;
+          continue;
+        }
+        return ready.error();
+      }
+      int soerr = 0;
+      socklen_t len = sizeof soerr;
+      if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+          soerr != 0) {
+        last_errno = soerr != 0 ? soerr : errno;
+        continue;
+      }
+    }
+    if (auto s = set_nonblocking(fd.get(), false); !s.ok()) return s.error();
+    int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return TcpSocket(std::move(fd));
+  }
+  if (timed_out) {
+    return Error(ErrorCode::kTimeout,
+                 "connect " + target.to_string() + " timed out");
   }
   errno = last_errno;
   return errno_error(ErrorCode::kConnectionRefused,
@@ -147,6 +241,52 @@ Result<Bytes> TcpSocket::read_frame() {
   }
   if (len == 0) return Bytes{};
   return read_exact(len);
+}
+
+Result<Bytes> TcpSocket::read_frame_timeout(int timeout_ms) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  // Poll-before-read variant of read_exact, sharing one overall budget
+  // across the length header and the payload.
+  auto read_exact_by = [&](std::size_t n) -> Result<Bytes> {
+    Bytes out(n);
+    std::size_t off = 0;
+    while (off < n) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) {
+        return Error(ErrorCode::kTimeout, "read_frame timed out");
+      }
+      if (auto s = wait_for(fd_.get(), POLLIN, static_cast<int>(left.count()));
+          !s.ok()) {
+        return s.error();
+      }
+      const ssize_t got = ::recv(fd_.get(), out.data() + off, n - off, 0);
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return errno_error(ErrorCode::kConnectionClosed, "recv");
+      }
+      if (got == 0) {
+        return Error(ErrorCode::kConnectionClosed,
+                     off == 0 ? "end of stream"
+                              : "connection truncated mid-message");
+      }
+      off += static_cast<std::size_t>(got);
+    }
+    return out;
+  };
+
+  auto header = read_exact_by(4);
+  if (!header.ok()) return header.error();
+  const std::uint32_t len = static_cast<std::uint32_t>((*header)[0]) |
+                            static_cast<std::uint32_t>((*header)[1]) << 8 |
+                            static_cast<std::uint32_t>((*header)[2]) << 16 |
+                            static_cast<std::uint32_t>((*header)[3]) << 24;
+  if (len > kMaxFrameBytes) {
+    return Error(ErrorCode::kProtocolError, "frame length exceeds limit");
+  }
+  if (len == 0) return Bytes{};
+  return read_exact_by(len);
 }
 
 Result<Contact> TcpSocket::peer() const {

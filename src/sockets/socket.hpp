@@ -28,6 +28,11 @@ class TcpSocket {
   /// Dials host:port (numeric IP or resolvable name).
   static Result<TcpSocket> dial(const Contact& target);
 
+  /// dial() bounded by `timeout_ms` per address attempt (non-blocking
+  /// connect + poll); kTimeout when the peer does not answer in time. The
+  /// returned socket is back in blocking mode.
+  static Result<TcpSocket> dial_timeout(const Contact& target, int timeout_ms);
+
   bool valid() const { return fd_.valid(); }
   int native() const { return fd_.get(); }
 
@@ -44,6 +49,10 @@ class TcpSocket {
   /// Length-prefixed frame I/O (u32 LE length + payload).
   Status write_frame(const Bytes& frame);
   Result<Bytes> read_frame();
+
+  /// read_frame() bounded by an overall `timeout_ms` budget across header
+  /// and payload (poll before every read); kTimeout when it runs out.
+  Result<Bytes> read_frame_timeout(int timeout_ms);
 
   /// Address of the remote end ("ip:port").
   Result<Contact> peer() const;

@@ -1,0 +1,179 @@
+#include "common/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace wacs {
+namespace {
+
+RetryPolicy test_policy() {
+  RetryPolicy p;
+  p.max_attempts = 5;
+  p.initial_backoff_ns = 1'000'000;  // 1 ms
+  p.multiplier = 2.0;
+  p.max_backoff_ns = 100'000'000;  // 100 ms
+  p.jitter = 0.2;
+  return p;
+}
+
+std::vector<std::int64_t> delay_sequence(const RetryPolicy& policy,
+                                         std::uint64_t seed) {
+  RetrySchedule schedule(policy, seed);
+  std::vector<std::int64_t> delays;
+  for (;;) {
+    const std::int64_t d = schedule.next_delay_ns(0);
+    if (d < 0) break;
+    delays.push_back(d);
+  }
+  return delays;
+}
+
+TEST(RetrySchedule, SameSeedSameDelaySequence) {
+  const auto a = delay_sequence(test_policy(), 7);
+  const auto b = delay_sequence(test_policy(), 7);
+  ASSERT_EQ(a.size(), 4u);  // max_attempts=5 -> 4 retries
+  EXPECT_EQ(a, b);
+}
+
+TEST(RetrySchedule, DifferentSeedsDiverge) {
+  const auto a = delay_sequence(test_policy(), 7);
+  const auto b = delay_sequence(test_policy(), 8);
+  EXPECT_NE(a, b);  // jitter=0.2 makes a collision across all 4 essentially nil
+}
+
+TEST(RetrySchedule, JitterStaysWithinBounds) {
+  const RetryPolicy policy = test_policy();
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    RetrySchedule schedule(policy, seed);
+    double base = static_cast<double>(policy.initial_backoff_ns);
+    for (;;) {
+      const std::int64_t d = schedule.next_delay_ns(0);
+      if (d < 0) break;
+      EXPECT_GE(static_cast<double>(d), base * (1.0 - policy.jitter) - 1.0);
+      EXPECT_LE(static_cast<double>(d), base * (1.0 + policy.jitter) + 1.0);
+      base = std::min(base * policy.multiplier,
+                      static_cast<double>(policy.max_backoff_ns));
+    }
+  }
+}
+
+TEST(RetrySchedule, BackoffCapsAtMax) {
+  RetryPolicy policy = test_policy();
+  policy.max_attempts = 20;
+  policy.jitter = 0;  // isolate the exponential base
+  RetrySchedule schedule(policy, 1);
+  std::int64_t last = 0;
+  for (int i = 0; i < 19; ++i) {
+    const std::int64_t d = schedule.next_delay_ns(0);
+    ASSERT_GE(d, 0);
+    EXPECT_LE(d, policy.max_backoff_ns);
+    EXPECT_GE(d, last);  // monotone without jitter
+    last = d;
+  }
+  EXPECT_EQ(last, policy.max_backoff_ns);
+  EXPECT_LT(schedule.next_delay_ns(0), 0);  // budget exhausted
+}
+
+TEST(RetrySchedule, DeadlineCutsTheLoopShort) {
+  RetryPolicy policy = test_policy();
+  policy.jitter = 0;
+  policy.deadline_ns = 1'500'000;  // room for the 1 ms retry, not the 2 ms one
+  RetrySchedule schedule(policy, 1);
+  EXPECT_EQ(schedule.next_delay_ns(0), policy.initial_backoff_ns);
+  // Second retry would start at 1 ms elapsed + 2 ms backoff > deadline.
+  EXPECT_LT(schedule.next_delay_ns(1'000'000), 0);
+}
+
+TEST(RetrySchedule, ElapsedAtOrPastDeadlineGivesUpImmediately) {
+  RetryPolicy policy = test_policy();
+  policy.deadline_ns = 1'000'000;
+  RetrySchedule schedule(policy, 1);
+  EXPECT_LT(schedule.next_delay_ns(policy.deadline_ns), 0);
+}
+
+struct FakeClock {
+  std::int64_t now_ns = 0;
+  std::vector<std::int64_t> sleeps;
+  void sleep(std::int64_t ns) {
+    sleeps.push_back(ns);
+    now_ns += ns;
+  }
+};
+
+TEST(RetryCall, SucceedsAfterTransientFailures) {
+  FakeClock clock;
+  int calls = 0;
+  auto result = retry_call(
+      test_policy(), 3,
+      [&]() -> Status {
+        ++calls;
+        if (calls < 3) return Status(ErrorCode::kUnavailable, "flap");
+        return Status();
+      },
+      [&](std::int64_t ns) { clock.sleep(ns); }, [&] { return clock.now_ns; });
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(clock.sleeps.size(), 2u);
+}
+
+TEST(RetryCall, NonRetryableErrorPassesStraightThrough) {
+  FakeClock clock;
+  int calls = 0;
+  auto result = retry_call(
+      test_policy(), 3,
+      [&]() -> Status {
+        ++calls;
+        return Status(ErrorCode::kPermissionDenied, "firewall said no");
+      },
+      [&](std::int64_t ns) { clock.sleep(ns); }, [&] { return clock.now_ns; });
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(clock.sleeps.empty());
+}
+
+TEST(RetryCall, ZeroRetryPolicyRunsOpExactlyOnce) {
+  FakeClock clock;
+  int calls = 0;
+  auto result = retry_call(
+      RetryPolicy::none(), 3,
+      [&]() -> Result<int> {
+        ++calls;
+        return Result<int>(Error(ErrorCode::kTimeout, "slow"));
+      },
+      [&](std::int64_t ns) { clock.sleep(ns); }, [&] { return clock.now_ns; });
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(clock.sleeps.empty());
+}
+
+TEST(RetryCall, ExhaustsAttemptsAndReturnsLastError) {
+  FakeClock clock;
+  int calls = 0;
+  auto result = retry_call(
+      test_policy(), 3,
+      [&]() -> Status {
+        ++calls;
+        return Status(ErrorCode::kConnectionReset, "rst");
+      },
+      [&](std::int64_t ns) { clock.sleep(ns); }, [&] { return clock.now_ns; });
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kConnectionReset);
+  EXPECT_EQ(calls, 5);  // max_attempts
+}
+
+TEST(RetryableClassification, MatchesTheRecoveryModel) {
+  EXPECT_TRUE(is_retryable(ErrorCode::kUnavailable));
+  EXPECT_TRUE(is_retryable(ErrorCode::kTimeout));
+  EXPECT_TRUE(is_retryable(ErrorCode::kConnectionRefused));
+  EXPECT_TRUE(is_retryable(ErrorCode::kConnectionReset));
+  EXPECT_FALSE(is_retryable(ErrorCode::kPermissionDenied));
+  EXPECT_FALSE(is_retryable(ErrorCode::kProtocolError));
+  EXPECT_FALSE(is_retryable(ErrorCode::kNotFound));
+}
+
+}  // namespace
+}  // namespace wacs

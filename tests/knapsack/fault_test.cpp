@@ -1,0 +1,108 @@
+// Graceful degradation of the parallel knapsack under a mid-run slave death:
+// the master reclaims the work shipped to the vanished slave, so the answer
+// still equals the sequential reference, and the run reports the loss.
+#include <gtest/gtest.h>
+
+#include "core/testbeds.hpp"
+#include "knapsack/parallel.hpp"
+#include "knapsack/search.hpp"
+#include "simnet/time.hpp"
+
+namespace wacs::knapsack {
+namespace {
+
+using core::Testbed;
+using core::make_rwcp_etl_testbed;
+
+constexpr const char* kVictim = "compas02";
+
+rmf::JobSpec knapsack_spec(const Instance& inst) {
+  rmf::JobSpec spec;
+  spec.name = "knapsack-fault-test";
+  spec.task = kParallelTask;
+  spec.placements = {{"rwcp-sun", 2}, {"compas01", 1}, {kVictim, 1}};
+  spec.nprocs = 0;
+  for (const auto& p : spec.placements) spec.nprocs += p.count;
+  spec.args = {{args::kInterval, "200"},
+               {args::kStealUnit, "8"},
+               {args::kBackUnit, "32"},
+               {args::kSecPerNode, "0.000001"}};
+  spec.input_files[kInstanceFile] = inst.encode();
+  return spec;
+}
+
+struct JobRun {
+  rmf::JobResult job;
+  RunStats stats;
+};
+
+JobRun run_job(Testbed& tb, const Instance& inst) {
+  auto result = tb->run_job("rwcp-sun", knapsack_spec(inst));
+  EXPECT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_TRUE(result->ok) << result->error;
+  auto stats = RunStats::decode(result->output);
+  EXPECT_TRUE(stats.ok());
+  return JobRun{*result, *stats};
+}
+
+/// Virtual time halfway through the search phase, measured on a fault-free
+/// pilot of the same deterministic run: the app phase is the tail of the
+/// job's wall time, so wall - app/2 is always mid-search.
+sim::Time mid_search_time(const Instance& inst) {
+  Testbed pilot = make_rwcp_etl_testbed();
+  const JobRun run = run_job(pilot, inst);
+  return sim::from_sec(run.job.wall_seconds - run.stats.app_seconds * 0.5);
+}
+
+/// Crashes the victim host (slave rank + its MPI daemons die, connections
+/// reset) at `crash_at` and runs the job to completion.
+JobRun run_with_slave_crash(const Instance& inst, sim::Time crash_at,
+                         std::uint64_t seed = 11) {
+  Testbed tb = make_rwcp_etl_testbed();
+  tb->faults(seed).plan_host_crash(kVictim, crash_at);
+  return run_job(tb, inst);
+}
+
+TEST(KnapsackFault, SlaveDeathMidRunStillMatchesSequentialReference) {
+  Instance inst = no_prune_instance(16, 9);
+  const JobRun run = run_with_slave_crash(inst, mid_search_time(inst));
+  EXPECT_EQ(run.stats.best_value, inst.total_profit());
+  EXPECT_EQ(run.stats.slaves_lost, 1u);
+  // Reclaimed subtrees are re-searched, so the union of traversed nodes
+  // covers the whole tree (duplicates allowed, omissions not).
+  EXPECT_GE(run.stats.total_nodes, full_tree_nodes(16));
+}
+
+TEST(KnapsackFault, SlaveDeathWithPruningMatchesBruteForce) {
+  Instance inst = random_instance(16, 21);
+  inst.sort_by_ratio();
+  const std::int64_t expected = solve_brute_force(inst);
+  const JobRun run = run_with_slave_crash(inst, mid_search_time(inst));
+  EXPECT_EQ(run.stats.best_value, expected);
+  EXPECT_EQ(run.stats.slaves_lost, 1u);
+}
+
+TEST(KnapsackFault, FaultedRunIsDeterministicPerSeed) {
+  Instance inst = no_prune_instance(14, 10);
+  const sim::Time crash_at = mid_search_time(inst);
+  const JobRun a = run_with_slave_crash(inst, crash_at, 5);
+  const JobRun b = run_with_slave_crash(inst, crash_at, 5);
+  EXPECT_EQ(a.stats.best_value, b.stats.best_value);
+  EXPECT_EQ(a.stats.total_nodes, b.stats.total_nodes);
+  EXPECT_EQ(a.stats.slaves_lost, b.stats.slaves_lost);
+  EXPECT_EQ(a.stats.grants_reclaimed, b.stats.grants_reclaimed);
+  EXPECT_DOUBLE_EQ(a.stats.app_seconds, b.stats.app_seconds);
+  EXPECT_DOUBLE_EQ(a.job.wall_seconds, b.job.wall_seconds);
+}
+
+TEST(KnapsackFault, NoFaultRunReportsNoLosses) {
+  Testbed tb = make_rwcp_etl_testbed();
+  Instance inst = no_prune_instance(14, 11);
+  const JobRun run = run_job(tb, inst);
+  EXPECT_EQ(run.stats.slaves_lost, 0u);
+  EXPECT_EQ(run.stats.grants_reclaimed, 0u);
+  EXPECT_EQ(run.stats.best_value, inst.total_profit());
+}
+
+}  // namespace
+}  // namespace wacs::knapsack

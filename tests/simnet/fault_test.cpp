@@ -1,0 +1,206 @@
+#include "simnet/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/units.hpp"
+#include "simnet/tcp.hpp"
+
+namespace wacs::sim {
+namespace {
+
+// Two sites joined by the WAN link "imnet", mirroring the paper's testbed.
+struct Fixture {
+  Engine engine;
+  Network net{engine};
+  FaultInjector fault{net, /*seed=*/1};
+  Fixture() {
+    LinkParams lan{.name = "", .latency_s = msec(0.4),
+                   .bandwidth_bps = mbyte_per_sec(10), .duplex = false};
+    net.add_site("rwcp", fw::Policy::open(), lan);
+    net.add_site("etl", fw::Policy::open(), lan);
+    net.add_host({.name = "a", .site = "rwcp"});
+    net.add_host({.name = "c", .site = "etl"});
+    net.connect_sites("rwcp", "etl",
+                      LinkParams{.name = "imnet", .latency_s = msec(3.1),
+                                 .bandwidth_bps = kbit_per_sec(1500)});
+  }
+  Host& host(const std::string& n) { return net.host(n); }
+};
+
+TEST(Fault, LinkFlapResetsBlockedTransferInsteadOfHanging) {
+  Fixture f;
+  // Down at t=50ms; the client is parked in recv() by then, waiting on a
+  // reply the server never sends. Without the fault layer this recv would
+  // block forever and engine.run() would never return.
+  f.fault.plan_link_flap("imnet", from_sec(0.05), from_sec(0.2));
+
+  bool server_saw_reset = false;
+  Process* server = nullptr;
+  server = f.engine.spawn("server", [&] {
+    auto listener = f.host("c").stack().listen(5000);
+    ASSERT_TRUE(listener.ok());
+    auto sock = (*listener)->accept(*server);
+    ASSERT_TRUE(sock.ok());
+    auto msg = (*sock)->recv(*server);
+    ASSERT_TRUE(msg.ok());
+    // Hold the reply until well past the flap: the connection dies first.
+    server->sleep(0.1);
+    server_saw_reset = !(*sock)->send(to_bytes("late reply")).ok();
+  });
+
+  Error client_error(ErrorCode::kOk, "");
+  Process* client = nullptr;
+  client = f.engine.spawn("client", [&] {
+    auto sock = f.host("a").stack().connect(*client, Contact{"c", 5000});
+    ASSERT_TRUE(sock.ok());
+    ASSERT_TRUE((*sock)->send(to_bytes("ping")).ok());
+    auto reply = (*sock)->recv(*client);
+    ASSERT_FALSE(reply.ok());
+    client_error = reply.error();
+  });
+
+  f.engine.run();  // terminates: the reset wakes the parked recv
+  EXPECT_EQ(client_error.code(), ErrorCode::kConnectionReset);
+  EXPECT_TRUE(server_saw_reset);
+  EXPECT_EQ(f.fault.counters().link_down_events, 1u);
+  EXPECT_GE(f.fault.counters().connections_reset, 1u);
+}
+
+TEST(Fault, ConnectDuringDownWindowTimesOutThenReconnectSucceeds) {
+  Fixture f;
+  f.fault.set_connect_timeout_s(0.5);
+  f.fault.plan_link_flap("imnet", from_sec(0.0), from_sec(1.0));
+
+  bool got_timeout = false;
+  bool reconnected = false;
+  std::string reply_text;
+  Process* client = nullptr;
+  client = f.engine.spawn("client", [&] {
+    client->sleep(0.01);  // inside the down window
+    auto sock = f.host("a").stack().connect(*client, Contact{"c", 5000});
+    ASSERT_FALSE(sock.ok());
+    got_timeout = sock.error().code() == ErrorCode::kTimeout;
+    client->sleep(2.0);  // past up_at
+    auto again = f.host("a").stack().connect(*client, Contact{"c", 5000});
+    ASSERT_TRUE(again.ok());
+    reconnected = true;
+    ASSERT_TRUE((*again)->send(to_bytes("ping")).ok());
+    auto reply = (*again)->recv(*client);
+    ASSERT_TRUE(reply.ok());
+    reply_text = to_string(*reply);
+  });
+
+  Process* server = nullptr;
+  server = f.engine.spawn("server", [&] {
+    auto listener = f.host("c").stack().listen(5000);
+    ASSERT_TRUE(listener.ok());
+    auto sock = (*listener)->accept(*server);
+    ASSERT_TRUE(sock.ok());
+    auto msg = (*sock)->recv(*server);
+    ASSERT_TRUE(msg.ok());
+    ASSERT_TRUE((*sock)->send(to_bytes("pong")).ok());
+  });
+
+  f.engine.run();
+  EXPECT_TRUE(got_timeout);
+  EXPECT_TRUE(reconnected);
+  EXPECT_EQ(reply_text, "pong");
+  EXPECT_EQ(f.fault.counters().link_up_events, 1u);
+}
+
+TEST(Fault, SendIntoDownedPathFailsFast) {
+  Fixture f;
+  bool send_failed = false;
+  Process* server = nullptr;
+  server = f.engine.spawn("server", [&] {
+    auto listener = f.host("c").stack().listen(5000);
+    ASSERT_TRUE(listener.ok());
+    (void)(*listener)->accept(*server);
+  });
+  Process* client = nullptr;
+  client = f.engine.spawn("client", [&] {
+    auto sock = f.host("a").stack().connect(*client, Contact{"c", 5000});
+    ASSERT_TRUE(sock.ok());
+    f.fault.set_link_down("imnet", true);
+    send_failed = !(*sock)->send(to_bytes("into the void")).ok();
+    f.fault.set_link_down("imnet", false);
+  });
+  f.engine.run();
+  EXPECT_TRUE(send_failed);
+}
+
+TEST(Fault, PerLinkLossDropsMessagesDeterministically) {
+  Fixture f;
+  f.fault.plan_link_loss("imnet", from_sec(0.0), 1.0);  // drop everything
+
+  bool recv_timed_out = false;
+  Process* server = nullptr;
+  server = f.engine.spawn("server", [&] {
+    auto listener = f.host("c").stack().listen(5000);
+    ASSERT_TRUE(listener.ok());
+    auto sock = (*listener)->accept(*server);
+    ASSERT_TRUE(sock.ok());
+    auto msg = (*sock)->recv_deadline(*server, from_sec(2.0));
+    recv_timed_out = !msg.ok() && msg.error().code() == ErrorCode::kTimeout;
+  });
+  Process* client = nullptr;
+  client = f.engine.spawn("client", [&] {
+    // The handshake predates the loss plan's effect on data frames only if
+    // loss also ate the SYN; connect via loopback-free path still works
+    // because loss applies per message send, not to the handshake.
+    auto sock = f.host("a").stack().connect(*client, Contact{"c", 5000});
+    if (!sock.ok()) return;
+    (void)(*sock)->send(to_bytes("doomed"));
+    client->sleep(3.0);
+  });
+  f.engine.run();
+  EXPECT_TRUE(recv_timed_out);
+  EXPECT_GE(f.fault.counters().messages_dropped, 1u);
+}
+
+TEST(Fault, HostCrashKillsRegisteredProcessesAndRunsRestartHooks) {
+  Fixture f;
+  bool victim_completed = false;
+  bool hook_ran = false;
+
+  Process* victim = nullptr;
+  victim = f.engine.spawn("victim", [&] {
+    victim->sleep(10.0);
+    victim_completed = true;  // never reached: the crash kills us at t=1
+  });
+  f.fault.register_host_process("c", victim);
+  f.fault.on_host_restart("c", [&] { hook_ran = true; });
+  f.fault.plan_host_crash("c", from_sec(1.0));
+  f.fault.plan_host_restart("c", from_sec(2.0));
+
+  f.engine.run();
+  EXPECT_FALSE(victim_completed);
+  EXPECT_TRUE(hook_ran);
+  EXPECT_EQ(f.fault.counters().hosts_crashed, 1u);
+  EXPECT_EQ(f.fault.counters().hosts_restarted, 1u);
+  EXPECT_EQ(f.fault.counters().processes_killed, 1u);
+}
+
+TEST(Fault, ConnectToCrashedHostTimesOut) {
+  Fixture f;
+  f.fault.set_connect_timeout_s(0.25);
+  f.fault.crash_host_now("c");
+  Error err(ErrorCode::kOk, "");
+  Time elapsed = 0;
+  Process* client = nullptr;
+  client = f.engine.spawn("client", [&] {
+    const Time start = f.engine.now();
+    auto sock = f.host("a").stack().connect(*client, Contact{"c", 5000});
+    ASSERT_FALSE(sock.ok());
+    err = sock.error();
+    elapsed = f.engine.now() - start;
+  });
+  f.engine.run();
+  EXPECT_EQ(err.code(), ErrorCode::kTimeout);
+  EXPECT_EQ(elapsed, from_sec(0.25));  // the full SYN timeout, no more
+}
+
+}  // namespace
+}  // namespace wacs::sim
