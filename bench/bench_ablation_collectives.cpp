@@ -95,8 +95,10 @@ int main() {
       "Ablation: linear vs WAN-aware collectives (MagPIe-style)",
       "related-work axis of Tanaka et al. (their reference [7])");
 
+  bench::maybe_enable_tracing();
   TextTable table({"testbed", "collective", "payload", "algorithm",
                    "time/op", "WAN bytes (whole job)"});
+  bench::Report report("ablation_collectives");
   struct Config {
     bool three_site;
     bool bcast;
@@ -121,8 +123,20 @@ int main() {
     table.add_row({"", "", "", "WAN-aware",
                    format_duration_ms(hier.seconds_per_op * 1e3),
                    format_count(hier.wan_bytes)});
+    for (const auto& [algo, s] :
+         {std::pair<const char*, const Sample&>{"linear", linear},
+          std::pair<const char*, const Sample&>{"wan-aware", hier}}) {
+      json::Value r = json::Value::object();
+      r.set("testbed", site_label);
+      r.set("collective", c.label);
+      r.set("algorithm", algo);
+      r.set("seconds_per_op", s.seconds_per_op);
+      r.set("wan_bytes", s.wan_bytes);
+      report.add_row(std::move(r));
+    }
   }
   std::printf("%s", table.to_string().c_str());
+  bench::finish_report(report, "ablation_collectives");
   std::printf(
       "\nreading: WAN-aware collectives cut IMnet traffic ~4x (one crossing\n"
       "per remote site instead of one per remote rank). For tiny payloads\n"

@@ -39,8 +39,10 @@ int main() {
       "Ablation: relay cost model vs Table 2 observables",
       "calibration basis for Tanaka et al., HPDC 2000, Table 2");
 
+  bench::maybe_enable_tracing();
   TextTable table({"per-message cost", "copy rate", "proxied LAN latency",
                    "proxied LAN bw @1MB"});
+  bench::Report report("ablation_relay");
   for (double per_msg : {0.003, 0.012, 0.048}) {
     for (double copy_rate : {0.35e6, 1.4e6, 5.6e6}) {
       Sample s = measure(proxy::RelayParams{per_msg, copy_rate});
@@ -49,9 +51,16 @@ int main() {
       std::snprintf(crbuf, sizeof crbuf, "%.2f MB/s", copy_rate / 1e6);
       table.add_row({msbuf, crbuf, format_duration_ms(s.latency_ms),
                      format_bandwidth(s.bw_1m)});
+      json::Value r = json::Value::object();
+      r.set("per_msg_cost_s", per_msg);
+      r.set("copy_rate_bps", copy_rate);
+      r.set("latency_ms", s.latency_ms);
+      r.set("bw_1m_bps", s.bw_1m);
+      report.add_row(std::move(r));
     }
   }
   std::printf("%s", table.to_string().c_str());
+  bench::finish_report(report, "ablation_relay");
   std::printf("\nreading: latency scales with the per-message cost (copy rate\n"
               "is irrelevant at 1 byte); 1 MB bandwidth scales with the copy\n"
               "rate (per-message cost is amortized). The calibrated values\n"

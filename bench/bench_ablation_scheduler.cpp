@@ -73,8 +73,11 @@ int main() {
   std::printf("wide-area cluster, %d items (%s nodes)\n", n,
               format_count(knapsack::full_tree_nodes(n)).c_str());
 
+  bench::maybe_enable_tracing();
   TextTable table({"transfer end", "interval", "stealunit", "exec time",
                    "master steals", "idle ranks", "min/max balance"});
+  bench::Report report("ablation_scheduler");
+  report.set("instance_items", n);
   for (const char* end : {"bottom", "top"}) {
     for (const char* interval : {"500", "1000", "2000"}) {
       for (const char* steal : {"8", "16", "32"}) {
@@ -88,10 +91,20 @@ int main() {
                        format_duration_ms(o.seconds * 1e3),
                        format_count(o.steals),
                        std::to_string(o.idle_ranks), balbuf});
+        json::Value r = json::Value::object();
+        r.set("transfer_end", end);
+        r.set("interval", interval);
+        r.set("stealunit", steal);
+        r.set("seconds", o.seconds);
+        r.set("master_steals", o.steals);
+        r.set("idle_ranks", o.idle_ranks);
+        r.set("balance", o.balance);
+        report.add_row(std::move(r));
       }
     }
   }
   std::printf("%s", table.to_string().c_str());
+  bench::finish_report(report, "ablation_scheduler");
   std::printf("\nreading: the bottom (work-aware) policy keeps every rank\n"
               "busy; the literal top-of-stack policy ships leaf crumbs and\n"
               "leaves most of the 20 ranks idle regardless of parameters.\n");

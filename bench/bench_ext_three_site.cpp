@@ -55,6 +55,7 @@ int main() {
       "Extension: the Figure 1 three-site wide-area cluster system",
       "Tanaka et al., HPDC 2000, Figure 1 (evaluated here beyond the paper)");
 
+  bench::maybe_enable_tracing();
   // Two-site (Figure 5) baseline on the same three-site grid.
   auto tb2 = core::make_three_site_testbed();
   auto two = run(tb2, core::placement_wide_area(tb2), n);
@@ -99,5 +100,26 @@ int main() {
                   .c_str(),
               format_count(tb3->proxy_for("titech")->inner->stats().messages)
                   .c_str());
+
+  bench::Report report("ext_three_site");
+  report.set("instance_items", n);
+  auto row_of = [&](const char* system, int procs,
+                    const knapsack::RunStats& s) {
+    json::Value r = json::Value::object();
+    r.set("system", system);
+    r.set("procs", procs);
+    r.set("app_seconds", s.app_seconds);
+    r.set("speedup_vs_seq", seq_seconds / s.app_seconds);
+    return r;
+  };
+  report.add_row(row_of("wide-area-2site", 20, two));
+  report.add_row(row_of("wide-area-3site", 28, three));
+  json::Value shares = json::Value::object();
+  for (const auto& [site, nodes] : site_nodes) {
+    shares.set(site, static_cast<double>(nodes) /
+                         static_cast<double>(three.total_nodes));
+  }
+  report.set("three_site_node_shares", std::move(shares));
+  bench::finish_report(report, "ext_three_site");
   return 0;
 }

@@ -121,6 +121,7 @@ int main() {
               n, format_count(knapsack::full_tree_nodes(n)).c_str(),
               static_cast<unsigned long long>(kSeed));
 
+  bench::maybe_enable_tracing();
   knapsack::Instance inst = knapsack::no_prune_instance(n, 2);
   const std::int64_t optimum = inst.total_profit();
 
@@ -204,5 +205,23 @@ int main() {
               "reclamation is lossless\n", static_cast<long long>(optimum));
   std::printf("  no run hung: every blocked operation surfaced a typed "
               "error under fault\n");
+
+  bench::Report report("fault_knapsack");
+  report.set("instance_items", n);
+  report.set("seed", kSeed);
+  auto row_of = [&](const char* name, const RunResult& r) {
+    json::Value row = json::Value::object();
+    row.set("scenario", name);
+    row.set("app_seconds", r.app_seconds);
+    row.set("overhead_pct", 100.0 * (r.app_seconds - base.app_seconds) /
+                                base.app_seconds);
+    row.set("slaves_lost", r.stats.slaves_lost);
+    row.set("grants_reclaimed", r.stats.grants_reclaimed);
+    row.set("connections_reset", r.faults.connections_reset);
+    return row;
+  };
+  report.add_row(row_of("no-fault baseline", base));
+  for (const Row& row : rows) report.add_row(row_of(row.name, row.r));
+  bench::finish_report(report, "fault_knapsack");
   return 0;
 }

@@ -31,8 +31,16 @@ int main() {
   bench::print_header(
       "Figures 3-4: connection establishment through the Nexus Proxy",
       "Tanaka et al., HPDC 2000, Figures 3 and 4 (mechanism diagrams)");
+  bench::maybe_enable_tracing();
 
   TextTable table({"scenario", "setup time", "mechanism"});
+  bench::Report report("fig34");
+  auto record = [&report](const char* scenario, double ms) {
+    json::Value r = json::Value::object();
+    r.set("scenario", scenario);
+    r.set("setup_ms", ms);
+    report.add_row(std::move(r));
+  };
 
   // Direct LAN baseline.
   double t = measure("direct-lan", [](core::Testbed& tb) {
@@ -51,6 +59,7 @@ int main() {
   });
   table.add_row({"direct connect, LAN", format_duration_ms(t),
                  "connect() / accept()"});
+  record("direct-lan", t);
 
   // Fig 3: active open via the outer server (RWCP client -> ETL target).
   t = measure("fig3", [](core::Testbed& tb) {
@@ -71,6 +80,7 @@ int main() {
   });
   table.add_row({"Fig 3 active open via outer server", format_duration_ms(t),
                  "NXProxyConnect(): client->outer->target"});
+  record("fig3-active-open", t);
 
   // Fig 4: passive open via outer + inner (bind, then remote connects and
   // the first byte arrives at the bound client).
@@ -101,6 +111,7 @@ int main() {
   });
   table.add_row({"Fig 4 passive open via outer+inner", format_duration_ms(t),
                  "NXProxyBind()/Accept(): remote->outer->inner->client"});
+  record("fig4-passive-open", t);
 
   // Deny-based firewall: a direct dial at the private endpoint fails.
   t = measure("denied", [](core::Testbed& tb) {
@@ -117,6 +128,7 @@ int main() {
   });
   table.add_row({"direct inbound to RWCP (firewall denies)",
                  format_duration_ms(t), "SYN dropped by deny-based filter"});
+  record("denied-direct", t);
 
   // Direct WAN baseline with the firewall temporarily opened.
   t = measure("direct-wan", [](core::Testbed& tb) {
@@ -135,10 +147,12 @@ int main() {
   }, /*open_firewall=*/true);
   table.add_row({"direct connect, WAN (firewall opened)",
                  format_duration_ms(t), "the paper's temporary baseline"});
+  record("direct-wan-fw-open", t);
 
   std::printf("%s", table.to_string().c_str());
   std::printf("\nshape checks:\n");
   std::printf("  Fig 4 > Fig 3 > direct: each relay process in the chain\n");
   std::printf("  adds per-connection daemon work plus extra hops.\n");
+  bench::finish_report(report, "fig34");
   return 0;
 }

@@ -46,6 +46,7 @@ int main() {
   bench::print_header(
       "Table 2: communication latency and bandwidth",
       "Tanaka et al., HPDC 2000, Table 2 (+ Figure 5 topology)");
+  bench::maybe_enable_tracing();
 
   struct Row {
     const char* label;
@@ -69,6 +70,7 @@ int main() {
 
   TextTable table({"path", "latency", "bw @4KB", "bw @1MB", "paper latency",
                    "paper @4KB", "paper @1MB"});
+  bench::Report report("table2");
   Measurement results[4];
   int i = 0;
   for (const Row& row : rows) {
@@ -77,8 +79,20 @@ int main() {
     table.add_row({row.label, format_duration_ms(m.latency_ms),
                    format_bandwidth(m.bw_4k), format_bandwidth(m.bw_1m),
                    row.paper_latency, row.paper_bw4k, row.paper_bw1m});
+    json::Value r = json::Value::object();
+    r.set("path", row.label);
+    r.set("proxied", row.proxied);
+    r.set("latency_ms", m.latency_ms);
+    r.set("bw_4k_bps", m.bw_4k);
+    r.set("bw_1m_bps", m.bw_1m);
+    report.add_row(std::move(r));
   }
   std::printf("%s", table.to_string().c_str());
+  report.set("proxied_direct_lan_latency_ratio",
+             results[1].latency_ms / results[0].latency_ms);
+  report.set("proxied_direct_wan_latency_ratio",
+             results[3].latency_ms / results[2].latency_ms);
+  bench::finish_report(report, "table2");
 
   // Shape checks the paper states in prose.
   const double lan_ratio = results[1].latency_ms / results[0].latency_ms;

@@ -36,6 +36,8 @@ struct SystemRun {
   int nprocs = 0;
   double seconds = 0;
   std::string best_params;
+  std::string best_interval;
+  std::string best_stealunit;
   knapsack::RunStats stats;
 };
 
@@ -80,6 +82,8 @@ SystemRun best_of_grid(const std::string& name, const core::TestbedOptions& opti
         best.seconds = stats.app_seconds;
         best.best_params = std::string("interval=") + interval +
                            " stealunit=" + stealunit;
+        best.best_interval = interval;
+        best.best_stealunit = stealunit;
         best.stats = stats;
       }
     }
@@ -164,5 +168,43 @@ int main() {
   std::printf("  wide-area (20p) vs local-area (12p): %.2fx faster "
               "(paper: adding ETL-O2K helps)\n",
               runs[2].seconds / runs[3].seconds);
+
+  // Instrumented replay of the wide-area proxied system at its best
+  // parameters. The metrics window and the trace cover exactly this one
+  // run, so BENCH_table4.json carries nodes/sec, the steal-latency
+  // histogram, and per-link byte counters for a single well-defined
+  // configuration, and the chrome trace shows every proxy relay hop.
+  {
+    telemetry::metrics().reset();
+    telemetry::tracer().clear();
+    telemetry::tracer().enable();
+    auto tb = core::make_rwcp_etl_testbed(with_proxy);
+    auto stats = run_once(tb, inst, core::placement_wide_area(tb),
+                          runs[3].best_interval, runs[3].best_stealunit);
+    telemetry::tracer().disable();
+
+    bench::Report report("table4");
+    report.set("instance_items", n);
+    report.set("traced_system", runs[3].name);
+    report.set("traced_params", runs[3].best_params);
+    report.set("total_nodes", stats.total_nodes);
+    report.set("app_seconds", stats.app_seconds);
+    report.set("nodes_per_sec", static_cast<double>(stats.total_nodes) /
+                                    stats.app_seconds);
+    report.set("master_steals_handled", stats.master_steals_handled);
+    report.set("seq_seconds", seq_seconds);
+    report.set("proxy_overhead_pct", 100.0 * (proxy_s - direct_s) / direct_s);
+    for (const SystemRun& run : runs) {
+      json::Value r = json::Value::object();
+      r.set("system", run.name);
+      r.set("procs", run.nprocs);
+      r.set("seconds", run.seconds);
+      r.set("speedup", seq_seconds / run.seconds);
+      r.set("params", run.best_params);
+      report.add_row(std::move(r));
+    }
+    report.set("links", bench::link_traffic_json(tb->net()));
+    bench::finish_report(report, "table4");
+  }
   return 0;
 }

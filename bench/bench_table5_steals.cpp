@@ -91,6 +91,7 @@ int main() {
   std::printf("instance: %d items (%s nodes); paper used 50 items\n", n,
               format_count(knapsack::full_tree_nodes(n)).c_str());
 
+  bench::maybe_enable_tracing();
   auto tb = core::make_rwcp_etl_testbed();
   auto local = run_system(core::placement_local_area(tb), n);
   auto wide = run_system(core::placement_wide_area(tb), n);
@@ -108,5 +109,18 @@ int main() {
   std::printf("  master handled %s (local) / %s (wide) steal requests\n",
               format_count(local.master_steals_handled).c_str(),
               format_count(wide.master_steals_handled).c_str());
+
+  bench::Report report("table5");
+  report.set("instance_items", n);
+  auto row_of = [](const char* system, const knapsack::RunStats& s) {
+    json::Value r = json::Value::object();
+    r.set("system", system);
+    r.set("master_steals_handled", s.master_steals_handled);
+    r.set("app_seconds", s.app_seconds);
+    return r;
+  };
+  report.add_row(row_of("local-area", local));
+  report.add_row(row_of("wide-area", wide));
+  bench::finish_report(report, "table5");
   return 0;
 }

@@ -102,6 +102,7 @@ int main() {
               "(paper: 50 items, billions of nodes)\n",
               n, format_count(knapsack::full_tree_nodes(n)).c_str());
 
+  bench::maybe_enable_tracing();
   auto tb = core::make_rwcp_etl_testbed();
   auto local = run_system(core::placement_local_area(tb), n);
   auto wide = run_system(core::placement_wide_area(tb), n);
@@ -124,5 +125,18 @@ int main() {
               100 * cap_o2k / cap_total);
   std::printf("  (compare against the group-share column above: good load\n"
               "   balance = shares track capacity, as the paper concludes)\n");
+
+  bench::Report report("table6");
+  report.set("instance_items", n);
+  auto row_of = [](const char* system, const knapsack::RunStats& s) {
+    json::Value r = json::Value::object();
+    r.set("system", system);
+    r.set("total_nodes", s.total_nodes);
+    r.set("app_seconds", s.app_seconds);
+    return r;
+  };
+  report.add_row(row_of("local-area", local));
+  report.add_row(row_of("wide-area", wide));
+  bench::finish_report(report, "table6");
   return 0;
 }

@@ -10,7 +10,10 @@
 #include <cstdio>
 #include <string>
 
+#include "common/bench_report.hpp"
 #include "common/stats.hpp"
+#include "common/telemetry.hpp"
+#include "simnet/net.hpp"
 
 namespace wacs::bench {
 
@@ -23,6 +26,52 @@ inline void print_header(const std::string& title, const std::string& paper_ref)
 
 inline void print_note(const std::string& note) {
   std::printf("note: %s\n", note.c_str());
+}
+
+/// Turns the tracer on when WACS_TRACE asks for it. Call before building
+/// testbeds so connection setup is captured too. Returns whether tracing
+/// is on.
+inline bool maybe_enable_tracing() {
+  if (!trace_requested()) return false;
+  telemetry::tracer().enable();
+  return true;
+}
+
+/// Per-link traffic counters as {link: {bytes, msgs}}, links with traffic
+/// only (deterministic topology order).
+inline json::Value link_traffic_json(const sim::Network& net) {
+  json::Value out = json::Value::object();
+  for (const sim::Link* link : net.all_links()) {
+    if (link->messages_carried() == 0) continue;
+    json::Value l = json::Value::object();
+    l.set("bytes", link->bytes_carried());
+    l.set("msgs", link->messages_carried());
+    out.set(link->params().name, std::move(l));
+  }
+  return out;
+}
+
+/// Standard bench epilogue: attach the metrics snapshot, write
+/// BENCH_<id>.json, and — when WACS_TRACE asked for it — dump the recorded
+/// trace as <id>.trace.jsonl + <id>.chrome.json. Prints the artifact paths.
+inline void finish_report(Report& report, const std::string& id) {
+  report.attach_metrics_snapshot();
+  auto path = report.write();
+  if (path.ok()) {
+    std::printf("\nbench report: %s\n", path->c_str());
+  } else {
+    std::fprintf(stderr, "bench report failed: %s\n",
+                 path.error().to_string().c_str());
+  }
+  if (telemetry::tracer().event_count() > 0) {
+    auto trace = write_trace_files(id);
+    if (trace.ok()) {
+      std::printf("trace: %s (+ .chrome.json for Perfetto)\n", trace->c_str());
+    } else {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   trace.error().to_string().c_str());
+    }
+  }
 }
 
 }  // namespace wacs::bench

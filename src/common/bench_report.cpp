@@ -1,0 +1,115 @@
+#include "common/bench_report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/telemetry.hpp"
+
+namespace wacs::bench {
+namespace {
+
+std::string dir_from_env(const char* var) {
+  const char* v = std::getenv(var);
+  std::string dir = (v != nullptr && *v != '\0') ? v : ".";
+  if (dir.back() != '/') dir += '/';
+  return dir;
+}
+
+Status write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Error(ErrorCode::kInternal, "cannot open " + path + " for writing");
+  }
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  const int rc = std::fclose(f);
+  if (n != body.size() || rc != 0) {
+    return Error(ErrorCode::kInternal, "short write to " + path);
+  }
+  return Status();
+}
+
+json::Value histogram_json(const telemetry::Histogram::Snapshot& h) {
+  json::Value out = json::Value::object();
+  out.set("count", h.count);
+  out.set("sum", h.sum);
+  out.set("min", h.min);
+  out.set("max", h.max);
+  out.set("mean", h.mean());
+  out.set("p50", h.quantile(0.5));
+  out.set("p99", h.quantile(0.99));
+  json::Value buckets = json::Value::array();
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    if (h.counts[i] == 0) continue;  // sparse: most buckets are empty
+    json::Value b = json::Value::object();
+    b.set("le", i < h.bounds.size() ? json::Value(h.bounds[i])
+                                    : json::Value("inf"));
+    b.set("n", h.counts[i]);
+    buckets.push_back(std::move(b));
+  }
+  out.set("buckets", std::move(buckets));
+  return out;
+}
+
+}  // namespace
+
+Report::Report(std::string id) : id_(std::move(id)), root_(json::Value::object()) {
+  root_.set("bench", id_);
+}
+
+void Report::set(std::string key, json::Value v) {
+  root_.set(std::move(key), std::move(v));
+}
+
+void Report::add_row(json::Value row) {
+  if (root_.find("rows") == nullptr) root_.set("rows", json::Value::array());
+  root_.find("rows")->push_back(std::move(row));
+}
+
+void Report::attach_metrics_snapshot() {
+  const auto snap = telemetry::metrics().snapshot();
+  json::Value m = json::Value::object();
+  if (!snap.counters.empty()) {
+    json::Value c = json::Value::object();
+    for (const auto& [name, v] : snap.counters) c.set(name, v);
+    m.set("counters", std::move(c));
+  }
+  if (!snap.gauges.empty()) {
+    json::Value g = json::Value::object();
+    for (const auto& [name, v] : snap.gauges) g.set(name, v);
+    m.set("gauges", std::move(g));
+  }
+  if (!snap.histograms.empty()) {
+    json::Value h = json::Value::object();
+    for (const auto& [name, v] : snap.histograms) h.set(name, histogram_json(v));
+    m.set("histograms", std::move(h));
+  }
+  root_.set("metrics", std::move(m));
+}
+
+Result<std::string> Report::write() const {
+  const std::string path = dir_from_env("WACS_BENCH_OUT") + "BENCH_" + id_ + ".json";
+  std::string body = root_.dump();
+  body += '\n';
+  auto st = write_file(path, body);
+  if (!st.ok()) return st.error();
+  return path;
+}
+
+bool trace_requested() {
+  const char* v = std::getenv("WACS_TRACE");
+  return v != nullptr && *v != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+Result<std::string> write_trace_files(const std::string& base) {
+  const std::string dir = dir_from_env("WACS_TRACE_DIR");
+  const std::string jsonl_path = dir + base + ".trace.jsonl";
+  auto st = write_file(jsonl_path, telemetry::tracer().to_jsonl());
+  if (!st.ok()) return st.error();
+  st = write_file(dir + base + ".chrome.json",
+                  telemetry::tracer().to_chrome_json());
+  if (!st.ok()) return st.error();
+  return jsonl_path;
+}
+
+}  // namespace wacs::bench

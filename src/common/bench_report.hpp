@@ -1,0 +1,54 @@
+// Machine-readable per-run bench output: BENCH_<id>.json plus optional trace
+// files, written next to the binary (or into WACS_BENCH_OUT / WACS_TRACE_DIR).
+//
+// Every hand-rolled bench_* binary builds one of these so the perf
+// trajectory is recorded, not just printed. Outputs contain no wall-clock
+// timestamps or hostnames: a bench re-run with the same seed must produce
+// byte-identical files.
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace wacs::bench {
+
+/// Accumulates one bench run's results and writes BENCH_<id>.json.
+class Report {
+ public:
+  /// `id` names the output file: BENCH_<id>.json (e.g. "table4").
+  explicit Report(std::string id);
+
+  /// Root-level field ("nodes_per_sec", "config", ...). Insertion order is
+  /// preserved in the file.
+  void set(std::string key, json::Value v);
+  /// Appends a row to the root-level "rows" array (per-config results).
+  void add_row(json::Value row);
+
+  /// Current metrics().snapshot() rendered under root key "metrics"
+  /// (counters/gauges as numbers, histograms as {count,sum,min,max,mean,
+  /// p50,p99,buckets}). Call at the end of the measurement window.
+  void attach_metrics_snapshot();
+
+  /// Writes BENCH_<id>.json into WACS_BENCH_OUT (default "."). Returns the
+  /// path written.
+  Result<std::string> write() const;
+
+  const json::Value& root() const { return root_; }
+
+ private:
+  std::string id_;
+  json::Value root_;
+};
+
+/// True when WACS_TRACE is set non-empty (and not "0"): benches use this to
+/// decide whether to enable the tracer for their measurement run.
+bool trace_requested();
+
+/// Writes the tracer's current buffer as <base>.trace.jsonl and
+/// <base>.chrome.json into WACS_TRACE_DIR (default "."). Returns the JSONL
+/// path written.
+Result<std::string> write_trace_files(const std::string& base);
+
+}  // namespace wacs::bench

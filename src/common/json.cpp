@@ -1,0 +1,343 @@
+#include "common/json.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace wacs::json {
+namespace {
+
+const std::string kEmptyString;
+const Array kEmptyArray;
+const Members kEmptyMembers;
+
+}  // namespace
+
+Value& Value::push_back(Value v) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  WACS_CHECK_MSG(type_ == Type::kArray, "push_back on a non-array");
+  array_.push_back(std::move(v));
+  return *this;
+}
+
+Value& Value::set(std::string key, Value v) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  WACS_CHECK_MSG(type_ == Type::kObject, "set on a non-object");
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+bool Value::as_bool(bool fallback) const {
+  return type_ == Type::kBool ? bool_ : fallback;
+}
+
+std::int64_t Value::as_int(std::int64_t fallback) const {
+  if (type_ == Type::kInt) return int_;
+  if (type_ == Type::kDouble) return static_cast<std::int64_t>(double_);
+  return fallback;
+}
+
+double Value::as_double(double fallback) const {
+  if (type_ == Type::kDouble) return double_;
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  return fallback;
+}
+
+const std::string& Value::as_string() const {
+  return type_ == Type::kString ? string_ : kEmptyString;
+}
+
+const Array& Value::items() const {
+  return type_ == Type::kArray ? array_ : kEmptyArray;
+}
+
+const Members& Value::members() const {
+  return type_ == Type::kObject ? members_ : kEmptyMembers;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value* Value::find(std::string_view key) {
+  return const_cast<Value*>(std::as_const(*this).find(key));
+}
+
+void append_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void Value::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt: {
+      char buf[32];
+      auto [p, ec] = std::to_chars(buf, buf + sizeof buf, int_);
+      (void)ec;
+      out.append(buf, p);
+      break;
+    }
+    case Type::kDouble: {
+      // Shortest round-trip form: deterministic and exact. JSON has no
+      // inf/nan; clamp those to null rather than emit an invalid document.
+      if (double_ != double_ || double_ > 1.7e308 || double_ < -1.7e308) {
+        out += "null";
+        break;
+      }
+      char buf[40];
+      auto [p, ec] = std::to_chars(buf, buf + sizeof buf, double_);
+      (void)ec;
+      out.append(buf, p);
+      break;
+    }
+    case Type::kString:
+      append_quoted(out, string_);
+      break;
+    case Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& v : array_) {
+        if (!first) out += ',';
+        first = false;
+        v.dump_to(out);
+      }
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out += ',';
+        first = false;
+        append_quoted(out, k);
+        out += ':';
+        v.dump_to(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+// ------------------------------------------------------------------ parser
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool at_end() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!at_end() && (text[pos] == ' ' || text[pos] == '\t' ||
+                         text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  Error err(const std::string& what) const {
+    return Error(ErrorCode::kProtocolError,
+                 "json: " + what + " at offset " + std::to_string(pos));
+  }
+
+  Result<Value> parse_value() {
+    skip_ws();
+    if (at_end()) return err("unexpected end of input");
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s.ok()) return s.error();
+        return Value(std::move(*s));
+      }
+      case 't':
+        if (text.substr(pos, 4) == "true") { pos += 4; return Value(true); }
+        return err("bad literal");
+      case 'f':
+        if (text.substr(pos, 5) == "false") { pos += 5; return Value(false); }
+        return err("bad literal");
+      case 'n':
+        if (text.substr(pos, 4) == "null") { pos += 4; return Value(nullptr); }
+        return err("bad literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Result<std::string> parse_string() {
+    if (peek() != '"') return err("expected string");
+    ++pos;
+    std::string out;
+    while (!at_end()) {
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) break;
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return err("truncated \\u escape");
+          unsigned code = 0;
+          auto [p, ec] = std::from_chars(text.data() + pos,
+                                         text.data() + pos + 4, code, 16);
+          if (ec != std::errc() || p != text.data() + pos + 4) {
+            return err("bad \\u escape");
+          }
+          pos += 4;
+          // Our own writer only escapes control characters; decode the
+          // basic-multilingual-plane scalar as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return err("bad escape");
+      }
+    }
+    return err("unterminated string");
+  }
+
+  Result<Value> parse_number() {
+    const std::size_t start = pos;
+    if (!at_end() && (peek() == '-' || peek() == '+')) ++pos;
+    bool is_double = false;
+    while (!at_end()) {
+      const char c = peek();
+      if (c >= '0' && c <= '9') {
+        ++pos;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        if (c == '.' || c == 'e' || c == 'E') is_double = true;
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    const std::string_view tok = text.substr(start, pos - start);
+    if (tok.empty()) return err("expected value");
+    if (!is_double) {
+      std::int64_t v = 0;
+      auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (ec == std::errc() && p == tok.data() + tok.size()) return Value(v);
+    }
+    double d = 0;
+    auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (ec != std::errc() || p != tok.data() + tok.size()) {
+      return err("bad number");
+    }
+    return Value(d);
+  }
+
+  Result<Value> parse_array() {
+    ++pos;  // '['
+    Value out = Value::array();
+    skip_ws();
+    if (!at_end() && peek() == ']') { ++pos; return out; }
+    while (true) {
+      auto v = parse_value();
+      if (!v.ok()) return v.error();
+      out.push_back(std::move(*v));
+      skip_ws();
+      if (at_end()) return err("unterminated array");
+      if (peek() == ',') { ++pos; continue; }
+      if (peek() == ']') { ++pos; return out; }
+      return err("expected ',' or ']'");
+    }
+  }
+
+  Result<Value> parse_object() {
+    ++pos;  // '{'
+    Value out = Value::object();
+    skip_ws();
+    if (!at_end() && peek() == '}') { ++pos; return out; }
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key.ok()) return key.error();
+      skip_ws();
+      if (at_end() || peek() != ':') return err("expected ':'");
+      ++pos;
+      auto v = parse_value();
+      if (!v.ok()) return v.error();
+      out.set(std::move(*key), std::move(*v));
+      skip_ws();
+      if (at_end()) return err("unterminated object");
+      if (peek() == ',') { ++pos; continue; }
+      if (peek() == '}') { ++pos; return out; }
+      return err("expected ',' or '}'");
+    }
+  }
+};
+
+}  // namespace
+
+Result<Value> Value::parse(std::string_view text) {
+  Parser p{text};
+  auto v = p.parse_value();
+  if (!v.ok()) return v;
+  p.skip_ws();
+  if (!p.at_end()) return p.err("trailing characters");
+  return v;
+}
+
+}  // namespace wacs::json

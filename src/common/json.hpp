@@ -1,0 +1,92 @@
+// Minimal JSON document model for machine-readable telemetry output.
+//
+// Telemetry artifacts (trace JSONL, Chrome trace_event files, BENCH_*.json
+// reports) must be byte-identical across same-seed runs, so this model is
+// deliberately deterministic: objects preserve insertion order, integers and
+// doubles are distinct types (integers never pass through floating point),
+// and doubles render via std::to_chars shortest round-trip form. The parser
+// exists for tooling (tools/trace_dump) and tests, not for untrusted input
+// at scale.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace wacs::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Members = std::vector<std::pair<std::string, Value>>;
+
+/// One JSON value. Cheap to move; copying deep-copies.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Value() : type_(Type::kNull) {}
+  Value(std::nullptr_t) : type_(Type::kNull) {}  // NOLINT
+  Value(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  Value(int v) : type_(Type::kInt), int_(v) {}  // NOLINT
+  Value(unsigned v) : type_(Type::kInt), int_(v) {}  // NOLINT
+  Value(std::int64_t v) : type_(Type::kInt), int_(v) {}  // NOLINT
+  /// Counters are u64 but JSON interop caps at i64; telemetry values stay
+  /// far below that.
+  Value(std::uint64_t v) : type_(Type::kInt), int_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Value(double v) : type_(Type::kDouble), double_(v) {}  // NOLINT
+  Value(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+
+  static Value array() { Value v; v.type_ = Type::kArray; return v; }
+  static Value object() { Value v; v.type_ = Type::kObject; return v; }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kInt || type_ == Type::kDouble; }
+
+  // -- builders ----------------------------------------------------------
+  /// Appends to an array (converts a null value into an array first).
+  Value& push_back(Value v);
+  /// Sets a key on an object (converts a null value into an object first).
+  /// Insertion order is preserved; setting an existing key overwrites it
+  /// in place.
+  Value& set(std::string key, Value v);
+
+  // -- accessors ---------------------------------------------------------
+  bool as_bool(bool fallback = false) const;
+  std::int64_t as_int(std::int64_t fallback = 0) const;
+  double as_double(double fallback = 0) const;  ///< ints convert
+  const std::string& as_string() const;         ///< "" unless kString
+  const Array& items() const;                   ///< empty unless kArray
+  const Members& members() const;               ///< empty unless kObject
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+  Value* find(std::string_view key);
+
+  /// Compact deterministic serialization (no whitespace).
+  std::string dump() const;
+  void dump_to(std::string& out) const;
+
+  /// Parses one JSON document (trailing whitespace allowed, nothing else).
+  static Result<Value> parse(std::string_view text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  Array array_;
+  Members members_;
+};
+
+/// Appends `s` to `out` as a quoted, escaped JSON string literal.
+void append_quoted(std::string& out, std::string_view s);
+
+}  // namespace wacs::json

@@ -2,12 +2,20 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace wacs::log {
 namespace {
 
-std::atomic<Level> g_level{Level::kWarn};
+Level initial_level() {
+  if (const char* env = std::getenv("WACS_LOG_LEVEL")) {
+    return parse_level(env);
+  }
+  return Level::kWarn;
+}
+
+std::atomic<Level> g_level{initial_level()};
 std::mutex g_mutex;  // serializes whole lines across threads
 
 }  // namespace

@@ -8,15 +8,25 @@
 #include <cstdarg>
 #include <string>
 #include <string_view>
+#include <type_traits>
 
 namespace wacs::log {
 
 enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Global threshold; messages below it are discarded. Default: kWarn, so
-/// tests and benches stay quiet unless asked.
+/// Global threshold; messages below it are discarded. Default: kWarn (so
+/// tests and benches stay quiet unless asked), overridable once at startup
+/// via the WACS_LOG_LEVEL environment variable ("trace".."off").
 void set_level(Level level);
 Level level();
+
+/// Only these pass safely through C varargs; anything else (std::string is
+/// the classic offender) is undefined behavior at the `...` boundary, so
+/// Logger rejects it at compile time. Pass .c_str() instead.
+template <typename T>
+inline constexpr bool is_printfable_v =
+    std::is_arithmetic_v<std::decay_t<T>> ||
+    std::is_pointer_v<std::decay_t<T>> || std::is_enum_v<std::decay_t<T>>;
 
 std::string_view to_string(Level level);
 
@@ -34,22 +44,32 @@ class Logger {
 
   template <typename... Args>
   void trace(const char* fmt, Args... args) const {
+    static_assert((is_printfable_v<Args> && ...),
+                  "log arguments must be printf-compatible scalars");
     logf(Level::kTrace, component_, fmt, args...);
   }
   template <typename... Args>
   void debug(const char* fmt, Args... args) const {
+    static_assert((is_printfable_v<Args> && ...),
+                  "log arguments must be printf-compatible scalars");
     logf(Level::kDebug, component_, fmt, args...);
   }
   template <typename... Args>
   void info(const char* fmt, Args... args) const {
+    static_assert((is_printfable_v<Args> && ...),
+                  "log arguments must be printf-compatible scalars");
     logf(Level::kInfo, component_, fmt, args...);
   }
   template <typename... Args>
   void warn(const char* fmt, Args... args) const {
+    static_assert((is_printfable_v<Args> && ...),
+                  "log arguments must be printf-compatible scalars");
     logf(Level::kWarn, component_, fmt, args...);
   }
   template <typename... Args>
   void error(const char* fmt, Args... args) const {
+    static_assert((is_printfable_v<Args> && ...),
+                  "log arguments must be printf-compatible scalars");
     logf(Level::kError, component_, fmt, args...);
   }
 

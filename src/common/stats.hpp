@@ -15,6 +15,10 @@ namespace wacs {
 class RunningStats {
  public:
   void add(double x);
+  /// Folds another accumulator in, as if its samples had been add()ed here
+  /// (parallel-variance combination) — lets per-rank stats merge without
+  /// replaying samples.
+  void merge(const RunningStats& other);
 
   std::uint64_t count() const { return n_; }
   double min() const;   ///< Precondition: count() > 0.

@@ -1,0 +1,465 @@
+#include "common/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace wacs::telemetry {
+namespace {
+
+// Per-OS-thread state. Exactly one simulated process (or the engine)
+// executes at any instant, so these are effectively per-Process and every
+// mutation is ordered by the engine's semaphore handoffs.
+thread_local std::vector<TraceContext> t_context_stack;
+thread_local std::string t_track = "engine";
+
+void atomic_add_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  WACS_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                 "histogram bounds must ascend");
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  reset();
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, x);
+  if (prev == 0) {
+    // First observation seeds min/max; the CAS helpers then keep them tight.
+    min_.store(x, std::memory_order_relaxed);
+    max_.store(x, std::memory_order_relaxed);
+  } else {
+    atomic_min_double(min_, x);
+    atomic_max_double(max_, x);
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = s.count == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  s.max = s.count == 0 ? 0 : max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double lo = i == 0 ? std::min(min, bounds.empty() ? min : bounds[0])
+                             : bounds[i - 1];
+    const double hi = i < bounds.size() ? bounds[i] : max;
+    seen += counts[i];
+    if (static_cast<double>(seen) >= target) {
+      const double frac =
+          1.0 - (static_cast<double>(seen) - target) /
+                    static_cast<double>(counts[i]);
+      return lo + (hi - lo) * frac;
+    }
+  }
+  return max;
+}
+
+const std::vector<double>& default_ms_buckets() {
+  static const std::vector<double> kBuckets = {
+      0.01, 0.025, 0.05, 0.1,  0.25, 0.5,  1,    2.5,   5,     10,
+      25,   50,    100,  250,  500,  1000, 2500, 5000,  10000, 30000,
+      60000};
+  return kBuckets;
+}
+
+// --------------------------------------------------------------- Registry
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.emplace_back(name, h->snapshot());
+  }
+  return s;
+}
+
+std::string Registry::render() const {
+  const Snapshot s = snapshot();
+  std::string out;
+  if (!s.counters.empty() || !s.gauges.empty()) {
+    TextTable t({"metric", "value"});
+    for (const auto& [name, v] : s.counters) t.add_row({name, format_count(v)});
+    for (const auto& [name, v] : s.gauges) t.add_row({name, std::to_string(v)});
+    out += t.to_string();
+  }
+  if (!s.histograms.empty()) {
+    TextTable t({"histogram", "count", "mean", "p50", "p99", "min", "max"});
+    for (const auto& [name, h] : s.histograms) {
+      t.add_row({name, format_count(h.count), format_double(h.mean()),
+                 format_double(h.quantile(0.5)), format_double(h.quantile(0.99)),
+                 format_double(h.min), format_double(h.max)});
+    }
+    if (!out.empty()) out += "\n";
+    out += t.to_string();
+  }
+  return out;
+}
+
+Registry& metrics() {
+  static Registry* g_registry = new Registry();  // leaked: outlives daemons
+  return *g_registry;
+}
+
+// ----------------------------------------------------------------- Tracer
+
+TraceContext current_context() {
+  return t_context_stack.empty() ? TraceContext{} : t_context_stack.back();
+}
+
+void set_current_track(const std::string& track) { t_track = track; }
+
+const std::string& current_track() { return t_track; }
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  next_trace_.store(1, std::memory_order_relaxed);
+  next_span_.store(1, std::memory_order_relaxed);
+  next_flow_.store(1, std::memory_order_relaxed);
+}
+
+void Tracer::set_clock(const void* owner, std::function<TimeNs()> clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_owner_ = owner;
+  clock_ = std::move(clock);
+}
+
+void Tracer::clear_clock(const void* owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (clock_owner_ != owner) return;  // a newer engine already took over
+  clock_owner_ = nullptr;
+  clock_ = nullptr;
+}
+
+TimeNs Tracer::now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_ ? clock_() : 0;
+}
+
+std::uint64_t Tracer::next_trace_id() {
+  return next_trace_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::next_span_id() {
+  return next_span_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::record_span(std::string_view cat, std::string name, TimeNs start,
+                         TimeNs end, TraceContext ctx, std::uint64_t parent,
+                         json::Value args) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{Event::Kind::kSpan, std::string(cat),
+                          std::move(name), t_track, start, end - start,
+                          ctx.trace_id, ctx.span_id, parent, std::move(args)});
+}
+
+void Tracer::instant(std::string_view cat, std::string name, json::Value args) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const TraceContext ctx = current_context();
+  events_.push_back(Event{Event::Kind::kInstant, std::string(cat),
+                          std::move(name), t_track, clock_ ? clock_() : 0, 0,
+                          ctx.trace_id, ctx.span_id, 0, std::move(args)});
+}
+
+std::uint64_t Tracer::flow_start(std::string_view cat, TraceContext ctx) {
+  if (!enabled() || !ctx.valid()) return 0;
+  const std::uint64_t id = next_flow_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{Event::Kind::kFlowStart, std::string(cat), "msg",
+                          t_track, clock_ ? clock_() : 0, 0, ctx.trace_id, id,
+                          ctx.span_id, {}});
+  return id;
+}
+
+void Tracer::flow_end(std::uint64_t flow, TraceContext ctx) {
+  if (!enabled() || flow == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{Event::Kind::kFlowEnd, "flow", "msg", t_track,
+                          clock_ ? clock_() : 0, 0, ctx.trace_id, flow,
+                          ctx.span_id, {}});
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string Tracer::to_jsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const Event& e : events_) {
+    json::Value line = json::Value::object();
+    switch (e.kind) {
+      case Event::Kind::kSpan: line.set("type", "span"); break;
+      case Event::Kind::kInstant: line.set("type", "instant"); break;
+      case Event::Kind::kFlowStart: line.set("type", "flow_s"); break;
+      case Event::Kind::kFlowEnd: line.set("type", "flow_f"); break;
+    }
+    line.set("cat", e.cat);
+    line.set("name", e.name);
+    line.set("track", e.track);
+    line.set("ts", e.ts);
+    if (e.kind == Event::Kind::kSpan) line.set("dur", e.dur);
+    line.set("trace", e.trace_id);
+    if (e.kind == Event::Kind::kFlowStart || e.kind == Event::Kind::kFlowEnd) {
+      line.set("flow", e.span_id);
+      if (e.parent != 0) line.set("span", e.parent);
+    } else {
+      line.set("span", e.span_id);
+      if (e.parent != 0) line.set("parent", e.parent);
+    }
+    if (!e.args.members().empty()) line.set("args", e.args);
+    line.dump_to(out);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Track -> (pid, tid). Tracks named "proc@host" group under the host;
+  // everything else (the engine, bench main) groups under "sim". Ids are
+  // assigned in first-appearance order, which is deterministic.
+  std::vector<std::string> groups;                      // index = pid - 1
+  std::vector<std::pair<std::string, int>> tracks;      // track -> pid
+  auto split_group = [](const std::string& track) -> std::string {
+    const auto at = track.rfind('@');
+    if (at == std::string::npos || at + 1 == track.size()) return "sim";
+    // Strip a ".suffix" after the host ("relay@gw.fwd" -> "gw").
+    std::string host = track.substr(at + 1);
+    const auto dot = host.find('.');
+    if (dot != std::string::npos) host = host.substr(0, dot);
+    return host;
+  };
+  auto ids_for = [&](const std::string& track) -> std::pair<int, int> {
+    for (std::size_t i = 0; i < tracks.size(); ++i) {
+      if (tracks[i].first == track) {
+        return {tracks[i].second, static_cast<int>(i) + 1};
+      }
+    }
+    const std::string group = split_group(track);
+    int pid = 0;
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (groups[i] == group) pid = static_cast<int>(i) + 1;
+    }
+    if (pid == 0) {
+      groups.push_back(group);
+      pid = static_cast<int>(groups.size());
+    }
+    tracks.emplace_back(track, pid);
+    return {pid, static_cast<int>(tracks.size())};
+  };
+
+  std::vector<json::Value> body;
+  body.reserve(events_.size());
+  for (const Event& e : events_) {
+    const auto [pid, tid] = ids_for(e.track);
+    json::Value ev = json::Value::object();
+    ev.set("name", e.name);
+    ev.set("cat", e.cat);
+    switch (e.kind) {
+      case Event::Kind::kSpan:
+        ev.set("ph", "X");
+        ev.set("dur", static_cast<double>(e.dur) / 1000.0);
+        break;
+      case Event::Kind::kInstant:
+        ev.set("ph", "i");
+        ev.set("s", "t");
+        break;
+      case Event::Kind::kFlowStart:
+        ev.set("ph", "s");
+        ev.set("id", e.span_id);
+        break;
+      case Event::Kind::kFlowEnd:
+        ev.set("ph", "f");
+        ev.set("bp", "e");
+        ev.set("id", e.span_id);
+        break;
+    }
+    ev.set("ts", static_cast<double>(e.ts) / 1000.0);
+    ev.set("pid", pid);
+    ev.set("tid", tid);
+    if (!e.args.members().empty()) {
+      ev.set("args", e.args);
+    } else if (e.kind == Event::Kind::kSpan) {
+      json::Value args = json::Value::object();
+      args.set("trace", e.trace_id);
+      args.set("span", e.span_id);
+      if (e.parent != 0) args.set("parent", e.parent);
+      ev.set("args", args);
+    }
+    body.push_back(std::move(ev));
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    json::Value meta = json::Value::object();
+    meta.set("name", "process_name");
+    meta.set("ph", "M");
+    meta.set("pid", static_cast<int>(i) + 1);
+    meta.set("args", json::Value::object().set("name", groups[i]));
+    if (!first) out += ",\n";
+    first = false;
+    meta.dump_to(out);
+  }
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    json::Value meta = json::Value::object();
+    meta.set("name", "thread_name");
+    meta.set("ph", "M");
+    meta.set("pid", tracks[i].second);
+    meta.set("tid", static_cast<int>(i) + 1);
+    meta.set("args", json::Value::object().set("name", tracks[i].first));
+    if (!first) out += ",\n";
+    first = false;
+    meta.dump_to(out);
+  }
+  for (const json::Value& ev : body) {
+    if (!first) out += ",\n";
+    first = false;
+    ev.dump_to(out);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Tracer& tracer() {
+  static Tracer* g_tracer = new Tracer();  // leaked: outlives daemons
+  return *g_tracer;
+}
+
+// ------------------------------------------------------------------- Span
+
+Span::Span(std::string_view cat, std::string name) {
+  if (!tracer().enabled()) return;
+  open(cat, std::move(name), current_context());
+}
+
+Span::Span(std::string_view cat, std::string name, TraceContext parent) {
+  if (!tracer().enabled()) return;
+  if (!parent.valid()) parent = current_context();
+  open(cat, std::move(name), parent);
+}
+
+void Span::open(std::string_view cat, std::string name, TraceContext parent) {
+  active_ = true;
+  cat_ = std::string(cat);
+  name_ = std::move(name);
+  Tracer& tr = tracer();
+  ctx_.trace_id = parent.valid() ? parent.trace_id : tr.next_trace_id();
+  ctx_.span_id = tr.next_span_id();
+  parent_ = parent.valid() ? parent.span_id : 0;
+  start_ = tr.now();
+  t_context_stack.push_back(ctx_);
+}
+
+Span::~Span() {
+  if (!active_) return;
+  // LIFO by construction: spans are scoped objects on one process's stack.
+  WACS_CHECK(!t_context_stack.empty() &&
+             t_context_stack.back().span_id == ctx_.span_id);
+  t_context_stack.pop_back();
+  Tracer& tr = tracer();
+  tr.record_span(cat_, std::move(name_), start_, tr.now(), ctx_, parent_,
+                 std::move(args_));
+}
+
+void Span::arg(std::string key, json::Value v) {
+  if (!active_) return;
+  args_.set(std::move(key), std::move(v));
+}
+
+}  // namespace wacs::telemetry

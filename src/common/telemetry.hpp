@@ -1,0 +1,268 @@
+// Metrics registry and causal tracer for the simulated wide-area stack.
+//
+// Two instruments, one subsystem (DESIGN.md §10):
+//
+//  * Metrics — named counters, gauges, and fixed-bucket histograms in a
+//    process-global registry. The hot path is an atomic add (no locks, no
+//    map lookups: call sites hold a reference obtained once). Metrics are
+//    always on; recording never advances simulated time, so they cannot
+//    change behaviour.
+//
+//  * Tracing — spans and flow arrows over *virtual* time. A span covers an
+//    interval of one simulated process's execution ("relay.hop",
+//    "knapsack.steal", "rmf.job"); a flow links a message's send to its
+//    receive across processes and hosts. Context propagates through a
+//    thread-local stack: each simulated Process runs on its own OS thread
+//    and exactly one thread executes at a time, so the thread-local *is*
+//    the per-process context and recording order is deterministic.
+//    Transports stamp the current context onto in-flight messages, which is
+//    how one knapsack steal is reconstructable hop by hop through the
+//    relays. Tracing is off by default: every record call starts with one
+//    relaxed atomic load and does nothing else when disabled.
+//
+// Exports: trace JSONL (our schema, one event per line, byte-identical
+// across same-seed runs) and Chrome trace_event JSON (loads in
+// chrome://tracing / Perfetto; virtual nanoseconds map to microsecond
+// timestamps). See DESIGN.md §10 for the naming scheme.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace wacs::telemetry {
+
+/// Virtual-time timestamp (nanoseconds; mirrors sim::Time without the
+/// dependency — common/ sits below simnet/).
+using TimeNs = std::int64_t;
+
+// ======================================================== metrics registry
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations <= bounds[i]; one
+/// implicit overflow bucket catches the rest. Buckets are relaxed atomic
+/// increments; sum/min/max use CAS loops (uncontended in the simulator,
+/// where the semaphore handoff serializes all threads anyway).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+
+  struct Snapshot {
+    std::vector<double> bounds;        ///< upper bounds, ascending
+    std::vector<std::uint64_t> counts; ///< bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;  ///< 0 when count == 0
+    double max = 0;
+
+    double mean() const { return count == 0 ? 0 : sum / static_cast<double>(count); }
+    /// Approximate quantile (linear interpolation inside the bucket).
+    double quantile(double q) const;
+  };
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{0};
+  std::atomic<double> max_{0};
+};
+
+/// Default latency buckets in milliseconds, 10 µs .. 60 s, roughly 1-2.5-5
+/// per decade — wide enough for a LAN hop and a WAN knapsack steal alike.
+const std::vector<double>& default_ms_buckets();
+
+/// Named instruments. Registration takes a mutex; returned references stay
+/// valid for the registry's lifetime (reset() zeroes values, it never
+/// invalidates handles), so call sites cache them.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& bounds = default_ms_buckets());
+
+  /// Zeroes every instrument (per-run measurement windows).
+  void reset();
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+  };
+  /// Name-sorted (std::map order): deterministic output.
+  Snapshot snapshot() const;
+
+  /// Rendered via TextTable: counters/gauges, then histogram summaries.
+  std::string render() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-global registry.
+Registry& metrics();
+
+// ================================================================ tracing
+
+/// Identity of a span, carried across messages to parent downstream work.
+/// trace_id groups one causal chain (a job, a steal, a handshake);
+/// span_id is the immediate parent.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool valid() const { return trace_id != 0; }
+};
+
+/// Metadata transports stamp onto an in-flight message. `sent_at` is always
+/// stamped (it feeds per-hop latency histograms); ctx/flow only when the
+/// tracer is enabled.
+struct MsgMeta {
+  TraceContext ctx;
+  std::uint64_t flow = 0;  ///< flow-arrow id; 0 = none
+  TimeNs sent_at = 0;
+};
+
+/// The context of the innermost open Span on this thread (invalid if none).
+TraceContext current_context();
+
+/// Names the track ("process lane") for events recorded on this thread.
+/// The simulation engine sets it to the Process name; the convention
+/// "name@host" groups tracks by host in the Chrome export.
+void set_current_track(const std::string& track);
+const std::string& current_track();
+
+class Tracer {
+ public:
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  /// Drops recorded events and resets id counters (fresh run).
+  void clear();
+
+  /// Virtual-time source. The engine binds itself around run(); `owner`
+  /// disambiguates nested engine lifetimes (clear_clock is a no-op unless
+  /// the owner matches).
+  void set_clock(const void* owner, std::function<TimeNs()> clock);
+  void clear_clock(const void* owner);
+  TimeNs now() const;
+
+  std::uint64_t next_trace_id();
+  std::uint64_t next_span_id();
+
+  /// Records a completed span (called by Span's destructor).
+  void record_span(std::string_view cat, std::string name, TimeNs start,
+                   TimeNs end, TraceContext ctx, std::uint64_t parent,
+                   json::Value args);
+  /// Records a point event on the current track.
+  void instant(std::string_view cat, std::string name, json::Value args = {});
+  /// Records the start of a flow arrow at the current time on the current
+  /// track; returns the flow id to stamp onto the message (0 if disabled).
+  std::uint64_t flow_start(std::string_view cat, TraceContext ctx);
+  /// Records the end of a flow arrow on the *receiving* thread's track.
+  void flow_end(std::uint64_t flow, TraceContext ctx);
+
+  std::size_t event_count() const;
+
+  /// One event per line; byte-identical across same-seed runs.
+  std::string to_jsonl() const;
+  /// Chrome trace_event JSON object (Perfetto / chrome://tracing).
+  std::string to_chrome_json() const;
+
+ private:
+  struct Event {
+    enum class Kind : std::uint8_t { kSpan, kInstant, kFlowStart, kFlowEnd };
+    Kind kind;
+    std::string cat;
+    std::string name;
+    std::string track;
+    TimeNs ts = 0;
+    TimeNs dur = 0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;  ///< span id, or flow id for flow events
+    std::uint64_t parent = 0;
+    json::Value args;
+  };
+
+  mutable std::mutex mu_;  // recording is already serialized; belt and braces
+  std::atomic<bool> enabled_{false};
+  const void* clock_owner_ = nullptr;
+  std::function<TimeNs()> clock_;
+  std::atomic<std::uint64_t> next_trace_{1};
+  std::atomic<std::uint64_t> next_span_{1};
+  std::atomic<std::uint64_t> next_flow_{1};
+  std::vector<Event> events_;
+};
+
+/// The process-global tracer.
+Tracer& tracer();
+
+/// RAII span. When tracing is disabled at construction the object is inert
+/// (no allocation, no context push). While open, the span is the current
+/// context on its thread: child spans parent to it and transports stamp it
+/// onto outgoing messages.
+class Span {
+ public:
+  /// Parents to the current context, or starts a new trace if none.
+  Span(std::string_view cat, std::string name);
+  /// Parents to `parent` (e.g. a received message's context); starts a new
+  /// trace when `parent` is invalid and no context is open.
+  Span(std::string_view cat, std::string name, TraceContext parent);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return active_; }
+  TraceContext context() const { return ctx_; }
+  /// Attaches a key/value to the span (no-op when inert).
+  void arg(std::string key, json::Value v);
+
+ private:
+  void open(std::string_view cat, std::string name, TraceContext parent);
+
+  bool active_ = false;
+  TraceContext ctx_;
+  std::uint64_t parent_ = 0;
+  TimeNs start_ = 0;
+  std::string cat_;
+  std::string name_;
+  json::Value args_;
+};
+
+}  // namespace wacs::telemetry

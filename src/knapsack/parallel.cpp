@@ -6,6 +6,7 @@
 #include <deque>
 
 #include "common/log.hpp"
+#include "common/telemetry.hpp"
 #include "knapsack/search.hpp"
 #include "mpi/comm.hpp"
 
@@ -159,6 +160,10 @@ void run_master(rmf::JobContext& ctx, mpi::Comm& comm, const Params& params,
   std::uint64_t steals_handled = 0;
   std::uint64_t grants_reclaimed = 0;
   std::deque<int> pending;  // alive slaves waiting for work
+  // Trace context of each slave's outstanding steal request: the grant is
+  // recorded as a child of the steal, so one work-stealing round trip reads
+  // as a single causal chain across the WAN.
+  std::vector<telemetry::TraceContext> steal_ctx(size);
   std::vector<bool> is_pending(size, false);
   std::vector<bool> lost(size, false);
   // The one grant at risk per slave: cleared at the slave's next kTagSteal
@@ -210,6 +215,7 @@ void run_master(rmf::JobContext& ctx, mpi::Comm& comm, const Params& params,
           WACS_CHECK(!is_pending[src]);
           is_pending[src] = true;
           pending.push_back(info.source);
+          steal_ctx[src] = comm.last_rx_meta().ctx;
           shipped[src].clear();  // previous grant fully consumed or shed
         } else {
           searcher.push_all(msg.nodes);
@@ -226,7 +232,13 @@ void run_master(rmf::JobContext& ctx, mpi::Comm& comm, const Params& params,
       pending.pop_front();
       is_pending[static_cast<std::size_t>(slave)] = false;
       ++steals_handled;
+      telemetry::Span span("knapsack", "knapsack.grant",
+                           steal_ctx[static_cast<std::size_t>(slave)]);
       auto nodes = make_grant(searcher, params);
+      if (span.active()) {
+        span.arg("slave", slave);
+        span.arg("nodes", nodes.size());
+      }
       // Keep a copy before shipping: if the slave dies with it, the next
       // handle_losses() pushes it back.
       shipped[static_cast<std::size_t>(slave)] = nodes;
@@ -240,6 +252,9 @@ void run_master(rmf::JobContext& ctx, mpi::Comm& comm, const Params& params,
     if (!searcher.idle()) {
       // "The master repeats the branch operation interval times."
       const std::uint64_t ops = searcher.run(params.interval);
+      static telemetry::Counter& nodes_metric =
+          telemetry::metrics().counter("knapsack.nodes");
+      nodes_metric.add(ops);
       ctx.charge_cpu(static_cast<double>(ops) * params.sec_per_node);
       drain_messages(/*block=*/false);
     } else {
@@ -310,6 +325,11 @@ void run_slave(rmf::JobContext& ctx, mpi::Comm& comm, const Params& params,
     if (searcher.idle()) {
       // "If the stack is empty, the slave sends a steal request."
       ++steal_requests;
+      // The steal span stays open across the request + grant round trip;
+      // the master's grant span parents to it through the stamped context.
+      telemetry::Span span("knapsack", "knapsack.steal");
+      if (span.active()) span.arg("rank", comm.rank());
+      const sim::Time steal_t0 = ctx.host->network().engine().now();
       if (!comm.try_send(0, kTagSteal, encode_work({}, searcher.best()))
                .ok()) {
         break;  // master unreachable
@@ -322,12 +342,19 @@ void run_slave(rmf::JobContext& ctx, mpi::Comm& comm, const Params& params,
       Bytes data = comm.recv(0, mpi::Comm::kAnyTag, &info);
       if (info.tag == kTagDone) break;
       WACS_CHECK(info.tag == kTagWork);
+      static telemetry::Histogram& steal_ms =
+          telemetry::metrics().histogram("knapsack.steal_ms");
+      steal_ms.observe(
+          sim::to_ms(ctx.host->network().engine().now() - steal_t0));
       WorkMsg msg = decode_work(data);
       searcher.offer_best(msg.best);
       searcher.push_all(msg.nodes);
       continue;
     }
     const std::uint64_t ops = searcher.run(params.interval);
+    static telemetry::Counter& nodes_metric =
+        telemetry::metrics().counter("knapsack.nodes");
+    nodes_metric.add(ops);
     ctx.charge_cpu(static_cast<double>(ops) * params.sec_per_node);
     // "A slave sends back backunit nodes when it has too many on the stack"
     // — "too many" measured in estimated work, not node count (see

@@ -62,7 +62,9 @@ Comm::Comm(rmf::JobContext& ctx)
       rank_(ctx.rank),
       contacts_(ctx.contacts),
       sites_(ctx.rank_sites),
-      out_(ctx.contacts.size()) {
+      out_(ctx.contacts.size()),
+      pair_msgs_(ctx.contacts.size(), 0),
+      pair_bytes_(ctx.contacts.size(), 0) {
   WACS_CHECK_MSG(ctx.self != nullptr && ctx.comm != nullptr &&
                      ctx.endpoint != nullptr && !ctx.contacts.empty(),
                  "JobContext not bootstrapped");
@@ -130,7 +132,14 @@ void Comm::start_receiver(const CommPtr& self_ptr) {
                       *src);
             return;
           }
-          comm->inbox_.push_back(InMsg{*src, *mtag, std::move(*data)});
+          // Re-stamp for the second leg (link inbox -> matching recv): the
+          // tcp flow ended at this dequeue, so start a fresh arrow that
+          // recv() will terminate. The original send time is kept — the
+          // end-to-end latency callers measure includes demux queueing.
+          telemetry::MsgMeta meta = sock->last_rx_meta();
+          meta.flow = telemetry::tracer().flow_start("mpi", meta.ctx);
+          comm->inbox_.push_back(
+              InMsg{*src, *mtag, std::move(*data), meta});
           comm->inbox_waiters_->notify_all();
         }
       }));
@@ -170,6 +179,8 @@ void Comm::send(int dst, int tag, Bytes data) {
   ensure_link(dst);
   ++messages_sent_;
   bytes_sent_ += data.size();
+  pair_msgs_[static_cast<std::size_t>(dst)] += 1;
+  pair_bytes_[static_cast<std::size_t>(dst)] += data.size();
   WACS_CHECK(out_[static_cast<std::size_t>(dst)]
                  ->send(encode_msg(tag, data))
                  .ok());
@@ -193,6 +204,8 @@ Status Comm::try_send(int dst, int tag, Bytes data) {
   }
   ++messages_sent_;
   bytes_sent_ += data.size();
+  pair_msgs_[static_cast<std::size_t>(dst)] += 1;
+  pair_bytes_[static_cast<std::size_t>(dst)] += data.size();
   return s;
 }
 
@@ -210,6 +223,10 @@ Bytes Comm::recv(int src, int tag, RecvInfo* info) {
       InMsg msg = std::move(inbox_[idx]);
       inbox_.erase(inbox_.begin() + static_cast<std::ptrdiff_t>(idx));
       if (info != nullptr) *info = RecvInfo{msg.src, msg.tag};
+      last_rx_meta_ = msg.meta;
+      if (msg.meta.flow != 0) {
+        telemetry::tracer().flow_end(msg.meta.flow, msg.meta.ctx);
+      }
       return std::move(msg.data);
     }
     inbox_waiters_->wait(*self_);
@@ -441,6 +458,20 @@ void Comm::barrier_wan_aware() {
 void Comm::finalize() {
   if (finalized_) return;
   finalized_ = true;
+  // Flush per-pair traffic into the registry now, once, rather than paying
+  // a name lookup per send.
+  for (int dst = 0; dst < size(); ++dst) {
+    const auto d = static_cast<std::size_t>(dst);
+    if (pair_msgs_[d] == 0) continue;
+    const std::string pair =
+        "mpi.r" + std::to_string(rank_) + ".to.r" + std::to_string(dst);
+    telemetry::metrics().counter(pair + ".msgs").add(pair_msgs_[d]);
+    telemetry::metrics().counter(pair + ".bytes").add(pair_bytes_[d]);
+  }
+  static telemetry::Counter& msgs = telemetry::metrics().counter("mpi.msgs");
+  static telemetry::Counter& bytes = telemetry::metrics().counter("mpi.bytes");
+  msgs.add(messages_sent_);
+  bytes.add(bytes_sent_);
   for (auto& link : out_) {
     if (link != nullptr) link->close();
   }

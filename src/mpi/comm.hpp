@@ -19,6 +19,7 @@
 #include <set>
 #include <vector>
 
+#include "common/telemetry.hpp"
 #include "rmf/job.hpp"
 #include "simnet/waitq.hpp"
 
@@ -125,6 +126,11 @@ class Comm {
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
 
+  /// Telemetry metadata of the last message returned by recv(): the
+  /// sender's trace context (causal parent for the work the message
+  /// triggers) and its original send time. Zero-valued before any recv.
+  const telemetry::MsgMeta& last_rx_meta() const { return last_rx_meta_; }
+
  private:
   Comm(rmf::JobContext& ctx);
 
@@ -132,6 +138,7 @@ class Comm {
     int src;
     int tag;
     Bytes data;
+    telemetry::MsgMeta meta;
   };
 
   bool matches(const InMsg& m, int src, int tag) const {
@@ -164,6 +171,11 @@ class Comm {
   std::unique_ptr<sim::WaitQueue> inbox_waiters_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  /// Per-destination traffic, flushed into the metrics registry at
+  /// finalize() (no string formatting on the send path).
+  std::vector<std::uint64_t> pair_msgs_;
+  std::vector<std::uint64_t> pair_bytes_;
+  telemetry::MsgMeta last_rx_meta_;
   bool finalized_ = false;
 };
 

@@ -1,9 +1,18 @@
 #include "proxy/relay.hpp"
 
+#include "common/telemetry.hpp"
+
 namespace wacs::proxy {
 
 void pump(sim::Process& self, sim::SocketPtr from, sim::SocketPtr to,
           const RelayParams& params, RelayStats* stats) {
+  static telemetry::Counter& msgs = telemetry::metrics().counter("relay.msgs");
+  static telemetry::Counter& bytes = telemetry::metrics().counter("relay.bytes");
+  static telemetry::Histogram& hop_ms =
+      telemetry::metrics().histogram("proxy.hop_ms");
+  static telemetry::Gauge& active =
+      telemetry::metrics().gauge("relay.pumps.active");
+  active.add(1);
   while (true) {
     auto frame = from->recv(self);
     if (!frame.ok()) {
@@ -13,22 +22,32 @@ void pump(sim::Process& self, sim::SocketPtr from, sim::SocketPtr to,
       if (frame.error().code() == ErrorCode::kConnectionReset) to->abort();
       break;
     }
+    const telemetry::MsgMeta rx = from->last_rx_meta();
+    hop_ms.observe(sim::to_ms(self.engine().now() - rx.sent_at));
+    msgs.add();
+    bytes.add(frame->size());
     // Store-and-forward: the relay holds the whole frame while it is being
     // processed, which is what Nexus Proxy did with RSR messages.
     const double cost = params.per_message_s +
                         static_cast<double>(frame->size()) /
                             params.copy_rate_bps;
-    if (cost > 0) self.sleep(cost);
     if (stats != nullptr) {
       ++stats->messages;
       stats->bytes += frame->size();
     }
+    // The hop span parents to the *sender's* context (stamped on the frame)
+    // and is open across the forwarding send, so the next hop chains to it:
+    // a message is reconstructable client → outer → inner → endpoint.
+    telemetry::Span span("relay", "relay.hop", rx.ctx);
+    if (span.active()) span.arg("bytes", frame->size());
+    if (cost > 0) self.sleep(cost);
     Status sent = to->send(std::move(*frame));
     if (!sent.ok()) {
       if (sent.error().code() == ErrorCode::kConnectionReset) from->abort();
       break;
     }
   }
+  active.add(-1);
   to->close();
   from->close();
 }

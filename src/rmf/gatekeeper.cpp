@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/log.hpp"
+#include "common/telemetry.hpp"
 #include "simnet/time.hpp"
 
 namespace wacs::rmf {
@@ -72,6 +73,7 @@ void Gatekeeper::serve(sim::Process& self) {
     }
     if (!authorized) {
       ++auth_failures_;
+      telemetry::metrics().counter("rmf.auth.failures").add();
       (void)sock->send(
           SubmitReply{false, 0, "authentication failed"}.encode());
       sock->close();
@@ -92,19 +94,40 @@ void Gatekeeper::serve(sim::Process& self) {
 
     const std::uint64_t job_id = next_job_id_++;
     ++jobs_accepted_;
+    static telemetry::Counter& accepted =
+        telemetry::metrics().counter("rmf.jobs.accepted");
+    accepted.add();
+    // The submit request's context makes the job manager's spans children
+    // of the submitter's trace.
+    const telemetry::TraceContext submit_ctx = sock->last_rx_meta().ctx;
     (void)sock->send(SubmitReply{true, job_id, ""}.encode());
     // Step 2: the gatekeeper invokes a job manager for this job.
     JobSpec spec = std::move(req->spec);
     host_->network().engine().spawn(
         "jobmanager#" + std::to_string(job_id) + "@" + host_->name(),
-        [this, sock, spec = std::move(spec), job_id](sim::Process& jm) {
-          job_manager(jm, sock, spec, job_id);
+        [this, sock, spec = std::move(spec), job_id,
+         submit_ctx](sim::Process& jm) {
+          job_manager(jm, sock, spec, job_id, submit_ctx);
         });
   }
 }
 
 void Gatekeeper::job_manager(sim::Process& self, sim::SocketPtr submitter,
-                             JobSpec spec, std::uint64_t job_id) {
+                             JobSpec spec, std::uint64_t job_id,
+                             telemetry::TraceContext submit_ctx) {
+  telemetry::Span job_span("rmf", "rmf.job", submit_ctx);
+  if (job_span.active()) {
+    job_span.arg("job_id", job_id);
+    job_span.arg("task", spec.task);
+    job_span.arg("nprocs", spec.nprocs);
+  }
+  static telemetry::Gauge& active_jobs =
+      telemetry::metrics().gauge("rmf.jobs.active");
+  active_jobs.add(1);
+  struct ActiveGuard {
+    telemetry::Gauge& g;
+    ~ActiveGuard() { g.add(-1); }
+  } active_guard{active_jobs};
   // Allocator-made allocations are handed back on every exit path; pinned
   // placements bypass the allocator and are the submitter's responsibility
   // (no co-allocator existed in the paper's system either).
@@ -130,6 +153,8 @@ void Gatekeeper::job_manager(sim::Process& self, sim::SocketPtr submitter,
   // Step 3-4: the Q client inquires of the resource allocator (only when
   // the submission did not pin placements).
   if (placements.empty()) {
+    telemetry::Span span("rmf", "rmf.allocate");
+    const sim::Time alloc_t0 = host_->network().engine().now();
     auto alloc_conn = host_->stack().connect(self, allocator_);
     if (!alloc_conn.ok()) {
       return fail("allocator unreachable: " + alloc_conn.error().to_string());
@@ -144,6 +169,10 @@ void Gatekeeper::job_manager(sim::Process& self, sim::SocketPtr submitter,
     if (!reply->ok) return fail("allocation failed: " + reply->error);
     placements = std::move(reply->placements);
     from_allocator = true;
+    static telemetry::Histogram& alloc_ms =
+        telemetry::metrics().histogram("rmf.alloc_ms");
+    alloc_ms.observe(
+        sim::to_ms(host_->network().engine().now() - alloc_t0));
   }
 
   int total = 0;
@@ -202,6 +231,8 @@ void Gatekeeper::job_manager(sim::Process& self, sim::SocketPtr submitter,
   }
 
   auto submit_part = [&](const Part& part) -> Status {
+    telemetry::Span span("rmf", "rmf.submit_part");
+    if (span.active()) span.arg("host", part.placement.host);
     auto q_conn = host_->stack().connect(
         self, Contact{part.placement.host, options_.qserver_port});
     if (!q_conn.ok()) {
@@ -278,6 +309,7 @@ void Gatekeeper::job_manager(sim::Process& self, sim::SocketPtr submitter,
               static_cast<unsigned long long>(job_id), dead.placement.count,
               dead.placement.host.c_str());
     ++parts_requeued_;
+    telemetry::metrics().counter("rmf.parts.requeued").add();
     std::vector<Part> fresh;
     int base = dead.base_rank;
     for (Placement& np : reply->placements) {
@@ -317,6 +349,10 @@ void Gatekeeper::job_manager(sim::Process& self, sim::SocketPtr submitter,
   table.contacts.resize(static_cast<std::size_t>(spec.nprocs));
   table.sites.resize(static_cast<std::size_t>(spec.nprocs));
   int collected = 0;
+  // optional<> rather than a scope: the table broadcast below belongs to
+  // the rendezvous span but the collected state outlives it.
+  std::optional<telemetry::Span> rendezvous_span;
+  rendezvous_span.emplace("rmf", "rmf.rendezvous");
   while (collected < spec.nprocs) {
     const bool bounded = options_.rendezvous_timeout_s > 0;
     const sim::Time deadline =
@@ -397,6 +433,8 @@ void Gatekeeper::job_manager(sim::Process& self, sim::SocketPtr submitter,
   for (auto& conn : rank_conns) {
     if (!conn->send(table.encode()).ok()) return fail("table broadcast failed");
   }
+  rendezvous_span.reset();
+  telemetry::Span run_span("rmf", "rmf.run");
 
   // Completion: wait for every rank's RankDone; keep rank 0's output. A
   // rank that vanishes after startup cannot be replaced (the MPI world is
@@ -422,6 +460,8 @@ void Gatekeeper::job_manager(sim::Process& self, sim::SocketPtr submitter,
   }
   if (lost_after_start > 0) {
     ranks_lost_ += static_cast<std::uint64_t>(lost_after_start);
+    telemetry::metrics().counter("rmf.ranks.lost").add(
+        static_cast<std::uint64_t>(lost_after_start));
     kLog.warn("job %llu completed degraded: %d ranks lost",
               static_cast<unsigned long long>(job_id), lost_after_start);
   }
@@ -438,6 +478,14 @@ Result<JobResult> submit_and_wait(sim::Process& self, sim::Host& from,
                                   const JobSpec& spec) {
   sim::Engine& engine = from.network().engine();
   const sim::Time started = engine.now();
+
+  // Root of the job's causal chain: everything from the submit request to
+  // the gatekeeper, job manager, Q servers, and ranks parents back here.
+  telemetry::Span span("rmf", "rmf.submit_and_wait");
+  if (span.active()) {
+    span.arg("task", spec.task);
+    span.arg("nprocs", spec.nprocs);
+  }
 
   auto conn = from.stack().connect(self, gatekeeper);
   if (!conn.ok()) {

@@ -59,9 +59,11 @@ class Gatekeeper {
 
  private:
   void serve(sim::Process& self);
-  /// The job manager body: one process per accepted job.
+  /// The job manager body: one process per accepted job. `submit_ctx` is
+  /// the submission message's trace context, so the whole job lifecycle
+  /// parents to the submitter's span.
   void job_manager(sim::Process& self, sim::SocketPtr submitter, JobSpec spec,
-                   std::uint64_t job_id);
+                   std::uint64_t job_id, telemetry::TraceContext submit_ctx);
 
   sim::Host* host_;
   Options options_;

@@ -24,6 +24,9 @@ Process::~Process() {
 void Process::thread_main() {
   // Wait for the first scheduling slice before running the body.
   proc_token_.acquire();
+  // This OS thread *is* the simulated process; its name becomes the trace
+  // track every event recorded from this body lands on.
+  telemetry::set_current_track(name_);
   try {
     // A process that was spawned but never scheduled before shutdown (or
     // killed before its first slice) must not run its body during teardown.
@@ -104,6 +107,10 @@ void Process::kill() {
 
 // ----------------------------------------------------------------- Engine
 
+Engine::Engine()
+    : events_metric_(telemetry::metrics().counter("sim.events")),
+      spawns_metric_(telemetry::metrics().counter("sim.spawns")) {}
+
 Engine::~Engine() { shutdown(); }
 
 void Engine::at(Time t, std::function<void()> fn) {
@@ -117,6 +124,7 @@ Process* Engine::spawn(std::string name, std::function<void(Process&)> body) {
       new Process(*this, std::move(name), std::move(body)));
   Process* raw = proc.get();
   processes_.push_back(std::move(proc));
+  spawns_metric_.add();
   at(now_, [raw] {
     raw->state_ = Process::State::kRunnable;
     raw->run_slice();
@@ -131,11 +139,15 @@ void Engine::dispatch_next() {
   queue_.pop();
   now_ = ev.t;
   ++events_executed_;
+  events_metric_.add();
   ev.fn();
 }
 
 void Engine::run() {
   WACS_CHECK_MSG(!running_, "Engine::run() is not reentrant");
+  // The running engine is the tracer's time source; the newest engine to
+  // run wins (benches build testbeds back to back).
+  telemetry::tracer().set_clock(this, [this] { return now_; });
   running_ = true;
   stopped_ = false;
   while (!queue_.empty() && !stopped_) dispatch_next();
@@ -144,6 +156,7 @@ void Engine::run() {
 
 void Engine::run_until(Time deadline) {
   WACS_CHECK_MSG(!running_, "Engine::run() is not reentrant");
+  telemetry::tracer().set_clock(this, [this] { return now_; });
   running_ = true;
   stopped_ = false;
   while (!queue_.empty() && !stopped_ && queue_.top().t <= deadline) {
@@ -187,6 +200,7 @@ void Engine::shutdown() {
   // Pending events may capture sockets/listeners whose destructors touch
   // topology objects; drop them now, while those objects are still alive.
   queue_ = {};
+  telemetry::tracer().clear_clock(this);
   kLog.debug("engine shut down after %llu events",
              static_cast<unsigned long long>(events_executed_));
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 #include "simnet/time.hpp"
 
 namespace wacs::sim {
@@ -107,7 +108,7 @@ class Process {
 /// The event-driven simulation core.
 class Engine {
  public:
-  Engine() = default;
+  Engine();
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -186,6 +187,8 @@ class Engine {
   bool running_ = false;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::vector<std::unique_ptr<Process>> processes_;
+  telemetry::Counter& events_metric_;
+  telemetry::Counter& spawns_metric_;
 };
 
 }  // namespace wacs::sim

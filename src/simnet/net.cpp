@@ -234,6 +234,14 @@ std::string Network::traffic_report() const {
   return out;
 }
 
+std::vector<const Link*> Network::all_links() const {
+  std::vector<const Link*> links;
+  for (const auto& site : sites_) links.push_back(&site->lan());
+  for (const auto& [key, link] : wan_) links.push_back(link.get());
+  for (const auto& host : hosts_) links.push_back(&host->loopback_);
+  return links;
+}
+
 void Network::reset_traffic_counters() {
   for (const auto& site : sites_) site->lan().reset_counters();
   for (const auto& [key, link] : wan_) link->reset_counters();

@@ -186,6 +186,11 @@ class Network {
   /// Zeroes every link counter (per-experiment measurement windows).
   void reset_traffic_counters();
 
+  /// Every link in the topology — site LANs, WAN links, host loopbacks —
+  /// in deterministic order. Telemetry exports per-link byte counters from
+  /// this.
+  std::vector<const Link*> all_links() const;
+
   /// The fault injector attached to this network, or nullptr when the run
   /// is fault-free (the common case; every fault check is skipped then).
   FaultInjector* fault() { return fault_; }

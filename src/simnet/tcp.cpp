@@ -9,6 +9,29 @@ const log::Logger kLog("sim.tcp");
 
 constexpr std::uint16_t kDefaultEphemeralLo = 32768;
 constexpr std::uint16_t kDefaultEphemeralHi = 60999;
+
+/// Stamps outgoing-message metadata: send time always (it feeds hop-latency
+/// histograms); trace context and a flow arrow only when tracing is on.
+telemetry::MsgMeta stamp_meta(Engine& engine) {
+  telemetry::MsgMeta meta;
+  meta.sent_at = engine.now();
+  if (telemetry::tracer().enabled()) {
+    meta.ctx = telemetry::current_context();
+    meta.flow = telemetry::tracer().flow_start("tcp", meta.ctx);
+  }
+  return meta;
+}
+
+/// Dequeues the front frame for `side`, recording its receive telemetry.
+Bytes take_front(detail::ConnState& st, int side) {
+  detail::InFrame fr = std::move(st.inbox[side].front());
+  st.inbox[side].pop_front();
+  st.last_rx[side] = fr.meta;
+  if (fr.meta.flow != 0) {
+    telemetry::tracer().flow_end(fr.meta.flow, fr.meta.ctx);
+  }
+  return std::move(fr.data);
+}
 }  // namespace
 
 // -------------------------------------------------------------- SimSocket
@@ -83,18 +106,26 @@ Status SimSocket::send(Bytes message) {
       // Message loss: the path is charged (the bytes did travel part-way)
       // but the peer never sees the message; recovery is the caller's
       // timeout + retry.
+      static telemetry::Counter& drops =
+          telemetry::metrics().counter("tcp.msgs.dropped");
+      drops.add();
       st.bytes_sent[side_] += message.size();
       net.deliver(*local_host_, *peer_host_, message.size());
       return Status();
     }
   }
+  static telemetry::Counter& msgs = telemetry::metrics().counter("tcp.msgs");
+  static telemetry::Counter& bytes = telemetry::metrics().counter("tcp.bytes");
+  msgs.add();
+  bytes.add(message.size());
   st.bytes_sent[side_] += message.size();
   const Time arrival = net.deliver(*local_host_, *peer_host_, message.size());
   const int peer_side = 1 - side_;
   auto state = state_;
-  net.engine().at(arrival, [state, peer_side, msg = std::move(message)]() mutable {
+  detail::InFrame frame{std::move(message), stamp_meta(net.engine())};
+  net.engine().at(arrival, [state, peer_side, fr = std::move(frame)]() mutable {
     if (state->reset[peer_side]) return;  // connection torn while in flight
-    state->inbox[peer_side].push_back(std::move(msg));
+    state->inbox[peer_side].push_back(std::move(fr));
     state->readers[peer_side].notify_one();
   });
   return Status();
@@ -110,9 +141,7 @@ Result<Bytes> finish_recv(detail::ConnState& st, int side) {
     return Error(ErrorCode::kConnectionReset, "connection reset by peer");
   }
   if (!st.inbox[side].empty()) {
-    Bytes msg = std::move(st.inbox[side].front());
-    st.inbox[side].pop_front();
-    return msg;
+    return take_front(st, side);
   }
   return Error(ErrorCode::kConnectionClosed,
                st.closed[side] ? "socket closed locally" : "end of stream");
@@ -144,9 +173,7 @@ Result<Bytes> SimSocket::recv_deadline(Process& self, Time deadline) {
 std::optional<Bytes> SimSocket::try_recv() {
   detail::ConnState& st = *state_;
   if (st.inbox[side_].empty()) return std::nullopt;
-  Bytes msg = std::move(st.inbox[side_].front());
-  st.inbox[side_].pop_front();
-  return msg;
+  return take_front(st, side_);
 }
 
 bool SimSocket::recv_ready() const {
@@ -273,6 +300,10 @@ Result<SocketPtr> NetStack::connect(Process& self, const Contact& dst) {
   Network& net = host_->network();
   Engine& engine = net.engine();
 
+  telemetry::Span span("tcp", "tcp.connect");
+  if (span.active()) span.arg("dst", dst.to_string());
+  const Time t0 = engine.now();
+
   auto dst_host = net.find_host(dst.host);
   if (!dst_host) return dst_host.error();
   auto path = net.route(*host_, **dst_host);
@@ -345,6 +376,9 @@ Result<SocketPtr> NetStack::connect(Process& self, const Contact& dst) {
     return Error(ErrorCode::kConnectionRefused,
                  "listener closed during handshake on " + dst.to_string());
   }
+  static telemetry::Histogram& connect_ms =
+      telemetry::metrics().histogram("tcp.connect_ms");
+  connect_ms.observe(to_ms(engine.now() - t0));
   kLog.trace("%s connected to %s", host_->name().c_str(),
              dst.to_string().c_str());
   return client;

@@ -21,6 +21,7 @@
 #include "common/config.hpp"
 #include "common/contact.hpp"
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 #include "simnet/net.hpp"
 #include "simnet/waitq.hpp"
 
@@ -34,18 +35,26 @@ using ListenerPtr = std::shared_ptr<SimListener>;
 
 namespace detail {
 
+/// One delivered message plus the telemetry metadata the sender stamped on
+/// it (send time, trace context, flow id).
+struct InFrame {
+  Bytes data;
+  telemetry::MsgMeta meta;
+};
+
 /// Shared state of an established connection. Each endpoint owns one side:
 /// an inbox of delivered messages plus close flags.
 struct ConnState {
   explicit ConnState(Engine& engine)
       : readers{WaitQueue(engine), WaitQueue(engine)} {}
 
-  std::deque<Bytes> inbox[2];
+  std::deque<InFrame> inbox[2];
   WaitQueue readers[2];
   bool closed[2] = {false, false};       ///< side i called close()
   bool fin_seen[2] = {false, false};     ///< side i observed the peer's close
   bool reset[2] = {false, false};        ///< side i observed an abnormal RST
   std::uint64_t bytes_sent[2] = {0, 0};
+  telemetry::MsgMeta last_rx[2];         ///< meta of side i's last dequeue
 };
 
 }  // namespace detail
@@ -98,6 +107,13 @@ class SimSocket {
   Host& local_host() { return *local_host_; }
 
   std::uint64_t bytes_sent() const { return state_->bytes_sent[side_]; }
+
+  /// Telemetry metadata of the most recently received message: its send
+  /// time (per-hop latency) and the sender's trace context (causal parent
+  /// for work triggered by the message). Zero-valued before the first recv.
+  const telemetry::MsgMeta& last_rx_meta() const {
+    return state_->last_rx[side_];
+  }
 
  private:
   friend class NetStack;

@@ -1,0 +1,64 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wacs::json {
+namespace {
+
+TEST(JsonValue, DumpIsDeterministicAndInsertionOrdered) {
+  Value v = Value::object();
+  v.set("b", 1);
+  v.set("a", 2.5);
+  v.set("s", "hi");
+  v.set("t", true);
+  v.set("n", nullptr);
+  EXPECT_EQ(v.dump(), R"({"b":1,"a":2.5,"s":"hi","t":true,"n":null})");
+}
+
+TEST(JsonValue, SetOverwritesInPlace) {
+  Value v = Value::object();
+  v.set("x", 1);
+  v.set("y", 2);
+  v.set("x", 3);
+  EXPECT_EQ(v.dump(), R"({"x":3,"y":2})");
+}
+
+TEST(JsonValue, IntegersNeverPassThroughFloatingPoint) {
+  Value v = Value::array();
+  v.push_back(std::int64_t{9007199254740993});  // above 2^53
+  EXPECT_EQ(v.dump(), "[9007199254740993]");
+}
+
+TEST(JsonValue, StringEscaping) {
+  Value v = Value("quote\" slash\\ newline\n tab\t");
+  EXPECT_EQ(v.dump(), R"("quote\" slash\\ newline\n tab\t")");
+}
+
+TEST(JsonValue, ParseRoundTrip) {
+  const std::string text =
+      R"({"a":[1,2.5,"x",true,null],"b":{"c":-7},"d":""})";
+  auto parsed = Value::parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->dump(), text);
+  EXPECT_EQ(parsed->find("b")->find("c")->as_int(), -7);
+  EXPECT_EQ(parsed->find("a")->items().size(), 5u);
+}
+
+TEST(JsonValue, ParseRejectsGarbage) {
+  EXPECT_FALSE(Value::parse("{").ok());
+  EXPECT_FALSE(Value::parse("[1,]").ok());
+  EXPECT_FALSE(Value::parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(Value::parse("").ok());
+}
+
+TEST(JsonValue, FindOnNonObjectIsNull) {
+  Value v = Value(42);
+  EXPECT_EQ(v.find("x"), nullptr);
+  Value obj = Value::object();
+  obj.set("present", 1);
+  EXPECT_EQ(obj.find("absent"), nullptr);
+  ASSERT_NE(obj.find("present"), nullptr);
+}
+
+}  // namespace
+}  // namespace wacs::json

@@ -34,6 +34,53 @@ TEST(RunningStats, KnownSequence) {
   EXPECT_DOUBLE_EQ(s.sum(), 40.0);
 }
 
+TEST(RunningStats, ConstantSequenceHasZeroVariance) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(3.25);
+  EXPECT_EQ(s.count(), 1000u);
+  EXPECT_EQ(s.min(), 3.25);
+  EXPECT_EQ(s.max(), 3.25);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.25);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequentialAccumulation) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0,
+                                      -1.5, 12.25, 0.0};
+  RunningStats whole;
+  RunningStats left, right;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    whole.add(values[i]);
+    (i < values.size() / 2 ? left : right).add(values[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+  EXPECT_DOUBLE_EQ(left.mean(), whole.mean());
+  EXPECT_DOUBLE_EQ(left.sum(), whole.sum());
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  RunningStats empty;
+  s.merge(empty);  // no-op
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+
+  RunningStats target;
+  target.merge(s);  // empty target copies the other side
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(target.min(), 1.0);
+  EXPECT_DOUBLE_EQ(target.max(), 3.0);
+  EXPECT_DOUBLE_EQ(target.variance(), s.variance());
+}
+
 TEST(RunningStats, NegativeValues) {
   RunningStats s;
   s.add(-3.0);

@@ -1,0 +1,178 @@
+#include "common/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wacs::telemetry {
+namespace {
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics().reset();
+    tracer().clear();
+    tracer().disable();
+  }
+  void TearDown() override {
+    tracer().disable();
+    tracer().clear();
+    metrics().reset();
+  }
+};
+
+TEST_F(TelemetryTest, CounterAccumulatesAndResets) {
+  Counter& c = metrics().counter("test.counter");
+  c.add(3);
+  c.add(4);
+  EXPECT_EQ(c.value(), 7u);
+  metrics().reset();
+  EXPECT_EQ(c.value(), 0u);  // handle stays valid across reset
+  c.add(1);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST_F(TelemetryTest, RegistryDeduplicatesByName) {
+  Counter& a = metrics().counter("test.same");
+  Counter& b = metrics().counter("test.same");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST_F(TelemetryTest, GaugeTracksUpAndDown) {
+  Gauge& g = metrics().gauge("test.gauge");
+  g.add(5);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 3);
+  g.set(-10);
+  EXPECT_EQ(g.value(), -10);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsAndQuantiles) {
+  Histogram& h = metrics().histogram("test.hist", {1.0, 10.0, 100.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(500.0);  // overflow bucket
+  auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 500.0);
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  // p25 lands in the first bucket, p100 in the overflow.
+  EXPECT_LE(snap.quantile(0.25), 1.0);
+  EXPECT_GE(snap.quantile(1.0), 100.0);
+}
+
+TEST_F(TelemetryTest, SnapshotIsSortedByName) {
+  metrics().counter("test.b").add(1);
+  metrics().counter("test.a").add(1);
+  auto snap = metrics().snapshot();
+  ASSERT_GE(snap.counters.size(), 2u);
+  EXPECT_LT(snap.counters[0].first, snap.counters[1].first);
+}
+
+TEST_F(TelemetryTest, DisabledTracerRecordsNothing) {
+  {
+    Span span("cat", "disabled.span");
+    EXPECT_FALSE(span.active());
+    tracer().instant("cat", "disabled.instant");
+    EXPECT_EQ(tracer().flow_start("cat", span.context()), 0u);
+  }
+  EXPECT_EQ(tracer().event_count(), 0u);
+}
+
+TEST_F(TelemetryTest, SpanNestingPropagatesParent) {
+  tracer().enable();
+  {
+    Span outer("cat", "outer");
+    ASSERT_TRUE(outer.active());
+    {
+      Span inner("cat", "inner");
+      ASSERT_TRUE(inner.active());
+      EXPECT_EQ(inner.context().trace_id, outer.context().trace_id);
+      EXPECT_NE(inner.context().span_id, outer.context().span_id);
+    }
+  }
+  EXPECT_EQ(tracer().event_count(), 2u);
+  // Inner span closes first, so it is recorded first.
+  const std::string jsonl = tracer().to_jsonl();
+  EXPECT_NE(jsonl.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_LT(jsonl.find("\"name\":\"inner\""), jsonl.find("\"name\":\"outer\""));
+}
+
+TEST_F(TelemetryTest, ExplicitParentChainsAcrossSpans) {
+  tracer().enable();
+  TraceContext upstream;
+  {
+    Span producer("cat", "producer");
+    upstream = producer.context();
+  }
+  {
+    Span consumer("cat", "consumer", upstream);
+    EXPECT_EQ(consumer.context().trace_id, upstream.trace_id);
+  }
+  const std::string jsonl = tracer().to_jsonl();
+  EXPECT_NE(jsonl.find("\"parent\":" + std::to_string(upstream.span_id)),
+            std::string::npos);
+}
+
+TEST_F(TelemetryTest, FlowPairsShareAnId) {
+  tracer().enable();
+  Span span("cat", "sender");
+  const std::uint64_t flow = tracer().flow_start("cat", span.context());
+  EXPECT_NE(flow, 0u);
+  tracer().flow_end(flow, span.context());
+  const std::string jsonl = tracer().to_jsonl();
+  EXPECT_NE(jsonl.find("\"type\":\"flow_s\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"flow_f\""), std::string::npos);
+}
+
+TEST_F(TelemetryTest, ChromeExportIsWellFormedJson) {
+  tracer().enable();
+  set_current_track("worker@hostA");
+  {
+    Span span("cat", "unit");
+    span.arg("k", json::Value(1));
+    tracer().instant("cat", "tick");
+  }
+  set_current_track("engine");
+  const std::string chrome = tracer().to_chrome_json();
+  auto parsed = json::Value::parse(chrome);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const json::Value* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // Metadata ("M") names the hostA process group, then the real events.
+  bool saw_meta = false, saw_span = false;
+  for (const auto& e : events->items()) {
+    const std::string& ph = e.find("ph")->as_string();
+    if (ph == "M") saw_meta = true;
+    if (ph == "X") saw_span = true;
+  }
+  EXPECT_TRUE(saw_meta);
+  EXPECT_TRUE(saw_span);
+}
+
+TEST_F(TelemetryTest, ClearResetsIdsForReproducibleRuns) {
+  tracer().enable();
+  { Span span("cat", "first"); }
+  const std::string run1 = tracer().to_jsonl();
+  tracer().clear();
+  tracer().enable();
+  { Span span("cat", "first"); }
+  EXPECT_EQ(tracer().to_jsonl(), run1);
+}
+
+TEST_F(TelemetryTest, RenderShowsCountersAndHistograms) {
+  metrics().counter("test.render.counter").add(42);
+  metrics().histogram("test.render.hist", default_ms_buckets()).observe(3.0);
+  const std::string table = metrics().render();
+  EXPECT_NE(table.find("test.render.counter"), std::string::npos);
+  EXPECT_NE(table.find("42"), std::string::npos);
+  EXPECT_NE(table.find("test.render.hist"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wacs::telemetry

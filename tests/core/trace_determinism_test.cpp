@@ -1,0 +1,105 @@
+// Telemetry must never perturb the simulation, and must itself be
+// deterministic: two same-seed runs with tracing on produce byte-identical
+// trace files, and a traced run produces exactly the same application
+// results as an untraced one.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/telemetry.hpp"
+#include "core/testbeds.hpp"
+#include "knapsack/parallel.hpp"
+
+namespace wacs::core {
+namespace {
+
+struct TracedRun {
+  knapsack::RunStats stats;
+  std::uint64_t events;
+  std::string jsonl;
+  std::string chrome;
+};
+
+TracedRun run_wide_area(bool traced) {
+  telemetry::metrics().reset();
+  telemetry::tracer().clear();
+  if (traced) telemetry::tracer().enable();
+
+  auto tb = make_rwcp_etl_testbed();
+  knapsack::Instance inst = knapsack::no_prune_instance(16, 3);
+  rmf::JobSpec spec;
+  spec.name = "trace-det";
+  spec.task = knapsack::kParallelTask;
+  auto placements = placement_wide_area(tb);
+  spec.nprocs = 0;
+  for (const auto& p : placements) spec.nprocs += p.count;
+  spec.placements = placements;
+  spec.args = {{knapsack::args::kInterval, "500"},
+               {knapsack::args::kStealUnit, "8"},
+               {knapsack::args::kSecPerNode, "0.000001"}};
+  spec.input_files[knapsack::kInstanceFile] = inst.encode();
+  auto result = tb->run_job("rwcp-sun", spec);
+  WACS_CHECK(result.ok() && result->ok);
+  auto stats = knapsack::RunStats::decode(result->output);
+  WACS_CHECK(stats.ok());
+
+  TracedRun out;
+  out.stats = *stats;
+  out.events = tb->engine().events_executed();
+  out.jsonl = telemetry::tracer().to_jsonl();
+  out.chrome = telemetry::tracer().to_chrome_json();
+  telemetry::tracer().disable();
+  return out;
+}
+
+TEST(TraceDeterminism, SameSeedRunsProduceByteIdenticalTraces) {
+  TracedRun a = run_wide_area(/*traced=*/true);
+  TracedRun b = run_wide_area(/*traced=*/true);
+  EXPECT_GT(telemetry::tracer().event_count(), 100u);
+  EXPECT_EQ(a.jsonl, b.jsonl);
+  EXPECT_EQ(a.chrome, b.chrome);
+  // The traces actually contain the causal chain, not just engine noise.
+  EXPECT_NE(a.jsonl.find("relay.hop"), std::string::npos);
+  EXPECT_NE(a.jsonl.find("knapsack.steal"), std::string::npos);
+  EXPECT_NE(a.jsonl.find("rmf.job"), std::string::npos);
+  EXPECT_NE(a.jsonl.find("\"type\":\"flow_s\""), std::string::npos);
+}
+
+TEST(TraceDeterminism, TracingDoesNotPerturbTheSimulation) {
+  TracedRun untraced = run_wide_area(/*traced=*/false);
+  TracedRun traced = run_wide_area(/*traced=*/true);
+  EXPECT_EQ(untraced.jsonl, "");
+  EXPECT_EQ(untraced.events, traced.events);
+  EXPECT_EQ(untraced.stats.app_seconds, traced.stats.app_seconds);
+  EXPECT_EQ(untraced.stats.total_nodes, traced.stats.total_nodes);
+  EXPECT_EQ(untraced.stats.master_steals_handled,
+            traced.stats.master_steals_handled);
+  ASSERT_EQ(untraced.stats.ranks.size(), traced.stats.ranks.size());
+  for (std::size_t i = 0; i < untraced.stats.ranks.size(); ++i) {
+    EXPECT_EQ(untraced.stats.ranks[i].nodes_traversed,
+              traced.stats.ranks[i].nodes_traversed);
+  }
+}
+
+TEST(TraceDeterminism, ChromeExportParsesAndMapsVirtualTime) {
+  TracedRun run = run_wide_area(/*traced=*/true);
+  auto parsed = json::Value::parse(run.chrome);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const json::Value* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->items().size(), 100u);
+  // Timestamps are virtual microseconds: all non-negative, and at least one
+  // event lands beyond the search phase's start (i.e. the mapping is not
+  // collapsing everything to zero).
+  double max_ts = 0;
+  for (const auto& e : events->items()) {
+    const json::Value* ts = e.find("ts");
+    if (ts == nullptr) continue;  // "M" metadata has no timestamp
+    EXPECT_GE(ts->as_double(), 0.0);
+    max_ts = std::max(max_ts, ts->as_double());
+  }
+  EXPECT_GE(max_ts, run.stats.app_seconds * 1e6);
+}
+
+}  // namespace
+}  // namespace wacs::core

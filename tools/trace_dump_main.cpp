@@ -1,0 +1,179 @@
+// trace-dump — pretty-print and filter telemetry trace JSONL files.
+//
+//   trace-dump <trace.jsonl> [--cat CAT] [--name SUBSTR] [--track SUBSTR]
+//              [--trace ID] [--limit N] [--summary]
+//
+// Filters compose (AND). --summary aggregates span durations per (cat,name)
+// instead of listing events: count, mean, min, max milliseconds — a quick
+// "where did the virtual time go" without loading Perfetto.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "common/json.hpp"
+#include "common/stats.hpp"
+
+namespace {
+
+struct Options {
+  std::string path;
+  std::string cat;
+  std::string name;
+  std::string track;
+  std::int64_t trace_id = 0;
+  std::size_t limit = 0;  // 0 = unlimited
+  bool summary = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <trace.jsonl> [--cat CAT] [--name SUBSTR] "
+               "[--track SUBSTR] [--trace ID] [--limit N] [--summary]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--cat") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.cat = v;
+    } else if (arg == "--name") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.name = v;
+    } else if (arg == "--track") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.track = v;
+    } else if (arg == "--trace") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.trace_id = std::atoll(v);
+    } else if (arg == "--limit") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.limit = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--summary") {
+      opt.summary = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return false;
+    } else if (opt.path.empty()) {
+      opt.path = arg;
+    } else {
+      return false;
+    }
+  }
+  return !opt.path.empty();
+}
+
+std::string field(const wacs::json::Value& e, const char* key) {
+  const wacs::json::Value* v = e.find(key);
+  return v == nullptr ? "" : v->as_string();
+}
+
+std::int64_t int_field(const wacs::json::Value& e, const char* key) {
+  const wacs::json::Value* v = e.find(key);
+  return v == nullptr ? 0 : v->as_int();
+}
+
+bool matches(const wacs::json::Value& e, const Options& opt) {
+  if (!opt.cat.empty() && field(e, "cat") != opt.cat) return false;
+  if (!opt.name.empty() &&
+      field(e, "name").find(opt.name) == std::string::npos) {
+    return false;
+  }
+  if (!opt.track.empty() &&
+      field(e, "track").find(opt.track) == std::string::npos) {
+    return false;
+  }
+  if (opt.trace_id != 0 && int_field(e, "trace") != opt.trace_id) return false;
+  return true;
+}
+
+void print_event(const wacs::json::Value& e) {
+  const std::string type = field(e, "type");
+  const double ts_ms = static_cast<double>(int_field(e, "ts")) * 1e-6;
+  char head[160];
+  std::snprintf(head, sizeof head, "%12.3f ms  %-7s %-10s %-24s",
+                ts_ms, type.c_str(), field(e, "cat").c_str(),
+                field(e, "name").c_str());
+  std::string line = head;
+  if (type == "span") {
+    char dur[48];
+    std::snprintf(dur, sizeof dur, " %10.3f ms",
+                  static_cast<double>(int_field(e, "dur")) * 1e-6);
+    line += dur;
+  } else {
+    line += std::string(14, ' ');
+  }
+  line += "  " + field(e, "track");
+  if (const wacs::json::Value* args = e.find("args");
+      args != nullptr && !args->members().empty()) {
+    line += "  " + args->dump();
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage(argv[0]);
+
+  std::ifstream in(opt.path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", opt.path.c_str());
+    return 1;
+  }
+
+  std::map<std::string, wacs::RunningStats> summary;  // "cat name" -> dur ms
+  std::size_t printed = 0, total = 0, malformed = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto parsed = wacs::json::Value::parse(line);
+    if (!parsed.ok()) {
+      ++malformed;
+      continue;
+    }
+    ++total;
+    if (!matches(*parsed, opt)) continue;
+    if (opt.summary) {
+      if (field(*parsed, "type") == "span") {
+        summary[field(*parsed, "cat") + " " + field(*parsed, "name")].add(
+            static_cast<double>(int_field(*parsed, "dur")) * 1e-6);
+      }
+      continue;
+    }
+    print_event(*parsed);
+    if (opt.limit != 0 && ++printed >= opt.limit) break;
+  }
+
+  if (opt.summary) {
+    wacs::TextTable table({"span", "count", "mean ms", "min ms", "max ms",
+                           "total ms"});
+    for (const auto& [key, s] : summary) {
+      char mean[32], mn[32], mx[32], sum[32];
+      std::snprintf(mean, sizeof mean, "%.3f", s.mean());
+      std::snprintf(mn, sizeof mn, "%.3f", s.min());
+      std::snprintf(mx, sizeof mx, "%.3f", s.max());
+      std::snprintf(sum, sizeof sum, "%.3f", s.sum());
+      table.add_row({key, std::to_string(s.count()), mean, mn, mx, sum});
+    }
+    std::printf("%s", table.to_string().c_str());
+  }
+  if (malformed != 0) {
+    std::fprintf(stderr, "warning: %zu malformed lines skipped\n", malformed);
+  }
+  std::fprintf(stderr, "%zu events read from %s\n", total, opt.path.c_str());
+  return 0;
+}
