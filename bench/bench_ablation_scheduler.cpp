@@ -16,14 +16,6 @@
 namespace wacs {
 namespace {
 
-int instance_size() {
-  if (const char* env = std::getenv("WACS_KNAPSACK_N")) {
-    const int n = std::atoi(env);
-    if (n >= 10 && n <= 30) return n;
-  }
-  return 24;
-}
-
 struct Outcome {
   double seconds;
   std::uint64_t steals;
@@ -66,7 +58,7 @@ Outcome run(int n, const std::map<std::string, std::string>& args) {
 
 int main() {
   using namespace wacs;
-  const int n = instance_size();
+  const int n = bench::knapsack_n(24, 10, 30);
   bench::print_header(
       "Ablation: self-scheduling parameters (interval/stealunit/transfer end)",
       "Tanaka et al., HPDC 2000, §4.3-4.4 parameter tuning methodology");

@@ -16,14 +16,6 @@
 namespace wacs {
 namespace {
 
-int instance_size() {
-  if (const char* env = std::getenv("WACS_KNAPSACK_N")) {
-    const int n = std::atoi(env);
-    if (n >= 10 && n <= 34) return n;
-  }
-  return 26;
-}
-
 knapsack::RunStats run(core::Testbed& tb,
                        std::vector<rmf::Placement> placements, int n) {
   knapsack::Instance inst = knapsack::no_prune_instance(n, 2);
@@ -50,7 +42,7 @@ knapsack::RunStats run(core::Testbed& tb,
 
 int main() {
   using namespace wacs;
-  const int n = instance_size();
+  const int n = bench::knapsack_n(26);
   bench::print_header(
       "Extension: the Figure 1 three-site wide-area cluster system",
       "Tanaka et al., HPDC 2000, Figure 1 (evaluated here beyond the paper)");

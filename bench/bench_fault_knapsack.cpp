@@ -37,14 +37,6 @@ namespace {
 
 constexpr std::uint64_t kSeed = 20000801;  // HPDC 2000 vintage
 
-int instance_size() {
-  if (const char* env = std::getenv("WACS_KNAPSACK_N")) {
-    const int n = std::atoi(env);
-    if (n >= 10 && n <= 30) return n;
-  }
-  return 20;
-}
-
 rmf::JobSpec wide_area_spec(const knapsack::Instance& inst,
                             const core::Testbed& tb) {
   rmf::JobSpec spec;
@@ -112,7 +104,7 @@ void plan_faults(core::GridSystem& grid, int scenario, double app_start,
 
 int main() {
   using namespace wacs;
-  const int n = instance_size();
+  const int n = bench::knapsack_n(20, 10, 30);
   bench::print_header(
       "Fault injection: wide-area knapsack under WAN flap + proxy restart",
       "robustness extension of Tanaka et al., HPDC 2000, Table 4 setup");

@@ -23,14 +23,6 @@
 namespace wacs {
 namespace {
 
-int instance_size() {
-  if (const char* env = std::getenv("WACS_KNAPSACK_N")) {
-    const int n = std::atoi(env);
-    if (n >= 10 && n <= 34) return n;
-  }
-  return 26;
-}
-
 struct SystemRun {
   std::string name;
   int nprocs = 0;
@@ -96,7 +88,7 @@ SystemRun best_of_grid(const std::string& name, const core::TestbedOptions& opti
 
 int main() {
   using namespace wacs;
-  const int n = instance_size();
+  const int n = bench::knapsack_n(26);
   bench::print_header("Tables 3-4: 0-1 knapsack on the four cluster systems",
                       "Tanaka et al., HPDC 2000, Tables 3 and 4");
   std::printf("instance: %d items, no branches pruned -> %s nodes "
@@ -175,13 +167,14 @@ int main() {
   // histogram, and per-link byte counters for a single well-defined
   // configuration, and the chrome trace shows every proxy relay hop.
   {
-    telemetry::metrics().reset();
-    telemetry::tracer().clear();
-    telemetry::tracer().enable();
+    bench::TraceWindow window;
     auto tb = core::make_rwcp_etl_testbed(with_proxy);
+    tb->net().enable_link_sampling(sim::from_sec(0.002));
     auto stats = run_once(tb, inst, core::placement_wide_area(tb),
                           runs[3].best_interval, runs[3].best_stealunit);
-    telemetry::tracer().disable();
+
+    std::printf("\nlink utilization over the traced run:\n%s",
+                tb->net().utilization_ascii().c_str());
 
     bench::Report report("table4");
     report.set("instance_items", n);
@@ -204,6 +197,7 @@ int main() {
       report.add_row(std::move(r));
     }
     report.set("links", bench::link_traffic_json(tb->net()));
+    report.set("link_utilization", tb->net().utilization_json());
     bench::finish_report(report, "table4");
   }
   return 0;

@@ -17,14 +17,6 @@
 namespace wacs {
 namespace {
 
-int instance_size() {
-  if (const char* env = std::getenv("WACS_KNAPSACK_N")) {
-    const int n = std::atoi(env);
-    if (n >= 10 && n <= 34) return n;
-  }
-  return 26;
-}
-
 knapsack::RunStats run_system(std::vector<rmf::Placement> placements, int n) {
   auto tb = core::make_rwcp_etl_testbed();
   knapsack::Instance inst = knapsack::no_prune_instance(n, 2);
@@ -85,7 +77,7 @@ void print_rows(const char* system, const knapsack::RunStats& stats,
 
 int main() {
   using namespace wacs;
-  const int n = instance_size();
+  const int n = bench::knapsack_n(26);
   bench::print_header("Table 5: number of steals",
                       "Tanaka et al., HPDC 2000, Table 5");
   std::printf("instance: %d items (%s nodes); paper used 50 items\n", n,

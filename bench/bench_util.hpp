@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "common/bench_report.hpp"
@@ -16,6 +17,32 @@
 #include "simnet/net.hpp"
 
 namespace wacs::bench {
+
+/// Knapsack instance size: WACS_KNAPSACK_N when set and within [lo, hi],
+/// `fallback` otherwise. Every knapsack bench honours the same knob so CI
+/// can shrink them uniformly.
+inline int knapsack_n(int fallback, int lo = 10, int hi = 34) {
+  if (const char* env = std::getenv("WACS_KNAPSACK_N")) {
+    const int n = std::atoi(env);
+    if (n >= lo && n <= hi) return n;
+  }
+  return fallback;
+}
+
+/// RAII measurement window for an instrumented replay: resets the metrics
+/// registry and clears + enables the tracer on entry, disables the tracer
+/// on exit, so the captured metrics/trace cover exactly the window's scope.
+class TraceWindow {
+ public:
+  TraceWindow() {
+    telemetry::metrics().reset();
+    telemetry::tracer().clear();
+    telemetry::tracer().enable();
+  }
+  ~TraceWindow() { telemetry::tracer().disable(); }
+  TraceWindow(const TraceWindow&) = delete;
+  TraceWindow& operator=(const TraceWindow&) = delete;
+};
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {
   std::printf("\n================================================================\n");

@@ -1,0 +1,186 @@
+#include "analysis/bench_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace wacs::analysis {
+namespace {
+
+bool suffix_matches(const std::string& path, const std::string& suffix) {
+  if (path.size() < suffix.size()) return false;
+  if (path.compare(path.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  if (path.size() == suffix.size()) return true;
+  const char before = path[path.size() - suffix.size() - 1];
+  return before == '.' || before == ']';
+}
+
+struct Walker {
+  const DiffOptions& options;
+  DiffResult& result;
+
+  bool ignored(const std::string& path) const {
+    for (const std::string& suffix : options.ignore) {
+      if (suffix_matches(path, suffix)) return true;
+    }
+    return false;
+  }
+
+  double tolerance(const std::string& path) const {
+    for (const auto& [suffix, tol] : options.ratio_tol) {
+      if (suffix_matches(path, suffix)) return tol;
+    }
+    return 0;
+  }
+
+  void note(const std::string& path, const json::Value* e, const json::Value* a,
+            double rel, FieldDiff::Verdict verdict) {
+    FieldDiff d;
+    d.path = path;
+    if (e != nullptr) d.expected = e->dump();
+    if (a != nullptr) d.actual = a->dump();
+    d.rel = rel;
+    d.verdict = verdict;
+    result.diffs.push_back(std::move(d));
+  }
+
+  void walk(const std::string& path, const json::Value& e,
+            const json::Value& a) {
+    if (ignored(path)) return;
+    using Type = json::Value::Type;
+
+    if (e.type() == Type::kObject && a.type() == Type::kObject) {
+      for (const auto& [key, child] : e.members()) {
+        const std::string child_path = path.empty() ? key : path + "." + key;
+        const json::Value* found = a.find(key);
+        if (found == nullptr) {
+          if (!ignored(child_path)) {
+            note(child_path, &child, nullptr, 0, FieldDiff::Verdict::kMissing);
+            result.ok = false;
+          }
+          continue;
+        }
+        walk(child_path, child, *found);
+      }
+      for (const auto& [key, child] : a.members()) {
+        if (e.find(key) != nullptr) continue;
+        const std::string child_path = path.empty() ? key : path + "." + key;
+        if (ignored(child_path)) continue;
+        note(child_path, nullptr, &child, 0, FieldDiff::Verdict::kAdded);
+        if (!options.allow_new_keys) result.ok = false;
+      }
+      return;
+    }
+
+    if (e.type() == Type::kArray && a.type() == Type::kArray) {
+      const std::size_t ne = e.items().size();
+      const std::size_t na = a.items().size();
+      if (ne != na) {
+        ++result.compared;
+        FieldDiff d;
+        d.path = path;
+        d.expected = "len " + std::to_string(ne);
+        d.actual = "len " + std::to_string(na);
+        d.verdict = FieldDiff::Verdict::kChanged;
+        result.diffs.push_back(std::move(d));
+        result.ok = false;
+      }
+      for (std::size_t i = 0; i < std::min(ne, na); ++i) {
+        walk(path + "[" + std::to_string(i) + "]", e.items()[i], a.items()[i]);
+      }
+      return;
+    }
+
+    // Leaf (or type mismatch, which compares as a changed leaf).
+    ++result.compared;
+    if (e.is_number() && a.is_number() &&
+        (e.type() == Type::kDouble || a.type() == Type::kDouble)) {
+      const double ev = e.as_double();
+      const double av = a.as_double();
+      const double scale = std::max(std::fabs(ev), std::fabs(av));
+      const double rel = scale > 0 ? std::fabs(av - ev) / scale : 0;
+      const double tol = tolerance(path);
+      if (ev == av) return;
+      if (tol > 0 && rel <= tol) {
+        note(path, &e, &a, rel, FieldDiff::Verdict::kOk);
+        return;
+      }
+      note(path, &e, &a, rel, FieldDiff::Verdict::kChanged);
+      result.ok = false;
+      return;
+    }
+    if (e.type() == a.type()) {
+      bool same = false;
+      switch (e.type()) {
+        case Type::kNull: same = true; break;
+        case Type::kBool: same = e.as_bool() == a.as_bool(); break;
+        case Type::kInt: same = e.as_int() == a.as_int(); break;
+        case Type::kString: same = e.as_string() == a.as_string(); break;
+        default: same = e.dump() == a.dump(); break;
+      }
+      if (same) return;
+    }
+    double rel = 0;
+    if (e.is_number() && a.is_number()) {
+      const double scale =
+          std::max(std::fabs(e.as_double()), std::fabs(a.as_double()));
+      rel = scale > 0 ? std::fabs(a.as_double() - e.as_double()) / scale : 0;
+    }
+    note(path, &e, &a, rel, FieldDiff::Verdict::kChanged);
+    result.ok = false;
+  }
+};
+
+const char* verdict_name(FieldDiff::Verdict v) {
+  switch (v) {
+    case FieldDiff::Verdict::kOk: return "ok (tol)";
+    case FieldDiff::Verdict::kChanged: return "CHANGED";
+    case FieldDiff::Verdict::kMissing: return "MISSING";
+    case FieldDiff::Verdict::kAdded: return "added";
+  }
+  return "?";
+}
+
+}  // namespace
+
+DiffResult diff_reports(const json::Value& baseline, const json::Value& current,
+                        const DiffOptions& options) {
+  DiffResult result;
+  Walker walker{options, result};
+  walker.walk("", baseline, current);
+  return result;
+}
+
+std::string DiffResult::markdown(const std::string& title) const {
+  std::string out;
+  if (!title.empty()) out += "### " + title + "\n\n";
+  std::size_t regressions = 0;
+  for (const FieldDiff& d : diffs) {
+    if (d.verdict == FieldDiff::Verdict::kChanged ||
+        d.verdict == FieldDiff::Verdict::kMissing) {
+      ++regressions;
+    }
+  }
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "%s — %zu fields compared, %zu notable, %zu regression(s)\n\n",
+                pass() ? "**PASS**" : "**FAIL**", compared, diffs.size(),
+                regressions);
+  out += line;
+  if (diffs.empty()) return out;
+  out += "| field | baseline | current | rel | verdict |\n";
+  out += "|---|---|---|---|---|\n";
+  for (const FieldDiff& d : diffs) {
+    char rel[32] = "";
+    if (d.rel > 0) std::snprintf(rel, sizeof rel, "%.3g", d.rel);
+    out += "| `" + d.path + "` | " +
+           (d.expected.empty() ? "—" : "`" + d.expected + "`") + " | " +
+           (d.actual.empty() ? "—" : "`" + d.actual + "`") + " | " + rel +
+           " | " + verdict_name(d.verdict) + " |\n";
+  }
+  return out;
+}
+
+}  // namespace wacs::analysis

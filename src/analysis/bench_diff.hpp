@@ -1,0 +1,60 @@
+// Field-by-field comparison of two BENCH_*.json reports (DESIGN.md §11).
+//
+// Tolerance policy: virtual-time metrics are deterministic under the same
+// seed, so integers always compare exactly and doubles compare exactly by
+// default. Wall-clock metrics (and anything else environment-dependent) get
+// per-field relative tolerances keyed by dotted-path suffix. The "git"
+// stamp is ignored by default (baselines are committed from an earlier
+// commit than the run that checks against them); "schema_version" compares
+// exactly like any other integer.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace wacs::analysis {
+
+struct DiffOptions {
+  /// Relative tolerance per dotted-path suffix ("wall_ms" matches
+  /// "timing.wall_ms"). A double field matching a suffix passes when
+  /// |a - e| <= tol * max(|e|, |a|). First matching suffix wins.
+  std::vector<std::pair<std::string, double>> ratio_tol;
+  /// Path suffixes excluded from comparison entirely.
+  std::vector<std::string> ignore = {"git"};
+  /// Keys present in the current report but not the baseline: warn (true)
+  /// or fail (false).
+  bool allow_new_keys = true;
+};
+
+struct FieldDiff {
+  enum class Verdict {
+    kOk,       ///< within tolerance (recorded only when a tolerance applied)
+    kChanged,  ///< value regression
+    kMissing,  ///< baseline key absent from current report
+    kAdded,    ///< current key absent from baseline
+  };
+  std::string path;
+  std::string expected;  ///< baseline value, JSON-rendered ("" when kAdded)
+  std::string actual;    ///< current value, JSON-rendered ("" when kMissing)
+  double rel = 0;        ///< relative delta for numeric fields
+  Verdict verdict = Verdict::kOk;
+};
+
+struct DiffResult {
+  std::vector<FieldDiff> diffs;  ///< notable fields, baseline order
+  std::size_t compared = 0;      ///< leaf fields compared
+  bool ok = true;
+
+  bool pass() const { return ok; }
+  /// Markdown verdict table plus a one-line summary.
+  std::string markdown(const std::string& title = "") const;
+};
+
+DiffResult diff_reports(const json::Value& baseline, const json::Value& current,
+                        const DiffOptions& options = {});
+
+}  // namespace wacs::analysis

@@ -1,0 +1,285 @@
+#include "analysis/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <set>
+
+#include "common/stats.hpp"
+
+namespace wacs::analysis {
+namespace {
+
+/// Category of a span, when the span itself determines it; nullopt falls
+/// back to the track default (a rank track's uncategorized time is compute,
+/// anything else is waiting).
+std::optional<Category> span_category(const SpanEv& s) {
+  if (s.cat == "relay") return Category::kRelay;
+  if (s.name == "tcp.connect") return Category::kSetup;
+  if (s.cat == "rmf" || s.cat == "mds") return Category::kSetup;
+  if (s.cat == "knapsack") return Category::kCompute;
+  return std::nullopt;
+}
+
+Category track_default(const std::string& track) {
+  return track.find(".rank") != std::string::npos ? Category::kCompute
+                                                  : Category::kQueue;
+}
+
+Category hop_category(const std::string& kind) {
+  return kind == "wan" ? Category::kWanLink : Category::kLanLink;
+}
+
+/// Appends one segment to the reverse (descending-time) list, merging with
+/// the previously pushed (later-in-time) segment when attribution matches.
+void push_desc(std::vector<PathSegment>& rev, PathSegment seg) {
+  if (seg.end <= seg.begin) return;
+  if (!rev.empty()) {
+    PathSegment& later = rev.back();
+    if (later.begin == seg.end && later.cat == seg.cat &&
+        later.track == seg.track && later.what == seg.what) {
+      later.begin = seg.begin;
+      return;
+    }
+  }
+  rev.push_back(std::move(seg));
+}
+
+/// Attributes the local interval [lo, hi) on `track` to the innermost span
+/// covering each instant; instants outside every span get the track default.
+void append_local(const Trace& trace, const std::string& track, TimeNs lo,
+                  TimeNs hi, std::vector<PathSegment>& rev) {
+  if (hi <= lo) return;
+  std::vector<const SpanEv*> overlapping;
+  if (auto it = trace.spans_by_track.find(track);
+      it != trace.spans_by_track.end()) {
+    for (std::size_t i : it->second) {
+      const SpanEv& s = trace.spans[i];
+      if (s.ts < hi && s.end() > lo) overlapping.push_back(&s);
+    }
+  }
+  std::vector<TimeNs> cuts{lo, hi};
+  for (const SpanEv* s : overlapping) {
+    if (s->ts > lo && s->ts < hi) cuts.push_back(s->ts);
+    if (s->end() > lo && s->end() < hi) cuts.push_back(s->end());
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::vector<PathSegment> fwd;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const TimeNs a = cuts[i];
+    const TimeNs b = cuts[i + 1];
+    // Innermost covering span = latest-starting (ids break the tie: they are
+    // allocated in open order, so larger id = deeper nesting).
+    const SpanEv* inner = nullptr;
+    for (const SpanEv* s : overlapping) {
+      if (s->ts > a || s->end() < b) continue;
+      if (inner == nullptr || s->ts > inner->ts ||
+          (s->ts == inner->ts && s->id > inner->id)) {
+        inner = s;
+      }
+    }
+    PathSegment seg;
+    seg.begin = a;
+    seg.end = b;
+    seg.track = track;
+    if (inner != nullptr) {
+      seg.cat = span_category(*inner).value_or(track_default(track));
+      seg.what = inner->name;
+    } else {
+      seg.cat = track_default(track);
+      seg.what = "gap";
+    }
+    if (!fwd.empty() && fwd.back().end == seg.begin &&
+        fwd.back().cat == seg.cat && fwd.back().what == seg.what) {
+      fwd.back().end = seg.end;
+    } else {
+      fwd.push_back(std::move(seg));
+    }
+  }
+  for (auto it = fwd.rbegin(); it != fwd.rend(); ++it) {
+    push_desc(rev, std::move(*it));
+  }
+}
+
+/// Attributes the flow interval [src_ts, dst_ts): per-hop link charges when
+/// the flow carries path detail (tcp), pure queueing otherwise (mpi demux).
+void append_flow(const FlowEv& f, std::vector<PathSegment>& rev) {
+  const TimeNs lo = f.src_ts;
+  const TimeNs hi = f.dst_ts;
+  if (hi <= lo) return;
+  std::vector<PathSegment> fwd;
+  TimeNs t = lo;
+  for (const HopDetail& h : f.path) {
+    const TimeNs e = std::min(hi, t + h.queued + h.tx + h.lat);
+    if (e > t) fwd.push_back({t, e, hop_category(h.kind), h.link, "hop"});
+    t = e;
+  }
+  if (f.arrival > t && f.arrival <= hi) {
+    fwd.push_back({t, f.arrival, Category::kQueue, f.dst_track, "in-flight"});
+    t = f.arrival;
+  }
+  if (hi > t) {
+    // Inbox residence (tcp) or demux queueing (mpi, no hop detail).
+    fwd.push_back({t, hi, Category::kQueue, f.dst_track,
+                   f.path.empty() ? f.cat + " queue" : "inbox"});
+  }
+  for (auto it = fwd.rbegin(); it != fwd.rend(); ++it) {
+    push_desc(rev, std::move(*it));
+  }
+}
+
+}  // namespace
+
+const char* category_name(Category cat) {
+  switch (cat) {
+    case Category::kCompute: return "compute";
+    case Category::kLanLink: return "lan";
+    case Category::kWanLink: return "wan";
+    case Category::kRelay: return "relay";
+    case Category::kQueue: return "queueing";
+    case Category::kSetup: return "setup";
+  }
+  return "?";
+}
+
+Result<CriticalPath> critical_path(const Trace& trace,
+                                   const CriticalPathOptions& options) {
+  const SpanEv* terminal = nullptr;
+  for (const SpanEv& s : trace.spans) {
+    if (options.trace_id != 0 && s.trace != options.trace_id) continue;
+    if (!options.terminal.empty() && s.name != options.terminal) continue;
+    if (terminal == nullptr || s.end() > terminal->end() ||
+        (s.end() == terminal->end() && s.id > terminal->id)) {
+      terminal = &s;
+    }
+  }
+  if (terminal == nullptr) {
+    return Error(ErrorCode::kNotFound,
+                 options.terminal.empty()
+                     ? "trace has no spans"
+                     : "no span named '" + options.terminal + "'");
+  }
+
+  CriticalPath cp;
+  cp.end = terminal->end();
+  cp.terminal_track = terminal->track;
+  cp.terminal_name = terminal->name;
+
+  std::vector<PathSegment> rev;  // collected newest-first, reversed at the end
+  std::set<std::uint64_t> used;
+  TimeNs cursor = cp.end;
+  std::string track = terminal->track;
+
+  while (cursor > 0) {
+    // Latest unused completed arrival on this track at or before the cursor.
+    const FlowEv* flow = nullptr;
+    if (auto it = trace.arrivals_by_track.find(track);
+        it != trace.arrivals_by_track.end()) {
+      const auto& idx = it->second;
+      for (auto rit = idx.rbegin(); rit != idx.rend(); ++rit) {
+        const FlowEv& cand = trace.flows[*rit];
+        if (cand.dst_ts > cursor) continue;
+        if (cand.src_ts > cand.dst_ts) continue;  // malformed ordering
+        if (used.count(cand.id) != 0) continue;
+        flow = &cand;
+        break;
+      }
+    }
+    if (flow == nullptr) break;
+    used.insert(flow->id);
+    ++cp.hops;
+    append_local(trace, track, flow->dst_ts, cursor, rev);
+    append_flow(*flow, rev);
+    cursor = flow->src_ts;
+    track = flow->src_track;
+  }
+  append_local(trace, track, 0, cursor, rev);
+
+  cp.segments.assign(rev.rbegin(), rev.rend());
+  for (Category cat : kAllCategories) cp.by_category[cat] = 0;
+  for (const PathSegment& seg : cp.segments) {
+    cp.by_category[seg.cat] += seg.dur();
+  }
+  return cp;
+}
+
+json::Value CriticalPath::to_json() const {
+  json::Value root = json::Value::object();
+  root.set("makespan_ns", end);
+  json::Value term = json::Value::object();
+  term.set("track", terminal_track);
+  term.set("name", terminal_name);
+  root.set("terminal", std::move(term));
+  root.set("hops", static_cast<std::int64_t>(hops));
+  json::Value cats = json::Value::object();
+  for (Category cat : kAllCategories) {
+    auto it = by_category.find(cat);
+    cats.set(category_name(cat), it == by_category.end() ? TimeNs{0} : it->second);
+  }
+  root.set("by_category_ns", std::move(cats));
+  json::Value segs = json::Value::array();
+  for (const PathSegment& seg : segments) {
+    json::Value s = json::Value::object();
+    s.set("begin", seg.begin);
+    s.set("end", seg.end);
+    s.set("cat", category_name(seg.cat));
+    s.set("track", seg.track);
+    s.set("what", seg.what);
+    segs.push_back(std::move(s));
+  }
+  root.set("segments", std::move(segs));
+  return root;
+}
+
+std::string CriticalPath::render(std::size_t max_segments) const {
+  std::string out;
+  out += "critical path: " + terminal_name + " on " + terminal_track +
+         ", makespan " + format_duration_ms(static_cast<double>(end) / 1e6) +
+         ", " + std::to_string(hops) + " hops\n";
+
+  TextTable breakdown({"category", "time", "share"});
+  for (Category cat : kAllCategories) {
+    auto it = by_category.find(cat);
+    const TimeNs ns = it == by_category.end() ? 0 : it->second;
+    char share[16];
+    std::snprintf(share, sizeof share, "%5.1f%%",
+                  end > 0 ? 100.0 * static_cast<double>(ns) /
+                                static_cast<double>(end)
+                          : 0.0);
+    breakdown.add_row({category_name(cat),
+                       format_duration_ms(static_cast<double>(ns) / 1e6),
+                       share});
+  }
+  breakdown.add_row({"total",
+                     format_duration_ms(static_cast<double>(end) / 1e6),
+                     "100.0%"});
+  out += breakdown.to_string();
+
+  if (max_segments > 0 && !segments.empty()) {
+    std::vector<const PathSegment*> top;
+    top.reserve(segments.size());
+    for (const PathSegment& seg : segments) top.push_back(&seg);
+    std::stable_sort(top.begin(), top.end(),
+                     [](const PathSegment* a, const PathSegment* b) {
+                       return a->dur() > b->dur();
+                     });
+    if (top.size() > max_segments) top.resize(max_segments);
+    std::stable_sort(top.begin(), top.end(),
+                     [](const PathSegment* a, const PathSegment* b) {
+                       return a->begin < b->begin;
+                     });
+    TextTable segs({"begin", "dur", "category", "track", "what"});
+    for (const PathSegment* seg : top) {
+      segs.add_row({format_duration_ms(static_cast<double>(seg->begin) / 1e6),
+                    format_duration_ms(static_cast<double>(seg->dur()) / 1e6),
+                    category_name(seg->cat), seg->track, seg->what});
+    }
+    out += "\ndominant segments (top " + std::to_string(top.size()) + "):\n";
+    out += segs.to_string();
+  }
+  return out;
+}
+
+}  // namespace wacs::analysis

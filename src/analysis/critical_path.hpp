@@ -1,0 +1,81 @@
+// Critical-path extraction over a parsed trace (DESIGN.md §11).
+//
+// The walker starts at the end of a terminal span and walks virtual time
+// backwards: on each track it finds the latest message arrival that could
+// have enabled the work under the cursor, attributes the local interval to
+// the spans covering it, jumps through the flow arrow to the sender's track,
+// and repeats until it reaches t = 0. The resulting segments PARTITION
+// [0, makespan] — every nanosecond of the end-to-end run is attributed to
+// exactly one category — so the per-category breakdown sums to the run's
+// virtual makespan by construction.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+
+#include "analysis/trace.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace wacs::analysis {
+
+/// Where a nanosecond of the critical path went.
+enum class Category {
+  kCompute,  ///< application work (knapsack search, gap on a rank track)
+  kLanLink,  ///< LAN / loopback hop: queueing + serialization + latency
+  kWanLink,  ///< WAN hop: queueing + serialization + latency
+  kRelay,    ///< proxy relay pump handling (crossing the firewall)
+  kQueue,    ///< waiting: inbox residence, MPI demux, gap on a non-rank track
+  kSetup,    ///< connection establishment, RMF / MDS job management
+};
+
+inline constexpr std::array<Category, 6> kAllCategories = {
+    Category::kCompute, Category::kLanLink, Category::kWanLink,
+    Category::kRelay,   Category::kQueue,   Category::kSetup};
+
+/// Stable short name: "compute" / "lan" / "wan" / "relay" / "queueing" /
+/// "setup".
+const char* category_name(Category cat);
+
+/// One attributed interval of the critical path.
+struct PathSegment {
+  TimeNs begin = 0;
+  TimeNs end = 0;
+  Category cat = Category::kQueue;
+  std::string track;  ///< track the interval was spent on (link name for hops)
+  std::string what;   ///< span name, link name, or "idle"
+
+  TimeNs dur() const { return end - begin; }
+};
+
+struct CriticalPath {
+  TimeNs end = 0;  ///< terminal span end == virtual makespan analysed
+  std::string terminal_track;
+  std::string terminal_name;
+  std::size_t hops = 0;  ///< flow arrows traversed
+  /// Ascending, contiguous, covering [0, end].
+  std::vector<PathSegment> segments;
+  /// Total ns per category; sums to `end`.
+  std::map<Category, TimeNs> by_category;
+
+  /// Deterministic JSON report (categories in fixed order, segments listed).
+  json::Value to_json() const;
+  /// Human-readable breakdown table plus the dominant segments.
+  std::string render(std::size_t max_segments = 20) const;
+};
+
+struct CriticalPathOptions {
+  /// When non-empty, the terminal span is the latest-ending span with this
+  /// name; otherwise the latest-ending span in the trace.
+  std::string terminal;
+  /// When nonzero, only spans of this trace id are considered terminal.
+  std::uint64_t trace_id = 0;
+};
+
+/// Extracts the critical path. Errors when the trace has no spans (or none
+/// matching the options).
+Result<CriticalPath> critical_path(const Trace& trace,
+                                   const CriticalPathOptions& options = {});
+
+}  // namespace wacs::analysis

@@ -1,0 +1,204 @@
+#include "analysis/timeline.hpp"
+
+#include <algorithm>
+
+namespace wacs::analysis {
+namespace {
+
+bool is_rank_track(const std::string& track) {
+  return track.find(".rank") != std::string::npos &&
+         track.find("mpi.rd") == std::string::npos;
+}
+
+/// Adds `dur` of an interval [lo, hi) to buckets, split proportionally.
+template <typename Cells, typename Add>
+void spread(Cells& cells, TimeNs bucket_ns, TimeNs lo, TimeNs hi, Add add) {
+  if (hi <= lo || bucket_ns <= 0) return;
+  const auto last = static_cast<std::size_t>(cells.size());
+  for (auto i = static_cast<std::size_t>(lo / bucket_ns); i < last; ++i) {
+    const TimeNs a = std::max<TimeNs>(lo, static_cast<TimeNs>(i) * bucket_ns);
+    const TimeNs b =
+        std::min<TimeNs>(hi, static_cast<TimeNs>(i + 1) * bucket_ns);
+    if (b <= a) break;
+    add(cells[i], b - a);
+  }
+}
+
+const char* util_glyphs() { return " .:-=+*oO#"; }
+
+char fraction_glyph(double frac) {
+  const char* glyphs = util_glyphs();
+  int level = static_cast<int>(frac * 9.0 + 0.5);
+  level = std::clamp(level, 0, 9);
+  return glyphs[level];
+}
+
+}  // namespace
+
+Timeline build_timeline(const Trace& trace, const TimelineOptions& options) {
+  Timeline tl;
+  tl.end = trace.end_ts;
+  const int buckets = std::max(1, options.buckets);
+  tl.bucket_ns = tl.end > 0 ? (tl.end + buckets - 1) / buckets : 1;
+
+  // ---- rank rows -------------------------------------------------------
+  for (const auto& [track, idx] : trace.spans_by_track) {
+    if (!is_rank_track(track)) continue;
+    auto& row = tl.ranks[track];
+    row.assign(static_cast<std::size_t>(buckets), Timeline::RankBucket{});
+
+    // Activity window: first span start to last span end on this track.
+    TimeNs first = tl.end;
+    TimeNs last = 0;
+    for (std::size_t i : idx) {
+      first = std::min(first, trace.spans[i].ts);
+      last = std::max(last, trace.spans[i].end());
+    }
+    if (last <= first) continue;
+
+    // Steal and connection-setup coverage; everything else inside the
+    // window counts as compute, everything outside as idle.
+    for (std::size_t i : idx) {
+      const SpanEv& s = trace.spans[i];
+      if (s.name == "knapsack.steal") {
+        spread(row, tl.bucket_ns, s.ts, s.end(),
+               [](Timeline::RankBucket& c, TimeNs d) { c.steal += d; });
+      } else if (s.name == "tcp.connect") {
+        spread(row, tl.bucket_ns, s.ts, s.end(),
+               [](Timeline::RankBucket& c, TimeNs d) { c.comm += d; });
+      }
+    }
+    spread(row, tl.bucket_ns, first, last,
+           [](Timeline::RankBucket& c, TimeNs d) { c.compute += d; });
+    for (auto& cell : row) {
+      cell.compute = std::max<TimeNs>(0, cell.compute - cell.steal - cell.comm);
+    }
+    // Idle is whatever is left of each bucket (clipped to the horizon).
+    for (int i = 0; i < buckets; ++i) {
+      const TimeNs a = static_cast<TimeNs>(i) * tl.bucket_ns;
+      const TimeNs b = std::min(tl.end, a + tl.bucket_ns);
+      if (b <= a) break;
+      auto& cell = row[static_cast<std::size_t>(i)];
+      cell.idle = std::max<TimeNs>(
+          0, (b - a) - cell.compute - cell.steal - cell.comm);
+    }
+  }
+
+  // ---- link rows -------------------------------------------------------
+  for (const FlowEv& f : trace.flows) {
+    if (!f.complete() || f.path.empty()) continue;
+    TimeNs t = f.src_ts;
+    for (const HopDetail& h : f.path) {
+      auto [it, inserted] = tl.links.try_emplace(h.link);
+      if (inserted) {
+        it->second.assign(static_cast<std::size_t>(buckets),
+                          Timeline::LinkBucket{});
+      }
+      auto& row = it->second;
+      const TimeNs begin = t + h.queued;  // serialization starts after queue
+      spread(row, tl.bucket_ns, begin, begin + h.tx,
+             [](Timeline::LinkBucket& c, TimeNs d) { c.busy += d; });
+      if (tl.bucket_ns > 0 && begin >= 0) {
+        const auto i = static_cast<std::size_t>(begin / tl.bucket_ns);
+        if (i < row.size()) row[i].bytes += f.bytes;
+      }
+      t = begin + h.tx + h.lat;
+    }
+  }
+
+  return tl;
+}
+
+json::Value Timeline::to_json() const {
+  json::Value root = json::Value::object();
+  root.set("end_ns", end);
+  root.set("bucket_ns", bucket_ns);
+
+  json::Value rank_obj = json::Value::object();
+  for (const auto& [track, row] : ranks) {
+    json::Value cells = json::Value::array();
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const RankBucket& c = row[i];
+      if (c.compute == 0 && c.steal == 0 && c.comm == 0 && c.idle == 0) {
+        continue;
+      }
+      json::Value cell = json::Value::object();
+      cell.set("i", static_cast<std::int64_t>(i));
+      cell.set("compute", c.compute);
+      cell.set("steal", c.steal);
+      cell.set("comm", c.comm);
+      cell.set("idle", c.idle);
+      cells.push_back(std::move(cell));
+    }
+    rank_obj.set(track, std::move(cells));
+  }
+  root.set("ranks", std::move(rank_obj));
+
+  json::Value link_obj = json::Value::object();
+  for (const auto& [name, row] : links) {
+    json::Value cells = json::Value::array();
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const LinkBucket& c = row[i];
+      if (c.busy == 0 && c.bytes == 0) continue;
+      json::Value cell = json::Value::object();
+      cell.set("i", static_cast<std::int64_t>(i));
+      cell.set("busy_ns", c.busy);
+      cell.set("bytes", c.bytes);
+      cells.push_back(std::move(cell));
+    }
+    link_obj.set(name, std::move(cells));
+  }
+  root.set("links", std::move(link_obj));
+  return root;
+}
+
+std::string Timeline::render_ascii() const {
+  std::string out;
+  std::size_t label_width = 0;
+  for (const auto& [track, row] : ranks) {
+    label_width = std::max(label_width, track.size());
+  }
+  for (const auto& [name, row] : links) {
+    label_width = std::max(label_width, name.size());
+  }
+
+  auto pad = [&](const std::string& s) {
+    std::string padded = s;
+    padded.resize(label_width, ' ');
+    return padded;
+  };
+
+  if (!ranks.empty()) {
+    out += "ranks (#=compute S=steal c=connect .=idle):\n";
+    for (const auto& [track, row] : ranks) {
+      out += pad(track) + " |";
+      for (const RankBucket& c : row) {
+        char glyph = ' ';
+        TimeNs best = 0;
+        if (c.idle > best) { best = c.idle; glyph = '.'; }
+        if (c.compute > best) { best = c.compute; glyph = '#'; }
+        if (c.steal > best) { best = c.steal; glyph = 'S'; }
+        if (c.comm > best) { best = c.comm; glyph = 'c'; }
+        out += glyph;
+      }
+      out += "|\n";
+    }
+  }
+  if (!links.empty()) {
+    out += "links (busy fraction, ' '=idle '#'=saturated):\n";
+    for (const auto& [name, row] : links) {
+      out += pad(name) + " |";
+      for (const LinkBucket& c : row) {
+        const double frac =
+            bucket_ns > 0
+                ? static_cast<double>(c.busy) / static_cast<double>(bucket_ns)
+                : 0.0;
+        out += fraction_glyph(frac);
+      }
+      out += "|\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace wacs::analysis

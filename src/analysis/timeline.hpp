@@ -1,0 +1,58 @@
+// Utilization timelines reconstructed offline from a trace (DESIGN.md §11).
+//
+// Two views over the same bucketed time axis [0, trace end):
+//  - per-rank rows: how each MPI rank split its time between compute,
+//    steal-protocol handling, connection setup, and idling;
+//  - per-link rows: busy (serialization) time and bytes on every link that
+//    carried traffic, reconstructed from the per-hop charge detail the tcp
+//    layer stamps onto flow arrows.
+//
+// The runtime produces the same link view directly (Network::utilization_*)
+// when sampling is enabled; this offline path needs only the trace file.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/trace.hpp"
+#include "common/json.hpp"
+
+namespace wacs::analysis {
+
+struct TimelineOptions {
+  int buckets = 60;  ///< time-axis resolution (also the ASCII row width)
+};
+
+struct Timeline {
+  struct RankBucket {
+    TimeNs compute = 0;
+    TimeNs steal = 0;
+    TimeNs comm = 0;
+    TimeNs idle = 0;
+  };
+  struct LinkBucket {
+    TimeNs busy = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  TimeNs end = 0;        ///< analysed horizon (trace end)
+  TimeNs bucket_ns = 0;  ///< width of each bucket
+  /// Rank rows keyed by track name; each vector has exactly `buckets` cells.
+  std::map<std::string, std::vector<RankBucket>> ranks;
+  /// Link rows keyed by link name (from hop detail), same bucketing.
+  std::map<std::string, std::vector<LinkBucket>> links;
+
+  /// Deterministic JSON (sparse: all-zero cells omitted).
+  json::Value to_json() const;
+  /// ASCII rows: ranks use the dominant activity per cell ('#' compute,
+  /// 'S' steal, 'c' comm, '.' idle), links use busy-fraction glyphs.
+  std::string render_ascii() const;
+};
+
+/// Builds the timeline. Works on any trace; rank rows cover tracks matching
+/// ".rank" (excluding the mpi reader daemons), link rows need flows with
+/// hop detail (tracing must have been on in the traced process).
+Timeline build_timeline(const Trace& trace, const TimelineOptions& options = {});
+
+}  // namespace wacs::analysis

@@ -1,0 +1,192 @@
+#include "analysis/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace wacs::analysis {
+namespace {
+
+std::string str_field(const json::Value& e, const char* key) {
+  const json::Value* v = e.find(key);
+  return v == nullptr ? "" : v->as_string();
+}
+
+std::int64_t int_field(const json::Value& e, const char* key,
+                       std::int64_t fallback = 0) {
+  const json::Value* v = e.find(key);
+  return v == nullptr ? fallback : v->as_int(fallback);
+}
+
+/// Decodes one line's JSON object into the trace; returns false when the
+/// object does not look like a trace event.
+bool accept_event(Trace& out, const json::Value& e,
+                  std::map<std::uint64_t, std::size_t>& flow_index) {
+  const std::string type = str_field(e, "type");
+  const TimeNs ts = int_field(e, "ts");
+
+  if (type == "span") {
+    SpanEv s;
+    s.cat = str_field(e, "cat");
+    s.name = str_field(e, "name");
+    s.track = str_field(e, "track");
+    s.ts = ts;
+    s.dur = int_field(e, "dur");
+    s.trace = static_cast<std::uint64_t>(int_field(e, "trace"));
+    s.id = static_cast<std::uint64_t>(int_field(e, "span"));
+    s.parent = static_cast<std::uint64_t>(int_field(e, "parent"));
+    if (const json::Value* args = e.find("args")) s.args = *args;
+    out.end_ts = std::max(out.end_ts, s.end());
+    out.spans.push_back(std::move(s));
+    return true;
+  }
+
+  if (type == "flow_s" || type == "flow_f") {
+    const auto id = static_cast<std::uint64_t>(int_field(e, "flow"));
+    if (id == 0) return false;
+    auto [it, inserted] = flow_index.try_emplace(id, out.flows.size());
+    if (inserted) {
+      out.flows.emplace_back();
+      out.flows.back().id = id;
+    }
+    FlowEv& f = out.flows[it->second];
+    f.trace = static_cast<std::uint64_t>(int_field(e, "trace"));
+    if (type == "flow_s") {
+      f.cat = str_field(e, "cat");
+      f.src_track = str_field(e, "track");
+      f.src_ts = ts;
+      f.src_span = static_cast<std::uint64_t>(int_field(e, "span"));
+      if (const json::Value* args = e.find("args")) {
+        f.arrival = int_field(*args, "arr", -1);
+        f.bytes = static_cast<std::uint64_t>(int_field(*args, "bytes"));
+        if (const json::Value* path = args->find("path")) {
+          for (const json::Value& h : path->items()) {
+            HopDetail hop;
+            hop.link = str_field(h, "l");
+            hop.kind = str_field(h, "k");
+            hop.queued = int_field(h, "q");
+            hop.tx = int_field(h, "tx");
+            hop.lat = int_field(h, "lat");
+            f.path.push_back(std::move(hop));
+          }
+        }
+      }
+    } else {
+      f.dst_track = str_field(e, "track");
+      f.dst_ts = ts;
+    }
+    out.end_ts = std::max(out.end_ts, ts);
+    return true;
+  }
+
+  if (type == "instant") {
+    out.end_ts = std::max(out.end_ts, ts);
+    return true;  // accepted but not modeled
+  }
+  return false;
+}
+
+}  // namespace
+
+const SpanEv* Trace::span_by_id(std::uint64_t id) const {
+  for (const SpanEv& s : spans) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+Trace parse_trace(std::string_view text) {
+  Trace out;
+  std::map<std::uint64_t, std::size_t> flow_index;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() ||
+        line.find_first_not_of(" \t\r") == std::string_view::npos) {
+      continue;
+    }
+    auto parsed = json::Value::parse(line);
+    if (!parsed.ok() || parsed->type() != json::Value::Type::kObject ||
+        !accept_event(out, *parsed, flow_index)) {
+      ++out.malformed;
+      continue;
+    }
+    ++out.events;
+  }
+
+  for (std::size_t i = 0; i < out.spans.size(); ++i) {
+    out.spans_by_track[out.spans[i].track].push_back(i);
+  }
+  for (auto& [track, idx] : out.spans_by_track) {
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return out.spans[a].ts != out.spans[b].ts
+                 ? out.spans[a].ts < out.spans[b].ts
+                 : out.spans[a].id < out.spans[b].id;
+    });
+  }
+  for (std::size_t i = 0; i < out.flows.size(); ++i) {
+    if (!out.flows[i].complete()) continue;
+    out.arrivals_by_track[out.flows[i].dst_track].push_back(i);
+  }
+  for (auto& [track, idx] : out.arrivals_by_track) {
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return out.flows[a].dst_ts != out.flows[b].dst_ts
+                 ? out.flows[a].dst_ts < out.flows[b].dst_ts
+                 : out.flows[a].id < out.flows[b].id;
+    });
+  }
+  return out;
+}
+
+Result<Trace> load_trace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Error(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return parse_trace(text);
+}
+
+TraceGraph TraceGraph::build(const Trace& trace) {
+  TraceGraph g;
+  // Same-track program order.
+  for (const auto& [track, idx] : trace.spans_by_track) {
+    for (std::size_t i = 1; i < idx.size(); ++i) {
+      g.edges.push_back(Edge{idx[i - 1], idx[i], Edge::Kind::kTrackOrder, 0});
+    }
+  }
+  // Flow arrows: sender context span -> innermost receiving span.
+  std::map<std::uint64_t, std::size_t> span_pos;
+  for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+    span_pos[trace.spans[i].id] = i;
+  }
+  for (const FlowEv& f : trace.flows) {
+    if (!f.complete() || f.src_span == 0) continue;
+    auto from = span_pos.find(f.src_span);
+    if (from == span_pos.end()) continue;
+    auto tracked = trace.spans_by_track.find(f.dst_track);
+    if (tracked == trace.spans_by_track.end()) continue;
+    // Innermost = latest-starting span on the track covering the dequeue.
+    const SpanEv* best = nullptr;
+    std::size_t best_idx = 0;
+    for (std::size_t i : tracked->second) {
+      const SpanEv& s = trace.spans[i];
+      if (s.ts > f.dst_ts) break;
+      if (s.covers(f.dst_ts) && (best == nullptr || s.ts >= best->ts)) {
+        best = &s;
+        best_idx = i;
+      }
+    }
+    if (best == nullptr) continue;
+    g.edges.push_back(Edge{from->second, best_idx, Edge::Kind::kFlow, f.id});
+  }
+  return g;
+}
+
+}  // namespace wacs::analysis

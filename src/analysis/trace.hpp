@@ -1,0 +1,109 @@
+// Offline model of a telemetry trace (the JSONL the Tracer exports).
+//
+// This is the input layer of the trace-analytics engine (DESIGN.md §11):
+// it parses span / flow-arrow JSONL into typed events, indexes them per
+// track, and builds the causal DAG (spans as nodes; edges from flow arrows
+// and same-track ordering). Parsing is lenient by construction — a trace
+// cut short by a crash ends mid-line — so malformed lines are skipped and
+// counted, never fatal.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace wacs::analysis {
+
+/// Virtual-time nanoseconds (mirrors sim::Time; analysis/ sits on common/).
+using TimeNs = std::int64_t;
+
+/// One completed span: an interval of one simulated process's execution.
+struct SpanEv {
+  std::string cat;
+  std::string name;
+  std::string track;
+  TimeNs ts = 0;
+  TimeNs dur = 0;
+  std::uint64_t trace = 0;
+  std::uint64_t id = 0;      ///< span id
+  std::uint64_t parent = 0;  ///< parent span id (0 = root)
+  json::Value args;
+
+  TimeNs end() const { return ts + dur; }
+  bool covers(TimeNs t) const { return ts <= t && t < end(); }
+};
+
+/// One hop of a message's network charge, decoded from the flow's "path"
+/// args (stamped by the tcp layer from Network::deliver detail).
+struct HopDetail {
+  std::string link;
+  std::string kind;  ///< "local" / "lan" / "wan"
+  TimeNs queued = 0;
+  TimeNs tx = 0;
+  TimeNs lat = 0;
+};
+
+/// One flow arrow, matched across its start (send) and end (dequeue) events.
+struct FlowEv {
+  std::uint64_t id = 0;
+  std::string cat;  ///< category of the start event ("tcp", "mpi", ...)
+  std::uint64_t trace = 0;
+  std::string src_track;
+  std::string dst_track;
+  TimeNs src_ts = -1;       ///< -1 until the start event is seen
+  TimeNs dst_ts = -1;       ///< -1 until the end event is seen
+  std::uint64_t src_span = 0;  ///< sender's context span id (0 = none)
+  TimeNs arrival = -1;      ///< inbox-enqueue time ("arr" arg); -1 unknown
+  std::uint64_t bytes = 0;  ///< wire bytes ("bytes" arg); 0 unknown
+  std::vector<HopDetail> path;
+
+  bool complete() const { return src_ts >= 0 && dst_ts >= 0; }
+};
+
+/// A parsed trace plus per-track indexes.
+struct Trace {
+  std::vector<SpanEv> spans;  ///< file order (record order = causal order)
+  std::vector<FlowEv> flows;  ///< by first appearance; includes half flows
+  std::size_t events = 0;     ///< well-formed events accepted
+  std::size_t malformed = 0;  ///< lines skipped (parse failure / bad shape)
+  TimeNs end_ts = 0;          ///< latest timestamp (span ends included)
+
+  /// Span indexes (into `spans`) per track, sorted by (ts, id).
+  std::map<std::string, std::vector<std::size_t>> spans_by_track;
+  /// Completed flows (indexes into `flows`) per destination track, sorted
+  /// by dst_ts.
+  std::map<std::string, std::vector<std::size_t>> arrivals_by_track;
+
+  const SpanEv* span_by_id(std::uint64_t id) const;
+};
+
+/// Parses trace JSONL text. Never fails: malformed lines (unparseable JSON,
+/// non-objects, missing type) are counted in Trace::malformed and skipped.
+Trace parse_trace(std::string_view text);
+
+/// Reads and parses a trace file; errors only on I/O.
+Result<Trace> load_trace(const std::string& path);
+
+/// The causal DAG over spans: same-track program order plus flow arrows.
+struct TraceGraph {
+  struct Edge {
+    enum class Kind { kTrackOrder, kFlow };
+    std::size_t from = 0;  ///< index into Trace::spans
+    std::size_t to = 0;
+    Kind kind = Kind::kTrackOrder;
+    std::uint64_t flow = 0;  ///< flow id for kFlow edges
+  };
+  std::vector<Edge> edges;
+
+  /// Flow edges connect the sender's context span to the innermost span
+  /// covering the dequeue on the receiving track (dropped when either side
+  /// cannot be resolved — e.g. the receive happened outside any span).
+  static TraceGraph build(const Trace& trace);
+};
+
+}  // namespace wacs::analysis

@@ -30,14 +30,16 @@ Status write_file(const std::string& path, const std::string& body) {
 }
 
 json::Value histogram_json(const telemetry::Histogram::Snapshot& h) {
+  const telemetry::Histogram::Summary s = h.summary();
   json::Value out = json::Value::object();
-  out.set("count", h.count);
-  out.set("sum", h.sum);
-  out.set("min", h.min);
-  out.set("max", h.max);
-  out.set("mean", h.mean());
-  out.set("p50", h.quantile(0.5));
-  out.set("p99", h.quantile(0.99));
+  out.set("count", s.count);
+  out.set("sum", s.sum);
+  out.set("min", s.min);
+  out.set("max", s.max);
+  out.set("mean", s.mean);
+  out.set("p50", s.p50);
+  out.set("p95", s.p95);
+  out.set("p99", s.p99);
   json::Value buckets = json::Value::array();
   for (std::size_t i = 0; i < h.counts.size(); ++i) {
     if (h.counts[i] == 0) continue;  // sparse: most buckets are empty
@@ -53,8 +55,16 @@ json::Value histogram_json(const telemetry::Histogram::Snapshot& h) {
 
 }  // namespace
 
+// Stamped by the build system (src/common/CMakeLists.txt runs `git describe`
+// at configure time); "unknown" outside a git checkout.
+#ifndef WACS_GIT_DESCRIBE
+#define WACS_GIT_DESCRIBE "unknown"
+#endif
+
 Report::Report(std::string id) : id_(std::move(id)), root_(json::Value::object()) {
   root_.set("bench", id_);
+  root_.set("schema_version", kSchemaVersion);
+  root_.set("git", WACS_GIT_DESCRIBE);
 }
 
 void Report::set(std::string key, json::Value v) {

@@ -17,7 +17,15 @@ namespace wacs::bench {
 /// Accumulates one bench run's results and writes BENCH_<id>.json.
 class Report {
  public:
-  /// `id` names the output file: BENCH_<id>.json (e.g. "table4").
+  /// Report format version, stamped as root key "schema_version". Bump when
+  /// the layout of BENCH_*.json changes incompatibly; bench-diff compares it
+  /// exactly so a schema change fails loudly instead of producing nonsense
+  /// field diffs. v2 = PR 3 (schema_version/git stamps, histogram p95).
+  static constexpr int kSchemaVersion = 2;
+
+  /// `id` names the output file: BENCH_<id>.json (e.g. "table4"). The
+  /// report is pre-stamped with "bench", "schema_version", and "git" (the
+  /// `git describe` string of the built tree).
   explicit Report(std::string id);
 
   /// Root-level field ("nodes_per_sec", "config", ...). Insertion order is

@@ -113,6 +113,19 @@ double Histogram::Snapshot::quantile(double q) const {
   return max;
 }
 
+Histogram::Summary Histogram::Snapshot::summary() const {
+  Summary s;
+  s.count = count;
+  s.sum = sum;
+  s.min = min;
+  s.max = max;
+  s.mean = mean();
+  s.p50 = quantile(0.5);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
 const std::vector<double>& default_ms_buckets() {
   static const std::vector<double> kBuckets = {
       0.01, 0.025, 0.05, 0.1,  0.25, 0.5,  1,    2.5,   5,     10,
@@ -253,13 +266,18 @@ void Tracer::instant(std::string_view cat, std::string name, json::Value args) {
                           ctx.trace_id, ctx.span_id, 0, std::move(args)});
 }
 
-std::uint64_t Tracer::flow_start(std::string_view cat, TraceContext ctx) {
-  if (!enabled() || !ctx.valid()) return 0;
+std::uint64_t Tracer::flow_start(std::string_view cat, TraceContext ctx,
+                                 json::Value args) {
+  // An invalid ctx (send from outside any span) still gets an arrow: the
+  // arrow's track + timestamps carry the causal link even with no sender
+  // span to anchor it, and critical-path extraction needs every message
+  // hop — job-completion sends, for one, happen outside spans.
+  if (!enabled()) return 0;
   const std::uint64_t id = next_flow_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(Event{Event::Kind::kFlowStart, std::string(cat), "msg",
                           t_track, clock_ ? clock_() : 0, 0, ctx.trace_id, id,
-                          ctx.span_id, {}});
+                          ctx.span_id, std::move(args)});
   return id;
 }
 

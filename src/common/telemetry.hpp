@@ -77,6 +77,18 @@ class Histogram {
 
   void observe(double x);
 
+  /// The quantile set benches and bench-diff report instead of raw buckets.
+  struct Summary {
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    double mean = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+  };
+
   struct Snapshot {
     std::vector<double> bounds;        ///< upper bounds, ascending
     std::vector<std::uint64_t> counts; ///< bounds.size() + 1 (overflow last)
@@ -86,10 +98,13 @@ class Histogram {
     double max = 0;
 
     double mean() const { return count == 0 ? 0 : sum / static_cast<double>(count); }
-    /// Approximate quantile (linear interpolation inside the bucket).
+    /// Approximate quantile (linear interpolation inside the bucket; the
+    /// overflow bucket interpolates toward the observed max).
     double quantile(double q) const;
+    Summary summary() const;
   };
   Snapshot snapshot() const;
+  Summary summary() const { return snapshot().summary(); }
   void reset();
 
  private:
@@ -194,7 +209,10 @@ class Tracer {
   void instant(std::string_view cat, std::string name, json::Value args = {});
   /// Records the start of a flow arrow at the current time on the current
   /// track; returns the flow id to stamp onto the message (0 if disabled).
-  std::uint64_t flow_start(std::string_view cat, TraceContext ctx);
+  /// `args` may carry transport detail (e.g. the per-hop link charges the
+  /// network computed for this message) for offline analysis.
+  std::uint64_t flow_start(std::string_view cat, TraceContext ctx,
+                           json::Value args = {});
   /// Records the end of a flow arrow on the *receiving* thread's track.
   void flow_end(std::uint64_t flow, TraceContext ctx);
 

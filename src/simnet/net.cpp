@@ -10,14 +10,45 @@ namespace wacs::sim {
 
 // ------------------------------------------------------------------- Link
 
-Time Link::transmit(Time start, int direction, std::uint64_t bytes) {
+Time Link::transmit(Time start, int direction, std::uint64_t bytes,
+                    TxTiming* timing) {
   const int dir = params_.duplex ? (direction & 1) : 0;
   const Time begin = std::max(start, busy_until_[dir]);
   const Time tx = from_sec(static_cast<double>(bytes) / params_.bandwidth_bps);
   busy_until_[dir] = begin + tx;
   bytes_carried_ += bytes;
   ++messages_carried_;
-  return busy_until_[dir] + from_sec(params_.latency_s);
+  const Time lat = from_sec(params_.latency_s);
+  if (timing != nullptr) {
+    timing->queued = begin - start;
+    timing->tx = tx;
+    timing->lat = lat;
+  }
+  if (sample_width_ > 0) {
+    // Bytes land in the bucket where serialization began; busy time spreads
+    // across every bucket the [begin, begin+tx) interval touches.
+    const auto first = static_cast<std::size_t>(begin / sample_width_);
+    const auto last = static_cast<std::size_t>(
+        tx > 0 ? (begin + tx - 1) / sample_width_ : first);
+    if (samples_.size() <= last) samples_.resize(last + 1);
+    samples_[first].bytes += bytes;
+    for (std::size_t i = first; i <= last; ++i) {
+      const Time lo = std::max<Time>(begin, static_cast<Time>(i) * sample_width_);
+      const Time hi = std::min<Time>(begin + tx,
+                                     static_cast<Time>(i + 1) * sample_width_);
+      if (hi > lo) samples_[i].busy += hi - lo;
+    }
+  }
+  return begin + tx + lat;
+}
+
+const char* hop_kind_name(HopCharge::Kind kind) {
+  switch (kind) {
+    case HopCharge::Kind::kLocal: return "local";
+    case HopCharge::Kind::kLan: return "lan";
+    case HopCharge::Kind::kWan: return "wan";
+  }
+  return "?";
 }
 
 // ------------------------------------------------------------------- Host
@@ -43,6 +74,7 @@ Site& Network::add_site(const std::string& name, fw::Policy policy,
   auto site = std::unique_ptr<Site>(
       new Site(name, std::move(policy), std::move(lan)));
   Site* raw = site.get();
+  raw->lan().enable_sampling(sample_width_);
   sites_.push_back(std::move(site));
   sites_by_name_[name] = raw;
   return *raw;
@@ -56,6 +88,7 @@ Host& Network::add_host(HostParams params) {
                      params.site);
   auto host = std::unique_ptr<Host>(new Host(*this, std::move(params)));
   Host* raw = host.get();
+  raw->loopback_.enable_sampling(sample_width_);
   hosts_.push_back(std::move(host));
   hosts_by_name_[raw->name()] = raw;
   sites_by_name_[raw->site()]->hosts_.push_back(raw);
@@ -74,6 +107,7 @@ Link& Network::connect_sites(const std::string& site_a,
   if (params.name.empty()) params.name = key.first + "<->" + key.second;
   auto link = std::make_unique<Link>(std::move(params));
   Link* raw = link.get();
+  raw->enable_sampling(sample_width_);
   wan_[key_pair] = std::move(link);
   return *raw;
 }
@@ -190,13 +224,28 @@ Status Network::admit_connection(Host& src, Host& dst,
   return Status();
 }
 
-Time Network::deliver(Host& src, Host& dst, std::uint64_t payload_bytes) {
+Time Network::deliver(Host& src, Host& dst, std::uint64_t payload_bytes,
+                      std::vector<HopCharge>* detail) {
   auto path = route(src, dst);
   WACS_CHECK_MSG(path.ok(), path.error().message());
   const int dir = direction_of(src, dst);
   const std::uint64_t wire_bytes = payload_bytes + kMessageOverheadBytes;
   Time t = engine_.now();
-  for (Link* link : *path) t = link->transmit(t, dir, wire_bytes);
+  for (std::size_t i = 0; i < path->size(); ++i) {
+    Link* link = (*path)[i];
+    TxTiming timing;
+    t = link->transmit(t, dir, wire_bytes, detail ? &timing : nullptr);
+    if (detail == nullptr) continue;
+    // Routes have one of three shapes (see route()): loopback, single LAN,
+    // or LAN-WAN-LAN — the middle hop of a 3-link path is the WAN.
+    HopCharge hop;
+    hop.link = link;
+    hop.kind = &src == &dst             ? HopCharge::Kind::kLocal
+               : path->size() == 3 && i == 1 ? HopCharge::Kind::kWan
+                                             : HopCharge::Kind::kLan;
+    hop.timing = timing;
+    detail->push_back(hop);
+  }
   return t;
 }
 
@@ -246,6 +295,80 @@ void Network::reset_traffic_counters() {
   for (const auto& site : sites_) site->lan().reset_counters();
   for (const auto& [key, link] : wan_) link->reset_counters();
   for (const auto& host : hosts_) host->loopback_.reset_counters();
+}
+
+void Network::enable_link_sampling(Time bucket_width) {
+  sample_width_ = bucket_width > 0 ? bucket_width : 0;
+  for (const auto& site : sites_) site->lan().enable_sampling(sample_width_);
+  for (const auto& [key, link] : wan_) link->enable_sampling(sample_width_);
+  for (const auto& host : hosts_) host->loopback_.enable_sampling(sample_width_);
+}
+
+json::Value Network::utilization_json() const {
+  json::Value out = json::Value::object();
+  out.set("bucket_ns", sample_width_);
+  json::Value links = json::Value::object();
+  for (const Link* link : all_links()) {
+    if (link->samples().empty()) continue;
+    json::Value buckets = json::Value::array();
+    const auto& samples = link->samples();
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (samples[i].bytes == 0 && samples[i].busy == 0) continue;
+      json::Value b = json::Value::object();
+      b.set("i", static_cast<std::int64_t>(i));
+      b.set("bytes", samples[i].bytes);
+      b.set("busy_ns", samples[i].busy);
+      buckets.push_back(std::move(b));
+    }
+    if (buckets.items().empty()) continue;
+    links.set(link->params().name, std::move(buckets));
+  }
+  out.set("links", std::move(links));
+  return out;
+}
+
+std::string Network::utilization_ascii(int max_cols) const {
+  if (sample_width_ <= 0 || max_cols <= 0) return "";
+  std::size_t total_buckets = 0;
+  for (const Link* link : all_links()) {
+    total_buckets = std::max(total_buckets, link->samples().size());
+  }
+  if (total_buckets == 0) return "";
+  const auto cols =
+      std::min<std::size_t>(static_cast<std::size_t>(max_cols), total_buckets);
+  // Cell c aggregates sampler buckets [c*per, (c+1)*per).
+  const std::size_t per = (total_buckets + cols - 1) / cols;
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "link utilization (%zu cells x %.1f ms, ' '<1%%..'#'>=90%%):\n",
+                cols, to_ms(static_cast<Time>(per) * sample_width_));
+  std::string out = buf;
+  static const char kGlyphs[] = " .:-=+*oO#";  // 10 busy-fraction levels
+  for (const Link* link : all_links()) {
+    const auto& samples = link->samples();
+    if (samples.empty()) continue;
+    bool any = false;
+    std::string row;
+    for (std::size_t c = 0; c < cols; ++c) {
+      Time busy = 0;
+      for (std::size_t i = c * per;
+           i < std::min(samples.size(), (c + 1) * per); ++i) {
+        busy += samples[i].busy;
+      }
+      const double frac = static_cast<double>(busy) /
+                          static_cast<double>(static_cast<Time>(per) *
+                                              sample_width_);
+      auto level = static_cast<std::size_t>(frac * 10.0);
+      if (frac >= 0.01 && level == 0) level = 1;
+      row += kGlyphs[std::min<std::size_t>(level, 9)];
+      any = any || busy > 0;
+    }
+    if (!any) continue;
+    std::snprintf(buf, sizeof buf, "  %-20s |%s|\n", link->params().name.c_str(),
+                  row.c_str());
+    out += buf;
+  }
+  return out;
 }
 
 std::string Network::describe() const {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "firewall/policy.hpp"
 #include "simnet/engine.hpp"
 
@@ -35,6 +36,13 @@ struct LinkParams {
   bool duplex = true;          ///< false = shared segment (single resource)
 };
 
+/// How one transmit() charge decomposed, for telemetry and trace analysis.
+struct TxTiming {
+  Time queued = 0;  ///< wait for earlier traffic to drain (link contention)
+  Time tx = 0;      ///< serialization at link bandwidth
+  Time lat = 0;     ///< propagation latency
+};
+
 /// A transmission resource. transmit() serializes messages FIFO per
 /// direction by keeping a busy-until horizon.
 class Link {
@@ -46,8 +54,10 @@ class Link {
 
   /// Reserves the medium for `bytes` starting no earlier than `start`
   /// (direction 0 or 1; ignored for shared segments). Returns the arrival
-  /// time at the far end.
-  Time transmit(Time start, int direction, std::uint64_t bytes);
+  /// time at the far end; `timing`, when non-null, receives the charge
+  /// decomposition (queued + tx + lat telescopes: start + sum = arrival).
+  Time transmit(Time start, int direction, std::uint64_t bytes,
+                TxTiming* timing = nullptr);
 
   /// Propagation-only traversal (control packets whose occupancy we ignore).
   Time latency_only(Time start) const {
@@ -57,14 +67,53 @@ class Link {
   const LinkParams& params() const { return params_; }
   std::uint64_t bytes_carried() const { return bytes_carried_; }
   std::uint64_t messages_carried() const { return messages_carried_; }
-  void reset_counters() { bytes_carried_ = messages_carried_ = 0; }
+  void reset_counters() {
+    bytes_carried_ = messages_carried_ = 0;
+    samples_.clear();
+  }
+
+  // ---- time-bucketed utilization sampling ------------------------------
+  // Off by default (bucket width 0): transmit() then costs nothing extra.
+  // When enabled, every charge accumulates its bytes into the bucket of its
+  // transmission start and spreads its busy (serialization) time across the
+  // buckets it spans, so Network::utilization_json() can emit per-link
+  // utilization timelines.
+
+  struct UtilBucket {
+    std::uint64_t bytes = 0;
+    Time busy = 0;  ///< serialization ns inside this bucket (<= width)
+  };
+
+  /// Enables sampling with the given bucket width (ns); 0 disables. Clears
+  /// previously collected samples.
+  void enable_sampling(Time bucket_width) {
+    sample_width_ = bucket_width > 0 ? bucket_width : 0;
+    samples_.clear();
+  }
+  Time sample_bucket_width() const { return sample_width_; }
+  /// Bucket i covers [i*width, (i+1)*width). Trailing buckets may be absent.
+  const std::vector<UtilBucket>& samples() const { return samples_; }
 
  private:
   LinkParams params_;
   Time busy_until_[2] = {0, 0};
   std::uint64_t bytes_carried_ = 0;
   std::uint64_t messages_carried_ = 0;
+  Time sample_width_ = 0;
+  std::vector<UtilBucket> samples_;
 };
+
+/// Per-hop charge record for one delivered message. Network::deliver()
+/// fills a vector of these on request (the tcp layer asks when tracing is
+/// on, and stamps them onto the message's flow arrow for offline analysis).
+struct HopCharge {
+  enum class Kind { kLocal, kLan, kWan };
+  const Link* link = nullptr;
+  Kind kind = Kind::kLan;
+  TxTiming timing;
+};
+
+const char* hop_kind_name(HopCharge::Kind kind);  ///< "local" / "lan" / "wan"
 
 class Network;
 class NetStack;
@@ -167,7 +216,10 @@ class Network {
 
   /// Charges a message across the full path; returns arrival time.
   /// Precondition: a route exists (call sites hold an open connection).
-  Time deliver(Host& src, Host& dst, std::uint64_t payload_bytes);
+  /// `detail`, when non-null, receives one HopCharge per link traversed
+  /// (hop kinds follow the route shape: loopback, LAN, or LAN-WAN-LAN).
+  Time deliver(Host& src, Host& dst, std::uint64_t payload_bytes,
+               std::vector<HopCharge>* detail = nullptr);
 
   /// Sum of hop latencies src→dst, no occupancy (control-packet time).
   Time path_latency(Host& src, Host& dst);
@@ -186,6 +238,22 @@ class Network {
   /// Zeroes every link counter (per-experiment measurement windows).
   void reset_traffic_counters();
 
+  /// Turns on time-bucketed byte/busy sampling on every link, current and
+  /// future (bucket width in ns; 0 disables). Existing samples are dropped.
+  void enable_link_sampling(Time bucket_width);
+
+  /// Per-link utilization timeline collected by the samplers:
+  /// {"bucket_ns": W, "links": {name: [{"i": bucket, "bytes": B,
+  /// "busy_ns": T}, ...]}} — sparse (empty buckets omitted), links without
+  /// traffic omitted, deterministic topology order.
+  json::Value utilization_json() const;
+
+  /// ASCII utilization timeline, one row per link with traffic: each cell
+  /// aggregates the sampler buckets that fall into it and prints a busy-
+  /// fraction glyph (' ' idle .. '#' saturated). For terminals; the JSON
+  /// form is the machine interface.
+  std::string utilization_ascii(int max_cols = 64) const;
+
   /// Every link in the topology — site LANs, WAN links, host loopbacks —
   /// in deterministic order. Telemetry exports per-link byte counters from
   /// this.
@@ -201,6 +269,7 @@ class Network {
   int direction_of(Host& src, Host& dst) const;
 
   FaultInjector* fault_ = nullptr;
+  Time sample_width_ = 0;  ///< applied to links added after enable_link_sampling
   Engine& engine_;
   std::vector<std::unique_ptr<Site>> sites_;
   std::vector<std::unique_ptr<Host>> hosts_;

@@ -12,12 +12,32 @@ constexpr std::uint16_t kDefaultEphemeralHi = 60999;
 
 /// Stamps outgoing-message metadata: send time always (it feeds hop-latency
 /// histograms); trace context and a flow arrow only when tracing is on.
-telemetry::MsgMeta stamp_meta(Engine& engine) {
+/// The flow arrow carries the network's per-hop charge decomposition plus
+/// the inbox-arrival time, so offline analysis can attribute the
+/// send-to-dequeue interval to LAN / WAN / queueing exactly.
+telemetry::MsgMeta stamp_meta(Engine& engine,
+                              const std::vector<HopCharge>& hops,
+                              Time arrival, std::uint64_t wire_bytes) {
   telemetry::MsgMeta meta;
   meta.sent_at = engine.now();
   if (telemetry::tracer().enabled()) {
     meta.ctx = telemetry::current_context();
-    meta.flow = telemetry::tracer().flow_start("tcp", meta.ctx);
+    json::Value args = json::Value::object();
+    args.set("arr", arrival);
+    args.set("bytes", wire_bytes);
+    json::Value path = json::Value::array();
+    for (const HopCharge& hop : hops) {
+      json::Value h = json::Value::object();
+      h.set("l", hop.link->params().name);
+      h.set("k", hop_kind_name(hop.kind));
+      h.set("q", hop.timing.queued);
+      h.set("tx", hop.timing.tx);
+      h.set("lat", hop.timing.lat);
+      path.push_back(std::move(h));
+    }
+    args.set("path", std::move(path));
+    meta.flow = telemetry::tracer().flow_start("tcp", meta.ctx,
+                                               std::move(args));
   }
   return meta;
 }
@@ -119,10 +139,16 @@ Status SimSocket::send(Bytes message) {
   msgs.add();
   bytes.add(message.size());
   st.bytes_sent[side_] += message.size();
-  const Time arrival = net.deliver(*local_host_, *peer_host_, message.size());
+  const std::uint64_t wire_bytes =
+      message.size() + Network::kMessageOverheadBytes;
+  std::vector<HopCharge> hops;
+  const Time arrival =
+      net.deliver(*local_host_, *peer_host_, message.size(),
+                  telemetry::tracer().enabled() ? &hops : nullptr);
   const int peer_side = 1 - side_;
   auto state = state_;
-  detail::InFrame frame{std::move(message), stamp_meta(net.engine())};
+  detail::InFrame frame{std::move(message),
+                        stamp_meta(net.engine(), hops, arrival, wire_bytes)};
   net.engine().at(arrival, [state, peer_side, fr = std::move(frame)]() mutable {
     if (state->reset[peer_side]) return;  // connection torn while in flight
     state->inbox[peer_side].push_back(std::move(fr));

@@ -1,0 +1,97 @@
+// Analysis determinism: same-seed runs must yield byte-identical
+// critical-path and timeline reports, and bench-diff must pass on the
+// metrics-only reports of two untraced same-seed runs (tracing off does not
+// change what the regression gate sees).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/bench_diff.hpp"
+#include "analysis/critical_path.hpp"
+#include "analysis/timeline.hpp"
+#include "analysis/trace.hpp"
+#include "common/bench_report.hpp"
+#include "common/telemetry.hpp"
+#include "core/testbeds.hpp"
+#include "knapsack/parallel.hpp"
+
+namespace wacs::analysis {
+namespace {
+
+struct RunOutput {
+  std::string jsonl;       // trace (empty when untraced)
+  json::Value report;      // metrics-only bench report
+};
+
+RunOutput run_wide_area(bool traced) {
+  telemetry::metrics().reset();
+  telemetry::tracer().clear();
+  if (traced) telemetry::tracer().enable();
+
+  auto tb = core::make_rwcp_etl_testbed();
+  knapsack::Instance inst = knapsack::no_prune_instance(16, 3);
+  rmf::JobSpec spec;
+  spec.name = "analysis-det";
+  spec.task = knapsack::kParallelTask;
+  auto placements = core::placement_wide_area(tb);
+  spec.nprocs = 0;
+  for (const auto& p : placements) spec.nprocs += p.count;
+  spec.placements = placements;
+  spec.args = {{knapsack::args::kInterval, "500"},
+               {knapsack::args::kStealUnit, "8"},
+               {knapsack::args::kSecPerNode, "0.000001"}};
+  spec.input_files[knapsack::kInstanceFile] = inst.encode();
+  auto result = tb->run_job("rwcp-sun", spec);
+  WACS_CHECK(result.ok() && result->ok);
+
+  RunOutput out;
+  out.jsonl = telemetry::tracer().to_jsonl();
+  telemetry::tracer().disable();
+
+  bench::Report report("analysis-det");
+  auto stats = knapsack::RunStats::decode(result->output);
+  WACS_CHECK(stats.ok());
+  report.set("total_nodes", stats->total_nodes);
+  report.set("app_seconds", stats->app_seconds);
+  report.attach_metrics_snapshot();
+  out.report = report.root();
+  return out;
+}
+
+TEST(AnalysisDeterminism, SameSeedRunsYieldByteIdenticalReports) {
+  RunOutput a = run_wide_area(/*traced=*/true);
+  RunOutput b = run_wide_area(/*traced=*/true);
+  ASSERT_FALSE(a.jsonl.empty());
+
+  Trace ta = parse_trace(a.jsonl);
+  Trace tb = parse_trace(b.jsonl);
+  auto cpa = critical_path(ta);
+  auto cpb = critical_path(tb);
+  ASSERT_TRUE(cpa.ok() && cpb.ok());
+  EXPECT_EQ(cpa->to_json().dump(), cpb->to_json().dump());
+  EXPECT_EQ(cpa->render(), cpb->render());
+
+  Timeline tla = build_timeline(ta);
+  Timeline tlb = build_timeline(tb);
+  EXPECT_EQ(tla.to_json().dump(), tlb.to_json().dump());
+  EXPECT_EQ(tla.render_ascii(), tlb.render_ascii());
+}
+
+TEST(AnalysisDeterminism, TracingOffBenchDiffStillPasses) {
+  RunOutput a = run_wide_area(/*traced=*/false);
+  RunOutput b = run_wide_area(/*traced=*/false);
+  EXPECT_TRUE(a.jsonl.empty());
+
+  DiffResult result = diff_reports(a.report, b.report);
+  EXPECT_TRUE(result.pass()) << result.markdown();
+  EXPECT_GT(result.compared, 3u);
+
+  // And an untraced report diffs clean against a traced run's report too:
+  // tracing must not perturb the metrics the gate compares.
+  RunOutput traced = run_wide_area(/*traced=*/true);
+  DiffResult cross = diff_reports(a.report, traced.report);
+  EXPECT_TRUE(cross.pass()) << cross.markdown();
+}
+
+}  // namespace
+}  // namespace wacs::analysis

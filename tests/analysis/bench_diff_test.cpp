@@ -1,0 +1,155 @@
+// bench-diff policy: exact compare by default (same-seed runs are
+// deterministic), ratio tolerances by path suffix, "git" ignored, missing
+// keys fail, added keys warn.
+#include "analysis/bench_diff.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wacs::analysis {
+namespace {
+
+json::Value sample_report() {
+  json::Value root = json::Value::object();
+  root.set("bench", "table4");
+  root.set("schema_version", 2);
+  root.set("git", "abc1234");
+  root.set("total_nodes", std::int64_t{131071});
+  root.set("app_seconds", 0.145);
+  json::Value row = json::Value::object();
+  row.set("system", "wide-area");
+  row.set("seconds", 0.145);
+  root.set("rows", json::Value::array().push_back(std::move(row)));
+  json::Value links = json::Value::object();
+  json::Value imnet = json::Value::object();
+  imnet.set("bytes", std::int64_t{13937});
+  links.set("imnet", std::move(imnet));
+  root.set("links", std::move(links));
+  return root;
+}
+
+TEST(BenchDiff, IdenticalReportsPass) {
+  const json::Value a = sample_report();
+  const json::Value b = sample_report();
+  DiffResult result = diff_reports(a, b);
+  EXPECT_TRUE(result.pass());
+  EXPECT_TRUE(result.diffs.empty());
+  EXPECT_GT(result.compared, 4u);
+}
+
+TEST(BenchDiff, IntegerPerturbationFailsExactly) {
+  const json::Value a = sample_report();
+  json::Value b = sample_report();
+  b.set("total_nodes", std::int64_t{131072});
+  DiffResult result = diff_reports(a, b);
+  EXPECT_FALSE(result.pass());
+  ASSERT_EQ(result.diffs.size(), 1u);
+  EXPECT_EQ(result.diffs[0].path, "total_nodes");
+  EXPECT_EQ(result.diffs[0].verdict, FieldDiff::Verdict::kChanged);
+}
+
+TEST(BenchDiff, DoubleExactByDefaultTolerantWhenConfigured) {
+  const json::Value a = sample_report();
+  json::Value b = sample_report();
+  b.set("app_seconds", 0.146);  // ~0.7% off
+  EXPECT_FALSE(diff_reports(a, b).pass());
+
+  DiffOptions opt;
+  opt.ratio_tol.emplace_back("app_seconds", 0.05);
+  DiffResult tolerant = diff_reports(a, b, opt);
+  EXPECT_TRUE(tolerant.pass());
+  // The within-tolerance delta is still reported for the verdict table.
+  ASSERT_EQ(tolerant.diffs.size(), 1u);
+  EXPECT_EQ(tolerant.diffs[0].verdict, FieldDiff::Verdict::kOk);
+  EXPECT_GT(tolerant.diffs[0].rel, 0.0);
+
+  opt.ratio_tol.clear();
+  opt.ratio_tol.emplace_back("app_seconds", 0.001);  // tighter than the delta
+  EXPECT_FALSE(diff_reports(a, b, opt).pass());
+}
+
+TEST(BenchDiff, SuffixMatchesNestedPaths) {
+  const json::Value a = sample_report();
+  json::Value b = sample_report();
+  // The nested double lives at rows[0].seconds; the "seconds" suffix matches.
+  json::Value row = json::Value::object();
+  row.set("system", "wide-area");
+  row.set("seconds", 0.150);
+  b.set("rows", json::Value::array().push_back(std::move(row)));
+  DiffOptions opt;
+  opt.ratio_tol.emplace_back("seconds", 0.10);
+  EXPECT_TRUE(diff_reports(a, b, opt).pass());
+  EXPECT_FALSE(diff_reports(a, b).pass());
+}
+
+TEST(BenchDiff, MissingKeyFailsAddedKeyWarns) {
+  json::Value a = sample_report();
+  a.set("only_in_baseline", 1);
+  json::Value b = sample_report();
+  b.set("only_in_current", 2);
+  DiffResult result = diff_reports(a, b);
+  EXPECT_FALSE(result.pass());
+  bool saw_missing = false;
+  bool saw_added = false;
+  for (const FieldDiff& d : result.diffs) {
+    if (d.verdict == FieldDiff::Verdict::kMissing) {
+      saw_missing = true;
+      EXPECT_EQ(d.path, "only_in_baseline");
+    }
+    if (d.verdict == FieldDiff::Verdict::kAdded) {
+      saw_added = true;
+      EXPECT_EQ(d.path, "only_in_current");
+    }
+  }
+  EXPECT_TRUE(saw_missing);
+  EXPECT_TRUE(saw_added);
+
+  // Added keys alone pass by default, fail under --strict-keys.
+  const json::Value base = sample_report();
+  DiffResult added_only = diff_reports(base, b);
+  EXPECT_TRUE(added_only.pass());
+  DiffOptions strict;
+  strict.allow_new_keys = false;
+  EXPECT_FALSE(diff_reports(base, b, strict).pass());
+}
+
+TEST(BenchDiff, GitStampIgnoredSchemaVersionExact) {
+  const json::Value a = sample_report();
+  json::Value b = sample_report();
+  b.set("git", "def5678-dirty");
+  EXPECT_TRUE(diff_reports(a, b).pass());
+
+  b.set("schema_version", 3);
+  DiffResult result = diff_reports(a, b);
+  EXPECT_FALSE(result.pass());
+  ASSERT_EQ(result.diffs.size(), 1u);
+  EXPECT_EQ(result.diffs[0].path, "schema_version");
+}
+
+TEST(BenchDiff, ArrayLengthMismatchFails) {
+  const json::Value a = sample_report();
+  json::Value b = sample_report();
+  json::Value extra = json::Value::object();
+  extra.set("system", "other");
+  extra.set("seconds", 0.2);
+  b.find("rows")->push_back(std::move(extra));
+  DiffResult result = diff_reports(a, b);
+  EXPECT_FALSE(result.pass());
+  ASSERT_FALSE(result.diffs.empty());
+  EXPECT_EQ(result.diffs[0].path, "rows");
+}
+
+TEST(BenchDiff, MarkdownCarriesVerdict) {
+  const json::Value a = sample_report();
+  json::Value b = sample_report();
+  EXPECT_NE(diff_reports(a, b).markdown("t").find("**PASS**"),
+            std::string::npos);
+  b.set("total_nodes", std::int64_t{1});
+  const std::string md = diff_reports(a, b).markdown("table4");
+  EXPECT_NE(md.find("**FAIL**"), std::string::npos);
+  EXPECT_NE(md.find("total_nodes"), std::string::npos);
+  EXPECT_NE(md.find("CHANGED"), std::string::npos);
+  EXPECT_NE(md.find("### table4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wacs::analysis

@@ -1,0 +1,143 @@
+// Critical-path extraction: the synthetic case checks exact attribution,
+// and the wide-area knapsack run checks the acceptance property — the
+// category breakdown PARTITIONS the virtual makespan (sums exactly).
+#include "analysis/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/telemetry.hpp"
+#include "core/testbeds.hpp"
+#include "knapsack/parallel.hpp"
+
+namespace wacs::analysis {
+namespace {
+
+const char kSmallTrace[] =
+    R"({"type":"span","cat":"knapsack","name":"knapsack.search","track":"job1.rank0@h0","ts":0,"dur":100,"trace":1,"span":1})"
+    "\n"
+    R"({"type":"flow_s","cat":"tcp","name":"msg","track":"job1.rank0@h0","ts":50,"trace":1,"flow":10,"span":1,"args":{"arr":80,"bytes":164,"path":[{"l":"lan1","k":"lan","q":5,"tx":15,"lat":10}]}})"
+    "\n"
+    R"({"type":"flow_f","cat":"tcp","name":"msg","track":"job1.rank1@h1","ts":90,"trace":1,"flow":10})"
+    "\n"
+    R"({"type":"span","cat":"knapsack","name":"knapsack.search","track":"job1.rank1@h1","ts":90,"dur":110,"trace":1,"span":2})"
+    "\n";
+
+TEST(CriticalPath, SyntheticTwoRankChainAttributesExactly) {
+  Trace trace = parse_trace(kSmallTrace);
+  auto cp = critical_path(trace);
+  ASSERT_TRUE(cp.ok()) << cp.error().to_string();
+  EXPECT_EQ(cp->end, 200);
+  EXPECT_EQ(cp->terminal_track, "job1.rank1@h1");
+  EXPECT_EQ(cp->hops, 1u);
+
+  // [0,50) compute on rank0, [50,80) lan hop, [80,90) inbox queueing,
+  // [90,200) compute on rank1.
+  ASSERT_EQ(cp->segments.size(), 4u);
+  EXPECT_EQ(cp->segments[0].begin, 0);
+  EXPECT_EQ(cp->segments[0].end, 50);
+  EXPECT_EQ(cp->segments[0].cat, Category::kCompute);
+  EXPECT_EQ(cp->segments[1].cat, Category::kLanLink);
+  EXPECT_EQ(cp->segments[1].track, "lan1");
+  EXPECT_EQ(cp->segments[1].dur(), 30);
+  EXPECT_EQ(cp->segments[2].cat, Category::kQueue);
+  EXPECT_EQ(cp->segments[2].what, "inbox");
+  EXPECT_EQ(cp->segments[2].dur(), 10);
+  EXPECT_EQ(cp->segments[3].begin, 90);
+  EXPECT_EQ(cp->segments[3].end, 200);
+  EXPECT_EQ(cp->segments[3].cat, Category::kCompute);
+
+  EXPECT_EQ(cp->by_category.at(Category::kCompute), 160);
+  EXPECT_EQ(cp->by_category.at(Category::kLanLink), 30);
+  EXPECT_EQ(cp->by_category.at(Category::kQueue), 10);
+  EXPECT_EQ(cp->by_category.at(Category::kWanLink), 0);
+}
+
+TEST(CriticalPath, SegmentsAreContiguousAndRenderWorks) {
+  Trace trace = parse_trace(kSmallTrace);
+  auto cp = critical_path(trace);
+  ASSERT_TRUE(cp.ok());
+  TimeNs cursor = 0;
+  for (const PathSegment& seg : cp->segments) {
+    EXPECT_EQ(seg.begin, cursor);
+    EXPECT_GT(seg.end, seg.begin);
+    cursor = seg.end;
+  }
+  EXPECT_EQ(cursor, cp->end);
+
+  const std::string text = cp->render();
+  EXPECT_NE(text.find("compute"), std::string::npos);
+  EXPECT_NE(text.find("100.0%"), std::string::npos);
+  const json::Value report = cp->to_json();
+  EXPECT_NE(report.find("by_category_ns"), nullptr);
+}
+
+TEST(CriticalPath, ErrorsOnEmptyOrUnmatchedTerminal) {
+  Trace empty = parse_trace("");
+  EXPECT_FALSE(critical_path(empty).ok());
+  Trace trace = parse_trace(kSmallTrace);
+  CriticalPathOptions opt;
+  opt.terminal = "no.such.span";
+  EXPECT_FALSE(critical_path(trace, opt).ok());
+}
+
+// The acceptance check: analyse a real traced wide-area proxied knapsack
+// run (the Table 4 configuration at test scale) and require that the
+// category breakdown sums exactly to the virtual makespan, with the
+// interesting categories all represented.
+TEST(CriticalPath, WideAreaKnapsackBreakdownSumsToMakespan) {
+  telemetry::metrics().reset();
+  telemetry::tracer().clear();
+  telemetry::tracer().enable();
+
+  auto tb = core::make_rwcp_etl_testbed();
+  knapsack::Instance inst = knapsack::no_prune_instance(16, 3);
+  rmf::JobSpec spec;
+  spec.name = "cp-accept";
+  spec.task = knapsack::kParallelTask;
+  auto placements = core::placement_wide_area(tb);
+  spec.nprocs = 0;
+  for (const auto& p : placements) spec.nprocs += p.count;
+  spec.placements = placements;
+  spec.args = {{knapsack::args::kInterval, "500"},
+               {knapsack::args::kStealUnit, "8"},
+               {knapsack::args::kSecPerNode, "0.000001"}};
+  spec.input_files[knapsack::kInstanceFile] = inst.encode();
+  auto result = tb->run_job("rwcp-sun", spec);
+  ASSERT_TRUE(result.ok() && result->ok);
+
+  const std::string jsonl = telemetry::tracer().to_jsonl();
+  telemetry::tracer().disable();
+  telemetry::tracer().clear();
+
+  Trace trace = parse_trace(jsonl);
+  EXPECT_EQ(trace.malformed, 0u);
+  EXPECT_GT(trace.spans.size(), 50u);
+  EXPECT_GT(trace.flows.size(), 50u);
+
+  auto cp = critical_path(trace);
+  ASSERT_TRUE(cp.ok()) << cp.error().to_string();
+  EXPECT_GT(cp->end, 0);
+  EXPECT_GT(cp->hops, 0u);
+
+  // Partition property: contiguous from 0 to the makespan...
+  TimeNs cursor = 0;
+  for (const PathSegment& seg : cp->segments) {
+    ASSERT_EQ(seg.begin, cursor);
+    cursor = seg.end;
+  }
+  EXPECT_EQ(cursor, cp->end);
+  // ...so the category totals sum to the makespan exactly.
+  TimeNs total = 0;
+  for (const auto& [cat, ns] : cp->by_category) total += ns;
+  EXPECT_EQ(total, cp->end);
+
+  // A proxied wide-area run's end-to-end path must show real compute and
+  // real WAN/relay/queueing time.
+  EXPECT_GT(cp->by_category.at(Category::kCompute), 0);
+  EXPECT_GT(cp->by_category.at(Category::kWanLink), 0);
+  EXPECT_GT(cp->by_category.at(Category::kRelay), 0);
+  EXPECT_GT(cp->by_category.at(Category::kQueue), 0);
+}
+
+}  // namespace
+}  // namespace wacs::analysis

@@ -1,0 +1,102 @@
+// Timeline reconstruction: per-rank activity split and per-link utilization
+// rows, bucketed over the trace horizon.
+#include "analysis/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wacs::analysis {
+namespace {
+
+// rank0: steal span [0,200) inside search [0,1000); rank1 idle until 500
+// then search [500,1000). One tcp flow with a 2-hop path (lan + wan).
+const char kTrace[] =
+    R"({"type":"span","cat":"knapsack","name":"knapsack.search","track":"job1.rank0@h0","ts":0,"dur":1000,"trace":1,"span":1})"
+    "\n"
+    R"({"type":"span","cat":"knapsack","name":"knapsack.steal","track":"job1.rank0@h0","ts":0,"dur":200,"trace":1,"span":2,"parent":1})"
+    "\n"
+    R"({"type":"span","cat":"knapsack","name":"knapsack.search","track":"job1.rank1@h1","ts":500,"dur":500,"trace":1,"span":3})"
+    "\n"
+    R"({"type":"flow_s","cat":"tcp","name":"msg","track":"job1.rank0@h0","ts":100,"trace":1,"flow":5,"span":1,"args":{"arr":400,"bytes":1000,"path":[{"l":"lan1","k":"lan","q":0,"tx":100,"lat":50},{"l":"wan1","k":"wan","q":0,"tx":100,"lat":50}]}})"
+    "\n"
+    R"({"type":"flow_f","cat":"tcp","name":"msg","track":"job1.rank1@h1","ts":500,"trace":1,"flow":5})"
+    "\n";
+
+TEST(Timeline, RankRowsSplitComputeStealIdle) {
+  Trace trace = parse_trace(kTrace);
+  TimelineOptions opt;
+  opt.buckets = 10;  // 100ns buckets over [0, 1000)
+  Timeline tl = build_timeline(trace, opt);
+  EXPECT_EQ(tl.end, 1000);
+  EXPECT_EQ(tl.bucket_ns, 100);
+  ASSERT_EQ(tl.ranks.size(), 2u);
+
+  const auto& rank0 = tl.ranks.at("job1.rank0@h0");
+  ASSERT_EQ(rank0.size(), 10u);
+  // Buckets 0-1 are fully steal; the rest of the window is compute.
+  EXPECT_EQ(rank0[0].steal, 100);
+  EXPECT_EQ(rank0[0].compute, 0);
+  EXPECT_EQ(rank0[1].steal, 100);
+  EXPECT_EQ(rank0[2].compute, 100);
+  EXPECT_EQ(rank0[2].idle, 0);
+
+  const auto& rank1 = tl.ranks.at("job1.rank1@h1");
+  // Idle before its window starts at 500, compute after.
+  EXPECT_EQ(rank1[0].idle, 100);
+  EXPECT_EQ(rank1[0].compute, 0);
+  EXPECT_EQ(rank1[7].compute, 100);
+
+  // Every bucket accounts for its full width.
+  for (const auto& [track, row] : tl.ranks) {
+    for (const auto& cell : row) {
+      EXPECT_EQ(cell.compute + cell.steal + cell.comm + cell.idle, 100);
+    }
+  }
+}
+
+TEST(Timeline, LinkRowsFollowHopCharges) {
+  Trace trace = parse_trace(kTrace);
+  TimelineOptions opt;
+  opt.buckets = 10;
+  Timeline tl = build_timeline(trace, opt);
+  ASSERT_EQ(tl.links.size(), 2u);
+  // lan1 serializes [100,200), wan1 [250,350) (after lan1's tx+lat).
+  const auto& lan = tl.links.at("lan1");
+  const auto& wan = tl.links.at("wan1");
+  TimeNs lan_busy = 0;
+  TimeNs wan_busy = 0;
+  std::uint64_t lan_bytes = 0;
+  for (const auto& c : lan) { lan_busy += c.busy; lan_bytes += c.bytes; }
+  for (const auto& c : wan) { wan_busy += c.busy; }
+  EXPECT_EQ(lan_busy, 100);
+  EXPECT_EQ(wan_busy, 100);
+  EXPECT_EQ(lan_bytes, 1000u);
+  EXPECT_EQ(lan[1].busy, 100);  // bucket [100,200)
+  EXPECT_GT(wan[2].busy, 0);    // starts at 250
+}
+
+TEST(Timeline, JsonAndAsciiAreDeterministic) {
+  Trace trace = parse_trace(kTrace);
+  Timeline a = build_timeline(trace);
+  Timeline b = build_timeline(trace);
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+
+  const std::string ascii = a.render_ascii();
+  EXPECT_NE(ascii.find("job1.rank0@h0"), std::string::npos);
+  EXPECT_NE(ascii.find("lan1"), std::string::npos);
+  EXPECT_NE(ascii.find('S'), std::string::npos);  // steal cells render
+
+  const json::Value report = a.to_json();
+  ASSERT_NE(report.find("ranks"), nullptr);
+  ASSERT_NE(report.find("links"), nullptr);
+}
+
+TEST(Timeline, ReaderDaemonTracksAreNotRanks) {
+  Trace trace = parse_trace(
+      R"({"type":"span","cat":"mpi","name":"mpi.demux","track":"mpi.rd.r0 job1.rank0","ts":0,"dur":10,"trace":1,"span":1})"
+      "\n");
+  Timeline tl = build_timeline(trace);
+  EXPECT_TRUE(tl.ranks.empty());
+}
+
+}  // namespace
+}  // namespace wacs::analysis

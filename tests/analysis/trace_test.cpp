@@ -1,0 +1,90 @@
+// Trace loading: lenient JSONL parsing (skip-and-count malformed lines),
+// flow matching across start/end events, and causal-graph construction.
+#include "analysis/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wacs::analysis {
+namespace {
+
+const char kSmallTrace[] =
+    R"({"type":"span","cat":"knapsack","name":"knapsack.search","track":"job1.rank0@h0","ts":0,"dur":100,"trace":1,"span":1})"
+    "\n"
+    R"({"type":"flow_s","cat":"tcp","name":"msg","track":"job1.rank0@h0","ts":50,"trace":1,"flow":10,"span":1,"args":{"arr":80,"bytes":164,"path":[{"l":"lan1","k":"lan","q":5,"tx":15,"lat":10}]}})"
+    "\n"
+    R"({"type":"flow_f","cat":"tcp","name":"msg","track":"job1.rank1@h1","ts":90,"trace":1,"flow":10})"
+    "\n"
+    R"({"type":"span","cat":"knapsack","name":"knapsack.search","track":"job1.rank1@h1","ts":90,"dur":110,"trace":1,"span":2})"
+    "\n";
+
+TEST(TraceParse, BuildsSpansFlowsAndIndexes) {
+  Trace trace = parse_trace(kSmallTrace);
+  EXPECT_EQ(trace.malformed, 0u);
+  EXPECT_EQ(trace.events, 4u);
+  ASSERT_EQ(trace.spans.size(), 2u);
+  ASSERT_EQ(trace.flows.size(), 1u);
+  EXPECT_EQ(trace.end_ts, 200);
+
+  const FlowEv& flow = trace.flows[0];
+  EXPECT_TRUE(flow.complete());
+  EXPECT_EQ(flow.src_track, "job1.rank0@h0");
+  EXPECT_EQ(flow.dst_track, "job1.rank1@h1");
+  EXPECT_EQ(flow.src_ts, 50);
+  EXPECT_EQ(flow.dst_ts, 90);
+  EXPECT_EQ(flow.arrival, 80);
+  EXPECT_EQ(flow.bytes, 164u);
+  ASSERT_EQ(flow.path.size(), 1u);
+  EXPECT_EQ(flow.path[0].link, "lan1");
+  EXPECT_EQ(flow.path[0].kind, "lan");
+  EXPECT_EQ(flow.path[0].queued + flow.path[0].tx + flow.path[0].lat, 30);
+
+  ASSERT_EQ(trace.arrivals_by_track.count("job1.rank1@h1"), 1u);
+  EXPECT_EQ(trace.spans_by_track.size(), 2u);
+  EXPECT_NE(trace.span_by_id(2), nullptr);
+  EXPECT_EQ(trace.span_by_id(2)->name, "knapsack.search");
+  EXPECT_EQ(trace.span_by_id(99), nullptr);
+}
+
+TEST(TraceParse, MalformedLinesAreSkippedAndCounted) {
+  const std::string text = std::string(kSmallTrace) +
+                           "this is not json\n"
+                           "{\"type\":\"span\",\"truncated\":tru\n"
+                           "[1,2,3]\n"
+                           "\"a bare string\"\n"
+                           "{\"no_type\":1}\n"
+                           "\n"  // blank lines are not malformed
+                           "   \n";
+  Trace trace = parse_trace(text);
+  EXPECT_EQ(trace.events, 4u);
+  EXPECT_EQ(trace.malformed, 5u);
+  EXPECT_EQ(trace.spans.size(), 2u);  // the good events still load fully
+  EXPECT_EQ(trace.flows.size(), 1u);
+}
+
+TEST(TraceParse, HalfFlowsAreKeptButNotIndexed) {
+  Trace trace = parse_trace(
+      R"({"type":"flow_s","cat":"tcp","name":"msg","track":"a","ts":5,"trace":1,"flow":3})"
+      "\n");
+  ASSERT_EQ(trace.flows.size(), 1u);
+  EXPECT_FALSE(trace.flows[0].complete());
+  EXPECT_TRUE(trace.arrivals_by_track.empty());
+}
+
+TEST(TraceGraphBuild, ConnectsTrackOrderAndFlows) {
+  Trace trace = parse_trace(kSmallTrace);
+  TraceGraph graph = TraceGraph::build(trace);
+  // One flow edge (span 1 -> span 2); no same-track pairs in this trace.
+  bool found_flow_edge = false;
+  for (const auto& edge : graph.edges) {
+    if (edge.kind == TraceGraph::Edge::Kind::kFlow) {
+      found_flow_edge = true;
+      EXPECT_EQ(trace.spans[edge.from].id, 1u);
+      EXPECT_EQ(trace.spans[edge.to].id, 2u);
+      EXPECT_EQ(edge.flow, 10u);
+    }
+  }
+  EXPECT_TRUE(found_flow_edge);
+}
+
+}  // namespace
+}  // namespace wacs::analysis

@@ -174,5 +174,49 @@ TEST_F(TelemetryTest, RenderShowsCountersAndHistograms) {
   EXPECT_NE(table.find("test.render.hist"), std::string::npos);
 }
 
+TEST_F(TelemetryTest, HistogramSummaryEmpty) {
+  Histogram& h = metrics().histogram("test.sum.empty", {1.0, 10.0});
+  const Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p95, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST_F(TelemetryTest, HistogramSummarySingleBucket) {
+  Histogram& h = metrics().histogram("test.sum.single", {1.0, 10.0, 100.0});
+  h.observe(5.0);
+  h.observe(5.0);
+  h.observe(5.0);
+  const Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 15.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  // All mass sits in the (1, 10] bucket: every quantile interpolates inside
+  // that bucket's bounds and the sequence is monotone.
+  EXPECT_GE(s.p50, 1.0);
+  EXPECT_LE(s.p99, 10.0);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+}
+
+TEST_F(TelemetryTest, HistogramSummaryOverflowBucket) {
+  Histogram& h = metrics().histogram("test.sum.overflow", {1.0});
+  h.observe(5.0);
+  h.observe(10.0);
+  const Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  // The overflow bucket interpolates toward the observed max, never past it.
+  EXPECT_GT(s.p99, 1.0);
+  EXPECT_LE(s.p99, 10.0);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+}
+
 }  // namespace
 }  // namespace wacs::telemetry

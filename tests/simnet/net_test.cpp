@@ -279,5 +279,89 @@ TEST(Network, DescribeMentionsSitesHostsAndWan) {
   EXPECT_NE(desc.find("wan etl <-> rwcp"), std::string::npos);
 }
 
+TEST(Link, TransmitFillsTimingDecomposition) {
+  Link link(LinkParams{.name = "l", .latency_s = 0.001,
+                       .bandwidth_bps = 1000, .duplex = true});
+  TxTiming first;
+  TxTiming second;
+  Time a1 = link.transmit(0, 0, 1000, &first);   // tx [0, 1s]
+  Time a2 = link.transmit(0, 0, 1000, &second);  // queues behind the first
+  EXPECT_EQ(first.queued, 0);
+  EXPECT_EQ(first.tx, kSecond);
+  EXPECT_EQ(first.lat, from_sec(0.001));
+  EXPECT_EQ(a1, first.queued + first.tx + first.lat);
+  EXPECT_EQ(second.queued, kSecond);
+  EXPECT_EQ(a2, second.queued + second.tx + second.lat);  // start was t=0
+}
+
+TEST(Link, SamplingBucketsBytesAndBusyTime) {
+  Link link(LinkParams{.name = "l", .latency_s = 0,
+                       .bandwidth_bps = 1000, .duplex = true});
+  link.enable_sampling(kSecond / 2);  // 0.5s buckets; tx of 1000B spans two
+  link.transmit(0, 0, 1000);
+  link.transmit(2 * kSecond, 0, 500);  // bucket 4, busy 0.5s
+  const auto& samples = link.samples();
+  ASSERT_GE(samples.size(), 5u);
+  std::uint64_t sampled_bytes = 0;
+  Time sampled_busy = 0;
+  for (const auto& bucket : samples) {
+    sampled_bytes += bucket.bytes;
+    sampled_busy += bucket.busy;
+    EXPECT_LE(bucket.busy, kSecond / 2);
+  }
+  EXPECT_EQ(sampled_bytes, link.bytes_carried());
+  EXPECT_EQ(sampled_busy, from_sec(1.5));  // total serialization time
+  EXPECT_EQ(samples[0].busy, kSecond / 2);
+  EXPECT_EQ(samples[1].busy, kSecond / 2);
+  EXPECT_EQ(samples[4].busy, kSecond / 2);
+  link.reset_counters();
+  EXPECT_TRUE(link.samples().empty());
+}
+
+TEST(Network, DeliverDetailTelescopesAcrossHops) {
+  TwoSites t;
+  Host& src = t.net.host("rwcp-sun");
+  Host& dst = t.net.host("etl-sun");
+  std::vector<HopCharge> detail;
+  Time arrival = t.net.deliver(src, dst, 1000, &detail);
+  ASSERT_EQ(detail.size(), 3u);  // LAN - WAN - LAN
+  EXPECT_EQ(detail[0].kind, HopCharge::Kind::kLan);
+  EXPECT_EQ(detail[1].kind, HopCharge::Kind::kWan);
+  EXPECT_EQ(detail[2].kind, HopCharge::Kind::kLan);
+  EXPECT_STREQ(hop_kind_name(detail[1].kind), "wan");
+  ASSERT_NE(detail[1].link, nullptr);
+  EXPECT_EQ(detail[1].link->params().name, "imnet");
+  Time sum = 0;
+  for (const HopCharge& hop : detail) {
+    sum += hop.timing.queued + hop.timing.tx + hop.timing.lat;
+  }
+  EXPECT_EQ(sum, arrival);  // charges partition [send, arrival]
+}
+
+TEST(Network, DeliverDetailLoopbackIsLocal) {
+  TwoSites t;
+  Host& h = t.net.host("rwcp-sun");
+  std::vector<HopCharge> detail;
+  t.net.deliver(h, h, 64, &detail);
+  ASSERT_EQ(detail.size(), 1u);
+  EXPECT_EQ(detail[0].kind, HopCharge::Kind::kLocal);
+}
+
+TEST(Network, LinkSamplingCoversCurrentAndFutureLinks) {
+  TwoSites t;
+  t.net.enable_link_sampling(from_sec(0.01));
+  Host& src = t.net.host("rwcp-sun");
+  Host& dst = t.net.host("etl-sun");
+  t.net.deliver(src, dst, 5000);
+  json::Value util = t.net.utilization_json();
+  ASSERT_NE(util.find("links"), nullptr);
+  const json::Value* links = util.find("links");
+  EXPECT_NE(links->find("imnet"), nullptr);
+  EXPECT_GT(links->find("imnet")->items().size(), 0u);
+  // The ASCII view renders a row per link with traffic.
+  const std::string ascii = t.net.utilization_ascii(32);
+  EXPECT_NE(ascii.find("imnet"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace wacs::sim

@@ -1,0 +1,198 @@
+// bench-diff — compare BENCH_*.json reports and gate on regressions.
+//
+//   bench-diff <baseline.json> <current.json> [options]
+//   bench-diff --baseline-dir <dir> <current-dir> [options]
+//
+// Options:
+//   --tol SUFFIX=REL   relative tolerance for double fields whose dotted
+//                      path ends in SUFFIX (repeatable); everything else
+//                      compares exactly — same-seed runs are deterministic
+//   --ignore SUFFIX    exclude fields (repeatable; "git" is always ignored)
+//   --strict-keys      fail on keys added since the baseline (default: warn)
+//   --out FILE         also write the markdown verdict to FILE
+//
+// Directory mode compares every BENCH_*.json in the baseline dir against
+// the same-named file in the current dir; a baseline without a counterpart
+// is a failure (a bench silently disappearing is a regression too).
+//
+// Exit codes: 0 = pass, 1 = regression, 2 = usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/bench_diff.hpp"
+#include "common/json.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using wacs::analysis::DiffOptions;
+using wacs::analysis::DiffResult;
+
+struct Options {
+  std::string baseline;  // file, or dir in directory mode
+  std::string current;
+  std::string out;
+  bool dir_mode = false;
+  DiffOptions diff;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <current.json> [--tol SUFFIX=REL] "
+               "[--ignore SUFFIX] [--strict-keys] [--out FILE]\n"
+               "       %s --baseline-dir <dir> <current-dir> [options]\n",
+               argv0, argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--baseline-dir") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.dir_mode = true;
+      opt.baseline = v;
+    } else if (arg == "--tol") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      const std::string spec = v;
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) return false;
+      opt.diff.ratio_tol.emplace_back(spec.substr(0, eq),
+                                      std::atof(spec.c_str() + eq + 1));
+    } else if (arg == "--ignore") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.diff.ignore.push_back(v);
+    } else if (arg == "--strict-keys") {
+      opt.diff.allow_new_keys = false;
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.out = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return false;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (opt.dir_mode) {
+    if (positional.size() != 1) return false;
+    opt.current = positional[0];
+  } else {
+    if (positional.size() != 2) return false;
+    opt.baseline = positional[0];
+    opt.current = positional[1];
+  }
+  return true;
+}
+
+bool load_json(const std::string& path, wacs::json::Value& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto parsed = wacs::json::Value::parse(text.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 parsed.error().to_string().c_str());
+    return false;
+  }
+  out = std::move(*parsed);
+  return true;
+}
+
+/// (baseline path, current path) pairs to compare.
+using Pair = std::pair<std::string, std::string>;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage(argv[0]);
+
+  std::string markdown = "## bench-diff verdict\n\n";
+  bool regression = false;
+
+  std::vector<Pair> pairs;
+  if (!opt.dir_mode) {
+    pairs.emplace_back(opt.baseline, opt.current);
+  } else {
+    std::error_code ec;
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(opt.baseline, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 &&
+          entry.path().extension() == ".json") {
+        names.push_back(name);
+      }
+    }
+    if (ec) {
+      std::fprintf(stderr, "cannot list %s: %s\n", opt.baseline.c_str(),
+                   ec.message().c_str());
+      return 2;
+    }
+    if (names.empty()) {
+      std::fprintf(stderr, "no BENCH_*.json in %s\n", opt.baseline.c_str());
+      return 2;
+    }
+    std::sort(names.begin(), names.end());
+    for (const std::string& name : names) {
+      const fs::path current = fs::path(opt.current) / name;
+      if (!fs::exists(current)) {
+        markdown += "### " + name +
+                    "\n\n**FAIL** — current report missing (" +
+                    current.string() + ")\n\n";
+        std::fprintf(stderr, "FAIL %s: current report missing\n",
+                     name.c_str());
+        regression = true;
+        continue;
+      }
+      pairs.emplace_back((fs::path(opt.baseline) / name).string(),
+                         current.string());
+    }
+  }
+
+  for (const auto& [base_path, cur_path] : pairs) {
+    wacs::json::Value baseline;
+    wacs::json::Value current;
+    if (!load_json(base_path, baseline) || !load_json(cur_path, current)) {
+      return 2;
+    }
+    const std::string title =
+        opt.dir_mode ? fs::path(base_path).filename().string()
+                     : base_path + " vs " + cur_path;
+    const DiffResult result =
+        wacs::analysis::diff_reports(baseline, current, opt.diff);
+    markdown += result.markdown(title) + "\n";
+    std::fprintf(stderr, "%s %s: %zu fields, %zu notable\n",
+                 result.pass() ? "PASS" : "FAIL", title.c_str(),
+                 result.compared, result.diffs.size());
+    if (!result.pass()) regression = true;
+  }
+
+  std::printf("%s", markdown.c_str());
+  if (!opt.out.empty()) {
+    std::ofstream out(opt.out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+      return 2;
+    }
+    out << markdown;
+  }
+  return regression ? 1 : 0;
+}

@@ -1,0 +1,140 @@
+// trace-analyze — offline trace analytics: critical path and timelines.
+//
+//   trace-analyze <trace.jsonl> [--critical-path] [--timeline]
+//                 [--buckets N] [--terminal SPAN] [--trace ID]
+//                 [--segments N] [--json FILE]
+//
+// With no mode flag, --critical-path is implied. --critical-path walks the
+// causal chain backwards from the terminal span and prints the per-category
+// breakdown of the end-to-end virtual makespan (the categories sum to the
+// makespan by construction — see DESIGN.md §11). --timeline renders
+// per-rank activity and per-link utilization rows over a bucketed time
+// axis. --json writes the selected reports as one deterministic JSON
+// document (used by the determinism tests).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/critical_path.hpp"
+#include "analysis/timeline.hpp"
+#include "analysis/trace.hpp"
+#include "common/json.hpp"
+
+namespace {
+
+struct Options {
+  std::string path;
+  std::string json_out;
+  bool critical_path = false;
+  bool timeline = false;
+  int buckets = 60;
+  std::size_t segments = 20;
+  wacs::analysis::CriticalPathOptions cp;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <trace.jsonl> [--critical-path] [--timeline] "
+               "[--buckets N] [--terminal SPAN] [--trace ID] [--segments N] "
+               "[--json FILE]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--critical-path") {
+      opt.critical_path = true;
+    } else if (arg == "--timeline") {
+      opt.timeline = true;
+    } else if (arg == "--buckets") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.buckets = std::atoi(v);
+    } else if (arg == "--segments") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.segments = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--terminal") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.cp.terminal = v;
+    } else if (arg == "--trace") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.cp.trace_id = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--json") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.json_out = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return false;
+    } else if (opt.path.empty()) {
+      opt.path = arg;
+    } else {
+      return false;
+    }
+  }
+  if (!opt.critical_path && !opt.timeline) opt.critical_path = true;
+  return !opt.path.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage(argv[0]);
+
+  auto loaded = wacs::analysis::load_trace(opt.path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.error().to_string().c_str());
+    return 1;
+  }
+  const wacs::analysis::Trace& trace = *loaded;
+  std::fprintf(stderr, "%zu events, %zu spans, %zu flows from %s\n",
+               trace.events, trace.spans.size(), trace.flows.size(),
+               opt.path.c_str());
+  if (trace.malformed != 0) {
+    std::fprintf(stderr, "warning: %zu malformed lines skipped\n",
+                 trace.malformed);
+  }
+
+  wacs::json::Value report = wacs::json::Value::object();
+
+  if (opt.critical_path) {
+    auto cp = wacs::analysis::critical_path(trace, opt.cp);
+    if (!cp.ok()) {
+      std::fprintf(stderr, "%s\n", cp.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("%s", cp->render(opt.segments).c_str());
+    report.set("critical_path", cp->to_json());
+  }
+
+  if (opt.timeline) {
+    wacs::analysis::TimelineOptions tl_opt;
+    tl_opt.buckets = opt.buckets;
+    const wacs::analysis::Timeline tl =
+        wacs::analysis::build_timeline(trace, tl_opt);
+    if (opt.critical_path) std::printf("\n");
+    std::printf("%s", tl.render_ascii().c_str());
+    report.set("timeline", tl.to_json());
+  }
+
+  if (!opt.json_out.empty()) {
+    std::FILE* out = std::fopen(opt.json_out.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", opt.json_out.c_str());
+      return 1;
+    }
+    const std::string text = report.dump();
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+  }
+  return 0;
+}

@@ -1,11 +1,16 @@
 // trace-dump — pretty-print and filter telemetry trace JSONL files.
 //
 //   trace-dump <trace.jsonl> [--cat CAT] [--name SUBSTR] [--track SUBSTR]
-//              [--trace ID] [--limit N] [--summary]
+//              [--trace ID] [--limit N] [--summary] [--strict]
 //
 // Filters compose (AND). --summary aggregates span durations per (cat,name)
 // instead of listing events: count, mean, min, max milliseconds — a quick
 // "where did the virtual time go" without loading Perfetto.
+//
+// Malformed lines (unparseable JSON, non-object documents, events without a
+// type) are skipped and counted — traces cut short by a crash end mid-line
+// and must still dump. --strict turns any malformed line into exit code 1
+// for use in pipelines that require a clean trace.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,12 +31,14 @@ struct Options {
   std::int64_t trace_id = 0;
   std::size_t limit = 0;  // 0 = unlimited
   bool summary = false;
+  bool strict = false;
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <trace.jsonl> [--cat CAT] [--name SUBSTR] "
-               "[--track SUBSTR] [--trace ID] [--limit N] [--summary]\n",
+               "[--track SUBSTR] [--trace ID] [--limit N] [--summary] "
+               "[--strict]\n",
                argv0);
   return 2;
 }
@@ -64,6 +71,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.limit = static_cast<std::size_t>(std::atoll(v));
     } else if (arg == "--summary") {
       opt.summary = true;
+    } else if (arg == "--strict") {
+      opt.strict = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return false;
     } else if (opt.path.empty()) {
@@ -139,9 +148,11 @@ int main(int argc, char** argv) {
   std::size_t printed = 0, total = 0, malformed = 0;
   std::string line;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     auto parsed = wacs::json::Value::parse(line);
-    if (!parsed.ok()) {
+    if (!parsed.ok() ||
+        parsed->type() != wacs::json::Value::Type::kObject ||
+        field(*parsed, "type").empty()) {
       ++malformed;
       continue;
     }
@@ -175,5 +186,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "warning: %zu malformed lines skipped\n", malformed);
   }
   std::fprintf(stderr, "%zu events read from %s\n", total, opt.path.c_str());
-  return 0;
+  return opt.strict && malformed != 0 ? 1 : 0;
 }
