@@ -60,6 +60,20 @@ int main() {
     }
   }
   std::printf("%s", table.to_string().c_str());
+
+  // Instrumented replay of the calibrated point (12 ms, 1.4 MB/s): the
+  // metrics snapshot and trace cover exactly this run, so regressions in
+  // the relay's message accounting show up next to the sweep rows.
+  {
+    bench::TraceWindow window;
+    Sample s = measure(proxy::RelayParams{0.012, 1.4e6});
+    json::Value replay = json::Value::object();
+    replay.set("per_msg_cost_s", 0.012);
+    replay.set("copy_rate_bps", 1.4e6);
+    replay.set("latency_ms", s.latency_ms);
+    replay.set("bw_1m_bps", s.bw_1m);
+    report.set("traced_replay", std::move(replay));
+  }
   bench::finish_report(report, "ablation_relay");
   std::printf("\nreading: latency scales with the per-message cost (copy rate\n"
               "is irrelevant at 1 byte); 1 MB bandwidth scales with the copy\n"

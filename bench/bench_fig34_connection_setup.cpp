@@ -153,6 +153,26 @@ int main() {
   std::printf("\nshape checks:\n");
   std::printf("  Fig 4 > Fig 3 > direct: each relay process in the chain\n");
   std::printf("  adds per-connection daemon work plus extra hops.\n");
+
+  // Instrumented replay of the Fig 3 chain: per-link bytes and the span
+  // tree for the full client->outer->target establishment.
+  {
+    bench::TraceWindow window;
+    auto tb = core::make_rwcp_etl_testbed();
+    tb->net().enable_link_sampling(sim::from_sec(0.002));
+    tb->engine().spawn("replay", [&](sim::Process& self) {
+      auto l = tb->net().host("etl-sun").stack().listen(31000);
+      proxy::ProxyClient client(tb->net().host("rwcp-sun"),
+                                tb->outer()->contact(),
+                                tb->inner()->contact());
+      auto c = client.nx_connect(self, {"etl-sun", 31000});
+      WACS_CHECK_MSG(c.ok(), c.error().to_string());
+      (void)l;
+    });
+    tb->engine().run();
+    report.set("links", bench::link_traffic_json(tb->net()));
+    report.set("link_utilization", tb->net().utilization_json());
+  }
   bench::finish_report(report, "fig34");
   return 0;
 }

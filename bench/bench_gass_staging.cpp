@@ -1,0 +1,221 @@
+// GASS staging — striped file transfers across the firewall-compliant WAN.
+//
+// Sweeps file size × stripe count × path (LAN, direct WAN, proxied WAN)
+// and reports per-transfer throughput, then measures what the
+// content-addressed site cache buys: a cold stage pulls the object across
+// the IMnet once, a warm stage is a LAN cache hit. The headline shape is
+// the GridFTP effect on the proxied path: one windowed stream is capped by
+// the relay-inflated RTT well below the 1.5 Mbps WAN, and parallel stripes
+// recover the difference; on the LAN and the direct WAN a single stream
+// already saturates, so striping is flat there.
+#include "bench_util.hpp"
+#include "core/testbeds.hpp"
+#include "gass/client.hpp"
+#include "gass/server.hpp"
+
+namespace wacs {
+namespace {
+
+enum class Path { kLan, kWanDirect, kWanProxied };
+
+const char* path_name(Path p) {
+  switch (p) {
+    case Path::kLan: return "lan";
+    case Path::kWanDirect: return "wan-direct";
+    case Path::kWanProxied: return "wan-proxied";
+  }
+  return "?";
+}
+
+/// One measured transfer on a fresh testbed: seed the object, fetch it once
+/// over the requested path with `stripes` streams, return the fetch stats.
+gass::TransferStats measure(Path path, std::size_t size, int stripes) {
+  auto tb = core::make_rwcp_etl_testbed();
+  const Bytes data = pattern_bytes(size, size ^ 0x5a);
+
+  // Where the object lives and who fetches it:
+  //   lan         compas01    <- rwcp site server (same-site dial)
+  //   wan-direct  rwcp-sun    <- etl site server (etl-sun is directly
+  //                              reachable through ETL's standing allows)
+  //   wan-proxied etl-sun     <- rwcp site server's public contact (the
+  //                              passive-open relay chain at RWCP)
+  const char* origin_site = path == Path::kWanDirect ? "etl" : "rwcp";
+  const char* put_host = path == Path::kWanDirect ? "etl-sun" : "rwcp-sun";
+  const char* fetch_host = path == Path::kLan        ? "compas01"
+                           : path == Path::kWanDirect ? "rwcp-sun"
+                                                      : "etl-sun";
+
+  gass::GassServer* server = tb->gass_server_for(origin_site);
+  Result<gass::GassUrl> url(Error(ErrorCode::kInternal, "unset"));
+  tb->engine().spawn("seed", [&](sim::Process& self) {
+    gass::GassClient client(tb->net().host(put_host), Env{});
+    url = client.put(self, server->contact(), data);
+  });
+  tb->engine().run();
+  WACS_CHECK_MSG(url.ok(), url.error().to_string());
+  if (path != Path::kWanProxied) url->server = server->contact();
+
+  gass::TransferStats stats;
+  Result<Bytes> fetched(Error(ErrorCode::kInternal, "unset"));
+  tb->engine().spawn("fetch", [&](sim::Process& self) {
+    gass::GassClient client(tb->net().host(fetch_host), Env{});
+    gass::TransferOptions opts;
+    opts.stripes = stripes;
+    fetched = client.fetch(self, *url, opts, &stats);
+  });
+  tb->engine().run();
+  WACS_CHECK_MSG(fetched.ok(), fetched.error().to_string());
+  WACS_CHECK_MSG(*fetched == data, "staged bytes corrupted");
+  return stats;
+}
+
+struct CacheSample {
+  double cold_s = 0;  ///< first stage at the remote site (WAN pull-through)
+  double warm_s = 0;  ///< second stage, same site (LAN cache hit)
+  std::uint64_t wan_bytes = 0;  ///< IMnet bytes across both stages
+  std::uint64_t pull_throughs = 0;
+};
+
+std::uint64_t wan_bytes_now(core::GridSystem& g) {
+  std::uint64_t total = 0;
+  for (const sim::Link* link : g.net().all_links()) {
+    if (link->params().name == "imnet") total += link->bytes_carried();
+  }
+  return total;
+}
+
+CacheSample measure_cache(std::size_t size) {
+  auto tb = core::make_rwcp_etl_testbed();
+  const Bytes data = pattern_bytes(size, 77);
+
+  Result<gass::GassUrl> origin(Error(ErrorCode::kInternal, "unset"));
+  tb->engine().spawn("seed", [&](sim::Process& self) {
+    gass::GassClient client(tb->net().host("rwcp-sun"), Env{});
+    origin =
+        client.put(self, tb->gass_server_for("rwcp")->contact(), data);
+  });
+  tb->engine().run();
+  WACS_CHECK(origin.ok());
+
+  Env etl_env;
+  etl_env.set(env_keys::kGassServer,
+              tb->gass_server_for("etl")->contact().to_string());
+  CacheSample out;
+  const std::uint64_t wan_before = wan_bytes_now(*tb.grid);
+  tb->engine().spawn("stage", [&](sim::Process& self) {
+    gass::TransferStats cold, warm;
+    gass::GassClient first(tb->net().host("etl-o2k"), etl_env);
+    WACS_CHECK(first.stage(self, *origin, {}, &cold).ok());
+    gass::GassClient second(tb->net().host("etl-sun"), etl_env);
+    WACS_CHECK(second.stage(self, *origin, {}, &warm).ok());
+    out.cold_s = cold.seconds;
+    out.warm_s = warm.seconds;
+  });
+  tb->engine().run();
+  out.wan_bytes = wan_bytes_now(*tb.grid) - wan_before;
+  out.pull_throughs = tb->gass_server_for("etl")->pull_throughs();
+  return out;
+}
+
+}  // namespace
+}  // namespace wacs
+
+int main() {
+  using namespace wacs;
+  bench::print_header(
+      "GASS staging: striped transfers and the inner-site cache",
+      "staging substrate of Tanaka et al., HPDC 2000 (GASS + the GridFTP "
+      "parallel-streams idea)");
+  bench::maybe_enable_tracing();
+
+  bench::Report report("gass_staging");
+  TextTable table({"path", "size", "stripes", "time", "throughput"});
+  const std::size_t sizes[] = {64 * 1024, 256 * 1024};
+  const int stripe_counts[] = {1, 2, 4, 8};
+  double proxied_thr[2][4] = {};  // [size][stripe] for the shape checks
+
+  for (Path path : {Path::kLan, Path::kWanDirect, Path::kWanProxied}) {
+    int si = 0;
+    for (std::size_t size : sizes) {
+      int ki = 0;
+      for (int stripes : stripe_counts) {
+        const gass::TransferStats stats = measure(path, size, stripes);
+        const double thr = static_cast<double>(size) / stats.seconds;
+        if (path == Path::kWanProxied) proxied_thr[si][ki] = thr;
+        table.add_row({path_name(path), format_count(size),
+                       std::to_string(stripes),
+                       format_duration_ms(stats.seconds * 1e3),
+                       format_bandwidth(thr)});
+        json::Value r = json::Value::object();
+        r.set("path", path_name(path));
+        r.set("size_bytes", static_cast<std::int64_t>(size));
+        r.set("stripes", stripes);
+        r.set("seconds", stats.seconds);
+        r.set("throughput_bps", thr);
+        report.add_row(std::move(r));
+        ++ki;
+      }
+      ++si;
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  // --- cache: cold pull-through vs warm LAN hit --------------------------
+  const CacheSample cache = measure_cache(256 * 1024);
+  std::printf("\nsite cache (256 KB object staged twice at ETL):\n");
+  std::printf("  cold stage (WAN pull-through): %s\n",
+              format_duration_ms(cache.cold_s * 1e3).c_str());
+  std::printf("  warm stage (LAN cache hit)   : %s  (%.1fx faster)\n",
+              format_duration_ms(cache.warm_s * 1e3).c_str(),
+              cache.cold_s / cache.warm_s);
+  std::printf("  IMnet bytes for both stages  : %s (object: %s)\n",
+              format_count(cache.wan_bytes).c_str(),
+              format_count(256 * 1024).c_str());
+  report.set("cache_cold_seconds", cache.cold_s);
+  report.set("cache_warm_seconds", cache.warm_s);
+  report.set("cache_wan_bytes", cache.wan_bytes);
+  report.set("cache_pull_throughs", cache.pull_throughs);
+  WACS_CHECK_MSG(cache.pull_throughs == 1,
+                 "cache must cross the WAN exactly once");
+  WACS_CHECK_MSG(cache.wan_bytes < 2 * 256 * 1024,
+                 "warm stage must not re-cross the WAN");
+
+  // --- instrumented replay: the headline configuration -------------------
+  {
+    bench::TraceWindow window;
+    const gass::TransferStats replay =
+        measure(Path::kWanProxied, 256 * 1024, 4);
+    report.set("traced_replay",
+               [&] {
+                 json::Value v = json::Value::object();
+                 v.set("path", "wan-proxied");
+                 v.set("size_bytes", 256 * 1024);
+                 v.set("stripes", 4);
+                 v.set("seconds", replay.seconds);
+                 return v;
+               }());
+  }
+
+  // Shape checks (acceptance: striping strictly beats one stream on the
+  // proxied path for multi-chunk files, deterministically).
+  std::printf("\nshape checks:\n");
+  for (int si = 0; si < 2; ++si) {
+    const double gain = proxied_thr[si][2] / proxied_thr[si][0];
+    std::printf("  proxied %s: 4-stripe / 1-stripe throughput = %.2fx\n",
+                format_count(sizes[si]).c_str(), gain);
+    WACS_CHECK_MSG(proxied_thr[si][2] > proxied_thr[si][0],
+                   "striping must strictly beat one stream on the proxied "
+                   "path");
+  }
+  report.set("striping_gain_64k", proxied_thr[0][2] / proxied_thr[0][0]);
+  report.set("striping_gain_256k", proxied_thr[1][2] / proxied_thr[1][0]);
+  std::printf(
+      "  one stream is window-capped at ~window*chunk/RTT with the relay\n"
+      "  inflating RTT; stripes multiply the in-flight window until the\n"
+      "  1.5 Mbps IMnet itself is the bottleneck. LAN and direct-WAN rows\n"
+      "  saturate at one stripe, so striping specifically repairs the\n"
+      "  firewall-relay penalty.\n");
+
+  bench::finish_report(report, "gass_staging");
+  return 0;
+}

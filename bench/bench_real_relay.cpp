@@ -10,6 +10,7 @@
 
 #include <thread>
 
+#include "bench_util.hpp"
 #include "nxproxy/client.hpp"
 #include "nxproxy/daemon.hpp"
 
@@ -119,4 +120,19 @@ BENCHMARK(BM_ViaOuterAndInnerRelay)->Arg(64)->Arg(4096)->Arg(65536)->Arg(1 << 20
 }  // namespace
 }  // namespace wacs
 
-BENCHMARK_MAIN();
+// Hand-rolled main instead of BENCHMARK_MAIN so this binary shares the
+// bench-harness banner with the virtual-time benches.
+int main(int argc, char** argv) {
+  wacs::bench::print_header(
+      "Real Nexus Proxy relay on loopback TCP (wall clock)",
+      "Tanaka et al., HPDC 2000, Table 2 — genuine daemons, not the "
+      "calibrated simulator");
+  wacs::bench::print_note(
+      "wall-clock numbers vary by machine; only the direct/relayed shape "
+      "is comparable across runs");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,7 @@
 // that honest (a 20-rank knapsack run executes millions of events).
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "common/units.hpp"
 #include "simnet/channel.hpp"
 #include "simnet/tcp.hpp"
@@ -88,4 +89,16 @@ BENCHMARK(BM_SimTcpMessages)->Arg(1000)->Arg(10000);
 }  // namespace
 }  // namespace wacs::sim
 
-BENCHMARK_MAIN();
+// Hand-rolled main instead of BENCHMARK_MAIN so this binary shares the
+// bench-harness banner with the virtual-time benches.
+int main(int argc, char** argv) {
+  wacs::bench::print_header(
+      "Simulation engine microbenchmarks (wall clock)",
+      "substrate cost, not a paper figure — event dispatch, process "
+      "switches, simulated TCP messaging");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

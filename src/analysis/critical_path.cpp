@@ -17,6 +17,7 @@ std::optional<Category> span_category(const SpanEv& s) {
   if (s.cat == "relay") return Category::kRelay;
   if (s.name == "tcp.connect") return Category::kSetup;
   if (s.cat == "rmf" || s.cat == "mds") return Category::kSetup;
+  if (s.cat == "gass") return Category::kStaging;
   if (s.cat == "knapsack") return Category::kCompute;
   return std::nullopt;
 }
@@ -140,6 +141,7 @@ const char* category_name(Category cat) {
     case Category::kRelay: return "relay";
     case Category::kQueue: return "queueing";
     case Category::kSetup: return "setup";
+    case Category::kStaging: return "staging";
   }
   return "?";
 }

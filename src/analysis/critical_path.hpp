@@ -28,14 +28,16 @@ enum class Category {
   kRelay,    ///< proxy relay pump handling (crossing the firewall)
   kQueue,    ///< waiting: inbox residence, MPI demux, gap on a non-rank track
   kSetup,    ///< connection establishment, RMF / MDS job management
+  kStaging,  ///< GASS file staging: transfers, cache pulls, stripe streams
 };
 
-inline constexpr std::array<Category, 6> kAllCategories = {
+inline constexpr std::array<Category, 7> kAllCategories = {
     Category::kCompute, Category::kLanLink, Category::kWanLink,
-    Category::kRelay,   Category::kQueue,   Category::kSetup};
+    Category::kRelay,   Category::kQueue,   Category::kSetup,
+    Category::kStaging};
 
 /// Stable short name: "compute" / "lan" / "wan" / "relay" / "queueing" /
-/// "setup".
+/// "setup" / "staging".
 const char* category_name(Category cat);
 
 /// One attributed interval of the critical path.

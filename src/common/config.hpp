@@ -56,6 +56,9 @@ inline constexpr const char* kProxyOuterServer = "NEXUS_PROXY_OUTER_SERVER";
 inline constexpr const char* kProxyInnerServer = "NEXUS_PROXY_INNER_SERVER";
 inline constexpr const char* kTcpMinPort = "TCP_MIN_PORT";
 inline constexpr const char* kTcpMaxPort = "TCP_MAX_PORT";
+/// Contact of the site's GASS cache server (host:port). Resources resolve
+/// gass:// input URLs through this server so WAN pulls happen once per site.
+inline constexpr const char* kGassServer = "WACS_GASS_SERVER";
 }  // namespace env_keys
 
 }  // namespace wacs

@@ -1,6 +1,7 @@
 #include "core/grid.hpp"
 
 #include "common/log.hpp"
+#include "rmf/staging.hpp"
 
 namespace wacs::core {
 namespace {
@@ -83,6 +84,31 @@ void GridSystem::add_proxy_pair(const std::string& outer_host,
     });
   }
   proxies_.push_back(std::move(pair));
+}
+
+gass::GassServer* GridSystem::gass_server_for(const std::string& site) {
+  for (auto& [s, server] : gass_servers_) {
+    if (s == site) return server.get();
+  }
+  return nullptr;
+}
+
+void GridSystem::add_gass_server(const std::string& host) {
+  sim::Host& h = net_.host(host);
+  WACS_CHECK_MSG(gass_server_for(h.site()) == nullptr,
+                 "site already has a GASS server");
+  gass::ServerOptions options;
+  options.port = ports_.gass;
+  auto server =
+      std::make_unique<gass::GassServer>(h, options, env_for(host));
+  server->start();
+  const Contact contact = server->contact();
+  for (const sim::Host* site_host : net_.site(h.site()).hosts()) {
+    Env env = env_for(site_host->name());
+    env.set(env_keys::kGassServer, contact.to_string());
+    set_host_env(site_host->name(), std::move(env));
+  }
+  gass_servers_.emplace_back(h.site(), std::move(server));
 }
 
 sim::FaultInjector& GridSystem::faults(std::uint64_t seed) {
@@ -229,12 +255,29 @@ std::vector<Result<rmf::JobResult>> GridSystem::run_jobs(
   for (std::size_t i = 0; i < specs.size(); ++i) {
     rmf::JobSpec& spec = specs[i];
     if (spec.credential.empty()) spec.credential = credential_;
-    engine_.spawn("submit." + spec.name + "#" + std::to_string(i),
-                  [slot = &slots[i], &from, gk, spec,
-                   delay = 0.001 * static_cast<double>(i)](sim::Process& self) {
-                    if (delay > 0) self.sleep(delay);
-                    slot->emplace(rmf::submit_and_wait(self, from, gk, spec));
-                  });
+    engine_.spawn(
+        "submit." + spec.name + "#" + std::to_string(i),
+        [this, slot = &slots[i], &from, gk, spec,
+         env = env_for(submit_host),
+         delay = 0.001 * static_cast<double>(i)](sim::Process& self) {
+          if (delay > 0) self.sleep(delay);
+          rmf::JobSpec job = spec;
+          if (job.stage_via_gass && !job.input_files.empty()) {
+            gass::GassServer* origin = gass_server_for(from.site());
+            if (origin == nullptr) {
+              slot->emplace(Error(ErrorCode::kNotFound,
+                                  "no GASS server at site " + from.site()));
+              return;
+            }
+            auto staged = rmf::stage_job_inputs(self, from, env,
+                                                origin->contact(), job);
+            if (!staged.ok()) {
+              slot->emplace(staged.error());
+              return;
+            }
+          }
+          slot->emplace(rmf::submit_and_wait(self, from, gk, job));
+        });
   }
   engine_.run();
   std::vector<Result<rmf::JobResult>> results;

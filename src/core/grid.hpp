@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "gass/server.hpp"
 #include "mds/server.hpp"
 #include "proxy/server.hpp"
 #include "rmf/allocator.hpp"
@@ -28,6 +29,7 @@ struct Ports {
   std::uint16_t mds = 2135;  // the historical MDS/LDAP port
   std::uint16_t allocator = 7000;
   std::uint16_t qserver = 7100;
+  std::uint16_t gass = 7200;
   std::uint16_t outer = 9911;
   std::uint16_t nxport = 9900;
 };
@@ -68,6 +70,13 @@ class GridSystem {
   void add_proxy_pair(const std::string& outer_host,
                       const std::string& inner_host,
                       proxy::RelayParams relay);
+
+  /// Starts the site's GASS server on `host` (firewall-inner; NXProxyBinds
+  /// through the site's proxy pair when the host env is proxy-configured)
+  /// and points every current host of the site at it via WACS_GASS_SERVER.
+  /// Call after add_proxy_pair / set_site_proxy_env and before the site's
+  /// add_qserver calls, which snapshot the env.
+  void add_gass_server(const std::string& host);
 
   void add_allocator(const std::string& host,
                      rmf::AllocPolicy policy = rmf::AllocPolicy::kFastestFirst);
@@ -138,6 +147,8 @@ class GridSystem {
     return gatekeeper_ ? gatekeeper_.get() : nullptr;
   }
   mds::DirectoryServer* mds_server() { return mds_ ? mds_.get() : nullptr; }
+  /// GASS server of `site`, or nullptr.
+  gass::GassServer* gass_server_for(const std::string& site);
   const std::vector<std::unique_ptr<rmf::QServer>>& qservers() const {
     return qservers_;
   }
@@ -160,6 +171,8 @@ class GridSystem {
   std::unique_ptr<rmf::Gatekeeper> gatekeeper_;
   std::unique_ptr<mds::DirectoryServer> mds_;
   std::vector<std::unique_ptr<rmf::QServer>> qservers_;
+  std::vector<std::pair<std::string, std::unique_ptr<gass::GassServer>>>
+      gass_servers_;  ///< site → server
   std::vector<std::string> pending_qserver_rules_;
   std::unique_ptr<sim::FaultInjector> fault_;
 };

@@ -82,6 +82,12 @@ Testbed make_rwcp_etl_testbed(const TestbedOptions& options) {
     g.set_site_proxy_env("rwcp", g.outer()->contact(), g.inner()->contact());
   }
 
+  // Per-site GASS servers (before the Q servers, which snapshot the site
+  // env): RWCP's sits inside the firewall and advertises through the proxy
+  // pair; ETL's lives on the directly reachable ETL-Sun.
+  g.add_gass_server("rwcp-inner");
+  g.add_gass_server("etl-sun");
+
   g.add_allocator("rwcp-inner");
   g.add_gatekeeper("rwcp-gate", "wacs-grid");
   g.add_qserver("rwcp-sun");
@@ -126,6 +132,7 @@ Testbed make_three_site_testbed(const TestbedOptions& options) {
     g.set_site_proxy_env("titech", pair->outer->contact(),
                          pair->inner->contact());
   }
+  g.add_gass_server("titech-inner");
   g.add_qserver("titech-smp");
   return tb;
 }

@@ -1,0 +1,31 @@
+#include "gass/cache.hpp"
+
+#include "common/telemetry.hpp"
+#include "security/sha256.hpp"
+
+namespace wacs::gass {
+
+std::string ObjectStore::put(Bytes data) {
+  std::string key = security::sha256_hex(data);
+  auto [it, inserted] = objects_.emplace(key, std::move(data));
+  if (inserted) stored_bytes_ += it->second.size();
+  return key;
+}
+
+const Bytes* ObjectStore::find(const std::string& key) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    ++misses_;
+    static telemetry::Counter& miss =
+        telemetry::metrics().counter("gass.cache_miss");
+    miss.add();
+    return nullptr;
+  }
+  ++hits_;
+  static telemetry::Counter& hit =
+      telemetry::metrics().counter("gass.cache_hit");
+  hit.add();
+  return &it->second;
+}
+
+}  // namespace wacs::gass

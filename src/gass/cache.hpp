@@ -1,0 +1,48 @@
+// Content-addressed object store backing a GASS server.
+//
+// Objects are immutable and keyed by their sha256 hex digest, so a store is
+// simultaneously the origin's "disk" and a site cache: a key either resolves
+// to exactly the right bytes or is absent, and re-inserting the same content
+// is a no-op. Hit/miss counters feed the `gass.cache_*` telemetry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace wacs::gass {
+
+class ObjectStore {
+ public:
+  /// Stores `data` under its content address and returns the key.
+  /// Idempotent: identical content maps to the same key and is kept once.
+  std::string put(Bytes data);
+
+  /// The stored object, or nullptr. Counts a hit or a miss.
+  const Bytes* find(const std::string& key);
+
+  /// find() without touching the hit/miss counters (post-fill lookups).
+  const Bytes* peek(const std::string& key) const {
+    auto it = objects_.find(key);
+    return it == objects_.end() ? nullptr : &it->second;
+  }
+
+  bool contains(const std::string& key) const {
+    return objects_.count(key) != 0;
+  }
+
+  std::size_t objects() const { return objects_.size(); }
+  std::uint64_t stored_bytes() const { return stored_bytes_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::map<std::string, Bytes> objects_;
+  std::uint64_t stored_bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace wacs::gass

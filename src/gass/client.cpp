@@ -1,0 +1,294 @@
+#include "gass/client.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/telemetry.hpp"
+#include "simnet/fault.hpp"
+#include "simnet/time.hpp"
+#include "simnet/waitq.hpp"
+
+namespace wacs::gass {
+namespace {
+
+const log::Logger kLog("gass.client");
+
+/// State shared by the stripes of one fetch. Stripe processes only touch it
+/// while the engine runs them one at a time, so no locking is needed.
+struct FetchState {
+  explicit FetchState(sim::Engine& engine) : done_q(engine) {}
+
+  sim::WaitQueue done_q;
+  Bytes buffer;
+  bool have_total = false;
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> received;  ///< per-stripe restart markers
+  std::uint64_t bytes = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t resumes = 0;
+  int done = 0;
+  bool failed = false;
+  Error failure{ErrorCode::kInternal, "unset"};
+
+  void fail(Error e) {
+    if (!failed) {
+      failed = true;
+      failure = std::move(e);
+    }
+  }
+};
+
+}  // namespace
+
+GassClient::GassClient(sim::Host& host, Env env)
+    : host_(&host), env_(std::move(env)) {
+  proxy::ProxyClient client(host, env_);
+  if (client.configured()) proxy_.emplace(std::move(client));
+}
+
+Result<sim::SocketPtr> GassClient::dial(sim::Process& self,
+                                        const Contact& server) {
+  // Same-site servers are dialed over the LAN; a proxy-configured client
+  // reaches anything cross-site through its own outer server (Fig 3 active
+  // open), the paper's rule for all wide-area traffic from inside.
+  if (proxy_) {
+    auto target = host_->network().find_host(server.host);
+    const bool same_site =
+        target.ok() && (*target)->site() == host_->site();
+    if (!same_site) return proxy_->nx_connect(self, server);
+  }
+  return host_->stack().connect(self, server);
+}
+
+Result<GassUrl> GassClient::put(sim::Process& self, const Contact& server,
+                                Bytes data) {
+  telemetry::Span span("gass", "gass.put");
+  if (span.active()) span.arg("bytes", static_cast<double>(data.size()));
+  auto conn = dial(self, server);
+  if (!conn.ok()) {
+    return Error(conn.error().code(),
+                 "gass put: " + server.to_string() +
+                     " unreachable: " + conn.error().message());
+  }
+  if (auto s = (*conn)->send(Put{std::move(data)}.encode()); !s.ok()) {
+    return s.error();
+  }
+  auto frame = (*conn)->recv_deadline(
+      self, host_->network().engine().now() + sim::from_sec(30.0));
+  (*conn)->close();
+  if (!frame.ok()) return frame.error();
+  auto reply = PutReply::decode(*frame);
+  if (!reply.ok()) return reply.error();
+  if (!reply->ok) return Error(ErrorCode::kUnavailable, reply->error);
+  auto url = GassUrl::parse(reply->url);
+  if (!url.ok()) return url.error();
+  if (span.active()) span.arg("key", reply->key);
+  return *url;
+}
+
+Result<Bytes> GassClient::fetch(sim::Process& self, const GassUrl& url,
+                                const TransferOptions& opts,
+                                TransferStats* stats) {
+  return fetch_impl(self, url, "", opts, stats);
+}
+
+Result<Bytes> GassClient::stage(sim::Process& self, const GassUrl& origin,
+                                const TransferOptions& opts,
+                                TransferStats* stats) {
+  auto site_server = env_.get_contact(env_keys::kGassServer);
+  if (!site_server.ok()) return site_server.error();
+  if (site_server->has_value() && **site_server != origin.server) {
+    GassUrl via{**site_server, origin.key};
+    return fetch_impl(self, via, origin.to_string(), opts, stats);
+  }
+  return fetch_impl(self, origin, "", opts, stats);
+}
+
+Result<Bytes> GassClient::fetch_impl(sim::Process& self, const GassUrl& url,
+                                     const std::string& origin,
+                                     const TransferOptions& opts,
+                                     TransferStats* stats) {
+  sim::Engine& engine = host_->network().engine();
+  const sim::Time started = engine.now();
+  const int stripes = opts.stripes < 1 ? 1 : opts.stripes;
+  WACS_CHECK_MSG(opts.chunk_bytes > 0, "gass: zero chunk size");
+
+  telemetry::Span span("gass", "gass.transfer");
+  if (span.active()) {
+    span.arg("url", url.to_string());
+    span.arg("stripes", stripes);
+    if (!origin.empty()) span.arg("origin", origin);
+  }
+
+  auto state = std::make_shared<FetchState>(engine);
+  state->received.assign(static_cast<std::size_t>(stripes), 0);
+
+  // One stripe runs a reconnect loop: dial, send Get with the restart
+  // marker, drain+ack chunks, and on any transient failure back off and
+  // resume where the marker points. Progress resets the attempt budget.
+  auto stripe_run = [this, state, url, origin, opts, stripes,
+                     parent = span.context()](sim::Process& stripe_self,
+                                              int sid) {
+    telemetry::Span stripe_span("gass", "gass.stripe", parent);
+    if (stripe_span.active()) stripe_span.arg("stripe", sid);
+    const std::uint32_t count = static_cast<std::uint32_t>(stripes);
+    const std::uint64_t seed =
+        fnv1a(to_bytes(url.to_string() + "#" + std::to_string(sid) + "@" +
+                       host_->name()));
+    auto& got = state->received[static_cast<std::size_t>(sid)];
+    RetrySchedule schedule(opts.retry, seed);
+    sim::Time attempt_epoch = stripe_self.engine().now();
+
+    auto finish = [&](std::optional<Error> err) {
+      if (err.has_value()) state->fail(std::move(*err));
+      ++state->done;
+      state->done_q.notify_all();
+    };
+
+    for (;;) {
+      const std::uint64_t got_before = got;
+      // --- one attempt -------------------------------------------------
+      std::optional<Error> permanent;
+      bool complete = false;
+      do {
+        auto conn = dial(stripe_self, url.server);
+        if (!conn.ok()) break;  // transient: retry below
+        Get req;
+        req.key = url.key;
+        req.origin = origin;
+        req.stripe_id = static_cast<std::uint32_t>(sid);
+        req.stripe_count = count;
+        req.resume_chunks = got;
+        req.chunk_bytes = opts.chunk_bytes;
+        req.window_chunks = opts.window_chunks;
+        if (!(*conn)->send(req.encode()).ok()) break;
+        auto deadline = [&] {
+          return stripe_self.engine().now() +
+                 sim::from_sec(opts.reply_timeout_s);
+        };
+        auto reply_frame = (*conn)->recv_deadline(stripe_self, deadline());
+        if (!reply_frame.ok()) break;
+        auto reply = GetReply::decode(*reply_frame);
+        if (!reply.ok()) {
+          permanent = reply.error();
+          break;
+        }
+        if (!reply->ok) {
+          permanent = Error(ErrorCode::kNotFound,
+                            "gass get " + url.to_string() + ": " +
+                                reply->error);
+          break;
+        }
+        if (!state->have_total) {
+          state->have_total = true;
+          state->total = reply->total_bytes;
+          state->buffer.resize(state->total);
+        } else if (state->total != reply->total_bytes) {
+          permanent = Error(ErrorCode::kProtocolError,
+                            "gass: object size changed mid-transfer");
+          break;
+        }
+        const std::uint64_t chunks =
+            chunk_count(state->total, opts.chunk_bytes);
+        const std::uint64_t expected =
+            stripe_chunks(chunks, static_cast<std::uint32_t>(sid), count);
+        bool broken = false;
+        while (got < expected) {
+          auto frame = (*conn)->recv_deadline(stripe_self, deadline());
+          if (!frame.ok()) {
+            broken = true;
+            break;
+          }
+          auto chunk = Chunk::decode(*frame);
+          if (!chunk.ok()) {
+            permanent = chunk.error();
+            break;
+          }
+          const std::uint64_t want_seq =
+              static_cast<std::uint64_t>(sid) + got * count;
+          if (chunk->seq != want_seq ||
+              chunk->offset != want_seq * opts.chunk_bytes ||
+              chunk->offset + chunk->payload.size() > state->total) {
+            permanent = Error(ErrorCode::kProtocolError,
+                              "gass: chunk out of sequence");
+            break;
+          }
+          std::copy(chunk->payload.begin(), chunk->payload.end(),
+                    state->buffer.begin() +
+                        static_cast<std::ptrdiff_t>(chunk->offset));
+          ++got;
+          state->bytes += chunk->payload.size();
+          ++state->chunks;
+          if (!(*conn)->send(ChunkAck{chunk->seq}.encode()).ok()) {
+            broken = true;
+            break;
+          }
+        }
+        if (permanent.has_value() || broken) break;
+        (*conn)->close();
+        complete = true;
+      } while (false);
+      // --- attempt verdict ---------------------------------------------
+      if (complete) {
+        if (stripe_span.active()) {
+          stripe_span.arg("chunks", static_cast<double>(got));
+        }
+        return finish(std::nullopt);
+      }
+      if (permanent.has_value()) return finish(std::move(permanent));
+      if (state->failed) return finish(std::nullopt);  // sibling gave up
+      if (got > got_before) {
+        // Forward progress: a flapping link should never exhaust the
+        // budget of a transfer that is still moving.
+        schedule = RetrySchedule(opts.retry, seed ^ got);
+        attempt_epoch = stripe_self.engine().now();
+      }
+      const std::int64_t delay = schedule.next_delay_ns(
+          stripe_self.engine().now() - attempt_epoch);
+      if (delay < 0) {
+        return finish(Error(ErrorCode::kUnavailable,
+                            "gass: stripe " + std::to_string(sid) +
+                                " exhausted its retry budget"));
+      }
+      ++state->resumes;
+      static telemetry::Counter& resumed =
+          telemetry::metrics().counter("gass.resumes");
+      resumed.add();
+      kLog.debug("stripe %d of %s resuming at chunk %llu", sid,
+                 url.key.c_str(), static_cast<unsigned long long>(got));
+      if (delay > 0) stripe_self.sleep(sim::to_sec(delay));
+    }
+  };
+
+  sim::FaultInjector* fault = host_->network().fault();
+  for (int sid = 1; sid < stripes; ++sid) {
+    sim::Process* proc = engine.spawn(
+        "gass.stripe" + std::to_string(sid) + "@" + host_->name(),
+        [stripe_run, sid](sim::Process& p) { stripe_run(p, sid); });
+    if (fault != nullptr) fault->register_host_process(host_->name(), proc);
+  }
+  stripe_run(self, 0);
+  state->done_q.wait_until(self, [&] { return state->done >= stripes; });
+
+  if (state->failed) return state->failure;
+  static telemetry::Counter& transfers =
+      telemetry::metrics().counter("gass.transfers");
+  transfers.add();
+  static telemetry::Counter& bytes_fetched =
+      telemetry::metrics().counter("gass.bytes_fetched");
+  bytes_fetched.add(state->bytes);
+  if (span.active()) {
+    span.arg("bytes", static_cast<double>(state->total));
+    span.arg("resumes", static_cast<double>(state->resumes));
+  }
+  if (stats != nullptr) {
+    stats->bytes = state->bytes;
+    stats->chunks = state->chunks;
+    stats->resumes = state->resumes;
+    stats->seconds = sim::to_sec(engine.now() - started);
+  }
+  return std::move(state->buffer);
+}
+
+}  // namespace wacs::gass

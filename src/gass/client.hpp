@@ -1,0 +1,88 @@
+// GASS client: stores objects on a server and fetches them with N parallel
+// striped streams, resuming from per-stripe restart markers after faults.
+//
+// Routing mirrors the Nexus rule: a proxy-configured client reaches
+// cross-site servers through NXProxyConnect (one active open per stripe, so
+// every stripe owns a relay pump chain); same-site and unproxied clients
+// dial directly. Servers behind a firewall advertise their outer-server
+// public contact in URLs, so a direct dial to a `gass://` URL still crosses
+// the passive-open relay — either way the stripes parallelize the
+// per-message relay cost that throttles a single stream.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/config.hpp"
+#include "common/retry.hpp"
+#include "gass/protocol.hpp"
+#include "proxy/client.hpp"
+#include "simnet/tcp.hpp"
+
+namespace wacs::gass {
+
+/// Per-transfer tuning. The retry policy governs each stripe's reconnects:
+/// a resumed stripe re-sends Get with its restart marker, and the schedule
+/// is reset whenever an attempt made progress, so a transfer only fails
+/// when a stripe repeatedly moves no bytes at all.
+struct TransferOptions {
+  int stripes = kDefaultStripes;
+  std::uint32_t chunk_bytes = kDefaultChunkBytes;
+  std::uint32_t window_chunks = kDefaultWindowChunks;
+  double reply_timeout_s = 30.0;  ///< bound on any single wait within a stripe
+  RetryPolicy retry = default_retry();
+
+  /// Wide enough to outlast an outer-server crash+restart window.
+  static RetryPolicy default_retry() {
+    RetryPolicy p;
+    p.max_attempts = 10;
+    p.initial_backoff_ns = 10'000'000;
+    p.max_backoff_ns = 2'000'000'000;
+    return p;
+  }
+};
+
+struct TransferStats {
+  std::uint64_t bytes = 0;    ///< payload bytes received
+  std::uint64_t chunks = 0;   ///< chunks received
+  std::uint64_t resumes = 0;  ///< stripe reconnects that carried a restart marker
+  double seconds = 0;         ///< virtual time of the whole fetch
+};
+
+class GassClient {
+ public:
+  /// `env` supplies the proxy route (NEXUS_PROXY_*) and the site cache
+  /// server (WACS_GASS_SERVER) used by stage().
+  GassClient(sim::Host& host, Env env);
+
+  /// Stores `data` on `server`; returns the advertised URL (public contact
+  /// when the server sits behind a proxy).
+  Result<GassUrl> put(sim::Process& self, const Contact& server, Bytes data);
+
+  /// Striped fetch of `url` straight from its server.
+  Result<Bytes> fetch(sim::Process& self, const GassUrl& url,
+                      const TransferOptions& opts = {},
+                      TransferStats* stats = nullptr);
+
+  /// Staging entry used by the Q system: when the environment names a site
+  /// cache server distinct from the origin, fetch through it (the cache
+  /// pulls the object across the WAN once and serves the site over the
+  /// LAN); otherwise fetch from the origin directly.
+  Result<Bytes> stage(sim::Process& self, const GassUrl& origin,
+                      const TransferOptions& opts = {},
+                      TransferStats* stats = nullptr);
+
+ private:
+  friend class GassServer;  // pull-through shares the routing logic
+
+  Result<Bytes> fetch_impl(sim::Process& self, const GassUrl& url,
+                           const std::string& origin,
+                           const TransferOptions& opts, TransferStats* stats);
+  Result<sim::SocketPtr> dial(sim::Process& self, const Contact& server);
+
+  sim::Host* host_;
+  Env env_;
+  std::optional<proxy::ProxyClient> proxy_;
+};
+
+}  // namespace wacs::gass

@@ -1,0 +1,229 @@
+#include "gass/protocol.hpp"
+
+namespace wacs::gass {
+namespace {
+
+Error bad_frame(const char* what) {
+  return Error(ErrorCode::kProtocolError, std::string("gass frame: ") + what);
+}
+
+Result<MsgType> expect_type(BufReader& r, MsgType want) {
+  auto tag = r.u8();
+  if (!tag) return tag.error();
+  if (*tag != static_cast<std::uint8_t>(want)) {
+    return bad_frame("wrong type tag");
+  }
+  return want;
+}
+
+void put_tag(BufWriter& w, MsgType t) { w.u8(static_cast<std::uint8_t>(t)); }
+
+}  // namespace
+
+std::string GassUrl::to_string() const {
+  return "gass://" + server.host + ":" + std::to_string(server.port) + "/" +
+         key;
+}
+
+Result<GassUrl> GassUrl::parse(const std::string& url) {
+  constexpr std::string_view kScheme = "gass://";
+  auto bad = [&](const char* what) {
+    return Error(ErrorCode::kInvalidArgument,
+                 std::string("bad gass url '") + url + "': " + what);
+  };
+  if (url.rfind(kScheme, 0) != 0) return bad("missing gass:// scheme");
+  const std::size_t host_begin = kScheme.size();
+  const std::size_t colon = url.find(':', host_begin);
+  if (colon == std::string::npos) return bad("missing port");
+  const std::size_t slash = url.find('/', colon);
+  if (slash == std::string::npos) return bad("missing key");
+  GassUrl out;
+  out.server.host = url.substr(host_begin, colon - host_begin);
+  if (out.server.host.empty()) return bad("empty host");
+  const std::string port = url.substr(colon + 1, slash - colon - 1);
+  int value = 0;
+  for (char c : port) {
+    if (c < '0' || c > '9') return bad("non-numeric port");
+    value = value * 10 + (c - '0');
+    if (value > 65535) return bad("port out of range");
+  }
+  if (port.empty() || value == 0) return bad("bad port");
+  out.server.port = static_cast<std::uint16_t>(value);
+  out.key = url.substr(slash + 1);
+  if (out.key.empty()) return bad("empty key");
+  return out;
+}
+
+Result<MsgType> peek_type(const Bytes& frame) {
+  if (frame.empty()) return bad_frame("empty frame");
+  const std::uint8_t tag = frame[0];
+  if (tag < 1 || tag > 6) return bad_frame("unknown type tag");
+  return static_cast<MsgType>(tag);
+}
+
+Bytes Get::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kGet);
+  w.str(key);
+  w.str(origin);
+  w.u32(stripe_id);
+  w.u32(stripe_count);
+  w.u64(resume_chunks);
+  w.u32(chunk_bytes);
+  w.u32(window_chunks);
+  return std::move(w).take();
+}
+
+Result<Get> Get::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kGet); !t) return t.error();
+  Get out;
+  auto key = r.str();
+  if (!key) return key.error();
+  out.key = std::move(*key);
+  auto origin = r.str();
+  if (!origin) return origin.error();
+  out.origin = std::move(*origin);
+  auto sid = r.u32();
+  if (!sid) return sid.error();
+  out.stripe_id = *sid;
+  auto count = r.u32();
+  if (!count) return count.error();
+  out.stripe_count = *count;
+  auto resume = r.u64();
+  if (!resume) return resume.error();
+  out.resume_chunks = *resume;
+  auto chunk = r.u32();
+  if (!chunk) return chunk.error();
+  out.chunk_bytes = *chunk;
+  auto window = r.u32();
+  if (!window) return window.error();
+  out.window_chunks = *window;
+  if (out.stripe_count == 0 || out.stripe_id >= out.stripe_count) {
+    return bad_frame("stripe id out of range");
+  }
+  if (out.chunk_bytes == 0) return bad_frame("zero chunk size");
+  return out;
+}
+
+Bytes GetReply::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kGetReply);
+  w.boolean(ok);
+  w.u64(total_bytes);
+  w.str(error);
+  return std::move(w).take();
+}
+
+Result<GetReply> GetReply::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kGetReply); !t) return t.error();
+  GetReply out;
+  auto ok = r.boolean();
+  if (!ok) return ok.error();
+  out.ok = *ok;
+  auto total = r.u64();
+  if (!total) return total.error();
+  out.total_bytes = *total;
+  auto error = r.str();
+  if (!error) return error.error();
+  out.error = std::move(*error);
+  return out;
+}
+
+Bytes Chunk::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kChunk);
+  w.u64(seq);
+  w.u64(offset);
+  w.blob(payload);
+  return std::move(w).take();
+}
+
+Result<Chunk> Chunk::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kChunk); !t) return t.error();
+  Chunk out;
+  auto seq = r.u64();
+  if (!seq) return seq.error();
+  out.seq = *seq;
+  auto offset = r.u64();
+  if (!offset) return offset.error();
+  out.offset = *offset;
+  auto payload = r.blob();
+  if (!payload) return payload.error();
+  out.payload = std::move(*payload);
+  return out;
+}
+
+Bytes ChunkAck::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kChunkAck);
+  w.u64(seq);
+  return std::move(w).take();
+}
+
+Result<ChunkAck> ChunkAck::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kChunkAck); !t) return t.error();
+  auto seq = r.u64();
+  if (!seq) return seq.error();
+  return ChunkAck{*seq};
+}
+
+Bytes Put::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kPut);
+  w.blob(data);
+  return std::move(w).take();
+}
+
+Result<Put> Put::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kPut); !t) return t.error();
+  auto data = r.blob();
+  if (!data) return data.error();
+  return Put{std::move(*data)};
+}
+
+Bytes PutReply::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kPutReply);
+  w.boolean(ok);
+  w.str(key);
+  w.str(url);
+  w.str(error);
+  return std::move(w).take();
+}
+
+Result<PutReply> PutReply::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kPutReply); !t) return t.error();
+  PutReply out;
+  auto ok = r.boolean();
+  if (!ok) return ok.error();
+  out.ok = *ok;
+  auto key = r.str();
+  if (!key) return key.error();
+  out.key = std::move(*key);
+  auto url = r.str();
+  if (!url) return url.error();
+  out.url = std::move(*url);
+  auto error = r.str();
+  if (!error) return error.error();
+  out.error = std::move(*error);
+  return out;
+}
+
+std::uint64_t chunk_count(std::uint64_t total_bytes,
+                          std::uint32_t chunk_bytes) {
+  return (total_bytes + chunk_bytes - 1) / chunk_bytes;
+}
+
+std::uint64_t stripe_chunks(std::uint64_t chunks, std::uint32_t stripe_id,
+                            std::uint32_t stripe_count) {
+  if (stripe_id >= chunks % stripe_count) return chunks / stripe_count;
+  return chunks / stripe_count + 1;
+}
+
+}  // namespace wacs::gass

@@ -1,0 +1,126 @@
+// GASS wire protocol: chunked, striped, resumable file transfers.
+//
+// Globus GASS (Global Access to Secondary Storage) staged executables and
+// input files to remote resources before a job started. Our reproduction
+// frames the transfer explicitly so the firewall-compliant path can be
+// measured: a file is split into fixed-size chunks, chunk i belongs to
+// stripe i % stripe_count, and each stripe travels on its own connection
+// (its own NXProxyConnect when the route crosses a firewall, hence its own
+// relay pump chain — the GridFTP parallel-streams idea). The receiver acks
+// every chunk; the ack doubles as a flow-control credit and as the restart
+// marker a resumed transfer continues from after a fault.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/contact.hpp"
+#include "common/error.hpp"
+
+namespace wacs::gass {
+
+/// Transfer tuning defaults. The chunk/window pair models the era's TCP
+/// socket buffers (8 KB segments, ~16 KB default window): one stripe keeps
+/// at most `window` chunks unacked in flight, so the relay-inflated RTT of
+/// the proxied path caps per-stripe throughput — exactly the effect
+/// parallel streams repair.
+inline constexpr std::uint32_t kDefaultChunkBytes = 8 * 1024;
+inline constexpr std::uint32_t kDefaultWindowChunks = 2;
+inline constexpr int kDefaultStripes = 4;
+
+/// A `gass://host:port/key` URL. The key is the object's content address
+/// (sha256 hex); the contact is the serving endpoint — the public contact
+/// rewritten by the outer proxy server when the origin sits behind a
+/// firewall.
+struct GassUrl {
+  Contact server;
+  std::string key;
+
+  std::string to_string() const;
+  static Result<GassUrl> parse(const std::string& url);
+
+  friend bool operator==(const GassUrl&, const GassUrl&) = default;
+};
+
+enum class MsgType : std::uint8_t {
+  kGet = 1,
+  kGetReply = 2,
+  kChunk = 3,
+  kChunkAck = 4,
+  kPut = 5,
+  kPutReply = 6,
+};
+
+Result<MsgType> peek_type(const Bytes& frame);
+
+/// Opens one stripe of a transfer. `resume_chunks` chunks of this stripe
+/// were already received by the client (the restart marker): the server
+/// skips them. `origin` is the upstream URL a caching server pulls through
+/// on a miss ("" = serve only what is stored).
+struct Get {
+  std::string key;
+  std::string origin;
+  std::uint32_t stripe_id = 0;
+  std::uint32_t stripe_count = 1;
+  std::uint64_t resume_chunks = 0;
+  std::uint32_t chunk_bytes = kDefaultChunkBytes;
+  std::uint32_t window_chunks = kDefaultWindowChunks;
+  Bytes encode() const;
+  static Result<Get> decode(const Bytes& frame);
+};
+
+struct GetReply {
+  bool ok = false;
+  std::uint64_t total_bytes = 0;
+  std::string error;
+  Bytes encode() const;
+  static Result<GetReply> decode(const Bytes& frame);
+};
+
+/// One chunk. `seq` is the global chunk index (seq % stripe_count names the
+/// stripe), `offset` its byte position — the receiver reassembles stripes
+/// into one buffer by offset.
+struct Chunk {
+  std::uint64_t seq = 0;
+  std::uint64_t offset = 0;
+  Bytes payload;
+  Bytes encode() const;
+  static Result<Chunk> decode(const Bytes& frame);
+};
+
+/// Receiver → sender: chunk `seq` landed. Releases one window credit and
+/// advances the stripe's restart marker.
+struct ChunkAck {
+  std::uint64_t seq = 0;
+  Bytes encode() const;
+  static Result<ChunkAck> decode(const Bytes& frame);
+};
+
+/// Stores an object; the server derives the content-address key itself.
+struct Put {
+  Bytes data;
+  Bytes encode() const;
+  static Result<Put> decode(const Bytes& frame);
+};
+
+/// `url` is the object's advertised address: the server's public (proxied)
+/// contact when it has one, so the URL works from anywhere on the grid.
+struct PutReply {
+  bool ok = false;
+  std::string key;
+  std::string url;
+  std::string error;
+  Bytes encode() const;
+  static Result<PutReply> decode(const Bytes& frame);
+};
+
+/// Chunks covering `total_bytes`, i.e. ceil(total/chunk); 0 for an empty
+/// object (an empty file still transfers: the GetReply carries the size).
+std::uint64_t chunk_count(std::uint64_t total_bytes, std::uint32_t chunk_bytes);
+
+/// Chunks of `stripe_id` under a `stripe_count`-way striping of `chunks`.
+std::uint64_t stripe_chunks(std::uint64_t chunks, std::uint32_t stripe_id,
+                            std::uint32_t stripe_count);
+
+}  // namespace wacs::gass

@@ -1,0 +1,222 @@
+#include "gass/server.hpp"
+
+#include "common/log.hpp"
+#include "common/telemetry.hpp"
+#include "simnet/time.hpp"
+
+namespace wacs::gass {
+namespace {
+
+const log::Logger kLog("gass.server");
+
+/// Bound on waiting for one ChunkAck; a vanished client frees the handler.
+constexpr double kAckTimeoutS = 60.0;
+
+}  // namespace
+
+GassServer::GassServer(sim::Host& host, ServerOptions options, Env env)
+    : host_(&host),
+      options_(std::move(options)),
+      env_(std::move(env)),
+      fetcher_(host, env_) {}
+
+void GassServer::start() {
+  WACS_CHECK_MSG(!started_, "GASS server already started");
+  started_ = true;
+  sim::Engine& engine = host_->network().engine();
+  bind_wait_ = std::make_unique<sim::WaitQueue>(engine);
+  auto listener = host_->stack().listen(options_.port);
+  WACS_CHECK_MSG(listener.ok(), "GASS server cannot bind its port");
+  listener_ = *listener;
+  engine.spawn("gass@" + host_->name(), [this](sim::Process& self) {
+    serve(self, listener_);
+  });
+
+  proxy::ProxyClient probe(*host_, env_);
+  if (probe.configured()) {
+    // Passive open: register with the outer server so the public contact
+    // can be advertised in URLs, then accept relayed stripes forever.
+    engine.spawn("gass.proxied@" + host_->name(),
+                 [this](sim::Process& self) { serve_proxied(self); });
+  } else {
+    bind_done_ = true;
+  }
+}
+
+void GassServer::serve(sim::Process& self, sim::ListenerPtr listener) {
+  while (true) {
+    auto conn = listener->accept(self);
+    if (!conn.ok()) return;
+    auto sock = *conn;
+    host_->network().engine().spawn(
+        "gass@" + host_->name() + ".req",
+        [this, sock](sim::Process& handler) { handle(handler, sock); });
+  }
+}
+
+void GassServer::serve_proxied(sim::Process& self) {
+  proxy::ProxyClient client(*host_, env_);
+  auto bound = client.nx_bind(self);
+  if (!bound.ok()) {
+    kLog.error("%s: NXProxyBind failed: %s", host_->name().c_str(),
+               bound.error().to_string().c_str());
+    bind_done_ = true;  // URLs fall back to the direct contact
+    bind_wait_->notify_all();
+    return;
+  }
+  public_contact_ = (*bound)->public_contact();
+  bind_done_ = true;
+  bind_wait_->notify_all();
+  kLog.info("%s: GASS public contact %s", host_->name().c_str(),
+            public_contact_->to_string().c_str());
+  while (true) {
+    auto conn = (*bound)->nx_accept(self);
+    if (!conn.ok()) return;
+    auto sock = *conn;
+    host_->network().engine().spawn(
+        "gass@" + host_->name() + ".req",
+        [this, sock](sim::Process& handler) { handle(handler, sock); });
+  }
+}
+
+void GassServer::handle(sim::Process& self, sim::SocketPtr conn) {
+  auto frame = conn->recv(self);
+  if (!frame.ok()) return;
+  auto type = peek_type(*frame);
+  if (!type.ok()) {
+    conn->close();
+    return;
+  }
+  if (*type == MsgType::kPut) {
+    auto put = Put::decode(*frame);
+    if (!put.ok()) {
+      (void)conn->send(
+          PutReply{false, "", "", put.error().to_string()}.encode());
+      conn->close();
+      return;
+    }
+    // URLs must carry the public contact, so a Put racing the proxy bind
+    // waits for it to settle.
+    bind_wait_->wait_until(self, [&] { return bind_done_; });
+    std::string key = store_.put(std::move(put->data));
+    const std::string url = url_for(key).to_string();
+    (void)conn->send(PutReply{true, std::move(key), url, ""}.encode());
+    conn->close();
+    return;
+  }
+  if (*type == MsgType::kGet) {
+    auto get = Get::decode(*frame);
+    if (!get.ok()) {
+      (void)conn->send(
+          GetReply{false, 0, get.error().to_string()}.encode());
+      conn->close();
+      return;
+    }
+    handle_get(self, conn, *get);
+    return;
+  }
+  conn->close();
+}
+
+void GassServer::handle_get(sim::Process& self, sim::SocketPtr conn,
+                            const Get& req) {
+  telemetry::Span span("gass", "gass.get", conn->last_rx_meta().ctx);
+  if (span.active()) {
+    span.arg("key", req.key);
+    span.arg("stripe", static_cast<double>(req.stripe_id));
+  }
+  const Bytes* obj = store_.find(req.key);  // counts the hit or miss
+  if (obj == nullptr) {
+    if (req.origin.empty()) {
+      (void)conn->send(
+          GetReply{false, 0, "no object " + req.key}.encode());
+      conn->close();
+      return;
+    }
+    auto filled = ensure_object(self, req.key, req.origin);
+    if (!filled.ok()) {
+      (void)conn->send(
+          GetReply{false, 0, filled.error().to_string()}.encode());
+      conn->close();
+      return;
+    }
+    obj = store_.peek(req.key);
+    WACS_CHECK(obj != nullptr);
+  }
+
+  const std::uint64_t total = obj->size();
+  if (!conn->send(GetReply{true, total, ""}.encode()).ok()) return;
+
+  const std::uint64_t chunks = chunk_count(total, req.chunk_bytes);
+  const std::uint64_t expected =
+      stripe_chunks(chunks, req.stripe_id, req.stripe_count);
+  const std::uint32_t window =
+      req.window_chunks == 0 ? 1 : req.window_chunks;
+  std::uint64_t sent = std::min(req.resume_chunks, expected);
+  std::uint64_t acked = sent;
+  while (acked < expected) {
+    while (sent < expected && sent - acked < window) {
+      const std::uint64_t seq =
+          req.stripe_id + sent * req.stripe_count;
+      const std::uint64_t offset = seq * req.chunk_bytes;
+      const std::uint64_t len =
+          std::min<std::uint64_t>(req.chunk_bytes, total - offset);
+      Chunk chunk;
+      chunk.seq = seq;
+      chunk.offset = offset;
+      chunk.payload.assign(
+          obj->begin() + static_cast<std::ptrdiff_t>(offset),
+          obj->begin() + static_cast<std::ptrdiff_t>(offset + len));
+      if (!conn->send(chunk.encode()).ok()) return;  // client will resume
+      ++sent;
+    }
+    auto frame = conn->recv_deadline(
+        self, host_->network().engine().now() + sim::from_sec(kAckTimeoutS));
+    if (!frame.ok()) return;
+    auto ack = ChunkAck::decode(*frame);
+    if (!ack.ok()) return;
+    ++acked;  // acks are FIFO on the stripe connection
+  }
+  ++gets_served_;
+  conn->close();
+}
+
+Status GassServer::ensure_object(sim::Process& self, const std::string& key,
+                                 const std::string& origin) {
+  if (store_.contains(key)) return Status();
+  if (auto it = flights_.find(key); it != flights_.end()) {
+    // Another handler is already pulling this key: wait for its verdict.
+    auto flight = it->second;
+    flight->waiters.wait_until(self, [&] { return flight->done; });
+    return flight->result;
+  }
+  auto flight = std::make_shared<Flight>(host_->network().engine());
+  flights_.emplace(key, flight);
+  ++pull_throughs_;
+  static telemetry::Counter& pulls =
+      telemetry::metrics().counter("gass.pull_through");
+  pulls.add();
+
+  Status result;
+  auto origin_url = GassUrl::parse(origin);
+  if (!origin_url.ok()) {
+    result = origin_url.error();
+  } else {
+    auto data = fetcher_.fetch(self, *origin_url, options_.fetch);
+    if (!data.ok()) {
+      result = data.error();
+    } else if (store_.put(std::move(*data)) != key) {
+      // Content address mismatch: the origin served different bytes than
+      // the key promises. Refuse rather than cache-poison.
+      result = Error(ErrorCode::kProtocolError,
+                     "gass: origin content does not match key " + key);
+    }
+  }
+  flight->done = true;
+  flight->result = result;
+  flight->waiters.notify_all();
+  flights_.erase(key);
+  return result;
+}
+
+}  // namespace wacs::gass

@@ -1,0 +1,91 @@
+// GASS server: one per site, inside the firewall, reachable through the
+// Nexus Proxy.
+//
+// Serves Put (store, returns the content-address URL) and Get (one stripe
+// of a windowed chunk stream). When started with a proxy-configured
+// environment it NXProxyBinds and advertises the outer server's public
+// contact in its URLs, so remote sites can stage from it across the
+// firewall. A Get for a missing key with an origin URL triggers a
+// pull-through fetch: the server stages the object from the origin into its
+// own store first — single-flight, so twenty concurrent rank stagings cost
+// one WAN transfer and nineteen LAN cache hits.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/config.hpp"
+#include "gass/cache.hpp"
+#include "gass/client.hpp"
+#include "gass/protocol.hpp"
+#include "proxy/client.hpp"
+#include "simnet/tcp.hpp"
+#include "simnet/waitq.hpp"
+
+namespace wacs::gass {
+
+struct ServerOptions {
+  std::uint16_t port = 7200;
+  /// Stripes used for pull-through fetches from an origin (the WAN leg).
+  TransferOptions fetch;
+};
+
+class GassServer {
+ public:
+  GassServer(sim::Host& host, ServerOptions options, Env env);
+
+  void start();
+
+  Contact contact() const { return Contact{host_->name(), options_.port}; }
+  /// Outer-server rewrite of our contact; empty until the bind completes
+  /// (or forever, when the site needs no proxy).
+  const std::optional<Contact>& public_contact() const {
+    return public_contact_;
+  }
+  /// The address remote clients should use: public when proxied.
+  Contact advertised_contact() const {
+    return public_contact_.value_or(contact());
+  }
+  GassUrl url_for(const std::string& key) const {
+    return GassUrl{advertised_contact(), key};
+  }
+
+  ObjectStore& store() { return store_; }
+  std::uint64_t pull_throughs() const { return pull_throughs_; }
+  std::uint64_t gets_served() const { return gets_served_; }
+
+ private:
+  void serve(sim::Process& self, sim::ListenerPtr listener);
+  void serve_proxied(sim::Process& self);
+  void handle(sim::Process& self, sim::SocketPtr conn);
+  void handle_get(sim::Process& self, sim::SocketPtr conn, const Get& req);
+  /// Ensures `key` is stored, pulling through `origin` on a miss.
+  Status ensure_object(sim::Process& self, const std::string& key,
+                       const std::string& origin);
+
+  /// Single-flight bookkeeping for concurrent misses of one key.
+  struct Flight {
+    explicit Flight(sim::Engine& engine) : waiters(engine) {}
+    sim::WaitQueue waiters;
+    bool done = false;
+    Status result;
+  };
+
+  sim::Host* host_;
+  ServerOptions options_;
+  Env env_;
+  ObjectStore store_;
+  GassClient fetcher_;
+  sim::ListenerPtr listener_;
+  std::optional<Contact> public_contact_;
+  bool bind_done_ = false;  ///< true once the proxy bind resolved (or n/a)
+  std::unique_ptr<sim::WaitQueue> bind_wait_;
+  std::map<std::string, std::shared_ptr<Flight>> flights_;
+  std::uint64_t pull_throughs_ = 0;
+  std::uint64_t gets_served_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace wacs::gass

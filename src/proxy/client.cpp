@@ -102,17 +102,25 @@ Result<NxProxyListenerPtr> ProxyClient::nx_bind(sim::Process& self) {
 
 Result<sim::SocketPtr> NxProxyListener::nx_accept(sim::Process& self,
                                                   Contact* true_peer) {
-  auto conn = local_->accept(self);
-  if (!conn.ok()) return conn.error();
-  // First frame is the AcceptNotice preamble from the inner server; bound
-  // the wait so a crashed inner server surfaces kTimeout, not a hang.
-  auto frame = (*conn)->recv_deadline(
-      self, self.engine().now() + sim::from_sec(control_timeout_s_));
-  if (!frame.ok()) return frame.error();
-  auto notice = AcceptNotice::decode(*frame);
-  if (!notice.ok()) return notice.error();
-  if (true_peer != nullptr) *true_peer = notice->peer;
-  return *conn;
+  while (true) {
+    auto conn = local_->accept(self);
+    if (!conn.ok()) return conn.error();
+    // First frame is the AcceptNotice preamble from the inner server. No
+    // deadline here: on a congested shared LAN the tiny preamble can queue
+    // many seconds behind bulk transfers, and dropping an established
+    // relayed connection on a false timeout silently discards the remote
+    // peer's in-flight data (the dialer is never told). An inner server
+    // that dies still wakes this recv — process death and link faults
+    // surface as a reset, orderly teardown as EOF — so a failure is scoped
+    // to this one connection: drop it and accept the next instead of
+    // tearing down the whole endpoint.
+    auto frame = (*conn)->recv(self);
+    if (!frame.ok()) continue;
+    auto notice = AcceptNotice::decode(*frame);
+    if (!notice.ok()) continue;
+    if (true_peer != nullptr) *true_peer = notice->peer;
+    return *conn;
+  }
 }
 
 }  // namespace wacs::proxy

@@ -249,6 +249,7 @@ void Gatekeeper::job_manager(sim::Process& self, sim::SocketPtr submitter,
     qsub.job_manager = jm_contact;
     qsub.args = spec.args;
     qsub.input_files = spec.input_files;
+    qsub.input_urls = spec.input_urls;
     if (!(*q_conn)->send(qsub.encode()).ok()) {
       return Error(ErrorCode::kUnavailable,
                    "Q submit to " + part.placement.host + " failed");

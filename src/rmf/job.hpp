@@ -37,8 +37,18 @@ struct JobSpec {
   std::vector<Placement> placements;
   std::map<std::string, std::string> args;
   /// GASS: input files staged to every rank before start ("the Q system
-  /// also transfers the files to remote resources").
+  /// also transfers the files to remote resources"). Inline payloads ride
+  /// inside the submit RPC itself — the fallback path.
   std::map<std::string, Bytes> input_files;
+  /// GASS by reference: name → `gass://` URL. Q servers resolve these
+  /// through their site's cache server before ranks start, so a wide-area
+  /// job pulls each object across the WAN once per site. Keys here and in
+  /// input_files must be disjoint; URL entries win on collision.
+  std::map<std::string, std::string> input_urls;
+  /// Client-side only (not serialized): when set, the submit helpers stage
+  /// input_files to the submitter's site GASS server first and send URLs
+  /// instead of payloads.
+  bool stage_via_gass = false;
   /// Virtual-time deadline for the whole job; 0 = none. When exceeded the
   /// job manager abandons the job and reports failure (ranks unwind when
   /// their job-manager connection drops).

@@ -117,6 +117,7 @@ Bytes SubmitRequest::encode() const {
   put_placements(w, spec.placements);
   put_string_map(w, spec.args);
   put_file_map(w, spec.input_files);
+  put_string_map(w, spec.input_urls);
   w.f64(spec.deadline_seconds);
   return std::move(w).take();
 }
@@ -146,6 +147,9 @@ Result<SubmitRequest> SubmitRequest::decode(const Bytes& frame) {
   auto files = get_file_map(r);
   if (!files) return files.error();
   out.spec.input_files = std::move(*files);
+  auto urls = get_string_map(r);
+  if (!urls) return urls.error();
+  out.spec.input_urls = std::move(*urls);
   auto deadline = r.f64();
   if (!deadline) return deadline.error();
   out.spec.deadline_seconds = *deadline;
@@ -265,6 +269,7 @@ Bytes QSubmit::encode() const {
   put_contact(w, job_manager);
   put_string_map(w, args);
   put_file_map(w, input_files);
+  put_string_map(w, input_urls);
   return std::move(w).take();
 }
 
@@ -296,6 +301,9 @@ Result<QSubmit> QSubmit::decode(const Bytes& frame) {
   auto files = get_file_map(r);
   if (!files) return files.error();
   out.input_files = std::move(*files);
+  auto urls = get_string_map(r);
+  if (!urls) return urls.error();
+  out.input_urls = std::move(*urls);
   return out;
 }
 

@@ -80,7 +80,8 @@ struct QSubmit {
   int nprocs = 0;     ///< total job size
   Contact job_manager;
   std::map<std::string, std::string> args;
-  std::map<std::string, Bytes> input_files;  ///< GASS payload
+  std::map<std::string, Bytes> input_files;        ///< inline GASS payload
+  std::map<std::string, std::string> input_urls;   ///< gass:// references
   Bytes encode() const;
   static Result<QSubmit> decode(const Bytes& frame);
 };

@@ -1,6 +1,8 @@
 #include "rmf/qserver.hpp"
 
 #include "common/log.hpp"
+#include "common/telemetry.hpp"
+#include "gass/client.hpp"
 #include "simnet/fault.hpp"
 
 namespace wacs::rmf {
@@ -81,13 +83,69 @@ void QServer::handle(sim::Process& self, sim::SocketPtr conn) {
 void QServer::dispatch(const QSubmit& job) {
   ++jobs_started_;
   busy_cpus_ += job.count;
+  if (job.input_urls.empty()) {
+    // Inline fallback: payloads arrived inside the QSubmit itself.
+    spawn_ranks(job, std::make_shared<const std::map<std::string, Bytes>>(
+                         job.input_files));
+    return;
+  }
+  // GASS staging happens once per part, before any rank starts — the LAN
+  // fan-out point. A staging failure releases the reserved CPUs and leaves
+  // the part silent; the job manager's rendezvous timeout requeues it.
+  sim::Process* proc = host_->network().engine().spawn(
+      "job" + std::to_string(job.job_id) + ".stage@" + host_->name(),
+      [this, job](sim::Process& self) {
+        auto files = stage_inputs(self, job);
+        if (!files.ok()) {
+          kLog.error("%s: staging for job %llu failed: %s",
+                     host_->name().c_str(),
+                     static_cast<unsigned long long>(job.job_id),
+                     files.error().to_string().c_str());
+          busy_cpus_ -= job.count;
+          pump_queue();
+          return;
+        }
+        spawn_ranks(job,
+                    std::make_shared<const std::map<std::string, Bytes>>(
+                        std::move(*files)));
+      });
+  if (auto* fault = host_->network().fault(); fault != nullptr) {
+    fault->register_host_process(host_->name(), proc);
+  }
+}
+
+Result<std::map<std::string, Bytes>> QServer::stage_inputs(
+    sim::Process& self, const QSubmit& job) {
+  telemetry::Span span("gass", "gass.stage_part");
+  if (span.active()) {
+    span.arg("job_id", job.job_id);
+    span.arg("host", host_->name());
+  }
+  gass::GassClient client(*host_, site_env_);
+  std::map<std::string, Bytes> files = job.input_files;
+  for (const auto& [name, url] : job.input_urls) {
+    auto parsed = gass::GassUrl::parse(url);
+    if (!parsed.ok()) return parsed.error();
+    auto data = client.stage(self, *parsed);
+    if (!data.ok()) {
+      return Error(data.error().code(), "staging " + name + " from " + url +
+                                            ": " + data.error().message());
+    }
+    files[name] = std::move(*data);
+  }
+  return files;
+}
+
+void QServer::spawn_ranks(
+    const QSubmit& job,
+    std::shared_ptr<const std::map<std::string, Bytes>> files) {
   for (int i = 0; i < job.count; ++i) {
     const int rank = job.base_rank + i;
     ++ranks_spawned_;
     sim::Process* proc = host_->network().engine().spawn(
         "job" + std::to_string(job.job_id) + ".rank" + std::to_string(rank) +
             "@" + host_->name(),
-        [this, job, rank](sim::Process& rank_proc) {
+        [this, job, rank, files](sim::Process& rank_proc) {
           // RAII so the CPU is freed even when a fault kills the rank
           // mid-task (the kill unwinds through run_rank).
           struct CpuGuard {
@@ -97,7 +155,7 @@ void QServer::dispatch(const QSubmit& job) {
               q->pump_queue();
             }
           } guard{this};
-          run_rank(rank_proc, job, rank);
+          run_rank(rank_proc, job, rank, *files);
         });
     // Rank processes belong to this host: a simulated host crash must take
     // them down with it.
@@ -116,7 +174,8 @@ void QServer::pump_queue() {
   }
 }
 
-void QServer::run_rank(sim::Process& self, const QSubmit& job, int rank) {
+void QServer::run_rank(sim::Process& self, const QSubmit& job, int rank,
+                       const std::map<std::string, Bytes>& files) {
   JobContext ctx;
   ctx.self = &self;
   ctx.host = host_;
@@ -125,7 +184,7 @@ void QServer::run_rank(sim::Process& self, const QSubmit& job, int rank) {
   ctx.rank = rank;
   ctx.nprocs = job.nprocs;
   ctx.args = job.args;
-  ctx.input_files = job.input_files;
+  ctx.input_files = files;
   ctx.comm = std::make_shared<nexus::CommContext>(*host_, site_env_);
 
   // Bootstrap (MPICH-G startup): create this rank's endpoint, report it to

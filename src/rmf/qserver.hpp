@@ -41,11 +41,19 @@ class QServer {
  private:
   void serve(sim::Process& self);
   void handle(sim::Process& self, sim::SocketPtr conn);
-  /// Spawns the rank processes of a (dispatchable) job part.
+  /// Starts a (dispatchable) job part: resolves gass:// input URLs through
+  /// the site cache server, then spawns the rank processes. CPUs are
+  /// reserved for the whole of staging, exactly like a real queue slot.
   void dispatch(const QSubmit& job);
   /// Dispatches queued parts that now fit (called as ranks finish).
   void pump_queue();
-  void run_rank(sim::Process& self, const QSubmit& job, int rank);
+  /// Fetches every input_urls entry and merges it over the inline files.
+  Result<std::map<std::string, Bytes>> stage_inputs(sim::Process& self,
+                                                    const QSubmit& job);
+  void spawn_ranks(const QSubmit& job,
+                   std::shared_ptr<const std::map<std::string, Bytes>> files);
+  void run_rank(sim::Process& self, const QSubmit& job, int rank,
+                const std::map<std::string, Bytes>& files);
 
   sim::Host* host_;
   std::uint16_t port_;

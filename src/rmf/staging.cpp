@@ -1,0 +1,28 @@
+#include "rmf/staging.hpp"
+
+#include "common/telemetry.hpp"
+
+namespace wacs::rmf {
+
+Result<int> stage_job_inputs(sim::Process& self, sim::Host& from,
+                             const Env& env, const Contact& origin_server,
+                             JobSpec& spec) {
+  telemetry::Span span("gass", "gass.stage_submit");
+  if (span.active()) span.arg("files", static_cast<double>(
+                                  spec.input_files.size()));
+  gass::GassClient client(from, env);
+  int staged = 0;
+  for (auto& [name, data] : spec.input_files) {
+    auto url = client.put(self, origin_server, std::move(data));
+    if (!url.ok()) {
+      return Error(url.error().code(),
+                   "staging " + name + ": " + url.error().message());
+    }
+    spec.input_urls[name] = url->to_string();
+    ++staged;
+  }
+  spec.input_files.clear();
+  return staged;
+}
+
+}  // namespace wacs::rmf

@@ -1,0 +1,24 @@
+// Submit-side GASS staging: move a JobSpec's inline payloads to the
+// submitter's site GASS server and replace them with gass:// URLs.
+//
+// After this, the submit RPC carries only references; each Q server resolves
+// them through its own site cache, so one wide-area job stages each distinct
+// input across the WAN once per remote site instead of once per part.
+#pragma once
+
+#include "common/config.hpp"
+#include "gass/client.hpp"
+#include "rmf/job.hpp"
+#include "simnet/tcp.hpp"
+
+namespace wacs::rmf {
+
+/// Puts every `spec.input_files` entry on `origin_server` (normally the
+/// submit host's site GASS server), fills `spec.input_urls` with the
+/// advertised URLs, and clears the inline payloads. Returns the number of
+/// files staged. `env` supplies the submitter's proxy route.
+Result<int> stage_job_inputs(sim::Process& self, sim::Host& from,
+                             const Env& env, const Contact& origin_server,
+                             JobSpec& spec);
+
+}  // namespace wacs::rmf

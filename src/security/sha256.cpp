@@ -139,6 +139,10 @@ std::string to_hex(const Digest& digest) {
   return out;
 }
 
+std::string sha256_hex(std::span<const std::uint8_t> data) {
+  return to_hex(sha256(data));
+}
+
 Result<Digest> digest_from_hex(const std::string& hex) {
   if (hex.size() != 64) {
     return Error(ErrorCode::kInvalidArgument, "digest hex must be 64 chars");

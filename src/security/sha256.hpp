@@ -37,6 +37,17 @@ class Sha256 {
 
 /// Lowercase hex of a digest.
 std::string to_hex(const Digest& digest);
+
+/// One-shot hash straight to lowercase hex — the content-address form used
+/// as a GASS cache key.
+std::string sha256_hex(std::span<const std::uint8_t> data);
+inline std::string sha256_hex(const std::string& s) {
+  return sha256_hex(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+inline std::string sha256_hex(const Bytes& b) {
+  return sha256_hex(std::span<const std::uint8_t>(b));
+}
 /// Parses 64 hex chars; error on malformed input.
 Result<Digest> digest_from_hex(const std::string& hex);
 

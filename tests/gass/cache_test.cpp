@@ -1,0 +1,60 @@
+#include "gass/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "security/sha256.hpp"
+
+namespace wacs::gass {
+namespace {
+
+TEST(ObjectStore, PutKeysByContentAddress) {
+  ObjectStore store;
+  const Bytes abc = to_bytes("abc");
+  const std::string key = store.put(abc);
+  // NIST FIPS 180-2 vector for "abc".
+  EXPECT_EQ(key,
+            "ba7816bf8f01cfea414140de5dae2223"
+            "b00361a396177a9cb410ff61f20015ad");
+  ASSERT_TRUE(store.contains(key));
+  EXPECT_EQ(*store.peek(key), abc);
+}
+
+TEST(ObjectStore, PutIsIdempotent) {
+  ObjectStore store;
+  const Bytes data = pattern_bytes(5000, 3);
+  const std::string k1 = store.put(data);
+  const std::string k2 = store.put(data);
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(store.objects(), 1u);
+  EXPECT_EQ(store.stored_bytes(), 5000u);
+}
+
+TEST(ObjectStore, FindCountsHitsAndMisses) {
+  ObjectStore store;
+  const std::string key = store.put(to_bytes("payload"));
+  EXPECT_EQ(store.find("not-a-key"), nullptr);
+  EXPECT_NE(store.find(key), nullptr);
+  EXPECT_NE(store.find(key), nullptr);
+  EXPECT_EQ(store.hits(), 2u);
+  EXPECT_EQ(store.misses(), 1u);
+}
+
+TEST(ObjectStore, PeekDoesNotCount) {
+  ObjectStore store;
+  const std::string key = store.put(to_bytes("payload"));
+  EXPECT_NE(store.peek(key), nullptr);
+  EXPECT_EQ(store.peek("nope"), nullptr);
+  EXPECT_EQ(store.hits(), 0u);
+  EXPECT_EQ(store.misses(), 0u);
+}
+
+TEST(ObjectStore, EmptyObjectIsStorable) {
+  ObjectStore store;
+  const std::string key = store.put(Bytes{});
+  EXPECT_EQ(key, security::sha256_hex(Bytes{}));
+  ASSERT_NE(store.peek(key), nullptr);
+  EXPECT_TRUE(store.peek(key)->empty());
+}
+
+}  // namespace
+}  // namespace wacs::gass

@@ -1,0 +1,129 @@
+#include "gass/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wacs::gass {
+namespace {
+
+TEST(GassUrl, RoundTrip) {
+  GassUrl url{Contact{"rwcp-outer", 9921}, "ab12cd"};
+  EXPECT_EQ(url.to_string(), "gass://rwcp-outer:9921/ab12cd");
+  auto parsed = GassUrl::parse(url.to_string());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(*parsed, url);
+}
+
+TEST(GassUrl, ParseRejectsMalformedUrls) {
+  EXPECT_FALSE(GassUrl::parse("").ok());
+  EXPECT_FALSE(GassUrl::parse("http://host:1/key").ok());
+  EXPECT_FALSE(GassUrl::parse("gass://host:1").ok());       // no key
+  EXPECT_FALSE(GassUrl::parse("gass://host:1/").ok());      // empty key
+  EXPECT_FALSE(GassUrl::parse("gass://host/key").ok());     // no port
+  EXPECT_FALSE(GassUrl::parse("gass://:123/key").ok());     // empty host
+  EXPECT_FALSE(GassUrl::parse("gass://host:nan/key").ok());  // bad port
+}
+
+TEST(GassProtocol, GetRoundTrip) {
+  Get req;
+  req.key = "deadbeef";
+  req.origin = "gass://origin:7200/deadbeef";
+  req.stripe_id = 2;
+  req.stripe_count = 4;
+  req.resume_chunks = 17;
+  req.chunk_bytes = 4096;
+  req.window_chunks = 3;
+  const Bytes frame = req.encode();
+  auto type = peek_type(frame);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, MsgType::kGet);
+  auto d = Get::decode(frame);
+  ASSERT_TRUE(d.ok()) << d.error().to_string();
+  EXPECT_EQ(d->key, req.key);
+  EXPECT_EQ(d->origin, req.origin);
+  EXPECT_EQ(d->stripe_id, 2u);
+  EXPECT_EQ(d->stripe_count, 4u);
+  EXPECT_EQ(d->resume_chunks, 17u);
+  EXPECT_EQ(d->chunk_bytes, 4096u);
+  EXPECT_EQ(d->window_chunks, 3u);
+}
+
+TEST(GassProtocol, GetDecodeValidates) {
+  Get req;
+  req.key = "k";
+  req.stripe_id = 4;
+  req.stripe_count = 4;  // stripe_id must be < stripe_count
+  EXPECT_FALSE(Get::decode(req.encode()).ok());
+
+  Get zero;
+  zero.key = "k";
+  zero.chunk_bytes = 0;
+  EXPECT_FALSE(Get::decode(zero.encode()).ok());
+}
+
+TEST(GassProtocol, GetReplyRoundTrip) {
+  auto ok = GetReply::decode(GetReply{true, 123456, ""}.encode());
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->ok);
+  EXPECT_EQ(ok->total_bytes, 123456u);
+
+  auto bad = GetReply::decode(GetReply{false, 0, "no such object"}.encode());
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->ok);
+  EXPECT_EQ(bad->error, "no such object");
+}
+
+TEST(GassProtocol, ChunkRoundTripPreservesBinaryPayload) {
+  Chunk c;
+  c.seq = 9;
+  c.offset = 9 * 8192;
+  c.payload = Bytes{0x00, 0xFF, 0x00, 0x7F, 0x80};
+  auto d = Chunk::decode(c.encode());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->seq, 9u);
+  EXPECT_EQ(d->offset, 9u * 8192u);
+  EXPECT_EQ(d->payload, c.payload);
+}
+
+TEST(GassProtocol, AckAndPutRoundTrip) {
+  auto ack = ChunkAck::decode(ChunkAck{41}.encode());
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->seq, 41u);
+
+  Put put;
+  put.data = pattern_bytes(1000, 7);
+  auto d = Put::decode(put.encode());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->data, put.data);
+
+  auto reply = PutReply::decode(
+      PutReply{true, "cafe", "gass://h:1/cafe", ""}.encode());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->ok);
+  EXPECT_EQ(reply->key, "cafe");
+  EXPECT_EQ(reply->url, "gass://h:1/cafe");
+}
+
+TEST(GassProtocol, PeekTypeRejectsGarbage) {
+  EXPECT_FALSE(peek_type(Bytes{}).ok());
+  EXPECT_FALSE(peek_type(Bytes{0}).ok());
+  EXPECT_FALSE(peek_type(Bytes{99}).ok());
+}
+
+TEST(GassProtocol, ChunkMath) {
+  EXPECT_EQ(chunk_count(0, 8192), 0u);
+  EXPECT_EQ(chunk_count(1, 8192), 1u);
+  EXPECT_EQ(chunk_count(8192, 8192), 1u);
+  EXPECT_EQ(chunk_count(8193, 8192), 2u);
+
+  // 10 chunks over 4 stripes: stripes 0,1 get 3 (chunks 0/4/8 and 1/5/9),
+  // stripes 2,3 get 2.
+  EXPECT_EQ(stripe_chunks(10, 0, 4), 3u);
+  EXPECT_EQ(stripe_chunks(10, 1, 4), 3u);
+  EXPECT_EQ(stripe_chunks(10, 2, 4), 2u);
+  EXPECT_EQ(stripe_chunks(10, 3, 4), 2u);
+  EXPECT_EQ(stripe_chunks(0, 0, 4), 0u);
+  EXPECT_EQ(stripe_chunks(10, 0, 1), 10u);
+}
+
+}  // namespace
+}  // namespace wacs::gass

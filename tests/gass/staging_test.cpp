@@ -1,0 +1,179 @@
+// GASS-backed job staging: the site cache pulls each input across the WAN
+// once and fans it out over the LAN (the Table 4 wide-area scenario).
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "core/testbeds.hpp"
+#include "gass/client.hpp"
+#include "gass/server.hpp"
+#include "security/sha256.hpp"
+
+namespace wacs::gass {
+namespace {
+
+std::uint64_t wan_bytes(core::GridSystem& g) {
+  std::uint64_t total = 0;
+  for (const sim::Link* link : g.net().all_links()) {
+    if (link->params().name == "imnet") total += link->bytes_carried();
+  }
+  return total;
+}
+
+TEST(GassStaging, SiteCachePullThroughIsSingleFlight) {
+  auto tb = core::make_rwcp_etl_testbed();
+  const Bytes data = pattern_bytes(120'000, 21);
+
+  Result<GassUrl> origin(Error(ErrorCode::kInternal, "unset"));
+  tb->engine().spawn("put", [&](sim::Process& self) {
+    GassClient client(tb->net().host("rwcp-sun"), Env{});
+    origin = client.put(self, tb->gass_server_for("rwcp")->contact(), data);
+  });
+  tb->engine().run();
+  ASSERT_TRUE(origin.ok()) << origin.error().to_string();
+
+  // Two ETL hosts stage concurrently through their site server: the first
+  // miss pulls across the WAN, the second waits on the same flight.
+  Env etl_env;
+  etl_env.set(env_keys::kGassServer,
+              tb->gass_server_for("etl")->contact().to_string());
+  std::vector<Result<Bytes>> got(
+      2, Result<Bytes>(Error(ErrorCode::kInternal, "unset")));
+  const char* hosts[] = {"etl-sun", "etl-o2k"};
+  for (int i = 0; i < 2; ++i) {
+    tb->engine().spawn(std::string("stage@") + hosts[i],
+                       [&, i](sim::Process& self) {
+                         GassClient client(tb->net().host(hosts[i]), etl_env);
+                         got[static_cast<std::size_t>(i)] =
+                             client.stage(self, *origin);
+                       });
+  }
+  tb->engine().run();
+
+  for (const auto& r : got) {
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    EXPECT_EQ(*r, data);
+  }
+  GassServer* etl = tb->gass_server_for("etl");
+  EXPECT_EQ(etl->pull_throughs(), 1u);
+  EXPECT_TRUE(etl->store().contains(origin->key));
+}
+
+TEST(GassStaging, StageFromOriginSiteStaysOnTheLan) {
+  auto tb = core::make_rwcp_etl_testbed();
+  const Bytes data = pattern_bytes(60'000, 4);
+
+  Result<GassUrl> origin(Error(ErrorCode::kInternal, "unset"));
+  Result<Bytes> staged(Error(ErrorCode::kInternal, "unset"));
+  std::uint64_t wan_before = 0;
+  std::uint64_t wan_after = 0;
+  tb->engine().spawn("put-stage", [&](sim::Process& self) {
+    GassClient putter(tb->net().host("rwcp-sun"), Env{});
+    origin = putter.put(self, tb->gass_server_for("rwcp")->contact(), data);
+    ASSERT_TRUE(origin.ok());
+    // Let the t=0 background traffic (MDS publishes) finish crossing the
+    // WAN before taking the baseline.
+    self.sleep(0.5);
+    wan_before = wan_bytes(*tb.grid);
+    // A COMPaS node stages what its own site server already holds: the
+    // cache hit must never touch the WAN (or the relay).
+    Env env;
+    env.set(env_keys::kGassServer,
+            tb->gass_server_for("rwcp")->contact().to_string());
+    GassClient client(tb->net().host("compas03"), env);
+    staged = client.stage(self, *origin);
+    wan_after = wan_bytes(*tb.grid);
+  });
+  tb->engine().run();
+  ASSERT_TRUE(staged.ok()) << staged.error().to_string();
+  EXPECT_EQ(*staged, data);
+  EXPECT_EQ(wan_after, wan_before);
+}
+
+/// Registers a task that verifies each rank received `expected` under the
+/// name "instance" and counts verified ranks into `ranks_ok`.
+void register_check_task(core::GridSystem& g, const Bytes& expected,
+                         std::atomic<int>* ranks_ok) {
+  g.registry().register_task("check-input", [&expected,
+                                             ranks_ok](rmf::JobContext& ctx) {
+    auto it = ctx.input_files.find("instance");
+    if (it != ctx.input_files.end() && it->second == expected) {
+      ranks_ok->fetch_add(1);
+    }
+    if (ctx.rank == 0) ctx.result = to_bytes("done");
+  });
+}
+
+TEST(GassStaging, WideAreaJobStagesEachInputOnceOverWan) {
+  auto tb = core::make_rwcp_etl_testbed();
+  const Bytes input = pattern_bytes(100 * 1024, 33);
+  std::atomic<int> ranks_ok{0};
+  register_check_task(*tb.grid, input, &ranks_ok);
+  tb->registry().register_task("noop", [](rmf::JobContext& ctx) {
+    if (ctx.rank == 0) ctx.result = to_bytes("done");
+  });
+
+  rmf::JobSpec base;
+  base.nprocs = 20;
+  base.placements = core::placement_wide_area(tb);
+
+  // Control: the same 20-rank job with no inputs, to measure the WAN bytes
+  // the submission/rendezvous machinery costs on its own.
+  rmf::JobSpec control = base;
+  control.name = control.task = "noop";
+  std::uint64_t mark = wan_bytes(*tb.grid);
+  auto r0 = tb->run_job("rwcp-sun", control);
+  ASSERT_TRUE(r0.ok()) << r0.error().to_string();
+  ASSERT_TRUE(r0->ok) << r0->error;
+  const std::uint64_t control_cost = wan_bytes(*tb.grid) - mark;
+
+  // First staged run: the input crosses the IMnet exactly once (the ETL
+  // site server's pull-through); RWCP's nine parts stay on the LAN.
+  rmf::JobSpec staged = base;
+  staged.name = staged.task = "check-input";
+  staged.input_files = {{"instance", input}};
+  staged.stage_via_gass = true;
+  mark = wan_bytes(*tb.grid);
+  auto r1 = tb->run_job("rwcp-sun", staged);
+  ASSERT_TRUE(r1.ok()) << r1.error().to_string();
+  ASSERT_TRUE(r1->ok) << r1->error;
+  EXPECT_EQ(ranks_ok.load(), 20);
+  const std::uint64_t delta1 = wan_bytes(*tb.grid) - mark;
+  EXPECT_GE(delta1, control_cost + input.size());
+  EXPECT_LT(delta1, control_cost + input.size() + input.size() / 4);
+
+  // Second identical run: every site cache is warm, so the WAN cost falls
+  // back to roughly the control job's.
+  mark = wan_bytes(*tb.grid);
+  auto r2 = tb->run_job("rwcp-sun", staged);
+  ASSERT_TRUE(r2.ok()) << r2.error().to_string();
+  ASSERT_TRUE(r2->ok) << r2->error;
+  EXPECT_EQ(ranks_ok.load(), 40);
+  const std::uint64_t delta2 = wan_bytes(*tb.grid) - mark;
+  EXPECT_LT(delta2, control_cost + input.size() / 8);
+
+  EXPECT_EQ(tb->gass_server_for("etl")->pull_throughs(), 1u);
+}
+
+TEST(GassStaging, InlineStagingRemainsTheFallback) {
+  auto tb = core::make_rwcp_etl_testbed();
+  const Bytes input = pattern_bytes(30'000, 2);
+  std::atomic<int> ranks_ok{0};
+  register_check_task(*tb.grid, input, &ranks_ok);
+
+  rmf::JobSpec spec;
+  spec.name = spec.task = "check-input";
+  spec.nprocs = 20;
+  spec.placements = core::placement_wide_area(tb);
+  spec.input_files = {{"instance", input}};
+  // stage_via_gass left false: payloads ride inside the submit RPC.
+  auto r = tb->run_job("rwcp-sun", spec);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  ASSERT_TRUE(r->ok) << r->error;
+  EXPECT_EQ(ranks_ok.load(), 20);
+  EXPECT_EQ(tb->gass_server_for("etl")->pull_throughs(), 0u);
+  EXPECT_EQ(tb->gass_server_for("rwcp")->store().objects(), 0u);
+}
+
+}  // namespace
+}  // namespace wacs::gass

@@ -141,6 +141,53 @@ TEST(NexusProxy, PassiveOpenTraversesOuterAndInner) {
   EXPECT_GE(g.outer->stats().messages, 2u);
 }
 
+TEST(NexusProxy, AcceptSurvivesBogusPreambleConnection) {
+  // A connection that reaches the bound endpoint's private listener without
+  // a valid AcceptNotice preamble (a stray dial, or a relay whose preamble
+  // never arrives) must only cost that one connection — the endpoint keeps
+  // accepting, and a genuine relayed connect still lands.
+  Grid g;
+  std::string got_inside;
+  Contact true_peer;
+  Contact public_contact;
+  std::uint16_t private_port = 0;
+
+  g.engine.spawn("bound-client", [&](sim::Process& self) {
+    auto c = g.client_for("rwcp-sun");
+    auto listener = c.nx_bind(self);
+    ASSERT_TRUE(listener.ok()) << listener.error().to_string();
+    public_contact = (*listener)->public_contact();
+    private_port = (*listener)->local_port();
+    auto s = (*listener)->nx_accept(self, &true_peer);
+    ASSERT_TRUE(s.ok()) << s.error().to_string();
+    auto m = (*s)->recv(self);
+    ASSERT_TRUE(m.ok());
+    got_inside = to_string(*m);
+  });
+
+  g.engine.spawn("stray", [&](sim::Process& self) {
+    self.sleep(0.05);  // bind must complete first
+    ASSERT_NE(private_port, 0);
+    // Same-site dial straight at the private listener: no preamble follows.
+    auto s = g.net.host("rwcp-inner").stack().connect(
+        self, Contact{"rwcp-sun", private_port});
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE((*s)->send(to_bytes("not-an-accept-notice")).ok());
+    (*s)->close();
+  });
+
+  g.engine.spawn("remote", [&](sim::Process& self) {
+    self.sleep(0.1);  // after the stray connection is queued
+    auto s = g.net.host("etl-sun").stack().connect(self, public_contact);
+    ASSERT_TRUE(s.ok()) << s.error().to_string();
+    ASSERT_TRUE((*s)->send(to_bytes("real-payload")).ok());
+  });
+
+  g.engine.run();
+  EXPECT_EQ(got_inside, "real-payload");
+  EXPECT_EQ(true_peer.host, "etl-sun");
+}
+
 TEST(NexusProxy, DirectInboundStillDeniedWhileProxyWorks) {
   // The security claim: the firewall stays deny-based; only the nxport is
   // open. A direct dial from outside must keep failing.

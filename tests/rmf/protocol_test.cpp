@@ -91,6 +91,65 @@ TEST(RmfProtocol, QSubmitRoundTrip) {
   EXPECT_EQ(d->input_files, q.input_files);
 }
 
+TEST(RmfProtocol, EmptyInputFilesRoundTrip) {
+  // Degenerate staging payloads: no files at all, a file with an empty
+  // body, and an empty-string file name must all survive the wire.
+  JobSpec spec = sample_spec();
+  spec.input_files.clear();
+  spec.input_urls.clear();
+  auto none = SubmitRequest::decode(SubmitRequest{spec}.encode());
+  ASSERT_TRUE(none.ok()) << none.error().to_string();
+  EXPECT_TRUE(none->spec.input_files.empty());
+  EXPECT_TRUE(none->spec.input_urls.empty());
+
+  spec.input_files = {{"empty", Bytes{}}, {"", to_bytes("nameless")}};
+  auto d = SubmitRequest::decode(SubmitRequest{spec}.encode());
+  ASSERT_TRUE(d.ok()) << d.error().to_string();
+  EXPECT_EQ(d->spec.input_files, spec.input_files);
+}
+
+TEST(RmfProtocol, BinaryInputFilesRoundTrip) {
+  // Payloads full of NULs and 0xFF must not be mangled by the codec (they
+  // would be by any string-terminated framing).
+  Bytes nasty;
+  for (int i = 0; i < 512; ++i) {
+    nasty.push_back(i % 3 == 0 ? 0x00 : (i % 3 == 1 ? 0xFF : 0x7F));
+  }
+  JobSpec spec = sample_spec();
+  spec.input_files = {{"nasty", nasty},
+                      {"nuls", Bytes(100, 0x00)},
+                      {"ffs", Bytes(100, 0xFF)}};
+  auto d = SubmitRequest::decode(SubmitRequest{spec}.encode());
+  ASSERT_TRUE(d.ok()) << d.error().to_string();
+  EXPECT_EQ(d->spec.input_files, spec.input_files);
+
+  QSubmit q;
+  q.task = "t";
+  q.job_manager = Contact{"h", 1};
+  q.input_files = spec.input_files;
+  auto dq = QSubmit::decode(q.encode());
+  ASSERT_TRUE(dq.ok()) << dq.error().to_string();
+  EXPECT_EQ(dq->input_files, q.input_files);
+}
+
+TEST(RmfProtocol, InputUrlsRoundTrip) {
+  JobSpec spec = sample_spec();
+  spec.input_files.clear();
+  spec.input_urls = {
+      {"instance", "gass://rwcp-outer:9921/" + std::string(64, 'a')}};
+  auto d = SubmitRequest::decode(SubmitRequest{spec}.encode());
+  ASSERT_TRUE(d.ok()) << d.error().to_string();
+  EXPECT_EQ(d->spec.input_urls, spec.input_urls);
+
+  QSubmit q;
+  q.task = "t";
+  q.job_manager = Contact{"h", 1};
+  q.input_urls = spec.input_urls;
+  auto dq = QSubmit::decode(q.encode());
+  ASSERT_TRUE(dq.ok()) << dq.error().to_string();
+  EXPECT_EQ(dq->input_urls, q.input_urls);
+}
+
 TEST(RmfProtocol, RankMessagesRoundTrip) {
   auto hello = RankHello::decode(
       RankHello{3, 11, Contact{"compas02", 32768}, "rwcp"}.encode());

@@ -17,6 +17,21 @@ TEST(Sha256, Fips180Vectors) {
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
 }
 
+TEST(Sha256, HexConvenienceMatchesVectors) {
+  // sha256_hex() is the content-address function of the GASS object store;
+  // pin it to the same FIPS 180-4 vectors in all three overloads.
+  EXPECT_EQ(sha256_hex(std::string("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(sha256_hex(std::string("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(sha256_hex(to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  const Bytes data = pattern_bytes(4096, 8);
+  EXPECT_EQ(sha256_hex(std::span<const std::uint8_t>(data)),
+            to_hex(sha256(data)));
+}
+
 TEST(Sha256, MillionAs) {
   std::string input(1000000, 'a');
   EXPECT_EQ(to_hex(sha256(input)),
