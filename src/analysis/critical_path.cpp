@@ -16,6 +16,9 @@ namespace {
 std::optional<Category> span_category(const SpanEv& s) {
   if (s.cat == "relay") return Category::kRelay;
   if (s.name == "tcp.connect") return Category::kSetup;
+  // Recovery spans live under the rmf category ("rmf.recovery.*"), so this
+  // test must run before the rmf → setup fallback.
+  if (s.name.rfind("rmf.recovery", 0) == 0) return Category::kRecovery;
   if (s.cat == "rmf" || s.cat == "mds") return Category::kSetup;
   if (s.cat == "gass") return Category::kStaging;
   if (s.cat == "knapsack") return Category::kCompute;
@@ -142,6 +145,7 @@ const char* category_name(Category cat) {
     case Category::kQueue: return "queueing";
     case Category::kSetup: return "setup";
     case Category::kStaging: return "staging";
+    case Category::kRecovery: return "recovery";
   }
   return "?";
 }

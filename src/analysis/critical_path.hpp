@@ -29,15 +29,16 @@ enum class Category {
   kQueue,    ///< waiting: inbox residence, MPI demux, gap on a non-rank track
   kSetup,    ///< connection establishment, RMF / MDS job management
   kStaging,  ///< GASS file staging: transfers, cache pulls, stripe streams
+  kRecovery,  ///< crash recovery: journal replay, re-rendezvous, reclaim
 };
 
-inline constexpr std::array<Category, 7> kAllCategories = {
+inline constexpr std::array<Category, 8> kAllCategories = {
     Category::kCompute, Category::kLanLink, Category::kWanLink,
     Category::kRelay,   Category::kQueue,   Category::kSetup,
-    Category::kStaging};
+    Category::kStaging, Category::kRecovery};
 
 /// Stable short name: "compute" / "lan" / "wan" / "relay" / "queueing" /
-/// "setup" / "staging".
+/// "setup" / "staging" / "recovery".
 const char* category_name(Category cat);
 
 /// One attributed interval of the critical path.

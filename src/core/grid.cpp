@@ -1,5 +1,8 @@
 #include "core/grid.hpp"
 
+#include <cstdlib>
+#include <string_view>
+
 #include "common/log.hpp"
 #include "rmf/staging.hpp"
 
@@ -113,6 +116,10 @@ void GridSystem::add_gass_server(const std::string& host) {
 
 sim::FaultInjector& GridSystem::faults(std::uint64_t seed) {
   if (fault_ == nullptr) {
+    if (const char* env_seed = std::getenv("WACS_FAULT_SEED");
+        env_seed != nullptr && *env_seed != '\0') {
+      seed = std::strtoull(env_seed, nullptr, 10);
+    }
     fault_ = std::make_unique<sim::FaultInjector>(net_, seed);
     for (ProxyPair& pair : proxies_) {
       fault_->on_host_restart(pair.outer->contact().host,
@@ -120,6 +127,59 @@ sim::FaultInjector& GridSystem::faults(std::uint64_t seed) {
     }
   }
   return *fault_;
+}
+
+void GridSystem::enable_recovery(const RecoveryOptions& options) {
+  if (const char* flag = std::getenv("WACS_RMF_RECOVERY");
+      flag != nullptr && std::string_view(flag) == "0") {
+    return;  // kill switch: keep the legacy control plane for A/B baselines
+  }
+  if (recovery_enabled_) return;
+  WACS_CHECK_MSG(gatekeeper_ != nullptr && allocator_ != nullptr,
+                 "enable_recovery needs the gatekeeper and allocator up");
+  recovery_enabled_ = true;
+  sim::FaultInjector& f = faults();
+
+  // Gatekeeper: RankDone acks, parked JobQuery answers, the JM sweeper.
+  gatekeeper_->mutable_options().recovery = true;
+  gatekeeper_->mutable_options().lease_check_interval_s =
+      options.lease_check_interval_s;
+  f.register_host_process(gatekeeper_host_, gatekeeper_->serve_process());
+  f.on_host_restart(
+      gatekeeper_host_, [gk = gatekeeper_.get()] { gk->restart(); }, 30);
+
+  // Allocator: lease-based failure detection over Q-server heartbeats.
+  allocator_->enable_leases(options.lease_duration_s);
+  const std::string alloc_host = allocator_->contact().host;
+  sim::Site& alloc_site = net_.site(net_.host(alloc_host).site());
+  f.register_host_process(alloc_host, allocator_->serve_process());
+  f.on_host_restart(
+      alloc_host, [a = allocator_.get()] { a->restart(); }, 20);
+
+  // Q servers: heartbeats (with the inbound hole into the allocator's
+  // site, the same precedent as the paper's Q client → allocator rule)
+  // plus journal-replay restart hooks.
+  for (const auto& q : qservers_) {
+    rmf::QServer::RecoveryOptions ro;
+    ro.enabled = true;
+    ro.allocator = allocator_->contact();
+    ro.heartbeat_interval_s = options.heartbeat_interval_s;
+    q->set_recovery(std::move(ro));
+    const std::string q_host = q->contact().host;
+    alloc_site.firewall().add_rule(allow_inbound_from_host(
+        q_host, ports_.allocator, "Q server heartbeat -> allocator"));
+    f.register_host_process(q_host, q->serve_process());
+    f.on_host_restart(q_host, [qs = q.get()] { qs->restart(); }, 40);
+  }
+
+  // GASS caches restart *before* the control daemons that dial them during
+  // their own recovery (a restarted Q server re-dispatching journaled parts
+  // resolves gass:// inputs through its site cache).
+  for (const auto& [site, server] : gass_servers_) {
+    const std::string g_host = server->contact().host;
+    f.register_host_process(g_host, server->serve_process());
+    f.on_host_restart(g_host, [gs = server.get()] { gs->restart(); }, 10);
+  }
 }
 
 void GridSystem::add_gatekeeper(const std::string& host,
@@ -276,7 +336,10 @@ std::vector<Result<rmf::JobResult>> GridSystem::run_jobs(
               return;
             }
           }
-          slot->emplace(rmf::submit_and_wait(self, from, gk, job));
+          rmf::SubmitOptions wait_options;
+          if (recovery_enabled_) wait_options.query_attempts = 8;
+          slot->emplace(
+              rmf::submit_and_wait(self, from, gk, job, wait_options));
         });
   }
   engine_.run();

@@ -105,11 +105,35 @@ class GridSystem {
   /// restart event, so a planned crash+restart of the DMZ host revives the
   /// outer server with its bind registrations intact. Call before run_job
   /// and lay out the fault plan on the returned injector. The seed is fixed
-  /// at the first call; later calls return the same injector.
+  /// at the first call; later calls return the same injector. The
+  /// WACS_FAULT_SEED environment variable, when set, overrides `seed` (the
+  /// CI fault matrix re-runs the fault suite under several seeds this way).
   sim::FaultInjector& faults(std::uint64_t seed = 42);
   sim::FaultInjector* fault_injector() {
     return fault_ ? fault_.get() : nullptr;
   }
+
+  // ---- crash recovery ----------------------------------------------------
+  /// Knobs for the recoverable control plane; the defaults suit the
+  /// paper-scale testbeds (sub-second heartbeats against multi-second
+  /// crash windows).
+  struct RecoveryOptions {
+    double lease_duration_s = 2.0;        ///< allocator-side silence bound
+    double heartbeat_interval_s = 0.5;    ///< Q server → allocator period
+    double lease_check_interval_s = 1.0;  ///< gatekeeper JM liveness sweep
+  };
+
+  /// Turns on the crash-recoverable control plane grid-wide: allocator
+  /// leases + Q-server heartbeats (with the firewall holes they need),
+  /// RankDone acks and the JM sweeper at the gatekeeper, JobQuery retries
+  /// in run_jobs, and restart hooks for every control daemon in dependency
+  /// order (outer proxy 0 < gass 10 < allocator 20 < gatekeeper 30 <
+  /// qserver 40). Call after the daemons are added and before run_jobs.
+  /// Setting WACS_RMF_RECOVERY=0 in the environment turns this into a
+  /// no-op (the legacy control plane, for baseline A/B runs).
+  void enable_recovery(const RecoveryOptions& options);
+  void enable_recovery() { enable_recovery(RecoveryOptions{}); }
+  bool recovery_enabled() const { return recovery_enabled_; }
 
   // ---- running jobs -------------------------------------------------------
   /// Submits from `submit_host` (a simulated process is spawned there),
@@ -175,6 +199,7 @@ class GridSystem {
       gass_servers_;  ///< site → server
   std::vector<std::string> pending_qserver_rules_;
   std::unique_ptr<sim::FaultInjector> fault_;
+  bool recovery_enabled_ = false;
 };
 
 }  // namespace wacs::core

@@ -2,6 +2,7 @@
 
 #include "common/log.hpp"
 #include "common/telemetry.hpp"
+#include "simnet/fault.hpp"
 #include "simnet/time.hpp"
 
 namespace wacs::gass {
@@ -20,27 +21,55 @@ GassServer::GassServer(sim::Host& host, ServerOptions options, Env env)
       env_(std::move(env)),
       fetcher_(host, env_) {}
 
-void GassServer::start() {
-  WACS_CHECK_MSG(!started_, "GASS server already started");
-  started_ = true;
+void GassServer::register_proc(sim::Process* proc) {
+  if (auto* fault = host_->network().fault(); fault != nullptr) {
+    fault->register_host_process(host_->name(), proc);
+  }
+}
+
+void GassServer::spawn_serve() {
   sim::Engine& engine = host_->network().engine();
   bind_wait_ = std::make_unique<sim::WaitQueue>(engine);
-  auto listener = host_->stack().listen(options_.port);
-  WACS_CHECK_MSG(listener.ok(), "GASS server cannot bind its port");
-  listener_ = *listener;
-  engine.spawn("gass@" + host_->name(), [this](sim::Process& self) {
-    serve(self, listener_);
-  });
+  bind_done_ = false;
+  public_contact_.reset();
+  serve_proc_ = engine.spawn(
+      "gass@" + host_->name(),
+      [this, listener = listener_](sim::Process& self) {
+        serve(self, listener);
+      });
+  register_proc(serve_proc_);
 
   proxy::ProxyClient probe(*host_, env_);
   if (probe.configured()) {
     // Passive open: register with the outer server so the public contact
     // can be advertised in URLs, then accept relayed stripes forever.
-    engine.spawn("gass.proxied@" + host_->name(),
-                 [this](sim::Process& self) { serve_proxied(self); });
+    auto* proxied = engine.spawn(
+        "gass.proxied@" + host_->name(),
+        [this](sim::Process& self) { serve_proxied(self); });
+    register_proc(proxied);
   } else {
     bind_done_ = true;
   }
+}
+
+void GassServer::start() {
+  WACS_CHECK_MSG(!started_, "GASS server already started");
+  started_ = true;
+  auto listener = host_->stack().listen(options_.port);
+  WACS_CHECK_MSG(listener.ok(), "GASS server cannot bind its port");
+  listener_ = *listener;
+  spawn_serve();
+}
+
+void GassServer::restart() {
+  if (listener_ != nullptr) listener_->close();
+  auto listener = host_->stack().listen(options_.port);
+  WACS_CHECK_MSG(listener.ok(), "GASS server cannot re-bind its port");
+  listener_ = *listener;
+  // In-flight pull-throughs died with their handler processes; the flights
+  // table must not park the next miss behind a verdict that never comes.
+  flights_.clear();
+  spawn_serve();
 }
 
 void GassServer::serve(sim::Process& self, sim::ListenerPtr listener) {
@@ -48,9 +77,10 @@ void GassServer::serve(sim::Process& self, sim::ListenerPtr listener) {
     auto conn = listener->accept(self);
     if (!conn.ok()) return;
     auto sock = *conn;
-    host_->network().engine().spawn(
+    auto* handler = host_->network().engine().spawn(
         "gass@" + host_->name() + ".req",
-        [this, sock](sim::Process& handler) { handle(handler, sock); });
+        [this, sock](sim::Process& h) { handle(h, sock); });
+    register_proc(handler);
   }
 }
 
@@ -73,9 +103,10 @@ void GassServer::serve_proxied(sim::Process& self) {
     auto conn = (*bound)->nx_accept(self);
     if (!conn.ok()) return;
     auto sock = *conn;
-    host_->network().engine().spawn(
+    auto* handler = host_->network().engine().spawn(
         "gass@" + host_->name() + ".req",
-        [this, sock](sim::Process& handler) { handle(handler, sock); });
+        [this, sock](sim::Process& h) { handle(h, sock); });
+    register_proc(handler);
   }
 }
 

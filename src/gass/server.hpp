@@ -38,6 +38,13 @@ class GassServer {
 
   void start();
 
+  /// Restart-hook body: re-listens, respawns the serve loops, and redoes
+  /// the proxy bind. The content-addressed store survives (it stands in
+  /// for the site cache's disk), so staged objects are still served after
+  /// the crash; in-flight pull-through flights died with their handlers
+  /// and are simply forgotten.
+  void restart();
+
   Contact contact() const { return Contact{host_->name(), options_.port}; }
   /// Outer-server rewrite of our contact; empty until the bind completes
   /// (or forever, when the site needs no proxy).
@@ -55,10 +62,13 @@ class GassServer {
   ObjectStore& store() { return store_; }
   std::uint64_t pull_throughs() const { return pull_throughs_; }
   std::uint64_t gets_served() const { return gets_served_; }
+  sim::Process* serve_process() const { return serve_proc_; }
 
  private:
+  void spawn_serve();
   void serve(sim::Process& self, sim::ListenerPtr listener);
   void serve_proxied(sim::Process& self);
+  void register_proc(sim::Process* proc);
   void handle(sim::Process& self, sim::SocketPtr conn);
   void handle_get(sim::Process& self, sim::SocketPtr conn, const Get& req);
   /// Ensures `key` is stored, pulling through `origin` on a miss.
@@ -86,6 +96,7 @@ class GassServer {
   std::uint64_t pull_throughs_ = 0;
   std::uint64_t gets_served_ = 0;
   bool started_ = false;
+  sim::Process* serve_proc_ = nullptr;
 };
 
 }  // namespace wacs::gass

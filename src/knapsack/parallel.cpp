@@ -384,7 +384,16 @@ void knapsack_task(rmf::JobContext& ctx) {
   WACS_CHECK_MSG(comm->size() >= 2, "parallel knapsack needs >= 2 ranks");
 
   // Synchronize so app_seconds measures the search, not job startup skew.
-  comm->barrier();
+  // Loss-tolerant: a crash landing during startup (e.g. a shared relay
+  // host, severing every proxied MPI link at once) must not strand the
+  // survivors in the barrier. A slave that lost rank 0 here can contribute
+  // nothing — it exits cleanly so the job manager still collects its
+  // (empty) completion; rank 0 proceeds and treats the missing ranks like
+  // any other vanished slave.
+  if (!comm->barrier_or_lost() && comm->rank() != 0) {
+    comm->finalize();
+    return;
+  }
   const sim::Time started = ctx.host->network().engine().now();
 
   if (comm->rank() == 0) {

@@ -76,6 +76,7 @@ Comm::Comm(rmf::JobContext& ctx)
 
 CommPtr Comm::init(rmf::JobContext& ctx) {
   auto comm = CommPtr(new Comm(ctx));
+  comm->weak_self_ = comm;
   comm->start_receiver(comm);
   return comm;
 }
@@ -161,7 +162,35 @@ Status Comm::ensure_link_soft(int dst) {
   auto conn = ctx_->connect(*self_, contacts_[static_cast<std::size_t>(dst)]);
   if (!conn.ok()) return conn.error();
   link = *conn;
-  return link->send(encode_hello(rank_));
+  if (auto s = link->send(encode_hello(rank_)); !s.ok()) return s;
+  spawn_link_monitor(dst, link);
+  return {};
+}
+
+void Comm::spawn_link_monitor(int dst, const sim::SocketPtr& link) {
+  if (weak_self_.expired()) return;  // bootstrap hello, before init() returns
+  sim::Engine& engine = ctx_->host().network().engine();
+  sim::Host* host = &ctx_->host();
+  auto weak = weak_self_;
+  auto* mon = engine.spawn(
+      "mpi.mon.r" + std::to_string(rank_) + ".to.r" + std::to_string(dst),
+      [weak, link, dst](sim::Process& self) {
+        auto frame = link->recv(self);
+        if (frame.ok()) return;  // protocol violation; readers will complain
+        // Orderly close = the peer finalized (or our own finalize()).
+        if (frame.error().code() != ErrorCode::kConnectionReset) return;
+        auto comm = weak.lock();
+        if (comm == nullptr) return;
+        // A send-path retry may already have re-dialed and replaced the
+        // link; only the CURRENT link's reset means the peer is gone.
+        if (comm->out_[static_cast<std::size_t>(dst)] == link) {
+          comm->record_lost(dst);
+        }
+      });
+  // Pinned to the rank's host: a crash here must kill the monitor too.
+  if (auto* fault = host->network().fault(); fault != nullptr) {
+    fault->register_host_process(host->name(), mon);
+  }
 }
 
 void Comm::record_lost(int rank) {
@@ -276,6 +305,55 @@ void Comm::barrier() {
     send(0, kBarrierGather, {});
     (void)recv(0, kBarrierRelease);
   }
+}
+
+bool Comm::barrier_or_lost() {
+  if (size() == 1) return true;
+  bool clean = true;
+  if (rank_ == 0) {
+    std::vector<bool> done(static_cast<std::size_t>(size()), false);
+    int remaining = size() - 1;
+    while (remaining > 0) {
+      RecvInfo info;
+      if (iprobe(kAnySource, kBarrierGather, &info)) {
+        (void)recv(info.source, kBarrierGather);
+        const auto i = static_cast<std::size_t>(info.source);
+        if (!done[i]) {
+          done[i] = true;
+          --remaining;
+        }
+        continue;
+      }
+      // Peek at the loss set (do not take_lost_rank(): the caller's own
+      // loss bookkeeping still needs the reports) and stop waiting for
+      // ranks that will never gather.
+      bool progressed = false;
+      for (int l : lost_) {
+        const auto i = static_cast<std::size_t>(l);
+        if (!done[i]) {
+          done[i] = true;
+          --remaining;
+          clean = false;
+          progressed = true;
+        }
+      }
+      if (remaining > 0 && !progressed) inbox_waiters_->wait(*self_);
+    }
+    for (int i = 1; i < size(); ++i) {
+      if (lost_.count(i) == 0) (void)try_send(i, kBarrierRelease, {});
+    }
+  } else {
+    if (!try_send(0, kBarrierGather, {}).ok()) return false;
+    while (true) {
+      if (iprobe(0, kBarrierRelease)) {
+        (void)recv(0, kBarrierRelease);
+        break;
+      }
+      if (lost_.count(0) != 0) return false;
+      inbox_waiters_->wait(*self_);
+    }
+  }
+  return clean;
 }
 
 Bytes Comm::bcast(int root, Bytes data) {

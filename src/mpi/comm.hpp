@@ -97,6 +97,15 @@ class Comm {
   Bytes scatter(int root, std::vector<Bytes> parts);
   /// Every rank contributes one payload per destination; returns the
   /// payloads addressed to this rank, ordered by source.
+  /// Loss-tolerant barrier for job startup. barrier() parks a participant
+  /// forever when a peer dies mid-barrier (a release frame destroyed
+  /// in-flight by a relay-host crash leaves the waiter in a hard recv that
+  /// ignores loss reports). This variant stops waiting for ranks detected
+  /// dead and returns false to the affected participants: rank 0 when any
+  /// peer was missing, a non-zero rank when rank 0 itself is gone (such a
+  /// rank can contribute nothing and should exit cleanly). Loss reports are
+  /// only peeked at, never consumed — take_lost_rank() still sees them.
+  bool barrier_or_lost();
   std::vector<Bytes> alltoall(std::vector<Bytes> parts);
   std::int64_t reduce_sum(int root, std::int64_t v);
   std::int64_t reduce_max(int root, std::int64_t v);
@@ -152,6 +161,13 @@ class Comm {
   Status ensure_link_soft(int dst);
   void record_lost(int rank);
   void start_receiver(const std::shared_ptr<Comm>& self_ptr);
+  /// Watches the reverse direction of a dialed link for a reset. Dialed
+  /// links are send-only by protocol, so without this a rank that dialed a
+  /// peer which never dialed back has NO path that notices the peer's
+  /// death: the rx readers only watch accepted links, and a passive
+  /// probe_or_lost() never touches the socket. The monitor parks in recv()
+  /// on the dialed socket; a reset there is the peer's crash.
+  void spawn_link_monitor(int dst, const sim::SocketPtr& link);
 
   /// Coordinator of `site` for a collective rooted at `root`: the root for
   /// its own site, else the site's lowest rank. Every rank computes the
@@ -176,6 +192,9 @@ class Comm {
   std::vector<std::uint64_t> pair_msgs_;
   std::vector<std::uint64_t> pair_bytes_;
   telemetry::MsgMeta last_rx_meta_;
+  /// Self-reference for daemons spawned outside init() (link monitors);
+  /// weak so parked monitors never extend the communicator's lifetime.
+  std::weak_ptr<Comm> weak_self_;
   bool finalized_ = false;
 };
 

@@ -4,19 +4,34 @@
 #include <numeric>
 
 #include "common/log.hpp"
+#include "common/telemetry.hpp"
+#include "simnet/fault.hpp"
 
 namespace wacs::rmf {
 namespace {
 const log::Logger kLog("rmf.alloc");
-}
+
+// Journal record tags.
+constexpr std::uint8_t kRecGrant = 1;
+constexpr std::uint8_t kRecRelease = 2;
+}  // namespace
 
 ResourceAllocator::ResourceAllocator(sim::Host& host, std::uint16_t port,
                                      AllocPolicy policy)
-    : host_(&host), port_(port), policy_(policy) {}
+    : host_(&host), port_(port), policy_(policy), journal_(host, "alloc") {}
 
 void ResourceAllocator::register_resource(ResourceInfo info) {
   WACS_CHECK(info.cpus > 0);
   resources_.push_back(std::move(info));
+}
+
+void ResourceAllocator::spawn_serve() {
+  serve_proc_ = host_->network().engine().spawn(
+      "rmf.alloc@" + host_->name(),
+      [this](sim::Process& self) { serve(self); });
+  if (auto* f = host_->network().fault()) {
+    f->register_host_process(host_->name(), serve_proc_);
+  }
 }
 
 void ResourceAllocator::start() {
@@ -25,9 +40,7 @@ void ResourceAllocator::start() {
   auto listener = host_->stack().listen(port_);
   WACS_CHECK_MSG(listener.ok(), "allocator cannot bind its port");
   listener_ = *listener;
-  host_->network().engine().spawn(
-      "rmf.alloc@" + host_->name(),
-      [this](sim::Process& self) { serve(self); });
+  spawn_serve();
 }
 
 std::vector<Placement> ResourceAllocator::select(
@@ -95,25 +108,208 @@ void ResourceAllocator::release(const std::vector<Placement>& placements) {
   }
 }
 
+// ----------------------------------------------------------------- grants
+
+ResourceAllocator::Grant ResourceAllocator::grant(
+    int nprocs, const std::vector<std::string>& exclude) {
+  sweep_leases();
+  std::vector<std::string> effective = exclude;
+  for (const std::string& host : expired_) effective.push_back(host);
+  Grant g;
+  g.placements = select(nprocs, effective);
+  if (g.placements.empty()) return g;
+  g.id = next_grant_id_++;
+  live_grants_[g.id] = g.placements;
+  // Granted hosts get a fresh lease window: they owe their first heartbeat
+  // one duration from now, not from some earlier idle period.
+  if (lease_duration_s_ > 0) {
+    const sim::Time now = host_->network().engine().now();
+    for (const Placement& p : g.placements) last_heartbeat_[p.host] = now;
+  }
+  journal_grant(g);
+  return g;
+}
+
+bool ResourceAllocator::release_grant(std::uint64_t id) {
+  auto it = live_grants_.find(id);
+  if (it == live_grants_.end()) {
+    ++releases_deduped_;
+    telemetry::metrics().counter("rmf.alloc.release_dedup").add();
+    return false;
+  }
+  release(it->second);
+  live_grants_.erase(it);
+  released_.insert(id);
+  journal_release(id);
+  return true;
+}
+
+void ResourceAllocator::journal_grant(const Grant& g) {
+  BufWriter w;
+  w.u8(kRecGrant);
+  w.u64(g.id);
+  w.u32(static_cast<std::uint32_t>(g.placements.size()));
+  for (const Placement& p : g.placements) {
+    w.str(p.host);
+    w.i32(p.count);
+  }
+  journal_.append(std::move(w).take());
+}
+
+void ResourceAllocator::journal_release(std::uint64_t id) {
+  BufWriter w;
+  w.u8(kRecRelease);
+  w.u64(id);
+  journal_.append(std::move(w).take());
+}
+
+// ----------------------------------------------------------------- leases
+
+void ResourceAllocator::enable_leases(double duration_s) {
+  lease_duration_s_ = duration_s;
+}
+
+void ResourceAllocator::note_heartbeat(const std::string& host) {
+  ++heartbeats_received_;
+  last_heartbeat_[host] = host_->network().engine().now();
+  if (expired_.erase(host) != 0) {
+    kLog.info("lease revived for %s", host.c_str());
+  }
+}
+
+void ResourceAllocator::sweep_leases() {
+  if (lease_duration_s_ <= 0) return;
+  const sim::Time now = host_->network().engine().now();
+  const sim::Time limit = sim::from_sec(lease_duration_s_);
+  for (ResourceInfo& r : resources_) {
+    if (r.allocated == 0 || expired_.count(r.host) != 0) continue;
+    auto it = last_heartbeat_.find(r.host);
+    // A host allocated before leases were enabled starts its window now.
+    if (it == last_heartbeat_.end()) {
+      last_heartbeat_[r.host] = now;
+      continue;
+    }
+    if (now - it->second <= limit) continue;
+    kLog.info("lease EXPIRED for %s at t=%.3fs (%d CPUs shed)",
+              r.host.c_str(), sim::to_sec(now), r.allocated);
+    expired_.insert(r.host);
+    r.allocated = 0;
+    ++leases_expired_;
+    telemetry::metrics().counter("rmf.lease.expired").add();
+  }
+}
+
+// --------------------------------------------------------------- recovery
+
+void ResourceAllocator::restart() {
+  if (listener_) listener_->close();
+  auto listener = host_->stack().listen(port_);
+  WACS_CHECK_MSG(listener.ok(), "allocator cannot re-bind its port");
+  listener_ = *listener;
+  spawn_serve();
+  replay_journal();
+}
+
+void ResourceAllocator::replay_journal() {
+  telemetry::Span span("rmf", "rmf.recovery.replay");
+  span.arg("daemon", "alloc@" + host_->name());
+  ++journal_replays_;
+  telemetry::metrics().counter("rmf.recovery.replays").add();
+
+  for (ResourceInfo& r : resources_) r.allocated = 0;
+  live_grants_.clear();
+  released_.clear();
+  expired_.clear();
+  std::uint64_t max_id = 0;
+  for (const Bytes& rec : journal_.records()) {
+    BufReader r(rec);
+    auto tag = r.u8();
+    if (!tag.ok()) break;
+    if (*tag == kRecGrant) {
+      auto id = r.u64();
+      auto n = r.u32();
+      if (!id.ok() || !n.ok()) break;
+      std::vector<Placement> ps;
+      for (std::uint32_t i = 0; i < *n; ++i) {
+        auto host = r.str();
+        auto count = r.i32();
+        if (!host.ok() || !count.ok()) break;
+        ps.push_back(Placement{std::move(*host), *count});
+      }
+      max_id = std::max(max_id, *id);
+      live_grants_[*id] = ps;
+      for (const Placement& p : ps) {
+        for (ResourceInfo& res : resources_) {
+          if (res.host == p.host) {
+            res.allocated = std::min(res.cpus, res.allocated + p.count);
+            break;
+          }
+        }
+      }
+    } else if (*tag == kRecRelease) {
+      auto id = r.u64();
+      if (!id.ok()) break;
+      auto it = live_grants_.find(*id);
+      if (it != live_grants_.end()) {
+        release(it->second);
+        live_grants_.erase(it);
+      }
+      released_.insert(*id);
+    }
+  }
+  next_grant_id_ = max_id + 1;
+  // Every host still holding CPUs gets a fresh lease window; heartbeats
+  // re-establish liveness from here.
+  if (lease_duration_s_ > 0) {
+    const sim::Time now = host_->network().engine().now();
+    for (const ResourceInfo& r : resources_) {
+      if (r.allocated > 0) last_heartbeat_[r.host] = now;
+    }
+  }
+  kLog.info("allocator replayed %zu grants live, %zu released",
+            live_grants_.size(), released_.size());
+}
+
+// ------------------------------------------------------------------ serve
+
 void ResourceAllocator::serve(sim::Process& self) {
+  // Capture the listener: restart() swaps in a fresh one for the *new*
+  // serve process; this incarnation must keep draining (and dying with)
+  // its own.
+  sim::ListenerPtr listener = listener_;
   while (true) {
-    auto conn = listener_->accept(self);
+    auto conn = listener->accept(self);
     if (!conn.ok()) return;
     auto sock = *conn;
-    host_->network().engine().spawn(
+    auto* handler = host_->network().engine().spawn(
         "rmf.alloc@" + host_->name() + ".req",
-        [this, sock](sim::Process& handler) { handle(handler, sock); });
+        [this, sock](sim::Process& h) { handle(h, sock); });
+    if (auto* f = host_->network().fault()) {
+      f->register_host_process(host_->name(), handler);
+    }
   }
 }
 
 void ResourceAllocator::handle(sim::Process& self, sim::SocketPtr conn) {
   auto frame = conn->recv(self);
   if (!frame.ok()) return;
-  // Releases are one-way notifications from a finished job manager.
-  if (auto type = peek_type(*frame);
-      type.ok() && *type == MsgType::kRelease) {
+  const auto type = peek_type(*frame);
+  // Releases and heartbeats are one-way notifications.
+  if (type.ok() && *type == MsgType::kRelease) {
     auto rel = Release::decode(*frame);
-    if (rel.ok()) release(rel->placements);
+    if (rel.ok()) {
+      if (!rel->grant_ids.empty()) {
+        for (std::uint64_t id : rel->grant_ids) release_grant(id);
+      } else {
+        release(rel->placements);
+      }
+    }
+    conn->close();
+    return;
+  }
+  if (type.ok() && *type == MsgType::kHeartbeat) {
+    auto hb = Heartbeat::decode(*frame);
+    if (hb.ok()) note_heartbeat(hb->host);
     conn->close();
     return;
   }
@@ -123,15 +319,16 @@ void ResourceAllocator::handle(sim::Process& self, sim::SocketPtr conn) {
     return;
   }
   ++requests_served_;
-  auto placements = select(req->nprocs, req->exclude);
+  Grant g = grant(req->nprocs, req->exclude);
   AllocReply reply;
-  if (placements.empty()) {
+  if (g.placements.empty()) {
     reply.ok = false;
     reply.error = "insufficient capacity for " + std::to_string(req->nprocs) +
                   " processes";
   } else {
     reply.ok = true;
-    reply.placements = std::move(placements);
+    reply.grant_id = g.id;
+    reply.placements = std::move(g.placements);
   }
   kLog.debug("alloc request for %d procs -> %s", req->nprocs,
              reply.ok ? "ok" : reply.error.c_str());

@@ -1,12 +1,24 @@
 // The resource allocator: a daemon inside the firewall that knows every
 // computing resource and answers "which resources are best to execute a
 // job" (Fig 2, steps 3-4).
+//
+// Crash recovery: every grant and release is journaled to the host's
+// durable store before the reply leaves, so restart() can rebuild the
+// allocation table exactly (grants minus releases). Releases dedup on the
+// grant id — a job manager may retry a Release across an allocator restart
+// without double-crediting capacity. Lease-based failure detection
+// (enable_leases) expires hosts that hold CPUs but stop heartbeating and
+// sheds their load, so a crashed Q-server site degrades instead of wedging
+// the capacity pool.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "rmf/journal.hpp"
 #include "rmf/protocol.hpp"
 #include "simnet/tcp.hpp"
 
@@ -29,6 +41,12 @@ enum class AllocPolicy {
 
 class ResourceAllocator {
  public:
+  /// A named allocation. `id` 0 with empty placements = request denied.
+  struct Grant {
+    std::uint64_t id = 0;
+    std::vector<Placement> placements;
+  };
+
   ResourceAllocator(sim::Host& host, std::uint16_t port,
                     AllocPolicy policy = AllocPolicy::kFastestFirst);
 
@@ -46,12 +64,51 @@ class ResourceAllocator {
   /// Returns capacity (used by tests and by job teardown).
   void release(const std::vector<Placement>& placements);
 
+  // ------------------------------------------------ grants (journaled path)
+
+  /// select() plus a journaled grant id; expired-lease hosts are skipped on
+  /// top of the caller's exclude list.
+  Grant grant(int nprocs, const std::vector<std::string>& exclude = {});
+
+  /// Releases a grant by id. Idempotent: false (and no capacity change) for
+  /// an unknown or already-released id.
+  bool release_grant(std::uint64_t id);
+
+  // ------------------------------------------------------------- leases
+
+  /// Hosts holding CPUs must heartbeat at least every `duration_s` or their
+  /// lease expires: the allocator sheds their allocation and excludes them
+  /// from grants until the next heartbeat. 0 disables (the default).
+  void enable_leases(double duration_s);
+  void note_heartbeat(const std::string& host);
+  /// Expires overdue leases now. grant() calls this; exposed for tests that
+  /// want to observe an expiry without issuing a request.
+  void sweep_leases();
+  bool lease_expired(const std::string& host) const {
+    return expired_.count(host) != 0;
+  }
+
+  // ------------------------------------------------------------ recovery
+
+  /// Restart-hook body: re-listens, respawns the serve loop, and replays
+  /// the journal to rebuild grants and per-resource allocation.
+  void restart();
+
   const std::vector<ResourceInfo>& resources() const { return resources_; }
   std::uint64_t requests_served() const { return requests_served_; }
+  std::uint64_t releases_deduped() const { return releases_deduped_; }
+  std::uint64_t leases_expired() const { return leases_expired_; }
+  std::uint64_t heartbeats_received() const { return heartbeats_received_; }
+  std::uint64_t journal_replays() const { return journal_replays_; }
+  sim::Process* serve_process() const { return serve_proc_; }
 
  private:
   void serve(sim::Process& self);
   void handle(sim::Process& self, sim::SocketPtr conn);
+  void spawn_serve();
+  void journal_grant(const Grant& g);
+  void journal_release(std::uint64_t id);
+  void replay_journal();
 
   sim::Host* host_;
   std::uint16_t port_;
@@ -61,6 +118,20 @@ class ResourceAllocator {
   std::uint64_t requests_served_ = 0;
   sim::ListenerPtr listener_;
   bool started_ = false;
+  sim::Process* serve_proc_ = nullptr;
+
+  Journal journal_;
+  std::uint64_t next_grant_id_ = 1;
+  std::map<std::uint64_t, std::vector<Placement>> live_grants_;
+  std::set<std::uint64_t> released_;
+  std::uint64_t releases_deduped_ = 0;
+  std::uint64_t journal_replays_ = 0;
+
+  double lease_duration_s_ = 0;  ///< 0 = leases off
+  std::map<std::string, sim::Time> last_heartbeat_;
+  std::set<std::string> expired_;
+  std::uint64_t leases_expired_ = 0;
+  std::uint64_t heartbeats_received_ = 0;
 };
 
 }  // namespace wacs::rmf

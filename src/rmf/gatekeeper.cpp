@@ -1,15 +1,26 @@
 #include "rmf/gatekeeper.hpp"
 
+#include <algorithm>
 #include <deque>
-#include <map>
+#include <vector>
 
 #include "common/log.hpp"
 #include "common/telemetry.hpp"
+#include "simnet/fault.hpp"
 #include "simnet/time.hpp"
 
 namespace wacs::rmf {
 namespace {
 const log::Logger kLog("rmf.gatekeeper");
+
+// Journal record tags (see the file comment in gatekeeper.hpp).
+constexpr std::uint8_t kRecJob = 1;
+constexpr std::uint8_t kRecGrant = 2;
+constexpr std::uint8_t kRecPart = 3;
+constexpr std::uint8_t kRecPartCancel = 4;
+constexpr std::uint8_t kRecTable = 5;
+constexpr std::uint8_t kRecRankDone = 6;
+constexpr std::uint8_t kRecJobDone = 7;
 
 /// Shared between a job manager and its deadline watchdog event.
 struct WatchdogState {
@@ -21,12 +32,47 @@ struct WatchdogState {
 
 }  // namespace
 
+/// Everything the gatekeeper remembers about one accepted job. Live job
+/// managers mutate it as they go; replay_journal() rebuilds it from the
+/// journal, which is why every mutation with an externally visible effect
+/// has a matching journal record.
+struct Gatekeeper::JobRec {
+  struct PartInfo {
+    std::uint64_t seq = 0;
+    std::string host;
+    int base_rank = 0;
+    int count = 0;
+    int attempts = 0;
+    bool cancelled = false;
+  };
+
+  std::uint64_t job_id = 0;
+  JobSpec spec;
+  telemetry::TraceContext submit_ctx;
+  /// Open connection awaiting the JobDone: the submission connection, or a
+  /// later JobQuery reconnect. Null when the submitter is (currently) gone.
+  sim::SocketPtr waiter;
+  bool done = false;
+  JobDone result;
+  sim::Process* jm = nullptr;
+  std::vector<std::uint64_t> grant_ids;
+  std::vector<Placement> granted;
+  std::vector<PartInfo> parts;  ///< journaled submissions (replay fills this)
+  std::uint64_t next_part_seq = 1;
+  bool table_sent = false;
+  ContactTable table;
+  std::vector<bool> rank_done;
+  Bytes rank0_output;
+  bool have_rank0 = false;
+};
+
 Gatekeeper::Gatekeeper(sim::Host& host, Options options, Contact allocator,
                        const JobRegistry* registry)
     : host_(&host),
       options_(std::move(options)),
       allocator_(std::move(allocator)),
-      registry_(registry) {
+      registry_(registry),
+      journal_(host, "gatekeeper") {
   WACS_CHECK(registry_ != nullptr);
 }
 
@@ -36,18 +82,72 @@ void Gatekeeper::start() {
   auto listener = host_->stack().listen(options_.port);
   WACS_CHECK_MSG(listener.ok(), "gatekeeper cannot bind its port");
   listener_ = *listener;
-  host_->network().engine().spawn(
+  spawn_serve();
+}
+
+void Gatekeeper::restart() {
+  if (listener_ != nullptr) listener_->close();
+  auto listener = host_->stack().listen(options_.port);
+  WACS_CHECK_MSG(listener.ok(), "gatekeeper cannot re-bind its port");
+  listener_ = *listener;
+  spawn_serve();
+  replay_journal();
+  ensure_lease_sweeper();
+}
+
+void Gatekeeper::spawn_serve() {
+  serve_proc_ = host_->network().engine().spawn(
       "gatekeeper@" + host_->name(),
       [this](sim::Process& self) { serve(self); });
+  register_proc(serve_proc_);
+}
+
+void Gatekeeper::register_proc(sim::Process* proc) {
+  if (auto* f = host_->network().fault()) {
+    f->register_host_process(host_->name(), proc);
+  }
+}
+
+sim::Process* Gatekeeper::job_manager_process(std::uint64_t job_id) const {
+  auto it = jobs_.find(job_id);
+  return it == jobs_.end() ? nullptr : it->second->jm;
 }
 
 void Gatekeeper::serve(sim::Process& self) {
+  // Capture the listener: restart() swaps in a fresh one for the *new*
+  // serve process; this incarnation keeps draining (and dies with) its own.
+  sim::ListenerPtr listener = listener_;
   while (true) {
-    auto conn = listener_->accept(self);
+    auto conn = listener->accept(self);
     if (!conn.ok()) return;
     auto sock = *conn;
     auto frame = sock->recv(self);
     if (!frame.ok()) continue;
+    const auto type = peek_type(*frame);
+    if (type.ok() && *type == MsgType::kJobQuery) {
+      auto query = JobQuery::decode(*frame);
+      if (!query.ok()) {
+        sock->close();
+        continue;
+      }
+      auto it = jobs_.find(query->job_id);
+      if (it == jobs_.end()) {
+        (void)sock->send(JobDone{false, "unknown job", {}}.encode());
+        sock->close();
+        continue;
+      }
+      const std::shared_ptr<JobRec>& rec = it->second;
+      if (rec->done) {
+        (void)sock->send(rec->result.encode());
+        sock->close();
+      } else {
+        // Park the query until the job finishes; a newer reconnect
+        // supersedes an older one.
+        if (rec->waiter != nullptr) rec->waiter->close();
+        rec->waiter = sock;
+      }
+      continue;
+    }
     auto req = SubmitRequest::decode(*frame);
     if (!req.ok()) {
       (void)sock->send(SubmitReply{false, 0, req.error().to_string()}.encode());
@@ -97,29 +197,38 @@ void Gatekeeper::serve(sim::Process& self) {
     static telemetry::Counter& accepted =
         telemetry::metrics().counter("rmf.jobs.accepted");
     accepted.add();
+    auto rec = std::make_shared<JobRec>();
+    rec->job_id = job_id;
+    rec->spec = std::move(req->spec);
     // The submit request's context makes the job manager's spans children
     // of the submitter's trace.
-    const telemetry::TraceContext submit_ctx = sock->last_rx_meta().ctx;
+    rec->submit_ctx = sock->last_rx_meta().ctx;
+    rec->waiter = sock;
+    rec->rank_done.assign(static_cast<std::size_t>(rec->spec.nprocs), false);
+    // Durable before the reply leaves: once the submitter holds a job id, a
+    // restarted gatekeeper must be able to answer a JobQuery for it.
+    journal_job(*rec);
+    jobs_[job_id] = rec;
     (void)sock->send(SubmitReply{true, job_id, ""}.encode());
     // Step 2: the gatekeeper invokes a job manager for this job.
-    JobSpec spec = std::move(req->spec);
-    host_->network().engine().spawn(
+    rec->jm = host_->network().engine().spawn(
         "jobmanager#" + std::to_string(job_id) + "@" + host_->name(),
-        [this, sock, spec = std::move(spec), job_id,
-         submit_ctx](sim::Process& jm) {
-          job_manager(jm, sock, spec, job_id, submit_ctx);
-        });
+        [this, rec](sim::Process& jm) { job_manager(jm, rec, false); });
+    register_proc(rec->jm);
+    ensure_lease_sweeper();
   }
 }
 
-void Gatekeeper::job_manager(sim::Process& self, sim::SocketPtr submitter,
-                             JobSpec spec, std::uint64_t job_id,
-                             telemetry::TraceContext submit_ctx) {
-  telemetry::Span job_span("rmf", "rmf.job", submit_ctx);
+void Gatekeeper::job_manager(sim::Process& self, std::shared_ptr<JobRec> rec,
+                             bool resumed) {
+  const std::uint64_t job_id = rec->job_id;
+  const JobSpec& spec = rec->spec;
+  telemetry::Span job_span("rmf", "rmf.job", rec->submit_ctx);
   if (job_span.active()) {
     job_span.arg("job_id", job_id);
     job_span.arg("task", spec.task);
     job_span.arg("nprocs", spec.nprocs);
+    if (resumed) job_span.arg("recovered", true);
   }
   static telemetry::Gauge& active_jobs =
       telemetry::metrics().gauge("rmf.jobs.active");
@@ -131,28 +240,49 @@ void Gatekeeper::job_manager(sim::Process& self, sim::SocketPtr submitter,
   // Allocator-made allocations are handed back on every exit path; pinned
   // placements bypass the allocator and are the submitter's responsibility
   // (no co-allocator existed in the paper's system either).
-  bool from_allocator = false;
-  std::vector<Placement> placements = spec.placements;
+  bool from_allocator = resumed && !rec->grant_ids.empty();
+  std::vector<Placement> placements =
+      resumed ? rec->granted : spec.placements;
   auto release_allocation = [&] {
     if (!from_allocator) return;
     from_allocator = false;
-    auto conn = host_->stack().connect(self, allocator_);
-    if (conn.ok()) {
-      (void)(*conn)->send(Release{placements}.encode());
-      (*conn)->close();
+    // Releases dedup on the grant id, so retrying across an allocator
+    // restart is safe; legacy mode keeps the single best-effort attempt.
+    const int attempts = options_.recovery ? 5 : 1;
+    for (int i = 0; i < attempts; ++i) {
+      auto conn = host_->stack().connect(self, allocator_);
+      if (conn.ok()) {
+        Release rel;
+        rel.grant_ids = rec->grant_ids;
+        (void)(*conn)->send(rel.encode());
+        (*conn)->close();
+        return;
+      }
+      if (i + 1 < attempts) self.sleep(0.5 * (i + 1));
+    }
+  };
+  auto finish = [&](JobDone done) {
+    journal_job_done(job_id, done);
+    rec->done = true;
+    rec->result = done;
+    if (rec->waiter != nullptr) {
+      (void)rec->waiter->send(done.encode());
+      rec->waiter->close();
+      rec->waiter = nullptr;
     }
   };
   auto fail = [&](const std::string& why) {
     kLog.warn("job %llu failed: %s", static_cast<unsigned long long>(job_id),
               why.c_str());
     release_allocation();
-    (void)submitter->send(JobDone{false, why, {}}.encode());
-    submitter->close();
+    finish(JobDone{false, why, {}});
   };
 
   // Step 3-4: the Q client inquires of the resource allocator (only when
-  // the submission did not pin placements).
-  if (placements.empty()) {
+  // the submission did not pin placements). Resumed job managers skip this:
+  // their grants are journaled and the Q-server dedup table keeps the old
+  // placements valid.
+  if (!resumed && placements.empty()) {
     telemetry::Span span("rmf", "rmf.allocate");
     const sim::Time alloc_t0 = host_->network().engine().now();
     auto alloc_conn = host_->stack().connect(self, allocator_);
@@ -169,17 +299,22 @@ void Gatekeeper::job_manager(sim::Process& self, sim::SocketPtr submitter,
     if (!reply->ok) return fail("allocation failed: " + reply->error);
     placements = std::move(reply->placements);
     from_allocator = true;
+    rec->grant_ids.push_back(reply->grant_id);
+    rec->granted = placements;
+    journal_grant(job_id, reply->grant_id, placements);
     static telemetry::Histogram& alloc_ms =
         telemetry::metrics().histogram("rmf.alloc_ms");
     alloc_ms.observe(
         sim::to_ms(host_->network().engine().now() - alloc_t0));
   }
 
-  int total = 0;
-  for (const Placement& p : placements) total += p.count;
-  if (total != spec.nprocs) {
-    return fail("placements cover " + std::to_string(total) + " of " +
-                std::to_string(spec.nprocs) + " processes");
+  if (!resumed) {
+    int total = 0;
+    for (const Placement& p : placements) total += p.count;
+    if (total != spec.nprocs) {
+      return fail("placements cover " + std::to_string(total) + " of " +
+                  std::to_string(spec.nprocs) + " processes");
+    }
   }
 
   // Rendezvous listener for rank bootstrap; ranks dial out to it, so it
@@ -215,18 +350,30 @@ void Gatekeeper::job_manager(sim::Process& self, sim::SocketPtr submitter,
   // Step 5: the Q client submits job parts to the Q servers. GASS input
   // files ride along (charged as real bytes on the network). A part whose
   // Q server cannot be reached is requeued: the allocator picks replacement
-  // capacity that excludes every host seen to fail so far.
+  // capacity that excludes every host seen to fail so far. Each part
+  // carries its journaled job-scoped seq; a resumed job manager re-submits
+  // with the same seqs and the Q servers' dedup absorbs the duplicates.
   struct Part {
     Placement placement;
     int base_rank = 0;
+    std::uint64_t seq = 0;
+    int attempts = 0;
   };
   std::vector<Part> submitted;
   std::deque<Part> to_submit;
-  {
+  if (!resumed) {
     int base_rank = 0;
     for (const Placement& p : placements) {
-      to_submit.push_back(Part{p, base_rank});
+      const std::uint64_t seq = rec->next_part_seq++;
+      journal_part(job_id, seq, p.host, base_rank, p.count, 0);
+      to_submit.push_back(Part{p, base_rank, seq, 0});
       base_rank += p.count;
+    }
+  } else {
+    for (const JobRec::PartInfo& pi : rec->parts) {
+      if (pi.cancelled) continue;
+      to_submit.push_back(Part{Placement{pi.host, pi.count}, pi.base_rank,
+                               pi.seq, pi.attempts});
     }
   }
 
@@ -242,6 +389,7 @@ void Gatekeeper::job_manager(sim::Process& self, sim::SocketPtr submitter,
     }
     QSubmit qsub;
     qsub.job_id = job_id;
+    qsub.part_seq = part.seq;
     qsub.task = spec.task;
     qsub.base_rank = part.base_rank;
     qsub.count = part.placement.count;
@@ -265,25 +413,43 @@ void Gatekeeper::job_manager(sim::Process& self, sim::SocketPtr submitter,
                    "Q server on " + part.placement.host + " rejected job: " +
                        (reply.ok() ? reply->error : reply.error().to_string()));
     }
+    if (resumed && first_resubmit_after_replay_ == 0) {
+      first_resubmit_after_replay_ = host_->network().engine().now();
+    }
     return {};
   };
 
   std::vector<std::string> failed_hosts;
-  int requeues_left = options_.max_requeues;
   // Replaces a dead part's placement with fresh capacity avoiding every
-  // failed host (the replacement may split across several hosts). The dead
-  // placement stays in `placements` so the final release returns it too —
-  // the allocator's bookkeeping does not track liveness.
-  auto requeue_part = [&](const Part& dead) -> Result<std::vector<Part>> {
+  // failed host (the replacement may split across several hosts). Each part
+  // carries its own requeue budget; replacements inherit the original's
+  // spent attempts. `cancel_old` withdraws the dead part from its Q server
+  // (recovery mode, rendezvous-timeout path) so a merely-slow part cannot
+  // double-run once its replacement exists.
+  auto requeue_part = [&](const Part& dead,
+                          bool cancel_old) -> Result<std::vector<Part>> {
     if (!from_allocator) {
       return Error(ErrorCode::kUnavailable,
                    "pinned placement on " + dead.placement.host + " failed");
     }
-    if (requeues_left == 0) {
+    if (dead.attempts >= options_.max_requeues) {
       return Error(ErrorCode::kResourceExhausted, "requeue budget exhausted");
     }
-    --requeues_left;
     failed_hosts.push_back(dead.placement.host);
+    if (cancel_old && options_.recovery) {
+      // Best-effort, off the job manager's critical path: the presumed-dead
+      // host may stall the connect for the full SYN timeout.
+      const Contact target{dead.placement.host, options_.qserver_port};
+      auto* canceller = host_->network().engine().spawn(
+          "job" + std::to_string(job_id) + ".cancel@" + host_->name(),
+          [this, target, job_id, seq = dead.seq](sim::Process& p) {
+            auto conn = host_->stack().connect(p, target);
+            if (!conn.ok()) return;
+            (void)(*conn)->send(QCancel{job_id, seq}.encode());
+            (*conn)->close();
+          });
+      register_proc(canceller);
+    }
     auto conn = host_->stack().connect(self, allocator_);
     if (!conn.ok()) {
       return Error(conn.error().code(), "allocator unreachable");
@@ -311,14 +477,20 @@ void Gatekeeper::job_manager(sim::Process& self, sim::SocketPtr submitter,
               dead.placement.host.c_str());
     ++parts_requeued_;
     telemetry::metrics().counter("rmf.parts.requeued").add();
+    rec->grant_ids.push_back(reply->grant_id);
+    journal_grant(job_id, reply->grant_id, reply->placements);
     std::vector<Part> fresh;
     int base = dead.base_rank;
     for (Placement& np : reply->placements) {
       const int count = np.count;
+      const std::uint64_t seq = rec->next_part_seq++;
+      journal_part(job_id, seq, np.host, base, count, dead.attempts + 1);
       placements.push_back(np);
-      fresh.push_back(Part{std::move(np), base});
+      rec->granted.push_back(np);
+      fresh.push_back(Part{std::move(np), base, seq, dead.attempts + 1});
       base += count;
     }
+    journal_part_cancel(job_id, dead.seq);
     return fresh;
   };
 
@@ -332,151 +504,536 @@ void Gatekeeper::job_manager(sim::Process& self, sim::SocketPtr submitter,
     }
     kLog.warn("job %llu: %s", static_cast<unsigned long long>(job_id),
               s.error().to_string().c_str());
-    auto repl = requeue_part(part);
+    auto repl = requeue_part(part, false);
     if (!repl.ok()) {
       return fail(s.error().message() + "; " + repl.error().message());
     }
     for (Part& np : *repl) to_submit.push_back(std::move(np));
   }
 
-  // Rank rendezvous: collect every rank's endpoint contact, then broadcast
-  // the table (MPICH-G startup). With a rendezvous bound configured,
-  // silence means a part's host died before its ranks could dial in; the
-  // silent parts are requeued and their stale connections dropped.
-  std::vector<sim::SocketPtr> rank_conns(
-      static_cast<std::size_t>(spec.nprocs));
-  std::vector<bool> have_hello(static_cast<std::size_t>(spec.nprocs), false);
-  ContactTable table;
-  table.contacts.resize(static_cast<std::size_t>(spec.nprocs));
-  table.sites.resize(static_cast<std::size_t>(spec.nprocs));
-  int collected = 0;
-  // optional<> rather than a scope: the table broadcast below belongs to
-  // the rendezvous span but the collected state outlives it.
-  std::optional<telemetry::Span> rendezvous_span;
-  rendezvous_span.emplace("rmf", "rmf.rendezvous");
-  while (collected < spec.nprocs) {
-    const bool bounded = options_.rendezvous_timeout_s > 0;
-    const sim::Time deadline =
-        host_->network().engine().now() +
-        sim::from_sec(options_.rendezvous_timeout_s);
-    auto conn = bounded ? (*rendezvous)->accept_deadline(self, deadline)
-                        : (*rendezvous)->accept(self);
-    if (!conn.ok()) {
-      if (bounded && conn.error().code() == ErrorCode::kTimeout &&
-          !watchdog_state->fired) {
-        // Requeue every part with a silent rank; drop hellos already taken
-        // from those parts (their host is presumed dead, the replacement
-        // ranks will re-report).
-        bool requeued_any = false;
-        for (std::size_t pi = 0; pi < submitted.size(); ++pi) {
-          const Part& part = submitted[pi];
-          bool silent = false;
-          for (int r = part.base_rank;
-               r < part.base_rank + part.placement.count; ++r) {
-            if (!have_hello[static_cast<std::size_t>(r)]) silent = true;
-          }
-          if (!silent) continue;
-          auto repl = requeue_part(part);
-          if (!repl.ok()) {
-            return fail("rank rendezvous timed out; " +
-                        repl.error().message());
-          }
-          for (int r = part.base_rank;
-               r < part.base_rank + part.placement.count; ++r) {
-            const auto ri = static_cast<std::size_t>(r);
-            if (have_hello[ri]) {
-              have_hello[ri] = false;
-              if (rank_conns[ri] != nullptr) rank_conns[ri]->close();
-              rank_conns[ri] = nullptr;
-              --collected;
+  Bytes output;
+  if (!rec->table_sent) {
+    // Rank rendezvous: collect every rank's endpoint contact, then
+    // broadcast the table (MPICH-G startup). With a rendezvous bound
+    // configured, silence means a part's host died before its ranks could
+    // dial in; the silent parts are requeued and their stale connections
+    // dropped.
+    std::vector<sim::SocketPtr> rank_conns(
+        static_cast<std::size_t>(spec.nprocs));
+    std::vector<bool> have_hello(static_cast<std::size_t>(spec.nprocs),
+                                 false);
+    // Ranks that re-helloed with the table already in hand (recovery): the
+    // world is fixed, so the broadcast below skips them.
+    std::vector<bool> needs_table(static_cast<std::size_t>(spec.nprocs),
+                                  true);
+    ContactTable table;
+    table.contacts.resize(static_cast<std::size_t>(spec.nprocs));
+    table.sites.resize(static_cast<std::size_t>(spec.nprocs));
+    int collected = 0;
+    // optional<> rather than a scope: the table broadcast below belongs to
+    // the rendezvous span but the collected state outlives it.
+    std::optional<telemetry::Span> rendezvous_span;
+    rendezvous_span.emplace("rmf", "rmf.rendezvous");
+    while (collected < spec.nprocs) {
+      const bool bounded = options_.rendezvous_timeout_s > 0;
+      const sim::Time deadline =
+          host_->network().engine().now() +
+          sim::from_sec(options_.rendezvous_timeout_s);
+      auto conn = bounded ? (*rendezvous)->accept_deadline(self, deadline)
+                          : (*rendezvous)->accept(self);
+      if (!conn.ok()) {
+        if (bounded && conn.error().code() == ErrorCode::kTimeout &&
+            !watchdog_state->fired) {
+          // Requeue every part with a silent rank; drop hellos already
+          // taken from those parts (their host is presumed dead, the
+          // replacement ranks will re-report).
+          bool requeued_any = false;
+          for (std::size_t pi = 0; pi < submitted.size(); ++pi) {
+            const Part& part = submitted[pi];
+            bool silent = false;
+            for (int r = part.base_rank;
+                 r < part.base_rank + part.placement.count; ++r) {
+              if (!have_hello[static_cast<std::size_t>(r)]) silent = true;
             }
-          }
-          std::vector<Part> fresh = std::move(*repl);
-          submitted[pi] = fresh.front();
-          for (std::size_t fi = 1; fi < fresh.size(); ++fi) {
-            submitted.push_back(fresh[fi]);
-          }
-          for (const Part& np : fresh) {
-            if (auto s = submit_part(np); !s.ok()) {
-              return fail("requeue resubmit failed: " + s.error().message());
+            if (!silent) continue;
+            auto repl = requeue_part(part, true);
+            if (!repl.ok()) {
+              return fail("rank rendezvous timed out; " +
+                          repl.error().message());
             }
+            for (int r = part.base_rank;
+                 r < part.base_rank + part.placement.count; ++r) {
+              const auto ri = static_cast<std::size_t>(r);
+              if (have_hello[ri]) {
+                have_hello[ri] = false;
+                if (rank_conns[ri] != nullptr) rank_conns[ri]->close();
+                rank_conns[ri] = nullptr;
+                --collected;
+              }
+            }
+            std::vector<Part> fresh = std::move(*repl);
+            submitted[pi] = fresh.front();
+            for (std::size_t fi = 1; fi < fresh.size(); ++fi) {
+              submitted.push_back(fresh[fi]);
+            }
+            for (const Part& np : fresh) {
+              if (auto s = submit_part(np); !s.ok()) {
+                return fail("requeue resubmit failed: " +
+                            s.error().message());
+              }
+            }
+            requeued_any = true;
           }
-          requeued_any = true;
+          if (!requeued_any) return fail("rank rendezvous timed out");
+          continue;
         }
-        if (!requeued_any) return fail("rank rendezvous timed out");
+        return fail(timeout_error("rank rendezvous interrupted"));
+      }
+      watchdog_state->rank_conns.push_back(*conn);
+      auto frame = bounded ? (*conn)->recv_deadline(self, deadline)
+                           : (*conn)->recv(self);
+      if (!frame.ok()) {
+        if (bounded && !watchdog_state->fired) continue;  // dead dialer
+        return fail(timeout_error("rank hello lost"));
+      }
+      auto hello = RankHello::decode(*frame);
+      if (!hello.ok() || hello->job_id != job_id || hello->rank < 0 ||
+          hello->rank >= spec.nprocs) {
+        return fail("bad rank hello");
+      }
+      const auto ri = static_cast<std::size_t>(hello->rank);
+      if (have_hello[ri]) {  // duplicate after a spurious requeue: keep first
+        ++hellos_deduped_;
+        telemetry::metrics().counter("rmf.recovery.hello_dedup").add();
+        (*conn)->close();
         continue;
       }
-      return fail(timeout_error("rank rendezvous interrupted"));
+      have_hello[ri] = true;
+      if (hello->has_table) needs_table[ri] = false;
+      table.contacts[ri] = hello->contact;
+      table.sites[ri] = hello->site;
+      rank_conns[ri] = *conn;
+      ++collected;
     }
-    watchdog_state->rank_conns.push_back(*conn);
-    auto frame = bounded ? (*conn)->recv_deadline(self, deadline)
-                         : (*conn)->recv(self);
-    if (!frame.ok()) {
-      if (bounded && !watchdog_state->fired) continue;  // dead dialer
-      return fail(timeout_error("rank hello lost"));
-    }
-    auto hello = RankHello::decode(*frame);
-    if (!hello.ok() || hello->job_id != job_id || hello->rank < 0 ||
-        hello->rank >= spec.nprocs) {
-      return fail("bad rank hello");
-    }
-    const auto ri = static_cast<std::size_t>(hello->rank);
-    if (have_hello[ri]) {  // duplicate after a spurious requeue: keep first
-      (*conn)->close();
-      continue;
-    }
-    have_hello[ri] = true;
-    table.contacts[ri] = hello->contact;
-    table.sites[ri] = hello->site;
-    rank_conns[ri] = *conn;
-    ++collected;
-  }
-  for (auto& conn : rank_conns) {
-    if (!conn->send(table.encode()).ok()) return fail("table broadcast failed");
-  }
-  rendezvous_span.reset();
-  telemetry::Span run_span("rmf", "rmf.run");
-
-  // Completion: wait for every rank's RankDone; keep rank 0's output. A
-  // rank that vanishes after startup cannot be replaced (the MPI world is
-  // fixed at the table broadcast), so the job degrades: it completes as
-  // long as rank 0 — which carries the application result — survives.
-  Bytes output;
-  int lost_after_start = 0;
-  for (int i = 0; i < spec.nprocs; ++i) {
-    auto frame = rank_conns[static_cast<std::size_t>(i)]->recv(self);
-    if (!frame.ok()) {
-      if (watchdog_state->fired || i == 0) {
-        return fail(timeout_error("rank " + std::to_string(i) + " vanished"));
+    // Durable before the broadcast: once any rank holds the table the MPI
+    // world is fixed, and a restarted gatekeeper must know never to build a
+    // second one for this job.
+    journal_table(job_id, table);
+    rec->table = table;
+    rec->table_sent = true;
+    for (int r = 0; r < spec.nprocs; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      if (!needs_table[ri]) continue;
+      if (!rank_conns[ri]->send(table.encode()).ok()) {
+        return fail("table broadcast failed");
       }
-      ++lost_after_start;
-      kLog.warn("job %llu: rank %d vanished after startup (%s)",
-                static_cast<unsigned long long>(job_id), i,
-                frame.error().to_string().c_str());
-      continue;
     }
-    auto done = RankDone::decode(*frame);
-    if (!done.ok()) return fail("bad rank done");
-    if (done->rank == 0) output = std::move(done->output);
-  }
-  if (lost_after_start > 0) {
-    ranks_lost_ += static_cast<std::uint64_t>(lost_after_start);
-    telemetry::metrics().counter("rmf.ranks.lost").add(
-        static_cast<std::uint64_t>(lost_after_start));
-    kLog.warn("job %llu completed degraded: %d ranks lost",
-              static_cast<unsigned long long>(job_id), lost_after_start);
+    rendezvous_span.reset();
+    telemetry::Span run_span("rmf", "rmf.run");
+
+    // Completion: wait for every rank's RankDone; keep rank 0's output. A
+    // rank that vanishes after startup cannot be replaced (the MPI world is
+    // fixed at the table broadcast), so the job degrades: it completes as
+    // long as rank 0 — which carries the application result — survives.
+    int lost_after_start = 0;
+    for (int i = 0; i < spec.nprocs; ++i) {
+      auto frame = rank_conns[static_cast<std::size_t>(i)]->recv(self);
+      if (!frame.ok()) {
+        if (watchdog_state->fired || i == 0) {
+          return fail(
+              timeout_error("rank " + std::to_string(i) + " vanished"));
+        }
+        ++lost_after_start;
+        kLog.warn("job %llu: rank %d vanished after startup (%s)",
+                  static_cast<unsigned long long>(job_id), i,
+                  frame.error().to_string().c_str());
+        continue;
+      }
+      auto done = RankDone::decode(*frame);
+      if (!done.ok()) return fail("bad rank done");
+      // Journal before the ack: the rank stops retrying only once its
+      // completion is durable.
+      journal_rank_done(job_id, done->rank,
+                        done->rank == 0 ? done->output : Bytes{});
+      if (done->rank >= 0 && done->rank < spec.nprocs) {
+        rec->rank_done[static_cast<std::size_t>(done->rank)] = true;
+      }
+      if (done->rank == 0) {
+        rec->have_rank0 = true;
+        rec->rank0_output = done->output;
+        output = std::move(done->output);
+      }
+      if (options_.recovery) {
+        (void)rank_conns[static_cast<std::size_t>(i)]->send(
+            RankDoneAck{done->rank}.encode());
+      }
+    }
+    if (lost_after_start > 0) {
+      ranks_lost_ += static_cast<std::uint64_t>(lost_after_start);
+      telemetry::metrics().counter("rmf.ranks.lost").add(
+          static_cast<std::uint64_t>(lost_after_start));
+      kLog.warn("job %llu completed degraded: %d ranks lost",
+                static_cast<unsigned long long>(job_id), lost_after_start);
+    }
+  } else {
+    // Resumed after the table broadcast: the MPI world survived the crash.
+    // Ranks reconnect to the new rendezvous on their own (their bootstrap
+    // or done-delivery retry loops re-read the job-manager contact that the
+    // re-submissions above refreshed); collect the RankDones the journal
+    // does not already hold. Connections arrive in any order and a rank
+    // mid-bootstrap still needs the (re-sent) table before it can run, so
+    // each connection gets its own collector process.
+    telemetry::Span recollect_span("rmf", "rmf.recovery.recollect");
+    auto pending = std::make_shared<int>(0);
+    for (int r = 0; r < spec.nprocs; ++r) {
+      if (!rec->rank_done[static_cast<std::size_t>(r)]) ++*pending;
+    }
+    if (recollect_span.active()) recollect_span.arg("pending", *pending);
+    sim::ListenerPtr rendezvous_listener = *rendezvous;
+    while (*pending > 0) {
+      auto conn = rendezvous_listener->accept(self);
+      if (!conn.ok()) {
+        if (*pending == 0) break;
+        return fail(
+            timeout_error("rank rendezvous interrupted across recovery"));
+      }
+      watchdog_state->rank_conns.push_back(*conn);
+      auto sock = *conn;
+      auto* handler = host_->network().engine().spawn(
+          "job" + std::to_string(job_id) + ".collect@" + host_->name(),
+          [this, rec, sock, pending, rendezvous_listener](sim::Process& h) {
+            auto frame = sock->recv(h);
+            if (!frame.ok()) return;
+            auto hello = RankHello::decode(*frame);
+            if (!hello.ok() || hello->job_id != rec->job_id ||
+                hello->rank < 0 || hello->rank >= rec->spec.nprocs) {
+              sock->close();
+              return;
+            }
+            if (!hello->has_table) {
+              // Mid-bootstrap rank: re-send the journaled table.
+              if (!sock->send(rec->table.encode()).ok()) {
+                sock->close();
+                return;
+              }
+            }
+            auto done_frame = sock->recv(h);
+            if (!done_frame.ok()) {
+              sock->close();
+              return;
+            }
+            auto done = RankDone::decode(*done_frame);
+            if (!done.ok() || done->rank != hello->rank) {
+              sock->close();
+              return;
+            }
+            const auto ri = static_cast<std::size_t>(done->rank);
+            if (rec->rank_done[ri]) {
+              ++dones_deduped_;
+              telemetry::metrics().counter("rmf.recovery.rankdone_dedup")
+                  .add();
+            } else {
+              journal_rank_done(rec->job_id, done->rank,
+                                done->rank == 0 ? done->output : Bytes{});
+              rec->rank_done[ri] = true;
+              if (done->rank == 0) {
+                rec->rank0_output = std::move(done->output);
+                rec->have_rank0 = true;
+              }
+              --*pending;
+            }
+            (void)sock->send(RankDoneAck{done->rank}.encode());
+            sock->close();
+            if (*pending == 0) rendezvous_listener->close();
+          });
+      register_proc(handler);
+    }
+    if (!rec->have_rank0) return fail("rank 0 lost across recovery");
+    output = rec->rank0_output;
   }
 
   finish_watchdog();
   kLog.info("job %llu complete", static_cast<unsigned long long>(job_id));
   release_allocation();
-  (void)submitter->send(JobDone{true, "", std::move(output)}.encode());
-  submitter->close();
+  finish(JobDone{true, "", std::move(output)});
 }
+
+// ----------------------------------------------------------- lease sweeper
+
+void Gatekeeper::ensure_lease_sweeper() {
+  if (!options_.recovery || sweeper_active_) return;
+  bool any_unfinished = false;
+  for (const auto& [id, rec] : jobs_) {
+    if (!rec->done) {
+      any_unfinished = true;
+      break;
+    }
+  }
+  if (!any_unfinished) return;
+  sweeper_active_ = true;
+  auto* proc = host_->network().engine().spawn(
+      "gatekeeper.sweep@" + host_->name(), [this](sim::Process& self) {
+        struct Flag {
+          bool* b;
+          ~Flag() { *b = false; }
+        } flag{&sweeper_active_};
+        // Alive only while unfinished jobs exist — the sweeper must not
+        // keep the event queue busy after the work drains.
+        while (true) {
+          bool any_active = false;
+          for (auto& [id, rec] : jobs_) {
+            if (rec->done || rec->jm == nullptr) continue;
+            if (rec->jm->killed() || rec->jm->finished()) {
+              reclaim(self, rec);
+              continue;
+            }
+            any_active = true;
+          }
+          if (!any_active) return;
+          self.sleep(options_.lease_check_interval_s);
+        }
+      });
+  register_proc(proc);
+}
+
+void Gatekeeper::reclaim(sim::Process& self,
+                         const std::shared_ptr<JobRec>& rec) {
+  kLog.warn("job %llu: job manager died without finishing; reclaiming",
+            static_cast<unsigned long long>(rec->job_id));
+  ++jobs_reclaimed_;
+  telemetry::metrics().counter("rmf.recovery.jobs_reclaimed").add();
+  if (!rec->grant_ids.empty()) {
+    auto conn = host_->stack().connect(self, allocator_);
+    if (conn.ok()) {
+      Release rel;
+      rel.grant_ids = rec->grant_ids;
+      (void)(*conn)->send(rel.encode());
+      (*conn)->close();
+    }
+  }
+  JobDone done{false, "job manager lost", {}};
+  journal_job_done(rec->job_id, done);
+  rec->done = true;
+  rec->result = done;
+  if (rec->waiter != nullptr) {
+    (void)rec->waiter->send(done.encode());
+    rec->waiter->close();
+    rec->waiter = nullptr;
+  }
+  rec->jm = nullptr;
+}
+
+// ---------------------------------------------------------------- journal
+
+void Gatekeeper::journal_job(const JobRec& rec) {
+  BufWriter w;
+  w.u8(kRecJob);
+  w.u64(rec.job_id);
+  w.blob(SubmitRequest{rec.spec}.encode());
+  journal_.append(std::move(w).take());
+}
+
+void Gatekeeper::journal_grant(std::uint64_t job_id, std::uint64_t grant_id,
+                               const std::vector<Placement>& placements) {
+  BufWriter w;
+  w.u8(kRecGrant);
+  w.u64(job_id);
+  w.u64(grant_id);
+  w.u32(static_cast<std::uint32_t>(placements.size()));
+  for (const Placement& p : placements) {
+    w.str(p.host);
+    w.i32(p.count);
+  }
+  journal_.append(std::move(w).take());
+}
+
+void Gatekeeper::journal_part(std::uint64_t job_id, std::uint64_t seq,
+                              const std::string& host, int base_rank,
+                              int count, int attempts) {
+  BufWriter w;
+  w.u8(kRecPart);
+  w.u64(job_id);
+  w.u64(seq);
+  w.str(host);
+  w.i32(base_rank);
+  w.i32(count);
+  w.i32(attempts);
+  journal_.append(std::move(w).take());
+}
+
+void Gatekeeper::journal_part_cancel(std::uint64_t job_id,
+                                     std::uint64_t seq) {
+  BufWriter w;
+  w.u8(kRecPartCancel);
+  w.u64(job_id);
+  w.u64(seq);
+  journal_.append(std::move(w).take());
+}
+
+void Gatekeeper::journal_table(std::uint64_t job_id,
+                               const ContactTable& table) {
+  BufWriter w;
+  w.u8(kRecTable);
+  w.u64(job_id);
+  w.blob(table.encode());
+  journal_.append(std::move(w).take());
+}
+
+void Gatekeeper::journal_rank_done(std::uint64_t job_id, int rank,
+                                   const Bytes& output) {
+  BufWriter w;
+  w.u8(kRecRankDone);
+  w.u64(job_id);
+  w.i32(rank);
+  w.blob(output);
+  journal_.append(std::move(w).take());
+}
+
+void Gatekeeper::journal_job_done(std::uint64_t job_id, const JobDone& done) {
+  BufWriter w;
+  w.u8(kRecJobDone);
+  w.u64(job_id);
+  w.blob(done.encode());
+  journal_.append(std::move(w).take());
+}
+
+void Gatekeeper::replay_journal() {
+  telemetry::Span span("rmf", "rmf.recovery.replay");
+  span.arg("daemon", "gatekeeper@" + host_->name());
+  ++journal_replays_;
+  telemetry::metrics().counter("rmf.recovery.replays").add();
+  last_replay_time_ = host_->network().engine().now();
+  first_resubmit_after_replay_ = 0;
+
+  jobs_.clear();
+  std::vector<std::shared_ptr<JobRec>> order;
+  std::uint64_t max_job_id = 0;
+  auto find = [this](std::uint64_t id) -> std::shared_ptr<JobRec> {
+    auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : it->second;
+  };
+  for (const Bytes& raw : journal_.records()) {
+    BufReader r(raw);
+    auto tag = r.u8();
+    if (!tag.ok()) break;
+    if (*tag == kRecJob) {
+      auto id = r.u64();
+      auto body = r.blob();
+      if (!id.ok() || !body.ok()) break;
+      auto req = SubmitRequest::decode(*body);
+      if (!req.ok()) break;
+      auto rec = std::make_shared<JobRec>();
+      rec->job_id = *id;
+      rec->spec = std::move(req->spec);
+      rec->rank_done.assign(static_cast<std::size_t>(rec->spec.nprocs),
+                            false);
+      max_job_id = std::max(max_job_id, *id);
+      jobs_[*id] = rec;
+      order.push_back(rec);
+    } else if (*tag == kRecGrant) {
+      auto id = r.u64();
+      auto grant_id = r.u64();
+      auto n = r.u32();
+      if (!id.ok() || !grant_id.ok() || !n.ok()) break;
+      auto rec = find(*id);
+      if (rec == nullptr) continue;
+      rec->grant_ids.push_back(*grant_id);
+      for (std::uint32_t i = 0; i < *n; ++i) {
+        auto host = r.str();
+        auto count = r.i32();
+        if (!host.ok() || !count.ok()) break;
+        rec->granted.push_back(Placement{std::move(*host), *count});
+      }
+    } else if (*tag == kRecPart) {
+      auto id = r.u64();
+      auto seq = r.u64();
+      auto host = r.str();
+      auto base = r.i32();
+      auto count = r.i32();
+      auto attempts = r.i32();
+      if (!id.ok() || !seq.ok() || !host.ok() || !base.ok() || !count.ok() ||
+          !attempts.ok()) {
+        break;
+      }
+      auto rec = find(*id);
+      if (rec == nullptr) continue;
+      rec->parts.push_back(JobRec::PartInfo{*seq, std::move(*host), *base,
+                                            *count, *attempts, false});
+      rec->next_part_seq = std::max(rec->next_part_seq, *seq + 1);
+    } else if (*tag == kRecPartCancel) {
+      auto id = r.u64();
+      auto seq = r.u64();
+      if (!id.ok() || !seq.ok()) break;
+      auto rec = find(*id);
+      if (rec == nullptr) continue;
+      for (JobRec::PartInfo& pi : rec->parts) {
+        if (pi.seq == *seq) pi.cancelled = true;
+      }
+    } else if (*tag == kRecTable) {
+      auto id = r.u64();
+      auto body = r.blob();
+      if (!id.ok() || !body.ok()) break;
+      auto rec = find(*id);
+      if (rec == nullptr) continue;
+      auto table = ContactTable::decode(*body);
+      if (!table.ok()) break;
+      rec->table = std::move(*table);
+      rec->table_sent = true;
+    } else if (*tag == kRecRankDone) {
+      auto id = r.u64();
+      auto rank = r.i32();
+      auto output = r.blob();
+      if (!id.ok() || !rank.ok() || !output.ok()) break;
+      auto rec = find(*id);
+      if (rec == nullptr) continue;
+      if (*rank >= 0 && *rank < rec->spec.nprocs) {
+        rec->rank_done[static_cast<std::size_t>(*rank)] = true;
+      }
+      if (*rank == 0) {
+        rec->rank0_output = std::move(*output);
+        rec->have_rank0 = true;
+      }
+    } else if (*tag == kRecJobDone) {
+      auto id = r.u64();
+      auto body = r.blob();
+      if (!id.ok() || !body.ok()) break;
+      auto rec = find(*id);
+      if (rec == nullptr) continue;
+      auto done = JobDone::decode(*body);
+      if (!done.ok()) break;
+      rec->done = true;
+      rec->result = std::move(*done);
+    }
+  }
+  next_job_id_ = std::max(next_job_id_, max_job_id + 1);
+
+  std::size_t recovered = 0;
+  for (const std::shared_ptr<JobRec>& rec : order) {
+    if (rec->done) continue;
+    ++jobs_recovered_;
+    ++recovered;
+    telemetry::metrics().counter("rmf.recovery.jobs_recovered").add();
+    // A job that never journaled a part re-runs from scratch (a grant
+    // journaled allocator-side but not here self-heals through lease
+    // expiry); anything further along resumes from the journaled state.
+    const bool resume = !rec->parts.empty();
+    rec->jm = host_->network().engine().spawn(
+        "jobmanager#" + std::to_string(rec->job_id) + "@" + host_->name(),
+        [this, rec, resume](sim::Process& jm) {
+          job_manager(jm, rec, resume);
+        });
+    register_proc(rec->jm);
+  }
+  kLog.info("gatekeeper replayed %zu jobs (%zu respawned)", order.size(),
+            recovered);
+}
+
+// ------------------------------------------------------------- client side
 
 Result<JobResult> submit_and_wait(sim::Process& self, sim::Host& from,
                                   const Contact& gatekeeper,
-                                  const JobSpec& spec) {
+                                  const JobSpec& spec,
+                                  const SubmitOptions& options) {
   sim::Engine& engine = from.network().engine();
   const sim::Time started = engine.now();
 
@@ -504,18 +1061,37 @@ Result<JobResult> submit_and_wait(sim::Process& self, sim::Host& from,
     return Error(ErrorCode::kPermissionDenied, reply->error);
   }
 
-  auto done_frame = (*conn)->recv(self);
-  if (!done_frame.ok()) return done_frame.error();
-  auto done = JobDone::decode(*done_frame);
-  if (!done.ok()) return done.error();
+  auto finish = [&](JobDone done) {
+    JobResult result;
+    result.ok = done.ok;
+    result.error = done.error;
+    result.job_id = reply->job_id;
+    result.output = std::move(done.output);
+    result.wall_seconds = sim::to_sec(engine.now() - started);
+    return result;
+  };
 
-  JobResult result;
-  result.ok = done->ok;
-  result.error = done->error;
-  result.job_id = reply->job_id;
-  result.output = std::move(done->output);
-  result.wall_seconds = sim::to_sec(engine.now() - started);
-  return result;
+  auto done_frame = (*conn)->recv(self);
+  if (done_frame.ok()) {
+    auto done = JobDone::decode(*done_frame);
+    if (!done.ok()) return done.error();
+    return finish(std::move(*done));
+  }
+  // The result connection died under us — a gatekeeper crash, most likely.
+  // The job id is durable gatekeeper-side, so re-ask with a JobQuery; each
+  // query may park until the (recovered) job finishes.
+  for (int i = 0; i < options.query_attempts; ++i) {
+    self.sleep(options.query_backoff_s * (i + 1));
+    auto qconn = from.stack().connect(self, gatekeeper);
+    if (!qconn.ok()) continue;
+    if (!(*qconn)->send(JobQuery{reply->job_id}.encode()).ok()) continue;
+    auto qframe = (*qconn)->recv(self);
+    if (!qframe.ok()) continue;
+    auto done = JobDone::decode(*qframe);
+    if (!done.ok()) continue;
+    return finish(std::move(*done));
+  }
+  return done_frame.error();
 }
 
 }  // namespace wacs::rmf

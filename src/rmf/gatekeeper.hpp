@@ -7,13 +7,29 @@
 // be configured to allow communications between the Q client and the
 // resource allocator, and the Q client and the Q server"), then serves as
 // the rank rendezvous and completion collector.
+//
+// Crash recovery: every externally visible step of a job — acceptance,
+// allocator grants, part submissions (with their job-scoped part_seq),
+// requeue cancellations, the broadcast contact table, each RankDone, and
+// the final verdict — is journaled to the host's durable store before its
+// effect leaves this host. restart() replays the journal: finished jobs
+// keep their stored result (served to JobQuery retries), unfinished jobs
+// get a *recovery* job manager that re-submits their live parts with the
+// same part_seq (the Q servers' dedup absorbs the duplicates and redirects
+// in-flight ranks to the new rendezvous) and resumes collection where the
+// journal left off. In recovery mode each RankDone is acknowledged after
+// journaling, so a rank retries delivery until its completion is durable —
+// exactly-once end to end.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "rmf/job.hpp"
+#include "rmf/journal.hpp"
 #include "rmf/protocol.hpp"
 #include "security/credential.hpp"
 #include "simnet/tcp.hpp"
@@ -35,17 +51,33 @@ class Gatekeeper {
     /// RankHello before treating the silent ranks' hosts as dead and
     /// requeueing their job parts through the allocator. 0 disables the
     /// bound (a host that crashes *after* connecting is still detected
-    /// through the connection reset). Must exceed the worst Q-server
-    /// queueing delay when enabled, or slow parts get double-submitted.
+    /// through the connection reset). A slow part that outlives the bound
+    /// is cancelled (QCancel) and its part_seq retired, so the historical
+    /// double-submit hazard of a too-short bound is gone: at most one seq
+    /// per rank range ever receives the contact table.
     double rendezvous_timeout_s = 0;
-    /// Placement replacements a job manager attempts before giving up.
+    /// Replacement attempts per job *part* before the job gives up. Each
+    /// part carries its own budget; replacements inherit the original
+    /// part's spent attempts.
     int max_requeues = 2;
+    /// Recovery mode: acknowledge RankDones after journaling them, answer
+    /// JobQuery reconnects, and run the job-manager lease sweeper that
+    /// reclaims grants of job managers that died without finishing.
+    bool recovery = false;
+    double lease_check_interval_s = 1.0;  ///< JM liveness sweep period
   };
 
   Gatekeeper(sim::Host& host, Options options, Contact allocator,
              const JobRegistry* registry);
 
   void start();
+
+  /// Restart-hook body: re-listens, respawns the serve loop, replays the
+  /// journal, and spawns a recovery job manager per unfinished job.
+  void restart();
+
+  /// Post-construction tuning (GridSystem::enable_recovery, tests).
+  Options& mutable_options() { return options_; }
 
   Contact contact() const { return Contact{host_->name(), options_.port}; }
   std::uint64_t jobs_accepted() const { return jobs_accepted_; }
@@ -57,13 +89,51 @@ class Gatekeeper {
   /// GSI mode: subject of the most recently authenticated submission.
   const std::string& last_subject() const { return last_subject_; }
 
+  // Recovery observability (tests, bench_rmf_recovery).
+  std::uint64_t jobs_recovered() const { return jobs_recovered_; }
+  std::uint64_t jobs_reclaimed() const { return jobs_reclaimed_; }
+  std::uint64_t dones_deduped() const { return dones_deduped_; }
+  std::uint64_t hellos_deduped() const { return hellos_deduped_; }
+  std::uint64_t journal_replays() const { return journal_replays_; }
+  sim::Time last_replay_time() const { return last_replay_time_; }
+  /// First successful part re-submission after the latest replay (0 = none);
+  /// the recovery bench reports it minus the crash time as the restart gap.
+  sim::Time first_resubmit_after_replay() const {
+    return first_resubmit_after_replay_;
+  }
+  sim::Process* serve_process() const { return serve_proc_; }
+  /// Live job-manager process of `job_id`, or nullptr (tests kill it to
+  /// exercise the orphaned-JM reclaim path).
+  sim::Process* job_manager_process(std::uint64_t job_id) const;
+
  private:
+  struct JobRec;
+
+  void spawn_serve();
   void serve(sim::Process& self);
-  /// The job manager body: one process per accepted job. `submit_ctx` is
-  /// the submission message's trace context, so the whole job lifecycle
-  /// parents to the submitter's span.
-  void job_manager(sim::Process& self, sim::SocketPtr submitter, JobSpec spec,
-                   std::uint64_t job_id, telemetry::TraceContext submit_ctx);
+  /// The job manager body: one process per accepted job. `resumed` job
+  /// managers skip allocation (grants are journaled) and pick collection up
+  /// from the journaled state instead of starting a fresh rendezvous.
+  void job_manager(sim::Process& self, std::shared_ptr<JobRec> rec,
+                   bool resumed);
+  /// Recovery mode: one sweeper process, alive only while unfinished jobs
+  /// exist, that reclaims jobs whose job-manager process died.
+  void ensure_lease_sweeper();
+  void reclaim(sim::Process& self, const std::shared_ptr<JobRec>& rec);
+  void register_proc(sim::Process* proc);
+
+  // Journal record encode/replay.
+  void journal_job(const JobRec& rec);
+  void journal_grant(std::uint64_t job_id, std::uint64_t grant_id,
+                     const std::vector<Placement>& placements);
+  void journal_part(std::uint64_t job_id, std::uint64_t seq,
+                    const std::string& host, int base_rank, int count,
+                    int attempts);
+  void journal_part_cancel(std::uint64_t job_id, std::uint64_t seq);
+  void journal_table(std::uint64_t job_id, const ContactTable& table);
+  void journal_rank_done(std::uint64_t job_id, int rank, const Bytes& output);
+  void journal_job_done(std::uint64_t job_id, const JobDone& done);
+  void replay_journal();
 
   sim::Host* host_;
   Options options_;
@@ -77,6 +147,27 @@ class Gatekeeper {
   std::uint64_t parts_requeued_ = 0;
   std::string last_subject_;
   bool started_ = false;
+  sim::Process* serve_proc_ = nullptr;
+  Journal journal_;
+  std::map<std::uint64_t, std::shared_ptr<JobRec>> jobs_;
+  bool sweeper_active_ = false;
+
+  std::uint64_t jobs_recovered_ = 0;
+  std::uint64_t jobs_reclaimed_ = 0;
+  std::uint64_t dones_deduped_ = 0;
+  std::uint64_t hellos_deduped_ = 0;
+  std::uint64_t journal_replays_ = 0;
+  sim::Time last_replay_time_ = 0;
+  sim::Time first_resubmit_after_replay_ = 0;
+};
+
+/// Client-side knobs for surviving a gatekeeper restart mid-wait.
+struct SubmitOptions {
+  /// After losing the result connection, re-ask the gatekeeper this many
+  /// times with a JobQuery (each query may park until the job finishes).
+  /// 0 = legacy behavior: the connection loss is the submission's error.
+  int query_attempts = 0;
+  double query_backoff_s = 0.5;  ///< base of the deterministic backoff
 };
 
 /// Client-side: submit a job to a gatekeeper and wait for its result.
@@ -84,6 +175,7 @@ class Gatekeeper {
 /// simulated process on `from`.
 Result<JobResult> submit_and_wait(sim::Process& self, sim::Host& from,
                                   const Contact& gatekeeper,
-                                  const JobSpec& spec);
+                                  const JobSpec& spec,
+                                  const SubmitOptions& options = {});
 
 }  // namespace wacs::rmf

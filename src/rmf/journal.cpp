@@ -1,0 +1,38 @@
+#include "rmf/journal.hpp"
+
+#include "common/telemetry.hpp"
+
+namespace wacs::rmf {
+
+Journal::Journal(sim::Host& host, std::string name)
+    : disk_(&host.disk()),
+      name_(std::move(name)),
+      key_("journal/" + name_) {}
+
+void Journal::append(const Bytes& record) {
+  BufWriter frame;
+  frame.blob(record);
+  disk_->append(key_, frame.bytes());
+  ++appended_;
+  telemetry::metrics().counter("rmf.journal.records").add();
+  telemetry::metrics()
+      .counter("rmf.journal.bytes")
+      .add(static_cast<std::int64_t>(record.size()));
+}
+
+std::vector<Bytes> Journal::records() const {
+  std::vector<Bytes> out;
+  const Bytes* raw = disk_->get(key_);
+  if (raw == nullptr) return out;
+  BufReader r(*raw);
+  while (!r.at_end()) {
+    auto rec = r.blob();
+    if (!rec.ok()) break;  // torn tail
+    out.push_back(std::move(*rec));
+  }
+  return out;
+}
+
+void Journal::truncate() { disk_->erase(key_); }
+
+}  // namespace wacs::rmf

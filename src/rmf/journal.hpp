@@ -1,0 +1,53 @@
+// Write-ahead journal for the RMF control-plane daemons.
+//
+// Each daemon (gatekeeper, allocator, Q server) keeps one named append-only
+// log on its host's DurableStore. Records are opaque byte strings framed as
+// [u32 length][payload]; the daemon defines its own tagged record types and
+// replays the log from its restart hook to rebuild in-memory state after a
+// crash. Appends happen *before* the externally visible effect (reply sent,
+// part dispatched), which is what makes replay exact: anything a peer could
+// have observed is in the log.
+//
+// The decoder is defensive about a torn tail — a record whose length prefix
+// or body is truncated ends the replay rather than aborting it — so a crash
+// "mid-write" (possible only if a future change makes writes non-atomic)
+// degrades to losing the last record, exactly like a real WAL.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "simnet/net.hpp"
+
+namespace wacs::rmf {
+
+class Journal {
+ public:
+  /// Opens (or creates) the journal named `name` on `host`'s disk. Names are
+  /// per-host unique by convention ("gatekeeper", "alloc", "qserver").
+  Journal(sim::Host& host, std::string name);
+
+  /// Appends one record. Durable immediately; zero virtual time.
+  void append(const Bytes& record);
+
+  /// Every intact record, oldest first. A torn tail truncates the result.
+  std::vector<Bytes> records() const;
+
+  /// Drops all records (e.g. after a checkpoint compaction in tests).
+  void truncate();
+
+  const std::string& name() const { return name_; }
+
+  /// Records appended through this handle (not reset by replay).
+  std::uint64_t appended() const { return appended_; }
+
+ private:
+  sim::DurableStore* disk_;
+  std::string name_;
+  std::string key_;
+  std::uint64_t appended_ = 0;
+};
+
+}  // namespace wacs::rmf

@@ -103,7 +103,7 @@ Result<std::vector<Placement>> get_placements(BufReader& r) {
 Result<MsgType> peek_type(const Bytes& frame) {
   if (frame.empty()) return bad_frame("empty frame");
   const std::uint8_t tag = frame[0];
-  if (tag < 1 || tag > 11) return bad_frame("unknown type tag");
+  if (tag < 1 || tag > 15) return bad_frame("unknown type tag");
   return static_cast<MsgType>(tag);
 }
 
@@ -237,6 +237,7 @@ Bytes AllocReply::encode() const {
   BufWriter w;
   put_tag(w, MsgType::kAllocReply);
   w.boolean(ok);
+  w.u64(grant_id);
   put_placements(w, placements);
   w.str(error);
   return std::move(w).take();
@@ -249,6 +250,9 @@ Result<AllocReply> AllocReply::decode(const Bytes& frame) {
   auto ok = r.boolean();
   if (!ok) return ok.error();
   out.ok = *ok;
+  auto grant = r.u64();
+  if (!grant) return grant.error();
+  out.grant_id = *grant;
   auto ps = get_placements(r);
   if (!ps) return ps.error();
   out.placements = std::move(*ps);
@@ -262,6 +266,7 @@ Bytes QSubmit::encode() const {
   BufWriter w;
   put_tag(w, MsgType::kQSubmit);
   w.u64(job_id);
+  w.u64(part_seq);
   w.str(task);
   w.i32(base_rank);
   w.i32(count);
@@ -280,6 +285,9 @@ Result<QSubmit> QSubmit::decode(const Bytes& frame) {
   auto id = r.u64();
   if (!id) return id.error();
   out.job_id = *id;
+  auto seq = r.u64();
+  if (!seq) return seq.error();
+  out.part_seq = *seq;
   auto task = r.str();
   if (!task) return task.error();
   out.task = std::move(*task);
@@ -335,6 +343,7 @@ Bytes RankHello::encode() const {
   w.i32(rank);
   put_contact(w, contact);
   w.str(site);
+  w.boolean(has_table);
   return std::move(w).take();
 }
 
@@ -354,6 +363,9 @@ Result<RankHello> RankHello::decode(const Bytes& frame) {
   auto site = r.str();
   if (!site) return site.error();
   out.site = std::move(*site);
+  auto has = r.boolean();
+  if (!has) return has.error();
+  out.has_table = *has;
   return out;
 }
 
@@ -413,15 +425,93 @@ Bytes Release::encode() const {
   BufWriter w;
   put_tag(w, MsgType::kRelease);
   put_placements(w, placements);
+  w.u32(static_cast<std::uint32_t>(grant_ids.size()));
+  for (std::uint64_t id : grant_ids) w.u64(id);
   return std::move(w).take();
 }
 
 Result<Release> Release::decode(const Bytes& frame) {
   BufReader r(frame);
   if (auto t = expect_type(r, MsgType::kRelease); !t) return t.error();
+  Release out;
   auto ps = get_placements(r);
   if (!ps) return ps.error();
-  return Release{std::move(*ps)};
+  out.placements = std::move(*ps);
+  auto n = r.u32();
+  if (!n) return n.error();
+  out.grant_ids.reserve(*n);
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto id = r.u64();
+    if (!id) return id.error();
+    out.grant_ids.push_back(*id);
+  }
+  return out;
+}
+
+Bytes Heartbeat::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kHeartbeat);
+  w.str(host);
+  return std::move(w).take();
+}
+
+Result<Heartbeat> Heartbeat::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kHeartbeat); !t) return t.error();
+  auto host = r.str();
+  if (!host) return host.error();
+  return Heartbeat{std::move(*host)};
+}
+
+Bytes QCancel::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kQCancel);
+  w.u64(job_id);
+  w.u64(part_seq);
+  return std::move(w).take();
+}
+
+Result<QCancel> QCancel::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kQCancel); !t) return t.error();
+  QCancel out;
+  auto id = r.u64();
+  if (!id) return id.error();
+  out.job_id = *id;
+  auto seq = r.u64();
+  if (!seq) return seq.error();
+  out.part_seq = *seq;
+  return out;
+}
+
+Bytes JobQuery::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kJobQuery);
+  w.u64(job_id);
+  return std::move(w).take();
+}
+
+Result<JobQuery> JobQuery::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kJobQuery); !t) return t.error();
+  auto id = r.u64();
+  if (!id) return id.error();
+  return JobQuery{*id};
+}
+
+Bytes RankDoneAck::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kRankDoneAck);
+  w.i32(rank);
+  return std::move(w).take();
+}
+
+Result<RankDoneAck> RankDoneAck::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kRankDoneAck); !t) return t.error();
+  auto rank = r.i32();
+  if (!rank) return rank.error();
+  return RankDoneAck{*rank};
 }
 
 }  // namespace wacs::rmf

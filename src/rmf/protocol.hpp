@@ -24,6 +24,10 @@ enum class MsgType : std::uint8_t {
   kContactTable = 9,
   kRankDone = 10,
   kRelease = 11,
+  kHeartbeat = 12,
+  kQCancel = 13,
+  kJobQuery = 14,
+  kRankDoneAck = 15,
 };
 
 Result<MsgType> peek_type(const Bytes& frame);
@@ -62,18 +66,26 @@ struct AllocRequest {
   static Result<AllocRequest> decode(const Bytes& frame);
 };
 
-/// (4) the allocator selects resources and reports their names.
+/// (4) the allocator selects resources and reports their names. `grant_id`
+/// names the allocation so the eventual Release is idempotent (retried or
+/// replayed releases dedup on the id instead of double-crediting capacity).
 struct AllocReply {
   bool ok = false;
+  std::uint64_t grant_id = 0;
   std::vector<Placement> placements;
   std::string error;
   Bytes encode() const;
   static Result<AllocReply> decode(const Bytes& frame);
 };
 
-/// (5) the Q client submits a job request to a Q server.
+/// (5) the Q client submits a job request to a Q server. `part_seq` is the
+/// job-scoped monotonic part number: every part of a job gets a unique seq,
+/// requeue replacements get fresh seqs, and a crash-recovered job manager
+/// re-submits with the *same* seq — the Q server's dedup table keys on
+/// (job_id, part_seq) so a replayed or retried submission never runs twice.
 struct QSubmit {
   std::uint64_t job_id = 0;
+  std::uint64_t part_seq = 0;
   std::string task;
   int base_rank = 0;  ///< first rank hosted by this Q server
   int count = 0;      ///< ranks hosted here
@@ -100,6 +112,10 @@ struct RankHello {
   int rank = 0;
   Contact contact;
   std::string site;
+  /// True when this is a *re*-hello to a recovered job manager from a rank
+  /// that already holds the contact table (the world is fixed; the rank only
+  /// needs its completion channel back, not a second table).
+  bool has_table = false;
   Bytes encode() const;
   static Result<RankHello> decode(const Bytes& frame);
 };
@@ -122,11 +138,52 @@ struct RankDone {
 };
 
 /// Job manager → allocator: hand back an allocator-made allocation once the
-/// job completes (or fails), so capacity becomes reusable.
+/// job completes (or fails), so capacity becomes reusable. When `grant_ids`
+/// is non-empty the allocator releases by id (idempotent); the placement
+/// list is the legacy path kept for pinned-placement bookkeeping.
 struct Release {
   std::vector<Placement> placements;
+  std::vector<std::uint64_t> grant_ids;
   Bytes encode() const;
   static Result<Release> decode(const Bytes& frame);
+};
+
+/// Q server → allocator: "my host is alive and holding CPUs". The allocator
+/// expires the lease of any allocated host that falls silent and sheds its
+/// load (see ResourceAllocator::enable_leases).
+struct Heartbeat {
+  std::string host;
+  Bytes encode() const;
+  static Result<Heartbeat> decode(const Bytes& frame);
+};
+
+/// Job manager → Q server: withdraw a part that was requeued elsewhere
+/// (rendezvous timeout). Queued parts are dropped; running never-
+/// bootstrapped parts are killed. Best-effort — a dead Q server simply
+/// never runs the part's ranks to completion.
+struct QCancel {
+  std::uint64_t job_id = 0;
+  std::uint64_t part_seq = 0;
+  Bytes encode() const;
+  static Result<QCancel> decode(const Bytes& frame);
+};
+
+/// Submitter → gatekeeper: "what became of job N?" — the reconnect path
+/// after the submission connection died (gatekeeper crash). Answered with
+/// the journaled JobDone once the job finishes.
+struct JobQuery {
+  std::uint64_t job_id = 0;
+  Bytes encode() const;
+  static Result<JobQuery> decode(const Bytes& frame);
+};
+
+/// Job manager → rank (recovery mode): the RankDone was journaled. Ranks
+/// retry unacknowledged completions across a job-manager restart, and the
+/// journal-then-ack order makes the retry exactly-once.
+struct RankDoneAck {
+  int rank = 0;
+  Bytes encode() const;
+  static Result<RankDoneAck> decode(const Bytes& frame);
 };
 
 }  // namespace wacs::rmf

@@ -1,5 +1,7 @@
 #include "rmf/qserver.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "common/telemetry.hpp"
 #include "gass/client.hpp"
@@ -8,15 +10,35 @@
 namespace wacs::rmf {
 namespace {
 const log::Logger kLog("rmf.qserver");
-}
+
+// Journal record tags.
+constexpr std::uint8_t kRecAccept = 1;     ///< + QSubmit blob
+constexpr std::uint8_t kRecJm = 2;         ///< + key + job-manager contact
+constexpr std::uint8_t kRecBootstrap = 3;  ///< + key
+constexpr std::uint8_t kRecDone = 4;       ///< + key
+constexpr std::uint8_t kRecCancel = 5;     ///< + key
+}  // namespace
 
 QServer::QServer(sim::Host& host, std::uint16_t port, Env site_env,
                  const JobRegistry* registry)
     : host_(&host),
       port_(port),
       site_env_(std::move(site_env)),
-      registry_(registry) {
+      registry_(registry),
+      journal_(host, "qserver") {
   WACS_CHECK(registry_ != nullptr);
+}
+
+void QServer::register_proc(sim::Process* proc) {
+  if (auto* fault = host_->network().fault(); fault != nullptr) {
+    fault->register_host_process(host_->name(), proc);
+  }
+}
+
+void QServer::spawn_serve() {
+  serve_proc_ = host_->network().engine().spawn(
+      "qserver@" + host_->name(), [this](sim::Process& self) { serve(self); });
+  register_proc(serve_proc_);
 }
 
 void QServer::start() {
@@ -25,24 +47,44 @@ void QServer::start() {
   auto listener = host_->stack().listen(port_);
   WACS_CHECK_MSG(listener.ok(), "Q server cannot bind its port");
   listener_ = *listener;
-  host_->network().engine().spawn(
-      "qserver@" + host_->name(), [this](sim::Process& self) { serve(self); });
+  spawn_serve();
+}
+
+void QServer::restart() {
+  if (listener_) listener_->close();
+  auto listener = host_->stack().listen(port_);
+  WACS_CHECK_MSG(listener.ok(), "Q server cannot re-bind its port");
+  listener_ = *listener;
+  spawn_serve();
+  heartbeat_active_ = false;  // the heartbeat process died with the host
+  replay_journal();
+  ensure_heartbeat();
 }
 
 void QServer::serve(sim::Process& self) {
+  // Capture: restart() swaps in a fresh listener for the new serve process.
+  sim::ListenerPtr listener = listener_;
   while (true) {
-    auto conn = listener_->accept(self);
+    auto conn = listener->accept(self);
     if (!conn.ok()) return;
     auto sock = *conn;
-    host_->network().engine().spawn(
+    auto* handler = host_->network().engine().spawn(
         "qserver@" + host_->name() + ".req",
-        [this, sock](sim::Process& handler) { handle(handler, sock); });
+        [this, sock](sim::Process& h) { handle(h, sock); });
+    register_proc(handler);
   }
 }
 
 void QServer::handle(sim::Process& self, sim::SocketPtr conn) {
   auto frame = conn->recv(self);
   if (!frame.ok()) return;
+  if (auto type = peek_type(*frame);
+      type.ok() && *type == MsgType::kQCancel) {
+    auto cancel = QCancel::decode(*frame);
+    if (cancel.ok()) handle_cancel(*cancel);
+    conn->close();
+    return;
+  }
   auto req = QSubmit::decode(*frame);
   if (!req.ok()) {
     (void)conn->send(QSubmitReply{false, req.error().to_string()}.encode());
@@ -66,52 +108,126 @@ void QServer::handle(sim::Process& self, sim::SocketPtr conn) {
     return;
   }
 
-  // Accept into the queue (LSF-like): run now when CPUs are free,
-  // otherwise wait behind earlier parts.
-  if (busy_cpus_ + req->count <= host_->cpus() && queue_.empty()) {
-    dispatch(*req);
-  } else {
-    ++jobs_queued_total_;
-    queue_.push_back(*req);
-    kLog.debug("%s queued job %llu part (depth %zu)", host_->name().c_str(),
-               static_cast<unsigned long long>(req->job_id), queue_.size());
+  // Exactly-once: a part we have already seen (journal replay on the job
+  // manager's side, or a retried submit) is absorbed — record the sender as
+  // the part's current job manager so in-flight ranks reconnect to it, but
+  // never run the part again.
+  const PartKey key{req->job_id, req->part_seq};
+  if (auto it = parts_.find(key); it != parts_.end()) {
+    ++submits_deduped_;
+    telemetry::metrics().counter("rmf.recovery.qsubmit_dedup").add();
+    if (!(it->second.job.job_manager == req->job_manager)) {
+      it->second.job.job_manager = req->job_manager;
+      journal_jm(key, req->job_manager);
+    }
+    (void)conn->send(QSubmitReply{true, ""}.encode());
+    conn->close();
+    return;
   }
+
+  // Accept: journaled before the reply leaves, so anything the job manager
+  // can observe is recoverable.
+  journal_accept(*req);
+  PartRec rec;
+  rec.job = *req;
+  parts_.emplace(key, std::move(rec));
+  admit(key);
   (void)conn->send(QSubmitReply{true, ""}.encode());
   conn->close();
 }
 
-void QServer::dispatch(const QSubmit& job) {
+void QServer::handle_cancel(const QCancel& cancel) {
+  const PartKey key{cancel.job_id, cancel.part_seq};
+  auto it = parts_.find(key);
+  if (it == parts_.end()) return;  // never accepted here (lost submit)
+  PartRec& rec = it->second;
+  switch (rec.state) {
+    case PartState::kQueued: {
+      std::erase(queue_, key);
+      rec.state = PartState::kCancelled;
+      journal_simple(kRecCancel, key);
+      ++parts_cancelled_;
+      telemetry::metrics().counter("rmf.recovery.parts_cancelled").add();
+      break;
+    }
+    case PartState::kRunning: {
+      // Never bootstrapped: safe to withdraw. Mark first so the rank CPU
+      // guards (which observe the kill) still pump the queue.
+      rec.state = PartState::kCancelled;
+      journal_simple(kRecCancel, key);
+      ++parts_cancelled_;
+      telemetry::metrics().counter("rmf.recovery.parts_cancelled").add();
+      const bool ranks_spawned = rec.live_ranks > 0;
+      for (sim::Process* p : rec.procs) p->kill();
+      if (!ranks_spawned) {
+        // Only the staging process held the slot; no guards will fire.
+        busy_cpus_ -= rec.job.count;
+        pump_queue();
+      }
+      break;
+    }
+    case PartState::kBootstrapped:
+    case PartState::kDone:
+    case PartState::kCancelled:
+    case PartState::kLost:
+      // Past the point of withdrawal (the part joined the MPI world or is
+      // already settled); the job manager's dedup handles the rest.
+      break;
+  }
+}
+
+void QServer::admit(const PartKey& key) {
+  const PartRec& rec = parts_.at(key);
+  if (busy_cpus_ + rec.job.count <= host_->cpus() && queue_.empty()) {
+    dispatch(key);
+  } else {
+    ++jobs_queued_total_;
+    queue_.push_back(key);
+    kLog.debug("%s queued job %llu part (depth %zu)", host_->name().c_str(),
+               static_cast<unsigned long long>(key.first), queue_.size());
+  }
+}
+
+void QServer::dispatch(const PartKey& key) {
+  PartRec& rec = parts_.at(key);
   ++jobs_started_;
-  busy_cpus_ += job.count;
-  if (job.input_urls.empty()) {
+  busy_cpus_ += rec.job.count;
+  rec.state = PartState::kRunning;
+  if (awaiting_first_dispatch_) {
+    awaiting_first_dispatch_ = false;
+    first_dispatch_after_replay_ = host_->network().engine().now();
+  }
+  ensure_heartbeat();
+  if (rec.job.input_urls.empty()) {
     // Inline fallback: payloads arrived inside the QSubmit itself.
-    spawn_ranks(job, std::make_shared<const std::map<std::string, Bytes>>(
-                         job.input_files));
+    spawn_ranks(key, std::make_shared<const std::map<std::string, Bytes>>(
+                         rec.job.input_files));
     return;
   }
   // GASS staging happens once per part, before any rank starts — the LAN
   // fan-out point. A staging failure releases the reserved CPUs and leaves
   // the part silent; the job manager's rendezvous timeout requeues it.
   sim::Process* proc = host_->network().engine().spawn(
-      "job" + std::to_string(job.job_id) + ".stage@" + host_->name(),
-      [this, job](sim::Process& self) {
+      "job" + std::to_string(key.first) + ".stage@" + host_->name(),
+      [this, key](sim::Process& self) {
+        const QSubmit job = parts_.at(key).job;
         auto files = stage_inputs(self, job);
         if (!files.ok()) {
           kLog.error("%s: staging for job %llu failed: %s",
                      host_->name().c_str(),
                      static_cast<unsigned long long>(job.job_id),
                      files.error().to_string().c_str());
+          parts_.at(key).state = PartState::kQueued;  // accepted, not run
           busy_cpus_ -= job.count;
           pump_queue();
           return;
         }
-        spawn_ranks(job,
+        spawn_ranks(key,
                     std::make_shared<const std::map<std::string, Bytes>>(
                         std::move(*files)));
       });
-  if (auto* fault = host_->network().fault(); fault != nullptr) {
-    fault->register_host_process(host_->name(), proc);
-  }
+  rec.procs.push_back(proc);
+  register_proc(proc);
 }
 
 Result<std::map<std::string, Bytes>> QServer::stage_inputs(
@@ -137,45 +253,270 @@ Result<std::map<std::string, Bytes>> QServer::stage_inputs(
 }
 
 void QServer::spawn_ranks(
-    const QSubmit& job,
+    const PartKey& key,
     std::shared_ptr<const std::map<std::string, Bytes>> files) {
-  for (int i = 0; i < job.count; ++i) {
-    const int rank = job.base_rank + i;
+  PartRec& rec = parts_.at(key);
+  rec.live_ranks = rec.job.count;
+  const int base_rank = rec.job.base_rank;
+  for (int i = 0; i < rec.job.count; ++i) {
+    const int rank = base_rank + i;
     ++ranks_spawned_;
     sim::Process* proc = host_->network().engine().spawn(
-        "job" + std::to_string(job.job_id) + ".rank" + std::to_string(rank) +
+        "job" + std::to_string(key.first) + ".rank" + std::to_string(rank) +
             "@" + host_->name(),
-        [this, job, rank, files](sim::Process& rank_proc) {
+        [this, key, rank, files](sim::Process& rank_proc) {
           // RAII so the CPU is freed even when a fault kills the rank
           // mid-task (the kill unwinds through run_rank).
           struct CpuGuard {
             QServer* q;
-            ~CpuGuard() {
-              --q->busy_cpus_;
-              q->pump_queue();
-            }
-          } guard{this};
-          run_rank(rank_proc, job, rank, *files);
+            PartKey key;
+            sim::Process* p;
+            ~CpuGuard() { q->note_rank_exit(key, p->killed()); }
+          } guard{this, key, &rank_proc};
+          run_rank(rank_proc, key, rank, *files);
         });
     // Rank processes belong to this host: a simulated host crash must take
     // them down with it.
-    if (auto* fault = host_->network().fault(); fault != nullptr) {
-      fault->register_host_process(host_->name(), proc);
-    }
+    rec.procs.push_back(proc);
+    register_proc(proc);
   }
+}
+
+void QServer::note_bootstrapped(const PartKey& key) {
+  PartRec& rec = parts_.at(key);
+  if (rec.state == PartState::kRunning) rec.state = PartState::kBootstrapped;
+  if (!rec.bootstrap_journaled) {
+    rec.bootstrap_journaled = true;
+    journal_simple(kRecBootstrap, key);
+  }
+}
+
+void QServer::note_rank_exit(const PartKey& key, bool killed) {
+  --busy_cpus_;
+  auto it = parts_.find(key);
+  if (it != parts_.end()) {
+    PartRec& rec = it->second;
+    if (rec.live_ranks > 0) --rec.live_ranks;
+    if (!killed && rec.live_ranks == 0 &&
+        rec.state == PartState::kBootstrapped) {
+      rec.state = PartState::kDone;
+      journal_simple(kRecDone, key);
+    }
+    // A kill that is part of a host crash must not pump: the queue belongs
+    // to a dead host and is rebuilt (or abandoned) by restart(). A kill
+    // from a cancel happens on a live host — pump normally.
+    if (killed && rec.state != PartState::kCancelled) return;
+  } else if (killed) {
+    return;
+  }
+  pump_queue();
 }
 
 void QServer::pump_queue() {
-  while (!queue_.empty() &&
-         busy_cpus_ + queue_.front().count <= host_->cpus()) {
-    QSubmit next = std::move(queue_.front());
+  while (!queue_.empty()) {
+    const PartKey key = queue_.front();
+    auto it = parts_.find(key);
+    if (it == parts_.end() || it->second.state != PartState::kQueued) {
+      queue_.pop_front();  // cancelled while waiting
+      continue;
+    }
+    if (busy_cpus_ + it->second.job.count > host_->cpus()) return;
     queue_.pop_front();
-    dispatch(next);
+    dispatch(key);
   }
 }
 
-void QServer::run_rank(sim::Process& self, const QSubmit& job, int rank,
+// ------------------------------------------------------------- heartbeats
+
+void QServer::ensure_heartbeat() {
+  if (!recovery_.enabled || recovery_.allocator.host.empty() ||
+      recovery_.heartbeat_interval_s <= 0 || heartbeat_active_) {
+    return;
+  }
+  heartbeat_active_ = true;
+  // Beats only while the host holds CPUs or has work queued, then exits —
+  // an always-on periodic process would keep the event queue alive forever.
+  auto* proc = host_->network().engine().spawn(
+      "qserver.hb@" + host_->name(), [this](sim::Process& self) {
+        struct Flag {
+          bool* active;
+          ~Flag() { *active = false; }
+        } flag{&heartbeat_active_};
+        while (busy_cpus_ > 0 || !queue_.empty()) {
+          auto conn = host_->stack().connect(self, recovery_.allocator);
+          if (conn.ok()) {
+            (void)(*conn)->send(Heartbeat{host_->name()}.encode());
+            (*conn)->close();
+          }
+          self.sleep(recovery_.heartbeat_interval_s);
+        }
+      });
+  register_proc(proc);
+}
+
+// ---------------------------------------------------------------- journal
+
+void QServer::journal_accept(const QSubmit& job) {
+  BufWriter w;
+  w.u8(kRecAccept);
+  w.blob(job.encode());
+  journal_.append(std::move(w).take());
+}
+
+void QServer::journal_jm(const PartKey& key, const Contact& jm) {
+  BufWriter w;
+  w.u8(kRecJm);
+  w.u64(key.first);
+  w.u64(key.second);
+  w.str(jm.host);
+  w.u16(jm.port);
+  journal_.append(std::move(w).take());
+}
+
+void QServer::journal_simple(std::uint8_t tag, const PartKey& key) {
+  BufWriter w;
+  w.u8(tag);
+  w.u64(key.first);
+  w.u64(key.second);
+  journal_.append(std::move(w).take());
+}
+
+void QServer::replay_journal() {
+  telemetry::Span span("rmf", "rmf.recovery.replay");
+  span.arg("daemon", "qserver@" + host_->name());
+  ++journal_replays_;
+  telemetry::metrics().counter("rmf.recovery.replays").add();
+  last_replay_time_ = host_->network().engine().now();
+  awaiting_first_dispatch_ = true;
+
+  busy_cpus_ = 0;
+  queue_.clear();
+  parts_.clear();
+  std::vector<PartKey> accept_order;
+  for (const Bytes& record : journal_.records()) {
+    BufReader r(record);
+    auto tag = r.u8();
+    if (!tag.ok()) break;
+    if (*tag == kRecAccept) {
+      auto blob = r.blob();
+      if (!blob.ok()) break;
+      auto job = QSubmit::decode(*blob);
+      if (!job.ok()) break;
+      const PartKey key{job->job_id, job->part_seq};
+      PartRec rec;
+      rec.job = std::move(*job);
+      parts_.emplace(key, std::move(rec));
+      accept_order.push_back(key);
+    } else {
+      auto job_id = r.u64();
+      auto seq = r.u64();
+      if (!job_id.ok() || !seq.ok()) break;
+      auto it = parts_.find(PartKey{*job_id, *seq});
+      if (it == parts_.end()) continue;
+      if (*tag == kRecJm) {
+        auto jm_host = r.str();
+        auto jm_port = r.u16();
+        if (!jm_host.ok() || !jm_port.ok()) break;
+        it->second.job.job_manager = Contact{std::move(*jm_host), *jm_port};
+      } else if (*tag == kRecBootstrap) {
+        it->second.state = PartState::kBootstrapped;
+        it->second.bootstrap_journaled = true;
+      } else if (*tag == kRecDone) {
+        it->second.state = PartState::kDone;
+      } else if (*tag == kRecCancel) {
+        it->second.state = PartState::kCancelled;
+      }
+    }
+  }
+  // Settle each part, in original accept order. Never-bootstrapped parts
+  // re-run; bootstrapped-but-unfinished parts are lost for good (the MPI
+  // world they joined is fixed — re-spawning a member would double-run its
+  // share of the work).
+  int redispatched = 0;
+  int lost = 0;
+  for (const PartKey& key : accept_order) {
+    PartRec& rec = parts_.at(key);
+    switch (rec.state) {
+      case PartState::kQueued:
+        ++parts_redispatched_;
+        ++redispatched;
+        telemetry::metrics().counter("rmf.recovery.parts_redispatched").add();
+        admit(key);
+        break;
+      case PartState::kBootstrapped:
+        rec.state = PartState::kLost;
+        ++parts_lost_;
+        ++lost;
+        telemetry::metrics().counter("rmf.recovery.parts_lost").add();
+        break;
+      default:
+        break;
+    }
+  }
+  kLog.info("%s replayed journal: %zu parts, %d redispatched, %d lost",
+            host_->name().c_str(), accept_order.size(), redispatched, lost);
+}
+
+// ------------------------------------------------------------------ ranks
+
+sim::SocketPtr QServer::bootstrap_recovery(sim::Process& self,
+                                           const PartKey& key, int rank,
+                                           JobContext& ctx,
+                                           ContactTable& table,
+                                           bool& have_table) {
+  int attempts = 0;
+  double delay = recovery_.reconnect_base_s;
+  while (true) {
+    const PartRec& rec = parts_.at(key);
+    if (rec.state == PartState::kCancelled) return nullptr;
+    const Contact target = rec.job.job_manager;
+    auto conn = host_->stack().connect(self, target);
+    if (conn.ok()) {
+      RankHello hello;
+      hello.job_id = key.first;
+      hello.rank = rank;
+      hello.contact = ctx.endpoint->contact();
+      hello.site = host_->site();
+      hello.has_table = have_table;
+      if ((*conn)->send(hello.encode()).ok()) {
+        if (have_table) return *conn;
+        auto frame = (*conn)->recv(self);
+        if (frame.ok()) {
+          auto t = ContactTable::decode(*frame);
+          if (!t.ok()) {
+            kLog.error("rank %d: bad contact table", rank);
+            return nullptr;
+          }
+          table = std::move(*t);
+          have_table = true;
+          note_bootstrapped(key);
+          return *conn;
+        }
+        // An orderly close is a verdict, not a fault: the job manager
+        // deduplicated this rank (another incarnation owns its slot in the
+        // world) or failed the job. Resets and timeouts keep retrying.
+        if (frame.error().code() == ErrorCode::kConnectionClosed) {
+          (*conn)->close();
+          return nullptr;
+        }
+      }
+      (*conn)->close();
+    }
+    if (++attempts >= recovery_.reconnect_attempts) {
+      kLog.error("rank %d: gave up reaching job manager after %d attempts",
+                 rank, attempts);
+      return nullptr;
+    }
+    telemetry::Span retry_span("rmf", "rmf.recovery.reconnect");
+    if (retry_span.active()) retry_span.arg("rank", rank);
+    self.sleep(delay);
+    delay = std::min(delay * 1.6, recovery_.reconnect_cap_s);
+  }
+}
+
+void QServer::run_rank(sim::Process& self, const PartKey& key, int rank,
                        const std::map<std::string, Bytes>& files) {
+  const QSubmit job = parts_.at(key).job;  // task identity snapshot
   JobContext ctx;
   ctx.self = &self;
   ctx.host = host_;
@@ -197,34 +538,95 @@ void QServer::run_rank(sim::Process& self, const QSubmit& job, int rank,
   }
   ctx.endpoint = *endpoint;
 
-  auto jm = host_->stack().connect(self, job.job_manager);
-  if (!jm.ok()) {
-    kLog.error("rank %d: cannot reach job manager: %s", rank,
-               jm.error().to_string().c_str());
-    return;
+  sim::SocketPtr jm;
+  ContactTable table;
+  bool have_table = false;
+  if (!recovery_.enabled) {
+    auto conn = host_->stack().connect(self, job.job_manager);
+    if (!conn.ok()) {
+      kLog.error("rank %d: cannot reach job manager: %s", rank,
+                 conn.error().to_string().c_str());
+      return;
+    }
+    jm = *conn;
+    RankHello hello;
+    hello.job_id = job.job_id;
+    hello.rank = rank;
+    hello.contact = ctx.endpoint->contact();
+    hello.site = host_->site();
+    if (!jm->send(hello.encode()).ok()) return;
+    auto table_frame = jm->recv(self);
+    if (!table_frame.ok()) return;
+    auto decoded = ContactTable::decode(*table_frame);
+    if (!decoded.ok()) {
+      kLog.error("rank %d: bad contact table", rank);
+      return;
+    }
+    table = std::move(*decoded);
+    note_bootstrapped(key);
+  } else {
+    jm = bootstrap_recovery(self, key, rank, ctx, table, have_table);
+    if (jm == nullptr) return;
   }
-  if (!(*jm)->send(RankHello{job.job_id, rank, ctx.endpoint->contact(),
-                             host_->site()}
-                        .encode())
-           .ok()) {
-    return;
-  }
-  auto table_frame = (*jm)->recv(self);
-  if (!table_frame.ok()) return;
-  auto table = ContactTable::decode(*table_frame);
-  if (!table.ok()) {
-    kLog.error("rank %d: bad contact table", rank);
-    return;
-  }
-  ctx.contacts = std::move(table->contacts);
-  ctx.rank_sites = std::move(table->sites);
+  ctx.contacts = std::move(table.contacts);
+  ctx.rank_sites = std::move(table.sites);
 
   auto task = registry_->find(job.task);
   WACS_CHECK(task.ok());  // validated at submit time
   (*task)(ctx);
 
-  (void)(*jm)->send(RankDone{rank, std::move(ctx.result)}.encode());
-  (*jm)->close();
+  RankDone done{rank, std::move(ctx.result)};
+  if (!recovery_.enabled) {
+    (void)jm->send(done.encode());
+    jm->close();
+    ctx.endpoint->close();
+    return;
+  }
+  // Recovery mode: the RankDone must be *acknowledged* (the job manager
+  // journals it first). An unacknowledged completion is retried against the
+  // part's current job manager — which a recovered gatekeeper updates via
+  // its dedup re-submit — with a re-hello carrying has_table so the
+  // completion channel re-registers without a second table.
+  int attempts = 0;
+  double delay = recovery_.reconnect_base_s;
+  while (true) {
+    if (jm != nullptr && jm->send(done.encode()).ok()) {
+      auto ack = jm->recv(self);
+      if (ack.ok()) break;  // journaled and acknowledged
+      // Orderly close without an ack: the job manager settled this job
+      // (failed it, or deduplicated this rank) — retrying cannot change
+      // the verdict. Only resets and timeouts mean "try again".
+      if (ack.error().code() == ErrorCode::kConnectionClosed) {
+        jm->close();
+        jm = nullptr;
+        break;
+      }
+    }
+    if (jm != nullptr) jm->close();
+    jm = nullptr;
+    if (++attempts >= recovery_.reconnect_attempts) {
+      kLog.error("rank %d: completion never acknowledged", rank);
+      break;
+    }
+    {
+      telemetry::Span retry_span("rmf", "rmf.recovery.reconnect");
+      if (retry_span.active()) retry_span.arg("rank", rank);
+      self.sleep(delay);
+      delay = std::min(delay * 1.6, recovery_.reconnect_cap_s);
+    }
+    const Contact target = parts_.at(key).job.job_manager;
+    auto conn = host_->stack().connect(self, target);
+    if (!conn.ok()) continue;
+    RankHello hello;
+    hello.job_id = job.job_id;
+    hello.rank = rank;
+    hello.contact = ctx.endpoint->contact();
+    hello.site = host_->site();
+    hello.has_table = true;
+    if (!(*conn)->send(hello.encode()).ok()) continue;
+    jm = *conn;
+  }
+  if (jm != nullptr) jm->close();
   ctx.endpoint->close();
 }
 

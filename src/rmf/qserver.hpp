@@ -6,6 +6,18 @@
 // handed to each spawned rank; the rank wrapper performs the MPICH-G style
 // bootstrap against the job manager before invoking the task.
 //
+// Crash recovery: every accepted part is journaled (keyed by the job-scoped
+// part_seq) before the QSubmitReply leaves, and the part's life-cycle
+// transitions (job-manager contact updates, first-table-received, done,
+// cancelled) are journaled as they happen. restart() replays the log:
+// parts that never bootstrapped are re-dispatched through the normal queue;
+// parts whose ranks had already joined the MPI world are declared lost (the
+// world is fixed at table broadcast — re-spawning them would double-run
+// work), which the job manager observes as vanished ranks. Duplicate
+// QSubmits (a recovered job manager re-sending with the same part_seq) are
+// absorbed by the dedup table: the stored job-manager contact is updated and
+// nothing re-runs.
+//
 // Caveat (true of the original system too): there is no gang scheduler.
 // Concurrent multi-resource jobs with overlapping *pinned* placements can
 // wait on each other; allocator-managed placements are safe because the
@@ -14,8 +26,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <vector>
 
 #include "rmf/job.hpp"
+#include "rmf/journal.hpp"
 #include "rmf/protocol.hpp"
 #include "simnet/tcp.hpp"
 
@@ -23,12 +38,32 @@ namespace wacs::rmf {
 
 class QServer {
  public:
+  /// Recovery knobs, off by default. GridSystem::enable_recovery turns them
+  /// on grid-wide; nothing here changes message flow while disabled.
+  struct RecoveryOptions {
+    bool enabled = false;
+    /// Allocator to heartbeat while this host holds CPUs (empty host =
+    /// no heartbeats).
+    Contact allocator;
+    double heartbeat_interval_s = 0.5;
+    /// Rank → job-manager reconnect backoff (exponential, deterministic).
+    int reconnect_attempts = 12;
+    double reconnect_base_s = 0.25;
+    double reconnect_cap_s = 4.0;
+  };
+
   /// `site_env` is applied to every rank spawned here — this is where the
   /// NEXUS_PROXY_* variables come from on firewalled resources.
   QServer(sim::Host& host, std::uint16_t port, Env site_env,
           const JobRegistry* registry);
 
   void start();
+
+  /// Restart-hook body: re-listens, respawns the serve loop, and replays
+  /// the part journal (see file comment for the replay rules).
+  void restart();
+
+  void set_recovery(RecoveryOptions opts) { recovery_ = std::move(opts); }
 
   Contact contact() const { return Contact{host_->name(), port_}; }
   std::uint64_t jobs_started() const { return jobs_started_; }
@@ -37,35 +72,108 @@ class QServer {
   int busy_cpus() const { return busy_cpus_; }
   std::size_t queue_depth() const { return queue_.size(); }
   const Env& site_env() const { return site_env_; }
+  sim::Process* serve_process() const { return serve_proc_; }
+
+  // Recovery observability (tests, bench_rmf_recovery).
+  std::uint64_t submits_deduped() const { return submits_deduped_; }
+  std::uint64_t parts_redispatched() const { return parts_redispatched_; }
+  std::uint64_t parts_lost_on_restart() const { return parts_lost_; }
+  std::uint64_t parts_cancelled() const { return parts_cancelled_; }
+  std::uint64_t journal_replays() const { return journal_replays_; }
+  sim::Time last_replay_time() const { return last_replay_time_; }
+  /// First dispatch after the latest replay (0 = none yet); the recovery
+  /// bench reports first_dispatch - crash_time as the redispatch gap.
+  sim::Time first_dispatch_after_replay() const {
+    return first_dispatch_after_replay_;
+  }
 
  private:
+  using PartKey = std::pair<std::uint64_t, std::uint64_t>;  // job, seq
+
+  enum class PartState {
+    kQueued,        ///< accepted; waiting for CPUs (or being staged/run
+                    ///< pre-bootstrap — safe to re-run after a crash)
+    kRunning,       ///< CPUs held, ranks (or staging) in flight
+    kBootstrapped,  ///< >= 1 rank received the contact table: the part
+                    ///< joined the MPI world and must never re-run
+    kDone,          ///< all ranks exited normally
+    kCancelled,     ///< withdrawn by the job manager (requeue elsewhere)
+    kLost,          ///< bootstrapped part wiped by a crash; never re-run
+  };
+
+  struct PartRec {
+    QSubmit job;  ///< latest payload; job_manager tracks the live JM
+    PartState state = PartState::kQueued;
+    std::vector<sim::Process*> procs;  ///< staging + rank processes
+    int live_ranks = 0;
+    bool bootstrap_journaled = false;
+  };
+
+  void spawn_serve();
   void serve(sim::Process& self);
   void handle(sim::Process& self, sim::SocketPtr conn);
+  void handle_cancel(const QCancel& cancel);
+  /// Admission: dispatch now when CPUs are free and nothing queues ahead,
+  /// else enqueue FIFO.
+  void admit(const PartKey& key);
   /// Starts a (dispatchable) job part: resolves gass:// input URLs through
   /// the site cache server, then spawns the rank processes. CPUs are
   /// reserved for the whole of staging, exactly like a real queue slot.
-  void dispatch(const QSubmit& job);
+  void dispatch(const PartKey& key);
   /// Dispatches queued parts that now fit (called as ranks finish).
   void pump_queue();
   /// Fetches every input_urls entry and merges it over the inline files.
   Result<std::map<std::string, Bytes>> stage_inputs(sim::Process& self,
                                                     const QSubmit& job);
-  void spawn_ranks(const QSubmit& job,
+  void spawn_ranks(const PartKey& key,
                    std::shared_ptr<const std::map<std::string, Bytes>> files);
-  void run_rank(sim::Process& self, const QSubmit& job, int rank,
+  void run_rank(sim::Process& self, const PartKey& key, int rank,
                 const std::map<std::string, Bytes>& files);
+  /// Recovery-mode bootstrap: (re)connect to the part's *current* job
+  /// manager with backoff, hello, and fetch the table unless already held.
+  sim::SocketPtr bootstrap_recovery(sim::Process& self, const PartKey& key,
+                                    int rank, JobContext& ctx,
+                                    ContactTable& table, bool& have_table);
+  /// Marks the part as having joined the MPI world (first table receipt);
+  /// journaled once.
+  void note_bootstrapped(const PartKey& key);
+  /// Rank/staging teardown accounting; journals PartDone when the last rank
+  /// of a bootstrapped part exits normally.
+  void note_rank_exit(const PartKey& key, bool killed);
+  void ensure_heartbeat();
+  void register_proc(sim::Process* proc);
+
+  // Journal record encode/replay.
+  void journal_accept(const QSubmit& job);
+  void journal_jm(const PartKey& key, const Contact& jm);
+  void journal_simple(std::uint8_t tag, const PartKey& key);
+  void replay_journal();
 
   sim::Host* host_;
   std::uint16_t port_;
   Env site_env_;
   const JobRegistry* registry_;
   sim::ListenerPtr listener_;
-  std::deque<QSubmit> queue_;
+  std::deque<PartKey> queue_;
+  std::map<PartKey, PartRec> parts_;
   int busy_cpus_ = 0;
   std::uint64_t jobs_started_ = 0;
   std::uint64_t jobs_queued_total_ = 0;
   std::uint64_t ranks_spawned_ = 0;
   bool started_ = false;
+  sim::Process* serve_proc_ = nullptr;
+  Journal journal_;
+  RecoveryOptions recovery_;
+  bool heartbeat_active_ = false;
+
+  std::uint64_t submits_deduped_ = 0;
+  std::uint64_t parts_redispatched_ = 0;
+  std::uint64_t parts_lost_ = 0;
+  std::uint64_t parts_cancelled_ = 0;
+  std::uint64_t journal_replays_ = 0;
+  sim::Time last_replay_time_ = 0;
+  sim::Time first_dispatch_after_replay_ = 0;
+  bool awaiting_first_dispatch_ = false;
 };
 
 }  // namespace wacs::rmf

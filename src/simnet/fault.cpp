@@ -107,6 +107,7 @@ void FaultInjector::crash_host_now(const std::string& host_name) {
   Host& h = net_.host(host_name);
   if (!crashed_hosts_.insert(&h).second) return;
   ++counters_.hosts_crashed;
+  crash_times_[host_name] = net_.engine().now();
   kLog.info("host %s CRASH at t=%.3fs", host_name.c_str(),
             to_sec(net_.engine().now()));
   // Kill resident processes first: their unwinding destructors close or
@@ -129,11 +130,23 @@ void FaultInjector::restart_host_now(const std::string& host_name) {
   Host& h = net_.host(host_name);
   if (crashed_hosts_.erase(&h) == 0) return;
   ++counters_.hosts_restarted;
+  restart_times_[host_name] = net_.engine().now();
   kLog.info("host %s RESTART at t=%.3fs", host_name.c_str(),
             to_sec(net_.engine().now()));
   auto it = restart_hooks_.find(host_name);
   if (it == restart_hooks_.end()) return;
-  for (auto& hook : it->second) hook();
+  // Ascending priority, registration order within a priority. Sorted at fire
+  // time (restarts are rare; registrations are not) and stably keyed by a
+  // registration sequence so the order is deterministic.
+  std::vector<RestartHook*> order;
+  order.reserve(it->second.size());
+  for (auto& hook : it->second) order.push_back(&hook);
+  std::sort(order.begin(), order.end(),
+            [](const RestartHook* a, const RestartHook* b) {
+              return a->priority != b->priority ? a->priority < b->priority
+                                                : a->seq < b->seq;
+            });
+  for (RestartHook* hook : order) hook->fn();
 }
 
 // ------------------------------------------------------- transport queries
@@ -178,8 +191,20 @@ void FaultInjector::register_host_process(const std::string& host_name,
 }
 
 void FaultInjector::on_host_restart(const std::string& host_name,
-                                    std::function<void()> callback) {
-  restart_hooks_[host_name].push_back(std::move(callback));
+                                    std::function<void()> callback,
+                                    int priority) {
+  restart_hooks_[host_name].push_back(
+      RestartHook{priority, next_hook_seq_++, std::move(callback)});
+}
+
+Time FaultInjector::last_crash_time(const std::string& host_name) const {
+  auto it = crash_times_.find(host_name);
+  return it == crash_times_.end() ? 0 : it->second;
+}
+
+Time FaultInjector::last_restart_time(const std::string& host_name) const {
+  auto it = restart_times_.find(host_name);
+  return it == restart_times_.end() ? 0 : it->second;
 }
 
 // ------------------------------------------------------------------ reset

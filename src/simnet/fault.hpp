@@ -106,9 +106,19 @@ class FaultInjector {
   /// kills it. Finished processes are skipped at crash time.
   void register_host_process(const std::string& host_name, Process* p);
 
-  /// Registers a callback invoked when `host_name` restarts.
+  /// Registers a callback invoked when `host_name` restarts. Hooks fire in
+  /// ascending `priority`; equal priorities fire in registration order.
+  /// Layering matters: a daemon must come back after the services it dials
+  /// during its own restart (e.g. a Q server re-dispatching journaled parts
+  /// resolves gass:// inputs through the site's GASS cache, so the cache
+  /// restarts at a lower priority). core/grid.cpp assigns the priorities.
   void on_host_restart(const std::string& host_name,
-                       std::function<void()> callback);
+                       std::function<void()> callback, int priority = 0);
+
+  /// When the host last crashed / restarted (0 = never). Recovery benches
+  /// measure crash → first-post-replay-dispatch gaps from these.
+  Time last_crash_time(const std::string& host_name) const;
+  Time last_restart_time(const std::string& host_name) const;
 
   /// How long a connect() into a faulted path/host stalls before kTimeout
   /// (stands in for the kernel SYN timeout; virtual seconds).
@@ -122,6 +132,12 @@ class FaultInjector {
     std::weak_ptr<detail::ConnState> conn;
     Host* a;
     Host* b;
+  };
+
+  struct RestartHook {
+    int priority;
+    std::uint64_t seq;  ///< registration order, the tie-break
+    std::function<void()> fn;
   };
 
   Link& link(const std::string& name);
@@ -138,7 +154,10 @@ class FaultInjector {
   std::set<const Host*> crashed_hosts_;
   std::vector<TrackedConn> conns_;
   std::map<std::string, std::vector<Process*>> host_processes_;
-  std::map<std::string, std::vector<std::function<void()>>> restart_hooks_;
+  std::map<std::string, std::vector<RestartHook>> restart_hooks_;
+  std::uint64_t next_hook_seq_ = 0;
+  std::map<std::string, Time> crash_times_;
+  std::map<std::string, Time> restart_times_;
   FaultCounters counters_;
 };
 

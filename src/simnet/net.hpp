@@ -23,6 +23,7 @@
 #include "common/json.hpp"
 #include "firewall/policy.hpp"
 #include "simnet/engine.hpp"
+#include "simnet/storage.hpp"
 
 namespace wacs::sim {
 
@@ -143,6 +144,11 @@ class Host {
   NetStack& stack() { return *stack_; }
   Network& network() { return *network_; }
 
+  /// The host's local disk. Unlike processes and connections, its contents
+  /// survive FaultInjector::crash_host_now / restart_host_now — daemons that
+  /// journal here can replay their state from a restart hook.
+  DurableStore& disk() { return disk_; }
+
  private:
   friend class Network;
   Host(Network& network, HostParams params);
@@ -151,6 +157,7 @@ class Host {
   HostParams params_;
   std::unique_ptr<NetStack> stack_;
   Link loopback_;
+  DurableStore disk_;
 };
 
 /// A site: a LAN segment, a set of hosts, and a gateway firewall.

@@ -1,0 +1,72 @@
+// Durable per-host storage: the simulated machine's local disk.
+//
+// A DurableStore is a key → bytes map that models what a real daemon gets
+// from fsync'd files: writes are synchronous and *survive host crashes*. The
+// fault injector kills a crashed host's processes and resets its
+// connections, but never touches the store — that asymmetry (volatile
+// processes, durable disk) is exactly what the RMF write-ahead journal
+// (rmf/journal.hpp) builds its crash recovery on.
+//
+// Writes are charged zero virtual time: journal I/O is not one of the
+// quantities the paper measures, and keeping it free means enabling
+// journaling cannot shift the table 2 / table 4 timings. The write counters
+// exist so tests and benches can still reason about journal volume.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace wacs::sim {
+
+class DurableStore {
+ public:
+  /// Creates or replaces `key`.
+  void put(const std::string& key, Bytes value) {
+    ++writes_;
+    bytes_written_ += value.size();
+    data_[key] = std::move(value);
+  }
+
+  /// Appends raw bytes to `key`, creating it when absent. Append-only logs
+  /// (journals) use this so a record write never rewrites earlier records.
+  void append(const std::string& key, const Bytes& data) {
+    ++writes_;
+    bytes_written_ += data.size();
+    Bytes& value = data_[key];
+    value.insert(value.end(), data.begin(), data.end());
+  }
+
+  /// The stored value, or nullptr when absent. The pointer stays valid until
+  /// the next mutation of that key.
+  const Bytes* get(const std::string& key) const {
+    auto it = data_.find(key);
+    return it == data_.end() ? nullptr : &it->second;
+  }
+
+  bool erase(const std::string& key) { return data_.erase(key) != 0; }
+
+  /// Keys beginning with `prefix`, in lexicographic (deterministic) order.
+  std::vector<std::string> keys(const std::string& prefix = "") const {
+    std::vector<std::string> out;
+    for (auto it = data_.lower_bound(prefix); it != data_.end(); ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      out.push_back(it->first);
+    }
+    return out;
+  }
+
+  std::size_t size() const { return data_.size(); }
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::map<std::string, Bytes> data_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace wacs::sim

@@ -8,6 +8,7 @@
 #include "common/telemetry.hpp"
 #include "core/testbeds.hpp"
 #include "knapsack/parallel.hpp"
+#include "simnet/time.hpp"
 
 namespace wacs::analysis {
 namespace {
@@ -69,6 +70,26 @@ TEST(CriticalPath, SegmentsAreContiguousAndRenderWorks) {
   EXPECT_NE(text.find("100.0%"), std::string::npos);
   const json::Value report = cp->to_json();
   EXPECT_NE(report.find("by_category_ns"), nullptr);
+}
+
+TEST(CriticalPath, RecoverySpansCategorizeAsRecovery) {
+  // rmf.recovery.* spans live under the "rmf" trace category; they must map
+  // to the recovery bucket, not fall through to rmf -> setup.
+  const char* line =
+      R"({"type":"span","cat":"rmf","name":"rmf.recovery.replay","track":"gk@rwcp-gate","ts":0,"dur":120,"trace":1,"span":1})"
+      "\n";
+  Trace trace = parse_trace(line);
+  auto cp = critical_path(trace);
+  ASSERT_TRUE(cp.ok()) << cp.error().to_string();
+  EXPECT_EQ(cp->end, 120);
+  EXPECT_EQ(cp->by_category.at(Category::kRecovery), 120);
+  EXPECT_EQ(std::string(category_name(Category::kRecovery)), "recovery");
+  // The fixed category list includes the new bucket exactly once.
+  int seen = 0;
+  for (Category cat : kAllCategories) {
+    if (cat == Category::kRecovery) ++seen;
+  }
+  EXPECT_EQ(seen, 1);
 }
 
 TEST(CriticalPath, ErrorsOnEmptyOrUnmatchedTerminal) {
@@ -137,6 +158,60 @@ TEST(CriticalPath, WideAreaKnapsackBreakdownSumsToMakespan) {
   EXPECT_GT(cp->by_category.at(Category::kWanLink), 0);
   EXPECT_GT(cp->by_category.at(Category::kRelay), 0);
   EXPECT_GT(cp->by_category.at(Category::kQueue), 0);
+}
+
+// §13 acceptance: a run that *recovers from a gatekeeper crash* must still
+// yield a breakdown that partitions the (longer) makespan exactly — the
+// recovery machinery introduces no unattributed time.
+TEST(CriticalPath, RecoveredRunBreakdownStillPartitionsMakespan) {
+  telemetry::metrics().reset();
+  telemetry::tracer().clear();
+  telemetry::tracer().enable();
+
+  auto tb = core::make_rwcp_etl_testbed();
+  tb->faults(17);
+  tb->enable_recovery();
+  tb->faults().plan_host_crash("rwcp-gate", sim::from_sec(0.2));
+  tb->faults().plan_host_restart("rwcp-gate", sim::from_sec(0.9));
+
+  knapsack::Instance inst = knapsack::no_prune_instance(12, 7);
+  rmf::JobSpec spec;
+  spec.name = "cp-recovery";
+  spec.task = knapsack::kParallelTask;
+  spec.placements = {{"rwcp-sun", 2}, {"compas01", 1}, {"compas02", 1}};
+  spec.nprocs = 4;
+  spec.args = {{knapsack::args::kInterval, "200"},
+               {knapsack::args::kStealUnit, "8"},
+               {knapsack::args::kSecPerNode, "0.000001"}};
+  spec.input_files[knapsack::kInstanceFile] = inst.encode();
+  spec.deadline_seconds = 300;
+  auto result = tb->run_job("rwcp-sun", spec);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  ASSERT_TRUE(result->ok) << result->error;
+
+  const std::string jsonl = telemetry::tracer().to_jsonl();
+  telemetry::tracer().disable();
+  telemetry::tracer().clear();
+
+  Trace trace = parse_trace(jsonl);
+  EXPECT_EQ(trace.malformed, 0u);
+  std::size_t recovery_spans = 0;
+  for (const SpanEv& s : trace.spans) {
+    if (s.name.rfind("rmf.recovery", 0) == 0) ++recovery_spans;
+  }
+  EXPECT_GE(recovery_spans, 1u);  // the gatekeeper's replay span, at least
+
+  auto cp = critical_path(trace);
+  ASSERT_TRUE(cp.ok()) << cp.error().to_string();
+  TimeNs cursor = 0;
+  for (const PathSegment& seg : cp->segments) {
+    ASSERT_EQ(seg.begin, cursor);
+    cursor = seg.end;
+  }
+  EXPECT_EQ(cursor, cp->end);
+  TimeNs total = 0;
+  for (const auto& [cat, ns] : cp->by_category) total += ns;
+  EXPECT_EQ(total, cp->end);
 }
 
 }  // namespace

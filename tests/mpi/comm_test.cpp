@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "core/testbeds.hpp"
+#include "simnet/fault.hpp"
+#include "simnet/time.hpp"
 
 namespace wacs::mpi {
 namespace {
@@ -308,6 +310,44 @@ TEST(MiniMpi, MessageCountersTrackTraffic) {
   BufReader r(out);
   EXPECT_EQ(r.u64().value(), 2u);
   EXPECT_EQ(r.u64().value(), 300u);
+}
+
+TEST(MiniMpi, DialedOnlyLinkDetectsPeerDeath) {
+  // Links are unidirectional and lazily dialed, so a rank that dialed a
+  // peer which never dialed back has no accepted link whose reader could
+  // notice that peer's death. The dialed-link monitor watches the (always
+  // silent) reverse direction of the outgoing socket: the peer's host
+  // crash resets it, and probe_or_lost() reports the loss instead of
+  // parking forever.
+  auto tb = make_rwcp_etl_testbed();
+  tb->faults(11).plan_host_crash("etl-sun", sim::from_sec(1.0));
+  bool detected = false;
+  tb->registry().register_task("dialed-loss", [&](rmf::JobContext& ctx) {
+    auto comm = Comm::init(ctx);
+    if (comm->rank() == 0) {
+      (void)comm->recv(1, 7);  // accept rank 1's dial; never dial back
+      ctx.self->sleep(60.0);   // park until the host crash kills us
+    } else {
+      comm->send(0, 7, {});
+      Comm::RecvInfo info;
+      if (!comm->probe_or_lost(0, Comm::kAnyTag, &info)) {
+        auto l = comm->take_lost_rank();
+        detected = l.has_value() && *l == 0;
+      }
+    }
+    comm->finalize();
+  });
+  rmf::JobSpec spec;
+  spec.name = "dialed-loss";
+  spec.task = "dialed-loss";
+  spec.nprocs = 2;
+  spec.placements = {{"etl-sun", 1}, {"etl-o2k", 1}};
+  auto result = tb->run_job("rwcp-sun", spec);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  // Rank 0 died with its host, so the job fails — but CLEANLY: rank 1
+  // noticed the loss, exited, and delivered its completion.
+  EXPECT_FALSE(result->ok);
+  EXPECT_TRUE(detected);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/units.hpp"
+#include "simnet/time.hpp"
 
 namespace wacs::rmf {
 namespace {
@@ -91,6 +92,102 @@ TEST(Allocator, ReleaseOfUnknownHostIsIgnored) {
   Fixture f(AllocPolicy::kFastestFirst);
   f.alloc->release({{"nonesuch", 5}});  // no crash, no capacity change
   EXPECT_EQ(total(f.alloc->select(28)), 28);
+}
+
+// ---------------------------------------------- grants, leases, and churn
+
+TEST(Allocator, DoubleReleaseOfSameGrantIsDeduped) {
+  Fixture f(AllocPolicy::kFastestFirst);
+  auto g = f.alloc->grant(28);
+  ASSERT_EQ(total(g.placements), 28);
+  EXPECT_TRUE(f.alloc->release_grant(g.id));
+  // A job manager retrying its Release across an allocator restart must not
+  // double-credit capacity.
+  EXPECT_FALSE(f.alloc->release_grant(g.id));
+  EXPECT_EQ(f.alloc->releases_deduped(), 1u);
+  EXPECT_EQ(total(f.alloc->grant(28).placements), 28);
+}
+
+TEST(Allocator, AllHostsExcludedDeniesCleanly) {
+  Fixture f(AllocPolicy::kFastestFirst);
+  auto g = f.alloc->grant(1, {"fast", "medium", "slow"});
+  EXPECT_EQ(g.id, 0u);
+  EXPECT_TRUE(g.placements.empty());
+}
+
+TEST(Allocator, GrantRacingLeaseExpirySkipsTheSilentHost) {
+  Fixture f(AllocPolicy::kFastestFirst);
+  f.alloc->enable_leases(1.0);
+  auto first = f.alloc->grant(8);  // fills "fast", starts its lease window
+  ASSERT_EQ(first.placements, (std::vector<Placement>{{"fast", 8}}));
+  bool checked = false;
+  f.engine.spawn("later", [&](sim::Process& self) {
+    self.sleep(5.0);  // "fast" never heartbeats: well past the lease bound
+    auto g = f.alloc->grant(8);
+    ASSERT_EQ(total(g.placements), 8);
+    for (const auto& p : g.placements) EXPECT_NE(p.host, "fast");
+    checked = true;
+  });
+  f.engine.run();
+  EXPECT_TRUE(checked);
+  EXPECT_EQ(f.alloc->leases_expired(), 1u);
+  EXPECT_TRUE(f.alloc->lease_expired("fast"));
+}
+
+TEST(Allocator, HeartbeatRevivesAnExpiredLease) {
+  Fixture f(AllocPolicy::kFastestFirst);
+  f.alloc->enable_leases(1.0);
+  (void)f.alloc->grant(8);
+  bool checked = false;
+  f.engine.spawn("later", [&](sim::Process& self) {
+    self.sleep(5.0);
+    f.alloc->sweep_leases();
+    ASSERT_TRUE(f.alloc->lease_expired("fast"));
+    f.alloc->note_heartbeat("fast");  // the site came back
+    EXPECT_FALSE(f.alloc->lease_expired("fast"));
+    // Expiry shed the stale allocation, so the revived host is grantable.
+    auto g = f.alloc->grant(8);
+    EXPECT_EQ(g.placements, (std::vector<Placement>{{"fast", 8}}));
+    checked = true;
+  });
+  f.engine.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(Allocator, ReleaseAfterLeaseExpiryDoesNotDoubleCredit) {
+  Fixture f(AllocPolicy::kFastestFirst);
+  f.alloc->enable_leases(1.0);
+  auto g = f.alloc->grant(8);
+  bool checked = false;
+  f.engine.spawn("later", [&](sim::Process& self) {
+    self.sleep(5.0);
+    f.alloc->sweep_leases();  // sheds fast's 8 CPUs
+    // The grant's owner releases it afterwards: allocation must clamp at
+    // zero, not go negative and inflate later grants.
+    EXPECT_TRUE(f.alloc->release_grant(g.id));
+    f.alloc->note_heartbeat("fast");
+    EXPECT_EQ(total(f.alloc->grant(28).placements), 28);
+    checked = true;
+  });
+  f.engine.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(Allocator, RestartReplaysGrantsMinusReleases) {
+  Fixture f(AllocPolicy::kFastestFirst);
+  auto keep = f.alloc->grant(8);    // fast
+  auto drop = f.alloc->grant(4);    // medium
+  ASSERT_TRUE(f.alloc->release_grant(drop.id));
+  f.alloc->restart();
+  // Live grants were rebuilt, released ones stayed released.
+  EXPECT_FALSE(f.alloc->release_grant(drop.id));  // still deduped
+  auto g = f.alloc->grant(20);  // 16 slow + 4 medium; fast is still held
+  ASSERT_EQ(total(g.placements), 20);
+  for (const auto& p : g.placements) EXPECT_NE(p.host, "fast");
+  EXPECT_TRUE(f.alloc->grant(1).placements.empty());  // pool exhausted
+  EXPECT_TRUE(f.alloc->release_grant(keep.id));       // replayed id works
+  EXPECT_EQ(f.alloc->journal_replays(), 1u);
+  f.engine.run();  // drain the respawned serve loop (parked accept)
 }
 
 }  // namespace

@@ -64,15 +64,62 @@ TEST(RmfProtocol, AllocRoundTrip) {
   EXPECT_EQ(excl->nprocs, 3);
   EXPECT_EQ(excl->exclude, (std::vector<std::string>{"dead-a", "dead-b"}));
 
-  AllocReply reply{true, {{"a", 4}, {"b", 8}}, ""};
+  AllocReply reply{true, 17, {{"a", 4}, {"b", 8}}, ""};
   auto d = AllocReply::decode(reply.encode());
   ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->grant_id, 17u);
   EXPECT_EQ(d->placements, reply.placements);
+}
+
+TEST(RmfProtocol, RecoveryMessagesRoundTrip) {
+  auto hb = Heartbeat::decode(Heartbeat{"etl-sun"}.encode());
+  ASSERT_TRUE(hb.ok());
+  EXPECT_EQ(hb->host, "etl-sun");
+
+  auto cancel = QCancel::decode(QCancel{42, 7}.encode());
+  ASSERT_TRUE(cancel.ok());
+  EXPECT_EQ(cancel->job_id, 42u);
+  EXPECT_EQ(cancel->part_seq, 7u);
+
+  auto query = JobQuery::decode(JobQuery{9000}.encode());
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->job_id, 9000u);
+
+  auto ack = RankDoneAck::decode(RankDoneAck{13}.encode());
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->rank, 13);
+}
+
+TEST(RmfProtocol, ReleaseCarriesGrantIds) {
+  Release rel;
+  rel.placements = {{"a", 2}};
+  rel.grant_ids = {5, 9};
+  auto d = Release::decode(rel.encode());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->placements, rel.placements);
+  EXPECT_EQ(d->grant_ids, (std::vector<std::uint64_t>{5, 9}));
+}
+
+TEST(RmfProtocol, RankHelloCarriesHasTable) {
+  RankHello hello;
+  hello.job_id = 3;
+  hello.rank = 4;
+  hello.contact = Contact{"compas01", 9911};
+  hello.site = "rwcp";
+  hello.has_table = true;
+  auto d = RankHello::decode(hello.encode());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->rank, 4);
+  EXPECT_TRUE(d->has_table);
+  auto fresh = RankHello::decode(RankHello{3, 5, {"c", 1}, "rwcp"}.encode());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->has_table);
 }
 
 TEST(RmfProtocol, QSubmitRoundTrip) {
   QSubmit q;
   q.job_id = 7;
+  q.part_seq = 11;
   q.task = "knapsack";
   q.base_rank = 4;
   q.count = 8;
@@ -83,6 +130,7 @@ TEST(RmfProtocol, QSubmitRoundTrip) {
   auto d = QSubmit::decode(q.encode());
   ASSERT_TRUE(d.ok());
   EXPECT_EQ(d->job_id, 7u);
+  EXPECT_EQ(d->part_seq, 11u);
   EXPECT_EQ(d->base_rank, 4);
   EXPECT_EQ(d->count, 8);
   EXPECT_EQ(d->nprocs, 20);

@@ -1,0 +1,399 @@
+// End-to-end crash recovery of the RMF control plane (DESIGN.md §13).
+//
+// A wide-area knapsack job must survive a mid-run crash+restart of each
+// control daemon's host — gatekeeper, allocator, Q server — with the
+// optimum preserved, no job part executed twice (asserted through the
+// dedup counters), and the whole faulted run deterministic per seed.
+#include <gtest/gtest.h>
+
+#include "core/testbeds.hpp"
+#include "knapsack/parallel.hpp"
+#include "knapsack/search.hpp"
+#include "rmf/gatekeeper.hpp"
+#include "simnet/time.hpp"
+
+namespace wacs::rmf {
+namespace {
+
+using core::Testbed;
+using core::make_rwcp_etl_testbed;
+
+/// Recovery-enabled grid with a seeded fault injector and no faults planned
+/// yet. The injector is seeded *before* enable_recovery so the whole fault
+/// schedule keys off one seed.
+Testbed make_recovery_grid(std::uint64_t seed = 7) {
+  Testbed tb = make_rwcp_etl_testbed();
+  tb->faults(seed);
+  tb->enable_recovery();
+  return tb;
+}
+
+rmf::JobSpec knapsack_spec(const knapsack::Instance& inst) {
+  rmf::JobSpec spec;
+  spec.name = "recovery-test";
+  spec.task = knapsack::kParallelTask;
+  spec.placements = {{"rwcp-sun", 2}, {"compas01", 1}, {"compas02", 1}};
+  spec.nprocs = 0;
+  for (const auto& p : spec.placements) spec.nprocs += p.count;
+  spec.args = {{knapsack::args::kInterval, "200"},
+               {knapsack::args::kStealUnit, "8"},
+               {knapsack::args::kBackUnit, "32"},
+               {knapsack::args::kSecPerNode, "0.000001"}};
+  spec.input_files[knapsack::kInstanceFile] = inst.encode();
+  // A hung recovery turns into a clean failure instead of tripping the
+  // run_jobs completion check.
+  spec.deadline_seconds = 300;
+  return spec;
+}
+
+struct JobRun {
+  rmf::JobResult job;
+  knapsack::RunStats stats;
+};
+
+JobRun run_job(Testbed& tb, rmf::JobSpec spec) {
+  auto result = tb->run_job("rwcp-sun", std::move(spec));
+  EXPECT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_TRUE(result->ok) << result->error;
+  JobRun out{*result, {}};
+  if (result->ok) {
+    auto stats = knapsack::RunStats::decode(result->output);
+    EXPECT_TRUE(stats.ok());
+    if (stats.ok()) out.stats = *stats;
+  }
+  return out;
+}
+
+std::uint64_t parts_started(Testbed& tb) {
+  std::uint64_t n = 0;
+  for (const auto& q : tb->qservers()) n += q->jobs_started();
+  return n;
+}
+
+std::uint64_t submit_dedups(Testbed& tb) {
+  std::uint64_t n = 0;
+  for (const auto& q : tb->qservers()) n += q->submits_deduped();
+  return n;
+}
+
+/// Virtual time halfway through the search phase, from a fault-free
+/// recovery-enabled pilot of the same deterministic run.
+sim::Time mid_search_time(const knapsack::Instance& inst,
+                          std::uint64_t seed = 7) {
+  Testbed pilot = make_recovery_grid(seed);
+  const JobRun run = run_job(pilot, knapsack_spec(inst));
+  return sim::from_sec(run.job.wall_seconds - run.stats.app_seconds * 0.5);
+}
+
+// ------------------------------------------------------- crash scenarios
+
+TEST(Recovery, GatekeeperCrashMidRunRecoversExactlyOnce) {
+  knapsack::Instance inst = knapsack::no_prune_instance(14, 9);
+  const sim::Time crash_at = mid_search_time(inst);
+
+  Testbed tb = make_recovery_grid();
+  tb->faults().plan_host_crash("rwcp-gate", crash_at);
+  tb->faults().plan_host_restart("rwcp-gate", crash_at + sim::from_sec(2.0));
+  const JobRun run = run_job(tb, knapsack_spec(inst));
+
+  EXPECT_EQ(run.stats.best_value, inst.total_profit());
+  EXPECT_EQ(tb->gatekeeper()->journal_replays(), 1u);
+  EXPECT_EQ(tb->gatekeeper()->jobs_recovered(), 1u);
+  // Exactly-once dispatch: the recovery job manager re-submitted the live
+  // parts with their original part_seq, and every duplicate was absorbed by
+  // the Q servers' dedup tables instead of starting a second execution.
+  EXPECT_EQ(parts_started(tb), 3u);  // one per placement, ever
+  EXPECT_GE(submit_dedups(tb), 1u);
+  // The recovered run pays its makespan visibly: the crash+restart window
+  // is inside the measured wall time.
+  EXPECT_GT(sim::from_sec(run.job.wall_seconds), crash_at);
+}
+
+TEST(Recovery, AllocatorCrashMidRunRecovers) {
+  knapsack::Instance inst = knapsack::no_prune_instance(14, 10);
+  const sim::Time crash_at = mid_search_time(inst);
+
+  Testbed tb = make_recovery_grid();
+  tb->faults().plan_host_crash("rwcp-inner", crash_at);
+  tb->faults().plan_host_restart("rwcp-inner", crash_at + sim::from_sec(2.0));
+  const JobRun run = run_job(tb, knapsack_spec(inst));
+
+  EXPECT_EQ(run.stats.best_value, inst.total_profit());
+  EXPECT_EQ(tb->allocator()->journal_replays(), 1u);
+  EXPECT_EQ(parts_started(tb), 3u);
+}
+
+TEST(Recovery, QServerCrashMidRunDoesNotRerunParts) {
+  knapsack::Instance inst = knapsack::no_prune_instance(14, 11);
+  const sim::Time crash_at = mid_search_time(inst);
+
+  Testbed tb = make_recovery_grid();
+  tb->faults().plan_host_crash("compas02", crash_at);
+  tb->faults().plan_host_restart("compas02", crash_at + sim::from_sec(1.0));
+  const JobRun run = run_job(tb, knapsack_spec(inst));
+
+  // The victim's slave rank died mid-search; the master reclaimed its
+  // subtrees, so the optimum is intact.
+  EXPECT_EQ(run.stats.best_value, inst.total_profit());
+  EXPECT_GE(run.stats.slaves_lost, 1u);
+
+  // The restarted Q server replayed its journal: the bootstrapped part is
+  // recorded as lost (its MPI world is fixed), NOT re-dispatched — a part
+  // never runs twice.
+  const auto& qs = tb->qservers();
+  auto victim = std::find_if(qs.begin(), qs.end(), [](const auto& q) {
+    return q->contact().host == "compas02";
+  });
+  ASSERT_NE(victim, qs.end());
+  EXPECT_EQ((*victim)->journal_replays(), 1u);
+  EXPECT_EQ((*victim)->parts_lost_on_restart(), 1u);
+  EXPECT_EQ((*victim)->parts_redispatched(), 0u);
+  EXPECT_EQ(parts_started(tb), 3u);
+}
+
+TEST(Recovery, RelayHostCrashDuringStartupStrandsNoRank) {
+  // Crashing rwcp-inner severs EVERY proxied MPI link at once — including
+  // barrier-release frames sitting in the relay's store-and-forward
+  // buffers. Two layers keep the survivors from parking forever: the
+  // dialed-link monitors surface the master's death even to ranks the
+  // master never dialed back, and the loss-tolerant startup barrier lets a
+  // slave that lost rank 0 exit cleanly instead of waiting for a release
+  // that burned with the relay. The master reclaims every orphaned
+  // partition, so the job completes degraded with the optimum intact.
+  knapsack::Instance inst = knapsack::no_prune_instance(16, 2);
+  Testbed tb = make_recovery_grid();
+  tb->faults().plan_host_crash("rwcp-inner", sim::from_sec(0.32));
+  tb->faults().plan_host_restart("rwcp-inner", sim::from_sec(2.32));
+  rmf::JobSpec spec = knapsack_spec(inst);
+  spec.placements = core::placement_wide_area(tb);
+  spec.nprocs = 0;
+  for (const auto& p : spec.placements) spec.nprocs += p.count;
+  const JobRun run = run_job(tb, spec);
+
+  EXPECT_EQ(run.stats.best_value, inst.total_profit());
+  // A stranded rank is exactly the regression this guards against: before
+  // the monitors + loss-tolerant barrier, ranks whose release frame died
+  // with the relay parked in recv() until the job deadline.
+  for (const auto& name : tb->engine().blocked_process_names()) {
+    EXPECT_EQ(name.rfind("job", 0), std::string::npos)
+        << "rank process still parked after completion: " << name;
+  }
+}
+
+TEST(Recovery, GatekeeperCrashRecoveryIsDeterministicPerSeed) {
+  knapsack::Instance inst = knapsack::no_prune_instance(12, 5);
+  const sim::Time crash_at = mid_search_time(inst, 5);
+
+  auto once = [&] {
+    Testbed tb = make_recovery_grid(5);
+    tb->faults().plan_host_crash("rwcp-gate", crash_at);
+    tb->faults().plan_host_restart("rwcp-gate",
+                                   crash_at + sim::from_sec(2.0));
+    JobRun run = run_job(tb, knapsack_spec(inst));
+    return std::tuple(run.stats.best_value, run.stats.total_nodes,
+                      run.job.wall_seconds, submit_dedups(tb),
+                      tb->gatekeeper()->dones_deduped());
+  };
+  EXPECT_EQ(once(), once());  // same seed, same schedule -> identical run
+}
+
+TEST(Recovery, QueuedJobsSurviveGatekeeperCrash) {
+  knapsack::Instance inst = knapsack::no_prune_instance(12, 6);
+  const sim::Time crash_at = mid_search_time(inst);
+
+  Testbed tb = make_recovery_grid();
+  tb->faults().plan_host_crash("rwcp-gate", crash_at);
+  tb->faults().plan_host_restart("rwcp-gate", crash_at + sim::from_sec(2.0));
+
+  rmf::JobSpec a = knapsack_spec(inst);
+  a.name = "job-a";
+  rmf::JobSpec b = knapsack_spec(inst);
+  b.name = "job-b";
+  b.placements = {{"compas03", 1}, {"compas04", 1}};
+  b.nprocs = 2;
+  auto results = tb->run_jobs("rwcp-sun", {a, b});
+  ASSERT_EQ(results.size(), 2u);
+  for (auto& r : results) {
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    EXPECT_TRUE((*r).ok) << (*r).error;
+    auto stats = knapsack::RunStats::decode((*r).output);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->best_value, inst.total_profit());
+  }
+  EXPECT_EQ(tb->gatekeeper()->jobs_recovered(), 2u);
+  EXPECT_EQ(parts_started(tb), 5u);  // 3 + 2, each exactly once
+}
+
+// ---------------------------------------------------- requeue semantics
+
+TEST(Recovery, RequeueBudgetIsPerPartNotPerJob) {
+  // Two different placements fail (their hosts are down at submit time);
+  // each part gets its own requeue budget, so max_requeues=1 still lets
+  // BOTH parts move — a job-level counter would refuse the second. The dead
+  // pair is etl-o2k + compas01 so that both replacements land on live
+  // compas hosts (replacements inherit the dead part's spent attempts, so a
+  // replacement landing on another dead host would burn the budget).
+  Testbed tb = make_rwcp_etl_testbed();
+  tb->faults(3).crash_host_now("etl-o2k");
+  tb->faults().crash_host_now("compas01");
+  tb->gatekeeper()->mutable_options().max_requeues = 1;
+
+  knapsack::Instance inst = knapsack::no_prune_instance(12, 8);
+  rmf::JobSpec spec = knapsack_spec(inst);
+  // Unpinned: fastest-first allocation of 32 CPUs reaches etl-o2k (16) and
+  // compas01 (4) after rwcp-sun and etl-sun.
+  spec.placements.clear();
+  spec.nprocs = 32;
+  const JobRun run = run_job(tb, std::move(spec));
+
+  EXPECT_EQ(run.stats.best_value, inst.total_profit());
+  EXPECT_EQ(tb->gatekeeper()->parts_requeued(), 2u);
+}
+
+TEST(Recovery, RequeueBudgetExhaustionFailsCleanly) {
+  Testbed tb = make_rwcp_etl_testbed();
+  // The three fastest resources are all dead: the single part burns its
+  // first attempt plus max_requeues=2 replacements, then gives up.
+  for (const char* h : {"rwcp-sun", "etl-sun", "etl-o2k"}) {
+    tb->faults(3).crash_host_now(h);
+  }
+  tb->registry().register_task("noop", [](rmf::JobContext&) {});
+  rmf::JobSpec spec;
+  spec.name = "noop";
+  spec.task = "noop";
+  spec.nprocs = 1;
+  spec.deadline_seconds = 120;
+  auto result = tb->run_job("compas01", spec);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_FALSE(result->ok);
+  EXPECT_NE(result->error.find("requeue budget exhausted"), std::string::npos)
+      << result->error;
+}
+
+// --------------------------------------------------- staging across crash
+
+TEST(Recovery, RestartedSiteResolvesStagedInputs) {
+  // The part's inputs live behind gass:// URLs. The site (etl-sun: GASS
+  // cache + Q server) crashes while the part is still staging; after the
+  // restart, the Q server's journal replay re-dispatches the queued part
+  // and its staging must resolve through the *restarted* GASS server —
+  // which works because the GASS restart hook (priority 10) runs before
+  // the Q server's (40).
+  knapsack::Instance inst = knapsack::no_prune_instance(12, 4);
+  Testbed tb = make_recovery_grid();
+  tb->faults().plan_host_crash("etl-sun", sim::from_sec(0.5));
+  tb->faults().plan_host_restart("etl-sun", sim::from_sec(1.5));
+
+  rmf::JobSpec spec = knapsack_spec(inst);
+  spec.placements = {{"etl-sun", 2}};
+  spec.nprocs = 2;
+  spec.stage_via_gass = true;
+  // A bulky extra input keeps the WAN pull-through in flight at crash time
+  // (~1 s at the calibrated IMnet rate).
+  spec.input_files["ballast"] = Bytes(200 * 1024, 0x5a);
+  const JobRun run = run_job(tb, std::move(spec));
+
+  EXPECT_EQ(run.stats.best_value, inst.total_profit());
+  const auto& qs = tb->qservers();
+  auto victim = std::find_if(qs.begin(), qs.end(), [](const auto& q) {
+    return q->contact().host == "etl-sun";
+  });
+  ASSERT_NE(victim, qs.end());
+  EXPECT_EQ((*victim)->journal_replays(), 1u);
+  EXPECT_GE((*victim)->parts_redispatched(), 1u);
+}
+
+// ------------------------------------------------------ leases & sweeper
+
+TEST(Recovery, OrphanedJobManagerIsReclaimed) {
+  knapsack::Instance inst = knapsack::no_prune_instance(14, 12);
+  const sim::Time kill_at = mid_search_time(inst, 13);
+
+  Testbed tb = make_recovery_grid(13);
+  rmf::JobSpec spec = knapsack_spec(inst);
+  spec.placements.clear();  // allocator-granted, so reclaim has a grant
+  spec.nprocs = 4;
+  // Kill ONLY the job-manager process (not its host): the gatekeeper's
+  // sweeper must notice the dead JM, release its grant, and answer the
+  // submitter.
+  tb->engine().at(kill_at, [&] {
+    auto* jm = tb->gatekeeper()->job_manager_process(1);
+    ASSERT_NE(jm, nullptr);
+    jm->kill();
+  });
+  auto result = tb->run_job("rwcp-sun", std::move(spec));
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_FALSE(result->ok);
+  EXPECT_NE(result->error.find("job manager lost"), std::string::npos)
+      << result->error;
+  EXPECT_EQ(tb->gatekeeper()->jobs_reclaimed(), 1u);
+  // The reclaim released the allocator grant: nothing stays leaked.
+  int still_allocated = 0;
+  for (const auto& r : tb->allocator()->resources()) {
+    still_allocated += r.allocated;
+  }
+  EXPECT_EQ(still_allocated, 0);
+}
+
+TEST(Recovery, LeaseExpiryShedsSilentSiteMidRun) {
+  knapsack::Instance inst = knapsack::no_prune_instance(14, 14);
+
+  // Pilot with the same tightened lease knobs to find mid-search.
+  core::GridSystem::RecoveryOptions ro;
+  ro.lease_duration_s = 0.2;
+  ro.heartbeat_interval_s = 0.05;
+  auto build = [&] {
+    Testbed tb = make_rwcp_etl_testbed();
+    tb->faults(21);
+    tb->enable_recovery(ro);
+    return tb;
+  };
+  auto spec_of = [&] {
+    rmf::JobSpec spec = knapsack_spec(inst);
+    spec.placements.clear();
+    spec.nprocs = 32;  // reaches compas01+compas02 via the allocator
+    // Slow the per-node rate so the search phase comfortably spans the
+    // lease probe below.
+    spec.args[knapsack::args::kSecPerNode] = "0.0002";
+    return spec;
+  };
+  sim::Time mid;
+  {
+    Testbed pilot = build();
+    JobRun run = run_job(pilot, spec_of());
+    mid = sim::from_sec(run.job.wall_seconds - run.stats.app_seconds * 0.5);
+  }
+
+  Testbed tb = build();
+  tb->faults().plan_host_crash("compas02", mid);  // silent forever
+
+  // While the job is still running (and compas02's lease is overdue), a
+  // second client allocates: the grant sweep must expire the silent host
+  // and the probe job must succeed without it.
+  tb->registry().register_task("noop", [](rmf::JobContext&) {});
+  std::optional<Result<rmf::JobResult>> probe;
+  tb->engine().spawn("probe", [&](sim::Process& self) {
+    self.sleep(sim::to_sec(mid) + 0.3);
+    rmf::JobSpec p;
+    p.name = "probe";
+    p.task = "noop";
+    p.credential = "wacs-grid";
+    p.nprocs = 1;
+    p.deadline_seconds = 60;
+    probe = rmf::submit_and_wait(self, tb->net().host("rwcp-sun"),
+                                 tb->gatekeeper()->contact(), p);
+  });
+  const JobRun run = run_job(tb, spec_of());
+
+  EXPECT_EQ(run.stats.best_value, inst.total_profit());
+  EXPECT_GE(run.stats.slaves_lost, 1u);
+  ASSERT_TRUE(probe.has_value());
+  ASSERT_TRUE(probe->ok()) << probe->error().to_string();
+  EXPECT_TRUE((**probe).ok) << (**probe).error;
+  EXPECT_GE(tb->allocator()->leases_expired(), 1u);
+  EXPECT_TRUE(tb->allocator()->lease_expired("compas02"));
+  EXPECT_GT(tb->allocator()->heartbeats_received(), 0u);
+}
+
+}  // namespace
+}  // namespace wacs::rmf

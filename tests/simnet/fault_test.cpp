@@ -183,6 +183,26 @@ TEST(Fault, HostCrashKillsRegisteredProcessesAndRunsRestartHooks) {
   EXPECT_EQ(f.fault.counters().processes_killed, 1u);
 }
 
+TEST(Fault, RestartHooksFireInPriorityThenRegistrationOrder) {
+  // The recovery stack depends on this: a site's GASS cache (priority 10)
+  // must be listening again before the Q server's replay hook (40) re-
+  // dispatches parts whose inputs are gass:// URLs.
+  Fixture f;
+  std::vector<std::string> order;
+  f.fault.on_host_restart("c", [&] { order.push_back("qserver"); }, 40);
+  f.fault.on_host_restart("c", [&] { order.push_back("outer"); });  // 0
+  f.fault.on_host_restart("c", [&] { order.push_back("gk"); }, 30);
+  f.fault.on_host_restart("c", [&] { order.push_back("gass"); }, 10);
+  f.fault.on_host_restart("c", [&] { order.push_back("gass2"); }, 10);
+  f.fault.plan_host_crash("c", from_sec(1.0));
+  f.fault.plan_host_restart("c", from_sec(2.0));
+  f.engine.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"outer", "gass", "gass2",
+                                             "gk", "qserver"}));
+  EXPECT_EQ(f.fault.last_crash_time("c"), from_sec(1.0));
+  EXPECT_EQ(f.fault.last_restart_time("c"), from_sec(2.0));
+}
+
 TEST(Fault, ConnectToCrashedHostTimesOut) {
   Fixture f;
   f.fault.set_connect_timeout_s(0.25);

@@ -1,0 +1,75 @@
+#include "simnet/storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "simnet/fault.hpp"
+#include "simnet/tcp.hpp"
+
+namespace wacs::sim {
+namespace {
+
+TEST(DurableStore, PutGetEraseRoundTrip) {
+  DurableStore disk;
+  EXPECT_EQ(disk.get("k"), nullptr);
+  disk.put("k", to_bytes("hello"));
+  ASSERT_NE(disk.get("k"), nullptr);
+  EXPECT_EQ(to_string(*disk.get("k")), "hello");
+  disk.put("k", to_bytes("replaced"));
+  EXPECT_EQ(to_string(*disk.get("k")), "replaced");
+  EXPECT_TRUE(disk.erase("k"));
+  EXPECT_FALSE(disk.erase("k"));
+  EXPECT_EQ(disk.get("k"), nullptr);
+}
+
+TEST(DurableStore, AppendGrowsWithoutRewriting) {
+  DurableStore disk;
+  disk.append("log", to_bytes("aa"));
+  disk.append("log", to_bytes("bb"));
+  ASSERT_NE(disk.get("log"), nullptr);
+  EXPECT_EQ(to_string(*disk.get("log")), "aabb");
+  EXPECT_EQ(disk.writes(), 2u);
+  EXPECT_EQ(disk.bytes_written(), 4u);
+}
+
+TEST(DurableStore, KeysFilterByPrefixInOrder) {
+  DurableStore disk;
+  disk.put("journal/b", to_bytes("1"));
+  disk.put("journal/a", to_bytes("2"));
+  disk.put("other", to_bytes("3"));
+  EXPECT_EQ(disk.keys("journal/"),
+            (std::vector<std::string>{"journal/a", "journal/b"}));
+  EXPECT_EQ(disk.keys().size(), 3u);
+}
+
+TEST(DurableStore, SurvivesHostCrashAndRestart) {
+  // The asymmetry the journal builds on: the fault injector kills a crashed
+  // host's processes, but the host's disk keeps everything written before
+  // the crash.
+  Engine engine;
+  Network net{engine};
+  FaultInjector fault{net, /*seed=*/1};
+  net.add_site("s", fw::Policy::open(),
+               LinkParams{.name = "", .latency_s = 0, .bandwidth_bps = 1e9});
+  net.add_host({.name = "c", .site = "s"});
+
+  bool writer_survived = false;
+  Process* writer = nullptr;
+  writer = engine.spawn("writer", [&] {
+    net.host("c").disk().put("state", to_bytes("precious"));
+    writer->sleep(10.0);  // still parked when the crash lands
+    writer_survived = true;
+  });
+  fault.register_host_process("c", writer);
+  fault.plan_host_crash("c", from_sec(1.0));
+  fault.plan_host_restart("c", from_sec(2.0));
+  engine.run();
+
+  EXPECT_FALSE(writer_survived);  // the process died...
+  const Bytes* kept = net.host("c").disk().get("state");
+  ASSERT_NE(kept, nullptr);  // ...the disk did not
+  EXPECT_EQ(to_string(*kept), "precious");
+}
+
+}  // namespace
+}  // namespace wacs::sim
