@@ -1,0 +1,143 @@
+// Observability overhead on the Table-4 wide-area cluster system.
+//
+// The acceptance bar for the live metrics plane (DESIGN.md §14): with the
+// collector and every site agent running, the proxied 20-processor
+// knapsack run may cost at most 2% more virtual makespan than the same run
+// with export off — and export off must cost exactly nothing (no agents,
+// no collector, no extra events; the committed baselines enforce that
+// side via bench-diff).
+//
+// Artifacts: the collector's journal (obs_timeline.jsonl, replayable with
+// wacs-top) and its final state snapshot (obs_snapshot.json).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/testbeds.hpp"
+#include "knapsack/parallel.hpp"
+#include "knapsack/search.hpp"
+#include "obs/collector.hpp"
+
+namespace wacs {
+namespace {
+
+double run_wide_area(core::Testbed& tb, const knapsack::Instance& inst) {
+  rmf::JobSpec spec;
+  spec.name = "obs_overhead";
+  spec.task = knapsack::kParallelTask;
+  spec.placements = core::placement_wide_area(tb);
+  spec.nprocs = 0;
+  for (const auto& p : spec.placements) spec.nprocs += p.count;
+  spec.args = {{knapsack::args::kInterval, "1000"},
+               {knapsack::args::kStealUnit, "16"},
+               {knapsack::args::kBackUnit, "64"},
+               {knapsack::args::kSecPerNode, "0.000001"}};
+  spec.input_files[knapsack::kInstanceFile] = inst.encode();
+  auto result = tb->run_job("rwcp-sun", spec);
+  WACS_CHECK_MSG(result.ok(), "submission failed");
+  WACS_CHECK_MSG(result->ok, "job failed: " + result->error);
+  auto stats = knapsack::RunStats::decode(result->output);
+  WACS_CHECK(stats.ok());
+  return stats->app_seconds;
+}
+
+Status write_artifact(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Error(ErrorCode::kInternal, "cannot open " + path);
+  }
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (n != body.size()) {
+    return Error(ErrorCode::kInternal, "short write to " + path);
+  }
+  return Status();
+}
+
+std::string artifact_dir() {
+  const char* v = std::getenv("WACS_BENCH_OUT");
+  std::string dir = (v != nullptr && *v != '\0') ? v : ".";
+  if (dir.back() != '/') dir += '/';
+  return dir;
+}
+
+}  // namespace
+}  // namespace wacs
+
+int main() {
+  using namespace wacs;
+  const int n = bench::knapsack_n(16);
+  bench::print_header(
+      "Observability overhead: Table-4 wide-area run, export off vs on",
+      "acceptance gate for the live metrics plane (DESIGN.md §14)");
+  std::printf("instance: %d items (set WACS_KNAPSACK_N to change)\n", n);
+
+  knapsack::Instance inst = knapsack::no_prune_instance(n, 2);
+  core::TestbedOptions with_proxy;
+  with_proxy.rwcp_uses_proxy = true;
+
+  // Export OFF: the stock Table-4 proxied wide-area system.
+  double off_seconds = 0;
+  {
+    auto tb = core::make_rwcp_etl_testbed(with_proxy);
+    off_seconds = run_wide_area(tb, inst);
+  }
+
+  // Export ON: same system plus collector (submit host) and one agent per
+  // site shipping deltas in-band through the proxied port.
+  double on_seconds = 0;
+  std::string journal;
+  std::string snapshot;
+  std::uint64_t reports = 0;
+  std::uint64_t decode_errors = 0;
+  {
+    auto tb = core::make_rwcp_etl_testbed(with_proxy);
+    tb->enable_observability("rwcp-sun");
+    on_seconds = run_wide_area(tb, inst);
+    WACS_CHECK_MSG(tb->observability_enabled(),
+                   "WACS_OBS=0 would make this bench measure nothing");
+    obs::Collector* collector = tb->collector();
+    journal = collector->journal();
+    reports = collector->reports_received();
+    decode_errors = collector->decode_errors();
+    snapshot =
+        collector->timeline().snapshot_json(tb->engine().now()).dump() + "\n";
+  }
+
+  const double overhead_pct =
+      100.0 * (on_seconds - off_seconds) / off_seconds;
+  std::printf("\nexport off: %.3fs   export on: %.3fs   overhead: %+.2f%%\n",
+              off_seconds, on_seconds, overhead_pct);
+  std::printf("collector: %llu reports, %llu decode errors, journal %zu B\n",
+              static_cast<unsigned long long>(reports),
+              static_cast<unsigned long long>(decode_errors),
+              journal.size());
+  WACS_CHECK_MSG(reports > 0, "collector heard nothing — agents dead?");
+  WACS_CHECK_MSG(decode_errors == 0, "collector rejected reports");
+  WACS_CHECK_MSG(overhead_pct < 2.0,
+                 "observability overhead above the 2% acceptance bar");
+
+  const std::string dir = artifact_dir();
+  for (const auto& [name, body] :
+       {std::pair<std::string, const std::string&>{"obs_timeline.jsonl",
+                                                   journal},
+        {"obs_snapshot.json", snapshot}}) {
+    auto st = write_artifact(dir + name, body);
+    if (st.ok()) {
+      std::printf("artifact: %s%s\n", dir.c_str(), name.c_str());
+    } else {
+      std::fprintf(stderr, "artifact failed: %s\n",
+                   st.error().to_string().c_str());
+    }
+  }
+
+  bench::Report report("obs_overhead");
+  report.set("instance_items", n);
+  report.set("off_seconds", off_seconds);
+  report.set("on_seconds", on_seconds);
+  report.set("overhead_pct", overhead_pct);
+  report.set("reports_received", reports);
+  report.set("decode_errors", decode_errors);
+  report.set("journal_bytes", journal.size());
+  bench::finish_report(report, "obs_overhead");
+  return 0;
+}

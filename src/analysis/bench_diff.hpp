@@ -5,8 +5,9 @@
 // default. Wall-clock metrics (and anything else environment-dependent) get
 // per-field relative tolerances keyed by dotted-path suffix. The "git"
 // stamp is ignored by default (baselines are committed from an earlier
-// commit than the run that checks against them); "schema_version" compares
-// exactly like any other integer.
+// commit than the run that checks against them), as is the "advisory"
+// object (host wall-clock and peak RSS vary run to run); "schema_version"
+// compares exactly like any other integer.
 #pragma once
 
 #include <cstddef>
@@ -24,7 +25,7 @@ struct DiffOptions {
   /// |a - e| <= tol * max(|e|, |a|). First matching suffix wins.
   std::vector<std::pair<std::string, double>> ratio_tol;
   /// Path suffixes excluded from comparison entirely.
-  std::vector<std::string> ignore = {"git"};
+  std::vector<std::string> ignore = {"git", "advisory"};
   /// Keys present in the current report but not the baseline: warn (true)
   /// or fail (false).
   bool allow_new_keys = true;

@@ -1,5 +1,8 @@
 #include "common/bench_report.hpp"
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -61,7 +64,10 @@ json::Value histogram_json(const telemetry::Histogram::Snapshot& h) {
 #define WACS_GIT_DESCRIBE "unknown"
 #endif
 
-Report::Report(std::string id) : id_(std::move(id)), root_(json::Value::object()) {
+Report::Report(std::string id)
+    : id_(std::move(id)),
+      root_(json::Value::object()),
+      start_(std::chrono::steady_clock::now()) {
   root_.set("bench", id_);
   root_.set("schema_version", kSchemaVersion);
   root_.set("git", WACS_GIT_DESCRIBE);
@@ -99,7 +105,22 @@ void Report::attach_metrics_snapshot() {
 
 Result<std::string> Report::write() const {
   const std::string path = dir_from_env("WACS_BENCH_OUT") + "BENCH_" + id_ + ".json";
-  std::string body = root_.dump();
+  // Advisory host-side stats are stamped at write time into a copy so the
+  // deterministic payload (root_) is untouched; bench-diff skips "advisory"
+  // the way it skips "git".
+  json::Value out = root_;
+  const auto wall = std::chrono::steady_clock::now() - start_;
+  json::Value advisory = json::Value::object();
+  advisory.set("wall_ms",
+               static_cast<std::int64_t>(
+                   std::chrono::duration_cast<std::chrono::milliseconds>(wall)
+                       .count()));
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    advisory.set("peak_rss_kb", static_cast<std::int64_t>(ru.ru_maxrss));
+  }
+  out.set("advisory", std::move(advisory));
+  std::string body = out.dump();
   body += '\n';
   auto st = write_file(path, body);
   if (!st.ok()) return st.error();

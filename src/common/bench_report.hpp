@@ -7,6 +7,7 @@
 // byte-identical files.
 #pragma once
 
+#include <chrono>
 #include <string>
 
 #include "common/error.hpp"
@@ -40,7 +41,10 @@ class Report {
   void attach_metrics_snapshot();
 
   /// Writes BENCH_<id>.json into WACS_BENCH_OUT (default "."). Returns the
-  /// path written.
+  /// path written. The file additionally carries an "advisory" object
+  /// (host wall-clock ms since construction, peak RSS from getrusage) that
+  /// bench-diff ignores — like "git", it varies run to run but makes
+  /// overhead trends visible across PRs.
   Result<std::string> write() const;
 
   const json::Value& root() const { return root_; }
@@ -48,6 +52,7 @@ class Report {
  private:
   std::string id_;
   json::Value root_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// True when WACS_TRACE is set non-empty (and not "0"): benches use this to

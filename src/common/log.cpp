@@ -1,9 +1,12 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+
+#include "common/json.hpp"
 
 namespace wacs::log {
 namespace {
@@ -15,13 +18,22 @@ Level initial_level() {
   return Level::kWarn;
 }
 
+bool initial_json() {
+  const char* env = std::getenv("WACS_LOG_JSON");
+  return env != nullptr && env[0] == '1' && env[1] == '\0';
+}
+
 std::atomic<Level> g_level{initial_level()};
+std::atomic<bool> g_json{initial_json()};
 std::mutex g_mutex;  // serializes whole lines across threads
 
 }  // namespace
 
 void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
 Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_json(bool on) { g_json.store(on, std::memory_order_relaxed); }
+bool json_enabled() { return g_json.load(std::memory_order_relaxed); }
 
 std::string_view to_string(Level level) {
   switch (level) {
@@ -45,6 +57,32 @@ Level parse_level(std::string_view name) {
   return Level::kWarn;
 }
 
+std::string format_line(Level level, std::string_view component,
+                        std::string_view body) {
+  if (!json_enabled()) {
+    char line[1280];
+    std::snprintf(line, sizeof(line), "[%-5.5s] %-16.*s %.*s",
+                  std::string(to_string(level)).c_str(),
+                  static_cast<int>(component.size()), component.data(),
+                  static_cast<int>(body.size()), body.data());
+    return line;
+  }
+  auto now = std::chrono::system_clock::now().time_since_epoch();
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  std::string out;
+  out.reserve(body.size() + component.size() + 64);
+  out += "{\"ts_ms\":";
+  out += std::to_string(ms);
+  out += ",\"level\":";
+  json::append_quoted(out, to_string(level));
+  out += ",\"component\":";
+  json::append_quoted(out, component);
+  out += ",\"msg\":";
+  json::append_quoted(out, body);
+  out += "}";
+  return out;
+}
+
 void logf(Level level, std::string_view component, const char* fmt, ...) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
   char body[1024];
@@ -52,10 +90,9 @@ void logf(Level level, std::string_view component, const char* fmt, ...) {
   va_start(args, fmt);
   std::vsnprintf(body, sizeof(body), fmt, args);
   va_end(args);
+  std::string line = format_line(level, component, body);
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%-5.5s] %-16.*s %s\n",
-               std::string(to_string(level)).c_str(),
-               static_cast<int>(component.size()), component.data(), body);
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 }  // namespace wacs::log

@@ -20,6 +20,19 @@ enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 void set_level(Level level);
 Level level();
 
+/// Structured sink: when on, every line is a single JSON object
+/// {"ts_ms": <epoch ms>, "level": "...", "component": "...", "msg": "..."}
+/// so daemon logs are machine-parsable next to metrics. Off by default
+/// (human format); WACS_LOG_JSON=1 turns it on at startup.
+void set_json(bool on);
+bool json_enabled();
+
+/// Formats one log line (no trailing newline) in the active sink format.
+/// Exposed so tests can check the JSON shape without scraping stderr; in
+/// JSON mode `ts_ms` is stamped at call time.
+std::string format_line(Level level, std::string_view component,
+                        std::string_view body);
+
 /// Only these pass safely through C varargs; anything else (std::string is
 /// the classic offender) is undefined behavior at the `...` boundary, so
 /// Logger rejects it at compile time. Pass .c_str() instead.

@@ -1,6 +1,7 @@
 #include "common/telemetry.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "common/error.hpp"
@@ -126,11 +127,34 @@ Histogram::Summary Histogram::Snapshot::summary() const {
   return s;
 }
 
+std::vector<double> Histogram::exponential_bounds(double lo, double hi,
+                                                  std::size_t count) {
+  WACS_CHECK_MSG(lo > 0 && hi > lo, "exponential bounds need 0 < lo < hi");
+  WACS_CHECK_MSG(count >= 2, "exponential bounds need at least two buckets");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  const double ratio =
+      std::pow(hi / lo, 1.0 / static_cast<double>(count - 1));
+  double b = lo;
+  for (std::size_t i = 0; i + 1 < count; ++i) {
+    bounds.push_back(b);
+    b *= ratio;
+  }
+  bounds.push_back(hi);  // exact top bound, no accumulated rounding
+  return bounds;
+}
+
 const std::vector<double>& default_ms_buckets() {
   static const std::vector<double> kBuckets = {
       0.01, 0.025, 0.05, 0.1,  0.25, 0.5,  1,    2.5,   5,     10,
       25,   50,    100,  250,  500,  1000, 2500, 5000,  10000, 30000,
       60000};
+  return kBuckets;
+}
+
+const std::vector<double>& exponential_ms_buckets() {
+  static const std::vector<double> kBuckets =
+      Histogram::exponential_bounds(0.001, 10000.0, 40);
   return kBuckets;
 }
 
@@ -174,6 +198,47 @@ Registry::Snapshot Registry::snapshot() const {
     s.histograms.emplace_back(name, h->snapshot());
   }
   return s;
+}
+
+Registry::Delta Registry::delta_since(Snapshot& base) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Delta d;
+  // Instruments only ever get added, and both the maps and the snapshot
+  // vectors are name-sorted, so a single merge walk finds every change.
+  auto merge = [](const auto& live, auto& base_vec, auto& out,
+                  auto value_of) {
+    std::size_t i = 0;
+    for (const auto& [name, instr] : live) {
+      const std::int64_t cur = value_of(*instr);
+      std::int64_t prev = 0;
+      if (i < base_vec.size() && base_vec[i].first == name) {
+        prev = static_cast<std::int64_t>(base_vec[i].second);
+        base_vec[i].second = static_cast<
+            std::decay_t<decltype(base_vec[i].second)>>(cur);
+        ++i;
+      }
+      if (cur != prev) out.emplace_back(name, cur - prev);
+    }
+  };
+  merge(counters_, base.counters, d.counters, [](const Counter& c) {
+    return static_cast<std::int64_t>(c.value());
+  });
+  merge(gauges_, base.gauges, d.gauges,
+        [](const Gauge& g) { return g.value(); });
+  // New names (absent from base) must appear in the next delta's base too.
+  if (base.counters.size() != counters_.size()) {
+    base.counters.clear();
+    for (const auto& [name, c] : counters_) {
+      base.counters.emplace_back(name, c->value());
+    }
+  }
+  if (base.gauges.size() != gauges_.size()) {
+    base.gauges.clear();
+    for (const auto& [name, g] : gauges_) {
+      base.gauges.emplace_back(name, g->value());
+    }
+  }
+  return d;
 }
 
 std::string Registry::render() const {

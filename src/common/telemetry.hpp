@@ -107,6 +107,20 @@ class Histogram {
   Summary summary() const { return snapshot().summary(); }
   void reset();
 
+  /// Geometric bucket ladder: `count` upper bounds from `lo` to `hi`
+  /// inclusive, each bucket a constant factor wider than the last. For
+  /// latency ranges spanning µs → s (proxied WAN relay hops next to
+  /// loopback splices), where a linear ladder either saturates at the top
+  /// or loses all resolution at the bottom.
+  static std::vector<double> exponential_bounds(double lo, double hi,
+                                                std::size_t count);
+  /// Histogram over exponential_bounds(lo, hi, count). Returned as a
+  /// prvalue (mandatory elision): Histogram itself is neither movable nor
+  /// copyable.
+  static Histogram exponential(double lo, double hi, std::size_t count) {
+    return Histogram(exponential_bounds(lo, hi, count));
+  }
+
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
@@ -119,6 +133,11 @@ class Histogram {
 /// Default latency buckets in milliseconds, 10 µs .. 60 s, roughly 1-2.5-5
 /// per decade — wide enough for a LAN hop and a WAN knapsack steal alike.
 const std::vector<double>& default_ms_buckets();
+
+/// Exponential latency buckets in milliseconds, 1 µs .. 10 s (40 bounds,
+/// ~6 per decade). The real-relay daemons use these: a loopback splice and
+/// a proxied WAN round trip differ by five orders of magnitude.
+const std::vector<double>& exponential_ms_buckets();
 
 /// Named instruments. Registration takes a mutex; returned references stay
 /// valid for the registry's lifetime (reset() zeroes values, it never
@@ -140,6 +159,19 @@ class Registry {
   };
   /// Name-sorted (std::map order): deterministic output.
   Snapshot snapshot() const;
+
+  /// Scalar changes between a prior snapshot and now. Counters and gauges
+  /// only — delta export ships scalar time series; histograms stay in the
+  /// full snapshot. Names absent from `base` delta from zero.
+  struct Delta {
+    std::vector<std::pair<std::string, std::int64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    bool empty() const { return counters.empty() && gauges.empty(); }
+  };
+  /// Changes since `base` (name-sorted, unchanged series omitted), then
+  /// advances `base`'s scalar values to the current ones. One lock, no
+  /// histogram copying: cheap enough for a sub-second export period.
+  Delta delta_since(Snapshot& base) const;
 
   /// Rendered via TextTable: counters/gauges, then histogram summaries.
   std::string render() const;

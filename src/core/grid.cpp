@@ -182,6 +182,165 @@ void GridSystem::enable_recovery(const RecoveryOptions& options) {
   }
 }
 
+void GridSystem::enable_observability(const std::string& collector_host,
+                                      const ObservabilityOptions& options) {
+  if (const char* flag = std::getenv("WACS_OBS");
+      flag != nullptr && std::string_view(flag) == "0") {
+    return;  // kill switch: export-off baseline runs
+  }
+  WACS_CHECK_MSG(collector_ == nullptr, "observability already enabled");
+  sim::Host& ch = net_.host(collector_host);
+
+  // Observability must ride the existing firewall configuration: record
+  // every site's rule count now and assert nothing below changed it.
+  std::vector<std::size_t> rule_counts;
+  for (const auto& site : net_.sites()) {
+    rule_counts.push_back(site->firewall().policy().rules().size());
+  }
+
+  obs::CollectorOptions copts;
+  copts.port = ports_.obs;
+  copts.timeline = options.timeline;
+  collector_ =
+      std::make_unique<obs::Collector>(ch, copts, env_for(collector_host));
+  collector_->start();
+
+  for (const auto& site : net_.sites()) {
+    WACS_CHECK_MSG(!site->hosts().empty(), "site without hosts");
+    sim::Host& agent_host = *site->hosts().front();
+    const std::string site_name = site->name();
+
+    obs::AgentOptions aopts;
+    aopts.interval_s = options.interval_s;
+    // One registry exporter per simulation (the registry is process-global);
+    // the collector-site agent is the natural owner.
+    aopts.export_registry = site_name == ch.site();
+
+    // Same-site agents dial the collector directly (LAN, no gateway);
+    // remote agents wait for the proxy bind and use the public contact.
+    std::function<std::optional<Contact>()> resolve;
+    if (site_name == ch.site()) {
+      resolve = [this] { return std::optional<Contact>(collector_->contact()); };
+    } else {
+      resolve = [this]() -> std::optional<Contact> {
+        if (!collector_->bind_settled()) return std::nullopt;
+        return collector_->advertised_contact();
+      };
+    }
+    auto agent = std::make_unique<obs::MetricsAgent>(
+        agent_host, aopts, std::move(resolve),
+        [this] { return inflight_jobs_ > 0; });
+
+    for (const auto& q : qservers_) {
+      const std::string q_host = q->contact().host;
+      if (net_.host(q_host).site() != site_name) continue;
+      rmf::QServer* qs = q.get();
+      agent->add_probe("q." + q_host + ".queue_depth", [qs] {
+        return static_cast<std::int64_t>(qs->queue_depth());
+      });
+      agent->add_probe("q." + q_host + ".busy_cpus",
+                       [qs] { return static_cast<std::int64_t>(qs->busy_cpus()); });
+      agent->add_probe("q." + q_host + ".ranks_spawned", [qs] {
+        return static_cast<std::int64_t>(qs->ranks_spawned());
+      });
+      agent->add_probe("q." + q_host + ".jobs_queued", [qs] {
+        return static_cast<std::int64_t>(qs->jobs_queued_total());
+      });
+      agent->add_health("qserver@" + q_host, [qs] {
+        sim::Process* p = qs->serve_process();
+        return p != nullptr && !p->finished() && !p->killed()
+                   ? obs::Health::kUp
+                   : obs::Health::kDown;
+      });
+    }
+    if (gatekeeper_ != nullptr &&
+        net_.host(gatekeeper_host_).site() == site_name) {
+      rmf::Gatekeeper* gk = gatekeeper_.get();
+      agent->add_probe("gk.parts_requeued", [gk] {
+        return static_cast<std::int64_t>(gk->parts_requeued());
+      });
+      agent->add_probe("gk.jobs_accepted", [gk] {
+        return static_cast<std::int64_t>(gk->jobs_accepted());
+      });
+      agent->add_health("gatekeeper@" + gatekeeper_host_, [gk] {
+        sim::Process* p = gk->serve_process();
+        return p != nullptr && !p->finished() && !p->killed()
+                   ? obs::Health::kUp
+                   : obs::Health::kDown;
+      });
+    }
+    if (allocator_ != nullptr &&
+        net_.host(allocator_->contact().host).site() == site_name) {
+      rmf::ResourceAllocator* alloc = allocator_.get();
+      agent->add_health("allocator@" + allocator_->contact().host, [alloc] {
+        sim::Process* p = alloc->serve_process();
+        return p != nullptr && !p->finished() && !p->killed()
+                   ? obs::Health::kUp
+                   : obs::Health::kDown;
+      });
+    }
+    if (gass::GassServer* gs = gass_server_for(site_name); gs != nullptr) {
+      const std::string g_host = gs->contact().host;
+      agent->add_probe("gass." + g_host + ".gets_served", [gs] {
+        return static_cast<std::int64_t>(gs->gets_served());
+      });
+      agent->add_probe("gass." + g_host + ".pull_throughs", [gs] {
+        return static_cast<std::int64_t>(gs->pull_throughs());
+      });
+      agent->add_health("gass@" + g_host, [gs] {
+        sim::Process* p = gs->serve_process();
+        return p != nullptr && !p->finished() && !p->killed()
+                   ? obs::Health::kUp
+                   : obs::Health::kDown;
+      });
+    }
+    if (ProxyPair* pair = proxy_for(site_name); pair != nullptr) {
+      proxy::OuterServer* o = pair->outer.get();
+      proxy::InnerServer* in = pair->inner.get();
+      agent->add_probe("proxy.outer.connections", [o] {
+        return static_cast<std::int64_t>(o->stats().connections);
+      });
+      agent->add_probe("proxy.outer.bytes", [o] {
+        return static_cast<std::int64_t>(o->stats().bytes);
+      });
+      agent->add_probe("proxy.inner.bytes", [in] {
+        return static_cast<std::int64_t>(in->stats().bytes);
+      });
+    }
+    fw::Firewall* firewall = &site->firewall();
+    agent->add_probe("fw.allowed", [firewall] {
+      return static_cast<std::int64_t>(firewall->allowed());
+    });
+    agent->add_probe("fw.denied", [firewall] {
+      return static_cast<std::int64_t>(firewall->denied());
+    });
+    sim::Link* lan = &site->lan();
+    agent->add_probe("lan.bytes", [lan] {
+      return static_cast<std::int64_t>(lan->bytes_carried());
+    });
+    // WAN byte counters belong to the link's first site so each link is
+    // exported exactly once.
+    for (const auto& wl : net_.wan_links()) {
+      if (wl.site_a != site_name) continue;
+      const sim::Link* link = wl.link;
+      agent->add_probe("wan." + wl.site_a + "-" + wl.site_b + ".bytes",
+                       [link] {
+                         return static_cast<std::int64_t>(link->bytes_carried());
+                       });
+    }
+    agent->ensure_running();
+    agents_.push_back(std::move(agent));
+  }
+
+  // The acceptance property: observability opened no firewall holes.
+  std::size_t i = 0;
+  for (const auto& site : net_.sites()) {
+    WACS_CHECK_MSG(
+        site->firewall().policy().rules().size() == rule_counts[i++],
+        "observability must not change firewall rules");
+  }
+}
+
 void GridSystem::add_gatekeeper(const std::string& host,
                                 std::string credential) {
   rmf::Gatekeeper::Options options;
@@ -320,6 +479,14 @@ std::vector<Result<rmf::JobResult>> GridSystem::run_jobs(
         [this, slot = &slots[i], &from, gk, spec,
          env = env_for(submit_host),
          delay = 0.001 * static_cast<double>(i)](sim::Process& self) {
+          // Busy accounting for the metrics agents' export loops. The
+          // decrement must run on every exit path, including KillError
+          // unwind, or an agent would spin the event queue forever.
+          ++inflight_jobs_;
+          struct Dec {
+            int* n;
+            ~Dec() { --*n; }
+          } dec{&inflight_jobs_};
           if (delay > 0) self.sleep(delay);
           rmf::JobSpec job = spec;
           if (job.stage_via_gass && !job.input_files.empty()) {
@@ -342,6 +509,9 @@ std::vector<Result<rmf::JobResult>> GridSystem::run_jobs(
               rmf::submit_and_wait(self, from, gk, job, wait_options));
         });
   }
+  // Agents park when the grid goes idle (their timers would otherwise keep
+  // the event queue alive forever); each run re-arms them.
+  for (auto& agent : agents_) agent->ensure_running();
   engine_.run();
   std::vector<Result<rmf::JobResult>> results;
   results.reserve(specs.size());

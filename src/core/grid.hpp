@@ -14,6 +14,8 @@
 
 #include "gass/server.hpp"
 #include "mds/server.hpp"
+#include "obs/agent.hpp"
+#include "obs/collector.hpp"
 #include "proxy/server.hpp"
 #include "rmf/allocator.hpp"
 #include "rmf/gatekeeper.hpp"
@@ -30,6 +32,7 @@ struct Ports {
   std::uint16_t allocator = 7000;
   std::uint16_t qserver = 7100;
   std::uint16_t gass = 7200;
+  std::uint16_t obs = 7300;
   std::uint16_t outer = 9911;
   std::uint16_t nxport = 9900;
 };
@@ -135,6 +138,34 @@ class GridSystem {
   void enable_recovery() { enable_recovery(RecoveryOptions{}); }
   bool recovery_enabled() const { return recovery_enabled_; }
 
+  // ---- observability ------------------------------------------------------
+  /// Knobs for the live observability plane (DESIGN.md §14).
+  struct ObservabilityOptions {
+    double interval_s = 0.25;  ///< agent export period (virtual seconds)
+    obs::TimelineOptions timeline;
+  };
+
+  /// Starts the Collector on `collector_host` (normally the submit host)
+  /// and one MetricsAgent on the first host of every site, probing that
+  /// site's Q servers, GASS server, proxy pair, firewall counters, and
+  /// links. Remote agents dial the collector's *advertised* contact — the
+  /// outer proxy server's public port when the collector's site is
+  /// firewalled — so observability traffic rides the one approved hole;
+  /// this method asserts that it adds no firewall rule anywhere. Call after
+  /// the daemons are added and before run_jobs. Setting WACS_OBS=0 in the
+  /// environment turns this into a no-op (export-off baseline runs).
+  void enable_observability(const std::string& collector_host,
+                            const ObservabilityOptions& options);
+  void enable_observability(const std::string& collector_host) {
+    enable_observability(collector_host, ObservabilityOptions{});
+  }
+  bool observability_enabled() const { return collector_ != nullptr; }
+  obs::Collector* collector() { return collector_.get(); }
+  const std::vector<std::unique_ptr<obs::MetricsAgent>>& metrics_agents()
+      const {
+    return agents_;
+  }
+
   // ---- running jobs -------------------------------------------------------
   /// Submits from `submit_host` (a simulated process is spawned there),
   /// runs the engine until the grid goes quiet, and returns the result.
@@ -200,6 +231,11 @@ class GridSystem {
   std::vector<std::string> pending_qserver_rules_;
   std::unique_ptr<sim::FaultInjector> fault_;
   bool recovery_enabled_ = false;
+  std::unique_ptr<obs::Collector> collector_;
+  std::vector<std::unique_ptr<obs::MetricsAgent>> agents_;
+  /// Concurrently-running submissions; the agents' busy predicate. Plain
+  /// bookkeeping with no simulated cost, so export-off runs are unchanged.
+  int inflight_jobs_ = 0;
 };
 
 }  // namespace wacs::core

@@ -1,11 +1,30 @@
 #include "nxproxy/daemon.hpp"
 
+#include <chrono>
+
 #include "common/log.hpp"
+#include "nxproxy/metrics_http.hpp"
 
 namespace wacs::nxproxy {
 namespace {
 const log::Logger kLog("nxproxy");
 constexpr std::size_t kSpliceChunk = 64 * 1024;
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Dial wrapped with connect-latency accounting (successes only; a refused
+/// dial measures the error path, not the network).
+Result<net::TcpSocket> dial_timed(const Contact& target, DaemonStats& stats) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto sock = net::TcpSocket::dial(target);
+  if (sock.ok()) stats.connect_ms.observe(ms_since(t0));
+  return sock;
+}
+
 }  // namespace
 
 namespace detail {
@@ -21,6 +40,9 @@ Session::~Session() {
 }
 
 void Session::start() {
+  opened_ = std::chrono::steady_clock::now();
+  stats_->sessions_opened.fetch_add(1, std::memory_order_relaxed);
+  kLog.debug("session open");
   up_ = std::thread([this] { pump(a_, b_); });
   down_ = std::thread([this] { pump(b_, a_); });
 }
@@ -40,6 +62,7 @@ void Session::pump(net::TcpSocket& from, net::TcpSocket& to) {
     auto chunk = from.read_some(kSpliceChunk);
     if (!chunk.ok()) break;
     stats_->bytes_relayed.fetch_add(chunk->size(), std::memory_order_relaxed);
+    bytes_.fetch_add(chunk->size(), std::memory_order_relaxed);
     if (!to.write_all(*chunk).ok()) break;
   }
   // Half-close semantics: EOF in one direction shuts both ends so the
@@ -47,7 +70,16 @@ void Session::pump(net::TcpSocket& from, net::TcpSocket& to) {
   // the original Nexus Proxy did).
   from.shutdown();
   to.shutdown();
-  ++done_;
+  // The last pump out records the session's lifetime and close event.
+  if (done_.fetch_add(1) + 1 == 2) {
+    const double dur_ms = ms_since(opened_);
+    stats_->sessions_closed.fetch_add(1, std::memory_order_relaxed);
+    stats_->relay_session_ms.observe(dur_ms);
+    kLog.debug("session close bytes=%llu dur_ms=%.3f",
+               static_cast<unsigned long long>(
+                   bytes_.load(std::memory_order_relaxed)),
+               dur_ms);
+  }
 }
 
 // ---------------------------------------------------------------- Workers
@@ -141,8 +173,20 @@ Status InnerDaemon::start() {
 
 void InnerDaemon::stop() {
   if (!started_ || stopping_.exchange(true)) return;
+  if (metrics_) metrics_->stop();
   listener_.shutdown();
   workers_.stop_all();
+}
+
+Status InnerDaemon::serve_metrics(const std::string& bind_ip,
+                                  std::uint16_t port) {
+  metrics_ = std::make_unique<MetricsHttpServer>(
+      [this] { return render_metrics(stats_, "inner"); });
+  return metrics_->start(bind_ip, port);
+}
+
+std::uint16_t InnerDaemon::metrics_port() const {
+  return metrics_ ? metrics_->port() : 0;
 }
 
 void InnerDaemon::accept_loop() {
@@ -173,7 +217,7 @@ void InnerDaemon::handle(net::TcpSocket& conn) {
               req.error().to_string().c_str());
     return;
   }
-  auto target = net::TcpSocket::dial(req->target);
+  auto target = dial_timed(req->target, stats_);
   if (!target.ok()) {
     ++stats_.handshake_failures;
     (void)conn.write_frame(
@@ -237,8 +281,20 @@ Status OuterDaemon::start() {
   return Status();
 }
 
+Status OuterDaemon::serve_metrics(const std::string& bind_ip,
+                                  std::uint16_t port) {
+  metrics_ = std::make_unique<MetricsHttpServer>(
+      [this] { return render_metrics(stats_, "outer"); });
+  return metrics_->start(bind_ip, port);
+}
+
+std::uint16_t OuterDaemon::metrics_port() const {
+  return metrics_ ? metrics_->port() : 0;
+}
+
 void OuterDaemon::stop() {
   if (!started_ || stopping_.exchange(true)) return;
+  if (metrics_) metrics_->stop();
   listener_.shutdown();
   {
     std::lock_guard<std::mutex> lock(bindings_mu_);
@@ -329,7 +385,7 @@ void OuterDaemon::handle_connect(net::TcpSocket& conn,
       return;
     }
   }
-  auto target = net::TcpSocket::dial(req.target);
+  auto target = dial_timed(req.target, stats_);
   if (!target.ok()) {
     ++stats_.handshake_failures;
     (void)conn.write_frame(
@@ -385,7 +441,7 @@ void OuterDaemon::public_accept_loop(std::shared_ptr<PublicBinding> binding) {
 
 void OuterDaemon::bridge_to_inner(net::TcpSocket& remote,
                                   std::shared_ptr<PublicBinding> binding) {
-  auto inner = net::TcpSocket::dial(binding->inner);
+  auto inner = dial_timed(binding->inner, stats_);
   if (!inner.ok()) {
     ++stats_.handshake_failures;
     kLog.warn("outer: cannot reach inner %s: %s",

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -20,16 +21,28 @@
 #include <thread>
 #include <vector>
 
+#include "common/telemetry.hpp"
 #include "proxy/protocol.hpp"
 #include "sockets/socket.hpp"
 
 namespace wacs::nxproxy {
 
-/// Counters shared by all threads of one daemon.
+class MetricsHttpServer;
+
+/// Counters shared by all threads of one daemon. The histograms use the
+/// exponential µs→s ladder: a loopback splice and a proxied WAN round trip
+/// differ by five orders of magnitude. All values are host wall-clock —
+/// these daemons are the real engineering artifact, not the simulation.
 struct DaemonStats {
   std::atomic<std::uint64_t> connections{0};
   std::atomic<std::uint64_t> bytes_relayed{0};
   std::atomic<std::uint64_t> handshake_failures{0};
+  std::atomic<std::uint64_t> sessions_opened{0};
+  std::atomic<std::uint64_t> sessions_closed{0};
+  /// Latency of outbound dials (target, inner) that succeeded.
+  telemetry::Histogram connect_ms{telemetry::exponential_ms_buckets()};
+  /// Lifetime of a splice session, open to both-pumps-done.
+  telemetry::Histogram relay_session_ms{telemetry::exponential_ms_buckets()};
 };
 
 namespace detail {
@@ -56,6 +69,8 @@ class Session {
   std::thread up_;
   std::thread down_;
   std::atomic<int> done_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::chrono::steady_clock::time_point opened_;
 };
 
 /// Threads + sessions owned by a daemon; provides orderly teardown.
@@ -100,6 +115,13 @@ class InnerDaemon {
   Status start();
   void stop();
 
+  /// Starts the loopback-side /metrics admin endpoint (text exposition of
+  /// stats()). Port 0 picks an ephemeral port; read it back with
+  /// metrics_port(). Bind this to 127.0.0.1 — it is an admin interface,
+  /// not part of the firewall-audited relay surface.
+  Status serve_metrics(const std::string& bind_ip, std::uint16_t port);
+  std::uint16_t metrics_port() const;
+
   Contact contact() const { return Contact{bind_ip_, port_}; }
   const DaemonStats& stats() const { return stats_; }
 
@@ -114,6 +136,7 @@ class InnerDaemon {
   std::atomic<bool> stopping_{false};
   detail::Workers workers_;
   DaemonStats stats_;
+  std::unique_ptr<MetricsHttpServer> metrics_;
   bool started_ = false;
 };
 
@@ -157,6 +180,10 @@ class OuterDaemon {
   Status start();
   void stop();
 
+  /// Loopback-side /metrics admin endpoint; see InnerDaemon::serve_metrics.
+  Status serve_metrics(const std::string& bind_ip, std::uint16_t port);
+  std::uint16_t metrics_port() const;
+
   Contact contact() const { return Contact{advertise_host_, port_}; }
   const DaemonStats& stats() const { return stats_; }
   std::uint64_t active_binds() const { return active_binds_.load(); }
@@ -190,6 +217,7 @@ class OuterDaemon {
   std::atomic<std::uint64_t> active_binds_{0};
   std::mutex bindings_mu_;
   std::vector<std::shared_ptr<PublicBinding>> bindings_;
+  std::unique_ptr<MetricsHttpServer> metrics_;
   bool started_ = false;
 };
 

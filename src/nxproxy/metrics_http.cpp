@@ -1,0 +1,126 @@
+#include "nxproxy/metrics_http.hpp"
+
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "nxproxy/daemon.hpp"
+
+namespace wacs::nxproxy {
+namespace {
+
+const log::Logger kLog("nxproxy.metrics");
+
+void append_counter(std::string& out, const std::string& name,
+                    const std::string& role, std::uint64_t v) {
+  char line[192];
+  std::snprintf(line, sizeof(line), "nxproxy_%s_total{role=\"%s\"} %llu\n",
+                name.c_str(), role.c_str(),
+                static_cast<unsigned long long>(v));
+  out += line;
+}
+
+void append_histogram(std::string& out, const std::string& name,
+                      const std::string& role,
+                      const telemetry::Histogram& h) {
+  const auto snap = h.snapshot();
+  char line[192];
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+    cumulative += snap.counts[i];
+    if (i < snap.bounds.size()) {
+      std::snprintf(line, sizeof(line),
+                    "nxproxy_%s_bucket{role=\"%s\",le=\"%g\"} %llu\n",
+                    name.c_str(), role.c_str(), snap.bounds[i],
+                    static_cast<unsigned long long>(cumulative));
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "nxproxy_%s_bucket{role=\"%s\",le=\"+Inf\"} %llu\n",
+                    name.c_str(), role.c_str(),
+                    static_cast<unsigned long long>(cumulative));
+    }
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "nxproxy_%s_sum{role=\"%s\"} %g\n",
+                name.c_str(), role.c_str(), snap.sum);
+  out += line;
+  std::snprintf(line, sizeof(line), "nxproxy_%s_count{role=\"%s\"} %llu\n",
+                name.c_str(), role.c_str(),
+                static_cast<unsigned long long>(snap.count));
+  out += line;
+}
+
+}  // namespace
+
+std::string render_metrics(const DaemonStats& stats, const std::string& role) {
+  std::string out;
+  out.reserve(4096);
+  append_counter(out, "connections", role, stats.connections.load());
+  append_counter(out, "bytes_relayed", role, stats.bytes_relayed.load());
+  append_counter(out, "handshake_failures", role,
+                 stats.handshake_failures.load());
+  append_counter(out, "sessions_opened", role, stats.sessions_opened.load());
+  append_counter(out, "sessions_closed", role, stats.sessions_closed.load());
+  append_histogram(out, "connect_ms", role, stats.connect_ms);
+  append_histogram(out, "relay_session_ms", role, stats.relay_session_ms);
+  return out;
+}
+
+Status MetricsHttpServer::start(const std::string& bind_ip,
+                                std::uint16_t port) {
+  WACS_CHECK_MSG(!started_, "metrics server already started");
+  auto listener = net::TcpListener::bind(bind_ip, port);
+  if (!listener.ok()) return listener.error();
+  listener_ = std::move(*listener);
+  started_ = true;
+  thread_ = std::thread([this] { serve_loop(); });
+  kLog.info("metrics endpoint on %s:%u", bind_ip.c_str(),
+            static_cast<unsigned>(listener_.port()));
+  return Status();
+}
+
+void MetricsHttpServer::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  listener_.shutdown();
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsHttpServer::serve_loop() {
+  while (true) {
+    auto conn = listener_.accept();
+    if (!conn.ok()) return;  // listener shut down
+    // Admin endpoint, loopback, low rate: serving inline keeps the thread
+    // count flat. A wedged scraper can only stall the next scrape.
+    handle(std::move(*conn));
+  }
+}
+
+void MetricsHttpServer::handle(net::TcpSocket conn) {
+  auto request = conn.read_some(4096);
+  if (!request.ok()) return;
+  const std::string text = to_string(*request);
+  // "GET <path> ..." — anything fancier than that is a 404 anyway.
+  std::string path;
+  if (text.rfind("GET ", 0) == 0) {
+    const std::size_t end = text.find(' ', 4);
+    path = text.substr(4, end == std::string::npos ? std::string::npos
+                                                   : end - 4);
+  }
+  std::string status = "404 Not Found";
+  std::string body = "not found\n";
+  if (path == "/metrics") {
+    status = "200 OK";
+    body = provider_();
+  } else if (path == "/healthz") {
+    status = "200 OK";
+    body = "ok\n";
+  }
+  std::string response = "HTTP/1.0 " + status +
+                         "\r\nContent-Type: text/plain; version=0.0.4"
+                         "\r\nContent-Length: " +
+                         std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + body;
+  (void)conn.write_all(to_bytes(response));
+}
+
+}  // namespace wacs::nxproxy

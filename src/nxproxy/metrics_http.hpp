@@ -1,0 +1,53 @@
+// /metrics admin endpoint for the real nxproxy daemons.
+//
+// Text exposition (Prometheus format) of a DaemonStats: counters as
+// `<name>_total`, histograms as cumulative `_bucket{le="..."}` series plus
+// `_sum`/`_count`. Served by a tiny single-purpose HTTP/1.0 responder on
+// the loopback side of the daemon: monitoring must not widen the
+// firewall-audited relay surface, so the endpoint binds 127.0.0.1 and
+// never the public interface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+#include "sockets/socket.hpp"
+
+namespace wacs::nxproxy {
+
+struct DaemonStats;
+
+/// Renders `stats` in Prometheus text exposition format. `role` becomes a
+/// label on every series ({role="outer"} / {role="inner"}).
+std::string render_metrics(const DaemonStats& stats, const std::string& role);
+
+/// Minimal GET-only HTTP server: 200 for the registered paths, 404
+/// otherwise. One request per connection (Connection: close).
+class MetricsHttpServer {
+ public:
+  using Provider = std::function<std::string()>;
+
+  /// Serves `provider()` at /metrics and "ok" at /healthz.
+  MetricsHttpServer(Provider provider) : provider_(std::move(provider)) {}
+  ~MetricsHttpServer() { stop(); }
+
+  Status start(const std::string& bind_ip, std::uint16_t port);
+  void stop();
+
+  std::uint16_t port() const { return listener_.port(); }
+
+ private:
+  void serve_loop();
+  void handle(net::TcpSocket conn);
+
+  Provider provider_;
+  net::TcpListener listener_;
+  std::thread thread_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace wacs::nxproxy

@@ -1,0 +1,139 @@
+#include "obs/agent.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+#include "simnet/fault.hpp"
+
+namespace wacs::obs {
+namespace {
+
+const log::Logger kLog("obs.agent");
+
+}  // namespace
+
+MetricsAgent::MetricsAgent(sim::Host& host, AgentOptions opts,
+                           std::function<std::optional<Contact>()> resolve,
+                           std::function<bool()> busy)
+    : host_(&host),
+      opts_(opts),
+      resolve_(std::move(resolve)),
+      busy_(std::move(busy)) {
+  // Registry series export *changes since the plane came up*, not the
+  // process-global totals: the registry outlives testbeds (benches run
+  // several back to back), and only the from-here-on deltas make
+  // same-seed runs byte-identical regardless of process history.
+  if (opts_.export_registry) reg_base_ = telemetry::metrics().snapshot();
+}
+
+void MetricsAgent::add_probe(std::string name,
+                             std::function<std::int64_t()> fn) {
+  probes_.push_back({std::move(name), std::move(fn)});
+}
+
+void MetricsAgent::add_health(std::string component,
+                              std::function<Health()> fn) {
+  health_.push_back({std::move(component), std::move(fn)});
+}
+
+void MetricsAgent::ensure_running() {
+  if (active_) return;
+  active_ = true;
+  auto* proc = host_->network().engine().spawn(
+      "obs.agent@" + host_->name(), [this](sim::Process& self) {
+        // The flag must clear on every exit path — normal completion and
+        // KillError unwind (host crash) alike — so run_jobs can re-arm.
+        struct Flag {
+          bool* active;
+          ~Flag() { *active = false; }
+        } flag{&active_};
+        run(self);
+      });
+  if (auto* fault = host_->network().fault(); fault != nullptr) {
+    fault->register_host_process(host_->name(), proc);
+  }
+}
+
+void MetricsAgent::run(sim::Process& self) {
+  while (true) {
+    self.sleep(opts_.interval_s);
+    const bool busy = busy_();
+    tick(self, /*final_report=*/!busy);
+    if (!busy) return;  // parks the timer; the final report was just sent
+  }
+}
+
+sim::SimSocket* MetricsAgent::connection(sim::Process& self) {
+  if (conn_ != nullptr && !conn_->closed() && !conn_->reset()) {
+    return conn_.get();
+  }
+  conn_.reset();
+  ids_.clear();
+  last_sent_.clear();
+  last_health_.clear();
+  auto contact = resolve_();
+  if (!contact.has_value()) return nullptr;  // collector bind not settled
+  auto sock = host_->stack().connect(self, *contact);
+  if (!sock.ok()) {
+    kLog.debug("%s: collector dial failed: %s", host_->name().c_str(),
+               sock.error().to_string().c_str());
+    return nullptr;
+  }
+  conn_ = *sock;
+  Hello hello{host_->site(), host_->name()};
+  if (!conn_->send(hello.encode()).ok()) {
+    conn_.reset();
+    return nullptr;
+  }
+  return conn_.get();
+}
+
+void MetricsAgent::tick(sim::Process& self, bool final_report) {
+  auto* conn = connection(self);
+  if (conn == nullptr) return;  // skip the period; state stays for retry
+
+  // Sample every series as an absolute value. Registry series accumulate
+  // from Registry deltas so they encode exactly like probe series.
+  std::vector<std::pair<std::string, std::int64_t>> samples;
+  samples.reserve(probes_.size() + reg_abs_.size());
+  for (const Probe& p : probes_) samples.emplace_back(p.name, p.sample());
+  if (opts_.export_registry) {
+    const auto delta = telemetry::metrics().delta_since(reg_base_);
+    for (const auto& [name, d] : delta.counters) reg_abs_["reg.c." + name] += d;
+    for (const auto& [name, d] : delta.gauges) reg_abs_["reg.g." + name] += d;
+    for (const auto& [name, v] : reg_abs_) samples.emplace_back(name, v);
+  }
+
+  Report report;
+  report.seq = ++seq_;
+  report.t_ns = host_->network().engine().now();
+  report.final_report = final_report;
+  for (const auto& [name, v] : samples) {
+    auto it = ids_.find(name);
+    if (it == ids_.end()) {
+      const auto id = static_cast<std::uint32_t>(ids_.size());
+      it = ids_.emplace(name, id).first;
+      last_sent_.push_back(0);
+      report.defs.emplace_back(id, name);
+    }
+    const std::int64_t delta = v - last_sent_[it->second];
+    if (delta == 0) continue;  // unchanged series cost nothing on the wire
+    report.samples.emplace_back(it->second, delta);
+    last_sent_[it->second] = v;
+  }
+  for (const HealthProbe& h : health_) {
+    const Health state = h.sample();
+    auto it = last_health_.find(h.component);
+    if (it != last_health_.end() && it->second == state) continue;
+    last_health_[h.component] = state;
+    report.health.emplace_back(h.component, state);
+  }
+
+  if (!conn->send(report.encode()).ok()) {
+    conn_.reset();  // redial (and re-describe) next period
+    return;
+  }
+  ++reports_sent_;
+}
+
+}  // namespace wacs::obs

@@ -1,0 +1,103 @@
+// Per-site metrics agent: samples local probes each export period and ships
+// delta reports to the Collector over the simulated WAN (DESIGN.md §14).
+//
+// One agent runs per site, on one of the site's hosts, as an ordinary
+// simulated process — so its traffic is charged to the network like any
+// other flow and must pass the same firewalls. It dials the collector's
+// *advertised* contact: the outer proxy server's public port when the
+// collector's site is firewalled, i.e. observability rides the one approved
+// hole like everything else.
+//
+// The agent's periodic timer would keep the event queue alive forever, so
+// the loop is gated on a busy predicate (the grid's in-flight job count):
+// when the system goes idle the agent sends one final report (marking
+// staleness benign) and parks. GridSystem::run_jobs re-arms it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/contact.hpp"
+#include "common/telemetry.hpp"
+#include "obs/wire.hpp"
+#include "simnet/tcp.hpp"
+
+namespace wacs::obs {
+
+struct AgentOptions {
+  double interval_s = 0.25;
+  /// Also export the process-global telemetry registry (counters/gauges as
+  /// "reg.c.*"/"reg.g.*" series). One agent per simulation should do this —
+  /// the registry is process-wide, so exporting it from every site would
+  /// just ship the same numbers twice.
+  bool export_registry = false;
+};
+
+class MetricsAgent {
+ public:
+  /// `resolve` yields the collector contact (nullopt while its proxy bind
+  /// is still settling — the agent skips the tick and retries). `busy`
+  /// keeps the periodic loop alive; see file comment.
+  MetricsAgent(sim::Host& host, AgentOptions opts,
+               std::function<std::optional<Contact>()> resolve,
+               std::function<bool()> busy);
+
+  /// Registers a sampled series (absolute value; the agent computes wire
+  /// deltas). Call before the first ensure_running().
+  void add_probe(std::string name, std::function<std::int64_t()> fn);
+  /// Registers a component health source.
+  void add_health(std::string component, std::function<Health()> fn);
+
+  /// Spawns the export loop if it is not already running. Idempotent;
+  /// called at the start of every run_jobs.
+  void ensure_running();
+
+  const std::string& site() const { return host_->site(); }
+  sim::Host& host() { return *host_; }
+  std::uint64_t reports_sent() const { return reports_sent_; }
+
+ private:
+  void run(sim::Process& self);
+  void tick(sim::Process& self, bool final_report);
+  /// Current connection, dialing + Hello on demand; nullptr on failure.
+  sim::SimSocket* connection(sim::Process& self);
+
+  sim::Host* host_;
+  AgentOptions opts_;
+  std::function<std::optional<Contact>()> resolve_;
+  std::function<bool()> busy_;
+
+  struct Probe {
+    std::string name;
+    std::function<std::int64_t()> sample;
+  };
+  struct HealthProbe {
+    std::string component;
+    std::function<Health()> sample;
+  };
+  std::vector<Probe> probes_;
+  std::vector<HealthProbe> health_;
+
+  /// Registry delta baseline (export_registry agents); absolute values
+  /// accumulated from deltas so registry series encode like probe series.
+  telemetry::Registry::Snapshot reg_base_;
+  std::map<std::string, std::int64_t> reg_abs_;
+
+  // Per-connection encoder state: series ids, last sent value per id, last
+  // sent health per component. Reset when the connection drops so a fresh
+  // connection is self-describing.
+  sim::SocketPtr conn_;
+  std::map<std::string, std::uint32_t> ids_;
+  std::vector<std::int64_t> last_sent_;
+  std::map<std::string, Health> last_health_;
+
+  bool active_ = false;
+  std::uint64_t seq_ = 0;
+  std::uint64_t reports_sent_ = 0;
+};
+
+}  // namespace wacs::obs

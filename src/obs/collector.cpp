@@ -1,0 +1,127 @@
+#include "obs/collector.hpp"
+
+#include <map>
+#include <utility>
+
+#include "common/log.hpp"
+#include "simnet/fault.hpp"
+
+namespace wacs::obs {
+namespace {
+
+const log::Logger kLog("obs.collector");
+
+}  // namespace
+
+Collector::Collector(sim::Host& host, CollectorOptions options, Env env)
+    : host_(&host),
+      options_(std::move(options)),
+      env_(std::move(env)),
+      timeline_(options_.timeline) {}
+
+void Collector::start() {
+  WACS_CHECK_MSG(!started_, "collector already started");
+  started_ = true;
+  auto listener = host_->stack().listen(options_.port);
+  WACS_CHECK_MSG(listener.ok(), "collector cannot bind its port");
+  listener_ = *listener;
+  spawn_serve();
+}
+
+void Collector::spawn_serve() {
+  sim::Engine& engine = host_->network().engine();
+  engine.spawn("obs.collector@" + host_->name(),
+               [this, listener = listener_](sim::Process& self) {
+                 serve(self, listener);
+               });
+  proxy::ProxyClient probe(*host_, env_);
+  if (probe.configured()) {
+    engine.spawn("obs.collector.proxied@" + host_->name(),
+                 [this](sim::Process& self) { serve_proxied(self); });
+  } else {
+    bind_done_ = true;
+  }
+}
+
+void Collector::serve(sim::Process& self, sim::ListenerPtr listener) {
+  while (true) {
+    auto conn = listener->accept(self);
+    if (!conn.ok()) return;
+    auto sock = *conn;
+    host_->network().engine().spawn(
+        "obs.collector@" + host_->name() + ".conn",
+        [this, sock](sim::Process& h) { handle(h, sock); });
+  }
+}
+
+void Collector::serve_proxied(sim::Process& self) {
+  proxy::ProxyClient client(*host_, env_);
+  auto bound = client.nx_bind(self);
+  if (!bound.ok()) {
+    kLog.error("%s: NXProxyBind failed: %s", host_->name().c_str(),
+               bound.error().to_string().c_str());
+    bind_done_ = true;  // remote agents fall back to the direct contact
+    return;
+  }
+  public_contact_ = (*bound)->public_contact();
+  bind_done_ = true;
+  kLog.info("%s: collector public contact %s", host_->name().c_str(),
+            public_contact_->to_string().c_str());
+  while (true) {
+    auto conn = (*bound)->nx_accept(self);
+    if (!conn.ok()) return;
+    auto sock = *conn;
+    host_->network().engine().spawn(
+        "obs.collector@" + host_->name() + ".conn",
+        [this, sock](sim::Process& h) { handle(h, sock); });
+  }
+}
+
+void Collector::handle(sim::Process& self, sim::SocketPtr conn) {
+  auto first = conn->recv(self);
+  if (!first.ok()) return;
+  auto hello = Hello::decode(*first);
+  if (!hello.ok()) {
+    ++decode_errors_;
+    conn->close();
+    return;
+  }
+  // Per-connection decoder state. The wire deltas on one connection sum to
+  // the absolute value (an agent restarts its baseline at zero whenever it
+  // redials), so accumulating from zero here reconstructs absolutes.
+  std::map<std::uint32_t, std::string> names;
+  std::map<std::uint32_t, std::int64_t> absolute;
+  while (true) {
+    auto frame = conn->recv(self);
+    if (!frame.ok()) return;  // EOF, reset, or crash unwind: connection over
+    auto report = Report::decode(*frame);
+    if (!report.ok()) {
+      ++decode_errors_;
+      conn->close();
+      return;
+    }
+    for (auto& [id, name] : report->defs) names[id] = std::move(name);
+    SiteReport applied;
+    applied.site = hello->site;
+    applied.seq = report->seq;
+    applied.t_ns = report->t_ns;
+    applied.final_report = report->final_report;
+    for (const auto& [id, delta] : report->samples) {
+      auto it = names.find(id);
+      if (it == names.end()) {
+        ++decode_errors_;
+        conn->close();
+        return;
+      }
+      absolute[id] += delta;
+      applied.series.emplace_back(it->second, absolute[id]);
+    }
+    applied.health = std::move(report->health);
+    journal_ += report_to_jsonl(applied);
+    journal_ += '\n';
+    timeline_.apply(applied);
+    ++reports_received_;
+  }
+}
+
+}  // namespace wacs::obs

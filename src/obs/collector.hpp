@@ -1,0 +1,82 @@
+// Collector: the submit-host endpoint of the observability plane
+// (DESIGN.md §14).
+//
+// Accepts MetricsAgent connections — directly from its own site, and
+// through the Nexus Proxy from everywhere else (it NXProxyBinds exactly
+// like the GASS server, so remote agents dial the outer server's public
+// port and no firewall gains a rule for observability). Each decoded
+// report is appended to a deterministic JSONL journal and folded into a
+// TimelineState (ring-buffered series, component health, SLO verdicts).
+// `wacs-top` replays the same journal through the same TimelineState, so
+// what the operator sees offline is exactly what the collector computed
+// live.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/config.hpp"
+#include "obs/timeline.hpp"
+#include "proxy/client.hpp"
+#include "simnet/tcp.hpp"
+#include "simnet/waitq.hpp"
+
+namespace wacs::obs {
+
+struct CollectorOptions {
+  std::uint16_t port = 7300;
+  TimelineOptions timeline;
+};
+
+class Collector {
+ public:
+  Collector(sim::Host& host, CollectorOptions options, Env env);
+
+  void start();
+
+  Contact contact() const { return Contact{host_->name(), options_.port}; }
+  /// Outer-server rewrite of our contact; empty until the bind completes
+  /// (or forever, when the site needs no proxy).
+  const std::optional<Contact>& public_contact() const {
+    return public_contact_;
+  }
+  /// True once the proxy bind resolved (either way) — remote agents wait
+  /// for this before dialing.
+  bool bind_settled() const { return bind_done_; }
+  /// The address remote agents should use: public when proxied.
+  Contact advertised_contact() const {
+    return public_contact_.value_or(contact());
+  }
+
+  TimelineState& timeline() { return timeline_; }
+  const TimelineState& timeline() const { return timeline_; }
+  /// One line per applied report, arrival order; byte-identical across
+  /// same-seed runs.
+  const std::string& journal() const { return journal_; }
+  std::uint64_t reports_received() const { return reports_received_; }
+  std::uint64_t decode_errors() const { return decode_errors_; }
+
+  sim::Host& host() { return *host_; }
+
+ private:
+  void spawn_serve();
+  void serve(sim::Process& self, sim::ListenerPtr listener);
+  void serve_proxied(sim::Process& self);
+  void handle(sim::Process& self, sim::SocketPtr conn);
+
+  sim::Host* host_;
+  CollectorOptions options_;
+  Env env_;
+  TimelineState timeline_;
+  sim::ListenerPtr listener_;
+  std::optional<Contact> public_contact_;
+  bool bind_done_ = false;
+  std::string journal_;
+  std::uint64_t reports_received_ = 0;
+  std::uint64_t decode_errors_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace wacs::obs

@@ -1,0 +1,280 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace wacs::obs {
+namespace {
+
+/// Latest-value / latest-rate reads shared by breach evaluation and the
+/// renderer. Rate uses the last two points; a single point has no rate.
+double latest_value(const Ring& ring) {
+  return ring.size() == 0 ? 0 : static_cast<double>(ring.latest().v);
+}
+
+bool latest_rate(const Ring& ring, double* out) {
+  if (ring.size() < 2) return false;
+  const auto& a = ring.at(ring.size() - 2);
+  const auto& b = ring.latest();
+  if (b.t_ns <= a.t_ns) return false;
+  *out = static_cast<double>(b.v - a.v) /
+         (static_cast<double>(b.t_ns - a.t_ns) / 1e9);
+  return true;
+}
+
+bool contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+}  // namespace
+
+void Ring::push(Point p) {
+  if (points_.size() < capacity_) {
+    points_.push_back(p);
+    return;
+  }
+  points_[head_] = p;
+  head_ = (head_ + 1) % capacity_;
+}
+
+const Ring::Point& Ring::at(std::size_t i) const {
+  WACS_CHECK(i < points_.size());
+  return points_[(head_ + i) % points_.size()];
+}
+
+std::vector<SloRule> default_slo_rules() {
+  return {
+      // Queue latency proxy: parts waiting behind busy CPUs. The wide-area
+      // Table 4 runs keep per-host queues in the single digits; a deep
+      // queue means dispatch has stalled.
+      {"queue_depth_high", "queue_depth", SloRule::Kind::kValueAbove, 32.0,
+       Health::kDegraded},
+      // Requeue churn: parts bouncing off dead/leaseless ranks faster than
+      // one every couple of seconds is a failing site, not a blip.
+      {"requeue_rate_high", "parts_requeued", SloRule::Kind::kRateAbove, 0.5,
+       Health::kDegraded},
+      // WAN saturation: the paper's trans-Pacific link is 1.5 Mbps
+      // (187500 B/s); sustained >90% means every flow is queueing.
+      {"wan_link_saturated", "wan.", SloRule::Kind::kRateAbove, 168750.0,
+       Health::kDegraded},
+  };
+}
+
+std::string report_to_jsonl(const SiteReport& r) {
+  json::Value line = json::Value::object();
+  line.set("t", r.t_ns);
+  line.set("site", r.site);
+  line.set("seq", r.seq);
+  line.set("final", r.final_report);
+  json::Value series = json::Value::object();
+  for (const auto& [name, v] : r.series) series.set(name, v);
+  line.set("series", std::move(series));
+  json::Value health = json::Value::object();
+  for (const auto& [component, state] : r.health) {
+    health.set(component, health_name(state));
+  }
+  line.set("health", std::move(health));
+  return line.dump();
+}
+
+Result<SiteReport> report_from_jsonl(std::string_view line) {
+  auto doc = json::Value::parse(line);
+  if (!doc.ok()) return doc.error();
+  SiteReport out;
+  const json::Value* site = doc->find("site");
+  if (site == nullptr) {
+    return Error(ErrorCode::kProtocolError, "journal line missing \"site\"");
+  }
+  out.site = site->as_string();
+  if (const json::Value* t = doc->find("t")) out.t_ns = t->as_int();
+  if (const json::Value* seq = doc->find("seq")) {
+    out.seq = static_cast<std::uint64_t>(seq->as_int());
+  }
+  if (const json::Value* fin = doc->find("final")) {
+    out.final_report = fin->as_bool();
+  }
+  if (const json::Value* series = doc->find("series")) {
+    for (const auto& [name, v] : series->members()) {
+      out.series.emplace_back(name, v.as_int());
+    }
+  }
+  if (const json::Value* health = doc->find("health")) {
+    for (const auto& [component, v] : health->members()) {
+      auto state = parse_health(v.as_string());
+      if (!state.ok()) return state.error();
+      out.health.emplace_back(component, *state);
+    }
+  }
+  return out;
+}
+
+TimelineState::TimelineState(TimelineOptions opts) : opts_(std::move(opts)) {}
+
+void TimelineState::apply(const SiteReport& r) {
+  SiteState& site = sites_.try_emplace(r.site).first->second;
+  site.seq = r.seq;
+  site.last_t_ns = r.t_ns;
+  site.final_report = r.final_report;
+  for (const auto& [name, v] : r.series) {
+    auto it = site.series.find(name);
+    if (it == site.series.end()) {
+      it = site.series.emplace(name, Ring(opts_.ring_capacity)).first;
+    }
+    it->second.push({r.t_ns, v});
+  }
+  for (const auto& [component, state] : r.health) {
+    site.health[component] = state;
+  }
+  ++reports_applied_;
+}
+
+std::vector<SloBreach> TimelineState::breaches(const std::string& site) const {
+  std::vector<SloBreach> out;
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return out;
+  for (const SloRule& rule : opts_.slos) {
+    for (const auto& [name, ring] : it->second.series) {
+      if (!contains(name, rule.series_contains)) continue;
+      double value = 0;
+      if (rule.kind == SloRule::Kind::kValueAbove) {
+        value = latest_value(ring);
+      } else if (!latest_rate(ring, &value)) {
+        continue;
+      }
+      if (value > rule.threshold) {
+        out.push_back({rule.name, name, value, rule.verdict});
+      }
+    }
+  }
+  return out;
+}
+
+Health TimelineState::verdict(const std::string& site,
+                              std::int64_t now_ns) const {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return Health::kDown;  // never heard from
+  Health worst = Health::kUp;
+  for (const auto& [component, state] : it->second.health) {
+    worst = std::max(worst, state);
+  }
+  for (const SloBreach& b : breaches(site)) {
+    worst = std::max(worst, b.verdict);
+  }
+  if (!it->second.final_report &&
+      now_ns - it->second.last_t_ns > opts_.stale_after_ns) {
+    worst = Health::kDown;
+  }
+  return worst;
+}
+
+std::vector<std::string> TimelineState::sites() const {
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, _] : sites_) out.push_back(name);
+  return out;
+}
+
+json::Value TimelineState::snapshot_json(std::int64_t now_ns) const {
+  json::Value root = json::Value::object();
+  root.set("now_ns", now_ns);
+  root.set("reports_applied", reports_applied_);
+  json::Value sites = json::Value::object();
+  for (const auto& [name, site] : sites_) {
+    json::Value s = json::Value::object();
+    s.set("verdict", health_name(verdict(name, now_ns)));
+    s.set("seq", site.seq);
+    s.set("last_t_ns", site.last_t_ns);
+    s.set("final", site.final_report);
+    json::Value health = json::Value::object();
+    for (const auto& [component, state] : site.health) {
+      health.set(component, health_name(state));
+    }
+    s.set("health", std::move(health));
+    json::Value breached = json::Value::array();
+    for (const SloBreach& b : breaches(name)) {
+      json::Value row = json::Value::object();
+      row.set("rule", b.rule);
+      row.set("series", b.series);
+      row.set("value", b.value);
+      row.set("verdict", health_name(b.verdict));
+      breached.push_back(std::move(row));
+    }
+    s.set("breaches", std::move(breached));
+    json::Value series = json::Value::object();
+    for (const auto& [sname, ring] : site.series) {
+      json::Value points = json::Value::array();
+      for (std::size_t i = 0; i < ring.size(); ++i) {
+        json::Value p = json::Value::array();
+        p.push_back(ring.at(i).t_ns);
+        p.push_back(ring.at(i).v);
+        points.push_back(std::move(p));
+      }
+      series.set(sname, std::move(points));
+    }
+    s.set("series", std::move(series));
+    sites.set(name, std::move(s));
+  }
+  root.set("sites", std::move(sites));
+  return root;
+}
+
+std::string TimelineState::render_top(std::int64_t now_ns, int width) const {
+  const int spark_w = std::max(8, width - 40);
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "wacs-top  t=%.3fs  sites=%zu\n",
+                static_cast<double>(now_ns) / 1e9, sites_.size());
+  out += buf;
+  for (const auto& [name, site] : sites_) {
+    const Health v = verdict(name, now_ns);
+    const double age_ms =
+        static_cast<double>(now_ns - site.last_t_ns) / 1e6;
+    std::snprintf(buf, sizeof(buf),
+                  "site %-8s [%-8s] seq=%llu age=%.0fms%s\n", name.c_str(),
+                  health_name(v),
+                  static_cast<unsigned long long>(site.seq), age_ms,
+                  site.final_report ? " (final)" : "");
+    out += buf;
+    for (const auto& [component, state] : site.health) {
+      if (state == Health::kUp) continue;  // only surprises
+      std::snprintf(buf, sizeof(buf), "  ! %-28s %s\n", component.c_str(),
+                    health_name(state));
+      out += buf;
+    }
+    for (const SloBreach& b : breaches(name)) {
+      std::snprintf(buf, sizeof(buf), "  ! slo %-24s %s value=%.1f\n",
+                    b.rule.c_str(), b.series.c_str(), b.value);
+      out += buf;
+    }
+    for (const auto& [sname, ring] : site.series) {
+      // Utilization-flavored series only; raw counters would double the
+      // block height without adding signal a top-style view needs.
+      if (!contains(sname, "queue_depth") && !contains(sname, "busy_cpus") &&
+          !contains(sname, "ranks") && !contains(sname, "bytes")) {
+        continue;
+      }
+      // Sparkline over the last spark_w points, scaled to the window max.
+      static const char kGlyphs[] = " .:-=+*#";
+      const std::size_t n =
+          std::min<std::size_t>(ring.size(), static_cast<std::size_t>(spark_w));
+      std::int64_t max_v = 1;
+      for (std::size_t i = ring.size() - n; i < ring.size(); ++i) {
+        max_v = std::max(max_v, ring.at(i).v);
+      }
+      std::string spark;
+      for (std::size_t i = ring.size() - n; i < ring.size(); ++i) {
+        const std::int64_t g =
+            ring.at(i).v <= 0 ? 0 : ring.at(i).v * 7 / max_v;
+        spark += kGlyphs[static_cast<std::size_t>(std::min<std::int64_t>(g, 7))];
+      }
+      std::snprintf(buf, sizeof(buf), "  %-26s %12lld |%s|\n", sname.c_str(),
+                    static_cast<long long>(ring.latest().v), spark.c_str());
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace wacs::obs

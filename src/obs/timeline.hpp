@@ -1,0 +1,132 @@
+// Collector-side state: ring-buffered time series, per-site health, SLO
+// rules, and the renderings built from them (DESIGN.md §14).
+//
+// Deliberately free of simulator dependencies: the Collector feeds it live
+// reports in virtual time, and `wacs-top` rebuilds the identical state from
+// a recorded journal — one implementation, two consumers. All output is
+// deterministic (map ordering, integer timestamps), so same-seed runs
+// produce byte-identical journals and snapshots and the bench-diff gate can
+// cover them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "obs/wire.hpp"
+
+namespace wacs::obs {
+
+/// Fixed-capacity time-series ring; push overwrites the oldest point.
+class Ring {
+ public:
+  struct Point {
+    std::int64_t t_ns = 0;
+    std::int64_t v = 0;
+  };
+
+  explicit Ring(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void push(Point p);
+  std::size_t size() const { return points_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  /// i = 0 is the oldest retained point.
+  const Point& at(std::size_t i) const;
+  const Point& latest() const { return at(size() - 1); }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< index of the oldest point once full
+  std::vector<Point> points_;
+};
+
+/// One health rule over a site's series. `series_contains` selects series
+/// by substring ("queue_depth", "wan."); a matching series breaches when
+/// its latest value (kValueAbove) or its rate over the last two points in
+/// units/sec (kRateAbove) exceeds `threshold`.
+struct SloRule {
+  enum class Kind { kValueAbove, kRateAbove };
+  std::string name;
+  std::string series_contains;
+  Kind kind = Kind::kValueAbove;
+  double threshold = 0;
+  Health verdict = Health::kDegraded;
+};
+
+/// The stock rule set: deep queues (jobs waiting on busy CPUs), a high
+/// requeue rate (parts bouncing off dead ranks), and WAN link saturation
+/// (sustained bytes/sec near the paper's 1.5 Mbps trans-Pacific capacity).
+std::vector<SloRule> default_slo_rules();
+
+struct TimelineOptions {
+  std::size_t ring_capacity = 128;
+  /// A site whose newest report is older than this (and not final) is
+  /// verdict-down: its agent, host, or path has gone quiet unexpectedly.
+  std::int64_t stale_after_ns = 1'000'000'000;
+  std::vector<SloRule> slos = default_slo_rules();
+};
+
+/// An applied (absolute-valued) report: what one journal line carries.
+struct SiteReport {
+  std::string site;
+  std::uint64_t seq = 0;
+  std::int64_t t_ns = 0;
+  bool final_report = false;
+  std::vector<std::pair<std::string, std::int64_t>> series;  ///< absolute
+  std::vector<std::pair<std::string, Health>> health;        ///< changed
+};
+
+/// One deterministic JSONL journal line for a report (no trailing newline).
+std::string report_to_jsonl(const SiteReport& r);
+/// Inverse of report_to_jsonl (also accepts hand-written fixtures).
+Result<SiteReport> report_from_jsonl(std::string_view line);
+
+/// A breached SLO rule at evaluation time.
+struct SloBreach {
+  std::string rule;
+  std::string series;
+  double value = 0;  ///< latest value or rate, whichever the rule reads
+  Health verdict = Health::kUp;
+};
+
+class TimelineState {
+ public:
+  explicit TimelineState(TimelineOptions opts = {});
+
+  /// Ingests one report (collector: decoded live; wacs-top: journal line).
+  void apply(const SiteReport& r);
+
+  /// Worst of: component states the site reported, SLO breaches, and
+  /// staleness at `now_ns`.
+  Health verdict(const std::string& site, std::int64_t now_ns) const;
+  std::vector<SloBreach> breaches(const std::string& site) const;
+
+  std::vector<std::string> sites() const;
+  std::uint64_t reports_applied() const { return reports_applied_; }
+
+  /// Full deterministic state dump: per-site verdicts, component health,
+  /// breaches, and ring contents. The CI snapshot artifact.
+  json::Value snapshot_json(std::int64_t now_ns) const;
+
+  /// Terminal rendering (wacs-top): one block per site with verdict, age,
+  /// component states, and sparklines for utilization-ish series.
+  std::string render_top(std::int64_t now_ns, int width = 72) const;
+
+ private:
+  struct SiteState {
+    std::uint64_t seq = 0;
+    std::int64_t last_t_ns = 0;
+    bool final_report = false;
+    std::map<std::string, Ring> series;
+    std::map<std::string, Health> health;
+  };
+
+  TimelineOptions opts_;
+  std::map<std::string, SiteState> sites_;
+  std::uint64_t reports_applied_ = 0;
+};
+
+}  // namespace wacs::obs

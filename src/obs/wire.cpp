@@ -1,0 +1,172 @@
+#include "obs/wire.hpp"
+
+namespace wacs::obs {
+
+void put_uvarint(BufWriter& w, std::uint64_t v) {
+  while (v >= 0x80) {
+    w.u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  w.u8(static_cast<std::uint8_t>(v));
+}
+
+Result<std::uint64_t> get_uvarint(BufReader& r) {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    auto b = r.u8();
+    if (!b.ok()) return b.error();
+    v |= static_cast<std::uint64_t>(*b & 0x7f) << shift;
+    if ((*b & 0x80) == 0) return v;
+  }
+  return Error(ErrorCode::kProtocolError, "uvarint longer than 10 bytes");
+}
+
+void put_varint(BufWriter& w, std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  put_uvarint(w, (u << 1) ^ static_cast<std::uint64_t>(v >> 63));
+}
+
+Result<std::int64_t> get_varint(BufReader& r) {
+  auto u = get_uvarint(r);
+  if (!u.ok()) return u.error();
+  return static_cast<std::int64_t>((*u >> 1) ^ (~(*u & 1) + 1));
+}
+
+const char* health_name(Health h) {
+  switch (h) {
+    case Health::kUp: return "up";
+    case Health::kDegraded: return "degraded";
+    case Health::kDown: return "down";
+  }
+  return "?";
+}
+
+Result<Health> parse_health(std::string_view name) {
+  if (name == "up") return Health::kUp;
+  if (name == "degraded") return Health::kDegraded;
+  if (name == "down") return Health::kDown;
+  return Error(ErrorCode::kProtocolError,
+               "unknown health state: " + std::string(name));
+}
+
+Bytes Hello::encode() const {
+  BufWriter w;
+  w.u8(kMsgHello);
+  w.str(site);
+  w.str(agent_host);
+  return std::move(w).take();
+}
+
+Result<Hello> Hello::decode(const Bytes& frame) {
+  BufReader r(frame);
+  auto type = r.u8();
+  if (!type.ok()) return type.error();
+  if (*type != kMsgHello) {
+    return Error(ErrorCode::kProtocolError, "not a Hello frame");
+  }
+  Hello out;
+  auto site = r.str();
+  if (!site.ok()) return site.error();
+  out.site = std::move(*site);
+  auto host = r.str();
+  if (!host.ok()) return host.error();
+  out.agent_host = std::move(*host);
+  return out;
+}
+
+Bytes Report::encode() const {
+  BufWriter w;
+  w.u8(kMsgReport);
+  put_uvarint(w, seq);
+  put_varint(w, t_ns);
+  w.u8(final_report ? 1 : 0);
+  put_uvarint(w, defs.size());
+  for (const auto& [id, name] : defs) {
+    put_uvarint(w, id);
+    w.str(name);
+  }
+  put_uvarint(w, samples.size());
+  for (const auto& [id, delta] : samples) {
+    put_uvarint(w, id);
+    put_varint(w, delta);
+  }
+  put_uvarint(w, health.size());
+  for (const auto& [component, state] : health) {
+    w.str(component);
+    w.u8(static_cast<std::uint8_t>(state));
+  }
+  return std::move(w).take();
+}
+
+Result<Report> Report::decode(const Bytes& frame) {
+  BufReader r(frame);
+  auto type = r.u8();
+  if (!type.ok()) return type.error();
+  if (*type != kMsgReport) {
+    return Error(ErrorCode::kProtocolError, "not a Report frame");
+  }
+  Report out;
+  auto seq = get_uvarint(r);
+  if (!seq.ok()) return seq.error();
+  out.seq = *seq;
+  auto t = get_varint(r);
+  if (!t.ok()) return t.error();
+  out.t_ns = *t;
+  auto fin = r.u8();
+  if (!fin.ok()) return fin.error();
+  out.final_report = *fin != 0;
+
+  auto n_defs = get_uvarint(r);
+  if (!n_defs.ok()) return n_defs.error();
+  if (*n_defs > r.remaining()) {
+    return Error(ErrorCode::kProtocolError, "def count exceeds frame");
+  }
+  out.defs.reserve(*n_defs);
+  for (std::uint64_t i = 0; i < *n_defs; ++i) {
+    auto id = get_uvarint(r);
+    if (!id.ok()) return id.error();
+    auto name = r.str();
+    if (!name.ok()) return name.error();
+    out.defs.emplace_back(static_cast<std::uint32_t>(*id), std::move(*name));
+  }
+
+  auto n_samples = get_uvarint(r);
+  if (!n_samples.ok()) return n_samples.error();
+  if (*n_samples > r.remaining()) {
+    return Error(ErrorCode::kProtocolError, "sample count exceeds frame");
+  }
+  out.samples.reserve(*n_samples);
+  for (std::uint64_t i = 0; i < *n_samples; ++i) {
+    auto id = get_uvarint(r);
+    if (!id.ok()) return id.error();
+    auto delta = get_varint(r);
+    if (!delta.ok()) return delta.error();
+    out.samples.emplace_back(static_cast<std::uint32_t>(*id), *delta);
+  }
+
+  auto n_health = get_uvarint(r);
+  if (!n_health.ok()) return n_health.error();
+  if (*n_health > r.remaining()) {
+    return Error(ErrorCode::kProtocolError, "health count exceeds frame");
+  }
+  out.health.reserve(*n_health);
+  for (std::uint64_t i = 0; i < *n_health; ++i) {
+    auto component = r.str();
+    if (!component.ok()) return component.error();
+    auto state = r.u8();
+    if (!state.ok()) return state.error();
+    if (*state > static_cast<std::uint8_t>(Health::kDown)) {
+      return Error(ErrorCode::kProtocolError, "bad health state byte");
+    }
+    out.health.emplace_back(std::move(*component),
+                            static_cast<Health>(*state));
+  }
+  return out;
+}
+
+Result<std::uint8_t> peek_type(const Bytes& frame) {
+  BufReader r(frame);
+  return r.u8();
+}
+
+}  // namespace wacs::obs

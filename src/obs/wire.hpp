@@ -1,0 +1,79 @@
+// Observability wire protocol: what a per-site MetricsAgent ships to the
+// Collector on the submit host (DESIGN.md §14).
+//
+// The transport is ordinary simulated TCP — which means the one
+// firewall-approved proxied port when the agent's site sits behind a
+// firewall; observability gets no side channel. Frames are small on
+// purpose: series names travel once (Report.defs assigns a varint id the
+// first time a series appears on a connection) and samples are
+// zigzag-varint *deltas* from the previous report, so an idle site costs a
+// few bytes per period. A fresh connection restarts both the id space and
+// the delta baseline, which makes reconnects self-describing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+
+namespace wacs::obs {
+
+// ------------------------------------------------------------- varints
+
+/// LEB128 unsigned varint append.
+void put_uvarint(BufWriter& w, std::uint64_t v);
+Result<std::uint64_t> get_uvarint(BufReader& r);
+
+/// Zigzag-encoded signed varint (small magnitudes of either sign stay
+/// 1 byte; metric deltas hover near zero).
+void put_varint(BufWriter& w, std::int64_t v);
+Result<std::int64_t> get_varint(BufReader& r);
+
+// ------------------------------------------------------------- health
+
+/// Component health as reported by an agent and aggregated by the
+/// collector. Ordered worst-last so "worst of" is std::max.
+enum class Health : std::uint8_t { kUp = 0, kDegraded = 1, kDown = 2 };
+
+const char* health_name(Health h);            ///< "up"/"degraded"/"down"
+Result<Health> parse_health(std::string_view name);
+
+// ------------------------------------------------------------- messages
+
+/// First frame on every agent connection.
+struct Hello {
+  std::string site;
+  std::string agent_host;
+
+  Bytes encode() const;
+  static Result<Hello> decode(const Bytes& frame);
+};
+
+/// One export period. `defs` introduces series ids new on this connection;
+/// `samples` carries (id, delta-from-last-report); `health` carries only
+/// components whose state changed (or all, on the first report).
+struct Report {
+  std::uint64_t seq = 0;
+  std::int64_t t_ns = 0;
+  /// Last report of the run: the site went quiet on purpose, staleness
+  /// after this is not a failure.
+  bool final_report = false;
+  std::vector<std::pair<std::uint32_t, std::string>> defs;
+  std::vector<std::pair<std::uint32_t, std::int64_t>> samples;
+  std::vector<std::pair<std::string, Health>> health;
+
+  Bytes encode() const;
+  static Result<Report> decode(const Bytes& frame);
+};
+
+/// Frame type tags (first byte of every frame).
+inline constexpr std::uint8_t kMsgHello = 1;
+inline constexpr std::uint8_t kMsgReport = 2;
+
+/// Type tag of a frame without consuming it.
+Result<std::uint8_t> peek_type(const Bytes& frame);
+
+}  // namespace wacs::obs

@@ -266,6 +266,23 @@ class Network {
   /// this.
   std::vector<const Link*> all_links() const;
 
+  /// WAN links with their endpoint site names, deterministic (map) order.
+  /// Metrics agents use this to attribute inter-site byte counters to the
+  /// link's lexicographically-first site exactly once.
+  struct WanLink {
+    std::string site_a;
+    std::string site_b;
+    const Link* link;
+  };
+  std::vector<WanLink> wan_links() const {
+    std::vector<WanLink> out;
+    out.reserve(wan_.size());
+    for (const auto& [key, link] : wan_) {
+      out.push_back({key.first, key.second, link.get()});
+    }
+    return out;
+  }
+
   /// The fault injector attached to this network, or nullptr when the run
   /// is fault-free (the common case; every fault check is skipped then).
   FaultInjector* fault() { return fault_; }

@@ -1,0 +1,66 @@
+// The structured (JSON) log sink: format shape, escaping, and the runtime
+// toggle. format_line is the seam — the tests never scrape stderr.
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+
+namespace wacs::log {
+namespace {
+
+/// RAII guard: every test leaves the sink the way it found it.
+struct JsonSink {
+  bool saved = json_enabled();
+  explicit JsonSink(bool on) { set_json(on); }
+  ~JsonSink() { set_json(saved); }
+};
+
+TEST(LogFormat, HumanFormatIsTheDefaultShape) {
+  JsonSink off(false);
+  const std::string line = format_line(Level::kWarn, "rmf.gk", "hello");
+  EXPECT_NE(line.find("[WARN"), std::string::npos);
+  EXPECT_NE(line.find("rmf.gk"), std::string::npos);
+  EXPECT_NE(line.find("hello"), std::string::npos);
+  EXPECT_EQ(line.find('{'), std::string::npos);  // not JSON
+}
+
+TEST(LogFormat, JsonLineParsesAndCarriesAllFields) {
+  JsonSink on(true);
+  const std::string line =
+      format_line(Level::kError, "nxproxy.outer", "relay failed");
+  auto doc = json::Value::parse(line);
+  ASSERT_TRUE(doc.ok()) << line;
+  EXPECT_EQ(doc->find("level")->as_string(), "ERROR");
+  EXPECT_EQ(doc->find("component")->as_string(), "nxproxy.outer");
+  EXPECT_EQ(doc->find("msg")->as_string(), "relay failed");
+  EXPECT_GT(doc->find("ts_ms")->as_int(), 0);
+}
+
+TEST(LogFormat, JsonEscapesHostileMessageBytes) {
+  JsonSink on(true);
+  const std::string line = format_line(
+      Level::kInfo, "c\"omp", "quote \" backslash \\ newline \n tab \t");
+  auto doc = json::Value::parse(line);
+  ASSERT_TRUE(doc.ok()) << line;
+  EXPECT_EQ(doc->find("component")->as_string(), "c\"omp");
+  EXPECT_EQ(doc->find("msg")->as_string(),
+            "quote \" backslash \\ newline \n tab \t");
+  // One line per record, however hostile the payload.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(LogFormat, ToggleSwitchesSinksAtRuntime) {
+  JsonSink on(true);
+  EXPECT_TRUE(json_enabled());
+  const std::string json_line = format_line(Level::kInfo, "x", "m");
+  set_json(false);
+  EXPECT_FALSE(json_enabled());
+  const std::string human_line = format_line(Level::kInfo, "x", "m");
+  EXPECT_NE(json_line, human_line);
+  EXPECT_TRUE(json::Value::parse(json_line).ok());
+  EXPECT_FALSE(json::Value::parse(human_line).ok());
+}
+
+}  // namespace
+}  // namespace wacs::log

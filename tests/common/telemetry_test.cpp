@@ -204,6 +204,69 @@ TEST_F(TelemetryTest, HistogramSummarySingleBucket) {
   EXPECT_LE(s.p95, s.p99);
 }
 
+TEST_F(TelemetryTest, ExponentialBoundsAreGeometricAndInclusive) {
+  const auto bounds = Histogram::exponential_bounds(0.001, 10000.0, 40);
+  ASSERT_EQ(bounds.size(), 40u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 0.001);
+  EXPECT_DOUBLE_EQ(bounds.back(), 10000.0);
+  // Constant ratio between adjacent bounds (geometric ladder).
+  const double ratio = bounds[1] / bounds[0];
+  for (std::size_t i = 2; i < bounds.size(); ++i) {
+    EXPECT_NEAR(bounds[i] / bounds[i - 1], ratio, ratio * 1e-9);
+  }
+}
+
+TEST_F(TelemetryTest, ExponentialHistogramSpansMicrosecondsToSeconds) {
+  Histogram h = Histogram::exponential(0.001, 10000.0, 40);
+  h.observe(0.002);    // 2 µs
+  h.observe(8000.0);   // 8 s
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  // Both land in interior buckets — neither clamped to an end.
+  EXPECT_EQ(snap.counts.front(), 0u);
+  EXPECT_EQ(snap.counts.back(), 0u);
+}
+
+TEST_F(TelemetryTest, DeltaSinceReportsChangesAndAdvancesBase) {
+  Counter& c = metrics().counter("test.delta.c");
+  Gauge& g = metrics().gauge("test.delta.g");
+  c.add(5);
+  g.set(10);
+  Registry::Snapshot base;  // empty: everything deltas from zero
+  Registry::Delta d = metrics().delta_since(base);
+  ASSERT_EQ(d.counters.size(), 1u);
+  EXPECT_EQ(d.counters[0].first, "test.delta.c");
+  EXPECT_EQ(d.counters[0].second, 5);
+  ASSERT_EQ(d.gauges.size(), 1u);
+  EXPECT_EQ(d.gauges[0].second, 10);
+
+  // No changes: the next delta is empty (unchanged series omitted).
+  EXPECT_TRUE(metrics().delta_since(base).empty());
+
+  // Counters delta forward, gauges can delta negative.
+  c.add(2);
+  g.add(-4);
+  d = metrics().delta_since(base);
+  ASSERT_EQ(d.counters.size(), 1u);
+  EXPECT_EQ(d.counters[0].second, 2);
+  ASSERT_EQ(d.gauges.size(), 1u);
+  EXPECT_EQ(d.gauges[0].second, -4);
+}
+
+TEST_F(TelemetryTest, DeltaSinceSurvivesNewInstrumentsAppearing) {
+  Counter& a = metrics().counter("test.delta2.a");
+  a.add(1);
+  Registry::Snapshot base;
+  (void)metrics().delta_since(base);
+  // A series born after the baseline deltas from zero.
+  Counter& b = metrics().counter("test.delta2.b");
+  b.add(7);
+  const Registry::Delta d = metrics().delta_since(base);
+  ASSERT_EQ(d.counters.size(), 1u);
+  EXPECT_EQ(d.counters[0].first, "test.delta2.b");
+  EXPECT_EQ(d.counters[0].second, 7);
+}
+
 TEST_F(TelemetryTest, HistogramSummaryOverflowBucket) {
   Histogram& h = metrics().histogram("test.sum.overflow", {1.0});
   h.observe(5.0);

@@ -1,0 +1,135 @@
+// The /metrics admin endpoint of the real proxy daemons: loopback HTTP
+// scrape after driving real relay traffic, plus unit checks of the text
+// exposition itself.
+#include "nxproxy/client.hpp"
+#include "nxproxy/daemon.hpp"
+#include "nxproxy/metrics_http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+namespace wacs::nxproxy {
+namespace {
+
+/// One-shot HTTP GET against loopback; returns the whole response.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  auto conn = net::TcpSocket::dial(Contact{"127.0.0.1", port});
+  EXPECT_TRUE(conn.ok());
+  if (!conn.ok()) return "";
+  EXPECT_TRUE(
+      conn->write_all(to_bytes("GET " + path + " HTTP/1.0\r\n\r\n")).ok());
+  std::string out;
+  while (true) {
+    auto chunk = conn->read_some(4096);
+    if (!chunk.ok() || chunk->empty()) break;
+    out += to_string(*chunk);
+  }
+  return out;
+}
+
+/// Value of a series line like `name{...} 42`, or -1 when absent.
+long long series_value(const std::string& body, const std::string& prefix) {
+  const auto pos = body.find(prefix);
+  if (pos == std::string::npos) return -1;
+  const auto space = body.find(' ', pos);
+  if (space == std::string::npos) return -1;
+  return std::atoll(body.c_str() + space + 1);
+}
+
+TEST(NxProxyMetrics, RenderEmitsAllSeriesWithRoleLabel) {
+  DaemonStats stats;
+  stats.connections.store(3);
+  stats.bytes_relayed.store(1024);
+  stats.connect_ms.observe(0.5);
+  stats.relay_session_ms.observe(12.0);
+  const std::string text = render_metrics(stats, "outer");
+  EXPECT_NE(text.find("nxproxy_connections_total{role=\"outer\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("nxproxy_bytes_relayed_total{role=\"outer\"} 1024"),
+            std::string::npos);
+  EXPECT_NE(text.find("nxproxy_connect_ms_count{role=\"outer\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("nxproxy_relay_session_ms_sum{role=\"outer\"} 12"),
+            std::string::npos);
+  // Cumulative buckets must end with the +Inf catch-all.
+  EXPECT_NE(text.find("nxproxy_connect_ms_bucket{role=\"outer\",le=\"+Inf\"} 1"),
+            std::string::npos);
+}
+
+TEST(NxProxyMetrics, EndpointServesMetricsAndHealthz) {
+  InnerDaemon inner{"127.0.0.1", 0};
+  ASSERT_TRUE(inner.start().ok());
+  ASSERT_TRUE(inner.serve_metrics("127.0.0.1", 0).ok());
+  ASSERT_NE(inner.metrics_port(), 0);
+
+  const std::string health = http_get(inner.metrics_port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string metrics = http_get(inner.metrics_port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("nxproxy_connections_total{role=\"inner\"} 0"),
+            std::string::npos);
+
+  const std::string missing = http_get(inner.metrics_port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+  inner.stop();
+}
+
+TEST(NxProxyMetrics, ScrapeReflectsRelayedTraffic) {
+  OuterDaemon outer{"127.0.0.1", 0, "127.0.0.1"};
+  InnerDaemon inner{"127.0.0.1", 0};
+  ASSERT_TRUE(outer.start().ok());
+  ASSERT_TRUE(inner.start().ok());
+  ASSERT_TRUE(outer.serve_metrics("127.0.0.1", 0).ok());
+  ASSERT_TRUE(inner.serve_metrics("127.0.0.1", 0).ok());
+
+  // Passive open through both daemons, one round trip, close.
+  auto bound = NXProxyBind(outer.contact(), inner.contact());
+  ASSERT_TRUE(bound.ok()) << bound.error().to_string();
+  std::thread remote([&] {
+    auto conn = net::TcpSocket::dial(bound->public_contact);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn->write_all(to_bytes("traffic!")).ok());
+    (void)conn->read_exact(2);
+  });
+  auto accepted = NXProxyAccept(*bound);
+  ASSERT_TRUE(accepted.ok()) << accepted.error().to_string();
+  auto data = accepted->first.read_exact(8);
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(accepted->first.write_all(to_bytes("ok")).ok());
+  remote.join();
+  accepted->first.shutdown();
+  bound->listener.shutdown();
+
+  // The splice sessions close asynchronously; poll the scrape until the
+  // session-close events (and their latency observations) land.
+  std::string outer_text;
+  for (int i = 0; i < 100; ++i) {
+    outer_text = http_get(outer.metrics_port(), "/metrics");
+    if (series_value(outer_text, "nxproxy_sessions_closed_total") >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const std::string inner_text = http_get(inner.metrics_port(), "/metrics");
+
+  EXPECT_GE(series_value(outer_text, "nxproxy_connections_total"), 1);
+  EXPECT_GE(series_value(outer_text, "nxproxy_bytes_relayed_total"), 8);
+  EXPECT_GE(series_value(outer_text, "nxproxy_sessions_opened_total"), 1);
+  EXPECT_GE(series_value(outer_text, "nxproxy_sessions_closed_total"), 1);
+  EXPECT_GE(series_value(outer_text,
+                         "nxproxy_relay_session_ms_count{role=\"outer\"}"),
+            1);
+  // The outer daemon dialed the inner: a connect latency was observed.
+  EXPECT_GE(
+      series_value(outer_text, "nxproxy_connect_ms_count{role=\"outer\"}"),
+      1);
+  EXPECT_GE(series_value(inner_text, "nxproxy_bytes_relayed_total"), 8);
+
+  outer.stop();
+  inner.stop();
+}
+
+}  // namespace
+}  // namespace wacs::nxproxy

@@ -1,0 +1,159 @@
+// End-to-end observability plane on the Figure-5 wide-area grid
+// (DESIGN.md §14): deterministic journals, a zero-cost kill switch, no
+// firewall holes punched for metrics, and graceful degradation when a
+// monitored site crashes.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/testbeds.hpp"
+#include "knapsack/parallel.hpp"
+#include "knapsack/search.hpp"
+#include "simnet/time.hpp"
+
+namespace wacs::obs {
+namespace {
+
+using core::Testbed;
+using core::make_rwcp_etl_testbed;
+
+rmf::JobSpec knapsack_spec(const knapsack::Instance& inst) {
+  rmf::JobSpec spec;
+  spec.name = "obs-test";
+  spec.task = knapsack::kParallelTask;
+  // Cross-site placement: the metrics deltas share the proxied port with
+  // real steal traffic.
+  spec.placements = {{"rwcp-sun", 2}, {"compas01", 1}, {"etl-o2k", 2}};
+  spec.nprocs = 0;
+  for (const auto& p : spec.placements) spec.nprocs += p.count;
+  spec.args = {{knapsack::args::kInterval, "200"},
+               {knapsack::args::kStealUnit, "8"},
+               {knapsack::args::kBackUnit, "32"},
+               {knapsack::args::kSecPerNode, "0.000001"}};
+  spec.input_files[knapsack::kInstanceFile] = inst.encode();
+  spec.deadline_seconds = 300;
+  return spec;
+}
+
+rmf::JobResult run_knapsack(Testbed& tb, const knapsack::Instance& inst) {
+  auto result = tb->run_job("rwcp-sun", knapsack_spec(inst));
+  EXPECT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_TRUE(result->ok) << result->error;
+  return *result;
+}
+
+std::size_t total_firewall_rules(Testbed& tb) {
+  std::size_t n = 0;
+  for (const auto& site : {"rwcp", "etl"}) {
+    n += tb->net().site(site).firewall().policy().rules().size();
+  }
+  return n;
+}
+
+TEST(ObsPlane, SameSeedRunsProduceByteIdenticalJournals) {
+  knapsack::Instance inst = knapsack::no_prune_instance(12, 5);
+  std::string journal[2];
+  std::string snapshot[2];
+  for (int i = 0; i < 2; ++i) {
+    Testbed tb = make_rwcp_etl_testbed();
+    tb->enable_observability("rwcp-sun");
+    ASSERT_TRUE(tb->observability_enabled());
+    run_knapsack(tb, inst);
+    ASSERT_GT(tb->collector()->reports_received(), 0u);
+    EXPECT_EQ(tb->collector()->decode_errors(), 0u);
+    journal[i] = tb->collector()->journal();
+    snapshot[i] =
+        tb->collector()->timeline().snapshot_json(tb->engine().now()).dump();
+  }
+  EXPECT_EQ(journal[0], journal[1]);
+  EXPECT_EQ(snapshot[0], snapshot[1]);
+  EXPECT_FALSE(journal[0].empty());
+}
+
+TEST(ObsPlane, ExportOnDoesNotChangeJobOutcome) {
+  knapsack::Instance inst = knapsack::no_prune_instance(12, 6);
+  Testbed plain = make_rwcp_etl_testbed();
+  const rmf::JobResult off = run_knapsack(plain, inst);
+
+  Testbed tb = make_rwcp_etl_testbed();
+  tb->enable_observability("rwcp-sun");
+  const rmf::JobResult on = run_knapsack(tb, inst);
+
+  auto stats_off = knapsack::RunStats::decode(off.output);
+  auto stats_on = knapsack::RunStats::decode(on.output);
+  ASSERT_TRUE(stats_off.ok());
+  ASSERT_TRUE(stats_on.ok());
+  EXPECT_EQ(stats_on->best_value, stats_off->best_value);
+  EXPECT_EQ(stats_on->total_nodes, stats_off->total_nodes);
+}
+
+TEST(ObsPlane, KillSwitchDisablesThePlaneEntirely) {
+  knapsack::Instance inst = knapsack::no_prune_instance(12, 7);
+  Testbed plain = make_rwcp_etl_testbed();
+  const rmf::JobResult baseline = run_knapsack(plain, inst);
+
+  ::setenv("WACS_OBS", "0", 1);
+  Testbed tb = make_rwcp_etl_testbed();
+  tb->enable_observability("rwcp-sun");
+  ::unsetenv("WACS_OBS");
+  EXPECT_FALSE(tb->observability_enabled());
+  EXPECT_EQ(tb->collector(), nullptr);
+  EXPECT_TRUE(tb->metrics_agents().empty());
+  // With the switch thrown the run is byte-for-byte the un-instrumented
+  // one — same virtual makespan, not merely the same answer.
+  const rmf::JobResult result = run_knapsack(tb, inst);
+  EXPECT_EQ(result.wall_seconds, baseline.wall_seconds);
+}
+
+TEST(ObsPlane, NoFirewallHolesPunchedForMetrics) {
+  Testbed plain = make_rwcp_etl_testbed();
+  const std::size_t baseline_rules = total_firewall_rules(plain);
+
+  knapsack::Instance inst = knapsack::no_prune_instance(12, 8);
+  Testbed tb = make_rwcp_etl_testbed();
+  tb->enable_observability("rwcp-sun");
+  run_knapsack(tb, inst);
+  // The collector heard from the remote site (so the path works) without
+  // a single rule beyond what the un-instrumented grid deploys.
+  EXPECT_EQ(total_firewall_rules(tb), baseline_rules);
+  bool heard_etl = false;
+  for (const auto& site : tb->collector()->timeline().sites()) {
+    if (site == "etl") heard_etl = true;
+  }
+  EXPECT_TRUE(heard_etl);
+}
+
+TEST(ObsPlane, SiteCrashDegradesVerdictWithoutWedgingCollector) {
+  knapsack::Instance inst = knapsack::no_prune_instance(12, 9);
+  Testbed tb = make_rwcp_etl_testbed();
+  tb->faults(41);
+  // etl-sun hosts ETL's metrics agent but no rank of this job: the crash
+  // silences the site's telemetry while the computation proceeds.
+  tb->faults().plan_host_crash("etl-sun", sim::from_sec(0.08));
+
+  core::GridSystem::ObservabilityOptions opts;
+  opts.interval_s = 0.02;
+  opts.timeline.stale_after_ns = 50'000'000;  // 50ms: silence = down
+  tb->enable_observability("rwcp-sun", opts);
+
+  rmf::JobSpec spec = knapsack_spec(inst);
+  spec.placements = {{"rwcp-sun", 2}, {"compas01", 1}, {"compas02", 1}};
+  spec.nprocs = 4;
+  // Slow nodes keep the search alive well past the crash, so the etl
+  // agent is provably mid-run when it dies.
+  spec.args[knapsack::args::kSecPerNode] = "0.0001";
+  auto result = tb->run_job("rwcp-sun", spec);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_TRUE(result->ok) << result->error;
+
+  // The collector survived the dead peer and kept ingesting rwcp.
+  ASSERT_GT(tb->collector()->reports_received(), 0u);
+  const auto now = tb->engine().now();
+  EXPECT_EQ(tb->collector()->timeline().verdict("rwcp", now), Health::kUp);
+  // etl stopped reporting without a final report: verdict-down on
+  // staleness, exactly how a crashed site should read.
+  EXPECT_EQ(tb->collector()->timeline().verdict("etl", now), Health::kDown);
+}
+
+}  // namespace
+}  // namespace wacs::obs

@@ -1,0 +1,153 @@
+// Collector-side state: ring semantics, SLO evaluation, verdict
+// aggregation, staleness, and the JSONL journal round trip wacs-top
+// depends on.
+#include <gtest/gtest.h>
+
+#include "obs/timeline.hpp"
+
+namespace wacs::obs {
+namespace {
+
+SiteReport report(const std::string& site, std::int64_t t_ns,
+                  std::vector<std::pair<std::string, std::int64_t>> series,
+                  std::vector<std::pair<std::string, Health>> health = {},
+                  bool final_report = false) {
+  SiteReport r;
+  r.site = site;
+  r.t_ns = t_ns;
+  r.series = std::move(series);
+  r.health = std::move(health);
+  r.final_report = final_report;
+  return r;
+}
+
+TEST(ObsRing, OverwritesOldestWhenFull) {
+  Ring ring(3);
+  for (std::int64_t i = 1; i <= 5; ++i) ring.push({i, i * 10});
+  ASSERT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.at(0).v, 30);
+  EXPECT_EQ(ring.at(1).v, 40);
+  EXPECT_EQ(ring.at(2).v, 50);
+  EXPECT_EQ(ring.latest().t_ns, 5);
+}
+
+TEST(ObsRing, ZeroCapacityClampsToOne) {
+  Ring ring(0);
+  ring.push({1, 1});
+  ring.push({2, 2});
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.latest().v, 2);
+}
+
+TEST(ObsTimeline, ValueSloBreachDegradesVerdict) {
+  TimelineState state;
+  state.apply(report("rwcp", 1'000'000'000, {{"q.compas01.queue_depth", 40}}));
+  const auto breaches = state.breaches("rwcp");
+  ASSERT_EQ(breaches.size(), 1u);
+  EXPECT_EQ(breaches[0].rule, "queue_depth_high");
+  EXPECT_EQ(state.verdict("rwcp", 1'000'000'000), Health::kDegraded);
+}
+
+TEST(ObsTimeline, RateSloNeedsTwoPointsAndRealRate) {
+  TimelineState state;
+  state.apply(report("rwcp", 1'000'000'000, {{"wan.rwcp-etl.bytes", 0}}));
+  EXPECT_TRUE(state.breaches("rwcp").empty());  // one point: no rate yet
+  // +180000 B over 1s > the 168750 B/s saturation threshold.
+  state.apply(report("rwcp", 2'000'000'000, {{"wan.rwcp-etl.bytes", 180000}}));
+  const auto breaches = state.breaches("rwcp");
+  ASSERT_EQ(breaches.size(), 1u);
+  EXPECT_EQ(breaches[0].rule, "wan_link_saturated");
+  // Link drains: absolute value still high, rate back under threshold.
+  state.apply(report("rwcp", 3'000'000'000, {{"wan.rwcp-etl.bytes", 190000}}));
+  EXPECT_TRUE(state.breaches("rwcp").empty());
+}
+
+TEST(ObsTimeline, ComponentHealthFeedsVerdictWorstWins) {
+  TimelineState state;
+  state.apply(report("etl", 1'000'000'000, {},
+                     {{"qserver@etl-sun", Health::kUp},
+                      {"qserver@etl-o2k", Health::kDown}}));
+  EXPECT_EQ(state.verdict("etl", 1'000'000'000), Health::kDown);
+  // A later report flips the bad component back up.
+  state.apply(report("etl", 2'000'000'000, {},
+                     {{"qserver@etl-o2k", Health::kUp}}));
+  EXPECT_EQ(state.verdict("etl", 2'000'000'000), Health::kUp);
+}
+
+TEST(ObsTimeline, SilenceGoesStaleUnlessFinal) {
+  TimelineState state;
+  state.apply(report("etl", 1'000'000'000, {}));
+  EXPECT_EQ(state.verdict("etl", 1'500'000'000), Health::kUp);
+  // Quiet past stale_after (1s default): the site is presumed down.
+  EXPECT_EQ(state.verdict("etl", 2'500'000'000), Health::kDown);
+  // A final report makes silence expected.
+  state.apply(report("etl", 3'000'000'000, {}, {}, /*final=*/true));
+  EXPECT_EQ(state.verdict("etl", 60'000'000'000), Health::kUp);
+}
+
+TEST(ObsTimeline, UnknownSiteIsDown) {
+  TimelineState state;
+  EXPECT_EQ(state.verdict("nowhere", 0), Health::kDown);
+  EXPECT_TRUE(state.breaches("nowhere").empty());
+}
+
+TEST(ObsTimeline, JournalLineRoundTrips) {
+  SiteReport r = report("rwcp", 1'250'000'000,
+                        {{"q.compas01.queue_depth", 3},
+                         {"wan.rwcp-etl.bytes", 98765}},
+                        {{"gatekeeper@rwcp-sun", Health::kDegraded}},
+                        /*final=*/true);
+  r.seq = 9;
+  const std::string line = report_to_jsonl(r);
+  auto back = report_from_jsonl(line);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->site, r.site);
+  EXPECT_EQ(back->seq, r.seq);
+  EXPECT_EQ(back->t_ns, r.t_ns);
+  EXPECT_EQ(back->final_report, r.final_report);
+  EXPECT_EQ(back->series, r.series);
+  EXPECT_EQ(back->health, r.health);
+  // Byte-stable: re-encoding the decoded report reproduces the line.
+  EXPECT_EQ(report_to_jsonl(*back), line);
+}
+
+TEST(ObsTimeline, MalformedJournalLinesAreErrors) {
+  EXPECT_FALSE(report_from_jsonl("not json").ok());
+  EXPECT_FALSE(report_from_jsonl("{\"t\":1}").ok());  // no site
+  EXPECT_FALSE(
+      report_from_jsonl(
+          "{\"site\":\"x\",\"health\":{\"c\":\"sideways\"}}")
+          .ok());  // bad health name
+}
+
+TEST(ObsTimeline, SnapshotJsonCarriesVerdictAndSeries) {
+  TimelineState state;
+  state.apply(report("rwcp", 1'000'000'000,
+                     {{"q.compas01.queue_depth", 40}},
+                     {{"qserver@compas01", Health::kUp}}));
+  const json::Value snap = state.snapshot_json(1'000'000'000);
+  const json::Value* sites = snap.find("sites");
+  ASSERT_NE(sites, nullptr);
+  const json::Value* rwcp = sites->find("rwcp");
+  ASSERT_NE(rwcp, nullptr);
+  EXPECT_EQ(rwcp->find("verdict")->as_string(), "degraded");
+  EXPECT_EQ(rwcp->find("breaches")->items().size(), 1u);
+  EXPECT_EQ(
+      rwcp->find("series")->find("q.compas01.queue_depth")->items().size(),
+      1u);
+}
+
+TEST(ObsTimeline, RenderTopShowsBreachesAndSparklines) {
+  TimelineState state;
+  state.apply(report("rwcp", 1'000'000'000,
+                     {{"q.compas01.queue_depth", 40}},
+                     {{"allocator@rwcp-inner", Health::kDown}}));
+  const std::string top = state.render_top(1'000'000'000);
+  EXPECT_NE(top.find("site rwcp"), std::string::npos);
+  EXPECT_NE(top.find("queue_depth_high"), std::string::npos);
+  EXPECT_NE(top.find("allocator@rwcp-inner"), std::string::npos);
+  EXPECT_NE(top.find('|'), std::string::npos);  // a sparkline rendered
+}
+
+}  // namespace
+}  // namespace wacs::obs

@@ -1,0 +1,138 @@
+// Wire-level round trips for the observability protocol: varints, Hello,
+// Report, and the truncation guards (a hostile or cut-short frame must be
+// an error, never UB or a huge allocation).
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "obs/wire.hpp"
+
+namespace wacs::obs {
+namespace {
+
+TEST(ObsWire, UvarintRoundTripsBoundaryValues) {
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{127},
+        std::uint64_t{128}, std::uint64_t{16383}, std::uint64_t{16384},
+        std::uint64_t{0xFFFFFFFF}, ~std::uint64_t{0}}) {
+    BufWriter w;
+    put_uvarint(w, v);
+    BufReader r(w.bytes());
+    auto back = get_uvarint(r);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
+TEST(ObsWire, VarintZigzagKeepsSmallMagnitudesSmall) {
+  for (const std::int64_t v : {std::int64_t{0}, std::int64_t{-1},
+                               std::int64_t{1}, std::int64_t{-64}}) {
+    BufWriter w;
+    put_varint(w, v);
+    EXPECT_EQ(w.bytes().size(), 1u) << v;
+    BufReader r(w.bytes());
+    auto back = get_varint(r);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+  }
+  for (const std::int64_t v :
+       {std::numeric_limits<std::int64_t>::min(),
+        std::numeric_limits<std::int64_t>::max(), std::int64_t{-123456789}}) {
+    BufWriter w;
+    put_varint(w, v);
+    BufReader r(w.bytes());
+    auto back = get_varint(r);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TEST(ObsWire, TruncatedUvarintIsError) {
+  BufWriter w;
+  put_uvarint(w, 300);  // two bytes
+  Bytes cut(w.bytes().begin(), w.bytes().begin() + 1);
+  BufReader r(cut);
+  EXPECT_FALSE(get_uvarint(r).ok());
+}
+
+TEST(ObsWire, HelloRoundTrip) {
+  Hello hello{"rwcp", "rwcp-sun"};
+  const Bytes frame = hello.encode();
+  auto type = peek_type(frame);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, kMsgHello);
+  auto back = Hello::decode(frame);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->site, "rwcp");
+  EXPECT_EQ(back->agent_host, "rwcp-sun");
+}
+
+TEST(ObsWire, ReportRoundTrip) {
+  Report report;
+  report.seq = 42;
+  report.t_ns = 1'250'000'000;
+  report.final_report = true;
+  report.defs = {{0, "q.compas01.queue_depth"}, {1, "wan.rwcp-etl.bytes"}};
+  report.samples = {{0, -3}, {1, 98765}};
+  report.health = {{"qserver@compas01", Health::kUp},
+                   {"gatekeeper@rwcp-sun", Health::kDegraded}};
+
+  const Bytes frame = report.encode();
+  auto type = peek_type(frame);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, kMsgReport);
+
+  auto back = Report::decode(frame);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->seq, 42u);
+  EXPECT_EQ(back->t_ns, 1'250'000'000);
+  EXPECT_TRUE(back->final_report);
+  EXPECT_EQ(back->defs, report.defs);
+  EXPECT_EQ(back->samples, report.samples);
+  EXPECT_EQ(back->health, report.health);
+}
+
+TEST(ObsWire, EmptyReportIsTiny) {
+  Report report;
+  report.seq = 7;
+  report.t_ns = 1'000'000'000;
+  // An idle site: no new defs, no non-zero deltas, no health changes.
+  const Bytes frame = report.encode();
+  EXPECT_LE(frame.size(), 16u);
+  auto back = Report::decode(frame);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->defs.empty());
+  EXPECT_TRUE(back->samples.empty());
+}
+
+TEST(ObsWire, TruncatedReportIsError) {
+  Report report;
+  report.seq = 1;
+  report.defs = {{0, "some.series.name"}};
+  report.samples = {{0, 12345}};
+  const Bytes frame = report.encode();
+  // Every strict prefix must decode to an error, not a crash.
+  for (std::size_t n = 0; n < frame.size(); ++n) {
+    Bytes cut(frame.begin(), frame.begin() + static_cast<std::ptrdiff_t>(n));
+    EXPECT_FALSE(Report::decode(cut).ok()) << "prefix length " << n;
+  }
+}
+
+TEST(ObsWire, BogusHealthByteIsError) {
+  Report report;
+  report.health = {{"x", Health::kDown}};
+  Bytes frame = report.encode();
+  frame.back() = 99;  // health state is the last byte of this frame
+  EXPECT_FALSE(Report::decode(frame).ok());
+}
+
+TEST(ObsWire, WrongTypeTagRejected) {
+  Hello hello{"rwcp", "rwcp-sun"};
+  EXPECT_FALSE(Report::decode(hello.encode()).ok());
+  Report report;
+  EXPECT_FALSE(Hello::decode(report.encode()).ok());
+}
+
+}  // namespace
+}  // namespace wacs::obs

@@ -1,6 +1,6 @@
 // nxproxy-inner: the Nexus Proxy inner server as a deployable daemon.
 //
-//   nxproxy-inner --port 9900 [--bind 0.0.0.0] [--verbose]
+//   nxproxy-inner --port 9900 [--bind 0.0.0.0] [--metrics PORT] [--verbose]
 //
 // Runs until SIGINT/SIGTERM. Deploy inside the firewall and open exactly
 // one inbound rule: <outer host> -> <this host>:<port> ("only the
@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   using namespace wacs;
   std::string bind_ip = "0.0.0.0";
   int port = 9900;
+  int metrics_port = -1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -37,10 +38,14 @@ int main(int argc, char** argv) {
       port = std::atoi(next());
     } else if (arg == "--bind") {
       bind_ip = next();
+    } else if (arg == "--metrics") {
+      metrics_port = std::atoi(next());
     } else if (arg == "--verbose") {
       log::set_level(log::Level::kInfo);
     } else {
-      std::fprintf(stderr, "usage: %s --port N [--bind IP] [--verbose]\n",
+      std::fprintf(stderr,
+                   "usage: %s --port N [--bind IP] [--metrics PORT] "
+                   "[--verbose]\n",
                    argv[0]);
       return arg == "--help" ? 0 : 2;
     }
@@ -57,6 +62,20 @@ int main(int argc, char** argv) {
   }
   std::printf("nxproxy-inner listening on %s:%d (nxport)\n", bind_ip.c_str(),
               port);
+  if (metrics_port >= 0) {
+    // Admin endpoint: always loopback — it must never widen the audited
+    // relay surface.
+    if (auto s = daemon.serve_metrics("127.0.0.1", static_cast<std::uint16_t>(
+                                                       metrics_port));
+        !s.ok()) {
+      std::fprintf(stderr, "cannot serve metrics: %s\n",
+                   s.error().to_string().c_str());
+      daemon.stop();
+      return 1;
+    }
+    std::printf("metrics on 127.0.0.1:%u/metrics\n",
+                static_cast<unsigned>(daemon.metrics_port()));
+  }
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);

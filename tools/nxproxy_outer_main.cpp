@@ -1,7 +1,7 @@
 // nxproxy-outer: the Nexus Proxy outer server as a deployable daemon.
 //
 //   nxproxy-outer --port 9911 --advertise outer.example.org
-//                 [--bind 0.0.0.0] [--allow host[:port]]...
+//                 [--bind 0.0.0.0] [--allow host[:port]]... [--metrics PORT]
 //
 // Runs until SIGINT/SIGTERM. Deploy outside the firewall; clients use
 // NXProxyConnect/NXProxyBind against <advertise>:<port>. Without --allow
@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   std::string bind_ip = "0.0.0.0";
   std::string advertise;
   int port = 9911;
+  int metrics_port = -1;
   nxproxy::RelayAccessPolicy policy;
 
   for (int i = 1; i < argc; ++i) {
@@ -53,12 +54,14 @@ int main(int argc, char** argv) {
                             static_cast<std::uint16_t>(
                                 std::atoi(target.c_str() + colon + 1)));
       }
+    } else if (arg == "--metrics") {
+      metrics_port = std::atoi(next());
     } else if (arg == "--verbose") {
       log::set_level(log::Level::kInfo);
     } else {
       std::fprintf(stderr,
                    "usage: %s --port N --advertise HOST [--bind IP] "
-                   "[--allow HOST[:PORT]]... [--verbose]\n",
+                   "[--allow HOST[:PORT]]... [--metrics PORT] [--verbose]\n",
                    argv[0]);
       return arg == "--help" ? 0 : 2;
     }
@@ -77,6 +80,20 @@ int main(int argc, char** argv) {
   }
   std::printf("nxproxy-outer listening on %s:%d, advertising %s\n",
               bind_ip.c_str(), port, advertise.c_str());
+  if (metrics_port >= 0) {
+    // Admin endpoint: always loopback — it must never widen the audited
+    // relay surface.
+    if (auto s = daemon.serve_metrics("127.0.0.1", static_cast<std::uint16_t>(
+                                                       metrics_port));
+        !s.ok()) {
+      std::fprintf(stderr, "cannot serve metrics: %s\n",
+                   s.error().to_string().c_str());
+      daemon.stop();
+      return 1;
+    }
+    std::printf("metrics on 127.0.0.1:%u/metrics\n",
+                static_cast<unsigned>(daemon.metrics_port()));
+  }
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);

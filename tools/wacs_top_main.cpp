@@ -1,0 +1,123 @@
+// wacs-top: terminal view over a collector journal.
+//
+//   wacs-top journal.jsonl            one-shot render of the final state
+//   wacs-top --json journal.jsonl     full snapshot as JSON (CI artifact)
+//   wacs-top --follow journal.jsonl   live: re-read appended lines and
+//                                     redraw until the journal goes final
+//
+// The journal is the collector's JSONL report log (one SiteReport per
+// line). wacs-top replays it through the same TimelineState the live
+// collector runs, so what it shows is exactly what the SLO engine saw —
+// per-site verdicts, component health, breaches, and sparklines for the
+// utilization series. "now" is the newest report timestamp (virtual time),
+// so a recorded run renders identically anywhere.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "obs/timeline.hpp"
+
+namespace {
+
+struct Replay {
+  wacs::obs::TimelineState state;
+  std::int64_t now_ns = 0;
+  std::size_t lines = 0;
+  std::size_t malformed = 0;
+  bool all_final = false;
+
+  void apply_line(const std::string& line) {
+    if (line.empty()) return;
+    ++lines;
+    auto report = wacs::obs::report_from_jsonl(line);
+    if (!report.ok()) {
+      ++malformed;
+      return;
+    }
+    state.apply(*report);
+    if (report->t_ns > now_ns) now_ns = report->t_ns;
+  }
+
+  // The run is over once every site's newest report carried the final
+  // flag — the agents' parting words before the simulation drained.
+  void refresh_final() {
+    all_final = !state.sites().empty();
+    const auto snapshot = state.snapshot_json(now_ns);
+    for (const auto& [name, s] : snapshot.find("sites")->members()) {
+      const wacs::json::Value* fin = s.find("final");
+      if (fin == nullptr || !fin->as_bool()) all_final = false;
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wacs;
+  std::string path;
+  bool as_json = false;
+  bool follow = false;
+  int interval_ms = 500;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--follow") {
+      follow = true;
+    } else if (arg == "--interval" && i + 1 < argc) {
+      interval_ms = std::atoi(argv[++i]);
+    } else if (arg == "--help" || arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "usage: %s [--json] [--follow] [--interval MS] "
+                   "JOURNAL.jsonl\n",
+                   argv[0]);
+      return arg == "--help" ? 0 : 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s [--json] [--follow] JOURNAL.jsonl\n",
+                 argv[0]);
+    return 2;
+  }
+
+  Replay replay;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+
+  std::string line;
+  do {
+    // Drain whatever the collector has appended since the last pass. The
+    // stream keeps its offset across passes: clear eof and keep reading.
+    in.clear();
+    while (std::getline(in, line)) replay.apply_line(line);
+    replay.refresh_final();
+
+    if (!as_json) {
+      if (follow) std::fputs("\033[2J\033[H", stdout);
+      std::fputs(replay.state.render_top(replay.now_ns).c_str(), stdout);
+      std::fflush(stdout);
+    }
+    if (follow && !replay.all_final) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  } while (follow && !replay.all_final);
+
+  if (as_json) {
+    std::printf("%s\n", replay.state.snapshot_json(replay.now_ns)
+                            .dump()
+                            .c_str());
+  }
+  if (replay.malformed > 0) {
+    std::fprintf(stderr, "%zu malformed lines skipped\n", replay.malformed);
+  }
+  return 0;
+}
