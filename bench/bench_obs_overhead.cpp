@@ -10,6 +10,8 @@
 // Artifacts: the collector's journal (obs_timeline.jsonl, replayable with
 // wacs-top) and its final state snapshot (obs_snapshot.json).
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/testbeds.hpp"
@@ -86,6 +88,7 @@ int main() {
   // site shipping deltas in-band through the proxied port.
   double on_seconds = 0;
   std::string journal;
+  std::string rotated;
   std::string snapshot;
   std::uint64_t reports = 0;
   std::uint64_t decode_errors = 0;
@@ -97,6 +100,7 @@ int main() {
                    "WACS_OBS=0 would make this bench measure nothing");
     obs::Collector* collector = tb->collector();
     journal = collector->journal();
+    rotated = collector->rotated_journal();
     reports = collector->reports_received();
     decode_errors = collector->decode_errors();
     snapshot =
@@ -117,10 +121,12 @@ int main() {
                  "observability overhead above the 2% acceptance bar");
 
   const std::string dir = artifact_dir();
-  for (const auto& [name, body] :
-       {std::pair<std::string, const std::string&>{"obs_timeline.jsonl",
-                                                   journal},
-        {"obs_snapshot.json", snapshot}}) {
+  std::vector<std::pair<std::string, const std::string&>> artifacts = {
+      {"obs_timeline.jsonl", journal}, {"obs_snapshot.json", snapshot}};
+  // The rotated generation (when a WACS_OBS_JOURNAL_MAX_MB cap fired) lands
+  // beside the live journal under the conventional `.1` suffix.
+  if (!rotated.empty()) artifacts.push_back({"obs_timeline.jsonl.1", rotated});
+  for (const auto& [name, body] : artifacts) {
     auto st = write_artifact(dir + name, body);
     if (st.ok()) {
       std::printf("artifact: %s%s\n", dir.c_str(), name.c_str());

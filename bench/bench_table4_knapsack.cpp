@@ -86,8 +86,16 @@ SystemRun best_of_grid(const std::string& name, const core::TestbedOptions& opti
 }  // namespace
 }  // namespace wacs
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wacs;
+  // --prof: host-time-profile the instrumented wide-area replay and write
+  // table4.prof.json + table4.folded (flame-graph input). Virtual-time
+  // results and BENCH_table4.json are byte-identical either way — the
+  // profiler never touches the simulation clock.
+  bool prof_requested = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--prof") prof_requested = true;
+  }
   const int n = bench::knapsack_n(26);
   bench::print_header("Tables 3-4: 0-1 knapsack on the four cluster systems",
                       "Tanaka et al., HPDC 2000, Tables 3 and 4");
@@ -168,10 +176,17 @@ int main() {
   // configuration, and the chrome trace shows every proxy relay hop.
   {
     bench::TraceWindow window;
+    if (prof_requested) prof::enable();
     auto tb = core::make_rwcp_etl_testbed(with_proxy);
     tb->net().enable_link_sampling(sim::from_sec(0.002));
     auto stats = run_once(tb, inst, core::placement_wide_area(tb),
                           runs[3].best_interval, runs[3].best_stealunit);
+    if (prof_requested) {
+      prof::disable();
+      std::printf("\nhost-time profile of the traced wide-area run:\n%s",
+                  tb->engine().profile().render().c_str());
+      bench::write_prof_artifacts("table4", &tb->engine().profile());
+    }
 
     std::printf("\nlink utilization over the traced run:\n%s",
                 tb->net().utilization_ascii().c_str());

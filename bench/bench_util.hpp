@@ -14,6 +14,7 @@
 #include "common/bench_report.hpp"
 #include "common/stats.hpp"
 #include "common/telemetry.hpp"
+#include "prof/prof.hpp"
 #include "simnet/net.hpp"
 
 namespace wacs::bench {
@@ -62,6 +63,42 @@ inline bool maybe_enable_tracing() {
   if (!trace_requested()) return false;
   telemetry::tracer().enable();
   return true;
+}
+
+/// WACS_BENCH_OUT (default "."), with a trailing slash.
+inline std::string artifact_dir() {
+  const char* v = std::getenv("WACS_BENCH_OUT");
+  std::string dir = (v != nullptr && *v != '\0') ? v : ".";
+  if (dir.back() != '/') dir += '/';
+  return dir;
+}
+
+/// Host-time profile artifacts for a bench run: <id>.prof.json (full dump,
+/// wacs-prof input) and <id>.folded (flamegraph.pl input, scope frames plus
+/// the engine's per-event-label lines) in WACS_BENCH_OUT. Prints the paths.
+inline void write_prof_artifacts(const std::string& id,
+                                 const prof::EngineProfile* engine_prof,
+                                 json::Value extra = {}) {
+  const std::string dir = artifact_dir();
+  const std::string json_path = dir + id + ".prof.json";
+  if (prof::write_file(json_path,
+                       prof::dump_json(id, engine_prof, std::move(extra)))) {
+    std::printf("prof dump: %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "prof dump failed: %s\n", json_path.c_str());
+  }
+  std::vector<prof::FoldedLine> lines = prof::collect_folded();
+  if (engine_prof != nullptr) {
+    auto engine_lines = engine_prof->folded();
+    lines.insert(lines.end(), engine_lines.begin(), engine_lines.end());
+  }
+  const std::string folded_path = dir + id + ".folded";
+  if (prof::write_file(folded_path, prof::folded_to_string(lines))) {
+    std::printf("folded stacks: %s (flamegraph.pl input)\n",
+                folded_path.c_str());
+  } else {
+    std::fprintf(stderr, "folded write failed: %s\n", folded_path.c_str());
+  }
 }
 
 /// Per-link traffic counters as {link: {bytes, msgs}}, links with traffic

@@ -201,6 +201,7 @@ void GridSystem::enable_observability(const std::string& collector_host,
   obs::CollectorOptions copts;
   copts.port = ports_.obs;
   copts.timeline = options.timeline;
+  copts.journal_max_bytes = options.journal_max_bytes;
   collector_ =
       std::make_unique<obs::Collector>(ch, copts, env_for(collector_host));
   collector_->start();

@@ -143,6 +143,10 @@ class GridSystem {
   struct ObservabilityOptions {
     double interval_s = 0.25;  ///< agent export period (virtual seconds)
     obs::TimelineOptions timeline;
+    /// Collector journal rotation cap in bytes (0 = unbounded); see
+    /// obs::CollectorOptions::journal_max_bytes. WACS_OBS_JOURNAL_MAX_MB
+    /// overrides.
+    std::size_t journal_max_bytes = 0;
   };
 
   /// Starts the Collector on `collector_host` (normally the submit host)

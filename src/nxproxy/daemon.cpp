@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "nxproxy/metrics_http.hpp"
+#include "prof/prof.hpp"
 
 namespace wacs::nxproxy {
 namespace {
@@ -19,6 +20,7 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 /// Dial wrapped with connect-latency accounting (successes only; a refused
 /// dial measures the error path, not the network).
 Result<net::TcpSocket> dial_timed(const Contact& target, DaemonStats& stats) {
+  PROF_SCOPE("dial");
   const auto t0 = std::chrono::steady_clock::now();
   auto sock = net::TcpSocket::dial(target);
   if (sock.ok()) stats.connect_ms.observe(ms_since(t0));
@@ -58,6 +60,10 @@ void Session::join() {
 }
 
 void Session::pump(net::TcpSocket& from, net::TcpSocket& to) {
+  // One scope for the pump's whole lifetime: the self time is wall time the
+  // thread spent splicing (mostly blocked in read), which is exactly the
+  // "where do relayed connections live" attribution the flame graph needs.
+  PROF_SCOPE("session.pump");
   while (true) {
     auto chunk = from.read_some(kSpliceChunk);
     if (!chunk.ok()) break;
@@ -205,7 +211,12 @@ void InnerDaemon::accept_loop() {
 }
 
 void InnerDaemon::handle(net::TcpSocket& conn) {
-  auto frame = conn.read_frame();
+  PROF_SCOPE("inner.handle");
+  const auto accepted = std::chrono::steady_clock::now();
+  auto frame = [&] {
+    PROF_SCOPE("inner.preamble");
+    return conn.read_frame();
+  }();
   if (!frame.ok()) {
     ++stats_.handshake_failures;
     return;
@@ -217,6 +228,7 @@ void InnerDaemon::handle(net::TcpSocket& conn) {
               req.error().to_string().c_str());
     return;
   }
+  stats_.stage_preamble_ms.observe(ms_since(accepted));
   auto target = dial_timed(req->target, stats_);
   if (!target.ok()) {
     ++stats_.handshake_failures;
@@ -232,6 +244,7 @@ void InnerDaemon::handle(net::TcpSocket& conn) {
     return;
   }
   if (!conn.write_frame(proxy::ForwardReply{true, ""}.encode()).ok()) return;
+  stats_.stage_handshake_ms.observe(ms_since(accepted));
   workers_.add_session(std::move(conn), std::move(*target), &stats_);
 }
 
@@ -319,7 +332,12 @@ void OuterDaemon::accept_loop() {
 }
 
 void OuterDaemon::handle_control(net::TcpSocket& conn) {
-  auto frame = conn.read_frame();
+  PROF_SCOPE("outer.control");
+  const auto accepted = std::chrono::steady_clock::now();
+  auto frame = [&] {
+    PROF_SCOPE("outer.preamble");
+    return conn.read_frame();
+  }();
   if (!frame.ok()) {
     ++stats_.handshake_failures;
     return;
@@ -333,7 +351,8 @@ void OuterDaemon::handle_control(net::TcpSocket& conn) {
     case proxy::MsgType::kConnectRequest: {
       auto req = proxy::ConnectRequest::decode(*frame);
       if (req.ok()) {
-        handle_connect(conn, *req);
+        stats_.stage_preamble_ms.observe(ms_since(accepted));
+        handle_connect(conn, *req, accepted);
       } else {
         ++stats_.handshake_failures;
       }
@@ -342,7 +361,8 @@ void OuterDaemon::handle_control(net::TcpSocket& conn) {
     case proxy::MsgType::kBindRequest: {
       auto req = proxy::BindRequest::decode(*frame);
       if (req.ok()) {
-        handle_bind(conn, *req);
+        stats_.stage_preamble_ms.observe(ms_since(accepted));
+        handle_bind(conn, *req, accepted);
       } else {
         ++stats_.handshake_failures;
       }
@@ -357,7 +377,9 @@ void OuterDaemon::handle_control(net::TcpSocket& conn) {
 }
 
 void OuterDaemon::handle_connect(net::TcpSocket& conn,
-                                 const proxy::ConnectRequest& req) {
+                                 const proxy::ConnectRequest& req,
+                                 std::chrono::steady_clock::time_point t0) {
+  PROF_SCOPE("outer.connect");
   if (!policy_.permits(req.target)) {
     ++stats_.handshake_failures;
     (void)conn.write_frame(
@@ -393,11 +415,14 @@ void OuterDaemon::handle_connect(net::TcpSocket& conn,
     return;
   }
   if (!conn.write_frame(proxy::ConnectReply{true, ""}.encode()).ok()) return;
+  stats_.stage_handshake_ms.observe(ms_since(t0));
   workers_.add_session(std::move(conn), std::move(*target), &stats_);
 }
 
 void OuterDaemon::handle_bind(net::TcpSocket& conn,
-                              const proxy::BindRequest& req) {
+                              const proxy::BindRequest& req,
+                              std::chrono::steady_clock::time_point t0) {
+  PROF_SCOPE("outer.bind");
   auto listener = net::TcpListener::bind(bind_ip_, 0);
   if (!listener.ok()) {
     ++stats_.handshake_failures;
@@ -419,6 +444,7 @@ void OuterDaemon::handle_bind(net::TcpSocket& conn,
   ++active_binds_;
   workers_.add_thread(
       std::thread([this, binding] { public_accept_loop(binding); }));
+  stats_.stage_handshake_ms.observe(ms_since(t0));
   (void)conn.write_frame(
       proxy::BindReply{true, public_contact, binding->id, ""}.encode());
   // Bind registration is one-shot; the control connection closes here.
@@ -441,6 +467,8 @@ void OuterDaemon::public_accept_loop(std::shared_ptr<PublicBinding> binding) {
 
 void OuterDaemon::bridge_to_inner(net::TcpSocket& remote,
                                   std::shared_ptr<PublicBinding> binding) {
+  PROF_SCOPE("outer.bridge");
+  const auto t0 = std::chrono::steady_clock::now();
   auto inner = dial_timed(binding->inner, stats_);
   if (!inner.ok()) {
     ++stats_.handshake_failures;
@@ -465,6 +493,7 @@ void OuterDaemon::bridge_to_inner(net::TcpSocket& remote,
     ++stats_.handshake_failures;
     return;
   }
+  stats_.stage_handshake_ms.observe(ms_since(t0));
   workers_.add_session(std::move(remote), std::move(*inner), &stats_);
 }
 

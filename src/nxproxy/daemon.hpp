@@ -43,6 +43,13 @@ struct DaemonStats {
   telemetry::Histogram connect_ms{telemetry::exponential_ms_buckets()};
   /// Lifetime of a splice session, open to both-pumps-done.
   telemetry::Histogram relay_session_ms{telemetry::exponential_ms_buckets()};
+  /// Stage times of the per-connection pipeline (accept→…): preamble is
+  /// accept to control-frame-decoded, handshake is accept to spliced
+  /// session started. Dial time is connect_ms; pump time is the session
+  /// lifetime. Together they attribute where a relayed connection spends
+  /// its milliseconds before bytes flow.
+  telemetry::Histogram stage_preamble_ms{telemetry::exponential_ms_buckets()};
+  telemetry::Histogram stage_handshake_ms{telemetry::exponential_ms_buckets()};
 };
 
 namespace detail {
@@ -198,8 +205,12 @@ class OuterDaemon {
 
   void accept_loop();
   void handle_control(net::TcpSocket& conn);
-  void handle_connect(net::TcpSocket& conn, const proxy::ConnectRequest& req);
-  void handle_bind(net::TcpSocket& conn, const proxy::BindRequest& req);
+  /// `t0` is the control connection's accept time, so the handlers can
+  /// observe the accept→established handshake stage.
+  void handle_connect(net::TcpSocket& conn, const proxy::ConnectRequest& req,
+                      std::chrono::steady_clock::time_point t0);
+  void handle_bind(net::TcpSocket& conn, const proxy::BindRequest& req,
+                   std::chrono::steady_clock::time_point t0);
   void public_accept_loop(std::shared_ptr<PublicBinding> binding);
   void bridge_to_inner(net::TcpSocket& remote,
                        std::shared_ptr<PublicBinding> binding);

@@ -1,9 +1,13 @@
 #include "nxproxy/metrics_http.hpp"
 
+#include <dirent.h>
+#include <sys/resource.h>
+
 #include <cstdio>
 
 #include "common/log.hpp"
 #include "nxproxy/daemon.hpp"
+#include "prof/prof.hpp"
 
 namespace wacs::nxproxy {
 namespace {
@@ -49,6 +53,33 @@ void append_histogram(std::string& out, const std::string& name,
   out += line;
 }
 
+void append_gauge(std::string& out, const std::string& name,
+                  const std::string& role, double v) {
+  char line[192];
+  std::snprintf(line, sizeof(line), "nxproxy_%s{role=\"%s\"} %g\n",
+                name.c_str(), role.c_str(), v);
+  out += line;
+}
+
+/// Peak resident set size in bytes (Linux reports ru_maxrss in KiB).
+double peak_rss_bytes() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<double>(ru.ru_maxrss) * 1024.0;
+}
+
+/// Open file descriptors of this process, counted via /proc/self/fd.
+/// Returns -1 where procfs is unavailable.
+long open_fd_count() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  long n = 0;
+  while (::readdir(dir) != nullptr) ++n;
+  ::closedir(dir);
+  // Discount ".", "..", and the fd opendir itself holds.
+  return n >= 3 ? n - 3 : 0;
+}
+
 }  // namespace
 
 std::string render_metrics(const DaemonStats& stats, const std::string& role) {
@@ -62,7 +93,51 @@ std::string render_metrics(const DaemonStats& stats, const std::string& role) {
   append_counter(out, "sessions_closed", role, stats.sessions_closed.load());
   append_histogram(out, "connect_ms", role, stats.connect_ms);
   append_histogram(out, "relay_session_ms", role, stats.relay_session_ms);
+  append_histogram(out, "stage_preamble_ms", role, stats.stage_preamble_ms);
+  append_histogram(out, "stage_handshake_ms", role, stats.stage_handshake_ms);
+  // Process-level gauges: a relay leaks fds (one socket pair + two threads
+  // per session) long before it leaks memory, so both are first-class here.
+  append_gauge(out, "process_peak_rss_bytes", role, peak_rss_bytes());
+  const long fds = open_fd_count();
+  if (fds >= 0) {
+    append_gauge(out, "process_open_fds", role, static_cast<double>(fds));
+  }
   return out;
+}
+
+namespace {
+
+json::Value histogram_json(const telemetry::Histogram& h) {
+  const auto s = h.summary();
+  json::Value v = json::Value::object();
+  v.set("count", s.count);
+  v.set("sum_ms", s.sum);
+  v.set("mean_ms", s.mean);
+  v.set("p50_ms", s.p50);
+  v.set("p95_ms", s.p95);
+  v.set("p99_ms", s.p99);
+  v.set("max_ms", s.max);
+  return v;
+}
+
+}  // namespace
+
+std::string profile_dump(const DaemonStats& stats, const std::string& role) {
+  json::Value extra = json::Value::object();
+  json::Value counters = json::Value::object();
+  counters.set("connections", stats.connections.load());
+  counters.set("bytes_relayed", stats.bytes_relayed.load());
+  counters.set("handshake_failures", stats.handshake_failures.load());
+  counters.set("sessions_opened", stats.sessions_opened.load());
+  counters.set("sessions_closed", stats.sessions_closed.load());
+  extra.set("counters", std::move(counters));
+  json::Value stages = json::Value::object();
+  stages.set("connect_ms", histogram_json(stats.connect_ms));
+  stages.set("relay_session_ms", histogram_json(stats.relay_session_ms));
+  stages.set("stage_preamble_ms", histogram_json(stats.stage_preamble_ms));
+  stages.set("stage_handshake_ms", histogram_json(stats.stage_handshake_ms));
+  extra.set("stages", std::move(stages));
+  return prof::dump_json("nxproxy-" + role, nullptr, std::move(extra));
 }
 
 Status MetricsHttpServer::start(const std::string& bind_ip,

@@ -24,6 +24,13 @@ struct DaemonStats;
 /// label on every series ({role="outer"} / {role="inner"}).
 std::string render_metrics(const DaemonStats& stats, const std::string& role);
 
+/// Renders a wacs-prof JSON profile dump for a live daemon: the process's
+/// folded scope stacks (accept/preamble/dial/pump attribution) plus the
+/// DaemonStats counters and stage-histogram summaries as the `extra`
+/// section. This is what the SIGUSR1 handler in the daemon mains writes;
+/// `wacs-prof` consumes it alongside engine dumps.
+std::string profile_dump(const DaemonStats& stats, const std::string& role);
+
 /// Minimal GET-only HTTP server: 200 for the registered paths, 404
 /// otherwise. One request per connection (Connection: close).
 class MetricsHttpServer {

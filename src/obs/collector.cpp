@@ -1,5 +1,6 @@
 #include "obs/collector.hpp"
 
+#include <cstdlib>
 #include <map>
 #include <utility>
 
@@ -17,7 +18,14 @@ Collector::Collector(sim::Host& host, CollectorOptions options, Env env)
     : host_(&host),
       options_(std::move(options)),
       env_(std::move(env)),
-      timeline_(options_.timeline) {}
+      timeline_(options_.timeline) {
+  journal_max_bytes_ = options_.journal_max_bytes;
+  // Deployment override in whole megabytes; 0/unset leaves the option.
+  if (const char* mb = std::getenv("WACS_OBS_JOURNAL_MAX_MB")) {
+    const long v = std::atol(mb);
+    if (v > 0) journal_max_bytes_ = static_cast<std::size_t>(v) * 1024 * 1024;
+  }
+}
 
 void Collector::start() {
   WACS_CHECK_MSG(!started_, "collector already started");
@@ -119,6 +127,15 @@ void Collector::handle(sim::Process& self, sim::SocketPtr conn) {
     applied.health = std::move(report->health);
     journal_ += report_to_jsonl(applied);
     journal_ += '\n';
+    // Rotation happens on line boundaries only, so both generations always
+    // hold whole JSONL records.
+    if (journal_max_bytes_ > 0 && journal_.size() >= journal_max_bytes_) {
+      rotated_journal_ = std::move(journal_);
+      journal_.clear();
+      ++journal_rotations_;
+      kLog.debug("journal rotated (%zu B -> .1 generation)",
+                 rotated_journal_.size());
+    }
     timeline_.apply(applied);
     ++reports_received_;
   }

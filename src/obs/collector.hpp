@@ -28,6 +28,14 @@ namespace wacs::obs {
 struct CollectorOptions {
   std::uint16_t port = 7300;
   TimelineOptions timeline;
+  /// Journal rotation threshold in bytes; 0 = unbounded (short runs and
+  /// byte-identical bench artifacts). The environment variable
+  /// WACS_OBS_JOURNAL_MAX_MB overrides this for long-running deployments.
+  /// When the live journal reaches the cap it rotates: the current text
+  /// becomes the `.1` generation (replacing the previous one) and the live
+  /// journal restarts empty — a two-generation ring, so memory stays
+  /// bounded at ~2x the cap while the newest tail is always complete.
+  std::size_t journal_max_bytes = 0;
 };
 
 class Collector {
@@ -53,8 +61,13 @@ class Collector {
   TimelineState& timeline() { return timeline_; }
   const TimelineState& timeline() const { return timeline_; }
   /// One line per applied report, arrival order; byte-identical across
-  /// same-seed runs.
+  /// same-seed runs. With a rotation cap this is the newest generation
+  /// only — rotated_journal() holds the previous one.
   const std::string& journal() const { return journal_; }
+  /// The `.1` generation: journal text displaced by the last rotation
+  /// (empty until the cap is first reached).
+  const std::string& rotated_journal() const { return rotated_journal_; }
+  std::uint64_t journal_rotations() const { return journal_rotations_; }
   std::uint64_t reports_received() const { return reports_received_; }
   std::uint64_t decode_errors() const { return decode_errors_; }
 
@@ -74,6 +87,9 @@ class Collector {
   std::optional<Contact> public_contact_;
   bool bind_done_ = false;
   std::string journal_;
+  std::string rotated_journal_;
+  std::size_t journal_max_bytes_ = 0;
+  std::uint64_t journal_rotations_ = 0;
   std::uint64_t reports_received_ = 0;
   std::uint64_t decode_errors_ = 0;
   bool started_ = false;

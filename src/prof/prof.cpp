@@ -1,0 +1,552 @@
+#include "prof/prof.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+namespace wacs::prof {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// ----------------------------------------------------------- thread trees
+//
+// Each thread owns a private tree of scope nodes; node creation and hot
+// updates take no lock. Trees register themselves once in a global list
+// guarded by a mutex, and survive thread exit (a shared_ptr keeps the data
+// alive for the dump) — the nxproxy daemons profile short-lived handler
+// threads, whose frames must still appear in a SIGUSR1 dump.
+
+struct ScopeNode {
+  const char* name = nullptr;
+  int parent = -1;  ///< index into the tree's nodes, -1 = root child
+  ScopeStat stat;
+  std::vector<int> children;  ///< indices, looked up by name pointer
+};
+
+struct ThreadTree {
+  std::vector<ScopeNode> nodes;
+  // The open-frame stack: node index + entry time + child time accrued.
+  struct Frame {
+    int node;
+    std::int64_t start_ns;
+    std::int64_t child_ns;
+  };
+  std::vector<Frame> stack;
+  std::mutex mu;  ///< taken only by dump-time readers and the owner's push
+};
+
+std::mutex g_trees_mu;
+std::vector<std::shared_ptr<ThreadTree>>& trees() {
+  static std::vector<std::shared_ptr<ThreadTree>>* v =
+      new std::vector<std::shared_ptr<ThreadTree>>();
+  return *v;
+}
+
+// Raw pointer with constant initialization: access is a direct TLS load +
+// null check, no per-access init guard. The shared_ptr keeping the tree
+// alive past thread exit lives in the global registry (and a thread_local
+// anchor that merely drops one reference on exit).
+struct TreeAnchor {
+  std::shared_ptr<ThreadTree> tree;
+};
+thread_local ThreadTree* t_tree = nullptr;
+thread_local TreeAnchor t_anchor;
+
+ThreadTree& local_tree() {
+  if (t_tree == nullptr) {
+    auto t = std::make_shared<ThreadTree>();
+    t_anchor.tree = t;
+    t_tree = t.get();
+    std::lock_guard<std::mutex> lock(g_trees_mu);
+    trees().push_back(std::move(t));
+  }
+  return *t_tree;
+}
+
+int child_of(ThreadTree& tree, int parent, const char* name) {
+  // Roots are nodes with parent == -1; scan linearly (few roots, few kids;
+  // names are literals, so the pointer compare almost always short-circuits).
+  if (parent < 0) {
+    for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+      if (tree.nodes[i].parent == -1 &&
+          (tree.nodes[i].name == name ||
+           std::strcmp(tree.nodes[i].name, name) == 0)) {
+        return static_cast<int>(i);
+      }
+    }
+  } else {
+    for (int c : tree.nodes[parent].children) {
+      if (tree.nodes[c].name == name ||
+          std::strcmp(tree.nodes[c].name, name) == 0) {
+        return c;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(tree.mu);  // vs a concurrent dump
+  ScopeNode node;
+  node.name = name;
+  node.parent = parent;
+  tree.nodes.push_back(std::move(node));
+  const int idx = static_cast<int>(tree.nodes.size()) - 1;
+  if (parent >= 0) tree.nodes[parent].children.push_back(idx);
+  return idx;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- gate/clock
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void enable() { g_enabled.store(true, std::memory_order_relaxed); }
+void disable() { g_enabled.store(false, std::memory_order_relaxed); }
+
+bool enable_from_env() {
+  const char* v = std::getenv("WACS_PROF");
+  if (v != nullptr && std::string_view(v) == "1") {
+    enable();
+    return true;
+  }
+  return false;
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lock(g_trees_mu);
+  for (auto& tree : trees()) {
+    std::lock_guard<std::mutex> tl(tree->mu);
+    for (ScopeNode& n : tree->nodes) n.stat = ScopeStat{};
+  }
+}
+
+namespace {
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+#if defined(__x86_64__)
+
+// x86: rdtsc (~8ns) instead of the clock_gettime vDSO path (~25ns) — the
+// dispatch loop and scope timers read the clock on every event, and the
+// bench_sim_engine --prof overhead gate budgets ~300ns per simulated
+// message for the whole profiler. Modern x86 has constant_tsc/nonstop_tsc,
+// so a one-shot calibration against steady_clock (first read pays ~2ms)
+// gives monotonic host nanoseconds good to ~0.1% — plenty for profiling.
+namespace {
+struct TscCalibration {
+  double ns_per_tick = 0;
+  std::uint64_t tsc0 = 0;
+  std::int64_t ns0 = 0;
+};
+const TscCalibration& tsc_calibration() {
+  static const TscCalibration cal = [] {
+    TscCalibration c;
+    c.ns0 = steady_now_ns();
+    c.tsc0 = __builtin_ia32_rdtsc();
+    std::int64_t ns_b = c.ns0;
+    while (ns_b - c.ns0 < 2000000) ns_b = steady_now_ns();
+    const std::uint64_t tsc_b = __builtin_ia32_rdtsc();
+    c.ns_per_tick = static_cast<double>(ns_b - c.ns0) /
+                    static_cast<double>(tsc_b - c.tsc0);
+    return c;
+  }();
+  return cal;
+}
+}  // namespace
+
+std::int64_t now_ns() {
+  const TscCalibration& c = tsc_calibration();
+  return c.ns0 +
+         static_cast<std::int64_t>(
+             static_cast<double>(__builtin_ia32_rdtsc() - c.tsc0) *
+             c.ns_per_tick);
+}
+
+#else
+
+std::int64_t now_ns() { return steady_now_ns(); }
+
+#endif
+
+// -------------------------------------------------------------- ScopeTimer
+
+ScopeTimer::ScopeTimer(const char* name) {
+  if (!enabled()) return;
+  ThreadTree& tree = local_tree();
+  const int parent = tree.stack.empty() ? -1 : tree.stack.back().node;
+  const int node = child_of(tree, parent, name);
+  start_ = now_ns();
+  tree.stack.push_back({node, start_, 0});
+}
+
+ScopeTimer::~ScopeTimer() {
+  if (start_ < 0) return;
+  ThreadTree& tree = local_tree();
+  // A scope that outlived an enable/disable toggle mid-frame: the stack can
+  // only be non-empty with our frame on top (frames strictly nest).
+  if (tree.stack.empty()) return;
+  ThreadTree::Frame frame = tree.stack.back();
+  tree.stack.pop_back();
+  const std::int64_t elapsed = now_ns() - frame.start_ns;
+  ScopeStat& stat = tree.nodes[frame.node].stat;
+  stat.count += 1;
+  stat.total_ns += elapsed;
+  stat.child_ns += frame.child_ns;
+  if (!tree.stack.empty()) tree.stack.back().child_ns += elapsed;
+}
+
+// ---------------------------------------------------------- folded output
+
+std::vector<FoldedLine> collect_folded() {
+  std::map<std::string, ScopeStat> merged;
+  std::vector<std::shared_ptr<ThreadTree>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(g_trees_mu);
+    snapshot = trees();
+  }
+  for (const auto& tree : snapshot) {
+    std::lock_guard<std::mutex> lock(tree->mu);
+    // Build each node's full stack string by walking parents.
+    std::vector<std::string> paths(tree->nodes.size());
+    for (std::size_t i = 0; i < tree->nodes.size(); ++i) {
+      const ScopeNode& n = tree->nodes[i];
+      paths[i] = n.parent < 0 ? std::string(n.name)
+                              : paths[n.parent] + ";" + n.name;
+      if (n.stat.count == 0) continue;
+      ScopeStat& m = merged[paths[i]];
+      m.count += n.stat.count;
+      m.total_ns += n.stat.total_ns;
+      m.child_ns += n.stat.child_ns;
+    }
+  }
+  std::vector<FoldedLine> out;
+  out.reserve(merged.size());
+  for (auto& [stack, stat] : merged) out.push_back({stack, stat});
+  return out;
+}
+
+std::string folded_to_string(const std::vector<FoldedLine>& lines) {
+  std::string out;
+  for (const FoldedLine& l : lines) {
+    const std::int64_t self = std::max<std::int64_t>(l.stat.self_ns(), 0);
+    if (self == 0 && l.stat.count == 0) continue;
+    out += l.stack;
+    out += ' ';
+    out += std::to_string(self);
+    out += '\n';
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- Log2Hist
+
+void Log2Hist::observe(std::int64_t ns) {
+  if (ns < 0) ns = 0;
+  const int bucket = ns == 0
+                         ? 0
+                         : std::min(kBuckets - 1,
+                                    64 - std::countl_zero(
+                                             static_cast<std::uint64_t>(ns)));
+  if (count == 0) {
+    min_ns = max_ns = ns;
+  } else {
+    min_ns = std::min(min_ns, ns);
+    max_ns = std::max(max_ns, ns);
+  }
+  ++count;
+  total_ns += ns;
+  ++buckets[bucket];
+}
+
+double Log2Hist::quantile(double q) const {
+  if (count == 0) return 0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (static_cast<double>(seen) >= target) {
+      // Geometric midpoint of [2^(i-1), 2^i); bucket 0 is [0, 2).
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, i - 1);
+      const double hi = std::ldexp(1.0, i);
+      const double mid = (lo + hi) / 2;
+      return std::min(mid, static_cast<double>(max_ns));
+    }
+  }
+  return static_cast<double>(max_ns);
+}
+
+json::Value Log2Hist::json() const {
+  json::Value v = json::Value::object();
+  v.set("count", count);
+  v.set("total_ns", total_ns);
+  v.set("min_ns", min_ns);
+  v.set("max_ns", max_ns);
+  v.set("p50_ns", quantile(0.50));
+  v.set("p99_ns", quantile(0.99));
+  return v;
+}
+
+// ---------------------------------------------------------- EngineProfile
+
+void EngineProfile::record_event(const char* label, std::int64_t ns,
+                                 std::size_t queue_depth) {
+  ++events_recorded_;
+  // Labels are static strings registered by a handful of call sites:
+  // pointer-compare scan beats any hash on this cardinality.
+  Log2Hist* hist = nullptr;
+  for (auto& [l, h] : events_) {
+    if (l == label) {
+      hist = &h;
+      break;
+    }
+  }
+  if (hist == nullptr) {
+    events_.emplace_back(label, Log2Hist{});
+    hist = &events_.back().second;
+  }
+  hist->observe(ns);
+  if (events_recorded_ % kTimelineStride == 0) {
+    const std::int64_t now = now_ns();
+    if (timeline_t0_ < 0) timeline_t0_ = now;
+    timeline_.push_back({now - timeline_t0_, events_recorded_, queue_depth});
+  }
+}
+
+Log2Hist& EngineProfile::slice_slot(const std::string& name) {
+  for (Named& n : slices_) {
+    if (n.name == name) return n.hist;
+  }
+  slices_.push_back(Named{name, Log2Hist{}});
+  return slices_.back().hist;
+}
+
+void EngineProfile::record_slice(const std::string& name, std::int64_t ns) {
+  slice_slot(name).observe(ns);
+}
+
+void EngineProfile::record_delivery(const std::string& src_site,
+                                    const std::string& dst_site,
+                                    std::int64_t latency_ns) {
+  if (src_site == dst_site) {
+    ++lookahead_.intra_site;
+    return;
+  }
+  ++lookahead_.cross_site;
+  cross_latency_.observe(latency_ns);
+  for (auto& [pair, stat] : cross_pairs_) {
+    if (pair.first == src_site && pair.second == dst_site) {
+      stat.hist.observe(latency_ns);
+      return;
+    }
+  }
+  cross_pairs_.push_back({{src_site, dst_site}, PairStat{}});
+  cross_pairs_.back().second.hist.observe(latency_ns);
+}
+
+void EngineProfile::set_site_resolver(
+    std::function<std::string(const std::string&)> fn) {
+  site_resolver_ = std::move(fn);
+}
+
+std::int64_t EngineProfile::min_cross_site_latency_ns() const {
+  return cross_latency_.count == 0 ? 0 : cross_latency_.min_ns;
+}
+
+json::Value EngineProfile::json() const {
+  json::Value out = json::Value::object();
+
+  // Per-event-label host-cost histograms, sorted by total cost descending.
+  std::vector<const std::pair<const char*, Log2Hist>*> by_cost;
+  for (const auto& e : events_) {
+    if (e.second.count > 0) by_cost.push_back(&e);
+  }
+  std::sort(by_cost.begin(), by_cost.end(), [](const auto* a, const auto* b) {
+    return a->second.total_ns != b->second.total_ns
+               ? a->second.total_ns > b->second.total_ns
+               : std::strcmp(a->first, b->first) < 0;
+  });
+  json::Value events = json::Value::object();
+  for (const auto* e : by_cost) events.set(e->first, e->second.json());
+  out.set("events", std::move(events));
+
+  // Per-process slice costs (host ns spent inside each Process's slices).
+  std::vector<const Named*> slices;
+  for (const Named& n : slices_) {
+    if (n.hist.count > 0) slices.push_back(&n);
+  }
+  std::sort(slices.begin(), slices.end(), [](const Named* a, const Named* b) {
+    return a->hist.total_ns != b->hist.total_ns
+               ? a->hist.total_ns > b->hist.total_ns
+               : a->name < b->name;
+  });
+  json::Value procs = json::Value::object();
+  for (const Named* n : slices) procs.set(n->name, n->hist.json());
+  out.set("processes", std::move(procs));
+
+  // Per-site aggregation of slice costs via the "name@host" convention.
+  if (site_resolver_) {
+    std::map<std::string, std::pair<std::uint64_t, std::int64_t>> sites;
+    for (const Named& n : slices_) {
+      const auto at = n.name.rfind('@');
+      if (at == std::string::npos) continue;
+      // Process names may be "x@host" or "x@host.suffix"; the resolver
+      // decides what it recognizes and returns "" for unknown hosts.
+      std::string host = n.name.substr(at + 1);
+      const auto dot = host.find('.');
+      if (dot != std::string::npos) host.resize(dot);
+      const std::string site = site_resolver_(host);
+      if (site.empty()) continue;
+      sites[site].first += n.hist.count;
+      sites[site].second += n.hist.total_ns;
+    }
+    json::Value sv = json::Value::object();
+    for (const auto& [site, agg] : sites) {
+      json::Value s = json::Value::object();
+      s.set("slices", agg.first);
+      s.set("total_ns", agg.second);
+      sv.set(site, std::move(s));
+    }
+    out.set("sites", std::move(sv));
+  }
+
+  // Timeline: events/sec derivable from consecutive samples.
+  json::Value tl = json::Value::array();
+  for (const TimelineSample& s : timeline_) {
+    json::Value row = json::Value::object();
+    row.set("host_ns", s.host_ns);
+    row.set("events", s.events);
+    row.set("queue_depth", static_cast<std::uint64_t>(s.queue_depth));
+    tl.push_back(std::move(row));
+  }
+  out.set("timeline", std::move(tl));
+
+  // Lookahead report: the number that decides per-site queue sharding.
+  json::Value la = json::Value::object();
+  la.set("intra_site", lookahead_.intra_site);
+  la.set("cross_site", lookahead_.cross_site);
+  la.set("cross_fraction", lookahead_.cross_fraction());
+  la.set("min_cross_latency_ns", min_cross_site_latency_ns());
+  if (cross_latency_.count > 0) {
+    la.set("cross_latency", cross_latency_.json());
+  }
+  json::Value pairs = json::Value::object();
+  std::vector<const std::pair<std::pair<std::string, std::string>, PairStat>*>
+      sorted_pairs;
+  for (const auto& p : cross_pairs_) sorted_pairs.push_back(&p);
+  std::sort(sorted_pairs.begin(), sorted_pairs.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* p : sorted_pairs) {
+    pairs.set(p->first.first + "->" + p->first.second, p->second.hist.json());
+  }
+  la.set("pairs", std::move(pairs));
+  out.set("lookahead", std::move(la));
+  return out;
+}
+
+std::vector<FoldedLine> EngineProfile::folded() const {
+  std::vector<FoldedLine> out;
+  for (const auto& [label, hist] : events_) {
+    if (hist.count == 0) continue;
+    ScopeStat stat;
+    stat.count = hist.count;
+    stat.total_ns = hist.total_ns;
+    out.push_back({std::string("engine.run;") + label, stat});
+  }
+  std::sort(out.begin(), out.end(), [](const FoldedLine& a,
+                                       const FoldedLine& b) {
+    return a.stack < b.stack;
+  });
+  return out;
+}
+
+std::string EngineProfile::render(std::size_t top_n) const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%-24s %12s %14s %10s %10s\n", "event label", "count",
+                "total_ms", "p50_us", "p99_us");
+  out += line;
+  std::vector<const std::pair<const char*, Log2Hist>*> by_cost;
+  for (const auto& e : events_) {
+    if (e.second.count > 0) by_cost.push_back(&e);
+  }
+  std::sort(by_cost.begin(), by_cost.end(), [](const auto* a, const auto* b) {
+    return a->second.total_ns > b->second.total_ns;
+  });
+  std::size_t shown = 0;
+  for (const auto* e : by_cost) {
+    if (shown++ >= top_n) break;
+    std::snprintf(line, sizeof(line), "%-24s %12llu %14.3f %10.2f %10.2f\n",
+                  e->first, static_cast<unsigned long long>(e->second.count),
+                  static_cast<double>(e->second.total_ns) / 1e6,
+                  e->second.quantile(0.5) / 1e3, e->second.quantile(0.99) / 1e3);
+    out += line;
+  }
+  const std::uint64_t total =
+      lookahead_.intra_site + lookahead_.cross_site;
+  if (total > 0) {
+    std::snprintf(line, sizeof(line),
+                  "lookahead: %llu deliveries, cross-site %.1f%%, "
+                  "min cross latency %.3f ms\n",
+                  static_cast<unsigned long long>(total),
+                  100.0 * lookahead_.cross_fraction(),
+                  static_cast<double>(min_cross_site_latency_ns()) / 1e6);
+    out += line;
+  }
+  return out;
+}
+
+void EngineProfile::clear() {
+  events_recorded_ = 0;
+  // Event and slice slots are zeroed, not dropped: Processes cache
+  // slice_slot() references across clear().
+  for (auto& [label, hist] : events_) hist = Log2Hist{};
+  for (Named& n : slices_) n.hist = Log2Hist{};
+  lookahead_ = Lookahead{};
+  cross_pairs_.clear();
+  cross_latency_ = Log2Hist{};
+  timeline_.clear();
+  timeline_t0_ = -1;
+}
+
+// ------------------------------------------------------------- dump format
+
+std::string dump_json(const std::string& source, const EngineProfile* engine,
+                      json::Value extra) {
+  json::Value out = json::Value::object();
+  out.set("kind", "wacs-prof");
+  out.set("schema_version", 1);
+  out.set("source", source);
+  json::Value scopes = json::Value::array();
+  for (const FoldedLine& l : collect_folded()) {
+    json::Value s = json::Value::object();
+    s.set("stack", l.stack);
+    s.set("count", l.stat.count);
+    s.set("total_ns", l.stat.total_ns);
+    s.set("self_ns", l.stat.self_ns());
+    scopes.push_back(std::move(s));
+  }
+  out.set("scopes", std::move(scopes));
+  if (engine != nullptr) out.set("engine", engine->json());
+  if (!extra.is_null()) out.set("extra", std::move(extra));
+  return out.dump() + "\n";
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return n == body.size();
+}
+
+}  // namespace wacs::prof

@@ -1,0 +1,221 @@
+// Host-time profiling layer with hotspot attribution (DESIGN.md §15).
+//
+// Everything in this subsystem measures *host* nanoseconds — wall-clock
+// spent inside the process — never virtual time. Host-time data is
+// advisory by construction (like the wall-clock/RSS fields in BENCH
+// reports): recording never touches the simulation clock, the event
+// queue, the tracer, or the metrics registry, so same-seed runs stay
+// byte-identical whether profiling is on or off.
+//
+// Three cost tiers:
+//
+//  * compiled out — building with -DWACS_PROF=0 expands PROF_SCOPE to
+//    nothing and removes every engine/network hook behind `#if WACS_PROF`.
+//    Provably zero-cost: the instrumented code is not in the binary.
+//  * compiled in, disabled (the default) — each hook is one relaxed
+//    atomic load and a branch. The committed bench baselines are produced
+//    in this mode, which is how CI proves "off is free".
+//  * enabled — prof::enable() or WACS_PROF=1 in the environment. Scope
+//    timers read steady_clock on entry/exit; the engine dispatch loop
+//    charges each event with one cached clock read (the end of event N is
+//    the start of event N+1).
+//
+// Attribution model: PROF_SCOPE("name") opens a frame on the calling
+// thread's private scope tree (no locks on the hot path; trees register
+// once globally and are merged at dump time). A frame accumulates self
+// time = elapsed − time spent in child frames, which is exactly the
+// flamegraph.pl "folded" semantics: `a;b;c <self>` lines, parents summed
+// by the renderer.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+// Compile-time master switch. -DWACS_PROF=0 removes the scope macro and
+// every hook guarded by `#if WACS_PROF`; the library API below stays
+// available either way so tools link unconditionally.
+#ifndef WACS_PROF
+#define WACS_PROF 1
+#endif
+
+namespace wacs::prof {
+
+// ------------------------------------------------------------- global gate
+
+/// True when host-time profiling is recording. One relaxed load.
+bool enabled();
+void enable();
+void disable();
+/// Drops all recorded scope frames, engine profiles keep their own reset.
+void reset();
+/// Honors WACS_PROF=1 in the environment (benches call this once).
+bool enable_from_env();
+
+/// Host monotonic nanoseconds (steady_clock).
+std::int64_t now_ns();
+
+// ------------------------------------------------------------- scope trees
+
+/// Aggregate for one node of a scope tree or one flat event label.
+/// total >= child; self = total - child.
+struct ScopeStat {
+  std::uint64_t count = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t child_ns = 0;
+  std::int64_t self_ns() const { return total_ns - child_ns; }
+};
+
+/// RAII host-time frame. Inert when profiling is disabled at construction.
+/// `name` must have static storage duration (PROF_SCOPE passes literals);
+/// frames nest per thread and feed the folded-stack dump.
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(const char* name);
+  ~ScopeTimer();
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+ private:
+  std::int64_t start_ = -1;  ///< -1 = inert (disabled at entry)
+};
+
+/// One merged folded line: "a;b;c" joined stack + its stats.
+struct FoldedLine {
+  std::string stack;
+  ScopeStat stat;
+};
+
+/// Merges every thread's scope tree (running and retired threads alike)
+/// into folded lines, deterministically ordered by stack string.
+std::vector<FoldedLine> collect_folded();
+
+/// flamegraph.pl-compatible text: one "stack self_ns" line per entry.
+std::string folded_to_string(const std::vector<FoldedLine>& lines);
+
+// --------------------------------------------------------- engine profiles
+
+/// Power-of-two host-latency histogram: bucket i counts observations in
+/// [2^i, 2^(i+1)) ns. Cheap enough for the dispatch loop (a shift and an
+/// increment) and wide enough for ns..minutes.
+struct Log2Hist {
+  static constexpr int kBuckets = 48;
+  std::uint64_t count = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t min_ns = 0;
+  std::int64_t max_ns = 0;
+  std::uint64_t buckets[kBuckets] = {};
+
+  void observe(std::int64_t ns);
+  /// Approximate quantile from the log2 buckets (geometric midpoint).
+  double quantile(double q) const;
+  json::Value json() const;
+};
+
+/// Host-time profile of one Engine: per-event-label cost histograms,
+/// per-process slice costs, an events/sec + queue-depth timeline, and the
+/// lookahead ledger (intra- vs cross-site delivered messages). Owned by
+/// the Engine, populated only while prof::enabled().
+class EngineProfile {
+ public:
+  /// Charges one dispatched event. `label` must be a static string.
+  void record_event(const char* label, std::int64_t ns,
+                    std::size_t queue_depth);
+  /// Charges one engine→process slice (`name` is the Process name).
+  void record_slice(const std::string& name, std::int64_t ns);
+  /// The histogram behind record_slice(name), for hot callers that cache
+  /// the reference instead of re-scanning by name per slice (Process does).
+  /// References stay valid across clear() — slots are zeroed, not dropped.
+  Log2Hist& slice_slot(const std::string& name);
+  /// Records one delivered network message for the lookahead report.
+  void record_delivery(const std::string& src_site,
+                       const std::string& dst_site, std::int64_t latency_ns);
+
+  /// Maps a host name (the part after '@' in process names) to its site,
+  /// for per-site slice aggregation in json(). Unset: per-site is omitted.
+  void set_site_resolver(std::function<std::string(const std::string&)> fn);
+
+  struct Lookahead {
+    std::uint64_t intra_site = 0;
+    std::uint64_t cross_site = 0;
+    double cross_fraction() const {
+      const std::uint64_t total = intra_site + cross_site;
+      return total == 0 ? 0.0 : static_cast<double>(cross_site) /
+                                    static_cast<double>(total);
+    }
+  };
+  const Lookahead& lookahead() const { return lookahead_; }
+  /// Minimum observed cross-site delivery latency in virtual ns (the
+  /// conservative-parallel-DES lookahead bound), 0 when none crossed.
+  std::int64_t min_cross_site_latency_ns() const;
+
+  std::uint64_t events_recorded() const { return events_recorded_; }
+
+  /// Full profile as JSON: {"events": {...}, "processes": {...},
+  /// "sites": {...}, "timeline": [...], "lookahead": {...}}.
+  json::Value json() const;
+  /// Folded lines rooted at "engine.run" (one per event label).
+  std::vector<FoldedLine> folded() const;
+  /// Human-readable per-event-label table plus the lookahead summary.
+  std::string render(std::size_t top_n = 12) const;
+
+  void clear();
+
+ private:
+  struct Named {
+    std::string name;
+    Log2Hist hist;
+  };
+  struct PairStat {
+    Log2Hist hist;  ///< virtual-time latency, same log2 ladder
+  };
+  std::uint64_t events_recorded_ = 0;
+  std::vector<std::pair<const char*, Log2Hist>> events_;  ///< by label ptr
+  std::deque<Named> slices_;  ///< deque: slice_slot refs survive growth
+  Lookahead lookahead_;
+  std::vector<std::pair<std::pair<std::string, std::string>, PairStat>>
+      cross_pairs_;
+  Log2Hist cross_latency_;  ///< virtual ns across all cross-site pairs
+  std::function<std::string(const std::string&)> site_resolver_;
+
+  // Timeline: one sample every kTimelineStride events.
+  static constexpr std::uint64_t kTimelineStride = 4096;
+  struct TimelineSample {
+    std::int64_t host_ns = 0;  ///< host time of the sample
+    std::uint64_t events = 0;
+    std::size_t queue_depth = 0;
+  };
+  std::int64_t timeline_t0_ = -1;
+  std::vector<TimelineSample> timeline_;
+};
+
+// ------------------------------------------------------------- dump format
+
+/// Serializes a complete profile dump: scope trees (folded), optionally an
+/// engine profile, plus free-form `extra` sections (nxproxy stage
+/// histograms land here). `source` names the producing program/role.
+std::string dump_json(const std::string& source, const EngineProfile* engine,
+                      json::Value extra = {});
+
+/// Writes `body` to `path` (0600-ish regular file). Returns false on error.
+bool write_file(const std::string& path, const std::string& body);
+
+}  // namespace wacs::prof
+
+// PROF_SCOPE("engine.dispatch.timer"): opens a host-time frame for the rest
+// of the enclosing block. Compiles to nothing with -DWACS_PROF=0.
+#if WACS_PROF
+#define WACS_PROF_CONCAT_INNER(a, b) a##b
+#define WACS_PROF_CONCAT(a, b) WACS_PROF_CONCAT_INNER(a, b)
+#define PROF_SCOPE(name) \
+  ::wacs::prof::ScopeTimer WACS_PROF_CONCAT(wacs_prof_scope_, __COUNTER__) { \
+    name                                                                     \
+  }
+#else
+#define PROF_SCOPE(name) ((void)0)
+#endif

@@ -1,0 +1,229 @@
+#include "prof/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace wacs::prof {
+
+Result<Dump> parse_dump(const std::string& text) {
+  auto doc = json::Value::parse(text);
+  if (!doc.ok()) return doc.error();
+  const json::Value* kind = doc->find("kind");
+  if (kind == nullptr || kind->as_string() != "wacs-prof") {
+    return Error(ErrorCode::kProtocolError, "not a wacs-prof dump");
+  }
+  Dump dump;
+  if (const json::Value* src = doc->find("source")) {
+    dump.source = src->as_string();
+  }
+  if (const json::Value* scopes = doc->find("scopes")) {
+    for (const json::Value& s : scopes->items()) {
+      FoldedLine line;
+      if (const json::Value* st = s.find("stack")) line.stack = st->as_string();
+      if (line.stack.empty()) continue;
+      if (const json::Value* c = s.find("count")) {
+        line.stat.count = static_cast<std::uint64_t>(c->as_int());
+      }
+      if (const json::Value* t = s.find("total_ns")) {
+        line.stat.total_ns = t->as_int();
+      }
+      if (const json::Value* self = s.find("self_ns")) {
+        line.stat.child_ns = line.stat.total_ns - self->as_int();
+      }
+      dump.scopes.push_back(std::move(line));
+    }
+  }
+  if (const json::Value* engine = doc->find("engine")) dump.engine = *engine;
+  if (const json::Value* extra = doc->find("extra")) dump.extra = *extra;
+  return dump;
+}
+
+Result<Dump> parse_folded(const std::string& text, const std::string& source) {
+  Dump dump;
+  dump.source = source;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space + 1 >= line.size()) {
+      return Error(ErrorCode::kProtocolError,
+                   "folded line missing value: " + line);
+    }
+    FoldedLine fl;
+    fl.stack = line.substr(0, space);
+    const std::int64_t self = std::atoll(line.c_str() + space + 1);
+    fl.stat.count = 1;
+    fl.stat.total_ns = self;  // folded text carries self time only
+    fl.stat.child_ns = 0;
+    dump.scopes.push_back(std::move(fl));
+  }
+  return dump;
+}
+
+Result<Dump> parse_any(const std::string& text, const std::string& name) {
+  const std::size_t first = text.find_first_not_of(" \t\r\n");
+  if (first != std::string::npos && text[first] == '{') {
+    return parse_dump(text);
+  }
+  return parse_folded(text, name);
+}
+
+void MergedProfile::add(const Dump& dump) {
+  if (!dump.source.empty()) sources.push_back(dump.source);
+  for (const FoldedLine& l : dump.scopes) {
+    ScopeStat& s = scopes[l.stack];
+    s.count += l.stat.count;
+    s.total_ns += l.stat.total_ns;
+    s.child_ns += l.stat.child_ns;
+  }
+  if (!dump.engine.is_null()) {
+    if (const json::Value* events = dump.engine.find("events")) {
+      for (const auto& [label, hist] : events->members()) {
+        // Engine dumps carry per-label folded lines too; the table keeps
+        // the last-seen histogram per label and sums the scope view.
+        event_labels[label] = hist;
+      }
+    }
+    if (const json::Value* la = dump.engine.find("lookahead")) {
+      json::Value tagged = json::Value::object();
+      tagged.set("source", dump.source);
+      tagged.set("lookahead", *la);
+      lookaheads.push_back(std::move(tagged));
+    }
+  }
+}
+
+std::string MergedProfile::render_hotspots(std::size_t top_n) const {
+  std::vector<std::pair<std::string, ScopeStat>> rows(scopes.begin(),
+                                                      scopes.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.self_ns() != b.second.self_ns()
+               ? a.second.self_ns() > b.second.self_ns()
+               : a.first < b.first;
+  });
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof(line), "%12s %12s  %s\n", "self_ms", "count",
+                "stack");
+  out += line;
+  std::size_t shown = 0;
+  for (const auto& [stack, stat] : rows) {
+    if (shown++ >= top_n) break;
+    std::snprintf(line, sizeof(line), "%12.3f %12llu  %s\n",
+                  static_cast<double>(stat.self_ns()) / 1e6,
+                  static_cast<unsigned long long>(stat.count), stack.c_str());
+    out += line;
+  }
+  if (rows.size() > shown) {
+    std::snprintf(line, sizeof(line), "... %zu more frames\n",
+                  rows.size() - shown);
+    out += line;
+  }
+  return out;
+}
+
+std::string MergedProfile::render_events() const {
+  if (event_labels.empty()) return "";
+  std::vector<std::pair<std::string, const json::Value*>> rows;
+  for (const auto& [label, hist] : event_labels) rows.push_back({label, &hist});
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    const json::Value* ta = a.second->find("total_ns");
+    const json::Value* tb = b.second->find("total_ns");
+    const std::int64_t va = ta ? ta->as_int() : 0;
+    const std::int64_t vb = tb ? tb->as_int() : 0;
+    return va != vb ? va > vb : a.first < b.first;
+  });
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-24s %12s %14s %10s %10s\n",
+                "event label", "count", "total_ms", "p50_us", "p99_us");
+  out += line;
+  for (const auto& [label, hist] : rows) {
+    const auto get = [&](const char* key) {
+      const json::Value* v = hist->find(key);
+      return v ? v->as_double() : 0.0;
+    };
+    std::snprintf(line, sizeof(line), "%-24s %12lld %14.3f %10.2f %10.2f\n",
+                  label.c_str(),
+                  static_cast<long long>(
+                      hist->find("count") ? hist->find("count")->as_int() : 0),
+                  get("total_ns") / 1e6, get("p50_ns") / 1e3,
+                  get("p99_ns") / 1e3);
+    out += line;
+  }
+  return out;
+}
+
+std::string MergedProfile::render_lookahead() const {
+  std::string out;
+  char line[384];
+  for (const json::Value& entry : lookaheads) {
+    const json::Value* la = entry.find("lookahead");
+    if (la == nullptr) continue;
+    const auto geti = [&](const char* key) {
+      const json::Value* v = la->find(key);
+      return v ? v->as_int() : 0;
+    };
+    const json::Value* frac = la->find("cross_fraction");
+    std::snprintf(
+        line, sizeof(line),
+        "%s: %lld intra-site + %lld cross-site deliveries "
+        "(%.1f%% cross), min cross latency %.3f ms\n",
+        entry.find("source") ? entry.find("source")->as_string().c_str()
+                             : "engine",
+        static_cast<long long>(geti("intra_site")),
+        static_cast<long long>(geti("cross_site")),
+        100.0 * (frac ? frac->as_double() : 0.0),
+        static_cast<double>(geti("min_cross_latency_ns")) / 1e6);
+    out += line;
+    if (const json::Value* pairs = la->find("pairs")) {
+      for (const auto& [pair, hist] : pairs->members()) {
+        const json::Value* min = hist.find("min_ns");
+        const json::Value* count = hist.find("count");
+        std::snprintf(line, sizeof(line), "  %-24s %10lld msgs, min %.3f ms\n",
+                      pair.c_str(),
+                      static_cast<long long>(count ? count->as_int() : 0),
+                      static_cast<double>(min ? min->as_int() : 0) / 1e6);
+        out += line;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MergedProfile::folded() const {
+  std::vector<FoldedLine> lines;
+  for (const auto& [stack, stat] : scopes) lines.push_back({stack, stat});
+  return folded_to_string(lines);
+}
+
+json::Value MergedProfile::json() const {
+  json::Value out = json::Value::object();
+  out.set("kind", "wacs-prof-merged");
+  json::Value srcs = json::Value::array();
+  for (const std::string& s : sources) srcs.push_back(s);
+  out.set("sources", std::move(srcs));
+  json::Value sc = json::Value::array();
+  for (const auto& [stack, stat] : scopes) {
+    json::Value row = json::Value::object();
+    row.set("stack", stack);
+    row.set("count", stat.count);
+    row.set("total_ns", stat.total_ns);
+    row.set("self_ns", stat.self_ns());
+    sc.push_back(std::move(row));
+  }
+  out.set("scopes", std::move(sc));
+  json::Value ev = json::Value::object();
+  for (const auto& [label, hist] : event_labels) ev.set(label, hist);
+  out.set("events", std::move(ev));
+  json::Value la = json::Value::array();
+  for (const json::Value& entry : lookaheads) la.push_back(entry);
+  out.set("lookaheads", std::move(la));
+  return out;
+}
+
+}  // namespace wacs::prof

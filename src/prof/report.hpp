@@ -1,0 +1,55 @@
+// Offline side of the profiling layer: load wacs-prof dumps (the JSON
+// written by dump_json(), or raw flamegraph folded text), merge several of
+// them, and render hotspot tables / per-event-type summaries / folded
+// output. Library so tests can drive it; tools/wacs_prof_main.cpp is the
+// thin CLI.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "prof/prof.hpp"
+
+namespace wacs::prof {
+
+/// One loaded dump (or one folded file: scopes only).
+struct Dump {
+  std::string source;
+  std::vector<FoldedLine> scopes;
+  json::Value engine;  ///< null when the dump had no engine section
+  json::Value extra;   ///< null when absent
+};
+
+/// Parses a dump_json() document.
+Result<Dump> parse_dump(const std::string& text);
+/// Parses flamegraph folded text ("stack value" lines) into scopes-only.
+Result<Dump> parse_folded(const std::string& text, const std::string& source);
+/// Dispatches on content: '{' → JSON dump, otherwise folded text.
+Result<Dump> parse_any(const std::string& text, const std::string& name);
+
+/// Merged view over several dumps.
+struct MergedProfile {
+  std::vector<std::string> sources;
+  std::map<std::string, ScopeStat> scopes;          ///< by stack string
+  std::map<std::string, json::Value> event_labels;  ///< engine event hists
+  std::vector<json::Value> lookaheads;  ///< one per engine dump, in order
+
+  void add(const Dump& dump);
+
+  /// Top-N frames by self time: "self_ms  count  stack" table.
+  std::string render_hotspots(std::size_t top_n) const;
+  /// Per-event-type summary table (engine dumps only).
+  std::string render_events() const;
+  /// Lookahead report(s), one block per engine dump.
+  std::string render_lookahead() const;
+  /// flamegraph.pl-compatible folded text of the merged scopes.
+  std::string folded() const;
+  /// Whole merged profile as one JSON document (CI artifact).
+  json::Value json() const;
+};
+
+}  // namespace wacs::prof

@@ -55,8 +55,20 @@ void Process::run_slice() {
   // process B directly) must restore A as current when B blocks again.
   Process* prev = engine_.current_;
   engine_.current_ = this;
+#if WACS_PROF
+  const bool prof_on = prof::enabled();
+  const std::int64_t slice_t0 = prof_on ? prof::now_ns() : 0;
+#endif
   proc_token_.release();
   engine_token_.acquire();
+#if WACS_PROF
+  if (prof_on) {
+    if (prof_slice_ == nullptr) {
+      prof_slice_ = &engine_.profile().slice_slot(name_);
+    }
+    prof_slice_->observe(prof::now_ns() - slice_t0);
+  }
+#endif
   engine_.current_ = prev;
   if (state_ == State::kRunning) state_ = State::kWaiting;
 }
@@ -69,12 +81,12 @@ void Process::sleep(double seconds) {
 void Process::sleep_until(Time t) {
   WACS_CHECK_MSG(state_ == State::kRunning,
                  "sleep() must be called from the process's own body");
-  engine_.at(t, [this] { wake(); });
+  engine_.at(t, "proc.sleep", [this] { wake(); });
   suspend();
 }
 
 void Process::yield() {
-  engine_.at(engine_.now(), [this] { wake(); });
+  engine_.at(engine_.now(), "proc.yield", [this] { wake(); });
   suspend();
 }
 
@@ -113,9 +125,19 @@ Engine::Engine()
 
 Engine::~Engine() { shutdown(); }
 
-void Engine::at(Time t, std::function<void()> fn) {
+void Engine::at(Time t, const char* label, std::function<void()> fn) {
   WACS_CHECK_MSG(t >= now_, "cannot schedule an event in the past");
+#if WACS_PROF
+  queue_.push(Event{t, next_seq_++, std::move(fn), label});
+#else
+  (void)label;
   queue_.push(Event{t, next_seq_++, std::move(fn)});
+#endif
+}
+
+prof::EngineProfile& Engine::profile() {
+  if (!prof_) prof_ = std::make_unique<prof::EngineProfile>();
+  return *prof_;
 }
 
 Process* Engine::spawn(std::string name, std::function<void(Process&)> body) {
@@ -125,7 +147,7 @@ Process* Engine::spawn(std::string name, std::function<void(Process&)> body) {
   Process* raw = proc.get();
   processes_.push_back(std::move(proc));
   spawns_metric_.add();
-  at(now_, [raw] {
+  at(now_, "proc.spawn", [raw] {
     raw->state_ = Process::State::kRunnable;
     raw->run_slice();
   });
@@ -140,6 +162,18 @@ void Engine::dispatch_next() {
   now_ = ev.t;
   ++events_executed_;
   events_metric_.add();
+#if WACS_PROF
+  if (prof::enabled()) {
+    if (prof_last_ns_ < 0) prof_last_ns_ = prof::now_ns();
+    const std::int64_t t0 = prof_last_ns_;
+    ev.fn();
+    const std::int64_t t1 = prof::now_ns();
+    profile().record_event(ev.label, t1 - t0, queue_.size());
+    prof_last_ns_ = t1;
+    return;
+  }
+  prof_last_ns_ = -1;  // cache is stale once profiling turns off
+#endif
   ev.fn();
 }
 

@@ -21,6 +21,7 @@
 
 #include "common/error.hpp"
 #include "common/telemetry.hpp"
+#include "prof/prof.hpp"
 #include "simnet/time.hpp"
 
 namespace wacs::sim {
@@ -103,6 +104,11 @@ class Process {
   std::binary_semaphore proc_token_{0};
   std::binary_semaphore engine_token_{0};
   std::thread thread_;
+#if WACS_PROF
+  // Cached slice histogram so profiled handoffs skip the name lookup;
+  // EngineProfile::clear() zeroes slots in place, keeping this valid.
+  prof::Log2Hist* prof_slice_ = nullptr;
+#endif
 };
 
 /// The event-driven simulation core.
@@ -116,7 +122,14 @@ class Engine {
   Time now() const { return now_; }
 
   /// Schedules `fn` at absolute time `t` (>= now).
-  void at(Time t, std::function<void()> fn);
+  void at(Time t, std::function<void()> fn) {
+    at(t, "event", std::move(fn));
+  }
+  /// Schedules `fn` at `t` with a host-profiling label. `label` must have
+  /// static storage duration ("tcp.deliver", "proc.sleep", ...); it names
+  /// the per-event-type cost bucket in the host-time profile and costs
+  /// nothing when profiling is compiled out or disabled.
+  void at(Time t, const char* label, std::function<void()> fn);
   /// Schedules `fn` after `seconds` of virtual time.
   void after(double seconds, std::function<void()> fn) {
     at(now_ + from_sec(seconds), std::move(fn));
@@ -153,6 +166,11 @@ class Engine {
   /// Number of events executed so far (for tests and perf sanity checks).
   std::uint64_t events_executed() const { return events_executed_; }
 
+  /// Host-time profile of this engine's dispatch loop (lazily created).
+  /// Advisory only: it accumulates wall-clock nanoseconds and never feeds
+  /// back into virtual time, so same-seed runs stay byte-identical.
+  prof::EngineProfile& profile();
+
   /// Names of processes still blocked (waiting or never scheduled). After
   /// run() drains, daemons are expected here — anything else is a deadlock
   /// diagnostic.
@@ -169,6 +187,9 @@ class Engine {
     Time t;
     std::uint64_t seq;
     std::function<void()> fn;
+#if WACS_PROF
+    const char* label;  // static-storage event-type name for host profiling
+#endif
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
@@ -189,6 +210,13 @@ class Engine {
   std::vector<std::unique_ptr<Process>> processes_;
   telemetry::Counter& events_metric_;
   telemetry::Counter& spawns_metric_;
+  std::unique_ptr<prof::EngineProfile> prof_;
+#if WACS_PROF
+  // Cached steady_clock read: the end of event N is the start of event N+1,
+  // so the profiled dispatch loop pays one clock read per event, not two.
+  // -1 means stale (profiling was off for the previous event).
+  std::int64_t prof_last_ns_ = -1;
+#endif
 };
 
 }  // namespace wacs::sim

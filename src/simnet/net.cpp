@@ -67,6 +67,25 @@ Host::~Host() = default;
 
 // ---------------------------------------------------------------- Network
 
+Network::Network(Engine& engine) : engine_(engine) {
+#if WACS_PROF
+  // Registered eagerly so per-site slice attribution works whenever
+  // profiling is switched on mid-run; resolution only happens at dump time.
+  engine_.profile().set_site_resolver([this](const std::string& host_name) {
+    auto h = find_host(host_name);
+    return h.ok() ? (*h)->site() : std::string();
+  });
+#endif
+}
+
+Network::~Network() {
+#if WACS_PROF
+  // The resolver captures `this`; drop it before the topology goes away.
+  engine_.profile().set_site_resolver({});
+#endif
+  engine_.shutdown();
+}
+
 Site& Network::add_site(const std::string& name, fw::Policy policy,
                         LinkParams lan) {
   WACS_CHECK_MSG(sites_by_name_.count(name) == 0, "duplicate site " + name);
@@ -226,6 +245,7 @@ Status Network::admit_connection(Host& src, Host& dst,
 
 Time Network::deliver(Host& src, Host& dst, std::uint64_t payload_bytes,
                       std::vector<HopCharge>* detail) {
+  PROF_SCOPE("net.deliver");
   auto path = route(src, dst);
   WACS_CHECK_MSG(path.ok(), path.error().message());
   const int dir = direction_of(src, dst);
@@ -246,6 +266,15 @@ Time Network::deliver(Host& src, Host& dst, std::uint64_t payload_bytes,
     hop.timing = timing;
     detail->push_back(hop);
   }
+#if WACS_PROF
+  if (prof::enabled()) {
+    // Lookahead ledger: classify the delivery and record its virtual-time
+    // latency. `t - now` is the earliest this message can affect the
+    // destination — the bound a conservative parallel engine would exploit.
+    engine_.profile().record_delivery(src.site(), dst.site(),
+                                      t - engine_.now());
+  }
+#endif
   return t;
 }
 

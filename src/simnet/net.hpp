@@ -184,13 +184,13 @@ class Site {
 /// The whole topology plus routing and admission control.
 class Network {
  public:
-  explicit Network(Engine& engine) : engine_(engine) {}
+  explicit Network(Engine& engine);
 
   /// Unwinds every simulated process (and drops queued events) before the
   /// hosts they reference are destroyed. This makes `Engine engine; Network
   /// net{engine};` member order safe regardless of destruction order of
   /// objects that capture hosts/sockets in process stacks or events.
-  ~Network() { engine_.shutdown(); }
+  ~Network();
 
   Engine& engine() { return engine_; }
 

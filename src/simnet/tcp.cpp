@@ -89,7 +89,7 @@ void SimSocket::abort() {
   const Time arrival = net.path_latency(*local_host_, *peer_host_);
   const int peer_side = 1 - side_;
   auto state = state_;
-  net.engine().at(arrival, [state, peer_side] {
+  net.engine().at(arrival, "tcp.reset", [state, peer_side] {
     if (state->closed[peer_side] || state->reset[peer_side]) return;
     state->reset[peer_side] = true;
     state->readers[peer_side].notify_all();
@@ -149,7 +149,8 @@ Status SimSocket::send(Bytes message) {
   auto state = state_;
   detail::InFrame frame{std::move(message),
                         stamp_meta(net.engine(), hops, arrival, wire_bytes)};
-  net.engine().at(arrival, [state, peer_side, fr = std::move(frame)]() mutable {
+  net.engine().at(arrival, "tcp.deliver",
+                  [state, peer_side, fr = std::move(frame)]() mutable {
     if (state->reset[peer_side]) return;  // connection torn while in flight
     state->inbox[peer_side].push_back(std::move(fr));
     state->readers[peer_side].notify_one();
@@ -220,7 +221,7 @@ void SimSocket::close() {
   const Time arrival = net.deliver(*local_host_, *peer_host_, 0);
   const int peer_side = 1 - side_;
   auto state = state_;
-  net.engine().at(arrival, [state, peer_side] {
+  net.engine().at(arrival, "tcp.fin", [state, peer_side] {
     state->fin_seen[peer_side] = true;
     state->readers[peer_side].notify_all();
   });
@@ -382,7 +383,7 @@ Result<SocketPtr> NetStack::connect(Process& self, const Contact& dst) {
                                         Contact{(*dst_host)->name(), dst.port},
                                         local_contact, state, 1));
 
-  engine.at(syn_arrival, [listener, server, state] {
+  engine.at(syn_arrival, "tcp.syn", [listener, server, state] {
     if (listener->closed_) {
       // Listener vanished while the SYN was in flight: refuse.
       state->fin_seen[0] = true;

@@ -43,7 +43,7 @@ class WaitQueue {
       if (engine_.now() >= deadline) return false;
       auto fired = std::make_shared<bool>(false);
       Process* p = &self;
-      engine_.at(deadline, [p, fired] {
+      engine_.at(deadline, "waitq.deadline", [p, fired] {
         if (!*fired) p->wake();
       });
       wait(self);
@@ -61,7 +61,7 @@ class WaitQueue {
     if (waiters_.empty()) return;
     Process* p = waiters_.front();
     waiters_.pop_front();
-    engine_.at(engine_.now(), [p] { p->wake(); });
+    engine_.at(engine_.now(), "waitq.wake", [p] { p->wake(); });
   }
 
   void notify_all() {

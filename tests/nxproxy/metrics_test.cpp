@@ -58,6 +58,24 @@ TEST(NxProxyMetrics, RenderEmitsAllSeriesWithRoleLabel) {
             std::string::npos);
 }
 
+TEST(NxProxyMetrics, RenderEmitsStageHistogramsAndProcessGauges) {
+  DaemonStats stats;
+  stats.stage_preamble_ms.observe(0.2);
+  stats.stage_handshake_ms.observe(1.5);
+  const std::string text = render_metrics(stats, "inner");
+  EXPECT_NE(text.find("nxproxy_stage_preamble_ms_count{role=\"inner\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("nxproxy_stage_handshake_ms_count{role=\"inner\"} 1"),
+            std::string::npos);
+  // Process-level gauges: peak RSS is always positive on a live process,
+  // and this test alone holds stdio + a few runtime fds open.
+  EXPECT_GT(series_value(text, "nxproxy_process_peak_rss_bytes"), 0);
+  EXPECT_GT(series_value(text, "nxproxy_process_open_fds"), 0);
+  // Gauges must not carry the counter suffix.
+  EXPECT_EQ(text.find("nxproxy_process_peak_rss_bytes_total"),
+            std::string::npos);
+}
+
 TEST(NxProxyMetrics, EndpointServesMetricsAndHealthz) {
   InnerDaemon inner{"127.0.0.1", 0};
   ASSERT_TRUE(inner.start().ok());
@@ -70,7 +88,12 @@ TEST(NxProxyMetrics, EndpointServesMetricsAndHealthz) {
 
   const std::string metrics = http_get(inner.metrics_port(), "/metrics");
   EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  // Prometheus text exposition content type, version pinned.
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
   EXPECT_NE(metrics.find("nxproxy_connections_total{role=\"inner\"} 0"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("nxproxy_process_open_fds{role=\"inner\"}"),
             std::string::npos);
 
   const std::string missing = http_get(inner.metrics_port(), "/nope");

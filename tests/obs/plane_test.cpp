@@ -70,6 +70,40 @@ TEST(ObsPlane, SameSeedRunsProduceByteIdenticalJournals) {
   EXPECT_FALSE(journal[0].empty());
 }
 
+TEST(ObsPlane, JournalCapRotatesOnLineBoundariesKeepingTheTail) {
+  knapsack::Instance inst = knapsack::no_prune_instance(12, 5);
+
+  // Unbounded reference run, then the same seed with a tiny cap.
+  std::string unbounded;
+  {
+    Testbed tb = make_rwcp_etl_testbed();
+    tb->enable_observability("rwcp-sun");
+    run_knapsack(tb, inst);
+    unbounded = tb->collector()->journal();
+  }
+
+  Testbed tb = make_rwcp_etl_testbed();
+  core::GridSystem::ObservabilityOptions opts;
+  opts.journal_max_bytes = 512;
+  tb->enable_observability("rwcp-sun", opts);
+  run_knapsack(tb, inst);
+  const obs::Collector& c = *tb->collector();
+
+  ASSERT_GT(unbounded.size(), 2 * opts.journal_max_bytes)
+      << "instance too small to exercise rotation";
+  EXPECT_GE(c.journal_rotations(), 1u);
+  EXPECT_FALSE(c.rotated_journal().empty());
+  // Rotation happens right after the line that crossed the cap, so each
+  // generation holds whole lines and stays within cap + one max line.
+  EXPECT_EQ(c.rotated_journal().back(), '\n');
+  ASSERT_FALSE(unbounded.empty());
+  // The two generations together are exactly the newest tail of the
+  // unbounded journal: rotation drops old history, never recent lines.
+  const std::string tail = c.rotated_journal() + c.journal();
+  ASSERT_LE(tail.size(), unbounded.size());
+  EXPECT_EQ(tail, unbounded.substr(unbounded.size() - tail.size()));
+}
+
 TEST(ObsPlane, ExportOnDoesNotChangeJobOutcome) {
   knapsack::Instance inst = knapsack::no_prune_instance(12, 6);
   Testbed plain = make_rwcp_etl_testbed();

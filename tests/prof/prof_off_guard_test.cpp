@@ -1,0 +1,51 @@
+// Compiled with -DWACS_PROF=0 (see tests/prof/CMakeLists.txt): the
+// compiled-out tier of the profiler. PROF_SCOPE must expand to nothing —
+// not "a timer that checks a flag", nothing — so instrumented hot paths in
+// a WACS_PROF=0 build carry zero profiling code. The proof: force-enable
+// recording, execute scopes, and observe that no frame was ever created.
+#include <gtest/gtest.h>
+
+#include "prof/prof.hpp"
+
+static_assert(WACS_PROF == 0,
+              "this test must be built with -DWACS_PROF=0; the CMake "
+              "target test_prof_off_guard sets it");
+
+namespace wacs::prof {
+namespace {
+
+TEST(ProfOffGuard, ScopeMacroCompilesToNothing) {
+  reset();
+  enable();  // recording force-enabled: any surviving scope code would fire
+  {
+    PROF_SCOPE("guard.must_not_exist");
+    {
+      PROF_SCOPE("guard.child");
+      volatile int sink = 0;
+      for (int i = 0; i < 1000; ++i) sink = sink + i;
+    }
+  }
+  disable();
+  // The library API stays linked (tools build unconditionally), but the
+  // macro left no frames behind: the instrumentation is not in this binary.
+  EXPECT_TRUE(collect_folded().empty());
+}
+
+TEST(ProfOffGuard, ScopeMacroIsAnExpressionStatement) {
+  // The compiled-out form must still parse everywhere the real macro does:
+  // several in one block, inside an if with braces, inside a loop.
+  enable();
+  PROF_SCOPE("a");
+  PROF_SCOPE("b");
+  if (enabled()) {
+    PROF_SCOPE("c");
+  }
+  for (int i = 0; i < 2; ++i) {
+    PROF_SCOPE("d");
+  }
+  disable();
+  EXPECT_TRUE(collect_folded().empty());
+}
+
+}  // namespace
+}  // namespace wacs::prof

@@ -1,0 +1,220 @@
+// Unit tests for the host-time profiling layer (DESIGN.md §15): scope
+// trees and folded stacks, the log2 latency histogram, the engine profile
+// (slice slots, lookahead ledger), and the dump/parse/merge round trip
+// through the wacs-prof report library.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "prof/prof.hpp"
+#include "prof/report.hpp"
+
+namespace wacs::prof {
+namespace {
+
+const FoldedLine* find_stack(const std::vector<FoldedLine>& lines,
+                             const std::string& stack) {
+  for (const auto& l : lines) {
+    if (l.stack == stack) return &l;
+  }
+  return nullptr;
+}
+
+// Burns a little real host time so scope self-times are strictly positive
+// even on coarse clocks.
+void spin_ns(std::int64_t ns) {
+  const std::int64_t t0 = now_ns();
+  while (now_ns() - t0 < ns) {
+  }
+}
+
+TEST(ProfScopes, NestedFramesFoldIntoStacks) {
+  reset();
+  enable();
+  {
+    PROF_SCOPE("t_outer");
+    spin_ns(20'000);
+    {
+      PROF_SCOPE("t_inner");
+      spin_ns(20'000);
+    }
+    {
+      PROF_SCOPE("t_inner");
+      spin_ns(20'000);
+    }
+  }
+  disable();
+
+  const auto folded = collect_folded();
+  const FoldedLine* outer = find_stack(folded, "t_outer");
+  const FoldedLine* inner = find_stack(folded, "t_outer;t_inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->stat.count, 1u);
+  EXPECT_EQ(inner->stat.count, 2u);
+  // Self = total - child: the parent's self time excludes the children.
+  EXPECT_GE(outer->stat.total_ns, inner->stat.total_ns);
+  EXPECT_EQ(outer->stat.self_ns(),
+            outer->stat.total_ns - outer->stat.child_ns);
+  EXPECT_GE(outer->stat.child_ns, inner->stat.total_ns);
+  EXPECT_GT(inner->stat.self_ns(), 0);
+
+  // flamegraph.pl format: "stack self_ns", one line per frame.
+  const std::string text = folded_to_string(folded);
+  EXPECT_NE(text.find("t_outer;t_inner "), std::string::npos);
+  reset();
+}
+
+TEST(ProfScopes, DisabledScopesRecordNothing) {
+  reset();
+  ASSERT_FALSE(enabled());
+  {
+    PROF_SCOPE("t_should_not_record");
+    spin_ns(1'000);
+  }
+  EXPECT_TRUE(collect_folded().empty());
+}
+
+TEST(ProfScopes, ScopeOpenedBeforeDisableStillClosesCleanly) {
+  reset();
+  enable();
+  {
+    PROF_SCOPE("t_straddle");
+    // Profiling flips off mid-frame: the timer was armed at entry, so the
+    // frame still closes and records rather than corrupting the tree.
+    disable();
+    spin_ns(1'000);
+  }
+  const auto folded = collect_folded();
+  EXPECT_NE(find_stack(folded, "t_straddle"), nullptr);
+  reset();
+}
+
+TEST(ProfLog2Hist, ObserveTracksCountMinMaxAndQuantiles) {
+  Log2Hist h;
+  EXPECT_EQ(h.count, 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  for (std::int64_t v : {100, 200, 400, 800, 1600}) h.observe(v);
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_EQ(h.total_ns, 3100);
+  EXPECT_EQ(h.min_ns, 100);
+  EXPECT_EQ(h.max_ns, 1600);
+  // Log2 buckets give geometric-midpoint quantiles: accurate to a factor
+  // of two, monotone in q.
+  const double p10 = h.quantile(0.10);
+  const double p50 = h.quantile(0.50);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GE(p50, p10);
+  EXPECT_GE(p99, p50);
+  EXPECT_GE(p50, 100.0);
+  EXPECT_LE(p99, 2.0 * 1600.0);
+
+  const json::Value j = h.json();
+  EXPECT_EQ(j.find("count")->as_int(), 5);
+}
+
+TEST(ProfEngineProfile, SliceSlotReferencesSurviveClear) {
+  EngineProfile p;
+  Log2Hist& slot = p.slice_slot("rank0@rwcp-sun");
+  slot.observe(1000);
+  EXPECT_EQ(p.slice_slot("rank0@rwcp-sun").count, 1u);
+  p.clear();
+  // clear() zeroes slots in place so cached references (Process keeps one
+  // per run) stay valid instead of dangling.
+  EXPECT_EQ(&p.slice_slot("rank0@rwcp-sun"), &slot);
+  EXPECT_EQ(slot.count, 0u);
+  slot.observe(2000);
+  EXPECT_EQ(p.slice_slot("rank0@rwcp-sun").count, 1u);
+}
+
+TEST(ProfEngineProfile, LookaheadLedgerClassifiesDeliveries) {
+  EngineProfile p;
+  p.record_delivery("rwcp", "rwcp", 5'000);
+  p.record_delivery("rwcp", "etl", 40'000'000);
+  p.record_delivery("etl", "rwcp", 25'000'000);
+  p.record_delivery("rwcp", "etl", 60'000'000);
+
+  EXPECT_EQ(p.lookahead().intra_site, 1u);
+  EXPECT_EQ(p.lookahead().cross_site, 3u);
+  EXPECT_DOUBLE_EQ(p.lookahead().cross_fraction(), 0.75);
+  // The minimum cross-site latency is the conservative-DES lookahead
+  // bound; intra-site deliveries must not drag it down.
+  EXPECT_EQ(p.min_cross_site_latency_ns(), 25'000'000);
+
+  const std::string text = p.render();
+  EXPECT_NE(text.find("cross-site"), std::string::npos);
+  const json::Value j = p.json();
+  ASSERT_NE(j.find("lookahead"), nullptr);
+}
+
+TEST(ProfEngineProfile, EventCostsAggregateByLabel) {
+  EngineProfile p;
+  static const char* kDeliver = "net.deliver";
+  static const char* kTimer = "engine.timer";
+  p.record_event(kDeliver, 1'000, 4);
+  p.record_event(kDeliver, 3'000, 5);
+  p.record_event(kTimer, 500, 2);
+  EXPECT_EQ(p.events_recorded(), 3u);
+  const auto folded = p.folded();
+  const FoldedLine* deliver = find_stack(folded, "engine.run;net.deliver");
+  ASSERT_NE(deliver, nullptr);
+  EXPECT_EQ(deliver->stat.count, 2u);
+  EXPECT_EQ(deliver->stat.total_ns, 4'000);
+}
+
+TEST(ProfReport, DumpRoundTripsThroughParseAndMerge) {
+  reset();
+  enable();
+  {
+    PROF_SCOPE("t_dump_scope");
+    spin_ns(10'000);
+  }
+  disable();
+
+  EngineProfile engine;
+  static const char* kStep = "rank.step";
+  engine.record_event(kStep, 2'000, 1);
+  engine.record_delivery("rwcp", "etl", 40'000'000);
+
+  json::Value extra = json::Value::object();
+  extra.set("note", std::string("round-trip"));
+  const std::string body = dump_json("unit-test", &engine, std::move(extra));
+  reset();
+
+  auto dump = parse_dump(body);
+  ASSERT_TRUE(dump.ok()) << dump.error().to_string();
+  EXPECT_EQ(dump->source, "unit-test");
+  EXPECT_NE(find_stack(dump->scopes, "t_dump_scope"), nullptr);
+  ASSERT_FALSE(dump->engine.is_null());
+  ASSERT_FALSE(dump->extra.is_null());
+
+  MergedProfile merged;
+  merged.add(*dump);
+  EXPECT_NE(merged.render_hotspots(10).find("t_dump_scope"),
+            std::string::npos);
+  EXPECT_NE(merged.render_events().find("rank.step"), std::string::npos);
+  EXPECT_NE(merged.render_lookahead().find("cross-site"), std::string::npos);
+  EXPECT_NE(merged.folded().find("t_dump_scope "), std::string::npos);
+  EXPECT_EQ(merged.json().find("kind")->as_string(), "wacs-prof-merged");
+}
+
+TEST(ProfReport, ParseFoldedAcceptsFlamegraphText) {
+  auto dump = parse_folded("a;b 100\na 50\n", "folded-file");
+  ASSERT_TRUE(dump.ok());
+  EXPECT_EQ(dump->source, "folded-file");
+  const FoldedLine* ab = find_stack(dump->scopes, "a;b");
+  ASSERT_NE(ab, nullptr);
+  EXPECT_EQ(ab->stat.self_ns(), 100);
+}
+
+TEST(ProfReport, ParseRejectsGarbageAndWrongKind) {
+  EXPECT_FALSE(parse_dump("{not json").ok());
+  EXPECT_FALSE(parse_dump("{\"kind\":\"something-else\"}").ok());
+  // parse_any sniffs the first byte: '{' must go down the JSON path and
+  // fail loudly, not be misread as one giant folded stack.
+  EXPECT_FALSE(parse_any("{\"kind\":\"bench\"}", "x").ok());
+}
+
+}  // namespace
+}  // namespace wacs::prof

@@ -6,6 +6,12 @@
 // one inbound rule: <outer host> -> <this host>:<port> ("only the
 // communication port from the outer server to the inner server must be
 // opened in advance").
+//
+// SIGUSR1 writes a wacs-prof JSON profile dump (scope stacks + stage
+// histograms) to --prof-dump PATH (default nxproxy-inner.prof.json)
+// without stopping the daemon; render it with `wacs-prof PATH`. Scope
+// recording is on with WACS_PROF=1 in the environment or --prof.
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -13,10 +19,18 @@
 
 #include "common/log.hpp"
 #include "nxproxy/daemon.hpp"
+#include "nxproxy/metrics_http.hpp"
+#include "prof/prof.hpp"
 
 namespace {
 std::binary_semaphore g_stop{0};
-void handle_signal(int) { g_stop.release(); }
+volatile std::sig_atomic_t g_stop_requested = 0;
+volatile std::sig_atomic_t g_dump_requested = 0;
+void handle_signal(int) {
+  g_stop_requested = 1;
+  g_stop.release();
+}
+void handle_dump_signal(int) { g_dump_requested = 1; }
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -24,6 +38,8 @@ int main(int argc, char** argv) {
   std::string bind_ip = "0.0.0.0";
   int port = 9900;
   int metrics_port = -1;
+  std::string prof_dump_path = "nxproxy-inner.prof.json";
+  (void)prof::enable_from_env();
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -40,12 +56,16 @@ int main(int argc, char** argv) {
       bind_ip = next();
     } else if (arg == "--metrics") {
       metrics_port = std::atoi(next());
+    } else if (arg == "--prof") {
+      prof::enable();
+    } else if (arg == "--prof-dump") {
+      prof_dump_path = next();
     } else if (arg == "--verbose") {
       log::set_level(log::Level::kInfo);
     } else {
       std::fprintf(stderr,
                    "usage: %s --port N [--bind IP] [--metrics PORT] "
-                   "[--verbose]\n",
+                   "[--prof] [--prof-dump PATH] [--verbose]\n",
                    argv[0]);
       return arg == "--help" ? 0 : 2;
     }
@@ -79,7 +99,22 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
-  g_stop.acquire();
+  std::signal(SIGUSR1, handle_dump_signal);
+  while (g_stop_requested == 0) {
+    // Timed wait instead of a blocking acquire so a SIGUSR1 that arrives
+    // without a matching release still gets serviced promptly.
+    (void)g_stop.try_acquire_for(std::chrono::milliseconds(200));
+    if (g_dump_requested != 0) {
+      g_dump_requested = 0;
+      const std::string body = nxproxy::profile_dump(daemon.stats(), "inner");
+      if (prof::write_file(prof_dump_path, body)) {
+        std::printf("profile dump written to %s\n", prof_dump_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write profile dump to %s\n",
+                     prof_dump_path.c_str());
+      }
+    }
+  }
 
   std::printf("shutting down: %llu connections, %llu bytes relayed\n",
               static_cast<unsigned long long>(daemon.stats().connections.load()),

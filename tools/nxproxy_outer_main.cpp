@@ -7,6 +7,13 @@
 // NXProxyConnect/NXProxyBind against <advertise>:<port>. Without --allow
 // the relay forwards anywhere (the paper's behaviour); with one or more
 // --allow flags it is deny-by-default.
+//
+// SIGUSR1 writes a wacs-prof JSON profile dump (scope stacks + stage
+// histograms) to --prof-dump PATH (default nxproxy-outer.prof.json) without
+// stopping the daemon; render it with `wacs-prof PATH`. Scope recording is
+// on whenever the daemon runs with WACS_PROF=1 in the environment or
+// --prof on the command line.
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -15,10 +22,20 @@
 
 #include "common/log.hpp"
 #include "nxproxy/daemon.hpp"
+#include "nxproxy/metrics_http.hpp"
+#include "prof/prof.hpp"
 
 namespace {
 std::binary_semaphore g_stop{0};
-void handle_signal(int) { g_stop.release(); }
+volatile std::sig_atomic_t g_stop_requested = 0;
+volatile std::sig_atomic_t g_dump_requested = 0;
+// Only async-signal-safe work here: set a flag; the main loop polls both
+// flags with a timed semaphore wait, so the release is best-effort.
+void handle_signal(int) {
+  g_stop_requested = 1;
+  g_stop.release();
+}
+void handle_dump_signal(int) { g_dump_requested = 1; }
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -27,7 +44,9 @@ int main(int argc, char** argv) {
   std::string advertise;
   int port = 9911;
   int metrics_port = -1;
+  std::string prof_dump_path = "nxproxy-outer.prof.json";
   nxproxy::RelayAccessPolicy policy;
+  (void)prof::enable_from_env();
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -56,12 +75,17 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--metrics") {
       metrics_port = std::atoi(next());
+    } else if (arg == "--prof") {
+      prof::enable();
+    } else if (arg == "--prof-dump") {
+      prof_dump_path = next();
     } else if (arg == "--verbose") {
       log::set_level(log::Level::kInfo);
     } else {
       std::fprintf(stderr,
                    "usage: %s --port N --advertise HOST [--bind IP] "
-                   "[--allow HOST[:PORT]]... [--metrics PORT] [--verbose]\n",
+                   "[--allow HOST[:PORT]]... [--metrics PORT] [--prof] "
+                   "[--prof-dump PATH] [--verbose]\n",
                    argv[0]);
       return arg == "--help" ? 0 : 2;
     }
@@ -97,7 +121,22 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
-  g_stop.acquire();
+  std::signal(SIGUSR1, handle_dump_signal);
+  while (g_stop_requested == 0) {
+    // Timed wait instead of a blocking acquire so a SIGUSR1 that arrives
+    // without a matching release still gets serviced promptly.
+    (void)g_stop.try_acquire_for(std::chrono::milliseconds(200));
+    if (g_dump_requested != 0) {
+      g_dump_requested = 0;
+      const std::string body = nxproxy::profile_dump(daemon.stats(), "outer");
+      if (prof::write_file(prof_dump_path, body)) {
+        std::printf("profile dump written to %s\n", prof_dump_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write profile dump to %s\n",
+                     prof_dump_path.c_str());
+      }
+    }
+  }
 
   std::printf("shutting down: %llu connections, %llu bytes relayed\n",
               static_cast<unsigned long long>(daemon.stats().connections.load()),

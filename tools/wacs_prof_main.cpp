@@ -1,0 +1,94 @@
+// wacs-prof: merge and render host-time profile dumps.
+//
+//   wacs-prof [--top N] [--json] [--folded] FILE...
+//
+// FILEs are wacs-prof JSON dumps (written by bench --prof artifact mode or
+// a daemon's SIGUSR1 handler) or raw flamegraph folded text; the format is
+// sniffed per file. The default report is the top-N hotspot table, the
+// per-event-type engine summary, and the lookahead report(s). --folded
+// emits flamegraph.pl-compatible text for the merged scopes ("wacs-prof
+// --folded *.prof.json | flamegraph.pl > flame.svg"); --json emits the
+// whole merged profile as one JSON document (the CI artifact).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "prof/report.hpp"
+
+namespace {
+
+int usage(const char* argv0, int code) {
+  std::fprintf(stderr,
+               "usage: %s [--top N] [--json] [--folded] FILE...\n"
+               "  FILE: wacs-prof JSON dump or flamegraph folded text\n",
+               argv0);
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wacs;
+  std::size_t top_n = 20;
+  bool as_json = false;
+  bool as_folded = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--top") {
+      if (i + 1 >= argc) return usage(argv[0], 2);
+      top_n = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--folded") {
+      as_folded = true;
+    } else if (arg == "--help") {
+      return usage(argv[0], 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0], 2);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage(argv[0], 2);
+
+  prof::MergedProfile merged;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "wacs-prof: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto dump = prof::parse_any(buf.str(), path);
+    if (!dump.ok()) {
+      std::fprintf(stderr, "wacs-prof: %s: %s\n", path.c_str(),
+                   dump.error().to_string().c_str());
+      return 1;
+    }
+    merged.add(*dump);
+  }
+
+  if (as_json) {
+    std::printf("%s\n", merged.json().dump().c_str());
+    return 0;
+  }
+  if (as_folded) {
+    std::fputs(merged.folded().c_str(), stdout);
+    return 0;
+  }
+  std::printf("merged %zu dump(s):", merged.sources.size());
+  for (const std::string& s : merged.sources) std::printf(" %s", s.c_str());
+  std::printf("\n\n%s", merged.render_hotspots(top_n).c_str());
+  const std::string events = merged.render_events();
+  if (!events.empty()) std::printf("\n%s", events.c_str());
+  const std::string lookahead = merged.render_lookahead();
+  if (!lookahead.empty()) std::printf("\n%s", lookahead.c_str());
+  return 0;
+}

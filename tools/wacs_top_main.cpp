@@ -11,12 +11,21 @@
 // per-site verdicts, component health, breaches, and sparklines for the
 // utilization series. "now" is the newest report timestamp (virtual time),
 // so a recorded run renders identically anywhere.
+//
+// --follow is robust against the two things a live writer does to the
+// file: a half-written last line is buffered until its newline lands
+// (never counted malformed), and a rotation (journal moved to `.1`, fresh
+// file at the same path) is detected by inode change or truncation and
+// followed to the new file.
+#include <sys/stat.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "obs/timeline.hpp"
 
@@ -53,6 +62,100 @@ struct Replay {
   }
 };
 
+/// Incremental journal reader: keeps its offset between drain() passes,
+/// holds a half-written trailing line until its newline arrives, and
+/// reopens from the start when the file at `path` was rotated out from
+/// under it (new inode) or truncated.
+class JournalTail {
+ public:
+  explicit JournalTail(std::string path) : path_(std::move(path)) { reopen(); }
+
+  bool ok() const { return static_cast<bool>(in_); }
+
+  /// Reads every newly completed line into `replay`. Returns false when
+  /// the file cannot be (re)opened.
+  bool drain(Replay& replay) {
+    if (rotated()) {
+      // The writer moved the journal to `.1` and started fresh: what we
+      // already replayed lives in the old generation, the new file starts
+      // its own complete lines. A partial tail of the old file is gone
+      // with the rotation (the writer rotates on line boundaries).
+      pending_.clear();
+      reopen();
+    }
+    if (!in_) return false;
+    in_.clear();  // clear eofbit from the previous pass, keep the offset
+    std::string line;
+    while (std::getline(in_, line)) {
+      if (in_.eof()) {
+        // No trailing newline yet: the writer is mid-line. Hold the
+        // fragment; the next pass reads the rest.
+        pending_ += line;
+        break;
+      }
+      if (!pending_.empty()) {
+        line = pending_ + line;
+        pending_.clear();
+      }
+      replay.apply_line(line);
+    }
+    in_.clear();
+    const auto pos = in_.tellg();
+    if (pos >= 0) read_ = static_cast<off_t>(pos);
+    return true;
+  }
+
+  /// One-shot mode: the file is complete, so a missing final newline just
+  /// means the last line is done — apply what's buffered.
+  void flush(Replay& replay) {
+    if (!pending_.empty()) {
+      replay.apply_line(pending_);
+      pending_.clear();
+    }
+  }
+
+ private:
+  struct FileId {
+    dev_t dev = 0;
+    ino_t ino = 0;
+    off_t size = 0;
+    bool operator==(const FileId& o) const {
+      return dev == o.dev && ino == o.ino;
+    }
+  };
+
+  static FileId stat_id(const std::string& p) {
+    struct stat st {};
+    FileId id;
+    if (::stat(p.c_str(), &st) == 0) {
+      id.dev = st.st_dev;
+      id.ino = st.st_ino;
+      id.size = st.st_size;
+    }
+    return id;
+  }
+
+  bool rotated() const {
+    if (!in_) return false;
+    const FileId now = stat_id(path_);
+    if (now.ino == 0) return false;  // mid-rename: retry next pass
+    if (!(now == opened_)) return true;  // replaced: new inode
+    return now.size < read_;  // truncated in place
+  }
+
+  void reopen() {
+    in_ = std::ifstream(path_);
+    opened_ = stat_id(path_);
+    read_ = 0;
+  }
+
+  std::string path_;
+  std::ifstream in_;
+  FileId opened_;
+  off_t read_ = 0;
+  std::string pending_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -87,18 +190,20 @@ int main(int argc, char** argv) {
   }
 
   Replay replay;
-  std::ifstream in(path);
-  if (!in) {
+  JournalTail tail(path);
+  if (!tail.ok()) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return 1;
   }
 
-  std::string line;
   do {
-    // Drain whatever the collector has appended since the last pass. The
-    // stream keeps its offset across passes: clear eof and keep reading.
-    in.clear();
-    while (std::getline(in, line)) replay.apply_line(line);
+    // Drain whatever the collector has appended (or rotated) since the
+    // last pass; a half-written trailing line is buffered, not applied.
+    if (!tail.drain(replay)) {
+      std::fprintf(stderr, "cannot reopen %s\n", path.c_str());
+      return 1;
+    }
+    if (!follow) tail.flush(replay);  // complete file: last line is done
     replay.refresh_final();
 
     if (!as_json) {
