@@ -1,0 +1,490 @@
+// Chaos soak of the REAL Nexus Proxy daemons under a seeded fault schedule.
+//
+// One process, loopback TCP, deterministic hostile peers from the
+// sockets/fault shim: slowloris and half-open clients on the control port,
+// garbage writers and mid-frame resetters, an injected EMFILE storm on
+// accept, an admission-gate overload burst, a full bind-lease lifecycle,
+// and a goodput phase whose byte integrity is hashed end to end. The run
+// gates on the supervision invariants — every hostile connection evicted by
+// its deadline, shed connections told Busy, expired leases reaped — and on
+// zero leaked threads, fds, and sessions once the daemons stop.
+//
+// Counters are timing-dependent (eviction races are real), so this bench
+// has NO committed baseline; the gates themselves are the contract.
+#include <dirent.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "nxproxy/client.hpp"
+#include "nxproxy/daemon.hpp"
+#include "sockets/fault.hpp"
+
+namespace wacs {
+namespace {
+
+constexpr int kHostileEach = 4;  // per hostile-client species
+constexpr int kShedProbes = 6;   // one-shot connects against a full gate
+constexpr int kEmfileBurst = 5;  // injected accept failures in a row
+constexpr int kStreams = 4;      // goodput streams through the bind path
+constexpr std::size_t kStreamBytes = 256 * 1024;
+
+std::uint64_t chaos_seed() {
+  if (const char* env = std::getenv("WACS_CHAOS_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 1;
+}
+
+struct ProcUsage {
+  long threads = -1;
+  long fds = -1;
+};
+
+/// Thread and open-fd counts of this process, from /proc. The fd count
+/// excludes the opendir fd and the "."/".." entries, so values from
+/// successive calls compare like for like.
+ProcUsage proc_usage() {
+  ProcUsage u;
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+      if (std::sscanf(line, "Threads: %ld", &u.threads) == 1) break;
+    }
+    std::fclose(f);
+  }
+  if (DIR* dir = ::opendir("/proc/self/fd")) {
+    long n = 0;
+    while (::readdir(dir) != nullptr) ++n;
+    ::closedir(dir);
+    u.fds = n >= 3 ? n - 3 : 0;
+  }
+  return u;
+}
+
+bool wait_until(const std::function<bool()>& cond, int timeout_ms = 10'000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return cond();
+}
+
+/// Loopback echo target for the relayed CONNECT phases.
+class EchoServer {
+ public:
+  EchoServer() {
+    auto l = net::TcpListener::bind("127.0.0.1", 0);
+    WACS_CHECK(l.ok());
+    listener_ = std::move(*l);
+    thread_ = std::thread([this] {
+      while (true) {
+        auto conn = listener_.accept();
+        if (!conn.ok()) return;
+        auto sock = std::make_shared<net::TcpSocket>(std::move(*conn));
+        workers_.emplace_back([sock] {
+          while (true) {
+            auto chunk = sock->read_some(1 << 16);
+            if (!chunk.ok()) return;
+            if (!sock->write_all(*chunk).ok()) return;
+          }
+        });
+      }
+    });
+  }
+  ~EchoServer() {
+    listener_.shutdown();
+    thread_.join();
+    for (auto& w : workers_) w.join();
+  }
+  Contact contact() const { return Contact{"127.0.0.1", listener_.port()}; }
+
+ private:
+  net::TcpListener listener_;
+  std::thread thread_;
+  std::vector<std::thread> workers_;
+};
+
+int run() {
+  using namespace nxproxy;
+  const std::uint64_t seed = chaos_seed();
+  bench::print_header(
+      "nxproxy chaos soak: hostile WAN against the real relay daemons",
+      "robustness hardening of the paper's engineering artifact "
+      "(DESIGN.md §16)");
+  bench::print_note("seed=" + std::to_string(seed) +
+                    " (WACS_CHAOS_SEED overrides)");
+
+  const ProcUsage baseline = proc_usage();
+
+  DaemonOptions opts;
+  opts.handshake_timeout_ms = 1000;
+  opts.idle_timeout_ms = 0;  // goodput streams may pause; no idle eviction
+  opts.max_connections = 16;
+  opts.bind_lease_ms = 400;
+  opts.drain_ms = 1000;
+  std::optional<OuterDaemon> outer;
+  outer.emplace("127.0.0.1", 0, "127.0.0.1", RelayAccessPolicy{}, opts);
+  std::optional<InnerDaemon> inner;
+  inner.emplace("127.0.0.1", 0, opts);
+  WACS_CHECK(outer->start().ok());
+  WACS_CHECK(inner->start().ok());
+  std::optional<EchoServer> echo;
+  echo.emplace();
+
+  // ---- Phase A: hostile control-port clients, evicted on deadline -------
+  // Two waves so the gate (16 slots) never sheds what this phase wants
+  // classified: first the silent species (timeout), then the byte-mangling
+  // species (malformed).
+  std::printf("\n[A] hostile clients: %d slowloris, %d half-open, %d garbage, "
+              "%d mid-frame resetters\n",
+              kHostileEach, kHostileEach, kHostileEach, kHostileEach);
+  {
+    std::vector<net::TcpSocket> parked;
+    for (int i = 0; i < kHostileEach; ++i) {
+      // Slowloris: one header byte, then silence.
+      auto s = net::TcpSocket::dial(outer->contact());
+      WACS_CHECK(s.ok());
+      WACS_CHECK(s->write_all(Bytes{0x01}).ok());
+      parked.push_back(std::move(*s));
+      // Half-open: connect, never write a byte.
+      auto h = net::TcpSocket::dial(outer->contact());
+      WACS_CHECK(h.ok());
+      parked.push_back(std::move(*h));
+    }
+    WACS_CHECK_MSG(
+        wait_until([&] {
+          return outer->stats().hs_timeout.load() >=
+                 static_cast<std::uint64_t>(2 * kHostileEach);
+        }),
+        "silent hostile clients were not evicted by the handshake deadline");
+  }
+  for (int i = 0; i < kHostileEach; ++i) {
+    // Garbage: a framed payload with an invalid tag, delivered in
+    // deterministic crumbs through the fault shim.
+    auto g = net::TcpSocket::dial(outer->contact());
+    WACS_CHECK(g.ok());
+    net::fault::FaultSpec slice_spec;
+    slice_spec.seed = seed;
+    slice_spec.max_write_slice = 7;
+    net::fault::FaultySocket garbage(std::move(*g), slice_spec, 100 + i);
+    Bytes noise = pattern_bytes(64, seed + static_cast<std::uint64_t>(i));
+    noise[0] = 0xFF;  // never a valid MsgType tag
+    (void)garbage.write_frame(noise);
+    garbage.shutdown();
+    // Mid-frame reset: the length prefix arrives, then RST.
+    auto r = net::TcpSocket::dial(outer->contact());
+    WACS_CHECK(r.ok());
+    net::fault::FaultSpec reset_spec;
+    reset_spec.seed = seed;
+    reset_spec.reset_after_bytes = 5;  // 4-byte prefix + 1 payload byte
+    net::fault::FaultySocket resetter(std::move(*r), reset_spec, 200 + i);
+    (void)resetter.write_frame(noise);
+  }
+  WACS_CHECK_MSG(
+      wait_until([&] {
+        return outer->stats().hs_malformed.load() >=
+               static_cast<std::uint64_t>(2 * kHostileEach);
+      }),
+      "byte-mangling hostile clients were not classified as malformed");
+  std::printf("    evicted: timeout=%llu malformed=%llu\n",
+              static_cast<unsigned long long>(outer->stats().hs_timeout.load()),
+              static_cast<unsigned long long>(
+                  outer->stats().hs_malformed.load()));
+
+  // ---- Phase B: EMFILE storm on accept ---------------------------------
+  std::printf("[B] injected EMFILE storm on the control accept loop\n");
+  {
+    net::fault::ScopedAcceptFaults faults(outer->contact().port, EMFILE,
+                                          kEmfileBurst);
+    // The accept loop is already blocked inside accept(), so this first
+    // connection is served un-injected; the burst hits the next accepts.
+    auto first = NXProxyConnect(outer->contact(), echo->contact());
+    WACS_CHECK_MSG(first.ok(), "connect during EMFILE storm failed: " +
+                                   first.error().to_string());
+    WACS_CHECK_MSG(
+        wait_until([&] {
+          return outer->stats().accept_retries.load() >=
+                 static_cast<std::uint64_t>(kEmfileBurst);
+        }),
+        "accept loop did not retry the injected EMFILEs");
+    WACS_CHECK(first->write_all(to_bytes("storm")).ok());
+    auto back = first->read_exact(5);
+    WACS_CHECK(back.ok() && to_string(*back) == "storm");
+  }
+  {
+    auto sock = NXProxyConnect(outer->contact(), echo->contact());
+    WACS_CHECK_MSG(sock.ok(), "accept loop dead after EMFILE storm");
+    WACS_CHECK(sock->write_all(to_bytes("alive")).ok());
+    auto back = sock->read_exact(5);
+    WACS_CHECK(back.ok() && to_string(*back) == "alive");
+  }
+  wait_until([&] {
+    return outer->stats().sessions_opened.load() ==
+           outer->stats().sessions_closed.load();
+  });
+
+  // ---- Phase C: admission-gate overload burst --------------------------
+  std::printf("[C] overload burst against max_connections=%d\n",
+              opts.max_connections);
+  {
+    const std::uint64_t conns_before = outer->stats().connections.load();
+    std::vector<net::TcpSocket> parked;
+    for (int i = 0; i < opts.max_connections; ++i) {
+      auto s = net::TcpSocket::dial(outer->contact());
+      WACS_CHECK(s.ok());
+      parked.push_back(std::move(*s));
+    }
+    // The accept loop bumps `connections` before the next accept, so once
+    // the counter covers every parked dial the gate is provably full.
+    WACS_CHECK_MSG(
+        wait_until([&] {
+          return outer->stats().connections.load() >=
+                 conns_before +
+                     static_cast<std::uint64_t>(opts.max_connections);
+        }),
+        "parked connections were not all accepted");
+    ClientOptions one_shot;
+    one_shot.retry.max_attempts = 1;
+    int shed_seen = 0;
+    for (int i = 0; i < kShedProbes; ++i) {
+      auto probe = NXProxyConnect(outer->contact(), echo->contact(), one_shot);
+      if (!probe.ok() && probe.error().code() == ErrorCode::kUnavailable) {
+        ++shed_seen;
+      }
+    }
+    WACS_CHECK_MSG(shed_seen >= kShedProbes / 2,
+                   "overload burst was not shed with Busy");
+    WACS_CHECK(outer->stats().shed_connections.load() >=
+               static_cast<std::uint64_t>(shed_seen));
+    std::printf("    shed %d/%d probes (counter=%llu)\n", shed_seen,
+                kShedProbes,
+                static_cast<unsigned long long>(
+                    outer->stats().shed_connections.load()));
+    parked.clear();  // free the gate; the parked handshakes die on EOF
+    WACS_CHECK_MSG(wait_until([&] {
+                     auto again = NXProxyConnect(outer->contact(),
+                                                 echo->contact(), one_shot);
+                     return again.ok();
+                   }),
+                   "gate did not recover after the overload burst drained");
+  }
+  wait_until([&] {
+    return outer->stats().sessions_opened.load() ==
+           outer->stats().sessions_closed.load();
+  });
+
+  // ---- Phase D: bind-lease lifecycle -----------------------------------
+  std::printf("[D] bind lease: grant, renew, lapse, reap\n");
+  {
+    ClientOptions one_shot;
+    one_shot.retry.max_attempts = 1;
+    auto bound = NXProxyBind(outer->contact(), inner->contact());
+    WACS_CHECK_MSG(bound.ok(), bound.error().to_string());
+    WACS_CHECK(bound->lease_ms ==
+               static_cast<std::uint32_t>(opts.bind_lease_ms));
+    for (int i = 0; i < 3; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      auto renewed = NXProxyRenewBind(outer->contact(), bound->bind_id);
+      WACS_CHECK_MSG(renewed.ok(),
+                     "renewal failed: " + renewed.error().to_string());
+      WACS_CHECK_MSG(outer->active_binds() == 1,
+                     "binding reaped despite timely renewals");
+    }
+    // Stop renewing: the sweeper must reap it, listener and all.
+    WACS_CHECK_MSG(wait_until([&] { return outer->active_binds() == 0; }),
+                   "expired lease was not reaped");
+    WACS_CHECK(outer->stats().leases_expired.load() >= 1);
+    auto late = NXProxyRenewBind(outer->contact(), bound->bind_id, one_shot);
+    WACS_CHECK_MSG(!late.ok(), "renewing a lapsed lease must fail");
+    bound->listener.shutdown();
+  }
+
+  // ---- Phase E: goodput integrity through the bind path ----------------
+  std::printf("[E] goodput: %d streams x %zu KiB through outer+inner, "
+              "sliced writers\n",
+              kStreams, kStreamBytes / 1024);
+  {
+    ClientOptions one_shot;
+    one_shot.retry.max_attempts = 1;
+    auto bound = NXProxyBind(outer->contact(), inner->contact());
+    WACS_CHECK_MSG(bound.ok(), bound.error().to_string());
+    // Keep the lease alive until every stream is established; established
+    // splices survive the later reap by design.
+    std::atomic<bool> stop_renewing{false};
+    std::thread renewer([&] {
+      while (!stop_renewing.load()) {
+        (void)NXProxyRenewBind(outer->contact(), bound->bind_id, one_shot);
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      }
+    });
+    std::vector<std::thread> echoers;
+    std::thread acceptor([&] {
+      for (int i = 0; i < kStreams; ++i) {
+        auto acc = NXProxyAccept(*bound);
+        if (!acc.ok()) return;
+        auto sock = std::make_shared<net::TcpSocket>(std::move(acc->first));
+        echoers.emplace_back([sock] {
+          while (true) {
+            auto chunk = sock->read_some(1 << 16);
+            if (!chunk.ok()) return;
+            if (!sock->write_all(*chunk).ok()) return;
+          }
+        });
+      }
+    });
+    std::atomic<int> intact{0};
+    std::vector<std::thread> remotes;
+    for (int i = 0; i < kStreams; ++i) {
+      remotes.emplace_back([&, i] {
+        auto conn = net::TcpSocket::dial(bound->public_contact);
+        if (!conn.ok()) return;
+        net::fault::FaultSpec spec;
+        spec.seed = seed;
+        spec.max_write_slice = 1500;  // MTU-ish crumbs
+        net::fault::FaultySocket faulty(std::move(*conn), spec,
+                                        300 + static_cast<std::uint64_t>(i));
+        const Bytes payload = pattern_bytes(
+            kStreamBytes, seed + 1000 + static_cast<std::uint64_t>(i));
+        std::thread writer([&] { (void)faulty.write_all(payload); });
+        auto echoed = faulty.raw().read_exact(kStreamBytes);
+        writer.join();
+        if (echoed.ok() && fnv1a(*echoed) == fnv1a(payload)) ++intact;
+        faulty.shutdown();
+      });
+    }
+    for (auto& t : remotes) t.join();
+    acceptor.join();
+    stop_renewing.store(true);
+    renewer.join();
+    for (auto& t : echoers) t.join();
+    bound->listener.shutdown();
+    WACS_CHECK_MSG(intact.load() == kStreams,
+                   "payload corrupted through the relay under sliced writes");
+    std::printf("    %d/%d streams byte-identical\n", intact.load(), kStreams);
+    WACS_CHECK_MSG(wait_until([&] { return outer->active_binds() == 0; }),
+                   "goodput binding was not reaped after its lease lapsed");
+  }
+
+  // ---- Phase F: drain, stop, leak gates --------------------------------
+  std::printf("[F] drain, stop, leak gates\n");
+  WACS_CHECK(wait_until([&] {
+    return outer->stats().sessions_opened.load() ==
+               outer->stats().sessions_closed.load() &&
+           inner->stats().sessions_opened.load() ==
+               inner->stats().sessions_closed.load();
+  }));
+  outer->stop();
+  inner->stop();
+
+  struct StatsSnap {
+    std::uint64_t connections, handshake_failures, hs_policy_denied,
+        hs_malformed, hs_dial_failed, hs_timeout, sessions_opened,
+        sessions_closed, shed_connections, accept_retries, idle_evictions,
+        leases_granted, leases_renewed, leases_expired, bytes_relayed;
+  };
+  const auto snap = [](const DaemonStats& s) {
+    return StatsSnap{s.connections.load(),
+                     s.handshake_failures.load(),
+                     s.hs_policy_denied.load(),
+                     s.hs_malformed.load(),
+                     s.hs_dial_failed.load(),
+                     s.hs_timeout.load(),
+                     s.sessions_opened.load(),
+                     s.sessions_closed.load(),
+                     s.shed_connections.load(),
+                     s.accept_retries.load(),
+                     s.idle_evictions.load(),
+                     s.leases_granted.load(),
+                     s.leases_renewed.load(),
+                     s.leases_expired.load(),
+                     s.bytes_relayed.load()};
+  };
+  const StatsSnap os = snap(outer->stats());
+  const StatsSnap is = snap(inner->stats());
+  const std::uint64_t leaked_binds = outer->active_binds();
+  // Destroy the daemons and the echo server before the leak gates: stop()
+  // parks the listener fds but their close happens in the destructors, and
+  // the gates compare against the pre-daemon baseline.
+  echo.reset();
+  inner.reset();
+  outer.reset();
+
+  WACS_CHECK_MSG(os.handshake_failures == os.hs_policy_denied +
+                                              os.hs_malformed +
+                                              os.hs_dial_failed + os.hs_timeout,
+                 "outer handshake-failure kinds do not sum to the total");
+  WACS_CHECK_MSG(is.handshake_failures == is.hs_policy_denied +
+                                              is.hs_malformed +
+                                              is.hs_dial_failed + is.hs_timeout,
+                 "inner handshake-failure kinds do not sum to the total");
+  WACS_CHECK_MSG(os.sessions_opened == os.sessions_closed,
+                 "outer leaked sessions");
+  WACS_CHECK_MSG(is.sessions_opened == is.sessions_closed,
+                 "inner leaked sessions");
+  WACS_CHECK_MSG(leaked_binds == 0, "outer leaked bindings");
+  WACS_CHECK_MSG(
+      wait_until([&] { return proc_usage().threads <= baseline.threads; }),
+      "leaked threads after stop");
+  WACS_CHECK_MSG(wait_until([&] { return proc_usage().fds <= baseline.fds; }),
+                 "leaked fds after stop");
+  const ProcUsage final_usage = proc_usage();
+  std::printf("    threads %ld -> %ld, fds %ld -> %ld (baseline -> final)\n",
+              baseline.threads, final_usage.threads, baseline.fds,
+              final_usage.fds);
+
+  // ---- Report ----------------------------------------------------------
+  bench::Report report("nxproxy_chaos");
+  report.set("seed", seed);
+  json::Value counters = json::Value::object();
+  counters.set("outer_connections", os.connections);
+  counters.set("outer_hs_timeout", os.hs_timeout);
+  counters.set("outer_hs_malformed", os.hs_malformed);
+  counters.set("outer_hs_dial_failed", os.hs_dial_failed);
+  counters.set("outer_hs_policy_denied", os.hs_policy_denied);
+  counters.set("outer_shed_connections", os.shed_connections);
+  counters.set("outer_accept_retries", os.accept_retries);
+  counters.set("outer_idle_evictions", os.idle_evictions);
+  counters.set("outer_leases_granted", os.leases_granted);
+  counters.set("outer_leases_renewed", os.leases_renewed);
+  counters.set("outer_leases_expired", os.leases_expired);
+  counters.set("outer_bytes_relayed", os.bytes_relayed);
+  counters.set("inner_bytes_relayed", is.bytes_relayed);
+  report.set("counters", std::move(counters));
+  json::Value gates = json::Value::object();
+  gates.set("sessions_balanced", true);
+  gates.set("bindings_reaped", true);
+  gates.set("threads_leaked",
+            static_cast<std::int64_t>(final_usage.threads - baseline.threads));
+  gates.set("fds_leaked",
+            static_cast<std::int64_t>(final_usage.fds - baseline.fds));
+  gates.set("streams_intact", kStreams);
+  report.set("gates", std::move(gates));
+  auto path = report.write();
+  if (path.ok()) {
+    std::printf("\nbench report: %s\n", path->c_str());
+  } else {
+    std::fprintf(stderr, "bench report failed: %s\n",
+                 path.error().to_string().c_str());
+  }
+  std::printf("\nCHAOS SOAK PASS\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace wacs
+
+int main() { return wacs::run(); }

@@ -1,6 +1,7 @@
 #include "nxproxy/client.hpp"
 
 #include <chrono>
+#include <optional>
 #include <thread>
 
 #include "common/bytes.hpp"
@@ -28,6 +29,19 @@ auto retry_on_wall_clock(const RetryPolicy& policy, const Contact& target,
       });
 }
 
+/// A daemon at capacity replies Busy instead of the expected frame. Map it
+/// to kUnavailable — retryable under RetryPolicy, so a shed client backs
+/// off and tries again instead of failing hard.
+std::optional<Error> busy_to_error(const Bytes& frame) {
+  auto type = proxy::peek_type(frame);
+  if (!type.ok() || *type != proxy::MsgType::kBusy) return std::nullopt;
+  auto busy = proxy::Busy::decode(frame);
+  const std::uint32_t after = busy.ok() ? busy->retry_after_ms : 0;
+  return Error(ErrorCode::kUnavailable,
+               "outer server busy (retry_after_ms=" + std::to_string(after) +
+                   ")");
+}
+
 }  // namespace
 
 Result<net::TcpSocket> NXProxyConnect(const Contact& outer,
@@ -45,8 +59,10 @@ Result<net::TcpSocket> NXProxyConnect(const Contact& outer,
             !s.ok()) {
           return s.error();
         }
-        auto frame = conn->read_frame_timeout(options.reply_timeout_ms);
+        auto frame = conn->read_frame_timeout(options.reply_timeout_ms,
+                                              proxy::kMaxControlFrameBytes);
         if (!frame.ok()) return frame.error();
+        if (auto busy = busy_to_error(*frame)) return *busy;
         auto reply = proxy::ConnectReply::decode(*frame);
         if (!reply.ok()) return reply.error();
         if (!reply->ok) {
@@ -76,8 +92,10 @@ Result<BoundPort> NXProxyBind(const Contact& outer, const Contact& inner,
         if (auto s = conn->write_frame(req.encode()); !s.ok()) {
           return s.error();
         }
-        auto frame = conn->read_frame_timeout(options.reply_timeout_ms);
+        auto frame = conn->read_frame_timeout(options.reply_timeout_ms,
+                                              proxy::kMaxControlFrameBytes);
         if (!frame.ok()) return frame.error();
+        if (auto busy = busy_to_error(*frame)) return *busy;
         auto reply = proxy::BindReply::decode(*frame);
         if (!reply.ok()) return reply.error();
         if (!reply->ok) {
@@ -87,17 +105,48 @@ Result<BoundPort> NXProxyBind(const Contact& outer, const Contact& inner,
       });
   if (!registration.ok()) return registration.error();
   return BoundPort{std::move(*listener), registration->public_contact,
-                   registration->bind_id, options.reply_timeout_ms};
+                   registration->bind_id, options.reply_timeout_ms,
+                   registration->lease_ms};
 }
 
 Result<std::pair<net::TcpSocket, Contact>> NXProxyAccept(BoundPort& bound) {
   auto conn = bound.listener.accept();
   if (!conn.ok()) return conn.error();
-  auto frame = conn->read_frame_timeout(bound.reply_timeout_ms);
+  auto frame = conn->read_frame_timeout(bound.reply_timeout_ms,
+                                        proxy::kMaxControlFrameBytes);
   if (!frame.ok()) return frame.error();
   auto notice = proxy::AcceptNotice::decode(*frame);
   if (!notice.ok()) return notice.error();
   return std::make_pair(std::move(*conn), notice->peer);
+}
+
+Result<std::uint32_t> NXProxyRenewBind(const Contact& outer,
+                                       std::uint64_t bind_id,
+                                       const ClientOptions& options) {
+  return retry_on_wall_clock(
+      options.retry, outer, [&]() -> Result<std::uint32_t> {
+        auto conn = net::TcpSocket::dial_timeout(outer,
+                                                 options.connect_timeout_ms);
+        if (!conn.ok()) {
+          return Error(conn.error().code(),
+                       "cannot reach outer server: " + conn.error().message());
+        }
+        proxy::BindRenewRequest req{bind_id};
+        if (auto s = conn->write_frame(req.encode()); !s.ok()) {
+          return s.error();
+        }
+        auto frame = conn->read_frame_timeout(options.reply_timeout_ms,
+                                              proxy::kMaxControlFrameBytes);
+        if (!frame.ok()) return frame.error();
+        if (auto busy = busy_to_error(*frame)) return *busy;
+        auto reply = proxy::BindRenewReply::decode(*frame);
+        if (!reply.ok()) return reply.error();
+        if (!reply->ok) {
+          // Permanent: a lapsed lease will not come back on retry.
+          return Error(ErrorCode::kNotFound, "outer server: " + reply->error);
+        }
+        return reply->lease_ms;
+      });
 }
 
 }  // namespace wacs::nxproxy

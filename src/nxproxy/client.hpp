@@ -40,6 +40,10 @@ struct BoundPort {
   Contact public_contact;
   std::uint64_t bind_id = 0;
   int reply_timeout_ms = 10000;  ///< inherited bound for AcceptNotice reads
+  /// Lease granted by the outer server; 0 = the binding never expires.
+  /// A leased binding must be renewed (NXProxyRenewBind) before lease_ms
+  /// elapses or the outer server reaps it.
+  std::uint32_t lease_ms = 0;
 };
 
 /// Table 1: "sends a connect request to the outer server and returns a file
@@ -59,5 +63,12 @@ Result<BoundPort> NXProxyBind(const Contact& outer, const Contact& inner,
 /// socket and the true remote peer (from the inner server's notice). The
 /// accept itself blocks (daemon semantics); the notice read is bounded.
 Result<std::pair<net::TcpSocket, Contact>> NXProxyAccept(BoundPort& bound);
+
+/// Renews the lease on a bound port. Returns the refreshed lease duration
+/// in milliseconds. Call well before `BoundPort::lease_ms` elapses; a lapsed
+/// lease fails with kNotFound-class "unknown or expired bind id".
+Result<std::uint32_t> NXProxyRenewBind(const Contact& outer,
+                                       std::uint64_t bind_id,
+                                       const ClientOptions& options = {});
 
 }  // namespace wacs::nxproxy

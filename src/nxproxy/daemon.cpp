@@ -1,6 +1,8 @@
 #include "nxproxy/daemon.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "common/log.hpp"
 #include "nxproxy/metrics_http.hpp"
@@ -17,24 +19,146 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 /// Dial wrapped with connect-latency accounting (successes only; a refused
-/// dial measures the error path, not the network).
-Result<net::TcpSocket> dial_timed(const Contact& target, DaemonStats& stats) {
+/// dial measures the error path, not the network). Bounded by the daemon's
+/// dial deadline so a black-holed target cannot park a handler thread.
+Result<net::TcpSocket> dial_timed(const Contact& target, DaemonStats& stats,
+                                  const DaemonOptions& options) {
   PROF_SCOPE("dial");
   const auto t0 = std::chrono::steady_clock::now();
-  auto sock = net::TcpSocket::dial(target);
+  auto sock = options.dial_timeout_ms > 0
+                  ? net::TcpSocket::dial_timeout(target, options.dial_timeout_ms)
+                  : net::TcpSocket::dial(target);
   if (sock.ok()) stats.connect_ms.observe(ms_since(t0));
   return sock;
 }
 
+/// Control-frame read under the handshake deadline and the control-surface
+/// frame cap: a slowloris peer times out, an absurd length prefix is
+/// rejected before any allocation.
+Result<Bytes> read_control_frame(net::TcpSocket& conn,
+                                 const DaemonOptions& options) {
+  if (options.handshake_timeout_ms > 0) {
+    return conn.read_frame_timeout(options.handshake_timeout_ms,
+                                   proxy::kMaxControlFrameBytes);
+  }
+  return conn.read_frame(proxy::kMaxControlFrameBytes);
+}
+
+/// A failed control read is either the deadline firing or garbage/EOF.
+HsFail hs_kind(const Error& e) {
+  return e.code() == ErrorCode::kTimeout ? HsFail::kTimeout : HsFail::kMalformed;
+}
+
+void apply_keepalive(net::TcpSocket& sock, const DaemonOptions& options) {
+  if (!options.tcp_keepalive) return;
+  // Best-effort: a socket that dies before setsockopt is caught by the
+  // first read anyway.
+  (void)sock.set_keepalive(options.keepalive_idle_s,
+                           options.keepalive_interval_s,
+                           options.keepalive_count);
+}
+
+/// Accept with supervision: transient failures (kUnavailable — EMFILE,
+/// ECONNABORTED, ENOBUFS, ...) are retried with capped exponential backoff
+/// instead of killing the loop; nullopt means the loop must exit (listener
+/// shut down or daemon stopping).
+std::optional<net::TcpSocket> supervised_accept(net::TcpListener& listener,
+                                                const std::atomic<bool>& stopping,
+                                                DaemonStats& stats,
+                                                const DaemonOptions& options,
+                                                const char* who) {
+  int backoff_ms = 1;
+  while (!stopping.load()) {
+    auto conn = listener.accept();
+    if (conn.ok()) return std::move(*conn);
+    if (stopping.load() || conn.error().code() != ErrorCode::kUnavailable) {
+      return std::nullopt;
+    }
+    stats.accept_retries.fetch_add(1, std::memory_order_relaxed);
+    kLog.warn("%s: transient accept failure (%s); retrying in %d ms", who,
+              conn.error().to_string().c_str(), backoff_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms =
+        std::min(backoff_ms * 2, std::max(options.accept_retry_max_backoff_ms, 1));
+  }
+  return std::nullopt;
+}
+
+/// Admission-gate refusal on a control surface: an explicit Busy frame (a
+/// handful of bytes — fits any send buffer without blocking), then a brief
+/// drain before close. The drain matters: the peer is usually still writing
+/// its request when the verdict arrives, and closing with that request
+/// unread turns into an RST that destroys the queued Busy frame before the
+/// peer can read it. Callers run this off the accept loop so a shed storm
+/// cannot serialize accepts behind the drain.
+void shed_control(net::TcpSocket conn, DaemonStats& stats,
+                  const DaemonOptions& options) {
+  stats.shed_connections.fetch_add(1, std::memory_order_relaxed);
+  (void)conn.write_frame(
+      proxy::Busy{static_cast<std::uint32_t>(
+                      std::max(options.busy_retry_after_ms, 0))}
+          .encode());
+  for (int i = 0; i < 5; ++i) {
+    if (!conn.read_some_timeout(4096, 20).ok()) break;  // EOF, RST, or idle
+  }
+  conn.shutdown();
+}
+
+/// Graceful drain: the listeners are already gone so no new work arrives;
+/// give in-flight handshakes and sessions up to `drain_ms` to finish on
+/// their own before the forced teardown.
+void drain_sessions(const DaemonStats& stats, const std::atomic<int>& inflight,
+                    int drain_ms) {
+  if (drain_ms <= 0) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(drain_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (inflight.load(std::memory_order_relaxed) == 0 &&
+        stats.sessions_opened.load(std::memory_order_relaxed) ==
+            stats.sessions_closed.load(std::memory_order_relaxed)) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
 }  // namespace
+
+void fail_handshake(DaemonStats& stats, HsFail kind) {
+  stats.handshake_failures.fetch_add(1, std::memory_order_relaxed);
+  switch (kind) {
+    case HsFail::kPolicyDenied:
+      stats.hs_policy_denied.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case HsFail::kMalformed:
+      stats.hs_malformed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case HsFail::kDialFailed:
+      stats.hs_dial_failed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case HsFail::kTimeout:
+      stats.hs_timeout.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
 
 namespace detail {
 
 // ---------------------------------------------------------------- Session
 
-Session::Session(net::TcpSocket a, net::TcpSocket b, DaemonStats* stats)
-    : a_(std::move(a)), b_(std::move(b)), stats_(stats) {}
+Session::Session(net::TcpSocket a, net::TcpSocket b, DaemonStats* stats,
+                 int idle_timeout_ms)
+    : a_(std::move(a)),
+      b_(std::move(b)),
+      stats_(stats),
+      idle_timeout_ms_(idle_timeout_ms) {}
 
 Session::~Session() {
   shutdown();
@@ -43,6 +167,7 @@ Session::~Session() {
 
 void Session::start() {
   opened_ = std::chrono::steady_clock::now();
+  last_activity_ns_.store(steady_now_ns(), std::memory_order_relaxed);
   stats_->sessions_opened.fetch_add(1, std::memory_order_relaxed);
   kLog.debug("session open");
   up_ = std::thread([this] { pump(a_, b_); });
@@ -64,9 +189,37 @@ void Session::pump(net::TcpSocket& from, net::TcpSocket& to) {
   // thread spent splicing (mostly blocked in read), which is exactly the
   // "where do relayed connections live" attribution the flame graph needs.
   PROF_SCOPE("session.pump");
+  const std::int64_t idle_ns =
+      static_cast<std::int64_t>(idle_timeout_ms_) * 1'000'000;
   while (true) {
-    auto chunk = from.read_some(kSpliceChunk);
-    if (!chunk.ok()) break;
+    auto chunk = [&]() -> Result<Bytes> {
+      if (idle_timeout_ms_ <= 0) return from.read_some(kSpliceChunk);
+      // Wake at the *shared* idle deadline: activity in either direction
+      // (both pumps touch last_activity_ns_) pushes it out.
+      std::int64_t wait_ms =
+          (last_activity_ns_.load(std::memory_order_relaxed) + idle_ns -
+           steady_now_ns()) /
+              1'000'000 +
+          1;
+      wait_ms = std::clamp<std::int64_t>(wait_ms, 1, idle_timeout_ms_);
+      return from.read_some_timeout(kSpliceChunk, static_cast<int>(wait_ms));
+    }();
+    if (!chunk.ok()) {
+      if (chunk.error().code() == ErrorCode::kTimeout) {
+        if (steady_now_ns() <
+            last_activity_ns_.load(std::memory_order_relaxed) + idle_ns) {
+          continue;  // the other direction was active; keep waiting
+        }
+        // Neither direction moved a byte for the whole window: a half-open
+        // or parked peer. Evict (counted once per session).
+        if (!idle_evicted_.exchange(true)) {
+          stats_->idle_evictions.fetch_add(1, std::memory_order_relaxed);
+          kLog.debug("session idle-evicted after %d ms", idle_timeout_ms_);
+        }
+      }
+      break;
+    }
+    last_activity_ns_.store(steady_now_ns(), std::memory_order_relaxed);
     stats_->bytes_relayed.fetch_add(chunk->size(), std::memory_order_relaxed);
     bytes_.fetch_add(chunk->size(), std::memory_order_relaxed);
     if (!to.write_all(*chunk).ok()) break;
@@ -102,8 +255,9 @@ void Workers::add_thread(std::thread t) {
 }
 
 Session& Workers::add_session(net::TcpSocket a, net::TcpSocket b,
-                              DaemonStats* stats) {
-  auto session = std::make_unique<Session>(std::move(a), std::move(b), stats);
+                              DaemonStats* stats, int idle_timeout_ms) {
+  auto session = std::make_unique<Session>(std::move(a), std::move(b), stats,
+                                           idle_timeout_ms);
   Session& ref = *session;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -159,8 +313,11 @@ void Workers::stop_all() {
 
 // ------------------------------------------------------------ InnerDaemon
 
-InnerDaemon::InnerDaemon(std::string bind_ip, std::uint16_t nxport)
-    : bind_ip_(std::move(bind_ip)), requested_port_(nxport) {}
+InnerDaemon::InnerDaemon(std::string bind_ip, std::uint16_t nxport,
+                         DaemonOptions options)
+    : bind_ip_(std::move(bind_ip)),
+      requested_port_(nxport),
+      options_(options) {}
 
 InnerDaemon::~InnerDaemon() { stop(); }
 
@@ -181,6 +338,7 @@ void InnerDaemon::stop() {
   if (!started_ || stopping_.exchange(true)) return;
   if (metrics_) metrics_->stop();
   listener_.shutdown();
+  drain_sessions(stats_, inflight_handshakes_, options_.drain_ms);
   workers_.stop_all();
 }
 
@@ -195,17 +353,37 @@ std::uint16_t InnerDaemon::metrics_port() const {
   return metrics_ ? metrics_->port() : 0;
 }
 
+bool InnerDaemon::over_capacity() const {
+  if (options_.max_connections <= 0) return false;
+  const auto open_sessions =
+      stats_.sessions_opened.load(std::memory_order_relaxed) -
+      stats_.sessions_closed.load(std::memory_order_relaxed);
+  return inflight_handshakes_.load(std::memory_order_relaxed) +
+             static_cast<std::int64_t>(open_sessions) >=
+         options_.max_connections;
+}
+
 void InnerDaemon::accept_loop() {
   while (!stopping_.load()) {
-    auto conn = listener_.accept();
-    if (!conn.ok()) return;  // listener shut down
+    auto conn =
+        supervised_accept(listener_, stopping_, stats_, options_, "inner");
+    if (!conn) return;
     stats_.connections.fetch_add(1, std::memory_order_relaxed);
     workers_.reap();
+    if (over_capacity()) {
+      auto shed = std::make_shared<net::TcpSocket>(std::move(*conn));
+      workers_.add_thread(std::thread(
+          [this, shed] { shed_control(std::move(*shed), stats_, options_); }));
+      continue;
+    }
+    apply_keepalive(*conn, options_);
+    inflight_handshakes_.fetch_add(1, std::memory_order_relaxed);
     auto sock =
         workers_.track(std::make_shared<net::TcpSocket>(std::move(*conn)));
     workers_.add_thread(std::thread([this, sock] {
       handle(*sock);
       workers_.untrack(sock);
+      inflight_handshakes_.fetch_sub(1, std::memory_order_relaxed);
     }));
   }
 }
@@ -215,37 +393,39 @@ void InnerDaemon::handle(net::TcpSocket& conn) {
   const auto accepted = std::chrono::steady_clock::now();
   auto frame = [&] {
     PROF_SCOPE("inner.preamble");
-    return conn.read_frame();
+    return read_control_frame(conn, options_);
   }();
   if (!frame.ok()) {
-    ++stats_.handshake_failures;
+    fail_handshake(stats_, hs_kind(frame.error()));
     return;
   }
   auto req = proxy::ForwardRequest::decode(*frame);
   if (!req.ok()) {
-    ++stats_.handshake_failures;
+    fail_handshake(stats_, HsFail::kMalformed);
     kLog.warn("inner: bad forward request: %s",
               req.error().to_string().c_str());
     return;
   }
   stats_.stage_preamble_ms.observe(ms_since(accepted));
-  auto target = dial_timed(req->target, stats_);
+  auto target = dial_timed(req->target, stats_, options_);
   if (!target.ok()) {
-    ++stats_.handshake_failures;
+    fail_handshake(stats_, HsFail::kDialFailed);
     (void)conn.write_frame(
         proxy::ForwardReply{false, target.error().to_string()}.encode());
     return;
   }
+  apply_keepalive(*target, options_);
   // Tell the bound client who the true peer is, then acknowledge the outer.
   if (!target->write_frame(proxy::AcceptNotice{req->peer}.encode()).ok()) {
-    ++stats_.handshake_failures;
+    fail_handshake(stats_, HsFail::kDialFailed);
     (void)conn.write_frame(
         proxy::ForwardReply{false, "target vanished"}.encode());
     return;
   }
   if (!conn.write_frame(proxy::ForwardReply{true, ""}.encode()).ok()) return;
   stats_.stage_handshake_ms.observe(ms_since(accepted));
-  workers_.add_session(std::move(conn), std::move(*target), &stats_);
+  workers_.add_session(std::move(conn), std::move(*target), &stats_,
+                       options_.idle_timeout_ms);
 }
 
 // ------------------------------------------------------------ OuterDaemon
@@ -273,11 +453,13 @@ bool RelayAccessPolicy::permits(const Contact& target) const {
 }
 
 OuterDaemon::OuterDaemon(std::string bind_ip, std::uint16_t control_port,
-                         std::string advertise_host, RelayAccessPolicy policy)
+                         std::string advertise_host, RelayAccessPolicy policy,
+                         DaemonOptions options)
     : bind_ip_(std::move(bind_ip)),
       requested_port_(control_port),
       advertise_host_(std::move(advertise_host)),
-      policy_(std::move(policy)) {}
+      policy_(std::move(policy)),
+      options_(options) {}
 
 OuterDaemon::~OuterDaemon() { stop(); }
 
@@ -289,6 +471,9 @@ Status OuterDaemon::start() {
   port_ = listener_.port();
   started_ = true;
   workers_.add_thread(std::thread([this] { accept_loop(); }));
+  if (options_.bind_lease_ms > 0) {
+    workers_.add_thread(std::thread([this] { lease_sweeper(); }));
+  }
   kLog.info("outer daemon listening on %s:%u", bind_ip_.c_str(),
             static_cast<unsigned>(port_));
   return Status();
@@ -313,20 +498,42 @@ void OuterDaemon::stop() {
     std::lock_guard<std::mutex> lock(bindings_mu_);
     for (auto& b : bindings_) b->listener.shutdown();
   }
+  sweep_cv_.notify_all();
+  drain_sessions(stats_, inflight_handshakes_, options_.drain_ms);
   workers_.stop_all();
+}
+
+bool OuterDaemon::over_capacity() const {
+  if (options_.max_connections <= 0) return false;
+  const auto open_sessions =
+      stats_.sessions_opened.load(std::memory_order_relaxed) -
+      stats_.sessions_closed.load(std::memory_order_relaxed);
+  return inflight_handshakes_.load(std::memory_order_relaxed) +
+             static_cast<std::int64_t>(open_sessions) >=
+         options_.max_connections;
 }
 
 void OuterDaemon::accept_loop() {
   while (!stopping_.load()) {
-    auto conn = listener_.accept();
-    if (!conn.ok()) return;
+    auto conn =
+        supervised_accept(listener_, stopping_, stats_, options_, "outer");
+    if (!conn) return;
     stats_.connections.fetch_add(1, std::memory_order_relaxed);
     workers_.reap();
+    if (over_capacity()) {
+      auto shed = std::make_shared<net::TcpSocket>(std::move(*conn));
+      workers_.add_thread(std::thread(
+          [this, shed] { shed_control(std::move(*shed), stats_, options_); }));
+      continue;
+    }
+    apply_keepalive(*conn, options_);
+    inflight_handshakes_.fetch_add(1, std::memory_order_relaxed);
     auto sock =
         workers_.track(std::make_shared<net::TcpSocket>(std::move(*conn)));
     workers_.add_thread(std::thread([this, sock] {
       handle_control(*sock);
       workers_.untrack(sock);
+      inflight_handshakes_.fetch_sub(1, std::memory_order_relaxed);
     }));
   }
 }
@@ -336,15 +543,15 @@ void OuterDaemon::handle_control(net::TcpSocket& conn) {
   const auto accepted = std::chrono::steady_clock::now();
   auto frame = [&] {
     PROF_SCOPE("outer.preamble");
-    return conn.read_frame();
+    return read_control_frame(conn, options_);
   }();
   if (!frame.ok()) {
-    ++stats_.handshake_failures;
+    fail_handshake(stats_, hs_kind(frame.error()));
     return;
   }
   auto type = proxy::peek_type(*frame);
   if (!type.ok()) {
-    ++stats_.handshake_failures;
+    fail_handshake(stats_, HsFail::kMalformed);
     return;
   }
   switch (*type) {
@@ -354,7 +561,7 @@ void OuterDaemon::handle_control(net::TcpSocket& conn) {
         stats_.stage_preamble_ms.observe(ms_since(accepted));
         handle_connect(conn, *req, accepted);
       } else {
-        ++stats_.handshake_failures;
+        fail_handshake(stats_, HsFail::kMalformed);
       }
       return;
     }
@@ -364,12 +571,21 @@ void OuterDaemon::handle_control(net::TcpSocket& conn) {
         stats_.stage_preamble_ms.observe(ms_since(accepted));
         handle_bind(conn, *req, accepted);
       } else {
-        ++stats_.handshake_failures;
+        fail_handshake(stats_, HsFail::kMalformed);
+      }
+      return;
+    }
+    case proxy::MsgType::kBindRenewRequest: {
+      auto req = proxy::BindRenewRequest::decode(*frame);
+      if (req.ok()) {
+        handle_renew(conn, *req);
+      } else {
+        fail_handshake(stats_, HsFail::kMalformed);
       }
       return;
     }
     default:
-      ++stats_.handshake_failures;
+      fail_handshake(stats_, HsFail::kMalformed);
       kLog.warn("outer: unexpected control frame type %d",
                 static_cast<int>(*type));
       return;
@@ -381,7 +597,7 @@ void OuterDaemon::handle_connect(net::TcpSocket& conn,
                                  std::chrono::steady_clock::time_point t0) {
   PROF_SCOPE("outer.connect");
   if (!policy_.permits(req.target)) {
-    ++stats_.handshake_failures;
+    fail_handshake(stats_, HsFail::kPolicyDenied);
     (void)conn.write_frame(
         proxy::ConnectReply{false, "target " + req.target.to_string() +
                                        " not permitted by relay policy"}
@@ -390,13 +606,15 @@ void OuterDaemon::handle_connect(net::TcpSocket& conn,
   }
   // Relay collapsing: a proxied client dialing a proxied peer names one of
   // our own public ports; bridge straight to the inner daemon instead of
-  // dialing ourselves.
+  // dialing ourselves. Only live bindings match — a reaped or lease-expired
+  // binding must not capture new connections.
   if (req.target.host == advertise_host_) {
     std::shared_ptr<PublicBinding> binding;
+    const std::int64_t now = steady_now_ns();
     {
       std::lock_guard<std::mutex> lock(bindings_mu_);
       for (const auto& b : bindings_) {
-        if (b->listener.port() == req.target.port) binding = b;
+        if (b->listener.port() == req.target.port && b->alive(now)) binding = b;
       }
     }
     if (binding != nullptr) {
@@ -407,16 +625,18 @@ void OuterDaemon::handle_connect(net::TcpSocket& conn,
       return;
     }
   }
-  auto target = dial_timed(req.target, stats_);
+  auto target = dial_timed(req.target, stats_, options_);
   if (!target.ok()) {
-    ++stats_.handshake_failures;
+    fail_handshake(stats_, HsFail::kDialFailed);
     (void)conn.write_frame(
         proxy::ConnectReply{false, target.error().to_string()}.encode());
     return;
   }
+  apply_keepalive(*target, options_);
   if (!conn.write_frame(proxy::ConnectReply{true, ""}.encode()).ok()) return;
   stats_.stage_handshake_ms.observe(ms_since(t0));
-  workers_.add_session(std::move(conn), std::move(*target), &stats_);
+  workers_.add_session(std::move(conn), std::move(*target), &stats_,
+                       options_.idle_timeout_ms);
 }
 
 void OuterDaemon::handle_bind(net::TcpSocket& conn,
@@ -425,7 +645,7 @@ void OuterDaemon::handle_bind(net::TcpSocket& conn,
   PROF_SCOPE("outer.bind");
   auto listener = net::TcpListener::bind(bind_ip_, 0);
   if (!listener.ok()) {
-    ++stats_.handshake_failures;
+    fail_handshake(stats_, HsFail::kDialFailed);
     (void)conn.write_frame(
         proxy::BindReply{false, Contact{}, 0, listener.error().to_string()}
             .encode());
@@ -436,6 +656,15 @@ void OuterDaemon::handle_bind(net::TcpSocket& conn,
   binding->target = req.local;
   binding->inner = req.inner;
   binding->listener = std::move(*listener);
+  std::uint32_t lease_ms = 0;
+  if (options_.bind_lease_ms > 0) {
+    lease_ms = static_cast<std::uint32_t>(options_.bind_lease_ms);
+    binding->lease_deadline_ns.store(
+        steady_now_ns() +
+            static_cast<std::int64_t>(options_.bind_lease_ms) * 1'000'000,
+        std::memory_order_relaxed);
+    stats_.leases_granted.fetch_add(1, std::memory_order_relaxed);
+  }
   const Contact public_contact{advertise_host_, binding->listener.port()};
   {
     std::lock_guard<std::mutex> lock(bindings_mu_);
@@ -446,55 +675,152 @@ void OuterDaemon::handle_bind(net::TcpSocket& conn,
       std::thread([this, binding] { public_accept_loop(binding); }));
   stats_.stage_handshake_ms.observe(ms_since(t0));
   (void)conn.write_frame(
-      proxy::BindReply{true, public_contact, binding->id, ""}.encode());
+      proxy::BindReply{true, public_contact, binding->id, "", lease_ms}
+          .encode());
   // Bind registration is one-shot; the control connection closes here.
+}
+
+void OuterDaemon::handle_renew(net::TcpSocket& conn,
+                               const proxy::BindRenewRequest& req) {
+  PROF_SCOPE("outer.renew");
+  std::shared_ptr<PublicBinding> binding;
+  const std::int64_t now = steady_now_ns();
+  {
+    std::lock_guard<std::mutex> lock(bindings_mu_);
+    for (const auto& b : bindings_) {
+      if (b->id == req.bind_id && b->alive(now)) binding = b;
+    }
+  }
+  if (binding == nullptr) {
+    // Not a handshake failure: the control exchange itself worked; the
+    // client simply renewed a lease that already lapsed (or never existed).
+    (void)conn.write_frame(
+        proxy::BindRenewReply{false, 0, "unknown or expired bind id"}
+            .encode());
+    return;
+  }
+  if (options_.bind_lease_ms > 0) {
+    binding->lease_deadline_ns.store(
+        now + static_cast<std::int64_t>(options_.bind_lease_ms) * 1'000'000,
+        std::memory_order_relaxed);
+  }
+  stats_.leases_renewed.fetch_add(1, std::memory_order_relaxed);
+  (void)conn.write_frame(
+      proxy::BindRenewReply{
+          true,
+          static_cast<std::uint32_t>(std::max(options_.bind_lease_ms, 0)), ""}
+          .encode());
+}
+
+void OuterDaemon::retire_binding(const std::shared_ptr<PublicBinding>& binding) {
+  if (binding->retired.exchange(true)) return;
+  binding->listener.shutdown();
+  {
+    std::lock_guard<std::mutex> lock(bindings_mu_);
+    std::erase(bindings_, binding);
+  }
+  --active_binds_;
+}
+
+void OuterDaemon::lease_sweeper() {
+  // Wake often enough that a lease is reaped within ~a quarter of its
+  // duration after expiry; the cv cuts the shutdown latency.
+  const auto period = std::chrono::milliseconds(
+      std::clamp(options_.bind_lease_ms / 4, 5, 250));
+  std::unique_lock<std::mutex> lock(sweep_mu_);
+  while (!stopping_.load()) {
+    sweep_cv_.wait_for(lock, period);
+    if (stopping_.load()) return;
+    const std::int64_t now = steady_now_ns();
+    std::vector<std::shared_ptr<PublicBinding>> expired;
+    {
+      std::lock_guard<std::mutex> blk(bindings_mu_);
+      for (const auto& b : bindings_) {
+        const std::int64_t deadline =
+            b->lease_deadline_ns.load(std::memory_order_relaxed);
+        if (deadline != 0 && now >= deadline &&
+            !b->retired.load(std::memory_order_relaxed)) {
+          expired.push_back(b);
+        }
+      }
+    }
+    for (const auto& b : expired) {
+      stats_.leases_expired.fetch_add(1, std::memory_order_relaxed);
+      kLog.info("outer: lease expired for bind id=%llu (public port %u)",
+                static_cast<unsigned long long>(b->id),
+                static_cast<unsigned>(b->listener.port()));
+      // Closing the listener pops its accept loop, which retires the
+      // binding — one teardown path for expiry, listener death, and stop.
+      b->listener.shutdown();
+    }
+  }
 }
 
 void OuterDaemon::public_accept_loop(std::shared_ptr<PublicBinding> binding) {
   while (!stopping_.load()) {
-    auto remote = binding->listener.accept();
-    if (!remote.ok()) break;
+    auto remote = supervised_accept(binding->listener, stopping_, stats_,
+                                    options_, "outer[public]");
+    if (!remote) break;
     stats_.connections.fetch_add(1, std::memory_order_relaxed);
+    workers_.reap();
+    if (over_capacity()) {
+      // Public-port peers speak raw bytes, not the proxy protocol; there is
+      // no Busy frame they could parse, so shedding is a plain close.
+      stats_.shed_connections.fetch_add(1, std::memory_order_relaxed);
+      remote->shutdown();
+      continue;
+    }
+    apply_keepalive(*remote, options_);
+    inflight_handshakes_.fetch_add(1, std::memory_order_relaxed);
     auto sock =
         workers_.track(std::make_shared<net::TcpSocket>(std::move(*remote)));
     workers_.add_thread(std::thread([this, sock, binding] {
       bridge_to_inner(*sock, binding);
       workers_.untrack(sock);
+      inflight_handshakes_.fetch_sub(1, std::memory_order_relaxed);
     }));
   }
-  --active_binds_;
+  retire_binding(binding);
 }
 
 void OuterDaemon::bridge_to_inner(net::TcpSocket& remote,
                                   std::shared_ptr<PublicBinding> binding) {
   PROF_SCOPE("outer.bridge");
   const auto t0 = std::chrono::steady_clock::now();
-  auto inner = dial_timed(binding->inner, stats_);
+  auto inner = dial_timed(binding->inner, stats_, options_);
   if (!inner.ok()) {
-    ++stats_.handshake_failures;
+    fail_handshake(stats_, HsFail::kDialFailed);
     kLog.warn("outer: cannot reach inner %s: %s",
               binding->inner.to_string().c_str(),
               inner.error().to_string().c_str());
     return;
   }
+  apply_keepalive(*inner, options_);
   Contact peer = remote.peer().value_or(Contact{"unknown", 0});
   proxy::ForwardRequest req{binding->target, peer};
   if (!inner->write_frame(req.encode()).ok()) {
-    ++stats_.handshake_failures;
+    fail_handshake(stats_, HsFail::kDialFailed);
     return;
   }
-  auto reply_frame = inner->read_frame();
+  auto reply_frame = read_control_frame(*inner, options_);
   if (!reply_frame.ok()) {
-    ++stats_.handshake_failures;
+    fail_handshake(stats_, hs_kind(reply_frame.error()));
+    return;
+  }
+  if (auto type = proxy::peek_type(*reply_frame);
+      type.ok() && *type == proxy::MsgType::kBusy) {
+    // The inner daemon's admission gate shed us: upstream overload.
+    fail_handshake(stats_, HsFail::kDialFailed);
     return;
   }
   auto reply = proxy::ForwardReply::decode(*reply_frame);
   if (!reply.ok() || !reply->ok) {
-    ++stats_.handshake_failures;
+    fail_handshake(stats_, HsFail::kDialFailed);
     return;
   }
   stats_.stage_handshake_ms.observe(ms_since(t0));
-  workers_.add_session(std::move(remote), std::move(*inner), &stats_);
+  workers_.add_session(std::move(remote), std::move(*inner), &stats_,
+                       options_.idle_timeout_ms);
 }
 
 }  // namespace wacs::nxproxy

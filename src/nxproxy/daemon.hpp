@@ -9,10 +9,18 @@
 // (in 2000: a privileged port, root-only, which is the security argument of
 // §1); the inner daemon binds the single "nxport" the firewall opens for
 // outer → inner traffic; clients use the NXProxy* functions in client.hpp.
+//
+// Because the outer daemon lives on the hostile side of the firewall, both
+// daemons assume half-dead and malicious peers (DESIGN.md §16): every
+// control handshake runs under a deadline, spliced sessions carry an idle
+// deadline and TCP keepalive, an admission gate sheds excess connections
+// with an explicit Busy reply, accept loops retry transient errnos instead
+// of dying, and public bindings are leases that expire unless renewed.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -29,6 +37,54 @@ namespace wacs::nxproxy {
 
 class MetricsHttpServer;
 
+/// Supervision knobs shared by both daemons. Defaults keep the relay usable
+/// on a friendly LAN while still bounding every hostile behaviour; tests and
+/// the chaos bench tighten them to sub-second values.
+struct DaemonOptions {
+  /// Budget for the whole control handshake (accept → control frame read →
+  /// decoded → reply). A slowloris dribbling one header byte per minute is
+  /// evicted when this runs out. <=0 disables the deadline (pre-hardening
+  /// behaviour; not recommended outside unit tests).
+  int handshake_timeout_ms = 10'000;
+  /// Per-address bound on outbound dials (target, inner). <=0 = blocking
+  /// connect.
+  int dial_timeout_ms = 5'000;
+  /// Idle deadline on a spliced session: if *neither* direction moves a
+  /// byte for this long, the session is evicted — the half-open/parked-peer
+  /// defence. 0 = sessions may idle forever.
+  int idle_timeout_ms = 0;
+  /// Admission gate: at most this many connections in flight (control
+  /// handshakes + live sessions). Excess control connections receive a
+  /// Busy frame and are closed; excess public-port connections are closed
+  /// outright (those peers speak raw bytes, not the proxy protocol).
+  int max_connections = 512;
+  /// Suggested client backoff carried in the Busy frame.
+  int busy_retry_after_ms = 100;
+  /// Lease on public bindings: a binding not renewed within this window is
+  /// reaped — listener closed, accept loop retired, active_binds
+  /// decremented. 0 = bindings live until the daemon stops (the paper's
+  /// behaviour, and the leak the lease closes).
+  int bind_lease_ms = 0;
+  /// TCP keepalive on relay sockets so half-open peers surface as read
+  /// errors instead of silent stalls.
+  bool tcp_keepalive = true;
+  int keepalive_idle_s = 60;
+  int keepalive_interval_s = 10;
+  int keepalive_count = 3;
+  /// Cap on the exponential backoff between retries of transient accept
+  /// failures (EMFILE, ECONNABORTED, ENOBUFS, ...).
+  int accept_retry_max_backoff_ms = 1'000;
+  /// stop(): after closing the listeners, keep pumping in-flight sessions
+  /// for up to this long before tearing them down (graceful drain).
+  /// 0 = immediate teardown.
+  int drain_ms = 0;
+};
+
+/// Handshake failure classes: /metrics must be able to tell an attack
+/// (malformed, timeout) from an outage (dial failed) from a misconfigured
+/// peer (policy denied).
+enum class HsFail { kPolicyDenied, kMalformed, kDialFailed, kTimeout };
+
 /// Counters shared by all threads of one daemon. The histograms use the
 /// exponential µs→s ladder: a loopback splice and a proxied WAN round trip
 /// differ by five orders of magnitude. All values are host wall-clock —
@@ -36,9 +92,24 @@ class MetricsHttpServer;
 struct DaemonStats {
   std::atomic<std::uint64_t> connections{0};
   std::atomic<std::uint64_t> bytes_relayed{0};
+  /// Total failed handshakes; always equals the sum of the four hs_*
+  /// breakdown counters below.
   std::atomic<std::uint64_t> handshake_failures{0};
+  std::atomic<std::uint64_t> hs_policy_denied{0};
+  std::atomic<std::uint64_t> hs_malformed{0};
+  std::atomic<std::uint64_t> hs_dial_failed{0};
+  std::atomic<std::uint64_t> hs_timeout{0};
   std::atomic<std::uint64_t> sessions_opened{0};
   std::atomic<std::uint64_t> sessions_closed{0};
+  /// Connections refused by the admission gate (Busy reply or plain close).
+  std::atomic<std::uint64_t> shed_connections{0};
+  /// Transient accept() failures survived by retry-with-backoff.
+  std::atomic<std::uint64_t> accept_retries{0};
+  /// Sessions evicted by the idle deadline (half-open peers).
+  std::atomic<std::uint64_t> idle_evictions{0};
+  std::atomic<std::uint64_t> leases_granted{0};
+  std::atomic<std::uint64_t> leases_renewed{0};
+  std::atomic<std::uint64_t> leases_expired{0};
   /// Latency of outbound dials (target, inner) that succeeded.
   telemetry::Histogram connect_ms{telemetry::exponential_ms_buckets()};
   /// Lifetime of a splice session, open to both-pumps-done.
@@ -52,13 +123,18 @@ struct DaemonStats {
   telemetry::Histogram stage_handshake_ms{telemetry::exponential_ms_buckets()};
 };
 
+/// Counts a failed handshake in the total and its class breakdown.
+void fail_handshake(DaemonStats& stats, HsFail kind);
+
 namespace detail {
 
 /// A bidirectional splice between two established sockets. Owns the sockets
-/// and its two pump threads.
+/// and its two pump threads. With an idle deadline, a session where neither
+/// direction moves a byte for `idle_timeout_ms` is evicted.
 class Session {
  public:
-  Session(net::TcpSocket a, net::TcpSocket b, DaemonStats* stats);
+  Session(net::TcpSocket a, net::TcpSocket b, DaemonStats* stats,
+          int idle_timeout_ms = 0);
   ~Session();
 
   void start();
@@ -73,10 +149,13 @@ class Session {
   net::TcpSocket a_;
   net::TcpSocket b_;
   DaemonStats* stats_;
+  int idle_timeout_ms_;
   std::thread up_;
   std::thread down_;
   std::atomic<int> done_{0};
   std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::int64_t> last_activity_ns_{0};
+  std::atomic<bool> idle_evicted_{false};
   std::chrono::steady_clock::time_point opened_;
 };
 
@@ -87,7 +166,7 @@ class Workers {
 
   void add_thread(std::thread t);
   detail::Session& add_session(net::TcpSocket a, net::TcpSocket b,
-                               DaemonStats* stats);
+                               DaemonStats* stats, int idle_timeout_ms = 0);
 
   /// Registers a socket that a handshake thread may block on; stop_all()
   /// shuts tracked sockets down so those threads become joinable. If the
@@ -116,7 +195,8 @@ class InnerDaemon {
  public:
   /// `bind_ip` is the interface to listen on; port 0 picks an ephemeral
   /// nxport (tests). The firewall must allow outer → bind_ip:port.
-  InnerDaemon(std::string bind_ip, std::uint16_t nxport);
+  InnerDaemon(std::string bind_ip, std::uint16_t nxport,
+              DaemonOptions options = DaemonOptions());
   ~InnerDaemon();
 
   Status start();
@@ -131,16 +211,20 @@ class InnerDaemon {
 
   Contact contact() const { return Contact{bind_ip_, port_}; }
   const DaemonStats& stats() const { return stats_; }
+  const DaemonOptions& options() const { return options_; }
 
  private:
   void accept_loop();
   void handle(net::TcpSocket& conn);
+  bool over_capacity() const;
 
   std::string bind_ip_;
   std::uint16_t requested_port_;
   std::uint16_t port_ = 0;
+  DaemonOptions options_;
   net::TcpListener listener_;
   std::atomic<bool> stopping_{false};
+  std::atomic<int> inflight_handshakes_{0};
   detail::Workers workers_;
   DaemonStats stats_;
   std::unique_ptr<MetricsHttpServer> metrics_;
@@ -181,7 +265,8 @@ class OuterDaemon {
   /// outer host's public name); for localhost tests it equals bind_ip.
   OuterDaemon(std::string bind_ip, std::uint16_t control_port,
               std::string advertise_host,
-              RelayAccessPolicy policy = RelayAccessPolicy());
+              RelayAccessPolicy policy = RelayAccessPolicy(),
+              DaemonOptions options = DaemonOptions());
   ~OuterDaemon();
 
   Status start();
@@ -193,6 +278,7 @@ class OuterDaemon {
 
   Contact contact() const { return Contact{advertise_host_, port_}; }
   const DaemonStats& stats() const { return stats_; }
+  const DaemonOptions& options() const { return options_; }
   std::uint64_t active_binds() const { return active_binds_.load(); }
 
  private:
@@ -201,6 +287,18 @@ class OuterDaemon {
     Contact target;  ///< the registered private endpoint
     Contact inner;   ///< inner daemon that can reach it
     net::TcpListener listener;
+    /// Lease expiry as steady-clock nanoseconds; 0 = no lease.
+    std::atomic<std::int64_t> lease_deadline_ns{0};
+    /// Set exactly once when the binding leaves bindings_ (lease expiry,
+    /// listener death, or daemon stop).
+    std::atomic<bool> retired{false};
+
+    bool alive(std::int64_t now_ns) const {
+      if (retired.load(std::memory_order_relaxed)) return false;
+      const std::int64_t deadline =
+          lease_deadline_ns.load(std::memory_order_relaxed);
+      return deadline == 0 || now_ns < deadline;
+    }
   };
 
   void accept_loop();
@@ -211,23 +309,36 @@ class OuterDaemon {
                       std::chrono::steady_clock::time_point t0);
   void handle_bind(net::TcpSocket& conn, const proxy::BindRequest& req,
                    std::chrono::steady_clock::time_point t0);
+  void handle_renew(net::TcpSocket& conn,
+                    const proxy::BindRenewRequest& req);
   void public_accept_loop(std::shared_ptr<PublicBinding> binding);
   void bridge_to_inner(net::TcpSocket& remote,
                        std::shared_ptr<PublicBinding> binding);
+  /// Removes the binding from bindings_ and releases its active_binds_
+  /// slot; idempotent (first caller wins).
+  void retire_binding(const std::shared_ptr<PublicBinding>& binding);
+  /// Background reaper: shuts down the listeners of expired leases so
+  /// their accept loops retire them.
+  void lease_sweeper();
+  bool over_capacity() const;
 
   std::string bind_ip_;
   std::uint16_t requested_port_;
   std::uint16_t port_ = 0;
   std::string advertise_host_;
   RelayAccessPolicy policy_;
+  DaemonOptions options_;
   net::TcpListener listener_;
   std::atomic<bool> stopping_{false};
+  std::atomic<int> inflight_handshakes_{0};
   detail::Workers workers_;
   DaemonStats stats_;
   std::atomic<std::uint64_t> next_bind_id_{1};
   std::atomic<std::uint64_t> active_binds_{0};
   std::mutex bindings_mu_;
   std::vector<std::shared_ptr<PublicBinding>> bindings_;
+  std::mutex sweep_mu_;
+  std::condition_variable sweep_cv_;
   std::unique_ptr<MetricsHttpServer> metrics_;
   bool started_ = false;
 };

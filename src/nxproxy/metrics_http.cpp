@@ -53,6 +53,17 @@ void append_histogram(std::string& out, const std::string& name,
   out += line;
 }
 
+void append_kind_counter(std::string& out, const std::string& name,
+                         const std::string& role, const std::string& kind,
+                         std::uint64_t v) {
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "nxproxy_%s_total{role=\"%s\",kind=\"%s\"} %llu\n",
+                name.c_str(), role.c_str(), kind.c_str(),
+                static_cast<unsigned long long>(v));
+  out += line;
+}
+
 void append_gauge(std::string& out, const std::string& name,
                   const std::string& role, double v) {
   char line[192];
@@ -89,8 +100,25 @@ std::string render_metrics(const DaemonStats& stats, const std::string& role) {
   append_counter(out, "bytes_relayed", role, stats.bytes_relayed.load());
   append_counter(out, "handshake_failures", role,
                  stats.handshake_failures.load());
+  // The handshake-failure breakdown: an attack (malformed, timeout) alerts
+  // differently than an outage (dial_failed) or a misconfigured peer
+  // (policy_denied). The kinds always sum to handshake_failures.
+  append_kind_counter(out, "handshake_failure_kind", role, "policy_denied",
+                      stats.hs_policy_denied.load());
+  append_kind_counter(out, "handshake_failure_kind", role, "malformed",
+                      stats.hs_malformed.load());
+  append_kind_counter(out, "handshake_failure_kind", role, "dial_failed",
+                      stats.hs_dial_failed.load());
+  append_kind_counter(out, "handshake_failure_kind", role, "timeout",
+                      stats.hs_timeout.load());
   append_counter(out, "sessions_opened", role, stats.sessions_opened.load());
   append_counter(out, "sessions_closed", role, stats.sessions_closed.load());
+  append_counter(out, "shed_connections", role, stats.shed_connections.load());
+  append_counter(out, "accept_retries", role, stats.accept_retries.load());
+  append_counter(out, "idle_evictions", role, stats.idle_evictions.load());
+  append_counter(out, "leases_granted", role, stats.leases_granted.load());
+  append_counter(out, "leases_renewed", role, stats.leases_renewed.load());
+  append_counter(out, "leases_expired", role, stats.leases_expired.load());
   append_histogram(out, "connect_ms", role, stats.connect_ms);
   append_histogram(out, "relay_session_ms", role, stats.relay_session_ms);
   append_histogram(out, "stage_preamble_ms", role, stats.stage_preamble_ms);
@@ -128,8 +156,18 @@ std::string profile_dump(const DaemonStats& stats, const std::string& role) {
   counters.set("connections", stats.connections.load());
   counters.set("bytes_relayed", stats.bytes_relayed.load());
   counters.set("handshake_failures", stats.handshake_failures.load());
+  counters.set("hs_policy_denied", stats.hs_policy_denied.load());
+  counters.set("hs_malformed", stats.hs_malformed.load());
+  counters.set("hs_dial_failed", stats.hs_dial_failed.load());
+  counters.set("hs_timeout", stats.hs_timeout.load());
   counters.set("sessions_opened", stats.sessions_opened.load());
   counters.set("sessions_closed", stats.sessions_closed.load());
+  counters.set("shed_connections", stats.shed_connections.load());
+  counters.set("accept_retries", stats.accept_retries.load());
+  counters.set("idle_evictions", stats.idle_evictions.load());
+  counters.set("leases_granted", stats.leases_granted.load());
+  counters.set("leases_renewed", stats.leases_renewed.load());
+  counters.set("leases_expired", stats.leases_expired.load());
   extra.set("counters", std::move(counters));
   json::Value stages = json::Value::object();
   stages.set("connect_ms", histogram_json(stats.connect_ms));

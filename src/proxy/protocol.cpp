@@ -32,7 +32,7 @@ Result<Contact> get_contact(BufReader& r) {
 Result<MsgType> peek_type(const Bytes& frame) {
   if (frame.empty()) return bad_frame("empty frame");
   const std::uint8_t tag = frame[0];
-  if (tag < 1 || tag > 7) return bad_frame("unknown type tag");
+  if (tag < 1 || tag > 10) return bad_frame("unknown type tag");
   return static_cast<MsgType>(tag);
 }
 
@@ -94,6 +94,10 @@ Bytes BindReply::encode() const {
   put_contact(w, public_contact);
   w.u64(bind_id);
   w.str(error);
+  // Optional tail: a zero lease encodes byte-identically to the pre-lease
+  // wire format. The simulated relay never grants leases, so its traffic
+  // (and the committed bench baselines derived from it) is unchanged.
+  if (lease_ms != 0) w.u32(lease_ms);
   return std::move(w).take();
 }
 
@@ -108,7 +112,14 @@ Result<BindReply> BindReply::decode(const Bytes& frame) {
   if (!id) return id.error();
   auto error = r.str();
   if (!error) return error.error();
-  return BindReply{*ok, std::move(*pub), *id, std::move(*error)};
+  // Pre-lease frames end here; a present tail must be a whole u32.
+  std::uint32_t lease_ms = 0;
+  if (r.remaining() > 0) {
+    auto lease = r.u32();
+    if (!lease) return lease.error();
+    lease_ms = *lease;
+  }
+  return BindReply{*ok, std::move(*pub), *id, std::move(*error), lease_ms};
 }
 
 Bytes ForwardRequest::encode() const {
@@ -160,6 +171,59 @@ Result<AcceptNotice> AcceptNotice::decode(const Bytes& frame) {
   auto peer = get_contact(r);
   if (!peer) return peer.error();
   return AcceptNotice{std::move(*peer)};
+}
+
+Bytes Busy::encode() const {
+  BufWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kBusy));
+  w.u32(retry_after_ms);
+  return std::move(w).take();
+}
+
+Result<Busy> Busy::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kBusy); !t) return t.error();
+  auto retry = r.u32();
+  if (!retry) return retry.error();
+  return Busy{*retry};
+}
+
+Bytes BindRenewRequest::encode() const {
+  BufWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kBindRenewRequest));
+  w.u64(bind_id);
+  return std::move(w).take();
+}
+
+Result<BindRenewRequest> BindRenewRequest::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kBindRenewRequest); !t) {
+    return t.error();
+  }
+  auto id = r.u64();
+  if (!id) return id.error();
+  return BindRenewRequest{*id};
+}
+
+Bytes BindRenewReply::encode() const {
+  BufWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kBindRenewReply));
+  w.boolean(ok);
+  w.u32(lease_ms);
+  w.str(error);
+  return std::move(w).take();
+}
+
+Result<BindRenewReply> BindRenewReply::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kBindRenewReply); !t) return t.error();
+  auto ok = r.boolean();
+  if (!ok) return ok.error();
+  auto lease = r.u32();
+  if (!lease) return lease.error();
+  auto error = r.str();
+  if (!error) return error.error();
+  return BindRenewReply{*ok, *lease, std::move(*error)};
 }
 
 }  // namespace wacs::proxy

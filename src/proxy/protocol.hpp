@@ -27,7 +27,16 @@ enum class MsgType : std::uint8_t {
   kForwardRequest = 5,  ///< outer → inner: dial the registered endpoint
   kForwardReply = 6,    ///< inner → outer
   kAcceptNotice = 7,    ///< inner → bound client: true peer of this link
+  kBusy = 8,            ///< daemon → peer: admission gate shed this connection
+  kBindRenewRequest = 9,  ///< client → outer: extend a binding's lease
+  kBindRenewReply = 10,   ///< outer → client
 };
+
+/// Ceiling on a *control* frame (the pre-splice handshake surface). Every
+/// control message is a few hundred bytes at most; a network-facing daemon
+/// must reject an absurd length prefix before allocating for it, so this is
+/// far below the generic net::kMaxFrameBytes relay limit.
+constexpr std::uint32_t kMaxControlFrameBytes = 4096;
 
 /// Reads just the type tag of a frame.
 Result<MsgType> peek_type(const Bytes& frame);
@@ -60,6 +69,14 @@ struct BindReply {
   Contact public_contact;  ///< advertise this instead of `local`
   std::uint64_t bind_id = 0;
   std::string error;
+  /// Lease on the binding in milliseconds; 0 = the binding never expires.
+  /// A leased binding must be renewed (BindRenewRequest) before the lease
+  /// runs out or the outer server reaps it, listener and all.
+  /// On the wire this is an OPTIONAL trailing u32: a zero lease encodes
+  /// byte-identically to the pre-lease format, and a decoder treats a frame
+  /// ending after `error` as lease_ms = 0 — so lease-free peers (the
+  /// simulated relay, old clients) interoperate unchanged.
+  std::uint32_t lease_ms = 0;
 
   Bytes encode() const;
   static Result<BindReply> decode(const Bytes& frame);
@@ -86,6 +103,33 @@ struct AcceptNotice {
 
   Bytes encode() const;
   static Result<AcceptNotice> decode(const Bytes& frame);
+};
+
+/// Sent instead of the expected reply when a daemon's admission gate sheds
+/// the connection: the peer should back off and retry instead of hanging.
+struct Busy {
+  std::uint32_t retry_after_ms = 0;  ///< suggested backoff; 0 = caller's choice
+
+  Bytes encode() const;
+  static Result<Busy> decode(const Bytes& frame);
+};
+
+/// Keepalive for a leased binding: extends the lease by the daemon's
+/// configured lease duration.
+struct BindRenewRequest {
+  std::uint64_t bind_id = 0;
+
+  Bytes encode() const;
+  static Result<BindRenewRequest> decode(const Bytes& frame);
+};
+
+struct BindRenewReply {
+  bool ok = false;
+  std::uint32_t lease_ms = 0;  ///< the renewed lease duration when ok
+  std::string error;
+
+  Bytes encode() const;
+  static Result<BindRenewReply> decode(const Bytes& frame);
 };
 
 }  // namespace wacs::proxy

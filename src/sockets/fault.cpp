@@ -1,0 +1,138 @@
+#include "sockets/fault.hpp"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace wacs::net::fault {
+
+FaultSchedule::FaultSchedule(const FaultSpec& spec, std::uint64_t stream_id)
+    : spec_(spec),
+      // splitmix-style mix so stream 0 and stream 1 are unrelated even for
+      // adjacent seeds.
+      rng_(spec.seed * 0x9e3779b97f4a7c15ULL + stream_id) {}
+
+std::size_t FaultSchedule::next_slice(std::size_t n) {
+  if (spec_.max_write_slice == 0 || n <= 1) return n;
+  const std::size_t cap = std::min(n, spec_.max_write_slice);
+  return static_cast<std::size_t>(rng_.uniform(1, cap));
+}
+
+bool FaultSchedule::should_stall() {
+  if (spec_.stall_prob <= 0.0) return false;
+  return rng_.bernoulli(spec_.stall_prob);
+}
+
+bool FaultSchedule::should_reset(std::int64_t written) const {
+  return spec_.reset_after_bytes >= 0 && written >= spec_.reset_after_bytes;
+}
+
+FaultySocket::FaultySocket(TcpSocket sock, const FaultSpec& spec,
+                           std::uint64_t stream_id)
+    : sock_(std::move(sock)), schedule_(spec, stream_id) {}
+
+Status FaultySocket::write_all(std::span<const std::uint8_t> data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    if (schedule_.should_reset(written_)) {
+      reset_now();
+      return Status(ErrorCode::kConnectionReset,
+                    "fault schedule reset the connection");
+    }
+    if (schedule_.should_stall()) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(schedule_.stall_ms()));
+    }
+    std::size_t n = schedule_.next_slice(data.size() - off);
+    const std::int64_t reset_at = schedule_.reset_after_bytes();
+    if (reset_at >= 0 && written_ < reset_at) {
+      // Never write past the reset boundary: the next loop iteration must
+      // observe written_ == reset_at and fire the reset, slicing or not.
+      n = std::min(n, static_cast<std::size_t>(reset_at - written_));
+    }
+    if (auto s = sock_.write_all(data.subspan(off, n)); !s.ok()) return s;
+    off += n;
+    written_ += static_cast<std::int64_t>(n);
+  }
+  return Status();
+}
+
+Status FaultySocket::write_frame(const Bytes& frame) {
+  WACS_CHECK_MSG(frame.size() <= kMaxFrameBytes, "oversized outgoing frame");
+  Bytes wire;
+  wire.reserve(frame.size() + 4);
+  const auto len = static_cast<std::uint32_t>(frame.size());
+  wire.push_back(static_cast<std::uint8_t>(len));
+  wire.push_back(static_cast<std::uint8_t>(len >> 8));
+  wire.push_back(static_cast<std::uint8_t>(len >> 16));
+  wire.push_back(static_cast<std::uint8_t>(len >> 24));
+  wire.insert(wire.end(), frame.begin(), frame.end());
+  // One faulty write over header+payload: slicing can split the length
+  // prefix itself, and a reset can land mid-frame — the hostile cases the
+  // daemons' deadlines must survive.
+  return write_all(wire);
+}
+
+void FaultySocket::reset_now() {
+  if (!sock_.valid()) return;
+  struct linger lg {};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ::setsockopt(sock_.native(), SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+  sock_.close();
+}
+
+FaultyListener::FaultyListener(TcpListener listener, const FaultSpec& spec)
+    : listener_(std::move(listener)), schedule_(spec, 0) {}
+
+Result<TcpSocket> FaultyListener::accept() {
+  ++accepts_;
+  int inject = 0;
+  if (pending_errno_ != 0) {
+    inject = pending_errno_;
+    pending_errno_ = 0;
+  } else if (every_nth_ > 0 && accepts_ % every_nth_ == 0) {
+    inject = every_errno_;
+  }
+  if (inject != 0) {
+    errno = inject;
+    // Mirror TcpListener's classification so consumers exercise the same
+    // retry-vs-exit decision a real errno would force.
+    const bool transient =
+        inject == ECONNABORTED || inject == EMFILE || inject == ENFILE ||
+        inject == ENOBUFS || inject == ENOMEM || inject == EAGAIN ||
+        inject == EPROTO || inject == EPERM;
+    return Error(transient ? ErrorCode::kUnavailable
+                           : ErrorCode::kConnectionClosed,
+                 std::string("accept: ") + std::strerror(inject));
+  }
+  return listener_.accept();
+}
+
+ScopedAcceptFaults::ScopedAcceptFaults(std::uint16_t port, int err, int count)
+    : remaining_(std::make_shared<std::atomic<int>>(count)), count_(count) {
+  auto remaining = remaining_;
+  net::testing::set_accept_fault_hook(
+      [port, err, remaining](std::uint16_t p) -> int {
+        if (p != port) return 0;
+        int left = remaining->load();
+        while (left > 0) {
+          if (remaining->compare_exchange_weak(left, left - 1)) return err;
+        }
+        return 0;
+      });
+}
+
+ScopedAcceptFaults::~ScopedAcceptFaults() {
+  net::testing::set_accept_fault_hook(nullptr);
+}
+
+int ScopedAcceptFaults::delivered() const {
+  return count_ - remaining_->load();
+}
+
+}  // namespace wacs::net::fault

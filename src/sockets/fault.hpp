@@ -1,0 +1,144 @@
+// Deterministic socket-fault shim: reproducible hostile peers for the real
+// Nexus Proxy.
+//
+// The simulated world has simnet/fault.*; the real daemons need an attacker
+// that misbehaves at the syscall boundary. FaultySocket and FaultyListener
+// wrap the plain TCP types and consult a seeded per-stream schedule, so a
+// chaos run with seed S replays the same short writes, stalls, mid-frame
+// resets, and injected accept errnos every time. Test/bench only — nothing
+// in src/ outside this file links against it at runtime.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "sockets/socket.hpp"
+
+namespace wacs::net::fault {
+
+/// Knobs for one fault stream. All probabilities are per I/O operation;
+/// the schedule they drive is a pure function of (spec.seed, stream_id).
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  /// >0: each write is sliced into chunks of 1..max_write_slice bytes, so
+  /// the peer sees short reads and frames arriving byte by byte.
+  std::size_t max_write_slice = 0;
+  /// Probability of sleeping `stall_ms` before an individual slice/read —
+  /// a slow-sender (slowloris) in miniature.
+  double stall_prob = 0.0;
+  int stall_ms = 0;
+  /// >=0: after this many payload bytes have been written, the next write
+  /// aborts the connection with an RST (SO_LINGER 0 close) instead —
+  /// the mid-handshake / mid-stream reset case.
+  std::int64_t reset_after_bytes = -1;
+};
+
+/// Derives the schedule stream for connection `stream_id` of a spec.
+/// Deterministic: independent of thread interleaving because every socket
+/// owns its own stream.
+class FaultSchedule {
+ public:
+  FaultSchedule(const FaultSpec& spec, std::uint64_t stream_id);
+
+  /// Next write-slice length for a remaining span of `n` bytes.
+  std::size_t next_slice(std::size_t n);
+  /// Whether to stall before the next operation.
+  bool should_stall();
+  int stall_ms() const { return spec_.stall_ms; }
+  /// Whether a write that has already delivered `written` bytes must turn
+  /// into a reset instead.
+  bool should_reset(std::int64_t written) const;
+  /// The configured reset boundary (-1 = no reset). Writers clamp slices to
+  /// it so the reset lands at exactly this byte count even when slicing is
+  /// off.
+  std::int64_t reset_after_bytes() const { return spec_.reset_after_bytes; }
+
+ private:
+  FaultSpec spec_;
+  Rng rng_;
+};
+
+/// An established socket that misbehaves on schedule. The read side is
+/// passed through (the victim is the peer); the write side slices, stalls,
+/// and resets.
+class FaultySocket {
+ public:
+  FaultySocket(TcpSocket sock, const FaultSpec& spec,
+               std::uint64_t stream_id = 0);
+
+  /// Writes with scheduled slicing/stalling; kConnectionReset when the
+  /// schedule fired the reset (the socket is gone afterwards).
+  Status write_all(std::span<const std::uint8_t> data);
+  /// Length-prefixed frame via the faulty write path.
+  Status write_frame(const Bytes& frame);
+
+  Result<Bytes> read_some(std::size_t max) { return sock_.read_some(max); }
+  Result<Bytes> read_exact(std::size_t n) { return sock_.read_exact(n); }
+  Result<Bytes> read_frame(std::uint32_t max_len = kMaxFrameBytes) {
+    return sock_.read_frame(max_len);
+  }
+
+  /// Aborts the connection with an RST now (SO_LINGER 0 + close): the peer
+  /// sees ECONNRESET, not a clean EOF.
+  void reset_now();
+
+  std::int64_t bytes_written() const { return written_; }
+  TcpSocket& raw() { return sock_; }
+  void shutdown() { sock_.shutdown(); }
+
+ private:
+  TcpSocket sock_;
+  FaultSchedule schedule_;
+  std::int64_t written_ = 0;
+};
+
+/// A listener whose accept() fails with scheduled errnos. `fail_next(err)`
+/// arms one injected failure; `fail_every(n, err)` arms a periodic one
+/// (every n-th accept fails). Injected failures never consume a queued
+/// connection — exactly like a real EMFILE.
+class FaultyListener {
+ public:
+  FaultyListener(TcpListener listener, const FaultSpec& spec);
+
+  Result<TcpSocket> accept();
+  void fail_next(int err) { pending_errno_ = err; }
+  void fail_every(int nth, int err) {
+    every_nth_ = nth;
+    every_errno_ = err;
+  }
+
+  std::uint16_t port() const { return listener_.port(); }
+  void shutdown() { listener_.shutdown(); }
+  TcpListener& raw() { return listener_; }
+
+ private:
+  TcpListener listener_;
+  FaultSchedule schedule_;
+  int pending_errno_ = 0;
+  int every_nth_ = 0;
+  int every_errno_ = 0;
+  std::uint64_t accepts_ = 0;
+};
+
+/// RAII installation of the process-wide accept fault hook (see
+/// net::testing::set_accept_fault_hook): the first `count` accepts on
+/// `port` fail with `err`. Injecting into a specific port keeps the rest
+/// of the process (other daemons, the test itself) untouched.
+class ScopedAcceptFaults {
+ public:
+  ScopedAcceptFaults(std::uint16_t port, int err, int count);
+  ~ScopedAcceptFaults();
+
+  ScopedAcceptFaults(const ScopedAcceptFaults&) = delete;
+  ScopedAcceptFaults& operator=(const ScopedAcceptFaults&) = delete;
+
+  /// Injections delivered so far.
+  int delivered() const;
+
+ private:
+  std::shared_ptr<std::atomic<int>> remaining_;
+  int count_;
+};
+
+}  // namespace wacs::net::fault

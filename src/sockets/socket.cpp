@@ -9,13 +9,51 @@
 #include <sys/socket.h>
 #include <sys/types.h>
 
+#include <atomic>
 #include <chrono>
+#include <mutex>
 
 #include <cerrno>
 #include <cstring>
 
 namespace wacs::net {
 namespace {
+
+// Test-only accept fault injection; armed_ keeps the unset case to one
+// relaxed load on the accept path.
+std::atomic<bool> g_accept_fault_armed{false};
+std::mutex g_accept_fault_mu;
+testing::AcceptFaultHook g_accept_fault_hook;
+
+/// Errno to inject for the next accept on `port`, or 0.
+int accept_fault_for(std::uint16_t port) {
+  if (!g_accept_fault_armed.load(std::memory_order_relaxed)) return 0;
+  std::lock_guard<std::mutex> lock(g_accept_fault_mu);
+  return g_accept_fault_hook ? g_accept_fault_hook(port) : 0;
+}
+
+/// Accept failures a supervised loop should retry: the listener is fine,
+/// the process (fd table, kernel buffers) or the half-open connection was
+/// not. ECONNABORTED is the canonical hostile-WAN case — the peer reset
+/// between SYN and accept.
+bool accept_errno_is_transient(int err) {
+  switch (err) {
+    case ECONNABORTED:
+    case EMFILE:
+    case ENFILE:
+    case ENOBUFS:
+    case ENOMEM:
+    case EAGAIN:
+#if EAGAIN != EWOULDBLOCK
+    case EWOULDBLOCK:
+#endif
+    case EPROTO:
+    case EPERM:  // Linux firewalls report denied connections this way
+      return true;
+    default:
+      return false;
+  }
+}
 
 Error errno_error(ErrorCode code, const std::string& what) {
   return Error(code, what + ": " + std::strerror(errno));
@@ -170,6 +208,21 @@ Result<TcpSocket> TcpSocket::dial_timeout(const Contact& target,
                      "connect " + target.to_string());
 }
 
+/// Classifies a failed send/recv errno: a peer abort (RST) and a
+/// keepalive/retransmit expiry are different verdicts from an orderly
+/// close, and callers act on the difference (retry vs give up, eviction
+/// accounting, chaos-test assertions).
+ErrorCode stream_errno_code() {
+  switch (errno) {
+    case ECONNRESET:
+      return ErrorCode::kConnectionReset;
+    case ETIMEDOUT:
+      return ErrorCode::kTimeout;
+    default:
+      return ErrorCode::kConnectionClosed;
+  }
+}
+
 Status TcpSocket::write_all(std::span<const std::uint8_t> data) {
   std::size_t off = 0;
   while (off < data.size()) {
@@ -177,7 +230,7 @@ Status TcpSocket::write_all(std::span<const std::uint8_t> data) {
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return errno_error(ErrorCode::kConnectionClosed, "send");
+      return errno_error(stream_errno_code(), "send");
     }
     off += static_cast<std::size_t>(n);
   }
@@ -191,7 +244,7 @@ Result<Bytes> TcpSocket::read_exact(std::size_t n) {
     const ssize_t got = ::recv(fd_.get(), out.data() + off, n - off, 0);
     if (got < 0) {
       if (errno == EINTR) continue;
-      return errno_error(ErrorCode::kConnectionClosed, "recv");
+      return errno_error(stream_errno_code(), "recv");
     }
     if (got == 0) {
       return Error(ErrorCode::kConnectionClosed,
@@ -209,12 +262,38 @@ Result<Bytes> TcpSocket::read_some(std::size_t max) {
     const ssize_t got = ::recv(fd_.get(), out.data(), max, 0);
     if (got < 0) {
       if (errno == EINTR) continue;
-      return errno_error(ErrorCode::kConnectionClosed, "recv");
+      return errno_error(stream_errno_code(), "recv");
     }
     if (got == 0) return Error(ErrorCode::kConnectionClosed, "end of stream");
     out.resize(static_cast<std::size_t>(got));
     return out;
   }
+}
+
+Result<Bytes> TcpSocket::read_some_timeout(std::size_t max, int timeout_ms) {
+  if (auto s = wait_for(fd_.get(), POLLIN, timeout_ms); !s.ok()) {
+    return s.error();
+  }
+  return read_some(max);
+}
+
+Status TcpSocket::set_keepalive(int idle_s, int interval_s, int count) {
+  int one = 1;
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_KEEPALIVE, &one, sizeof one) !=
+      0) {
+    return errno_error(ErrorCode::kInternal, "setsockopt(SO_KEEPALIVE)");
+  }
+#ifdef TCP_KEEPIDLE
+  ::setsockopt(fd_.get(), IPPROTO_TCP, TCP_KEEPIDLE, &idle_s, sizeof idle_s);
+  ::setsockopt(fd_.get(), IPPROTO_TCP, TCP_KEEPINTVL, &interval_s,
+               sizeof interval_s);
+  ::setsockopt(fd_.get(), IPPROTO_TCP, TCP_KEEPCNT, &count, sizeof count);
+#else
+  (void)idle_s;
+  (void)interval_s;
+  (void)count;
+#endif
+  return Status();
 }
 
 Status TcpSocket::write_frame(const Bytes& frame) {
@@ -229,21 +308,22 @@ Status TcpSocket::write_frame(const Bytes& frame) {
   return write_all(frame);
 }
 
-Result<Bytes> TcpSocket::read_frame() {
+Result<Bytes> TcpSocket::read_frame(std::uint32_t max_len) {
   auto header = read_exact(4);
   if (!header.ok()) return header.error();
   const std::uint32_t len = static_cast<std::uint32_t>((*header)[0]) |
                             static_cast<std::uint32_t>((*header)[1]) << 8 |
                             static_cast<std::uint32_t>((*header)[2]) << 16 |
                             static_cast<std::uint32_t>((*header)[3]) << 24;
-  if (len > kMaxFrameBytes) {
+  if (len > max_len || len > kMaxFrameBytes) {
     return Error(ErrorCode::kProtocolError, "frame length exceeds limit");
   }
   if (len == 0) return Bytes{};
   return read_exact(len);
 }
 
-Result<Bytes> TcpSocket::read_frame_timeout(int timeout_ms) {
+Result<Bytes> TcpSocket::read_frame_timeout(int timeout_ms,
+                                            std::uint32_t max_len) {
   using Clock = std::chrono::steady_clock;
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   // Poll-before-read variant of read_exact, sharing one overall budget
@@ -264,7 +344,7 @@ Result<Bytes> TcpSocket::read_frame_timeout(int timeout_ms) {
       const ssize_t got = ::recv(fd_.get(), out.data() + off, n - off, 0);
       if (got < 0) {
         if (errno == EINTR) continue;
-        return errno_error(ErrorCode::kConnectionClosed, "recv");
+        return errno_error(stream_errno_code(), "recv");
       }
       if (got == 0) {
         return Error(ErrorCode::kConnectionClosed,
@@ -282,7 +362,7 @@ Result<Bytes> TcpSocket::read_frame_timeout(int timeout_ms) {
                             static_cast<std::uint32_t>((*header)[1]) << 8 |
                             static_cast<std::uint32_t>((*header)[2]) << 16 |
                             static_cast<std::uint32_t>((*header)[3]) << 24;
-  if (len > kMaxFrameBytes) {
+  if (len > max_len || len > kMaxFrameBytes) {
     return Error(ErrorCode::kProtocolError, "frame length exceeds limit");
   }
   if (len == 0) return Bytes{};
@@ -346,13 +426,20 @@ Result<TcpListener> TcpListener::bind(const std::string& bind_ip,
 
 Result<TcpSocket> TcpListener::accept() {
   while (true) {
-    const int fd = ::accept(fd_.get(), nullptr, nullptr);
-    if (fd >= 0) {
-      int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-      return TcpSocket(Fd(fd));
+    if (const int injected = accept_fault_for(port_); injected != 0) {
+      errno = injected;
+    } else {
+      const int fd = ::accept(fd_.get(), nullptr, nullptr);
+      if (fd >= 0) {
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        return TcpSocket(Fd(fd));
+      }
+      if (errno == EINTR) continue;
     }
-    if (errno == EINTR) continue;
+    if (accept_errno_is_transient(errno)) {
+      return errno_error(ErrorCode::kUnavailable, "accept");
+    }
     return errno_error(ErrorCode::kConnectionClosed, "accept");
   }
 }
@@ -360,5 +447,16 @@ Result<TcpSocket> TcpListener::accept() {
 void TcpListener::shutdown() {
   if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
 }
+
+namespace testing {
+
+void set_accept_fault_hook(AcceptFaultHook hook) {
+  std::lock_guard<std::mutex> lock(g_accept_fault_mu);
+  g_accept_fault_hook = std::move(hook);
+  g_accept_fault_armed.store(static_cast<bool>(g_accept_fault_hook),
+                             std::memory_order_relaxed);
+}
+
+}  // namespace testing
 
 }  // namespace wacs::net

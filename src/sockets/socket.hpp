@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/bytes.hpp"
@@ -46,13 +47,27 @@ class TcpSocket {
   /// EOF. Used by the relay pumps.
   Result<Bytes> read_some(std::size_t max);
 
-  /// Length-prefixed frame I/O (u32 LE length + payload).
+  /// read_some() bounded by `timeout_ms`: kTimeout when no byte arrives in
+  /// time. The relay pumps use this to notice half-open peers that TCP
+  /// alone would let linger for hours.
+  Result<Bytes> read_some_timeout(std::size_t max, int timeout_ms);
+
+  /// Length-prefixed frame I/O (u32 LE length + payload). `max_len` caps
+  /// the accepted length prefix — network-facing surfaces pass a limit
+  /// sized to their message set so a hostile prefix is rejected *before*
+  /// any allocation, not at the generic relay ceiling.
   Status write_frame(const Bytes& frame);
-  Result<Bytes> read_frame();
+  Result<Bytes> read_frame(std::uint32_t max_len = kMaxFrameBytes);
 
   /// read_frame() bounded by an overall `timeout_ms` budget across header
   /// and payload (poll before every read); kTimeout when it runs out.
-  Result<Bytes> read_frame_timeout(int timeout_ms);
+  Result<Bytes> read_frame_timeout(int timeout_ms,
+                                   std::uint32_t max_len = kMaxFrameBytes);
+
+  /// Enables TCP keepalive probing so a half-open peer (crashed host,
+  /// vanished NAT entry) eventually surfaces as a read error instead of a
+  /// silent forever-stall. Times are seconds.
+  Status set_keepalive(int idle_s, int interval_s, int count);
 
   /// Address of the remote end ("ip:port").
   Result<Contact> peer() const;
@@ -80,6 +95,9 @@ class TcpListener {
   std::uint16_t port() const { return port_; }
 
   /// Blocks until a connection arrives. Fails once shutdown() was called.
+  /// Transient failures (EMFILE/ENFILE/ECONNABORTED/ENOBUFS/...) come back
+  /// as kUnavailable so accept loops can retry with backoff; a shut-down or
+  /// dead listener is kConnectionClosed and means the loop must exit.
   Result<TcpSocket> accept();
 
   /// Unblocks a pending accept() on another thread, then closes.
@@ -89,5 +107,16 @@ class TcpListener {
   Fd fd_;
   std::uint16_t port_ = 0;
 };
+
+namespace testing {
+
+/// Test-only fault injection: the hook is consulted before every
+/// ::accept(); a nonzero return makes that accept fail with the returned
+/// errno (classified exactly like the real thing, no queued connection is
+/// consumed). Pass nullptr to uninstall. Production code never sets this.
+using AcceptFaultHook = std::function<int(std::uint16_t port)>;
+void set_accept_fault_hook(AcceptFaultHook hook);
+
+}  // namespace testing
 
 }  // namespace wacs::net

@@ -1,0 +1,349 @@
+// Hostile-WAN hardening tests for the REAL Nexus Proxy daemons: slowloris
+// and half-open peers, admission-gate shedding, accept-errno survival, bind
+// leases, and graceful drain — all over loopback TCP with tight deadlines.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "nxproxy/client.hpp"
+#include "nxproxy/daemon.hpp"
+#include "sockets/fault.hpp"
+
+namespace wacs::nxproxy {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Polls `cond` until true or the deadline passes. Generous by default so a
+/// loaded CI machine does not flake the eviction tests.
+bool wait_until(const std::function<bool()>& cond, int timeout_ms = 5000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(10ms);
+  }
+  return cond();
+}
+
+std::uint64_t hs_kind_sum(const DaemonStats& s) {
+  return s.hs_policy_denied.load() + s.hs_malformed.load() +
+         s.hs_dial_failed.load() + s.hs_timeout.load();
+}
+
+/// An echo server on an ephemeral loopback port, serving one connection.
+struct EchoTarget {
+  net::TcpListener listener;
+  std::thread thread;
+
+  EchoTarget() {
+    auto l = net::TcpListener::bind("127.0.0.1", 0);
+    EXPECT_TRUE(l.ok());
+    listener = std::move(*l);
+    thread = std::thread([this] {
+      auto conn = listener.accept();
+      if (!conn.ok()) return;
+      while (true) {
+        auto data = conn->read_some(4096);
+        if (!data.ok()) return;
+        if (!conn->write_all(*data).ok()) return;
+      }
+    });
+  }
+  ~EchoTarget() {
+    listener.shutdown();
+    if (thread.joinable()) thread.join();
+  }
+  Contact contact() const { return Contact{"127.0.0.1", listener.port()}; }
+};
+
+TEST(NxProxyHardening, SlowlorisControlConnectionEvictedByDeadline) {
+  DaemonOptions opts;
+  opts.handshake_timeout_ms = 200;
+  OuterDaemon outer("127.0.0.1", 0, "127.0.0.1", RelayAccessPolicy{}, opts);
+  ASSERT_TRUE(outer.start().ok());
+
+  // One header byte, then silence: the classic slowloris. The daemon must
+  // cut the connection when the handshake budget runs out.
+  auto conn = net::TcpSocket::dial(outer.contact());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->write_all(Bytes{0x01}).ok());
+  EXPECT_TRUE(wait_until([&] { return outer.stats().hs_timeout.load() >= 1; }))
+      << "slowloris connection was not evicted";
+  // The daemon closed its end; our next read reports it.
+  auto r = conn->read_some_timeout(16, 2000);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(outer.stats().handshake_failures.load(),
+            hs_kind_sum(outer.stats()));
+  outer.stop();
+}
+
+TEST(NxProxyHardening, HalfOpenRelaySessionEvictedByIdleDeadline) {
+  DaemonOptions opts;
+  opts.idle_timeout_ms = 200;
+  OuterDaemon outer("127.0.0.1", 0, "127.0.0.1", RelayAccessPolicy{}, opts);
+  ASSERT_TRUE(outer.start().ok());
+  EchoTarget target;
+
+  auto sock = NXProxyConnect(outer.contact(), target.contact());
+  ASSERT_TRUE(sock.ok()) << sock.error().to_string();
+  // Prove the session is live, then park it: a half-open peer in miniature.
+  ASSERT_TRUE(sock->write_all(to_bytes("ping")).ok());
+  auto echoed = sock->read_exact(4);
+  ASSERT_TRUE(echoed.ok());
+
+  EXPECT_TRUE(
+      wait_until([&] { return outer.stats().idle_evictions.load() >= 1; }))
+      << "idle session was not evicted";
+  EXPECT_TRUE(
+      wait_until([&] { return outer.stats().sessions_closed.load() >= 1; }));
+  auto r = sock->read_some_timeout(16, 2000);
+  EXPECT_FALSE(r.ok()) << "daemon should have torn the idle session down";
+  outer.stop();
+}
+
+TEST(NxProxyHardening, AdmissionGateShedsWithBusyAndRecovers) {
+  DaemonOptions opts;
+  opts.max_connections = 1;
+  OuterDaemon outer("127.0.0.1", 0, "127.0.0.1", RelayAccessPolicy{}, opts);
+  ASSERT_TRUE(outer.start().ok());
+  EchoTarget target;
+
+  // Occupy the only slot with a handshake that never completes.
+  auto parked = net::TcpSocket::dial(outer.contact());
+  ASSERT_TRUE(parked.ok());
+  ASSERT_TRUE(wait_until([&] { return outer.stats().connections.load() >= 1; }));
+
+  // The next connection must be shed with an explicit Busy (kUnavailable,
+  // the retryable class), not left hanging.
+  ClientOptions one_shot;
+  one_shot.retry.max_attempts = 1;
+  auto shed = NXProxyConnect(outer.contact(), target.contact(), one_shot);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.error().code(), ErrorCode::kUnavailable);
+  EXPECT_NE(shed.error().message().find("busy"), std::string::npos)
+      << shed.error().to_string();
+  EXPECT_GE(outer.stats().shed_connections.load(), 1u);
+
+  // Free the slot; the default retry policy should now get through.
+  parked->shutdown();
+  auto sock = NXProxyConnect(outer.contact(), target.contact());
+  ASSERT_TRUE(sock.ok()) << sock.error().to_string();
+  ASSERT_TRUE(sock->write_all(to_bytes("ok?")).ok());
+  auto echoed = sock->read_exact(3);
+  ASSERT_TRUE(echoed.ok());
+  EXPECT_EQ(to_string(*echoed), "ok?");
+  outer.stop();
+}
+
+TEST(NxProxyHardening, AcceptLoopSurvivesInjectedEmfile) {
+  OuterDaemon outer("127.0.0.1", 0, "127.0.0.1");
+  ASSERT_TRUE(outer.start().ok());
+  EchoTarget target;
+
+  {
+    net::fault::ScopedAcceptFaults faults(outer.contact().port, EMFILE, 3);
+    // The accept loop is already blocked in accept(); the first connection
+    // goes through and the injections hit the next three accept calls.
+    auto first = NXProxyConnect(outer.contact(), target.contact());
+    ASSERT_TRUE(first.ok()) << first.error().to_string();
+    EXPECT_TRUE(
+        wait_until([&] { return outer.stats().accept_retries.load() >= 3; }))
+        << "daemon did not retry the injected EMFILEs";
+    EXPECT_EQ(faults.delivered(), 3);
+  }
+  // The loop survived: a fresh client is served end to end.
+  EchoTarget target2;
+  auto sock = NXProxyConnect(outer.contact(), target2.contact());
+  ASSERT_TRUE(sock.ok()) << sock.error().to_string();
+  ASSERT_TRUE(sock->write_all(to_bytes("alive")).ok());
+  auto echoed = sock->read_exact(5);
+  ASSERT_TRUE(echoed.ok());
+  EXPECT_EQ(to_string(*echoed), "alive");
+  outer.stop();
+}
+
+TEST(NxProxyHardening, ExpiredLeaseIsReapedListenerAndAll) {
+  DaemonOptions opts;
+  opts.bind_lease_ms = 150;
+  OuterDaemon outer("127.0.0.1", 0, "127.0.0.1", RelayAccessPolicy{}, opts);
+  ASSERT_TRUE(outer.start().ok());
+
+  auto bound = NXProxyBind(outer.contact(), Contact{"127.0.0.1", 1});
+  ASSERT_TRUE(bound.ok()) << bound.error().to_string();
+  EXPECT_EQ(bound->lease_ms, 150u);
+  EXPECT_EQ(outer.stats().leases_granted.load(), 1u);
+  EXPECT_EQ(outer.active_binds(), 1u);
+  const auto public_contact = bound->public_contact;
+
+  // Never renew: the sweeper must reap the binding, close its public
+  // listener, and release the active_binds slot.
+  EXPECT_TRUE(wait_until([&] { return outer.active_binds() == 0; }))
+      << "expired lease was not reaped";
+  EXPECT_GE(outer.stats().leases_expired.load(), 1u);
+
+  // Relay collapsing must not match the dead binding either: a proxied
+  // connect to the reaped public port falls through to a real dial, which
+  // is refused because the listener is gone.
+  ClientOptions one_shot;
+  one_shot.retry.max_attempts = 1;
+  auto sock = NXProxyConnect(outer.contact(), public_contact, one_shot);
+  ASSERT_FALSE(sock.ok());
+  EXPECT_GE(outer.stats().hs_dial_failed.load(), 1u);
+  outer.stop();
+}
+
+TEST(NxProxyHardening, RenewedLeaseStaysAliveThenLapsesWithoutRenewal) {
+  DaemonOptions opts;
+  opts.bind_lease_ms = 300;
+  OuterDaemon outer("127.0.0.1", 0, "127.0.0.1", RelayAccessPolicy{}, opts);
+  ASSERT_TRUE(outer.start().ok());
+
+  auto bound = NXProxyBind(outer.contact(), Contact{"127.0.0.1", 1});
+  ASSERT_TRUE(bound.ok());
+  // Renew at twice the rate the lease requires, across several lease
+  // durations: the binding must survive the whole stretch.
+  for (int i = 0; i < 6; ++i) {
+    std::this_thread::sleep_for(150ms);
+    auto renewed = NXProxyRenewBind(outer.contact(), bound->bind_id);
+    ASSERT_TRUE(renewed.ok()) << renewed.error().to_string();
+    EXPECT_EQ(*renewed, 300u);
+    EXPECT_EQ(outer.active_binds(), 1u) << "binding reaped despite renewals";
+  }
+  EXPECT_GE(outer.stats().leases_renewed.load(), 6u);
+
+  // Stop renewing: the lease lapses and the binding goes away.
+  EXPECT_TRUE(wait_until([&] { return outer.active_binds() == 0; }));
+  auto late = NXProxyRenewBind(outer.contact(), bound->bind_id);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.error().code(), ErrorCode::kNotFound);
+  outer.stop();
+}
+
+TEST(NxProxyHardening, RenewUnknownBindIdFails) {
+  OuterDaemon outer("127.0.0.1", 0, "127.0.0.1");
+  ASSERT_TRUE(outer.start().ok());
+  auto r = NXProxyRenewBind(outer.contact(), 0xdeadbeef);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kNotFound);
+  outer.stop();
+}
+
+TEST(NxProxyHardening, GracefulDrainLetsInFlightSessionFinish) {
+  DaemonOptions opts;
+  opts.drain_ms = 5000;
+  OuterDaemon outer("127.0.0.1", 0, "127.0.0.1", RelayAccessPolicy{}, opts);
+  ASSERT_TRUE(outer.start().ok());
+  EchoTarget target;
+
+  auto sock = NXProxyConnect(outer.contact(), target.contact());
+  ASSERT_TRUE(sock.ok()) << sock.error().to_string();
+  ASSERT_TRUE(sock->write_all(to_bytes("warm")).ok());
+  ASSERT_TRUE(sock->read_exact(4).ok());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread stopper([&] { outer.stop(); });
+  // The listener closes immediately, but the in-flight session keeps
+  // relaying during the drain window.
+  std::this_thread::sleep_for(100ms);
+  ASSERT_TRUE(sock->write_all(to_bytes("mid-drain")).ok());
+  auto echoed = sock->read_exact(9);
+  ASSERT_TRUE(echoed.ok()) << "session must stay usable while draining";
+  EXPECT_EQ(to_string(*echoed), "mid-drain");
+
+  // Closing our end finishes the session; stop() must return well before
+  // the full drain budget instead of sleeping it out.
+  sock->shutdown();
+  stopper.join();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_LT(elapsed, 4000) << "drain should return as soon as sessions end";
+  EXPECT_EQ(outer.stats().sessions_opened.load(),
+            outer.stats().sessions_closed.load());
+}
+
+TEST(NxProxyHardening, OversizedControlFrameRejectedBeforeAllocation) {
+  OuterDaemon outer("127.0.0.1", 0, "127.0.0.1");
+  ASSERT_TRUE(outer.start().ok());
+
+  auto conn = net::TcpSocket::dial(outer.contact());
+  ASSERT_TRUE(conn.ok());
+  // An 8 MiB length prefix on the 4 KiB control surface: rejected on the
+  // header alone, no payload needed.
+  const std::uint32_t huge = 8u << 20;
+  Bytes header{static_cast<std::uint8_t>(huge),
+               static_cast<std::uint8_t>(huge >> 8),
+               static_cast<std::uint8_t>(huge >> 16),
+               static_cast<std::uint8_t>(huge >> 24)};
+  ASSERT_TRUE(conn->write_all(header).ok());
+  EXPECT_TRUE(
+      wait_until([&] { return outer.stats().hs_malformed.load() >= 1; }));
+  auto r = conn->read_some_timeout(16, 2000);
+  EXPECT_FALSE(r.ok()) << "daemon must close the connection";
+  EXPECT_EQ(outer.stats().handshake_failures.load(),
+            hs_kind_sum(outer.stats()));
+  outer.stop();
+}
+
+TEST(NxProxyHardening, FailureKindsAlwaysSumToHandshakeFailures) {
+  DaemonOptions opts;
+  opts.handshake_timeout_ms = 200;
+  RelayAccessPolicy policy;
+  policy.allow_target("127.0.0.1", 1);  // deny-by-default, nothing useful
+  OuterDaemon outer("127.0.0.1", 0, "127.0.0.1", policy, opts);
+  ASSERT_TRUE(outer.start().ok());
+
+  ClientOptions one_shot;
+  one_shot.retry.max_attempts = 1;
+  // policy_denied
+  (void)NXProxyConnect(outer.contact(), Contact{"127.0.0.1", 2}, one_shot);
+  // malformed
+  {
+    auto conn = net::TcpSocket::dial(outer.contact());
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn->write_frame(to_bytes("garbage-frame")).ok());
+    (void)conn->read_some_timeout(16, 2000);
+  }
+  // timeout (slowloris)
+  {
+    auto conn = net::TcpSocket::dial(outer.contact());
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn->write_all(Bytes{0x01}).ok());
+    EXPECT_TRUE(wait_until(
+        [&] { return outer.stats().hs_timeout.load() >= 1; }));
+  }
+  EXPECT_GE(outer.stats().hs_policy_denied.load(), 1u);
+  EXPECT_GE(outer.stats().hs_malformed.load(), 1u);
+  EXPECT_GE(outer.stats().hs_timeout.load(), 1u);
+  EXPECT_EQ(outer.stats().handshake_failures.load(),
+            hs_kind_sum(outer.stats()));
+  outer.stop();
+}
+
+TEST(NxProxyHardening, InnerDaemonShedsWithBusyAtCapacity) {
+  DaemonOptions opts;
+  opts.max_connections = 1;
+  InnerDaemon inner("127.0.0.1", 0, opts);
+  ASSERT_TRUE(inner.start().ok());
+
+  auto parked = net::TcpSocket::dial(inner.contact());
+  ASSERT_TRUE(parked.ok());
+  ASSERT_TRUE(wait_until([&] { return inner.stats().connections.load() >= 1; }));
+
+  auto conn = net::TcpSocket::dial(inner.contact());
+  ASSERT_TRUE(conn.ok());
+  auto frame = conn->read_frame_timeout(2000, proxy::kMaxControlFrameBytes);
+  ASSERT_TRUE(frame.ok()) << "shed connection must get an explicit reply";
+  auto type = proxy::peek_type(*frame);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, proxy::MsgType::kBusy);
+  EXPECT_GE(inner.stats().shed_connections.load(), 1u);
+  inner.stop();
+}
+
+}  // namespace
+}  // namespace wacs::nxproxy

@@ -1,0 +1,206 @@
+// Deterministic socket-fault shim tests: loopback TCP only, ephemeral ports.
+#include "sockets/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <thread>
+#include <utility>
+
+namespace wacs::net::fault {
+namespace {
+
+std::pair<TcpSocket, TcpSocket> loopback_pair() {
+  auto l = TcpListener::bind("127.0.0.1", 0);
+  EXPECT_TRUE(l.ok());
+  auto client = TcpSocket::dial(Contact{"127.0.0.1", l->port()});
+  EXPECT_TRUE(client.ok());
+  auto server = l->accept();
+  EXPECT_TRUE(server.ok());
+  return {std::move(*client), std::move(*server)};
+}
+
+TEST(FaultySocket, SlicedWritesDeliverByteIdenticalStream) {
+  auto [client, server] = loopback_pair();
+  FaultSpec spec;
+  spec.seed = 7;
+  spec.max_write_slice = 3;  // worst case: every write lands in crumbs
+  FaultySocket faulty(std::move(client), spec, /*stream_id=*/1);
+
+  const Bytes payload = pattern_bytes(10'000);
+  std::thread writer([&] {
+    ASSERT_TRUE(faulty.write_all(payload).ok());
+    faulty.shutdown();
+  });
+  Bytes got;
+  while (got.size() < payload.size()) {
+    auto chunk = server.read_some(4096);
+    if (!chunk.ok()) break;
+    got.insert(got.end(), chunk->begin(), chunk->end());
+  }
+  writer.join();
+  EXPECT_EQ(got, payload);
+}
+
+TEST(FaultySocket, SlicedFramesReassembleAcrossSplitLengthPrefix) {
+  auto [client, server] = loopback_pair();
+  FaultSpec spec;
+  spec.seed = 11;
+  spec.max_write_slice = 2;  // guarantees the 4-byte prefix gets split
+  FaultySocket faulty(std::move(client), spec, 1);
+
+  const Bytes frame = pattern_bytes(500);
+  std::thread writer([&] { ASSERT_TRUE(faulty.write_frame(frame).ok()); });
+  auto got = server.read_frame();
+  writer.join();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, frame);
+}
+
+TEST(FaultySocket, ScheduledResetSurfacesAsPeerError) {
+  auto [client, server] = loopback_pair();
+  FaultSpec spec;
+  spec.reset_after_bytes = 100;
+  FaultySocket faulty(std::move(client), spec, 1);
+
+  const Bytes payload = pattern_bytes(4096);
+  auto s = faulty.write_all(payload);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code(), ErrorCode::kConnectionReset);
+  EXPECT_GE(faulty.bytes_written(), 100);
+
+  // Drain what arrived; the tail must be an error (RST), not a clean EOF.
+  bool saw_error = false;
+  for (int i = 0; i < 100; ++i) {
+    auto chunk = server.read_some(4096);
+    if (!chunk.ok()) {
+      saw_error = chunk.error().code() != ErrorCode::kConnectionClosed;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_error) << "peer should observe ECONNRESET";
+}
+
+TEST(FaultSchedule, SameSeedSameStreamIsDeterministic) {
+  FaultSpec spec;
+  spec.seed = 42;
+  spec.max_write_slice = 17;
+  FaultSchedule a(spec, 3);
+  FaultSchedule b(spec, 3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_slice(1000), b.next_slice(1000));
+  }
+}
+
+TEST(FaultSchedule, DistinctStreamsDiverge) {
+  FaultSpec spec;
+  spec.seed = 42;
+  spec.max_write_slice = 1000;
+  FaultSchedule a(spec, 1);
+  FaultSchedule b(spec, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_slice(100000) == b.next_slice(100000)) ++same;
+  }
+  EXPECT_LT(same, 100);
+}
+
+TEST(FaultyListener, InjectedTransientErrnoClassifiesRetryable) {
+  auto l = TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(l.ok());
+  FaultyListener faulty(std::move(*l), FaultSpec{});
+  faulty.fail_next(EMFILE);
+  auto r = faulty.accept();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kUnavailable);
+}
+
+TEST(FaultyListener, InjectedFatalErrnoClassifiesTerminal) {
+  auto l = TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(l.ok());
+  FaultyListener faulty(std::move(*l), FaultSpec{});
+  faulty.fail_next(EBADF);
+  auto r = faulty.accept();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kConnectionClosed);
+}
+
+TEST(FaultyListener, InjectionDoesNotConsumeQueuedConnection) {
+  auto l = TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(l.ok());
+  const auto port = l->port();
+  FaultyListener faulty(std::move(*l), FaultSpec{});
+  auto client = TcpSocket::dial(Contact{"127.0.0.1", port});
+  ASSERT_TRUE(client.ok());
+  faulty.fail_next(ECONNABORTED);
+  EXPECT_FALSE(faulty.accept().ok());
+  // The queued connection is still there for the retry.
+  auto conn = faulty.accept();
+  EXPECT_TRUE(conn.ok());
+}
+
+TEST(ScopedAcceptFaults, HookFailsExactlyCountTimesOnOnePort) {
+  auto l = TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(l.ok());
+  auto other = TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(other.ok());
+  {
+    ScopedAcceptFaults faults(l->port(), EMFILE, 2);
+    auto client = TcpSocket::dial(Contact{"127.0.0.1", l->port()});
+    ASSERT_TRUE(client.ok());
+    for (int i = 0; i < 2; ++i) {
+      auto r = l->accept();
+      ASSERT_FALSE(r.ok());
+      EXPECT_EQ(r.error().code(), ErrorCode::kUnavailable);
+    }
+    EXPECT_EQ(faults.delivered(), 2);
+    // Injections exhausted: the queued connection is accepted now.
+    EXPECT_TRUE(l->accept().ok());
+    // A different port is never touched by the hook.
+    auto oc = TcpSocket::dial(Contact{"127.0.0.1", other->port()});
+    ASSERT_TRUE(oc.ok());
+    EXPECT_TRUE(other->accept().ok());
+  }
+}
+
+TEST(TcpSocketTimeouts, ReadSomeTimeoutFiresWithoutData) {
+  auto [client, server] = loopback_pair();
+  auto r = server.read_some_timeout(1024, 50);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kTimeout);
+  // And passes data through when it is there.
+  ASSERT_TRUE(client.write_all(to_bytes("x")).ok());
+  auto ok = server.read_some_timeout(1024, 1000);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(to_string(*ok), "x");
+}
+
+TEST(TcpSocketFraming, SmallMaxLenRejectsOversizedPrefixBeforePayload) {
+  auto [client, server] = loopback_pair();
+  // A 1 MiB length prefix against a 4 KiB cap must be rejected even though
+  // no payload follows — the check runs before any allocation.
+  const std::uint32_t huge = 1u << 20;
+  Bytes header{static_cast<std::uint8_t>(huge),
+               static_cast<std::uint8_t>(huge >> 8),
+               static_cast<std::uint8_t>(huge >> 16),
+               static_cast<std::uint8_t>(huge >> 24)};
+  ASSERT_TRUE(client.write_all(header).ok());
+  auto r = server.read_frame(4096);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kProtocolError);
+}
+
+TEST(TcpSocketKeepalive, SetKeepaliveIsObservableViaGetsockopt) {
+  auto [client, server] = loopback_pair();
+  ASSERT_TRUE(client.set_keepalive(30, 5, 3).ok());
+  int on = 0;
+  socklen_t len = sizeof on;
+  ASSERT_EQ(::getsockopt(client.native(), SOL_SOCKET, SO_KEEPALIVE, &on, &len),
+            0);
+  EXPECT_EQ(on, 1);
+}
+
+}  // namespace
+}  // namespace wacs::net::fault

@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
   int port = 9900;
   int metrics_port = -1;
   std::string prof_dump_path = "nxproxy-inner.prof.json";
+  nxproxy::DaemonOptions daemon_options;
   (void)prof::enable_from_env();
 
   for (int i = 1; i < argc; ++i) {
@@ -56,6 +57,16 @@ int main(int argc, char** argv) {
       bind_ip = next();
     } else if (arg == "--metrics") {
       metrics_port = std::atoi(next());
+    } else if (arg == "--handshake-timeout-ms") {
+      daemon_options.handshake_timeout_ms = std::atoi(next());
+    } else if (arg == "--idle-timeout-ms") {
+      daemon_options.idle_timeout_ms = std::atoi(next());
+    } else if (arg == "--max-conns") {
+      daemon_options.max_connections = std::atoi(next());
+    } else if (arg == "--drain-ms") {
+      daemon_options.drain_ms = std::atoi(next());
+    } else if (arg == "--no-keepalive") {
+      daemon_options.tcp_keepalive = false;
     } else if (arg == "--prof") {
       prof::enable();
     } else if (arg == "--prof-dump") {
@@ -65,6 +76,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s --port N [--bind IP] [--metrics PORT] "
+                   "[--handshake-timeout-ms N] [--idle-timeout-ms N] "
+                   "[--max-conns N] [--drain-ms N] [--no-keepalive] "
                    "[--prof] [--prof-dump PATH] [--verbose]\n",
                    argv[0]);
       return arg == "--help" ? 0 : 2;
@@ -75,7 +88,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  nxproxy::InnerDaemon daemon(bind_ip, static_cast<std::uint16_t>(port));
+  nxproxy::InnerDaemon daemon(bind_ip, static_cast<std::uint16_t>(port),
+                              daemon_options);
   if (auto s = daemon.start(); !s.ok()) {
     std::fprintf(stderr, "cannot start: %s\n", s.error().to_string().c_str());
     return 1;

@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
   int metrics_port = -1;
   std::string prof_dump_path = "nxproxy-outer.prof.json";
   nxproxy::RelayAccessPolicy policy;
+  nxproxy::DaemonOptions daemon_options;
   (void)prof::enable_from_env();
 
   for (int i = 1; i < argc; ++i) {
@@ -75,6 +76,18 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--metrics") {
       metrics_port = std::atoi(next());
+    } else if (arg == "--handshake-timeout-ms") {
+      daemon_options.handshake_timeout_ms = std::atoi(next());
+    } else if (arg == "--idle-timeout-ms") {
+      daemon_options.idle_timeout_ms = std::atoi(next());
+    } else if (arg == "--max-conns") {
+      daemon_options.max_connections = std::atoi(next());
+    } else if (arg == "--lease-ms") {
+      daemon_options.bind_lease_ms = std::atoi(next());
+    } else if (arg == "--drain-ms") {
+      daemon_options.drain_ms = std::atoi(next());
+    } else if (arg == "--no-keepalive") {
+      daemon_options.tcp_keepalive = false;
     } else if (arg == "--prof") {
       prof::enable();
     } else if (arg == "--prof-dump") {
@@ -84,7 +97,10 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s --port N --advertise HOST [--bind IP] "
-                   "[--allow HOST[:PORT]]... [--metrics PORT] [--prof] "
+                   "[--allow HOST[:PORT]]... [--metrics PORT] "
+                   "[--handshake-timeout-ms N] [--idle-timeout-ms N] "
+                   "[--max-conns N] [--lease-ms N] [--drain-ms N] "
+                   "[--no-keepalive] [--prof] "
                    "[--prof-dump PATH] [--verbose]\n",
                    argv[0]);
       return arg == "--help" ? 0 : 2;
@@ -97,7 +113,7 @@ int main(int argc, char** argv) {
   }
 
   nxproxy::OuterDaemon daemon(bind_ip, static_cast<std::uint16_t>(port),
-                              advertise, policy);
+                              advertise, policy, daemon_options);
   if (auto s = daemon.start(); !s.ok()) {
     std::fprintf(stderr, "cannot start: %s\n", s.error().to_string().c_str());
     return 1;
