@@ -1,0 +1,426 @@
+// Multi-tenant scheduler at scale — 10,000 users submitting 100 jobs each
+// against a 50-site wide-area testbed (DESIGN.md §17), with mid-run host
+// crashes of three site runners and of the scheduler itself.
+//
+// The paper's RMF serves one job at a time; this bench loads the
+// scheduling subsystem that makes it a multi-tenant service: MDS-backed
+// matching over TTL'd site registrations, per-user fair-share with EASY
+// backfill, batched dispatch over runner-dialed connections (leaf sites
+// keep zero inbound holes), and admission control that sheds over-cap
+// submissions with a retryable Busy verdict instead of wedging.
+//
+// Drivers model real submitters: a small pool of client processes on the
+// hub's DMZ driver host, each walking its share of the user population and
+// submitting one SchedSubmit batch per user, honouring Busy{retry_after_ms}
+// with the suggested backoff and retrying on connections the fault
+// injector resets. The global admission cap is sized at total_jobs/10 so
+// the shed/retry path is exercised at every scale, not just the default.
+//
+// Reported: virtual makespan and dispatch throughput, queue-wait quantiles
+// (gated: p99 must stay under 3x the worst-case admitted backlog), shed /
+// requeue / backfill / replay counters, and the exactly-once evidence
+// (dup completions absorbed, completed + failed == accepted). A reduced
+// configuration then runs twice under the same seed and must reproduce
+// its counter digest exactly — crashes, replays, and retries included.
+//
+// Scale knobs: WACS_SCHED_USERS, WACS_SCHED_JOBS (per user),
+// WACS_SCHED_SITES (4 hosts x 8 CPUs each). CI's baseline runs the smoke
+// scale (see bench/baselines/README.md).
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/testbeds.hpp"
+#include "sched/scheduler.hpp"
+#include "simnet/fault.hpp"
+#include "simnet/time.hpp"
+
+namespace wacs {
+namespace {
+
+constexpr std::uint64_t kSeed = 20001107;  // HPDC 2000 vintage
+constexpr int kDrivers = 12;  ///< client processes sharing the user walk
+constexpr int kHostsPerSite = 4;
+constexpr int kCpusPerHost = 8;
+
+int env_int(const char* name, int fallback, int lo, int hi) {
+  if (const char* env = std::getenv(name)) {
+    const int n = std::atoi(env);
+    if (n >= lo && n <= hi) return n;
+  }
+  return fallback;
+}
+
+struct Scale {
+  int users = 10000;
+  int jobs = 100;  ///< per user
+  int sites = 50;
+  int total_jobs() const { return users * jobs; }
+  int capacity_cpus() const { return sites * kHostsPerSite * kCpusPerHost; }
+};
+
+/// Deterministic per-job shape: mostly single-CPU, a quarter-ish of the
+/// CPU demand in 2- and 8-wide jobs (the backfill fodder), runtime
+/// estimates spread over [1s, 4s) — long against the 0.25s pass and 0.2s
+/// completion-flush cadences, so quantization idle stays a small tax.
+struct JobShape {
+  int nprocs = 1;
+  double est_s = 2.5;
+};
+JobShape job_shape(int u, int j) {
+  JobShape s;
+  if (j % 32 == 7) {
+    s.nprocs = 8;
+  } else if (j % 8 == 3) {
+    s.nprocs = 2;
+  }
+  s.est_s = 1.0 + 3.0 * static_cast<double>((u * 131 + j * 17) % 100) / 100.0;
+  return s;
+}
+
+double total_cpu_seconds(const Scale& sc) {
+  double total = 0;
+  for (int u = 0; u < sc.users; ++u) {
+    for (int j = 0; j < sc.jobs; ++j) {
+      const JobShape s = job_shape(u, j);
+      total += s.nprocs * s.est_s;
+    }
+  }
+  return total;
+}
+
+/// Everything the determinism gate compares (queue-wait quantiles live in
+/// the process-global registry, which later runs keep appending to, so
+/// they are read once after the headline run and stay out of the digest).
+struct RunResult {
+  double makespan_s = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t admission_shed = 0;
+  std::uint64_t runner_shed = 0;
+  std::uint64_t requeued = 0;
+  std::uint64_t backfilled = 0;
+  std::uint64_t dispatch_batches = 0;
+  std::uint64_t dup_completions = 0;
+  std::uint64_t batches_resent = 0;
+  std::uint64_t journal_replays = 0;
+  std::uint64_t mds_refreshes = 0;
+  std::int64_t top_share_bp = 0;
+  std::uint64_t busy_rounds = 0;   ///< driver-side Busy backoff sleeps
+  std::uint64_t conn_retries = 0;  ///< driver reconnects after a reset
+  double submit_window_s = 0;      ///< first submit -> last batch accepted
+
+  bool digest_equals(const RunResult& o) const {
+    return makespan_s == o.makespan_s && accepted == o.accepted &&
+           completed == o.completed && failed == o.failed &&
+           admission_shed == o.admission_shed &&
+           runner_shed == o.runner_shed && requeued == o.requeued &&
+           backfilled == o.backfilled &&
+           dispatch_batches == o.dispatch_batches &&
+           dup_completions == o.dup_completions &&
+           batches_resent == o.batches_resent &&
+           journal_replays == o.journal_replays &&
+           top_share_bp == o.top_share_bp && busy_rounds == o.busy_rounds &&
+           conn_retries == o.conn_retries &&
+           submit_window_s == o.submit_window_s;
+  }
+};
+
+RunResult run_scale(const Scale& sc, bool faults, double est_makespan_s) {
+  core::SchedTestbedOptions opts;
+  opts.sites = sc.sites;
+  opts.hosts_per_site = kHostsPerSite;
+  opts.cpus_per_host = kCpusPerHost;
+  opts.fault_seed = kSeed;
+  // total_jobs/10 keeps the global cap binding at every scale; the
+  // snapshot cadence scales with the job count so compaction cost stays
+  // proportional (each snapshot encodes the whole pending queue).
+  opts.sched.max_pending_total = std::max<std::size_t>(
+      2000, static_cast<std::size_t>(sc.total_jobs()) / 10);
+  opts.sched.snapshot_every = std::max<std::size_t>(
+      2048, static_cast<std::size_t>(sc.total_jobs()) / 5);
+  // Jobs stranded by a runner-host crash are requeued by the deadline
+  // sweep; the default 30s grace would dominate small-scale makespans.
+  opts.sched.dispatch_grace_s = 10;
+
+  core::SchedTestbed tb = core::make_sched_scale_testbed(opts);
+  sim::Engine& engine = *tb.engine;
+  sim::Network& net = *tb.net;
+
+  if (faults) {
+    // Three leaf runners go down back to back around 30% of the estimated
+    // makespan (their running jobs are lost and must requeue); the
+    // scheduler host itself dies at 55% and replays its journal. All
+    // hosts return 2s later, the paper benches' restart latency.
+    for (int s = 1; s <= 3; ++s) {
+      const double t = est_makespan_s * (0.25 + 0.05 * s);
+      tb.fault->plan_host_crash(core::SchedTestbed::runner_host(s),
+                                sim::from_sec(t));
+      tb.fault->plan_host_restart(core::SchedTestbed::runner_host(s),
+                                  sim::from_sec(t + 2.0));
+    }
+    const double t_sched = est_makespan_s * 0.55;
+    tb.fault->plan_host_crash("hub-sched", sim::from_sec(t_sched));
+    tb.fault->plan_host_restart("hub-sched", sim::from_sec(t_sched + 2.0));
+  }
+
+  RunResult out;
+  const Contact target = tb.scheduler->contact();
+  for (int d = 0; d < kDrivers; ++d) {
+    engine.spawn("driver" + std::to_string(d), [&, d](sim::Process& self) {
+      // One persistent connection per driver (like the runners): every
+      // server-side handler is an engine process, so per-round dials
+      // would spawn tens of thousands of them at full scale. Re-dial
+      // only when the fault injector resets the connection.
+      sim::SocketPtr conn;
+      for (int u = d; u < sc.users; u += kDrivers) {
+        const std::string tenant = "user" + std::to_string(u);
+        std::vector<rmf::SchedJob> batch;
+        for (int j = 0; j < sc.jobs; ++j) {
+          const JobShape s = job_shape(u, j);
+          batch.push_back(rmf::SchedJob{static_cast<std::uint64_t>(j + 1),
+                                        "task", s.nprocs, s.est_s});
+        }
+        while (!batch.empty()) {
+          if (conn == nullptr) {
+            auto dial = net.host(tb.driver_host).stack().connect(self, target);
+            if (!dial.ok()) {  // scheduler host down: try again shortly
+              ++out.conn_retries;
+              self.sleep(1.0);
+              continue;
+            }
+            conn = *dial;
+          }
+          if (!conn->send(rmf::SchedSubmit{tenant, batch}.encode()).ok()) {
+            conn = nullptr;
+            ++out.conn_retries;
+            self.sleep(1.0);
+            continue;
+          }
+          auto frame = conn->recv(self);
+          if (!frame.ok()) {  // reset mid-reply (crash landed on us)
+            conn = nullptr;
+            ++out.conn_retries;
+            self.sleep(1.0);
+            continue;
+          }
+          auto reply = rmf::SchedSubmitReply::decode(*frame);
+          WACS_CHECK_MSG(reply.ok(), "bad submit reply frame");
+          WACS_CHECK_MSG(reply->verdicts.size() == batch.size(),
+                         "verdict count mismatch");
+          std::vector<rmf::SchedJob> busy;
+          std::uint32_t backoff_ms = 0;
+          for (std::size_t i = 0; i < reply->verdicts.size(); ++i) {
+            const rmf::SchedVerdict& v = reply->verdicts[i];
+            if (v.code == rmf::SchedVerdict::Code::kBusy) {
+              busy.push_back(batch[i]);
+              backoff_ms = std::max(backoff_ms, v.retry_after_ms);
+            } else {
+              WACS_CHECK_MSG(v.code == rmf::SchedVerdict::Code::kAccepted,
+                             "unexpected error verdict: " + v.error);
+            }
+          }
+          batch = std::move(busy);
+          if (!batch.empty()) {
+            ++out.busy_rounds;
+            WACS_CHECK_MSG(backoff_ms > 0, "Busy verdict without a hint");
+            self.sleep(backoff_ms / 1000.0);
+          }
+        }
+        out.submit_window_s =
+            std::max(out.submit_window_s, sim::to_sec(engine.now()));
+      }
+    });
+  }
+
+  engine.run();
+
+  // Makespan = last job reaching a final state; engine.now() would also
+  // count the idle tail of daemon TTL timers draining.
+  out.makespan_s = sim::to_sec(tb.scheduler->last_done());
+  const sched::Scheduler& s = *tb.scheduler;
+  out.accepted = s.jobs_accepted();
+  out.completed = s.jobs_completed();
+  out.failed = s.jobs_failed();
+  out.admission_shed = s.jobs_shed();
+  out.requeued = s.jobs_requeued();
+  out.backfilled = s.jobs_backfilled();
+  out.dispatch_batches = s.dispatch_batches();
+  out.dup_completions = s.dup_completions();
+  out.journal_replays = s.journal_replays();
+  out.mds_refreshes = s.mds_refreshes();
+  out.top_share_bp = s.top_share_bp();
+  for (const auto& r : tb.runners) {
+    out.runner_shed += r->jobs_shed();
+    out.batches_resent += r->batches_resent();
+  }
+
+  // Quiesce + conservation: every admitted job was completed or failed,
+  // exactly once, and nothing is still queued or in flight.
+  WACS_CHECK_MSG(s.pending_jobs() == 0 && s.inflight_jobs() == 0,
+                 "run ended with work still queued");
+  WACS_CHECK_MSG(out.completed + out.failed == out.accepted,
+                 "admitted jobs leaked");
+  WACS_CHECK_MSG(out.completed >= static_cast<std::uint64_t>(sc.total_jobs()),
+                 "some submitted jobs never completed");
+  return out;
+}
+
+}  // namespace
+}  // namespace wacs
+
+int main() {
+  using namespace wacs;
+  Scale sc;
+  sc.users = env_int("WACS_SCHED_USERS", sc.users, 1, 1000000);
+  sc.jobs = env_int("WACS_SCHED_JOBS", sc.jobs, 1, 10000);
+  sc.sites = env_int("WACS_SCHED_SITES", sc.sites, 4, 500);
+
+  bench::print_header(
+      "Multi-tenant scheduler at scale: fair-share + backfill under faults",
+      "multi-tenant extension of Tanaka et al., HPDC 2000 (DESIGN.md §17)");
+
+  const double cpu_seconds = total_cpu_seconds(sc);
+  const double est_makespan = cpu_seconds / sc.capacity_cpus();
+  std::printf("%s users x %d jobs = %s jobs over %d sites (%s CPUs); "
+              "%.0f CPU-seconds of demand, ~%.0fs ideal makespan; seed %llu\n"
+              "(set WACS_SCHED_USERS / WACS_SCHED_JOBS / WACS_SCHED_SITES "
+              "to change scale)\n",
+              format_count(static_cast<std::uint64_t>(sc.users)).c_str(),
+              sc.jobs,
+              format_count(static_cast<std::uint64_t>(sc.total_jobs())).c_str(),
+              sc.sites,
+              format_count(static_cast<std::uint64_t>(sc.capacity_cpus()))
+                  .c_str(),
+              cpu_seconds, est_makespan,
+              static_cast<unsigned long long>(kSeed));
+
+  bench::maybe_enable_tracing();
+
+  // Headline run: full scale, crashes active (WACS_SCHED_FAULTS=0 for a
+  // fault-free comparison run when debugging).
+  const bool faults = env_int("WACS_SCHED_FAULTS", 1, 0, 1) == 1;
+  const RunResult main_run = run_scale(sc, faults, est_makespan);
+
+  // Queue-wait quantiles, read before the determinism runs append to the
+  // process-global histogram.
+  const auto wait = telemetry::metrics()
+                        .histogram("sched.queue_wait_ms")
+                        .snapshot();
+  const double p50_ms = wait.quantile(0.50);
+  const double p99_ms = wait.quantile(0.99);
+  // Fair-share makes the wait distribution bimodal by design: fresh
+  // tenants jump the backlog (p50 stays near the pass cadence) while the
+  // first-admitted tenants' tail jobs legitimately wait out most of the
+  // submission window. The pathology gates are therefore relative to the
+  // ideal makespan: starvation or a capacity leak would blow both.
+  const double p99_bound_ms = 1.5 * est_makespan * 1000.0 + 30000.0;
+
+  const double throughput = main_run.completed / main_run.makespan_s;
+  std::printf("\nmakespan %.1fs virtual (%.2fx ideal), %s dispatches/s; "
+              "p50/p99 queue wait %s / %s (bound %s)\n",
+              main_run.makespan_s, main_run.makespan_s / est_makespan,
+              format_count(static_cast<std::uint64_t>(throughput)).c_str(),
+              format_duration_ms(p50_ms).c_str(),
+              format_duration_ms(p99_ms).c_str(),
+              format_duration_ms(p99_bound_ms).c_str());
+  WACS_CHECK_MSG(p99_ms < p99_bound_ms, "p99 queue wait exceeded its bound");
+  WACS_CHECK_MSG(main_run.makespan_s < 2.0 * est_makespan + 30.0,
+                 "makespan blew past the capacity bound");
+
+  // Determinism: a reduced configuration, same seed, same crash schedule,
+  // twice — the counter digest (retries and replays included) must match.
+  Scale det;
+  det.users = std::min(sc.users, 400);
+  det.jobs = std::min(sc.jobs, 20);
+  det.sites = std::min(sc.sites, 10);
+  const double det_est = total_cpu_seconds(det) / det.capacity_cpus();
+  const RunResult det_a = run_scale(det, /*faults=*/true, det_est);
+  const RunResult det_b = run_scale(det, /*faults=*/true, det_est);
+  WACS_CHECK_MSG(det_a.digest_equals(det_b),
+                 "same-seed replay diverged: the scheduler is not "
+                 "deterministic under this fault schedule");
+  std::printf("determinism: reduced run (%d users x %d jobs, faults on) "
+              "replayed identically (makespan %.6fs, %llu requeues, "
+              "%llu replays)\n",
+              det.users, det.jobs, det_a.makespan_s,
+              static_cast<unsigned long long>(det_a.requeued),
+              static_cast<unsigned long long>(det_a.journal_replays));
+
+  TextTable table({"run", "jobs", "makespan", "dispatch/s", "shed (adm/run)",
+                   "busy rounds", "requeued", "backfilled", "replays",
+                   "dup compl"});
+  auto add = [&](const char* name, const Scale& s, const RunResult& r) {
+    table.add_row(
+        {name, format_count(static_cast<std::uint64_t>(s.total_jobs())),
+         format_duration_ms(r.makespan_s * 1e3),
+         format_count(static_cast<std::uint64_t>(r.completed / r.makespan_s)),
+         std::to_string(r.admission_shed) + "/" +
+             std::to_string(r.runner_shed),
+         std::to_string(r.busy_rounds), std::to_string(r.requeued),
+         std::to_string(r.backfilled), std::to_string(r.journal_replays),
+         std::to_string(r.dup_completions)});
+  };
+  add("full scale + faults", sc, main_run);
+  add("determinism pair", det, det_a);
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf("\nshape checks:\n");
+  std::printf("  completed + failed == accepted (%llu + %llu == %llu) — "
+              "every admitted job accounted exactly once\n",
+              static_cast<unsigned long long>(main_run.completed),
+              static_cast<unsigned long long>(main_run.failed),
+              static_cast<unsigned long long>(main_run.accepted));
+  std::printf("  %llu Busy rounds and %llu admission sheds — over-cap "
+              "submitters backed off instead of wedging the queue\n",
+              static_cast<unsigned long long>(main_run.busy_rounds),
+              static_cast<unsigned long long>(main_run.admission_shed));
+  std::printf("  %llu journal replays, %llu requeues, %llu duplicate "
+              "completions absorbed — crashes were survived losslessly\n",
+              static_cast<unsigned long long>(main_run.journal_replays),
+              static_cast<unsigned long long>(main_run.requeued),
+              static_cast<unsigned long long>(main_run.dup_completions));
+
+  bench::Report report("sched_scale");
+  report.set("seed", kSeed);
+  report.set("users", sc.users);
+  report.set("jobs_per_user", sc.jobs);
+  report.set("sites", sc.sites);
+  report.set("capacity_cpus", sc.capacity_cpus());
+  report.set("demand_cpu_seconds", cpu_seconds);
+  report.set("ideal_makespan_s", est_makespan);
+  report.set("makespan_s", main_run.makespan_s);
+  report.set("dispatch_throughput_per_s", throughput);
+  report.set("queue_wait_p50_ms", p50_ms);
+  report.set("queue_wait_p99_ms", p99_ms);
+  report.set("queue_wait_p99_bound_ms", p99_bound_ms);
+  auto row_of = [](const char* name, const Scale& s, const RunResult& r) {
+    json::Value row = json::Value::object();
+    row.set("run", name);
+    row.set("total_jobs", s.total_jobs());
+    row.set("makespan_s", r.makespan_s);
+    row.set("submit_window_s", r.submit_window_s);
+    row.set("accepted", r.accepted);
+    row.set("completed", r.completed);
+    row.set("failed", r.failed);
+    row.set("admission_shed", r.admission_shed);
+    row.set("runner_shed", r.runner_shed);
+    row.set("busy_rounds", r.busy_rounds);
+    row.set("conn_retries", r.conn_retries);
+    row.set("requeued", r.requeued);
+    row.set("backfilled", r.backfilled);
+    row.set("dispatch_batches", r.dispatch_batches);
+    row.set("dup_completions", r.dup_completions);
+    row.set("batches_resent", r.batches_resent);
+    row.set("journal_replays", r.journal_replays);
+    row.set("mds_refreshes", r.mds_refreshes);
+    row.set("top_share_bp", r.top_share_bp);
+    return row;
+  };
+  report.add_row(row_of("full scale + faults", sc, main_run));
+  report.add_row(row_of("determinism pair", det, det_a));
+  bench::finish_report(report, "sched_scale");
+  return 0;
+}

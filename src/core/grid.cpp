@@ -172,6 +172,15 @@ void GridSystem::enable_recovery(const RecoveryOptions& options) {
     f.on_host_restart(q_host, [qs = q.get()] { qs->restart(); }, 40);
   }
 
+  // Scheduler: journal replay between the allocator (whose state it
+  // proxies against) and the gatekeeper (whose traffic it carries).
+  if (scheduler_ != nullptr) {
+    const std::string s_host = scheduler_->contact().host;
+    f.register_host_process(s_host, scheduler_->serve_process());
+    f.on_host_restart(
+        s_host, [s = scheduler_.get()] { s->restart(); }, 25);
+  }
+
   // GASS caches restart *before* the control daemons that dial them during
   // their own recovery (a restarted Q server re-dispatching journaled parts
   // resolves gass:// inputs through its site cache).
@@ -265,6 +274,31 @@ void GridSystem::enable_observability(const std::string& collector_host,
       });
       agent->add_health("gatekeeper@" + gatekeeper_host_, [gk] {
         sim::Process* p = gk->serve_process();
+        return p != nullptr && !p->finished() && !p->killed()
+                   ? obs::Health::kUp
+                   : obs::Health::kDown;
+      });
+    }
+    if (scheduler_ != nullptr &&
+        net_.host(scheduler_->contact().host).site() == site_name) {
+      sched::Scheduler* s = scheduler_.get();
+      agent->add_probe("sched.pending", [s] {
+        return static_cast<std::int64_t>(s->pending_jobs());
+      });
+      agent->add_probe("sched.inflight", [s] {
+        return static_cast<std::int64_t>(s->inflight_jobs());
+      });
+      agent->add_probe("sched.dispatched", [s] {
+        return static_cast<std::int64_t>(s->jobs_accepted() -
+                                         s->pending_jobs() -
+                                         s->inflight_jobs());
+      });
+      agent->add_probe("sched.completed", [s] {
+        return static_cast<std::int64_t>(s->jobs_completed());
+      });
+      agent->add_probe("sched.top_share_bp", [s] { return s->top_share_bp(); });
+      agent->add_health("scheduler@" + scheduler_->contact().host, [s] {
+        sim::Process* p = s->serve_process();
         return p != nullptr && !p->finished() && !p->killed()
                    ? obs::Health::kUp
                    : obs::Health::kDown;
@@ -456,6 +490,39 @@ void GridSystem::add_mds(const std::string& host) {
       mds::MdsClient client(net_.host(gatekeeper_host_), mds_contact);
       (void)client.publish(self, std::move(entry), 24 * 3600.0);
     });
+  }
+}
+
+void GridSystem::add_scheduler(const std::string& host) {
+  WACS_CHECK_MSG(scheduler_ == nullptr, "scheduler already added");
+  WACS_CHECK_MSG(allocator_ != nullptr && gatekeeper_ != nullptr,
+                 "add_scheduler needs the allocator and gatekeeper up");
+  WACS_CHECK_MSG(mds_ != nullptr, "add_scheduler needs the MDS directory");
+  sim::Host& s_host = net_.host(host);
+  WACS_CHECK_MSG(s_host.zone() == sim::Zone::kDmz,
+                 "the scheduler runs outside the firewall (runners dial out)");
+
+  sched::Scheduler::Options options;
+  options.port = ports_.sched;
+  options.mds = mds_->contact();
+  options.allocator = allocator_->contact();
+  scheduler_ = std::make_unique<sched::Scheduler>(s_host, options);
+  scheduler_->start();
+
+  // The scheduler dials the allocator on the gatekeeper's behalf; the hole
+  // mirrors the paper's Q client → allocator rule.
+  sim::Host& alloc_host = net_.host(allocator_->contact().host);
+  net_.site(alloc_host.site())
+      .firewall()
+      .add_rule(allow_inbound_from_host(host, ports_.allocator,
+                                        "scheduler -> allocator"));
+  gatekeeper_->set_allocator(scheduler_->contact());
+
+  if (recovery_enabled_) {
+    sim::FaultInjector& f = faults();
+    f.register_host_process(host, scheduler_->serve_process());
+    f.on_host_restart(
+        host, [s = scheduler_.get()] { s->restart(); }, 25);
   }
 }
 

@@ -20,6 +20,7 @@
 #include "rmf/allocator.hpp"
 #include "rmf/gatekeeper.hpp"
 #include "rmf/qserver.hpp"
+#include "sched/scheduler.hpp"
 #include "simnet/fault.hpp"
 #include "simnet/tcp.hpp"
 
@@ -33,6 +34,7 @@ struct Ports {
   std::uint16_t qserver = 7100;
   std::uint16_t gass = 7200;
   std::uint16_t obs = 7300;
+  std::uint16_t sched = 2180;
   std::uint16_t outer = 9911;
   std::uint16_t nxport = 9900;
 };
@@ -101,6 +103,16 @@ class GridSystem {
   /// no firewall hole is needed) and publishes one entry per Q-server
   /// resource added so far — call after the Q servers.
   void add_mds(const std::string& host);
+
+  /// Interposes the multi-tenant scheduler (DESIGN.md §17) between the
+  /// gatekeeper and the allocator on a DMZ host: allocation traffic is
+  /// repointed through the scheduler, which pins MDS-matched placements
+  /// and charges per-tenant fair-share for each grant's lifetime. Requires
+  /// the allocator, gatekeeper, and MDS; one firewall hole (scheduler host
+  /// → allocator port) mirrors the existing Q-client precedent. If
+  /// recovery is already enabled the scheduler gets its restart hook here;
+  /// otherwise enable_recovery picks it up.
+  void add_scheduler(const std::string& host);
 
   // ---- fault injection ---------------------------------------------------
   /// Creates (on first call) and returns the grid's fault injector, seeded
@@ -206,6 +218,7 @@ class GridSystem {
     return gatekeeper_ ? gatekeeper_.get() : nullptr;
   }
   mds::DirectoryServer* mds_server() { return mds_ ? mds_.get() : nullptr; }
+  sched::Scheduler* scheduler() { return scheduler_ ? scheduler_.get() : nullptr; }
   /// GASS server of `site`, or nullptr.
   gass::GassServer* gass_server_for(const std::string& site);
   const std::vector<std::unique_ptr<rmf::QServer>>& qservers() const {
@@ -229,6 +242,7 @@ class GridSystem {
   std::unique_ptr<rmf::ResourceAllocator> allocator_;
   std::unique_ptr<rmf::Gatekeeper> gatekeeper_;
   std::unique_ptr<mds::DirectoryServer> mds_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
   std::vector<std::unique_ptr<rmf::QServer>> qservers_;
   std::vector<std::pair<std::string, std::unique_ptr<gass::GassServer>>>
       gass_servers_;  ///< site → server

@@ -165,4 +165,80 @@ std::vector<rmf::Placement> placement_wide_area(const Testbed& tb) {
   return out;
 }
 
+SchedTestbed make_sched_scale_testbed(const SchedTestbedOptions& options) {
+  SchedTestbed tb;
+  tb.engine = std::make_unique<sim::Engine>();
+  tb.net = std::make_unique<sim::Network>(*tb.engine);
+  sim::Network& net = *tb.net;
+
+  // Hub: deny-based firewall like every other site; the scheduler, the
+  // MDS, and the bench driver live in its DMZ (the paper's outer-server
+  // placement), so no inbound holes are punched anywhere.
+  net.add_site("hub", fw::Policy::typical(), lan_params("hub"));
+  net.add_host({.name = "hub-sched", .site = "hub", .zone = sim::Zone::kDmz,
+                .cpus = 2});
+  net.add_host({.name = "hub-mds", .site = "hub", .zone = sim::Zone::kDmz,
+                .cpus = 2});
+  net.add_host({.name = "hub-driver", .site = "hub", .zone = sim::Zone::kDmz,
+                .cpus = 2});
+  tb.driver_host = "hub-driver";
+
+  for (int s = 0; s < options.sites; ++s) {
+    const std::string site = "site" + std::to_string(s);
+    net.add_site(site, fw::Policy::typical(), lan_params(site));
+    for (int h = 0; h < options.hosts_per_site; ++h) {
+      net.add_host({.name = site + "-h" + std::to_string(h), .site = site,
+                    .cpus = options.cpus_per_host});
+    }
+    net.connect_sites("hub", site,
+                      sim::LinkParams{.name = "wan-" + site,
+                                      .latency_s = calib::kWanLatencyS,
+                                      .bandwidth_bps = calib::kWanBandwidthBps,
+                                      .duplex = true});
+  }
+
+  // Faults attach before any daemon starts so every daemon process is
+  // registered for crash kills.
+  if (options.fault_seed != 0) {
+    tb.fault = std::make_unique<sim::FaultInjector>(net, options.fault_seed);
+  }
+
+  tb.mds = std::make_unique<mds::DirectoryServer>(net.host("hub-mds"), 2135);
+  tb.mds->start();
+
+  sched::Scheduler::Options sopts = options.sched;
+  sopts.mds = tb.mds->contact();
+  tb.scheduler =
+      std::make_unique<sched::Scheduler>(net.host("hub-sched"), sopts);
+  tb.scheduler->start();
+
+  for (int s = 0; s < options.sites; ++s) {
+    const std::string site = "site" + std::to_string(s);
+    sched::SiteRunner::Options ro;
+    ro.site = site;
+    ro.scheduler = tb.scheduler->contact();
+    ro.mds = tb.mds->contact();
+    for (int h = 0; h < options.hosts_per_site; ++h) {
+      ro.hosts.push_back({site + "-h" + std::to_string(h),
+                          options.cpus_per_host, 1.0});
+    }
+    tb.runners.push_back(std::make_unique<sched::SiteRunner>(
+        net.host(SchedTestbed::runner_host(s)), std::move(ro)));
+    tb.runners.back()->start();
+  }
+
+  if (tb.fault != nullptr) {
+    // Same layering as GridSystem::enable_recovery: the scheduler (25)
+    // restarts after the directory-ish layers would, runners at default 0.
+    tb.fault->on_host_restart(
+        "hub-sched", [sp = tb.scheduler.get()] { sp->restart(); }, 25);
+    for (std::size_t s = 0; s < tb.runners.size(); ++s) {
+      tb.fault->on_host_restart(
+          SchedTestbed::runner_host(static_cast<int>(s)),
+          [rp = tb.runners[s].get()] { rp->restart(); });
+    }
+  }
+  return tb;
+}
+
 }  // namespace wacs::core

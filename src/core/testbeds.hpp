@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "core/grid.hpp"
+#include "sched/runner.hpp"
+#include "simnet/fault.hpp"
 
 namespace wacs::core {
 
@@ -74,5 +76,53 @@ std::vector<rmf::Placement> placement_compas(const Testbed& tb);      // 8
 std::vector<rmf::Placement> placement_etl_o2k();                      // 8
 std::vector<rmf::Placement> placement_local_area(const Testbed& tb);  // 12
 std::vector<rmf::Placement> placement_wide_area(const Testbed& tb);   // 20
+
+// ---------------------------------------------------------------- sched
+
+struct SchedTestbedOptions {
+  int sites = 50;
+  int hosts_per_site = 4;
+  int cpus_per_host = 8;
+  /// Seeds a FaultInjector (attached before the daemons start, so their
+  /// processes are crash-killable and restart hooks are wired). 0 = none.
+  std::uint64_t fault_seed = 0;
+  sched::Scheduler::Options sched;  ///< mds/allocator contacts are filled in
+};
+
+/// The multi-tenant scheduling testbed (DESIGN.md §17): a DMZ hub with the
+/// scheduler and the MDS on separate hosts, and N leaf sites behind
+/// deny-all-inbound firewalls, each running a SiteRunner over
+/// `hosts_per_site` hosts of `cpus_per_host` CPUs. Leaf sites keep ZERO
+/// inbound holes — runners dial out, the paper's constraint at 50-site
+/// scale. Every WAN link uses the calibrated IMnet parameters.
+///
+/// Submit jobs by connecting to `scheduler->contact()` from `driver_host`
+/// (a DMZ host on the hub reserved for bench clients).
+struct SchedTestbed {
+  std::unique_ptr<sim::Engine> engine;
+  std::unique_ptr<sim::Network> net;
+  std::unique_ptr<sim::FaultInjector> fault;  ///< null unless fault_seed set
+  std::unique_ptr<mds::DirectoryServer> mds;
+  std::unique_ptr<sched::Scheduler> scheduler;
+  std::vector<std::unique_ptr<sched::SiteRunner>> runners;
+  std::string driver_host;
+
+  SchedTestbed() = default;
+  SchedTestbed(SchedTestbed&&) = default;
+  SchedTestbed& operator=(SchedTestbed&&) = default;
+  /// Parked daemon processes unwind at engine shutdown and their unwind
+  /// touches the daemon objects (the respawn flags): shut the engine down
+  /// before the members above are destroyed, not after.
+  ~SchedTestbed() {
+    if (engine != nullptr) engine->shutdown();
+  }
+
+  /// "site<i>-h0" — the runner daemon's host at leaf `i` (crash target).
+  static std::string runner_host(int site) {
+    return "site" + std::to_string(site) + "-h0";
+  }
+};
+
+SchedTestbed make_sched_scale_testbed(const SchedTestbedOptions& options = {});
 
 }  // namespace wacs::core

@@ -250,9 +250,12 @@ std::string TimelineState::render_top(std::int64_t now_ns, int width) const {
     }
     for (const auto& [sname, ring] : site.series) {
       // Utilization-flavored series only; raw counters would double the
-      // block height without adding signal a top-style view needs.
+      // block height without adding signal a top-style view needs. The
+      // scheduler's series (pending depth, per-tenant share, dispatch
+      // rate) all carry load signal, so the whole prefix passes.
       if (!contains(sname, "queue_depth") && !contains(sname, "busy_cpus") &&
-          !contains(sname, "ranks") && !contains(sname, "bytes")) {
+          !contains(sname, "ranks") && !contains(sname, "bytes") &&
+          !contains(sname, "sched.")) {
         continue;
       }
       // Sparkline over the last spark_w points, scaled to the window max.

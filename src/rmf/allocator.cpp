@@ -97,6 +97,42 @@ std::vector<Placement> ResourceAllocator::select(
   return out;
 }
 
+std::vector<Placement> ResourceAllocator::take_preferred(
+    int nprocs, const std::vector<std::string>& exclude,
+    const std::vector<Placement>& preferred) {
+  if (preferred.empty()) return {};
+  // All-or-nothing: the pinned set must cover nprocs and every pinned host
+  // must have the free capacity, or the caller falls back to policy
+  // selection. Partial honoring would silently change the placement the
+  // scheduler matched against its index.
+  int covered = 0;
+  for (const Placement& p : preferred) {
+    if (p.count <= 0) return {};
+    if (std::find(exclude.begin(), exclude.end(), p.host) != exclude.end()) {
+      return {};
+    }
+    const auto it =
+        std::find_if(resources_.begin(), resources_.end(),
+                     [&p](const ResourceInfo& r) { return r.host == p.host; });
+    if (it == resources_.end() || it->cpus - it->allocated < p.count) {
+      return {};
+    }
+    covered += p.count;
+  }
+  if (covered != nprocs) return {};
+  std::vector<Placement> out;
+  for (const Placement& p : preferred) {
+    for (ResourceInfo& r : resources_) {
+      if (r.host == p.host) {
+        r.allocated += p.count;
+        break;
+      }
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
 void ResourceAllocator::release(const std::vector<Placement>& placements) {
   for (const Placement& p : placements) {
     for (ResourceInfo& r : resources_) {
@@ -111,12 +147,14 @@ void ResourceAllocator::release(const std::vector<Placement>& placements) {
 // ----------------------------------------------------------------- grants
 
 ResourceAllocator::Grant ResourceAllocator::grant(
-    int nprocs, const std::vector<std::string>& exclude) {
+    int nprocs, const std::vector<std::string>& exclude,
+    const std::vector<Placement>& preferred) {
   sweep_leases();
   std::vector<std::string> effective = exclude;
   for (const std::string& host : expired_) effective.push_back(host);
   Grant g;
-  g.placements = select(nprocs, effective);
+  g.placements = take_preferred(nprocs, effective, preferred);
+  if (g.placements.empty()) g.placements = select(nprocs, effective);
   if (g.placements.empty()) return g;
   g.id = next_grant_id_++;
   live_grants_[g.id] = g.placements;
@@ -319,7 +357,7 @@ void ResourceAllocator::handle(sim::Process& self, sim::SocketPtr conn) {
     return;
   }
   ++requests_served_;
-  Grant g = grant(req->nprocs, req->exclude);
+  Grant g = grant(req->nprocs, req->exclude, req->preferred);
   AllocReply reply;
   if (g.placements.empty()) {
     reply.ok = false;

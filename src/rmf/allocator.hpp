@@ -67,8 +67,12 @@ class ResourceAllocator {
   // ------------------------------------------------ grants (journaled path)
 
   /// select() plus a journaled grant id; expired-lease hosts are skipped on
-  /// top of the caller's exclude list.
-  Grant grant(int nprocs, const std::vector<std::string>& exclude = {});
+  /// top of the caller's exclude list. When `preferred` is non-empty the
+  /// allocator honors it all-or-nothing (scheduler-pinned placements from an
+  /// MDS match); if the pinned hosts lack capacity it falls back to policy
+  /// selection.
+  Grant grant(int nprocs, const std::vector<std::string>& exclude = {},
+              const std::vector<Placement>& preferred = {});
 
   /// Releases a grant by id. Idempotent: false (and no capacity change) for
   /// an unknown or already-released id.
@@ -105,6 +109,9 @@ class ResourceAllocator {
  private:
   void serve(sim::Process& self);
   void handle(sim::Process& self, sim::SocketPtr conn);
+  std::vector<Placement> take_preferred(
+      int nprocs, const std::vector<std::string>& exclude,
+      const std::vector<Placement>& preferred);
   void spawn_serve();
   void journal_grant(const Grant& g);
   void journal_release(std::uint64_t id);

@@ -289,7 +289,7 @@ void Gatekeeper::job_manager(sim::Process& self, std::shared_ptr<JobRec> rec,
     if (!alloc_conn.ok()) {
       return fail("allocator unreachable: " + alloc_conn.error().to_string());
     }
-    if (!(*alloc_conn)->send(AllocRequest{spec.nprocs, {}}.encode()).ok()) {
+    if (!(*alloc_conn)->send(AllocRequest{spec.nprocs, {}, {}, {}}.encode()).ok()) {
       return fail("allocator send failed");
     }
     auto reply_frame = (*alloc_conn)->recv(self);

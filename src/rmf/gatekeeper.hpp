@@ -79,6 +79,10 @@ class Gatekeeper {
   /// Post-construction tuning (GridSystem::enable_recovery, tests).
   Options& mutable_options() { return options_; }
 
+  /// Repoint allocation traffic (GridSystem::add_scheduler interposes the
+  /// multi-tenant scheduler between job managers and the allocator).
+  void set_allocator(Contact c) { allocator_ = std::move(c); }
+
   Contact contact() const { return Contact{host_->name(), options_.port}; }
   std::uint64_t jobs_accepted() const { return jobs_accepted_; }
   std::uint64_t auth_failures() const { return auth_failures_; }

@@ -1,5 +1,7 @@
 #include "rmf/protocol.hpp"
 
+#include <algorithm>
+
 namespace wacs::rmf {
 namespace {
 
@@ -103,7 +105,7 @@ Result<std::vector<Placement>> get_placements(BufReader& r) {
 Result<MsgType> peek_type(const Bytes& frame) {
   if (frame.empty()) return bad_frame("empty frame");
   const std::uint8_t tag = frame[0];
-  if (tag < 1 || tag > 15) return bad_frame("unknown type tag");
+  if (tag < 1 || tag > 22) return bad_frame("unknown type tag");
   return static_cast<MsgType>(tag);
 }
 
@@ -212,6 +214,13 @@ Bytes AllocRequest::encode() const {
   w.i32(nprocs);
   w.u32(static_cast<std::uint32_t>(exclude.size()));
   for (const std::string& host : exclude) w.str(host);
+  // Optional scheduler tail: omitted entirely when unused, so the frame
+  // stays byte-identical to the pre-scheduler format (legacy decoders and
+  // recorded baselines never see the new fields).
+  if (!tenant.empty() || !preferred.empty()) {
+    w.str(tenant);
+    put_placements(w, preferred);
+  }
   return std::move(w).take();
 }
 
@@ -230,6 +239,13 @@ Result<AllocRequest> AllocRequest::decode(const Bytes& frame) {
     if (!host) return host.error();
     out.exclude.push_back(std::move(*host));
   }
+  if (r.at_end()) return out;  // legacy frame: no scheduler tail
+  auto tenant = r.str();
+  if (!tenant) return tenant.error();
+  out.tenant = std::move(*tenant);
+  auto preferred = get_placements(r);
+  if (!preferred) return preferred.error();
+  out.preferred = std::move(*preferred);
   return out;
 }
 
@@ -512,6 +528,247 @@ Result<RankDoneAck> RankDoneAck::decode(const Bytes& frame) {
   auto rank = r.i32();
   if (!rank) return rank.error();
   return RankDoneAck{*rank};
+}
+
+// ---- multi-tenant scheduler frames ---------------------------------------
+
+Bytes SchedHello::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kSchedHello);
+  w.str(site);
+  put_contact(w, runner);
+  return std::move(w).take();
+}
+
+Result<SchedHello> SchedHello::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kSchedHello); !t) return t.error();
+  SchedHello out;
+  auto site = r.str();
+  if (!site) return site.error();
+  out.site = std::move(*site);
+  auto runner = get_contact(r);
+  if (!runner) return runner.error();
+  out.runner = std::move(*runner);
+  return out;
+}
+
+Bytes SchedSubmit::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kSchedSubmit);
+  w.str(tenant);
+  w.u32(static_cast<std::uint32_t>(jobs.size()));
+  for (const SchedJob& j : jobs) {
+    w.u64(j.client_seq);
+    w.str(j.task);
+    w.i32(j.nprocs);
+    w.f64(j.est_runtime_s);
+  }
+  return std::move(w).take();
+}
+
+Result<SchedSubmit> SchedSubmit::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kSchedSubmit); !t) return t.error();
+  SchedSubmit out;
+  auto tenant = r.str();
+  if (!tenant) return tenant.error();
+  out.tenant = std::move(*tenant);
+  auto n = r.u32();
+  if (!n) return n.error();
+  // Bound reserve by remaining bytes: a hostile count must not allocate.
+  out.jobs.reserve(std::min<std::size_t>(*n, r.remaining() / 8));
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    SchedJob j;
+    auto seq = r.u64();
+    if (!seq) return seq.error();
+    j.client_seq = *seq;
+    auto task = r.str();
+    if (!task) return task.error();
+    j.task = std::move(*task);
+    auto nprocs = r.i32();
+    if (!nprocs) return nprocs.error();
+    j.nprocs = *nprocs;
+    auto est = r.f64();
+    if (!est) return est.error();
+    j.est_runtime_s = *est;
+    out.jobs.push_back(std::move(j));
+  }
+  return out;
+}
+
+Bytes SchedSubmitReply::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kSchedSubmitReply);
+  w.u32(static_cast<std::uint32_t>(verdicts.size()));
+  for (const SchedVerdict& v : verdicts) {
+    w.u64(v.client_seq);
+    w.u8(static_cast<std::uint8_t>(v.code));
+    w.u64(v.sched_id);
+    w.u32(v.retry_after_ms);
+    w.str(v.error);
+  }
+  return std::move(w).take();
+}
+
+Result<SchedSubmitReply> SchedSubmitReply::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kSchedSubmitReply); !t) {
+    return t.error();
+  }
+  auto n = r.u32();
+  if (!n) return n.error();
+  SchedSubmitReply out;
+  out.verdicts.reserve(std::min<std::size_t>(*n, r.remaining() / 8));
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    SchedVerdict v;
+    auto seq = r.u64();
+    if (!seq) return seq.error();
+    v.client_seq = *seq;
+    auto code = r.u8();
+    if (!code) return code.error();
+    if (*code < 1 || *code > 3) return bad_frame("bad verdict code");
+    v.code = static_cast<SchedVerdict::Code>(*code);
+    auto id = r.u64();
+    if (!id) return id.error();
+    v.sched_id = *id;
+    auto retry = r.u32();
+    if (!retry) return retry.error();
+    v.retry_after_ms = *retry;
+    auto error = r.str();
+    if (!error) return error.error();
+    v.error = std::move(*error);
+    out.verdicts.push_back(std::move(v));
+  }
+  return out;
+}
+
+Bytes SchedDispatch::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kSchedDispatch);
+  w.u32(static_cast<std::uint32_t>(items.size()));
+  for (const Item& it : items) {
+    w.u64(it.sched_id);
+    w.str(it.tenant);
+    w.str(it.task);
+    w.i32(it.nprocs);
+    w.f64(it.est_runtime_s);
+  }
+  return std::move(w).take();
+}
+
+Result<SchedDispatch> SchedDispatch::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kSchedDispatch); !t) return t.error();
+  auto n = r.u32();
+  if (!n) return n.error();
+  SchedDispatch out;
+  out.items.reserve(std::min<std::size_t>(*n, r.remaining() / 8));
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    Item it;
+    auto id = r.u64();
+    if (!id) return id.error();
+    it.sched_id = *id;
+    auto tenant = r.str();
+    if (!tenant) return tenant.error();
+    it.tenant = std::move(*tenant);
+    auto task = r.str();
+    if (!task) return task.error();
+    it.task = std::move(*task);
+    auto nprocs = r.i32();
+    if (!nprocs) return nprocs.error();
+    it.nprocs = *nprocs;
+    auto est = r.f64();
+    if (!est) return est.error();
+    it.est_runtime_s = *est;
+    out.items.push_back(std::move(it));
+  }
+  return out;
+}
+
+Bytes SchedDispatchReply::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kSchedDispatchReply);
+  w.u32(retry_after_ms);
+  w.u32(static_cast<std::uint32_t>(rejected.size()));
+  for (std::uint64_t id : rejected) w.u64(id);
+  return std::move(w).take();
+}
+
+Result<SchedDispatchReply> SchedDispatchReply::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kSchedDispatchReply); !t) {
+    return t.error();
+  }
+  SchedDispatchReply out;
+  auto retry = r.u32();
+  if (!retry) return retry.error();
+  out.retry_after_ms = *retry;
+  auto n = r.u32();
+  if (!n) return n.error();
+  out.rejected.reserve(std::min<std::size_t>(*n, r.remaining() / 8));
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto id = r.u64();
+    if (!id) return id.error();
+    out.rejected.push_back(*id);
+  }
+  return out;
+}
+
+Bytes SchedComplete::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kSchedComplete);
+  w.u64(batch_seq);
+  w.u32(static_cast<std::uint32_t>(items.size()));
+  for (const Item& it : items) {
+    w.u64(it.sched_id);
+    w.boolean(it.ok);
+    w.f64(it.cpu_seconds);
+  }
+  return std::move(w).take();
+}
+
+Result<SchedComplete> SchedComplete::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kSchedComplete); !t) return t.error();
+  SchedComplete out;
+  auto seq = r.u64();
+  if (!seq) return seq.error();
+  out.batch_seq = *seq;
+  auto n = r.u32();
+  if (!n) return n.error();
+  out.items.reserve(std::min<std::size_t>(*n, r.remaining() / 8));
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    Item it;
+    auto id = r.u64();
+    if (!id) return id.error();
+    it.sched_id = *id;
+    auto ok = r.boolean();
+    if (!ok) return ok.error();
+    it.ok = *ok;
+    auto cpu = r.f64();
+    if (!cpu) return cpu.error();
+    it.cpu_seconds = *cpu;
+    out.items.push_back(it);
+  }
+  return out;
+}
+
+Bytes SchedCompleteAck::encode() const {
+  BufWriter w;
+  put_tag(w, MsgType::kSchedCompleteAck);
+  w.u64(batch_seq);
+  return std::move(w).take();
+}
+
+Result<SchedCompleteAck> SchedCompleteAck::decode(const Bytes& frame) {
+  BufReader r(frame);
+  if (auto t = expect_type(r, MsgType::kSchedCompleteAck); !t) {
+    return t.error();
+  }
+  auto seq = r.u64();
+  if (!seq) return seq.error();
+  return SchedCompleteAck{*seq};
 }
 
 }  // namespace wacs::rmf

@@ -28,6 +28,17 @@ enum class MsgType : std::uint8_t {
   kQCancel = 13,
   kJobQuery = 14,
   kRankDoneAck = 15,
+  // Multi-tenant scheduler frames (DESIGN.md §17). Batched on purpose: at
+  // 10k tenants × 100 jobs a frame per job would dominate the control
+  // plane, so submissions, dispatches, and completions all travel as
+  // batches over persistent connections.
+  kSchedHello = 16,
+  kSchedSubmit = 17,
+  kSchedSubmitReply = 18,
+  kSchedDispatch = 19,
+  kSchedDispatchReply = 20,
+  kSchedComplete = 21,
+  kSchedCompleteAck = 22,
 };
 
 Result<MsgType> peek_type(const Bytes& frame);
@@ -59,9 +70,18 @@ struct JobDone {
 /// (3) the Q client inquires of the resource allocator. `exclude` lists
 /// hosts the job manager believes dead (failed submissions, vanished
 /// ranks) so a replacement allocation never lands on them again.
+///
+/// `tenant` and `preferred` are an optional trailing pair (same wire-compat
+/// pattern as proxy::BindReply::lease_ms): when both are empty the frame is
+/// byte-identical to the pre-scheduler format, so legacy peers and recorded
+/// baselines are unchanged. The scheduler sets them when it proxies a grant
+/// — `preferred` pins the MDS-matched hosts, `tenant` attributes the
+/// allocation for fair-share accounting.
 struct AllocRequest {
   int nprocs = 0;
   std::vector<std::string> exclude;
+  std::string tenant;
+  std::vector<Placement> preferred;
   Bytes encode() const;
   static Result<AllocRequest> decode(const Bytes& frame);
 };
@@ -184,6 +204,105 @@ struct RankDoneAck {
   int rank = 0;
   Bytes encode() const;
   static Result<RankDoneAck> decode(const Bytes& frame);
+};
+
+// ---- multi-tenant scheduler (src/sched/, DESIGN.md §17) -------------------
+
+/// Site runner → scheduler, first frame on a (re)connection: names the site
+/// this persistent connection executes for. Everything the scheduler sends
+/// down the connection afterwards is a SchedDispatch for that site.
+struct SchedHello {
+  std::string site;
+  Contact runner;  ///< runner daemon endpoint (diagnostics)
+  Bytes encode() const;
+  static Result<SchedHello> decode(const Bytes& frame);
+};
+
+/// One job inside a batched submission.
+struct SchedJob {
+  std::uint64_t client_seq = 0;  ///< submitter-scoped id, echoed in verdicts
+  std::string task;
+  int nprocs = 1;
+  double est_runtime_s = 1.0;  ///< runtime estimate (backfill reservations)
+  friend bool operator==(const SchedJob&, const SchedJob&) = default;
+};
+
+/// Submitter → scheduler: one tenant's batch of jobs.
+struct SchedSubmit {
+  std::string tenant;
+  std::vector<SchedJob> jobs;
+  Bytes encode() const;
+  static Result<SchedSubmit> decode(const Bytes& frame);
+};
+
+/// Per-job admission verdict. kBusy is the retryable shed (the nxproxy
+/// Busy{retry_after_ms} idiom): the queue cap is hit, come back later.
+struct SchedVerdict {
+  enum class Code : std::uint8_t {
+    kAccepted = 1,
+    kBusy = 2,
+    kError = 3,
+  };
+  std::uint64_t client_seq = 0;
+  Code code = Code::kError;
+  std::uint64_t sched_id = 0;        ///< assigned when accepted
+  std::uint32_t retry_after_ms = 0;  ///< kBusy: suggested backoff
+  std::string error;                 ///< kError: what was invalid
+  friend bool operator==(const SchedVerdict&, const SchedVerdict&) = default;
+};
+
+struct SchedSubmitReply {
+  std::vector<SchedVerdict> verdicts;  ///< same order as the submitted jobs
+  Bytes encode() const;
+  static Result<SchedSubmitReply> decode(const Bytes& frame);
+};
+
+/// Scheduler → site runner: a batch of jobs to start now.
+struct SchedDispatch {
+  struct Item {
+    std::uint64_t sched_id = 0;
+    std::string tenant;
+    std::string task;
+    int nprocs = 1;
+    double est_runtime_s = 1.0;
+    friend bool operator==(const Item&, const Item&) = default;
+  };
+  std::vector<Item> items;
+  Bytes encode() const;
+  static Result<SchedDispatch> decode(const Bytes& frame);
+};
+
+/// Site runner → scheduler: jobs of the last dispatch the runner refused
+/// (saturation shed). Absence from `rejected` means accepted. The scheduler
+/// requeues the listed jobs and backs the site off for `retry_after_ms`.
+struct SchedDispatchReply {
+  std::uint32_t retry_after_ms = 0;
+  std::vector<std::uint64_t> rejected;  ///< sched_ids
+  Bytes encode() const;
+  static Result<SchedDispatchReply> decode(const Bytes& frame);
+};
+
+/// Site runner → scheduler: a batch of finished jobs. Runners resend
+/// unacknowledged batches across reconnects; the scheduler journals before
+/// acking and treats unknown sched_ids as duplicates, so completion
+/// accounting is exactly-once.
+struct SchedComplete {
+  std::uint64_t batch_seq = 0;  ///< runner-scoped, for ack matching
+  struct Item {
+    std::uint64_t sched_id = 0;
+    bool ok = false;
+    double cpu_seconds = 0;  ///< fair-share charge (nprocs × runtime)
+    friend bool operator==(const Item&, const Item&) = default;
+  };
+  std::vector<Item> items;
+  Bytes encode() const;
+  static Result<SchedComplete> decode(const Bytes& frame);
+};
+
+struct SchedCompleteAck {
+  std::uint64_t batch_seq = 0;
+  Bytes encode() const;
+  static Result<SchedCompleteAck> decode(const Bytes& frame);
 };
 
 }  // namespace wacs::rmf

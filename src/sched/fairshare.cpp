@@ -1,0 +1,92 @@
+#include "sched/fairshare.hpp"
+
+#include <cmath>
+
+namespace wacs::sched {
+
+FairShare::FairShare(double half_life_s) : half_life_s_(half_life_s) {
+  WACS_CHECK(half_life_s_ > 0);
+}
+
+void FairShare::set_weight(const std::string& tenant, double weight) {
+  WACS_CHECK(weight > 0);
+  tenants_[tenant].weight = weight;
+}
+
+void FairShare::charge(const std::string& tenant, double cpu_seconds,
+                       double now_s) {
+  if (cpu_seconds <= 0) return;
+  maybe_rebase(now_s);
+  tenants_[tenant].scaled +=
+      cpu_seconds * std::exp2((now_s - origin_s_) / half_life_s_);
+}
+
+double FairShare::priority_key(const std::string& tenant) const {
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return 0;
+  return it->second.scaled / it->second.weight;
+}
+
+double FairShare::usage(const std::string& tenant, double now_s) const {
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return 0;
+  return it->second.scaled * std::exp2(-(now_s - origin_s_) / half_life_s_);
+}
+
+double FairShare::top_share() const {
+  double top = 0;
+  double total = 0;
+  for (const auto& [_, t] : tenants_) {
+    total += t.scaled;
+    if (t.scaled > top) top = t.scaled;
+  }
+  return total > 0 ? top / total : 0;
+}
+
+void FairShare::maybe_rebase(double now_s) {
+  // 2^32 of headroom keeps every charge's scale factor comfortably inside
+  // double range while rebasing rarely (once per 32 half-lives).
+  if ((now_s - origin_s_) / half_life_s_ < 32.0) return;
+  const double factor = std::exp2(-(now_s - origin_s_) / half_life_s_);
+  for (auto& [_, t] : tenants_) t.scaled *= factor;
+  origin_s_ = now_s;
+}
+
+Bytes FairShare::encode() const {
+  BufWriter w;
+  w.f64(half_life_s_);
+  w.f64(origin_s_);
+  w.u32(static_cast<std::uint32_t>(tenants_.size()));
+  for (const auto& [name, t] : tenants_) {
+    w.str(name);
+    w.f64(t.scaled);
+    w.f64(t.weight);
+  }
+  return std::move(w).take();
+}
+
+Status FairShare::restore(const Bytes& snapshot) {
+  BufReader r(snapshot);
+  auto half = r.f64();
+  auto origin = r.f64();
+  auto n = r.u32();
+  if (!half.ok() || !origin.ok() || !n.ok()) {
+    return Status(ErrorCode::kProtocolError, "torn fair-share snapshot");
+  }
+  std::map<std::string, Tenant> tenants;
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto name = r.str();
+    auto scaled = r.f64();
+    auto weight = r.f64();
+    if (!name.ok() || !scaled.ok() || !weight.ok()) {
+      return Status(ErrorCode::kProtocolError, "torn fair-share snapshot");
+    }
+    tenants[std::string(*name)] = Tenant{*scaled, *weight};
+  }
+  half_life_s_ = *half;
+  origin_s_ = *origin;
+  tenants_ = std::move(tenants);
+  return Status();
+}
+
+}  // namespace wacs::sched

@@ -1,0 +1,69 @@
+// Decayed per-tenant fair-share accounting (DESIGN.md §17).
+//
+// Classic half-life decay (Maui / Slurm style): a tenant's usage halves
+// every `half_life_s` of virtual time, so recent consumption dominates and
+// idle tenants drift back toward equal footing. Stored in *scaled* form —
+// charge(t) adds cpu_seconds * 2^(t/half_life) — which makes decay free:
+// the stored value never changes between charges, only the interpretation
+// does. Because decay multiplies every tenant by the same factor, relative
+// order is invariant between charges; the pending queue's priority index
+// therefore only needs re-keying when a tenant is actually charged.
+//
+// The scale factor grows without bound, so the tracker rebases (divides
+// every stored value by a common power of two and advances the origin)
+// whenever the exponent gets large. Rebasing changes no ordering and no
+// displayed usage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+
+namespace wacs::sched {
+
+class FairShare {
+ public:
+  explicit FairShare(double half_life_s = 600.0);
+
+  /// Larger weight = bigger entitled share (priority key divides by it).
+  void set_weight(const std::string& tenant, double weight);
+
+  /// Records `cpu_seconds` of consumption by `tenant` at time `now_s`.
+  void charge(const std::string& tenant, double cpu_seconds, double now_s);
+
+  /// Scheduling key: decayed usage / weight. Lower = schedule sooner.
+  /// Tenants never charged key at 0 (head of the line). Comparable only
+  /// between tenants (the absolute value depends on the rebase origin).
+  double priority_key(const std::string& tenant) const;
+
+  /// Decayed usage in cpu-seconds as of `now_s` (display / tests).
+  double usage(const std::string& tenant, double now_s) const;
+
+  /// Largest tenant's fraction of total decayed usage, in [0, 1] (0 when
+  /// nothing has been charged). Scale-invariant, so no `now` needed.
+  double top_share() const;
+
+  std::size_t tenants() const { return tenants_.size(); }
+  double half_life_s() const { return half_life_s_; }
+
+  /// Snapshot for the scheduler journal; restore() inverts it exactly.
+  Bytes encode() const;
+  Status restore(const Bytes& snapshot);
+
+ private:
+  struct Tenant {
+    double scaled = 0;  ///< usage * 2^((charge_time - origin)/half_life)
+    double weight = 1.0;
+  };
+
+  void maybe_rebase(double now_s);
+
+  double half_life_s_;
+  double origin_s_ = 0;  ///< scaled values are relative to this time
+  std::map<std::string, Tenant> tenants_;
+};
+
+}  // namespace wacs::sched

@@ -1,0 +1,201 @@
+#include "sched/matcher.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+
+namespace wacs::sched {
+namespace {
+
+/// Strict non-negative integer parse; nullopt on anything else (the MDS
+/// stores strings; a malformed publish must not corrupt the aggregates).
+std::optional<int> parse_cpus(const std::string& s) {
+  if (s.empty() || s.size() > 9) return std::nullopt;
+  int v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + (c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+void ResourceIndex::upsert(const mds::Entry& entry, sim::Time now,
+                           double ttl_s) {
+  const auto site_it = entry.attributes.find("site");
+  const auto cpus_it = entry.attributes.find("cpus");
+  const auto host_it = entry.attributes.find("host");
+  if (site_it == entry.attributes.end() || cpus_it == entry.attributes.end()) {
+    return;
+  }
+  const auto cpus = parse_cpus(cpus_it->second);
+  if (!cpus.has_value() || *cpus <= 0) return;
+  // The host name comes from an explicit attr when present, else the DN's
+  // last component ("o=grid/ou=site/host=h" → "h").
+  std::string host;
+  if (host_it != entry.attributes.end()) {
+    host = host_it->second;
+  } else {
+    const auto pos = entry.dn.rfind('=');
+    if (pos == std::string::npos) return;
+    host = entry.dn.substr(pos + 1);
+  }
+  double speed = 1.0;
+  if (const auto it = entry.attributes.find("speed");
+      it != entry.attributes.end()) {
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end != nullptr && *end == '\0' && v > 0) speed = v;
+  }
+
+  auto [rec_it, inserted] = hosts_.try_emplace(host);
+  HostRec& rec = rec_it->second;
+  if (!inserted) {
+    // Capacity or site changes re-aggregate; inflight debits survive the
+    // refresh (they are the scheduler's own bookkeeping).
+    auto& old_site = sites_[rec.site];
+    old_site.cpus -= rec.cpus;
+    old_site.hosts -= 1;
+    old_site.inflight -= rec.inflight;
+    // Site-level debits (dispatch bookkeeping) are not attached to any
+    // host; a record that still carries some must survive the re-add or
+    // the refresh would mint free capacity.
+    if (old_site.hosts == 0 && old_site.inflight == 0) {
+      sites_.erase(rec.site);
+    }
+  }
+  rec.host = host;
+  rec.site = site_it->second;
+  rec.cpus = *cpus;
+  rec.speed = speed;
+  rec.expires_at = now + sim::from_sec(ttl_s);
+  auto& site = sites_[rec.site];
+  site.cpus += rec.cpus;
+  site.hosts += 1;
+  site.inflight += rec.inflight;
+}
+
+std::size_t ResourceIndex::expire(sim::Time now) {
+  std::size_t dropped = 0;
+  for (auto it = hosts_.begin(); it != hosts_.end();) {
+    if (it->second.expires_at > now) {
+      ++it;
+      continue;
+    }
+    auto& site = sites_[it->second.site];
+    site.cpus -= it->second.cpus;
+    site.hosts -= 1;
+    site.inflight -= it->second.inflight;
+    if (site.hosts == 0 && site.inflight == 0) {
+      sites_.erase(it->second.site);
+    }
+    it = hosts_.erase(it);
+    ++dropped;
+  }
+  return dropped;
+}
+
+void ResourceIndex::touch_site(const std::string& site,
+                               sim::Time expires_at) {
+  for (auto& [_, rec] : hosts_) {
+    if (rec.site == site && rec.expires_at < expires_at) {
+      rec.expires_at = expires_at;
+    }
+  }
+}
+
+std::string ResourceIndex::match_site(
+    int nprocs, const std::map<std::string, sim::Time>& skip,
+    sim::Time now) const {
+  std::string best;
+  int best_free = 0;
+  for (const auto& [name, rec] : sites_) {
+    const int free = rec.cpus - rec.inflight;
+    if (free < nprocs) continue;
+    if (const auto it = skip.find(name); it != skip.end() && it->second > now) {
+      continue;
+    }
+    if (free > best_free) {
+      best = name;
+      best_free = free;
+    }
+  }
+  return best;
+}
+
+std::vector<rmf::Placement> ResourceIndex::match_hosts(
+    int nprocs, const std::vector<std::string>& exclude) const {
+  std::vector<const HostRec*> order;
+  order.reserve(hosts_.size());
+  for (const auto& [name, rec] : hosts_) {
+    if (rec.cpus <= rec.inflight) continue;
+    if (std::find(exclude.begin(), exclude.end(), name) != exclude.end()) {
+      continue;
+    }
+    order.push_back(&rec);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const HostRec* a, const HostRec* b) {
+                     return a->speed > b->speed;  // ties keep name order
+                   });
+  std::vector<rmf::Placement> out;
+  int need = nprocs;
+  for (const HostRec* rec : order) {
+    if (need == 0) break;
+    const int take = std::min(need, rec->cpus - rec->inflight);
+    out.push_back(rmf::Placement{rec->host, take});
+    need -= take;
+  }
+  if (need > 0) return {};
+  return out;
+}
+
+void ResourceIndex::debit_site(const std::string& site, int nprocs) {
+  const auto it = sites_.find(site);
+  if (it != sites_.end()) it->second.inflight += nprocs;
+}
+
+void ResourceIndex::credit_site(const std::string& site, int nprocs) {
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return;
+  it->second.inflight = std::max(0, it->second.inflight - nprocs);
+}
+
+void ResourceIndex::debit_hosts(const std::vector<rmf::Placement>& placements) {
+  for (const auto& p : placements) {
+    const auto it = hosts_.find(p.host);
+    if (it == hosts_.end()) continue;
+    it->second.inflight += p.count;
+    debit_site(it->second.site, p.count);
+  }
+}
+
+void ResourceIndex::credit_hosts(
+    const std::vector<rmf::Placement>& placements) {
+  for (const auto& p : placements) {
+    const auto it = hosts_.find(p.host);
+    if (it == hosts_.end()) continue;
+    it->second.inflight = std::max(0, it->second.inflight - p.count);
+    credit_site(it->second.site, p.count);
+  }
+}
+
+int ResourceIndex::free_cpus(const std::string& site) const {
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.cpus - it->second.inflight;
+}
+
+int ResourceIndex::total_free_cpus() const {
+  int total = 0;
+  for (const auto& [_, rec] : sites_) total += rec.cpus - rec.inflight;
+  return total;
+}
+
+int ResourceIndex::total_cpus() const {
+  int total = 0;
+  for (const auto& [_, rec] : sites_) total += rec.cpus;
+  return total;
+}
+
+}  // namespace wacs::sched

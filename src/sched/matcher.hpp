@@ -1,0 +1,90 @@
+// MDS-backed resource index: answers "which site/hosts fit this job".
+//
+// The scheduler periodically searches the grid's MDS directory (subtree
+// "o=grid", filter "(cpus=*)(site=*)") and feeds the entries here. Each
+// entry describes one host (attrs: site, cpus, speed); the index keeps
+// host records plus per-site aggregates and layers its *own* in-flight
+// CPU debits on top. Published load is deliberately ignored for
+// accounting — the scheduler's debits are self-consistent with its own
+// dispatches, so there is no reconciliation drift against a stale
+// directory snapshot. What the directory contributes is membership: a
+// site whose runner stops re-registering (crashed host) ages out after
+// `ttl_s` and stops receiving dispatches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mds/directory.hpp"
+#include "rmf/job.hpp"
+#include "simnet/time.hpp"
+
+namespace wacs::sched {
+
+class ResourceIndex {
+ public:
+  struct HostRec {
+    std::string host;
+    std::string site;
+    int cpus = 0;
+    double speed = 1.0;
+    int inflight = 0;  ///< CPUs debited by this scheduler (grid path)
+    sim::Time expires_at = 0;
+  };
+  struct SiteRec {
+    int cpus = 0;      ///< published capacity across live hosts
+    int inflight = 0;  ///< CPUs debited by this scheduler
+    int hosts = 0;
+  };
+
+  /// Ingests one directory entry (upsert by host name; refreshes the TTL).
+  /// Entries without numeric `cpus` or a `site` attribute are ignored.
+  void upsert(const mds::Entry& entry, sim::Time now, double ttl_s);
+
+  /// Drops hosts whose TTL lapsed (their capacity leaves the aggregates;
+  /// inflight debits on dropped hosts are forgotten — the scheduler's
+  /// deadline sweep requeues their jobs). Returns how many were dropped.
+  std::size_t expire(sim::Time now);
+
+  /// Extends the TTL of every host of `site` to at least `expires_at`. A
+  /// live runner connection is fresher evidence than the directory (an
+  /// idle runner parks its publish loop, so its entries may lapse while
+  /// the site is demonstrably up).
+  void touch_site(const std::string& site, sim::Time expires_at);
+
+  /// Best site for an `nprocs`-wide job: most free CPUs, ties by name.
+  /// Sites in `skip` (backed off, disconnected) are excluded. Empty when
+  /// nothing fits.
+  std::string match_site(int nprocs,
+                         const std::map<std::string, sim::Time>& skip,
+                         sim::Time now) const;
+
+  /// Grid path: concrete host placements for `nprocs`, fastest hosts
+  /// first (the allocator's kFastestFirst order), spilling across sites.
+  /// Hosts in `exclude` (believed dead by the requester) are skipped.
+  /// Empty when free capacity is insufficient. Does NOT debit.
+  std::vector<rmf::Placement> match_hosts(
+      int nprocs, const std::vector<std::string>& exclude = {}) const;
+
+  // In-flight accounting (site granularity for the dispatch path, host
+  // granularity for the grid/allocator-proxy path).
+  void debit_site(const std::string& site, int nprocs);
+  void credit_site(const std::string& site, int nprocs);
+  void debit_hosts(const std::vector<rmf::Placement>& placements);
+  void credit_hosts(const std::vector<rmf::Placement>& placements);
+
+  int free_cpus(const std::string& site) const;
+  int total_free_cpus() const;
+  int total_cpus() const;
+  std::size_t sites() const { return sites_.size(); }
+  std::size_t hosts() const { return hosts_.size(); }
+  const std::map<std::string, SiteRec>& site_records() const { return sites_; }
+
+ private:
+  std::map<std::string, HostRec> hosts_;  // keyed by host name
+  std::map<std::string, SiteRec> sites_;
+};
+
+}  // namespace wacs::sched

@@ -1,0 +1,112 @@
+#include "sched/queue.hpp"
+
+#include "common/error.hpp"
+#include "sched/fairshare.hpp"
+
+namespace wacs::sched {
+
+void PendingQueue::push(const FairShare& shares, PendingJob job) {
+  auto& dq = by_tenant_[job.tenant];
+  if (dq.empty()) index_insert(shares, job.tenant);
+  dq.push_back(std::move(job));
+  ++total_;
+}
+
+void PendingQueue::push_front(const FairShare& shares, PendingJob job) {
+  auto& dq = by_tenant_[job.tenant];
+  if (dq.empty()) index_insert(shares, job.tenant);
+  dq.push_front(std::move(job));
+  ++total_;
+}
+
+const PendingJob* PendingQueue::head() const {
+  if (index_.empty()) return nullptr;
+  const auto& tenant = index_.begin()->second;
+  return &by_tenant_.at(tenant).front();
+}
+
+PendingJob PendingQueue::pop_head() {
+  WACS_CHECK(!index_.empty());
+  return pop_front_of(index_.begin()->second);
+}
+
+std::vector<const PendingJob*> PendingQueue::backfill_candidates(
+    std::size_t limit) const {
+  std::vector<const PendingJob*> out;
+  auto it = index_.begin();
+  if (it != index_.end()) ++it;  // skip the head tenant (it holds the
+                                 // reservation; its front job is the head)
+  for (; it != index_.end() && out.size() < limit; ++it) {
+    out.push_back(&by_tenant_.at(it->second).front());
+  }
+  return out;
+}
+
+PendingJob PendingQueue::pop_front_of(const std::string& tenant) {
+  auto it = by_tenant_.find(tenant);
+  WACS_CHECK(it != by_tenant_.end() && !it->second.empty());
+  PendingJob job = std::move(it->second.front());
+  it->second.pop_front();
+  --total_;
+  if (it->second.empty()) {
+    index_erase(tenant);
+    by_tenant_.erase(it);
+  }
+  return job;
+}
+
+PendingJob PendingQueue::take(const std::string& tenant,
+                              std::uint64_t sched_id) {
+  auto it = by_tenant_.find(tenant);
+  WACS_CHECK(it != by_tenant_.end());
+  auto& dq = it->second;
+  auto pos = dq.begin();
+  while (pos != dq.end() && pos->sched_id != sched_id) ++pos;
+  WACS_CHECK_MSG(pos != dq.end(), "take: job not pending for this tenant");
+  PendingJob job = std::move(*pos);
+  dq.erase(pos);
+  --total_;
+  if (dq.empty()) {
+    index_erase(tenant);
+    by_tenant_.erase(it);
+  }
+  return job;
+}
+
+void PendingQueue::rekey(const FairShare& shares, const std::string& tenant) {
+  const auto it = indexed_key_.find(tenant);
+  if (it == indexed_key_.end()) return;  // nothing pending for this tenant
+  index_.erase({it->second, tenant});
+  indexed_key_.erase(it);
+  index_insert(shares, tenant);
+}
+
+std::vector<const PendingJob*> PendingQueue::all_jobs() const {
+  std::vector<const PendingJob*> out;
+  out.reserve(total_);
+  for (const auto& [_, dq] : by_tenant_) {
+    for (const PendingJob& job : dq) out.push_back(&job);
+  }
+  return out;
+}
+
+std::size_t PendingQueue::tenant_depth(const std::string& tenant) const {
+  const auto it = by_tenant_.find(tenant);
+  return it == by_tenant_.end() ? 0 : it->second.size();
+}
+
+void PendingQueue::index_insert(const FairShare& shares,
+                                const std::string& tenant) {
+  const double key = shares.priority_key(tenant);
+  index_.insert({key, tenant});
+  indexed_key_[tenant] = key;
+}
+
+void PendingQueue::index_erase(const std::string& tenant) {
+  const auto it = indexed_key_.find(tenant);
+  WACS_CHECK(it != indexed_key_.end());
+  index_.erase({it->second, tenant});
+  indexed_key_.erase(it);
+}
+
+}  // namespace wacs::sched

@@ -1,0 +1,84 @@
+// Priority-indexed pending queue for the multi-tenant scheduler.
+//
+// Jobs are FIFO within a tenant; tenants are ordered by their fair-share
+// priority key (lower = sooner). The cross-tenant order lives in an
+// incremental index — a set of (key, tenant) pairs covering exactly the
+// tenants with pending work — so head() is O(log T) rather than a scan of
+// 10k tenants per pass. The index is only re-keyed when a tenant's key
+// actually changes (a fair-share charge; decay alone never reorders, see
+// fairshare.hpp), which the scheduler signals via rekey().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "simnet/time.hpp"
+
+namespace wacs::sched {
+
+class FairShare;
+
+/// One accepted, not-yet-dispatched job.
+struct PendingJob {
+  std::uint64_t sched_id = 0;
+  std::string tenant;
+  std::string task;
+  int nprocs = 1;
+  double est_runtime_s = 1.0;
+  sim::Time enqueued_at = 0;
+  int attempts = 0;  ///< dispatch attempts so far (requeues increment)
+};
+
+class PendingQueue {
+ public:
+  /// Appends to the tenant's FIFO (new submission).
+  void push(const FairShare& shares, PendingJob job);
+  /// Prepends (requeue after a shed or a lost dispatch); keeps FIFO order
+  /// for the tenant's other jobs.
+  void push_front(const FairShare& shares, PendingJob job);
+
+  /// Front job of the highest-priority tenant; nullptr when empty. The
+  /// pointer is invalidated by any mutation.
+  const PendingJob* head() const;
+  /// Removes and returns head(). Precondition: !empty().
+  PendingJob pop_head();
+
+  /// Front jobs of up to `limit` tenants in priority order, skipping the
+  /// head tenant (backfill candidates; one candidate per tenant keeps the
+  /// scan bounded and intra-tenant FIFO intact).
+  std::vector<const PendingJob*> backfill_candidates(std::size_t limit) const;
+  /// Removes the front job of `tenant` (a successful backfill dispatch).
+  PendingJob pop_front_of(const std::string& tenant);
+  /// Removes `tenant`'s job with this id wherever it sits in the FIFO
+  /// (journal replay: one pass's dispatch records are grouped per site,
+  /// so same-tenant jobs can be journaled out of pop order).
+  PendingJob take(const std::string& tenant, std::uint64_t sched_id);
+
+  /// Re-keys `tenant` in the priority index after a fair-share charge.
+  void rekey(const FairShare& shares, const std::string& tenant);
+
+  /// Every pending job, tenant-sorted, FIFO within tenant (snapshots).
+  std::vector<const PendingJob*> all_jobs() const;
+
+  bool empty() const { return total_ == 0; }
+  std::size_t size() const { return total_; }
+  std::size_t tenant_depth(const std::string& tenant) const;
+  std::size_t tenants_waiting() const { return index_.size(); }
+
+ private:
+  void index_insert(const FairShare& shares, const std::string& tenant);
+  void index_erase(const std::string& tenant);
+
+  std::map<std::string, std::deque<PendingJob>> by_tenant_;
+  /// (priority key, tenant) for every tenant with a non-empty deque.
+  std::set<std::pair<double, std::string>> index_;
+  /// Key each tenant was indexed under (erase needs the exact pair).
+  std::map<std::string, double> indexed_key_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace wacs::sched

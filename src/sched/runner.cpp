@@ -1,0 +1,230 @@
+#include "sched/runner.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/telemetry.hpp"
+#include "simnet/fault.hpp"
+
+namespace wacs::sched {
+namespace {
+
+const log::Logger kLog("sched.runner");
+
+}  // namespace
+
+SiteRunner::SiteRunner(sim::Host& host, Options options)
+    : host_(&host), options_(std::move(options)) {
+  for (const HostSlot& slot : options_.hosts) capacity_ += slot.cpus;
+  WACS_CHECK(capacity_ > 0);
+}
+
+void SiteRunner::start() {
+  if (conn_active_) return;
+  conn_active_ = true;
+  auto* proc = host_->network().engine().spawn(
+      "sched.runner@" + options_.site, [this](sim::Process& self) {
+        struct Flag {
+          bool* active;
+          ~Flag() { *active = false; }
+        } flag{&conn_active_};
+        conn_loop(self);
+      });
+  register_proc(proc);
+  ensure_publisher();
+}
+
+void SiteRunner::restart() {
+  // Everything volatile died with the host: running jobs (their timers
+  // no-op via the epoch guard), buffered and unacked completions (the
+  // scheduler's deadline sweep requeues what it never saw finish).
+  ++epoch_;
+  running_.clear();
+  inflight_cpus_ = 0;
+  done_buffer_.clear();
+  unacked_.clear();
+  conn_.reset();
+  conn_active_ = false;
+  flusher_active_ = false;
+  publisher_active_ = false;
+  start();
+}
+
+void SiteRunner::conn_loop(sim::Process& self) {
+  while (true) {
+    auto sock = host_->stack().connect(self, options_.scheduler);
+    if (!sock.ok()) {
+      kLog.debug("%s: scheduler dial failed: %s", options_.site.c_str(),
+                 sock.error().to_string().c_str());
+      self.sleep(options_.reconnect_backoff_s);
+      continue;
+    }
+    conn_ = *sock;
+    rmf::SchedHello hello{options_.site, Contact{host_->name(), 0}};
+    if (!conn_->send(hello.encode()).ok()) {
+      conn_.reset();
+      self.sleep(options_.reconnect_backoff_s);
+      continue;
+    }
+    // Unacked completion batches are resent verbatim on every reconnect;
+    // the scheduler dedups on sched_id, so this is at-least-once wire,
+    // exactly-once accounting.
+    for (const rmf::SchedComplete& batch : unacked_) {
+      ++batches_resent_;
+      (void)conn_->send(batch.encode());
+    }
+    while (true) {
+      auto frame = conn_->recv(self);
+      if (!frame.ok()) break;
+      auto type = rmf::peek_type(*frame);
+      if (!type.ok()) continue;
+      if (*type == rmf::MsgType::kSchedDispatch) {
+        auto batch = rmf::SchedDispatch::decode(*frame);
+        if (batch.ok()) handle_dispatch(*batch);
+      } else if (*type == rmf::MsgType::kSchedCompleteAck) {
+        auto ack = rmf::SchedCompleteAck::decode(*frame);
+        if (ack.ok()) {
+          while (!unacked_.empty() &&
+                 unacked_.front().batch_seq <= ack->batch_seq) {
+            unacked_.pop_front();
+          }
+        }
+      }
+    }
+    conn_.reset();
+    self.sleep(options_.reconnect_backoff_s);
+  }
+}
+
+void SiteRunner::handle_dispatch(const rmf::SchedDispatch& batch) {
+  sim::Engine& engine = host_->network().engine();
+  std::vector<std::uint64_t> rejected;
+  for (const rmf::SchedDispatch::Item& item : batch.items) {
+    if (item.nprocs > capacity_ - inflight_cpus_) {
+      rejected.push_back(item.sched_id);
+      ++jobs_shed_;
+      continue;
+    }
+    inflight_cpus_ += item.nprocs;
+    running_[item.sched_id] =
+        Running{item.tenant, item.nprocs, item.est_runtime_s};
+    ++jobs_started_;
+    engine.after(item.est_runtime_s,
+                 [this, id = item.sched_id, epoch = epoch_] {
+                   finish_job(id, epoch);
+                 });
+  }
+  if (!rejected.empty() && conn_ != nullptr) {
+    (void)conn_->send(
+        rmf::SchedDispatchReply{options_.shed_retry_after_ms,
+                                std::move(rejected)}
+            .encode());
+  }
+  ensure_publisher();  // load changed; keep the directory presence fresh
+  ensure_flusher();
+}
+
+void SiteRunner::finish_job(std::uint64_t sched_id, std::uint64_t epoch) {
+  if (epoch != epoch_) return;  // job died with a host crash
+  if (auto* fault = host_->network().fault();
+      fault != nullptr && fault->host_down(*host_)) {
+    return;  // host is down right now; restart() will bump the epoch
+  }
+  const auto it = running_.find(sched_id);
+  if (it == running_.end()) return;
+  const Running job = it->second;
+  running_.erase(it);
+  inflight_cpus_ -= job.nprocs;
+  ++jobs_completed_;
+  done_buffer_.push_back(rmf::SchedComplete::Item{
+      sched_id, true, job.nprocs * job.est_runtime_s});
+  ensure_flusher();
+}
+
+void SiteRunner::ensure_flusher() {
+  if (flusher_active_) return;
+  flusher_active_ = true;
+  auto* proc = host_->network().engine().spawn(
+      "sched.flush@" + options_.site, [this](sim::Process& self) {
+        struct Flag {
+          bool* active;
+          ~Flag() { *active = false; }
+        } flag{&flusher_active_};
+        // Lives for the whole busy epoch: exiting as soon as the buffers
+        // drain would mean a fresh process per completion burst, which at
+        // bench scale exhausts OS threads (finished sim processes are only
+        // reaped at engine shutdown). Parks when the site goes fully idle;
+        // handle_dispatch and finish_job re-arm it.
+        while (busy()) {
+          self.sleep(options_.flush_interval_s);
+          flush_completions();
+        }
+      });
+  register_proc(proc);
+}
+
+void SiteRunner::flush_completions() {
+  if (!done_buffer_.empty()) {
+    rmf::SchedComplete batch;
+    batch.batch_seq = next_batch_seq_++;
+    batch.items = std::move(done_buffer_);
+    done_buffer_.clear();
+    unacked_.push_back(std::move(batch));
+    if (conn_ != nullptr) (void)conn_->send(unacked_.back().encode());
+  } else if (!unacked_.empty() && conn_ != nullptr) {
+    // Ack outstanding with a live connection: nudge the oldest batch (a
+    // batch sent in the instant before a scheduler crash needs this).
+    ++batches_resent_;
+    (void)conn_->send(unacked_.front().encode());
+  }
+}
+
+void SiteRunner::publish_entries(sim::Process& self) {
+  if (options_.mds.host.empty()) return;
+  mds::MdsClient client(*host_, options_.mds);
+  for (const HostSlot& slot : options_.hosts) {
+    mds::Entry entry;
+    entry.dn = "o=grid/ou=" + options_.site + "/host=" + slot.host;
+    entry.attributes["host"] = slot.host;
+    entry.attributes["site"] = options_.site;
+    entry.attributes["cpus"] = std::to_string(slot.cpus);
+    entry.attributes["speed"] = std::to_string(slot.speed);
+    entry.attributes["runner"] = host_->name();
+    (void)client.publish(self, std::move(entry), options_.publish_ttl_s);
+  }
+}
+
+void SiteRunner::ensure_publisher() {
+  if (publisher_active_) return;
+  publisher_active_ = true;
+  auto* proc = host_->network().engine().spawn(
+      "sched.publish@" + options_.site, [this](sim::Process& self) {
+        struct Flag {
+          bool* active;
+          ~Flag() { *active = false; }
+        } flag{&publisher_active_};
+        // Publish at least once (discovery), then re-register at half the
+        // TTL while the site has work; parks when idle so the event queue
+        // can drain. The scheduler keeps connected sites alive past the
+        // directory TTL (ResourceIndex::touch_site), so parking is safe.
+        publish_entries(self);
+        while (busy()) {
+          self.sleep(options_.publish_ttl_s / 2);
+          publish_entries(self);
+        }
+      });
+  register_proc(proc);
+}
+
+void SiteRunner::register_proc(sim::Process* proc) {
+  if (auto* fault = host_->network().fault(); fault != nullptr) {
+    fault->register_host_process(host_->name(), proc);
+  }
+}
+
+bool SiteRunner::busy() const {
+  return inflight_cpus_ > 0 || !done_buffer_.empty() || !unacked_.empty();
+}
+
+}  // namespace wacs::sched

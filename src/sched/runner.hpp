@@ -1,0 +1,112 @@
+// Site runner: the leaf-site execution daemon of the multi-tenant
+// scheduler (DESIGN.md §17).
+//
+// Firewall-compliant by construction: the runner *dials out* to the
+// scheduler and holds one persistent connection (SchedHello first), so a
+// leaf site needs zero inbound holes — the paper's constraint, scaled to
+// 50 sites. Down that connection come SchedDispatch batches; up go
+// SchedDispatchReply (saturation shed: jobs that would exceed local
+// capacity are rejected with a retry hint) and SchedComplete batches.
+//
+// Execution costs no process per job: each accepted job is an
+// engine.after() timer that fires at its runtime estimate, guarded by an
+// epoch counter and a host-down check so jobs die with a crashed host
+// instead of completing from beyond the grave. Completions accumulate and
+// flush as batches; unacknowledged batches are resent on every reconnect
+// (the scheduler journals-then-acks and dedups, making completion
+// accounting exactly-once).
+//
+// The runner also keeps the site's MDS presence alive: it re-registers
+// one directory entry per local host at half the TTL, gated on having
+// work so the event queue can drain when the grid goes quiet.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mds/server.hpp"
+#include "rmf/protocol.hpp"
+#include "simnet/tcp.hpp"
+
+namespace wacs::sched {
+
+class SiteRunner {
+ public:
+  struct HostSlot {
+    std::string host;
+    int cpus = 1;
+    double speed = 1.0;
+  };
+
+  struct Options {
+    std::string site;
+    Contact scheduler;
+    Contact mds;              ///< empty host = no directory publishing
+    std::vector<HostSlot> hosts;
+    double publish_ttl_s = 60;     ///< MDS entry lifetime
+    double reconnect_backoff_s = 1.0;
+    double flush_interval_s = 0.2;  ///< completion batch cadence
+    std::uint32_t shed_retry_after_ms = 500;
+  };
+
+  SiteRunner(sim::Host& host, Options options);
+
+  /// Dials the scheduler, publishes the site's entries, starts serving.
+  void start();
+  /// Restart-hook body (fault injector): bumps the epoch so orphaned job
+  /// timers no-op, clears volatile state, and redials. In-flight jobs are
+  /// lost with the crash — the scheduler's deadline sweep requeues them.
+  void restart();
+
+  int capacity_cpus() const { return capacity_; }
+  int inflight_cpus() const { return inflight_cpus_; }
+  std::uint64_t jobs_started() const { return jobs_started_; }
+  std::uint64_t jobs_completed() const { return jobs_completed_; }
+  std::uint64_t jobs_shed() const { return jobs_shed_; }
+  std::uint64_t batches_resent() const { return batches_resent_; }
+  const std::string& site() const { return options_.site; }
+
+ private:
+  struct Running {
+    std::string tenant;
+    int nprocs = 0;
+    double est_runtime_s = 0;
+  };
+
+  void conn_loop(sim::Process& self);
+  void handle_dispatch(const rmf::SchedDispatch& batch);
+  void finish_job(std::uint64_t sched_id, std::uint64_t epoch);
+  void ensure_flusher();
+  void flush_completions();
+  void publish_entries(sim::Process& self);
+  void ensure_publisher();
+  void register_proc(sim::Process* proc);
+  bool busy() const;
+
+  sim::Host* host_;
+  Options options_;
+  int capacity_ = 0;
+  std::uint64_t epoch_ = 0;  ///< bumped on restart; stale timers no-op
+
+  sim::SocketPtr conn_;      ///< live scheduler connection (conn_loop owns)
+  bool conn_active_ = false;
+  bool flusher_active_ = false;
+  bool publisher_active_ = false;
+
+  std::map<std::uint64_t, Running> running_;  // sched_id → job
+  int inflight_cpus_ = 0;
+
+  std::vector<rmf::SchedComplete::Item> done_buffer_;
+  std::deque<rmf::SchedComplete> unacked_;  ///< sent, not yet acked
+  std::uint64_t next_batch_seq_ = 1;
+
+  std::uint64_t jobs_started_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_shed_ = 0;
+  std::uint64_t batches_resent_ = 0;
+};
+
+}  // namespace wacs::sched

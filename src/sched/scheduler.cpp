@@ -1,0 +1,870 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/telemetry.hpp"
+#include "simnet/fault.hpp"
+
+namespace wacs::sched {
+namespace {
+
+const log::Logger kLog("sched");
+
+// Journal record tags. Appends happen before the externally visible
+// effect (verdict sent, dispatch sent, completion acked), so replay
+// rebuilds exactly what any peer could have observed.
+constexpr std::uint8_t kRecAccept = 1;
+constexpr std::uint8_t kRecDispatch = 2;
+constexpr std::uint8_t kRecComplete = 3;
+constexpr std::uint8_t kRecRequeue = 4;
+constexpr std::uint8_t kRecSnapshot = 5;
+
+telemetry::Gauge& pending_gauge() {
+  static telemetry::Gauge& g = telemetry::metrics().gauge("sched.pending");
+  return g;
+}
+telemetry::Gauge& inflight_gauge() {
+  static telemetry::Gauge& g = telemetry::metrics().gauge("sched.inflight");
+  return g;
+}
+
+void put_pending(BufWriter& w, const PendingJob& job) {
+  w.u64(job.sched_id);
+  w.str(job.tenant);
+  w.str(job.task);
+  w.i32(job.nprocs);
+  w.f64(job.est_runtime_s);
+  w.i64(job.enqueued_at);
+  w.i32(job.attempts);
+}
+
+Result<PendingJob> get_pending(BufReader& r) {
+  auto id = r.u64();
+  auto tenant = r.str();
+  auto task = r.str();
+  auto nprocs = r.i32();
+  auto est = r.f64();
+  auto enq = r.i64();
+  auto attempts = r.i32();
+  if (!id.ok() || !tenant.ok() || !task.ok() || !nprocs.ok() || !est.ok() ||
+      !enq.ok() || !attempts.ok()) {
+    return Error(ErrorCode::kProtocolError, "torn pending-job record");
+  }
+  PendingJob job;
+  job.sched_id = *id;
+  job.tenant = *tenant;
+  job.task = *task;
+  job.nprocs = *nprocs;
+  job.est_runtime_s = *est;
+  job.enqueued_at = *enq;
+  job.attempts = *attempts;
+  return job;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(sim::Host& host, Options options)
+    : host_(&host),
+      options_(std::move(options)),
+      shares_(options_.half_life_s),
+      journal_(host, "sched") {}
+
+sim::Time Scheduler::now() const { return host_->network().engine().now(); }
+double Scheduler::now_s() const { return sim::to_sec(now()); }
+
+void Scheduler::start() {
+  if (started_) return;
+  started_ = true;
+  auto listener = host_->stack().listen(options_.port);
+  WACS_CHECK_MSG(listener.ok(), "scheduler listen failed");
+  listener_ = *listener;
+  spawn_serve();
+}
+
+void Scheduler::restart() {
+  started_ = true;
+  pass_active_ = false;
+  runners_.clear();
+  backoff_.clear();
+  queue_ = PendingQueue();
+  inflight_.clear();
+  grants_.clear();
+  index_ = ResourceIndex();
+  index_primed_ = false;
+  last_refresh_ = 0;
+  if (listener_) listener_->close();
+  auto listener = host_->stack().listen(options_.port);
+  WACS_CHECK_MSG(listener.ok(), "scheduler re-listen failed");
+  listener_ = *listener;
+  spawn_serve();
+  replay_journal();
+  ensure_pass();
+}
+
+void Scheduler::spawn_serve() {
+  serve_proc_ = host_->network().engine().spawn(
+      "sched@" + host_->name(),
+      [this](sim::Process& self) { serve(self); });
+  register_proc(serve_proc_);
+}
+
+void Scheduler::register_proc(sim::Process* proc) {
+  if (auto* fault = host_->network().fault(); fault != nullptr) {
+    fault->register_host_process(host_->name(), proc);
+  }
+}
+
+void Scheduler::serve(sim::Process& self) {
+  // Pin this generation's listener: restart() closes and replaces the
+  // member while the previous serve process may still be parked in
+  // accept(), and that accept must unwind against a live object (it
+  // returns an error once the listener is closed).
+  const auto listener = listener_;
+  while (true) {
+    auto conn = listener->accept(self);
+    if (!conn.ok()) return;
+    auto* handler = host_->network().engine().spawn(
+        "sched.conn@" + host_->name(),
+        [this, sock = *conn](sim::Process& p) { handle(p, sock); });
+    register_proc(handler);
+  }
+}
+
+void Scheduler::handle(sim::Process& self, sim::SocketPtr conn) {
+  while (true) {
+    auto frame = conn->recv(self);
+    if (!frame.ok()) return;
+    auto type = rmf::peek_type(*frame);
+    if (!type.ok()) continue;
+    switch (*type) {
+      case rmf::MsgType::kSchedHello: {
+        auto hello = rmf::SchedHello::decode(*frame);
+        if (hello.ok()) handle_runner(self, conn, *hello);
+        return;  // handle_runner owns the connection until it dies
+      }
+      case rmf::MsgType::kSchedSubmit: {
+        auto submit = rmf::SchedSubmit::decode(*frame);
+        if (!submit.ok()) break;
+        if (!conn->send(on_submit(*submit).encode()).ok()) return;
+        break;
+      }
+      case rmf::MsgType::kAllocRequest: {
+        auto req = rmf::AllocRequest::decode(*frame);
+        if (req.ok()) proxy_alloc(self, *conn, *req);
+        break;
+      }
+      case rmf::MsgType::kRelease: {
+        auto rel = rmf::Release::decode(*frame);
+        if (rel.ok()) proxy_release(self, *rel);
+        break;
+      }
+      default:
+        break;  // not addressed to the scheduler; drop
+    }
+  }
+}
+
+// ------------------------------------------------------------- admission
+
+rmf::SchedSubmitReply Scheduler::on_submit(const rmf::SchedSubmit& submit) {
+  rmf::SchedSubmitReply reply;
+  reply.verdicts.reserve(submit.jobs.size());
+  std::vector<PendingJob> accepted;
+  const sim::Time t = now();
+  std::size_t tenant_depth = queue_.tenant_depth(submit.tenant);
+  std::size_t total = queue_.size();
+  for (const rmf::SchedJob& job : submit.jobs) {
+    rmf::SchedVerdict v;
+    v.client_seq = job.client_seq;
+    if (submit.tenant.empty() || job.task.empty() || job.nprocs <= 0 ||
+        job.nprocs > options_.max_nprocs || job.est_runtime_s <= 0) {
+      v.code = rmf::SchedVerdict::Code::kError;
+      v.error = "invalid job";
+    } else if (tenant_depth >=
+                   static_cast<std::size_t>(options_.max_pending_per_tenant) ||
+               total >= options_.max_pending_total) {
+      // The retryable shed: queue caps keep one tenant (or a global
+      // burst) from wedging everyone; the submitter backs off and
+      // retries instead of timing out blind.
+      v.code = rmf::SchedVerdict::Code::kBusy;
+      v.retry_after_ms = options_.retry_after_ms;
+      ++jobs_shed_;
+      static telemetry::Counter& shed =
+          telemetry::metrics().counter("sched.jobs.shed");
+      shed.add();
+    } else {
+      v.code = rmf::SchedVerdict::Code::kAccepted;
+      v.sched_id = next_sched_id_++;
+      PendingJob p;
+      p.sched_id = v.sched_id;
+      p.tenant = submit.tenant;
+      p.task = job.task;
+      p.nprocs = job.nprocs;
+      p.est_runtime_s = job.est_runtime_s;
+      p.enqueued_at = t;
+      accepted.push_back(std::move(p));
+      ++tenant_depth;
+      ++total;
+      ++jobs_accepted_;
+    }
+    reply.verdicts.push_back(std::move(v));
+  }
+  if (!accepted.empty()) {
+    journal_accepts(accepted);  // before the verdicts become visible
+    for (PendingJob& job : accepted) queue_.push(shares_, std::move(job));
+    static telemetry::Counter& c =
+        telemetry::metrics().counter("sched.jobs.accepted");
+    c.add(static_cast<std::int64_t>(accepted.size()));
+    pending_gauge().set(static_cast<std::int64_t>(queue_.size()));
+    ensure_pass();
+  }
+  maybe_snapshot();
+  return reply;
+}
+
+// ------------------------------------------------------------ runner path
+
+void Scheduler::handle_runner(sim::Process& self, sim::SocketPtr conn,
+                              const rmf::SchedHello& hello) {
+  runners_[hello.site] = conn;  // latest connection wins
+  // A live runner is capacity: if its site is already indexed, keep it
+  // from expiring; either way a pass may now be able to dispatch.
+  index_.touch_site(hello.site, now() + sim::from_sec(options_.entry_ttl_s));
+  ensure_pass();
+  while (true) {
+    auto frame = conn->recv(self);
+    if (!frame.ok()) break;
+    auto type = rmf::peek_type(*frame);
+    if (!type.ok()) continue;
+    if (*type == rmf::MsgType::kSchedComplete) {
+      auto batch = rmf::SchedComplete::decode(*frame);
+      if (!batch.ok()) continue;
+      on_complete(hello.site, *batch);
+      if (!conn->send(rmf::SchedCompleteAck{batch->batch_seq}.encode())
+               .ok()) {
+        break;
+      }
+    } else if (*type == rmf::MsgType::kSchedDispatchReply) {
+      auto reply = rmf::SchedDispatchReply::decode(*frame);
+      if (reply.ok()) on_dispatch_reply(hello.site, *reply);
+    }
+  }
+  const auto it = runners_.find(hello.site);
+  if (it != runners_.end() && it->second == conn) runners_.erase(it);
+}
+
+void Scheduler::on_complete(const std::string& site,
+                            const rmf::SchedComplete& batch) {
+  std::vector<rmf::SchedComplete::Item> known;
+  known.reserve(batch.items.size());
+  for (const rmf::SchedComplete::Item& item : batch.items) {
+    if (inflight_.count(item.sched_id) != 0) {
+      known.push_back(item);
+    } else {
+      // A resent batch the journal already absorbed: ack without charge.
+      ++dup_completions_;
+    }
+  }
+  if (known.empty()) return;
+  journal_completes(known);  // journal, then apply, then the caller acks
+  static telemetry::Histogram& turnaround =
+      telemetry::metrics().histogram("sched.turnaround_ms");
+  const sim::Time t = now();
+  for (const rmf::SchedComplete::Item& item : known) {
+    auto it = inflight_.find(item.sched_id);
+    const Inflight rec = std::move(it->second);
+    inflight_.erase(it);
+    index_.credit_site(rec.site, rec.nprocs);
+    if (item.ok) {
+      ++jobs_completed_;
+      charge(rec.tenant, item.cpu_seconds);
+    } else {
+      ++jobs_failed_;
+    }
+    turnaround.observe(sim::to_ms(t - rec.enqueued_at));
+  }
+  last_done_ = t;
+  static telemetry::Counter& c =
+      telemetry::metrics().counter("sched.jobs.completed");
+  c.add(static_cast<std::int64_t>(known.size()));
+  inflight_gauge().set(static_cast<std::int64_t>(inflight_.size()));
+  (void)site;
+  ensure_pass();
+  maybe_snapshot();
+}
+
+void Scheduler::on_dispatch_reply(const std::string& site,
+                                  const rmf::SchedDispatchReply& reply) {
+  if (reply.retry_after_ms > 0) {
+    backoff_[site] = now() + sim::from_sec(reply.retry_after_ms / 1000.0);
+  }
+  std::vector<std::uint64_t> requeued;
+  for (std::uint64_t id : reply.rejected) {
+    auto it = inflight_.find(id);
+    if (it == inflight_.end()) continue;  // completed in the meantime
+    Inflight rec = std::move(it->second);
+    inflight_.erase(it);
+    index_.credit_site(rec.site, rec.nprocs);
+    if (rec.attempts + 1 >= options_.max_attempts) {
+      fail_job(id, rec);
+      continue;
+    }
+    requeued.push_back(id);
+    requeue(id, std::move(rec));
+  }
+  if (!requeued.empty()) journal_requeues(requeued);
+  ensure_pass();
+}
+
+void Scheduler::requeue(std::uint64_t sched_id, Inflight rec) {
+  PendingJob job;
+  job.sched_id = sched_id;
+  job.tenant = std::move(rec.tenant);
+  job.task = std::move(rec.task);
+  job.nprocs = rec.nprocs;
+  job.est_runtime_s = rec.est_runtime_s;
+  job.enqueued_at = rec.enqueued_at;
+  job.attempts = rec.attempts + 1;
+  ++jobs_requeued_;
+  static telemetry::Counter& c =
+      telemetry::metrics().counter("sched.jobs.requeued");
+  c.add();
+  queue_.push_front(shares_, std::move(job));
+  pending_gauge().set(static_cast<std::int64_t>(queue_.size()));
+  inflight_gauge().set(static_cast<std::int64_t>(inflight_.size()));
+}
+
+void Scheduler::fail_job(std::uint64_t sched_id, const Inflight& rec) {
+  ++jobs_failed_;
+  last_done_ = now();
+  kLog.warn("job %llu (%s) failed after %d attempts",
+            static_cast<unsigned long long>(sched_id), rec.tenant.c_str(),
+            rec.attempts + 1);
+  journal_completes({rmf::SchedComplete::Item{sched_id, false, 0}});
+}
+
+void Scheduler::charge(const std::string& tenant, double cpu_seconds) {
+  shares_.charge(tenant, cpu_seconds, now_s());
+  // A charge is the only event that can reorder tenants (decay cannot).
+  queue_.rekey(shares_, tenant);
+}
+
+std::int64_t Scheduler::top_share_bp() const {
+  return static_cast<std::int64_t>(10000.0 * shares_.top_share());
+}
+
+// ------------------------------------------------------------- pass loop
+
+void Scheduler::ensure_pass() {
+  if (pass_active_ || !started_) return;
+  if (queue_.empty() && inflight_.empty()) return;
+  pass_active_ = true;
+  auto* proc = host_->network().engine().spawn(
+      "sched.pass@" + host_->name(), [this](sim::Process& self) {
+        struct Flag {
+          bool* active;
+          ~Flag() { *active = false; }
+        } flag{&pass_active_};
+        pass_loop(self);
+      });
+  register_proc(proc);
+}
+
+void Scheduler::pass_loop(sim::Process& self) {
+  // Parks when the grid goes quiet (no pending, no inflight) so the event
+  // queue can drain; on_submit / on_complete re-arm it.
+  while (!queue_.empty() || !inflight_.empty()) {
+    refresh_index(self);
+    sweep_deadlines();
+    schedule_pass();
+    pending_gauge().set(static_cast<std::int64_t>(queue_.size()));
+    inflight_gauge().set(static_cast<std::int64_t>(inflight_.size()));
+    self.sleep(options_.pass_interval_s);
+  }
+}
+
+void Scheduler::refresh_index(sim::Process& self) {
+  if (options_.mds.host.empty()) return;
+  const sim::Time t = now();
+  if (index_primed_ && t - last_refresh_ < sim::from_sec(options_.mds_refresh_s)) {
+    return;
+  }
+  mds::MdsClient client(*host_, options_.mds);
+  auto entries =
+      client.search(self, "o=grid", mds::Scope::kSubtree, "(cpus=*)(site=*)");
+  if (!entries.ok()) return;  // directory down; keep the stale index
+  ++mds_refreshes_;
+  last_refresh_ = t;
+  // An empty directory is not a primed one: at boot the runners' first
+  // registrations may still be in flight, and backing off for a full
+  // refresh period would stall the first dispatch wave. Keep searching
+  // every pass until something shows up.
+  if (entries->empty() && index_.hosts() == 0) return;
+  for (const mds::Entry& entry : *entries) {
+    index_.upsert(entry, t, options_.entry_ttl_s);
+  }
+  for (const auto& [site, _] : runners_) {
+    index_.touch_site(site, t + sim::from_sec(options_.entry_ttl_s));
+  }
+  index_.expire(t);
+  if (reapply_debits_) {
+    reapply_debits_ = false;
+    for (const auto& [_, rec] : inflight_) {
+      index_.debit_site(rec.site, rec.nprocs);
+    }
+  }
+  index_primed_ = true;
+}
+
+void Scheduler::sweep_deadlines() {
+  const sim::Time t = now();
+  std::vector<std::uint64_t> overdue;
+  for (const auto& [id, rec] : inflight_) {
+    const sim::Time deadline =
+        rec.dispatched_at +
+        sim::from_sec(rec.est_runtime_s + options_.dispatch_grace_s);
+    if (deadline < t) overdue.push_back(id);
+  }
+  if (overdue.empty()) return;
+  std::vector<std::uint64_t> requeued;
+  for (std::uint64_t id : overdue) {
+    auto it = inflight_.find(id);
+    Inflight rec = std::move(it->second);
+    inflight_.erase(it);
+    index_.credit_site(rec.site, rec.nprocs);
+    if (rec.attempts + 1 >= options_.max_attempts) {
+      fail_job(id, rec);
+      continue;
+    }
+    requeued.push_back(id);
+    requeue(id, std::move(rec));
+  }
+  if (!requeued.empty()) {
+    kLog.warn("%s: deadline sweep requeued %zu lost dispatches",
+              host_->name().c_str(), requeued.size());
+    journal_requeues(requeued);
+  }
+}
+
+void Scheduler::schedule_pass() {
+  const sim::Time t = now();
+  // Sites the matcher must skip this pass: backed off (runner shed) or
+  // indexed without a live runner connection.
+  std::map<std::string, sim::Time> skip = backoff_;
+  for (const auto& [site, _] : index_.site_records()) {
+    if (runners_.count(site) == 0) skip[site] = t + 1;
+  }
+
+  struct Batch {
+    std::vector<rmf::SchedDispatch::Item> items;
+    std::vector<std::uint64_t> ids;
+  };
+  std::map<std::string, Batch> batches;
+  static telemetry::Histogram& wait_ms =
+      telemetry::metrics().histogram("sched.queue_wait_ms");
+
+  auto dispatch_to = [&](const std::string& site, PendingJob job) {
+    index_.debit_site(site, job.nprocs);
+    Inflight rec;
+    rec.tenant = job.tenant;
+    rec.site = site;
+    rec.task = job.task;
+    rec.nprocs = job.nprocs;
+    rec.est_runtime_s = job.est_runtime_s;
+    rec.enqueued_at = job.enqueued_at;
+    rec.dispatched_at = t;
+    rec.attempts = job.attempts;
+    wait_ms.observe(sim::to_ms(t - job.enqueued_at));
+    Batch& batch = batches[site];
+    batch.items.push_back(rmf::SchedDispatch::Item{
+        job.sched_id, std::move(job.tenant), std::move(job.task), job.nprocs,
+        job.est_runtime_s});
+    batch.ids.push_back(job.sched_id);
+    inflight_.emplace(job.sched_id, std::move(rec));
+  };
+
+  // In-order phase: drain heads while they fit somewhere.
+  while (const PendingJob* head = queue_.head()) {
+    const std::string site = index_.match_site(head->nprocs, skip, t);
+    if (site.empty()) break;
+    dispatch_to(site, queue_.pop_head());
+  }
+
+  // EASY backfill: the head (if any) does not fit anywhere right now.
+  // Compute its earliest reservation from in-flight completion estimates,
+  // then let bounded later candidates through iff they cannot delay it.
+  if (const PendingJob* head = queue_.head();
+      head != nullptr && options_.backfill_scan > 0) {
+    // Earliest time some site frees enough CPUs for the head: walk each
+    // candidate site's in-flight completions in finish order.
+    sim::Time shadow = 0;  // 0 = no site can ever fit the head
+    std::string shadow_site;
+    int shadow_extra = 0;
+    for (const auto& [site, rec] : index_.site_records()) {
+      if (runners_.count(site) == 0) continue;
+      if (rec.cpus < head->nprocs) continue;
+      std::vector<std::pair<sim::Time, int>> finishes;  // (when, cpus)
+      for (const auto& [_, inflight] : inflight_) {
+        if (inflight.site != site) continue;
+        finishes.emplace_back(
+            inflight.dispatched_at + sim::from_sec(inflight.est_runtime_s),
+            inflight.nprocs);
+      }
+      std::sort(finishes.begin(), finishes.end());
+      int free = rec.cpus - rec.inflight;
+      sim::Time when = t;
+      std::size_t i = 0;
+      while (free < head->nprocs && i < finishes.size()) {
+        when = std::max(when, finishes[i].first);
+        free += finishes[i].second;
+        ++i;
+      }
+      if (free < head->nprocs) continue;  // even a full drain can't fit it
+      if (shadow_site.empty() || when < shadow) {
+        shadow = when;
+        shadow_site = site;
+        shadow_extra = free - head->nprocs;
+      }
+    }
+
+    struct Candidate {
+      std::string tenant;
+      int nprocs;
+      double est_runtime_s;
+    };
+    std::vector<Candidate> cands;
+    for (const PendingJob* j :
+         queue_.backfill_candidates(options_.backfill_scan)) {
+      cands.push_back(Candidate{j->tenant, j->nprocs, j->est_runtime_s});
+    }
+    for (const Candidate& cand : cands) {
+      const std::string site = index_.match_site(cand.nprocs, skip, t);
+      if (site.empty()) continue;
+      // The EASY condition: never delay the head's reservation. Safe when
+      // the candidate runs on another site, finishes before the shadow
+      // time, or fits inside the reserved site's spare CPUs at that time.
+      const bool safe =
+          shadow_site.empty() || site != shadow_site ||
+          t + sim::from_sec(cand.est_runtime_s) <= shadow ||
+          cand.nprocs <= shadow_extra;
+      if (!safe) continue;
+      if (site == shadow_site && t + sim::from_sec(cand.est_runtime_s) > shadow) {
+        shadow_extra -= cand.nprocs;
+      }
+      dispatch_to(site, queue_.pop_front_of(cand.tenant));
+      ++jobs_backfilled_;
+    }
+  }
+
+  for (auto& [site, batch] : batches) {
+    journal_dispatch(site, batch.ids);  // before the dispatch is visible
+    ++dispatch_batches_;
+    const auto it = runners_.find(site);
+    if (it != runners_.end()) {
+      (void)it->second->send(
+          rmf::SchedDispatch{std::move(batch.items)}.encode());
+    }
+    // A send into a just-died connection is recovered by the deadline
+    // sweep, exactly like a runner crash after receipt.
+  }
+  if (!batches.empty()) {
+    static telemetry::Counter& c =
+        telemetry::metrics().counter("sched.jobs.dispatched");
+    std::int64_t n = 0;
+    for (const auto& [_, batch] : batches) {
+      n += static_cast<std::int64_t>(batch.ids.size());
+    }
+    c.add(n);
+    maybe_snapshot();
+  }
+}
+
+// ------------------------------------------------------------- grid path
+
+void Scheduler::proxy_alloc(sim::Process& self, sim::SimSocket& conn,
+                            const rmf::AllocRequest& req) {
+  refresh_index(self);
+  const std::string tenant = req.tenant.empty() ? "grid" : req.tenant;
+  rmf::AllocRequest fwd = req;
+  fwd.tenant = tenant;
+  fwd.preferred = index_.match_hosts(req.nprocs, req.exclude);
+
+  auto fail = [&](const std::string& why) {
+    rmf::AllocReply reply;
+    reply.ok = false;
+    reply.error = why;
+    (void)conn.send(reply.encode());
+  };
+  if (options_.allocator.host.empty()) return fail("no allocator configured");
+  auto alloc = host_->stack().connect(self, options_.allocator);
+  if (!alloc.ok()) return fail("allocator unreachable");
+  if (!(*alloc)->send(fwd.encode()).ok()) return fail("allocator send failed");
+  auto frame = (*alloc)->recv(self);
+  (*alloc)->close();
+  if (!frame.ok()) return fail("allocator reply lost");
+  auto reply = rmf::AllocReply::decode(*frame);
+  if (!reply.ok()) return fail("allocator reply malformed");
+  if (reply->ok) {
+    index_.debit_hosts(reply->placements);
+    grants_[reply->grant_id] =
+        GrantRec{tenant, req.nprocs, reply->placements, now()};
+  }
+  (void)conn.send(*frame);  // forward the allocator's reply verbatim
+}
+
+void Scheduler::proxy_release(sim::Process& self, const rmf::Release& rel) {
+  if (!options_.allocator.host.empty()) {
+    auto alloc = host_->stack().connect(self, options_.allocator);
+    if (alloc.ok()) {
+      (void)(*alloc)->send(rel.encode());
+      (*alloc)->close();
+    }
+  }
+  const double t = now_s();
+  for (std::uint64_t id : rel.grant_ids) {
+    const auto it = grants_.find(id);
+    if (it == grants_.end()) continue;
+    const GrantRec& g = it->second;
+    // Fair-share charge for the allocation's whole lifetime: width ×
+    // wall duration, the multi-tenant analogue of cpu_seconds.
+    charge(g.tenant, (t - sim::to_sec(g.granted_at)) * g.nprocs);
+    index_.credit_hosts(g.placements);
+    grants_.erase(it);
+  }
+}
+
+// --------------------------------------------------------------- journal
+
+void Scheduler::journal_accepts(const std::vector<PendingJob>& jobs) {
+  BufWriter w;
+  w.u8(kRecAccept);
+  w.u32(static_cast<std::uint32_t>(jobs.size()));
+  for (const PendingJob& job : jobs) put_pending(w, job);
+  journal_.append(std::move(w).take());
+}
+
+void Scheduler::journal_dispatch(const std::string& site,
+                                 const std::vector<std::uint64_t>& ids) {
+  BufWriter w;
+  w.u8(kRecDispatch);
+  w.str(site);
+  w.i64(now());
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (std::uint64_t id : ids) w.u64(id);
+  journal_.append(std::move(w).take());
+}
+
+void Scheduler::journal_completes(
+    const std::vector<rmf::SchedComplete::Item>& items) {
+  BufWriter w;
+  w.u8(kRecComplete);
+  w.i64(now());
+  w.u32(static_cast<std::uint32_t>(items.size()));
+  for (const rmf::SchedComplete::Item& item : items) {
+    w.u64(item.sched_id);
+    w.boolean(item.ok);
+    w.f64(item.cpu_seconds);
+  }
+  journal_.append(std::move(w).take());
+}
+
+void Scheduler::journal_requeues(const std::vector<std::uint64_t>& ids) {
+  BufWriter w;
+  w.u8(kRecRequeue);
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (std::uint64_t id : ids) w.u64(id);
+  journal_.append(std::move(w).take());
+}
+
+void Scheduler::maybe_snapshot() {
+  if (options_.snapshot_every == 0) return;
+  if (journal_.appended() - snapshot_mark_ < options_.snapshot_every) return;
+  write_snapshot();
+}
+
+void Scheduler::write_snapshot() {
+  // truncate + append runs inside one engine slice with no blocking call
+  // between them, so no crash event can interleave — the journal is never
+  // observably empty.
+  BufWriter w;
+  w.u8(kRecSnapshot);
+  w.u64(next_sched_id_);
+  w.blob(shares_.encode());
+  const auto pending = queue_.all_jobs();
+  w.u32(static_cast<std::uint32_t>(pending.size()));
+  for (const PendingJob* job : pending) put_pending(w, *job);
+  w.u32(static_cast<std::uint32_t>(inflight_.size()));
+  for (const auto& [id, rec] : inflight_) {
+    w.u64(id);
+    w.str(rec.tenant);
+    w.str(rec.site);
+    w.str(rec.task);
+    w.i32(rec.nprocs);
+    w.f64(rec.est_runtime_s);
+    w.i64(rec.enqueued_at);
+    w.i64(rec.dispatched_at);
+    w.i32(rec.attempts);
+  }
+  journal_.truncate();
+  journal_.append(std::move(w).take());
+  snapshot_mark_ = journal_.appended();
+}
+
+void Scheduler::replay_journal() {
+  const auto records = journal_.records();
+  if (records.empty()) return;
+  ++journal_replays_;
+  shares_ = FairShare(options_.half_life_s);
+  // Tenant of each live job, for front-of-tenant pops during replay.
+  std::map<std::uint64_t, std::string> tenants;
+
+  for (const Bytes& record : records) {
+    BufReader r(record);
+    auto tag = r.u8();
+    if (!tag.ok()) break;
+    switch (*tag) {
+      case kRecSnapshot: {
+        auto next_id = r.u64();
+        auto shares_blob = r.blob();
+        if (!next_id.ok() || !shares_blob.ok()) break;
+        next_sched_id_ = *next_id;
+        (void)shares_.restore(*shares_blob);
+        queue_ = PendingQueue();
+        inflight_.clear();
+        tenants.clear();
+        auto np = r.u32();
+        if (!np.ok()) break;
+        for (std::uint32_t i = 0; i < *np; ++i) {
+          auto job = get_pending(r);
+          if (!job.ok()) break;
+          tenants[job->sched_id] = job->tenant;
+          queue_.push(shares_, std::move(*job));
+        }
+        auto ni = r.u32();
+        if (!ni.ok()) break;
+        for (std::uint32_t i = 0; i < *ni; ++i) {
+          auto id = r.u64();
+          auto tenant = r.str();
+          auto site = r.str();
+          auto task = r.str();
+          auto nprocs = r.i32();
+          auto est = r.f64();
+          auto enq = r.i64();
+          auto disp = r.i64();
+          auto attempts = r.i32();
+          if (!id.ok() || !tenant.ok() || !site.ok() || !task.ok() ||
+              !nprocs.ok() || !est.ok() || !enq.ok() || !disp.ok() ||
+              !attempts.ok()) {
+            break;
+          }
+          Inflight rec;
+          rec.tenant = *tenant;
+          rec.site = *site;
+          rec.task = *task;
+          rec.nprocs = *nprocs;
+          rec.est_runtime_s = *est;
+          rec.enqueued_at = *enq;
+          rec.dispatched_at = *disp;
+          rec.attempts = *attempts;
+          tenants[*id] = rec.tenant;
+          inflight_.emplace(*id, std::move(rec));
+        }
+        break;
+      }
+      case kRecAccept: {
+        auto n = r.u32();
+        if (!n.ok()) break;
+        for (std::uint32_t i = 0; i < *n; ++i) {
+          auto job = get_pending(r);
+          if (!job.ok()) break;
+          if (job->sched_id >= next_sched_id_) {
+            next_sched_id_ = job->sched_id + 1;
+          }
+          tenants[job->sched_id] = job->tenant;
+          queue_.push(shares_, std::move(*job));
+        }
+        break;
+      }
+      case kRecDispatch: {
+        auto site = r.str();
+        auto at = r.i64();
+        auto n = r.u32();
+        if (!site.ok() || !at.ok() || !n.ok()) break;
+        for (std::uint32_t i = 0; i < *n; ++i) {
+          auto id = r.u64();
+          if (!id.ok()) break;
+          const auto tenant_it = tenants.find(*id);
+          if (tenant_it == tenants.end()) continue;
+          // One pass's dispatch records are grouped per site, so jobs of
+          // the same tenant can be journaled out of pop order — remove by
+          // id rather than assuming the front.
+          PendingJob job = queue_.take(tenant_it->second, *id);
+          Inflight rec;
+          rec.tenant = job.tenant;
+          rec.site = *site;
+          rec.task = job.task;
+          rec.nprocs = job.nprocs;
+          rec.est_runtime_s = job.est_runtime_s;
+          rec.enqueued_at = job.enqueued_at;
+          rec.dispatched_at = *at;
+          rec.attempts = job.attempts;
+          inflight_.emplace(*id, std::move(rec));
+        }
+        break;
+      }
+      case kRecComplete: {
+        auto at = r.i64();
+        auto n = r.u32();
+        if (!at.ok() || !n.ok()) break;
+        for (std::uint32_t i = 0; i < *n; ++i) {
+          auto id = r.u64();
+          auto ok = r.u8();
+          auto cpu_s = r.f64();
+          if (!id.ok() || !ok.ok() || !cpu_s.ok()) break;
+          auto it = inflight_.find(*id);
+          if (it == inflight_.end()) continue;
+          if (*ok != 0) {
+            shares_.charge(it->second.tenant, *cpu_s, sim::to_sec(*at));
+            queue_.rekey(shares_, it->second.tenant);
+          }
+          tenants.erase(*id);
+          inflight_.erase(it);
+        }
+        break;
+      }
+      case kRecRequeue: {
+        auto n = r.u32();
+        if (!n.ok()) break;
+        for (std::uint32_t i = 0; i < *n; ++i) {
+          auto id = r.u64();
+          if (!id.ok()) break;
+          auto it = inflight_.find(*id);
+          if (it == inflight_.end()) continue;
+          Inflight rec = std::move(it->second);
+          inflight_.erase(it);
+          PendingJob job;
+          job.sched_id = *id;
+          job.tenant = rec.tenant;
+          job.task = rec.task;
+          job.nprocs = rec.nprocs;
+          job.est_runtime_s = rec.est_runtime_s;
+          job.enqueued_at = rec.enqueued_at;
+          job.attempts = rec.attempts + 1;
+          queue_.push_front(shares_, std::move(job));
+        }
+        break;
+      }
+      default:
+        break;  // unknown tag from a future version: skip
+    }
+  }
+  reapply_debits_ = !inflight_.empty();
+  pending_gauge().set(static_cast<std::int64_t>(queue_.size()));
+  inflight_gauge().set(static_cast<std::int64_t>(inflight_.size()));
+  kLog.warn("%s: journal replayed: %zu pending, %zu inflight",
+            host_->name().c_str(), queue_.size(), inflight_.size());
+}
+
+}  // namespace wacs::sched

@@ -1,0 +1,202 @@
+// The multi-tenant grid scheduler (DESIGN.md §17).
+//
+// Sits between submitters/gatekeeper and the execution layer and makes
+// RMF a multi-tenant service:
+//
+//   admission     per-tenant queue caps and a global cap; over-cap
+//                 submissions get an explicit retryable Busy verdict
+//                 (the nxproxy Busy{retry_after_ms} idiom) instead of
+//                 wedging the queue.
+//   ordering      per-tenant FIFO, cross-tenant fair-share with
+//                 half-life decay (sched/fairshare.hpp) over a
+//                 priority-indexed pending queue (sched/queue.hpp).
+//   backfill      EASY: when the head job does not fit, later jobs may
+//                 run now iff they cannot delay the head's earliest
+//                 reservation; the candidate scan is bounded.
+//   matching      MDS-backed (sched/matcher.hpp): sites publish host
+//                 entries with TTLs, the scheduler refreshes by filtered
+//                 subtree search and dispatches to the best-fitting site.
+//   dispatch      batched frames over persistent runner connections
+//                 (runners dial out — leaf sites keep zero inbound
+//                 holes); runner sheds are requeued with site backoff,
+//                 lost dispatches are recovered by a deadline sweep.
+//   durability    accepts/dispatches/completions journal before their
+//                 effects become visible; snapshot + truncate bounds the
+//                 log; restart() replays to the exact pre-crash state.
+//
+// The scheduler can also interpose on the paper's grid path: pointed at a
+// ResourceAllocator it proxies AllocRequest/Release, pinning MDS-matched
+// placements via AllocRequest.preferred and charging fair-share for the
+// allocation's lifetime (GridSystem::add_scheduler).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mds/server.hpp"
+#include "rmf/journal.hpp"
+#include "rmf/protocol.hpp"
+#include "sched/fairshare.hpp"
+#include "sched/matcher.hpp"
+#include "sched/queue.hpp"
+#include "simnet/tcp.hpp"
+
+namespace wacs::sched {
+
+class Scheduler {
+ public:
+  struct Options {
+    std::uint16_t port = 2180;
+    Contact mds;        ///< directory server; empty host = no refresh
+    Contact allocator;  ///< grid-path proxy target; empty host = off
+
+    double half_life_s = 600;      ///< fair-share decay half-life
+    double pass_interval_s = 0.25;  ///< scheduling pass cadence
+    double mds_refresh_s = 10;     ///< directory re-search period
+    double entry_ttl_s = 120;      ///< matcher record lifetime
+
+    int max_pending_per_tenant = 200;     ///< admission cap (per tenant)
+    std::size_t max_pending_total = 100000;  ///< admission cap (global)
+    std::uint32_t retry_after_ms = 500;   ///< Busy verdict backoff hint
+    int max_nprocs = 4096;                ///< reject wider jobs outright
+
+    std::size_t backfill_scan = 256;  ///< bounded candidate scan per pass
+    double dispatch_grace_s = 30;     ///< est + grace before a dispatch is
+                                      ///< presumed lost and requeued
+    int max_attempts = 5;             ///< requeues before the job fails
+    std::size_t snapshot_every = 2048;  ///< journal records per snapshot
+  };
+
+  Scheduler(sim::Host& host, Options options);
+
+  void start();
+  /// Restart-hook body: re-listen, respawn serve, replay the journal.
+  void restart();
+
+  Contact contact() const { return Contact{host_->name(), options_.port}; }
+  Options& mutable_options() { return options_; }
+  sim::Process* serve_process() const { return serve_proc_; }
+
+  /// Direct index access for static registration in tests (no MDS).
+  ResourceIndex& index() { return index_; }
+  const FairShare& shares() const { return shares_; }
+
+  // Observability (tests, bench, obs probes).
+  std::size_t pending_jobs() const { return queue_.size(); }
+  std::size_t inflight_jobs() const { return inflight_.size(); }
+  std::size_t tenants_waiting() const { return queue_.tenants_waiting(); }
+  std::uint64_t jobs_accepted() const { return jobs_accepted_; }
+  std::uint64_t jobs_shed() const { return jobs_shed_; }
+  std::uint64_t jobs_completed() const { return jobs_completed_; }
+  std::uint64_t jobs_failed() const { return jobs_failed_; }
+  std::uint64_t jobs_backfilled() const { return jobs_backfilled_; }
+  std::uint64_t jobs_requeued() const { return jobs_requeued_; }
+  std::uint64_t dispatch_batches() const { return dispatch_batches_; }
+  std::uint64_t dup_completions() const { return dup_completions_; }
+  std::uint64_t journal_replays() const { return journal_replays_; }
+  std::uint64_t mds_refreshes() const { return mds_refreshes_; }
+  std::size_t connected_runners() const { return runners_.size(); }
+  /// When the last job reached a final state (completed or failed). The
+  /// makespan clock for benches: engine.now() after a drain also counts
+  /// idle daemon timers (publisher TTL sleeps), not work.
+  sim::Time last_done() const { return last_done_; }
+  /// Fair share of the currently most-charged tenant, in basis points of
+  /// the total decayed usage (10000 = one tenant holds everything).
+  std::int64_t top_share_bp() const;
+
+ private:
+  struct Inflight {
+    std::string tenant;
+    std::string site;
+    std::string task;
+    int nprocs = 1;
+    double est_runtime_s = 1.0;
+    sim::Time enqueued_at = 0;
+    sim::Time dispatched_at = 0;
+    int attempts = 0;
+  };
+  struct GrantRec {  // grid-path proxied allocation
+    std::string tenant;
+    int nprocs = 0;
+    std::vector<rmf::Placement> placements;
+    sim::Time granted_at = 0;
+  };
+
+  void serve(sim::Process& self);
+  void handle(sim::Process& self, sim::SocketPtr conn);
+  void handle_runner(sim::Process& self, sim::SocketPtr conn,
+                     const rmf::SchedHello& hello);
+  rmf::SchedSubmitReply on_submit(const rmf::SchedSubmit& submit);
+  void on_complete(const std::string& site, const rmf::SchedComplete& batch);
+  void on_dispatch_reply(const std::string& site,
+                         const rmf::SchedDispatchReply& reply);
+  void proxy_alloc(sim::Process& self, sim::SimSocket& conn,
+                   const rmf::AllocRequest& req);
+  void proxy_release(sim::Process& self, const rmf::Release& rel);
+
+  void ensure_pass();
+  void pass_loop(sim::Process& self);
+  void refresh_index(sim::Process& self);
+  void schedule_pass();
+  void sweep_deadlines();
+  void requeue(std::uint64_t sched_id, Inflight rec);
+  void fail_job(std::uint64_t sched_id, const Inflight& rec);
+  void charge(const std::string& tenant, double cpu_seconds);
+  void maybe_snapshot();
+
+  void journal_accepts(const std::vector<PendingJob>& jobs);
+  void journal_dispatch(const std::string& site,
+                        const std::vector<std::uint64_t>& ids);
+  void journal_completes(const std::vector<rmf::SchedComplete::Item>& items);
+  void journal_requeues(const std::vector<std::uint64_t>& ids);
+  void write_snapshot();
+  void replay_journal();
+  void spawn_serve();
+  void register_proc(sim::Process* proc);
+
+  sim::Time now() const;
+  double now_s() const;
+
+  sim::Host* host_;
+  Options options_;
+  sim::ListenerPtr listener_;
+  sim::Process* serve_proc_ = nullptr;
+  bool started_ = false;
+  bool pass_active_ = false;
+
+  FairShare shares_;
+  PendingQueue queue_;
+  ResourceIndex index_;
+  std::map<std::uint64_t, Inflight> inflight_;
+  std::uint64_t next_sched_id_ = 1;
+
+  std::map<std::string, sim::SocketPtr> runners_;  // site → live connection
+  std::map<std::string, sim::Time> backoff_;       // site → skip until
+
+  std::map<std::uint64_t, GrantRec> grants_;  // grid-path ledger
+  sim::Time last_refresh_ = 0;
+  bool index_primed_ = false;
+  /// Set by replay: the first index refresh after a crash re-applies the
+  /// in-flight debits (the index is volatile; the inflight ledger is not).
+  bool reapply_debits_ = false;
+
+  rmf::Journal journal_;
+  std::uint64_t snapshot_mark_ = 0;
+  std::uint64_t journal_replays_ = 0;
+
+  std::uint64_t jobs_accepted_ = 0;
+  std::uint64_t jobs_shed_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_failed_ = 0;
+  std::uint64_t jobs_backfilled_ = 0;
+  std::uint64_t jobs_requeued_ = 0;
+  std::uint64_t dispatch_batches_ = 0;
+  std::uint64_t dup_completions_ = 0;
+  std::uint64_t mds_refreshes_ = 0;
+  sim::Time last_done_ = 0;
+};
+
+}  // namespace wacs::sched

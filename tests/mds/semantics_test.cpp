@@ -1,0 +1,138 @@
+// Directory semantics the scheduler's resource index depends on: TTL
+// expiry and re-registration, kBase vs kSubtree scope resolution, and
+// numeric filter terms meeting non-numeric attribute values (the term
+// fails, the search survives).
+#include <gtest/gtest.h>
+
+#include "mds/directory.hpp"
+#include "mds/server.hpp"
+#include "simnet/time.hpp"
+
+namespace wacs::mds {
+namespace {
+
+Entry entry(const std::string& dn,
+            std::map<std::string, std::string> attrs) {
+  Entry e;
+  e.dn = dn;
+  e.attributes = std::move(attrs);
+  return e;
+}
+
+TEST(MdsSemantics, TtlExpiryDropsExactlyTheLapsedEntries) {
+  Directory dir;
+  dir.register_entry(entry("o=grid/host=a", {{"site", "s"}}), 100);
+  dir.register_entry(entry("o=grid/host=b", {{"site", "s"}}), 200);
+
+  const Filter all = *Filter::parse("");
+  EXPECT_EQ(dir.search("o=grid", Scope::kSubtree, all, 99).size(), 2u);
+  // Expiry boundary is exclusive-at-expiry: an entry is gone AT its
+  // expires_at instant.
+  auto at_100 = dir.search("o=grid", Scope::kSubtree, all, 100);
+  ASSERT_EQ(at_100.size(), 1u);
+  EXPECT_EQ(at_100[0].dn, "o=grid/host=b");
+  EXPECT_TRUE(dir.search("o=grid", Scope::kSubtree, all, 200).empty());
+}
+
+TEST(MdsSemantics, ReRegistrationExtendsTtlAndReplacesAttributes) {
+  Directory dir;
+  dir.register_entry(entry("o=grid/host=a", {{"cpus", "4"}}), 100);
+  // The publisher re-registers before the TTL lapses: new attribute map,
+  // new lifetime. The old attributes must not leak through.
+  dir.register_entry(entry("o=grid/host=a", {{"cpus", "8"}}), 500);
+
+  const Filter all = *Filter::parse("");
+  auto found = dir.search("o=grid", Scope::kSubtree, all, 400);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].attributes.at("cpus"), "8");
+  EXPECT_TRUE(dir.search("o=grid", Scope::kSubtree, all, 500).empty());
+}
+
+TEST(MdsSemantics, ReRegistrationAfterLapseRevives) {
+  Directory dir;
+  dir.register_entry(entry("o=grid/host=a", {{"site", "s"}}), 100);
+  const Filter all = *Filter::parse("");
+  EXPECT_TRUE(dir.search("o=grid", Scope::kSubtree, all, 150).empty());
+  // The lazily-expired entry is re-registered later (runner came back):
+  // a fresh registration, not a resurrection of stale state.
+  dir.register_entry(entry("o=grid/host=a", {{"site", "t"}}), 300);
+  auto found = dir.search("o=grid", Scope::kSubtree, all, 250);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].attributes.at("site"), "t");
+}
+
+TEST(MdsSemantics, BaseScopeIsExactDnOnly) {
+  Directory dir;
+  dir.register_entry(entry("o=grid", {{"kind", "root"}}), 1000);
+  dir.register_entry(entry("o=grid/ou=s", {{"kind", "site"}}), 1000);
+  dir.register_entry(entry("o=grid/ou=s/host=a", {{"kind", "host"}}), 1000);
+
+  const Filter all = *Filter::parse("");
+  auto base = dir.search("o=grid/ou=s", Scope::kBase, all, 0);
+  ASSERT_EQ(base.size(), 1u);
+  EXPECT_EQ(base[0].attributes.at("kind"), "site");
+
+  auto subtree = dir.search("o=grid/ou=s", Scope::kSubtree, all, 0);
+  EXPECT_EQ(subtree.size(), 2u);  // the base entry and the host below it
+
+  // kBase on a DN with descendants but no entry of its own finds nothing.
+  dir.unregister_entry("o=grid/ou=s");
+  EXPECT_TRUE(dir.search("o=grid/ou=s", Scope::kBase, all, 0).empty());
+  EXPECT_EQ(dir.search("o=grid/ou=s", Scope::kSubtree, all, 0).size(), 1u);
+}
+
+TEST(MdsSemantics, SubtreeDoesNotMatchDnPrefixesAcrossComponents) {
+  Directory dir;
+  dir.register_entry(entry("o=grid/ou=s", {}), 1000);
+  dir.register_entry(entry("o=grid/ou=s2", {}), 1000);
+  const Filter all = *Filter::parse("");
+  // "o=grid/ou=s" must not capture "o=grid/ou=s2" (string-prefix trap).
+  auto found = dir.search("o=grid/ou=s", Scope::kSubtree, all, 0);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].dn, "o=grid/ou=s");
+}
+
+TEST(MdsSemantics, NumericFilterOnNonNumericAttrFailsTheTermNotTheSearch) {
+  Directory dir;
+  dir.register_entry(entry("o=grid/host=a", {{"cpus", "lots"}}), 1000);
+  dir.register_entry(entry("o=grid/host=b", {{"cpus", "8"}}), 1000);
+
+  // ">=" against "lots" must fail host=a's term (excluding it) without
+  // crashing or failing the whole search; host=b still matches.
+  const auto ge = Filter::parse("(cpus>=4)");
+  ASSERT_TRUE(ge.ok());
+  auto found = dir.search("o=grid", Scope::kSubtree, *ge, 0);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].dn, "o=grid/host=b");
+
+  const auto le = Filter::parse("(cpus<=16)");
+  ASSERT_TRUE(le.ok());
+  found = dir.search("o=grid", Scope::kSubtree, *le, 0);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].dn, "o=grid/host=b");
+
+  // Presence and equality still treat the value as an opaque string.
+  EXPECT_EQ(dir.search("o=grid", Scope::kSubtree,
+                       *Filter::parse("(cpus=*)"), 0)
+                .size(),
+            2u);
+  EXPECT_EQ(dir.search("o=grid", Scope::kSubtree,
+                       *Filter::parse("(cpus=lots)"), 0)
+                .size(),
+            1u);
+}
+
+TEST(MdsSemantics, NumericFilterEdgeValues) {
+  Directory dir;
+  dir.register_entry(entry("o=grid/host=a", {{"cpus", ""}}), 1000);
+  dir.register_entry(entry("o=grid/host=b", {{"cpus", "8x"}}), 1000);
+  dir.register_entry(entry("o=grid/host=c", {{"cpus", "8"}}), 1000);
+  // Empty and trailing-garbage values are non-numeric: term fails.
+  auto found =
+      dir.search("o=grid", Scope::kSubtree, *Filter::parse("(cpus>=0)"), 0);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].dn, "o=grid/host=c");
+}
+
+}  // namespace
+}  // namespace wacs::mds

@@ -149,5 +149,28 @@ TEST(ObsTimeline, RenderTopShowsBreachesAndSparklines) {
   EXPECT_NE(top.find('|'), std::string::npos);  // a sparkline rendered
 }
 
+TEST(ObsTimeline, SchedulerSeriesRenderInTopAndJson) {
+  TimelineState state;
+  state.apply(report("hub", 1'000'000'000,
+                     {{"sched.pending", 120},
+                      {"sched.top_share_bp", 1375},
+                      {"sched.dispatched", 480},
+                      {"plain.counter", 7}},
+                     {{"scheduler@hub-sched", Health::kUp}}));
+  const std::string top = state.render_top(1'000'000'000);
+  EXPECT_NE(top.find("sched.pending"), std::string::npos);
+  EXPECT_NE(top.find("sched.top_share_bp"), std::string::npos);
+  EXPECT_NE(top.find("sched.dispatched"), std::string::npos);
+  // Series without load signal stay out of the top view but survive in
+  // the snapshot, so wacs-top --json remains a complete CI artifact.
+  EXPECT_EQ(top.find("plain.counter"), std::string::npos);
+  const json::Value snap = state.snapshot_json(1'000'000'000);
+  const json::Value* series = snap.find("sites")->find("hub")->find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_NE(series->find("sched.pending"), nullptr);
+  ASSERT_NE(series->find("plain.counter"), nullptr);
+  EXPECT_EQ(series->find("plain.counter")->items().size(), 1u);
+}
+
 }  // namespace
 }  // namespace wacs::obs

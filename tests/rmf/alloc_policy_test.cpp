@@ -1,0 +1,192 @@
+// Allocator policy coverage (kLeastLoaded, kRoundRobin), the
+// preferred-placement path the scheduler pins MDS matches through, and the
+// allocation-table invariant — 0 <= allocated <= cpus for every resource —
+// held across grants, releases, and journal replay.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rmf/allocator.hpp"
+#include "simnet/net.hpp"
+
+namespace wacs::rmf {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  sim::Network net{engine};
+  std::unique_ptr<ResourceAllocator> alloc;
+
+  explicit Fixture(AllocPolicy policy) {
+    net.add_site("s", fw::Policy::open(),
+                 sim::LinkParams{.name = "", .latency_s = 0,
+                                 .bandwidth_bps = 1e9});
+    net.add_host({.name = "h", .site = "s"});
+    alloc = std::make_unique<ResourceAllocator>(net.host("h"), 7000, policy);
+    alloc->register_resource({"fast", 8, 2.0, 0});
+    alloc->register_resource({"medium", 4, 1.0, 0});
+    alloc->register_resource({"slow", 16, 0.5, 0});
+  }
+
+  int allocated(const std::string& host) const {
+    for (const auto& r : alloc->resources()) {
+      if (r.host == host) return r.allocated;
+    }
+    ADD_FAILURE() << "unknown host " << host;
+    return -1;
+  }
+
+  void check_invariant() const {
+    for (const auto& r : alloc->resources()) {
+      EXPECT_GE(r.allocated, 0) << r.host;
+      EXPECT_LE(r.allocated, r.cpus) << r.host;
+    }
+  }
+};
+
+int total(const std::vector<Placement>& ps) {
+  int n = 0;
+  for (const auto& p : ps) n += p.count;
+  return n;
+}
+
+TEST(AllocPolicy, LeastLoadedPicksTheMostFreeResource) {
+  Fixture f(AllocPolicy::kLeastLoaded);
+  // slow has 16 free CPUs — most free wins regardless of speed.
+  auto ps = f.alloc->select(2);
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(ps[0].host, "slow");
+  // After taking 2 of slow's CPUs it still leads (14 > 8), so the next
+  // narrow request lands there again.
+  ps = f.alloc->select(2);
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(ps[0].host, "slow");
+  f.check_invariant();
+}
+
+TEST(AllocPolicy, LeastLoadedRebalancesAsLoadShifts) {
+  Fixture f(AllocPolicy::kLeastLoaded);
+  ASSERT_EQ(f.alloc->select(12).size(), 1u);  // slow: 4 free left
+  // Now fast (8 free) is the least loaded.
+  auto ps = f.alloc->select(1);
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(ps[0].host, "fast");
+  f.check_invariant();
+}
+
+TEST(AllocPolicy, LeastLoadedSpillsAcrossResources) {
+  Fixture f(AllocPolicy::kLeastLoaded);
+  auto ps = f.alloc->select(20);  // wider than any single resource
+  EXPECT_EQ(total(ps), 20);
+  f.check_invariant();
+}
+
+TEST(AllocPolicy, RoundRobinRotatesAcrossRequests) {
+  Fixture f(AllocPolicy::kRoundRobin);
+  auto a = f.alloc->select(1);
+  auto b = f.alloc->select(1);
+  auto c = f.alloc->select(1);
+  auto d = f.alloc->select(1);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  ASSERT_EQ(c.size(), 1u);
+  ASSERT_EQ(d.size(), 1u);
+  // Three distinct starting resources, then the rotation wraps.
+  EXPECT_NE(a[0].host, b[0].host);
+  EXPECT_NE(b[0].host, c[0].host);
+  EXPECT_NE(a[0].host, c[0].host);
+  EXPECT_EQ(d[0].host, a[0].host);
+  f.check_invariant();
+}
+
+TEST(AllocPolicy, RoundRobinSkipsSaturatedResources) {
+  Fixture f(AllocPolicy::kRoundRobin);
+  // Saturate one resource via a pinned grant (which does not advance the
+  // rotation cursor); every rotation stop must then skip it.
+  auto g = f.alloc->grant(8, {}, {Placement{"fast", 8}});
+  ASSERT_EQ(g.placements.size(), 1u);
+  ASSERT_EQ(f.allocated("fast"), 8);
+  for (int i = 0; i < 6; ++i) {
+    auto ps = f.alloc->select(1);
+    ASSERT_EQ(ps.size(), 1u);
+    EXPECT_NE(ps[0].host, "fast") << "rotation stop " << i;
+  }
+  f.check_invariant();
+}
+
+TEST(AllocPolicy, PreferredPlacementsHonoredAllOrNothing) {
+  Fixture f(AllocPolicy::kFastestFirst);
+  // A pinned placement that fits is taken verbatim.
+  auto g = f.alloc->grant(3, {}, {Placement{"medium", 3}});
+  ASSERT_EQ(g.placements.size(), 1u);
+  EXPECT_EQ(g.placements[0].host, "medium");
+  EXPECT_EQ(f.allocated("medium"), 3);
+  f.check_invariant();
+
+  // A pin the capacity can't honor (medium has 1 CPU left) falls back to
+  // policy selection in full — no partial take of the preferred host.
+  auto g2 = f.alloc->grant(2, {}, {Placement{"medium", 2}});
+  ASSERT_EQ(total(g2.placements), 2);
+  EXPECT_NE(g2.placements[0].host, "medium");
+  EXPECT_EQ(f.allocated("medium"), 3);
+  f.check_invariant();
+}
+
+TEST(AllocPolicy, PreferredMustSumToNprocs) {
+  Fixture f(AllocPolicy::kFastestFirst);
+  // An under-covering pin (3 CPUs pinned for a 4-wide job) is invalid and
+  // must fall back entirely, not top itself up ad hoc.
+  auto g = f.alloc->grant(4, {}, {Placement{"medium", 3}});
+  ASSERT_EQ(total(g.placements), 4);
+  EXPECT_EQ(f.allocated("medium"), 0);
+  f.check_invariant();
+}
+
+TEST(AllocPolicy, PreferredRespectsExcludeList) {
+  Fixture f(AllocPolicy::kFastestFirst);
+  auto g = f.alloc->grant(2, {"medium"}, {Placement{"medium", 2}});
+  ASSERT_EQ(total(g.placements), 2);
+  EXPECT_EQ(f.allocated("medium"), 0);
+  f.check_invariant();
+}
+
+TEST(AllocPolicy, InvariantHoldsAcrossJournalReplay) {
+  Fixture f(AllocPolicy::kLeastLoaded);
+  f.alloc->start();
+
+  auto g1 = f.alloc->grant(10);
+  auto g2 = f.alloc->grant(6, {}, {Placement{"fast", 6}});
+  auto g3 = f.alloc->grant(8);
+  ASSERT_NE(g1.id, 0u);
+  ASSERT_NE(g2.id, 0u);
+  ASSERT_NE(g3.id, 0u);
+  ASSERT_TRUE(f.alloc->release_grant(g2.id));
+  ASSERT_FALSE(f.alloc->release_grant(g2.id)) << "double release must dedup";
+  f.check_invariant();
+
+  std::map<std::string, int> before;
+  for (const auto& r : f.alloc->resources()) before[r.host] = r.allocated;
+
+  // Crash + replay: grants minus releases, including the dedup.
+  f.alloc->restart();
+  EXPECT_EQ(f.alloc->journal_replays(), 1u);
+  f.check_invariant();
+  for (const auto& r : f.alloc->resources()) {
+    EXPECT_EQ(r.allocated, before[r.host]) << r.host;
+  }
+
+  // The replayed table keeps honoring the invariant under new traffic.
+  ASSERT_TRUE(f.alloc->release_grant(g1.id));
+  ASSERT_TRUE(f.alloc->release_grant(g3.id));
+  f.check_invariant();
+  for (const auto& r : f.alloc->resources()) {
+    EXPECT_EQ(r.allocated, 0) << r.host;
+  }
+
+  // Releasing more than was ever granted cannot drive allocated negative.
+  f.alloc->release({Placement{"fast", 100}});
+  f.check_invariant();
+}
+
+}  // namespace
+}  // namespace wacs::rmf

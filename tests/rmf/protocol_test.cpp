@@ -54,12 +54,12 @@ TEST(RmfProtocol, JobDoneRoundTrip) {
 }
 
 TEST(RmfProtocol, AllocRoundTrip) {
-  auto req = AllocRequest::decode(AllocRequest{12, {}}.encode());
+  auto req = AllocRequest::decode(AllocRequest{12, {}, {}, {}}.encode());
   ASSERT_TRUE(req.ok());
   EXPECT_EQ(req->nprocs, 12);
   EXPECT_TRUE(req->exclude.empty());
 
-  auto excl = AllocRequest::decode(AllocRequest{3, {"dead-a", "dead-b"}}.encode());
+  auto excl = AllocRequest::decode(AllocRequest{3, {"dead-a", "dead-b"}, {}, {}}.encode());
   ASSERT_TRUE(excl.ok());
   EXPECT_EQ(excl->nprocs, 3);
   EXPECT_EQ(excl->exclude, (std::vector<std::string>{"dead-a", "dead-b"}));
@@ -223,14 +223,14 @@ TEST(RmfProtocol, RankMessagesRoundTrip) {
 TEST(RmfProtocol, PeekTypeCoversAllMessages) {
   EXPECT_EQ(*peek_type(SubmitRequest{sample_spec()}.encode()),
             MsgType::kSubmitRequest);
-  EXPECT_EQ(*peek_type(AllocRequest{1, {}}.encode()), MsgType::kAllocRequest);
+  EXPECT_EQ(*peek_type(AllocRequest{1, {}, {}, {}}.encode()), MsgType::kAllocRequest);
   EXPECT_EQ(*peek_type(RankDone{0, {}}.encode()), MsgType::kRankDone);
   EXPECT_FALSE(peek_type(Bytes{}).ok());
   EXPECT_FALSE(peek_type(Bytes{99}).ok());
 }
 
 TEST(RmfProtocol, CrossDecodingFails) {
-  Bytes frame = AllocRequest{4, {}}.encode();
+  Bytes frame = AllocRequest{4, {}, {}, {}}.encode();
   EXPECT_FALSE(SubmitRequest::decode(frame).ok());
   EXPECT_FALSE(QSubmit::decode(frame).ok());
 }

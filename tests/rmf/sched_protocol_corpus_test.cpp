@@ -1,0 +1,226 @@
+// Corpus-driven decoder robustness tests for the scheduler wire frames
+// (kSchedHello..kSchedCompleteAck) plus the AllocRequest optional tail.
+// Mirrors tests/proxy/protocol_corpus_test.cpp: every strict prefix and
+// seeded mutation of a valid frame must fail as a typed error — never a
+// crash, hang, or oversized allocation.
+#include "rmf/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace wacs::rmf {
+namespace {
+
+struct CorpusEntry {
+  std::string name;
+  Bytes frame;
+  std::function<bool(const Bytes&)> decode;
+};
+
+SchedSubmit sample_submit() {
+  SchedSubmit s;
+  s.tenant = "user0042";
+  s.jobs = {SchedJob{1, "knapsack --depth 24", 4, 12.5},
+            SchedJob{2, "sleep", 1, 0.25}};
+  return s;
+}
+
+SchedSubmitReply sample_reply() {
+  SchedSubmitReply r;
+  r.verdicts = {
+      SchedVerdict{1, SchedVerdict::Code::kAccepted, 9001, 0, ""},
+      SchedVerdict{2, SchedVerdict::Code::kBusy, 0, 500, ""},
+      SchedVerdict{3, SchedVerdict::Code::kError, 0, 0, "invalid job"}};
+  return r;
+}
+
+SchedDispatch sample_dispatch() {
+  SchedDispatch d;
+  d.items = {SchedDispatch::Item{9001, "user0042", "knapsack", 4, 12.5},
+             SchedDispatch::Item{9002, "user0007", "sleep", 1, 0.25}};
+  return d;
+}
+
+SchedComplete sample_complete() {
+  SchedComplete c;
+  c.batch_seq = 17;
+  c.items = {SchedComplete::Item{9001, true, 50.0},
+             SchedComplete::Item{9002, false, 0.0}};
+  return c;
+}
+
+std::vector<CorpusEntry> corpus() {
+  std::vector<CorpusEntry> entries;
+  entries.push_back(
+      {"SchedHello", SchedHello{"titech", Contact{"runner01", 0}}.encode(),
+       [](const Bytes& f) { return SchedHello::decode(f).ok(); }});
+  entries.push_back(
+      {"SchedSubmit", sample_submit().encode(),
+       [](const Bytes& f) { return SchedSubmit::decode(f).ok(); }});
+  entries.push_back(
+      {"SchedSubmitReply", sample_reply().encode(),
+       [](const Bytes& f) { return SchedSubmitReply::decode(f).ok(); }});
+  entries.push_back(
+      {"SchedDispatch", sample_dispatch().encode(),
+       [](const Bytes& f) { return SchedDispatch::decode(f).ok(); }});
+  entries.push_back(
+      {"SchedDispatchReply", SchedDispatchReply{500, {9001, 9002}}.encode(),
+       [](const Bytes& f) { return SchedDispatchReply::decode(f).ok(); }});
+  entries.push_back(
+      {"SchedComplete", sample_complete().encode(),
+       [](const Bytes& f) { return SchedComplete::decode(f).ok(); }});
+  entries.push_back(
+      {"SchedCompleteAck", SchedCompleteAck{17}.encode(),
+       [](const Bytes& f) { return SchedCompleteAck::decode(f).ok(); }});
+  return entries;
+}
+
+TEST(SchedProtocolCorpus, EveryEntryDecodesItsOwnEncoding) {
+  for (const auto& e : corpus()) {
+    EXPECT_TRUE(e.decode(e.frame)) << e.name;
+    EXPECT_TRUE(peek_type(e.frame).ok()) << e.name;
+  }
+}
+
+TEST(SchedProtocolCorpus, RoundTripsPreserveEveryField) {
+  auto submit = SchedSubmit::decode(sample_submit().encode());
+  ASSERT_TRUE(submit.ok());
+  EXPECT_EQ(submit->tenant, "user0042");
+  EXPECT_EQ(submit->jobs, sample_submit().jobs);
+
+  auto reply = SchedSubmitReply::decode(sample_reply().encode());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->verdicts, sample_reply().verdicts);
+
+  auto dispatch = SchedDispatch::decode(sample_dispatch().encode());
+  ASSERT_TRUE(dispatch.ok());
+  EXPECT_EQ(dispatch->items, sample_dispatch().items);
+
+  auto complete = SchedComplete::decode(sample_complete().encode());
+  ASSERT_TRUE(complete.ok());
+  EXPECT_EQ(complete->batch_seq, 17u);
+  EXPECT_EQ(complete->items, sample_complete().items);
+}
+
+TEST(SchedProtocolCorpus, EveryStrictPrefixFailsCleanly) {
+  for (const auto& e : corpus()) {
+    for (std::size_t len = 0; len < e.frame.size(); ++len) {
+      const Bytes prefix(e.frame.begin(), e.frame.begin() + len);
+      EXPECT_FALSE(e.decode(prefix))
+          << e.name << " accepted a strict prefix of length " << len;
+    }
+  }
+}
+
+TEST(SchedProtocolCorpus, CrossTypeDecodingFails) {
+  const auto entries = corpus();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (std::size_t j = 0; j < entries.size(); ++j) {
+      if (entries[i].frame[0] == entries[j].frame[0]) continue;
+      EXPECT_FALSE(entries[j].decode(entries[i].frame))
+          << entries[j].name << " accepted a " << entries[i].name << " frame";
+    }
+  }
+}
+
+TEST(SchedProtocolCorpus, SeededRandomMutationsNeverCrash) {
+  Rng rng(0x5eedc0deULL);
+  for (const auto& e : corpus()) {
+    for (int round = 0; round < 500; ++round) {
+      Bytes mutated = e.frame;
+      const auto site =
+          static_cast<std::size_t>(rng.uniform(0, mutated.size() - 1));
+      switch (rng.uniform(0, 2)) {
+        case 0:  // flip a byte
+          mutated[site] ^= static_cast<std::uint8_t>(rng.uniform(1, 255));
+          break;
+        case 1:  // truncate at the site
+          mutated.resize(site);
+          break;
+        default: {  // duplicate the tail from the site
+          const Bytes tail(mutated.begin() + site, mutated.end());
+          mutated.insert(mutated.end(), tail.begin(), tail.end());
+          break;
+        }
+      }
+      (void)e.decode(mutated);
+      (void)peek_type(mutated);
+    }
+  }
+}
+
+TEST(SchedProtocolCorpus, HugeInnerLengthPrefixFailsWithoutOverAllocation) {
+  for (const auto& e : corpus()) {
+    Bytes evil = e.frame;
+    if (evil.size() < 6) continue;
+    evil[1] = 0x00;
+    evil[2] = 0x00;
+    evil[3] = 0x00;
+    evil[4] = 0x10;  // inner prefix claims 256 MiB
+    (void)e.decode(evil);  // must return, not OOM or crash
+  }
+}
+
+TEST(SchedProtocolCorpus, VerdictCodeOutOfRangeIsRejected) {
+  SchedSubmitReply r;
+  r.verdicts = {SchedVerdict{1, SchedVerdict::Code::kAccepted, 5, 0, ""}};
+  Bytes frame = r.encode();
+  // The verdict code is the first u8 after the verdict-count prefix and
+  // the client_seq: tag(1) + count(4) + client_seq(8) = offset 13.
+  ASSERT_GT(frame.size(), 13u);
+  ASSERT_EQ(frame[13], 1);  // kAccepted where we expect it
+  frame[13] = 0;
+  EXPECT_FALSE(SchedSubmitReply::decode(frame).ok());
+  frame[13] = 4;
+  EXPECT_FALSE(SchedSubmitReply::decode(frame).ok());
+}
+
+TEST(SchedProtocolCorpus, AllocRequestTailIsOptionalAndBackwardCompatible) {
+  // Tenant-free, preference-free requests encode byte-identically to the
+  // pre-scheduler wire format — the compatibility contract with peers that
+  // predate the tail.
+  const Bytes legacy = AllocRequest{4, {"dead-host"}, {}, {}}.encode();
+  const Bytes tailed =
+      AllocRequest{4, {"dead-host"}, "user0042", {Placement{"fast", 4}}}
+          .encode();
+  ASSERT_GT(tailed.size(), legacy.size());
+  EXPECT_TRUE(std::equal(legacy.begin(), legacy.end(), tailed.begin()));
+
+  // The tailed frame round-trips both fields.
+  auto full = AllocRequest::decode(tailed);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->tenant, "user0042");
+  ASSERT_EQ(full->preferred.size(), 1u);
+  EXPECT_EQ(full->preferred[0].host, "fast");
+  EXPECT_EQ(full->preferred[0].count, 4);
+
+  // Cutting the tail exactly yields a decodable legacy frame with empty
+  // tenant and no preference.
+  auto compat = AllocRequest::decode(legacy);
+  ASSERT_TRUE(compat.ok());
+  EXPECT_TRUE(compat->tenant.empty());
+  EXPECT_TRUE(compat->preferred.empty());
+
+  // A partial tail is malformed, never silently dropped.
+  for (std::size_t cut = 1; cut < tailed.size() - legacy.size(); ++cut) {
+    const Bytes partial(tailed.begin(), tailed.end() - cut);
+    EXPECT_FALSE(AllocRequest::decode(partial).ok()) << cut;
+  }
+}
+
+TEST(SchedProtocolCorpus, PeekTypeCoversSchedTags) {
+  for (std::uint8_t tag = 16; tag <= 22; ++tag) {
+    EXPECT_TRUE(peek_type(Bytes{tag}).ok()) << static_cast<int>(tag);
+  }
+  EXPECT_FALSE(peek_type(Bytes{23}).ok());
+  EXPECT_FALSE(peek_type(Bytes{0}).ok());
+}
+
+}  // namespace
+}  // namespace wacs::rmf

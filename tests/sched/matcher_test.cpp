@@ -1,0 +1,171 @@
+// Resource-index semantics: entry ingestion from directory entries, TTL
+// expiry, site matching with skip sets, host matching for the grid path,
+// and the inflight debit/credit ledger.
+#include "sched/matcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wacs::sched {
+namespace {
+
+mds::Entry entry(const std::string& site, const std::string& host, int cpus,
+                 const std::string& speed = "1.0") {
+  mds::Entry e;
+  e.dn = "o=grid/ou=" + site + "/host=" + host;
+  e.attributes = {{"site", site},
+                  {"cpus", std::to_string(cpus)},
+                  {"speed", speed},
+                  {"host", host}};
+  return e;
+}
+
+constexpr sim::Time kSec = 1000000000;  // 1 s of virtual time in ns
+
+TEST(ResourceIndex, UpsertAggregatesPerSite) {
+  ResourceIndex idx;
+  idx.upsert(entry("s1", "a", 8), 0, 60);
+  idx.upsert(entry("s1", "b", 4), 0, 60);
+  idx.upsert(entry("s2", "c", 16), 0, 60);
+  EXPECT_EQ(idx.sites(), 2u);
+  EXPECT_EQ(idx.hosts(), 3u);
+  EXPECT_EQ(idx.free_cpus("s1"), 12);
+  EXPECT_EQ(idx.free_cpus("s2"), 16);
+  EXPECT_EQ(idx.total_cpus(), 28);
+}
+
+TEST(ResourceIndex, MalformedEntriesAreIgnored) {
+  ResourceIndex idx;
+  mds::Entry no_site = entry("s", "a", 8);
+  no_site.attributes.erase("site");
+  idx.upsert(no_site, 0, 60);
+  mds::Entry bad_cpus = entry("s", "b", 8);
+  bad_cpus.attributes["cpus"] = "lots";
+  idx.upsert(bad_cpus, 0, 60);
+  mds::Entry zero_cpus = entry("s", "c", 0);
+  idx.upsert(zero_cpus, 0, 60);
+  EXPECT_EQ(idx.hosts(), 0u);
+}
+
+TEST(ResourceIndex, HostNameFallsBackToDnComponent) {
+  ResourceIndex idx;
+  mds::Entry e = entry("s", "a", 8);
+  e.attributes.erase("host");
+  idx.upsert(e, 0, 60);
+  ASSERT_EQ(idx.hosts(), 1u);
+  auto placements = idx.match_hosts(8);
+  ASSERT_EQ(placements.size(), 1u);
+  EXPECT_EQ(placements[0].host, "a");
+}
+
+TEST(ResourceIndex, ReUpsertMovesCapacityBetweenSites) {
+  ResourceIndex idx;
+  idx.upsert(entry("s1", "a", 8), 0, 60);
+  // The host republishes under a different site and width (recabled).
+  idx.upsert(entry("s2", "a", 4), 0, 60);
+  EXPECT_EQ(idx.free_cpus("s1"), 0);
+  EXPECT_EQ(idx.free_cpus("s2"), 4);
+  EXPECT_EQ(idx.sites(), 1u) << "emptied site record is dropped";
+}
+
+TEST(ResourceIndex, ExpireDropsLapsedHostsAndTheirCapacity) {
+  ResourceIndex idx;
+  idx.upsert(entry("s", "a", 8), 0, 10);
+  idx.upsert(entry("s", "b", 4), 0, 100);
+  EXPECT_EQ(idx.expire(50 * kSec), 1u);
+  EXPECT_EQ(idx.free_cpus("s"), 4);
+  // Re-registration before expiry extends the lease.
+  idx.upsert(entry("s", "b", 4), 90 * kSec, 100);
+  EXPECT_EQ(idx.expire(150 * kSec), 0u);
+  EXPECT_EQ(idx.free_cpus("s"), 4);
+}
+
+TEST(ResourceIndex, TouchSiteOutlivesDirectoryTtl) {
+  // A live runner connection is fresher evidence than the directory: an
+  // idle runner's entries may lapse, but touch_site keeps them matchable.
+  ResourceIndex idx;
+  idx.upsert(entry("s", "a", 8), 0, 10);
+  idx.touch_site("s", 500 * kSec);
+  EXPECT_EQ(idx.expire(400 * kSec), 0u);
+  EXPECT_EQ(idx.free_cpus("s"), 8);
+  EXPECT_EQ(idx.expire(500 * kSec), 1u);
+}
+
+TEST(ResourceIndex, MatchSitePrefersMostFreeAndHonorsSkip) {
+  ResourceIndex idx;
+  idx.upsert(entry("small", "a", 4), 0, 60);
+  idx.upsert(entry("big", "b", 16), 0, 60);
+  EXPECT_EQ(idx.match_site(2, {}, 0), "big");
+
+  // A skip entry with a future deadline excludes the site...
+  std::map<std::string, sim::Time> skip{{"big", 100 * kSec}};
+  EXPECT_EQ(idx.match_site(2, skip, 50 * kSec), "small");
+  // ...and stops excluding once the deadline passes.
+  EXPECT_EQ(idx.match_site(2, skip, 150 * kSec), "big");
+
+  EXPECT_EQ(idx.match_site(32, {}, 0), "") << "nothing fits 32 CPUs";
+}
+
+TEST(ResourceIndex, DebitsShrinkTheMatchableCapacity) {
+  ResourceIndex idx;
+  idx.upsert(entry("s", "a", 8), 0, 60);
+  idx.debit_site("s", 6);
+  EXPECT_EQ(idx.free_cpus("s"), 2);
+  EXPECT_EQ(idx.match_site(4, {}, 0), "");
+  idx.credit_site("s", 6);
+  EXPECT_EQ(idx.match_site(4, {}, 0), "s");
+  // Credits clamp: over-crediting cannot mint capacity.
+  idx.credit_site("s", 100);
+  EXPECT_EQ(idx.free_cpus("s"), 8);
+}
+
+TEST(ResourceIndex, DebitsSurviveReUpsert) {
+  // A directory refresh must not erase the scheduler's own inflight
+  // ledger — the debits are self-consistent with its dispatches.
+  ResourceIndex idx;
+  idx.upsert(entry("s", "a", 8), 0, 60);
+  idx.debit_site("s", 5);
+  idx.upsert(entry("s", "a", 8), 30 * kSec, 60);
+  EXPECT_EQ(idx.free_cpus("s"), 3);
+}
+
+TEST(ResourceIndex, MatchHostsFastestFirstSpillsAcrossSites) {
+  ResourceIndex idx;
+  idx.upsert(entry("s1", "slow", 16, "0.5"), 0, 60);
+  idx.upsert(entry("s1", "fast", 4, "2.0"), 0, 60);
+  idx.upsert(entry("s2", "medium", 4, "1.0"), 0, 60);
+
+  auto ps = idx.match_hosts(6);
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps[0].host, "fast");
+  EXPECT_EQ(ps[0].count, 4);
+  EXPECT_EQ(ps[1].host, "medium");
+  EXPECT_EQ(ps[1].count, 2);
+
+  EXPECT_TRUE(idx.match_hosts(100).empty()) << "insufficient is all-or-nothing";
+
+  auto excl = idx.match_hosts(6, {"fast"});
+  ASSERT_EQ(excl.size(), 2u);
+  EXPECT_EQ(excl[0].host, "medium");
+  EXPECT_EQ(excl[1].host, "slow");
+}
+
+TEST(ResourceIndex, HostDebitsFlowIntoSiteAggregates) {
+  ResourceIndex idx;
+  idx.upsert(entry("s", "a", 8, "2.0"), 0, 60);
+  idx.upsert(entry("s", "b", 8, "1.0"), 0, 60);
+  auto ps = idx.match_hosts(10);
+  ASSERT_EQ(ps.size(), 2u);
+  idx.debit_hosts(ps);
+  EXPECT_EQ(idx.free_cpus("s"), 6);
+  // The saturated host is skipped by the next match; b's remaining six
+  // CPUs cover the request alone.
+  auto next = idx.match_hosts(6);
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0].host, "b");
+  EXPECT_EQ(next[0].count, 6);
+  idx.credit_hosts(ps);
+  EXPECT_EQ(idx.free_cpus("s"), 16);
+}
+
+}  // namespace
+}  // namespace wacs::sched

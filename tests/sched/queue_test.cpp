@@ -1,0 +1,159 @@
+// Pending-queue semantics: per-tenant FIFO, fair-share priority ordering,
+// rekey-on-charge, and the bounded backfill candidate scan.
+#include "sched/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/fairshare.hpp"
+
+namespace wacs::sched {
+namespace {
+
+PendingJob job(std::uint64_t id, const std::string& tenant, int nprocs = 1) {
+  PendingJob j;
+  j.sched_id = id;
+  j.tenant = tenant;
+  j.task = "t";
+  j.nprocs = nprocs;
+  return j;
+}
+
+TEST(PendingQueue, FifoWithinTenant) {
+  FairShare fs(600);
+  PendingQueue q;
+  q.push(fs, job(1, "a"));
+  q.push(fs, job(2, "a"));
+  q.push(fs, job(3, "a"));
+  EXPECT_EQ(q.pop_head().sched_id, 1u);
+  EXPECT_EQ(q.pop_head().sched_id, 2u);
+  EXPECT_EQ(q.pop_head().sched_id, 3u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.head(), nullptr);
+}
+
+TEST(PendingQueue, LowestPriorityKeyTenantGoesFirst) {
+  FairShare fs(600);
+  fs.charge("hog", 1000, 0);
+  PendingQueue q;
+  q.push(fs, job(1, "hog"));
+  q.push(fs, job(2, "fresh"));
+  ASSERT_NE(q.head(), nullptr);
+  EXPECT_EQ(q.head()->tenant, "fresh");
+  EXPECT_EQ(q.pop_head().sched_id, 2u);
+  EXPECT_EQ(q.pop_head().sched_id, 1u);
+}
+
+TEST(PendingQueue, PushFrontPrepends) {
+  FairShare fs(600);
+  PendingQueue q;
+  q.push(fs, job(1, "a"));
+  q.push(fs, job(2, "a"));
+  PendingJob requeued = job(9, "a");
+  requeued.attempts = 1;
+  q.push_front(fs, std::move(requeued));
+  EXPECT_EQ(q.pop_head().sched_id, 9u);
+  EXPECT_EQ(q.pop_head().sched_id, 1u);
+}
+
+TEST(PendingQueue, RekeyReordersAfterCharge) {
+  FairShare fs(600);
+  PendingQueue q;
+  q.push(fs, job(1, "a"));
+  q.push(fs, job(2, "b"));
+  ASSERT_EQ(q.head()->tenant, "a") << "ties break by tenant name";
+  // a gets charged (its job completed); the scheduler rekeys it and b
+  // moves to the head.
+  fs.charge("a", 100, 0);
+  q.rekey(fs, "a");
+  EXPECT_EQ(q.head()->tenant, "b");
+}
+
+TEST(PendingQueue, RekeyOfAbsentTenantIsANoop) {
+  FairShare fs(600);
+  PendingQueue q;
+  q.push(fs, job(1, "a"));
+  fs.charge("ghost", 5, 0);
+  q.rekey(fs, "ghost");
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.head()->tenant, "a");
+}
+
+TEST(PendingQueue, BackfillCandidatesSkipHeadTenantAndBound) {
+  FairShare fs(600);
+  PendingQueue q;
+  for (int t = 0; t < 5; ++t) {
+    const std::string tenant = "t" + std::to_string(t);
+    q.push(fs, job(static_cast<std::uint64_t>(10 * t + 1), tenant));
+    q.push(fs, job(static_cast<std::uint64_t>(10 * t + 2), tenant));
+  }
+  // All keys are 0 → priority order is tenant-name order; head is t0.
+  auto cands = q.backfill_candidates(2);
+  ASSERT_EQ(cands.size(), 2u);
+  EXPECT_EQ(cands[0]->tenant, "t1") << "head tenant t0 must be skipped";
+  EXPECT_EQ(cands[1]->tenant, "t2");
+  EXPECT_EQ(cands[0]->sched_id, 11u) << "one FRONT job per tenant";
+
+  auto all = q.backfill_candidates(100);
+  EXPECT_EQ(all.size(), 4u) << "bounded by tenants waiting minus the head";
+}
+
+TEST(PendingQueue, TakeRemovesByIdAnywhereInTheFifo) {
+  FairShare fs(600);
+  PendingQueue q;
+  q.push(fs, job(1, "a"));
+  q.push(fs, job(2, "a"));
+  q.push(fs, job(3, "a"));
+  // Mid-queue removal (replay of per-site-grouped dispatch records),
+  // preserving the FIFO order of the rest.
+  EXPECT_EQ(q.take("a", 2).sched_id, 2u);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop_head().sched_id, 1u);
+  EXPECT_EQ(q.take("a", 3).sched_id, 3u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.tenants_waiting(), 0u);
+}
+
+TEST(PendingQueue, PopFrontOfRemovesTenantWhenDrained) {
+  FairShare fs(600);
+  PendingQueue q;
+  q.push(fs, job(1, "a"));
+  q.push(fs, job(2, "b"));
+  EXPECT_EQ(q.pop_front_of("b").sched_id, 2u);
+  EXPECT_EQ(q.tenants_waiting(), 1u);
+  EXPECT_EQ(q.tenant_depth("b"), 0u);
+  EXPECT_EQ(q.head()->tenant, "a");
+}
+
+TEST(PendingQueue, AllJobsIsTenantSortedFifo) {
+  FairShare fs(600);
+  fs.charge("a", 100, 0);  // priority order would put b first
+  PendingQueue q;
+  q.push(fs, job(1, "a"));
+  q.push(fs, job(2, "b"));
+  q.push(fs, job(3, "a"));
+  auto all = q.all_jobs();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0]->sched_id, 1u);
+  EXPECT_EQ(all[1]->sched_id, 3u);
+  EXPECT_EQ(all[2]->sched_id, 2u);
+}
+
+TEST(PendingQueue, DepthBookkeeping) {
+  FairShare fs(600);
+  PendingQueue q;
+  EXPECT_EQ(q.tenant_depth("a"), 0u);
+  q.push(fs, job(1, "a"));
+  q.push(fs, job(2, "a"));
+  q.push(fs, job(3, "b"));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.tenant_depth("a"), 2u);
+  EXPECT_EQ(q.tenants_waiting(), 2u);
+  (void)q.pop_head();
+  (void)q.pop_head();
+  (void)q.pop_head();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.tenants_waiting(), 0u);
+}
+
+}  // namespace
+}  // namespace wacs::sched

@@ -1,0 +1,325 @@
+// Scheduler end-to-end over the simulated network: admission verdicts,
+// MDS-backed matching, fair-share ordering, EASY backfill, exactly-once
+// completion accounting, runner loss, and journal replay after a
+// scheduler crash.
+//
+// engine.run() drains the whole event queue, so each test stages all of
+// its submitters, probes, and fault plans first and then runs once.
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "mds/server.hpp"
+#include "sched/runner.hpp"
+#include "simnet/fault.hpp"
+#include "simnet/time.hpp"
+
+namespace wacs::sched {
+namespace {
+
+/// Hub site hosting the scheduler (and the MDS on its own host, so a
+/// scheduler-host crash does not take the directory down with it), plus N
+/// leaf sites with one runner host each. Open firewalls — the
+/// firewall-compliance story (runners dial out) is covered by the grid
+/// tests; these exercise the scheduling logic.
+struct Fixture {
+  sim::Engine engine;
+  sim::Network net{engine};
+  std::unique_ptr<sim::FaultInjector> fault;
+  std::unique_ptr<mds::DirectoryServer> mds;
+  std::unique_ptr<Scheduler> sched;
+  std::vector<std::unique_ptr<SiteRunner>> runners;
+
+  explicit Fixture(int leaf_sites = 2, int cpus_per_site = 8,
+                   std::uint64_t fault_seed = 0) {
+    const sim::LinkParams lan{.name = "", .latency_s = 0.0001,
+                              .bandwidth_bps = 1e9};
+    net.add_site("hub", fw::Policy::open(), lan);
+    net.add_host({.name = "hub-host", .site = "hub"});
+    net.add_host({.name = "mds-host", .site = "hub"});
+    for (int i = 0; i < leaf_sites; ++i) {
+      const std::string site = "leaf" + std::to_string(i);
+      net.add_site(site, fw::Policy::open(), lan);
+      net.add_host({.name = site + "-runner", .site = site,
+                    .cpus = cpus_per_site});
+      net.connect_sites("hub", site,
+                        sim::LinkParams{.name = "wan-" + site,
+                                        .latency_s = 0.002,
+                                        .bandwidth_bps = 1e8});
+    }
+    // The injector must exist before the daemons start so their processes
+    // get registered for crash kills.
+    if (fault_seed != 0) {
+      fault = std::make_unique<sim::FaultInjector>(net, fault_seed);
+    }
+
+    mds = std::make_unique<mds::DirectoryServer>(net.host("mds-host"), 2135);
+    mds->start();
+
+    Scheduler::Options opts;
+    opts.mds = mds->contact();
+    opts.pass_interval_s = 0.05;
+    opts.mds_refresh_s = 0.5;
+    sched = std::make_unique<Scheduler>(net.host("hub-host"), opts);
+    sched->start();
+
+    for (int i = 0; i < leaf_sites; ++i) {
+      const std::string site = "leaf" + std::to_string(i);
+      SiteRunner::Options ro;
+      ro.site = site;
+      ro.scheduler = sched->contact();
+      ro.mds = mds->contact();
+      ro.hosts = {{site + "-runner", cpus_per_site, 1.0}};
+      ro.publish_ttl_s = 30;
+      runners.push_back(std::make_unique<SiteRunner>(
+          net.host(site + "-runner"), std::move(ro)));
+      runners.back()->start();
+    }
+
+    if (fault != nullptr) {
+      fault->on_host_restart("hub-host", [this] { sched->restart(); }, 25);
+      for (auto& r : runners) {
+        fault->on_host_restart(r->site() + "-runner",
+                               [rp = r.get()] { rp->restart(); });
+      }
+    }
+  }
+
+  // Parked daemon processes unwind at engine shutdown and their unwind
+  // touches the daemon objects (the respawn flags) — shut the engine down
+  // while scheduler and runners are still alive, not after the members'
+  // destructors freed them.
+  ~Fixture() { engine.shutdown(); }
+
+  struct SubmitResult {
+    bool done = false;
+    rmf::SchedSubmitReply reply;
+  };
+
+  /// Stages a submitter that dials in after `delay_s` of virtual time.
+  /// The reply lands in the returned slot once the engine runs.
+  SubmitResult* stage_submit(const std::string& tenant,
+                             std::vector<rmf::SchedJob> jobs,
+                             double delay_s = 0) {
+    results_.push_back(std::make_unique<SubmitResult>());
+    SubmitResult* out = results_.back().get();
+    engine.spawn("submit." + tenant,
+                 [this, tenant, jobs = std::move(jobs), delay_s, out](
+                     sim::Process& self) {
+      if (delay_s > 0) self.sleep(delay_s);
+      auto conn = net.host("hub-host").stack().connect(self, sched->contact());
+      ASSERT_TRUE(conn.ok());
+      ASSERT_TRUE((*conn)->send(rmf::SchedSubmit{tenant, jobs}.encode()).ok());
+      auto frame = (*conn)->recv(self);
+      ASSERT_TRUE(frame.ok());
+      auto decoded = rmf::SchedSubmitReply::decode(*frame);
+      ASSERT_TRUE(decoded.ok());
+      out->reply = std::move(*decoded);
+      out->done = true;
+    });
+    return out;
+  }
+
+  std::deque<std::unique_ptr<SubmitResult>> results_;
+};
+
+std::vector<rmf::SchedJob> jobs(int n, int nprocs = 1, double est = 0.5) {
+  std::vector<rmf::SchedJob> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(rmf::SchedJob{static_cast<std::uint64_t>(i + 1), "task",
+                                nprocs, est});
+  }
+  return out;
+}
+
+int count_code(const rmf::SchedSubmitReply& reply, rmf::SchedVerdict::Code c) {
+  int n = 0;
+  for (const auto& v : reply.verdicts) n += (v.code == c) ? 1 : 0;
+  return n;
+}
+
+TEST(Scheduler, AcceptsDispatchesAndCompletes) {
+  Fixture f;
+  auto* r = f.stage_submit("alice", jobs(10));
+  f.engine.run();
+
+  ASSERT_TRUE(r->done);
+  ASSERT_EQ(r->reply.verdicts.size(), 10u);
+  for (const auto& v : r->reply.verdicts) {
+    EXPECT_EQ(v.code, rmf::SchedVerdict::Code::kAccepted);
+    EXPECT_NE(v.sched_id, 0u);
+  }
+  EXPECT_EQ(f.sched->jobs_accepted(), 10u);
+  EXPECT_EQ(f.sched->jobs_completed(), 10u);
+  EXPECT_EQ(f.sched->pending_jobs(), 0u);
+  EXPECT_EQ(f.sched->inflight_jobs(), 0u);
+  EXPECT_GT(f.sched->mds_refreshes(), 0u);
+  EXPECT_GT(f.sched->shares().usage("alice", sim::to_sec(f.engine.now())), 0)
+      << "completed work must charge the tenant";
+}
+
+TEST(Scheduler, InvalidJobsGetErrorVerdicts) {
+  Fixture f;
+  auto* r = f.stage_submit(
+      "alice", {rmf::SchedJob{1, "", 1, 1.0},         // empty task
+                rmf::SchedJob{2, "task", 0, 1.0},     // zero width
+                rmf::SchedJob{3, "task", 1, -1.0},    // negative estimate
+                rmf::SchedJob{4, "task", 9999, 1.0},  // wider than max
+                rmf::SchedJob{5, "task", 1, 0.2}});   // valid
+  f.engine.run();
+
+  ASSERT_TRUE(r->done);
+  ASSERT_EQ(r->reply.verdicts.size(), 5u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(r->reply.verdicts[i].code, rmf::SchedVerdict::Code::kError) << i;
+    EXPECT_FALSE(r->reply.verdicts[i].error.empty()) << i;
+  }
+  EXPECT_EQ(r->reply.verdicts[4].code, rmf::SchedVerdict::Code::kAccepted);
+  EXPECT_EQ(f.sched->jobs_completed(), 1u);
+}
+
+TEST(Scheduler, OverCapSubmissionsShedWithRetryableBusy) {
+  Fixture f;
+  f.sched->mutable_options().max_pending_per_tenant = 5;
+  auto* r = f.stage_submit("alice", jobs(8));
+  f.engine.run();
+
+  ASSERT_TRUE(r->done);
+  EXPECT_EQ(count_code(r->reply, rmf::SchedVerdict::Code::kAccepted), 5);
+  EXPECT_EQ(count_code(r->reply, rmf::SchedVerdict::Code::kBusy), 3);
+  for (const auto& v : r->reply.verdicts) {
+    if (v.code == rmf::SchedVerdict::Code::kBusy) {
+      EXPECT_EQ(v.retry_after_ms, f.sched->mutable_options().retry_after_ms);
+    }
+  }
+  EXPECT_EQ(f.sched->jobs_shed(), 3u);
+  EXPECT_EQ(f.sched->jobs_completed(), 5u);
+}
+
+TEST(Scheduler, FairShareLetsAFreshTenantJumpTheBacklog) {
+  Fixture f(/*leaf_sites=*/1, /*cpus_per_site=*/1);  // fully serialized
+  // The hog queues 10 one-second jobs at t=0; a fresh tenant shows up at
+  // t=1.5 with two. Under FIFO the fresh jobs would finish last (~t=12);
+  // fair-share must run them as soon as the hog has any charged usage.
+  f.stage_submit("hog", jobs(10, 1, 1.0));
+  f.stage_submit("fresh", jobs(2, 1, 1.0), /*delay_s=*/1.5);
+
+  double fresh_usage_at_probe = -1;
+  f.engine.after(6.0, [&f, &fresh_usage_at_probe] {
+    fresh_usage_at_probe = f.sched->shares().usage("fresh", 6.0);
+  });
+  f.engine.run();
+
+  EXPECT_EQ(f.sched->jobs_completed(), 12u);
+  EXPECT_GT(fresh_usage_at_probe, 0.5)
+      << "fresh tenant's jobs must not wait behind the hog's whole backlog";
+}
+
+TEST(Scheduler, BackfillRunsNarrowJobsPastAStuckWideHead) {
+  Fixture f(/*leaf_sites=*/1, /*cpus_per_site=*/4);
+  // alice's first wide job takes 3 of 4 CPUs for 2 s; her second (the
+  // head once the first dispatches) also needs 3, so it is stuck until
+  // t=2. bob's narrow 0.1 s jobs fit the leftover CPU and cannot delay
+  // the head's reservation — EASY must run them immediately.
+  f.stage_submit("alice", jobs(2, 3, 2.0));
+  f.stage_submit("bob", jobs(3, 1, 0.1));
+
+  double alice_at_probe = -1;
+  double bob_at_probe = -1;
+  f.engine.after(1.9, [&] {
+    alice_at_probe = f.sched->shares().usage("alice", 1.9);
+    bob_at_probe = f.sched->shares().usage("bob", 1.9);
+  });
+  f.engine.run();
+
+  EXPECT_EQ(f.sched->jobs_completed(), 5u);
+  EXPECT_GT(f.sched->jobs_backfilled(), 0u);
+  EXPECT_EQ(alice_at_probe, 0) << "the wide head cannot have finished yet";
+  EXPECT_GT(bob_at_probe, 0)
+      << "narrow jobs must have backfilled past the stuck head";
+}
+
+TEST(Scheduler, RunnerCrashRequeuesAndRecovers) {
+  Fixture f(/*leaf_sites=*/2, /*cpus_per_site=*/4, /*fault_seed=*/7);
+  f.sched->mutable_options().dispatch_grace_s = 2.0;
+  f.stage_submit("alice", jobs(16, 1, 1.0));
+  // Crash one runner mid-flight: its in-flight jobs die with it and must
+  // be requeued by the deadline sweep, finishing on the surviving site or
+  // on the restarted one.
+  f.fault->plan_host_crash("leaf0-runner", sim::from_sec(0.5));
+  f.fault->plan_host_restart("leaf0-runner", sim::from_sec(3.0));
+  f.engine.run();
+
+  EXPECT_EQ(f.sched->jobs_completed(), 16u);
+  EXPECT_EQ(f.sched->jobs_failed(), 0u)
+      << "lost dispatches must be requeued within the attempt budget";
+  EXPECT_GT(f.sched->jobs_requeued(), 0u);
+  EXPECT_EQ(f.sched->pending_jobs(), 0u);
+  EXPECT_EQ(f.sched->inflight_jobs(), 0u);
+}
+
+TEST(Scheduler, CompletionAccountingIsExactlyOnce) {
+  Fixture f(/*leaf_sites=*/1, /*cpus_per_site=*/8);
+  f.stage_submit("alice", jobs(30, 1, 0.3));
+  f.engine.run();
+
+  EXPECT_EQ(f.sched->jobs_completed(), 30u);
+  EXPECT_EQ(f.sched->dup_completions(), 0u);
+  // 30 jobs × 1 CPU × 0.3 s = 9 cpu-seconds charged — once each (decay
+  // over a few virtual seconds at a 600 s half-life is negligible).
+  const double usage =
+      f.sched->shares().usage("alice", sim::to_sec(f.engine.now()));
+  EXPECT_GT(usage, 8.5);
+  EXPECT_LT(usage, 9.5);
+}
+
+TEST(Scheduler, SchedulerCrashReplaysJournalAndFinishesTheBacklog) {
+  Fixture f(/*leaf_sites=*/2, /*cpus_per_site=*/4, /*fault_seed=*/11);
+  f.stage_submit("alice", jobs(24, 1, 1.0));
+  f.stage_submit("bob", jobs(8, 1, 1.0));
+  // Kill the scheduler host mid-run: accepted-but-pending jobs and the
+  // in-flight ledger must come back from the journal; runners keep their
+  // completions in the unacked buffer and resend on reconnect.
+  f.fault->plan_host_crash("hub-host", sim::from_sec(1.0));
+  f.fault->plan_host_restart("hub-host", sim::from_sec(2.0));
+  f.engine.run();
+
+  EXPECT_EQ(f.sched->journal_replays(), 1u);
+  EXPECT_EQ(f.sched->jobs_completed(), 32u);
+  EXPECT_EQ(f.sched->jobs_failed(), 0u);
+  EXPECT_EQ(f.sched->pending_jobs(), 0u);
+  EXPECT_EQ(f.sched->inflight_jobs(), 0u);
+  // Exactly-once across the crash: total charged usage stays bounded by
+  // the 32 cpu-seconds of submitted work (no double charges).
+  const double now_s = sim::to_sec(f.engine.now());
+  const double usage = f.sched->shares().usage("alice", now_s) +
+                       f.sched->shares().usage("bob", now_s);
+  EXPECT_LT(usage, 32.5);
+  EXPECT_GT(usage, 25.0);
+}
+
+TEST(Scheduler, SnapshotCompactionPreservesReplay) {
+  Fixture f(/*leaf_sites=*/1, /*cpus_per_site=*/8);
+  f.sched->mutable_options().snapshot_every = 4;  // force frequent snapshots
+  f.stage_submit("alice", jobs(20, 1, 0.2));
+  f.engine.run();
+  ASSERT_EQ(f.sched->jobs_completed(), 20u);
+
+  // Replay from the compacted journal: the quiesced state is empty queues
+  // plus the fair-share ledger, bit-for-bit.
+  const double key_before = f.sched->shares().priority_key("alice");
+  ASSERT_GT(key_before, 0);
+  f.sched->restart();
+  f.engine.run();
+  EXPECT_EQ(f.sched->journal_replays(), 1u);
+  EXPECT_EQ(f.sched->pending_jobs(), 0u);
+  EXPECT_EQ(f.sched->inflight_jobs(), 0u);
+  EXPECT_EQ(f.sched->shares().priority_key("alice"), key_before);
+}
+
+}  // namespace
+}  // namespace wacs::sched
